@@ -1,0 +1,95 @@
+//! `cargo bench` entry point that regenerates **every table and figure**
+//! of the paper at the quick profile, printing the same rows/series the
+//! paper reports (with the paper's numbers alongside for comparison).
+//!
+//! This is a `harness = false` bench: the "benchmark" is the experiment
+//! suite itself. For higher-fidelity runs use
+//! `cargo run --release -p dbsens-bench --bin repro -- --profile full all`.
+
+use dbsens_bench::figures;
+use dbsens_bench::profile::Profile;
+use std::time::Instant;
+
+fn main() {
+    // Respect `cargo bench -- --help`-style filter args minimally: any
+    // argument selects a subset by substring.
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let filters: Vec<&String> =
+        args.iter().filter(|a| !a.starts_with('-') && !a.is_empty()).collect();
+    let want = |name: &str| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()));
+
+    let mut profile = Profile::quick();
+    // `cargo bench` should stay bounded: restrict TPC-H to the paper's
+    // extreme scale factors and shorten throughput runs (use the `repro`
+    // binary's full profile for the complete matrix).
+    profile.dss_secs = 240;
+    profile.oltp_secs = 5;
+    profile.tpch_sfs = vec![10.0, 300.0];
+    profile.fig6_sfs = vec![10.0, 300.0];
+
+    let t0 = Instant::now();
+
+    if want("table2") {
+        let rows = figures::run_table2(&profile);
+        dbsens_bench::save_json("table2", &rows);
+        println!("{}", figures::render_table2(&rows));
+    }
+
+    if want("fig2") || want("table4") || want("fig3") || want("fig4") {
+        eprintln!("[bench] figure 2 sweeps...");
+        let d = figures::run_fig2(&profile);
+        dbsens_bench::save_json("fig2", &d);
+        if want("fig2") {
+            println!("{}", figures::render_fig2(&d));
+        }
+        if want("table4") {
+            println!("{}", figures::render_table4(&d));
+        }
+        if want("fig3") {
+            println!("{}", figures::render_fig3(&d));
+        }
+        if want("fig4") {
+            println!("{}", figures::render_fig4(&d));
+        }
+    }
+
+    if want("table3") {
+        eprintln!("[bench] table 3...");
+        let (small, large) = figures::run_table3(&profile);
+        println!("{}", figures::render_table3(&small, &large));
+    }
+
+    if want("fig5") {
+        eprintln!("[bench] figure 5...");
+        let d = figures::run_fig5(&profile);
+        println!("{}", figures::render_fig5(&d));
+    }
+
+    if want("fig6") {
+        for sf in profile.fig6_sfs.clone() {
+            eprintln!("[bench] figure 6 (SF={sf})...");
+            let d = figures::run_fig6_sf(&profile, sf);
+            println!("{}", figures::render_fig6(&d));
+        }
+    }
+
+    if want("fig7") {
+        eprintln!("[bench] figure 7...");
+        let d = figures::run_fig7(&profile);
+        println!("{}", figures::render_fig7(&d));
+    }
+
+    if want("fig8") {
+        eprintln!("[bench] figure 8...");
+        let d = figures::run_fig8(&profile, 100.0);
+        println!("{}", figures::render_fig8(&d));
+    }
+
+    if want("write_limits") {
+        eprintln!("[bench] write limits...");
+        let rows = figures::run_write_limits(&profile);
+        println!("{}", figures::render_write_limits(&rows));
+    }
+
+    eprintln!("[bench] experiment suite finished in {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,123 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! Usage: repro [--profile quick|full] <target>...
+//! Targets: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
+//!          write_limits all
+//! ```
+//!
+//! Output goes to stdout; machine-readable artifacts land in `results/`.
+
+use dbsens_bench::figures;
+use dbsens_bench::profile::{profile_from_name, Profile};
+use dbsens_bench::save_json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut profile = Profile::quick();
+    let mut targets: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--profile" => {
+                let name = it.next().unwrap_or_default();
+                profile = profile_from_name(&name)
+                    .unwrap_or_else(|| panic!("unknown profile {name} (quick|full)"));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "Usage: repro [--profile quick|full] <target>...\n\
+                     Targets: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8 write_limits ablation all"
+                );
+                return;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let want = |t: &str| all || targets.iter().any(|x| x == t);
+
+    // Figure 2's sweeps feed Table 4, Figure 3, and Figure 4; run once.
+    let needs_fig2 = ["fig2", "fig3", "fig4", "table4"].iter().any(|t| want(t));
+    let fig2 = if needs_fig2 {
+        eprintln!("[repro] running Figure 2 sweeps (shared by Table 4, Figures 3-4)...");
+        let d = figures::run_fig2(&profile);
+        save_json("fig2", &d);
+        Some(d)
+    } else {
+        None
+    };
+
+    if want("table2") {
+        eprintln!("[repro] Table 2...");
+        let rows = figures::run_table2(&profile);
+        save_json("table2", &rows);
+        println!("{}", figures::render_table2(&rows));
+    }
+    if let Some(d) = &fig2 {
+        if want("fig2") {
+            println!("{}", figures::render_fig2(d));
+        }
+        if want("table4") {
+            println!("{}", figures::render_table4(d));
+        }
+        if want("fig3") {
+            println!("{}", figures::render_fig3(d));
+        }
+        if want("fig4") {
+            println!("{}", figures::render_fig4(d));
+        }
+    }
+    if want("table3") {
+        eprintln!("[repro] Table 3...");
+        let (small, large) = figures::run_table3(&profile);
+        save_json("table3", &(&small, &large));
+        println!("{}", figures::render_table3(&small, &large));
+    }
+    if want("fig5") {
+        eprintln!("[repro] Figure 5...");
+        let d = figures::run_fig5(&profile);
+        save_json("fig5", &d);
+        println!("{}", figures::render_fig5(&d));
+    }
+    if want("fig6") {
+        for &sf in &profile.fig6_sfs.clone() {
+            eprintln!("[repro] Figure 6 (SF={sf})...");
+            let d = figures::run_fig6_sf(&profile, sf);
+            save_json(&format!("fig6_sf{sf}"), &d);
+            println!("{}", figures::render_fig6(&d));
+        }
+    }
+    if want("fig7") {
+        eprintln!("[repro] Figure 7...");
+        let d = figures::run_fig7(&profile);
+        save_json("fig7", &d);
+        println!("{}", figures::render_fig7(&d));
+    }
+    if want("fig8") {
+        eprintln!("[repro] Figure 8...");
+        let sf = if profile.tpch_sfs.contains(&100.0) {
+            100.0
+        } else {
+            *profile.tpch_sfs.last().expect("tpch_sfs non-empty")
+        };
+        let d = figures::run_fig8(&profile, sf);
+        save_json("fig8", &d);
+        println!("{}", figures::render_fig8(&d));
+    }
+    if want("ablation") {
+        eprintln!("[repro] warmup ablation...");
+        let rows = figures::run_warmup_ablation(&profile);
+        save_json("ablation_warmup", &rows);
+        println!("{}", figures::render_warmup_ablation(&rows));
+    }
+    if want("write_limits") {
+        eprintln!("[repro] write limits...");
+        let rows = figures::run_write_limits(&profile);
+        save_json("write_limits", &rows);
+        println!("{}", figures::render_write_limits(&rows));
+    }
+}

@@ -1,0 +1,28 @@
+//! # dbsens-bench
+//!
+//! Reproduction harness for every table and figure in the paper's
+//! evaluation, plus criterion microbenchmarks of the substrates. The
+//! `repro` binary drives the [`figures`] functions; `cargo bench` runs
+//! quick versions of every artifact.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod paper;
+pub mod profile;
+
+use std::io::Write as _;
+use std::path::Path;
+
+/// Writes a JSON artifact under `results/`.
+pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
+    let dir = Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    if let Ok(json) = serde_json::to_string_pretty(value) {
+        if let Ok(mut f) = std::fs::File::create(dir.join(format!("{name}.json"))) {
+            let _ = f.write_all(json.as_bytes());
+        }
+    }
+}

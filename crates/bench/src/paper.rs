@@ -1,0 +1,74 @@
+//! Reference values from the paper, for paper-vs-measured comparison in
+//! every regenerated table/figure (recorded in EXPERIMENTS.md).
+
+/// Table 2: (workload, SF, data GB, index GB).
+pub const TABLE2: [(&str, f64, f64, f64); 10] = [
+    ("ASDB", 2000.0, 51.13, 0.21),
+    ("ASDB", 6000.0, 153.36, 0.64),
+    ("TPC-E", 5000.0, 31.99, 8.15),
+    ("TPC-E", 15000.0, 96.45, 24.61),
+    ("HTAP", 5000.0, 31.99, 10.44),
+    ("HTAP", 15000.0, 96.45, 31.74),
+    ("TPC-H", 10.0, 5.54, 0.13),
+    ("TPC-H", 30.0, 12.93, 0.23),
+    ("TPC-H", 100.0, 41.95, 0.75),
+    ("TPC-H", 300.0, 127.94, 2.25),
+];
+
+/// Table 3: wait-class ratios, TPC-E SF=15000 relative to SF=5000.
+pub const TABLE3: [(&str, f64); 4] =
+    [("LOCK", 0.15), ("LATCH", 1.3), ("PAGELATCH", 0.56), ("PAGEIOLATCH", 74.61)];
+// LATCH's exact ratio is not printed in the paper's table; the text says
+// "LATCH waits do increase", so >1 is the reference shape.
+
+/// Table 3 note: total LOCK+LATCH+PAGELATCH ratio.
+pub const TABLE3_SUM_RATIO: f64 = 0.49;
+
+/// Table 4: (workload, SF, MB for >=90%, MB for >=95%).
+pub const TABLE4: [(&str, f64, u32, u32); 10] = [
+    ("ASDB", 2000.0, 8, 8),
+    ("ASDB", 6000.0, 8, 10),
+    ("TPC-E", 5000.0, 6, 8),
+    ("TPC-E", 15000.0, 12, 14),
+    ("HTAP", 5000.0, 16, 18),
+    ("HTAP", 15000.0, 10, 14),
+    ("TPC-H", 10.0, 10, 14),
+    ("TPC-H", 30.0, 10, 16),
+    ("TPC-H", 100.0, 16, 22),
+    ("TPC-H", 300.0, 12, 12),
+];
+
+/// §4 text: TPC-H performance at 16 cores relative to 32 cores, per SF —
+/// hyper-threading hurts small SFs and helps large ones.
+pub const FIG2_TPCH_16V32: [(f64, f64); 4] = [(10.0, 1.72), (30.0, 1.27), (100.0, 0.93), (300.0, 0.82)];
+
+/// §4 text: hyper-threading gains (32 vs 16 cores) for the OLTP workloads.
+pub const HT_GAIN_ASDB: (f64, f64) = (1.05, 1.068);
+/// TPC-E's hyper-threading gain range.
+pub const HT_GAIN_TPCE: (f64, f64) = (1.167, 1.242);
+
+/// §5 text: TPC-H SF=100 speedup growing LLC 2 MB -> 10 MB, and the
+/// further gain to 40 MB.
+pub const FIG2_TPCH100_LLC_SPEEDUP_2_TO_10: f64 = 3.4;
+/// Further relative improvement from 10 MB to 40 MB.
+pub const FIG2_TPCH100_LLC_GAIN_10_TO_40: f64 = 1.26;
+
+/// §6 text / Figure 5: a linear model would allocate ~1000 MB/s for QPS
+/// 0.08 where ~800 MB/s suffices (a ~20% over-allocation).
+pub const FIG5_OVERALLOCATION: f64 = 0.20;
+
+/// §6 text: ASDB SF=2000 TPS drop at write limits of 100 and 50 MB/s.
+pub const WRITE_LIMIT_DROPS: [(f64, f64); 2] = [(100.0, 0.06), (50.0, 0.44)];
+
+/// §7 text: TPC-H Q20 speedup MAXDOP=1 -> 32 at SF=300 (~10x); DOP
+/// insensitive at SF=10/30.
+pub const FIG6_Q20_SF300_SPEEDUP: f64 = 10.0;
+
+/// §7: queries with serial plans (DOP-insensitive) at SF=10.
+pub const FIG6_SF10_SERIAL_QUERIES: [usize; 5] = [2, 6, 14, 15, 20];
+
+/// §8 text: Q20 uses ~45% less memory at MAXDOP=1 than at MAXDOP=32.
+pub const Q20_SERIAL_MEMORY_SAVING: f64 = 0.45;
+
+/// §8 / Figure 8: queries sensitive to the memory grant at SF=100.
+pub const FIG8_SENSITIVE_QUERIES: [usize; 7] = [3, 8, 9, 13, 16, 18, 21];

@@ -1,0 +1,88 @@
+//! Run profiles for the reproduction harness.
+
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_workloads::scale::ScaleCfg;
+
+/// How big/long to run the reproduction experiments.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// Data scaling.
+    pub scale: ScaleCfg,
+    /// Virtual seconds for OLTP/HTAP throughput runs.
+    pub oltp_secs: u64,
+    /// Virtual seconds for TPC-H throughput runs (queries take longer).
+    pub dss_secs: u64,
+    /// Host threads for parallel sweeps.
+    pub threads: usize,
+    /// TPC-H scale factors for the per-query sweeps (Figure 6); the quick
+    /// profile covers the paper's extremes, the full profile all four.
+    pub fig6_sfs: Vec<f64>,
+    /// TPC-H scale factors to cover.
+    pub tpch_sfs: Vec<f64>,
+    /// ASDB scale factors.
+    pub asdb_sfs: Vec<f64>,
+    /// TPC-E scale factors.
+    pub tpce_sfs: Vec<f64>,
+    /// HTAP scale factors.
+    pub htap_sfs: Vec<f64>,
+}
+
+impl Profile {
+    /// Quick profile: smaller logical data and shorter virtual runs; used
+    /// by `cargo bench` so every artifact regenerates in minutes.
+    pub fn quick() -> Self {
+        Profile {
+            scale: ScaleCfg { row_scale: 400_000.0, oltp_row_scale: 4_000.0, seed: 42 },
+            oltp_secs: 6,
+            dss_secs: 360,
+            threads: host_threads(),
+            fig6_sfs: vec![10.0, 300.0],
+            tpch_sfs: vec![10.0, 30.0, 100.0, 300.0],
+            asdb_sfs: vec![2000.0, 6000.0],
+            tpce_sfs: vec![5000.0, 15000.0],
+            htap_sfs: vec![5000.0, 15000.0],
+        }
+    }
+
+    /// Full profile: the paper's sweep at higher logical fidelity.
+    pub fn full() -> Self {
+        Profile {
+            scale: ScaleCfg::experiment(),
+            oltp_secs: 30,
+            dss_secs: 900,
+            threads: host_threads(),
+            fig6_sfs: vec![10.0, 30.0, 100.0, 300.0],
+            ..Profile::quick()
+        }
+    }
+
+    /// Baseline knobs (full allocation) with this profile's run length for
+    /// OLTP workloads.
+    pub fn oltp_knobs(&self) -> ResourceKnobs {
+        let mut k = ResourceKnobs::paper_full();
+        k.run_secs = self.oltp_secs;
+        k.seed = self.scale.seed;
+        k
+    }
+
+    /// Baseline knobs for TPC-H throughput runs.
+    pub fn dss_knobs(&self) -> ResourceKnobs {
+        let mut k = ResourceKnobs::paper_full();
+        k.run_secs = self.dss_secs;
+        k.seed = self.scale.seed;
+        k
+    }
+}
+
+fn host_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
+}
+
+/// Parses a profile name.
+pub fn profile_from_name(name: &str) -> Option<Profile> {
+    match name {
+        "quick" => Some(Profile::quick()),
+        "full" => Some(Profile::full()),
+        _ => None,
+    }
+}

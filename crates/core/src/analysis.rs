@@ -1,0 +1,210 @@
+//! Analyses over experiment results: knees, sufficient cache capacity,
+//! wait ratios, CDFs, and linear-model gaps.
+
+use serde::{Deserialize, Serialize};
+
+/// A `(allocation, performance)` curve point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// Allocated resource amount (cores, MB, MB/s, ...).
+    pub x: f64,
+    /// Performance at that allocation.
+    pub y: f64,
+}
+
+/// Smallest allocation whose performance reaches `fraction` of the
+/// performance at the largest allocation (the paper's Table 4
+/// "sufficient LLC capacity" analysis). Points may arrive unsorted.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_core::analysis::{sufficient_allocation, CurvePoint};
+///
+/// let curve = vec![
+///     CurvePoint { x: 2.0, y: 10.0 },
+///     CurvePoint { x: 4.0, y: 85.0 },
+///     CurvePoint { x: 8.0, y: 95.0 },
+///     CurvePoint { x: 40.0, y: 100.0 },
+/// ];
+/// assert_eq!(sufficient_allocation(&curve, 0.90), Some(8.0));
+/// assert_eq!(sufficient_allocation(&curve, 0.80), Some(4.0));
+/// ```
+pub fn sufficient_allocation(curve: &[CurvePoint], fraction: f64) -> Option<f64> {
+    let mut pts = curve.to_vec();
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x));
+    let full = pts.last()?.y;
+    let target = full * fraction;
+    pts.iter().find(|p| p.y >= target).map(|p| p.x)
+}
+
+/// Knee of a concave performance curve: the allocation after which the
+/// marginal gain per unit drops below `threshold` times the average gain
+/// of the initial segment. Returns `None` for degenerate (flat or short)
+/// curves.
+pub fn knee(curve: &[CurvePoint], threshold: f64) -> Option<f64> {
+    let mut pts = curve.to_vec();
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x));
+    if pts.len() < 3 {
+        return None;
+    }
+    let first_slope = (pts[1].y - pts[0].y) / (pts[1].x - pts[0].x);
+    if first_slope <= 0.0 {
+        return None;
+    }
+    for w in pts.windows(2).skip(1) {
+        let slope = (w[1].y - w[0].y) / (w[1].x - w[0].x);
+        if slope < first_slope * threshold {
+            return Some(w[0].x);
+        }
+    }
+    None
+}
+
+/// Empirical cumulative distribution over samples: returns `(value,
+/// cumulative_fraction)` pairs sorted by value (the paper's Figure 4).
+pub fn cdf(samples: &[f64]) -> Vec<(f64, f64)> {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+    sorted.sort_by(f64::total_cmp);
+    let n = sorted.len();
+    sorted
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (v, (i + 1) as f64 / n as f64))
+        .collect()
+}
+
+/// Percentile of a sample set (`p` in `[0, 1]`).
+pub fn percentile(samples: &[f64], p: f64) -> Option<f64> {
+    let mut sorted: Vec<f64> = samples.iter().copied().filter(|v| v.is_finite()).collect();
+    if sorted.is_empty() {
+        return None;
+    }
+    sorted.sort_by(f64::total_cmp);
+    let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    Some(sorted[idx])
+}
+
+/// The paper's Figure 5 analysis: for a target performance `target_y`,
+/// compare the allocation a *linear* model (through the largest measured
+/// point and the origin) would prescribe with the allocation the measured
+/// curve actually needs. Returns `(linear_alloc, actual_alloc,
+/// over_allocation_fraction)`.
+pub fn linear_model_gap(curve: &[CurvePoint], target_y: f64) -> Option<(f64, f64, f64)> {
+    let mut pts = curve.to_vec();
+    pts.sort_by(|a, b| a.x.total_cmp(&b.x));
+    let last = pts.last()?;
+    if last.y <= 0.0 {
+        return None;
+    }
+    let linear_alloc = target_y / (last.y / last.x);
+    // Actual allocation: linear interpolation on the measured curve.
+    let mut actual = None;
+    for w in pts.windows(2) {
+        if w[0].y <= target_y && target_y <= w[1].y {
+            let f = (target_y - w[0].y) / (w[1].y - w[0].y).max(1e-12);
+            actual = Some(w[0].x + f * (w[1].x - w[0].x));
+            break;
+        }
+    }
+    if actual.is_none() && pts.first().map(|p| p.y >= target_y) == Some(true) {
+        actual = pts.first().map(|p| p.x);
+    }
+    let actual = actual?;
+    Some((linear_alloc, actual, (linear_alloc - actual) / linear_alloc))
+}
+
+/// Ratio table rows for the paper's Table 3 (waits at one configuration
+/// relative to another).
+pub fn wait_ratios(
+    numer: &[(String, f64)],
+    denom: &[(String, f64)],
+) -> Vec<(String, f64, f64, f64)> {
+    numer
+        .iter()
+        .map(|(class, n)| {
+            let d = denom.iter().find(|(c, _)| c == class).map_or(0.0, |(_, v)| *v);
+            let ratio = if d > 0.0 { n / d } else { f64::NAN };
+            (class.clone(), *n, d, ratio)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn concave() -> Vec<CurvePoint> {
+        // Strong initial growth, then plateau.
+        vec![
+            CurvePoint { x: 2.0, y: 10.0 },
+            CurvePoint { x: 4.0, y: 50.0 },
+            CurvePoint { x: 6.0, y: 80.0 },
+            CurvePoint { x: 8.0, y: 92.0 },
+            CurvePoint { x: 10.0, y: 96.0 },
+            CurvePoint { x: 40.0, y: 100.0 },
+        ]
+    }
+
+    #[test]
+    fn sufficient_allocation_finds_first_crossing() {
+        let c = concave();
+        assert_eq!(sufficient_allocation(&c, 0.90), Some(8.0));
+        assert_eq!(sufficient_allocation(&c, 0.95), Some(10.0));
+        assert_eq!(sufficient_allocation(&c, 1.0), Some(40.0));
+        assert_eq!(sufficient_allocation(&[], 0.9), None);
+    }
+
+    #[test]
+    fn knee_detected_on_concave_curve() {
+        let k = knee(&concave(), 0.3).unwrap();
+        assert!((4.0..=8.0).contains(&k), "knee at {k}");
+        // Flat curve: no knee.
+        let flat: Vec<CurvePoint> =
+            (1..5).map(|i| CurvePoint { x: i as f64, y: 10.0 }).collect();
+        assert_eq!(knee(&flat, 0.3), None);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_complete() {
+        let c = cdf(&[3.0, 1.0, 2.0, 2.0]);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c[0].0, 1.0);
+        assert!((c[3].1 - 1.0).abs() < 1e-12);
+        assert!(c.windows(2).all(|w| w[0].0 <= w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn percentile_bounds() {
+        let v = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile(&v, 0.0), Some(1.0));
+        assert_eq!(percentile(&v, 1.0), Some(5.0));
+        assert_eq!(percentile(&v, 0.5), Some(3.0));
+        assert_eq!(percentile(&[], 0.5), None);
+    }
+
+    #[test]
+    fn linear_gap_matches_paper_example() {
+        // Shape like Figure 5: concave QPS vs bandwidth. A linear model
+        // over-allocates for mid-range targets.
+        let curve = vec![
+            CurvePoint { x: 100.0, y: 0.02 },
+            CurvePoint { x: 400.0, y: 0.055 },
+            CurvePoint { x: 800.0, y: 0.08 },
+            CurvePoint { x: 1600.0, y: 0.095 },
+            CurvePoint { x: 2500.0, y: 0.10 },
+        ];
+        let (linear, actual, over) = linear_model_gap(&curve, 0.08).unwrap();
+        assert!(linear > actual, "linear {linear} vs actual {actual}");
+        assert!(over > 0.1, "over-allocation {over}");
+    }
+
+    #[test]
+    fn wait_ratio_rows() {
+        let n = vec![("LOCK".to_string(), 1.0), ("PAGEIOLATCH".to_string(), 75.0)];
+        let d = vec![("LOCK".to_string(), 4.0), ("PAGEIOLATCH".to_string(), 1.0)];
+        let rows = wait_ratios(&n, &d);
+        assert_eq!(rows[0].3, 0.25);
+        assert_eq!(rows[1].3, 75.0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Tenant colocation studies (the paper's §10 research questions).
+//!
+//! The paper asks how cloud servers should partition resources among
+//! concurrent database tenants, and observes that a well-designed server
+//! running diverse workloads will see cache under-utilization that could
+//! serve other tenants. This module runs **two workloads against one
+//! simulated server** — sharing cores, LLC, DRAM, and the SSD — and
+//! quantifies the interference each inflicts on the other, optionally
+//! under disjoint core allocations (cpuset-style isolation).
+//!
+//! Memory is not partitioned: each tenant keeps its own buffer pool, so
+//! the study isolates compute/cache/bandwidth interference.
+
+use crate::experiment::RunResult;
+use crate::knobs::ResourceKnobs;
+use dbsens_hwsim::kernel::Kernel;
+use dbsens_hwsim::time::SimDuration;
+use dbsens_workloads::driver::{build_workload, MetricKind, WorkloadSpec};
+use dbsens_workloads::scale::ScaleCfg;
+use serde::{Deserialize, Serialize};
+
+/// One tenant's throughput under solo and colocated runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantOutcome {
+    /// Workload name.
+    pub workload: String,
+    /// Primary metric kind.
+    pub metric: MetricKind,
+    /// Throughput running alone on the server.
+    pub solo: f64,
+    /// Throughput running colocated.
+    pub colocated: f64,
+}
+
+impl TenantOutcome {
+    /// Fraction of solo throughput retained under colocation.
+    pub fn retained(&self) -> f64 {
+        if self.solo > 0.0 {
+            self.colocated / self.solo
+        } else {
+            f64::NAN
+        }
+    }
+}
+
+/// A two-tenant colocation experiment.
+#[derive(Debug, Clone)]
+pub struct Colocation {
+    /// First tenant.
+    pub tenant_a: WorkloadSpec,
+    /// Second tenant.
+    pub tenant_b: WorkloadSpec,
+    /// Shared server allocation (cores/LLC/bandwidth knobs apply to the
+    /// whole server).
+    pub knobs: ResourceKnobs,
+    /// Data scaling.
+    pub scale: ScaleCfg,
+}
+
+/// Result of a colocation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColocationResult {
+    /// Tenant A's outcome.
+    pub a: TenantOutcome,
+    /// Tenant B's outcome.
+    pub b: TenantOutcome,
+}
+
+fn throughput(metric: MetricKind, r: &RunResultLite) -> f64 {
+    match metric {
+        MetricKind::Tps => r.tps,
+        MetricKind::Qps => r.qps,
+        MetricKind::Qph => r.qph,
+    }
+}
+
+/// Minimal per-tenant metrics extracted from a run.
+#[derive(Debug, Clone, Copy)]
+struct RunResultLite {
+    tps: f64,
+    qps: f64,
+    qph: f64,
+}
+
+impl Colocation {
+    /// Runs tenant(s) against one kernel; `specs` of length 1 gives a solo
+    /// run, length 2 a colocated run. Returns per-tenant metrics in input
+    /// order.
+    fn run_tenants(&self, specs: &[&WorkloadSpec]) -> Vec<RunResultLite> {
+        let governor = self.knobs.governor();
+        let mut kernel = Kernel::new(self.knobs.sim_config());
+        let built: Vec<_> = specs
+            .iter()
+            .map(|spec| {
+                let mut b = build_workload(spec, &self.scale, &governor);
+                for t in b.tasks.drain(..) {
+                    kernel.spawn(t);
+                }
+                b
+            })
+            .collect();
+        kernel.run_until(dbsens_hwsim::time::SimTime::ZERO + self.knobs.run_duration());
+        let elapsed = SimDuration::from_nanos(kernel.now().as_nanos());
+        built
+            .iter()
+            .map(|b| {
+                let m = b.metrics.borrow();
+                RunResultLite { tps: m.tps(elapsed), qps: m.qps(elapsed), qph: m.qph(elapsed) }
+            })
+            .collect()
+    }
+
+    /// Runs both tenants solo and colocated; returns the interference
+    /// summary.
+    pub fn run(&self) -> ColocationResult {
+        let solo_a = self.run_tenants(&[&self.tenant_a])[0];
+        let solo_b = self.run_tenants(&[&self.tenant_b])[0];
+        let together = self.run_tenants(&[&self.tenant_a, &self.tenant_b]);
+        let ma = self.tenant_a.primary_metric();
+        let mb = self.tenant_b.primary_metric();
+        ColocationResult {
+            a: TenantOutcome {
+                workload: self.tenant_a.name(),
+                metric: ma,
+                solo: throughput(ma, &solo_a),
+                colocated: throughput(ma, &together[0]),
+            },
+            b: TenantOutcome {
+                workload: self.tenant_b.name(),
+                metric: mb,
+                solo: throughput(mb, &solo_b),
+                colocated: throughput(mb, &together[1]),
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn colocation_interferes_but_does_not_starve() {
+        let mut knobs = ResourceKnobs::paper_full();
+        knobs.run_secs = 4;
+        let c = Colocation {
+            tenant_a: WorkloadSpec::TpcE { sf: 300.0, users: 32 },
+            tenant_b: WorkloadSpec::Asdb { sf: 50.0, clients: 32 },
+            knobs,
+            scale: ScaleCfg::test(),
+        };
+        let r = c.run();
+        // Both tenants slow down when sharing 32 cores with 64 clients...
+        assert!(r.a.retained() < 1.02, "A retained {}", r.a.retained());
+        assert!(r.b.retained() < 1.02, "B retained {}", r.b.retained());
+        // ...but neither is starved.
+        assert!(r.a.retained() > 0.25, "A starved: {}", r.a.retained());
+        assert!(r.b.retained() > 0.25, "B starved: {}", r.b.retained());
+    }
+
+    #[test]
+    fn outcome_math() {
+        let t = TenantOutcome {
+            workload: "w".into(),
+            metric: MetricKind::Tps,
+            solo: 100.0,
+            colocated: 60.0,
+        };
+        assert!((t.retained() - 0.6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,213 @@
+//! Experiment runner: one workload under one resource allocation.
+
+use crate::knobs::ResourceKnobs;
+use dbsens_hwsim::counters::IntervalSample;
+use dbsens_hwsim::kernel::Kernel;
+use dbsens_hwsim::task::WaitClass;
+use dbsens_hwsim::time::SimDuration;
+use dbsens_workloads::driver::{build_workload, WorkloadSpec};
+use dbsens_workloads::scale::ScaleCfg;
+use serde::{Deserialize, Serialize};
+
+/// Per-wait-class totals.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WaitRow {
+    /// SQL Server-style wait class name.
+    pub class: String,
+    /// Total wait seconds.
+    pub secs: f64,
+    /// Number of waits.
+    pub count: u64,
+}
+
+/// The measured outcome of one experiment.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Workload name.
+    pub workload: String,
+    /// Virtual seconds simulated.
+    pub elapsed_secs: f64,
+    /// Transactions per second.
+    pub tps: f64,
+    /// Queries per second.
+    pub qps: f64,
+    /// Queries per hour.
+    pub qph: f64,
+    /// Committed transactions.
+    pub txns: u64,
+    /// Completed queries.
+    pub queries: u64,
+    /// 99th-percentile transaction latency in milliseconds.
+    pub p99_txn_ms: Option<f64>,
+    /// Average LLC misses per kilo-instruction.
+    pub mpki: f64,
+    /// Average DRAM bandwidth in MB/s.
+    pub dram_bw_mbps: f64,
+    /// Average SSD read bandwidth in MB/s.
+    pub ssd_read_mbps: f64,
+    /// Average SSD write bandwidth in MB/s.
+    pub ssd_write_mbps: f64,
+    /// Per-second counter samples.
+    pub samples: Vec<IntervalSample>,
+    /// Wait-class totals.
+    pub waits: Vec<WaitRow>,
+    /// Paper Table 2 sizing: (data GB, index GB).
+    pub sizing: (f64, f64),
+    /// Mean duration per distinct query name, in seconds.
+    pub query_secs: Vec<(String, f64)>,
+}
+
+impl RunResult {
+    /// The workload's primary throughput number for a given metric kind.
+    pub fn metric(&self, kind: dbsens_workloads::driver::MetricKind) -> f64 {
+        match kind {
+            dbsens_workloads::driver::MetricKind::Tps => self.tps,
+            dbsens_workloads::driver::MetricKind::Qps => self.qps,
+            dbsens_workloads::driver::MetricKind::Qph => self.qph,
+        }
+    }
+
+    /// Wait seconds for a class (0 when absent).
+    pub fn wait_secs(&self, class: &str) -> f64 {
+        self.waits.iter().find(|w| w.class == class).map_or(0.0, |w| w.secs)
+    }
+}
+
+/// One experiment: a workload under a resource allocation at a scale
+/// configuration.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dbsens_core::experiment::Experiment;
+/// use dbsens_core::knobs::ResourceKnobs;
+/// use dbsens_workloads::driver::WorkloadSpec;
+/// use dbsens_workloads::scale::ScaleCfg;
+///
+/// let result = Experiment {
+///     workload: WorkloadSpec::TpcE { sf: 500.0, users: 16 },
+///     knobs: ResourceKnobs::paper_full(),
+///     scale: ScaleCfg::test(),
+/// }
+/// .run();
+/// println!("{} TPS", result.tps);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// The workload to run.
+    pub workload: WorkloadSpec,
+    /// Resource allocation.
+    pub knobs: ResourceKnobs,
+    /// Data scaling.
+    pub scale: ScaleCfg,
+}
+
+impl Experiment {
+    /// Builds the workload, runs it for the configured virtual duration,
+    /// and collects all metrics.
+    pub fn run(&self) -> RunResult {
+        let governor = self.knobs.governor();
+        let mut built = build_workload(&self.workload, &self.scale, &governor);
+        let mut kernel = Kernel::new(self.knobs.sim_config());
+        for task in built.tasks.drain(..) {
+            kernel.spawn(task);
+        }
+        let dur = self.knobs.run_duration();
+        match self.workload {
+            // Power runs execute one pass to completion (duration acts as
+            // a timeout safety net).
+            WorkloadSpec::TpchPower { .. } => {
+                kernel.run_to_completion(dur * 600);
+            }
+            _ => kernel.run_until(dbsens_hwsim::time::SimTime::ZERO + dur),
+        }
+        let elapsed = SimDuration::from_nanos(kernel.now().as_nanos());
+
+        let metrics = built.metrics.borrow();
+        let samples = kernel.samples();
+        let mut query_secs: Vec<(String, f64)> = Vec::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for q in metrics.queries() {
+            if seen.insert(q.name.clone()) {
+                let mean = metrics.mean_query_duration(&q.name).unwrap();
+                query_secs.push((q.name.clone(), mean.as_secs_f64()));
+            }
+        }
+        let waits = WaitClass::ALL
+            .iter()
+            .map(|&c| WaitRow {
+                class: c.to_string(),
+                secs: kernel.wait_stats().total(c).as_secs_f64(),
+                count: kernel.wait_stats().count(c),
+            })
+            .collect();
+
+        RunResult {
+            workload: self.workload.name(),
+            elapsed_secs: elapsed.as_secs_f64(),
+            tps: metrics.tps(elapsed),
+            qps: metrics.qps(elapsed),
+            qph: metrics.qph(elapsed),
+            txns: metrics.txns_committed(),
+            queries: metrics.queries().len() as u64,
+            p99_txn_ms: metrics.txn_latency_percentile(0.99).map(|d| d.as_secs_f64() * 1e3),
+            mpki: samples.avg_mpki(),
+            dram_bw_mbps: samples.avg_dram_bw() / 1e6,
+            ssd_read_mbps: samples.avg_ssd_read_bw() / 1e6,
+            ssd_write_mbps: samples.avg_ssd_write_bw() / 1e6,
+            samples: samples.samples().to_vec(),
+            waits,
+            sizing: built.sizing,
+            query_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(workload: WorkloadSpec, knobs: ResourceKnobs) -> RunResult {
+        Experiment { workload, knobs, scale: ScaleCfg::test() }.run()
+    }
+
+    #[test]
+    fn tpce_experiment_reports_tps_and_waits() {
+        let mut knobs = ResourceKnobs::paper_full();
+        knobs.run_secs = 3;
+        let r = quick(WorkloadSpec::TpcE { sf: 300.0, users: 16 }, knobs);
+        assert!(r.tps > 10.0, "tps = {}", r.tps);
+        assert!(r.wait_secs("WRITELOG") > 0.0);
+        assert!(!r.samples.is_empty());
+        assert!(r.sizing.0 > 0.0);
+    }
+
+    #[test]
+    fn fewer_cores_mean_less_throughput() {
+        let mut knobs = ResourceKnobs::paper_full();
+        knobs.run_secs = 3;
+        let full = quick(WorkloadSpec::Asdb { sf: 50.0, clients: 32 }, knobs.clone());
+        let one = quick(WorkloadSpec::Asdb { sf: 50.0, clients: 32 }, knobs.with_cores(1));
+        assert!(
+            full.tps > one.tps * 1.5,
+            "32 cores {} vs 1 core {}",
+            full.tps,
+            one.tps
+        );
+    }
+
+    #[test]
+    fn read_limit_throttles_tpch() {
+        let mut knobs = ResourceKnobs::paper_full();
+        knobs.run_secs = 20;
+        let free = quick(WorkloadSpec::TpchThroughput { sf: 30.0, streams: 2 }, knobs.clone());
+        knobs.read_limit_mbps = Some(25.0);
+        let capped = quick(WorkloadSpec::TpchThroughput { sf: 30.0, streams: 2 }, knobs);
+        assert!(
+            capped.ssd_read_mbps <= 30.0,
+            "cap violated: {} MB/s",
+            capped.ssd_read_mbps
+        );
+        assert!(capped.qps <= free.qps);
+    }
+}

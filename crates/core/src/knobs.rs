@@ -1,0 +1,173 @@
+//! Resource allocation knobs: the dimensions the paper sweeps.
+
+use dbsens_hwsim::cache::CatMask;
+use dbsens_hwsim::kernel::SimConfig;
+use dbsens_hwsim::ssd::BlockIoLimit;
+use dbsens_hwsim::time::SimDuration;
+use dbsens_hwsim::topology::{CoreSet, Topology};
+use dbsens_hwsim::Calib;
+use dbsens_engine::governor::Governor;
+use serde::{Deserialize, Serialize};
+
+/// One resource allocation: cores, LLC, I/O bandwidth limits, and the
+/// DBMS-side governor settings.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_core::knobs::ResourceKnobs;
+///
+/// let knobs = ResourceKnobs::paper_full();
+/// assert_eq!(knobs.cores, 32);
+/// assert_eq!(knobs.llc_mb, 40);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResourceKnobs {
+    /// Logical cores allocated (1..=32), in the paper's allocation order.
+    pub cores: usize,
+    /// Total LLC allocation in MB across both sockets (2..=40, even:
+    /// CAT grows in 1 MB ways per socket).
+    pub llc_mb: u32,
+    /// SSD read bandwidth limit in MB/s (`None` = device speed).
+    pub read_limit_mbps: Option<f64>,
+    /// SSD write bandwidth limit in MB/s.
+    pub write_limit_mbps: Option<f64>,
+    /// MAXDOP (capped at `cores` when building the governor).
+    pub maxdop: usize,
+    /// Per-query memory grant fraction (paper default 0.25).
+    pub grant_fraction: f64,
+    /// Virtual run length in seconds (the paper runs 3600; experiments
+    /// here default shorter since rates stabilize quickly).
+    pub run_secs: u64,
+    /// Simulation seed.
+    pub seed: u64,
+}
+
+impl ResourceKnobs {
+    /// Full allocation on the paper's testbed: 32 cores, 40 MB LLC,
+    /// unlimited bandwidth, MAXDOP 32, 25% grants.
+    pub fn paper_full() -> Self {
+        ResourceKnobs {
+            cores: 32,
+            llc_mb: 40,
+            read_limit_mbps: None,
+            write_limit_mbps: None,
+            maxdop: 32,
+            grant_fraction: 0.25,
+            run_secs: 60,
+            seed: 42,
+        }
+    }
+
+    /// With a different core allocation.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self.maxdop = self.maxdop.min(cores);
+        self
+    }
+
+    /// With a different total LLC allocation (MB across both sockets).
+    pub fn with_llc_mb(mut self, mb: u32) -> Self {
+        self.llc_mb = mb;
+        self
+    }
+
+    /// With a MAXDOP setting (also capping cores to match the paper's §7
+    /// methodology of limiting cores to MAXDOP).
+    pub fn with_maxdop_and_cores(mut self, dop: usize) -> Self {
+        self.maxdop = dop;
+        self.cores = dop;
+        self
+    }
+
+    /// Builds the hardware simulator configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the knobs are out of the testbed's range.
+    pub fn sim_config(&self) -> SimConfig {
+        let topology = Topology::paper_testbed();
+        assert!(
+            self.cores >= 1 && self.cores <= topology.logical_cores(),
+            "cores out of range: {}",
+            self.cores
+        );
+        assert!(
+            self.llc_mb >= 2 && self.llc_mb <= 40 && self.llc_mb % 2 == 0,
+            "LLC allocation must be an even 2..=40 MB, got {}",
+            self.llc_mb
+        );
+        SimConfig {
+            affinity: CoreSet::first_n(self.cores, &topology),
+            topology,
+            calib: Calib::default(),
+            seed: self.seed,
+            cat_mask: CatMask::contiguous(self.llc_mb / 2),
+            blkio: BlockIoLimit {
+                read: self.read_limit_mbps.map(|m| m * 1e6),
+                write: self.write_limit_mbps.map(|m| m * 1e6),
+            },
+            sample_interval: SimDuration::from_secs(1),
+        }
+    }
+
+    /// Builds the resource governor.
+    pub fn governor(&self) -> Governor {
+        let mut g = Governor::paper_default(self.maxdop.min(self.cores).max(1));
+        g.grant_fraction = self.grant_fraction;
+        g
+    }
+
+    /// Virtual run length.
+    pub fn run_duration(&self) -> SimDuration {
+        SimDuration::from_secs(self.run_secs)
+    }
+}
+
+impl Default for ResourceKnobs {
+    fn default() -> Self {
+        ResourceKnobs::paper_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_knobs_build_valid_config() {
+        let cfg = ResourceKnobs::paper_full().sim_config();
+        assert_eq!(cfg.affinity.len(), 32);
+        assert_eq!(cfg.cat_mask.way_count(), 20);
+        assert_eq!(cfg.blkio, BlockIoLimit::UNLIMITED);
+    }
+
+    #[test]
+    fn core_allocation_follows_paper_order() {
+        let cfg = ResourceKnobs::paper_full().with_cores(8).sim_config();
+        assert_eq!(cfg.affinity.len(), 8);
+        // All on socket 0, first threads.
+        assert!(cfg.affinity.iter().all(|c| c.0 < 8));
+    }
+
+    #[test]
+    fn llc_mask_is_half_per_socket() {
+        let cfg = ResourceKnobs::paper_full().with_llc_mb(12).sim_config();
+        assert_eq!(cfg.cat_mask.way_count(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "even 2..=40")]
+    fn odd_llc_rejected() {
+        let _ = ResourceKnobs::paper_full().with_llc_mb(7).sim_config();
+    }
+
+    #[test]
+    fn maxdop_capped_by_cores() {
+        let k = ResourceKnobs::paper_full().with_cores(4);
+        assert_eq!(k.governor().maxdop, 4);
+        let k2 = ResourceKnobs::paper_full().with_maxdop_and_cores(2);
+        assert_eq!(k2.cores, 2);
+        assert_eq!(k2.governor().maxdop, 2);
+    }
+}

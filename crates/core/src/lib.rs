@@ -1,0 +1,63 @@
+//! # dbsens-core
+//!
+//! Resource-sensitivity characterization harness for database workloads —
+//! the public API of the `dbsens` reproduction of *"Characterizing Resource
+//! Sensitivity of Database Workloads"* (Sen & Ramachandra, HPCA 2018).
+//!
+//! The harness sweeps hardware resource allocations over simulated
+//! database workloads and analyzes the resulting performance curves:
+//!
+//! * [`knobs::ResourceKnobs`] — cores (cpuset), LLC capacity (CAT way
+//!   masks), SSD bandwidth limits (cgroup blkio), MAXDOP, and memory-grant
+//!   fractions;
+//! * [`experiment::Experiment`] — one workload under one allocation,
+//!   yielding a serializable [`experiment::RunResult`];
+//! * [`sweep`] — the paper's parameter sweeps, parallelized across OS
+//!   threads;
+//! * [`queryexp::TpchHarness`] — per-query MAXDOP and memory-grant
+//!   studies with plan capture (Figures 6-8);
+//! * [`analysis`] — knees, sufficient-capacity tables, CDFs, wait ratios,
+//!   and linear-model gaps;
+//! * [`report`] — plain-text tables/series for regenerating every table
+//!   and figure.
+//!
+//! ## Example
+//!
+//! ```no_run
+//! use dbsens_core::experiment::Experiment;
+//! use dbsens_core::knobs::ResourceKnobs;
+//! use dbsens_workloads::driver::WorkloadSpec;
+//! use dbsens_workloads::scale::ScaleCfg;
+//!
+//! // How sensitive is TPC-E to losing half its cores?
+//! let full = Experiment {
+//!     workload: WorkloadSpec::paper_spec("tpce", 5000.0),
+//!     knobs: ResourceKnobs::paper_full(),
+//!     scale: ScaleCfg::experiment(),
+//! }
+//! .run();
+//! let half = Experiment {
+//!     workload: WorkloadSpec::paper_spec("tpce", 5000.0),
+//!     knobs: ResourceKnobs::paper_full().with_cores(16),
+//!     scale: ScaleCfg::experiment(),
+//! }
+//! .run();
+//! println!("16 cores keep {:.0}% of throughput", 100.0 * half.tps / full.tps);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod colocate;
+pub mod experiment;
+pub mod knobs;
+pub mod pitfalls;
+pub mod queryexp;
+pub mod report;
+pub mod sweep;
+
+pub use colocate::{Colocation, ColocationResult};
+pub use experiment::{Experiment, RunResult};
+pub use knobs::ResourceKnobs;
+pub use pitfalls::Warning;
+pub use queryexp::{QueryRunResult, TpchHarness};

@@ -1,0 +1,338 @@
+//! The paper's §9 performance-analysis pitfalls, as first-class API
+//! affordances.
+//!
+//! Each pitfall the paper enumerates becomes either a *validator* that
+//! inspects an experiment plan and warns, or a *helper* that makes the
+//! correct methodology the easy path:
+//!
+//! 1. single-workload / single-SF studies → [`check_coverage`];
+//! 2. analytical runs on row stores (and vice versa) → [`check_storage_layout`];
+//! 3. ignoring storage bandwidth while scaling cores → [`check_bandwidth_knobs`];
+//! 4. ignoring write bandwidth for in-memory OLTP → [`check_bandwidth_knobs`];
+//! 5. treating parallelism and memory as orthogonal → [`joint_dop_memory_grid`];
+//! 6. being oblivious to alternate query plans → [`PlanChangeDetector`];
+//! 7. treating the DBMS as a black box → [`adaptation_report`].
+
+use crate::knobs::ResourceKnobs;
+use crate::queryexp::{QueryRunResult, TpchHarness};
+use dbsens_workloads::driver::WorkloadSpec;
+use serde::{Deserialize, Serialize};
+
+/// A methodology warning produced by the validators.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Warning {
+    /// Which of the paper's §9 pitfalls this is (1-7).
+    pub pitfall: u8,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Warning {
+    fn new(pitfall: u8, message: impl Into<String>) -> Self {
+        Warning { pitfall, message: message.into() }
+    }
+}
+
+/// Pitfall #1: evaluating hardware efficiency with a single class of
+/// workloads or a single scale factor per class.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_core::pitfalls::check_coverage;
+/// use dbsens_workloads::driver::WorkloadSpec;
+///
+/// let narrow = vec![WorkloadSpec::TpcE { sf: 5000.0, users: 100 }];
+/// assert!(!check_coverage(&narrow).is_empty());
+/// ```
+pub fn check_coverage(specs: &[WorkloadSpec]) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+    let mut classes: std::collections::BTreeMap<&'static str, Vec<f64>> = Default::default();
+    for s in specs {
+        let (class, sf) = match s {
+            WorkloadSpec::TpchThroughput { sf, .. } | WorkloadSpec::TpchPower { sf } => ("DSS", *sf),
+            WorkloadSpec::Asdb { sf, .. } | WorkloadSpec::TpcE { sf, .. } => ("OLTP", *sf),
+            WorkloadSpec::Htap { sf, .. } => ("HTAP", *sf),
+        };
+        classes.entry(class).or_default().push(sf);
+    }
+    if classes.len() < 2 {
+        warnings.push(Warning::new(
+            1,
+            "only one workload class is covered; resource sensitivities differ \
+             qualitatively between OLTP, DSS, and HTAP (paper §9.1)",
+        ));
+    }
+    for (class, mut sfs) in classes {
+        sfs.sort_by(f64::total_cmp);
+        sfs.dedup();
+        if sfs.len() < 2 {
+            warnings.push(Warning::new(
+                1,
+                format!(
+                    "{class} is studied at a single scale factor; sensitivities change \
+                     with data size relative to memory (paper §9.1)"
+                ),
+            ));
+        }
+    }
+    warnings
+}
+
+/// Pitfall #2: running analytical workloads on row storage (or
+/// transactional workloads on pure columnstores). The workload builders in
+/// this repository configure storage per Table 1 automatically; this check
+/// guards hand-built databases.
+pub fn check_storage_layout(
+    db: &dbsens_engine::db::Database,
+    analytical_tables: &[dbsens_engine::db::TableId],
+    transactional_tables: &[dbsens_engine::db::TableId],
+) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+    for &t in analytical_tables {
+        if db.table(t).columnstore.is_none() {
+            warnings.push(Warning::new(
+                2,
+                format!(
+                    "table '{}' is scanned analytically but has no columnstore index \
+                     (paper §9.2: don't benchmark analytics on row stores)",
+                    db.table(t).name
+                ),
+            ));
+        }
+    }
+    for &t in transactional_tables {
+        if db.table(t).indexes.is_empty() {
+            warnings.push(Warning::new(
+                2,
+                format!(
+                    "table '{}' takes point operations but has no B-tree index \
+                     (paper §9.2 / Table 1)",
+                    db.table(t).name
+                ),
+            ));
+        }
+    }
+    warnings
+}
+
+/// Pitfalls #3/#4: sweeping cores or memory while leaving storage
+/// bandwidth unexamined. Flags knob sets that scale compute without ever
+/// varying (or at least recording) bandwidth limits.
+pub fn check_bandwidth_knobs(sweep: &[ResourceKnobs]) -> Vec<Warning> {
+    let mut warnings = Vec::new();
+    let cores_varied = sweep.iter().map(|k| k.cores).collect::<std::collections::BTreeSet<_>>().len() > 1;
+    let read_varied = sweep
+        .iter()
+        .map(|k| k.read_limit_mbps.map(|v| v as u64))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        > 1;
+    let write_varied = sweep
+        .iter()
+        .map(|k| k.write_limit_mbps.map(|v| v as u64))
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        > 1;
+    if cores_varied && !read_varied {
+        warnings.push(Warning::new(
+            3,
+            "cores are swept but read bandwidth is never varied; scalability \
+             conclusions may hide an I/O ceiling (paper §9.3)",
+        ));
+    }
+    if cores_varied && !write_varied {
+        warnings.push(Warning::new(
+            4,
+            "write bandwidth is never varied; transactional workloads are \
+             write-sensitive even when data fits in memory (paper §9.4)",
+        ));
+    }
+    warnings
+}
+
+/// Pitfall #5: parallelism and memory capacity are *not* orthogonal —
+/// parallel plans want more memory. Produces the joint grid the paper
+/// recommends sweeping.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_core::knobs::ResourceKnobs;
+/// use dbsens_core::pitfalls::joint_dop_memory_grid;
+///
+/// let grid = joint_dop_memory_grid(&ResourceKnobs::paper_full(), &[1, 8, 32], &[0.25, 0.05]);
+/// assert_eq!(grid.len(), 6);
+/// assert_eq!(grid[0].maxdop, 1);
+/// ```
+pub fn joint_dop_memory_grid(
+    base: &ResourceKnobs,
+    dops: &[usize],
+    grant_fractions: &[f64],
+) -> Vec<ResourceKnobs> {
+    let mut grid = Vec::with_capacity(dops.len() * grant_fractions.len());
+    for &dop in dops {
+        for &g in grant_fractions {
+            let mut k = base.clone().with_maxdop_and_cores(dop);
+            k.grant_fraction = g;
+            grid.push(k);
+        }
+    }
+    grid
+}
+
+/// Pitfall #6: a knob sweep where the optimizer silently changes the plan
+/// invalidates naive attribution of the performance delta to the resource.
+/// The detector records plan-shape fingerprints per knob setting and
+/// reports the settings at which the shape changed.
+#[derive(Debug, Default)]
+pub struct PlanChangeDetector {
+    observations: Vec<(String, String)>,
+}
+
+impl PlanChangeDetector {
+    /// Creates an empty detector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a run's knob label and plan shape.
+    pub fn observe(&mut self, knob_label: impl Into<String>, result: &QueryRunResult) {
+        self.observations.push((knob_label.into(), result.plan_shape.clone()));
+    }
+
+    /// Knob labels at which the plan shape differs from the *previous*
+    /// observation.
+    pub fn changes(&self) -> Vec<(String, String)> {
+        self.observations
+            .windows(2)
+            .filter(|w| w[0].1 != w[1].1)
+            .map(|w| (w[0].0.clone(), w[1].0.clone()))
+            .collect()
+    }
+
+    /// `true` if every observation used the same plan shape.
+    pub fn is_stable(&self) -> bool {
+        self.changes().is_empty()
+    }
+}
+
+/// Pitfall #7: the DBMS adapts internally; report *what the engine chose*
+/// next to what the hardware was given, per MAXDOP setting.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AdaptationRow {
+    /// MAXDOP offered.
+    pub maxdop: usize,
+    /// DOP the optimizer actually chose.
+    pub chosen_dop: usize,
+    /// Memory grant in MB.
+    pub grant_mb: f64,
+    /// Whether the plan shape differs from the previous row's.
+    pub plan_changed: bool,
+}
+
+/// Runs one query across MAXDOP settings and reports the engine's
+/// adaptations (chosen DOP, grant, plan changes).
+pub fn adaptation_report(
+    harness: &TpchHarness,
+    q: usize,
+    base: &ResourceKnobs,
+    dops: &[usize],
+) -> Vec<AdaptationRow> {
+    let mut rows: Vec<AdaptationRow> = Vec::new();
+    let mut prev_shape: Option<String> = None;
+    for &dop in dops {
+        let r = harness.run_query_at_dop(q, dop, base);
+        let changed = prev_shape.as_ref().is_some_and(|p| *p != r.plan_shape);
+        prev_shape = Some(r.plan_shape.clone());
+        rows.push(AdaptationRow {
+            maxdop: dop,
+            chosen_dop: r.dop,
+            grant_mb: r.grant_mb,
+            plan_changed: changed,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_warnings_fire_and_clear() {
+        let narrow = vec![WorkloadSpec::TpcE { sf: 5000.0, users: 100 }];
+        let w = check_coverage(&narrow);
+        assert_eq!(w.len(), 2, "one class AND one SF: {w:?}");
+        let broad = vec![
+            WorkloadSpec::TpcE { sf: 5000.0, users: 100 },
+            WorkloadSpec::TpcE { sf: 15000.0, users: 100 },
+            WorkloadSpec::TpchPower { sf: 10.0 },
+            WorkloadSpec::TpchPower { sf: 300.0 },
+        ];
+        assert!(check_coverage(&broad).is_empty());
+    }
+
+    #[test]
+    fn storage_layout_warnings() {
+        use dbsens_engine::db::Database;
+        use dbsens_storage::schema::{ColType, Schema};
+        use dbsens_storage::value::Value;
+        let mut db = Database::new(100.0, 1 << 30);
+        let schema = Schema::new(&[("id", ColType::Int)]);
+        let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i)]).collect();
+        let t = db.create_table("t", schema, rows);
+        // Analytical use without columnstore: warn. Transactional without
+        // index: warn.
+        let w = check_storage_layout(&db, &[t], &[t]);
+        assert_eq!(w.len(), 2);
+        db.create_columnstore(t, 64);
+        db.create_index(t, "pk", &[0]);
+        assert!(check_storage_layout(&db, &[t], &[t]).is_empty());
+    }
+
+    #[test]
+    fn bandwidth_knob_warnings() {
+        let base = ResourceKnobs::paper_full();
+        let cores_only: Vec<_> = [1, 8, 32].iter().map(|&c| base.clone().with_cores(c)).collect();
+        let w = check_bandwidth_knobs(&cores_only);
+        assert_eq!(w.iter().filter(|w| w.pitfall == 3).count(), 1);
+        assert_eq!(w.iter().filter(|w| w.pitfall == 4).count(), 1);
+
+        let mut with_bw = cores_only.clone();
+        let mut limited = base.clone();
+        limited.read_limit_mbps = Some(500.0);
+        limited.write_limit_mbps = Some(100.0);
+        with_bw.push(limited);
+        assert!(check_bandwidth_knobs(&with_bw).is_empty());
+    }
+
+    #[test]
+    fn joint_grid_covers_cross_product() {
+        let grid = joint_dop_memory_grid(&ResourceKnobs::paper_full(), &[1, 32], &[0.25, 0.02]);
+        assert_eq!(grid.len(), 4);
+        assert!(grid.iter().any(|k| k.maxdop == 32 && k.grant_fraction == 0.02));
+        // DOP also caps cores per the paper's §7 methodology.
+        assert!(grid.iter().all(|k| k.cores == k.maxdop));
+    }
+
+    #[test]
+    fn plan_change_detector_tracks_shapes() {
+        let mut d = PlanChangeDetector::new();
+        let fake = |shape: &str| QueryRunResult {
+            query: "Q".into(),
+            secs: 1.0,
+            dop: 1,
+            grant_mb: 0.0,
+            desired_mb: 0.0,
+            spilled_mb: 0.0,
+            plan_text: String::new(),
+            plan_shape: shape.into(),
+        };
+        d.observe("dop=1", &fake("A"));
+        d.observe("dop=8", &fake("A"));
+        d.observe("dop=32", &fake("B"));
+        assert!(!d.is_stable());
+        assert_eq!(d.changes(), vec![("dop=8".to_string(), "dop=32".to_string())]);
+    }
+}

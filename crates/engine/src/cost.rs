@@ -1,0 +1,118 @@
+//! Engine cost calibration: instructions per modeled row per operation.
+//!
+//! Like `dbsens_hwsim::calib`, every constant that shapes execution timing
+//! lives in this one table. Counts are per *modeled* row (paper scale), so
+//! simulated instruction totals match what the full-size database would
+//! retire.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-operation instruction costs and related execution constants.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineCost {
+    /// Instructions to scan one row from a heap page (row-store).
+    pub scan_row: u64,
+    /// Instructions per expression node per row for filters/projections.
+    pub expr_node: u64,
+    /// Instructions to process one row through columnstore batch-mode
+    /// decompression (per column); far below row-store cost thanks to
+    /// vectorized execution.
+    pub columnstore_row_per_col: u64,
+    /// Instructions to insert one row into a hash table.
+    pub hash_build_row: u64,
+    /// Instructions to probe a hash table once.
+    pub hash_probe_row: u64,
+    /// Instructions per B-tree level traversed in a seek.
+    pub btree_level: u64,
+    /// Instructions to update one aggregate accumulator.
+    pub agg_row: u64,
+    /// Instructions per row per log2(n) for sorting.
+    pub sort_row_log: u64,
+    /// Instructions per row to pass through an exchange (repartitioning)
+    /// operator when running in parallel.
+    pub exchange_row: u64,
+    /// Instructions of fixed startup cost per parallel worker.
+    pub parallel_startup: u64,
+    /// Instructions per row for DML record construction and index
+    /// maintenance (per index touched).
+    pub dml_row: u64,
+    /// Bytes of workspace per row for a hash table (drives memory grants).
+    pub hash_bytes_per_row: u64,
+    /// Bytes of workspace per row for a sort run.
+    pub sort_bytes_per_row: u64,
+    /// Log record bytes for a row modification.
+    pub log_bytes_per_row: u64,
+    /// Page latch hold time in nanoseconds for a row modification.
+    pub page_latch_ns: u64,
+    /// Internal (log buffer / allocation) latch hold time in nanoseconds.
+    pub internal_latch_ns: u64,
+    /// Maximum modeled rows covered by a single trace item (granularity of
+    /// the demand stream fed to the hardware simulator).
+    pub trace_chunk_rows: u64,
+    /// Fixed instructions per OLTP statement (protocol handling, parsing,
+    /// plan-cache lookup, execution setup).
+    pub stmt_overhead: u64,
+    /// Fixed instructions per transaction (session bookkeeping, commit
+    /// processing, lock release).
+    pub txn_overhead: u64,
+    /// Seconds between checkpoint rounds of the background writer.
+    pub checkpoint_interval_secs: u64,
+    /// Footprint of shared session state / plan cache / metadata touched
+    /// by every statement (drives the OLTP LLC knee, Table 4).
+    pub session_footprint_bytes: u64,
+    /// LLC-level accesses into the session footprint per statement.
+    pub session_accesses_per_stmt: u64,
+    /// Footprint of columnstore batch buffers and dictionaries reused
+    /// during scans (drives the analytical LLC knee and the Figure 2
+    /// cache-speedup curve).
+    pub batch_footprint_bytes: u64,
+    /// LLC-level accesses into the batch footprint per scanned row.
+    pub batch_accesses_per_row: u64,
+}
+
+impl Default for EngineCost {
+    fn default() -> Self {
+        EngineCost {
+            scan_row: 50,
+            expr_node: 4,
+            columnstore_row_per_col: 7,
+            hash_build_row: 45,
+            hash_probe_row: 30,
+            btree_level: 120,
+            agg_row: 25,
+            sort_row_log: 12,
+            exchange_row: 14,
+            parallel_startup: 250_000,
+            dml_row: 400,
+            hash_bytes_per_row: 36,
+            sort_bytes_per_row: 24,
+            log_bytes_per_row: 220,
+            page_latch_ns: 6_000,
+            internal_latch_ns: 2_000,
+            trace_chunk_rows: 1_000_000,
+            stmt_overhead: 500_000,
+            txn_overhead: 1_000_000,
+            checkpoint_interval_secs: 5,
+            session_footprint_bytes: 5 << 20,
+            session_accesses_per_stmt: 7_000,
+            batch_footprint_bytes: 9 << 20,
+            batch_accesses_per_row: 5,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let c = EngineCost::default();
+        // Columnstore batch mode must be much cheaper than row mode.
+        assert!(c.columnstore_row_per_col * 5 < c.scan_row * 5);
+        assert!(c.columnstore_row_per_col < c.scan_row);
+        // A B-tree probe dominates a hash probe.
+        assert!(c.btree_level > c.hash_probe_row);
+        assert!(c.trace_chunk_rows >= 1000);
+    }
+}

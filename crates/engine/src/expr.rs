@@ -1,0 +1,391 @@
+//! Scalar expressions over rows.
+
+use dbsens_storage::value::{cmp_values, Row, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn test(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Ne => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// A scalar expression evaluated against a row.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_engine::expr::{CmpOp, Expr};
+/// use dbsens_storage::value::Value;
+///
+/// // col0 * 2 > 10
+/// let e = Expr::cmp(
+///     CmpOp::Gt,
+///     Expr::Col(0).mul(Expr::lit(2i64)),
+///     Expr::lit(10i64),
+/// );
+/// assert_eq!(e.eval(&vec![Value::Int(6)]), Value::Int(1));
+/// assert_eq!(e.eval(&vec![Value::Int(4)]), Value::Int(0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference by position.
+    Col(usize),
+    /// Literal value.
+    Lit(Value),
+    /// Arithmetic.
+    Add(Box<Expr>, Box<Expr>),
+    /// Subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Division (float semantics; division by zero yields NULL).
+    Div(Box<Expr>, Box<Expr>),
+    /// Comparison producing `Int(1)`/`Int(0)`; NULL operands yield `Int(0)`.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Logical AND over boolean ints.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical OR over boolean ints.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// String prefix match (`LIKE 'foo%'`).
+    StartsWith(Box<Expr>, String),
+    /// String containment (`LIKE '%foo%'`).
+    Contains(Box<Expr>, String),
+    /// Membership in a literal list.
+    InList(Box<Expr>, Vec<Value>),
+    /// `lo <= e AND e <= hi` convenience.
+    Between(Box<Expr>, Value, Value),
+    /// SQL `IS NULL`, producing `Int(1)`/`Int(0)`.
+    IsNull(Box<Expr>),
+    /// Integer division (floor), used e.g. to extract years from day
+    /// numbers.
+    IntDiv(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Literal shorthand.
+    pub fn lit(v: impl Into<Value>) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// Comparison shorthand.
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`
+    pub fn div(self, rhs: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self AND rhs`
+    pub fn and(self, rhs: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(rhs))
+    }
+
+    /// `self OR rhs`
+    pub fn or(self, rhs: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(rhs))
+    }
+
+    /// Evaluates against a row.
+    pub fn eval(&self, row: &Row) -> Value {
+        match self {
+            Expr::Col(i) => row[*i].clone(),
+            Expr::Lit(v) => v.clone(),
+            Expr::Add(a, b) => numeric(a.eval(row), b.eval(row), |x, y| x + y),
+            Expr::Sub(a, b) => numeric(a.eval(row), b.eval(row), |x, y| x - y),
+            Expr::Mul(a, b) => numeric(a.eval(row), b.eval(row), |x, y| x * y),
+            Expr::Div(a, b) => {
+                let (x, y) = (a.eval(row), b.eval(row));
+                match (numeric_of(&x), numeric_of(&y)) {
+                    (Some(x), Some(y)) if y != 0.0 => Value::Float(x / y),
+                    _ => Value::Null,
+                }
+            }
+            Expr::Cmp(op, a, b) => {
+                let (x, y) = (a.eval(row), b.eval(row));
+                if x.is_null() || y.is_null() {
+                    return Value::Int(0);
+                }
+                Value::Int(op.test(cmp_values(&x, &y)) as i64)
+            }
+            Expr::And(a, b) => Value::Int((truthy(&a.eval(row)) && truthy(&b.eval(row))) as i64),
+            Expr::Or(a, b) => Value::Int((truthy(&a.eval(row)) || truthy(&b.eval(row))) as i64),
+            Expr::Not(a) => Value::Int(!truthy(&a.eval(row)) as i64),
+            Expr::StartsWith(a, p) => match a.eval(row) {
+                Value::Str(s) => Value::Int(s.starts_with(p.as_str()) as i64),
+                _ => Value::Int(0),
+            },
+            Expr::Contains(a, p) => match a.eval(row) {
+                Value::Str(s) => Value::Int(s.contains(p.as_str()) as i64),
+                _ => Value::Int(0),
+            },
+            Expr::InList(a, list) => {
+                let v = a.eval(row);
+                Value::Int(list.iter().any(|l| cmp_values(l, &v) == Ordering::Equal) as i64)
+            }
+            Expr::Between(a, lo, hi) => {
+                let v = a.eval(row);
+                if v.is_null() {
+                    return Value::Int(0);
+                }
+                Value::Int(
+                    (cmp_values(&v, lo) != Ordering::Less && cmp_values(&v, hi) != Ordering::Greater)
+                        as i64,
+                )
+            }
+            Expr::IsNull(a) => Value::Int(a.eval(row).is_null() as i64),
+            Expr::IntDiv(a, b) => {
+                let (x, y) = (a.eval(row), b.eval(row));
+                match (numeric_of(&x), numeric_of(&y)) {
+                    (Some(x), Some(y)) if y != 0.0 => Value::Int((x / y).floor() as i64),
+                    _ => Value::Null,
+                }
+            }
+        }
+    }
+
+    /// Evaluates as a boolean predicate.
+    pub fn matches(&self, row: &Row) -> bool {
+        truthy(&self.eval(row))
+    }
+
+    /// Rewrites column references by adding `offset` (used when an
+    /// expression over one input is re-anchored onto a concatenated
+    /// `outer ++ inner` row).
+    pub fn shift_cols(&self, offset: usize) -> Expr {
+        match self {
+            Expr::Col(i) => Expr::Col(i + offset),
+            Expr::Lit(v) => Expr::Lit(v.clone()),
+            Expr::Add(a, b) => Expr::Add(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
+            Expr::Sub(a, b) => Expr::Sub(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
+            Expr::Mul(a, b) => Expr::Mul(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
+            Expr::Div(a, b) => Expr::Div(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
+            Expr::Cmp(op, a, b) => {
+                Expr::Cmp(*op, Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset)))
+            }
+            Expr::And(a, b) => Expr::And(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
+            Expr::Or(a, b) => Expr::Or(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
+            Expr::Not(a) => Expr::Not(Box::new(a.shift_cols(offset))),
+            Expr::StartsWith(a, p) => Expr::StartsWith(Box::new(a.shift_cols(offset)), p.clone()),
+            Expr::Contains(a, p) => Expr::Contains(Box::new(a.shift_cols(offset)), p.clone()),
+            Expr::InList(a, l) => Expr::InList(Box::new(a.shift_cols(offset)), l.clone()),
+            Expr::Between(a, lo, hi) => {
+                Expr::Between(Box::new(a.shift_cols(offset)), lo.clone(), hi.clone())
+            }
+            Expr::IsNull(a) => Expr::IsNull(Box::new(a.shift_cols(offset))),
+            Expr::IntDiv(a, b) => {
+                Expr::IntDiv(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset)))
+            }
+        }
+    }
+
+    /// Number of nodes, a proxy for per-row evaluation cost.
+    pub fn node_count(&self) -> u64 {
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => 1,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Cmp(_, a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => 1 + a.node_count() + b.node_count(),
+            Expr::Not(a)
+            | Expr::StartsWith(a, _)
+            | Expr::Contains(a, _)
+            | Expr::Between(a, _, _)
+            | Expr::IsNull(a) => 1 + a.node_count(),
+            Expr::IntDiv(a, b) => 1 + a.node_count() + b.node_count(),
+            Expr::InList(a, list) => 1 + a.node_count() + list.len() as u64,
+        }
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    match v {
+        Value::Int(i) => *i != 0,
+        Value::Float(f) => *f != 0.0,
+        Value::Null => false,
+        Value::Str(s) => !s.is_empty(),
+    }
+}
+
+/// Numeric view of a value; strings and NULLs have none (SQL arithmetic
+/// over them yields NULL here rather than an error).
+fn numeric_of(v: &Value) -> Option<f64> {
+    match v {
+        Value::Int(i) => Some(*i as f64),
+        Value::Float(f) => Some(*f),
+        Value::Str(_) | Value::Null => None,
+    }
+}
+
+fn numeric(a: Value, b: Value, f: impl Fn(f64, f64) -> f64) -> Value {
+    match (&a, &b) {
+        (Value::Int(x), Value::Int(y)) => {
+            let r = f(*x as f64, *y as f64);
+            // Integer arithmetic stays integral when exact.
+            if r.fract() == 0.0 && r.abs() < 9e15 {
+                Value::Int(r as i64)
+            } else {
+                Value::Float(r)
+            }
+        }
+        _ => match (numeric_of(&a), numeric_of(&b)) {
+            (Some(x), Some(y)) => Value::Float(f(x, y)),
+            _ => Value::Null,
+        },
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(i) => write!(f, "c{i}"),
+            Expr::Lit(v) => write!(f, "{v}"),
+            Expr::Add(a, b) => write!(f, "({a} + {b})"),
+            Expr::Sub(a, b) => write!(f, "({a} - {b})"),
+            Expr::Mul(a, b) => write!(f, "({a} * {b})"),
+            Expr::Div(a, b) => write!(f, "({a} / {b})"),
+            Expr::Cmp(op, a, b) => {
+                let s = match op {
+                    CmpOp::Eq => "=",
+                    CmpOp::Ne => "<>",
+                    CmpOp::Lt => "<",
+                    CmpOp::Le => "<=",
+                    CmpOp::Gt => ">",
+                    CmpOp::Ge => ">=",
+                };
+                write!(f, "({a} {s} {b})")
+            }
+            Expr::And(a, b) => write!(f, "({a} AND {b})"),
+            Expr::Or(a, b) => write!(f, "({a} OR {b})"),
+            Expr::Not(a) => write!(f, "NOT {a}"),
+            Expr::StartsWith(a, p) => write!(f, "({a} LIKE '{p}%')"),
+            Expr::Contains(a, p) => write!(f, "({a} LIKE '%{p}%')"),
+            Expr::InList(a, l) => write!(f, "({a} IN [{} values])", l.len()),
+            Expr::Between(a, lo, hi) => write!(f, "({a} BETWEEN {lo} AND {hi})"),
+            Expr::IsNull(a) => write!(f, "({a} IS NULL)"),
+            Expr::IntDiv(a, b) => write!(f, "({a} DIV {b})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> Row {
+        vec![Value::Int(5), Value::Float(2.5), Value::Str("BRAZIL".into()), Value::Null]
+    }
+
+    #[test]
+    fn arithmetic() {
+        let r = row();
+        assert_eq!(Expr::Col(0).add(Expr::lit(3i64)).eval(&r), Value::Int(8));
+        assert_eq!(Expr::Col(1).mul(Expr::lit(2i64)).eval(&r), Value::Float(5.0));
+        assert_eq!(Expr::Col(0).div(Expr::lit(2i64)).eval(&r), Value::Float(2.5));
+        assert_eq!(Expr::Col(0).div(Expr::lit(0i64)).eval(&r), Value::Null);
+        assert_eq!(Expr::Col(3).add(Expr::lit(1i64)).eval(&r), Value::Null);
+        // Arithmetic over strings yields NULL, never a panic.
+        assert_eq!(Expr::Col(2).add(Expr::lit(1i64)).eval(&r), Value::Null);
+        assert_eq!(Expr::Col(2).div(Expr::Col(2)).eval(&r), Value::Null);
+    }
+
+    #[test]
+    fn comparisons_and_null_semantics() {
+        let r = row();
+        assert!(Expr::cmp(CmpOp::Ge, Expr::Col(0), Expr::lit(5i64)).matches(&r));
+        assert!(!Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::lit(5i64)).matches(&r));
+        // NULL comparisons are false.
+        assert!(!Expr::cmp(CmpOp::Eq, Expr::Col(3), Expr::Col(3)).matches(&r));
+    }
+
+    #[test]
+    fn boolean_combinators() {
+        let r = row();
+        let t = Expr::cmp(CmpOp::Eq, Expr::Col(0), Expr::lit(5i64));
+        let f = Expr::cmp(CmpOp::Eq, Expr::Col(0), Expr::lit(6i64));
+        assert!(t.clone().and(t.clone()).matches(&r));
+        assert!(!t.clone().and(f.clone()).matches(&r));
+        assert!(t.clone().or(f.clone()).matches(&r));
+        assert!(Expr::Not(Box::new(f)).matches(&r));
+    }
+
+    #[test]
+    fn string_predicates() {
+        let r = row();
+        assert!(Expr::StartsWith(Box::new(Expr::Col(2)), "BRA".into()).matches(&r));
+        assert!(!Expr::StartsWith(Box::new(Expr::Col(2)), "ARG".into()).matches(&r));
+        assert!(Expr::Contains(Box::new(Expr::Col(2)), "AZI".into()).matches(&r));
+    }
+
+    #[test]
+    fn in_list_and_between() {
+        let r = row();
+        assert!(Expr::InList(Box::new(Expr::Col(0)), vec![Value::Int(1), Value::Int(5)]).matches(&r));
+        assert!(Expr::Between(Box::new(Expr::Col(0)), Value::Int(1), Value::Int(5)).matches(&r));
+        assert!(!Expr::Between(Box::new(Expr::Col(0)), Value::Int(6), Value::Int(9)).matches(&r));
+    }
+
+    #[test]
+    fn is_null_and_int_div() {
+        let r = row();
+        assert_eq!(Expr::IsNull(Box::new(Expr::Col(3))).eval(&r), Value::Int(1));
+        assert_eq!(Expr::IsNull(Box::new(Expr::Col(0))).eval(&r), Value::Int(0));
+        let div = Expr::IntDiv(Box::new(Expr::lit(730i64)), Box::new(Expr::lit(365i64)));
+        assert_eq!(div.eval(&r), Value::Int(2));
+        let div0 = Expr::IntDiv(Box::new(Expr::lit(7i64)), Box::new(Expr::lit(0i64)));
+        assert_eq!(div0.eval(&r), Value::Null);
+    }
+
+    #[test]
+    fn node_count_and_display() {
+        let e = Expr::cmp(CmpOp::Gt, Expr::Col(0).mul(Expr::lit(2i64)), Expr::lit(10i64));
+        assert_eq!(e.node_count(), 5);
+        assert_eq!(e.to_string(), "((c0 * 2) > 10)");
+    }
+}

@@ -1,0 +1,148 @@
+//! Query memory grant manager (SQL Server's RESOURCE_SEMAPHORE).
+//!
+//! Queries reserve their memory grant before execution; when the workspace
+//! pool is exhausted, requests queue FIFO and the requesting task blocks.
+//! Releases grant queued requests in order, which is what couples memory
+//! capacity to achievable concurrency (paper §8).
+
+use dbsens_hwsim::task::TaskId;
+use std::collections::VecDeque;
+
+/// The grant manager.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_engine::grant::GrantManager;
+/// use dbsens_hwsim::task::TaskId;
+///
+/// let mut gm = GrantManager::new(1000);
+/// assert!(gm.try_acquire(TaskId(1), 600));
+/// assert!(!gm.try_acquire(TaskId(2), 600)); // queued
+/// let woken = gm.release(600);
+/// assert_eq!(woken, vec![TaskId(2)]); // task 2 now holds 600
+/// ```
+#[derive(Debug)]
+pub struct GrantManager {
+    total: u64,
+    available: u64,
+    queue: VecDeque<(TaskId, u64)>,
+    peak_queue: usize,
+    grants: u64,
+    grant_waits: u64,
+}
+
+impl GrantManager {
+    /// Creates a manager over `total` bytes of query workspace.
+    pub fn new(total: u64) -> Self {
+        GrantManager { total, available: total, queue: VecDeque::new(), peak_queue: 0, grants: 0, grant_waits: 0 }
+    }
+
+    /// Total workspace bytes.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Currently available bytes.
+    pub fn available(&self) -> u64 {
+        self.available
+    }
+
+    /// Requests `bytes` for `task`. Returns `true` if granted immediately;
+    /// otherwise the request is queued and the task must block until woken
+    /// (at which point the grant is already held).
+    ///
+    /// Requests larger than the total are clamped to the total (they would
+    /// otherwise never be grantable).
+    pub fn try_acquire(&mut self, task: TaskId, bytes: u64) -> bool {
+        let bytes = bytes.min(self.total);
+        if self.queue.is_empty() && bytes <= self.available {
+            self.available -= bytes;
+            self.grants += 1;
+            true
+        } else {
+            self.queue.push_back((task, bytes));
+            self.peak_queue = self.peak_queue.max(self.queue.len());
+            self.grant_waits += 1;
+            false
+        }
+    }
+
+    /// Returns `bytes` to the pool and grants queued requests that now
+    /// fit, FIFO. Returns the tasks to wake; each woken task already holds
+    /// its grant.
+    pub fn release(&mut self, bytes: u64) -> Vec<TaskId> {
+        self.available = (self.available + bytes.min(self.total)).min(self.total);
+        let mut woken = Vec::new();
+        while let Some(&(task, want)) = self.queue.front() {
+            if want > self.available {
+                break;
+            }
+            self.available -= want;
+            self.grants += 1;
+            self.queue.pop_front();
+            woken.push(task);
+        }
+        woken
+    }
+
+    /// Number of grants issued.
+    pub fn grants(&self) -> u64 {
+        self.grants
+    }
+
+    /// Number of requests that had to wait.
+    pub fn grant_waits(&self) -> u64 {
+        self.grant_waits
+    }
+
+    /// Longest queue observed.
+    pub fn peak_queue(&self) -> usize {
+        self.peak_queue
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_until_exhausted_then_queues() {
+        let mut gm = GrantManager::new(100);
+        assert!(gm.try_acquire(TaskId(1), 40));
+        assert!(gm.try_acquire(TaskId(2), 40));
+        assert!(!gm.try_acquire(TaskId(3), 40));
+        assert_eq!(gm.available(), 20);
+        assert_eq!(gm.grant_waits(), 1);
+    }
+
+    #[test]
+    fn release_wakes_fifo_while_fitting() {
+        let mut gm = GrantManager::new(100);
+        assert!(gm.try_acquire(TaskId(1), 100));
+        assert!(!gm.try_acquire(TaskId(2), 60));
+        assert!(!gm.try_acquire(TaskId(3), 30));
+        // Releasing 100 grants both queued requests in order.
+        assert_eq!(gm.release(100), vec![TaskId(2), TaskId(3)]);
+        assert_eq!(gm.available(), 10);
+    }
+
+    #[test]
+    fn fifo_prevents_small_request_overtaking() {
+        let mut gm = GrantManager::new(100);
+        assert!(gm.try_acquire(TaskId(1), 90));
+        assert!(!gm.try_acquire(TaskId(2), 50));
+        // A small request behind a queued large one must also queue.
+        assert!(!gm.try_acquire(TaskId(3), 5));
+        assert_eq!(gm.release(90), vec![TaskId(2), TaskId(3)]);
+    }
+
+    #[test]
+    fn oversized_requests_clamped() {
+        let mut gm = GrantManager::new(100);
+        assert!(gm.try_acquire(TaskId(1), 1_000_000));
+        assert_eq!(gm.available(), 0);
+        gm.release(1_000_000);
+        assert_eq!(gm.available(), 100);
+    }
+}

@@ -1,0 +1,60 @@
+//! # dbsens-engine
+//!
+//! A mini relational engine over [`dbsens_storage`], driving the
+//! [`dbsens_hwsim`] hardware simulator: expressions, logical and physical
+//! plans, a cost-based optimizer that adapts to MAXDOP and memory grants
+//! (reproducing the plan changes in the paper's Figure 7), a two-layer
+//! executor that computes real results while emitting paper-scale demand
+//! traces, memory grants with spills (Figure 8), and an OLTP transaction
+//! interpreter with 2PL locking and latch/wait accounting (Table 3).
+//!
+//! ## Example
+//!
+//! ```
+//! use dbsens_engine::db::Database;
+//! use dbsens_engine::optimizer::{optimize, PlanContext};
+//! use dbsens_engine::plan::Logical;
+//! use dbsens_storage::schema::{ColType, Schema};
+//! use dbsens_storage::value::Value;
+//!
+//! let mut db = Database::new(100.0, 1 << 30);
+//! let schema = Schema::new(&[("id", ColType::Int)]);
+//! let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i)]).collect();
+//! let t = db.create_table("t", schema, rows);
+//! let ctx = PlanContext {
+//!     maxdop: 4,
+//!     grant_cap_bytes: 1 << 30,
+//!     cost_threshold: 1e9,
+//!     bufferpool_bytes: 1 << 30,
+//!     db_bytes: 1 << 30,
+//! };
+//! let plan = optimize(&db, &Logical::scan(t, None, 10.0), &ctx);
+//! println!("{plan}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod db;
+pub mod exec;
+pub mod expr;
+pub mod governor;
+pub mod grant;
+pub mod metrics;
+pub mod optimizer;
+pub mod physplan;
+pub mod plan;
+pub mod tasks;
+pub mod txn;
+
+pub use db::{Database, TableId};
+pub use exec::{execute, QueryExecution};
+pub use expr::{CmpOp, Expr};
+pub use governor::Governor;
+pub use grant::GrantManager;
+pub use metrics::RunMetrics;
+pub use optimizer::{optimize, PlanContext};
+pub use physplan::{PhysNode, PhysPlan};
+pub use plan::{JoinKind, Logical};
+pub use tasks::{CheckpointTask, QueryStreamTask, TraceTask};
+pub use txn::{LockSpec, MutOp, Mutation, TxOp, TxnClientTask, TxnGenerator, TxnProgram};

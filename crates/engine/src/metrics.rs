@@ -1,0 +1,176 @@
+//! Run metrics shared by all workload tasks.
+
+use dbsens_hwsim::time::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+/// One completed query.
+#[derive(Debug, Clone)]
+pub struct QueryRecord {
+    /// Query label (e.g. "Q20").
+    pub name: String,
+    /// Start time.
+    pub started: SimTime,
+    /// Wall-clock (virtual) duration.
+    pub duration: SimDuration,
+}
+
+/// Shared metrics collected during a run.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_engine::metrics::RunMetrics;
+/// use dbsens_hwsim::time::{SimDuration, SimTime};
+///
+/// let mut m = RunMetrics::new();
+/// m.record_txn("NewOrder", SimDuration::from_micros(300));
+/// m.record_query("Q1", SimTime::ZERO, SimDuration::from_secs(2));
+/// assert_eq!(m.txns_committed(), 1);
+/// assert_eq!(m.queries().len(), 1);
+/// ```
+#[derive(Debug, Default)]
+pub struct RunMetrics {
+    txns: u64,
+    txn_latencies_ns: Vec<u64>,
+    txns_by_type: HashMap<String, u64>,
+    queries: Vec<QueryRecord>,
+}
+
+/// Latency sample cap; beyond it, samples are decimated (keep every other)
+/// to bound memory in hour-long runs.
+const LATENCY_CAP: usize = 1 << 20;
+
+impl RunMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> Self {
+        RunMetrics::default()
+    }
+
+    /// Records a committed transaction.
+    pub fn record_txn(&mut self, txn_type: &str, latency: SimDuration) {
+        self.txns += 1;
+        *self.txns_by_type.entry(txn_type.to_owned()).or_insert(0) += 1;
+        self.txn_latencies_ns.push(latency.as_nanos());
+        if self.txn_latencies_ns.len() >= LATENCY_CAP {
+            let mut keep = Vec::with_capacity(LATENCY_CAP / 2);
+            for (i, v) in self.txn_latencies_ns.drain(..).enumerate() {
+                if i % 2 == 0 {
+                    keep.push(v);
+                }
+            }
+            self.txn_latencies_ns = keep;
+        }
+    }
+
+    /// Records a completed query.
+    pub fn record_query(&mut self, name: &str, started: SimTime, duration: SimDuration) {
+        self.queries.push(QueryRecord { name: name.to_owned(), started, duration });
+    }
+
+    /// Total committed transactions.
+    pub fn txns_committed(&self) -> u64 {
+        self.txns
+    }
+
+    /// Commits per transaction type.
+    pub fn txns_by_type(&self) -> &HashMap<String, u64> {
+        &self.txns_by_type
+    }
+
+    /// Completed queries.
+    pub fn queries(&self) -> &[QueryRecord] {
+        &self.queries
+    }
+
+    /// Transactions per second over a run of `elapsed`.
+    pub fn tps(&self, elapsed: SimDuration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.txns as f64 / secs
+        }
+    }
+
+    /// Queries per second over a run of `elapsed`.
+    pub fn qps(&self, elapsed: SimDuration) -> f64 {
+        let secs = elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.queries.len() as f64 / secs
+        }
+    }
+
+    /// Queries per hour over a run of `elapsed`.
+    pub fn qph(&self, elapsed: SimDuration) -> f64 {
+        self.qps(elapsed) * 3600.0
+    }
+
+    /// The `p`-th percentile transaction latency (e.g. `0.99`).
+    pub fn txn_latency_percentile(&self, p: f64) -> Option<SimDuration> {
+        if self.txn_latencies_ns.is_empty() {
+            return None;
+        }
+        let mut sorted = self.txn_latencies_ns.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+        Some(SimDuration::from_nanos(sorted[idx]))
+    }
+
+    /// Mean duration of queries whose name matches `name`.
+    pub fn mean_query_duration(&self, name: &str) -> Option<SimDuration> {
+        let durations: Vec<u64> =
+            self.queries.iter().filter(|q| q.name == name).map(|q| q.duration.as_nanos()).collect();
+        if durations.is_empty() {
+            return None;
+        }
+        Some(SimDuration::from_nanos(durations.iter().sum::<u64>() / durations.len() as u64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_percentiles() {
+        let mut m = RunMetrics::new();
+        for i in 0..100 {
+            m.record_txn("T", SimDuration::from_micros(i + 1));
+        }
+        assert_eq!(m.txns_committed(), 100);
+        assert_eq!(m.tps(SimDuration::from_secs(10)), 10.0);
+        let p99 = m.txn_latency_percentile(0.99).unwrap();
+        assert!(p99 >= SimDuration::from_micros(98), "p99={p99}");
+        assert_eq!(m.txn_latency_percentile(0.0).unwrap(), SimDuration::from_micros(1));
+    }
+
+    #[test]
+    fn query_stats() {
+        let mut m = RunMetrics::new();
+        m.record_query("Q1", SimTime::ZERO, SimDuration::from_secs(2));
+        m.record_query("Q1", SimTime::ZERO, SimDuration::from_secs(4));
+        m.record_query("Q2", SimTime::ZERO, SimDuration::from_secs(1));
+        assert_eq!(m.mean_query_duration("Q1").unwrap(), SimDuration::from_secs(3));
+        assert!(m.mean_query_duration("Q9").is_none());
+        assert!((m.qph(SimDuration::from_secs(3600)) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_buffer_decimates_not_grows() {
+        let mut m = RunMetrics::new();
+        for _ in 0..(LATENCY_CAP + 10) {
+            m.record_txn("T", SimDuration::from_micros(5));
+        }
+        assert!(m.txn_latencies_ns.len() < LATENCY_CAP);
+        assert_eq!(m.txns_committed() as usize, LATENCY_CAP + 10);
+    }
+
+    #[test]
+    fn empty_metrics_are_safe() {
+        let m = RunMetrics::new();
+        assert_eq!(m.tps(SimDuration::ZERO), 0.0);
+        assert!(m.txn_latency_percentile(0.5).is_none());
+    }
+}

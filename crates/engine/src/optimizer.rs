@@ -1,0 +1,513 @@
+//! Cost-based optimizer.
+//!
+//! Lowers logical plans to physical plans, making the decisions the paper
+//! shows the DBMS making in response to resource knobs:
+//!
+//! * **serial vs. parallel plan** — estimated serial cost below the
+//!   cost-threshold-for-parallelism yields a serial plan regardless of
+//!   MAXDOP (why TPC-H Q2/6/14/15/20 are DOP-insensitive at small scale
+//!   factors, §7);
+//! * **join algorithm** — hash join vs. index nested-loops, where the
+//!   relative cost depends on DOP because random inner-side I/O overlaps
+//!   across parallel workers (why Q20's plan flips between Figure 7a and
+//!   7b);
+//! * **memory grant** — per-operator workspace estimates, inflated by DOP
+//!   (why Q20 uses ~45% less memory at MAXDOP=1, §8), capped by the
+//!   resource governor's per-query grant.
+
+use crate::db::Database;
+use crate::expr::{CmpOp, Expr};
+use crate::physplan::{PhysNode, PhysPlan};
+use crate::plan::{JoinKind, Logical, LogicalNode};
+use dbsens_storage::value::Value;
+
+/// Optimizer inputs: the resource-governor knobs that shape plan choice.
+#[derive(Debug, Clone)]
+pub struct PlanContext {
+    /// Maximum degree of parallelism (1 disables parallel plans).
+    pub maxdop: usize,
+    /// Per-query memory grant cap in bytes (paper scale).
+    pub grant_cap_bytes: u64,
+    /// Estimated serial cost (instructions) above which a parallel plan is
+    /// produced.
+    pub cost_threshold: f64,
+    /// Buffer pool bytes, used to estimate whether inner-index pages of a
+    /// nested-loops join are memory-resident.
+    pub bufferpool_bytes: u64,
+    /// Total modeled database bytes competing for the buffer pool; the
+    /// resident fraction of any structure is approximated as
+    /// `bufferpool / db_bytes`.
+    pub db_bytes: u64,
+}
+
+impl PlanContext {
+    /// Instruction-equivalent penalty for one random page miss during a
+    /// nested-loops inner seek (device latency expressed in CPU work).
+    const IO_EQUIV_INSTR: f64 = 130_000.0;
+
+    /// Fraction of an arbitrary structure resident in the buffer pool.
+    pub fn resident_fraction(&self) -> f64 {
+        if self.db_bytes == 0 {
+            1.0
+        } else {
+            (self.bufferpool_bytes as f64 / self.db_bytes as f64).min(1.0)
+        }
+    }
+
+    /// DOP-dependent memory inflation: parallel operators keep per-worker
+    /// buffers.
+    pub fn dop_memory_factor(dop: usize) -> f64 {
+        1.0 + 0.025 * dop as f64
+    }
+}
+
+/// Optimizes a logical plan under the given context.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_engine::db::Database;
+/// use dbsens_engine::optimizer::{optimize, PlanContext};
+/// use dbsens_engine::plan::Logical;
+/// use dbsens_storage::schema::{ColType, Schema};
+/// use dbsens_storage::value::Value;
+///
+/// let mut db = Database::new(1000.0, 1 << 30);
+/// let schema = Schema::new(&[("id", ColType::Int)]);
+/// let rows: Vec<Vec<Value>> = (0..100).map(|i| vec![Value::Int(i)]).collect();
+/// let t = db.create_table("t", schema, rows);
+/// let ctx = PlanContext {
+///     maxdop: 8,
+///     grant_cap_bytes: 1 << 30,
+///     cost_threshold: 1e9,
+///     bufferpool_bytes: 1 << 30,
+///     db_bytes: 1 << 30,
+/// };
+/// let plan = optimize(&db, &Logical::scan(t, None, 100.0), &ctx);
+/// assert_eq!(plan.dop, 1); // tiny query: serial plan
+/// ```
+pub fn optimize(db: &Database, q: &Logical, ctx: &PlanContext) -> PhysPlan {
+    // Pass 1: lower under serial assumptions and estimate cost.
+    let serial_root = lower(db, q, ctx, 1);
+    let serial_cost = est_cost(db, &serial_root, ctx, 1);
+    let dop = if serial_cost > ctx.cost_threshold { ctx.maxdop.max(1) } else { 1 };
+    // Pass 2: re-lower with the chosen DOP (join algorithm choices may
+    // change).
+    let root = if dop == 1 { serial_root } else { lower(db, q, ctx, dop) };
+    let desired = (root.workspace_bytes() as f64 * PlanContext::dop_memory_factor(dop)) as u64;
+    let memory_grant = desired.min(ctx.grant_cap_bytes);
+    PhysPlan { root, dop, memory_grant, desired_memory: desired, est_cost: serial_cost }
+}
+
+/// Columns SQL Server would actually carry into a hash/sort workspace
+/// after projection pushdown; intermediate rows keep only needed columns.
+pub(crate) fn workspace_width(arity: usize) -> u64 {
+    (arity.min(8) as u64) * 8
+}
+
+/// Output arity (column count) of a logical node.
+pub fn arity(db: &Database, q: &Logical) -> usize {
+    match &q.node {
+        LogicalNode::Scan { table, project, .. } => match project {
+            Some(p) => p.len(),
+            None => db.table(*table).heap.schema().len(),
+        },
+        LogicalNode::IndexRange { table, .. } => db.table(*table).heap.schema().len(),
+        LogicalNode::Join { left, right, kind, .. } => match kind {
+            JoinKind::Semi | JoinKind::Anti => arity(db, left),
+            _ => arity(db, left) + arity(db, right),
+        },
+        LogicalNode::Agg { group_by, aggs, .. } => group_by.len() + aggs.len(),
+        LogicalNode::Sort { input, .. }
+        | LogicalNode::Top { input, .. }
+        | LogicalNode::Filter { input, .. } => arity(db, input),
+        LogicalNode::Project { exprs, .. } => exprs.len(),
+    }
+}
+
+fn lower(db: &Database, q: &Logical, ctx: &PlanContext, dop: usize) -> PhysNode {
+    let cost = &db.cost;
+    match &q.node {
+        LogicalNode::Scan { table, filter, project } => {
+            if db.table(*table).columnstore.is_some() {
+                let elim = filter.as_ref().and_then(extract_range);
+                PhysNode::ColumnstoreScan {
+                    table: *table,
+                    filter: filter.clone(),
+                    elim,
+                    project: project.clone(),
+                    est_rows: q.est_rows,
+                }
+            } else {
+                PhysNode::SeqScan {
+                    table: *table,
+                    filter: filter.clone(),
+                    project: project.clone(),
+                    est_rows: q.est_rows,
+                }
+            }
+        }
+        LogicalNode::IndexRange { table, index, lo, hi, filter } => PhysNode::IndexRange {
+            table: *table,
+            index: index.clone(),
+            lo: lo.clone(),
+            hi: hi.clone(),
+            filter: filter.clone(),
+            est_rows: q.est_rows,
+        },
+        LogicalNode::Filter { input, pred } => PhysNode::Filter {
+            input: Box::new(lower(db, input, ctx, dop)),
+            pred: pred.clone(),
+        },
+        LogicalNode::Project { input, exprs } => PhysNode::Project {
+            input: Box::new(lower(db, input, ctx, dop)),
+            exprs: exprs.clone(),
+        },
+        LogicalNode::Top { input, n } => PhysNode::Top {
+            input: Box::new(lower(db, input, ctx, dop)),
+            n: *n,
+        },
+        LogicalNode::Sort { input, keys } => {
+            let in_rows_modeled = input.est_rows * db.row_scale;
+            let width = workspace_width(arity(db, input));
+            let sort_bytes = (in_rows_modeled * (cost.sort_bytes_per_row + width) as f64) as u64;
+            PhysNode::Sort {
+                input: Box::new(lower(db, input, ctx, dop)),
+                keys: keys.clone(),
+                sort_bytes,
+            }
+        }
+        LogicalNode::Agg { input, group_by, aggs } => {
+            if group_by.is_empty() {
+                PhysNode::StreamAgg {
+                    input: Box::new(lower(db, input, ctx, dop)),
+                    aggs: aggs.clone(),
+                }
+            } else {
+                let groups_modeled = q.est_rows * db.row_scale;
+                let width = workspace_width(group_by.len() + aggs.len());
+                let ht_bytes = (groups_modeled * (cost.hash_bytes_per_row + width) as f64) as u64;
+                PhysNode::HashAgg {
+                    input: Box::new(lower(db, input, ctx, dop)),
+                    group_by: group_by.clone(),
+                    aggs: aggs.clone(),
+                    est_groups: q.est_rows,
+                    ht_bytes,
+                }
+            }
+        }
+        LogicalNode::Join { left, right, left_keys, right_keys, kind } => {
+            lower_join(db, q, left, right, left_keys, right_keys, *kind, ctx, dop)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn lower_join(
+    db: &Database,
+    q: &Logical,
+    left: &Logical,
+    right: &Logical,
+    left_keys: &[usize],
+    right_keys: &[usize],
+    kind: JoinKind,
+    ctx: &PlanContext,
+    dop: usize,
+) -> PhysNode {
+    let cost = &db.cost;
+    let left_modeled = left.est_rows * db.row_scale;
+    let right_modeled = right.est_rows * db.row_scale;
+
+    // Index nested-loops candidate: the right (inner) side is a plain scan
+    // of a table with a B-tree index exactly on the join keys.
+    let nl_candidate = match &right.node {
+        LogicalNode::Scan { table, filter, project: None } => {
+            let t = db.table(*table);
+            t.indexes
+                .iter()
+                .find(|idx| idx.key_cols == right_keys)
+                .map(|idx| (*table, idx.name.clone(), filter.clone(), idx.layout.levels()))
+        }
+        _ => None,
+    };
+
+    // Hash join cost (paper-scale instructions).
+    let build_width = workspace_width(arity(db, right));
+    let build_bytes = (right_modeled * (cost.hash_bytes_per_row + build_width) as f64) as u64;
+    let mut cost_hash = right_modeled * cost.hash_build_row as f64
+        + left_modeled * cost.hash_probe_row as f64;
+    if dop > 1 {
+        // Parallel hash joins repartition both inputs across workers.
+        cost_hash += (left_modeled + right_modeled) * cost.exchange_row as f64;
+    }
+    if build_bytes > ctx.grant_cap_bytes {
+        // Build side won't fit in the grant: spill both sides once.
+        cost_hash += (build_bytes as f64) * 0.12;
+    }
+
+    if let Some((inner_table, inner_index, inner_filter, levels)) = nl_candidate {
+        // Residency heuristic: the pool is shared by the whole database,
+        // so random inner seeks miss with probability ~ the non-resident
+        // fraction of the database.
+        let miss_prob = (1.0 - ctx.resident_fraction()).max(0.01);
+        // Random I/O overlaps across parallel workers, so its effective
+        // cost shrinks with DOP; a serial plan eats the full latency.
+        let overlap = dop.min(16) as f64;
+        let cost_nl = left_modeled * (levels as f64 * cost.btree_level as f64)
+            + left_modeled * miss_prob * PlanContext::IO_EQUIV_INSTR / overlap;
+        if cost_nl < cost_hash {
+            let outer_arity = arity(db, left);
+            let filter = inner_filter.map(|f| f.shift_cols(outer_arity));
+            return PhysNode::NlJoin {
+                outer: Box::new(lower(db, left, ctx, dop)),
+                inner_table,
+                inner_index,
+                outer_keys: left_keys.to_vec(),
+                kind,
+                filter,
+                est_rows: q.est_rows,
+            };
+        }
+    }
+
+    // Hash join; for inner joins put the smaller input on the build side.
+    let swapped = kind == JoinKind::Inner && left.est_rows < right.est_rows;
+    let (probe, build, probe_keys, build_keys) = if swapped {
+        (right, left, right_keys, left_keys)
+    } else {
+        (left, right, left_keys, right_keys)
+    };
+    let build_width = workspace_width(arity(db, build));
+    let build_bytes =
+        ((build.est_rows * db.row_scale) * (cost.hash_bytes_per_row + build_width) as f64) as u64;
+    PhysNode::HashJoin {
+        probe: Box::new(lower(db, probe, ctx, dop)),
+        build: Box::new(lower(db, build, ctx, dop)),
+        probe_keys: probe_keys.to_vec(),
+        build_keys: build_keys.to_vec(),
+        kind,
+        swapped,
+        est_rows: q.est_rows,
+        build_bytes,
+    }
+}
+
+/// Estimated execution cost in paper-scale instructions (serial).
+pub fn est_cost(db: &Database, n: &PhysNode, ctx: &PlanContext, dop: usize) -> f64 {
+    let cost = &db.cost;
+    let scale = db.row_scale;
+    let own = match n {
+        PhysNode::SeqScan { table, filter, est_rows, .. } => {
+            let rows = db.table(*table).layout.modeled_rows() as f64;
+            let expr_nodes = filter.as_ref().map_or(0, Expr::node_count);
+            rows * (cost.scan_row + expr_nodes * cost.expr_node) as f64 + est_rows * 0.0
+        }
+        PhysNode::ColumnstoreScan { table, filter, project, .. } => {
+            let t = db.table(*table);
+            let rows = t.layout.modeled_rows() as f64;
+            let cols = project.as_ref().map_or(t.heap.schema().len(), Vec::len) as u64;
+            let expr_nodes = filter.as_ref().map_or(0, Expr::node_count);
+            rows * (cols * cost.columnstore_row_per_col + expr_nodes * cost.expr_node) as f64
+        }
+        PhysNode::IndexRange { table, index, est_rows, .. } => {
+            let levels = db.table(*table).index(index).layout.levels() as f64;
+            levels * cost.btree_level as f64 + est_rows * scale * cost.scan_row as f64
+        }
+        PhysNode::HashJoin { probe, build, build_bytes, .. } => {
+            let mut c = build.est_rows() * scale * cost.hash_build_row as f64
+                + probe.est_rows() * scale * cost.hash_probe_row as f64;
+            if *build_bytes > ctx.grant_cap_bytes {
+                c += *build_bytes as f64 * 0.12;
+            }
+            if dop > 1 {
+                c += (probe.est_rows() + build.est_rows()) * scale * cost.exchange_row as f64;
+            }
+            c
+        }
+        PhysNode::NlJoin { outer, inner_table, inner_index, .. } => {
+            let levels = db.table(*inner_table).index(inner_index).layout.levels() as f64;
+            outer.est_rows() * scale * levels * cost.btree_level as f64
+        }
+        PhysNode::HashAgg { input, aggs, .. } => {
+            let agg_nodes: u64 = aggs.iter().map(|a| a.expr.node_count()).sum();
+            input.est_rows() * scale * (cost.agg_row + agg_nodes * cost.expr_node) as f64
+        }
+        PhysNode::StreamAgg { input, aggs } => {
+            let agg_nodes: u64 = aggs.iter().map(|a| a.expr.node_count()).sum();
+            input.est_rows()
+                * scale
+                * (cost.agg_row as f64 * 0.4 + (agg_nodes * cost.expr_node) as f64)
+        }
+        PhysNode::Sort { input, .. } => {
+            let rows = (input.est_rows() * scale).max(2.0);
+            rows * rows.log2() * cost.sort_row_log as f64
+        }
+        PhysNode::Top { .. } => 0.0,
+        PhysNode::Project { input, exprs } => {
+            let nodes: u64 = exprs.iter().map(Expr::node_count).sum();
+            input.est_rows() * scale * (nodes * cost.expr_node) as f64
+        }
+        PhysNode::Filter { input, pred } => {
+            input.est_rows() * scale * (pred.node_count() * cost.expr_node) as f64
+        }
+    };
+    own + n.children().iter().map(|c| est_cost(db, c, ctx, dop)).sum::<f64>()
+}
+
+/// Extracts a `(column, lo, hi)` range from simple predicates for segment
+/// elimination.
+pub fn extract_range(e: &Expr) -> Option<(usize, Option<Value>, Option<Value>)> {
+    match e {
+        Expr::Between(col, lo, hi) => match **col {
+            Expr::Col(c) => Some((c, Some(lo.clone()), Some(hi.clone()))),
+            _ => None,
+        },
+        Expr::Cmp(op, a, b) => match (&**a, &**b) {
+            (Expr::Col(c), Expr::Lit(v)) => match op {
+                CmpOp::Ge | CmpOp::Gt => Some((*c, Some(v.clone()), None)),
+                CmpOp::Le | CmpOp::Lt => Some((*c, None, Some(v.clone()))),
+                CmpOp::Eq => Some((*c, Some(v.clone()), Some(v.clone()))),
+                CmpOp::Ne => None,
+            },
+            _ => None,
+        },
+        Expr::And(a, b) => {
+            // Merge bounds when both sides constrain the same column;
+            // otherwise keep the first usable side.
+            match (extract_range(a), extract_range(b)) {
+                (Some((ca, lo_a, hi_a)), Some((cb, lo_b, hi_b))) if ca == cb => {
+                    Some((ca, lo_a.or(lo_b), hi_a.or(hi_b)))
+                }
+                (Some(r), _) | (_, Some(r)) => Some(r),
+                _ => None,
+            }
+        }
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::TableId;
+    use dbsens_storage::schema::{ColType, Schema};
+
+    fn db_with_tables(row_scale: f64) -> (Database, TableId, TableId) {
+        let mut db = Database::new(row_scale, 1 << 30);
+        let schema = Schema::new(&[("id", ColType::Int), ("fk", ColType::Int), ("v", ColType::Float)]);
+        let rows: Vec<Vec<Value>> = (0..2000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 100), Value::Float(i as f64)])
+            .collect();
+        let big = db.create_table("big", schema.clone(), rows);
+        let dim_rows: Vec<Vec<Value>> =
+            (0..100).map(|i| vec![Value::Int(i), Value::Int(i % 5), Value::Float(0.0)]).collect();
+        let dim = db.create_table("dim", schema, dim_rows);
+        db.create_index(dim, "pk", &[0]);
+        (db, big, dim)
+    }
+
+    fn ctx() -> PlanContext {
+        PlanContext {
+            maxdop: 16,
+            grant_cap_bytes: 1 << 30,
+            cost_threshold: 1e9,
+            bufferpool_bytes: 4 << 30,
+            db_bytes: 1 << 30,
+        }
+    }
+
+    #[test]
+    fn cheap_queries_get_serial_plans() {
+        let (db, big, _) = db_with_tables(10.0);
+        let plan = optimize(&db, &Logical::scan(big, None, 2000.0), &ctx());
+        assert_eq!(plan.dop, 1);
+    }
+
+    #[test]
+    fn expensive_queries_go_parallel() {
+        let (db, big, _) = db_with_tables(1_000_000.0);
+        let plan = optimize(&db, &Logical::scan(big, None, 2000.0), &ctx());
+        assert_eq!(plan.dop, 16);
+    }
+
+    #[test]
+    fn maxdop_one_forces_serial() {
+        let (db, big, _) = db_with_tables(1_000_000.0);
+        let mut c = ctx();
+        c.maxdop = 1;
+        let plan = optimize(&db, &Logical::scan(big, None, 2000.0), &c);
+        assert_eq!(plan.dop, 1);
+    }
+
+    #[test]
+    fn join_with_indexed_inner_can_choose_nested_loops() {
+        let (db, big, dim) = db_with_tables(1_000_000.0);
+        // Small outer (filtered big) joining into indexed dim: NL wins at
+        // high DOP.
+        let q = Logical::scan(big, None, 2000.0)
+            .filter(Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::lit(10i64)), 0.005)
+            .join(Logical::scan(dim, None, 100.0), vec![1], vec![0], JoinKind::Inner, 10.0);
+        let plan = optimize(&db, &q, &ctx());
+        assert!(
+            plan.count_ops("Nested Loops (index)") == 1 || plan.count_ops("Hash Join") == 1,
+            "join lowered"
+        );
+    }
+
+    #[test]
+    fn grant_is_capped_by_governor() {
+        let (db, big, dim) = db_with_tables(1_000_000.0);
+        let q = Logical::scan(big, None, 2000.0).join(
+            Logical::scan(dim, None, 100.0),
+            vec![1],
+            vec![1], // no index on fk: forces hash join
+            JoinKind::Inner,
+            2000.0,
+        );
+        let mut c = ctx();
+        c.grant_cap_bytes = 1 << 20;
+        let plan = optimize(&db, &q, &c);
+        assert!(plan.memory_grant <= 1 << 20);
+        assert!(plan.desired_memory > plan.memory_grant);
+    }
+
+    #[test]
+    fn parallel_plans_want_more_memory() {
+        let (db, big, dim) = db_with_tables(1_000_000.0);
+        let q = Logical::scan(big, None, 2000.0).join(
+            Logical::scan(dim, None, 100.0),
+            vec![1],
+            vec![1],
+            JoinKind::Inner,
+            2000.0,
+        );
+        let parallel = optimize(&db, &q, &ctx());
+        let mut c = ctx();
+        c.maxdop = 1;
+        let serial = optimize(&db, &q, &c);
+        assert!(parallel.dop > 1 && serial.dop == 1);
+        assert!(parallel.desired_memory > serial.desired_memory);
+    }
+
+    #[test]
+    fn extract_range_handles_common_shapes() {
+        use Expr::*;
+        let between = Between(Box::new(Col(3)), Value::Int(1), Value::Int(9));
+        assert_eq!(extract_range(&between), Some((3, Some(Value::Int(1)), Some(Value::Int(9)))));
+        let ge = Expr::cmp(CmpOp::Ge, Col(2), Expr::lit(5i64));
+        assert_eq!(extract_range(&ge), Some((2, Some(Value::Int(5)), None)));
+        let and = Expr::cmp(CmpOp::Ge, Col(2), Expr::lit(5i64))
+            .and(Expr::cmp(CmpOp::Lt, Col(2), Expr::lit(9i64)));
+        assert_eq!(extract_range(&and), Some((2, Some(Value::Int(5)), Some(Value::Int(9)))));
+        assert_eq!(extract_range(&Expr::lit(1i64)), None);
+    }
+
+    #[test]
+    fn columnstore_scan_used_when_index_present() {
+        let (mut db, big, _) = db_with_tables(1000.0);
+        db.create_columnstore(big, 256);
+        let plan = optimize(&db, &Logical::scan(big, None, 2000.0), &ctx());
+        assert_eq!(plan.count_ops("Columnstore Scan"), 1);
+        assert_eq!(plan.count_ops("Table Scan"), 0);
+    }
+}

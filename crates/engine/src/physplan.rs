@@ -1,0 +1,408 @@
+//! Physical query plans.
+//!
+//! The optimizer lowers a [`crate::plan::Logical`] tree into a physical
+//! operator tree with concrete algorithm choices (hash vs. index
+//! nested-loops join, row-store vs. columnstore scan), per-plan degree of
+//! parallelism, and a memory-grant estimate. The `Display` implementation
+//! renders the tree the way the paper's Figure 7 shows plans, with parallel
+//! operators marked.
+
+use crate::db::TableId;
+use crate::expr::Expr;
+use crate::plan::{AggSpec, JoinKind};
+use dbsens_storage::value::{Key, Value};
+use std::fmt;
+
+/// A physical operator tree.
+#[derive(Debug, Clone)]
+pub enum PhysNode {
+    /// Row-store sequential scan.
+    SeqScan {
+        /// Source table.
+        table: TableId,
+        /// Residual filter.
+        filter: Option<Expr>,
+        /// Output columns (`None` = all).
+        project: Option<Vec<usize>>,
+        /// Estimated output rows (logical scale).
+        est_rows: f64,
+    },
+    /// Columnstore (batch-mode) scan with optional segment elimination.
+    ColumnstoreScan {
+        /// Source table (must have a columnstore index).
+        table: TableId,
+        /// Residual filter.
+        filter: Option<Expr>,
+        /// Segment-elimination bound: `(column, lo, hi)`.
+        elim: Option<(usize, Option<Value>, Option<Value>)>,
+        /// Output columns (`None` = all).
+        project: Option<Vec<usize>>,
+        /// Estimated output rows (logical scale).
+        est_rows: f64,
+    },
+    /// B-tree range access.
+    IndexRange {
+        /// Source table.
+        table: TableId,
+        /// Index name.
+        index: String,
+        /// Lower bound (inclusive).
+        lo: Option<Key>,
+        /// Upper bound (exclusive).
+        hi: Option<Key>,
+        /// Residual filter.
+        filter: Option<Expr>,
+        /// Estimated output rows (logical scale).
+        est_rows: f64,
+    },
+    /// Hash join: build on the right child, probe with the left.
+    HashJoin {
+        /// Probe input.
+        probe: Box<PhysNode>,
+        /// Build input.
+        build: Box<PhysNode>,
+        /// Probe-side key columns.
+        probe_keys: Vec<usize>,
+        /// Build-side key columns.
+        build_keys: Vec<usize>,
+        /// Join kind (left = probe side).
+        kind: JoinKind,
+        /// `true` when the optimizer put the logical *left* input on the
+        /// build side; the executor then restores the `left ++ right`
+        /// output column order.
+        swapped: bool,
+        /// Estimated output rows.
+        est_rows: f64,
+        /// Estimated build-side hash table bytes at paper scale (drives
+        /// the memory grant).
+        build_bytes: u64,
+    },
+    /// Index nested-loops join: for each outer row, seek the inner index.
+    NlJoin {
+        /// Outer input.
+        outer: Box<PhysNode>,
+        /// Inner table.
+        inner_table: TableId,
+        /// Inner index name.
+        inner_index: String,
+        /// Outer-side key columns.
+        outer_keys: Vec<usize>,
+        /// Join kind (left = outer side).
+        kind: JoinKind,
+        /// Residual filter over `outer ++ inner` rows.
+        filter: Option<Expr>,
+        /// Estimated output rows.
+        est_rows: f64,
+    },
+    /// Hash aggregation.
+    HashAgg {
+        /// Input.
+        input: Box<PhysNode>,
+        /// Group-by columns.
+        group_by: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+        /// Estimated groups.
+        est_groups: f64,
+        /// Estimated hash table bytes at paper scale.
+        ht_bytes: u64,
+    },
+    /// Scalar (ungrouped) streaming aggregation.
+    StreamAgg {
+        /// Input.
+        input: Box<PhysNode>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+    },
+    /// Full sort.
+    Sort {
+        /// Input.
+        input: Box<PhysNode>,
+        /// Sort keys `(column, descending)`.
+        keys: Vec<(usize, bool)>,
+        /// Estimated sort workspace bytes at paper scale.
+        sort_bytes: u64,
+    },
+    /// First `n` rows.
+    Top {
+        /// Input.
+        input: Box<PhysNode>,
+        /// Row limit.
+        n: usize,
+    },
+    /// Projection.
+    Project {
+        /// Input.
+        input: Box<PhysNode>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+    },
+    /// Filter.
+    Filter {
+        /// Input.
+        input: Box<PhysNode>,
+        /// Predicate.
+        pred: Expr,
+    },
+}
+
+impl PhysNode {
+    /// Estimated output rows (logical scale).
+    pub fn est_rows(&self) -> f64 {
+        match self {
+            PhysNode::SeqScan { est_rows, .. }
+            | PhysNode::ColumnstoreScan { est_rows, .. }
+            | PhysNode::IndexRange { est_rows, .. }
+            | PhysNode::HashJoin { est_rows, .. }
+            | PhysNode::NlJoin { est_rows, .. } => *est_rows,
+            PhysNode::HashAgg { est_groups, .. } => *est_groups,
+            PhysNode::StreamAgg { .. } => 1.0,
+            PhysNode::Sort { input, .. }
+            | PhysNode::Project { input, .. }
+            | PhysNode::Filter { input, .. } => input.est_rows(),
+            PhysNode::Top { input, n } => (*n as f64).min(input.est_rows()),
+        }
+    }
+
+    /// Sum of memory-consuming operator workspaces (paper scale), before
+    /// DOP inflation.
+    pub fn workspace_bytes(&self) -> u64 {
+        let own = match self {
+            PhysNode::HashJoin { build_bytes, .. } => *build_bytes,
+            PhysNode::HashAgg { ht_bytes, .. } => *ht_bytes,
+            PhysNode::Sort { sort_bytes, .. } => *sort_bytes,
+            _ => 0,
+        };
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.workspace_bytes())
+            .sum::<u64>()
+    }
+
+    /// Child operators.
+    pub fn children(&self) -> Vec<&PhysNode> {
+        match self {
+            PhysNode::SeqScan { .. }
+            | PhysNode::ColumnstoreScan { .. }
+            | PhysNode::IndexRange { .. } => vec![],
+            PhysNode::HashJoin { probe, build, .. } => vec![probe.as_ref(), build.as_ref()],
+            PhysNode::NlJoin { outer, .. } => vec![outer.as_ref()],
+            PhysNode::HashAgg { input, .. }
+            | PhysNode::StreamAgg { input, .. }
+            | PhysNode::Sort { input, .. }
+            | PhysNode::Top { input, .. }
+            | PhysNode::Project { input, .. }
+            | PhysNode::Filter { input, .. } => vec![input.as_ref()],
+        }
+    }
+
+    /// Operator name for rendering.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            PhysNode::SeqScan { .. } => "Table Scan",
+            PhysNode::ColumnstoreScan { .. } => "Columnstore Scan",
+            PhysNode::IndexRange { .. } => "Index Seek",
+            PhysNode::HashJoin { .. } => "Hash Join",
+            PhysNode::NlJoin { .. } => "Nested Loops (index)",
+            PhysNode::HashAgg { .. } => "Hash Aggregate",
+            PhysNode::StreamAgg { .. } => "Stream Aggregate",
+            PhysNode::Sort { .. } => "Sort",
+            PhysNode::Top { .. } => "Top",
+            PhysNode::Project { .. } => "Compute Scalar",
+            PhysNode::Filter { .. } => "Filter",
+        }
+    }
+
+    /// Collects `(depth, name, detail)` rows for rendering.
+    fn render_into(&self, depth: usize, out: &mut Vec<(usize, String)>) {
+        let detail = match self {
+            PhysNode::SeqScan { table, est_rows, .. }
+            | PhysNode::ColumnstoreScan { table, est_rows, .. } => {
+                format!("t{} (~{:.0} rows)", table.0, est_rows)
+            }
+            PhysNode::IndexRange { table, index, est_rows, .. } => {
+                format!("t{}.{} (~{:.0} rows)", table.0, index, est_rows)
+            }
+            PhysNode::HashJoin { est_rows, .. } => format!("(~{est_rows:.0} rows)"),
+            PhysNode::NlJoin { inner_table, inner_index, est_rows, .. } => {
+                format!("inner t{}.{} (~{:.0} rows)", inner_table.0, inner_index, est_rows)
+            }
+            PhysNode::HashAgg { group_by, est_groups, .. } => {
+                format!("{} keys (~{:.0} groups)", group_by.len(), est_groups)
+            }
+            PhysNode::Sort { keys, .. } => format!("{} keys", keys.len()),
+            PhysNode::Top { n, .. } => format!("n={n}"),
+            _ => String::new(),
+        };
+        out.push((depth, format!("{} {}", self.op_name(), detail).trim_end().to_owned()));
+        for c in self.children() {
+            c.render_into(depth + 1, out);
+        }
+    }
+}
+
+/// A complete physical plan: operator tree plus plan-level properties.
+#[derive(Debug, Clone)]
+pub struct PhysPlan {
+    /// Operator tree root.
+    pub root: PhysNode,
+    /// Degree of parallelism (1 = serial plan).
+    pub dop: usize,
+    /// Memory grant in bytes (paper scale) reserved before execution.
+    pub memory_grant: u64,
+    /// Workspace the plan would ideally use (paper scale, after DOP
+    /// inflation); exceeding the grant forces spills.
+    pub desired_memory: u64,
+    /// Optimizer's estimated serial cost in instructions (paper scale).
+    pub est_cost: f64,
+}
+
+impl PhysPlan {
+    /// Returns `true` for a parallel plan.
+    pub fn is_parallel(&self) -> bool {
+        self.dop > 1
+    }
+
+    /// Counts operators of a given name, for plan-shape assertions
+    /// ("alternate plans" pitfall #6).
+    pub fn count_ops(&self, name: &str) -> usize {
+        fn walk(n: &PhysNode, name: &str, acc: &mut usize) {
+            if n.op_name() == name {
+                *acc += 1;
+            }
+            for c in n.children() {
+                walk(c, name, acc);
+            }
+        }
+        let mut acc = 0;
+        walk(&self.root, name, &mut acc);
+        acc
+    }
+
+    /// A stable one-line fingerprint of the plan shape (operator names in
+    /// pre-order), used to detect plan changes across knob settings.
+    pub fn shape(&self) -> String {
+        let mut rows = Vec::new();
+        self.root.render_into(0, &mut rows);
+        rows.iter()
+            .map(|(d, s)| {
+                let name = s.split(" (").next().unwrap_or(s);
+                format!("{}{}", "-".repeat(*d), name.trim_end())
+            })
+            .collect::<Vec<_>>()
+            .join("|")
+    }
+}
+
+impl fmt::Display for PhysPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Plan (MAXDOP={}, grant={:.1} MB, est cost={:.2e} instr){}",
+            self.dop,
+            self.memory_grant as f64 / (1 << 20) as f64,
+            self.est_cost,
+            if self.is_parallel() { "  <=> parallel" } else { "  -> serial" },
+        )?;
+        let mut rows = Vec::new();
+        self.root.render_into(0, &mut rows);
+        let marker = if self.is_parallel() { "<=>" } else { "   " };
+        for (depth, line) in rows {
+            writeln!(f, "  {}{} {}", "    ".repeat(depth), marker, line)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> PhysPlan {
+        let scan = PhysNode::SeqScan { table: TableId(0), filter: None, project: None, est_rows: 1000.0 };
+        let build = PhysNode::SeqScan { table: TableId(1), filter: None, project: None, est_rows: 10.0 };
+        let join = PhysNode::HashJoin {
+            probe: Box::new(scan),
+            build: Box::new(build),
+            probe_keys: vec![0],
+            build_keys: vec![0],
+            kind: JoinKind::Inner,
+            swapped: false,
+            est_rows: 1000.0,
+            build_bytes: 4096,
+        };
+        let agg = PhysNode::HashAgg {
+            input: Box::new(join),
+            group_by: vec![1],
+            aggs: vec![crate::plan::count()],
+            est_groups: 10.0,
+            ht_bytes: 1 << 20,
+        };
+        PhysPlan { root: agg, dop: 8, memory_grant: 2 << 20, desired_memory: 2 << 20, est_cost: 1e9 }
+    }
+
+    #[test]
+    fn workspace_sums_over_tree() {
+        let p = sample_plan();
+        assert_eq!(p.root.workspace_bytes(), 4096 + (1 << 20));
+    }
+
+    #[test]
+    fn rendering_includes_all_ops() {
+        let p = sample_plan();
+        let s = p.to_string();
+        assert!(s.contains("Hash Aggregate"));
+        assert!(s.contains("Hash Join"));
+        assert!(s.contains("Table Scan"));
+        assert!(s.contains("<=> parallel"));
+        assert!(s.contains("MAXDOP=8"));
+    }
+
+    #[test]
+    fn shape_fingerprint_detects_changes() {
+        let a = sample_plan();
+        let mut b = sample_plan();
+        b.dop = 1; // DOP alone doesn't change shape
+        assert_eq!(a.shape(), b.shape());
+        let c = PhysPlan {
+            root: PhysNode::SeqScan { table: TableId(0), filter: None, project: None, est_rows: 1.0 },
+            dop: 1,
+            memory_grant: 0,
+            desired_memory: 0,
+            est_cost: 0.0,
+        };
+        assert_ne!(a.shape(), c.shape());
+    }
+
+    #[test]
+    fn nl_join_renders_inner_index() {
+        let nl = PhysNode::NlJoin {
+            outer: Box::new(PhysNode::SeqScan {
+                table: TableId(3),
+                filter: None,
+                project: None,
+                est_rows: 5.0,
+            }),
+            inner_table: TableId(9),
+            inner_index: "pk".into(),
+            outer_keys: vec![0],
+            kind: JoinKind::Semi,
+            filter: None,
+            est_rows: 5.0,
+        };
+        let plan =
+            PhysPlan { root: nl, dop: 1, memory_grant: 0, desired_memory: 0, est_cost: 1.0 };
+        let text = plan.to_string();
+        assert!(text.contains("Nested Loops (index) inner t9.pk"), "{text}");
+        assert!(text.contains("-> serial"));
+    }
+
+    #[test]
+    fn count_ops_walks_tree() {
+        let p = sample_plan();
+        assert_eq!(p.count_ops("Table Scan"), 2);
+        assert_eq!(p.count_ops("Hash Join"), 1);
+        assert_eq!(p.count_ops("Sort"), 0);
+    }
+}

@@ -1,0 +1,286 @@
+//! Logical query plans.
+//!
+//! Workload queries are authored as logical plan trees (SQL parsing is out
+//! of scope — see DESIGN.md §2; all paper-relevant behaviour lives below
+//! this level). Nodes carry cardinality estimates the builder supplies, in
+//! *logical* (scaled-down) rows; the optimizer multiplies by the database's
+//! row scale for costing.
+
+use crate::db::TableId;
+use crate::expr::Expr;
+use dbsens_storage::value::{Key, Value};
+
+/// Join kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinKind {
+    /// Inner join.
+    Inner,
+    /// Left outer join (unmatched left rows padded with NULLs).
+    LeftOuter,
+    /// Left semi join (left rows with at least one match).
+    Semi,
+    /// Left anti join (left rows with no match).
+    Anti,
+}
+
+/// Aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// Sum of the expression.
+    Sum,
+    /// Arithmetic mean.
+    Avg,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Row count (expression ignored).
+    Count,
+}
+
+/// One aggregate in a group-by.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// Function.
+    pub func: AggFunc,
+    /// Input expression over the child's row layout.
+    pub expr: Expr,
+}
+
+/// A logical plan node with its output-cardinality estimate.
+#[derive(Debug, Clone)]
+pub struct Logical {
+    /// The operator.
+    pub node: LogicalNode,
+    /// Estimated output rows (logical scale).
+    pub est_rows: f64,
+}
+
+/// Logical operators.
+#[derive(Debug, Clone)]
+pub enum LogicalNode {
+    /// Full scan of a table with optional filter and projection.
+    Scan {
+        /// Source table.
+        table: TableId,
+        /// Row filter.
+        filter: Option<Expr>,
+        /// Output columns (`None` = all).
+        project: Option<Vec<usize>>,
+    },
+    /// Range access through a named index.
+    IndexRange {
+        /// Source table.
+        table: TableId,
+        /// Index name.
+        index: String,
+        /// Lower key bound (inclusive).
+        lo: Option<Key>,
+        /// Upper key bound (exclusive).
+        hi: Option<Key>,
+        /// Residual filter on fetched rows.
+        filter: Option<Expr>,
+    },
+    /// Equi-join; output rows are `left ++ right` (semi/anti keep only the
+    /// left columns).
+    Join {
+        /// Left (often the larger/probe) input.
+        left: Box<Logical>,
+        /// Right (often the build/inner) input.
+        right: Box<Logical>,
+        /// Join key columns of the left input.
+        left_keys: Vec<usize>,
+        /// Join key columns of the right input.
+        right_keys: Vec<usize>,
+        /// Join kind.
+        kind: JoinKind,
+    },
+    /// Grouped aggregation; output rows are group key values followed by
+    /// the aggregates.
+    Agg {
+        /// Input.
+        input: Box<Logical>,
+        /// Group-by columns (empty = scalar aggregate).
+        group_by: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<AggSpec>,
+    },
+    /// Sort by `(column, descending)` keys.
+    Sort {
+        /// Input.
+        input: Box<Logical>,
+        /// Sort keys.
+        keys: Vec<(usize, bool)>,
+    },
+    /// First `n` rows.
+    Top {
+        /// Input.
+        input: Box<Logical>,
+        /// Row limit.
+        n: usize,
+    },
+    /// Row-wise projection.
+    Project {
+        /// Input.
+        input: Box<Logical>,
+        /// Output expressions.
+        exprs: Vec<Expr>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input.
+        input: Box<Logical>,
+        /// Predicate.
+        pred: Expr,
+    },
+}
+
+impl Logical {
+    /// Scan with a cardinality estimate.
+    pub fn scan(table: TableId, filter: Option<Expr>, est_rows: f64) -> Logical {
+        Logical { node: LogicalNode::Scan { table, filter, project: None }, est_rows }
+    }
+
+    /// Scan with projection.
+    pub fn scan_project(
+        table: TableId,
+        filter: Option<Expr>,
+        project: Vec<usize>,
+        est_rows: f64,
+    ) -> Logical {
+        Logical { node: LogicalNode::Scan { table, filter, project: Some(project) }, est_rows }
+    }
+
+    /// Index range access.
+    pub fn index_range(
+        table: TableId,
+        index: &str,
+        lo: Option<Key>,
+        hi: Option<Key>,
+        filter: Option<Expr>,
+        est_rows: f64,
+    ) -> Logical {
+        Logical {
+            node: LogicalNode::IndexRange { table, index: index.to_owned(), lo, hi, filter },
+            est_rows,
+        }
+    }
+
+    /// Inner/semi/anti/outer equi-join.
+    pub fn join(
+        self,
+        right: Logical,
+        left_keys: Vec<usize>,
+        right_keys: Vec<usize>,
+        kind: JoinKind,
+        est_rows: f64,
+    ) -> Logical {
+        Logical {
+            node: LogicalNode::Join {
+                left: Box::new(self),
+                right: Box::new(right),
+                left_keys,
+                right_keys,
+                kind,
+            },
+            est_rows,
+        }
+    }
+
+    /// Grouped aggregation.
+    pub fn agg(self, group_by: Vec<usize>, aggs: Vec<AggSpec>, est_groups: f64) -> Logical {
+        Logical { node: LogicalNode::Agg { input: Box::new(self), group_by, aggs }, est_rows: est_groups }
+    }
+
+    /// Sort.
+    pub fn sort(self, keys: Vec<(usize, bool)>) -> Logical {
+        let est = self.est_rows;
+        Logical { node: LogicalNode::Sort { input: Box::new(self), keys }, est_rows: est }
+    }
+
+    /// Top-N.
+    pub fn top(self, n: usize) -> Logical {
+        Logical { node: LogicalNode::Top { input: Box::new(self), n }, est_rows: n as f64 }
+    }
+
+    /// Projection.
+    pub fn project(self, exprs: Vec<Expr>) -> Logical {
+        let est = self.est_rows;
+        Logical { node: LogicalNode::Project { input: Box::new(self), exprs }, est_rows: est }
+    }
+
+    /// Filter with an explicit selectivity estimate.
+    pub fn filter(self, pred: Expr, selectivity: f64) -> Logical {
+        let est = self.est_rows * selectivity.clamp(0.0, 1.0);
+        Logical { node: LogicalNode::Filter { input: Box::new(self), pred }, est_rows: est }
+    }
+
+    /// Number of scans referencing `table` (used by validation warnings and
+    /// tests).
+    pub fn scan_count(&self, table: TableId) -> usize {
+        match &self.node {
+            LogicalNode::Scan { table: t, .. } | LogicalNode::IndexRange { table: t, .. } => {
+                usize::from(*t == table)
+            }
+            LogicalNode::Join { left, right, .. } => {
+                left.scan_count(table) + right.scan_count(table)
+            }
+            LogicalNode::Agg { input, .. }
+            | LogicalNode::Sort { input, .. }
+            | LogicalNode::Top { input, .. }
+            | LogicalNode::Project { input, .. }
+            | LogicalNode::Filter { input, .. } => input.scan_count(table),
+        }
+    }
+}
+
+/// Convenience: a sum aggregate over a column.
+pub fn sum(col: usize) -> AggSpec {
+    AggSpec { func: AggFunc::Sum, expr: Expr::Col(col) }
+}
+
+/// Convenience: an average aggregate over a column.
+pub fn avg(col: usize) -> AggSpec {
+    AggSpec { func: AggFunc::Avg, expr: Expr::Col(col) }
+}
+
+/// Convenience: a count aggregate.
+pub fn count() -> AggSpec {
+    AggSpec { func: AggFunc::Count, expr: Expr::Lit(Value::Int(1)) }
+}
+
+/// Convenience: a min aggregate over a column.
+pub fn min(col: usize) -> AggSpec {
+    AggSpec { func: AggFunc::Min, expr: Expr::Col(col) }
+}
+
+/// Convenience: a max aggregate over a column.
+pub fn max(col: usize) -> AggSpec {
+    AggSpec { func: AggFunc::Max, expr: Expr::Col(col) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_propagate_estimates() {
+        let t = TableId(0);
+        let q = Logical::scan(t, None, 1000.0)
+            .filter(Expr::lit(1i64), 0.1)
+            .join(Logical::scan(TableId(1), None, 50.0), vec![0], vec![0], JoinKind::Inner, 100.0)
+            .agg(vec![0], vec![sum(1), count()], 10.0)
+            .sort(vec![(1, true)])
+            .top(5);
+        assert_eq!(q.est_rows, 5.0);
+        assert_eq!(q.scan_count(t), 1);
+        assert_eq!(q.scan_count(TableId(1)), 1);
+        assert_eq!(q.scan_count(TableId(9)), 0);
+    }
+
+    #[test]
+    fn filter_clamps_selectivity() {
+        let q = Logical::scan(TableId(0), None, 100.0).filter(Expr::lit(1i64), 7.0);
+        assert_eq!(q.est_rows, 100.0);
+    }
+}

@@ -1,0 +1,432 @@
+//! Simulated tasks for analytical queries: trace replay workers and the
+//! query-stream driver.
+
+use crate::db::Database;
+use crate::exec::{execute, QueryExecution, Stage, TraceItem};
+use crate::governor::Governor;
+use crate::grant::GrantManager;
+use crate::metrics::RunMetrics;
+use crate::optimizer::optimize;
+use crate::plan::Logical;
+use dbsens_hwsim::task::{Demand, SimTask, Step, TaskCtx, TaskId, WaitClass};
+use dbsens_hwsim::time::SimTime;
+use dbsens_storage::bufferpool::PAGE_BYTES;
+use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
+use std::fmt;
+use std::rc::Rc;
+
+/// A worker replaying one demand trace; wakes its parent when finished.
+pub struct TraceTask {
+    db: Rc<RefCell<Database>>,
+    items: Vec<TraceItem>,
+    idx: usize,
+    pending: VecDeque<Demand>,
+    parent: TaskId,
+    remaining: Rc<Cell<usize>>,
+    notified: bool,
+}
+
+impl fmt::Debug for TraceTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TraceTask")
+            .field("items", &self.items.len())
+            .field("idx", &self.idx)
+            .field("parent", &self.parent)
+            .finish()
+    }
+}
+
+impl TraceTask {
+    /// Creates a worker for `items`; when done it decrements `remaining`
+    /// and wakes `parent`.
+    pub fn new(
+        db: Rc<RefCell<Database>>,
+        items: Vec<TraceItem>,
+        parent: TaskId,
+        remaining: Rc<Cell<usize>>,
+    ) -> Self {
+        TraceTask { db, items, idx: 0, pending: VecDeque::new(), parent, remaining, notified: false }
+    }
+}
+
+/// Read-ahead depth: a worker lets the device run up to this far behind
+/// before it throttles (SQL Server issues deep sequential read-ahead).
+const READAHEAD_DEPTH: dbsens_hwsim::time::SimDuration =
+    dbsens_hwsim::time::SimDuration::from_millis(40);
+
+impl SimTask for TraceTask {
+    fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        if let Some(d) = self.pending.pop_front() {
+            // Throttle sleeps depend on the backlog at issue time.
+            if let Demand::Sleep { class: WaitClass::PageIoLatch, .. } = d {
+                let backlog = ctx.ssd_read_backlog();
+                if backlog > READAHEAD_DEPTH {
+                    return Step::Demand(Demand::Sleep {
+                        dur: backlog.saturating_sub(READAHEAD_DEPTH),
+                        class: WaitClass::PageIoLatch,
+                    });
+                }
+                // Backlog already drained; skip the throttle.
+                return Step::Demand(Demand::Yield);
+            }
+            return Step::Demand(d);
+        }
+        while self.idx < self.items.len() {
+            let item = self.items[self.idx].clone();
+            self.idx += 1;
+            match item {
+                TraceItem::Compute { instructions, mem } => {
+                    return Step::Demand(Demand::Compute { instructions, mem });
+                }
+                TraceItem::PageRun { start, pages, write } => {
+                    let out = self.db.borrow_mut().bufferpool.access(start, pages, write);
+                    if out.evicted_dirty_pages > 0 {
+                        self.pending.push_back(Demand::DeviceWriteAsync {
+                            bytes: out.evicted_dirty_pages * PAGE_BYTES,
+                        });
+                    }
+                    if out.miss_pages > 0 {
+                        // Sequential read-ahead: issue the read without
+                        // blocking, then throttle only if the device falls
+                        // too far behind (overlaps I/O with compute, the
+                        // source of Figure 5's concave response).
+                        self.pending.push_back(Demand::DeviceReadPrefetch {
+                            bytes: out.miss_pages * PAGE_BYTES,
+                        });
+                        self.pending.push_back(Demand::Sleep {
+                            dur: dbsens_hwsim::time::SimDuration::ZERO,
+                            class: WaitClass::PageIoLatch,
+                        });
+                    }
+                    if let Some(d) = self.pending.pop_front() {
+                        return Step::Demand(d);
+                    }
+                }
+                TraceItem::RandomPages { start, span, count } => {
+                    let out = self.db.borrow_mut().bufferpool.access_random(start, span, count, false);
+                    if out.evicted_dirty_pages > 0 {
+                        self.pending.push_back(Demand::DeviceWriteAsync {
+                            bytes: out.evicted_dirty_pages * PAGE_BYTES,
+                        });
+                    }
+                    if out.miss_pages > 0 {
+                        self.pending.push_back(Demand::DeviceRead {
+                            bytes: out.miss_pages * PAGE_BYTES,
+                            class: WaitClass::PageIoLatch,
+                        });
+                    }
+                    if let Some(d) = self.pending.pop_front() {
+                        return Step::Demand(d);
+                    }
+                }
+                TraceItem::SpillWrite { bytes } => {
+                    return Step::Demand(Demand::DeviceWrite { bytes, class: WaitClass::Io });
+                }
+                TraceItem::SpillRead { bytes } => {
+                    return Step::Demand(Demand::DeviceRead { bytes, class: WaitClass::Io });
+                }
+            }
+        }
+        if !self.notified {
+            self.notified = true;
+            self.remaining.set(self.remaining.get().saturating_sub(1));
+            ctx.wake(self.parent);
+        }
+        Step::Done
+    }
+
+    fn label(&self) -> &str {
+        "query-worker"
+    }
+}
+
+/// Background checkpoint writer: periodically writes all pages dirtied
+/// since the last round, generating the data-update write traffic that
+/// makes transactional workloads sensitive to write-bandwidth limits
+/// (paper §6) even when the database fits in memory.
+pub struct CheckpointTask {
+    db: Rc<RefCell<Database>>,
+    /// Pages still to write in the current round.
+    backlog_pages: u64,
+    /// Pacing sleep between chunks (spreads the round over its interval so
+    /// commit-critical log writes are not stuck behind one huge write).
+    chunk_gap: dbsens_hwsim::time::SimDuration,
+    wrote_chunk: bool,
+}
+
+/// Pages per paced checkpoint write (1 MB).
+const CHECKPOINT_CHUNK_PAGES: u64 = 128;
+
+impl fmt::Debug for CheckpointTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CheckpointTask").field("backlog_pages", &self.backlog_pages).finish()
+    }
+}
+
+impl CheckpointTask {
+    /// Creates the checkpoint writer for a database.
+    pub fn new(db: Rc<RefCell<Database>>) -> Self {
+        CheckpointTask {
+            db,
+            backlog_pages: 0,
+            chunk_gap: dbsens_hwsim::time::SimDuration::ZERO,
+            wrote_chunk: false,
+        }
+    }
+}
+
+impl SimTask for CheckpointTask {
+    fn poll(&mut self, _ctx: &mut TaskCtx<'_>) -> Step {
+        use dbsens_hwsim::time::SimDuration;
+        if self.wrote_chunk {
+            // Pace between chunks.
+            self.wrote_chunk = false;
+            return Step::Demand(Demand::Sleep { dur: self.chunk_gap, class: WaitClass::Think });
+        }
+        if self.backlog_pages > 0 {
+            let pages = self.backlog_pages.min(CHECKPOINT_CHUNK_PAGES);
+            self.backlog_pages -= pages;
+            self.wrote_chunk = true;
+            return Step::Demand(Demand::DeviceWriteAsync { bytes: pages * PAGE_BYTES });
+        }
+        // Start a new round.
+        let (pages, interval) = {
+            let mut db = self.db.borrow_mut();
+            (db.take_dirty_pages() as u64, db.cost.checkpoint_interval_secs.max(1))
+        };
+        if pages == 0 {
+            return Step::Demand(Demand::Sleep {
+                dur: SimDuration::from_secs(interval),
+                class: WaitClass::Think,
+            });
+        }
+        self.backlog_pages = pages;
+        let chunks = pages.div_ceil(CHECKPOINT_CHUNK_PAGES).max(1);
+        // Spread the round over ~80% of the interval.
+        self.chunk_gap =
+            SimDuration::from_secs_f64(interval as f64 * 0.8 / chunks as f64);
+        Step::Demand(Demand::Yield)
+    }
+
+    fn label(&self) -> &str {
+        "checkpoint"
+    }
+}
+
+#[derive(Debug)]
+struct RunningQuery {
+    query_idx: usize,
+    name: String,
+    stages: Vec<Stage>,
+    stage: usize,
+    remaining: Rc<Cell<usize>>,
+    grant: u64,
+    started: SimTime,
+}
+
+#[derive(Debug)]
+enum StreamState {
+    Next(usize),
+    WaitGrant(RunningQuery),
+    Run(RunningQuery),
+    Finished,
+}
+
+/// Drives a sequence of queries: optimize, execute logically, acquire the
+/// memory grant, replay the staged demand trace with `dop` workers per
+/// stage, record metrics, repeat.
+pub struct QueryStreamTask {
+    db: Rc<RefCell<Database>>,
+    grants: Rc<RefCell<GrantManager>>,
+    metrics: Rc<RefCell<RunMetrics>>,
+    governor: Governor,
+    queries: Vec<(String, Logical)>,
+    repeat: bool,
+    state: StreamState,
+    label: String,
+}
+
+impl fmt::Debug for QueryStreamTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("QueryStreamTask")
+            .field("label", &self.label)
+            .field("queries", &self.queries.len())
+            .field("repeat", &self.repeat)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl QueryStreamTask {
+    /// Creates a stream over `queries`. With `repeat`, the stream loops
+    /// until the simulation ends; otherwise it finishes after one pass.
+    pub fn new(
+        db: Rc<RefCell<Database>>,
+        grants: Rc<RefCell<GrantManager>>,
+        metrics: Rc<RefCell<RunMetrics>>,
+        governor: Governor,
+        queries: Vec<(String, Logical)>,
+        repeat: bool,
+        label: impl Into<String>,
+    ) -> Self {
+        QueryStreamTask {
+            db,
+            grants,
+            metrics,
+            governor,
+            queries,
+            repeat,
+            state: StreamState::Next(0),
+            label: label.into(),
+        }
+    }
+
+    /// Prepares query `i`: optimize + logical execution + grant request.
+    fn prepare(&mut self, i: usize, ctx: &mut TaskCtx<'_>) -> Step {
+        let (name, logical) = &self.queries[i];
+        let exec: QueryExecution = {
+            let db = self.db.borrow();
+            let pctx = self.governor.plan_context(&db);
+            let plan = optimize(&db, logical, &pctx);
+            execute(&db, &plan)
+        };
+        let running = RunningQuery {
+            query_idx: i,
+            name: name.clone(),
+            stages: exec.stages,
+            stage: 0,
+            remaining: Rc::new(Cell::new(0)),
+            grant: exec.grant,
+            started: ctx.now(),
+        };
+        let granted = self.grants.borrow_mut().try_acquire(ctx.self_id(), running.grant);
+        if granted {
+            self.start_stage(running, ctx)
+        } else {
+            self.state = StreamState::WaitGrant(running);
+            Step::Demand(Demand::Block { class: WaitClass::MemoryGrant })
+        }
+    }
+
+    /// Spawns workers for the current stage (skipping empty ones) or
+    /// finishes the query.
+    fn start_stage(&mut self, mut running: RunningQuery, ctx: &mut TaskCtx<'_>) -> Step {
+        while running.stage < running.stages.len() {
+            let workers: Vec<_> = running.stages[running.stage]
+                .workers
+                .iter()
+                .filter(|w| !w.items.is_empty())
+                .cloned()
+                .collect();
+            if workers.is_empty() {
+                running.stage += 1;
+                continue;
+            }
+            running.remaining = Rc::new(Cell::new(workers.len()));
+            for w in workers {
+                ctx.spawn(Box::new(TraceTask::new(
+                    Rc::clone(&self.db),
+                    w.items,
+                    ctx.self_id(),
+                    Rc::clone(&running.remaining),
+                )));
+            }
+            self.state = StreamState::Run(running);
+            return Step::Demand(Demand::Block { class: WaitClass::Parallelism });
+        }
+        // All stages done: release the grant, record, move on.
+        let woken = self.grants.borrow_mut().release(running.grant);
+        for t in woken {
+            ctx.wake(t);
+        }
+        self.metrics.borrow_mut().record_query(
+            &running.name,
+            running.started,
+            ctx.now().saturating_since(running.started),
+        );
+        self.state = StreamState::Next(running.query_idx + 1);
+        Step::Demand(Demand::Yield)
+    }
+}
+
+impl SimTask for QueryStreamTask {
+    fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        match std::mem::replace(&mut self.state, StreamState::Finished) {
+            StreamState::Next(i) => {
+                if self.queries.is_empty() {
+                    return Step::Done;
+                }
+                let i = if i >= self.queries.len() {
+                    if !self.repeat {
+                        return Step::Done;
+                    }
+                    0
+                } else {
+                    i
+                };
+                self.prepare(i, ctx)
+            }
+            StreamState::WaitGrant(running) => {
+                // Woken: the grant is now held.
+                self.start_stage(running, ctx)
+            }
+            StreamState::Run(running) => {
+                if running.remaining.get() > 0 {
+                    self.state = StreamState::Run(running);
+                    return Step::Demand(Demand::Block { class: WaitClass::Parallelism });
+                }
+                let mut r = running;
+                r.stage += 1;
+                self.start_stage(r, ctx)
+            }
+            StreamState::Finished => Step::Done,
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsens_hwsim::kernel::{Kernel, SimConfig};
+    use dbsens_hwsim::time::{SimDuration, SimTime};
+    use dbsens_storage::schema::{ColType, Schema};
+    use dbsens_storage::value::Value;
+
+    #[test]
+    fn checkpoint_writes_dirty_pages_and_paces_them() {
+        let mut db = Database::new(100.0, 1 << 30);
+        let schema = Schema::new(&[("id", ColType::Int)]);
+        let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i)]).collect();
+        let _t = db.create_table("t", schema, rows);
+        // Dirty 1000 distinct pages.
+        for p in 0..1000 {
+            db.mark_dirty(p);
+        }
+        let db = Rc::new(RefCell::new(db));
+        let mut kernel = Kernel::new(SimConfig::paper_default(3));
+        kernel.spawn(Box::new(CheckpointTask::new(Rc::clone(&db))));
+        // One interval later the round should be written out.
+        let interval = db.borrow().cost.checkpoint_interval_secs;
+        kernel.run_until(SimTime::ZERO + SimDuration::from_secs(interval * 2));
+        let written = kernel.counters().ssd_write_bytes;
+        assert_eq!(written, 1000 * PAGE_BYTES, "all dirty pages written once");
+        // Pacing: the writes were issued as multiple chunks, not one blob.
+        assert!(kernel.counters().ssd_write_ios > 4, "ios={}", kernel.counters().ssd_write_ios);
+        // Dirty set was consumed.
+        assert_eq!(db.borrow_mut().take_dirty_pages(), 0);
+    }
+
+    #[test]
+    fn checkpoint_idles_on_clean_database() {
+        let db = Rc::new(RefCell::new(Database::new(100.0, 1 << 30)));
+        let mut kernel = Kernel::new(SimConfig::paper_default(4));
+        kernel.spawn(Box::new(CheckpointTask::new(Rc::clone(&db))));
+        kernel.run_until(SimTime::ZERO + SimDuration::from_secs(30));
+        assert_eq!(kernel.counters().ssd_write_bytes, 0);
+    }
+}

@@ -1,0 +1,699 @@
+//! OLTP transactions: programs, generators, and the client task.
+//!
+//! Transactions are declarative programs of index-based operations. The
+//! client task interprets one operation at a time against the logical data
+//! while issuing the matching hardware demands: lock acquisition (blocking,
+//! LOCK waits), page latches (busy-window backoff, PAGELATCH waits), buffer
+//! pool access (misses become device reads with PAGEIOLATCH waits plus
+//! free-list LATCH contention), B-tree probe compute, WAL append, and a
+//! group-commit log flush (WRITELOG) guarded by the log-buffer latch.
+//!
+//! **Deadlock discipline**: generators must emit lock-taking operations in
+//! ascending `(table, key)` order within each transaction; the FIFO lock
+//! queues then cannot deadlock.
+
+use crate::db::{Database, TableId};
+use crate::metrics::RunMetrics;
+use dbsens_hwsim::mem::MemProfile;
+use dbsens_hwsim::rng::SimRng;
+use dbsens_hwsim::task::{Demand, SimTask, Step, TaskCtx, WaitClass};
+use dbsens_hwsim::time::{SimDuration, SimTime};
+use dbsens_storage::btree::RowId;
+use dbsens_storage::bufferpool::PAGE_BYTES;
+use dbsens_storage::lock::{LatchKey, LockKey, LockMode, LockReq, TxnId};
+use dbsens_storage::value::{Key, Row, Value};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Internal latch ids.
+const LOG_BUFFER_LATCH: u32 = 0;
+const FREELIST_LATCH: u32 = 1;
+
+/// A declarative column mutation.
+#[derive(Debug, Clone)]
+pub enum MutOp {
+    /// Set an integer column.
+    SetInt(i64),
+    /// Add to an integer column.
+    AddInt(i64),
+    /// Set a float column.
+    SetFloat(f64),
+    /// Add to a float column.
+    AddFloat(f64),
+    /// Set a string column.
+    SetStr(String),
+}
+
+/// A mutation of one column.
+#[derive(Debug, Clone)]
+pub struct Mutation {
+    /// Column position.
+    pub col: usize,
+    /// Operation.
+    pub op: MutOp,
+}
+
+impl Mutation {
+    /// Applies the mutation to a row.
+    pub fn apply(&self, row: &mut Row) {
+        let v = &mut row[self.col];
+        match &self.op {
+            MutOp::SetInt(x) => *v = Value::Int(*x),
+            MutOp::AddInt(x) => {
+                if let Value::Int(cur) = v {
+                    *cur += x;
+                } else {
+                    *v = Value::Int(*x);
+                }
+            }
+            MutOp::SetFloat(x) => *v = Value::Float(*x),
+            MutOp::AddFloat(x) => {
+                if let Value::Float(cur) = v {
+                    *cur += x;
+                } else {
+                    *v = Value::Float(*x);
+                }
+            }
+            MutOp::SetStr(s) => *v = Value::Str(s.clone()),
+        }
+    }
+}
+
+/// How an operation's lock (and page) resource is chosen. Logical rows
+/// each stand for `row_scale` real rows, so the spec controls whether
+/// contention reflects a genuinely hot entity or a random key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LockSpec {
+    /// Random-key access: diffuse the lock within the row's modeled block
+    /// so conflict probability matches the paper-scale database.
+    Diffuse,
+    /// The logical row itself is hot (small fixed tables).
+    ExactRow,
+    /// A hot entity sampled from the real (paper-scale) id space; the id is
+    /// used directly as the modeled row, so the number of distinct
+    /// contended resources matches the real system (e.g. one LAST_TRADE row
+    /// per security).
+    Resource(u64),
+}
+
+/// One operation in a transaction program.
+#[derive(Debug, Clone)]
+pub enum TxOp {
+    /// Point read through an index (S lock).
+    Read {
+        /// Table.
+        table: TableId,
+        /// Index position on the table.
+        index: usize,
+        /// Key to read.
+        key: Key,
+        /// Lock resource choice.
+        lock: LockSpec,
+        /// Take a `U` (update) lock instead of `S`: required when the same
+        /// transaction later writes this key (deadlock-free upgrade).
+        for_update: bool,
+    },
+    /// Range read through an index (no row locks; read-committed scan).
+    ReadRange {
+        /// Table.
+        table: TableId,
+        /// Index position.
+        index: usize,
+        /// Lower bound (inclusive).
+        lo: Key,
+        /// Upper bound (exclusive).
+        hi: Key,
+        /// Max logical rows to read.
+        limit: usize,
+        /// Real (paper-scale) rows this range represents; drives the
+        /// modeled CPU/cache cost. OLTP ranges are usually far smaller than
+        /// one logical row's block.
+        model_rows: u64,
+    },
+    /// Point update through an index (X lock, page latch, WAL).
+    Update {
+        /// Table.
+        table: TableId,
+        /// Index position.
+        index: usize,
+        /// Key to update.
+        key: Key,
+        /// Mutations to apply.
+        muts: Vec<Mutation>,
+        /// Lock resource choice.
+        lock: LockSpec,
+    },
+    /// Insert a new row (X lock on the new row, insert-hotspot page latch,
+    /// WAL).
+    Insert {
+        /// Table.
+        table: TableId,
+        /// The row.
+        row: Row,
+    },
+    /// Delete through an index (X lock, page latch, WAL).
+    Delete {
+        /// Table.
+        table: TableId,
+        /// Index position.
+        index: usize,
+        /// Key to delete.
+        key: Key,
+        /// Lock resource choice.
+        lock: LockSpec,
+    },
+    /// Pure application logic between database calls.
+    Compute {
+        /// Instructions.
+        instructions: u64,
+    },
+}
+
+/// A transaction: a name (for per-type metrics) and its operations.
+#[derive(Debug, Clone)]
+pub struct TxnProgram {
+    /// Transaction type name (e.g. "TradeOrder").
+    pub name: &'static str,
+    /// Operations, executed in order, then committed.
+    pub ops: Vec<TxOp>,
+}
+
+/// Produces the next transaction for a client; implemented by each
+/// workload.
+pub trait TxnGenerator: fmt::Debug {
+    /// Generates the next transaction program.
+    fn next_txn(&mut self, rng: &mut SimRng) -> TxnProgram;
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Resolve and lock the op's row.
+    Lock,
+    /// Acquire the page latch (writes); `row` is the modeled row chosen at
+    /// lock time, reused for the page so latching, dirtying, and locking
+    /// all target the same physical location.
+    Latch { row: u64 },
+    /// Buffer-pool page access; may need the free-list latch first.
+    PageIo { row: u64 },
+    /// Issue the device read for missed pages.
+    ReadMissed { row: u64, miss_bytes: u64 },
+    /// Main compute burst (probe + row work); logical effects applied when
+    /// the burst is issued.
+    Compute { row: u64 },
+}
+
+#[derive(Debug)]
+enum ClientState {
+    /// Generate the next transaction.
+    Start,
+    /// Executing op `op` of the current program.
+    InTxn { op: usize, phase: Phase },
+    /// Commit-time CPU work (session/commit processing).
+    CommitWork,
+    /// Log flush issued; wait for durability.
+    CommitFlush,
+    /// Waiting for the log-buffer latch.
+    CommitLatch,
+    /// Post-commit think time.
+    Think,
+}
+
+/// A simulated OLTP client connection: runs transactions from its
+/// generator forever (the experiment decides when to stop the clock).
+pub struct TxnClientTask {
+    db: Rc<RefCell<Database>>,
+    metrics: Rc<RefCell<RunMetrics>>,
+    generator: Box<dyn TxnGenerator>,
+    think: SimDuration,
+    state: ClientState,
+    program: Option<TxnProgram>,
+    txn: Option<TxnId>,
+    started: SimTime,
+    label: String,
+}
+
+impl fmt::Debug for TxnClientTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TxnClientTask")
+            .field("label", &self.label)
+            .field("state", &self.state)
+            .finish()
+    }
+}
+
+impl TxnClientTask {
+    /// Creates a client.
+    pub fn new(
+        db: Rc<RefCell<Database>>,
+        metrics: Rc<RefCell<RunMetrics>>,
+        generator: Box<dyn TxnGenerator>,
+        think: SimDuration,
+        label: impl Into<String>,
+    ) -> Self {
+        TxnClientTask {
+            db,
+            metrics,
+            generator,
+            think,
+            state: ClientState::Start,
+            program: None,
+            txn: None,
+            started: SimTime::ZERO,
+            label: label.into(),
+        }
+    }
+
+    /// Resolves the row id an op refers to (logical lookup, free).
+    fn resolve(&self, table: TableId, index: usize, key: &Key) -> Option<RowId> {
+        let db = self.db.borrow();
+        let rid = db.table(table).indexes[index].btree.get(key).next();
+        rid
+    }
+
+    /// Lock resource for a row per its [`LockSpec`].
+    fn lock_row(&self, table: TableId, rid: RowId, lock: LockSpec, rng: &mut SimRng) -> u64 {
+        let db = self.db.borrow();
+        match lock {
+            LockSpec::ExactRow => db.modeled_row(table, rid),
+            LockSpec::Diffuse => {
+                db.modeled_row(table, rid) + rng.next_below(db.row_scale.max(1.0) as u64)
+            }
+            LockSpec::Resource(id) => {
+                id.min(db.table(table).layout.modeled_rows().saturating_sub(1))
+            }
+        }
+    }
+
+    /// Advances to the next op (or commit).
+    fn advance(&mut self, op: usize) -> Step {
+        let len = self.program.as_ref().map_or(0, |p| p.ops.len());
+        if op + 1 < len {
+            self.state = ClientState::InTxn { op: op + 1, phase: Phase::Lock };
+        } else {
+            self.state = ClientState::CommitWork;
+        }
+        Step::Demand(Demand::Yield)
+    }
+}
+
+impl SimTask for TxnClientTask {
+    fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        loop {
+            match self.state {
+                ClientState::Start => {
+                    let program = self.generator.next_txn(ctx.rng());
+                    self.txn = Some(self.db.borrow_mut().begin_txn());
+                    self.started = ctx.now();
+                    if program.ops.is_empty() {
+                        self.program = Some(program);
+                        self.state = ClientState::CommitWork;
+                        continue;
+                    }
+                    self.program = Some(program);
+                    self.state = ClientState::InTxn { op: 0, phase: Phase::Lock };
+                }
+                ClientState::InTxn { op, phase } => {
+                    return self.exec_op(op, phase, ctx);
+                }
+                ClientState::CommitWork => {
+                    let instructions = self.db.borrow().cost.txn_overhead;
+                    self.state = ClientState::CommitFlush;
+                    return Step::Demand(Demand::Compute { instructions, mem: MemProfile::new() });
+                }
+                ClientState::CommitFlush => {
+                    let bytes = self.db.borrow_mut().wal.flush_for_commit();
+                    self.state = ClientState::CommitLatch;
+                    return Step::Demand(Demand::DeviceWrite { bytes, class: WaitClass::WriteLog });
+                }
+                ClientState::CommitLatch => {
+                    let now = ctx.now();
+                    let (latch, hold_ns) = {
+                        let db = self.db.borrow();
+                        (LatchKey::Internal(LOG_BUFFER_LATCH), db.cost.internal_latch_ns)
+                    };
+                    let res = self.db.borrow_mut().latches.acquire(
+                        latch,
+                        now,
+                        SimDuration::from_nanos(hold_ns),
+                    );
+                    if let Err(until) = res {
+                        return Step::Demand(Demand::Sleep {
+                            dur: until.saturating_since(now),
+                            class: WaitClass::Latch,
+                        });
+                    }
+                    // Release locks and credit the commit.
+                    if let Some(txn) = self.txn.take() {
+                        let woken = self.db.borrow_mut().locks.release_all(txn);
+                        for t in woken {
+                            ctx.wake(t);
+                        }
+                    }
+                    let name = self.program.as_ref().map_or("txn", |p| p.name);
+                    self.metrics
+                        .borrow_mut()
+                        .record_txn(name, ctx.now().saturating_since(self.started));
+                    self.state = ClientState::Think;
+                    if self.think > SimDuration::ZERO {
+                        return Step::Demand(Demand::Sleep { dur: self.think, class: WaitClass::Think });
+                    }
+                }
+                ClientState::Think => {
+                    self.state = ClientState::Start;
+                }
+            }
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl TxnClientTask {
+    fn exec_op(&mut self, op: usize, phase: Phase, ctx: &mut TaskCtx<'_>) -> Step {
+        let opspec = self.program.as_ref().expect("in txn")
+            .ops
+            .get(op)
+            .expect("op index valid")
+            .clone();
+        match opspec {
+            TxOp::Compute { instructions } => {
+                // Single-phase op.
+                let _ = self.advance(op);
+                Step::Demand(Demand::Compute { instructions, mem: MemProfile::new() })
+            }
+            TxOp::ReadRange { table, index, lo, hi, limit, model_rows } => {
+                self.exec_read_range(op, phase, table, index, &lo, &hi, limit, model_rows)
+            }
+            TxOp::Read { table, index, key, lock, for_update } => {
+                let kind = if for_update { RowOpKind::ReadForUpdate } else { RowOpKind::Read };
+                self.exec_rowop(op, phase, table, index, Some(&key), lock, kind, &[], None, ctx)
+            }
+            TxOp::Update { table, index, key, muts, lock } => {
+                self.exec_rowop(op, phase, table, index, Some(&key), lock, RowOpKind::Update, &muts, None, ctx)
+            }
+            TxOp::Delete { table, index, key, lock } => {
+                self.exec_rowop(op, phase, table, index, Some(&key), lock, RowOpKind::Delete, &[], None, ctx)
+            }
+            TxOp::Insert { table, row } => {
+                self.exec_rowop(op, phase, table, 0, None, LockSpec::Diffuse, RowOpKind::Insert, &[], Some(row), ctx)
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_rowop(
+        &mut self,
+        op: usize,
+        phase: Phase,
+        table: TableId,
+        index: usize,
+        key: Option<&Key>,
+        lock: LockSpec,
+        kind: RowOpKind,
+        muts: &[Mutation],
+        insert_row: Option<Row>,
+        ctx: &mut TaskCtx<'_>,
+    ) -> Step {
+        let is_write = !matches!(kind, RowOpKind::Read | RowOpKind::ReadForUpdate);
+        match phase {
+            Phase::Lock => {
+                // Resolve the target row (inserts have none yet).
+                let rid = match key {
+                    Some(k) => match self.resolve(table, index, k) {
+                        Some(r) => Some(r),
+                        None => return self.advance(op), // missing key: no-op
+                    },
+                    None => None,
+                };
+                if let Some(rid) = rid {
+                    let row = self.lock_row(table, rid, lock, ctx.rng());
+                    let table_u32 = self.db.borrow().table(table).id;
+                    let mode = match kind {
+                        RowOpKind::Read => LockMode::S,
+                        RowOpKind::ReadForUpdate => LockMode::U,
+                        _ => LockMode::X,
+                    };
+                    let txn = self.txn.expect("txn open");
+                    let req = self.db.borrow_mut().locks.acquire(
+                        txn,
+                        ctx.self_id(),
+                        LockKey { table: table_u32, row },
+                        mode,
+                    );
+                    let next_phase =
+                        if is_write { Phase::Latch { row } } else { Phase::PageIo { row } };
+                    self.state = ClientState::InTxn { op, phase: next_phase };
+                    if req == LockReq::Wait {
+                        // Re-enter at the next phase once the releaser hands
+                        // us the lock.
+                        return Step::Demand(Demand::Block { class: WaitClass::Lock });
+                    }
+                    return Step::Demand(Demand::Yield);
+                }
+                // Insert path: no pre-existing row to lock; it lands on the
+                // table's tail.
+                let row = {
+                    let db = self.db.borrow();
+                    db.table(table).layout.modeled_rows().saturating_sub(1)
+                };
+                self.state = ClientState::InTxn { op, phase: Phase::Latch { row } };
+                Step::Demand(Demand::Yield)
+            }
+            Phase::Latch { row } => {
+                let now = ctx.now();
+                let (page, hold) = {
+                    let db = self.db.borrow();
+                    let t = db.table(table);
+                    (t.layout.page_of_row(row), SimDuration::from_nanos(db.cost.page_latch_ns))
+                };
+                let res = self.db.borrow_mut().latches.acquire(LatchKey::Page(page), now, hold);
+                if let Err(until) = res {
+                    return Step::Demand(Demand::Sleep {
+                        dur: until.saturating_since(now),
+                        class: WaitClass::PageLatch,
+                    });
+                }
+                self.state = ClientState::InTxn { op, phase: Phase::PageIo { row } };
+                Step::Demand(Demand::Yield)
+            }
+            Phase::PageIo { row } => {
+                // Touch the index leaf and the row's data page.
+                let (miss_bytes, dirty_bytes) = {
+                    let mut db = self.db.borrow_mut();
+                    let t = db.table(table);
+                    let frac =
+                        row as f64 / t.layout.modeled_rows().max(1) as f64;
+                    let leaf_page = t
+                        .indexes
+                        .get(index)
+                        .or_else(|| t.indexes.first())
+                        .map(|i| i.layout.leaf_page_of_fraction(frac.clamp(0.0, 1.0)))
+                        .unwrap_or_else(|| t.layout.start_page());
+                    let data_page = t.layout.page_of_row(row);
+                    let a = db.bufferpool.access(leaf_page, 1, false);
+                    let b = db.bufferpool.access(data_page, 1, is_write);
+                    if is_write {
+                        db.mark_dirty(data_page);
+                    }
+                    (
+                        (a.miss_pages + b.miss_pages) * PAGE_BYTES,
+                        (a.evicted_dirty_pages + b.evicted_dirty_pages) * PAGE_BYTES,
+                    )
+                };
+                if dirty_bytes > 0 {
+                    self.state =
+                        ClientState::InTxn { op, phase: Phase::ReadMissed { row, miss_bytes } };
+                    return Step::Demand(Demand::DeviceWriteAsync { bytes: dirty_bytes });
+                }
+                if miss_bytes > 0 {
+                    // Page miss: the I/O path takes the buffer free-list
+                    // latch, then reads.
+                    let now = ctx.now();
+                    let hold = SimDuration::from_nanos(self.db.borrow().cost.internal_latch_ns);
+                    let res = self.db.borrow_mut().latches.acquire(
+                        LatchKey::Internal(FREELIST_LATCH),
+                        now,
+                        hold,
+                    );
+                    if let Err(until) = res {
+                        self.state =
+                            ClientState::InTxn { op, phase: Phase::ReadMissed { row, miss_bytes } };
+                        return Step::Demand(Demand::Sleep {
+                            dur: until.saturating_since(now),
+                            class: WaitClass::Latch,
+                        });
+                    }
+                    self.state = ClientState::InTxn { op, phase: Phase::Compute { row } };
+                    return Step::Demand(Demand::DeviceRead {
+                        bytes: miss_bytes,
+                        class: WaitClass::PageIoLatch,
+                    });
+                }
+                self.state = ClientState::InTxn { op, phase: Phase::Compute { row } };
+                Step::Demand(Demand::Yield)
+            }
+            Phase::ReadMissed { row, miss_bytes } => {
+                if miss_bytes > 0 {
+                    self.state = ClientState::InTxn { op, phase: Phase::Compute { row } };
+                    return Step::Demand(Demand::DeviceRead {
+                        bytes: miss_bytes,
+                        class: WaitClass::PageIoLatch,
+                    });
+                }
+                self.state = ClientState::InTxn { op, phase: Phase::Compute { row } };
+                Step::Demand(Demand::Yield)
+            }
+            Phase::Compute { .. } => {
+                // Apply the logical effect and charge the CPU work.
+                let (instructions, mem) = {
+                    let mut db = self.db.borrow_mut();
+                    let mut mem = MemProfile::new();
+                    // Shared session state / plan cache / metadata.
+                    mem.random(
+                        db.session_region(),
+                        db.cost.session_footprint_bytes,
+                        db.cost.session_accesses_per_stmt,
+                    );
+                    let t = db.table(table);
+                    let idx = &t.indexes[index.min(t.indexes.len().saturating_sub(1))];
+                    idx.layout.probe_mem(&mut mem, 1);
+                    // The row's cache lines.
+                    let row_lines = (t.heap.schema().avg_row_bytes() / 64).max(1);
+                    t.layout.random_rows_mem(&mut mem, row_lines);
+                    let levels = idx.layout.levels() as u64;
+                    let n_indexes = t.indexes.len() as u64;
+                    let cost = db.cost.clone();
+                    let mut instructions =
+                        cost.stmt_overhead + levels * cost.btree_level + cost.scan_row;
+                    match kind {
+                        RowOpKind::Read | RowOpKind::ReadForUpdate => {}
+                        RowOpKind::Update => {
+                            instructions += cost.dml_row;
+                            if let Some(k) = key {
+                                let rid = db.table(table).indexes[index].btree.get(k).next();
+                                if let Some(rid) = rid {
+                                    let muts = muts.to_vec();
+                                    db.update_row(table, rid, |r| {
+                                        for m in &muts {
+                                            m.apply(r);
+                                        }
+                                    });
+                                }
+                            }
+                            db.wal.append(cost.log_bytes_per_row);
+                        }
+                        RowOpKind::Delete => {
+                            instructions += cost.dml_row * (1 + n_indexes);
+                            if let Some(k) = key {
+                                let rid = db.table(table).indexes[index].btree.get(k).next();
+                                if let Some(rid) = rid {
+                                    db.delete_row(table, rid);
+                                }
+                            }
+                            db.wal.append(cost.log_bytes_per_row);
+                        }
+                        RowOpKind::Insert => {
+                            instructions += cost.dml_row * (1 + n_indexes);
+                            if let Some(row) = insert_row {
+                                db.insert_row(table, row);
+                            }
+                            db.wal.append(cost.log_bytes_per_row);
+                        }
+                    }
+                    (instructions, mem)
+                };
+                let _ = self.advance(op);
+                Step::Demand(Demand::Compute { instructions, mem })
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_read_range(
+        &mut self,
+        op: usize,
+        phase: Phase,
+        table: TableId,
+        index: usize,
+        lo: &Key,
+        hi: &Key,
+        limit: usize,
+        model_rows: u64,
+    ) -> Step {
+        match phase {
+            Phase::Lock => {
+                // Range reads take no row locks; go straight to I/O.
+                let (miss_bytes, rows) = {
+                    let mut db = self.db.borrow_mut();
+                    let t = db.table(table);
+                    let idx = &t.indexes[index];
+                    let rids: Vec<RowId> =
+                        idx.btree.range(lo, hi).take(limit).map(|(_, rid)| rid).collect();
+                    let rows = rids.len();
+                    let total = idx.btree.len().max(1);
+                    let frac = (rows as f64 / total as f64).clamp(0.0, 1.0);
+                    let start_frac = rids
+                        .first()
+                        .map(|r| (r.0 as f64 / t.heap.slot_count().max(1) as f64).clamp(0.0, 1.0))
+                        .unwrap_or(0.0);
+                    let (lstart, lpages) = idx.layout.leaf_scan_run(start_frac, frac.max(1e-9));
+                    let a = db.bufferpool.access(lstart, lpages.max(1), false);
+                    (a.miss_pages * PAGE_BYTES, rows)
+                };
+                self.state = ClientState::InTxn { op, phase: Phase::Compute { row: 0 } };
+                if miss_bytes > 0 {
+                    // Stash the row count via a compute right after the
+                    // read; approximate by folding row work into Compute
+                    // phase below using the same logic (re-resolved).
+                    let _ = rows;
+                    return Step::Demand(Demand::DeviceRead {
+                        bytes: miss_bytes,
+                        class: WaitClass::PageIoLatch,
+                    });
+                }
+                Step::Demand(Demand::Yield)
+            }
+            Phase::Compute { .. } => {
+                let (instructions, mem) = {
+                    let db = self.db.borrow();
+                    let t = db.table(table);
+                    let idx = &t.indexes[index];
+                    let _ = idx.btree.range(lo, hi).take(limit).count();
+                    let mut mem = MemProfile::new();
+                    mem.random(
+                        db.session_region(),
+                        db.cost.session_footprint_bytes,
+                        db.cost.session_accesses_per_stmt,
+                    );
+                    idx.layout.probe_mem(&mut mem, 1);
+                    t.layout.random_rows_mem(&mut mem, model_rows.min(256));
+                    (
+                        db.cost.stmt_overhead
+                            + idx.layout.levels() as u64 * db.cost.btree_level
+                            + model_rows * db.cost.scan_row,
+                        mem,
+                    )
+                };
+                let _ = self.advance(op);
+                Step::Demand(Demand::Compute { instructions, mem })
+            }
+            _ => {
+                // Other phases are unreachable for range reads.
+                self.state = ClientState::InTxn { op, phase: Phase::Compute { row: 0 } };
+                Step::Demand(Demand::Yield)
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RowOpKind {
+    Read,
+    ReadForUpdate,
+    Update,
+    Delete,
+    Insert,
+}

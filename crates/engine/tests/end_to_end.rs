@@ -1,0 +1,258 @@
+//! End-to-end engine tests: queries and transactions running on the
+//! simulated hardware through the discrete-event kernel.
+
+use dbsens_engine::db::{Database, TableId};
+use dbsens_engine::expr::{CmpOp, Expr};
+use dbsens_engine::governor::Governor;
+use dbsens_engine::grant::GrantManager;
+use dbsens_engine::metrics::RunMetrics;
+use dbsens_engine::plan::{count, sum, JoinKind, Logical};
+use dbsens_engine::tasks::QueryStreamTask;
+use dbsens_engine::txn::{LockSpec, MutOp, Mutation, TxOp, TxnClientTask, TxnGenerator, TxnProgram};
+use dbsens_hwsim::kernel::{Kernel, SimConfig};
+use dbsens_hwsim::rng::SimRng;
+use dbsens_hwsim::task::WaitClass;
+use dbsens_hwsim::time::{SimDuration, SimTime};
+use dbsens_storage::schema::{ColType, Schema};
+use dbsens_storage::value::{Key, Value};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+fn build_db(row_scale: f64) -> (Rc<RefCell<Database>>, TableId, TableId) {
+    let mut db = Database::new(row_scale, 1 << 30);
+    let fact_schema = Schema::new(&[
+        ("id", ColType::Int),
+        ("fk", ColType::Int),
+        ("qty", ColType::Int),
+        ("price", ColType::Float),
+    ]);
+    let fact_rows: Vec<Vec<Value>> = (0..1000)
+        .map(|i| vec![Value::Int(i), Value::Int(i % 50), Value::Int(i % 7), Value::Float(i as f64)])
+        .collect();
+    let fact = db.create_table("fact", fact_schema, fact_rows);
+    db.create_index(fact, "pk", &[0]);
+    let dim_schema = Schema::new(&[("id", ColType::Int), ("cat", ColType::Int)]);
+    let dim_rows: Vec<Vec<Value>> =
+        (0..50).map(|i| vec![Value::Int(i), Value::Int(i % 5)]).collect();
+    let dim = db.create_table("dim", dim_schema, dim_rows);
+    db.create_index(dim, "pk", &[0]);
+    (Rc::new(RefCell::new(db)), fact, dim)
+}
+
+fn analytics_query(fact: TableId, dim: TableId) -> Logical {
+    Logical::scan(fact, None, 1000.0)
+        .join(Logical::scan(dim, None, 50.0), vec![1], vec![0], JoinKind::Inner, 1000.0)
+        .agg(vec![5], vec![count(), sum(3)], 5.0)
+        .sort(vec![(1, true)])
+}
+
+#[test]
+fn query_stream_completes_and_records_metrics() {
+    let (db, fact, dim) = build_db(1000.0);
+    let grants = Rc::new(RefCell::new(GrantManager::new(Governor::paper_default(8).workspace_bytes)));
+    let metrics = Rc::new(RefCell::new(RunMetrics::new()));
+    let mut kernel = Kernel::new(SimConfig::paper_default(1));
+    kernel.spawn(Box::new(QueryStreamTask::new(
+        Rc::clone(&db),
+        Rc::clone(&grants),
+        Rc::clone(&metrics),
+        Governor::paper_default(8),
+        vec![("Q".into(), analytics_query(fact, dim))],
+        false,
+        "stream",
+    )));
+    assert!(kernel.run_to_completion(SimDuration::from_secs(3600)), "query stream stuck");
+    let m = metrics.borrow();
+    assert_eq!(m.queries().len(), 1);
+    assert!(m.queries()[0].duration > SimDuration::ZERO);
+    // Hardware was exercised.
+    assert!(kernel.counters().instructions > 1_000_000);
+    assert!(kernel.counters().ssd_read_bytes > 0, "cold buffer pool should read");
+}
+
+#[test]
+fn parallel_query_is_faster_than_serial() {
+    let mut times = Vec::new();
+    for maxdop in [1usize, 16] {
+        let (db, fact, dim) = build_db(100_000.0);
+        let mut gov = Governor::paper_default(maxdop);
+        gov.cost_threshold = 1e6; // make even this query parallel-eligible
+        let grants = Rc::new(RefCell::new(GrantManager::new(gov.workspace_bytes)));
+        let metrics = Rc::new(RefCell::new(RunMetrics::new()));
+        let mut kernel = Kernel::new(SimConfig::paper_default(7));
+        kernel.spawn(Box::new(QueryStreamTask::new(
+            Rc::clone(&db),
+            Rc::clone(&grants),
+            Rc::clone(&metrics),
+            gov,
+            vec![("Q".into(), analytics_query(fact, dim))],
+            false,
+            "stream",
+        )));
+        assert!(kernel.run_to_completion(SimDuration::from_secs(36_000)));
+        times.push(metrics.borrow().queries()[0].duration.as_secs_f64());
+    }
+    assert!(
+        times[1] < times[0] * 0.5,
+        "dop16 ({}s) should be much faster than dop1 ({}s)",
+        times[1],
+        times[0]
+    );
+}
+
+#[derive(Debug)]
+struct SimpleGen {
+    fact: TableId,
+    n_keys: i64,
+    hot: bool,
+}
+
+impl TxnGenerator for SimpleGen {
+    fn next_txn(&mut self, rng: &mut SimRng) -> TxnProgram {
+        let k1 = rng.next_below(self.n_keys as u64) as i64;
+        let lock = if self.hot { LockSpec::ExactRow } else { LockSpec::Diffuse };
+        TxnProgram {
+            name: "Mix",
+            ops: vec![
+                TxOp::Read {
+                    table: self.fact,
+                    index: 0,
+                    key: Key::int(k1),
+                    lock,
+                    for_update: true,
+                },
+                TxOp::Update {
+                    table: self.fact,
+                    index: 0,
+                    key: Key::int(k1),
+                    muts: vec![Mutation { col: 2, op: MutOp::AddInt(1) }],
+                    lock,
+                },
+            ],
+        }
+    }
+}
+
+#[test]
+fn txn_clients_commit_and_write_log() {
+    let (db, fact, _) = build_db(1000.0);
+    let metrics = Rc::new(RefCell::new(RunMetrics::new()));
+    let mut kernel = Kernel::new(SimConfig::paper_default(3));
+    for i in 0..8 {
+        kernel.spawn(Box::new(TxnClientTask::new(
+            Rc::clone(&db),
+            Rc::clone(&metrics),
+            Box::new(SimpleGen { fact, n_keys: 1000, hot: false }),
+            SimDuration::ZERO,
+            format!("client{i}"),
+        )));
+    }
+    kernel.run_until(SimTime::from_nanos(2_000_000_000)); // 2 virtual seconds
+    let m = metrics.borrow();
+    assert!(m.txns_committed() > 100, "only {} txns", m.txns_committed());
+    assert!(kernel.counters().ssd_write_bytes > 0, "commits must write the log");
+    assert!(m.txn_latency_percentile(0.99).unwrap() > SimDuration::ZERO);
+    assert_eq!(*m.txns_by_type().get("Mix").unwrap(), m.txns_committed());
+}
+
+#[test]
+fn hot_keys_create_lock_waits_cold_keys_do_not() {
+    let mut lock_waits = Vec::new();
+    for hot in [true, false] {
+        let (db, fact, _) = build_db(1000.0);
+        let metrics = Rc::new(RefCell::new(RunMetrics::new()));
+        let mut kernel = Kernel::new(SimConfig::paper_default(4));
+        for i in 0..16 {
+            kernel.spawn(Box::new(TxnClientTask::new(
+                Rc::clone(&db),
+                Rc::clone(&metrics),
+                // All clients target the same tiny key range.
+                Box::new(SimpleGen { fact, n_keys: 2, hot }),
+                SimDuration::ZERO,
+                format!("client{i}"),
+            )));
+        }
+        kernel.run_until(SimTime::from_nanos(500_000_000));
+        lock_waits.push(kernel.wait_stats().total(WaitClass::Lock).as_secs_f64());
+    }
+    assert!(
+        lock_waits[0] > lock_waits[1] * 5.0 + 1e-6,
+        "hot {} vs cold {}",
+        lock_waits[0],
+        lock_waits[1]
+    );
+}
+
+#[test]
+fn oltp_and_analytics_coexist() {
+    // HTAP smoke test: 4 OLTP clients + 1 repeating analytical stream.
+    let (db, fact, dim) = build_db(1000.0);
+    let grants = Rc::new(RefCell::new(GrantManager::new(Governor::paper_default(4).workspace_bytes)));
+    let metrics = Rc::new(RefCell::new(RunMetrics::new()));
+    let mut kernel = Kernel::new(SimConfig::paper_default(5));
+    for i in 0..4 {
+        kernel.spawn(Box::new(TxnClientTask::new(
+            Rc::clone(&db),
+            Rc::clone(&metrics),
+            Box::new(SimpleGen { fact, n_keys: 1000, hot: false }),
+            SimDuration::ZERO,
+            format!("client{i}"),
+        )));
+    }
+    kernel.spawn(Box::new(QueryStreamTask::new(
+        Rc::clone(&db),
+        Rc::clone(&grants),
+        Rc::clone(&metrics),
+        Governor::paper_default(4),
+        vec![("QA".into(), analytics_query(fact, dim))],
+        true,
+        "dss",
+    )));
+    kernel.run_until(SimTime::from_nanos(2_000_000_000));
+    let m = metrics.borrow();
+    assert!(m.txns_committed() > 50);
+    assert!(!m.queries().is_empty(), "analytics made no progress");
+}
+
+#[test]
+fn index_range_query_reads_fewer_pages_than_scan() {
+    let (db, fact, _) = build_db(1000.0);
+    let grants = Rc::new(RefCell::new(GrantManager::new(1 << 40)));
+    let gov = Governor::paper_default(1);
+
+    let run = |q: Logical, db: &Rc<RefCell<Database>>| {
+        let metrics = Rc::new(RefCell::new(RunMetrics::new()));
+        let mut kernel = Kernel::new(SimConfig::paper_default(6));
+        kernel.spawn(Box::new(QueryStreamTask::new(
+            Rc::clone(db),
+            Rc::clone(&grants),
+            Rc::clone(&metrics),
+            gov.clone(),
+            vec![("Q".into(), q)],
+            false,
+            "s",
+        )));
+        assert!(kernel.run_to_completion(SimDuration::from_secs(36_000)));
+        kernel.counters().ssd_read_bytes
+    };
+
+    let seek = Logical::index_range(
+        fact,
+        "pk",
+        Some(Key::int(10)),
+        Some(Key::int(20)),
+        None,
+        10.0,
+    );
+    let seek_bytes = run(seek, &db);
+    let scan = Logical::scan(
+        fact,
+        Some(Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::lit(20i64))),
+        20.0,
+    );
+    let scan_bytes = run(scan, &db);
+    assert!(
+        seek_bytes * 4 < scan_bytes,
+        "seek read {seek_bytes} vs scan {scan_bytes}"
+    );
+}

@@ -1,0 +1,499 @@
+//! Last-level cache model with Intel CAT-style way partitioning.
+//!
+//! The model is a per-socket, set-associative cache simulated with **set
+//! sampling**: only one of every `set_sample` sets is simulated (a scaled
+//! cache with scaled footprints), and observed hit/miss ratios are
+//! extrapolated to the full access counts. This is the standard UMON-style
+//! technique from the cache-partitioning literature the paper builds on, and
+//! it keeps per-demand simulation cost bounded.
+//!
+//! CAT semantics follow the hardware: a Class-Of-Service way mask restricts
+//! *allocation and eviction* to the masked ways, while lookups can still hit
+//! on lines resident anywhere. The paper keeps a single COS for all cores and
+//! grows masks as supersets (bitmask 1, 3, 7, ...), which [`CatMask::contiguous`]
+//! mirrors.
+
+use crate::calib::CacheCalib;
+use crate::mem::{AccessPattern, CacheOutcome, MemProfile, Region};
+use crate::rng::SimRng;
+use std::collections::HashMap;
+
+/// Maximum ways supported by the model (Broadwell-EP LLC has 20).
+pub const MAX_WAYS: usize = 32;
+
+/// A CAT way mask for a single socket's LLC.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::cache::CatMask;
+///
+/// let mask = CatMask::contiguous(3);
+/// assert_eq!(mask.bits(), 0b111);
+/// assert_eq!(mask.way_count(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CatMask(u32);
+
+impl CatMask {
+    /// Creates a mask with the lowest `ways` ways set, matching the paper's
+    /// superset-growing allocation policy (bitmask 1 for one way, 3 for two,
+    /// 7 for three, ...).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or exceeds [`MAX_WAYS`]; CAT does not permit
+    /// an empty mask.
+    pub fn contiguous(ways: u32) -> Self {
+        assert!(ways >= 1 && ways as usize <= MAX_WAYS, "invalid way count {ways}");
+        CatMask(if ways == 32 { u32::MAX } else { (1u32 << ways) - 1 })
+    }
+
+    /// Creates a mask from raw bits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero.
+    pub fn from_bits(bits: u32) -> Self {
+        assert!(bits != 0, "CAT mask must be non-empty");
+        CatMask(bits)
+    }
+
+    /// Returns the raw bit pattern.
+    pub fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the number of ways the mask allows allocation into.
+    pub fn way_count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Returns `true` if way `w` is in the mask.
+    pub fn contains(self, w: usize) -> bool {
+        w < 32 && (self.0 >> w) & 1 == 1
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Line {
+    region: u64,
+    group: u64,
+    last_use: u64,
+    valid: bool,
+}
+
+const INVALID: Line = Line { region: 0, group: 0, last_use: 0, valid: false };
+
+/// One socket's sampled LLC.
+#[derive(Debug, Clone)]
+struct LlcSocket {
+    /// `sim_sets` sets, each with `ways` entries.
+    sets: Vec<[Line; MAX_WAYS]>,
+    ways: usize,
+    mask: CatMask,
+    clock: u64,
+}
+
+impl LlcSocket {
+    fn new(sim_sets: usize, ways: usize) -> Self {
+        LlcSocket { sets: vec![[INVALID; MAX_WAYS]; sim_sets], ways, mask: CatMask::contiguous(ways as u32), clock: 0 }
+    }
+
+    /// Probes one line; returns `true` on hit. On miss, fills into the LRU
+    /// way among the masked ways.
+    fn probe(&mut self, set: usize, region: u64, group: u64) -> bool {
+        self.clock += 1;
+        let entries = &mut self.sets[set];
+        for w in 0..self.ways {
+            let line = &mut entries[w];
+            if line.valid && line.region == region && line.group == group {
+                line.last_use = self.clock;
+                return true;
+            }
+        }
+        // Miss: choose a victim among masked ways (invalid first, then LRU).
+        let mut victim = None;
+        let mut oldest = u64::MAX;
+        for w in 0..self.ways {
+            if !self.mask.contains(w) {
+                continue;
+            }
+            let line = &entries[w];
+            if !line.valid {
+                victim = Some(w);
+                break;
+            }
+            if line.last_use < oldest {
+                oldest = line.last_use;
+                victim = Some(w);
+            }
+        }
+        let w = victim.expect("CAT mask guarantees at least one way");
+        entries[w] = Line { region, group, last_use: self.clock, valid: true };
+        false
+    }
+}
+
+/// Cumulative LLC statistics (full-scale counts, after sampling
+/// extrapolation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LlcStats {
+    /// Total LLC hits.
+    pub hits: u64,
+    /// Total LLC misses.
+    pub misses: u64,
+    /// DRAM traffic in bytes caused by misses and write-backs.
+    pub dram_bytes: u64,
+}
+
+/// The machine's last-level caches: one sampled set-associative cache per
+/// socket, all sharing a single CAT mask (the paper keeps one COS for every
+/// core and varies only the mask).
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::cache::{CatMask, Llc};
+/// use dbsens_hwsim::calib::CacheCalib;
+/// use dbsens_hwsim::mem::{MemProfile, Region};
+/// use dbsens_hwsim::rng::SimRng;
+///
+/// let mut llc = Llc::new(2, CacheCalib::default());
+/// llc.set_mask(CatMask::contiguous(2)); // 2 MB per socket, 4 MB total
+/// let mut rng = SimRng::new(1);
+/// let mut profile = MemProfile::new();
+/// profile.random(Region::new(7), 1 << 20, 10_000);
+/// let out = llc.access(0, &profile, &mut rng);
+/// assert_eq!(out.total(), 10_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Llc {
+    sockets: Vec<LlcSocket>,
+    calib: CacheCalib,
+    sim_sets: usize,
+    stream_cursors: HashMap<Region, u64>,
+    stats: LlcStats,
+}
+
+impl Llc {
+    /// Creates the LLC model for `sockets` sockets with the given
+    /// calibration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the calibration implies zero sets or more than
+    /// [`MAX_WAYS`] ways.
+    pub fn new(sockets: usize, calib: CacheCalib) -> Self {
+        let ways = calib.ways as usize;
+        assert!(ways >= 1 && ways <= MAX_WAYS, "way count out of range");
+        let total_bytes = calib.way_bytes * calib.ways as u64;
+        let sets = total_bytes / (calib.line_bytes * calib.ways as u64);
+        let sim_sets = (sets / calib.set_sample).max(1) as usize;
+        Llc {
+            sockets: (0..sockets).map(|_| LlcSocket::new(sim_sets, ways)).collect(),
+            calib,
+            sim_sets,
+            stream_cursors: HashMap::new(),
+            stats: LlcStats::default(),
+        }
+    }
+
+    /// Applies a CAT way mask to every socket (single shared COS).
+    pub fn set_mask(&mut self, mask: CatMask) {
+        for s in &mut self.sockets {
+            s.mask = mask;
+        }
+    }
+
+    /// Returns the currently allocated LLC bytes across all sockets.
+    pub fn allocated_bytes(&self) -> u64 {
+        self.sockets
+            .iter()
+            .map(|s| s.mask.way_count() as u64 * self.calib.way_bytes)
+            .sum()
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> LlcStats {
+        self.stats
+    }
+
+    /// Resets cumulative statistics (e.g. between measurement intervals the
+    /// caller differences snapshots instead; this is for full experiment
+    /// restarts).
+    pub fn reset_stats(&mut self) {
+        self.stats = LlcStats::default();
+    }
+
+    /// Invalidates all cached lines, modeling the paper's reboot between
+    /// mask-shrinking experiments.
+    pub fn flush(&mut self) {
+        for s in &mut self.sockets {
+            for set in &mut s.sets {
+                *set = [INVALID; MAX_WAYS];
+            }
+        }
+        self.stream_cursors.clear();
+    }
+
+    /// Runs a memory profile through socket `socket`'s cache and returns the
+    /// extrapolated hit/miss outcome.
+    ///
+    /// The patterns' sampled probes are **interleaved proportionally**
+    /// (as the real access stream interleaves them at instruction
+    /// granularity) rather than played pattern-by-pattern: sequential
+    /// replay would let one pattern's burst momentarily flood the sampled
+    /// sets and evict hot lines that survive under fine-grained
+    /// interleaving.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn access(&mut self, socket: usize, profile: &MemProfile, rng: &mut SimRng) -> CacheOutcome {
+        // Plan the sampled probes per pattern.
+        struct Plan {
+            region: Region,
+            probes: u64,
+            issued: u64,
+            kind: PlanKind,
+            real_count: u64,
+            sampled_hits: u64,
+        }
+        enum PlanKind {
+            Stream { next_line: u64 },
+            Random { scaled_lines: u64 },
+        }
+        let mut plans: Vec<Plan> = Vec::with_capacity(profile.patterns().len());
+        for pattern in profile.patterns() {
+            match *pattern {
+                AccessPattern::Stream { region, bytes } => {
+                    let lines = bytes / self.calib.line_bytes;
+                    if lines == 0 {
+                        continue;
+                    }
+                    let scaled = (lines / self.calib.set_sample).max(1);
+                    let probes = scaled.min(self.calib.probe_cap);
+                    let cursor = self.stream_cursors.entry(region).or_insert(0);
+                    let start = *cursor;
+                    *cursor = cursor.wrapping_add(scaled);
+                    plans.push(Plan {
+                        region,
+                        probes,
+                        issued: 0,
+                        kind: PlanKind::Stream { next_line: start },
+                        real_count: lines,
+                        sampled_hits: 0,
+                    });
+                }
+                AccessPattern::Random { region, footprint, count } => {
+                    if count == 0 {
+                        continue;
+                    }
+                    let foot_lines = (footprint / self.calib.line_bytes).max(1);
+                    let scaled_lines = (foot_lines / self.calib.set_sample).max(1);
+                    plans.push(Plan {
+                        region,
+                        probes: count.min(self.calib.probe_cap),
+                        issued: 0,
+                        kind: PlanKind::Random { scaled_lines },
+                        real_count: count,
+                        sampled_hits: 0,
+                    });
+                }
+            }
+        }
+        if plans.is_empty() {
+            return CacheOutcome::default();
+        }
+        // Allocate the probe budget *proportionally to real access counts*:
+        // equal per-pattern caps would over-represent sparse patterns
+        // (e.g. streams) relative to dense ones (hot structures), letting
+        // sampled streams evict hot lines that survive in reality.
+        let total_real: u64 = plans.iter().map(|p| p.real_count).sum::<u64>().max(1);
+        let budget = self.calib.probe_cap * 2;
+        for p in plans.iter_mut() {
+            let share = ((budget as u128 * p.real_count as u128) / total_real as u128) as u64;
+            p.probes = p.probes.min(share.max(8));
+        }
+        // Interleave: always advance the pattern that is furthest behind its
+        // proportional position.
+        let sock = &mut self.sockets[socket];
+        let total_probes: u64 = plans.iter().map(|p| p.probes).sum();
+        for _ in 0..total_probes {
+            let next = plans
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.issued < p.probes)
+                .min_by(|(_, a), (_, b)| {
+                    let fa = a.issued as f64 / a.probes as f64;
+                    let fb = b.issued as f64 / b.probes as f64;
+                    fa.total_cmp(&fb)
+                })
+                .map(|(i, _)| i)
+                .expect("unfinished plan exists");
+            let plan = &mut plans[next];
+            let line = match &mut plan.kind {
+                PlanKind::Stream { next_line } => {
+                    let l = *next_line;
+                    *next_line = next_line.wrapping_add(1);
+                    l
+                }
+                PlanKind::Random { scaled_lines } => rng.next_below(*scaled_lines),
+            };
+            let set = (line % self.sim_sets as u64) as usize;
+            if sock.probe(set, plan.region.id(), line / self.sim_sets as u64) {
+                plan.sampled_hits += 1;
+            }
+            plan.issued += 1;
+        }
+        // Extrapolate per pattern.
+        let mut outcome = CacheOutcome::default();
+        for p in &plans {
+            let hit_ratio = p.sampled_hits as f64 / p.probes as f64;
+            let hits = (p.real_count as f64 * hit_ratio) as u64;
+            outcome.add(CacheOutcome { hits, misses: p.real_count - hits });
+        }
+        self.stats.hits += outcome.hits;
+        self.stats.misses += outcome.misses;
+        self.stats.dram_bytes += (outcome.misses as f64
+            * self.calib.line_bytes as f64
+            * (1.0 + self.calib.writeback_fraction)) as u64;
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_calib() -> CacheCalib {
+        // 4-way, 64-set sampled cache for fast, exact unit tests.
+        CacheCalib {
+            line_bytes: 64,
+            ways: 4,
+            way_bytes: 64 * 64, // 64 sets per way
+            set_sample: 1,      // no sampling: exact
+            probe_cap: 1 << 20,
+            writeback_fraction: 0.0,
+        }
+    }
+
+    #[test]
+    fn small_footprint_hits_after_warmup() {
+        let mut llc = Llc::new(1, small_calib());
+        let mut rng = SimRng::new(1);
+        let mut p = MemProfile::new();
+        // Footprint = half the cache: everything fits.
+        p.random(Region::new(1), 64 * 64 * 2, 50_000);
+        llc.access(0, &p, &mut rng); // warmup
+        let out = llc.access(0, &p, &mut rng);
+        assert!(out.miss_ratio() < 0.05, "miss ratio {}", out.miss_ratio());
+    }
+
+    #[test]
+    fn huge_footprint_mostly_misses() {
+        let mut llc = Llc::new(1, small_calib());
+        let mut rng = SimRng::new(2);
+        let mut p = MemProfile::new();
+        // Footprint = 64x the cache.
+        p.random(Region::new(1), 64 * 64 * 4 * 64, 50_000);
+        llc.access(0, &p, &mut rng);
+        let out = llc.access(0, &p, &mut rng);
+        assert!(out.miss_ratio() > 0.9, "miss ratio {}", out.miss_ratio());
+    }
+
+    #[test]
+    fn more_ways_reduce_misses() {
+        let footprint = 64 * 64 * 3; // 3 ways' worth of lines
+        let mut miss_small = 0.0;
+        let mut miss_large = 0.0;
+        for (ways, out_slot) in [(1u32, &mut miss_small), (4u32, &mut miss_large)] {
+            let mut llc = Llc::new(1, small_calib());
+            llc.set_mask(CatMask::contiguous(ways));
+            let mut rng = SimRng::new(3);
+            let mut p = MemProfile::new();
+            p.random(Region::new(1), footprint, 50_000);
+            llc.access(0, &p, &mut rng);
+            let out = llc.access(0, &p, &mut rng);
+            *out_slot = out.miss_ratio();
+        }
+        assert!(
+            miss_small > miss_large + 0.2,
+            "1 way: {miss_small}, 4 ways: {miss_large}"
+        );
+    }
+
+    #[test]
+    fn streams_mostly_miss_but_pollute() {
+        let mut llc = Llc::new(1, small_calib());
+        let mut rng = SimRng::new(4);
+        // Warm a small hot region.
+        let mut hot = MemProfile::new();
+        hot.random(Region::new(1), 64 * 32, 10_000);
+        llc.access(0, &hot, &mut rng);
+        let warm = llc.access(0, &hot, &mut rng);
+        assert!(warm.miss_ratio() < 0.05);
+        // Stream a large region through the cache.
+        let mut stream = MemProfile::new();
+        stream.stream(Region::new(2), 64 * 64 * 4 * 16);
+        let s = llc.access(0, &stream, &mut rng);
+        assert!(s.miss_ratio() > 0.95, "stream miss ratio {}", s.miss_ratio());
+        // The hot region has been (partially) evicted.
+        let after = llc.access(0, &hot, &mut rng);
+        assert!(
+            after.miss_ratio() > warm.miss_ratio(),
+            "pollution did not evict hot data: {} vs {}",
+            after.miss_ratio(),
+            warm.miss_ratio()
+        );
+    }
+
+    #[test]
+    fn cat_mask_restricts_but_allows_stale_hits() {
+        let mut llc = Llc::new(1, small_calib());
+        let mut rng = SimRng::new(5);
+        let mut p = MemProfile::new();
+        p.random(Region::new(1), 64 * 64, 20_000);
+        // Warm with the full mask...
+        llc.access(0, &p, &mut rng);
+        // ...then shrink the mask. Lines outside the mask can still hit.
+        llc.set_mask(CatMask::contiguous(1));
+        let out = llc.access(0, &p, &mut rng);
+        assert!(out.hits > 0);
+    }
+
+    #[test]
+    fn flush_clears_contents() {
+        let mut llc = Llc::new(1, small_calib());
+        let mut rng = SimRng::new(6);
+        let mut p = MemProfile::new();
+        p.random(Region::new(1), 64 * 64, 20_000);
+        llc.access(0, &p, &mut rng);
+        llc.flush();
+        let out = llc.access(0, &p, &mut rng);
+        // First touch after flush: cold misses dominate the warmup portion.
+        assert!(out.misses > 0);
+    }
+
+    #[test]
+    fn mask_constructors() {
+        assert_eq!(CatMask::contiguous(1).bits(), 0b1);
+        assert_eq!(CatMask::contiguous(20).way_count(), 20);
+        assert!(CatMask::from_bits(0b1010).contains(1));
+        assert!(!CatMask::from_bits(0b1010).contains(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid way count")]
+    fn zero_way_mask_rejected() {
+        let _ = CatMask::contiguous(0);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_mask() {
+        let mut llc = Llc::new(2, CacheCalib::default());
+        llc.set_mask(CatMask::contiguous(5));
+        assert_eq!(llc.allocated_bytes(), 2 * 5 << 20);
+    }
+}

@@ -1,0 +1,205 @@
+//! Performance counters: a PCM + iostat stand-in.
+//!
+//! The kernel snapshots cumulative hardware statistics at a fixed virtual
+//! interval (1 second, like the paper's measurement discipline) and records
+//! per-interval deltas. Downstream analyses compute averages (Figure 3),
+//! cumulative distributions (Figure 4), and MPKI curves (Figure 2) from the
+//! interval log.
+
+use crate::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A cumulative snapshot of all hardware counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// LLC hits.
+    pub llc_hits: u64,
+    /// LLC misses.
+    pub llc_misses: u64,
+    /// DRAM traffic in bytes.
+    pub dram_bytes: u64,
+    /// SSD bytes read.
+    pub ssd_read_bytes: u64,
+    /// SSD bytes written.
+    pub ssd_write_bytes: u64,
+    /// SSD read operations.
+    pub ssd_read_ios: u64,
+    /// SSD write operations.
+    pub ssd_write_ios: u64,
+}
+
+/// One measurement interval's rates and deltas.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IntervalSample {
+    /// Interval end time.
+    pub at_secs: f64,
+    /// Interval length in seconds.
+    pub interval_secs: f64,
+    /// Instructions retired in the interval.
+    pub instructions: u64,
+    /// LLC misses in the interval.
+    pub llc_misses: u64,
+    /// Misses per kilo-instruction over the interval.
+    pub mpki: f64,
+    /// DRAM bandwidth in bytes/sec.
+    pub dram_bw: f64,
+    /// SSD read bandwidth in bytes/sec.
+    pub ssd_read_bw: f64,
+    /// SSD write bandwidth in bytes/sec.
+    pub ssd_write_bw: f64,
+}
+
+/// Log of interval samples over a run.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::counters::{CounterSnapshot, SampleLog};
+/// use dbsens_hwsim::time::SimTime;
+///
+/// let mut log = SampleLog::new();
+/// log.record(
+///     SimTime::from_nanos(1_000_000_000),
+///     CounterSnapshot { instructions: 2_000_000, llc_misses: 2_000, ..Default::default() },
+/// );
+/// assert_eq!(log.samples().len(), 1);
+/// assert!((log.samples()[0].mpki - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SampleLog {
+    samples: Vec<IntervalSample>,
+    last: CounterSnapshot,
+    last_at: SimTime,
+}
+
+impl SampleLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        SampleLog::default()
+    }
+
+    /// Records an interval ending at `now` given the cumulative snapshot;
+    /// deltas are taken against the previous call.
+    pub fn record(&mut self, now: SimTime, snap: CounterSnapshot) {
+        let dt = now.saturating_since(self.last_at).as_secs_f64();
+        if dt <= 0.0 {
+            return;
+        }
+        let instructions = snap.instructions - self.last.instructions;
+        let llc_misses = snap.llc_misses - self.last.llc_misses;
+        let mpki = if instructions == 0 {
+            0.0
+        } else {
+            llc_misses as f64 / (instructions as f64 / 1000.0)
+        };
+        self.samples.push(IntervalSample {
+            at_secs: now.as_secs_f64(),
+            interval_secs: dt,
+            instructions,
+            llc_misses,
+            mpki,
+            dram_bw: (snap.dram_bytes - self.last.dram_bytes) as f64 / dt,
+            ssd_read_bw: (snap.ssd_read_bytes - self.last.ssd_read_bytes) as f64 / dt,
+            ssd_write_bw: (snap.ssd_write_bytes - self.last.ssd_write_bytes) as f64 / dt,
+        });
+        self.last = snap;
+        self.last_at = now;
+    }
+
+    /// Returns the recorded samples.
+    pub fn samples(&self) -> &[IntervalSample] {
+        &self.samples
+    }
+
+    /// Average MPKI over the run, weighted by instructions.
+    pub fn avg_mpki(&self) -> f64 {
+        let instr: u64 = self.samples.iter().map(|s| s.instructions).sum();
+        let misses: u64 = self.samples.iter().map(|s| s.llc_misses).sum();
+        if instr == 0 {
+            0.0
+        } else {
+            misses as f64 / (instr as f64 / 1000.0)
+        }
+    }
+
+    /// Time-weighted average DRAM bandwidth in bytes/sec.
+    pub fn avg_dram_bw(&self) -> f64 {
+        self.time_weighted(|s| s.dram_bw)
+    }
+
+    /// Time-weighted average SSD read bandwidth in bytes/sec.
+    pub fn avg_ssd_read_bw(&self) -> f64 {
+        self.time_weighted(|s| s.ssd_read_bw)
+    }
+
+    /// Time-weighted average SSD write bandwidth in bytes/sec.
+    pub fn avg_ssd_write_bw(&self) -> f64 {
+        self.time_weighted(|s| s.ssd_write_bw)
+    }
+
+    fn time_weighted(&self, f: impl Fn(&IntervalSample) -> f64) -> f64 {
+        let total: f64 = self.samples.iter().map(|s| s.interval_secs).sum();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| f(s) * s.interval_secs).sum::<f64>() / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(instr: u64, misses: u64, dram: u64, rd: u64, wr: u64) -> CounterSnapshot {
+        CounterSnapshot {
+            instructions: instr,
+            llc_misses: misses,
+            dram_bytes: dram,
+            ssd_read_bytes: rd,
+            ssd_write_bytes: wr,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn deltas_and_rates() {
+        let mut log = SampleLog::new();
+        log.record(SimTime::from_nanos(1_000_000_000), snap(1_000_000, 500, 1_000_000, 2_000_000, 0));
+        log.record(SimTime::from_nanos(2_000_000_000), snap(3_000_000, 1500, 3_000_000, 2_000_000, 500_000));
+        let s = log.samples();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s[1].instructions, 2_000_000);
+        assert_eq!(s[1].llc_misses, 1000);
+        assert!((s[1].mpki - 0.5).abs() < 1e-9);
+        assert!((s[1].dram_bw - 2_000_000.0).abs() < 1.0);
+        assert!((s[1].ssd_read_bw - 0.0).abs() < 1.0);
+        assert!((s[1].ssd_write_bw - 500_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn averages_are_time_weighted() {
+        let mut log = SampleLog::new();
+        log.record(SimTime::from_nanos(1_000_000_000), snap(1000, 0, 1_000_000_000, 0, 0));
+        log.record(SimTime::from_nanos(4_000_000_000), snap(2000, 0, 1_000_000_000, 0, 0));
+        // 1 GB/s for 1s then 0 for 3s -> average 0.25 GB/s.
+        assert!((log.avg_dram_bw() - 0.25e9).abs() < 1.0);
+    }
+
+    #[test]
+    fn zero_length_interval_ignored() {
+        let mut log = SampleLog::new();
+        log.record(SimTime::ZERO, snap(1, 1, 1, 1, 1));
+        assert!(log.samples().is_empty());
+    }
+
+    #[test]
+    fn avg_mpki_weighted_by_instructions() {
+        let mut log = SampleLog::new();
+        log.record(SimTime::from_nanos(1_000_000_000), snap(1_000_000, 1000, 0, 0, 0));
+        log.record(SimTime::from_nanos(2_000_000_000), snap(2_000_000, 1000, 0, 0, 0));
+        // 1000 misses over 2M instructions total.
+        assert!((log.avg_mpki() - 0.5).abs() < 1e-9);
+    }
+}

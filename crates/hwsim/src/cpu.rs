@@ -1,0 +1,188 @@
+//! CPU execution model: core occupancy, SMT interference, and turbo
+//! frequency scaling.
+//!
+//! Compute bursts run on one logical core each. A burst's duration combines
+//! instruction execution at the current effective frequency/IPC, an SMT
+//! slowdown when the sibling thread is simultaneously busy, and stall time
+//! for LLC hits and misses (miss latency already discounted for
+//! memory-level parallelism; DRAM *queueing* is charged separately by the
+//! DRAM model).
+
+use crate::calib::CpuCalib;
+use crate::mem::CacheOutcome;
+use crate::time::SimDuration;
+use crate::topology::{CoreId, Topology};
+
+/// Per-core occupancy and burst timing.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::calib::CpuCalib;
+/// use dbsens_hwsim::cpu::Cpu;
+/// use dbsens_hwsim::mem::CacheOutcome;
+/// use dbsens_hwsim::topology::{CoreId, Topology};
+///
+/// let mut cpu = Cpu::new(Topology::paper_testbed(), CpuCalib::default());
+/// cpu.occupy(CoreId(0));
+/// let d = cpu.burst_duration(CoreId(0), 1_000_000, CacheOutcome::default(), false);
+/// assert!(d.as_nanos() > 0);
+/// cpu.release(CoreId(0));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    topo: Topology,
+    calib: CpuCalib,
+    busy: Vec<bool>,
+}
+
+impl Cpu {
+    /// Creates an idle CPU for the given topology.
+    pub fn new(topo: Topology, calib: CpuCalib) -> Self {
+        Cpu { busy: vec![false; topo.logical_cores()], topo, calib }
+    }
+
+    /// Returns the topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Marks a logical core busy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core is already busy (a scheduling bug).
+    pub fn occupy(&mut self, core: CoreId) {
+        assert!(!self.busy[core.0], "core {core} double-occupied");
+        self.busy[core.0] = true;
+    }
+
+    /// Marks a logical core idle again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the core was not busy.
+    pub fn release(&mut self, core: CoreId) {
+        assert!(self.busy[core.0], "core {core} released while idle");
+        self.busy[core.0] = false;
+    }
+
+    /// Returns `true` if the logical core is currently running a burst.
+    pub fn is_busy(&self, core: CoreId) -> bool {
+        self.busy[core.0]
+    }
+
+    /// Returns `true` if the core's SMT sibling is currently busy.
+    pub fn sibling_busy(&self, core: CoreId) -> bool {
+        self.topo
+            .sibling_of(core)
+            .map(|s| self.busy[s.0])
+            .unwrap_or(false)
+    }
+
+    /// Number of distinct physical cores with at least one busy thread.
+    pub fn active_physical_cores(&self) -> usize {
+        let phys = self.topo.physical_cores();
+        (0..phys)
+            .filter(|&p| {
+                (0..self.topo.smt).any(|t| self.busy[t * phys + p])
+            })
+            .count()
+    }
+
+    /// Current effective frequency in GHz: single-core turbo when one
+    /// physical core is active, linearly scaling down to the all-core turbo
+    /// with every core active (a standard turbo-bin approximation).
+    pub fn freq_ghz(&self) -> f64 {
+        let active = self.active_physical_cores().max(1);
+        let total = self.topo.physical_cores().max(1);
+        if total == 1 {
+            return self.calib.turbo_freq_ghz;
+        }
+        let frac = (active - 1) as f64 / (total - 1) as f64;
+        self.calib.turbo_freq_ghz + frac * (self.calib.allcore_freq_ghz - self.calib.turbo_freq_ghz)
+    }
+
+    /// Duration of a compute burst of `instructions` with the given cache
+    /// outcome, running on `core`. `cross_socket` selects whether misses may
+    /// be served from the remote socket (QPI latency adder).
+    pub fn burst_duration(
+        &self,
+        core: CoreId,
+        instructions: u64,
+        cache: CacheOutcome,
+        cross_socket: bool,
+    ) -> SimDuration {
+        let smt_factor = if self.sibling_busy(core) { self.calib.smt_slowdown } else { 1.0 };
+        let exec_ns = instructions as f64 / (self.calib.base_ipc * self.freq_ghz()) * smt_factor;
+        let miss_ns = if cross_socket {
+            self.calib.llc_miss_stall_ns
+                + self.calib.remote_miss_fraction * self.calib.qpi_extra_ns
+        } else {
+            self.calib.llc_miss_stall_ns
+        };
+        let stall_ns = cache.hits as f64 * self.calib.llc_hit_ns + cache.misses as f64 * miss_ns;
+        SimDuration::from_secs_f64((exec_ns + stall_ns) / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cpu() -> Cpu {
+        Cpu::new(Topology::paper_testbed(), CpuCalib::default())
+    }
+
+    #[test]
+    fn smt_sibling_slows_burst() {
+        let mut c = cpu();
+        let alone = c.burst_duration(CoreId(0), 1_000_000, CacheOutcome::default(), false);
+        c.occupy(CoreId(16)); // sibling of core 0
+        let shared = c.burst_duration(CoreId(0), 1_000_000, CacheOutcome::default(), false);
+        assert!(shared > alone);
+        let ratio = shared.as_nanos() as f64 / alone.as_nanos() as f64;
+        assert!((ratio - CpuCalib::default().smt_slowdown).abs() < 0.01);
+    }
+
+    #[test]
+    fn turbo_scales_down_with_active_cores() {
+        let mut c = cpu();
+        let f1 = c.freq_ghz();
+        assert!((f1 - 3.0).abs() < 1e-9);
+        for i in 0..16 {
+            c.occupy(CoreId(i));
+        }
+        let f16 = c.freq_ghz();
+        assert!((f16 - 2.3).abs() < 1e-9);
+        assert!(f16 < f1);
+    }
+
+    #[test]
+    fn misses_add_stall_time() {
+        let c = cpu();
+        let clean = c.burst_duration(CoreId(0), 1000, CacheOutcome::default(), false);
+        let missy = c.burst_duration(CoreId(0), 1000, CacheOutcome { hits: 0, misses: 1000 }, false);
+        assert!(missy > clean);
+        let remote = c.burst_duration(CoreId(0), 1000, CacheOutcome { hits: 0, misses: 1000 }, true);
+        assert!(remote > missy);
+    }
+
+    #[test]
+    fn active_physical_core_count_dedupes_siblings() {
+        let mut c = cpu();
+        c.occupy(CoreId(0));
+        c.occupy(CoreId(16)); // same physical core
+        assert_eq!(c.active_physical_cores(), 1);
+        c.occupy(CoreId(8));
+        assert_eq!(c.active_physical_cores(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-occupied")]
+    fn double_occupy_is_a_bug() {
+        let mut c = cpu();
+        c.occupy(CoreId(1));
+        c.occupy(CoreId(1));
+    }
+}

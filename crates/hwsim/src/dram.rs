@@ -1,0 +1,136 @@
+//! DRAM bandwidth model.
+//!
+//! Each socket's memory controllers are modeled as a single FIFO service
+//! channel with the socket's achievable bandwidth. Per-miss *latency* is
+//! already charged by the CPU model; this module charges only the *excess
+//! queueing delay* that appears when aggregate traffic approaches the
+//! bandwidth ceiling, so the two models compose without double counting.
+
+use crate::calib::DramCalib;
+use crate::time::{SimDuration, SimTime};
+
+/// Cumulative DRAM statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DramStats {
+    /// Total bytes transferred across all sockets.
+    pub bytes: u64,
+    /// Total bytes that crossed the QPI link.
+    pub qpi_bytes: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Channel {
+    busy_until: SimTime,
+}
+
+/// Per-socket DRAM bandwidth queues plus the QPI cross-socket link.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::calib::DramCalib;
+/// use dbsens_hwsim::dram::Dram;
+/// use dbsens_hwsim::time::SimTime;
+///
+/// let mut dram = Dram::new(2, DramCalib::default());
+/// let delay = dram.charge(0, SimTime::ZERO, 4096, 0.0);
+/// assert_eq!(delay.as_nanos(), 0); // idle channel: no queueing
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    calib: DramCalib,
+    sockets: Vec<Channel>,
+    stats: DramStats,
+}
+
+impl Dram {
+    /// Creates the DRAM model for `sockets` sockets.
+    pub fn new(sockets: usize, calib: DramCalib) -> Self {
+        Dram {
+            calib,
+            sockets: (0..sockets).map(|_| Channel { busy_until: SimTime::ZERO }).collect(),
+            stats: DramStats::default(),
+        }
+    }
+
+    /// Charges `bytes` of DRAM traffic on `socket` at time `now`, of which
+    /// `remote_fraction` also crosses QPI. Returns the extra queueing delay
+    /// to add to the requesting compute burst (zero while the channel keeps
+    /// up with demand).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `socket` is out of range.
+    pub fn charge(&mut self, socket: usize, now: SimTime, bytes: u64, remote_fraction: f64) -> SimDuration {
+        if bytes == 0 {
+            return SimDuration::ZERO;
+        }
+        self.stats.bytes += bytes;
+        let qpi_bytes = (bytes as f64 * remote_fraction) as u64;
+        self.stats.qpi_bytes += qpi_bytes;
+
+        let ch = &mut self.sockets[socket];
+        let queue_delay = ch.busy_until.saturating_since(now);
+        let service = SimDuration::from_secs_f64(bytes as f64 / self.calib.socket_bw);
+        ch.busy_until = ch.busy_until.max(now) + service;
+
+        // QPI adds delay only for the remote share, and only if it is the
+        // slower path (it rarely is at these traffic levels).
+        let qpi_service = SimDuration::from_secs_f64(qpi_bytes as f64 / self.calib.qpi_bw);
+        queue_delay + qpi_service
+    }
+
+    /// Returns cumulative statistics.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_channel_has_no_queueing() {
+        let mut dram = Dram::new(1, DramCalib::default());
+        let d = dram.charge(0, SimTime::from_nanos(1000), 64, 0.0);
+        assert_eq!(d.as_nanos(), 0);
+    }
+
+    #[test]
+    fn saturation_builds_queue() {
+        let calib = DramCalib { socket_bw: 1e9, qpi_bw: 32e9 }; // 1 GB/s
+        let mut dram = Dram::new(1, calib);
+        // Submit 10 MB instantly: the channel needs 10 ms to drain.
+        let mut last = SimDuration::ZERO;
+        for _ in 0..10 {
+            last = dram.charge(0, SimTime::ZERO, 1 << 20, 0.0);
+        }
+        assert!(last.as_nanos() > 8_000_000, "expected ~9ms of queueing, got {last}");
+    }
+
+    #[test]
+    fn queue_drains_over_time() {
+        let calib = DramCalib { socket_bw: 1e9, qpi_bw: 32e9 };
+        let mut dram = Dram::new(1, calib);
+        dram.charge(0, SimTime::ZERO, 1 << 20, 0.0); // ~1 ms of service
+        // Two ms later the channel is idle again.
+        let d = dram.charge(0, SimTime::from_nanos(2_000_000), 64, 0.0);
+        assert_eq!(d.as_nanos(), 0);
+    }
+
+    #[test]
+    fn remote_fraction_accumulates_qpi_bytes() {
+        let mut dram = Dram::new(2, DramCalib::default());
+        dram.charge(1, SimTime::ZERO, 1000, 0.5);
+        assert_eq!(dram.stats().qpi_bytes, 500);
+        assert_eq!(dram.stats().bytes, 1000);
+    }
+
+    #[test]
+    fn zero_bytes_is_free() {
+        let mut dram = Dram::new(1, DramCalib::default());
+        assert_eq!(dram.charge(0, SimTime::ZERO, 0, 1.0), SimDuration::ZERO);
+        assert_eq!(dram.stats().bytes, 0);
+    }
+}

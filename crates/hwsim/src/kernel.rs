@@ -1,0 +1,680 @@
+//! The discrete-event simulation kernel.
+//!
+//! The kernel owns the hardware models (CPU, LLC, DRAM, SSD) and a set of
+//! [`SimTask`]s. It repeatedly polls runnable tasks, converts the returned
+//! [`Demand`]s into hardware activity, and advances virtual time through an
+//! event queue. Execution is strictly serialized and seeded, so runs are
+//! fully deterministic.
+
+use crate::cache::{CatMask, Llc, LlcStats};
+use crate::calib::Calib;
+use crate::counters::{CounterSnapshot, SampleLog};
+use crate::cpu::Cpu;
+use crate::dram::{Dram, DramStats};
+use crate::mem::MemProfile;
+use crate::rng::SimRng;
+use crate::ssd::{BlockIoLimit, Ssd, SsdStats};
+use crate::task::{Demand, SimTask, Step, TaskCtx, TaskId, WaitClass, WaitStats};
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{CoreId, CoreSet, Topology};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+/// Static configuration of a simulation run: the machine plus the resource
+/// allocation knobs the paper sweeps.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Machine topology.
+    pub topology: Topology,
+    /// Calibration constants.
+    pub calib: Calib,
+    /// RNG seed; equal seeds give bit-identical runs.
+    pub seed: u64,
+    /// Logical cores the workload may use (cpuset cgroup).
+    pub affinity: CoreSet,
+    /// CAT way mask applied to every socket.
+    pub cat_mask: CatMask,
+    /// cgroup block-I/O bandwidth limits.
+    pub blkio: BlockIoLimit,
+    /// Counter sampling interval (the paper samples every second).
+    pub sample_interval: SimDuration,
+}
+
+impl SimConfig {
+    /// Full allocation on the paper's testbed: 32 logical cores, all 40 MB
+    /// of LLC, unlimited I/O bandwidth, 1-second samples.
+    pub fn paper_default(seed: u64) -> Self {
+        let topology = Topology::paper_testbed();
+        SimConfig {
+            affinity: CoreSet::all(&topology),
+            topology,
+            calib: Calib::default(),
+            seed,
+            cat_mask: CatMask::contiguous(20),
+            blkio: BlockIoLimit::UNLIMITED,
+            sample_interval: SimDuration::from_secs(1),
+        }
+    }
+}
+
+#[derive(Debug)]
+enum TState {
+    Runnable,
+    WaitingCore { instructions: u64, mem: MemProfile, since: SimTime },
+    Running { core: CoreId },
+    BlockedIo,
+    Sleeping,
+    Blocked { class: WaitClass, since: SimTime },
+    Finished,
+}
+
+#[derive(Debug)]
+struct Slot {
+    task: Option<Box<dyn SimTask>>,
+    state: TState,
+    pending_wake: bool,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum EventKind {
+    Poll(TaskId),
+    ComputeDone(TaskId, CoreId),
+    IoDone(TaskId),
+    Timer(TaskId),
+    Sample,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Ev {
+    at: SimTime,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The discrete-event simulator.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::kernel::{Kernel, SimConfig};
+/// use dbsens_hwsim::script::{ScriptOp, ScriptTask};
+/// use dbsens_hwsim::task::Demand;
+/// use dbsens_hwsim::mem::MemProfile;
+/// use dbsens_hwsim::time::SimDuration;
+///
+/// let mut kernel = Kernel::new(SimConfig::paper_default(1));
+/// kernel.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(Demand::Compute {
+///     instructions: 1_000_000,
+///     mem: MemProfile::new(),
+/// })])));
+/// kernel.run_to_completion(SimDuration::from_secs(10));
+/// assert!(kernel.now().as_nanos() > 0);
+/// ```
+#[derive(Debug)]
+pub struct Kernel {
+    cfg: SimConfig,
+    now: SimTime,
+    seq: u64,
+    events: BinaryHeap<Reverse<Ev>>,
+    tasks: Vec<Slot>,
+    run_queue: VecDeque<TaskId>,
+    cpu: Cpu,
+    llc: Llc,
+    dram: Dram,
+    ssd: Ssd,
+    rng: SimRng,
+    waits: WaitStats,
+    samples: SampleLog,
+    instructions: u64,
+    finished: usize,
+    spans_sockets: bool,
+}
+
+impl Kernel {
+    /// Creates a kernel with the given configuration and no tasks.
+    pub fn new(cfg: SimConfig) -> Self {
+        let mut llc = Llc::new(cfg.topology.sockets, cfg.calib.cache.clone());
+        llc.set_mask(cfg.cat_mask);
+        let mut ssd = Ssd::new(cfg.calib.ssd.clone());
+        ssd.set_limit(cfg.blkio);
+        let spans_sockets = {
+            let mut sockets = std::collections::HashSet::new();
+            for c in cfg.affinity.iter() {
+                if c.0 < cfg.topology.logical_cores() {
+                    sockets.insert(cfg.topology.socket_of(c));
+                }
+            }
+            sockets.len() > 1
+        };
+        let mut kernel = Kernel {
+            cpu: Cpu::new(cfg.topology, cfg.calib.cpu.clone()),
+            llc,
+            dram: Dram::new(cfg.topology.sockets, cfg.calib.dram.clone()),
+            ssd,
+            rng: SimRng::new(cfg.seed),
+            now: SimTime::ZERO,
+            seq: 0,
+            events: BinaryHeap::new(),
+            tasks: Vec::new(),
+            run_queue: VecDeque::new(),
+            waits: WaitStats::new(),
+            samples: SampleLog::new(),
+            instructions: 0,
+            finished: 0,
+            spans_sockets,
+            cfg,
+        };
+        let first_sample = kernel.now + kernel.cfg.sample_interval;
+        kernel.push(first_sample, EventKind::Sample);
+        kernel
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The id the next spawned task will receive.
+    pub fn next_task_id(&self) -> TaskId {
+        TaskId(self.tasks.len())
+    }
+
+    /// Adds a task; it becomes runnable at the current instant.
+    pub fn spawn(&mut self, task: Box<dyn SimTask>) -> TaskId {
+        let id = TaskId(self.tasks.len());
+        self.tasks.push(Slot { task: Some(task), state: TState::Runnable, pending_wake: false });
+        self.push(self.now, EventKind::Poll(id));
+        id
+    }
+
+    /// Runs the simulation until virtual time `end`; events beyond `end`
+    /// stay queued for a later call.
+    pub fn run_until(&mut self, end: SimTime) {
+        while let Some(Reverse(ev)) = self.events.peek().cloned() {
+            if ev.at > end {
+                break;
+            }
+            self.events.pop();
+            self.now = ev.at;
+            self.dispatch_event(ev.kind);
+        }
+        self.now = self.now.max(end);
+    }
+
+    /// Runs until every task has finished or `limit` of virtual time has
+    /// elapsed (whichever comes first). Returns `true` if all tasks
+    /// finished.
+    pub fn run_to_completion(&mut self, limit: SimDuration) -> bool {
+        let end = self.now + limit;
+        while self.finished < self.tasks.len() {
+            let Some(Reverse(ev)) = self.events.peek().cloned() else { break };
+            if ev.at > end {
+                break;
+            }
+            self.events.pop();
+            self.now = ev.at;
+            self.dispatch_event(ev.kind);
+        }
+        self.finished == self.tasks.len()
+    }
+
+    /// Accumulated per-class wait statistics.
+    pub fn wait_stats(&self) -> &WaitStats {
+        &self.waits
+    }
+
+    /// Interval counter samples recorded so far (the last partial interval
+    /// is not included).
+    pub fn samples(&self) -> &SampleLog {
+        &self.samples
+    }
+
+    /// Current cumulative hardware counters.
+    pub fn counters(&self) -> CounterSnapshot {
+        let llc: LlcStats = self.llc.stats();
+        let dram: DramStats = self.dram.stats();
+        let ssd: SsdStats = self.ssd.stats_at(self.now);
+        CounterSnapshot {
+            instructions: self.instructions,
+            llc_hits: llc.hits,
+            llc_misses: llc.misses,
+            dram_bytes: dram.bytes,
+            ssd_read_bytes: ssd.read_bytes,
+            ssd_write_bytes: ssd.write_bytes,
+            ssd_read_ios: ssd.read_ios,
+            ssd_write_ios: ssd.write_ios,
+        }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Returns `true` if the given task has finished.
+    pub fn is_finished(&self, id: TaskId) -> bool {
+        matches!(self.tasks[id.0].state, TState::Finished)
+    }
+
+    fn push(&mut self, at: SimTime, kind: EventKind) {
+        self.seq += 1;
+        self.events.push(Reverse(Ev { at, seq: self.seq, kind }));
+    }
+
+    fn dispatch_event(&mut self, kind: EventKind) {
+        match kind {
+            EventKind::Poll(id) => self.poll_task(id),
+            EventKind::ComputeDone(id, core) => {
+                debug_assert!(
+                    matches!(self.tasks[id.0].state, TState::Running { core: c } if c == core),
+                    "compute completion for a task not running on {core}"
+                );
+                self.cpu.release(core);
+                // Hand the freed capacity to queued waiters first, then let
+                // the finishing task compete again.
+                self.dispatch_waiters();
+                self.poll_task(id);
+            }
+            EventKind::IoDone(id) | EventKind::Timer(id) => self.poll_task(id),
+            EventKind::Sample => {
+                let snap = self.counters();
+                self.samples.record(self.now, snap);
+                let next = self.now + self.cfg.sample_interval;
+                self.push(next, EventKind::Sample);
+            }
+        }
+    }
+
+    fn poll_task(&mut self, id: TaskId) {
+        if matches!(self.tasks[id.0].state, TState::Finished) {
+            return;
+        }
+        let mut task = self.tasks[id.0].task.take().expect("task present when polled");
+        let mut wakes = Vec::new();
+        let mut spawns = Vec::new();
+        let step = {
+            let mut ctx = TaskCtx {
+                now: self.now,
+                rng: &mut self.rng,
+                wakes: &mut wakes,
+                spawns: &mut spawns,
+                self_id: id,
+                ssd_read_backlog: self.ssd.read_backlog(self.now),
+            };
+            task.poll(&mut ctx)
+        };
+        self.tasks[id.0].task = Some(task);
+        self.handle_step(id, step);
+        for w in wakes {
+            self.wake(w);
+        }
+        for s in spawns {
+            self.spawn(s);
+        }
+    }
+
+    /// Wakes a task blocked on [`Demand::Block`]; wakes aimed at a task
+    /// that is not (yet) blocked are remembered and consumed by its next
+    /// block.
+    pub fn wake(&mut self, id: TaskId) {
+        let slot = &mut self.tasks[id.0];
+        match slot.state {
+            TState::Blocked { class, since } => {
+                let waited = self.now.saturating_since(since);
+                self.waits.add(class, waited);
+                slot.state = TState::Runnable;
+                self.push(self.now, EventKind::Poll(id));
+            }
+            TState::Finished => {}
+            _ => slot.pending_wake = true,
+        }
+    }
+
+    fn handle_step(&mut self, id: TaskId, step: Step) {
+        match step {
+            Step::Done => {
+                self.tasks[id.0].state = TState::Finished;
+                self.finished += 1;
+            }
+            Step::Demand(d) => self.handle_demand(id, d),
+        }
+    }
+
+    fn handle_demand(&mut self, id: TaskId, demand: Demand) {
+        match demand {
+            Demand::Compute { instructions, mem } => {
+                if !self.try_start_burst(id, instructions, &mem) {
+                    self.tasks[id.0].state =
+                        TState::WaitingCore { instructions, mem, since: self.now };
+                    self.run_queue.push_back(id);
+                }
+            }
+            Demand::DeviceRead { bytes, class } => {
+                let done = self.ssd.submit_read(self.now, bytes);
+                self.waits.add(class, done.saturating_since(self.now));
+                self.tasks[id.0].state = TState::BlockedIo;
+                self.push(done, EventKind::IoDone(id));
+            }
+            Demand::DeviceWrite { bytes, class } => {
+                let done = self.ssd.submit_write(self.now, bytes);
+                self.waits.add(class, done.saturating_since(self.now));
+                self.tasks[id.0].state = TState::BlockedIo;
+                self.push(done, EventKind::IoDone(id));
+            }
+            Demand::DeviceWriteAsync { bytes } => {
+                self.ssd.submit_write(self.now, bytes);
+                self.tasks[id.0].state = TState::Runnable;
+                self.push(self.now, EventKind::Poll(id));
+            }
+            Demand::DeviceReadPrefetch { bytes } => {
+                self.ssd.submit_read(self.now, bytes);
+                self.tasks[id.0].state = TState::Runnable;
+                self.push(self.now, EventKind::Poll(id));
+            }
+            Demand::Sleep { dur, class } => {
+                self.waits.add(class, dur);
+                self.tasks[id.0].state = TState::Sleeping;
+                self.push(self.now + dur, EventKind::Timer(id));
+            }
+            Demand::Block { class } => {
+                let slot = &mut self.tasks[id.0];
+                if slot.pending_wake {
+                    slot.pending_wake = false;
+                    self.waits.add(class, SimDuration::ZERO);
+                    slot.state = TState::Runnable;
+                    self.push(self.now, EventKind::Poll(id));
+                } else {
+                    slot.state = TState::Blocked { class, since: self.now };
+                }
+            }
+            Demand::Yield => {
+                self.tasks[id.0].state = TState::Runnable;
+                self.push(self.now, EventKind::Poll(id));
+            }
+        }
+    }
+
+    /// Attempts to place a compute burst on a free core in the affinity
+    /// set, preferring cores whose SMT sibling is idle (as the OS scheduler
+    /// does). Returns `false` if no core is free.
+    fn try_start_burst(&mut self, id: TaskId, instructions: u64, mem: &MemProfile) -> bool {
+        let limit = self.cfg.topology.logical_cores();
+        let mut fallback: Option<CoreId> = None;
+        let mut chosen: Option<CoreId> = None;
+        for c in self.cfg.affinity.iter() {
+            if c.0 >= limit || self.cpu.is_busy(c) {
+                continue;
+            }
+            if !self.cpu.sibling_busy(c) {
+                chosen = Some(c);
+                break;
+            }
+            if fallback.is_none() {
+                fallback = Some(c);
+            }
+        }
+        let Some(core) = chosen.or(fallback) else { return false };
+
+        let socket = self.cfg.topology.socket_of(core);
+        let outcome = self.llc.access(socket, mem, &mut self.rng);
+        self.instructions += instructions;
+        let line = self.cfg.calib.cache.line_bytes;
+        let wb = self.cfg.calib.cache.writeback_fraction;
+        let dram_bytes = (outcome.misses as f64 * line as f64 * (1.0 + wb)) as u64;
+        let remote = if self.spans_sockets { self.cfg.calib.cpu.remote_miss_fraction } else { 0.0 };
+        let dram_delay = self.dram.charge(socket, self.now, dram_bytes, remote);
+        let dur = self.cpu.burst_duration(core, instructions, outcome, self.spans_sockets) + dram_delay;
+        self.cpu.occupy(core);
+        self.tasks[id.0].state = TState::Running { core };
+        self.push(self.now + dur, EventKind::ComputeDone(id, core));
+        true
+    }
+
+    /// After a core frees up, start as many queued bursts as now fit.
+    fn dispatch_waiters(&mut self) {
+        while let Some(&next) = self.run_queue.front() {
+            let TState::WaitingCore { instructions, ref mem, since } = self.tasks[next.0].state
+            else {
+                // Stale entry (task was woken/retired through another path).
+                self.run_queue.pop_front();
+                continue;
+            };
+            let mem = mem.clone();
+            if self.try_start_burst(next, instructions, &mem) {
+                self.waits.add(WaitClass::Core, self.now.saturating_since(since));
+                self.run_queue.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::{ScriptOp, ScriptTask};
+    use crate::topology::CoreSet;
+
+    fn one_core_cfg(seed: u64) -> SimConfig {
+        let mut cfg = SimConfig::paper_default(seed);
+        cfg.affinity = CoreSet::first_n(1, &cfg.topology);
+        cfg
+    }
+
+    fn compute(instr: u64) -> ScriptOp {
+        ScriptOp::Demand(Demand::Compute { instructions: instr, mem: MemProfile::new() })
+    }
+
+    #[test]
+    fn single_task_compute_advances_time() {
+        let mut k = Kernel::new(one_core_cfg(1));
+        k.spawn(Box::new(ScriptTask::new(vec![compute(4_350_000)])));
+        assert!(k.run_to_completion(SimDuration::from_secs(10)));
+        // 4.35M instructions at 1.45 IPC * 3.0 GHz = 1 ms.
+        let ms = k.now().as_secs_f64() * 1e3;
+        assert!((ms - 1.0).abs() < 0.05, "took {ms} ms");
+        assert_eq!(k.counters().instructions, 4_350_000);
+    }
+
+    #[test]
+    fn two_tasks_one_core_serialize() {
+        let mut k = Kernel::new(one_core_cfg(2));
+        k.spawn(Box::new(ScriptTask::new(vec![compute(4_350_000)])));
+        k.spawn(Box::new(ScriptTask::new(vec![compute(4_350_000)])));
+        assert!(k.run_to_completion(SimDuration::from_secs(10)));
+        let ms = k.now().as_secs_f64() * 1e3;
+        assert!((ms - 2.0).abs() < 0.1, "took {ms} ms");
+        // The second task waited for the core.
+        assert!(k.wait_stats().total(WaitClass::Core).as_nanos() > 500_000);
+    }
+
+    #[test]
+    fn two_cores_run_in_parallel() {
+        let mut cfg = SimConfig::paper_default(3);
+        cfg.affinity = CoreSet::first_n(2, &cfg.topology);
+        let mut k = Kernel::new(cfg);
+        k.spawn(Box::new(ScriptTask::new(vec![compute(4_350_000)])));
+        k.spawn(Box::new(ScriptTask::new(vec![compute(4_350_000)])));
+        assert!(k.run_to_completion(SimDuration::from_secs(10)));
+        let ms = k.now().as_secs_f64() * 1e3;
+        assert!(ms < 1.2, "took {ms} ms, expected parallel execution");
+    }
+
+    #[test]
+    fn smt_siblings_slower_than_separate_cores() {
+        // Two tasks pinned to one physical core's two threads...
+        let mut cfg = SimConfig::paper_default(4);
+        let mut aff = CoreSet::EMPTY;
+        aff.insert(CoreId(0)).insert(CoreId(16));
+        cfg.affinity = aff;
+        let mut k = Kernel::new(cfg);
+        k.spawn(Box::new(ScriptTask::new(vec![compute(40_000_000)])));
+        k.spawn(Box::new(ScriptTask::new(vec![compute(40_000_000)])));
+        assert!(k.run_to_completion(SimDuration::from_secs(60)));
+        let smt_time = k.now();
+
+        // ...versus two separate physical cores.
+        let mut cfg = SimConfig::paper_default(4);
+        cfg.affinity = CoreSet::first_n(2, &cfg.topology);
+        let mut k = Kernel::new(cfg);
+        k.spawn(Box::new(ScriptTask::new(vec![compute(40_000_000)])));
+        k.spawn(Box::new(ScriptTask::new(vec![compute(40_000_000)])));
+        assert!(k.run_to_completion(SimDuration::from_secs(60)));
+        let phys_time = k.now();
+        assert!(
+            smt_time.as_nanos() > phys_time.as_nanos() * 14 / 10,
+            "SMT {smt_time} vs physical {phys_time}"
+        );
+    }
+
+    #[test]
+    fn io_wait_accounted() {
+        let mut k = Kernel::new(one_core_cfg(5));
+        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(Demand::DeviceRead {
+            bytes: 25_000_000, // 10 ms at 2500 MB/s
+            class: WaitClass::PageIoLatch,
+        })])));
+        assert!(k.run_to_completion(SimDuration::from_secs(10)));
+        let wait = k.wait_stats().total(WaitClass::PageIoLatch);
+        assert!(wait.as_nanos() >= 10_000_000, "waited {wait}");
+        assert_eq!(k.counters().ssd_read_ios, 1);
+    }
+
+    #[test]
+    fn block_and_wake_roundtrip() {
+        let mut k = Kernel::new(one_core_cfg(6));
+        let blocked = k.next_task_id();
+        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(Demand::Block {
+            class: WaitClass::Lock,
+        })])));
+        k.spawn(Box::new(ScriptTask::new(vec![
+            ScriptOp::Demand(Demand::Sleep { dur: SimDuration::from_millis(5), class: WaitClass::Think }),
+            ScriptOp::Wake(blocked),
+        ])));
+        assert!(k.run_to_completion(SimDuration::from_secs(10)));
+        let lock_wait = k.wait_stats().total(WaitClass::Lock);
+        assert!(
+            (lock_wait.as_secs_f64() - 0.005).abs() < 1e-4,
+            "lock wait {lock_wait}"
+        );
+    }
+
+    #[test]
+    fn wake_before_block_is_not_lost() {
+        let mut k = Kernel::new(one_core_cfg(7));
+        // Task 0 wakes task 1 immediately; task 1 blocks afterwards but must
+        // still proceed.
+        let waker_first = k.next_task_id();
+        assert_eq!(waker_first, TaskId(0));
+        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Wake(TaskId(1))])));
+        k.spawn(Box::new(ScriptTask::new(vec![
+            ScriptOp::Demand(Demand::Sleep { dur: SimDuration::from_millis(1), class: WaitClass::Think }),
+            ScriptOp::Demand(Demand::Block { class: WaitClass::Lock }),
+            compute(1000),
+        ])));
+        assert!(k.run_to_completion(SimDuration::from_secs(10)), "pending wake lost");
+    }
+
+    #[test]
+    fn samples_recorded_each_second() {
+        let mut k = Kernel::new(one_core_cfg(8));
+        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(Demand::Sleep {
+            dur: SimDuration::from_secs(4),
+            class: WaitClass::Think,
+        })])));
+        k.run_until(SimTime::from_nanos(3_500_000_000));
+        assert_eq!(k.samples().samples().len(), 3);
+    }
+
+    #[test]
+    fn spawn_from_task_runs_child() {
+        #[derive(Debug)]
+        struct Parent {
+            spawned: bool,
+        }
+        impl SimTask for Parent {
+            fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+                if !self.spawned {
+                    self.spawned = true;
+                    ctx.spawn(Box::new(ScriptTask::new(vec![compute(4_350_000)])));
+                    Step::Demand(Demand::Block { class: WaitClass::Lock })
+                } else {
+                    Step::Done
+                }
+            }
+        }
+        let mut k = Kernel::new(one_core_cfg(9));
+        let parent = k.next_task_id();
+        k.spawn(Box::new(Parent { spawned: false }));
+        // Child finishes and nobody wakes the parent: run_to_completion
+        // times out, but the child's compute must have happened.
+        k.run_to_completion(SimDuration::from_millis(50));
+        assert_eq!(k.counters().instructions, 4_350_000);
+        assert!(!k.is_finished(parent));
+    }
+
+    #[test]
+    fn prefetch_reads_do_not_block() {
+        // A prefetch charges the read channel but the task continues; the
+        // backlog is visible through the context.
+        #[derive(Debug)]
+        struct Prefetcher {
+            step: usize,
+            saw_backlog: std::rc::Rc<std::cell::Cell<bool>>,
+        }
+        impl SimTask for Prefetcher {
+            fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+                self.step += 1;
+                match self.step {
+                    1 => Step::Demand(Demand::DeviceReadPrefetch { bytes: 250_000_000 }),
+                    2 => {
+                        // 250 MB at 2500 MB/s = 100 ms of backlog, observed
+                        // at the same instant.
+                        self.saw_backlog.set(ctx.ssd_read_backlog().as_nanos() > 50_000_000);
+                        Step::Demand(Demand::Compute { instructions: 1000, mem: MemProfile::new() })
+                    }
+                    _ => Step::Done,
+                }
+            }
+        }
+        let saw = std::rc::Rc::new(std::cell::Cell::new(false));
+        let mut k = Kernel::new(one_core_cfg(21));
+        k.spawn(Box::new(Prefetcher { step: 0, saw_backlog: std::rc::Rc::clone(&saw) }));
+        assert!(k.run_to_completion(SimDuration::from_secs(10)));
+        // The task finished essentially immediately (compute only), far
+        // before the 100 ms the read needs.
+        assert!(k.now().as_nanos() < 50_000_000, "prefetch blocked the task: {}", k.now());
+        assert!(saw.get(), "read backlog was not observable");
+        assert!(k.counters().ssd_read_bytes < 1_000_000, "backlogged bytes mostly incomplete");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let mut k = Kernel::new(one_core_cfg(seed));
+            for _ in 0..5 {
+                k.spawn(Box::new(ScriptTask::new(vec![
+                    compute(1_000_000),
+                    ScriptOp::Demand(Demand::DeviceRead { bytes: 8192, class: WaitClass::Io }),
+                    compute(2_000_000),
+                ])));
+            }
+            k.run_to_completion(SimDuration::from_secs(10));
+            k.now().as_nanos()
+        };
+        assert_eq!(run(11), run(11));
+    }
+}

@@ -1,0 +1,67 @@
+//! # dbsens-hwsim
+//!
+//! Discrete-event hardware resource simulator underpinning the `dbsens`
+//! reproduction of *"Characterizing Resource Sensitivity of Database
+//! Workloads"* (Sen & Ramachandra, HPCA 2018).
+//!
+//! The paper's testbed — a dual-socket Broadwell Xeon with Intel Cache
+//! Allocation Technology, 64 GB of DRAM, and an NVMe SSD under cgroup
+//! bandwidth limits — is modeled here as a set of composable components:
+//!
+//! * [`topology`] / [`cpu`] — sockets, physical cores, SMT threads, turbo
+//!   frequency scaling, and SMT interference;
+//! * [`cache`] — a per-socket set-associative LLC with CAT way masks,
+//!   simulated with set sampling;
+//! * [`dram`] / [`ssd`] — bandwidth queues with cgroup-style limits;
+//! * [`counters`] — PCM/iostat-style interval sampling;
+//! * [`kernel`] — the deterministic discrete-event scheduler that runs
+//!   [`task::SimTask`]s against the hardware.
+//!
+//! Database engines built on top express their work as [`task::Demand`]s
+//! with [`mem::MemProfile`] memory behaviour; the kernel converts demands to
+//! virtual time.
+//!
+//! ## Example
+//!
+//! ```
+//! use dbsens_hwsim::kernel::{Kernel, SimConfig};
+//! use dbsens_hwsim::script::{ScriptOp, ScriptTask};
+//! use dbsens_hwsim::task::Demand;
+//! use dbsens_hwsim::mem::{MemProfile, Region};
+//! use dbsens_hwsim::time::SimDuration;
+//!
+//! let mut kernel = Kernel::new(SimConfig::paper_default(42));
+//! let mut mem = MemProfile::new();
+//! mem.random(Region::new(1), 8 << 20, 10_000);
+//! kernel.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(
+//!     Demand::Compute { instructions: 5_000_000, mem },
+//! )])));
+//! kernel.run_to_completion(SimDuration::from_secs(1));
+//! assert!(kernel.counters().llc_misses > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cache;
+pub mod calib;
+pub mod counters;
+pub mod cpu;
+pub mod dram;
+pub mod kernel;
+pub mod mem;
+pub mod rng;
+pub mod script;
+pub mod ssd;
+pub mod task;
+pub mod time;
+pub mod topology;
+
+pub use cache::CatMask;
+pub use calib::Calib;
+pub use kernel::{Kernel, SimConfig};
+pub use mem::{MemProfile, Region};
+pub use ssd::BlockIoLimit;
+pub use task::{Demand, SimTask, Step, TaskCtx, TaskId, WaitClass};
+pub use time::{SimDuration, SimTime};
+pub use topology::{CoreId, CoreSet, Topology};

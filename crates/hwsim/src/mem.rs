@@ -1,0 +1,201 @@
+//! Memory-access vocabulary for compute demands.
+//!
+//! The database layers above the simulator describe the cache-relevant memory
+//! behaviour of each compute burst as a set of [`AccessPattern`]s over named
+//! [`Region`]s, rather than as raw address traces. The LLC model expands the
+//! patterns into sampled probes, which keeps simulation cost bounded while
+//! preserving the capacity/locality interactions that produce the paper's
+//! miss-rate knees.
+
+use serde::{Deserialize, Serialize};
+
+/// A named address region (a table, an index level, a hash table, ...).
+///
+/// Regions with distinct ids never alias: the simulated address of an access
+/// combines the region id with the offset within the region. Users should
+/// allocate ids from a single counter per simulated database so regions stay
+/// unique.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::mem::Region;
+///
+/// let lineitem = Region::new(42);
+/// assert_eq!(lineitem.id(), 42);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Region(u64);
+
+impl Region {
+    /// Creates a region with the given unique id.
+    pub const fn new(id: u64) -> Self {
+        Region(id)
+    }
+
+    /// Returns the region id.
+    pub const fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// One component of a compute burst's memory behaviour, at LLC granularity
+/// (i.e. accesses that miss the private L1/L2 caches).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Sequential streaming over `bytes` of data that will not be revisited
+    /// soon (large scans). Streaming accesses allocate into the cache (and
+    /// thus pollute it) but essentially always miss.
+    Stream {
+        /// Region being streamed through.
+        region: Region,
+        /// Bytes touched by this burst.
+        bytes: u64,
+    },
+    /// `count` accesses distributed uniformly over the first `footprint`
+    /// bytes of `region` (hash probes, random index lookups, repeated scans
+    /// of a small table). Hit rate is decided by the cache model and depends
+    /// on how much of the footprint is resident.
+    Random {
+        /// Region being probed.
+        region: Region,
+        /// Footprint in bytes over which accesses spread.
+        footprint: u64,
+        /// Number of accesses in this burst.
+        count: u64,
+    },
+}
+
+impl AccessPattern {
+    /// Number of LLC-level accesses this pattern represents.
+    pub fn access_count(&self, line_bytes: u64) -> u64 {
+        match *self {
+            AccessPattern::Stream { bytes, .. } => bytes / line_bytes.max(1),
+            AccessPattern::Random { count, .. } => count,
+        }
+    }
+}
+
+/// The complete memory profile of one compute burst.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::mem::{AccessPattern, MemProfile, Region};
+///
+/// let mut profile = MemProfile::new();
+/// profile.stream(Region::new(1), 1 << 20);
+/// profile.random(Region::new(2), 64 << 10, 500);
+/// assert_eq!(profile.patterns().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MemProfile {
+    patterns: Vec<AccessPattern>,
+}
+
+impl MemProfile {
+    /// Creates an empty profile (a pure-compute burst).
+    pub fn new() -> Self {
+        MemProfile::default()
+    }
+
+    /// Adds a streaming pattern; returns `self` for chaining.
+    pub fn stream(&mut self, region: Region, bytes: u64) -> &mut Self {
+        if bytes > 0 {
+            self.patterns.push(AccessPattern::Stream { region, bytes });
+        }
+        self
+    }
+
+    /// Adds a random-access pattern; returns `self` for chaining.
+    pub fn random(&mut self, region: Region, footprint: u64, count: u64) -> &mut Self {
+        if count > 0 && footprint > 0 {
+            self.patterns.push(AccessPattern::Random { region, footprint, count });
+        }
+        self
+    }
+
+    /// Returns the patterns in this profile.
+    pub fn patterns(&self) -> &[AccessPattern] {
+        &self.patterns
+    }
+
+    /// Returns `true` if the burst touches no memory at LLC level.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// Total LLC-level accesses described by this profile.
+    pub fn total_accesses(&self, line_bytes: u64) -> u64 {
+        self.patterns.iter().map(|p| p.access_count(line_bytes)).sum()
+    }
+
+    /// Merges another profile into this one.
+    pub fn extend_from(&mut self, other: &MemProfile) {
+        self.patterns.extend_from_slice(&other.patterns);
+    }
+}
+
+/// Outcome of running a memory profile through the cache model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheOutcome {
+    /// Accesses that hit in the LLC.
+    pub hits: u64,
+    /// Accesses that missed and went to DRAM.
+    pub misses: u64,
+}
+
+impl CacheOutcome {
+    /// Total accesses.
+    pub fn total(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when there were no accesses.
+    pub fn miss_ratio(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another outcome into this one.
+    pub fn add(&mut self, other: CacheOutcome) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_patterns_are_dropped() {
+        let mut p = MemProfile::new();
+        p.stream(Region::new(1), 0);
+        p.random(Region::new(2), 0, 10);
+        p.random(Region::new(3), 10, 0);
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn access_counts() {
+        let mut p = MemProfile::new();
+        p.stream(Region::new(1), 6400);
+        p.random(Region::new(2), 1 << 20, 25);
+        assert_eq!(p.total_accesses(64), 100 + 25);
+    }
+
+    #[test]
+    fn cache_outcome_ratios() {
+        let mut o = CacheOutcome { hits: 75, misses: 25 };
+        assert_eq!(o.total(), 100);
+        assert!((o.miss_ratio() - 0.25).abs() < 1e-12);
+        o.add(CacheOutcome { hits: 0, misses: 100 });
+        assert!((o.miss_ratio() - 0.625).abs() < 1e-12);
+        assert_eq!(CacheOutcome::default().miss_ratio(), 0.0);
+    }
+}

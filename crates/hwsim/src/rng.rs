@@ -1,0 +1,147 @@
+//! Small deterministic pseudo-random number generator.
+//!
+//! The simulator must be fully reproducible given a seed, and the hardware
+//! models need only modest statistical quality, so we use a self-contained
+//! xoshiro256** generator seeded via splitmix64 rather than pulling a
+//! dependency into this leaf crate.
+
+/// Deterministic xoshiro256** generator.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::rng::SimRng;
+///
+/// let mut a = SimRng::new(42);
+/// let mut b = SimRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct SimRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SimRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
+        SimRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Returns the next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Returns a uniform value in `[0, bound)`.
+    ///
+    /// Returns 0 when `bound` is 0 so callers need not special-case empty
+    /// ranges.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Lemire's multiply-shift reduction; the slight modulo bias is
+        // irrelevant at the bounds used by the hardware models.
+        ((self.next_u64() as u128 * bound as u128) >> 64) as u64
+    }
+
+    /// Returns a uniform value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn next_range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "invalid range");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Returns a uniform float in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// simulated component its own stream.
+    pub fn fork(&mut self) -> SimRng {
+        SimRng::new(self.next_u64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = SimRng::new(7);
+        let mut b = SimRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SimRng::new(1);
+        let mut b = SimRng::new(2);
+        let same = (0..32).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut rng = SimRng::new(3);
+        for _ in 0..1000 {
+            assert!(rng.next_below(10) < 10);
+        }
+        assert_eq!(rng.next_below(0), 0);
+        assert_eq!(rng.next_below(1), 0);
+    }
+
+    #[test]
+    fn next_f64_in_unit_interval() {
+        let mut rng = SimRng::new(4);
+        for _ in 0..1000 {
+            let x = rng.next_f64();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn mean_of_uniform_is_centered() {
+        let mut rng = SimRng::new(5);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+}

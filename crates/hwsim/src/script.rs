@@ -1,0 +1,64 @@
+//! Scripted tasks for tests, examples, and microbenchmarks.
+
+use crate::task::{Demand, SimTask, Step, TaskCtx, TaskId};
+
+/// One scripted operation.
+#[derive(Debug, Clone)]
+pub enum ScriptOp {
+    /// Issue this demand to the kernel.
+    Demand(Demand),
+    /// Wake another task, then continue to the next op in the same poll
+    /// cycle.
+    Wake(TaskId),
+}
+
+/// A task that replays a fixed list of operations and then finishes.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::script::{ScriptOp, ScriptTask};
+/// use dbsens_hwsim::task::Demand;
+/// use dbsens_hwsim::mem::MemProfile;
+///
+/// let task = ScriptTask::new(vec![ScriptOp::Demand(Demand::Compute {
+///     instructions: 1000,
+///     mem: MemProfile::new(),
+/// })]);
+/// assert_eq!(task.remaining(), 1);
+/// ```
+#[derive(Debug)]
+pub struct ScriptTask {
+    ops: Vec<ScriptOp>,
+    next: usize,
+}
+
+impl ScriptTask {
+    /// Creates a task that will perform `ops` in order.
+    pub fn new(ops: Vec<ScriptOp>) -> Self {
+        ScriptTask { ops, next: 0 }
+    }
+
+    /// Operations not yet issued.
+    pub fn remaining(&self) -> usize {
+        self.ops.len() - self.next
+    }
+}
+
+impl SimTask for ScriptTask {
+    fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        while self.next < self.ops.len() {
+            let op = self.ops[self.next].clone();
+            self.next += 1;
+            match op {
+                ScriptOp::Demand(d) => return Step::Demand(d),
+                ScriptOp::Wake(id) => ctx.wake(id),
+            }
+        }
+        Step::Done
+    }
+
+    fn label(&self) -> &str {
+        "script"
+    }
+}

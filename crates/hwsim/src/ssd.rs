@@ -1,0 +1,256 @@
+//! NVMe SSD model with cgroup-style bandwidth limits.
+//!
+//! Reads and writes are served by separate bandwidth channels (NVMe devices
+//! sustain independent sequential read and write rates), each modeled as a
+//! FIFO pipe at the effective rate `min(device, cgroup limit)` plus a fixed
+//! per-I/O latency. This reproduces both the saturation behaviour behind
+//! Figure 5 (non-linear QPS vs read-limit) and the write-limit sensitivity of
+//! transactional workloads described in Section 6.
+
+use crate::calib::SsdCalib;
+use crate::time::{SimDuration, SimTime};
+
+/// A cgroup `blkio`-style bandwidth limit, in bytes/sec per direction.
+///
+/// `None` means unlimited (device speed).
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::ssd::BlockIoLimit;
+///
+/// let limit = BlockIoLimit::read_mbps(800.0);
+/// assert_eq!(limit.read, Some(800.0e6));
+/// assert_eq!(limit.write, None);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct BlockIoLimit {
+    /// Read bandwidth cap in bytes/sec, if any.
+    pub read: Option<f64>,
+    /// Write bandwidth cap in bytes/sec, if any.
+    pub write: Option<f64>,
+}
+
+impl BlockIoLimit {
+    /// No limits (device speed in both directions).
+    pub const UNLIMITED: BlockIoLimit = BlockIoLimit { read: None, write: None };
+
+    /// Caps only reads, in MB/sec (the unit the paper reports).
+    pub fn read_mbps(mbps: f64) -> Self {
+        BlockIoLimit { read: Some(mbps * 1e6), write: None }
+    }
+
+    /// Caps only writes, in MB/sec.
+    pub fn write_mbps(mbps: f64) -> Self {
+        BlockIoLimit { write: Some(mbps * 1e6), read: None }
+    }
+}
+
+/// Cumulative SSD statistics (an `iostat` stand-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SsdStats {
+    /// Bytes read.
+    pub read_bytes: u64,
+    /// Bytes written.
+    pub write_bytes: u64,
+    /// Read operations.
+    pub read_ios: u64,
+    /// Write operations.
+    pub write_ios: u64,
+}
+
+#[derive(Debug, Clone)]
+struct Pipe {
+    free_at: SimTime,
+}
+
+impl Pipe {
+    /// Serializes `bytes` through the pipe at `rate`; returns completion
+    /// time including fixed latency.
+    fn submit(&mut self, now: SimTime, bytes: u64, rate: f64, latency: SimDuration) -> SimTime {
+        let service = SimDuration::from_secs_f64(bytes as f64 / rate);
+        let start = self.free_at.max(now);
+        self.free_at = start + service;
+        self.free_at + latency
+    }
+}
+
+/// The NVMe device hosting database and log files.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::calib::SsdCalib;
+/// use dbsens_hwsim::ssd::{BlockIoLimit, Ssd};
+/// use dbsens_hwsim::time::SimTime;
+///
+/// let mut ssd = Ssd::new(SsdCalib::default());
+/// ssd.set_limit(BlockIoLimit::read_mbps(500.0));
+/// let done = ssd.submit_read(SimTime::ZERO, 1 << 20);
+/// assert!(done > SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ssd {
+    calib: SsdCalib,
+    limit: BlockIoLimit,
+    read_pipe: Pipe,
+    write_pipe: Pipe,
+    stats: SsdStats,
+}
+
+impl Ssd {
+    /// Creates an idle device.
+    pub fn new(calib: SsdCalib) -> Self {
+        Ssd {
+            calib,
+            limit: BlockIoLimit::UNLIMITED,
+            read_pipe: Pipe { free_at: SimTime::ZERO },
+            write_pipe: Pipe { free_at: SimTime::ZERO },
+            stats: SsdStats::default(),
+        }
+    }
+
+    /// Applies a cgroup bandwidth limit (replacing any previous one).
+    pub fn set_limit(&mut self, limit: BlockIoLimit) {
+        self.limit = limit;
+    }
+
+    /// Effective read rate in bytes/sec.
+    pub fn effective_read_bw(&self) -> f64 {
+        match self.limit.read {
+            Some(l) => l.min(self.calib.read_bw),
+            None => self.calib.read_bw,
+        }
+    }
+
+    /// Effective write rate in bytes/sec.
+    pub fn effective_write_bw(&self) -> f64 {
+        match self.limit.write {
+            Some(l) => l.min(self.calib.write_bw),
+            None => self.calib.write_bw,
+        }
+    }
+
+    /// Submits a read of `bytes` at `now`; returns its completion time.
+    pub fn submit_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.stats.read_bytes += bytes;
+        self.stats.read_ios += 1;
+        let rate = self.effective_read_bw();
+        self.read_pipe.submit(now, bytes, rate, SimDuration::from_nanos(self.calib.latency_ns))
+    }
+
+    /// Submits a write of `bytes` at `now`; returns its completion time.
+    pub fn submit_write(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        self.stats.write_bytes += bytes;
+        self.stats.write_ios += 1;
+        let rate = self.effective_write_bw();
+        self.write_pipe.submit(now, bytes, rate, SimDuration::from_nanos(self.calib.latency_ns))
+    }
+
+    /// Time a read submitted at `now` would wait before service begins.
+    pub fn read_backlog(&self, now: SimTime) -> SimDuration {
+        self.read_pipe.free_at.saturating_since(now)
+    }
+
+    /// Returns cumulative statistics with bytes accounted at *submission*
+    /// time.
+    pub fn stats(&self) -> SsdStats {
+        self.stats
+    }
+
+    /// Returns statistics with bytes accounted at *completion* time — what
+    /// `iostat` reports. Backlogged bytes still inside a pipe at `now` are
+    /// excluded (the pipes are FIFO at a known rate, so the backlog is
+    /// exactly `(free_at - now) * rate`).
+    pub fn stats_at(&self, now: SimTime) -> SsdStats {
+        let read_backlog =
+            (self.read_pipe.free_at.saturating_since(now).as_secs_f64() * self.effective_read_bw())
+                as u64;
+        let write_backlog = (self.write_pipe.free_at.saturating_since(now).as_secs_f64()
+            * self.effective_write_bw()) as u64;
+        SsdStats {
+            read_bytes: self.stats.read_bytes.saturating_sub(read_backlog),
+            write_bytes: self.stats.write_bytes.saturating_sub(write_backlog),
+            ..self.stats
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calib() -> SsdCalib {
+        SsdCalib { read_bw: 1000.0e6, write_bw: 500.0e6, latency_ns: 100_000 }
+    }
+
+    #[test]
+    fn single_read_takes_service_plus_latency() {
+        let mut ssd = Ssd::new(calib());
+        // 1 MB at 1000 MB/s = 1 ms, + 0.1 ms latency.
+        let done = ssd.submit_read(SimTime::ZERO, 1_000_000);
+        assert_eq!(done.as_nanos(), 1_000_000 + 100_000);
+    }
+
+    #[test]
+    fn reads_and_writes_use_independent_channels() {
+        let mut ssd = Ssd::new(calib());
+        let r = ssd.submit_read(SimTime::ZERO, 10_000_000);
+        let w = ssd.submit_write(SimTime::ZERO, 500_000);
+        // The write is not queued behind the big read.
+        assert!(w < r);
+    }
+
+    #[test]
+    fn queueing_serializes_same_direction() {
+        let mut ssd = Ssd::new(calib());
+        let a = ssd.submit_read(SimTime::ZERO, 1_000_000);
+        let b = ssd.submit_read(SimTime::ZERO, 1_000_000);
+        assert!(b > a);
+        assert_eq!(b.as_nanos() - a.as_nanos(), 1_000_000);
+    }
+
+    #[test]
+    fn cgroup_limit_slows_reads() {
+        let mut ssd = Ssd::new(calib());
+        ssd.set_limit(BlockIoLimit::read_mbps(100.0)); // 100 MB/s
+        let done = ssd.submit_read(SimTime::ZERO, 1_000_000); // now 10 ms
+        assert_eq!(done.as_nanos(), 10_000_000 + 100_000);
+        // Writes unaffected.
+        assert!((ssd.effective_write_bw() - 500.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn limit_above_device_speed_is_ignored() {
+        let mut ssd = Ssd::new(calib());
+        ssd.set_limit(BlockIoLimit::read_mbps(5000.0));
+        assert!((ssd.effective_read_bw() - 1000.0e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn completion_accounting_excludes_backlog() {
+        let mut ssd = Ssd::new(calib());
+        ssd.set_limit(BlockIoLimit::read_mbps(100.0));
+        // Submit 10 MB at t=0: takes 100 ms to drain at 100 MB/s.
+        ssd.submit_read(SimTime::ZERO, 10_000_000);
+        let half = ssd.stats_at(SimTime::from_nanos(50_000_000));
+        assert!((4_000_000..6_000_000).contains(&half.read_bytes), "{}", half.read_bytes);
+        let done = ssd.stats_at(SimTime::from_nanos(200_000_000));
+        assert_eq!(done.read_bytes, 10_000_000);
+        // Submission-time stats see everything immediately.
+        assert_eq!(ssd.stats().read_bytes, 10_000_000);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut ssd = Ssd::new(calib());
+        ssd.submit_read(SimTime::ZERO, 100);
+        ssd.submit_write(SimTime::ZERO, 200);
+        ssd.submit_write(SimTime::ZERO, 300);
+        let s = ssd.stats();
+        assert_eq!(s.read_bytes, 100);
+        assert_eq!(s.write_bytes, 500);
+        assert_eq!(s.read_ios, 1);
+        assert_eq!(s.write_ios, 2);
+    }
+}

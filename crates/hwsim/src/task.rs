@@ -1,0 +1,291 @@
+//! Simulated tasks and the demands they place on hardware.
+//!
+//! A [`SimTask`] is a resumable unit of work (a client connection, a query
+//! worker, a background writer). Each time the kernel polls it, the task
+//! returns its next [`Demand`] — a compute burst, an I/O, a sleep, or a
+//! block-until-woken — and the kernel schedules the corresponding hardware
+//! activity in virtual time. Database state (buffer pools, lock tables, ...)
+//! lives inside the tasks themselves, shared via `Rc<RefCell<_>>`; the kernel
+//! only understands hardware.
+
+use crate::mem::MemProfile;
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a task within one kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub usize);
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Classification of time spent waiting, mirroring SQL Server wait types;
+/// drives the Table 3 reproduction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum WaitClass {
+    /// Waiting for a shared/update/exclusive row or key lock.
+    Lock,
+    /// Waiting for a latch on a non-buffer internal structure.
+    Latch,
+    /// Waiting for a latch on a buffer not in an I/O request.
+    PageLatch,
+    /// Waiting for a latch on a buffer in an I/O request (page read/write).
+    PageIoLatch,
+    /// Waiting for a query memory grant.
+    MemoryGrant,
+    /// Waiting for the log write at commit (WRITELOG).
+    WriteLog,
+    /// Plain data I/O not tied to a page latch (e.g. spill files).
+    Io,
+    /// Parallel query coordinator waiting for its workers (CXPACKET).
+    Parallelism,
+    /// Runnable but waiting for a logical core.
+    Core,
+    /// Client think time or intentional pacing; not a resource wait.
+    Think,
+}
+
+impl WaitClass {
+    /// All wait classes, for iteration in reports.
+    pub const ALL: [WaitClass; 10] = [
+        WaitClass::Lock,
+        WaitClass::Latch,
+        WaitClass::PageLatch,
+        WaitClass::PageIoLatch,
+        WaitClass::MemoryGrant,
+        WaitClass::WriteLog,
+        WaitClass::Io,
+        WaitClass::Parallelism,
+        WaitClass::Core,
+        WaitClass::Think,
+    ];
+
+    fn index(self) -> usize {
+        Self::ALL.iter().position(|w| *w == self).expect("listed in ALL")
+    }
+}
+
+impl fmt::Display for WaitClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            WaitClass::Lock => "LOCK",
+            WaitClass::Latch => "LATCH",
+            WaitClass::PageLatch => "PAGELATCH",
+            WaitClass::PageIoLatch => "PAGEIOLATCH",
+            WaitClass::MemoryGrant => "RESOURCE_SEMAPHORE",
+            WaitClass::WriteLog => "WRITELOG",
+            WaitClass::Io => "IO",
+            WaitClass::Parallelism => "CXPACKET",
+            WaitClass::Core => "SOS_SCHEDULER_YIELD",
+            WaitClass::Think => "THINK",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Accumulated wait time and wait counts per class.
+#[derive(Debug, Clone, Default)]
+pub struct WaitStats {
+    totals: [SimDuration; WaitClass::ALL.len()],
+    counts: [u64; WaitClass::ALL.len()],
+}
+
+impl WaitStats {
+    /// Creates empty statistics.
+    pub fn new() -> Self {
+        WaitStats::default()
+    }
+
+    /// Adds one wait of `dur` in `class`.
+    pub fn add(&mut self, class: WaitClass, dur: SimDuration) {
+        let i = class.index();
+        self.totals[i] += dur;
+        self.counts[i] += 1;
+    }
+
+    /// Total wait time in a class.
+    pub fn total(&self, class: WaitClass) -> SimDuration {
+        self.totals[class.index()]
+    }
+
+    /// Number of waits in a class.
+    pub fn count(&self, class: WaitClass) -> u64 {
+        self.counts[class.index()]
+    }
+}
+
+/// What a task asks the hardware to do next.
+#[derive(Debug, Clone)]
+pub enum Demand {
+    /// Run `instructions` on a core with the given memory behaviour.
+    Compute {
+        /// Instructions retired by the burst.
+        instructions: u64,
+        /// LLC-level memory behaviour of the burst.
+        mem: MemProfile,
+    },
+    /// Read `bytes` from the storage device; the task blocks until the I/O
+    /// completes and the wait is accounted to `class`.
+    DeviceRead {
+        /// Bytes to read.
+        bytes: u64,
+        /// Wait classification (usually [`WaitClass::PageIoLatch`] or
+        /// [`WaitClass::Io`]).
+        class: WaitClass,
+    },
+    /// Write `bytes` to the storage device, blocking until durable.
+    DeviceWrite {
+        /// Bytes to write.
+        bytes: u64,
+        /// Wait classification (usually [`WaitClass::WriteLog`] or
+        /// [`WaitClass::Io`]).
+        class: WaitClass,
+    },
+    /// Write `bytes` to the device without blocking the task (background
+    /// write-back of dirty pages). The traffic occupies write bandwidth but
+    /// the task continues immediately.
+    DeviceWriteAsync {
+        /// Bytes to write.
+        bytes: u64,
+    },
+    /// Read `bytes` without blocking (read-ahead). The traffic occupies
+    /// read bandwidth; combine with [`TaskCtx::ssd_read_backlog`] to
+    /// throttle to a bounded prefetch depth.
+    DeviceReadPrefetch {
+        /// Bytes to read.
+        bytes: u64,
+    },
+    /// Do nothing for `dur` (think time, latch backoff) without using a
+    /// core.
+    Sleep {
+        /// How long to sleep.
+        dur: SimDuration,
+        /// Wait classification ([`WaitClass::Think`] for pacing,
+        /// [`WaitClass::PageLatch`]/[`WaitClass::Latch`] for backoff).
+        class: WaitClass,
+    },
+    /// Block until another task calls `wake`; the wait is accounted to
+    /// `class` when the wake arrives.
+    Block {
+        /// Wait classification (locks, memory grants).
+        class: WaitClass,
+    },
+    /// Re-poll immediately (lets a task process a wake-up and continue in
+    /// the same instant).
+    Yield,
+}
+
+/// Result of polling a task.
+#[derive(Debug)]
+pub enum Step {
+    /// The task wants the kernel to perform this demand.
+    Demand(Demand),
+    /// The task has finished and will not be polled again.
+    Done,
+}
+
+/// Context handed to tasks on each poll.
+///
+/// Provides the current virtual time, a deterministic RNG, and queues for
+/// wakes and spawns which the kernel applies after the poll returns.
+#[derive(Debug)]
+pub struct TaskCtx<'a> {
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut SimRng,
+    pub(crate) wakes: &'a mut Vec<TaskId>,
+    pub(crate) spawns: &'a mut Vec<Box<dyn SimTask>>,
+    pub(crate) self_id: TaskId,
+    pub(crate) ssd_read_backlog: SimDuration,
+}
+
+impl<'a> TaskCtx<'a> {
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The kernel's deterministic RNG.
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+
+    /// The id of the task being polled.
+    pub fn self_id(&self) -> TaskId {
+        self.self_id
+    }
+
+    /// How far the device's read channel is currently backlogged — the
+    /// time a read submitted now would wait before service begins. Lets
+    /// read-ahead consumers keep a bounded prefetch depth.
+    pub fn ssd_read_backlog(&self) -> SimDuration {
+        self.ssd_read_backlog
+    }
+
+    /// Wakes a task blocked with [`Demand::Block`]. Waking a task that is
+    /// not blocked leaves a pending wake, so wake/block races are benign.
+    pub fn wake(&mut self, task: TaskId) {
+        self.wakes.push(task);
+    }
+
+    /// Spawns a new task; it becomes runnable at the current instant. The
+    /// id it will receive is returned by the kernel ordering guarantee:
+    /// spawned tasks get consecutive ids in spawn order. Use
+    /// [`crate::kernel::Kernel::next_task_id`] plus arithmetic if the id
+    /// must be known in advance.
+    pub fn spawn(&mut self, task: Box<dyn SimTask>) {
+        self.spawns.push(task);
+    }
+}
+
+/// A resumable simulated activity.
+///
+/// Implementations are state machines: each `poll` performs any *logical*
+/// work instantly (reading and mutating shared database structures through
+/// `Rc<RefCell<_>>` handles the task owns) and returns the hardware demand
+/// that work implies. The kernel advances virtual time accordingly and polls
+/// again when the demand is satisfied.
+pub trait SimTask: fmt::Debug {
+    /// Advances the task and returns its next demand.
+    fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step;
+
+    /// Short human-readable label for diagnostics.
+    fn label(&self) -> &str {
+        "task"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wait_stats_accumulate() {
+        let mut w = WaitStats::new();
+        w.add(WaitClass::Lock, SimDuration::from_millis(5));
+        w.add(WaitClass::Lock, SimDuration::from_millis(3));
+        w.add(WaitClass::PageIoLatch, SimDuration::from_millis(1));
+        assert_eq!(w.total(WaitClass::Lock), SimDuration::from_millis(8));
+        assert_eq!(w.count(WaitClass::Lock), 2);
+        assert_eq!(w.count(WaitClass::PageIoLatch), 1);
+        assert_eq!(w.total(WaitClass::Latch), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wait_class_display_matches_sql_server_names() {
+        assert_eq!(WaitClass::PageIoLatch.to_string(), "PAGEIOLATCH");
+        assert_eq!(WaitClass::WriteLog.to_string(), "WRITELOG");
+    }
+
+    #[test]
+    fn all_classes_have_unique_indices() {
+        let mut seen = std::collections::HashSet::new();
+        for c in WaitClass::ALL {
+            assert!(seen.insert(c.index()));
+        }
+    }
+}

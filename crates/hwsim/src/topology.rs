@@ -1,0 +1,233 @@
+//! CPU topology: sockets, physical cores, SMT threads, and affinity sets.
+//!
+//! Logical cores are numbered in the paper's allocation order: first one SMT
+//! thread of every physical core on socket 0, then socket 1, and only then
+//! the second (hyper-threaded) sibling of each physical core. With the
+//! paper's topology (2 sockets x 8 cores x 2 threads), logical cores 0-7 are
+//! socket 0, 8-15 are socket 1, and 16-31 are the HT siblings of 0-15.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A logical (SMT) core identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub usize);
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cpu{}", self.0)
+    }
+}
+
+/// Machine topology description.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::topology::{CoreId, Topology};
+///
+/// let topo = Topology::paper_testbed();
+/// assert_eq!(topo.logical_cores(), 32);
+/// assert_eq!(topo.socket_of(CoreId(9)), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of sockets.
+    pub sockets: usize,
+    /// Physical cores per socket.
+    pub cores_per_socket: usize,
+    /// SMT threads per physical core.
+    pub smt: usize,
+}
+
+impl Topology {
+    /// The paper's dual-socket Broadwell testbed: 2 sockets x 8 physical
+    /// cores x 2 SMT threads = 32 logical cores.
+    pub fn paper_testbed() -> Self {
+        Topology { sockets: 2, cores_per_socket: 8, smt: 2 }
+    }
+
+    /// Total physical cores.
+    pub fn physical_cores(&self) -> usize {
+        self.sockets * self.cores_per_socket
+    }
+
+    /// Total logical cores.
+    pub fn logical_cores(&self) -> usize {
+        self.physical_cores() * self.smt
+    }
+
+    /// Physical core index (0-based across the machine) of a logical core.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn physical_of(&self, core: CoreId) -> usize {
+        assert!(core.0 < self.logical_cores(), "core {core} out of range");
+        core.0 % self.physical_cores()
+    }
+
+    /// Socket index of a logical core.
+    pub fn socket_of(&self, core: CoreId) -> usize {
+        self.physical_of(core) / self.cores_per_socket
+    }
+
+    /// SMT thread index (0 or 1 for 2-way SMT) of a logical core.
+    pub fn thread_of(&self, core: CoreId) -> usize {
+        core.0 / self.physical_cores()
+    }
+
+    /// The SMT sibling of a logical core, if the topology has SMT.
+    pub fn sibling_of(&self, core: CoreId) -> Option<CoreId> {
+        if self.smt < 2 {
+            return None;
+        }
+        let phys = self.physical_of(core);
+        let thread = self.thread_of(core);
+        let sibling_thread = 1 - thread; // 2-way SMT
+        Some(CoreId(sibling_thread * self.physical_cores() + phys))
+    }
+}
+
+/// A set of logical cores (an affinity mask), stored as a 64-bit bitset.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::topology::{CoreSet, Topology};
+///
+/// let topo = Topology::paper_testbed();
+/// let set = CoreSet::first_n(4, &topo);
+/// assert_eq!(set.len(), 4);
+/// assert!(set.contains(dbsens_hwsim::topology::CoreId(3)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct CoreSet(u64);
+
+impl CoreSet {
+    /// The empty set.
+    pub const EMPTY: CoreSet = CoreSet(0);
+
+    /// All logical cores of a topology.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the topology has more than 64 logical cores.
+    pub fn all(topo: &Topology) -> Self {
+        let n = topo.logical_cores();
+        assert!(n <= 64, "CoreSet supports up to 64 logical cores");
+        CoreSet(if n == 64 { u64::MAX } else { (1u64 << n) - 1 })
+    }
+
+    /// The first `n` logical cores in the paper's allocation order
+    /// (socket 0 physical cores, then socket 1, then HT siblings).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the topology's logical core count.
+    pub fn first_n(n: usize, topo: &Topology) -> Self {
+        assert!(n <= topo.logical_cores(), "core allocation {n} exceeds topology");
+        CoreSet(if n == 64 { u64::MAX } else { (1u64 << n) - 1 })
+    }
+
+    /// Inserts a core; returns `self` for chaining.
+    pub fn insert(&mut self, core: CoreId) -> &mut Self {
+        self.0 |= 1 << core.0;
+        self
+    }
+
+    /// Returns `true` if the set contains `core`.
+    pub fn contains(&self, core: CoreId) -> bool {
+        core.0 < 64 && (self.0 >> core.0) & 1 == 1
+    }
+
+    /// Number of cores in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Returns `true` if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over the cores in the set, in ascending id order.
+    pub fn iter(&self) -> impl Iterator<Item = CoreId> + '_ {
+        let bits = self.0;
+        (0..64).filter(move |i| (bits >> i) & 1 == 1).map(CoreId)
+    }
+}
+
+impl FromIterator<CoreId> for CoreSet {
+    fn from_iter<I: IntoIterator<Item = CoreId>>(iter: I) -> Self {
+        let mut set = CoreSet::EMPTY;
+        for c in iter {
+            set.insert(c);
+        }
+        set
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_layout() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.physical_cores(), 16);
+        assert_eq!(t.logical_cores(), 32);
+        // Cores 0-7 on socket 0, 8-15 on socket 1.
+        assert_eq!(t.socket_of(CoreId(0)), 0);
+        assert_eq!(t.socket_of(CoreId(7)), 0);
+        assert_eq!(t.socket_of(CoreId(8)), 1);
+        assert_eq!(t.socket_of(CoreId(15)), 1);
+        // 16-31 are second threads of 0-15.
+        assert_eq!(t.physical_of(CoreId(16)), 0);
+        assert_eq!(t.thread_of(CoreId(16)), 1);
+        assert_eq!(t.socket_of(CoreId(24)), 1);
+    }
+
+    #[test]
+    fn siblings_pair_up() {
+        let t = Topology::paper_testbed();
+        assert_eq!(t.sibling_of(CoreId(0)), Some(CoreId(16)));
+        assert_eq!(t.sibling_of(CoreId(16)), Some(CoreId(0)));
+        assert_eq!(t.sibling_of(CoreId(15)), Some(CoreId(31)));
+        let no_smt = Topology { sockets: 1, cores_per_socket: 4, smt: 1 };
+        assert_eq!(no_smt.sibling_of(CoreId(2)), None);
+    }
+
+    #[test]
+    fn first_n_matches_paper_allocation_order() {
+        let t = Topology::paper_testbed();
+        // 16 cores: one thread per physical core, both sockets, no HT.
+        let set = CoreSet::first_n(16, &t);
+        assert_eq!(set.len(), 16);
+        assert!(set.iter().all(|c| t.thread_of(c) == 0));
+        // 32 cores: HT siblings included.
+        let set = CoreSet::first_n(32, &t);
+        assert_eq!(set.len(), 32);
+        assert!(set.iter().any(|c| t.thread_of(c) == 1));
+        // 8 cores: socket 0 only.
+        let set = CoreSet::first_n(8, &t);
+        assert!(set.iter().all(|c| t.socket_of(c) == 0));
+    }
+
+    #[test]
+    fn core_display() {
+        assert_eq!(CoreId(5).to_string(), "cpu5");
+    }
+
+    #[test]
+    fn coreset_basic_ops() {
+        let mut s = CoreSet::EMPTY;
+        assert!(s.is_empty());
+        s.insert(CoreId(3)).insert(CoreId(10));
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(CoreId(3)));
+        assert!(!s.contains(CoreId(4)));
+        let collected: CoreSet = s.iter().collect();
+        assert_eq!(collected, s);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for the hardware models.
+
+use dbsens_hwsim::cache::{CatMask, Llc};
+use dbsens_hwsim::calib::{CacheCalib, DramCalib, SsdCalib};
+use dbsens_hwsim::dram::Dram;
+use dbsens_hwsim::mem::{MemProfile, Region};
+use dbsens_hwsim::rng::SimRng;
+use dbsens_hwsim::ssd::{BlockIoLimit, Ssd};
+use dbsens_hwsim::time::SimTime;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache model conserves accesses: hits + misses equals exactly
+    /// the profile's access count, for any mix of patterns and any mask.
+    #[test]
+    fn cache_conserves_accesses(
+        ways in 1u32..=20,
+        patterns in prop::collection::vec(
+            (1u64..50, 1u64..(1 << 22), 1u64..20_000, any::<bool>()),
+            1..6,
+        ),
+    ) {
+        let calib = CacheCalib::default();
+        let line = calib.line_bytes;
+        let mut llc = Llc::new(2, calib);
+        llc.set_mask(CatMask::contiguous(ways));
+        let mut rng = SimRng::new(7);
+        let mut profile = MemProfile::new();
+        for (region, footprint, count, is_stream) in patterns {
+            if is_stream {
+                profile.stream(Region::new(region), footprint);
+            } else {
+                profile.random(Region::new(region), footprint, count);
+            }
+        }
+        let out = llc.access(0, &profile, &mut rng);
+        prop_assert_eq!(out.total(), profile.total_accesses(line));
+    }
+
+    /// More cache ways never increase the steady-state miss ratio of a
+    /// fixed random working set (monotonicity in capacity).
+    #[test]
+    fn more_ways_never_hurt(footprint_mb in 1u64..12, seed in 0u64..50) {
+        let measure = |ways: u32| {
+            let mut llc = Llc::new(1, CacheCalib::default());
+            llc.set_mask(CatMask::contiguous(ways));
+            let mut rng = SimRng::new(seed);
+            let mut p = MemProfile::new();
+            p.random(Region::new(1), footprint_mb << 20, 30_000);
+            llc.access(0, &p, &mut rng); // warm
+            llc.access(0, &p, &mut rng).miss_ratio()
+        };
+        let small = measure(2);
+        let large = measure(20);
+        prop_assert!(
+            large <= small + 0.05,
+            "20 ways ({large}) should not miss more than 2 ways ({small})"
+        );
+    }
+
+    /// SSD completion times are monotone in submission order per channel,
+    /// and completion-accounted bytes never exceed submissions.
+    #[test]
+    fn ssd_fifo_and_accounting(
+        reads in prop::collection::vec(1u64..(8 << 20), 1..40),
+        limit_mbps in prop::sample::select(vec![25.0f64, 100.0, 800.0, 2500.0]),
+    ) {
+        let mut ssd = Ssd::new(SsdCalib::default());
+        ssd.set_limit(BlockIoLimit::read_mbps(limit_mbps));
+        let mut last = SimTime::ZERO;
+        let mut total = 0u64;
+        for bytes in reads {
+            let done = ssd.submit_read(SimTime::ZERO, bytes);
+            prop_assert!(done >= last, "FIFO order violated");
+            last = done;
+            total += bytes;
+        }
+        for t in [0u64, 1_000_000, 1_000_000_000, u64::MAX / 2] {
+            let at = ssd.stats_at(SimTime::from_nanos(t));
+            prop_assert!(at.read_bytes <= total);
+        }
+        prop_assert_eq!(ssd.stats().read_bytes, total);
+        // Eventually everything completes.
+        prop_assert_eq!(ssd.stats_at(SimTime::from_nanos(u64::MAX / 2)).read_bytes, total);
+    }
+
+    /// DRAM queueing delay is non-negative and the channel drains: after
+    /// enough idle time, new requests see no delay.
+    #[test]
+    fn dram_queue_drains(bursts in prop::collection::vec(1u64..(4 << 20), 1..30)) {
+        let mut dram = Dram::new(1, DramCalib::default());
+        let mut total = 0u64;
+        for b in &bursts {
+            let d = dram.charge(0, SimTime::ZERO, *b, 0.25);
+            prop_assert!(d.as_nanos() < u64::MAX / 2);
+            total += b;
+        }
+        prop_assert_eq!(dram.stats().bytes, total);
+        // 10 virtual seconds later the channel must be idle.
+        let later = SimTime::from_nanos(10_000_000_000);
+        prop_assert_eq!(dram.charge(0, later, 64, 0.0).as_nanos(), 0);
+    }
+
+    /// The RNG respects bounds for any input.
+    #[test]
+    fn rng_bounds(seed in any::<u64>(), bound in 1u64..u64::MAX) {
+        let mut rng = SimRng::new(seed);
+        for _ in 0..32 {
+            prop_assert!(rng.next_below(bound) < bound);
+            let f = rng.next_f64();
+            prop_assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

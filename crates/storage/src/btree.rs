@@ -1,0 +1,631 @@
+//! A from-scratch B+ tree index.
+//!
+//! This is the engine's B-tree substrate: arena-allocated nodes, leaf
+//! chaining for range scans, split-on-insert and borrow/merge-on-delete
+//! rebalancing. Entries are `(Key, RowId)` pairs, so duplicate keys are
+//! naturally supported (the pair is unique).
+//!
+//! The logical tree holds scaled-down data; the physical shape of the
+//! paper-scale index (levels, pages) is computed separately by
+//! [`crate::physical`].
+
+use crate::value::Key;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a heap row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct RowId(pub u64);
+
+impl fmt::Display for RowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rid{}", self.0)
+    }
+}
+
+type Entry = (Key, RowId);
+
+/// Maximum entries per leaf and children per internal node.
+const MAX: usize = 32;
+/// Minimum entries per non-root leaf and children per non-root internal.
+const MIN: usize = MAX / 2;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { entries: Vec<Entry>, next: Option<usize> },
+    Internal { seps: Vec<Entry>, children: Vec<usize> },
+    /// Arena slot on the free list.
+    Free,
+}
+
+/// A B+ tree index from composite [`Key`]s to [`RowId`]s.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_storage::btree::{BTree, RowId};
+/// use dbsens_storage::value::Key;
+///
+/// let mut index = BTree::new();
+/// index.insert(Key::int(10), RowId(1));
+/// index.insert(Key::int(20), RowId(2));
+/// assert_eq!(index.get(&Key::int(10)).collect::<Vec<_>>(), vec![RowId(1)]);
+/// assert_eq!(index.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct BTree {
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    root: usize,
+    len: usize,
+}
+
+impl Default for BTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BTree {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        BTree { nodes: vec![Node::Leaf { entries: Vec::new(), next: None }], free: Vec::new(), root: 0, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the index holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Height of the tree (1 for a lone leaf).
+    pub fn height(&self) -> usize {
+        let mut h = 1;
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Leaf { .. } => return h,
+                Node::Internal { children, .. } => {
+                    idx = children[0];
+                    h += 1;
+                }
+                Node::Free => unreachable!("free node reachable from root"),
+            }
+        }
+    }
+
+    /// Number of live arena nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len() - self.free.len()
+    }
+
+    fn alloc(&mut self, node: Node) -> usize {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx] = node;
+            idx
+        } else {
+            self.nodes.push(node);
+            self.nodes.len() - 1
+        }
+    }
+
+    fn dealloc(&mut self, idx: usize) {
+        self.nodes[idx] = Node::Free;
+        self.free.push(idx);
+    }
+
+    /// Inserts an entry. Returns `false` if the exact `(key, rid)` pair was
+    /// already present (and leaves the tree unchanged).
+    pub fn insert(&mut self, key: Key, rid: RowId) -> bool {
+        let entry = (key, rid);
+        match self.insert_rec(self.root, entry) {
+            InsertResult::Duplicate => false,
+            InsertResult::Done => {
+                self.len += 1;
+                true
+            }
+            InsertResult::Split(sep, new_idx) => {
+                self.len += 1;
+                let old_root = self.root;
+                self.root = self.alloc(Node::Internal { seps: vec![sep], children: vec![old_root, new_idx] });
+                true
+            }
+        }
+    }
+
+    /// Removes an entry. Returns `false` if the pair was not present.
+    pub fn remove(&mut self, key: &Key, rid: RowId) -> bool {
+        let entry = (key.clone(), rid);
+        if !self.remove_rec(self.root, &entry) {
+            return false;
+        }
+        self.len -= 1;
+        // Collapse a root that shrank to a single child.
+        if let Node::Internal { children, .. } = &self.nodes[self.root] {
+            if children.len() == 1 {
+                let child = children[0];
+                let old = self.root;
+                self.root = child;
+                self.dealloc(old);
+            }
+        }
+        true
+    }
+
+    /// All row ids with exactly this key, in row-id order.
+    pub fn get<'a>(&'a self, key: &'a Key) -> impl Iterator<Item = RowId> + 'a {
+        self.seek(key).take_while(move |(k, _)| *k == key).map(|(_, rid)| rid)
+    }
+
+    /// Returns `true` if any entry has this key.
+    pub fn contains_key(&self, key: &Key) -> bool {
+        self.get(key).next().is_some()
+    }
+
+    /// Iterates entries with key `>= key`, in key order.
+    pub fn seek<'a>(&'a self, key: &'a Key) -> Cursor<'a> {
+        let probe = (key.clone(), RowId(0));
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Internal { seps, children } => {
+                    let ci = seps.partition_point(|s| *s <= probe);
+                    idx = children[ci];
+                }
+                Node::Leaf { entries, .. } => {
+                    let pos = entries.partition_point(|e| *e < probe);
+                    return Cursor { tree: self, leaf: Some(idx), pos };
+                }
+                Node::Free => unreachable!("free node reachable from root"),
+            }
+        }
+    }
+
+    /// Iterates all entries in key order.
+    pub fn iter(&self) -> Cursor<'_> {
+        let mut idx = self.root;
+        loop {
+            match &self.nodes[idx] {
+                Node::Internal { children, .. } => idx = children[0],
+                Node::Leaf { .. } => return Cursor { tree: self, leaf: Some(idx), pos: 0 },
+                Node::Free => unreachable!("free node reachable from root"),
+            }
+        }
+    }
+
+    /// Iterates entries with `lo <= key < hi`.
+    pub fn range<'a>(&'a self, lo: &'a Key, hi: &'a Key) -> impl Iterator<Item = (&'a Key, RowId)> + 'a {
+        self.seek(lo).take_while(move |(k, _)| *k < hi)
+    }
+
+    fn insert_rec(&mut self, idx: usize, entry: Entry) -> InsertResult {
+        match &mut self.nodes[idx] {
+            Node::Leaf { entries, next } => {
+                let pos = entries.partition_point(|e| *e < entry);
+                if entries.get(pos).is_some_and(|e| *e == entry) {
+                    return InsertResult::Duplicate;
+                }
+                entries.insert(pos, entry);
+                if entries.len() <= MAX {
+                    return InsertResult::Done;
+                }
+                let right_entries = entries.split_off(entries.len() / 2);
+                let sep = right_entries[0].clone();
+                let old_next = *next;
+                let new_idx = self.alloc(Node::Leaf { entries: right_entries, next: old_next });
+                if let Node::Leaf { next, .. } = &mut self.nodes[idx] {
+                    *next = Some(new_idx);
+                }
+                InsertResult::Split(sep, new_idx)
+            }
+            Node::Internal { seps, children } => {
+                let ci = seps.partition_point(|s| *s <= entry);
+                let child = children[ci];
+                match self.insert_rec(child, entry) {
+                    InsertResult::Split(sep, new_child) => {
+                        let Node::Internal { seps, children } = &mut self.nodes[idx] else {
+                            unreachable!()
+                        };
+                        seps.insert(ci, sep);
+                        children.insert(ci + 1, new_child);
+                        if children.len() <= MAX {
+                            return InsertResult::Done;
+                        }
+                        // Split this internal node: the middle separator
+                        // moves up.
+                        let mid = seps.len() / 2;
+                        let up = seps[mid].clone();
+                        let right_seps = seps.split_off(mid + 1);
+                        seps.pop(); // drop the promoted separator
+                        let right_children = children.split_off(mid + 1);
+                        let new_idx =
+                            self.alloc(Node::Internal { seps: right_seps, children: right_children });
+                        InsertResult::Split(up, new_idx)
+                    }
+                    other => other,
+                }
+            }
+            Node::Free => unreachable!("descended into free node"),
+        }
+    }
+
+    fn remove_rec(&mut self, idx: usize, entry: &Entry) -> bool {
+        match &mut self.nodes[idx] {
+            Node::Leaf { entries, .. } => {
+                let pos = entries.partition_point(|e| e < entry);
+                if entries.get(pos).is_some_and(|e| e == entry) {
+                    entries.remove(pos);
+                    true
+                } else {
+                    false
+                }
+            }
+            Node::Internal { seps, children } => {
+                let ci = seps.partition_point(|s| s <= entry);
+                let child = children[ci];
+                if !self.remove_rec(child, entry) {
+                    return false;
+                }
+                if self.node_size(child) < MIN {
+                    self.fix_underflow(idx, ci);
+                }
+                true
+            }
+            Node::Free => unreachable!("descended into free node"),
+        }
+    }
+
+    fn node_size(&self, idx: usize) -> usize {
+        match &self.nodes[idx] {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { children, .. } => children.len(),
+            Node::Free => unreachable!("sized a free node"),
+        }
+    }
+
+    /// Restores the minimum-occupancy invariant for `parent`'s `ci`-th
+    /// child by borrowing from a sibling or merging with one.
+    fn fix_underflow(&mut self, parent: usize, ci: usize) {
+        let (left_sib, right_sib) = {
+            let Node::Internal { children, .. } = &self.nodes[parent] else { unreachable!() };
+            (
+                if ci > 0 { Some(children[ci - 1]) } else { None },
+                if ci + 1 < children.len() { Some(children[ci + 1]) } else { None },
+            )
+        };
+        if let Some(l) = left_sib {
+            if self.node_size(l) > MIN {
+                self.borrow_from_left(parent, ci);
+                return;
+            }
+        }
+        if let Some(r) = right_sib {
+            if self.node_size(r) > MIN {
+                self.borrow_from_right(parent, ci);
+                return;
+            }
+        }
+        // Merge with a sibling: prefer merging into the left one.
+        if left_sib.is_some() {
+            self.merge_children(parent, ci - 1);
+        } else if right_sib.is_some() {
+            self.merge_children(parent, ci);
+        }
+    }
+
+    fn two_nodes(&mut self, a: usize, b: usize) -> (&mut Node, &mut Node) {
+        assert_ne!(a, b);
+        if a < b {
+            let (lo, hi) = self.nodes.split_at_mut(b);
+            (&mut lo[a], &mut hi[0])
+        } else {
+            let (lo, hi) = self.nodes.split_at_mut(a);
+            (&mut hi[0], &mut lo[b])
+        }
+    }
+
+    fn borrow_from_left(&mut self, parent: usize, ci: usize) {
+        let (left, child) = {
+            let Node::Internal { children, .. } = &self.nodes[parent] else { unreachable!() };
+            (children[ci - 1], children[ci])
+        };
+        // For internal children the parent separator rotates down into the
+        // child and the left sibling's last separator rotates up.
+        let down = {
+            let Node::Internal { seps, .. } = &self.nodes[parent] else { unreachable!() };
+            seps[ci - 1].clone()
+        };
+        let new_sep = {
+            let (l, c) = self.two_nodes(left, child);
+            match (l, c) {
+                (Node::Leaf { entries: le, .. }, Node::Leaf { entries: ce, .. }) => {
+                    let moved = le.pop().expect("left sibling above MIN");
+                    ce.insert(0, moved.clone());
+                    moved
+                }
+                (
+                    Node::Internal { seps: ls, children: lc },
+                    Node::Internal { seps: cs, children: cc },
+                ) => {
+                    let moved_child = lc.pop().expect("left sibling above MIN");
+                    let up = ls.pop().expect("internal node has seps");
+                    cc.insert(0, moved_child);
+                    cs.insert(0, down);
+                    up
+                }
+                _ => unreachable!("siblings at same level share node kind"),
+            }
+        };
+        let Node::Internal { seps, .. } = &mut self.nodes[parent] else { unreachable!() };
+        seps[ci - 1] = new_sep;
+    }
+
+    fn borrow_from_right(&mut self, parent: usize, ci: usize) {
+        let (child, right) = {
+            let Node::Internal { children, .. } = &self.nodes[parent] else { unreachable!() };
+            (children[ci], children[ci + 1])
+        };
+        let down = {
+            let Node::Internal { seps, .. } = &self.nodes[parent] else { unreachable!() };
+            seps[ci].clone()
+        };
+        let new_sep = {
+            let (c, r) = self.two_nodes(child, right);
+            match (c, r) {
+                (Node::Leaf { entries: ce, .. }, Node::Leaf { entries: re, .. }) => {
+                    let moved = re.remove(0);
+                    ce.push(moved);
+                    re[0].clone()
+                }
+                (
+                    Node::Internal { seps: cs, children: cc },
+                    Node::Internal { seps: rs, children: rc },
+                ) => {
+                    // Parent separator rotates down; right sibling's first
+                    // separator rotates up.
+                    let moved_child = rc.remove(0);
+                    let up = rs.remove(0);
+                    cc.push(moved_child);
+                    cs.push(down);
+                    up
+                }
+                _ => unreachable!("siblings at same level share node kind"),
+            }
+        };
+        let Node::Internal { seps, .. } = &mut self.nodes[parent] else { unreachable!() };
+        seps[ci] = new_sep;
+    }
+
+    /// Merges `parent`'s children `ci` and `ci + 1` into the left one.
+    fn merge_children(&mut self, parent: usize, ci: usize) {
+        let (left, right, sep) = {
+            let Node::Internal { seps, children } = &mut self.nodes[parent] else { unreachable!() };
+            let left = children[ci];
+            let right = children.remove(ci + 1);
+            let sep = seps.remove(ci);
+            (left, right, sep)
+        };
+        let right_node = std::mem::replace(&mut self.nodes[right], Node::Free);
+        self.free.push(right);
+        match (&mut self.nodes[left], right_node) {
+            (Node::Leaf { entries: le, next: ln }, Node::Leaf { entries: re, next: rn }) => {
+                le.extend(re);
+                *ln = rn;
+            }
+            (Node::Internal { seps: ls, children: lc }, Node::Internal { seps: rs, children: rc }) => {
+                ls.push(sep);
+                ls.extend(rs);
+                lc.extend(rc);
+            }
+            _ => unreachable!("merged siblings share node kind"),
+        }
+    }
+
+    /// Verifies structural invariants; used by tests and debug assertions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an invariant is violated.
+    pub fn check_invariants(&self) {
+        let mut count = 0;
+        self.check_node(self.root, true, None, None, &mut count, self.height());
+        assert_eq!(count, self.len, "entry count mismatch");
+    }
+
+    fn check_node(
+        &self,
+        idx: usize,
+        is_root: bool,
+        lo: Option<&Entry>,
+        hi: Option<&Entry>,
+        count: &mut usize,
+        expected_depth: usize,
+    ) {
+        match &self.nodes[idx] {
+            Node::Leaf { entries, .. } => {
+                assert_eq!(expected_depth, 1, "leaves at unequal depth");
+                if !is_root {
+                    assert!(entries.len() >= MIN, "leaf underflow: {}", entries.len());
+                }
+                assert!(entries.len() <= MAX);
+                assert!(entries.windows(2).all(|w| w[0] < w[1]), "unsorted leaf");
+                if let Some(lo) = lo {
+                    assert!(entries.iter().all(|e| e >= lo));
+                }
+                if let Some(hi) = hi {
+                    assert!(entries.iter().all(|e| e < hi));
+                }
+                *count += entries.len();
+            }
+            Node::Internal { seps, children } => {
+                assert_eq!(children.len(), seps.len() + 1);
+                if !is_root {
+                    assert!(children.len() >= MIN, "internal underflow");
+                }
+                assert!(children.len() <= MAX);
+                assert!(seps.windows(2).all(|w| w[0] < w[1]), "unsorted separators");
+                for (i, &child) in children.iter().enumerate() {
+                    let child_lo = if i == 0 { lo } else { Some(&seps[i - 1]) };
+                    let child_hi = if i == seps.len() { hi } else { Some(&seps[i]) };
+                    self.check_node(child, false, child_lo, child_hi, count, expected_depth - 1);
+                }
+            }
+            Node::Free => panic!("free node reachable from root"),
+        }
+    }
+}
+
+enum InsertResult {
+    Done,
+    Duplicate,
+    Split(Entry, usize),
+}
+
+/// Forward iterator over B+ tree entries.
+#[derive(Debug)]
+pub struct Cursor<'a> {
+    tree: &'a BTree,
+    leaf: Option<usize>,
+    pos: usize,
+}
+
+impl<'a> Iterator for Cursor<'a> {
+    type Item = (&'a Key, RowId);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let leaf = self.leaf?;
+            let Node::Leaf { entries, next } = &self.tree.nodes[leaf] else {
+                unreachable!("cursor on non-leaf");
+            };
+            if self.pos < entries.len() {
+                let (k, rid) = &entries[self.pos];
+                self.pos += 1;
+                return Some((k, *rid));
+            }
+            self.leaf = *next;
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build(n: i64) -> BTree {
+        let mut t = BTree::new();
+        // Insert in a scrambled order to exercise splits in both halves.
+        for i in 0..n {
+            let k = (i * 7919) % n;
+            assert!(t.insert(Key::int(k), RowId(k as u64)));
+        }
+        t
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let t = build(1000);
+        assert_eq!(t.len(), 1000);
+        t.check_invariants();
+        for k in [0, 1, 499, 998, 999] {
+            assert_eq!(t.get(&Key::int(k)).collect::<Vec<_>>(), vec![RowId(k as u64)]);
+        }
+        assert!(t.get(&Key::int(1000)).next().is_none());
+        assert!(t.height() > 1);
+    }
+
+    #[test]
+    fn duplicate_pair_rejected_but_duplicate_key_ok() {
+        let mut t = BTree::new();
+        assert!(t.insert(Key::int(1), RowId(10)));
+        assert!(!t.insert(Key::int(1), RowId(10)));
+        assert!(t.insert(Key::int(1), RowId(11)));
+        assert_eq!(t.get(&Key::int(1)).collect::<Vec<_>>(), vec![RowId(10), RowId(11)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let t = build(500);
+        let keys: Vec<i64> = t.iter().map(|(k, _)| k.values()[0].as_int()).collect();
+        assert_eq!(keys.len(), 500);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(keys[0], 0);
+        assert_eq!(keys[499], 499);
+    }
+
+    #[test]
+    fn seek_and_range() {
+        let t = build(100);
+        let from_50: Vec<i64> = t.seek(&Key::int(50)).map(|(k, _)| k.values()[0].as_int()).collect();
+        assert_eq!(from_50.len(), 50);
+        assert_eq!(from_50[0], 50);
+        let lo = Key::int(10);
+        let hi = Key::int(20);
+        let r: Vec<i64> = t.range(&lo, &hi).map(|(k, _)| k.values()[0].as_int()).collect();
+        assert_eq!(r, (10..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn remove_all_in_random_order() {
+        let n = 800;
+        let mut t = build(n);
+        for i in 0..n {
+            let k = (i * 7919 + 13) % n;
+            assert!(t.remove(&Key::int(k), RowId(k as u64)), "missing {k}");
+            if i % 97 == 0 {
+                t.check_invariants();
+            }
+        }
+        assert!(t.is_empty());
+        t.check_invariants();
+        assert_eq!(t.height(), 1);
+    }
+
+    #[test]
+    fn remove_missing_returns_false() {
+        let mut t = build(10);
+        assert!(!t.remove(&Key::int(100), RowId(100)));
+        assert!(!t.remove(&Key::int(1), RowId(999)));
+        assert_eq!(t.len(), 10);
+    }
+
+    #[test]
+    fn interleaved_insert_remove_keeps_invariants() {
+        let mut t = BTree::new();
+        let mut live = std::collections::BTreeSet::new();
+        for step in 0..5000i64 {
+            let k = (step * 31) % 400;
+            if live.contains(&k) {
+                assert!(t.remove(&Key::int(k), RowId(k as u64)));
+                live.remove(&k);
+            } else {
+                assert!(t.insert(Key::int(k), RowId(k as u64)));
+                live.insert(k);
+            }
+            if step % 500 == 0 {
+                t.check_invariants();
+            }
+        }
+        t.check_invariants();
+        assert_eq!(t.len(), live.len());
+        let keys: Vec<i64> = t.iter().map(|(k, _)| k.values()[0].as_int()).collect();
+        assert_eq!(keys, live.iter().copied().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn node_count_shrinks_after_mass_delete() {
+        let mut t = build(2000);
+        let full_nodes = t.node_count();
+        for k in 0..1900 {
+            t.remove(&Key::int(k), RowId(k as u64));
+        }
+        t.check_invariants();
+        assert!(t.node_count() < full_nodes / 4);
+    }
+}

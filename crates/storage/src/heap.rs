@@ -1,0 +1,168 @@
+//! Heap (row-store) tables.
+//!
+//! A heap holds the *logical* rows of a table — real data at scaled-down
+//! cardinality — in insertion slots addressed by [`RowId`]. Deleted slots go
+//! on a free list and are reused, like pages with free space in a real heap.
+
+use crate::btree::RowId;
+use crate::schema::Schema;
+use crate::value::Row;
+
+/// A slotted heap of rows.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_storage::heap::HeapTable;
+/// use dbsens_storage::schema::{ColType, Schema};
+/// use dbsens_storage::value::Value;
+///
+/// let schema = Schema::new(&[("id", ColType::Int)]);
+/// let mut heap = HeapTable::new(schema);
+/// let rid = heap.insert(vec![Value::Int(7)]);
+/// assert_eq!(heap.get(rid).unwrap()[0], Value::Int(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HeapTable {
+    schema: Schema,
+    slots: Vec<Option<Row>>,
+    free: Vec<u64>,
+    live: usize,
+}
+
+impl HeapTable {
+    /// Creates an empty heap for the given schema.
+    pub fn new(schema: Schema) -> Self {
+        HeapTable { schema, slots: Vec::new(), free: Vec::new(), live: 0 }
+    }
+
+    /// The heap's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Returns `true` if there are no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Inserts a row and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the row does not match the schema.
+    pub fn insert(&mut self, row: Row) -> RowId {
+        debug_assert!(self.schema.check_row(&row), "row does not match schema");
+        self.live += 1;
+        if let Some(slot) = self.free.pop() {
+            self.slots[slot as usize] = Some(row);
+            RowId(slot)
+        } else {
+            self.slots.push(Some(row));
+            RowId(self.slots.len() as u64 - 1)
+        }
+    }
+
+    /// Returns the row with the given id, if live.
+    pub fn get(&self, rid: RowId) -> Option<&Row> {
+        self.slots.get(rid.0 as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to a live row.
+    pub fn get_mut(&mut self, rid: RowId) -> Option<&mut Row> {
+        self.slots.get_mut(rid.0 as usize).and_then(|s| s.as_mut())
+    }
+
+    /// Deletes a row; returns it if it was live.
+    pub fn delete(&mut self, rid: RowId) -> Option<Row> {
+        let slot = self.slots.get_mut(rid.0 as usize)?;
+        let row = slot.take()?;
+        self.free.push(rid.0);
+        self.live -= 1;
+        Some(row)
+    }
+
+    /// Iterates `(RowId, &Row)` over live rows in slot order.
+    pub fn iter(&self) -> impl Iterator<Item = (RowId, &Row)> + '_ {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_ref().map(|r| (RowId(i as u64), r)))
+    }
+
+    /// Capacity in slots (live + free), which maps to allocated pages.
+    pub fn slot_count(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::ColType;
+    use crate::value::Value;
+
+    fn heap() -> HeapTable {
+        HeapTable::new(Schema::new(&[("id", ColType::Int), ("v", ColType::Float)]))
+    }
+
+    fn row(id: i64) -> Row {
+        vec![Value::Int(id), Value::Float(id as f64 * 0.5)]
+    }
+
+    #[test]
+    fn insert_get_delete() {
+        let mut h = heap();
+        let a = h.insert(row(1));
+        let b = h.insert(row(2));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(a).unwrap()[0].as_int(), 1);
+        assert_eq!(h.delete(a).unwrap()[0].as_int(), 1);
+        assert!(h.get(a).is_none());
+        assert_eq!(h.len(), 1);
+        assert!(h.get(b).is_some());
+    }
+
+    #[test]
+    fn slots_are_reused() {
+        let mut h = heap();
+        let a = h.insert(row(1));
+        h.insert(row(2));
+        h.delete(a);
+        let c = h.insert(row(3));
+        assert_eq!(c, a, "free slot should be reused");
+        assert_eq!(h.slot_count(), 2);
+    }
+
+    #[test]
+    fn delete_twice_is_none() {
+        let mut h = heap();
+        let a = h.insert(row(1));
+        assert!(h.delete(a).is_some());
+        assert!(h.delete(a).is_none());
+        assert!(h.delete(RowId(99)).is_none());
+    }
+
+    #[test]
+    fn iter_skips_deleted() {
+        let mut h = heap();
+        let ids: Vec<RowId> = (0..10).map(|i| h.insert(row(i))).collect();
+        h.delete(ids[3]);
+        h.delete(ids[7]);
+        let seen: Vec<i64> = h.iter().map(|(_, r)| r[0].as_int()).collect();
+        assert_eq!(seen, vec![0, 1, 2, 4, 5, 6, 8, 9]);
+    }
+
+    #[test]
+    fn get_mut_updates_in_place() {
+        let mut h = heap();
+        let a = h.insert(row(1));
+        h.get_mut(a).unwrap()[1] = Value::Float(9.0);
+        assert_eq!(h.get(a).unwrap()[1].as_f64(), 9.0);
+    }
+}

@@ -1,0 +1,47 @@
+//! # dbsens-storage
+//!
+//! Storage engine substrate for the `dbsens` reproduction of
+//! *"Characterizing Resource Sensitivity of Database Workloads"* (HPCA
+//! 2018): row values and schemas, heap tables, a from-scratch B+ tree, a
+//! compressed columnstore with delta store, an extent-granular buffer pool,
+//! a write-ahead log with group commit, and a lock/latch manager with SQL
+//! Server-style wait classification.
+//!
+//! Logical data structures hold real (scaled-down) data; the [`physical`]
+//! module models their paper-scale footprints so cache and I/O pressure
+//! match the paper's database sizes (Table 2).
+//!
+//! ## Example
+//!
+//! ```
+//! use dbsens_storage::btree::{BTree, RowId};
+//! use dbsens_storage::value::Key;
+//!
+//! let mut index = BTree::new();
+//! for i in 0..100 {
+//!     index.insert(Key::int(i), RowId(i as u64));
+//! }
+//! assert_eq!(index.get(&Key::int(42)).count(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod btree;
+pub mod bufferpool;
+pub mod columnstore;
+pub mod heap;
+pub mod lock;
+pub mod physical;
+pub mod schema;
+pub mod value;
+pub mod wal;
+
+pub use btree::{BTree, RowId};
+pub use bufferpool::{BufferPool, PAGE_BYTES};
+pub use columnstore::ColumnStore;
+pub use heap::HeapTable;
+pub use lock::{LatchKey, LatchTable, LockKey, LockManager, LockMode, LockReq, TxnId};
+pub use physical::{ColumnstoreLayout, IndexLayout, ModelSpace, TableLayout};
+pub use schema::{ColType, ColumnDef, Schema};
+pub use value::{cmp_values, Key, Row, Value};
+pub use wal::{Lsn, Wal};

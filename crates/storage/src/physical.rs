@@ -1,0 +1,395 @@
+//! Physical layout model: paper-scale footprints for scaled-down logical
+//! structures.
+//!
+//! The logical layer (heaps, B-trees, columnstores) holds real data at
+//! reduced cardinality. This module computes the *modeled* physical shape of
+//! each structure at full paper scale — pages, B-tree levels, compressed
+//! segment bytes — inside one global page address space and one cache
+//! [`Region`] namespace. Engine operators combine logical results with these
+//! layouts to emit buffer-pool page runs and LLC access patterns whose
+//! footprints match the paper's databases (Table 2), which is what makes
+//! "fits in memory vs not" land in the right place.
+
+use crate::bufferpool::PAGE_BYTES;
+use crate::columnstore::ColumnStore;
+use dbsens_hwsim::mem::{MemProfile, Region};
+
+/// Fill factor of data pages.
+const DATA_FILL: f64 = 0.95;
+/// Fill factor of index pages.
+const INDEX_FILL: f64 = 0.70;
+/// Per-entry overhead in index pages (row locator + slot).
+const INDEX_ENTRY_OVERHEAD: u64 = 9;
+
+/// Allocator for the global modeled page space and cache region namespace.
+#[derive(Debug, Clone, Default)]
+pub struct ModelSpace {
+    next_page: u64,
+    next_region: u64,
+}
+
+impl ModelSpace {
+    /// Creates an empty space.
+    pub fn new() -> Self {
+        ModelSpace::default()
+    }
+
+    /// Allocates a contiguous run of modeled pages; returns the start page.
+    pub fn alloc_pages(&mut self, pages: u64) -> u64 {
+        let start = self.next_page;
+        self.next_page += pages.max(1);
+        start
+    }
+
+    /// Allocates a fresh cache region.
+    pub fn alloc_region(&mut self) -> Region {
+        self.next_region += 1;
+        Region::new(self.next_region)
+    }
+
+    /// Total modeled pages allocated.
+    pub fn allocated_pages(&self) -> u64 {
+        self.next_page
+    }
+}
+
+/// Paper-scale layout of a row-store table.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_storage::physical::{ModelSpace, TableLayout};
+///
+/// let mut space = ModelSpace::new();
+/// let layout = TableLayout::new(&mut space, 1_000_000, 100);
+/// assert!(layout.pages() > 10_000);
+/// assert!(layout.data_bytes() > 90 * 1_000_000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableLayout {
+    modeled_rows: u64,
+    rows_per_page: u64,
+    start_page: u64,
+    pages: u64,
+    region: Region,
+}
+
+impl TableLayout {
+    /// Lays out a table of `modeled_rows` rows of `row_bytes` each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row_bytes` is zero or exceeds a page.
+    pub fn new(space: &mut ModelSpace, modeled_rows: u64, row_bytes: u64) -> Self {
+        assert!(row_bytes > 0 && row_bytes <= PAGE_BYTES, "bad row size {row_bytes}");
+        let rows_per_page = ((PAGE_BYTES as f64 * DATA_FILL / row_bytes as f64) as u64).max(1);
+        let pages = modeled_rows.div_ceil(rows_per_page).max(1);
+        TableLayout {
+            modeled_rows,
+            rows_per_page,
+            start_page: space.alloc_pages(pages),
+            pages,
+            region: space.alloc_region(),
+        }
+    }
+
+    /// Modeled row count at paper scale.
+    pub fn modeled_rows(&self) -> u64 {
+        self.modeled_rows
+    }
+
+    /// Modeled rows per page.
+    pub fn rows_per_page(&self) -> u64 {
+        self.rows_per_page
+    }
+
+    /// Global page holding modeled row `row` (0-based).
+    pub fn page_of_row(&self, row: u64) -> u64 {
+        self.start_page + (row / self.rows_per_page).min(self.pages - 1)
+    }
+
+    /// Modeled page count.
+    pub fn pages(&self) -> u64 {
+        self.pages
+    }
+
+    /// First global page id.
+    pub fn start_page(&self) -> u64 {
+        self.start_page
+    }
+
+    /// Modeled on-disk bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.pages * PAGE_BYTES
+    }
+
+    /// Cache region of the table's pages.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Global page holding the row at position `fraction` (in `[0, 1)`) of
+    /// the table.
+    pub fn page_of_fraction(&self, fraction: f64) -> u64 {
+        let f = fraction.clamp(0.0, 1.0 - 1e-12);
+        self.start_page + (f * self.pages as f64) as u64
+    }
+
+    /// The page run of a full scan.
+    pub fn scan_run(&self) -> (u64, u64) {
+        (self.start_page, self.pages)
+    }
+
+    /// Adds the LLC behaviour of touching `rows` random rows to a profile.
+    pub fn random_rows_mem(&self, profile: &mut MemProfile, rows: u64) {
+        profile.random(self.region, self.data_bytes(), rows);
+    }
+
+    /// Adds the LLC behaviour of scanning a `fraction` of the table.
+    pub fn scan_mem(&self, profile: &mut MemProfile, fraction: f64) {
+        let bytes = (self.data_bytes() as f64 * fraction.clamp(0.0, 1.0)) as u64;
+        // Tables that fit comfortably in the LLC get reuse across scans;
+        // model their scans as random touches over the footprint instead of
+        // a cold stream.
+        if self.data_bytes() <= 64 << 20 {
+            profile.random(self.region, self.data_bytes(), bytes / 64);
+        } else {
+            profile.stream(self.region, bytes);
+        }
+    }
+}
+
+/// Paper-scale layout of a B-tree index.
+#[derive(Debug, Clone)]
+pub struct IndexLayout {
+    modeled_entries: u64,
+    fanout: u64,
+    levels: u32,
+    leaf_pages: u64,
+    internal_pages: u64,
+    start_page: u64,
+    leaf_region: Region,
+    internal_region: Region,
+}
+
+impl IndexLayout {
+    /// Lays out an index of `modeled_entries` entries with `key_bytes`
+    /// keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key_bytes` is zero.
+    pub fn new(space: &mut ModelSpace, modeled_entries: u64, key_bytes: u64) -> Self {
+        assert!(key_bytes > 0, "zero-byte keys");
+        let entry_bytes = key_bytes + INDEX_ENTRY_OVERHEAD;
+        let fanout = ((PAGE_BYTES as f64 * INDEX_FILL / entry_bytes as f64) as u64).max(2);
+        let leaf_pages = modeled_entries.div_ceil(fanout).max(1);
+        let mut internal_pages = 0;
+        let mut level_nodes = leaf_pages;
+        let mut levels = 1;
+        while level_nodes > 1 {
+            level_nodes = level_nodes.div_ceil(fanout);
+            internal_pages += level_nodes;
+            levels += 1;
+        }
+        IndexLayout {
+            modeled_entries,
+            fanout,
+            levels,
+            leaf_pages,
+            internal_pages,
+            start_page: space.alloc_pages(leaf_pages + internal_pages),
+            leaf_region: space.alloc_region(),
+            internal_region: space.alloc_region(),
+        }
+    }
+
+    /// B-tree depth at paper scale (1 = lone leaf).
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Modeled index bytes (leaf + internal pages), the Table 2 "Index"
+    /// column.
+    pub fn index_bytes(&self) -> u64 {
+        (self.leaf_pages + self.internal_pages) * PAGE_BYTES
+    }
+
+    /// Modeled entry count.
+    pub fn modeled_entries(&self) -> u64 {
+        self.modeled_entries
+    }
+
+    /// Page fan-out.
+    pub fn fanout(&self) -> u64 {
+        self.fanout
+    }
+
+    /// Global page id of the leaf holding key position `fraction`.
+    pub fn leaf_page_of_fraction(&self, fraction: f64) -> u64 {
+        let f = fraction.clamp(0.0, 1.0 - 1e-12);
+        self.start_page + (f * self.leaf_pages as f64) as u64
+    }
+
+    /// The page run of a range scan over `fraction` of the leaf level
+    /// starting at key position `start_fraction`.
+    pub fn leaf_scan_run(&self, start_fraction: f64, fraction: f64) -> (u64, u64) {
+        let start = self.leaf_page_of_fraction(start_fraction);
+        let pages = ((self.leaf_pages as f64 * fraction).ceil() as u64)
+            .max(1)
+            .min(self.start_page + self.leaf_pages - start);
+        (start, pages)
+    }
+
+    /// Adds the LLC behaviour of `probes` root-to-leaf traversals: the
+    /// upper levels are a small, heavily reused footprint; the leaf level is
+    /// a random touch over the full leaf footprint.
+    pub fn probe_mem(&self, profile: &mut MemProfile, probes: u64) {
+        if probes == 0 {
+            return;
+        }
+        let internal_bytes = (self.internal_pages * PAGE_BYTES).max(PAGE_BYTES);
+        let upper_touches = probes * (self.levels.saturating_sub(1) as u64).max(1);
+        profile.random(self.internal_region, internal_bytes, upper_touches);
+        profile.random(self.leaf_region, self.leaf_pages * PAGE_BYTES, probes);
+    }
+}
+
+/// Paper-scale layout of a columnstore.
+#[derive(Debug, Clone)]
+pub struct ColumnstoreLayout {
+    col_pages: Vec<u64>,
+    col_start: Vec<u64>,
+    total_pages: u64,
+    region: Region,
+}
+
+impl ColumnstoreLayout {
+    /// Derives the paper-scale layout from a logical columnstore holding
+    /// `1 / row_scale` of the modeled rows: compressed bytes scale
+    /// linearly with row count (dictionary/RLE sizes are dominated by the
+    /// per-row code/run streams).
+    pub fn from_logical(space: &mut ModelSpace, cs: &ColumnStore, row_scale: f64) -> Self {
+        let cols = cs.schema().len();
+        let mut col_bytes = vec![0u64; cols];
+        for group in cs.groups() {
+            for (c, bytes) in col_bytes.iter_mut().enumerate() {
+                *bytes += group.segment(c).compressed_bytes();
+            }
+        }
+        let mut col_pages = Vec::with_capacity(cols);
+        let mut col_start = Vec::with_capacity(cols);
+        let mut total = 0;
+        for bytes in &col_bytes {
+            let modeled = (*bytes as f64 * row_scale) as u64;
+            let pages = modeled.div_ceil(PAGE_BYTES).max(1);
+            col_pages.push(pages);
+            total += pages;
+        }
+        let start = space.alloc_pages(total);
+        let mut cursor = start;
+        for pages in &col_pages {
+            col_start.push(cursor);
+            cursor += pages;
+        }
+        ColumnstoreLayout { col_pages, col_start, total_pages: total, region: space.alloc_region() }
+    }
+
+    /// Modeled compressed bytes across all columns.
+    pub fn data_bytes(&self) -> u64 {
+        self.total_pages * PAGE_BYTES
+    }
+
+    /// The page run of scanning column `c` (optionally only a fraction of
+    /// its segments, after segment elimination).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn column_scan_run(&self, c: usize, fraction: f64) -> (u64, u64) {
+        let pages = ((self.col_pages[c] as f64 * fraction.clamp(0.0, 1.0)).ceil() as u64).max(1);
+        (self.col_start[c], pages.min(self.col_pages[c]))
+    }
+
+    /// Adds the LLC behaviour of scanning column `c` over `fraction` of its
+    /// segments: decompression streams the compressed bytes through the
+    /// cache.
+    pub fn column_scan_mem(&self, profile: &mut MemProfile, c: usize, fraction: f64) {
+        let bytes =
+            (self.col_pages[c] as f64 * PAGE_BYTES as f64 * fraction.clamp(0.0, 1.0)) as u64;
+        profile.stream(self.region, bytes);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::columnstore::ColumnStore;
+    use crate::schema::{ColType, Schema};
+    use crate::value::Value;
+
+    #[test]
+    fn model_space_is_disjoint() {
+        let mut s = ModelSpace::new();
+        let a = TableLayout::new(&mut s, 1000, 100);
+        let b = TableLayout::new(&mut s, 1000, 100);
+        assert!(a.start_page() + a.pages() <= b.start_page());
+        assert_ne!(a.region(), b.region());
+    }
+
+    #[test]
+    fn table_layout_sizes() {
+        let mut s = ModelSpace::new();
+        // 100-byte rows: 77 rows/page at 95% fill.
+        let t = TableLayout::new(&mut s, 77_000, 100);
+        assert_eq!(t.pages(), 1000);
+        assert_eq!(t.data_bytes(), 1000 * PAGE_BYTES);
+        assert_eq!(t.page_of_fraction(0.0), t.start_page());
+        assert_eq!(t.page_of_fraction(0.5), t.start_page() + 500);
+        assert!(t.page_of_fraction(1.0) < t.start_page() + 1000);
+    }
+
+    #[test]
+    fn index_layout_levels_grow_with_entries() {
+        let mut s = ModelSpace::new();
+        let small = IndexLayout::new(&mut s, 100, 8);
+        let big = IndexLayout::new(&mut s, 100_000_000, 8);
+        assert_eq!(small.levels(), 1);
+        assert!(big.levels() >= 3, "levels={}", big.levels());
+        assert!(big.index_bytes() > small.index_bytes() * 1000);
+    }
+
+    #[test]
+    fn index_probe_mem_includes_hot_and_leaf() {
+        let mut s = ModelSpace::new();
+        let idx = IndexLayout::new(&mut s, 10_000_000, 16);
+        let mut p = MemProfile::new();
+        idx.probe_mem(&mut p, 100);
+        assert_eq!(p.patterns().len(), 2);
+    }
+
+    #[test]
+    fn leaf_scan_run_clamps_to_index() {
+        let mut s = ModelSpace::new();
+        let idx = IndexLayout::new(&mut s, 1_000_000, 8);
+        let (start, pages) = idx.leaf_scan_run(0.9, 0.5);
+        assert!(pages >= 1);
+        // Must not run past the leaf level.
+        assert!(start + pages <= idx.leaf_page_of_fraction(0.999_999) + 2);
+    }
+
+    #[test]
+    fn columnstore_layout_scales_with_row_scale() {
+        let schema = Schema::new(&[("a", ColType::Int), ("b", ColType::Int)]);
+        let rows: Vec<Vec<Value>> =
+            (0..1000).map(|i| vec![Value::Int(i), Value::Int(i % 7)]).collect();
+        let cs = ColumnStore::build(schema, &rows, 256);
+        let mut s = ModelSpace::new();
+        let small = ColumnstoreLayout::from_logical(&mut s, &cs, 1.0);
+        let big = ColumnstoreLayout::from_logical(&mut s, &cs, 1000.0);
+        assert!(big.data_bytes() > small.data_bytes() * 100);
+        let (_, pages_full) = big.column_scan_run(0, 1.0);
+        let (_, pages_half) = big.column_scan_run(0, 0.5);
+        assert!(pages_half <= pages_full / 2 + 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Table schemas.
+
+use crate::value::{Row, Value};
+use serde::{Deserialize, Serialize};
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ColType {
+    /// 64-bit integer (ids, dates as day numbers, money in cents).
+    Int,
+    /// 64-bit float.
+    Float,
+    /// Variable-length string; the number is the average length used by the
+    /// physical sizing model.
+    Str(u32),
+}
+
+impl ColType {
+    /// Average stored bytes per value of this type.
+    pub fn avg_bytes(self) -> u64 {
+        match self {
+            ColType::Int | ColType::Float => 8,
+            ColType::Str(n) => 2 + n as u64,
+        }
+    }
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ColumnDef {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub ty: ColType,
+}
+
+/// An ordered list of columns.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_storage::schema::{ColType, Schema};
+///
+/// let schema = Schema::new(&[("id", ColType::Int), ("name", ColType::Str(20))]);
+/// assert_eq!(schema.col("name"), 1);
+/// assert_eq!(schema.len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    columns: Vec<ColumnDef>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate column names.
+    pub fn new(cols: &[(&str, ColType)]) -> Self {
+        let mut seen = std::collections::HashSet::new();
+        for (name, _) in cols {
+            assert!(seen.insert(*name), "duplicate column {name}");
+        }
+        Schema {
+            columns: cols
+                .iter()
+                .map(|(name, ty)| ColumnDef { name: (*name).to_owned(), ty: *ty })
+                .collect(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Returns `true` for a zero-column schema.
+    pub fn is_empty(&self) -> bool {
+        self.columns.is_empty()
+    }
+
+    /// Column index by name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column does not exist; schemas are static so a miss is
+    /// a programming error.
+    pub fn col(&self, name: &str) -> usize {
+        self.columns
+            .iter()
+            .position(|c| c.name == name)
+            .unwrap_or_else(|| panic!("no column named {name}"))
+    }
+
+    /// The column definitions.
+    pub fn columns(&self) -> &[ColumnDef] {
+        &self.columns
+    }
+
+    /// Average stored row bytes (values plus slotted-page overhead), for
+    /// the physical sizing model.
+    pub fn avg_row_bytes(&self) -> u64 {
+        let values: u64 = self.columns.iter().map(|c| c.ty.avg_bytes()).sum();
+        // Row header + slot array entry on an 8 KB slotted page.
+        values + 11
+    }
+
+    /// Validates a row against the schema (arity and basic type match).
+    pub fn check_row(&self, row: &Row) -> bool {
+        row.len() == self.columns.len()
+            && row.iter().zip(&self.columns).all(|(v, c)| {
+                matches!(
+                    (v, c.ty),
+                    (Value::Int(_), ColType::Int)
+                        | (Value::Float(_), ColType::Float)
+                        | (Value::Str(_), ColType::Str(_))
+                        | (Value::Null, _)
+                )
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(&[("id", ColType::Int), ("price", ColType::Float), ("name", ColType::Str(10))])
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = schema();
+        assert_eq!(s.col("id"), 0);
+        assert_eq!(s.col("name"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no column named")]
+    fn missing_column_panics() {
+        schema().col("nope");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_column_rejected() {
+        let _ = Schema::new(&[("a", ColType::Int), ("a", ColType::Int)]);
+    }
+
+    #[test]
+    fn row_validation() {
+        let s = schema();
+        assert!(s.check_row(&vec![Value::Int(1), Value::Float(2.0), Value::Str("x".into())]));
+        assert!(s.check_row(&vec![Value::Int(1), Value::Null, Value::Null]));
+        assert!(!s.check_row(&vec![Value::Int(1), Value::Float(2.0)]));
+        assert!(!s.check_row(&vec![Value::Str("x".into()), Value::Float(2.0), Value::Str("y".into())]));
+    }
+
+    #[test]
+    fn sizing_includes_overhead() {
+        let s = schema();
+        assert_eq!(s.avg_row_bytes(), 8 + 8 + 12 + 11);
+    }
+}

@@ -1,0 +1,115 @@
+//! Calendar dates encoded as day numbers since 1992-01-01.
+
+/// Days per month in a non-leap year.
+const MONTH_DAYS: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+/// Base year of the encoding.
+pub const BASE_YEAR: i64 = 1992;
+
+fn is_leap(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Day number of `y-m-d` (1-based month and day) since 1992-01-01.
+///
+/// # Panics
+///
+/// Panics on out-of-range months/days or years before 1992.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_workloads::dates::date;
+///
+/// assert_eq!(date(1992, 1, 1), 0);
+/// assert_eq!(date(1992, 2, 1), 31);
+/// assert_eq!(date(1993, 1, 1), 366); // 1992 is a leap year
+/// ```
+pub fn date(y: i64, m: i64, d: i64) -> i64 {
+    assert!(y >= BASE_YEAR, "year before epoch");
+    assert!((1..=12).contains(&m) && d >= 1, "invalid date");
+    let mut days = 0;
+    for yy in BASE_YEAR..y {
+        days += if is_leap(yy) { 366 } else { 365 };
+    }
+    for mm in 0..(m - 1) as usize {
+        days += MONTH_DAYS[mm];
+        if mm == 1 && is_leap(y) {
+            days += 1;
+        }
+    }
+    days + (d - 1)
+}
+
+/// The year containing day number `day`.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_workloads::dates::{date, year_of};
+///
+/// assert_eq!(year_of(date(1995, 6, 17)), 1995);
+/// assert_eq!(year_of(0), 1992);
+/// ```
+pub fn year_of(day: i64) -> i64 {
+    let mut y = BASE_YEAR;
+    let mut rem = day;
+    loop {
+        let len = if is_leap(y) { 366 } else { 365 };
+        if rem < len {
+            return y;
+        }
+        rem -= len;
+        y += 1;
+    }
+}
+
+/// Adds `years` years to a day number (same month/day, clamped).
+pub fn add_years(day: i64, years: i64) -> i64 {
+    let y = year_of(day);
+    let day_in_year = day - date(y, 1, 1);
+    let target = y + years;
+    let max = if is_leap(target) { 365 } else { 364 };
+    date(target, 1, 1) + day_in_year.min(max)
+}
+
+/// First day of TPC-H order dates (1992-01-01).
+pub const ORDER_DATE_LO: i64 = 0;
+
+/// Last order date per the TPC-H spec (1998-08-02).
+pub fn order_date_hi() -> i64 {
+    date(1998, 8, 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_dates() {
+        assert_eq!(date(1992, 1, 31), 30);
+        assert_eq!(date(1992, 3, 1), 60); // leap February
+        assert_eq!(date(1993, 3, 1), 366 + 59);
+        assert_eq!(date(1995, 1, 1), 366 + 365 + 365);
+    }
+
+    #[test]
+    fn year_roundtrip() {
+        for (y, m, d) in [(1992, 1, 1), (1994, 12, 31), (1995, 6, 17), (1998, 8, 2)] {
+            assert_eq!(year_of(date(y, m, d)), y, "{y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn add_years_moves_by_calendar_year() {
+        let d = date(1993, 1, 1);
+        assert_eq!(add_years(d, 1), date(1994, 1, 1));
+        assert_eq!(add_years(date(1995, 6, 17), 2), date(1997, 6, 17));
+    }
+
+    #[test]
+    fn order_window_length_matches_spec() {
+        // 1992-01-01 .. 1998-08-02 is 2406 days inclusive.
+        assert_eq!(order_date_hi() - ORDER_DATE_LO, 2405);
+    }
+}

@@ -1,0 +1,347 @@
+//! Workload assembly: turns a workload specification into a database plus
+//! ready-to-spawn simulator tasks.
+
+use crate::asdb::{self, AsdbGenerator};
+use crate::htap;
+use crate::scale::ScaleCfg;
+use crate::tpce::{self, TpceGenerator};
+use crate::tpch;
+use dbsens_engine::db::Database;
+use dbsens_engine::governor::Governor;
+use dbsens_engine::grant::GrantManager;
+use dbsens_engine::metrics::RunMetrics;
+use dbsens_engine::plan::Logical;
+use dbsens_engine::tasks::{CheckpointTask, QueryStreamTask};
+use dbsens_engine::txn::TxnClientTask;
+use dbsens_hwsim::rng::SimRng;
+use dbsens_hwsim::task::SimTask;
+use dbsens_hwsim::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Primary performance metric of a workload (paper terminology).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Transactions per second (OLTP).
+    Tps,
+    /// Queries per second (TPC-H throughput runs).
+    Qps,
+    /// Queries per hour (HTAP analytical component).
+    Qph,
+}
+
+/// A workload specification, mirroring the paper's configurations (§3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkloadSpec {
+    /// TPC-H with `streams` concurrent repeating query streams (the paper
+    /// runs 3), each in its own random order.
+    TpchThroughput {
+        /// Scale factor (10/30/100/300 in the paper).
+        sf: f64,
+        /// Concurrent streams.
+        streams: usize,
+    },
+    /// TPC-H single stream, one pass in random order (§7/§8 experiments).
+    TpchPower {
+        /// Scale factor.
+        sf: f64,
+    },
+    /// ASDB with `clients` connections (the paper runs 128).
+    Asdb {
+        /// Scale factor (2000/6000 in the paper).
+        sf: f64,
+        /// Client connections.
+        clients: usize,
+    },
+    /// TPC-E with `users` connections (the paper runs 100).
+    TpcE {
+        /// Scale factor = customers (5000/15000 in the paper).
+        sf: f64,
+        /// Users.
+        users: usize,
+    },
+    /// HTAP: `users - 1` TPC-E users plus one analytical stream (§2.3).
+    Htap {
+        /// Scale factor (5000/15000 in the paper).
+        sf: f64,
+        /// Total users (the paper runs 100: 99 OLTP + 1 DSS).
+        users: usize,
+    },
+}
+
+impl WorkloadSpec {
+    /// Short name ("TPC-H SF=100" style).
+    pub fn name(&self) -> String {
+        match self {
+            WorkloadSpec::TpchThroughput { sf, .. } => format!("TPC-H SF={sf}"),
+            WorkloadSpec::TpchPower { sf } => format!("TPC-H(power) SF={sf}"),
+            WorkloadSpec::Asdb { sf, .. } => format!("ASDB SF={sf}"),
+            WorkloadSpec::TpcE { sf, .. } => format!("TPC-E SF={sf}"),
+            WorkloadSpec::Htap { sf, .. } => format!("HTAP SF={sf}"),
+        }
+    }
+
+    /// The workload's primary metric.
+    pub fn primary_metric(&self) -> MetricKind {
+        match self {
+            WorkloadSpec::TpchThroughput { .. } | WorkloadSpec::TpchPower { .. } => MetricKind::Qps,
+            WorkloadSpec::Asdb { .. } | WorkloadSpec::TpcE { .. } => MetricKind::Tps,
+            WorkloadSpec::Htap { .. } => MetricKind::Tps,
+        }
+    }
+
+    /// The paper's client/stream counts for this workload class.
+    pub fn paper_spec(kind: &str, sf: f64) -> WorkloadSpec {
+        match kind {
+            "tpch" => WorkloadSpec::TpchThroughput { sf, streams: 3 },
+            "asdb" => WorkloadSpec::Asdb { sf, clients: 128 },
+            "tpce" => WorkloadSpec::TpcE { sf, users: 100 },
+            "htap" => WorkloadSpec::Htap { sf, users: 100 },
+            other => panic!("unknown workload kind {other}"),
+        }
+    }
+}
+
+/// A workload built against a database, ready to spawn into a kernel.
+pub struct BuiltWorkload {
+    /// Shared database.
+    pub db: Rc<RefCell<Database>>,
+    /// Shared memory-grant manager.
+    pub grants: Rc<RefCell<GrantManager>>,
+    /// Shared metrics.
+    pub metrics: Rc<RefCell<RunMetrics>>,
+    /// Tasks to spawn (clients / query streams).
+    pub tasks: Vec<Box<dyn SimTask>>,
+    /// Paper Table 2 sizing: (data GB, index GB).
+    pub sizing: (f64, f64),
+}
+
+impl fmt::Debug for BuiltWorkload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("BuiltWorkload")
+            .field("tasks", &self.tasks.len())
+            .field("sizing", &self.sizing)
+            .finish()
+    }
+}
+
+fn permuted_queries(queries: &[(String, Logical)], seed: u64) -> Vec<(String, Logical)> {
+    let mut rng = SimRng::new(seed);
+    let mut out: Vec<(String, Logical)> = queries.to_vec();
+    for i in (1..out.len()).rev() {
+        let j = rng.next_below(i as u64 + 1) as usize;
+        out.swap(i, j);
+    }
+    out
+}
+
+/// Builds a workload: generates the database, wraps it for task sharing,
+/// warms the buffer pool (the paper measures warmed systems), and
+/// constructs the client/stream tasks.
+pub fn build_workload(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Governor) -> BuiltWorkload {
+    let built = build_workload_cold(spec, scale, governor);
+    built.db.borrow_mut().warm_bufferpool();
+    built
+}
+
+/// Like [`build_workload`] but without pre-warming the buffer pool.
+pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Governor) -> BuiltWorkload {
+    let metrics = Rc::new(RefCell::new(RunMetrics::new()));
+    let grants = Rc::new(RefCell::new(GrantManager::new(governor.workspace_bytes)));
+    match spec {
+        WorkloadSpec::TpchThroughput { sf, streams } => {
+            let t = tpch::build(*sf, scale);
+            let sizing = tpch::sizing(&t);
+            let queries = t.all_queries();
+            let db = Rc::new(RefCell::new(t.db));
+            let tasks: Vec<Box<dyn SimTask>> = (0..*streams)
+                .map(|s| {
+                    Box::new(QueryStreamTask::new(
+                        Rc::clone(&db),
+                        Rc::clone(&grants),
+                        Rc::clone(&metrics),
+                        governor.clone(),
+                        permuted_queries(&queries, scale.seed ^ (s as u64 + 1)),
+                        true,
+                        format!("tpch-stream{s}"),
+                    )) as Box<dyn SimTask>
+                })
+                .collect();
+            BuiltWorkload { db, grants, metrics, tasks, sizing }
+        }
+        WorkloadSpec::TpchPower { sf } => {
+            let t = tpch::build(*sf, scale);
+            let sizing = tpch::sizing(&t);
+            let queries = permuted_queries(&t.all_queries(), scale.seed ^ 0x90);
+            let db = Rc::new(RefCell::new(t.db));
+            let tasks: Vec<Box<dyn SimTask>> = vec![Box::new(QueryStreamTask::new(
+                Rc::clone(&db),
+                Rc::clone(&grants),
+                Rc::clone(&metrics),
+                governor.clone(),
+                queries,
+                false,
+                "tpch-power",
+            ))];
+            BuiltWorkload { db, grants, metrics, tasks, sizing }
+        }
+        WorkloadSpec::Asdb { sf, clients } => {
+            let a = asdb::build(*sf, scale);
+            let sizing = asdb::sizing(&a);
+            let generators: Vec<AsdbGenerator> =
+                (0..*clients).map(|i| AsdbGenerator::new(&a, i, *clients)).collect();
+            let db = Rc::new(RefCell::new(a.db));
+            let mut tasks: Vec<Box<dyn SimTask>> = generators
+                .into_iter()
+                .enumerate()
+                .map(|(i, g)| {
+                    Box::new(TxnClientTask::new(
+                        Rc::clone(&db),
+                        Rc::clone(&metrics),
+                        Box::new(g),
+                        SimDuration::ZERO,
+                        format!("asdb{i}"),
+                    )) as Box<dyn SimTask>
+                })
+                .collect();
+            tasks.push(Box::new(CheckpointTask::new(Rc::clone(&db))));
+            BuiltWorkload { db, grants, metrics, tasks, sizing }
+        }
+        WorkloadSpec::TpcE { sf, users } => {
+            let t = tpce::build(*sf, scale);
+            let sizing = tpce::sizing(&t);
+            let generators: Vec<TpceGenerator> =
+                (0..*users).map(|i| TpceGenerator::new(&t, i)).collect();
+            let db = Rc::new(RefCell::new(t.db));
+            let mut tasks: Vec<Box<dyn SimTask>> = generators
+                .into_iter()
+                .enumerate()
+                .map(|(i, g)| {
+                    Box::new(TxnClientTask::new(
+                        Rc::clone(&db),
+                        Rc::clone(&metrics),
+                        Box::new(g),
+                        SimDuration::ZERO,
+                        format!("tpce{i}"),
+                    )) as Box<dyn SimTask>
+                })
+                .collect();
+            tasks.push(Box::new(CheckpointTask::new(Rc::clone(&db))));
+            BuiltWorkload { db, grants, metrics, tasks, sizing }
+        }
+        WorkloadSpec::Htap { sf, users } => {
+            let h = htap::build(*sf, scale);
+            let sizing = tpce::sizing(&h);
+            let queries = htap::analytical_queries(&h);
+            let oltp_users = users.saturating_sub(1).max(1);
+            let generators: Vec<TpceGenerator> =
+                (0..oltp_users).map(|i| TpceGenerator::new(&h, i)).collect();
+            let db = Rc::new(RefCell::new(h.db));
+            let mut tasks: Vec<Box<dyn SimTask>> = generators
+                .into_iter()
+                .enumerate()
+                .map(|(i, g)| {
+                    Box::new(TxnClientTask::new(
+                        Rc::clone(&db),
+                        Rc::clone(&metrics),
+                        Box::new(g),
+                        SimDuration::ZERO,
+                        format!("htap-oltp{i}"),
+                    )) as Box<dyn SimTask>
+                })
+                .collect();
+            // The analytical user runs the four queries sequentially, in
+            // order, repeatedly (paper §3).
+            tasks.push(Box::new(QueryStreamTask::new(
+                Rc::clone(&db),
+                Rc::clone(&grants),
+                Rc::clone(&metrics),
+                governor.clone(),
+                queries,
+                true,
+                "htap-dss",
+            )));
+            tasks.push(Box::new(CheckpointTask::new(Rc::clone(&db))));
+            BuiltWorkload { db, grants, metrics, tasks, sizing }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsens_hwsim::kernel::{Kernel, SimConfig};
+    use dbsens_hwsim::time::SimTime;
+
+    fn run_briefly(spec: WorkloadSpec, secs: u64) -> (BuiltWorkload, Kernel) {
+        let scale = ScaleCfg::test();
+        let gov = Governor::paper_default(8);
+        let built = build_workload(&spec, &scale, &gov);
+        let mut kernel = Kernel::new(SimConfig::paper_default(scale.seed));
+        let mut built = built;
+        for t in built.tasks.drain(..) {
+            kernel.spawn(t);
+        }
+        kernel.run_until(SimTime::from_nanos(secs * 1_000_000_000));
+        (built, kernel)
+    }
+
+    #[test]
+    fn tpce_run_produces_transactions() {
+        let (built, kernel) = run_briefly(WorkloadSpec::TpcE { sf: 200.0, users: 12 }, 2);
+        let m = built.metrics.borrow();
+        assert!(m.txns_committed() > 50, "tps too low: {}", m.txns_committed());
+        assert!(kernel.counters().ssd_write_bytes > 0);
+    }
+
+    #[test]
+    fn asdb_run_produces_transactions() {
+        let (built, _) = run_briefly(WorkloadSpec::Asdb { sf: 50.0, clients: 16 }, 2);
+        assert!(built.metrics.borrow().txns_committed() > 50);
+    }
+
+    #[test]
+    fn tpch_throughput_run_completes_queries() {
+        let (built, _) = run_briefly(WorkloadSpec::TpchThroughput { sf: 1.0, streams: 2 }, 30);
+        assert!(
+            !built.metrics.borrow().queries().is_empty(),
+            "no queries finished in 30 virtual seconds"
+        );
+    }
+
+    #[test]
+    fn htap_runs_both_components() {
+        let (built, _) = run_briefly(WorkloadSpec::Htap { sf: 200.0, users: 10 }, 5);
+        let m = built.metrics.borrow();
+        assert!(m.txns_committed() > 20, "OLTP starved: {}", m.txns_committed());
+        assert!(!m.queries().is_empty(), "DSS starved");
+    }
+
+    #[test]
+    fn stream_orders_differ_between_streams() {
+        let scale = ScaleCfg::test();
+        let t = tpch::build(1.0, &scale);
+        let qs = t.all_queries();
+        let a = permuted_queries(&qs, 1);
+        let b = permuted_queries(&qs, 2);
+        let names = |v: &[(String, Logical)]| v.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>();
+        assert_ne!(names(&a), names(&b));
+        let mut sorted_a = names(&a);
+        sorted_a.sort();
+        let mut all = names(&qs);
+        all.sort();
+        assert_eq!(sorted_a, all, "permutation must keep every query");
+    }
+
+    #[test]
+    fn spec_names_and_metrics() {
+        assert_eq!(WorkloadSpec::paper_spec("tpch", 100.0).name(), "TPC-H SF=100");
+        assert_eq!(WorkloadSpec::paper_spec("asdb", 2000.0).primary_metric(), MetricKind::Tps);
+        assert_eq!(
+            WorkloadSpec::TpchPower { sf: 10.0 }.primary_metric(),
+            MetricKind::Qps
+        );
+    }
+}

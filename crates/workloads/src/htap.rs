@@ -1,0 +1,136 @@
+//! HTAP analog: TPC-E's transactional workload plus concurrent analytical
+//! queries over the same tables.
+//!
+//! Per the paper (§2.3), the TPC-E database is augmented with an updateable
+//! non-clustered columnstore index on its large, fast-growing tables, and
+//! one user repeatedly runs four analytical queries (large scans, joins,
+//! aggregations) while the other 99 run the transactional mix.
+
+use crate::scale::ScaleCfg;
+use crate::tpce::{self, TpceDb};
+use dbsens_engine::expr::{CmpOp, Expr};
+use dbsens_engine::plan::{count, sum, AggFunc, AggSpec, JoinKind, Logical};
+
+/// Builds the HTAP database: TPC-E plus NCCIs on `trade` and
+/// `trade_history`.
+pub fn build(sf: f64, scale: &ScaleCfg) -> TpceDb {
+    let mut db = tpce::build(sf, scale);
+    db.db.create_columnstore(db.t.trade, 4096);
+    db.db.create_columnstore(db.t.trade_history, 4096);
+    db
+}
+
+/// The four analytical queries the HTAP user cycles through.
+///
+/// Column positions refer to the `trade` schema: t_id(0), t_a_id(1),
+/// t_s_id(2), t_type(3), t_status(4), t_qty(5), t_price(6), t_date(7).
+pub fn analytical_queries(db: &TpceDb) -> Vec<(String, Logical)> {
+    analytical_queries_for(&db.t, &db.n)
+}
+
+/// Like [`analytical_queries`], from table ids and counts alone (useful
+/// when the `Database` has been moved out of the [`TpceDb`]).
+pub fn analytical_queries_for(
+    t: &crate::tpce::Tables,
+    n: &crate::tpce::Counts,
+) -> Vec<(String, Logical)> {
+    let trade = t.trade;
+    let security = t.security;
+    let n_trades = n.trade as f64;
+    let n_secs = n.security as f64;
+
+    // A1: top securities by traded value.
+    let a1 = Logical::scan(trade, None, n_trades)
+        .agg(
+            vec![2],
+            vec![AggSpec { func: AggFunc::Sum, expr: Expr::Col(5).mul(Expr::Col(6)) }, count()],
+            n_secs,
+        )
+        .sort(vec![(1, true)])
+        .top(10);
+
+    // A2: recent trade counts by type.
+    let a2 = Logical::scan(
+        trade,
+        Some(Expr::cmp(CmpOp::Ge, Expr::Col(7), Expr::lit(1_800i64))),
+        n_trades * 0.25,
+    )
+    .agg(vec![3], vec![count(), sum(5)], 2.0);
+
+    // A3: traded volume by sector (join with security).
+    // layout: trade(9) ++ security(4) = 13; s_sector = 11
+    let a3 = Logical::scan(trade, None, n_trades)
+        .join(
+            Logical::scan(security, None, n_secs),
+            vec![2],
+            vec![0],
+            JoinKind::Inner,
+            n_trades,
+        )
+        .agg(
+            vec![11],
+            vec![AggSpec { func: AggFunc::Sum, expr: Expr::Col(5).mul(Expr::Col(6)) }],
+            12.0,
+        )
+        .sort(vec![(1, true)]);
+
+    // A4: large-trade revenue (scalar).
+    let a4 = Logical::scan(
+        trade,
+        Some(Expr::cmp(CmpOp::Gt, Expr::Col(5), Expr::lit(400i64))),
+        n_trades * 0.5,
+    )
+    .agg(vec![], vec![AggSpec { func: AggFunc::Sum, expr: Expr::Col(5).mul(Expr::Col(6)) }], 1.0);
+
+    vec![
+        ("HTAP-A1".into(), a1),
+        ("HTAP-A2".into(), a2),
+        ("HTAP-A3".into(), a3),
+        ("HTAP-A4".into(), a4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsens_engine::exec::execute;
+    use dbsens_engine::governor::Governor;
+    use dbsens_engine::optimizer::optimize;
+
+    fn htap() -> TpceDb {
+        build(500.0, &ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 2_000.0, seed: 11 })
+    }
+
+    #[test]
+    fn ncci_present_on_trade_tables() {
+        let h = htap();
+        assert!(h.db.table(h.t.trade).columnstore.is_some());
+        assert!(h.db.table(h.t.trade_history).columnstore.is_some());
+        assert!(h.db.table(h.t.customer).columnstore.is_none());
+    }
+
+    #[test]
+    fn analytical_queries_execute_over_ncci() {
+        let h = htap();
+        let gov = Governor::paper_default(4);
+        let pctx = gov.plan_context(&h.db);
+        for (name, q) in analytical_queries(&h) {
+            let plan = optimize(&h.db, &q, &pctx);
+            // Scans on trade must use the columnstore.
+            if name != "HTAP-A3" {
+                assert!(plan.count_ops("Columnstore Scan") >= 1, "{name} plan:\n{plan}");
+            }
+            let out = execute(&h.db, &plan);
+            assert!(!out.rows.is_empty(), "{name} returned nothing");
+        }
+    }
+
+    #[test]
+    fn htap_sizing_exceeds_plain_tpce_index() {
+        let scale = ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 20_000.0, seed: 11 };
+        let plain = tpce::sizing(&tpce::build(5000.0, &scale));
+        let hybrid = tpce::sizing(&build(5000.0, &scale));
+        assert!(hybrid.1 > plain.1, "NCCI must add index bytes: {hybrid:?} vs {plain:?}");
+        assert!((hybrid.0 - plain.0).abs() < 0.5, "data size unchanged");
+    }
+}

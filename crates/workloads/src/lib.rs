@@ -1,0 +1,20 @@
+//! # dbsens-workloads
+//!
+//! Benchmark workload analogs for the `dbsens` reproduction: TPC-H
+//! (decision support), TPC-E and ASDB (transactional), and HTAP (hybrid),
+//! with schemas, data generators, the 22 TPC-H queries as plan builders,
+//! transaction generators, and the workload driver that assembles them
+//! into simulator tasks.
+
+#![warn(missing_docs)]
+
+pub mod asdb;
+pub mod dates;
+pub mod driver;
+pub mod htap;
+pub mod scale;
+pub mod tpce;
+pub mod tpch;
+
+pub use driver::{build_workload, BuiltWorkload, MetricKind, WorkloadSpec};
+pub use scale::ScaleCfg;

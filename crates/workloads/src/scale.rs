@@ -1,0 +1,75 @@
+//! Workload scaling configuration.
+//!
+//! Logical data is the paper-scale database divided by `row_scale`
+//! (DESIGN.md §1): queries compute real answers over the scaled-down rows
+//! while all physical accounting (pages, cache footprints, instruction
+//! counts) runs at paper scale.
+
+use serde::{Deserialize, Serialize};
+
+/// Scaling and run-length configuration for building workloads.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScaleCfg {
+    /// Modeled rows per logical row (analytical databases).
+    pub row_scale: f64,
+    /// Modeled rows per logical row for OLTP databases, which have far
+    /// fewer (but wider) rows; a finer scale keeps enough logical keys for
+    /// faithful access distributions.
+    pub oltp_row_scale: f64,
+    /// RNG seed for data generation.
+    pub seed: u64,
+}
+
+impl ScaleCfg {
+    /// Fast preset for unit tests: heavily scaled down.
+    pub fn test() -> Self {
+        ScaleCfg { row_scale: 2_000_000.0, oltp_row_scale: 20_000.0, seed: 42 }
+    }
+
+    /// Preset for experiment harnesses: enough logical rows for faithful
+    /// query behaviour at tolerable simulation cost.
+    pub fn experiment() -> Self {
+        ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 2_000.0, seed: 42 }
+    }
+
+    /// High-fidelity preset (slow; for spot checks).
+    pub fn full() -> Self {
+        ScaleCfg { row_scale: 20_000.0, oltp_row_scale: 500.0, seed: 42 }
+    }
+
+    /// Logical row count for `modeled` paper-scale rows (at least 1).
+    pub fn logical(&self, modeled: f64) -> usize {
+        ((modeled / self.row_scale).round() as usize).max(1)
+    }
+
+    /// Logical row count at the OLTP scale.
+    pub fn logical_oltp(&self, modeled: f64) -> usize {
+        ((modeled / self.oltp_row_scale).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_rounds_and_floors_at_one() {
+        let s = ScaleCfg { row_scale: 1000.0, oltp_row_scale: 100.0, seed: 1 };
+        assert_eq!(s.logical(10_000.0), 10);
+        assert_eq!(s.logical(1_499.0), 1);
+        assert_eq!(s.logical(1.0), 1);
+    }
+
+    #[test]
+    fn presets_are_ordered_by_fidelity() {
+        assert!(ScaleCfg::test().row_scale > ScaleCfg::experiment().row_scale);
+        assert!(ScaleCfg::experiment().row_scale > ScaleCfg::full().row_scale);
+        assert!(ScaleCfg::experiment().oltp_row_scale < ScaleCfg::experiment().row_scale);
+    }
+
+    #[test]
+    fn oltp_scale_is_finer() {
+        let s = ScaleCfg::experiment();
+        assert!(s.logical_oltp(1e6) > s.logical(1e6));
+    }
+}

@@ -1,0 +1,147 @@
+//! Additional workload-level tests: generator invariants (lock ordering,
+//! key bounds) and proptests over transaction programs.
+
+use dbsens_engine::txn::{TxOp, TxnGenerator};
+use dbsens_hwsim::rng::SimRng;
+use dbsens_workloads::asdb::{self, AsdbGenerator};
+use dbsens_workloads::scale::ScaleCfg;
+use dbsens_workloads::tpce::{self, TpceGenerator};
+use proptest::prelude::*;
+
+fn scale() -> ScaleCfg {
+    ScaleCfg { row_scale: 200_000.0, oltp_row_scale: 2_000.0, seed: 77 }
+}
+
+/// Extracts `(table.0, first key int)` for every lock-taking op, in
+/// program order.
+fn lock_sequence(ops: &[TxOp]) -> Vec<(usize, i64)> {
+    ops.iter()
+        .filter_map(|op| match op {
+            TxOp::Read { table, key, .. }
+            | TxOp::Update { table, key, .. }
+            | TxOp::Delete { table, key, .. } => Some((table.0, key.values()[0].as_int())),
+            _ => None,
+        })
+        .collect()
+}
+
+#[test]
+fn tpce_lock_order_is_canonical() {
+    // The deadlock discipline requires ascending (table, key) order for
+    // every lock-taking op within a transaction, for all generated
+    // programs.
+    let db = tpce::build(500.0, &scale());
+    let mut g = TpceGenerator::new(&db, 0);
+    let mut rng = SimRng::new(1);
+    for _ in 0..3000 {
+        let txn = g.next_txn(&mut rng);
+        let locks = lock_sequence(&txn.ops);
+        for w in locks.windows(2) {
+            assert!(
+                w[0] <= w[1],
+                "{}: lock order violated: {:?} then {:?}",
+                txn.name,
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn tpce_keys_stay_in_range() {
+    let db = tpce::build(500.0, &scale());
+    let mut g = TpceGenerator::new(&db, 3);
+    let mut rng = SimRng::new(2);
+    let bounds = [
+        (db.t.customer.0, db.n.customer),
+        (db.t.account.0, db.n.account),
+        (db.t.security.0, db.n.security),
+        (db.t.last_trade.0, db.n.security),
+        (db.t.trade.0, db.n.trade),
+        (db.t.holding.0, db.n.holding),
+    ];
+    for _ in 0..2000 {
+        let txn = g.next_txn(&mut rng);
+        for op in &txn.ops {
+            if let TxOp::Read { table, key, .. }
+            | TxOp::Update { table, key, .. }
+            | TxOp::Delete { table, key, .. } = op
+            {
+                if let Some((_, n)) = bounds.iter().find(|(t, _)| *t == table.0) {
+                    let k = key.values()[0].as_int();
+                    assert!(
+                        (k as usize) < *n,
+                        "{}: key {k} out of range for table {} (n={n})",
+                        txn.name,
+                        table.0
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn asdb_deletes_never_target_other_clients_stripes() {
+    let db = asdb::build(100.0, &scale());
+    let clients = 8;
+    let mut rng = SimRng::new(3);
+    let mut deleted: Vec<Vec<i64>> = vec![Vec::new(); clients];
+    for (i, deleted_keys) in deleted.iter_mut().enumerate() {
+        let mut g = AsdbGenerator::new(&db, i, clients);
+        for _ in 0..500 {
+            for op in g.next_txn(&mut rng).ops {
+                if let TxOp::Delete { key, .. } = op {
+                    deleted_keys.push(key.values()[0].as_int());
+                }
+            }
+        }
+    }
+    for i in 0..clients {
+        for j in (i + 1)..clients {
+            for k in &deleted[i] {
+                assert!(!deleted[j].contains(k), "clients {i} and {j} both deleted {k}");
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Any seed produces structurally valid TPC-E programs: non-empty,
+    /// known names, and inserts carry full rows.
+    #[test]
+    fn tpce_programs_always_valid(seed in any::<u64>()) {
+        let db = tpce::build(300.0, &scale());
+        let mut g = TpceGenerator::new(&db, 1);
+        let mut rng = SimRng::new(seed);
+        const NAMES: [&str; 10] = [
+            "TradeOrder", "TradeResult", "TradeStatus", "CustomerPosition", "BrokerVolume",
+            "SecurityDetail", "MarketFeed", "MarketWatch", "TradeLookup", "TradeUpdate",
+        ];
+        for _ in 0..200 {
+            let txn = g.next_txn(&mut rng);
+            prop_assert!(NAMES.contains(&txn.name), "unknown txn {}", txn.name);
+            prop_assert!(!txn.ops.is_empty());
+            for op in &txn.ops {
+                if let TxOp::Insert { table, row } = op {
+                    let schema_len = db.db.table(*table).heap.schema().len();
+                    prop_assert_eq!(row.len(), schema_len);
+                }
+            }
+        }
+    }
+
+    /// The dates module is consistent for arbitrary in-range dates.
+    #[test]
+    fn date_year_roundtrip(y in 1992i64..1999, m in 1i64..=12, d in 1i64..=28) {
+        use dbsens_workloads::dates::{date, year_of};
+        prop_assert_eq!(year_of(date(y, m, d)), y);
+        // Dates are strictly increasing in (y, m, d).
+        if d < 28 {
+            prop_assert!(date(y, m, d + 1) == date(y, m, d) + 1);
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Cache sizing study: how much LLC does a workload actually need?
+//!
+//! Reproduces the paper's Table 4 methodology for a workload of your
+//! choice: sweep CAT allocations, find the knee, and report the smallest
+//! allocation reaching 90%/95% of full performance.
+//!
+//! ```text
+//! cargo run --release -p dbsens-core --example cache_sizing [tpce|asdb|htap|tpch] [sf]
+//! ```
+
+use dbsens_core::analysis::{knee, sufficient_allocation, CurvePoint};
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_core::sweep::llc_sweep;
+use dbsens_workloads::driver::WorkloadSpec;
+use dbsens_workloads::scale::ScaleCfg;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let kind = args.first().map(String::as_str).unwrap_or("tpce");
+    let sf: f64 = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000.0);
+    let spec = match kind {
+        "tpch" => WorkloadSpec::TpchPower { sf },
+        other => WorkloadSpec::paper_spec(other, sf),
+    };
+    let metric = spec.primary_metric();
+
+    let mut knobs = ResourceKnobs::paper_full();
+    knobs.run_secs = 10;
+    let scale = ScaleCfg::test();
+
+    println!("sweeping LLC allocations for {} (this builds the database once per point)...", spec.name());
+    let results = llc_sweep(&spec, &knobs, &scale, 8);
+
+    let curve: Vec<CurvePoint> =
+        results.iter().map(|(mb, r)| CurvePoint { x: *mb as f64, y: r.metric(metric) }).collect();
+    println!("\n  LLC MB   perf       MPKI");
+    for (mb, r) in &results {
+        println!("  {:>6} {:>8.1} {:>8.2}", mb, r.metric(metric), r.mpki);
+    }
+
+    println!();
+    if let Some(k) = knee(&curve, 0.3) {
+        println!("knee of the performance curve : ~{k:.0} MB");
+    }
+    match (sufficient_allocation(&curve, 0.90), sufficient_allocation(&curve, 0.95)) {
+        (Some(a), Some(b)) => {
+            println!("sufficient for >=90% of full  : {a:.0} MB");
+            println!("sufficient for >=95% of full  : {b:.0} MB");
+            println!(
+                "\nOn a 40 MB machine, {:.0} MB of LLC could serve other tenants \n\
+                 with <10% impact on this workload (paper §10, research Q5).",
+                40.0 - a
+            );
+        }
+        _ => println!("curve too flat to size"),
+    }
+}

@@ -1,0 +1,79 @@
+//! Quickstart: measure one workload's sensitivity to losing half its
+//! cores.
+//!
+//! ```text
+//! cargo run --release -p dbsens-core --example quickstart
+//! ```
+
+use dbsens_core::experiment::Experiment;
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_workloads::driver::WorkloadSpec;
+use dbsens_workloads::scale::ScaleCfg;
+
+fn main() {
+    // A TPC-E-style brokerage workload, as in the paper's setup (§3),
+    // scaled down for a quick demo.
+    let workload = WorkloadSpec::TpcE { sf: 1000.0, users: 50 };
+    let scale = ScaleCfg::test();
+
+    let mut knobs = ResourceKnobs::paper_full();
+    knobs.run_secs = 10;
+
+    println!("building and running {} at full allocation...", workload.name());
+    let full = Experiment { workload: workload.clone(), knobs: knobs.clone(), scale: scale.clone() }
+        .run();
+
+    println!("again with 16 of 32 logical cores...");
+    let half = Experiment {
+        workload: workload.clone(),
+        knobs: knobs.clone().with_cores(16),
+        scale: scale.clone(),
+    }
+    .run();
+
+    println!("with half the LLC (20 of 40 MB)...");
+    let half_cache = Experiment {
+        workload: workload.clone(),
+        knobs: knobs.clone().with_llc_mb(20),
+        scale: scale.clone(),
+    }
+    .run();
+
+    println!("and starved to 4 MB of LLC...");
+    let small_cache = Experiment { workload, knobs: knobs.with_llc_mb(4), scale }.run();
+
+    println!();
+    println!(
+        "full allocation  : {:>8.0} TPS (p99 {:.2} ms, MPKI {:.2})",
+        full.tps,
+        full.p99_txn_ms.unwrap_or(0.0),
+        full.mpki
+    );
+    println!(
+        "16 cores (half)  : {:>8.0} TPS ({:.0}% of full)",
+        half.tps,
+        100.0 * half.tps / full.tps
+    );
+    println!(
+        "20 MB LLC (half) : {:>8.0} TPS ({:.0}% of full, MPKI {:.2})",
+        half_cache.tps,
+        100.0 * half_cache.tps / full.tps,
+        half_cache.mpki
+    );
+    println!(
+        "4 MB LLC         : {:>8.0} TPS ({:.0}% of full, MPKI {:.2})",
+        small_cache.tps,
+        100.0 * small_cache.tps / full.tps,
+        small_cache.mpki
+    );
+    println!();
+    println!(
+        "Reading the result (the paper's central observation): beyond a\n\
+         critical cache size, cache capacity barely matters — halving the\n\
+         LLC keeps {:.0}% of throughput while halving cores keeps {:.0}% —\n\
+         but starving the cache below its knee costs {:.0}%.",
+        100.0 * half_cache.tps / full.tps,
+        100.0 * half.tps / full.tps,
+        100.0 * (1.0 - small_cache.tps / full.tps)
+    );
+}

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Splices `repro all` output into EXPERIMENTS.md's placeholder sections.
+
+Usage: python3 scripts/fill_experiments.py /tmp/repro_all.txt
+"""
+import re
+import sys
+
+
+def section(text, start_marker, end_markers):
+    """Extract from start_marker up to the first of end_markers."""
+    i = text.find(start_marker)
+    if i < 0:
+        return f"(missing: {start_marker})"
+    j = len(text)
+    for m in end_markers:
+        k = text.find(m, i + len(start_marker))
+        if 0 <= k < j:
+            j = k
+    return text[i:j].rstrip() + "\n"
+
+
+def main():
+    repro = open(sys.argv[1]).read()
+    exp_path = "EXPERIMENTS.md"
+    exp = open(exp_path).read()
+
+    all_heads = [
+        "# Table 2", "# Figure 2", "# Table 3", "# Table 4", "# Figure 3",
+        "# Figure 4", "# Figure 5", "# Figure 6", "# Figure 7", "# Figure 8",
+        "# Ablation", "# §6",
+    ]
+
+    def grab(head):
+        others = [h for h in all_heads if h != head]
+        return section(repro, head, others)
+
+    fills = {
+        "<!-- TABLE2 -->": grab("# Table 2"),
+        "<!-- TABLE3 -->": grab("# Table 3"),
+        "<!-- TABLE4 -->": grab("# Table 4"),
+        "<!-- FIG5 -->": grab("# Figure 5"),
+        "<!-- FIG7 -->": grab("# Figure 7"),
+        "<!-- FIG8 -->": grab("# Figure 8"),
+        "<!-- WRITE_LIMITS -->": grab("# §6"),
+        "<!-- ABLATION -->": grab("# Ablation"),
+    }
+
+    # Figure 2: keep only the hyper-threading table plus a pointer (the
+    # full series are long); Figures 3/4 keep the CDF tables.
+    ht = section(repro, "## Hyper-threading", ["# "])
+    fills["<!-- FIG2 -->"] = (
+        ht + "\nFull per-configuration series: `results/fig2.json` "
+        "(or rerun `repro fig2`).\n"
+    )
+    fig3 = section(repro, "# Figure 3", ["# Figure 4"])
+    fig4 = section(repro, "# Figure 4", ["# Table", "# Figure 5", "# §6", "# Ablation"])
+    fills["<!-- FIG34 -->"] = fig3 + "\n" + fig4
+
+    # Figure 6: keep both rendered panels (they include the
+    # insensitive-query comparison lines).
+    fig6_parts = re.findall(r"# Figure 6:.*?(?=\n# |\Z)", repro, re.S)
+    fills["<!-- FIG6 -->"] = "\n\n".join(p.rstrip() for p in fig6_parts) + "\n"
+
+    for marker, content in fills.items():
+        block = "```text\n" + content.rstrip() + "\n```"
+        exp = exp.replace(marker, block)
+
+    open(exp_path, "w").write(exp)
+    print("EXPERIMENTS.md filled")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+//! Determinism: identical seeds give bit-identical experiment results,
+//! regardless of host threading; different seeds differ.
+
+use dbsens_core::experiment::Experiment;
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_core::sweep::run_all;
+use dbsens_workloads::driver::WorkloadSpec;
+use dbsens_workloads::scale::ScaleCfg;
+
+fn experiment(seed: u64) -> Experiment {
+    let mut knobs = ResourceKnobs::paper_full();
+    knobs.run_secs = 3;
+    knobs.seed = seed;
+    Experiment {
+        workload: WorkloadSpec::TpcE { sf: 300.0, users: 24 },
+        knobs,
+        scale: ScaleCfg { seed, ..ScaleCfg::test() },
+    }
+}
+
+#[test]
+fn same_seed_same_result() {
+    let a = experiment(7).run();
+    let b = experiment(7).run();
+    assert_eq!(a.txns, b.txns);
+    assert_eq!(a.tps, b.tps);
+    assert_eq!(a.mpki, b.mpki);
+    assert_eq!(a.waits, b.waits);
+    assert_eq!(a.samples.len(), b.samples.len());
+}
+
+#[test]
+fn different_seed_different_result() {
+    let a = experiment(7).run();
+    let b = experiment(8).run();
+    assert_ne!(a.txns, b.txns, "different seeds should not collide exactly");
+}
+
+#[test]
+fn host_parallelism_does_not_change_results() {
+    let serial = run_all(vec![experiment(1), experiment(2)], 1);
+    let parallel = run_all(vec![experiment(1), experiment(2)], 4);
+    assert_eq!(serial[0].txns, parallel[0].txns);
+    assert_eq!(serial[1].txns, parallel[1].txns);
+    assert_eq!(serial[0].mpki, parallel[0].mpki);
+}
+
+#[test]
+fn query_runs_are_deterministic() {
+    use dbsens_core::queryexp::TpchHarness;
+    let run = || {
+        let h = TpchHarness::new(10.0, &ScaleCfg::test());
+        h.run_query(5, &ResourceKnobs::paper_full()).secs
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,216 @@
+//! Integration tests asserting the paper's headline qualitative findings
+//! hold in the reproduction (shapes, not absolute numbers).
+
+use dbsens_core::experiment::Experiment;
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_core::queryexp::TpchHarness;
+use dbsens_workloads::driver::WorkloadSpec;
+use dbsens_workloads::scale::ScaleCfg;
+
+fn quick_knobs(secs: u64) -> ResourceKnobs {
+    let mut k = ResourceKnobs::paper_full();
+    k.run_secs = secs;
+    k
+}
+
+fn scale() -> ScaleCfg {
+    ScaleCfg::test()
+}
+
+#[test]
+fn oltp_throughput_scales_with_cores() {
+    let spec = WorkloadSpec::Asdb { sf: 200.0, clients: 48 };
+    let run = |cores: usize| {
+        Experiment { workload: spec.clone(), knobs: quick_knobs(4).with_cores(cores), scale: scale() }
+            .run()
+            .tps
+    };
+    let t1 = run(1);
+    let t8 = run(8);
+    let t32 = run(32);
+    assert!(t8 > t1 * 3.0, "8 cores ({t8}) should be >3x 1 core ({t1})");
+    assert!(t32 > t8 * 1.5, "32 cores ({t32}) should beat 8 cores ({t8})");
+}
+
+#[test]
+fn hyperthreading_helps_oltp() {
+    // §4: using the second logical core of each physical core improves
+    // transactional throughput.
+    let spec = WorkloadSpec::TpcE { sf: 500.0, users: 64 };
+    let run = |cores: usize| {
+        Experiment { workload: spec.clone(), knobs: quick_knobs(4).with_cores(cores), scale: scale() }
+            .run()
+            .tps
+    };
+    let t16 = run(16);
+    let t32 = run(32);
+    assert!(
+        t32 > t16 * 1.02,
+        "hyper-threaded cores should improve TPC-E: 16c={t16}, 32c={t32}"
+    );
+}
+
+#[test]
+fn small_llc_degrades_oltp_and_raises_mpki() {
+    // §5: performance increases with LLC with a dramatic change at small
+    // sizes; MPKI falls as allocations grow (Figure 2).
+    let spec = WorkloadSpec::TpcE { sf: 500.0, users: 64 };
+    let run = |mb: u32| {
+        Experiment { workload: spec.clone(), knobs: quick_knobs(4).with_llc_mb(mb), scale: scale() }
+            .run()
+    };
+    let starved = run(2);
+    let knee = run(12);
+    let full = run(40);
+    assert!(
+        starved.tps < full.tps * 0.92,
+        "2 MB should cost >8%: {} vs {}",
+        starved.tps,
+        full.tps
+    );
+    assert!(starved.mpki > full.mpki * 3.0, "MPKI must fall with LLC");
+    // Table 4 shape: by ~12 MB the workload is within 10% of full.
+    assert!(knee.tps > full.tps * 0.9, "knee too late: {} vs {}", knee.tps, full.tps);
+}
+
+#[test]
+fn analytic_queries_speed_up_with_llc() {
+    // §5: TPC-H gains dramatically from small-to-medium LLC allocations.
+    let h = TpchHarness::new(30.0, &scale());
+    let q1_starved = h.run_query(1, &ResourceKnobs::paper_full().with_llc_mb(2));
+    let q1_mid = h.run_query(1, &ResourceKnobs::paper_full().with_llc_mb(20));
+    let q1_full = h.run_query(1, &ResourceKnobs::paper_full());
+    assert!(
+        q1_starved.secs > q1_mid.secs * 1.25,
+        "2 MB -> 20 MB should speed Q1 up noticeably: {} vs {}",
+        q1_starved.secs,
+        q1_mid.secs
+    );
+    let further = q1_mid.secs / q1_full.secs;
+    assert!(
+        further < q1_starved.secs / q1_mid.secs,
+        "gains must diminish beyond the knee (20->40 gain {further})"
+    );
+}
+
+#[test]
+fn tpce_wait_profile_shifts_with_scale_factor() {
+    // Table 3: at the larger SF, LOCK waits drop while PAGEIOLATCH waits
+    // explode; TPS does not collapse despite the extra I/O.
+    let run = |sf: f64| {
+        Experiment {
+            workload: WorkloadSpec::TpcE { sf, users: 64 },
+            knobs: quick_knobs(5),
+            scale: scale(),
+        }
+        .run()
+    };
+    let small = run(1000.0);
+    // Large enough that the modeled database exceeds the 45 GB buffer pool.
+    let large = run(15_000.0);
+    let lock_ratio = large.wait_secs("LOCK") / small.wait_secs("LOCK").max(1e-9);
+    let io_ratio =
+        large.wait_secs("PAGEIOLATCH") / small.wait_secs("PAGEIOLATCH").max(1e-9);
+    assert!(lock_ratio < 1.0, "LOCK waits must fall with SF (ratio {lock_ratio})");
+    assert!(io_ratio > 2.0, "PAGEIOLATCH waits must grow with SF (ratio {io_ratio})");
+    assert!(large.tps > small.tps * 0.7, "TPS must not collapse at the larger SF");
+}
+
+#[test]
+fn q20_plan_changes_with_maxdop_at_large_sf() {
+    // Figure 7: Q20's plan shape flips between serial and parallel
+    // settings at a large scale factor, and the serial plan wants less
+    // memory (§8: ~45% less in the paper).
+    let h = TpchHarness::new(300.0, &scale());
+    let base = ResourceKnobs::paper_full();
+    let serial = h.run_query_at_dop(20, 1, &base);
+    let parallel = h.run_query_at_dop(20, 32, &base);
+    assert_eq!(serial.dop, 1);
+    assert!(parallel.dop > 1, "Q20 at SF300 must go parallel");
+    assert_ne!(serial.plan_shape, parallel.plan_shape, "plan shape must change");
+    assert!(
+        serial.desired_mb < parallel.desired_mb,
+        "serial plan should want less memory: {} vs {}",
+        serial.desired_mb,
+        parallel.desired_mb
+    );
+    assert!(
+        parallel.secs < serial.secs * 0.5,
+        "Q20 must speed up with DOP at SF300: {} vs {}",
+        parallel.secs,
+        serial.secs
+    );
+}
+
+#[test]
+fn some_queries_keep_serial_plans_at_small_sf() {
+    // §7: at small scale factors the optimizer keeps serial plans for
+    // cheap queries regardless of MAXDOP, making them DOP-insensitive.
+    let h = TpchHarness::new(3.0, &scale());
+    let base = ResourceKnobs::paper_full();
+    let r = h.run_query_at_dop(6, 32, &base);
+    assert_eq!(r.dop, 1, "Q6 at a tiny SF should keep a serial plan");
+}
+
+#[test]
+fn memory_grant_starvation_slows_heavy_queries() {
+    // Figure 8: grant-heavy queries (Q18's big aggregate) degrade when
+    // the per-query grant shrinks; light queries (Q6) do not.
+    let h = TpchHarness::new(100.0, &scale());
+    let base = ResourceKnobs::paper_full();
+    let q18_full = h.run_query_at_grant(18, 0.25, &base);
+    let q18_starved = h.run_query_at_grant(18, 0.02, &base);
+    assert!(
+        q18_starved.secs > q18_full.secs * 1.1,
+        "Q18 must slow under a 2% grant: {} vs {}",
+        q18_starved.secs,
+        q18_full.secs
+    );
+    let q6_full = h.run_query_at_grant(6, 0.25, &base);
+    let q6_starved = h.run_query_at_grant(6, 0.02, &base);
+    assert!(
+        q6_starved.secs < q6_full.secs * 1.1,
+        "Q6 must be grant-insensitive: {} vs {}",
+        q6_starved.secs,
+        q6_full.secs
+    );
+}
+
+#[test]
+fn write_bandwidth_limit_hurts_in_memory_oltp() {
+    // §6: transactional workloads are write-bandwidth sensitive even when
+    // the database fits in memory.
+    let spec = WorkloadSpec::Asdb { sf: 200.0, clients: 48 };
+    let free = Experiment { workload: spec.clone(), knobs: quick_knobs(8), scale: scale() }.run();
+    let mut limited = quick_knobs(8);
+    limited.write_limit_mbps = Some(10.0);
+    let capped = Experiment { workload: spec, knobs: limited, scale: scale() }.run();
+    assert!(
+        capped.tps < free.tps * 0.95,
+        "a tight write limit must cost TPS: {} vs {}",
+        capped.tps,
+        free.tps
+    );
+}
+
+#[test]
+fn read_bandwidth_limit_throttles_analytics_nonlinearly() {
+    // Figure 5: QPS responds to the read limit with diminishing returns.
+    let run = |mbps: f64| {
+        let mut knobs = quick_knobs(600);
+        knobs.read_limit_mbps = Some(mbps);
+        Experiment { workload: WorkloadSpec::TpchPower { sf: 30.0 }, knobs, scale: scale() }
+            .run()
+            .qps
+    };
+    let q_low = run(100.0);
+    let q_mid = run(800.0);
+    let q_high = run(2500.0);
+    assert!(q_mid > q_low, "more bandwidth, more QPS");
+    let gain_low = q_mid / q_low.max(1e-12);
+    let gain_high = q_high / q_mid.max(1e-12);
+    assert!(
+        gain_high < gain_low,
+        "returns must diminish: {gain_low} then {gain_high}"
+    );
+}

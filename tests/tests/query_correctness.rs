@@ -1,0 +1,162 @@
+//! Cross-checks: the engine's query answers must equal brute-force
+//! computations over the generated logical data, independent of plan
+//! choice, DOP, or memory grants (pitfall #6: resource knobs must change
+//! performance, never answers).
+
+use dbsens_engine::exec::execute;
+use dbsens_engine::governor::Governor;
+use dbsens_engine::optimizer::optimize;
+use dbsens_storage::value::Value;
+use dbsens_workloads::dates::date;
+use dbsens_workloads::scale::ScaleCfg;
+use dbsens_workloads::tpch::{self, col::li, TpchDb};
+
+fn tpch() -> TpchDb {
+    tpch::build(2.0, &ScaleCfg { row_scale: 300_000.0, oltp_row_scale: 3_000.0, seed: 123 })
+}
+
+fn run(t: &TpchDb, q: usize, maxdop: usize, grant_fraction: f64) -> Vec<Vec<Value>> {
+    let mut gov = Governor::paper_default(maxdop);
+    gov.grant_fraction = grant_fraction;
+    let plan = optimize(&t.db, &t.query(q), &gov.plan_context(&t.db));
+    execute(&t.db, &plan).rows
+}
+
+#[test]
+fn q6_matches_brute_force() {
+    let t = tpch();
+    let lo = date(1994, 1, 1);
+    let hi = date(1995, 1, 1);
+    let expected: f64 = t
+        .db
+        .table(t.t.lineitem)
+        .heap
+        .iter()
+        .map(|(_, r)| r)
+        .filter(|r| {
+            let ship = r[li::SHIPDATE].as_int();
+            let disc = r[li::DISCOUNT].as_f64();
+            ship >= lo && ship < hi && (0.05..=0.07).contains(&disc) && r[li::QUANTITY].as_int() < 24
+        })
+        .map(|r| r[li::EXTENDEDPRICE].as_f64() * r[li::DISCOUNT].as_f64())
+        .sum();
+    let rows = run(&t, 6, 32, 0.25);
+    assert_eq!(rows.len(), 1);
+    let got = match &rows[0][0] {
+        Value::Float(f) => *f,
+        Value::Null => 0.0,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert!((got - expected).abs() < 1e-6 * expected.abs().max(1.0), "{got} vs {expected}");
+}
+
+#[test]
+fn q1_group_counts_match_brute_force() {
+    let t = tpch();
+    let cutoff = date(1998, 9, 2);
+    let mut expected: std::collections::BTreeMap<(String, String), i64> =
+        std::collections::BTreeMap::new();
+    for (_, r) in t.db.table(t.t.lineitem).heap.iter() {
+        if r[li::SHIPDATE].as_int() <= cutoff {
+            *expected
+                .entry((r[li::RETURNFLAG].as_str().into(), r[li::LINESTATUS].as_str().into()))
+                .or_insert(0) += 1;
+        }
+    }
+    let rows = run(&t, 1, 32, 0.25);
+    assert_eq!(rows.len(), expected.len());
+    for row in &rows {
+        let key = (row[0].as_str().to_string(), row[1].as_str().to_string());
+        // Layout: group keys, then 8 aggregates; count is last.
+        let count = row.last().expect("count column").as_int();
+        assert_eq!(Some(&count), expected.get(&key), "group {key:?}");
+    }
+}
+
+#[test]
+fn answers_are_invariant_to_maxdop_and_grants() {
+    let t = tpch();
+    for q in [3usize, 5, 10, 18] {
+        let baseline = run(&t, q, 32, 0.25);
+        let serial = run(&t, q, 1, 0.25);
+        let starved = run(&t, q, 32, 0.02);
+        assert_eq!(baseline, serial, "Q{q}: DOP changed the answer");
+        assert_eq!(baseline, starved, "Q{q}: the memory grant changed the answer");
+    }
+}
+
+#[test]
+fn q4_semi_join_matches_brute_force() {
+    let t = tpch();
+    use dbsens_workloads::tpch::col::ord;
+    let lo = date(1993, 7, 1);
+    let hi = date(1993, 10, 1);
+    // Orders in the window with at least one late lineitem.
+    let late_orders: std::collections::HashSet<i64> = t
+        .db
+        .table(t.t.lineitem)
+        .heap
+        .iter()
+        .filter(|(_, r)| r[li::COMMITDATE].as_int() < r[li::RECEIPTDATE].as_int())
+        .map(|(_, r)| r[li::ORDERKEY].as_int())
+        .collect();
+    let expected: i64 = t
+        .db
+        .table(t.t.orders)
+        .heap
+        .iter()
+        .filter(|(_, r)| {
+            let d = r[ord::ORDERDATE].as_int();
+            d >= lo && d < hi && late_orders.contains(&r[ord::ORDERKEY].as_int())
+        })
+        .count() as i64;
+    let rows = run(&t, 4, 32, 0.25);
+    let total: i64 = rows.iter().map(|r| r[1].as_int()).sum();
+    assert_eq!(total, expected);
+}
+
+#[test]
+fn htap_analytics_see_fresh_oltp_writes() {
+    // The HTAP promise (§2.3): analytics on the same tables see committed
+    // OLTP changes without ETL.
+    use dbsens_engine::db::Database;
+    use dbsens_workloads::htap;
+    use dbsens_workloads::tpce;
+
+    let scale = ScaleCfg { row_scale: 300_000.0, oltp_row_scale: 3_000.0, seed: 5 };
+    let h = htap::build(300.0, &scale);
+    let mut db: Database = h.db;
+    let before = {
+        let gov = Governor::paper_default(4);
+        let q = &htap::analytical_queries_for(&h.t, &h.n)[0].1;
+        let plan = optimize(&db, q, &gov.plan_context(&db));
+        execute(&db, &plan).rows.len()
+    };
+    let _ = before;
+    // Insert a trade for a brand-new security id and re-run A1 (top
+    // securities): the new id must appear in the scan's input.
+    let new_sec = 999_999i64;
+    db.insert_row(
+        h.t.trade,
+        vec![
+            Value::Int(888_888),
+            Value::Int(0),
+            Value::Int(new_sec),
+            Value::Str("BUY".into()),
+            Value::Str("CMPT".into()),
+            Value::Int(10_000_000),
+            Value::Float(1000.0),
+            Value::Int(0),
+            Value::Str("tdata".into()),
+        ],
+    );
+    let gov = Governor::paper_default(4);
+    let q = &htap::analytical_queries_for(&h.t, &h.n)[0].1;
+    let plan = optimize(&db, q, &gov.plan_context(&db));
+    let rows = execute(&db, &plan).rows;
+    assert!(
+        rows.iter().any(|r| r[0].as_int() == new_sec),
+        "the freshly inserted security must dominate A1's top-10"
+    );
+    let _ = tpce::sizing; // keep the import meaningful across refactors
+}
