@@ -8,6 +8,7 @@
 
 use dbsens_bench::figures;
 use dbsens_bench::profile::Profile;
+use dbsens_core::runner::Runner;
 use std::time::Instant;
 
 fn main() {
@@ -27,6 +28,11 @@ fn main() {
     profile.tpch_sfs = vec![10.0, 300.0];
     profile.fig6_sfs = vec![10.0, 300.0];
 
+    // Benchmarks measure the experiments themselves, so no result cache;
+    // fault isolation still applies (a failing figure is reported, not a
+    // harness abort).
+    let runner = Runner::new().threads(profile.threads);
+
     let t0 = Instant::now();
 
     if want("table2") {
@@ -37,32 +43,40 @@ fn main() {
 
     if want("fig2") || want("table4") || want("fig3") || want("fig4") {
         eprintln!("[bench] figure 2 sweeps...");
-        let d = figures::run_fig2(&profile);
-        dbsens_bench::save_json("fig2", &d);
-        if want("fig2") {
-            println!("{}", figures::render_fig2(&d));
-        }
-        if want("table4") {
-            println!("{}", figures::render_table4(&d));
-        }
-        if want("fig3") {
-            println!("{}", figures::render_fig3(&d));
-        }
-        if want("fig4") {
-            println!("{}", figures::render_fig4(&d));
+        match figures::run_fig2(&profile, &runner) {
+            Ok(d) => {
+                dbsens_bench::save_json("fig2", &d);
+                if want("fig2") {
+                    println!("{}", figures::render_fig2(&d));
+                }
+                if want("table4") {
+                    println!("{}", figures::render_table4(&d));
+                }
+                if want("fig3") {
+                    println!("{}", figures::render_fig3(&d));
+                }
+                if want("fig4") {
+                    println!("{}", figures::render_fig4(&d));
+                }
+            }
+            Err(e) => eprintln!("[bench] figure 2 sweeps failed: {e}"),
         }
     }
 
     if want("table3") {
         eprintln!("[bench] table 3...");
-        let (small, large) = figures::run_table3(&profile);
-        println!("{}", figures::render_table3(&small, &large));
+        match figures::run_table3(&profile, &runner) {
+            Ok((small, large)) => println!("{}", figures::render_table3(&small, &large)),
+            Err(e) => eprintln!("[bench] table 3 failed: {e}"),
+        }
     }
 
     if want("fig5") {
         eprintln!("[bench] figure 5...");
-        let d = figures::run_fig5(&profile);
-        println!("{}", figures::render_fig5(&d));
+        match figures::run_fig5(&profile, &runner) {
+            Ok(d) => println!("{}", figures::render_fig5(&d)),
+            Err(e) => eprintln!("[bench] figure 5 failed: {e}"),
+        }
     }
 
     if want("fig6") {
@@ -87,8 +101,10 @@ fn main() {
 
     if want("write_limits") {
         eprintln!("[bench] write limits...");
-        let rows = figures::run_write_limits(&profile);
-        println!("{}", figures::render_write_limits(&rows));
+        match figures::run_write_limits(&profile, &runner) {
+            Ok(rows) => println!("{}", figures::render_write_limits(&rows)),
+            Err(e) => eprintln!("[bench] write limits failed: {e}"),
+        }
     }
 
     eprintln!("[bench] experiment suite finished in {:.1}s", t0.elapsed().as_secs_f64());

@@ -1,59 +1,150 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! Usage: repro [--profile quick|full] <target>...
+//! Usage: repro [--profile quick|full] [--no-cache] <target>...
 //! Targets: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!          write_limits all
+//!          write_limits ablation all
 //! ```
 //!
-//! Output goes to stdout; machine-readable artifacts land in `results/`.
+//! Output goes to stdout; progress goes to stderr; machine-readable
+//! artifacts land in `results/`, with memoized experiment results under
+//! `results/cache/` (bypass with `--no-cache`, clear by deleting the
+//! directory). Unknown flags, profiles, or targets exit with code 2; a
+//! failing experiment is reported per-slot and exits with code 1 after
+//! the remaining targets run.
 
 use dbsens_bench::figures;
 use dbsens_bench::profile::{profile_from_name, Profile};
 use dbsens_bench::save_json;
+use dbsens_core::cache::ResultCache;
+use dbsens_core::progress::StderrReporter;
+use dbsens_core::runner::{ExperimentError, Runner};
+use std::sync::Arc;
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+/// Every valid target, in presentation order.
+const TARGETS: &[&str] = &[
+    "table2",
+    "table3",
+    "table4",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "write_limits",
+    "ablation",
+    "all",
+];
+
+/// Parsed command line.
+struct Cli {
+    profile: Profile,
+    targets: Vec<String>,
+    no_cache: bool,
+    help: bool,
+}
+
+fn usage() -> String {
+    format!(
+        "Usage: repro [--profile quick|full] [--no-cache] <target>...\n\
+         Targets: {}\n\
+         Cached experiment results live under results/cache/; delete the\n\
+         directory to clear them or pass --no-cache to bypass.",
+        TARGETS.join(" ")
+    )
+}
+
+/// Parses arguments; errors name the offending flag/target so main can
+/// print them with the usage text and exit 2 (never panic).
+fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut profile = Profile::quick();
     let mut targets: Vec<String> = Vec::new();
-    let mut it = args.into_iter();
+    let mut no_cache = false;
+    let mut help = false;
+    let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--profile" => {
-                let name = it.next().unwrap_or_default();
-                profile = profile_from_name(&name)
-                    .unwrap_or_else(|| panic!("unknown profile {name} (quick|full)"));
+                let name = it.next().ok_or("--profile requires a value (quick|full)")?;
+                profile = profile_from_name(name)
+                    .ok_or_else(|| format!("unknown profile '{name}' (expected quick|full)"))?;
             }
-            "--help" | "-h" => {
-                println!(
-                    "Usage: repro [--profile quick|full] <target>...\n\
-                     Targets: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8 write_limits ablation all"
-                );
-                return;
+            "--no-cache" => no_cache = true,
+            "--help" | "-h" => help = true,
+            flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            target => {
+                if !TARGETS.contains(&target) {
+                    return Err(format!(
+                        "unknown target '{target}' (expected one of: {})",
+                        TARGETS.join(" ")
+                    ));
+                }
+                targets.push(target.to_string());
             }
-            t => targets.push(t.to_string()),
         }
     }
     if targets.is_empty() {
         targets.push("all".into());
     }
-    let all = targets.iter().any(|t| t == "all");
-    let want = |t: &str| all || targets.iter().any(|x| x == t);
+    Ok(Cli { profile, targets, no_cache, help })
+}
 
-    // Figure 2's sweeps feed Table 4, Figure 3, and Figure 4; run once.
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cli = match parse_args(&args) {
+        Ok(cli) => cli,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", usage());
+            std::process::exit(2);
+        }
+    };
+    if cli.help {
+        println!("{}", usage());
+        return;
+    }
+    let profile = &cli.profile;
+    let mut runner = Runner::new()
+        .threads(profile.threads)
+        .progress(Arc::new(StderrReporter::new("repro")));
+    if cli.no_cache {
+        eprintln!("[repro] result cache bypassed (--no-cache)");
+    } else {
+        let cache = ResultCache::at_default();
+        eprintln!("[repro] result cache: {}", cache.dir().display());
+        runner = runner.cache(cache);
+    }
+
+    let all = cli.targets.iter().any(|t| t == "all");
+    let want = |t: &str| all || cli.targets.iter().any(|x| x == t);
+    // A failing experiment skips its artifact and flips the exit code to
+    // 1, but the remaining targets still run.
+    let mut failures: Vec<ExperimentError> = Vec::new();
+
+    // Figure 2's sweeps feed Table 4, Figure 3, and Figure 4; run once
+    // (and, cached, they are shared across invocations too).
     let needs_fig2 = ["fig2", "fig3", "fig4", "table4"].iter().any(|t| want(t));
     let fig2 = if needs_fig2 {
         eprintln!("[repro] running Figure 2 sweeps (shared by Table 4, Figures 3-4)...");
-        let d = figures::run_fig2(&profile);
-        save_json("fig2", &d);
-        Some(d)
+        match figures::run_fig2(profile, &runner) {
+            Ok(d) => {
+                save_json("fig2", &d);
+                Some(d)
+            }
+            Err(e) => {
+                eprintln!("[repro] Figure 2 sweeps failed: {e}");
+                failures.push(e);
+                None
+            }
+        }
     } else {
         None
     };
 
     if want("table2") {
         eprintln!("[repro] Table 2...");
-        let rows = figures::run_table2(&profile);
+        let rows = figures::run_table2(profile);
         save_json("table2", &rows);
         println!("{}", figures::render_table2(&rows));
     }
@@ -73,27 +164,41 @@ fn main() {
     }
     if want("table3") {
         eprintln!("[repro] Table 3...");
-        let (small, large) = figures::run_table3(&profile);
-        save_json("table3", &(&small, &large));
-        println!("{}", figures::render_table3(&small, &large));
+        match figures::run_table3(profile, &runner) {
+            Ok((small, large)) => {
+                save_json("table3", &(&small, &large));
+                println!("{}", figures::render_table3(&small, &large));
+            }
+            Err(e) => {
+                eprintln!("[repro] Table 3 failed: {e}");
+                failures.push(e);
+            }
+        }
     }
     if want("fig5") {
         eprintln!("[repro] Figure 5...");
-        let d = figures::run_fig5(&profile);
-        save_json("fig5", &d);
-        println!("{}", figures::render_fig5(&d));
+        match figures::run_fig5(profile, &runner) {
+            Ok(d) => {
+                save_json("fig5", &d);
+                println!("{}", figures::render_fig5(&d));
+            }
+            Err(e) => {
+                eprintln!("[repro] Figure 5 failed: {e}");
+                failures.push(e);
+            }
+        }
     }
     if want("fig6") {
-        for &sf in &profile.fig6_sfs.clone() {
+        for &sf in &profile.fig6_sfs {
             eprintln!("[repro] Figure 6 (SF={sf})...");
-            let d = figures::run_fig6_sf(&profile, sf);
+            let d = figures::run_fig6_sf(profile, sf);
             save_json(&format!("fig6_sf{sf}"), &d);
             println!("{}", figures::render_fig6(&d));
         }
     }
     if want("fig7") {
         eprintln!("[repro] Figure 7...");
-        let d = figures::run_fig7(&profile);
+        let d = figures::run_fig7(profile);
         save_json("fig7", &d);
         println!("{}", figures::render_fig7(&d));
     }
@@ -102,22 +207,99 @@ fn main() {
         let sf = if profile.tpch_sfs.contains(&100.0) {
             100.0
         } else {
-            *profile.tpch_sfs.last().expect("tpch_sfs non-empty")
+            profile.tpch_sfs.last().copied().unwrap_or(100.0)
         };
-        let d = figures::run_fig8(&profile, sf);
+        let d = figures::run_fig8(profile, sf);
         save_json("fig8", &d);
         println!("{}", figures::render_fig8(&d));
     }
     if want("ablation") {
         eprintln!("[repro] warmup ablation...");
-        let rows = figures::run_warmup_ablation(&profile);
-        save_json("ablation_warmup", &rows);
-        println!("{}", figures::render_warmup_ablation(&rows));
+        match figures::run_warmup_ablation(profile, &runner) {
+            Ok(rows) => {
+                save_json("ablation_warmup", &rows);
+                println!("{}", figures::render_warmup_ablation(&rows));
+            }
+            Err(e) => {
+                eprintln!("[repro] warmup ablation failed: {e}");
+                failures.push(e);
+            }
+        }
     }
     if want("write_limits") {
         eprintln!("[repro] write limits...");
-        let rows = figures::run_write_limits(&profile);
-        save_json("write_limits", &rows);
-        println!("{}", figures::render_write_limits(&rows));
+        match figures::run_write_limits(profile, &runner) {
+            Ok(rows) => {
+                save_json("write_limits", &rows);
+                println!("{}", figures::render_write_limits(&rows));
+            }
+            Err(e) => {
+                eprintln!("[repro] write limits failed: {e}");
+                failures.push(e);
+            }
+        }
+    }
+
+    if !failures.is_empty() {
+        eprintln!("[repro] {} experiment group(s) failed:", failures.len());
+        for e in &failures {
+            eprintln!("[repro]   {e}");
+        }
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_to_all_targets_with_cache() {
+        let cli = parse_args(&[]).unwrap();
+        assert_eq!(cli.targets, vec!["all".to_string()]);
+        assert!(!cli.no_cache);
+        assert!(!cli.help);
+    }
+
+    #[test]
+    fn parses_profile_targets_and_no_cache() {
+        let cli = parse_args(&args(&["--profile", "full", "--no-cache", "fig2", "table3"]))
+            .unwrap();
+        assert!(cli.no_cache);
+        assert_eq!(cli.targets, vec!["fig2".to_string(), "table3".to_string()]);
+        // The full profile covers all four Figure 6 scale factors.
+        assert_eq!(cli.profile.fig6_sfs.len(), 4);
+    }
+
+    #[test]
+    fn unknown_profile_is_an_error() {
+        let err = parse_args(&args(&["--profile", "turbo"])).unwrap_err();
+        assert!(err.contains("turbo"), "{err}");
+        let err = parse_args(&args(&["--profile"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_target_is_an_error() {
+        let err = parse_args(&args(&["fig99"])).unwrap_err();
+        assert!(err.contains("fig99"), "{err}");
+        assert!(err.contains("expected one of"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_is_an_error() {
+        let err = parse_args(&args(&["--frobnicate"])).unwrap_err();
+        assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn help_flag_is_recognized() {
+        let cli = parse_args(&args(&["-h"])).unwrap();
+        assert!(cli.help);
+        assert!(usage().contains("--no-cache"));
     }
 }

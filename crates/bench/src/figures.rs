@@ -11,9 +11,26 @@ use dbsens_core::experiment::{Experiment, RunResult};
 use dbsens_core::knobs::ResourceKnobs;
 use dbsens_core::queryexp::TpchHarness;
 use dbsens_core::report::{fmt, render_series, render_table};
+use dbsens_core::runner::{ExperimentError, ExperimentOutcome, Runner};
 use dbsens_core::sweep;
 use dbsens_workloads::driver::{MetricKind, WorkloadSpec};
 use serde::{Deserialize, Serialize};
+
+/// Pulls the next outcome out of a runner result stream, converting an
+/// exhausted stream (which the [`Runner`] contract rules out) into an
+/// [`ExperimentError`] rather than a panic.
+fn take_outcome(
+    outcomes: &mut impl Iterator<Item = ExperimentOutcome>,
+    what: &str,
+) -> Result<RunResult, ExperimentError> {
+    outcomes.next().unwrap_or_else(|| {
+        Err(ExperimentError {
+            workload: what.to_owned(),
+            index: 0,
+            message: "runner returned fewer outcomes than experiments".into(),
+        })
+    })
+}
 
 /// The ten workload/SF configurations of the paper's evaluation.
 pub fn workload_matrix(p: &Profile) -> Vec<WorkloadSpec> {
@@ -80,17 +97,15 @@ pub struct Fig2Data {
 
 /// Runs the Figure 2 sweeps: performance vs cores and vs LLC for every
 /// workload/SF configuration.
-pub fn run_fig2(p: &Profile) -> Fig2Data {
-    let configs = workload_matrix(p)
-        .into_iter()
-        .map(|spec| {
-            let base = knobs_for(p, &spec);
-            let cores = sweep::core_sweep(&spec, &base, &p.scale, p.threads);
-            let llc = sweep::llc_sweep(&spec, &base, &p.scale, p.threads);
-            ConfigSweep { name: spec.name(), metric: spec.primary_metric(), cores, llc }
-        })
-        .collect();
-    Fig2Data { configs }
+pub fn run_fig2(p: &Profile, runner: &Runner) -> Result<Fig2Data, ExperimentError> {
+    let mut configs = Vec::new();
+    for spec in workload_matrix(p) {
+        let base = knobs_for(p, &spec);
+        let cores = runner.core_sweep(&spec, &base, &p.scale).into_result()?;
+        let llc = runner.llc_sweep(&spec, &base, &p.scale).into_result()?;
+        configs.push(ConfigSweep { name: spec.name(), metric: spec.primary_metric(), cores, llc });
+    }
+    Ok(Fig2Data { configs })
 }
 
 /// Renders Figure 2 (a,d,g,j: perf vs cores; b,e,h,k: perf vs LLC;
@@ -269,11 +284,11 @@ pub struct Fig5Data {
 pub const FIG5_LIMITS: [f64; 9] = [50.0, 100.0, 200.0, 400.0, 600.0, 800.0, 1200.0, 1800.0, 2500.0];
 
 /// Runs the Figure 5 sweep.
-pub fn run_fig5(p: &Profile) -> Fig5Data {
+pub fn run_fig5(p: &Profile, runner: &Runner) -> Result<Fig5Data, ExperimentError> {
     let spec = WorkloadSpec::TpchPower { sf: *p.tpch_sfs.last().unwrap_or(&300.0) };
     let base = p.dss_knobs();
-    let points = sweep::read_limit_sweep(&spec, &FIG5_LIMITS, &base, &p.scale, p.threads);
-    Fig5Data { points }
+    let points = runner.read_limit_sweep(&spec, &FIG5_LIMITS, &base, &p.scale).into_result()?;
+    Ok(Fig5Data { points })
 }
 
 /// Renders Figure 5 with the linear-model over-allocation analysis.
@@ -512,21 +527,22 @@ pub fn render_table2(rows: &[(String, f64, f64)]) -> String {
 }
 
 /// Runs Table 3: TPC-E wait times at both scale factors.
-pub fn run_table3(p: &Profile) -> (RunResult, RunResult) {
+pub fn run_table3(p: &Profile, runner: &Runner) -> Result<(RunResult, RunResult), ExperimentError> {
     let base = p.oltp_knobs();
     let small = Experiment {
         workload: WorkloadSpec::paper_spec("tpce", p.tpce_sfs[0]),
         knobs: base.clone(),
         scale: p.scale.clone(),
-    }
-    .run();
+    };
     let large = Experiment {
         workload: WorkloadSpec::paper_spec("tpce", *p.tpce_sfs.last().unwrap()),
         knobs: base,
         scale: p.scale.clone(),
-    }
-    .run();
-    (small, large)
+    };
+    let mut outcomes = runner.run(vec![small, large]).into_iter();
+    let small = take_outcome(&mut outcomes, "table3 small SF")?;
+    let large = take_outcome(&mut outcomes, "table3 large SF")?;
+    Ok((small, large))
 }
 
 /// Renders Table 3: wait ratios large-SF / small-SF with paper references.
@@ -579,18 +595,22 @@ pub fn render_table3(small: &RunResult, large: &RunResult) -> String {
 /// matters for Table 3's PAGEIOLATCH decomposition — the paper's runs
 /// measure warmed systems; a cold pool conflates warmup misses with
 /// steady-state behaviour.
-pub fn run_warmup_ablation(p: &Profile) -> Vec<(String, f64, f64)> {
+pub fn run_warmup_ablation(
+    p: &Profile,
+    runner: &Runner,
+) -> Result<Vec<(String, f64, f64)>, ExperimentError> {
     use dbsens_core::experiment::Experiment;
     use dbsens_hwsim::kernel::Kernel;
     let sf = p.tpce_sfs[0];
     let knobs = p.oltp_knobs();
     // Warmed path: the standard experiment.
-    let warm = Experiment {
+    let warm_exp = Experiment {
         workload: WorkloadSpec::paper_spec("tpce", sf),
         knobs: knobs.clone(),
         scale: p.scale.clone(),
-    }
-    .run();
+    };
+    let mut outcomes = runner.run(vec![warm_exp]).into_iter();
+    let warm = take_outcome(&mut outcomes, "warmup ablation (warmed)")?;
     // Cold path: build without warmup and run the same clock.
     let governor = knobs.governor();
     let mut built =
@@ -604,10 +624,10 @@ pub fn run_warmup_ablation(p: &Profile) -> Vec<(String, f64, f64)> {
     let cold_tps = built.metrics.borrow().tps(dbsens_hwsim::time::SimDuration::from_nanos(
         kernel.now().as_nanos(),
     ));
-    vec![
+    Ok(vec![
         ("warmed pool".into(), warm.tps, warm.wait_secs("PAGEIOLATCH")),
         ("cold pool".into(), cold_tps, cold_io),
-    ]
+    ])
 }
 
 /// Renders the warmup ablation.
@@ -628,18 +648,20 @@ pub fn render_warmup_ablation(rows: &[(String, f64, f64)]) -> String {
 }
 
 /// Runs the §6 write-limit study (E-X1) on ASDB.
-pub fn run_write_limits(p: &Profile) -> Vec<(Option<f64>, RunResult)> {
+pub fn run_write_limits(
+    p: &Profile,
+    runner: &Runner,
+) -> Result<Vec<(Option<f64>, RunResult)>, ExperimentError> {
     let spec = WorkloadSpec::paper_spec("asdb", p.asdb_sfs[0]);
     let base = p.oltp_knobs();
-    [None, Some(100.0), Some(50.0)]
-        .into_iter()
-        .map(|limit| {
-            let mut knobs = base.clone();
-            knobs.write_limit_mbps = limit;
-            let r = Experiment { workload: spec.clone(), knobs, scale: p.scale.clone() }.run();
-            (limit, r)
+    let limits = [None, Some(100.0), Some(50.0)];
+    runner
+        .sweep(&limits, |&limit| Experiment {
+            workload: spec.clone(),
+            knobs: base.clone().with_write_limit_mbps(limit),
+            scale: p.scale.clone(),
         })
-        .collect()
+        .into_result()
 }
 
 /// Renders the write-limit study next to the paper's -6%/-44%.

@@ -59,18 +59,12 @@ impl Profile {
     /// Baseline knobs (full allocation) with this profile's run length for
     /// OLTP workloads.
     pub fn oltp_knobs(&self) -> ResourceKnobs {
-        let mut k = ResourceKnobs::paper_full();
-        k.run_secs = self.oltp_secs;
-        k.seed = self.scale.seed;
-        k
+        ResourceKnobs::paper_full().with_run_secs(self.oltp_secs).with_seed(self.scale.seed)
     }
 
     /// Baseline knobs for TPC-H throughput runs.
     pub fn dss_knobs(&self) -> ResourceKnobs {
-        let mut k = ResourceKnobs::paper_full();
-        k.run_secs = self.dss_secs;
-        k.seed = self.scale.seed;
-        k
+        ResourceKnobs::paper_full().with_run_secs(self.dss_secs).with_seed(self.scale.seed)
     }
 }
 

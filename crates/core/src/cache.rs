@@ -1,0 +1,232 @@
+//! Content-addressed on-disk cache of experiment results.
+//!
+//! Every [`Experiment`](crate::experiment::Experiment) is fully described
+//! by its `(WorkloadSpec, ResourceKnobs, ScaleCfg)` triple, and the
+//! simulator is deterministic, so a result can be memoized under a stable
+//! hash of that triple plus [`CACHE_SCHEMA_VERSION`]. The cache lives
+//! under `results/cache/` by default (one JSON file per experiment), so
+//! `repro fig3` reuses the Figure 2 sweeps it shares and an interrupted
+//! `--profile full` run resumes instead of restarting.
+//!
+//! Bypass with `repro --no-cache`; clear by deleting the directory (or
+//! calling [`ResultCache::clear`]). Bumping [`CACHE_SCHEMA_VERSION`]
+//! invalidates all prior entries without touching the files.
+
+use crate::experiment::RunResult;
+use crate::knobs::ResourceKnobs;
+use dbsens_workloads::driver::WorkloadSpec;
+use dbsens_workloads::scale::ScaleCfg;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Version of the cache key/value layout. Bump whenever [`RunResult`],
+/// the key triple, or experiment semantics change incompatibly: old
+/// entries then simply stop matching.
+pub const CACHE_SCHEMA_VERSION: u32 = 1;
+
+/// Counter making concurrent temp-file names unique within the process.
+static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A directory of memoized [`RunResult`]s, keyed by experiment content.
+///
+/// All operations are best-effort: I/O or serialization failures degrade
+/// to cache misses rather than errors, so a read-only or missing
+/// directory never breaks a sweep.
+///
+/// # Examples
+///
+/// ```no_run
+/// use dbsens_core::cache::ResultCache;
+/// use dbsens_core::runner::Runner;
+///
+/// let runner = Runner::new().cache(ResultCache::at_default());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// A cache rooted at `dir` (created lazily on first write).
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        ResultCache { dir: dir.into() }
+    }
+
+    /// The default cache location, `results/cache` under the current
+    /// working directory.
+    pub fn default_dir() -> PathBuf {
+        Path::new("results").join("cache")
+    }
+
+    /// A cache at [`ResultCache::default_dir`].
+    pub fn at_default() -> Self {
+        ResultCache::new(ResultCache::default_dir())
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The stable content hash for one experiment, as a hex string.
+    ///
+    /// The key covers the full workload spec, every resource knob
+    /// (including seed and run length), the scale configuration, and
+    /// [`CACHE_SCHEMA_VERSION`], so any input change misses cleanly.
+    pub fn key(workload: &WorkloadSpec, knobs: &ResourceKnobs, scale: &ScaleCfg) -> String {
+        let payload = serde_json::to_string(&(CACHE_SCHEMA_VERSION, workload, knobs, scale))
+            .unwrap_or_default();
+        // Two independent 64-bit FNV-1a passes give a 128-bit name without
+        // pulling in a hash dependency; collisions are negligible at the
+        // cache sizes involved (thousands of entries).
+        let a = fnv1a64(payload.as_bytes(), 0xcbf2_9ce4_8422_2325);
+        let b = fnv1a64(payload.as_bytes(), 0x6c62_272e_07bb_0142);
+        format!("{a:016x}{b:016x}")
+    }
+
+    /// Looks up a memoized result. Unreadable or corrupt entries are
+    /// treated (and cleaned up) as misses.
+    pub fn get(&self, key: &str) -> Option<RunResult> {
+        let path = self.entry_path(key);
+        let bytes = std::fs::read(&path).ok()?;
+        match serde_json::from_slice(&bytes) {
+            Ok(result) => Some(result),
+            Err(_) => {
+                let _ = std::fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Stores a result under `key`. Best-effort: failures are ignored
+    /// (the experiment simply re-runs next time). Writes go through a
+    /// unique temp file plus rename so readers never observe a partial
+    /// entry.
+    pub fn put(&self, key: &str, result: &RunResult) {
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return;
+        }
+        let Ok(json) = serde_json::to_vec(result) else { return };
+        let tmp = self.dir.join(format!(
+            ".{key}.tmp.{}.{}",
+            std::process::id(),
+            TMP_COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        if std::fs::write(&tmp, json).is_ok()
+            && std::fs::rename(&tmp, self.entry_path(key)).is_err()
+        {
+            let _ = std::fs::remove_file(&tmp);
+        }
+    }
+
+    /// Removes every cache entry (and the directory itself).
+    pub fn clear(&self) -> std::io::Result<()> {
+        match std::fs::remove_dir_all(&self.dir) {
+            Err(e) if e.kind() != std::io::ErrorKind::NotFound => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// How many entries are currently on disk.
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|rd| {
+                rd.filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn entry_path(&self, key: &str) -> PathBuf {
+        self.dir.join(format!("{key}.json"))
+    }
+}
+
+fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("dbsens-cache-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_result() -> RunResult {
+        RunResult {
+            workload: "TPC-E SF=300".into(),
+            elapsed_secs: 3.0,
+            tps: 123.0,
+            qps: 0.0,
+            qph: 0.0,
+            txns: 369,
+            queries: 0,
+            p99_txn_ms: Some(1.5),
+            mpki: 2.0,
+            dram_bw_mbps: 100.0,
+            ssd_read_mbps: 10.0,
+            ssd_write_mbps: 5.0,
+            samples: Vec::new(),
+            waits: Vec::new(),
+            sizing: (1.0, 0.5),
+            query_secs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn key_is_stable_and_input_sensitive() {
+        let w = WorkloadSpec::TpcE { sf: 300.0, users: 16 };
+        let k = ResourceKnobs::paper_full();
+        let s = ScaleCfg::test();
+        let key1 = ResultCache::key(&w, &k, &s);
+        let key2 = ResultCache::key(&w, &k, &s);
+        assert_eq!(key1, key2);
+        assert_eq!(key1.len(), 32);
+        let key3 = ResultCache::key(&w, &k.clone().with_seed(7), &s);
+        assert_ne!(key1, key3, "seed must be part of the key");
+        let key4 = ResultCache::key(&WorkloadSpec::TpcE { sf: 300.0, users: 17 }, &k, &s);
+        assert_ne!(key1, key4, "workload must be part of the key");
+    }
+
+    #[test]
+    fn round_trips_and_clears() {
+        let cache = ResultCache::new(scratch_dir("roundtrip"));
+        let key = "00112233445566778899aabbccddeeff";
+        assert!(cache.get(key).is_none());
+        let result = sample_result();
+        cache.put(key, &result);
+        assert_eq!(cache.get(key), Some(result));
+        assert_eq!(cache.len(), 1);
+        cache.clear().unwrap();
+        assert!(cache.is_empty());
+        assert!(cache.get(key).is_none());
+        cache.clear().unwrap(); // idempotent on a missing directory
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let cache = ResultCache::new(scratch_dir("corrupt"));
+        std::fs::create_dir_all(cache.dir()).unwrap();
+        let key = "ffeeddccbbaa99887766554433221100";
+        std::fs::write(cache.dir().join(format!("{key}.json")), b"not json").unwrap();
+        assert!(cache.get(key).is_none());
+        assert!(cache.is_empty(), "corrupt entry should be removed");
+        let _ = cache.clear();
+    }
+}

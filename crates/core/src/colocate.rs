@@ -141,8 +141,7 @@ mod tests {
 
     #[test]
     fn colocation_interferes_but_does_not_starve() {
-        let mut knobs = ResourceKnobs::paper_full();
-        knobs.run_secs = 4;
+        let knobs = ResourceKnobs::paper_full().with_run_secs(4);
         let c = Colocation {
             tenant_a: WorkloadSpec::TpcE { sf: 300.0, users: 32 },
             tenant_b: WorkloadSpec::Asdb { sf: 50.0, clients: 32 },

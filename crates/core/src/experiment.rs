@@ -173,8 +173,7 @@ mod tests {
 
     #[test]
     fn tpce_experiment_reports_tps_and_waits() {
-        let mut knobs = ResourceKnobs::paper_full();
-        knobs.run_secs = 3;
+        let knobs = ResourceKnobs::paper_full().with_run_secs(3);
         let r = quick(WorkloadSpec::TpcE { sf: 300.0, users: 16 }, knobs);
         assert!(r.tps > 10.0, "tps = {}", r.tps);
         assert!(r.wait_secs("WRITELOG") > 0.0);
@@ -184,8 +183,7 @@ mod tests {
 
     #[test]
     fn fewer_cores_mean_less_throughput() {
-        let mut knobs = ResourceKnobs::paper_full();
-        knobs.run_secs = 3;
+        let knobs = ResourceKnobs::paper_full().with_run_secs(3);
         let full = quick(WorkloadSpec::Asdb { sf: 50.0, clients: 32 }, knobs.clone());
         let one = quick(WorkloadSpec::Asdb { sf: 50.0, clients: 32 }, knobs.with_cores(1));
         assert!(
@@ -198,11 +196,12 @@ mod tests {
 
     #[test]
     fn read_limit_throttles_tpch() {
-        let mut knobs = ResourceKnobs::paper_full();
-        knobs.run_secs = 20;
+        let knobs = ResourceKnobs::paper_full().with_run_secs(20);
         let free = quick(WorkloadSpec::TpchThroughput { sf: 30.0, streams: 2 }, knobs.clone());
-        knobs.read_limit_mbps = Some(25.0);
-        let capped = quick(WorkloadSpec::TpchThroughput { sf: 30.0, streams: 2 }, knobs);
+        let capped = quick(
+            WorkloadSpec::TpchThroughput { sf: 30.0, streams: 2 },
+            knobs.with_read_limit_mbps(25.0),
+        );
         assert!(
             capped.ssd_read_mbps <= 30.0,
             "cap violated: {} MB/s",

@@ -80,6 +80,43 @@ impl ResourceKnobs {
         self
     }
 
+    /// With a MAXDOP setting alone; the governor still caps the effective
+    /// DOP at the core allocation.
+    pub fn with_maxdop(mut self, dop: usize) -> Self {
+        self.maxdop = dop;
+        self
+    }
+
+    /// With a per-query memory-grant fraction.
+    pub fn with_grant_fraction(mut self, fraction: f64) -> Self {
+        self.grant_fraction = fraction;
+        self
+    }
+
+    /// With a simulation seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// With a virtual run length in seconds.
+    pub fn with_run_secs(mut self, secs: u64) -> Self {
+        self.run_secs = secs;
+        self
+    }
+
+    /// With an SSD read-bandwidth limit in MB/s (`None` = device speed).
+    pub fn with_read_limit_mbps(mut self, mbps: impl Into<Option<f64>>) -> Self {
+        self.read_limit_mbps = mbps.into();
+        self
+    }
+
+    /// With an SSD write-bandwidth limit in MB/s (`None` = device speed).
+    pub fn with_write_limit_mbps(mut self, mbps: impl Into<Option<f64>>) -> Self {
+        self.write_limit_mbps = mbps.into();
+        self
+    }
+
     /// Builds the hardware simulator configuration.
     ///
     /// # Panics
@@ -160,6 +197,27 @@ mod tests {
     #[should_panic(expected = "even 2..=40")]
     fn odd_llc_rejected() {
         let _ = ResourceKnobs::paper_full().with_llc_mb(7).sim_config();
+    }
+
+    #[test]
+    fn builders_cover_every_swept_knob() {
+        let k = ResourceKnobs::paper_full()
+            .with_cores(8)
+            .with_llc_mb(12)
+            .with_maxdop(4)
+            .with_grant_fraction(0.05)
+            .with_seed(7)
+            .with_run_secs(15)
+            .with_read_limit_mbps(200.0)
+            .with_write_limit_mbps(None);
+        assert_eq!(k.cores, 8);
+        assert_eq!(k.llc_mb, 12);
+        assert_eq!(k.maxdop, 4);
+        assert_eq!(k.grant_fraction, 0.05);
+        assert_eq!(k.seed, 7);
+        assert_eq!(k.run_secs, 15);
+        assert_eq!(k.read_limit_mbps, Some(200.0));
+        assert_eq!(k.write_limit_mbps, None);
     }
 
     #[test]

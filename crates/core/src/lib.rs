@@ -12,8 +12,10 @@
 //!   fractions;
 //! * [`experiment::Experiment`] — one workload under one allocation,
 //!   yielding a serializable [`experiment::RunResult`];
-//! * [`sweep`] — the paper's parameter sweeps, parallelized across OS
-//!   threads;
+//! * [`runner::Runner`] — fault-isolated worker pool executing the
+//!   paper's parameter sweeps with structured [`progress`] events and an
+//!   on-disk [`cache`] of results;
+//! * [`sweep`] — the paper's sweep step grids (plus deprecated shims);
 //! * [`queryexp::TpchHarness`] — per-query MAXDOP and memory-grant
 //!   studies with plan capture (Figures 6-8);
 //! * [`analysis`] — knees, sufficient-capacity tables, CDFs, wait ratios,
@@ -48,16 +50,22 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod cache;
 pub mod colocate;
 pub mod experiment;
 pub mod knobs;
 pub mod pitfalls;
+pub mod progress;
 pub mod queryexp;
 pub mod report;
+pub mod runner;
 pub mod sweep;
 
+pub use cache::ResultCache;
 pub use colocate::{Colocation, ColocationResult};
 pub use experiment::{Experiment, RunResult};
 pub use knobs::ResourceKnobs;
 pub use pitfalls::Warning;
+pub use progress::{Event, ProgressSink, StderrReporter};
 pub use queryexp::{QueryRunResult, TpchHarness};
+pub use runner::{ExperimentError, Runner, Sweep};

@@ -173,9 +173,7 @@ pub fn joint_dop_memory_grid(
     let mut grid = Vec::with_capacity(dops.len() * grant_fractions.len());
     for &dop in dops {
         for &g in grant_fractions {
-            let mut k = base.clone().with_maxdop_and_cores(dop);
-            k.grant_fraction = g;
-            grid.push(k);
+            grid.push(base.clone().with_maxdop_and_cores(dop).with_grant_fraction(g));
         }
     }
     grid
@@ -300,10 +298,7 @@ mod tests {
         assert_eq!(w.iter().filter(|w| w.pitfall == 4).count(), 1);
 
         let mut with_bw = cores_only.clone();
-        let mut limited = base.clone();
-        limited.read_limit_mbps = Some(500.0);
-        limited.write_limit_mbps = Some(100.0);
-        with_bw.push(limited);
+        with_bw.push(base.clone().with_read_limit_mbps(500.0).with_write_limit_mbps(100.0));
         assert!(check_bandwidth_knobs(&with_bw).is_empty());
     }
 

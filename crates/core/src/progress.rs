@@ -1,0 +1,240 @@
+//! Structured progress and trace events for sweep execution.
+//!
+//! The [`Runner`](crate::runner::Runner) emits an [`Event`] stream through
+//! a pluggable [`ProgressSink`]: experiment lifecycle, cache hits/misses,
+//! virtual seconds simulated, and per-worker utilization. Three sinks
+//! ship with the crate: [`NullSink`] (the default), [`StderrReporter`]
+//! (single-line CLI progress, used by `repro`), and [`CollectingSink`]
+//! (in-memory capture for tests).
+
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// One structured trace event from a sweep execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A sweep of `total` experiments began on `threads` worker threads.
+    SweepStarted {
+        /// Number of experiments in the sweep.
+        total: usize,
+        /// Worker threads executing it.
+        threads: usize,
+    },
+    /// Experiment `index` was served from the on-disk result cache.
+    CacheHit {
+        /// Input-order index of the experiment.
+        index: usize,
+        /// Workload name.
+        workload: String,
+    },
+    /// Experiment `index` was not in the cache and will execute.
+    CacheMiss {
+        /// Input-order index of the experiment.
+        index: usize,
+        /// Workload name.
+        workload: String,
+    },
+    /// Experiment `index` began executing on worker `worker`.
+    ExperimentStarted {
+        /// Input-order index of the experiment.
+        index: usize,
+        /// Worker thread id (0-based).
+        worker: usize,
+        /// Workload name.
+        workload: String,
+    },
+    /// Experiment `index` finished (successfully or not).
+    ExperimentFinished {
+        /// Input-order index of the experiment.
+        index: usize,
+        /// Worker thread id (0-based).
+        worker: usize,
+        /// Workload name.
+        workload: String,
+        /// Virtual seconds simulated (`None` when the experiment failed).
+        virtual_secs: Option<f64>,
+        /// Whether the experiment produced a result.
+        ok: bool,
+        /// Host wall-clock time spent.
+        wall: Duration,
+    },
+    /// A worker drained the queue.
+    WorkerFinished {
+        /// Worker thread id (0-based).
+        worker: usize,
+        /// Experiments this worker executed (cache hits included).
+        ran: usize,
+        /// Host wall-clock time this worker spent busy.
+        busy: Duration,
+    },
+    /// The whole sweep finished.
+    SweepFinished {
+        /// Experiments that produced a result.
+        completed: usize,
+        /// Experiments that failed with an
+        /// [`ExperimentError`](crate::runner::ExperimentError).
+        failed: usize,
+        /// Experiments served from the cache.
+        cache_hits: usize,
+        /// Total host wall-clock time for the sweep.
+        wall: Duration,
+    },
+}
+
+/// A pluggable consumer of sweep [`Event`]s.
+///
+/// Implementations must tolerate concurrent calls from multiple worker
+/// threads (hence `Send + Sync`) and should be cheap: the runner calls
+/// sinks inline on the worker threads.
+pub trait ProgressSink: Send + Sync {
+    /// Receives one event.
+    fn event(&self, event: &Event);
+}
+
+/// Discards all events; the [`Runner`](crate::runner::Runner) default.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullSink;
+
+impl ProgressSink for NullSink {
+    fn event(&self, _event: &Event) {}
+}
+
+/// Prints single-line progress to stderr; wired into `repro`.
+#[derive(Debug)]
+pub struct StderrReporter {
+    prefix: String,
+    state: Mutex<ReporterState>,
+}
+
+#[derive(Debug, Default)]
+struct ReporterState {
+    total: usize,
+    done: usize,
+}
+
+impl StderrReporter {
+    /// A reporter whose lines start with `[prefix]`.
+    pub fn new(prefix: &str) -> Self {
+        StderrReporter { prefix: prefix.to_owned(), state: Mutex::new(ReporterState::default()) }
+    }
+}
+
+impl Default for StderrReporter {
+    fn default() -> Self {
+        StderrReporter::new("runner")
+    }
+}
+
+impl ProgressSink for StderrReporter {
+    fn event(&self, event: &Event) {
+        let mut st = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        match event {
+            Event::SweepStarted { total, threads } => {
+                st.total = *total;
+                st.done = 0;
+                eprintln!("[{}] sweep: {} experiments on {} threads", self.prefix, total, threads);
+            }
+            Event::CacheHit { workload, .. } => {
+                st.done += 1;
+                eprintln!(
+                    "[{}] {}/{} {} (cache hit)",
+                    self.prefix, st.done, st.total, workload
+                );
+            }
+            Event::CacheMiss { .. } | Event::ExperimentStarted { .. } => {}
+            Event::ExperimentFinished { workload, virtual_secs, ok, wall, .. } => {
+                st.done += 1;
+                match (ok, virtual_secs) {
+                    (true, Some(secs)) => eprintln!(
+                        "[{}] {}/{} {} ({:.0} virtual s in {:.2}s)",
+                        self.prefix,
+                        st.done,
+                        st.total,
+                        workload,
+                        secs,
+                        wall.as_secs_f64()
+                    ),
+                    _ => eprintln!(
+                        "[{}] {}/{} {} FAILED after {:.2}s",
+                        self.prefix,
+                        st.done,
+                        st.total,
+                        workload,
+                        wall.as_secs_f64()
+                    ),
+                }
+            }
+            Event::WorkerFinished { worker, ran, busy } => {
+                if *ran > 0 {
+                    eprintln!(
+                        "[{}] worker {}: {} experiments, {:.2}s busy",
+                        self.prefix,
+                        worker,
+                        ran,
+                        busy.as_secs_f64()
+                    );
+                }
+            }
+            Event::SweepFinished { completed, failed, cache_hits, wall } => {
+                eprintln!(
+                    "[{}] sweep done: {} ok, {} failed, {} cached, {:.2}s",
+                    self.prefix,
+                    completed,
+                    failed,
+                    cache_hits,
+                    wall.as_secs_f64()
+                );
+            }
+        }
+    }
+}
+
+/// Stores every event in memory; intended for tests and analysis.
+#[derive(Debug, Default)]
+pub struct CollectingSink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl CollectingSink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        CollectingSink::default()
+    }
+
+    /// A snapshot of all events received so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+    }
+
+    /// How many recorded events satisfy `pred`.
+    pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).iter().filter(|e| pred(e)).count()
+    }
+}
+
+impl ProgressSink for CollectingSink {
+    fn event(&self, event: &Event) {
+        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(event.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_sink_records_in_order() {
+        let sink = CollectingSink::new();
+        sink.event(&Event::SweepStarted { total: 2, threads: 1 });
+        sink.event(&Event::SweepFinished {
+            completed: 2,
+            failed: 0,
+            cache_hits: 0,
+            wall: Duration::from_secs(1),
+        });
+        let events = sink.events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], Event::SweepStarted { total: 2, .. }));
+        assert_eq!(sink.count(|e| matches!(e, Event::SweepFinished { .. })), 1);
+    }
+}

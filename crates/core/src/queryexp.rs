@@ -144,9 +144,7 @@ impl TpchHarness {
     /// Runs query `q` at a memory-grant fraction (the paper's §8 sweep),
     /// full cores/MAXDOP.
     pub fn run_query_at_grant(&self, q: usize, fraction: f64, base: &ResourceKnobs) -> QueryRunResult {
-        let mut knobs = base.clone();
-        knobs.grant_fraction = fraction;
-        self.run_query(q, &knobs)
+        self.run_query(q, &base.clone().with_grant_fraction(fraction))
     }
 }
 

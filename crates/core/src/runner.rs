@@ -1,0 +1,482 @@
+//! Fault-isolated, cache-aware parallel execution of experiment sweeps.
+//!
+//! [`Runner`] replaces the old panicking `sweep::run_all` free function
+//! with a composable worker pool:
+//!
+//! * **fault isolation** — a panicking experiment becomes an
+//!   [`ExperimentError`] in its own `Result` slot instead of aborting the
+//!   whole sweep;
+//! * **observability** — structured [`Event`](crate::progress::Event)s
+//!   (start/finish, virtual seconds simulated, cache hit/miss, per-worker
+//!   utilization) flow through a pluggable
+//!   [`ProgressSink`](crate::progress::ProgressSink);
+//! * **memoization** — with a [`ResultCache`] attached, results are
+//!   served from `results/cache/` when the same `(workload, knobs,
+//!   scale)` triple was run before, so shared sweeps (Figure 2 feeds
+//!   Table 4 and Figures 3-4) and interrupted runs are cheap.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use dbsens_core::cache::ResultCache;
+//! use dbsens_core::knobs::ResourceKnobs;
+//! use dbsens_core::progress::StderrReporter;
+//! use dbsens_core::runner::Runner;
+//! use dbsens_workloads::driver::WorkloadSpec;
+//! use dbsens_workloads::scale::ScaleCfg;
+//! use std::sync::Arc;
+//!
+//! let runner = Runner::new()
+//!     .threads(8)
+//!     .cache(ResultCache::at_default())
+//!     .progress(Arc::new(StderrReporter::new("sweep")));
+//! let sweep = runner.core_sweep(
+//!     &WorkloadSpec::paper_spec("tpce", 5000.0),
+//!     &ResourceKnobs::paper_full(),
+//!     &ScaleCfg::test(),
+//! );
+//! for (cores, outcome) in &sweep.points {
+//!     match outcome {
+//!         Ok(r) => println!("{cores} cores: {:.0} TPS", r.tps),
+//!         Err(e) => eprintln!("{cores} cores failed: {e}"),
+//!     }
+//! }
+//! ```
+
+use crate::cache::ResultCache;
+use crate::experiment::{Experiment, RunResult};
+use crate::knobs::ResourceKnobs;
+use crate::progress::{Event, NullSink, ProgressSink};
+use crate::sweep::{llc_steps, CORE_STEPS};
+use dbsens_workloads::driver::WorkloadSpec;
+use dbsens_workloads::scale::ScaleCfg;
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Why one experiment slot of a sweep failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentError {
+    /// Workload name of the failing experiment.
+    pub workload: String,
+    /// Input-order index within the sweep.
+    pub index: usize,
+    /// The panic message (or a description of how the worker died).
+    pub message: String,
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "experiment {} ({}) failed: {}", self.index, self.workload, self.message)
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// The outcome of one experiment slot.
+pub type ExperimentOutcome = Result<RunResult, ExperimentError>;
+
+/// An executed sweep: one `(step, outcome)` pair per step, in input order.
+#[derive(Debug, Clone)]
+pub struct Sweep<K> {
+    /// `(step value, outcome)` pairs in sweep order.
+    pub points: Vec<(K, ExperimentOutcome)>,
+}
+
+impl<K> Sweep<K> {
+    /// Number of points (successful or not).
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the sweep has no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The errors of all failed slots, in sweep order.
+    pub fn errors(&self) -> Vec<&ExperimentError> {
+        self.points.iter().filter_map(|(_, r)| r.as_ref().err()).collect()
+    }
+
+    /// The successful points, dropping failed slots.
+    pub fn ok_points(self) -> Vec<(K, RunResult)> {
+        self.points.into_iter().filter_map(|(k, r)| r.ok().map(|v| (k, v))).collect()
+    }
+
+    /// All points if every slot succeeded, else the first error.
+    pub fn into_result(self) -> Result<Vec<(K, RunResult)>, ExperimentError> {
+        self.points.into_iter().map(|(k, r)| r.map(|v| (k, v))).collect()
+    }
+}
+
+/// A shared worker pool executing [`Experiment`]s with panic isolation,
+/// progress events, and optional on-disk memoization.
+///
+/// Construction is builder-style; the default is single-threaded, silent,
+/// and uncached, which is also the configuration the deprecated
+/// `sweep::run_all` shim delegates to.
+pub struct Runner {
+    threads: usize,
+    cache: Option<ResultCache>,
+    sink: Arc<dyn ProgressSink>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+impl Runner {
+    /// A single-threaded runner with no cache and no progress output.
+    pub fn new() -> Self {
+        Runner { threads: 1, cache: None, sink: Arc::new(NullSink) }
+    }
+
+    /// Uses up to `threads` OS worker threads (clamped to at least 1).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Memoizes results in `cache`.
+    pub fn cache(mut self, cache: ResultCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Disables memoization (the default).
+    pub fn without_cache(mut self) -> Self {
+        self.cache = None;
+        self
+    }
+
+    /// Sends progress/trace events to `sink`.
+    pub fn progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
+        self.sink = sink;
+        self
+    }
+
+    /// The attached cache, if any.
+    pub fn cache_ref(&self) -> Option<&ResultCache> {
+        self.cache.as_ref()
+    }
+
+    /// Runs all experiments, returning one outcome per input slot, in
+    /// input order. A panicking experiment yields `Err(ExperimentError)`
+    /// for its slot; the remaining slots still complete.
+    pub fn run(&self, experiments: Vec<Experiment>) -> Vec<ExperimentOutcome> {
+        let n = experiments.len();
+        let threads = self.threads.min(n.max(1));
+        let start = Instant::now();
+        self.sink.event(&Event::SweepStarted { total: n, threads });
+        let cache_hits = AtomicUsize::new(0);
+        let mut results: Vec<Option<ExperimentOutcome>> = (0..n).map(|_| None).collect();
+
+        if threads <= 1 || n <= 1 {
+            let mut busy = Duration::ZERO;
+            for (i, exp) in experiments.iter().enumerate() {
+                let t = Instant::now();
+                let (outcome, hit) = self.execute_one(i, exp, 0);
+                busy += t.elapsed();
+                if hit {
+                    cache_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                results[i] = Some(outcome);
+            }
+            self.sink.event(&Event::WorkerFinished { worker: 0, ran: n, busy });
+        } else {
+            let next = AtomicUsize::new(0);
+            let slots = Mutex::new(&mut results);
+            // If a worker dies anyway (e.g. a panicking sink), its
+            // remaining slots become ExperimentErrors below instead of
+            // aborting the sweep, so the scope result is deliberately
+            // not unwrapped.
+            let _ = crossbeam::scope(|s| {
+                for worker in 0..threads {
+                    let next = &next;
+                    let slots = &slots;
+                    let cache_hits = &cache_hits;
+                    let experiments = &experiments;
+                    s.spawn(move |_| {
+                        let mut ran = 0usize;
+                        let mut busy = Duration::ZERO;
+                        loop {
+                            let i = next.fetch_add(1, Ordering::SeqCst);
+                            if i >= n {
+                                break;
+                            }
+                            let t = Instant::now();
+                            let (outcome, hit) = self.execute_one(i, &experiments[i], worker);
+                            busy += t.elapsed();
+                            ran += 1;
+                            if hit {
+                                cache_hits.fetch_add(1, Ordering::Relaxed);
+                            }
+                            slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(outcome);
+                        }
+                        self.sink.event(&Event::WorkerFinished { worker, ran, busy });
+                    });
+                }
+            });
+        }
+
+        let outcomes: Vec<ExperimentOutcome> = results
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| {
+                slot.unwrap_or_else(|| {
+                    Err(ExperimentError {
+                        workload: experiments[i].workload.name(),
+                        index: i,
+                        message: "worker terminated before this experiment completed".into(),
+                    })
+                })
+            })
+            .collect();
+        let failed = outcomes.iter().filter(|o| o.is_err()).count();
+        self.sink.event(&Event::SweepFinished {
+            completed: n - failed,
+            failed,
+            cache_hits: cache_hits.load(Ordering::Relaxed),
+            wall: start.elapsed(),
+        });
+        outcomes
+    }
+
+    /// Builds one experiment per step with `make` and runs them all.
+    pub fn sweep<K: Clone>(
+        &self,
+        steps: &[K],
+        mut make: impl FnMut(&K) -> Experiment,
+    ) -> Sweep<K> {
+        let exps: Vec<Experiment> = steps.iter().map(|k| make(k)).collect();
+        Sweep { points: steps.iter().cloned().zip(self.run(exps)).collect() }
+    }
+
+    /// Sweeps core counts for one workload (Figure 2 left column).
+    pub fn core_sweep(
+        &self,
+        workload: &WorkloadSpec,
+        base: &ResourceKnobs,
+        scale: &ScaleCfg,
+    ) -> Sweep<usize> {
+        self.sweep(&CORE_STEPS, |&cores| Experiment {
+            workload: workload.clone(),
+            knobs: base.clone().with_cores(cores),
+            scale: scale.clone(),
+        })
+    }
+
+    /// Sweeps LLC allocations for one workload (Figure 2 middle/right
+    /// columns).
+    pub fn llc_sweep(
+        &self,
+        workload: &WorkloadSpec,
+        base: &ResourceKnobs,
+        scale: &ScaleCfg,
+    ) -> Sweep<u32> {
+        self.sweep(&llc_steps(), |&mb| Experiment {
+            workload: workload.clone(),
+            knobs: base.clone().with_llc_mb(mb),
+            scale: scale.clone(),
+        })
+    }
+
+    /// Sweeps SSD read-bandwidth limits (Figure 5).
+    pub fn read_limit_sweep(
+        &self,
+        workload: &WorkloadSpec,
+        limits_mbps: &[f64],
+        base: &ResourceKnobs,
+        scale: &ScaleCfg,
+    ) -> Sweep<f64> {
+        self.sweep(limits_mbps, |&mbps| Experiment {
+            workload: workload.clone(),
+            knobs: base.clone().with_read_limit_mbps(mbps),
+            scale: scale.clone(),
+        })
+    }
+
+    /// Runs one experiment slot: cache lookup, execution with panic
+    /// isolation, cache fill, and progress events. Returns the outcome
+    /// and whether it was a cache hit.
+    fn execute_one(
+        &self,
+        index: usize,
+        exp: &Experiment,
+        worker: usize,
+    ) -> (ExperimentOutcome, bool) {
+        let workload = exp.workload.name();
+        let key =
+            self.cache.as_ref().map(|_| ResultCache::key(&exp.workload, &exp.knobs, &exp.scale));
+        if let (Some(cache), Some(key)) = (&self.cache, &key) {
+            if let Some(hit) = cache.get(key) {
+                self.sink.event(&Event::CacheHit { index, workload });
+                return (Ok(hit), true);
+            }
+            self.sink.event(&Event::CacheMiss { index, workload: workload.clone() });
+        }
+        self.sink.event(&Event::ExperimentStarted { index, worker, workload: workload.clone() });
+        let start = Instant::now();
+        let outcome = match catch_unwind(AssertUnwindSafe(|| exp.run())) {
+            Ok(result) => {
+                if let (Some(cache), Some(key)) = (&self.cache, &key) {
+                    cache.put(key, &result);
+                }
+                Ok(result)
+            }
+            Err(payload) => Err(ExperimentError {
+                workload: workload.clone(),
+                index,
+                message: panic_message(payload),
+            }),
+        };
+        self.sink.event(&Event::ExperimentFinished {
+            index,
+            worker,
+            workload,
+            virtual_secs: outcome.as_ref().ok().map(|r| r.elapsed_secs),
+            ok: outcome.is_ok(),
+            wall: start.elapsed(),
+        });
+        (outcome, false)
+    }
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::progress::CollectingSink;
+
+    fn quick_knobs() -> ResourceKnobs {
+        ResourceKnobs::paper_full().with_run_secs(2)
+    }
+
+    fn experiment(cores: usize) -> Experiment {
+        Experiment {
+            workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
+            knobs: quick_knobs().with_cores(cores),
+            scale: ScaleCfg::test(),
+        }
+    }
+
+    /// An experiment that panics inside `run` (odd LLC allocations are
+    /// rejected by `sim_config`).
+    fn poisoned_experiment() -> Experiment {
+        Experiment {
+            workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
+            knobs: quick_knobs().with_llc_mb(7),
+            scale: ScaleCfg::test(),
+        }
+    }
+
+    fn scratch_cache(tag: &str) -> ResultCache {
+        let dir = std::env::temp_dir()
+            .join(format!("dbsens-runner-test-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::new(dir)
+    }
+
+    #[test]
+    fn panicking_experiment_is_isolated() {
+        let runner = Runner::new().threads(2);
+        let outcomes =
+            runner.run(vec![experiment(4), poisoned_experiment(), experiment(8)]);
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes[0].is_ok(), "slot 0 should complete: {:?}", outcomes[0]);
+        assert!(outcomes[2].is_ok(), "slot 2 should complete: {:?}", outcomes[2]);
+        let err = outcomes[1].as_ref().expect_err("slot 1 should fail");
+        assert_eq!(err.index, 1);
+        assert!(err.message.contains("LLC"), "message: {}", err.message);
+    }
+
+    #[test]
+    fn same_seed_sweeps_identical_across_thread_counts() {
+        let make = || vec![experiment(4), experiment(16)];
+        let serial = Runner::new().threads(1).run(make());
+        let parallel = Runner::new().threads(8).run(make());
+        assert_eq!(serial.len(), parallel.len());
+        for (s, p) in serial.iter().zip(parallel.iter()) {
+            assert_eq!(
+                s.as_ref().expect("serial slot ok"),
+                p.as_ref().expect("parallel slot ok"),
+                "host threading must not change results"
+            );
+        }
+    }
+
+    #[test]
+    fn second_sweep_is_served_from_cache() {
+        let cache = scratch_cache("rerun");
+        let sink = Arc::new(CollectingSink::new());
+        let runner =
+            Runner::new().threads(2).cache(cache.clone()).progress(sink.clone());
+
+        let first = runner.run(vec![experiment(2), experiment(4)]);
+        assert!(first.iter().all(Result::is_ok));
+        assert_eq!(sink.count(|e| matches!(e, Event::CacheHit { .. })), 0);
+        assert_eq!(sink.count(|e| matches!(e, Event::CacheMiss { .. })), 2);
+
+        let second = runner.run(vec![experiment(2), experiment(4)]);
+        assert_eq!(
+            sink.count(|e| matches!(e, Event::CacheHit { .. })),
+            2,
+            "second identical sweep must be served entirely from cache"
+        );
+        for (f, s) in first.iter().zip(second.iter()) {
+            assert_eq!(f.as_ref().unwrap(), s.as_ref().unwrap());
+        }
+        let _ = cache.clear();
+    }
+
+    #[test]
+    fn failed_experiments_are_not_cached() {
+        let cache = scratch_cache("nofail");
+        let runner = Runner::new().cache(cache.clone());
+        let outcomes = runner.run(vec![poisoned_experiment()]);
+        assert!(outcomes[0].is_err());
+        assert!(cache.is_empty(), "failures must not poison the cache");
+        let outcomes = runner.run(vec![poisoned_experiment()]);
+        assert!(outcomes[0].is_err(), "failure must be reproduced, not cached away");
+        let _ = cache.clear();
+    }
+
+    #[test]
+    fn sweep_helpers_preserve_step_order() {
+        let runner = Runner::new().threads(4);
+        let sweep = runner.sweep(&[1usize, 2, 4], |&cores| experiment(cores));
+        let steps: Vec<usize> = sweep.points.iter().map(|(k, _)| *k).collect();
+        assert_eq!(steps, vec![1, 2, 4]);
+        let ok = sweep.into_result().expect("all slots ok");
+        assert_eq!(ok.len(), 3);
+    }
+
+    #[test]
+    fn into_result_surfaces_the_failure() {
+        let runner = Runner::new();
+        let sweep = runner.sweep(&[0usize, 1], |&i| {
+            if i == 1 {
+                poisoned_experiment()
+            } else {
+                experiment(2)
+            }
+        });
+        assert_eq!(sweep.errors().len(), 1);
+        let err = sweep.into_result().expect_err("one slot failed");
+        assert_eq!(err.index, 1);
+    }
+}

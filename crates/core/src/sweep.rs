@@ -1,14 +1,15 @@
-//! Parameter sweeps, optionally running experiments on parallel OS
-//! threads.
+//! The paper's sweep step grids, plus deprecated free-function shims.
 //!
-//! Each experiment is self-contained (its own database, kernel, and tasks
-//! built inside the worker thread), so sweeps parallelize trivially with
-//! `crossbeam` scoped threads; only the serializable [`RunResult`]s cross
-//! thread boundaries. Covers the paper's pitfall #1: sweep helpers always
-//! span multiple workloads and scale factors.
+//! The sweep *steps* (core counts, LLC allocations, MAXDOP, grant
+//! fractions) live here; sweep *execution* moved to
+//! [`runner::Runner`](crate::runner::Runner), which adds fault isolation,
+//! progress events, and on-disk result caching. The free functions below
+//! are thin shims kept for source compatibility: they delegate to a
+//! default `Runner` and preserve the old panic-on-failure semantics.
 
 use crate::experiment::{Experiment, RunResult};
 use crate::knobs::ResourceKnobs;
+use crate::runner::Runner;
 use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
 
@@ -30,74 +31,73 @@ pub const GRANT_FRACTIONS: [f64; 4] = [0.25, 0.15, 0.05, 0.02];
 
 /// Runs a list of experiments, using up to `threads` OS threads. Results
 /// come back in input order.
+///
+/// # Panics
+///
+/// Panics if any experiment fails; use
+/// [`Runner::run`](crate::runner::Runner::run) to get per-slot
+/// `Result`s instead.
+#[deprecated(since = "0.2.0", note = "use dbsens_core::runner::Runner::run")]
 pub fn run_all(experiments: Vec<Experiment>, threads: usize) -> Vec<RunResult> {
-    let threads = threads.max(1);
-    if threads == 1 || experiments.len() <= 1 {
-        return experiments.iter().map(Experiment::run).collect();
-    }
-    let n = experiments.len();
-    let mut results: Vec<Option<RunResult>> = (0..n).map(|_| None).collect();
-    let work: Vec<(usize, Experiment)> = experiments.into_iter().enumerate().collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let out = std::sync::Mutex::new(&mut results);
-    crossbeam::scope(|s| {
-        for _ in 0..threads.min(n) {
-            s.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= n {
-                    break;
-                }
-                let (slot, exp) = &work[i];
-                let result = exp.run();
-                out.lock().expect("no panics while holding lock")[*slot] = Some(result);
-            });
-        }
-    })
-    .expect("sweep worker panicked");
-    results.into_iter().map(|r| r.expect("all slots filled")).collect()
+    Runner::new()
+        .threads(threads)
+        .run(experiments)
+        .into_iter()
+        .map(|outcome| outcome.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
 }
 
 /// Sweeps core counts for one workload (Figure 2 left column).
+///
+/// # Panics
+///
+/// Panics if any experiment fails; use
+/// [`Runner::core_sweep`](crate::runner::Runner::core_sweep) instead.
+#[deprecated(since = "0.2.0", note = "use dbsens_core::runner::Runner::core_sweep")]
 pub fn core_sweep(
     workload: &WorkloadSpec,
     base: &ResourceKnobs,
     scale: &ScaleCfg,
     threads: usize,
 ) -> Vec<(usize, RunResult)> {
-    let exps: Vec<Experiment> = CORE_STEPS
-        .iter()
-        .map(|&cores| Experiment {
-            workload: workload.clone(),
-            knobs: base.clone().with_cores(cores),
-            scale: scale.clone(),
-        })
-        .collect();
-    CORE_STEPS.iter().copied().zip(run_all(exps, threads)).collect()
+    Runner::new()
+        .threads(threads)
+        .core_sweep(workload, base, scale)
+        .into_result()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Sweeps LLC allocations for one workload (Figure 2 middle/right
 /// columns). Mirrors the paper's methodology: increasing allocations,
 /// smallest first after a "reboot" (every run starts with a cold cache
 /// here, which is strictly more conservative).
+///
+/// # Panics
+///
+/// Panics if any experiment fails; use
+/// [`Runner::llc_sweep`](crate::runner::Runner::llc_sweep) instead.
+#[deprecated(since = "0.2.0", note = "use dbsens_core::runner::Runner::llc_sweep")]
 pub fn llc_sweep(
     workload: &WorkloadSpec,
     base: &ResourceKnobs,
     scale: &ScaleCfg,
     threads: usize,
 ) -> Vec<(u32, RunResult)> {
-    let steps = llc_steps();
-    let exps: Vec<Experiment> = steps
-        .iter()
-        .map(|&mb| Experiment {
-            workload: workload.clone(),
-            knobs: base.clone().with_llc_mb(mb),
-            scale: scale.clone(),
-        })
-        .collect();
-    steps.into_iter().zip(run_all(exps, threads)).collect()
+    Runner::new()
+        .threads(threads)
+        .llc_sweep(workload, base, scale)
+        .into_result()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Sweeps SSD read-bandwidth limits (Figure 5).
+///
+/// # Panics
+///
+/// Panics if any experiment fails; use
+/// [`Runner::read_limit_sweep`](crate::runner::Runner::read_limit_sweep)
+/// instead.
+#[deprecated(since = "0.2.0", note = "use dbsens_core::runner::Runner::read_limit_sweep")]
 pub fn read_limit_sweep(
     workload: &WorkloadSpec,
     limits_mbps: &[f64],
@@ -105,15 +105,11 @@ pub fn read_limit_sweep(
     scale: &ScaleCfg,
     threads: usize,
 ) -> Vec<(f64, RunResult)> {
-    let exps: Vec<Experiment> = limits_mbps
-        .iter()
-        .map(|&mbps| {
-            let mut knobs = base.clone();
-            knobs.read_limit_mbps = Some(mbps);
-            Experiment { workload: workload.clone(), knobs, scale: scale.clone() }
-        })
-        .collect();
-    limits_mbps.iter().copied().zip(run_all(exps, threads)).collect()
+    Runner::new()
+        .threads(threads)
+        .read_limit_sweep(workload, limits_mbps, base, scale)
+        .into_result()
+        .unwrap_or_else(|e| panic!("{e}"))
 }
 
 #[cfg(test)]
@@ -121,30 +117,32 @@ mod tests {
     use super::*;
 
     #[test]
-    fn parallel_and_serial_sweeps_agree() {
-        let mut knobs = ResourceKnobs::paper_full();
-        knobs.run_secs = 2;
+    #[allow(deprecated)]
+    fn deprecated_run_all_shim_matches_runner() {
         let make = || {
             vec![
                 Experiment {
                     workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
-                    knobs: knobs.clone().with_cores(4),
+                    knobs: ResourceKnobs::paper_full().with_run_secs(2).with_cores(4),
                     scale: ScaleCfg::test(),
                 },
                 Experiment {
                     workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
-                    knobs: knobs.clone().with_cores(16),
+                    knobs: ResourceKnobs::paper_full().with_run_secs(2).with_cores(16),
                     scale: ScaleCfg::test(),
                 },
             ]
         };
-        let serial = run_all(make(), 1);
-        let parallel = run_all(make(), 2);
-        assert_eq!(serial.len(), 2);
-        // Determinism: identical experiments give identical txn counts
-        // regardless of host threading.
-        assert_eq!(serial[0].txns, parallel[0].txns);
-        assert_eq!(serial[1].txns, parallel[1].txns);
+        let shim = run_all(make(), 2);
+        let runner: Vec<RunResult> = Runner::new()
+            .threads(2)
+            .run(make())
+            .into_iter()
+            .map(|r| r.expect("slot ok"))
+            .collect();
+        assert_eq!(shim.len(), 2);
+        assert_eq!(shim[0].txns, runner[0].txns);
+        assert_eq!(shim[1].txns, runner[1].txns);
     }
 
     #[test]

@@ -34,10 +34,18 @@ pub struct RunMetrics {
     txn_latencies_ns: Vec<u64>,
     txns_by_type: HashMap<String, u64>,
     queries: Vec<QueryRecord>,
+    /// log2 of the current latency sampling stride: only every
+    /// `1 << latency_decimation`-th transaction is retained, for old
+    /// *and* new samples alike, so percentiles stay unbiased after the
+    /// cap trips.
+    latency_decimation: u32,
+    /// Transactions seen so far (retained or not), for stride alignment.
+    latency_seen: u64,
 }
 
-/// Latency sample cap; beyond it, samples are decimated (keep every other)
-/// to bound memory in hour-long runs.
+/// Latency sample cap; beyond it, samples are decimated (keep every other
+/// retained sample and double the sampling stride) to bound memory in
+/// hour-long runs.
 const LATENCY_CAP: usize = 1 << 20;
 
 impl RunMetrics {
@@ -47,19 +55,33 @@ impl RunMetrics {
     }
 
     /// Records a committed transaction.
+    ///
+    /// Latency samples are kept at a uniform stride: when the buffer
+    /// reaches [`LATENCY_CAP`], every other retained sample is dropped
+    /// and the stride doubles — applying to incoming samples too, so the
+    /// retained set stays a uniform subsample of the whole run rather
+    /// than over-weighting recent transactions.
     pub fn record_txn(&mut self, txn_type: &str, latency: SimDuration) {
         self.txns += 1;
         *self.txns_by_type.entry(txn_type.to_owned()).or_insert(0) += 1;
-        self.txn_latencies_ns.push(latency.as_nanos());
-        if self.txn_latencies_ns.len() >= LATENCY_CAP {
-            let mut keep = Vec::with_capacity(LATENCY_CAP / 2);
-            for (i, v) in self.txn_latencies_ns.drain(..).enumerate() {
-                if i % 2 == 0 {
-                    keep.push(v);
+        let stride = 1u64 << self.latency_decimation;
+        if self.latency_seen % stride == 0 {
+            self.txn_latencies_ns.push(latency.as_nanos());
+            if self.txn_latencies_ns.len() >= LATENCY_CAP {
+                // Retained samples sit at multiples of `stride`; keeping
+                // the even-indexed ones leaves exact multiples of the
+                // doubled stride, so incoming samples stay aligned.
+                let mut keep = Vec::with_capacity(LATENCY_CAP / 2 + 1);
+                for (i, v) in self.txn_latencies_ns.drain(..).enumerate() {
+                    if i % 2 == 0 {
+                        keep.push(v);
+                    }
                 }
+                self.txn_latencies_ns = keep;
+                self.latency_decimation += 1;
             }
-            self.txn_latencies_ns = keep;
         }
+        self.latency_seen += 1;
     }
 
     /// Records a completed query.
@@ -165,6 +187,48 @@ mod tests {
         }
         assert!(m.txn_latencies_ns.len() < LATENCY_CAP);
         assert_eq!(m.txns_committed() as usize, LATENCY_CAP + 10);
+    }
+
+    #[test]
+    fn decimation_keeps_percentiles_unbiased() {
+        // A monotonic latency ramp: sample i has latency i ns, so over n
+        // transactions the true p-th percentile is p*n and the median is
+        // n/2. Uniform-stride decimation must preserve both; the old
+        // keep-every-other-old-sample scheme over-weighted recent (large)
+        // samples, inflating mid percentiles after the cap tripped.
+        let mut m = RunMetrics::new();
+        let before_cap = (LATENCY_CAP - 1) as u64;
+        for i in 0..before_cap {
+            m.record_txn("T", SimDuration::from_nanos(i));
+        }
+        let p99_before =
+            m.txn_latency_percentile(0.99).unwrap().as_nanos() as f64 / before_cap as f64;
+
+        // Push through several decimation rounds.
+        let total = 4 * LATENCY_CAP as u64;
+        for i in before_cap..total {
+            m.record_txn("T", SimDuration::from_nanos(i));
+        }
+        assert!(m.txn_latencies_ns.len() < LATENCY_CAP);
+        let p99_after =
+            m.txn_latency_percentile(0.99).unwrap().as_nanos() as f64 / total as f64;
+        let p50_after =
+            m.txn_latency_percentile(0.50).unwrap().as_nanos() as f64 / total as f64;
+
+        // Normalized p99 is the same before and after the cap trips...
+        assert!(
+            (p99_before - p99_after).abs() < 0.005,
+            "p99/n drifted across the cap: before={p99_before:.4} after={p99_after:.4}"
+        );
+        // ...and the retained set stays a uniform subsample of the run.
+        assert!(
+            (p99_after - 0.99).abs() < 0.005,
+            "p99/n = {p99_after:.4}, want ~0.99"
+        );
+        assert!(
+            (p50_after - 0.50).abs() < 0.01,
+            "p50/n = {p50_after:.4}, want ~0.50 (recency bias?)"
+        );
     }
 
     #[test]

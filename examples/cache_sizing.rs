@@ -10,9 +10,11 @@
 
 use dbsens_core::analysis::{knee, sufficient_allocation, CurvePoint};
 use dbsens_core::knobs::ResourceKnobs;
-use dbsens_core::sweep::llc_sweep;
+use dbsens_core::progress::StderrReporter;
+use dbsens_core::runner::Runner;
 use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -24,12 +26,13 @@ fn main() {
     };
     let metric = spec.primary_metric();
 
-    let mut knobs = ResourceKnobs::paper_full();
-    knobs.run_secs = 10;
+    let knobs = ResourceKnobs::paper_full().with_run_secs(10);
     let scale = ScaleCfg::test();
 
     println!("sweeping LLC allocations for {} (this builds the database once per point)...", spec.name());
-    let results = llc_sweep(&spec, &knobs, &scale, 8);
+    let runner =
+        Runner::new().threads(8).progress(Arc::new(StderrReporter::new("sizing")));
+    let results = runner.llc_sweep(&spec, &knobs, &scale).ok_points();
 
     let curve: Vec<CurvePoint> =
         results.iter().map(|(mb, r)| CurvePoint { x: *mb as f64, y: r.metric(metric) }).collect();

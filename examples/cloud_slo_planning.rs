@@ -11,21 +11,26 @@
 
 use dbsens_core::analysis::{linear_model_gap, CurvePoint};
 use dbsens_core::knobs::ResourceKnobs;
-use dbsens_core::sweep::read_limit_sweep;
+use dbsens_core::progress::StderrReporter;
+use dbsens_core::runner::Runner;
 use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
+use std::sync::Arc;
 
 fn main() {
     // An analytical tenant on data much larger than memory (paper: TPC-H
     // SF=300), scaled down for the example.
     let spec = WorkloadSpec::TpchPower { sf: 30.0 };
-    let mut knobs = ResourceKnobs::paper_full();
-    knobs.run_secs = 600;
+    let knobs = ResourceKnobs::paper_full().with_run_secs(600);
     let scale = ScaleCfg::test();
 
     let limits = [100.0, 200.0, 400.0, 800.0, 1600.0, 2500.0];
     println!("sweeping SSD read-bandwidth limits for {}...", spec.name());
-    let results = read_limit_sweep(&spec, &limits, &knobs, &scale, 6);
+    let runner =
+        Runner::new().threads(6).progress(Arc::new(StderrReporter::new("slo")));
+    let results = runner
+        .read_limit_sweep(&spec, &limits, &knobs, &scale)
+        .ok_points();
 
     println!("\n  limit MB/s      QPS");
     let curve: Vec<CurvePoint> =

@@ -16,8 +16,7 @@ fn main() {
     let workload = WorkloadSpec::TpcE { sf: 1000.0, users: 50 };
     let scale = ScaleCfg::test();
 
-    let mut knobs = ResourceKnobs::paper_full();
-    knobs.run_secs = 10;
+    let knobs = ResourceKnobs::paper_full().with_run_secs(10);
 
     println!("building and running {} at full allocation...", workload.name());
     let full = Experiment { workload: workload.clone(), knobs: knobs.clone(), scale: scale.clone() }

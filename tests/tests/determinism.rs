@@ -3,17 +3,14 @@
 
 use dbsens_core::experiment::Experiment;
 use dbsens_core::knobs::ResourceKnobs;
-use dbsens_core::sweep::run_all;
+use dbsens_core::runner::Runner;
 use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
 
 fn experiment(seed: u64) -> Experiment {
-    let mut knobs = ResourceKnobs::paper_full();
-    knobs.run_secs = 3;
-    knobs.seed = seed;
     Experiment {
         workload: WorkloadSpec::TpcE { sf: 300.0, users: 24 },
-        knobs,
+        knobs: ResourceKnobs::paper_full().with_run_secs(3).with_seed(seed),
         scale: ScaleCfg { seed, ..ScaleCfg::test() },
     }
 }
@@ -38,11 +35,37 @@ fn different_seed_different_result() {
 
 #[test]
 fn host_parallelism_does_not_change_results() {
-    let serial = run_all(vec![experiment(1), experiment(2)], 1);
-    let parallel = run_all(vec![experiment(1), experiment(2)], 4);
+    let run = |threads: usize| {
+        Runner::new()
+            .threads(threads)
+            .run(vec![experiment(1), experiment(2)])
+            .into_iter()
+            .map(|r| r.expect("experiment ok"))
+            .collect::<Vec<_>>()
+    };
+    let serial = run(1);
+    let parallel = run(4);
     assert_eq!(serial[0].txns, parallel[0].txns);
     assert_eq!(serial[1].txns, parallel[1].txns);
     assert_eq!(serial[0].mpki, parallel[0].mpki);
+}
+
+#[test]
+fn cached_rerun_is_bit_identical_to_the_original() {
+    use dbsens_core::cache::ResultCache;
+    let dir = std::env::temp_dir()
+        .join(format!("dbsens-determinism-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cache = ResultCache::new(&dir);
+    let runner = Runner::new().cache(cache.clone());
+    let first = runner.run(vec![experiment(5)]);
+    let second = runner.run(vec![experiment(5)]);
+    assert_eq!(
+        first[0].as_ref().expect("first run ok"),
+        second[0].as_ref().expect("cached run ok"),
+        "a cache round-trip must preserve the result exactly"
+    );
+    let _ = cache.clear();
 }
 
 #[test]

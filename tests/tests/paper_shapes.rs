@@ -8,9 +8,7 @@ use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
 
 fn quick_knobs(secs: u64) -> ResourceKnobs {
-    let mut k = ResourceKnobs::paper_full();
-    k.run_secs = secs;
-    k
+    ResourceKnobs::paper_full().with_run_secs(secs)
 }
 
 fn scale() -> ScaleCfg {
@@ -182,8 +180,7 @@ fn write_bandwidth_limit_hurts_in_memory_oltp() {
     // the database fits in memory.
     let spec = WorkloadSpec::Asdb { sf: 200.0, clients: 48 };
     let free = Experiment { workload: spec.clone(), knobs: quick_knobs(8), scale: scale() }.run();
-    let mut limited = quick_knobs(8);
-    limited.write_limit_mbps = Some(10.0);
+    let limited = quick_knobs(8).with_write_limit_mbps(10.0);
     let capped = Experiment { workload: spec, knobs: limited, scale: scale() }.run();
     assert!(
         capped.tps < free.tps * 0.95,
@@ -197,8 +194,7 @@ fn write_bandwidth_limit_hurts_in_memory_oltp() {
 fn read_bandwidth_limit_throttles_analytics_nonlinearly() {
     // Figure 5: QPS responds to the read limit with diminishing returns.
     let run = |mbps: f64| {
-        let mut knobs = quick_knobs(600);
-        knobs.read_limit_mbps = Some(mbps);
+        let knobs = quick_knobs(600).with_read_limit_mbps(mbps);
         Experiment { workload: WorkloadSpec::TpchPower { sf: 30.0 }, knobs, scale: scale() }
             .run()
             .qps
