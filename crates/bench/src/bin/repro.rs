@@ -1,24 +1,32 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! Usage: repro [--profile quick|full] [--no-cache] <target>...
+//! Usage: repro [--profile quick|full] [--quick] [--no-cache]
+//!              [--faults <profile>] <target>...
 //! Targets: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          write_limits ablation all
+//! Fault profiles: ssd-brownout core-loss dram-brownout
 //! ```
 //!
 //! Output goes to stdout; progress goes to stderr; machine-readable
 //! artifacts land in `results/`, with memoized experiment results under
 //! `results/cache/` (bypass with `--no-cache`, clear by deleting the
-//! directory). Unknown flags, profiles, or targets exit with code 2; a
-//! failing experiment is reported per-slot and exits with code 1 after
-//! the remaining targets run.
+//! directory). `--faults <profile>` runs the baseline-vs-faulted
+//! degradation report; with no explicit targets it runs *only* the
+//! report, and an explicit target list adds the figures alongside it.
+//! Unknown flags, profiles, or targets exit with code 2; a failing
+//! experiment is reported per-slot and exits with code 1 after the
+//! remaining targets run (degraded fault runs are expected and do not
+//! fail the process).
 
+use dbsens_bench::degradation;
 use dbsens_bench::figures;
-use dbsens_bench::profile::{profile_from_name, Profile};
+use dbsens_bench::profile::{fault_profile, profile_from_name, Profile, FAULT_PROFILES};
 use dbsens_bench::save_json;
 use dbsens_core::cache::ResultCache;
 use dbsens_core::progress::StderrReporter;
 use dbsens_core::runner::{ExperimentError, Runner};
+use dbsens_hwsim::faults::FaultSpec;
 use std::sync::Arc;
 
 /// Every valid target, in presentation order.
@@ -39,20 +47,29 @@ const TARGETS: &[&str] = &[
 ];
 
 /// Parsed command line.
+#[derive(Debug)]
 struct Cli {
     profile: Profile,
     targets: Vec<String>,
     no_cache: bool,
     help: bool,
+    /// Fault profile name and spec when `--faults` was given.
+    faults: Option<(String, FaultSpec)>,
 }
 
 fn usage() -> String {
     format!(
-        "Usage: repro [--profile quick|full] [--no-cache] <target>...\n\
+        "Usage: repro [--profile quick|full] [--quick] [--no-cache]\n\
+         \x20            [--faults <profile>] <target>...\n\
          Targets: {}\n\
+         Fault profiles: {}\n\
          Cached experiment results live under results/cache/; delete the\n\
-         directory to clear them or pass --no-cache to bypass.",
-        TARGETS.join(" ")
+         directory to clear them or pass --no-cache to bypass.\n\
+         --faults runs the baseline-vs-faulted degradation report; add\n\
+         targets to also regenerate figures. Fault schedules are seeded,\n\
+         so the same profile always degrades the same way.",
+        TARGETS.join(" "),
+        FAULT_PROFILES.join(" ")
     )
 }
 
@@ -63,6 +80,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut targets: Vec<String> = Vec::new();
     let mut no_cache = false;
     let mut help = false;
+    let mut faults = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -70,6 +88,19 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let name = it.next().ok_or("--profile requires a value (quick|full)")?;
                 profile = profile_from_name(name)
                     .ok_or_else(|| format!("unknown profile '{name}' (expected quick|full)"))?;
+            }
+            "--quick" => profile = Profile::quick(),
+            "--faults" => {
+                let name = it.next().ok_or_else(|| {
+                    format!("--faults requires a value ({})", FAULT_PROFILES.join("|"))
+                })?;
+                let spec = fault_profile(name).ok_or_else(|| {
+                    format!(
+                        "unknown fault profile '{name}' (expected one of: {})",
+                        FAULT_PROFILES.join(" ")
+                    )
+                })?;
+                faults = Some((name.clone(), spec));
             }
             "--no-cache" => no_cache = true,
             "--help" | "-h" => help = true,
@@ -85,10 +116,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
     }
-    if targets.is_empty() {
+    // A bare `--faults` run means "just the degradation report"; figure
+    // targets still default to `all` otherwise.
+    if targets.is_empty() && faults.is_none() {
         targets.push("all".into());
     }
-    Ok(Cli { profile, targets, no_cache, help })
+    Ok(Cli { profile, targets, no_cache, help, faults })
 }
 
 fn main() {
@@ -121,6 +154,23 @@ fn main() {
     // A failing experiment skips its artifact and flips the exit code to
     // 1, but the remaining targets still run.
     let mut failures: Vec<ExperimentError> = Vec::new();
+    let mut degradation_failed = false;
+
+    if let Some((name, spec)) = &cli.faults {
+        eprintln!("[repro] degradation report: baseline vs '{name}' faults...");
+        let report = degradation::run_degradation(profile, &runner, name, spec);
+        save_json(&format!("degradation_{name}"), &report);
+        println!("{}", degradation::render_degradation(&report));
+        eprintln!(
+            "[repro] fault profile '{name}': {} of {} workloads degraded gracefully",
+            report.degraded_count(),
+            report.rows.len()
+        );
+        if report.any_failed() {
+            eprintln!("[repro] degradation report has failed (not degraded) runs");
+            degradation_failed = true;
+        }
+    }
 
     // Figure 2's sweeps feed Table 4, Figure 3, and Figure 4; run once
     // (and, cached, they are shared across invocations too).
@@ -245,6 +295,8 @@ fn main() {
         for e in &failures {
             eprintln!("[repro]   {e}");
         }
+    }
+    if !failures.is_empty() || degradation_failed {
         std::process::exit(1);
     }
 }
@@ -294,6 +346,32 @@ mod tests {
     fn unknown_flag_is_an_error() {
         let err = parse_args(&args(&["--frobnicate"])).unwrap_err();
         assert!(err.contains("--frobnicate"), "{err}");
+    }
+
+    #[test]
+    fn parses_fault_profile_and_defaults_to_report_only() {
+        let cli = parse_args(&args(&["--faults", "ssd-brownout", "--quick"])).unwrap();
+        let (name, spec) = cli.faults.unwrap();
+        assert_eq!(name, "ssd-brownout");
+        assert!(!spec.is_none());
+        // Bare --faults runs only the degradation report.
+        assert!(cli.targets.is_empty());
+    }
+
+    #[test]
+    fn faults_plus_targets_runs_both() {
+        let cli = parse_args(&args(&["--faults", "core-loss", "fig2"])).unwrap();
+        assert!(cli.faults.is_some());
+        assert_eq!(cli.targets, vec!["fig2".to_string()]);
+    }
+
+    #[test]
+    fn unknown_fault_profile_is_an_error() {
+        let err = parse_args(&args(&["--faults", "meteor-strike"])).unwrap_err();
+        assert!(err.contains("meteor-strike"), "{err}");
+        assert!(err.contains("ssd-brownout"), "{err}");
+        let err = parse_args(&args(&["--faults"])).unwrap_err();
+        assert!(err.contains("requires a value"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,292 @@
+//! Baseline-vs-faulted degradation reports.
+//!
+//! `repro --faults <profile>` runs each representative workload twice —
+//! once healthy, once under the named fault profile — through the shared
+//! [`Runner`], then summarizes how gracefully the engine degraded:
+//! throughput retained, p99 latency inflation, and the recovery counters
+//! (retries, abandoned work, deadline cancellations). Each faulted run is
+//! classified [`Ok`](RunClass::Ok) / [`Degraded`](RunClass::Degraded) /
+//! [`Failed`](RunClass::Failed); the report is deterministic because both
+//! the workload and the fault schedule derive from fixed seeds.
+
+use crate::profile::Profile;
+use dbsens_core::experiment::Experiment;
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_core::report::{fmt, render_table};
+use dbsens_core::runner::{ExperimentOutcome, RunClass, Runner};
+use dbsens_hwsim::faults::FaultSpec;
+use dbsens_workloads::driver::{MetricKind, WorkloadSpec};
+use serde::{Deserialize, Serialize};
+
+/// One workload's healthy-vs-faulted comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationRow {
+    /// Workload name.
+    pub workload: String,
+    /// Primary metric kind.
+    pub metric: MetricKind,
+    /// Classification of the faulted run.
+    pub class: RunClass,
+    /// Healthy-run throughput (primary metric).
+    pub baseline: Option<f64>,
+    /// Faulted-run throughput (primary metric).
+    pub faulted: Option<f64>,
+    /// Percent of healthy throughput retained under faults.
+    pub retained_pct: Option<f64>,
+    /// Healthy p99 transaction latency in ms (OLTP workloads only).
+    pub baseline_p99_ms: Option<f64>,
+    /// Faulted p99 transaction latency in ms.
+    pub faulted_p99_ms: Option<f64>,
+    /// `faulted_p99 / baseline_p99`.
+    pub p99_inflation: Option<f64>,
+    /// Recovery retries in the faulted run.
+    pub retries: u64,
+    /// Work abandoned after exhausting retries.
+    pub gave_up: u64,
+    /// Queries cancelled at their deadline.
+    pub deadline_misses: u64,
+    /// Fault windows that opened during the faulted run.
+    pub fault_windows: usize,
+    /// Error text when either run failed outright.
+    pub error: Option<String>,
+}
+
+/// A full degradation report for one fault profile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DegradationReport {
+    /// Fault profile name (e.g. `ssd-brownout`).
+    pub fault_profile: String,
+    /// The realized spec, including its placement seed.
+    pub spec: FaultSpec,
+    /// Per-workload comparisons.
+    pub rows: Vec<DegradationRow>,
+}
+
+impl DegradationReport {
+    /// Returns `true` if any run failed outright (exit-code signal for
+    /// `repro`; degraded runs are the expected outcome, not failures).
+    pub fn any_failed(&self) -> bool {
+        self.rows.iter().any(|r| r.class == RunClass::Failed || r.error.is_some())
+    }
+
+    /// Number of rows classified as degraded.
+    pub fn degraded_count(&self) -> usize {
+        self.rows.iter().filter(|r| r.class == RunClass::Degraded).count()
+    }
+}
+
+/// The representative workload set: every workload class in the paper, at
+/// the profile's smallest scale factor so the faulted comparison stays
+/// cheap. TPC-H runs shortened (faults land in the middle 80% either way).
+fn workload_matrix(p: &Profile) -> Vec<(WorkloadSpec, ResourceKnobs)> {
+    let first = |v: &[f64], d: f64| v.first().copied().unwrap_or(d);
+    let dss = p.dss_knobs().with_run_secs(p.dss_secs.min(120));
+    vec![
+        (WorkloadSpec::TpcE { sf: first(&p.tpce_sfs, 5000.0), users: 32 }, p.oltp_knobs()),
+        (WorkloadSpec::Asdb { sf: first(&p.asdb_sfs, 2000.0), clients: 32 }, p.oltp_knobs()),
+        (WorkloadSpec::Htap { sf: first(&p.htap_sfs, 5000.0), users: 32 }, p.oltp_knobs()),
+        (WorkloadSpec::TpchThroughput { sf: first(&p.tpch_sfs, 10.0), streams: 2 }, dss),
+    ]
+}
+
+fn row_from_outcomes(
+    spec: &WorkloadSpec,
+    baseline: ExperimentOutcome,
+    faulted: ExperimentOutcome,
+) -> DegradationRow {
+    let metric = spec.primary_metric();
+    let class = RunClass::of(&faulted);
+    let error = [&baseline, &faulted].iter().find_map(|o| o.as_ref().err().map(|e| e.to_string()));
+    let base = baseline.ok();
+    let fallen = faulted.ok();
+    let baseline_tp = base.as_ref().map(|r| r.metric(metric));
+    let faulted_tp = fallen.as_ref().map(|r| r.metric(metric));
+    let retained_pct = match (baseline_tp, faulted_tp) {
+        (Some(b), Some(f)) if b > 0.0 => Some(100.0 * f / b),
+        _ => None,
+    };
+    let baseline_p99_ms = base.as_ref().and_then(|r| r.p99_txn_ms);
+    let faulted_p99_ms = fallen.as_ref().and_then(|r| r.p99_txn_ms);
+    let p99_inflation = match (baseline_p99_ms, faulted_p99_ms) {
+        (Some(b), Some(f)) if b > 0.0 => Some(f / b),
+        _ => None,
+    };
+    DegradationRow {
+        workload: spec.name(),
+        metric,
+        class,
+        baseline: baseline_tp,
+        faulted: faulted_tp,
+        retained_pct,
+        baseline_p99_ms,
+        faulted_p99_ms,
+        p99_inflation,
+        retries: fallen.as_ref().map_or(0, |r| r.retries),
+        gave_up: fallen.as_ref().map_or(0, |r| r.gave_up),
+        deadline_misses: fallen.as_ref().map_or(0, |r| r.deadline_misses),
+        fault_windows: fallen.as_ref().map_or(0, |r| r.fault_events.len()),
+        error,
+    }
+}
+
+/// Runs the baseline-vs-faulted comparison for one fault profile.
+///
+/// All `2 × workloads` experiments go through the runner in one batch (so
+/// they parallelize and cache like any sweep); a failing slot becomes a
+/// [`Failed`](RunClass::Failed) row rather than aborting the report.
+pub fn run_degradation(p: &Profile, runner: &Runner, name: &str, spec: &FaultSpec) -> DegradationReport {
+    let matrix = workload_matrix(p);
+    let mut exps = Vec::with_capacity(matrix.len() * 2);
+    for (workload, knobs) in &matrix {
+        exps.push(Experiment {
+            workload: workload.clone(),
+            knobs: knobs.clone(),
+            scale: p.scale.clone(),
+        });
+        exps.push(Experiment {
+            workload: workload.clone(),
+            knobs: knobs.clone().with_faults(spec.clone()),
+            scale: p.scale.clone(),
+        });
+    }
+    let mut outcomes = runner.run(exps).into_iter();
+    let rows = matrix
+        .iter()
+        .map(|(workload, _)| {
+            let baseline = outcomes.next().expect("runner returns one outcome per slot");
+            let faulted = outcomes.next().expect("runner returns one outcome per slot");
+            row_from_outcomes(workload, baseline, faulted)
+        })
+        .collect();
+    DegradationReport { fault_profile: name.to_string(), spec: spec.clone(), rows }
+}
+
+/// Renders the degradation report as an aligned text table.
+pub fn render_degradation(report: &DegradationReport) -> String {
+    let opt = |v: Option<f64>| v.map_or_else(|| "-".to_string(), fmt);
+    let rows: Vec<Vec<String>> = report
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.class.to_string(),
+                opt(r.baseline),
+                opt(r.faulted),
+                r.retained_pct.map_or_else(|| "-".into(), |v| format!("{v:.1}%")),
+                opt(r.baseline_p99_ms),
+                opt(r.faulted_p99_ms),
+                r.p99_inflation.map_or_else(|| "-".into(), |v| format!("x{v:.2}")),
+                r.retries.to_string(),
+                r.gave_up.to_string(),
+                r.deadline_misses.to_string(),
+                r.fault_windows.to_string(),
+            ]
+        })
+        .collect();
+    let mut out = format!(
+        "## Degradation report: {} (fault seed {})\n",
+        report.fault_profile, report.spec.seed
+    );
+    out.push_str(&render_table(
+        &[
+            "workload",
+            "class",
+            "healthy",
+            "faulted",
+            "retained",
+            "p99 ms",
+            "p99' ms",
+            "p99 infl",
+            "retries",
+            "gave up",
+            "deadline",
+            "windows",
+        ],
+        &rows,
+    ));
+    for r in &report.rows {
+        if let Some(e) = &r.error {
+            out.push_str(&format!("!! {}: {e}\n", r.workload));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profile::fault_profile;
+    use dbsens_core::experiment::RunResult;
+    use dbsens_core::runner::ExperimentError;
+
+    fn result(tps: f64, retries: u64) -> RunResult {
+        RunResult {
+            workload: "w".into(),
+            elapsed_secs: 1.0,
+            tps,
+            qps: 0.0,
+            qph: 0.0,
+            txns: 10,
+            queries: 0,
+            p99_txn_ms: Some(2.0),
+            mpki: 0.0,
+            dram_bw_mbps: 0.0,
+            ssd_read_mbps: 0.0,
+            ssd_write_mbps: 0.0,
+            samples: Vec::new(),
+            waits: Vec::new(),
+            sizing: (0.0, 0.0),
+            query_secs: Vec::new(),
+            retries,
+            gave_up: 0,
+            deadline_misses: 0,
+            fault_events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn row_math_retained_and_inflation() {
+        let spec = WorkloadSpec::TpcE { sf: 500.0, users: 8 };
+        let mut faulted = result(60.0, 3);
+        faulted.p99_txn_ms = Some(5.0);
+        let row = row_from_outcomes(&spec, Ok(result(100.0, 0)), Ok(faulted));
+        assert_eq!(row.class, RunClass::Degraded);
+        assert!((row.retained_pct.unwrap() - 60.0).abs() < 1e-9);
+        assert!((row.p99_inflation.unwrap() - 2.5).abs() < 1e-9);
+        assert_eq!(row.retries, 3);
+        assert!(row.error.is_none());
+    }
+
+    #[test]
+    fn failed_slot_becomes_failed_row_with_error() {
+        let spec = WorkloadSpec::Asdb { sf: 50.0, clients: 8 };
+        let err = ExperimentError {
+            index: 0,
+            workload: spec.name(),
+            message: "boom".into(),
+            knobs: "cores=32".into(),
+        };
+        let row = row_from_outcomes(&spec, Ok(result(100.0, 0)), Err(err));
+        assert_eq!(row.class, RunClass::Failed);
+        assert!(row.error.as_deref().unwrap().contains("boom"));
+        assert!(row.retained_pct.is_none());
+    }
+
+    #[test]
+    fn report_renders_and_classifies() {
+        let spec = fault_profile("ssd-brownout").unwrap();
+        let healthy_spec = WorkloadSpec::TpcE { sf: 500.0, users: 8 };
+        let report = DegradationReport {
+            fault_profile: "ssd-brownout".into(),
+            spec,
+            rows: vec![row_from_outcomes(&healthy_spec, Ok(result(100.0, 0)), Ok(result(80.0, 7)))],
+        };
+        assert_eq!(report.degraded_count(), 1);
+        assert!(!report.any_failed());
+        let text = render_degradation(&report);
+        assert!(text.contains("ssd-brownout"));
+        assert!(text.contains("degraded"));
+        assert!(text.contains("80.0%"));
+    }
+}

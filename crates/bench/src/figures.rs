@@ -28,6 +28,7 @@ fn take_outcome(
             workload: what.to_owned(),
             index: 0,
             message: "runner returned fewer outcomes than experiments".into(),
+            knobs: String::new(),
         })
     })
 }

@@ -7,6 +7,7 @@
 
 #![warn(missing_docs)]
 
+pub mod degradation;
 pub mod figures;
 pub mod paper;
 pub mod profile;

@@ -1,6 +1,7 @@
 //! Run profiles for the reproduction harness.
 
 use dbsens_core::knobs::ResourceKnobs;
+use dbsens_hwsim::faults::FaultSpec;
 use dbsens_workloads::scale::ScaleCfg;
 
 /// How big/long to run the reproduction experiments.
@@ -77,6 +78,39 @@ pub fn profile_from_name(name: &str) -> Option<Profile> {
     match name {
         "quick" => Some(Profile::quick()),
         "full" => Some(Profile::full()),
+        _ => None,
+    }
+}
+
+/// Named fault profiles accepted by `repro --faults <name>`, in display
+/// order for the usage text.
+pub const FAULT_PROFILES: &[&str] = &["ssd-brownout", "core-loss", "dram-brownout"];
+
+/// Parses a fault-profile name into its spec.
+///
+/// Each profile carries a fixed placement seed, so the same profile name
+/// always yields a bit-identical fault schedule (see
+/// [`dbsens_hwsim::faults::FaultPlan::generate`]).
+pub fn fault_profile(name: &str) -> Option<FaultSpec> {
+    match name {
+        // A storage brownout: the SSD controller stalls, drops I/Os, and
+        // thermally throttles partway through the run.
+        "ssd-brownout" => Some(
+            FaultSpec::none()
+                .with_seed(7)
+                .with_ssd_latency_spikes(2, 500)
+                .with_ssd_errors(2, 0.05)
+                .with_ssd_throttle(1, 0.25),
+        ),
+        // Compute loss: cores go offline and LLC ways fail permanently.
+        "core-loss" => Some(
+            FaultSpec::none().with_seed(11).with_core_offline(2, 8).with_llc_way_failures(4),
+        ),
+        // Memory-system brownout: a degraded DRAM channel plus a milder
+        // SSD throttle.
+        "dram-brownout" => Some(
+            FaultSpec::none().with_seed(13).with_dram_degrade(2, 0.4).with_ssd_throttle(1, 0.5),
+        ),
         _ => None,
     }
 }

@@ -22,7 +22,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// Version of the cache key/value layout. Bump whenever [`RunResult`],
 /// the key triple, or experiment semantics change incompatibly: old
 /// entries then simply stop matching.
-pub const CACHE_SCHEMA_VERSION: u32 = 1;
+///
+/// v2: `RunResult` gained degradation counters and a fault log;
+/// `ResourceKnobs` gained the fault-injection spec.
+pub const CACHE_SCHEMA_VERSION: u32 = 2;
 
 /// Counter making concurrent temp-file names unique within the process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -186,6 +189,14 @@ mod tests {
             waits: Vec::new(),
             sizing: (1.0, 0.5),
             query_secs: Vec::new(),
+            retries: 2,
+            gave_up: 0,
+            deadline_misses: 1,
+            fault_events: vec![dbsens_hwsim::faults::FaultLogEntry {
+                start_ns: 1_000,
+                end_ns: 2_000,
+                kind: "ssd-throttle(x0.25)".into(),
+            }],
         }
     }
 
@@ -227,6 +238,37 @@ mod tests {
         std::fs::write(cache.dir().join(format!("{key}.json")), b"not json").unwrap();
         assert!(cache.get(key).is_none());
         assert!(cache.is_empty(), "corrupt entry should be removed");
+        let _ = cache.clear();
+    }
+
+    #[test]
+    fn truncated_and_garbage_entries_read_as_misses_and_refill() {
+        // A crash mid-write (or disk corruption) must degrade to a miss,
+        // and a subsequent put must repair the entry.
+        let cache = ResultCache::new(scratch_dir("truncated"));
+        let key = "0123456789abcdef0123456789abcdef";
+        let result = sample_result();
+        cache.put(key, &result);
+        let path = cache.dir().join(format!("{key}.json"));
+        let full = std::fs::read(&path).unwrap();
+
+        // Truncated valid-JSON prefix.
+        std::fs::write(&path, &full[..full.len() / 2]).unwrap();
+        assert!(cache.get(key).is_none(), "truncated entry must miss");
+        assert!(!path.exists(), "truncated entry should be cleaned up");
+
+        // Valid JSON of the wrong shape.
+        cache.put(key, &result);
+        std::fs::write(&path, b"{\"tps\": \"not a number\"}").unwrap();
+        assert!(cache.get(key).is_none(), "wrong-shape entry must miss");
+
+        // Binary garbage.
+        std::fs::write(&path, [0xffu8, 0x00, 0x13, 0x37]).unwrap();
+        assert!(cache.get(key).is_none(), "binary garbage must miss");
+
+        // The miss is recoverable: a fresh put round-trips again.
+        cache.put(key, &result);
+        assert_eq!(cache.get(key), Some(result));
         let _ = cache.clear();
     }
 }

@@ -11,7 +11,6 @@
 //! Memory is not partitioned: each tenant keeps its own buffer pool, so
 //! the study isolates compute/cache/bandwidth interference.
 
-use crate::experiment::RunResult;
 use crate::knobs::ResourceKnobs;
 use dbsens_hwsim::kernel::Kernel;
 use dbsens_hwsim::time::SimDuration;

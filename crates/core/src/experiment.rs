@@ -2,6 +2,7 @@
 
 use crate::knobs::ResourceKnobs;
 use dbsens_hwsim::counters::IntervalSample;
+use dbsens_hwsim::faults::FaultLogEntry;
 use dbsens_hwsim::kernel::Kernel;
 use dbsens_hwsim::task::WaitClass;
 use dbsens_hwsim::time::SimDuration;
@@ -55,6 +56,19 @@ pub struct RunResult {
     pub sizing: (f64, f64),
     /// Mean duration per distinct query name, in seconds.
     pub query_secs: Vec<(String, f64)>,
+    /// Recovery retries performed (I/O reissues + transaction re-runs);
+    /// nonzero only under fault injection.
+    #[serde(default)]
+    pub retries: u64,
+    /// Work items abandoned after exhausting their retry budget.
+    #[serde(default)]
+    pub gave_up: u64,
+    /// Queries cancelled at their deadline.
+    #[serde(default)]
+    pub deadline_misses: u64,
+    /// Fault windows that actually opened during the run.
+    #[serde(default)]
+    pub fault_events: Vec<FaultLogEntry>,
 }
 
 impl RunResult {
@@ -70,6 +84,11 @@ impl RunResult {
     /// Wait seconds for a class (0 when absent).
     pub fn wait_secs(&self, class: &str) -> f64 {
         self.waits.iter().find(|w| w.class == class).map_or(0.0, |w| w.secs)
+    }
+
+    /// Whether the run needed any graceful-degradation response.
+    pub fn degraded(&self) -> bool {
+        self.retries > 0 || self.gave_up > 0 || self.deadline_misses > 0
     }
 }
 
@@ -159,6 +178,10 @@ impl Experiment {
             waits,
             sizing: built.sizing,
             query_secs,
+            retries: metrics.retries(),
+            gave_up: metrics.gave_up(),
+            deadline_misses: metrics.deadline_misses(),
+            fault_events: kernel.fault_log().to_vec(),
         }
     }
 }

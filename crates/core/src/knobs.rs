@@ -1,6 +1,7 @@
 //! Resource allocation knobs: the dimensions the paper sweeps.
 
 use dbsens_hwsim::cache::CatMask;
+use dbsens_hwsim::faults::{FaultPlan, FaultSpec};
 use dbsens_hwsim::kernel::SimConfig;
 use dbsens_hwsim::ssd::BlockIoLimit;
 use dbsens_hwsim::time::SimDuration;
@@ -41,6 +42,11 @@ pub struct ResourceKnobs {
     pub run_secs: u64,
     /// Simulation seed.
     pub seed: u64,
+    /// Deterministic hardware fault injection (default: none). When set,
+    /// the simulator schedules the spec's fault windows over the run and
+    /// the engine's graceful-degradation machinery is enabled.
+    #[serde(default)]
+    pub faults: FaultSpec,
 }
 
 impl ResourceKnobs {
@@ -56,6 +62,7 @@ impl ResourceKnobs {
             grant_fraction: 0.25,
             run_secs: 60,
             seed: 42,
+            faults: FaultSpec::none(),
         }
     }
 
@@ -117,6 +124,37 @@ impl ResourceKnobs {
         self
     }
 
+    /// With a deterministic fault-injection spec (use
+    /// [`FaultSpec::none()`] to disable).
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// A compact human-readable summary of this allocation, used in error
+    /// reports so a failing sweep slot names its exact configuration.
+    pub fn describe(&self) -> String {
+        let mut s = format!(
+            "cores={} llc={}MB maxdop={} grant={:.0}% run={}s seed={}",
+            self.cores,
+            self.llc_mb,
+            self.maxdop,
+            self.grant_fraction * 100.0,
+            self.run_secs,
+            self.seed
+        );
+        if let Some(r) = self.read_limit_mbps {
+            s.push_str(&format!(" read<={r:.0}MB/s"));
+        }
+        if let Some(w) = self.write_limit_mbps {
+            s.push_str(&format!(" write<={w:.0}MB/s"));
+        }
+        if !self.faults.is_none() {
+            s.push_str(&format!(" faults[seed={}]", self.faults.seed));
+        }
+        s
+    }
+
     /// Builds the hardware simulator configuration.
     ///
     /// # Panics
@@ -130,7 +168,7 @@ impl ResourceKnobs {
             self.cores
         );
         assert!(
-            self.llc_mb >= 2 && self.llc_mb <= 40 && self.llc_mb % 2 == 0,
+            self.llc_mb >= 2 && self.llc_mb <= 40 && self.llc_mb.is_multiple_of(2),
             "LLC allocation must be an even 2..=40 MB, got {}",
             self.llc_mb
         );
@@ -145,6 +183,7 @@ impl ResourceKnobs {
                 write: self.write_limit_mbps.map(|m| m * 1e6),
             },
             sample_interval: SimDuration::from_secs(1),
+            faults: FaultPlan::generate(&self.faults, self.run_duration()),
         }
     }
 
@@ -152,6 +191,12 @@ impl ResourceKnobs {
     pub fn governor(&self) -> Governor {
         let mut g = Governor::paper_default(self.maxdop.min(self.cores).max(1));
         g.grant_fraction = self.grant_fraction;
+        if !self.faults.is_none() {
+            g.fault_recovery = true;
+            g.io_retry_attempts = self.faults.io_retry_attempts;
+            g.txn_retry_attempts = self.faults.txn_retry_attempts;
+            g.query_deadline_secs = self.faults.query_deadline_secs;
+        }
         g
     }
 

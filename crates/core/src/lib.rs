@@ -68,4 +68,4 @@ pub use knobs::ResourceKnobs;
 pub use pitfalls::Warning;
 pub use progress::{Event, ProgressSink, StderrReporter};
 pub use queryexp::{QueryRunResult, TpchHarness};
-pub use runner::{ExperimentError, Runner, Sweep};
+pub use runner::{ExperimentError, RetryPolicy, RunClass, Runner, Sweep};

@@ -103,7 +103,7 @@ mod tests {
     fn fmt_ranges() {
         assert_eq!(fmt(0.0), "0");
         assert_eq!(fmt(1234.5), "1234");
-        assert_eq!(fmt(3.14159), "3.14");
+        assert_eq!(fmt(3.21987), "3.22");
         assert_eq!(fmt(0.08123), "0.0812");
         assert_eq!(fmt(f64::NAN), "-");
     }

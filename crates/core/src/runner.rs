@@ -1,7 +1,7 @@
 //! Fault-isolated, cache-aware parallel execution of experiment sweeps.
 //!
-//! [`Runner`] replaces the old panicking `sweep::run_all` free function
-//! with a composable worker pool:
+//! [`Runner`] replaced the old panicking `sweep::run_all` free function
+//! (since removed) with a composable worker pool:
 //!
 //! * **fault isolation** — a panicking experiment becomes an
 //!   [`ExperimentError`] in its own `Result` slot instead of aborting the
@@ -65,11 +65,19 @@ pub struct ExperimentError {
     pub index: usize,
     /// The panic message (or a description of how the worker died).
     pub message: String,
+    /// The failing allocation ([`ResourceKnobs::describe`]), so the exact
+    /// configuration can be re-run without consulting the sweep inputs.
+    #[serde(default)]
+    pub knobs: String,
 }
 
 impl std::fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "experiment {} ({}) failed: {}", self.index, self.workload, self.message)
+        write!(f, "experiment {} ({}) failed: {}", self.index, self.workload, self.message)?;
+        if !self.knobs.is_empty() {
+            write!(f, " [{}]", self.knobs)?;
+        }
+        Ok(())
     }
 }
 
@@ -77,6 +85,56 @@ impl std::error::Error for ExperimentError {}
 
 /// The outcome of one experiment slot.
 pub type ExperimentOutcome = Result<RunResult, ExperimentError>;
+
+/// How many times a panicking experiment is re-attempted before its slot
+/// is reported as [`Failed`](RunClass::Failed). The simulator is
+/// deterministic, so retries only help against host-side flakiness (e.g.
+/// resource exhaustion under parallel sweeps); the default is none.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RetryPolicy {
+    /// Re-attempts after the first failure (0 = fail fast).
+    pub attempts: u32,
+}
+
+impl RetryPolicy {
+    /// Retry up to `attempts` extra times.
+    pub fn new(attempts: u32) -> Self {
+        RetryPolicy { attempts }
+    }
+}
+
+/// Classification of one experiment slot's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunClass {
+    /// Completed with no graceful-degradation response.
+    Ok,
+    /// Completed, but the engine had to retry, abandon, or cancel work
+    /// (the [`RunResult`] carries the fault log and counters).
+    Degraded,
+    /// Did not complete.
+    Failed,
+}
+
+impl RunClass {
+    /// Classifies an outcome.
+    pub fn of(outcome: &ExperimentOutcome) -> RunClass {
+        match outcome {
+            Ok(r) if r.degraded() => RunClass::Degraded,
+            Ok(_) => RunClass::Ok,
+            Err(_) => RunClass::Failed,
+        }
+    }
+}
+
+impl std::fmt::Display for RunClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunClass::Ok => write!(f, "ok"),
+            RunClass::Degraded => write!(f, "degraded"),
+            RunClass::Failed => write!(f, "failed"),
+        }
+    }
+}
 
 /// An executed sweep: one `(step, outcome)` pair per step, in input order.
 #[derive(Debug, Clone)]
@@ -116,12 +174,12 @@ impl<K> Sweep<K> {
 /// progress events, and optional on-disk memoization.
 ///
 /// Construction is builder-style; the default is single-threaded, silent,
-/// and uncached, which is also the configuration the deprecated
-/// `sweep::run_all` shim delegates to.
+/// uncached, and without retries.
 pub struct Runner {
     threads: usize,
     cache: Option<ResultCache>,
     sink: Arc<dyn ProgressSink>,
+    retry: RetryPolicy,
 }
 
 impl Default for Runner {
@@ -133,7 +191,7 @@ impl Default for Runner {
 impl Runner {
     /// A single-threaded runner with no cache and no progress output.
     pub fn new() -> Self {
-        Runner { threads: 1, cache: None, sink: Arc::new(NullSink) }
+        Runner { threads: 1, cache: None, sink: Arc::new(NullSink), retry: RetryPolicy::default() }
     }
 
     /// Uses up to `threads` OS worker threads (clamped to at least 1).
@@ -157,6 +215,13 @@ impl Runner {
     /// Sends progress/trace events to `sink`.
     pub fn progress(mut self, sink: Arc<dyn ProgressSink>) -> Self {
         self.sink = sink;
+        self
+    }
+
+    /// Re-attempts panicking experiments per `policy` before reporting
+    /// their slots as failed.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.retry = policy;
         self
     }
 
@@ -233,6 +298,7 @@ impl Runner {
                         workload: experiments[i].workload.name(),
                         index: i,
                         message: "worker terminated before this experiment completed".into(),
+                        knobs: experiments[i].knobs.describe(),
                     })
                 })
             })
@@ -253,7 +319,7 @@ impl Runner {
         steps: &[K],
         mut make: impl FnMut(&K) -> Experiment,
     ) -> Sweep<K> {
-        let exps: Vec<Experiment> = steps.iter().map(|k| make(k)).collect();
+        let exps: Vec<Experiment> = steps.iter().map(&mut make).collect();
         Sweep { points: steps.iter().cloned().zip(self.run(exps)).collect() }
     }
 
@@ -322,19 +388,31 @@ impl Runner {
         }
         self.sink.event(&Event::ExperimentStarted { index, worker, workload: workload.clone() });
         let start = Instant::now();
-        let outcome = match catch_unwind(AssertUnwindSafe(|| exp.run())) {
-            Ok(result) => {
-                if let (Some(cache), Some(key)) = (&self.cache, &key) {
-                    cache.put(key, &result);
+        let mut outcome = Err(ExperimentError {
+            workload: workload.clone(),
+            index,
+            message: "experiment never ran".into(),
+            knobs: exp.knobs.describe(),
+        });
+        for _attempt in 0..=self.retry.attempts {
+            match catch_unwind(AssertUnwindSafe(|| exp.run())) {
+                Ok(result) => {
+                    if let (Some(cache), Some(key)) = (&self.cache, &key) {
+                        cache.put(key, &result);
+                    }
+                    outcome = Ok(result);
+                    break;
                 }
-                Ok(result)
+                Err(payload) => {
+                    outcome = Err(ExperimentError {
+                        workload: workload.clone(),
+                        index,
+                        message: panic_message(payload),
+                        knobs: exp.knobs.describe(),
+                    });
+                }
             }
-            Err(payload) => Err(ExperimentError {
-                workload: workload.clone(),
-                index,
-                message: panic_message(payload),
-            }),
-        };
+        }
         self.sink.event(&Event::ExperimentFinished {
             index,
             worker,
@@ -402,6 +480,38 @@ mod tests {
         let err = outcomes[1].as_ref().expect_err("slot 1 should fail");
         assert_eq!(err.index, 1);
         assert!(err.message.contains("LLC"), "message: {}", err.message);
+    }
+
+    #[test]
+    fn error_carries_panic_message_and_knob_description() {
+        let runner = Runner::new();
+        let outcomes = runner.run(vec![poisoned_experiment()]);
+        let err = outcomes[0].as_ref().expect_err("slot should fail");
+        assert!(err.message.contains("LLC"), "message: {}", err.message);
+        assert!(err.knobs.contains("llc=7MB"), "knobs: {}", err.knobs);
+        assert!(err.to_string().contains("llc=7MB"), "display: {err}");
+        assert_eq!(RunClass::of(&outcomes[0]), RunClass::Failed);
+    }
+
+    #[test]
+    fn healthy_runs_classify_ok() {
+        let runner = Runner::new();
+        let outcomes = runner.run(vec![experiment(2)]);
+        assert_eq!(RunClass::of(&outcomes[0]), RunClass::Ok);
+        let r = outcomes[0].as_ref().unwrap();
+        assert_eq!(r.retries, 0);
+        assert_eq!(r.gave_up, 0);
+        assert!(r.fault_events.is_empty());
+    }
+
+    #[test]
+    fn retry_policy_reattempts_deterministic_failures() {
+        // The simulator is deterministic, so a poisoned experiment fails
+        // on every attempt; the policy must still surface the error (and
+        // not loop forever).
+        let runner = Runner::new().retry(RetryPolicy::new(2));
+        let outcomes = runner.run(vec![poisoned_experiment()]);
+        assert!(outcomes[0].is_err());
     }
 
     #[test]

@@ -1,17 +1,12 @@
-//! The paper's sweep step grids, plus deprecated free-function shims.
+//! The paper's sweep step grids.
 //!
-//! The sweep *steps* (core counts, LLC allocations, MAXDOP, grant
-//! fractions) live here; sweep *execution* moved to
+//! Only the sweep *steps* (core counts, LLC allocations, MAXDOP, grant
+//! fractions) live here; sweep *execution* is
 //! [`runner::Runner`](crate::runner::Runner), which adds fault isolation,
-//! progress events, and on-disk result caching. The free functions below
-//! are thin shims kept for source compatibility: they delegate to a
-//! default `Runner` and preserve the old panic-on-failure semantics.
-
-use crate::experiment::{Experiment, RunResult};
-use crate::knobs::ResourceKnobs;
-use crate::runner::Runner;
-use dbsens_workloads::driver::WorkloadSpec;
-use dbsens_workloads::scale::ScaleCfg;
+//! progress events, and on-disk result caching. The deprecated
+//! free-function shims (`run_all`, `core_sweep`, `llc_sweep`,
+//! `read_limit_sweep`) that briefly bridged the old panicking API have
+//! been removed; use the corresponding `Runner` methods.
 
 /// The core-count steps of the paper's Figure 2 (a, d, g, j).
 pub const CORE_STEPS: [usize; 6] = [1, 2, 4, 8, 16, 32];
@@ -29,121 +24,9 @@ pub const DOP_STEPS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 /// The memory-grant fractions of Figure 8 (plus the 25% baseline).
 pub const GRANT_FRACTIONS: [f64; 4] = [0.25, 0.15, 0.05, 0.02];
 
-/// Runs a list of experiments, using up to `threads` OS threads. Results
-/// come back in input order.
-///
-/// # Panics
-///
-/// Panics if any experiment fails; use
-/// [`Runner::run`](crate::runner::Runner::run) to get per-slot
-/// `Result`s instead.
-#[deprecated(since = "0.2.0", note = "use dbsens_core::runner::Runner::run")]
-pub fn run_all(experiments: Vec<Experiment>, threads: usize) -> Vec<RunResult> {
-    Runner::new()
-        .threads(threads)
-        .run(experiments)
-        .into_iter()
-        .map(|outcome| outcome.unwrap_or_else(|e| panic!("{e}")))
-        .collect()
-}
-
-/// Sweeps core counts for one workload (Figure 2 left column).
-///
-/// # Panics
-///
-/// Panics if any experiment fails; use
-/// [`Runner::core_sweep`](crate::runner::Runner::core_sweep) instead.
-#[deprecated(since = "0.2.0", note = "use dbsens_core::runner::Runner::core_sweep")]
-pub fn core_sweep(
-    workload: &WorkloadSpec,
-    base: &ResourceKnobs,
-    scale: &ScaleCfg,
-    threads: usize,
-) -> Vec<(usize, RunResult)> {
-    Runner::new()
-        .threads(threads)
-        .core_sweep(workload, base, scale)
-        .into_result()
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Sweeps LLC allocations for one workload (Figure 2 middle/right
-/// columns). Mirrors the paper's methodology: increasing allocations,
-/// smallest first after a "reboot" (every run starts with a cold cache
-/// here, which is strictly more conservative).
-///
-/// # Panics
-///
-/// Panics if any experiment fails; use
-/// [`Runner::llc_sweep`](crate::runner::Runner::llc_sweep) instead.
-#[deprecated(since = "0.2.0", note = "use dbsens_core::runner::Runner::llc_sweep")]
-pub fn llc_sweep(
-    workload: &WorkloadSpec,
-    base: &ResourceKnobs,
-    scale: &ScaleCfg,
-    threads: usize,
-) -> Vec<(u32, RunResult)> {
-    Runner::new()
-        .threads(threads)
-        .llc_sweep(workload, base, scale)
-        .into_result()
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
-/// Sweeps SSD read-bandwidth limits (Figure 5).
-///
-/// # Panics
-///
-/// Panics if any experiment fails; use
-/// [`Runner::read_limit_sweep`](crate::runner::Runner::read_limit_sweep)
-/// instead.
-#[deprecated(since = "0.2.0", note = "use dbsens_core::runner::Runner::read_limit_sweep")]
-pub fn read_limit_sweep(
-    workload: &WorkloadSpec,
-    limits_mbps: &[f64],
-    base: &ResourceKnobs,
-    scale: &ScaleCfg,
-    threads: usize,
-) -> Vec<(f64, RunResult)> {
-    Runner::new()
-        .threads(threads)
-        .read_limit_sweep(workload, limits_mbps, base, scale)
-        .into_result()
-        .unwrap_or_else(|e| panic!("{e}"))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_run_all_shim_matches_runner() {
-        let make = || {
-            vec![
-                Experiment {
-                    workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
-                    knobs: ResourceKnobs::paper_full().with_run_secs(2).with_cores(4),
-                    scale: ScaleCfg::test(),
-                },
-                Experiment {
-                    workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
-                    knobs: ResourceKnobs::paper_full().with_run_secs(2).with_cores(16),
-                    scale: ScaleCfg::test(),
-                },
-            ]
-        };
-        let shim = run_all(make(), 2);
-        let runner: Vec<RunResult> = Runner::new()
-            .threads(2)
-            .run(make())
-            .into_iter()
-            .map(|r| r.expect("slot ok"))
-            .collect();
-        assert_eq!(shim.len(), 2);
-        assert_eq!(shim[0].txns, runner[0].txns);
-        assert_eq!(shim[1].txns, runner[1].txns);
-    }
 
     #[test]
     fn sweep_steps_match_paper() {
@@ -152,5 +35,7 @@ mod tests {
         assert_eq!(llc.first(), Some(&2));
         assert_eq!(llc.last(), Some(&40));
         assert_eq!(llc.len(), 20);
+        assert_eq!(DOP_STEPS.to_vec(), vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(GRANT_FRACTIONS[0], 0.25);
     }
 }

@@ -72,6 +72,7 @@ impl Table {
     /// # Panics
     ///
     /// Panics if no such index exists (catalog lookups are static).
+    #[allow(clippy::should_implement_trait)]
     pub fn index(&self, name: &str) -> &Index {
         self.indexes
             .iter()
@@ -128,6 +129,12 @@ pub struct Database {
     dirty_pages: std::collections::HashSet<u64>,
     session_region: dbsens_hwsim::mem::Region,
     batch_region: dbsens_hwsim::mem::Region,
+    /// Transactions whose owning task is stuck in fault recovery while
+    /// holding locks (candidates for deadlock victimization).
+    stalled_txns: std::collections::HashSet<dbsens_storage::lock::TxnId>,
+    /// Transactions the lock monitor has chosen as deadlock victims; their
+    /// owning task must abort instead of continuing.
+    victim_txns: std::collections::HashSet<dbsens_storage::lock::TxnId>,
 }
 
 impl Database {
@@ -150,7 +157,38 @@ impl Database {
             dirty_pages: std::collections::HashSet::new(),
             session_region,
             batch_region,
+            stalled_txns: std::collections::HashSet::new(),
+            victim_txns: std::collections::HashSet::new(),
         }
+    }
+
+    /// Marks `txn` as stalled in fault recovery (e.g. retrying a failed
+    /// commit-log write while holding its locks).
+    pub fn mark_stalled(&mut self, txn: dbsens_storage::lock::TxnId) {
+        self.stalled_txns.insert(txn);
+    }
+
+    /// Clears `txn`'s stalled mark (recovery succeeded or the txn ended).
+    pub fn clear_stalled(&mut self, txn: dbsens_storage::lock::TxnId) {
+        self.stalled_txns.remove(&txn);
+    }
+
+    /// Currently stalled transactions, in id order.
+    pub fn stalled_txns(&self) -> Vec<dbsens_storage::lock::TxnId> {
+        let mut v: Vec<_> = self.stalled_txns.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Marks `txn` as a deadlock victim; its owning task observes this via
+    /// [`Database::take_victim`] and aborts.
+    pub fn mark_victim(&mut self, txn: dbsens_storage::lock::TxnId) {
+        self.victim_txns.insert(txn);
+    }
+
+    /// Consumes a victim mark for `txn`, returning `true` if it was set.
+    pub fn take_victim(&mut self, txn: dbsens_storage::lock::TxnId) -> bool {
+        self.victim_txns.remove(&txn)
     }
 
     /// Cache region of shared session state / plan cache structures.

@@ -23,6 +23,20 @@ pub struct Governor {
     /// Estimated serial cost (instructions) above which parallel plans are
     /// considered (SQL Server's "cost threshold for parallelism").
     pub cost_threshold: f64,
+    /// Blocking-I/O retry attempts before a worker abandons the I/O
+    /// (meaningful only under fault injection).
+    pub io_retry_attempts: u32,
+    /// Transaction abort/retry attempts before a client gives up on a
+    /// transaction (meaningful only under fault injection).
+    pub txn_retry_attempts: u32,
+    /// Per-query deadline in seconds; `0` disables deadline enforcement.
+    pub query_deadline_secs: f64,
+    /// Whether graceful-degradation machinery (I/O retries, transaction
+    /// abort/retry, deadline cancellation, the lock monitor) is wired into
+    /// the workload tasks. Off by default so healthy runs carry zero
+    /// recovery overhead; enabled by fault-injection experiments.
+    #[serde(default)]
+    pub fault_recovery: bool,
 }
 
 /// The paper's server memory: 64 GB.
@@ -38,6 +52,10 @@ impl Governor {
             grant_fraction: 0.25,
             workspace_bytes: (SERVER_MEMORY as f64 * 0.80 * 0.72) as u64,
             cost_threshold: 9.0e9,
+            io_retry_attempts: 4,
+            txn_retry_attempts: 5,
+            query_deadline_secs: 0.0,
+            fault_recovery: false,
         }
     }
 

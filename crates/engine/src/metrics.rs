@@ -41,6 +41,9 @@ pub struct RunMetrics {
     latency_decimation: u32,
     /// Transactions seen so far (retained or not), for stride alignment.
     latency_seen: u64,
+    retries: u64,
+    gave_up: u64,
+    deadline_misses: u64,
 }
 
 /// Latency sample cap; beyond it, samples are decimated (keep every other
@@ -65,7 +68,7 @@ impl RunMetrics {
         self.txns += 1;
         *self.txns_by_type.entry(txn_type.to_owned()).or_insert(0) += 1;
         let stride = 1u64 << self.latency_decimation;
-        if self.latency_seen % stride == 0 {
+        if self.latency_seen.is_multiple_of(stride) {
             self.txn_latencies_ns.push(latency.as_nanos());
             if self.txn_latencies_ns.len() >= LATENCY_CAP {
                 // Retained samples sit at multiples of `stride`; keeping
@@ -87,6 +90,43 @@ impl RunMetrics {
     /// Records a completed query.
     pub fn record_query(&mut self, name: &str, started: SimTime, duration: SimDuration) {
         self.queries.push(QueryRecord { name: name.to_owned(), started, duration });
+    }
+
+    /// Records one recovery retry (an I/O reissued after a transient error,
+    /// or a transaction aborted and re-run).
+    pub fn record_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Records a unit of work abandoned after exhausting its retry budget.
+    pub fn record_gave_up(&mut self) {
+        self.gave_up += 1;
+    }
+
+    /// Records a query cancelled for exceeding its deadline.
+    pub fn record_deadline_miss(&mut self) {
+        self.deadline_misses += 1;
+    }
+
+    /// Recovery retries performed.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Work items abandoned after exhausting retries.
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
+    }
+
+    /// Queries cancelled at their deadline.
+    pub fn deadline_misses(&self) -> u64 {
+        self.deadline_misses
+    }
+
+    /// Returns `true` if the run needed any graceful-degradation response
+    /// (retries, abandoned work, or deadline cancellations).
+    pub fn degraded(&self) -> bool {
+        self.retries > 0 || self.gave_up > 0 || self.deadline_misses > 0
     }
 
     /// Total committed transactions.
@@ -236,5 +276,19 @@ mod tests {
         let m = RunMetrics::new();
         assert_eq!(m.tps(SimDuration::ZERO), 0.0);
         assert!(m.txn_latency_percentile(0.5).is_none());
+    }
+
+    #[test]
+    fn degradation_counters_accumulate() {
+        let mut m = RunMetrics::new();
+        assert!(!m.degraded());
+        m.record_retry();
+        m.record_retry();
+        m.record_gave_up();
+        m.record_deadline_miss();
+        assert_eq!(m.retries(), 2);
+        assert_eq!(m.gave_up(), 1);
+        assert_eq!(m.deadline_misses(), 1);
+        assert!(m.degraded());
     }
 }

@@ -9,14 +9,28 @@ use crate::metrics::RunMetrics;
 use crate::optimizer::optimize;
 use crate::plan::Logical;
 use dbsens_hwsim::task::{Demand, SimTask, Step, TaskCtx, TaskId, WaitClass};
-use dbsens_hwsim::time::SimTime;
+use dbsens_hwsim::time::{SimDuration, SimTime};
 use dbsens_storage::bufferpool::PAGE_BYTES;
 use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
 use std::fmt;
 use std::rc::Rc;
 
+/// Capped exponential backoff before retry attempt `attempt` (1-based):
+/// `base << (attempt-1)`, saturating at `cap`.
+pub fn retry_backoff(attempt: u32, base: SimDuration, cap: SimDuration) -> SimDuration {
+    let shift = attempt.saturating_sub(1).min(20);
+    let ns = base.as_nanos().saturating_mul(1u64 << shift);
+    SimDuration::from_nanos(ns.min(cap.as_nanos()))
+}
+
 /// A worker replaying one demand trace; wakes its parent when finished.
+///
+/// With [`TraceTask::with_fault_recovery`], blocking device I/O that comes
+/// back with an injected transient error is reissued under capped
+/// exponential backoff; once the retry budget is spent the item is
+/// abandoned (the scan proceeds with what it has) rather than wedging the
+/// query.
 pub struct TraceTask {
     db: Rc<RefCell<Database>>,
     items: Vec<TraceItem>,
@@ -25,6 +39,16 @@ pub struct TraceTask {
     parent: TaskId,
     remaining: Rc<Cell<usize>>,
     notified: bool,
+    /// Degradation counters; `None` outside fault injection.
+    metrics: Option<Rc<RefCell<RunMetrics>>>,
+    /// Retry budget per blocking I/O (0 disables recovery entirely).
+    io_retry_attempts: u32,
+    /// The blocking demand most recently issued, kept for reissue.
+    last_blocking: Option<Demand>,
+    /// Retries already spent on the current blocking I/O.
+    io_attempt: u32,
+    /// The next blocking emission is a reissue; don't reset `io_attempt`.
+    retrying: bool,
 }
 
 impl fmt::Debug for TraceTask {
@@ -46,9 +70,58 @@ impl TraceTask {
         parent: TaskId,
         remaining: Rc<Cell<usize>>,
     ) -> Self {
-        TraceTask { db, items, idx: 0, pending: VecDeque::new(), parent, remaining, notified: false }
+        TraceTask {
+            db,
+            items,
+            idx: 0,
+            pending: VecDeque::new(),
+            parent,
+            remaining,
+            notified: false,
+            metrics: None,
+            io_retry_attempts: 0,
+            last_blocking: None,
+            io_attempt: 0,
+            retrying: false,
+        }
+    }
+
+    /// Enables transient-I/O-error recovery: up to `attempts` reissues per
+    /// blocking read/write, counted into `metrics`.
+    pub fn with_fault_recovery(
+        mut self,
+        metrics: Rc<RefCell<RunMetrics>>,
+        attempts: u32,
+    ) -> Self {
+        self.metrics = Some(metrics);
+        self.io_retry_attempts = attempts;
+        self
+    }
+
+    /// Emits a demand, remembering blocking device I/O so an injected
+    /// failure can reissue it. No-op bookkeeping when recovery is off.
+    fn emit(&mut self, d: Demand) -> Step {
+        if self.io_retry_attempts > 0 {
+            match d {
+                Demand::DeviceRead { .. } | Demand::DeviceWrite { .. } => {
+                    if self.retrying {
+                        self.retrying = false;
+                    } else {
+                        self.io_attempt = 0;
+                    }
+                    self.last_blocking = Some(d.clone());
+                }
+                _ => self.last_blocking = None,
+            }
+        }
+        Step::Demand(d)
     }
 }
+
+/// First retry delay for a failed blocking I/O.
+const IO_RETRY_BASE: SimDuration = SimDuration::from_micros(500);
+/// Retry delay ceiling.
+const IO_RETRY_CAP: SimDuration = SimDuration::from_millis(100);
 
 /// Read-ahead depth: a worker lets the device run up to this far behind
 /// before it throttles (SQL Server issues deep sequential read-ahead).
@@ -57,6 +130,27 @@ const READAHEAD_DEPTH: dbsens_hwsim::time::SimDuration =
 
 impl SimTask for TraceTask {
     fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        if ctx.io_failed() {
+            if let Some(d) = self.last_blocking.take() {
+                self.io_attempt += 1;
+                if self.io_attempt <= self.io_retry_attempts {
+                    if let Some(m) = &self.metrics {
+                        m.borrow_mut().record_retry();
+                    }
+                    self.retrying = true;
+                    self.pending.push_front(d);
+                    return Step::Demand(Demand::Sleep {
+                        dur: retry_backoff(self.io_attempt, IO_RETRY_BASE, IO_RETRY_CAP),
+                        class: WaitClass::Io,
+                    });
+                }
+                // Budget spent: abandon this I/O and move on.
+                if let Some(m) = &self.metrics {
+                    m.borrow_mut().record_gave_up();
+                }
+                self.io_attempt = 0;
+            }
+        }
         if let Some(d) = self.pending.pop_front() {
             // Throttle sleeps depend on the backlog at issue time.
             if let Demand::Sleep { class: WaitClass::PageIoLatch, .. } = d {
@@ -70,14 +164,14 @@ impl SimTask for TraceTask {
                 // Backlog already drained; skip the throttle.
                 return Step::Demand(Demand::Yield);
             }
-            return Step::Demand(d);
+            return self.emit(d);
         }
         while self.idx < self.items.len() {
             let item = self.items[self.idx].clone();
             self.idx += 1;
             match item {
                 TraceItem::Compute { instructions, mem } => {
-                    return Step::Demand(Demand::Compute { instructions, mem });
+                    return self.emit(Demand::Compute { instructions, mem });
                 }
                 TraceItem::PageRun { start, pages, write } => {
                     let out = self.db.borrow_mut().bufferpool.access(start, pages, write);
@@ -100,7 +194,7 @@ impl SimTask for TraceTask {
                         });
                     }
                     if let Some(d) = self.pending.pop_front() {
-                        return Step::Demand(d);
+                        return self.emit(d);
                     }
                 }
                 TraceItem::RandomPages { start, span, count } => {
@@ -117,14 +211,14 @@ impl SimTask for TraceTask {
                         });
                     }
                     if let Some(d) = self.pending.pop_front() {
-                        return Step::Demand(d);
+                        return self.emit(d);
                     }
                 }
                 TraceItem::SpillWrite { bytes } => {
-                    return Step::Demand(Demand::DeviceWrite { bytes, class: WaitClass::Io });
+                    return self.emit(Demand::DeviceWrite { bytes, class: WaitClass::Io });
                 }
                 TraceItem::SpillRead { bytes } => {
-                    return Step::Demand(Demand::DeviceRead { bytes, class: WaitClass::Io });
+                    return self.emit(Demand::DeviceRead { bytes, class: WaitClass::Io });
                 }
             }
         }
@@ -245,6 +339,8 @@ pub struct QueryStreamTask {
     repeat: bool,
     state: StreamState,
     label: String,
+    /// Spawn workers with I/O-error recovery (fault injection only).
+    fault_recovery: bool,
 }
 
 impl fmt::Debug for QueryStreamTask {
@@ -279,7 +375,16 @@ impl QueryStreamTask {
             repeat,
             state: StreamState::Next(0),
             label: label.into(),
+            fault_recovery: false,
         }
+    }
+
+    /// Enables graceful degradation under fault injection: workers retry
+    /// failed I/O (per the governor's `io_retry_attempts`) and queries are
+    /// cancelled at the governor's deadline instead of running away.
+    pub fn with_fault_recovery(mut self) -> Self {
+        self.fault_recovery = true;
+        self
     }
 
     /// Prepares query `i`: optimize + logical execution + grant request.
@@ -312,6 +417,24 @@ impl QueryStreamTask {
     /// Spawns workers for the current stage (skipping empty ones) or
     /// finishes the query.
     fn start_stage(&mut self, mut running: RunningQuery, ctx: &mut TaskCtx<'_>) -> Step {
+        // Deadline enforcement (fault injection only): a query that blows
+        // its budget is cancelled at the next stage boundary — workers have
+        // already joined there, so the grant can be released safely.
+        let deadline = self.governor.query_deadline_secs;
+        if self.fault_recovery
+            && deadline > 0.0
+            && ctx.now().saturating_since(running.started)
+                > SimDuration::from_secs_f64(deadline)
+            && running.stage < running.stages.len()
+        {
+            let woken = self.grants.borrow_mut().release(running.grant);
+            for t in woken {
+                ctx.wake(t);
+            }
+            self.metrics.borrow_mut().record_deadline_miss();
+            self.state = StreamState::Next(running.query_idx + 1);
+            return Step::Demand(Demand::Yield);
+        }
         while running.stage < running.stages.len() {
             let workers: Vec<_> = running.stages[running.stage]
                 .workers
@@ -325,12 +448,19 @@ impl QueryStreamTask {
             }
             running.remaining = Rc::new(Cell::new(workers.len()));
             for w in workers {
-                ctx.spawn(Box::new(TraceTask::new(
+                let mut worker = TraceTask::new(
                     Rc::clone(&self.db),
                     w.items,
                     ctx.self_id(),
                     Rc::clone(&running.remaining),
-                )));
+                );
+                if self.fault_recovery {
+                    worker = worker.with_fault_recovery(
+                        Rc::clone(&self.metrics),
+                        self.governor.io_retry_attempts,
+                    );
+                }
+                ctx.spawn(Box::new(worker));
             }
             self.state = StreamState::Run(running);
             return Step::Demand(Demand::Block { class: WaitClass::Parallelism });
@@ -386,6 +516,58 @@ impl SimTask for QueryStreamTask {
 
     fn label(&self) -> &str {
         &self.label
+    }
+}
+
+/// Watchdog that breaks lock convoys behind fault-stalled transactions.
+///
+/// Under fault injection a commit flush can fail repeatedly, leaving its
+/// transaction holding row locks while it backs off — every waiter behind
+/// it stalls too. This task periodically treats stalled holders that are
+/// blocking waiters as deadlock victims: their locks are released (waking
+/// the queue) and the victim aborts and retries when it next runs. Spawned
+/// only when faults are enabled.
+pub struct LockMonitorTask {
+    db: Rc<RefCell<Database>>,
+    interval: SimDuration,
+}
+
+impl fmt::Debug for LockMonitorTask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("LockMonitorTask").field("interval", &self.interval).finish()
+    }
+}
+
+impl LockMonitorTask {
+    /// Creates the monitor; `interval` is the scan period (SQL Server's
+    /// deadlock monitor runs at a comparable cadence).
+    pub fn new(db: Rc<RefCell<Database>>, interval: SimDuration) -> Self {
+        LockMonitorTask { db, interval }
+    }
+}
+
+impl SimTask for LockMonitorTask {
+    fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        let victims = {
+            let db = self.db.borrow();
+            db.locks.stalled_victims(&db.stalled_txns())
+        };
+        for v in victims {
+            let woken = {
+                let mut db = self.db.borrow_mut();
+                db.mark_victim(v);
+                db.clear_stalled(v);
+                db.locks.release_all(v)
+            };
+            for t in woken {
+                ctx.wake(t);
+            }
+        }
+        Step::Demand(Demand::Sleep { dur: self.interval, class: WaitClass::Think })
+    }
+
+    fn label(&self) -> &str {
+        "lock-monitor"
     }
 }
 

@@ -217,6 +217,11 @@ enum ClientState {
     CommitLatch,
     /// Post-commit think time.
     Think,
+    /// Aborted under fault injection; backing off before re-running the
+    /// same program under a fresh transaction id.
+    RetryBackoff,
+    /// The commit log write failed; backing off before reissuing it.
+    CommitFlushRetry,
 }
 
 /// A simulated OLTP client connection: runs transactions from its
@@ -231,6 +236,14 @@ pub struct TxnClientTask {
     txn: Option<TxnId>,
     started: SimTime,
     label: String,
+    /// Abort/retry budget per transaction (0 disables fault recovery).
+    txn_retry_attempts: u32,
+    /// Aborts already spent on the current program.
+    txn_attempt: u32,
+    /// Reissues already spent on the current commit flush.
+    flush_attempt: u32,
+    /// Bytes of the in-flight commit flush, kept for reissue.
+    commit_bytes: u64,
 }
 
 impl fmt::Debug for TxnClientTask {
@@ -261,7 +274,20 @@ impl TxnClientTask {
             txn: None,
             started: SimTime::ZERO,
             label: label.into(),
+            txn_retry_attempts: 0,
+            txn_attempt: 0,
+            flush_attempt: 0,
+            commit_bytes: 0,
         }
+    }
+
+    /// Enables graceful degradation under fault injection: transactions hit
+    /// by injected I/O errors (or victimized by the lock monitor) abort and
+    /// re-run under jittered backoff, up to `attempts` times before the
+    /// client gives the transaction up.
+    pub fn with_fault_recovery(mut self, attempts: u32) -> Self {
+        self.txn_retry_attempts = attempts;
+        self
     }
 
     /// Resolves the row id an op refers to (logical lookup, free).
@@ -299,12 +325,33 @@ impl TxnClientTask {
 
 impl SimTask for TxnClientTask {
     fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        if self.txn_retry_attempts > 0 {
+            // Victimized by the lock monitor while stalled: our locks are
+            // already gone; abort and re-run.
+            if let Some(txn) = self.txn {
+                if self.db.borrow_mut().take_victim(txn) {
+                    return self.abort_txn(ctx);
+                }
+            }
+            if ctx.io_failed() {
+                match self.state {
+                    // The group-commit flush failed: retry just the write,
+                    // still holding locks (the lock monitor may victimize
+                    // us if waiters pile up behind them).
+                    ClientState::CommitLatch => return self.retry_commit_flush(ctx),
+                    // Mid-transaction page read failed: abort and re-run.
+                    ClientState::InTxn { .. } => return self.abort_txn(ctx),
+                    _ => {}
+                }
+            }
+        }
         loop {
             match self.state {
                 ClientState::Start => {
                     let program = self.generator.next_txn(ctx.rng());
                     self.txn = Some(self.db.borrow_mut().begin_txn());
                     self.started = ctx.now();
+                    self.txn_attempt = 0;
                     if program.ops.is_empty() {
                         self.program = Some(program);
                         self.state = ClientState::CommitWork;
@@ -323,6 +370,7 @@ impl SimTask for TxnClientTask {
                 }
                 ClientState::CommitFlush => {
                     let bytes = self.db.borrow_mut().wal.flush_for_commit();
+                    self.commit_bytes = bytes;
                     self.state = ClientState::CommitLatch;
                     return Step::Demand(Demand::DeviceWrite { bytes, class: WaitClass::WriteLog });
                 }
@@ -345,11 +393,19 @@ impl SimTask for TxnClientTask {
                     }
                     // Release locks and credit the commit.
                     if let Some(txn) = self.txn.take() {
-                        let woken = self.db.borrow_mut().locks.release_all(txn);
+                        let woken = {
+                            let mut db = self.db.borrow_mut();
+                            if self.flush_attempt > 0 {
+                                db.clear_stalled(txn);
+                            }
+                            db.locks.release_all(txn)
+                        };
                         for t in woken {
                             ctx.wake(t);
                         }
                     }
+                    self.flush_attempt = 0;
+                    self.commit_bytes = 0;
                     let name = self.program.as_ref().map_or("txn", |p| p.name);
                     self.metrics
                         .borrow_mut()
@@ -362,6 +418,26 @@ impl SimTask for TxnClientTask {
                 ClientState::Think => {
                     self.state = ClientState::Start;
                 }
+                ClientState::RetryBackoff => {
+                    // Backoff elapsed: re-run the same program under a
+                    // fresh transaction id. `started` is kept so the
+                    // latency sample covers the aborted attempts too.
+                    self.txn = Some(self.db.borrow_mut().begin_txn());
+                    let len = self.program.as_ref().map_or(0, |p| p.ops.len());
+                    self.state = if len == 0 {
+                        ClientState::CommitWork
+                    } else {
+                        ClientState::InTxn { op: 0, phase: Phase::Lock }
+                    };
+                }
+                ClientState::CommitFlushRetry => {
+                    // Backoff elapsed: reissue the commit log write.
+                    self.state = ClientState::CommitLatch;
+                    return Step::Demand(Demand::DeviceWrite {
+                        bytes: self.commit_bytes.max(512),
+                        class: WaitClass::WriteLog,
+                    });
+                }
             }
         }
     }
@@ -372,6 +448,69 @@ impl SimTask for TxnClientTask {
 }
 
 impl TxnClientTask {
+    /// Aborts the current transaction (releasing everything it holds or
+    /// waits for) and either schedules a jittered-backoff re-run or — once
+    /// the retry budget is spent — gives the transaction up.
+    fn abort_txn(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        if let Some(txn) = self.txn.take() {
+            let woken = {
+                let mut db = self.db.borrow_mut();
+                db.clear_stalled(txn);
+                let mut w = db.locks.cancel_wait(txn, ctx.self_id());
+                w.extend(db.locks.release_all(txn));
+                w
+            };
+            for t in woken {
+                ctx.wake(t);
+            }
+        }
+        self.flush_attempt = 0;
+        self.commit_bytes = 0;
+        self.txn_attempt += 1;
+        if self.txn_attempt > self.txn_retry_attempts {
+            self.metrics.borrow_mut().record_gave_up();
+            self.txn_attempt = 0;
+            self.program = None;
+            self.state = ClientState::Think;
+            if self.think > SimDuration::ZERO {
+                return Step::Demand(Demand::Sleep { dur: self.think, class: WaitClass::Think });
+            }
+            return Step::Demand(Demand::Yield);
+        }
+        self.metrics.borrow_mut().record_retry();
+        self.state = ClientState::RetryBackoff;
+        // Jittered capped exponential backoff. The extra RNG draw happens
+        // only on this fault path, so healthy runs see an untouched stream.
+        let base_us = 200u64 << (self.txn_attempt - 1).min(6);
+        let jitter_us = ctx.rng().next_below(base_us.max(1));
+        Step::Demand(Demand::Sleep {
+            dur: SimDuration::from_micros(base_us + jitter_us),
+            class: WaitClass::Lock,
+        })
+    }
+
+    /// Handles a failed commit log write: back off and reissue it, marking
+    /// the transaction as stalled so the lock monitor can victimize it if
+    /// waiters pile up behind its locks.
+    fn retry_commit_flush(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+        self.flush_attempt += 1;
+        if self.flush_attempt > self.txn_retry_attempts {
+            self.flush_attempt = 0;
+            return self.abort_txn(ctx);
+        }
+        if let Some(txn) = self.txn {
+            self.db.borrow_mut().mark_stalled(txn);
+        }
+        self.metrics.borrow_mut().record_retry();
+        self.state = ClientState::CommitFlushRetry;
+        let base_us = 100u64 << (self.flush_attempt - 1).min(6);
+        let jitter_us = ctx.rng().next_below(base_us.max(1));
+        Step::Demand(Demand::Sleep {
+            dur: SimDuration::from_micros(base_us + jitter_us),
+            class: WaitClass::WriteLog,
+        })
+    }
+
     fn exec_op(&mut self, op: usize, phase: Phase, ctx: &mut TaskCtx<'_>) -> Step {
         let opspec = self.program.as_ref().expect("in txn")
             .ops

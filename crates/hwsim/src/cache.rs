@@ -105,8 +105,7 @@ impl LlcSocket {
     fn probe(&mut self, set: usize, region: u64, group: u64) -> bool {
         self.clock += 1;
         let entries = &mut self.sets[set];
-        for w in 0..self.ways {
-            let line = &mut entries[w];
+        for line in entries.iter_mut().take(self.ways) {
             if line.valid && line.region == region && line.group == group {
                 line.last_use = self.clock;
                 return true;
@@ -115,11 +114,10 @@ impl LlcSocket {
         // Miss: choose a victim among masked ways (invalid first, then LRU).
         let mut victim = None;
         let mut oldest = u64::MAX;
-        for w in 0..self.ways {
+        for (w, line) in entries.iter().enumerate().take(self.ways) {
             if !self.mask.contains(w) {
                 continue;
             }
-            let line = &entries[w];
             if !line.valid {
                 victim = Some(w);
                 break;
@@ -174,6 +172,10 @@ pub struct Llc {
     sim_sets: usize,
     stream_cursors: HashMap<Region, u64>,
     stats: LlcStats,
+    /// The CAT mask requested by the experiment, before fault composition.
+    base_mask: CatMask,
+    /// Ways currently disabled by fault injection.
+    failed_ways: u32,
 }
 
 impl Llc {
@@ -186,12 +188,14 @@ impl Llc {
     /// [`MAX_WAYS`] ways.
     pub fn new(sockets: usize, calib: CacheCalib) -> Self {
         let ways = calib.ways as usize;
-        assert!(ways >= 1 && ways <= MAX_WAYS, "way count out of range");
+        assert!((1..=MAX_WAYS).contains(&ways), "way count out of range");
         let total_bytes = calib.way_bytes * calib.ways as u64;
         let sets = total_bytes / (calib.line_bytes * calib.ways as u64);
         let sim_sets = (sets / calib.set_sample).max(1) as usize;
         Llc {
             sockets: (0..sockets).map(|_| LlcSocket::new(sim_sets, ways)).collect(),
+            base_mask: CatMask::contiguous(ways as u32),
+            failed_ways: 0,
             calib,
             sim_sets,
             stream_cursors: HashMap::new(),
@@ -199,11 +203,40 @@ impl Llc {
         }
     }
 
-    /// Applies a CAT way mask to every socket (single shared COS).
+    /// Applies a CAT way mask to every socket (single shared COS). Any
+    /// fault-failed ways remain subtracted from the new mask.
     pub fn set_mask(&mut self, mask: CatMask) {
+        self.base_mask = mask;
+        self.apply_effective_mask();
+    }
+
+    /// Marks the `n` highest ways of the configured mask as failed
+    /// (fault injection). Failures compose with [`Llc::set_mask`]: the
+    /// effective mask is always recomputed from the experiment's base mask,
+    /// so repeated calls are idempotent, and at least one way always
+    /// survives so allocation stays possible.
+    pub fn set_failed_ways(&mut self, n: u32) {
+        self.failed_ways = n;
+        self.apply_effective_mask();
+    }
+
+    fn apply_effective_mask(&mut self) {
+        let mut bits = self.base_mask.bits();
+        for _ in 0..self.failed_ways {
+            if bits.count_ones() <= 1 {
+                break;
+            }
+            bits &= !(1u32 << (31 - bits.leading_zeros()));
+        }
+        let mask = CatMask::from_bits(bits);
         for s in &mut self.sockets {
             s.mask = mask;
         }
+    }
+
+    /// Returns the effective mask after fault composition.
+    pub fn effective_mask(&self) -> CatMask {
+        self.sockets.first().map(|s| s.mask).unwrap_or(self.base_mask)
     }
 
     /// Returns the currently allocated LLC bytes across all sockets.
@@ -491,9 +524,29 @@ mod tests {
     }
 
     #[test]
+    fn failed_ways_compose_with_base_mask() {
+        let mut llc = Llc::new(1, small_calib());
+        llc.set_mask(CatMask::contiguous(4));
+        llc.set_failed_ways(2);
+        assert_eq!(llc.effective_mask().bits(), 0b0011);
+        // Idempotent: recomputed from base, not from the last effective mask.
+        llc.set_failed_ways(2);
+        assert_eq!(llc.effective_mask().bits(), 0b0011);
+        // A new experiment mask keeps the failure subtracted.
+        llc.set_mask(CatMask::contiguous(3));
+        assert_eq!(llc.effective_mask().bits(), 0b0001);
+        // At least one way always survives.
+        llc.set_failed_ways(99);
+        assert_eq!(llc.effective_mask().way_count(), 1);
+        // Repair restores the experiment's mask exactly.
+        llc.set_failed_ways(0);
+        assert_eq!(llc.effective_mask().bits(), CatMask::contiguous(3).bits());
+    }
+
+    #[test]
     fn allocated_bytes_tracks_mask() {
         let mut llc = Llc::new(2, CacheCalib::default());
         llc.set_mask(CatMask::contiguous(5));
-        assert_eq!(llc.allocated_bytes(), 2 * 5 << 20);
+        assert_eq!(llc.allocated_bytes(), (2 * 5) << 20);
     }
 }

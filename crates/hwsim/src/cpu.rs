@@ -34,12 +34,35 @@ pub struct Cpu {
     topo: Topology,
     calib: CpuCalib,
     busy: Vec<bool>,
+    offline: Vec<bool>,
 }
 
 impl Cpu {
     /// Creates an idle CPU for the given topology.
     pub fn new(topo: Topology, calib: CpuCalib) -> Self {
-        Cpu { busy: vec![false; topo.logical_cores()], topo, calib }
+        Cpu {
+            busy: vec![false; topo.logical_cores()],
+            offline: vec![false; topo.logical_cores()],
+            topo,
+            calib,
+        }
+    }
+
+    /// Marks a logical core offline (fault injection) or back online. A
+    /// burst already running on the core finishes normally; the scheduler
+    /// just stops placing new work there.
+    pub fn set_offline(&mut self, core: CoreId, offline: bool) {
+        self.offline[core.0] = offline;
+    }
+
+    /// Returns `true` if the core has been taken offline by a fault.
+    pub fn is_offline(&self, core: CoreId) -> bool {
+        self.offline[core.0]
+    }
+
+    /// Number of cores currently offline.
+    pub fn offline_count(&self) -> usize {
+        self.offline.iter().filter(|o| **o).count()
     }
 
     /// Returns the topology.
@@ -176,6 +199,18 @@ mod tests {
         assert_eq!(c.active_physical_cores(), 1);
         c.occupy(CoreId(8));
         assert_eq!(c.active_physical_cores(), 2);
+    }
+
+    #[test]
+    fn offline_flags_are_tracked() {
+        let mut c = cpu();
+        assert!(!c.is_offline(CoreId(5)));
+        c.set_offline(CoreId(5), true);
+        c.set_offline(CoreId(6), true);
+        assert!(c.is_offline(CoreId(5)));
+        assert_eq!(c.offline_count(), 2);
+        c.set_offline(CoreId(5), false);
+        assert_eq!(c.offline_count(), 1);
     }
 
     #[test]

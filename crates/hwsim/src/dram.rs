@@ -41,6 +41,8 @@ pub struct Dram {
     calib: DramCalib,
     sockets: Vec<Channel>,
     stats: DramStats,
+    /// Fault-injection bandwidth multiplier; `1.0` when healthy.
+    degrade: f64,
 }
 
 impl Dram {
@@ -50,7 +52,14 @@ impl Dram {
             calib,
             sockets: (0..sockets).map(|_| Channel { busy_until: SimTime::ZERO }).collect(),
             stats: DramStats::default(),
+            degrade: 1.0,
         }
+    }
+
+    /// Sets the fault-injection bandwidth multiplier (`1.0` restores
+    /// healthy behaviour exactly).
+    pub fn set_degrade(&mut self, factor: f64) {
+        self.degrade = factor.clamp(0.01, 1.0);
     }
 
     /// Charges `bytes` of DRAM traffic on `socket` at time `now`, of which
@@ -71,7 +80,7 @@ impl Dram {
 
         let ch = &mut self.sockets[socket];
         let queue_delay = ch.busy_until.saturating_since(now);
-        let service = SimDuration::from_secs_f64(bytes as f64 / self.calib.socket_bw);
+        let service = SimDuration::from_secs_f64(bytes as f64 / (self.calib.socket_bw * self.degrade));
         ch.busy_until = ch.busy_until.max(now) + service;
 
         // QPI adds delay only for the remote share, and only if it is the
@@ -125,6 +134,25 @@ mod tests {
         dram.charge(1, SimTime::ZERO, 1000, 0.5);
         assert_eq!(dram.stats().qpi_bytes, 500);
         assert_eq!(dram.stats().bytes, 1000);
+    }
+
+    #[test]
+    fn degradation_inflates_queueing() {
+        let calib = DramCalib { socket_bw: 1e9, qpi_bw: 32e9 };
+        let mut healthy = Dram::new(1, calib.clone());
+        let mut degraded = Dram::new(1, calib);
+        degraded.set_degrade(0.5);
+        let mut h = SimDuration::ZERO;
+        let mut d = SimDuration::ZERO;
+        for _ in 0..10 {
+            h = healthy.charge(0, SimTime::ZERO, 1 << 20, 0.0);
+            d = degraded.charge(0, SimTime::ZERO, 1 << 20, 0.0);
+        }
+        assert!(d.as_nanos() > h.as_nanos() * 3 / 2, "degraded {d} vs healthy {h}");
+        // Identity factor restores exact behaviour.
+        let mut back = Dram::new(1, DramCalib { socket_bw: 1e9, qpi_bw: 32e9 });
+        back.set_degrade(1.0);
+        assert_eq!(back.charge(0, SimTime::ZERO, 1 << 20, 0.0), SimDuration::ZERO);
     }
 
     #[test]

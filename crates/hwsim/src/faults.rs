@@ -1,0 +1,413 @@
+//! Deterministic fault injection for the hardware models.
+//!
+//! A [`FaultSpec`] is a builder-style description of *what* can go wrong
+//! (SSD latency spikes, transient I/O errors, bandwidth brownouts, core
+//! offlining, DRAM degradation, LLC way failures) plus a seed.
+//! [`FaultPlan::generate`] turns the spec into a concrete schedule of
+//! [`FaultWindow`]s on the simulation clock; the same spec and seed always
+//! produce a bit-identical schedule, so degraded runs are exactly as
+//! reproducible as healthy ones.
+//!
+//! The kernel arms the plan at construction time and toggles the hardware
+//! models as windows open and close. When the spec is empty, no events are
+//! scheduled and every model keeps its identity parameters (`x1.0`
+//! bandwidth, zero extra latency, zero error probability), so runs without
+//! faults are byte-identical to runs on a build without this module.
+
+use crate::rng::SimRng;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One kind of injected hardware fault.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum FaultKind {
+    /// Every SSD I/O completes `extra_us` microseconds late (controller
+    /// stall / internal GC pause).
+    SsdLatencySpike {
+        /// Added per-I/O latency in microseconds.
+        extra_us: u64,
+    },
+    /// Each blocking SSD I/O fails with probability `chance`; the error is
+    /// surfaced to the issuing task as retryable.
+    SsdIoErrors {
+        /// Per-I/O failure probability in `[0, 1]`.
+        chance: f64,
+    },
+    /// SSD bandwidth is multiplied by `factor` in both directions
+    /// (brownout / thermal throttle).
+    SsdThrottle {
+        /// Bandwidth multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// The `cores` highest-numbered cores of the affinity set go offline
+    /// (at least one core always stays online).
+    CoreOffline {
+        /// Cores removed while the window is open.
+        cores: u32,
+    },
+    /// DRAM bandwidth is multiplied by `factor` (e.g. a failed channel).
+    DramDegrade {
+        /// Bandwidth multiplier in `(0, 1]`.
+        factor: f64,
+    },
+    /// The `ways` highest ways of the CAT mask fail (at least one way
+    /// always survives). Way failures persist to the end of the run.
+    LlcWayFail {
+        /// Failed way count.
+        ways: u32,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultKind::SsdLatencySpike { extra_us } => {
+                write!(f, "ssd-latency-spike(+{extra_us}us)")
+            }
+            FaultKind::SsdIoErrors { chance } => write!(f, "ssd-io-errors(p={chance})"),
+            FaultKind::SsdThrottle { factor } => write!(f, "ssd-throttle(x{factor})"),
+            FaultKind::CoreOffline { cores } => write!(f, "core-offline({cores})"),
+            FaultKind::DramDegrade { factor } => write!(f, "dram-degrade(x{factor})"),
+            FaultKind::LlcWayFail { ways } => write!(f, "llc-way-fail({ways})"),
+        }
+    }
+}
+
+/// A scheduled fault: `kind` is active from `start` (inclusive) to `end`
+/// (exclusive) on the simulation clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultWindow {
+    /// When the fault begins.
+    pub start: SimTime,
+    /// When the fault clears.
+    pub end: SimTime,
+    /// What fails.
+    pub kind: FaultKind,
+}
+
+/// Builder-style fault specification: counts and magnitudes per category
+/// plus the seed that places the windows. Mirrors the `ResourceKnobs`
+/// builder idiom so sweeps can carry fault configurations the same way
+/// they carry resource allocations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultSpec {
+    /// Seed for window placement; equal seeds give bit-identical plans.
+    pub seed: u64,
+    /// Duration of each fault window in seconds.
+    pub fault_secs: f64,
+    /// Number of SSD latency-spike windows.
+    pub ssd_latency_spikes: u32,
+    /// Added per-I/O latency during a spike, in microseconds.
+    pub ssd_latency_extra_us: u64,
+    /// Number of transient-I/O-error windows.
+    pub ssd_error_windows: u32,
+    /// Per-I/O failure probability inside an error window.
+    pub ssd_error_chance: f64,
+    /// Number of SSD bandwidth-throttle windows.
+    pub ssd_throttle_windows: u32,
+    /// SSD bandwidth multiplier inside a throttle window.
+    pub ssd_throttle_factor: f64,
+    /// Number of core-offline windows.
+    pub offline_windows: u32,
+    /// Cores taken offline per window.
+    pub offline_cores: u32,
+    /// Number of DRAM-degradation windows.
+    pub dram_windows: u32,
+    /// DRAM bandwidth multiplier inside a degradation window.
+    pub dram_factor: f64,
+    /// LLC ways that fail permanently partway through the run.
+    pub llc_way_failures: u32,
+    /// Blocking-I/O retry attempts before a worker gives up on an I/O.
+    pub io_retry_attempts: u32,
+    /// Transaction abort/retry attempts before a client gives up.
+    pub txn_retry_attempts: u32,
+    /// Per-query deadline in seconds; `0` disables the deadline.
+    pub query_deadline_secs: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec::none()
+    }
+}
+
+impl FaultSpec {
+    /// No faults: the spec every healthy experiment carries.
+    pub fn none() -> Self {
+        FaultSpec {
+            seed: 0,
+            fault_secs: 2.0,
+            ssd_latency_spikes: 0,
+            ssd_latency_extra_us: 0,
+            ssd_error_windows: 0,
+            ssd_error_chance: 0.0,
+            ssd_throttle_windows: 0,
+            ssd_throttle_factor: 1.0,
+            offline_windows: 0,
+            offline_cores: 0,
+            dram_windows: 0,
+            dram_factor: 1.0,
+            llc_way_failures: 0,
+            io_retry_attempts: 4,
+            txn_retry_attempts: 5,
+            query_deadline_secs: 0.0,
+        }
+    }
+
+    /// Returns `true` if the spec schedules no faults at all.
+    pub fn is_none(&self) -> bool {
+        self.ssd_latency_spikes == 0
+            && self.ssd_error_windows == 0
+            && self.ssd_throttle_windows == 0
+            && self.offline_windows == 0
+            && self.dram_windows == 0
+            && self.llc_way_failures == 0
+    }
+
+    /// Sets the placement seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the per-window fault duration.
+    pub fn with_fault_secs(mut self, secs: f64) -> Self {
+        self.fault_secs = secs.max(0.01);
+        self
+    }
+
+    /// Schedules `windows` SSD latency spikes of `extra_us` each.
+    pub fn with_ssd_latency_spikes(mut self, windows: u32, extra_us: u64) -> Self {
+        self.ssd_latency_spikes = windows;
+        self.ssd_latency_extra_us = extra_us;
+        self
+    }
+
+    /// Schedules `windows` transient-I/O-error windows with per-I/O failure
+    /// probability `chance`.
+    pub fn with_ssd_errors(mut self, windows: u32, chance: f64) -> Self {
+        self.ssd_error_windows = windows;
+        self.ssd_error_chance = chance.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Schedules `windows` SSD bandwidth brownouts at `factor` of normal
+    /// bandwidth.
+    pub fn with_ssd_throttle(mut self, windows: u32, factor: f64) -> Self {
+        self.ssd_throttle_windows = windows;
+        self.ssd_throttle_factor = factor.clamp(0.01, 1.0);
+        self
+    }
+
+    /// Schedules `windows` core-offline windows removing `cores` cores.
+    pub fn with_core_offline(mut self, windows: u32, cores: u32) -> Self {
+        self.offline_windows = windows;
+        self.offline_cores = cores;
+        self
+    }
+
+    /// Schedules `windows` DRAM-degradation windows at `factor` of normal
+    /// bandwidth.
+    pub fn with_dram_degrade(mut self, windows: u32, factor: f64) -> Self {
+        self.dram_windows = windows;
+        self.dram_factor = factor.clamp(0.01, 1.0);
+        self
+    }
+
+    /// Fails `ways` LLC ways permanently partway through the run.
+    pub fn with_llc_way_failures(mut self, ways: u32) -> Self {
+        self.llc_way_failures = ways;
+        self
+    }
+
+    /// Sets the engine's I/O retry budget.
+    pub fn with_io_retry_attempts(mut self, attempts: u32) -> Self {
+        self.io_retry_attempts = attempts;
+        self
+    }
+
+    /// Sets the engine's transaction retry budget.
+    pub fn with_txn_retry_attempts(mut self, attempts: u32) -> Self {
+        self.txn_retry_attempts = attempts;
+        self
+    }
+
+    /// Sets a per-query deadline (0 disables).
+    pub fn with_query_deadline_secs(mut self, secs: f64) -> Self {
+        self.query_deadline_secs = secs.max(0.0);
+        self
+    }
+}
+
+/// A concrete, sorted schedule of fault windows for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    windows: Vec<FaultWindow>,
+}
+
+/// Domain-separation constant mixed into the placement seed so fault
+/// placement never correlates with the workload RNG stream.
+const FAULT_SEED_SALT: u64 = 0xFA17_5EED_0DB5_E125;
+
+impl FaultPlan {
+    /// The empty plan (no faults).
+    pub fn empty() -> Self {
+        FaultPlan { windows: Vec::new() }
+    }
+
+    /// Realizes a spec into a schedule over a run of length `run`.
+    ///
+    /// Windows are placed uniformly in the middle 80% of the run (so
+    /// warmup and the final sample stay clean) in a fixed category order;
+    /// equal `(spec, run)` inputs yield bit-identical plans.
+    pub fn generate(spec: &FaultSpec, run: SimDuration) -> Self {
+        if spec.is_none() || run == SimDuration::ZERO {
+            return FaultPlan::empty();
+        }
+        let mut rng = SimRng::new(spec.seed ^ FAULT_SEED_SALT);
+        let horizon = run.as_nanos();
+        let dur_ns = ((spec.fault_secs * 1e9) as u64).max(1);
+        let mut windows = Vec::new();
+        let mut place = |rng: &mut SimRng, count: u32, kind: FaultKind| {
+            let lo = horizon / 10;
+            let hi = (horizon - horizon / 10).saturating_sub(dur_ns).max(lo + 1);
+            for _ in 0..count {
+                let start = rng.next_range(lo, hi);
+                windows.push(FaultWindow {
+                    start: SimTime::from_nanos(start),
+                    end: SimTime::from_nanos((start + dur_ns).min(horizon)),
+                    kind,
+                });
+            }
+        };
+        place(
+            &mut rng,
+            spec.ssd_latency_spikes,
+            FaultKind::SsdLatencySpike { extra_us: spec.ssd_latency_extra_us },
+        );
+        place(&mut rng, spec.ssd_error_windows, FaultKind::SsdIoErrors {
+            chance: spec.ssd_error_chance,
+        });
+        place(&mut rng, spec.ssd_throttle_windows, FaultKind::SsdThrottle {
+            factor: spec.ssd_throttle_factor,
+        });
+        place(&mut rng, spec.offline_windows, FaultKind::CoreOffline {
+            cores: spec.offline_cores,
+        });
+        place(&mut rng, spec.dram_windows, FaultKind::DramDegrade { factor: spec.dram_factor });
+        if spec.llc_way_failures > 0 {
+            // Way failures are permanent: the window runs to the horizon.
+            let lo = horizon / 10;
+            let hi = (horizon - horizon / 10).max(lo + 1);
+            let start = rng.next_range(lo, hi);
+            windows.push(FaultWindow {
+                start: SimTime::from_nanos(start),
+                end: SimTime::from_nanos(horizon),
+                kind: FaultKind::LlcWayFail { ways: spec.llc_way_failures },
+            });
+        }
+        windows.sort_by(|a, b| {
+            (a.start, a.end).cmp(&(b.start, b.end)).then(format!("{}", a.kind).cmp(&format!("{}", b.kind)))
+        });
+        FaultPlan { windows }
+    }
+
+    /// Returns `true` if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Number of scheduled windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The scheduled windows, sorted by start time.
+    pub fn windows(&self) -> &[FaultWindow] {
+        &self.windows
+    }
+}
+
+/// One realized fault occurrence, recorded by the kernel when the window
+/// opens. Serializable so degraded run results can carry their fault log.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultLogEntry {
+    /// Window start in nanoseconds of virtual time.
+    pub start_ns: u64,
+    /// Window end in nanoseconds of virtual time.
+    pub end_ns: u64,
+    /// Human-readable fault description.
+    pub kind: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brownout() -> FaultSpec {
+        FaultSpec::none()
+            .with_seed(7)
+            .with_ssd_latency_spikes(2, 500)
+            .with_ssd_errors(2, 0.05)
+            .with_ssd_throttle(1, 0.25)
+    }
+
+    #[test]
+    fn empty_spec_generates_empty_plan() {
+        let plan = FaultPlan::generate(&FaultSpec::none(), SimDuration::from_secs(10));
+        assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
+    }
+
+    #[test]
+    fn same_seed_gives_bit_identical_plans() {
+        let run = SimDuration::from_secs(30);
+        let a = FaultPlan::generate(&brownout(), run);
+        let b = FaultPlan::generate(&brownout(), run);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn different_seeds_move_windows() {
+        let run = SimDuration::from_secs(30);
+        let a = FaultPlan::generate(&brownout(), run);
+        let b = FaultPlan::generate(&brownout().with_seed(8), run);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn windows_stay_inside_the_run_and_sorted() {
+        let run = SimDuration::from_secs(20);
+        let spec = brownout().with_core_offline(3, 8).with_dram_degrade(2, 0.5).with_llc_way_failures(4);
+        let plan = FaultPlan::generate(&spec, run);
+        let mut prev = SimTime::ZERO;
+        for w in plan.windows() {
+            assert!(w.start >= prev, "windows sorted");
+            assert!(w.start.as_nanos() >= run.as_nanos() / 10, "start after warmup");
+            assert!(w.end.as_nanos() <= run.as_nanos(), "end inside run");
+            assert!(w.end > w.start, "non-empty window");
+            prev = w.start;
+        }
+        // 5 brownout + 3 offline + 2 dram + 1 llc.
+        assert_eq!(plan.len(), 11);
+    }
+
+    #[test]
+    fn llc_failure_is_permanent() {
+        let run = SimDuration::from_secs(20);
+        let spec = FaultSpec::none().with_llc_way_failures(2);
+        let plan = FaultPlan::generate(&spec, run);
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.windows()[0].end.as_nanos(), run.as_nanos());
+    }
+
+    #[test]
+    fn builder_clamps_magnitudes() {
+        let s = FaultSpec::none().with_ssd_errors(1, 3.0).with_ssd_throttle(1, -1.0);
+        assert_eq!(s.ssd_error_chance, 1.0);
+        assert_eq!(s.ssd_throttle_factor, 0.01);
+        assert!(!s.is_none());
+    }
+}

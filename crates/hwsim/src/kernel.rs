@@ -11,6 +11,7 @@ use crate::calib::Calib;
 use crate::counters::{CounterSnapshot, SampleLog};
 use crate::cpu::Cpu;
 use crate::dram::{Dram, DramStats};
+use crate::faults::{FaultKind, FaultLogEntry, FaultPlan};
 use crate::mem::MemProfile;
 use crate::rng::SimRng;
 use crate::ssd::{BlockIoLimit, Ssd, SsdStats};
@@ -38,6 +39,8 @@ pub struct SimConfig {
     pub blkio: BlockIoLimit,
     /// Counter sampling interval (the paper samples every second).
     pub sample_interval: SimDuration,
+    /// Scheduled hardware faults; [`FaultPlan::empty`] for healthy runs.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -53,6 +56,7 @@ impl SimConfig {
             cat_mask: CatMask::contiguous(20),
             blkio: BlockIoLimit::UNLIMITED,
             sample_interval: SimDuration::from_secs(1),
+            faults: FaultPlan::empty(),
         }
     }
 }
@@ -73,6 +77,7 @@ struct Slot {
     task: Option<Box<dyn SimTask>>,
     state: TState,
     pending_wake: bool,
+    io_error: bool,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,6 +87,8 @@ enum EventKind {
     IoDone(TaskId),
     Timer(TaskId),
     Sample,
+    FaultStart(usize),
+    FaultEnd(usize),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -140,6 +147,8 @@ pub struct Kernel {
     instructions: u64,
     finished: usize,
     spans_sockets: bool,
+    fault_active: Vec<bool>,
+    fault_log: Vec<FaultLogEntry>,
 }
 
 impl Kernel {
@@ -174,10 +183,21 @@ impl Kernel {
             instructions: 0,
             finished: 0,
             spans_sockets,
+            fault_active: vec![false; cfg.faults.len()],
+            fault_log: Vec::new(),
             cfg,
         };
         let first_sample = kernel.now + kernel.cfg.sample_interval;
         kernel.push(first_sample, EventKind::Sample);
+        // Arm the fault schedule. An empty plan pushes no events and rolls
+        // no dice, keeping healthy runs byte-identical.
+        if !kernel.cfg.faults.is_empty() {
+            kernel.ssd.seed_faults(kernel.cfg.seed);
+            for (i, w) in kernel.cfg.faults.windows().to_vec().into_iter().enumerate() {
+                kernel.push(w.start, EventKind::FaultStart(i));
+                kernel.push(w.end, EventKind::FaultEnd(i));
+            }
+        }
         kernel
     }
 
@@ -194,7 +214,7 @@ impl Kernel {
     /// Adds a task; it becomes runnable at the current instant.
     pub fn spawn(&mut self, task: Box<dyn SimTask>) -> TaskId {
         let id = TaskId(self.tasks.len());
-        self.tasks.push(Slot { task: Some(task), state: TState::Runnable, pending_wake: false });
+        self.tasks.push(Slot { task: Some(task), state: TState::Runnable, pending_wake: false, io_error: false });
         self.push(self.now, EventKind::Poll(id));
         id
     }
@@ -294,7 +314,73 @@ impl Kernel {
                 let next = self.now + self.cfg.sample_interval;
                 self.push(next, EventKind::Sample);
             }
+            EventKind::FaultStart(i) => {
+                self.fault_active[i] = true;
+                let w = self.cfg.faults.windows()[i];
+                self.fault_log.push(FaultLogEntry {
+                    start_ns: w.start.as_nanos(),
+                    end_ns: w.end.as_nanos(),
+                    kind: w.kind.to_string(),
+                });
+                self.apply_faults();
+            }
+            EventKind::FaultEnd(i) => {
+                self.fault_active[i] = false;
+                self.apply_faults();
+                // Cores may have come back online: restart queued bursts.
+                self.dispatch_waiters();
+            }
         }
+    }
+
+    /// Recomputes the hardware models' fault parameters from the set of
+    /// currently open windows. Overlapping windows compose: extra
+    /// latencies add, bandwidth factors multiply, error chances take the
+    /// worst case, and offline core / failed way counts accumulate.
+    fn apply_faults(&mut self) {
+        let mut extra_latency = SimDuration::ZERO;
+        let mut error_chance: f64 = 0.0;
+        let mut ssd_bw: f64 = 1.0;
+        let mut dram_bw: f64 = 1.0;
+        let mut offline: u32 = 0;
+        let mut failed_ways: u32 = 0;
+        for (i, w) in self.cfg.faults.windows().iter().enumerate() {
+            if !self.fault_active[i] {
+                continue;
+            }
+            match w.kind {
+                FaultKind::SsdLatencySpike { extra_us } => {
+                    extra_latency += SimDuration::from_nanos(extra_us * 1000);
+                }
+                FaultKind::SsdIoErrors { chance } => error_chance = error_chance.max(chance),
+                FaultKind::SsdThrottle { factor } => ssd_bw *= factor,
+                FaultKind::CoreOffline { cores } => offline += cores,
+                FaultKind::DramDegrade { factor } => dram_bw *= factor,
+                FaultKind::LlcWayFail { ways } => failed_ways += ways,
+            }
+        }
+        self.ssd.set_faults(extra_latency, error_chance, ssd_bw);
+        self.dram.set_degrade(dram_bw);
+        self.llc.set_failed_ways(failed_ways);
+        // Offline the highest-numbered cores of the affinity set, always
+        // keeping at least one schedulable core.
+        let limit = self.cfg.topology.logical_cores();
+        let affinity: Vec<CoreId> =
+            self.cfg.affinity.iter().filter(|c| c.0 < limit).collect();
+        let keep = affinity.len().saturating_sub(offline as usize).max(1);
+        for (pos, c) in affinity.iter().enumerate() {
+            self.cpu.set_offline(*c, pos >= keep);
+        }
+    }
+
+    /// Fault windows realized so far (empty when fault injection is off).
+    pub fn fault_log(&self) -> &[FaultLogEntry] {
+        &self.fault_log
+    }
+
+    /// Returns `true` if this run has a fault schedule armed.
+    pub fn faults_enabled(&self) -> bool {
+        !self.cfg.faults.is_empty()
     }
 
     fn poll_task(&mut self, id: TaskId) {
@@ -302,6 +388,7 @@ impl Kernel {
             return;
         }
         let mut task = self.tasks[id.0].task.take().expect("task present when polled");
+        let io_failed = std::mem::take(&mut self.tasks[id.0].io_error);
         let mut wakes = Vec::new();
         let mut spawns = Vec::new();
         let step = {
@@ -312,6 +399,7 @@ impl Kernel {
                 spawns: &mut spawns,
                 self_id: id,
                 ssd_read_backlog: self.ssd.read_backlog(self.now),
+                io_failed,
             };
             task.poll(&mut ctx)
         };
@@ -364,13 +452,17 @@ impl Kernel {
             Demand::DeviceRead { bytes, class } => {
                 let done = self.ssd.submit_read(self.now, bytes);
                 self.waits.add(class, done.saturating_since(self.now));
-                self.tasks[id.0].state = TState::BlockedIo;
+                let slot = &mut self.tasks[id.0];
+                slot.state = TState::BlockedIo;
+                slot.io_error = self.ssd.roll_error();
                 self.push(done, EventKind::IoDone(id));
             }
             Demand::DeviceWrite { bytes, class } => {
                 let done = self.ssd.submit_write(self.now, bytes);
                 self.waits.add(class, done.saturating_since(self.now));
-                self.tasks[id.0].state = TState::BlockedIo;
+                let slot = &mut self.tasks[id.0];
+                slot.state = TState::BlockedIo;
+                slot.io_error = self.ssd.roll_error();
                 self.push(done, EventKind::IoDone(id));
             }
             Demand::DeviceWriteAsync { bytes } => {
@@ -414,7 +506,7 @@ impl Kernel {
         let mut fallback: Option<CoreId> = None;
         let mut chosen: Option<CoreId> = None;
         for c in self.cfg.affinity.iter() {
-            if c.0 >= limit || self.cpu.is_busy(c) {
+            if c.0 >= limit || self.cpu.is_busy(c) || self.cpu.is_offline(c) {
                 continue;
             }
             if !self.cpu.sibling_busy(c) {
@@ -659,6 +751,140 @@ mod tests {
         assert!(k.now().as_nanos() < 50_000_000, "prefetch blocked the task: {}", k.now());
         assert!(saw.get(), "read backlog was not observable");
         assert!(k.counters().ssd_read_bytes < 1_000_000, "backlogged bytes mostly incomplete");
+    }
+
+    #[test]
+    fn empty_fault_plan_changes_nothing() {
+        let run = |faults: FaultPlan| {
+            let mut cfg = one_core_cfg(31);
+            cfg.faults = faults;
+            let mut k = Kernel::new(cfg);
+            for _ in 0..4 {
+                k.spawn(Box::new(ScriptTask::new(vec![
+                    compute(1_000_000),
+                    ScriptOp::Demand(Demand::DeviceRead { bytes: 8192, class: WaitClass::Io }),
+                    compute(2_000_000),
+                ])));
+            }
+            k.run_to_completion(SimDuration::from_secs(10));
+            (k.now().as_nanos(), k.counters())
+        };
+        assert_eq!(run(FaultPlan::empty()), run(FaultPlan::empty()));
+        let mut k = Kernel::new(one_core_cfg(31));
+        k.run_to_completion(SimDuration::from_millis(1));
+        assert!(k.fault_log().is_empty());
+        assert!(!k.faults_enabled());
+    }
+
+    #[test]
+    fn ssd_throttle_window_slows_the_run_and_is_logged() {
+        use crate::faults::FaultSpec;
+        let run = |spec: FaultSpec| {
+            let mut cfg = one_core_cfg(32);
+            cfg.faults = FaultPlan::generate(&spec, SimDuration::from_secs(1));
+            let mut k = Kernel::new(cfg);
+            k.spawn(Box::new(ScriptTask::new(
+                (0..200)
+                    .map(|_| {
+                        ScriptOp::Demand(Demand::DeviceRead {
+                            bytes: 25_000_000,
+                            class: WaitClass::Io,
+                        })
+                    })
+                    .collect(),
+            )));
+            k.run_to_completion(SimDuration::from_secs(60));
+            (k.now().as_nanos(), k.fault_log().len())
+        };
+        let (healthy, logged) = run(FaultSpec::none());
+        assert_eq!(logged, 0);
+        // 1 s horizon + 3 s window duration pins the window to [0.1 s, 1 s],
+        // well inside the ~2 s the reads take.
+        let spec = FaultSpec::none().with_seed(5).with_fault_secs(3.0).with_ssd_throttle(1, 0.1);
+        let (faulted, logged) = run(spec);
+        assert_eq!(logged, 1);
+        assert!(faulted > healthy, "throttle did not slow I/O: {faulted} vs {healthy}");
+    }
+
+    #[test]
+    fn core_offline_window_keeps_one_core_and_recovers() {
+        use crate::faults::FaultSpec;
+        let mut cfg = SimConfig::paper_default(33);
+        cfg.affinity = CoreSet::first_n(4, &cfg.topology);
+        // A long window pinned to [0.1 s, 1 s]; the compute below runs past it.
+        cfg.faults = FaultPlan::generate(
+            &FaultSpec::none().with_seed(2).with_fault_secs(8.0).with_core_offline(1, 16),
+            SimDuration::from_secs(1),
+        );
+        let mut k = Kernel::new(cfg);
+        for _ in 0..8 {
+            k.spawn(Box::new(ScriptTask::new(vec![compute(2_000_000_000)])));
+        }
+        assert!(k.run_to_completion(SimDuration::from_secs(120)), "starved with all cores offline");
+        // The fault asked for 16 cores but the affinity set has 4: at most 3
+        // may go offline, so progress continued (completion above) and the
+        // window was logged.
+        assert_eq!(k.fault_log().len(), 1);
+        assert!(k.fault_log()[0].kind.contains("core-offline"));
+    }
+
+    #[test]
+    fn injected_io_errors_reach_the_task() {
+        use crate::faults::FaultSpec;
+        #[derive(Debug)]
+        struct RetryReader {
+            remaining: u32,
+            failures: std::rc::Rc<std::cell::Cell<u32>>,
+        }
+        impl SimTask for RetryReader {
+            fn poll(&mut self, ctx: &mut TaskCtx<'_>) -> Step {
+                if ctx.io_failed() {
+                    self.failures.set(self.failures.get() + 1);
+                }
+                if self.remaining == 0 {
+                    return Step::Done;
+                }
+                self.remaining -= 1;
+                Step::Demand(Demand::DeviceRead { bytes: 2_500_000, class: WaitClass::Io })
+            }
+        }
+        let mut cfg = one_core_cfg(34);
+        // Window pinned to [0.1 s, 1 s]; 500 reads of 2.5 MB take ~0.5 s, so
+        // most of them land inside it.
+        cfg.faults = FaultPlan::generate(
+            &FaultSpec::none().with_seed(3).with_fault_secs(9.0).with_ssd_errors(1, 1.0),
+            SimDuration::from_secs(1),
+        );
+        let mut k = Kernel::new(cfg);
+        let failures = std::rc::Rc::new(std::cell::Cell::new(0));
+        k.spawn(Box::new(RetryReader { remaining: 500, failures: std::rc::Rc::clone(&failures) }));
+        assert!(k.run_to_completion(SimDuration::from_secs(60)));
+        assert!(failures.get() > 0, "no injected error reached the task");
+    }
+
+    #[test]
+    fn faulted_runs_are_deterministic() {
+        use crate::faults::FaultSpec;
+        let run = || {
+            let spec = FaultSpec::none()
+                .with_seed(9)
+                .with_ssd_latency_spikes(2, 300)
+                .with_ssd_errors(1, 0.5)
+                .with_core_offline(1, 1);
+            let mut cfg = one_core_cfg(35);
+            cfg.faults = FaultPlan::generate(&spec, SimDuration::from_secs(10));
+            let mut k = Kernel::new(cfg);
+            for _ in 0..5 {
+                k.spawn(Box::new(ScriptTask::new(vec![
+                    compute(1_000_000),
+                    ScriptOp::Demand(Demand::DeviceRead { bytes: 8192, class: WaitClass::Io }),
+                    compute(2_000_000),
+                ])));
+            }
+            k.run_to_completion(SimDuration::from_secs(20));
+            (k.now().as_nanos(), k.fault_log().to_vec())
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod calib;
 pub mod counters;
 pub mod cpu;
 pub mod dram;
+pub mod faults;
 pub mod kernel;
 pub mod mem;
 pub mod rng;
@@ -59,6 +60,7 @@ pub mod topology;
 
 pub use cache::CatMask;
 pub use calib::Calib;
+pub use faults::{FaultKind, FaultLogEntry, FaultPlan, FaultSpec, FaultWindow};
 pub use kernel::{Kernel, SimConfig};
 pub use mem::{MemProfile, Region};
 pub use ssd::BlockIoLimit;

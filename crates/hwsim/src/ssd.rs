@@ -8,6 +8,7 @@
 //! transactional workloads described in Section 6.
 
 use crate::calib::SsdCalib;
+use crate::rng::SimRng;
 use crate::time::{SimDuration, SimTime};
 
 /// A cgroup `blkio`-style bandwidth limit, in bytes/sec per direction.
@@ -96,6 +97,15 @@ pub struct Ssd {
     read_pipe: Pipe,
     write_pipe: Pipe,
     stats: SsdStats,
+    /// Fault state (identity values when healthy): added per-I/O latency,
+    /// per-I/O transient error probability, and a bandwidth multiplier.
+    fault_extra_latency: SimDuration,
+    fault_error_chance: f64,
+    fault_bw_factor: f64,
+    /// Dedicated RNG for error rolls so fault injection never perturbs the
+    /// kernel's workload RNG stream.
+    fault_rng: SimRng,
+    injected_errors: u64,
 }
 
 impl Ssd {
@@ -107,7 +117,45 @@ impl Ssd {
             read_pipe: Pipe { free_at: SimTime::ZERO },
             write_pipe: Pipe { free_at: SimTime::ZERO },
             stats: SsdStats::default(),
+            fault_extra_latency: SimDuration::ZERO,
+            fault_error_chance: 0.0,
+            fault_bw_factor: 1.0,
+            fault_rng: SimRng::new(0x55D_FA17),
+            injected_errors: 0,
         }
+    }
+
+    /// Reseeds the dedicated fault RNG (derived from the run seed so error
+    /// patterns vary across seeds but stay reproducible within one).
+    pub fn seed_faults(&mut self, seed: u64) {
+        self.fault_rng = SimRng::new(seed ^ 0x55D_FA17);
+    }
+
+    /// Applies the current aggregate fault state. Identity values
+    /// (`ZERO`, `0.0`, `1.0`) restore healthy behaviour exactly.
+    pub fn set_faults(&mut self, extra_latency: SimDuration, error_chance: f64, bw_factor: f64) {
+        self.fault_extra_latency = extra_latency;
+        self.fault_error_chance = error_chance.clamp(0.0, 1.0);
+        self.fault_bw_factor = bw_factor.clamp(0.01, 1.0);
+    }
+
+    /// Rolls for a transient I/O error on the I/O just submitted. Returns
+    /// `false` immediately (consuming no randomness) when no error fault is
+    /// active, so healthy runs are bit-identical.
+    pub fn roll_error(&mut self) -> bool {
+        if self.fault_error_chance <= 0.0 {
+            return false;
+        }
+        let hit = self.fault_rng.chance(self.fault_error_chance);
+        if hit {
+            self.injected_errors += 1;
+        }
+        hit
+    }
+
+    /// Transient I/O errors injected so far.
+    pub fn injected_errors(&self) -> u64 {
+        self.injected_errors
     }
 
     /// Applies a cgroup bandwidth limit (replacing any previous one).
@@ -135,16 +183,18 @@ impl Ssd {
     pub fn submit_read(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.stats.read_bytes += bytes;
         self.stats.read_ios += 1;
-        let rate = self.effective_read_bw();
-        self.read_pipe.submit(now, bytes, rate, SimDuration::from_nanos(self.calib.latency_ns))
+        let rate = self.effective_read_bw() * self.fault_bw_factor;
+        let latency = SimDuration::from_nanos(self.calib.latency_ns) + self.fault_extra_latency;
+        self.read_pipe.submit(now, bytes, rate, latency)
     }
 
     /// Submits a write of `bytes` at `now`; returns its completion time.
     pub fn submit_write(&mut self, now: SimTime, bytes: u64) -> SimTime {
         self.stats.write_bytes += bytes;
         self.stats.write_ios += 1;
-        let rate = self.effective_write_bw();
-        self.write_pipe.submit(now, bytes, rate, SimDuration::from_nanos(self.calib.latency_ns))
+        let rate = self.effective_write_bw() * self.fault_bw_factor;
+        let latency = SimDuration::from_nanos(self.calib.latency_ns) + self.fault_extra_latency;
+        self.write_pipe.submit(now, bytes, rate, latency)
     }
 
     /// Time a read submitted at `now` would wait before service begins.
@@ -163,11 +213,12 @@ impl Ssd {
     /// excluded (the pipes are FIFO at a known rate, so the backlog is
     /// exactly `(free_at - now) * rate`).
     pub fn stats_at(&self, now: SimTime) -> SsdStats {
-        let read_backlog =
-            (self.read_pipe.free_at.saturating_since(now).as_secs_f64() * self.effective_read_bw())
-                as u64;
+        let read_backlog = (self.read_pipe.free_at.saturating_since(now).as_secs_f64()
+            * self.effective_read_bw()
+            * self.fault_bw_factor) as u64;
         let write_backlog = (self.write_pipe.free_at.saturating_since(now).as_secs_f64()
-            * self.effective_write_bw()) as u64;
+            * self.effective_write_bw()
+            * self.fault_bw_factor) as u64;
         SsdStats {
             read_bytes: self.stats.read_bytes.saturating_sub(read_backlog),
             write_bytes: self.stats.write_bytes.saturating_sub(write_backlog),
@@ -239,6 +290,50 @@ mod tests {
         assert_eq!(done.read_bytes, 10_000_000);
         // Submission-time stats see everything immediately.
         assert_eq!(ssd.stats().read_bytes, 10_000_000);
+    }
+
+    #[test]
+    fn fault_identity_values_change_nothing() {
+        let mut healthy = Ssd::new(calib());
+        let mut faulted = Ssd::new(calib());
+        faulted.set_faults(SimDuration::ZERO, 0.0, 1.0);
+        for i in 0..10 {
+            let t = SimTime::from_nanos(i * 1000);
+            assert_eq!(healthy.submit_read(t, 4096 + i), faulted.submit_read(t, 4096 + i));
+            assert_eq!(healthy.submit_write(t, 8192), faulted.submit_write(t, 8192));
+        }
+        assert!(!faulted.roll_error());
+        assert_eq!(faulted.injected_errors(), 0);
+    }
+
+    #[test]
+    fn latency_spike_and_throttle_slow_ios() {
+        let mut ssd = Ssd::new(calib());
+        ssd.set_faults(SimDuration::from_micros(500), 0.0, 0.5);
+        // 1 MB at 500 MB/s effective = 2 ms, + 0.1 ms device + 0.5 ms spike.
+        let done = ssd.submit_read(SimTime::ZERO, 1_000_000);
+        assert_eq!(done.as_nanos(), 2_000_000 + 100_000 + 500_000);
+        // Clearing the fault restores healthy service for new I/Os.
+        ssd.set_faults(SimDuration::ZERO, 0.0, 1.0);
+        let t = SimTime::from_nanos(10_000_000);
+        let done = ssd.submit_read(t, 1_000_000);
+        assert_eq!(done.as_nanos(), 10_000_000 + 1_000_000 + 100_000);
+    }
+
+    #[test]
+    fn error_rolls_are_seeded_and_counted() {
+        let mut a = Ssd::new(calib());
+        let mut b = Ssd::new(calib());
+        a.seed_faults(9);
+        b.seed_faults(9);
+        a.set_faults(SimDuration::ZERO, 0.3, 1.0);
+        b.set_faults(SimDuration::ZERO, 0.3, 1.0);
+        let ra: Vec<bool> = (0..100).map(|_| a.roll_error()).collect();
+        let rb: Vec<bool> = (0..100).map(|_| b.roll_error()).collect();
+        assert_eq!(ra, rb, "same seed, same error pattern");
+        let errs = ra.iter().filter(|e| **e).count() as u64;
+        assert!(errs > 10 && errs < 60, "p=0.3 over 100 rolls, got {errs}");
+        assert_eq!(a.injected_errors(), errs);
     }
 
     #[test]

@@ -201,6 +201,7 @@ pub struct TaskCtx<'a> {
     pub(crate) spawns: &'a mut Vec<Box<dyn SimTask>>,
     pub(crate) self_id: TaskId,
     pub(crate) ssd_read_backlog: SimDuration,
+    pub(crate) io_failed: bool,
 }
 
 impl<'a> TaskCtx<'a> {
@@ -224,6 +225,14 @@ impl<'a> TaskCtx<'a> {
     /// read-ahead consumers keep a bounded prefetch depth.
     pub fn ssd_read_backlog(&self) -> SimDuration {
         self.ssd_read_backlog
+    }
+
+    /// Returns `true` if the blocking device I/O this poll resumes from
+    /// failed with an injected transient error. The I/O still consumed
+    /// device time; the task decides whether to retry, back off, or give
+    /// up. Always `false` when fault injection is off.
+    pub fn io_failed(&self) -> bool {
+        self.io_failed
     }
 
     /// Wakes a task blocked with [`Demand::Block`]. Waking a task that is

@@ -40,12 +40,12 @@ impl LockMode {
 
     /// Does holding `self` satisfy a request for `want`?
     fn covers(self, want: LockMode) -> bool {
-        match (self, want) {
-            (LockMode::X, _) => true,
-            (LockMode::U, LockMode::U | LockMode::S) => true,
-            (LockMode::S, LockMode::S) => true,
-            _ => false,
-        }
+        matches!(
+            (self, want),
+            (LockMode::X, _)
+                | (LockMode::U, LockMode::U | LockMode::S)
+                | (LockMode::S, LockMode::S)
+        )
     }
 }
 
@@ -72,6 +72,36 @@ pub enum LockReq {
 struct LockEntry {
     holders: Vec<(TxnId, LockMode)>,
     waiters: VecDeque<(TxnId, TaskId, LockMode)>,
+}
+
+/// Grants from the front of `entry`'s queue while compatible, recording the
+/// tasks to wake. Shared by release and wait-cancellation paths.
+fn promote_waiters(
+    entry: &mut LockEntry,
+    key: LockKey,
+    held_by_txn: &mut HashMap<TxnId, Vec<LockKey>>,
+    woken: &mut Vec<TaskId>,
+) {
+    while let Some(&(wtxn, wtask, wmode)) = entry.waiters.front() {
+        let upgrade_pos = entry.holders.iter().position(|(t, _)| *t == wtxn);
+        let others_compatible = entry
+            .holders
+            .iter()
+            .filter(|(t, _)| *t != wtxn)
+            .all(|(_, held)| held.compatible(wmode));
+        if !others_compatible {
+            break;
+        }
+        entry.waiters.pop_front();
+        match upgrade_pos {
+            Some(pos) => entry.holders[pos].1 = wmode,
+            None => {
+                entry.holders.push((wtxn, wmode));
+                held_by_txn.entry(wtxn).or_default().push(key);
+            }
+        }
+        woken.push(wtask);
+    }
 }
 
 /// The lock manager.
@@ -159,32 +189,52 @@ impl LockManager {
         for key in keys {
             let Some(entry) = self.locks.get_mut(&key) else { continue };
             entry.holders.retain(|(t, _)| *t != txn);
-            // Grant from the front of the queue while compatible.
-            while let Some(&(wtxn, wtask, wmode)) = entry.waiters.front() {
-                let upgrade_pos = entry.holders.iter().position(|(t, _)| *t == wtxn);
-                let others_compatible = entry
-                    .holders
-                    .iter()
-                    .filter(|(t, _)| *t != wtxn)
-                    .all(|(_, held)| held.compatible(wmode));
-                if !others_compatible {
-                    break;
-                }
-                entry.waiters.pop_front();
-                match upgrade_pos {
-                    Some(pos) => entry.holders[pos].1 = wmode,
-                    None => {
-                        entry.holders.push((wtxn, wmode));
-                        self.held_by_txn.entry(wtxn).or_default().push(key);
-                    }
-                }
-                woken.push(wtask);
-            }
+            promote_waiters(entry, key, &mut self.held_by_txn, &mut woken);
             if entry.holders.is_empty() && entry.waiters.is_empty() {
                 self.locks.remove(&key);
             }
         }
         woken
+    }
+
+    /// Removes `txn`'s queued (not yet granted) request made by `task` from
+    /// every wait queue — used when a transaction aborts while blocked.
+    /// Removing a queue head can make the requests behind it grantable;
+    /// the tasks to wake are returned.
+    pub fn cancel_wait(&mut self, txn: TxnId, task: TaskId) -> Vec<TaskId> {
+        let mut woken = Vec::new();
+        let keys: Vec<LockKey> = self
+            .locks
+            .iter()
+            .filter(|(_, e)| e.waiters.iter().any(|&(t, k, _)| t == txn && k == task))
+            .map(|(key, _)| *key)
+            .collect();
+        for key in keys {
+            let Some(entry) = self.locks.get_mut(&key) else { continue };
+            entry.waiters.retain(|&(t, k, _)| !(t == txn && k == task));
+            promote_waiters(entry, key, &mut self.held_by_txn, &mut woken);
+            if entry.holders.is_empty() && entry.waiters.is_empty() {
+                self.locks.remove(&key);
+            }
+        }
+        woken
+    }
+
+    /// Returns the transactions from `stalled` that currently hold a lock
+    /// with at least one waiter queued behind it. Under fault injection a
+    /// stalled holder is indistinguishable from a deadlock to its waiters,
+    /// so the engine treats these as deadlock victims and aborts them.
+    pub fn stalled_victims(&self, stalled: &[TxnId]) -> Vec<TxnId> {
+        let mut victims: Vec<TxnId> = self
+            .locks
+            .values()
+            .filter(|e| !e.waiters.is_empty())
+            .flat_map(|e| e.holders.iter().map(|(t, _)| *t))
+            .filter(|t| stalled.contains(t))
+            .collect();
+        victims.sort();
+        victims.dedup();
+        victims
     }
 
     /// Total grants so far.
@@ -354,6 +404,41 @@ mod tests {
         lm.acquire(TxnId(1), TaskId(1), key(2), LockMode::S);
         assert_eq!(lm.locked_resources(), 2);
         lm.release_all(TxnId(1));
+        assert_eq!(lm.locked_resources(), 0);
+    }
+
+    #[test]
+    fn stalled_holder_blocking_waiters_is_a_deadlock_victim() {
+        // Txn 1 holds X and then stalls (its task is stuck retrying a failed
+        // I/O); txn 2 queues behind it. From txn 2's perspective this is a
+        // deadlock: nothing will ever release the lock unless the stalled
+        // holder is victimized.
+        let mut lm = LockManager::new();
+        assert_eq!(lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::X), LockReq::Granted);
+        assert_eq!(lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::S), LockReq::Wait);
+        // A stalled txn with no waiters behind it is left alone.
+        assert_eq!(lm.acquire(TxnId(3), TaskId(3), key(2), LockMode::X), LockReq::Granted);
+        assert_eq!(lm.stalled_victims(&[TxnId(1), TxnId(3)]), vec![TxnId(1)]);
+        assert_eq!(lm.stalled_victims(&[TxnId(3)]), Vec::<TxnId>::new());
+        // Victimizing the stalled holder unblocks the waiter.
+        let woken = lm.release_all(TxnId(1));
+        assert_eq!(woken, vec![TaskId(2)]);
+    }
+
+    #[test]
+    fn cancel_wait_removes_waiter_and_promotes_followers() {
+        let mut lm = LockManager::new();
+        lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S);
+        assert_eq!(lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::X), LockReq::Wait);
+        assert_eq!(lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::S), LockReq::Wait);
+        // Txn 2 aborts while waiting: its X request leaves the queue and the
+        // S request behind it becomes compatible with the S holder.
+        let woken = lm.cancel_wait(TxnId(2), TaskId(2));
+        assert_eq!(woken, vec![TaskId(3)]);
+        // Cancelling a txn that is not waiting is a no-op.
+        assert!(lm.cancel_wait(TxnId(2), TaskId(2)).is_empty());
+        lm.release_all(TxnId(1));
+        lm.release_all(TxnId(3));
         assert_eq!(lm.locked_resources(), 0);
     }
 

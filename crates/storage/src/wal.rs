@@ -113,6 +113,32 @@ mod tests {
     }
 
     #[test]
+    fn interleaved_appends_and_flushes_account_exactly() {
+        // Appends land between group commits; every flush hardens exactly
+        // what was pending at that instant, and pending never leaks across.
+        let mut w = Wal::new();
+        w.append(300);
+        assert_eq!(w.pending_bytes(), 300);
+        w.append(300);
+        assert_eq!(w.pending_bytes(), 600);
+        assert_eq!(w.flush_for_commit(), 1024); // 600 -> two sectors
+        assert_eq!(w.pending_bytes(), 0);
+        // New appends after the flush start a fresh batch.
+        w.append(10);
+        assert_eq!(w.pending_bytes(), 10);
+        let lsn_before = w.append(512);
+        assert_eq!(w.pending_bytes(), 522);
+        assert_eq!(w.flush_for_commit(), 1024); // 522 -> two sectors
+        // LSNs keep increasing across flush boundaries.
+        let lsn_after = w.append(1);
+        assert!(lsn_after > lsn_before);
+        assert_eq!(w.flush_for_commit(), 512);
+        assert_eq!(w.flushed_bytes(), 1024 + 1024 + 512);
+        assert_eq!(w.flushes(), 3);
+        assert_eq!(w.appends(), 5);
+    }
+
+    #[test]
     fn empty_commit_still_writes_a_sector() {
         let mut w = Wal::new();
         assert_eq!(w.flush_for_commit(), SECTOR);

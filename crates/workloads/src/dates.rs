@@ -32,8 +32,8 @@ pub fn date(y: i64, m: i64, d: i64) -> i64 {
     for yy in BASE_YEAR..y {
         days += if is_leap(yy) { 366 } else { 365 };
     }
-    for mm in 0..(m - 1) as usize {
-        days += MONTH_DAYS[mm];
+    for (mm, &mdays) in MONTH_DAYS.iter().enumerate().take((m - 1) as usize) {
+        days += mdays;
         if mm == 1 && is_leap(y) {
             days += 1;
         }

@@ -137,6 +137,68 @@ fn permuted_queries(queries: &[(String, Logical)], seed: u64) -> Vec<(String, Lo
     out
 }
 
+/// Wraps a transaction client with fault recovery when the governor asks
+/// for it (fault-injection experiments only).
+fn txn_client(
+    db: &Rc<RefCell<Database>>,
+    metrics: &Rc<RefCell<RunMetrics>>,
+    generator: Box<dyn dbsens_engine::txn::TxnGenerator>,
+    governor: &Governor,
+    label: String,
+) -> Box<dyn SimTask> {
+    let mut t = TxnClientTask::new(
+        Rc::clone(db),
+        Rc::clone(metrics),
+        generator,
+        SimDuration::ZERO,
+        label,
+    );
+    if governor.fault_recovery {
+        t = t.with_fault_recovery(governor.txn_retry_attempts);
+    }
+    Box::new(t)
+}
+
+/// Wraps a query stream with fault recovery when the governor asks for it.
+fn query_stream(
+    db: &Rc<RefCell<Database>>,
+    grants: &Rc<RefCell<GrantManager>>,
+    metrics: &Rc<RefCell<RunMetrics>>,
+    governor: &Governor,
+    queries: Vec<(String, Logical)>,
+    repeat: bool,
+    label: String,
+) -> Box<dyn SimTask> {
+    let mut t = QueryStreamTask::new(
+        Rc::clone(db),
+        Rc::clone(grants),
+        Rc::clone(metrics),
+        governor.clone(),
+        queries,
+        repeat,
+        label,
+    );
+    if governor.fault_recovery {
+        t = t.with_fault_recovery();
+    }
+    Box::new(t)
+}
+
+/// Under fault injection, adds the lock-convoy watchdog (absent from
+/// healthy runs so their event streams are untouched).
+fn push_lock_monitor(
+    tasks: &mut Vec<Box<dyn SimTask>>,
+    db: &Rc<RefCell<Database>>,
+    governor: &Governor,
+) {
+    if governor.fault_recovery {
+        tasks.push(Box::new(dbsens_engine::tasks::LockMonitorTask::new(
+            Rc::clone(db),
+            SimDuration::from_millis(100),
+        )));
+    }
+}
+
 /// Builds a workload: generates the database, wraps it for task sharing,
 /// warms the buffer pool (the paper measures warmed systems), and
 /// constructs the client/stream tasks.
@@ -158,15 +220,15 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
             let db = Rc::new(RefCell::new(t.db));
             let tasks: Vec<Box<dyn SimTask>> = (0..*streams)
                 .map(|s| {
-                    Box::new(QueryStreamTask::new(
-                        Rc::clone(&db),
-                        Rc::clone(&grants),
-                        Rc::clone(&metrics),
-                        governor.clone(),
+                    query_stream(
+                        &db,
+                        &grants,
+                        &metrics,
+                        governor,
                         permuted_queries(&queries, scale.seed ^ (s as u64 + 1)),
                         true,
                         format!("tpch-stream{s}"),
-                    )) as Box<dyn SimTask>
+                    )
                 })
                 .collect();
             BuiltWorkload { db, grants, metrics, tasks, sizing }
@@ -176,15 +238,15 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
             let sizing = tpch::sizing(&t);
             let queries = permuted_queries(&t.all_queries(), scale.seed ^ 0x90);
             let db = Rc::new(RefCell::new(t.db));
-            let tasks: Vec<Box<dyn SimTask>> = vec![Box::new(QueryStreamTask::new(
-                Rc::clone(&db),
-                Rc::clone(&grants),
-                Rc::clone(&metrics),
-                governor.clone(),
+            let tasks: Vec<Box<dyn SimTask>> = vec![query_stream(
+                &db,
+                &grants,
+                &metrics,
+                governor,
                 queries,
                 false,
-                "tpch-power",
-            ))];
+                "tpch-power".into(),
+            )];
             BuiltWorkload { db, grants, metrics, tasks, sizing }
         }
         WorkloadSpec::Asdb { sf, clients } => {
@@ -197,16 +259,11 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
                 .into_iter()
                 .enumerate()
                 .map(|(i, g)| {
-                    Box::new(TxnClientTask::new(
-                        Rc::clone(&db),
-                        Rc::clone(&metrics),
-                        Box::new(g),
-                        SimDuration::ZERO,
-                        format!("asdb{i}"),
-                    )) as Box<dyn SimTask>
+                    txn_client(&db, &metrics, Box::new(g), governor, format!("asdb{i}"))
                 })
                 .collect();
             tasks.push(Box::new(CheckpointTask::new(Rc::clone(&db))));
+            push_lock_monitor(&mut tasks, &db, governor);
             BuiltWorkload { db, grants, metrics, tasks, sizing }
         }
         WorkloadSpec::TpcE { sf, users } => {
@@ -219,16 +276,11 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
                 .into_iter()
                 .enumerate()
                 .map(|(i, g)| {
-                    Box::new(TxnClientTask::new(
-                        Rc::clone(&db),
-                        Rc::clone(&metrics),
-                        Box::new(g),
-                        SimDuration::ZERO,
-                        format!("tpce{i}"),
-                    )) as Box<dyn SimTask>
+                    txn_client(&db, &metrics, Box::new(g), governor, format!("tpce{i}"))
                 })
                 .collect();
             tasks.push(Box::new(CheckpointTask::new(Rc::clone(&db))));
+            push_lock_monitor(&mut tasks, &db, governor);
             BuiltWorkload { db, grants, metrics, tasks, sizing }
         }
         WorkloadSpec::Htap { sf, users } => {
@@ -243,27 +295,22 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
                 .into_iter()
                 .enumerate()
                 .map(|(i, g)| {
-                    Box::new(TxnClientTask::new(
-                        Rc::clone(&db),
-                        Rc::clone(&metrics),
-                        Box::new(g),
-                        SimDuration::ZERO,
-                        format!("htap-oltp{i}"),
-                    )) as Box<dyn SimTask>
+                    txn_client(&db, &metrics, Box::new(g), governor, format!("htap-oltp{i}"))
                 })
                 .collect();
             // The analytical user runs the four queries sequentially, in
             // order, repeatedly (paper §3).
-            tasks.push(Box::new(QueryStreamTask::new(
-                Rc::clone(&db),
-                Rc::clone(&grants),
-                Rc::clone(&metrics),
-                governor.clone(),
+            tasks.push(query_stream(
+                &db,
+                &grants,
+                &metrics,
+                governor,
                 queries,
                 true,
-                "htap-dss",
-            )));
+                "htap-dss".into(),
+            ));
             tasks.push(Box::new(CheckpointTask::new(Rc::clone(&db))));
+            push_lock_monitor(&mut tasks, &db, governor);
             BuiltWorkload { db, grants, metrics, tasks, sizing }
         }
     }

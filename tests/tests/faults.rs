@@ -1,0 +1,95 @@
+//! Fault-injection integration tests: determinism of fault schedules and
+//! graceful degradation of faulted runs (the acceptance criteria of the
+//! resilience characterization work).
+
+use dbsens_core::experiment::Experiment;
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_core::runner::{RunClass, Runner};
+use dbsens_hwsim::faults::{FaultPlan, FaultSpec};
+use dbsens_hwsim::time::SimDuration;
+use dbsens_workloads::driver::WorkloadSpec;
+use dbsens_workloads::scale::ScaleCfg;
+
+/// The `ssd-brownout` profile shipped by the bench crate, reconstructed
+/// here so the tests crate stays independent of `dbsens-bench`.
+fn brownout() -> FaultSpec {
+    FaultSpec::none()
+        .with_seed(7)
+        .with_ssd_latency_spikes(2, 500)
+        .with_ssd_errors(2, 0.05)
+        .with_ssd_throttle(1, 0.25)
+}
+
+fn tpce(knobs: ResourceKnobs) -> Experiment {
+    Experiment {
+        workload: WorkloadSpec::TpcE { sf: 300.0, users: 16 },
+        knobs,
+        scale: ScaleCfg::test(),
+    }
+}
+
+#[test]
+fn same_seed_gives_bit_identical_schedules_and_metrics() {
+    let run = SimDuration::from_secs(6);
+    assert_eq!(FaultPlan::generate(&brownout(), run), FaultPlan::generate(&brownout(), run));
+
+    let knobs = ResourceKnobs::paper_full().with_run_secs(6).with_faults(brownout());
+    let a = tpce(knobs.clone()).run();
+    let b = tpce(knobs).run();
+    // Bit-identical everything: throughput, latencies, counters, and the
+    // realized fault log.
+    assert_eq!(a, b);
+    assert!(!a.fault_events.is_empty(), "windows should have opened");
+}
+
+#[test]
+fn ssd_brownout_degrades_gracefully_not_fatally() {
+    let knobs = ResourceKnobs::paper_full().with_run_secs(6).with_faults(brownout());
+    let outcome = Runner::new().threads(1).run(vec![tpce(knobs)]).into_iter().next().unwrap();
+    assert_eq!(RunClass::of(&outcome), RunClass::Degraded);
+    let r = outcome.expect("brownout must degrade, not fail");
+    assert!(r.retries > 0, "expected recovery retries, got {}", r.retries);
+    assert!(r.tps > 0.0, "engine kept committing through the brownout");
+    assert!(!r.fault_events.is_empty());
+}
+
+#[test]
+fn faulted_run_loses_throughput_but_survives() {
+    let healthy = tpce(ResourceKnobs::paper_full().with_run_secs(6)).run();
+    let harsh = brownout().with_ssd_throttle(2, 0.1).with_ssd_latency_spikes(3, 2_000);
+    let faulted = tpce(ResourceKnobs::paper_full().with_run_secs(6).with_faults(harsh)).run();
+    assert!(faulted.tps > 0.0, "no starvation under faults");
+    assert!(
+        faulted.tps < healthy.tps,
+        "faults should cost throughput: faulted {} vs healthy {}",
+        faulted.tps,
+        healthy.tps
+    );
+}
+
+#[test]
+fn disabled_faults_leave_no_trace_and_stay_deterministic() {
+    let knobs = ResourceKnobs::paper_full().with_run_secs(4);
+    let a = tpce(knobs.clone()).run();
+    let b = tpce(knobs).run();
+    assert_eq!(a, b);
+    assert!(a.fault_events.is_empty());
+    assert_eq!(a.retries, 0);
+    assert_eq!(a.gave_up, 0);
+    assert_eq!(a.deadline_misses, 0);
+    assert_eq!(RunClass::of(&Ok(a)), RunClass::Ok);
+}
+
+#[test]
+fn fault_spec_enables_governor_recovery() {
+    let faulted = ResourceKnobs::paper_full().with_faults(brownout());
+    let g = faulted.governor();
+    assert!(g.fault_recovery);
+    assert_eq!(g.io_retry_attempts, 4);
+    assert_eq!(g.txn_retry_attempts, 5);
+    assert!(!faulted.sim_config().faults.is_empty());
+
+    let healthy = ResourceKnobs::paper_full();
+    assert!(!healthy.governor().fault_recovery);
+    assert!(healthy.sim_config().faults.is_empty());
+}
