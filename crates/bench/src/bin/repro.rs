@@ -2,10 +2,12 @@
 //!
 //! ```text
 //! Usage: repro [--profile quick|full] [--quick] [--no-cache]
-//!              [--faults <profile>] <target>...
+//!              [--faults <profile>] [--crash <class>] [--points N]
+//!              [--seed S] <target>...
 //! Targets: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          write_limits ablation all
 //! Fault profiles: ssd-brownout core-loss dram-brownout
+//! Crash classes: oltp olap htap all
 //! ```
 //!
 //! Output goes to stdout; progress goes to stderr; machine-readable
@@ -14,16 +16,20 @@
 //! directory). `--faults <profile>` runs the baseline-vs-faulted
 //! degradation report; with no explicit targets it runs *only* the
 //! report, and an explicit target list adds the figures alongside it.
-//! Unknown flags, profiles, or targets exit with code 2; a failing
-//! experiment is reported per-slot and exits with code 1 after the
-//! remaining targets run (degraded fault runs are expected and do not
-//! fail the process).
+//! `--crash <class>` runs the kill-at-any-point crash-consistency
+//! verifier over that workload class (200 seeded kill points by default,
+//! 25 under `--quick`, override with `--points`); like `--faults`, a bare
+//! `--crash` runs only the durability report. Unknown flags, profiles, or
+//! targets exit with code 2; a failing experiment or durability violation
+//! is reported per-slot and exits with code 1 after the remaining targets
+//! run (degraded fault runs are expected and do not fail the process).
 
 use dbsens_bench::degradation;
 use dbsens_bench::figures;
 use dbsens_bench::profile::{fault_profile, profile_from_name, Profile, FAULT_PROFILES};
 use dbsens_bench::save_json;
 use dbsens_core::cache::ResultCache;
+use dbsens_core::crashverify::{self, ClassReport, CrashClass, CrashVerifyConfig};
 use dbsens_core::progress::StderrReporter;
 use dbsens_core::runner::{ExperimentError, Runner};
 use dbsens_hwsim::faults::FaultSpec;
@@ -55,19 +61,32 @@ struct Cli {
     help: bool,
     /// Fault profile name and spec when `--faults` was given.
     faults: Option<(String, FaultSpec)>,
+    /// Crash-verifier classes when `--crash` was given.
+    crash: Vec<CrashClass>,
+    /// Kill points per class (`--points`); defaults by profile.
+    crash_points: Option<u64>,
+    /// Crash-verifier seed (`--seed`).
+    crash_seed: u64,
+    /// Whether the quick profile was selected (fewer default kill points).
+    quick: bool,
 }
 
 fn usage() -> String {
     format!(
         "Usage: repro [--profile quick|full] [--quick] [--no-cache]\n\
-         \x20            [--faults <profile>] <target>...\n\
+         \x20            [--faults <profile>] [--crash <class>] [--points N]\n\
+         \x20            [--seed S] <target>...\n\
          Targets: {}\n\
          Fault profiles: {}\n\
+         Crash classes: oltp olap htap all\n\
          Cached experiment results live under results/cache/; delete the\n\
          directory to clear them or pass --no-cache to bypass.\n\
          --faults runs the baseline-vs-faulted degradation report; add\n\
          targets to also regenerate figures. Fault schedules are seeded,\n\
-         so the same profile always degrades the same way.",
+         so the same profile always degrades the same way.\n\
+         --crash runs the kill-at-any-point crash-consistency verifier\n\
+         (200 kill points per class, 25 under --quick, or --points N);\n\
+         every point is deterministic in (--seed, point index).",
         TARGETS.join(" "),
         FAULT_PROFILES.join(" ")
     )
@@ -81,6 +100,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut no_cache = false;
     let mut help = false;
     let mut faults = None;
+    let mut crash: Vec<CrashClass> = Vec::new();
+    let mut crash_points = None;
+    let mut crash_seed = 42u64;
+    let mut quick = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -88,8 +111,33 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let name = it.next().ok_or("--profile requires a value (quick|full)")?;
                 profile = profile_from_name(name)
                     .ok_or_else(|| format!("unknown profile '{name}' (expected quick|full)"))?;
+                quick = name == "quick";
             }
-            "--quick" => profile = Profile::quick(),
+            "--quick" => {
+                profile = Profile::quick();
+                quick = true;
+            }
+            "--crash" => {
+                let name = it.next().ok_or("--crash requires a value (oltp|olap|htap|all)")?;
+                if name == "all" {
+                    crash = CrashClass::ALL.to_vec();
+                } else {
+                    crash.push(CrashClass::parse(name).ok_or_else(|| {
+                        format!("unknown crash class '{name}' (expected oltp|olap|htap|all)")
+                    })?);
+                }
+            }
+            "--points" => {
+                let n = it.next().ok_or("--points requires a number")?;
+                crash_points = Some(
+                    n.parse::<u64>().map_err(|_| format!("--points: '{n}' is not a number"))?,
+                );
+            }
+            "--seed" => {
+                let n = it.next().ok_or("--seed requires a number")?;
+                crash_seed =
+                    n.parse::<u64>().map_err(|_| format!("--seed: '{n}' is not a number"))?;
+            }
             "--faults" => {
                 let name = it.next().ok_or_else(|| {
                     format!("--faults requires a value ({})", FAULT_PROFILES.join("|"))
@@ -116,12 +164,13 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
     }
-    // A bare `--faults` run means "just the degradation report"; figure
+    // A bare `--faults` or `--crash` run means "just that report"; figure
     // targets still default to `all` otherwise.
-    if targets.is_empty() && faults.is_none() {
+    if targets.is_empty() && faults.is_none() && crash.is_empty() {
         targets.push("all".into());
     }
-    Ok(Cli { profile, targets, no_cache, help, faults })
+    crash.dedup();
+    Ok(Cli { profile, targets, no_cache, help, faults, crash, crash_points, crash_seed, quick })
 }
 
 fn main() {
@@ -155,6 +204,40 @@ fn main() {
     // 1, but the remaining targets still run.
     let mut failures: Vec<ExperimentError> = Vec::new();
     let mut degradation_failed = false;
+    let mut crash_failed = false;
+
+    if !cli.crash.is_empty() {
+        let points = cli.crash_points.unwrap_or(if cli.quick { 25 } else { 200 });
+        let mut reports: Vec<ClassReport> = Vec::new();
+        for class in &cli.crash {
+            eprintln!(
+                "[repro] crash verifier: {} x{points} kill points (seed {})...",
+                class.name(),
+                cli.crash_seed
+            );
+            let report = crashverify::verify_class(&CrashVerifyConfig {
+                class: *class,
+                points,
+                seed: cli.crash_seed,
+            });
+            eprintln!(
+                "[repro]   {}: {}/{} points passed ({} mid-flush, {} mid-recovery, {} torn)",
+                report.class,
+                report.points.iter().filter(|p| p.passed()).count(),
+                report.points.len(),
+                report.mid_flush_count(),
+                report.mid_recovery_count(),
+                report.torn_count(),
+            );
+            reports.push(report);
+        }
+        save_json("crash_verify", &reports);
+        println!("{}", crashverify::render_report(&reports));
+        if reports.iter().any(|r| !r.passed()) {
+            eprintln!("[repro] crash verifier found durability violations");
+            crash_failed = true;
+        }
+    }
 
     if let Some((name, spec)) = &cli.faults {
         eprintln!("[repro] degradation report: baseline vs '{name}' faults...");
@@ -296,7 +379,7 @@ fn main() {
             eprintln!("[repro]   {e}");
         }
     }
-    if !failures.is_empty() || degradation_failed {
+    if !failures.is_empty() || degradation_failed || crash_failed {
         std::process::exit(1);
     }
 }
@@ -379,5 +462,34 @@ mod tests {
         let cli = parse_args(&args(&["-h"])).unwrap();
         assert!(cli.help);
         assert!(usage().contains("--no-cache"));
+        assert!(usage().contains("--crash"));
+    }
+
+    #[test]
+    fn parses_crash_classes_and_defaults_to_report_only() {
+        let cli = parse_args(&args(&["--crash", "oltp"])).unwrap();
+        assert_eq!(cli.crash, vec![CrashClass::Oltp]);
+        assert!(cli.targets.is_empty(), "bare --crash must run only the durability report");
+        assert_eq!(cli.crash_seed, 42);
+        assert!(cli.crash_points.is_none());
+        let cli = parse_args(&args(&["--crash", "all", "--points", "50", "--seed", "7"])).unwrap();
+        assert_eq!(cli.crash.len(), 3);
+        assert_eq!(cli.crash_points, Some(50));
+        assert_eq!(cli.crash_seed, 7);
+    }
+
+    #[test]
+    fn quick_flag_is_tracked_for_crash_defaults() {
+        assert!(!parse_args(&args(&["--crash", "oltp"])).unwrap().quick);
+        assert!(parse_args(&args(&["--crash", "oltp", "--quick"])).unwrap().quick);
+        assert!(parse_args(&args(&["--profile", "quick", "--crash", "htap"])).unwrap().quick);
+    }
+
+    #[test]
+    fn unknown_crash_class_is_an_error() {
+        let err = parse_args(&args(&["--crash", "olap2"])).unwrap_err();
+        assert!(err.contains("olap2"), "{err}");
+        let err = parse_args(&args(&["--points", "many"])).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
     }
 }

@@ -242,6 +242,9 @@ mod tests {
             gave_up: 0,
             deadline_misses: 0,
             fault_events: Vec::new(),
+            recovered_txns: 0,
+            undone_txns: 0,
+            recovery_secs: 0.0,
         }
     }
 

@@ -25,7 +25,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// v2: `RunResult` gained degradation counters and a fault log;
 /// `ResourceKnobs` gained the fault-injection spec.
-pub const CACHE_SCHEMA_VERSION: u32 = 2;
+///
+/// v3: `RunResult` gained crash-recovery counters (`recovered_txns`,
+/// `undone_txns`, `recovery_secs`); the engine serializes OLTP writers
+/// per logical row under crash-consistency capture.
+pub const CACHE_SCHEMA_VERSION: u32 = 3;
 
 /// Counter making concurrent temp-file names unique within the process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -197,7 +201,33 @@ mod tests {
                 end_ns: 2_000,
                 kind: "ssd-throttle(x0.25)".into(),
             }],
+            recovered_txns: 7,
+            undone_txns: 2,
+            recovery_secs: 0.25,
         }
+    }
+
+    #[test]
+    fn v2_keyed_entries_read_as_misses() {
+        // The schema version is part of the key, so entries written by a
+        // v2 binary live under different names and can never be returned
+        // for a v3 lookup — simulate one and prove the lookup misses.
+        let w = WorkloadSpec::TpcE { sf: 300.0, users: 16 };
+        let k = ResourceKnobs::paper_full();
+        let s = ScaleCfg::test();
+        let v2_payload =
+            serde_json::to_string(&(2u32, &w, &k, &s)).unwrap();
+        let a = fnv1a64(v2_payload.as_bytes(), 0xcbf2_9ce4_8422_2325);
+        let b = fnv1a64(v2_payload.as_bytes(), 0x6c62_272e_07bb_0142);
+        let v2_key = format!("{a:016x}{b:016x}");
+        let v3_key = ResultCache::key(&w, &k, &s);
+        assert_ne!(v2_key, v3_key, "schema bump must rename every entry");
+
+        let cache = ResultCache::new(scratch_dir("v2miss"));
+        cache.put(&v2_key, &sample_result());
+        assert!(cache.get(&v3_key).is_none(), "v2 entry must not satisfy a v3 lookup");
+        assert_eq!(cache.get(&v2_key), Some(sample_result()), "v2 entry untouched on disk");
+        let _ = cache.clear();
     }
 
     #[test]

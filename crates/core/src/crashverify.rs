@@ -1,0 +1,557 @@
+//! Kill-at-any-point crash-consistency verifier.
+//!
+//! For each seeded kill point the verifier builds a workload with
+//! crash-consistency capture enabled, halts the simulator kernel at a
+//! chosen event ([`CrashPoint`]), renders the surviving disk state (durable
+//! WAL prefix plus a seeded torn tail of the in-flight flush), runs
+//! ARIES-lite [`recover`], and checks the recovered database against a
+//! committed-transactions-only oracle replay:
+//!
+//! * every committed transaction's effects are present;
+//! * no in-flight (loser) or aborted transaction left any effect;
+//! * every B-tree index satisfies its structural invariants and agrees
+//!   with the heap; columnstores agree with the heap;
+//! * the recovered WAL's checksum chain is intact end to end;
+//! * recovery leaves no open transactions.
+//!
+//! Every third point also kills recovery itself partway through the undo
+//! pass (a bounded undo budget) and restarts it, verifying that recovery
+//! is idempotent. Point outcomes are deterministic in `(seed, point)`.
+
+use crate::knobs::ResourceKnobs;
+use dbsens_engine::db::{Database, TableId};
+use dbsens_engine::recovery::{recover, CrashImage};
+use dbsens_engine::Governor;
+use dbsens_hwsim::kernel::{CrashPoint, Kernel};
+use dbsens_hwsim::rng::SimRng;
+use dbsens_hwsim::ssd::torn_sector_prefix;
+use dbsens_hwsim::time::SimTime;
+use dbsens_storage::btree::RowId;
+use dbsens_storage::wal::{scan_log, WalRecord};
+use dbsens_workloads::driver::{build_workload, WorkloadSpec};
+use dbsens_workloads::scale::ScaleCfg;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Workload classes the verifier covers (paper §3 categories).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CrashClass {
+    /// Transactional: ASDB clients (inserts/updates/deletes under 2PL).
+    Oltp,
+    /// Analytical: TPC-H streams (read-only; recovery must be a no-op).
+    Olap,
+    /// Mixed: TPC-E users plus an analytical stream over columnstores.
+    Htap,
+}
+
+impl CrashClass {
+    /// All classes, in report order.
+    pub const ALL: [CrashClass; 3] = [CrashClass::Oltp, CrashClass::Olap, CrashClass::Htap];
+
+    /// Class name as used on the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CrashClass::Oltp => "oltp",
+            CrashClass::Olap => "olap",
+            CrashClass::Htap => "htap",
+        }
+    }
+
+    /// Parses a CLI class name.
+    pub fn parse(s: &str) -> Option<CrashClass> {
+        CrashClass::ALL.iter().copied().find(|c| c.name() == s)
+    }
+
+    fn salt(&self) -> u64 {
+        match self {
+            CrashClass::Oltp => 0xC7A5_0001,
+            CrashClass::Olap => 0xC7A5_0002,
+            CrashClass::Htap => 0xC7A5_0003,
+        }
+    }
+
+    /// A deliberately small workload: each kill point rebuilds and reruns
+    /// it from scratch, so hundreds of points must stay cheap.
+    fn spec(&self) -> WorkloadSpec {
+        match self {
+            CrashClass::Oltp => WorkloadSpec::Asdb { sf: 50.0, clients: 8 },
+            CrashClass::Olap => WorkloadSpec::TpchThroughput { sf: 1.0, streams: 2 },
+            CrashClass::Htap => WorkloadSpec::Htap { sf: 200.0, users: 6 },
+        }
+    }
+
+    /// Virtual seconds per run — long enough to cross at least one fuzzy
+    /// checkpoint (the engine checkpoints every 5 virtual seconds).
+    fn run_secs(&self) -> u64 {
+        match self {
+            CrashClass::Oltp => 8,
+            CrashClass::Olap => 6,
+            CrashClass::Htap => 7,
+        }
+    }
+}
+
+/// Verifier configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrashVerifyConfig {
+    /// Workload class to kill.
+    pub class: CrashClass,
+    /// Number of seeded kill points.
+    pub points: u64,
+    /// Master seed; outcomes are deterministic in `(seed, point index)`.
+    pub seed: u64,
+}
+
+/// Outcome of one kill point.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PointResult {
+    /// Point index.
+    pub point: u64,
+    /// Kernel event index the crash halted at.
+    pub kill_event: u64,
+    /// Whether a WAL flush was in flight at the kill (mid-flush crash).
+    pub mid_flush: bool,
+    /// Whether recovery itself was killed and restarted at this point.
+    pub mid_recovery: bool,
+    /// Whether the surviving log ended in a torn frame.
+    pub torn_tail: bool,
+    /// Committed transactions recovered.
+    pub committed: u64,
+    /// Undo actions performed across all recovery rounds.
+    pub undone: u64,
+    /// Recovery rounds (1 unless recovery was killed mid-undo).
+    pub recovery_rounds: u64,
+    /// Invariant violations (empty = point passed).
+    pub violations: Vec<String>,
+    /// Digest of the recovered state, for determinism checks.
+    pub digest: u64,
+}
+
+impl PointResult {
+    /// Whether every invariant held.
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Verifier report for one workload class.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClassReport {
+    /// Class name.
+    pub class: String,
+    /// Events the healthy probe run dispatched (kill points are drawn
+    /// from `[probe_events/10, probe_events)`).
+    pub probe_events: u64,
+    /// Per-point outcomes.
+    pub points: Vec<PointResult>,
+    /// Whether re-running point 0 reproduced its digest exactly.
+    pub determinism_ok: bool,
+}
+
+impl ClassReport {
+    /// Whether every point passed and determinism held.
+    pub fn passed(&self) -> bool {
+        self.determinism_ok && self.points.iter().all(|p| p.passed())
+    }
+
+    /// Points that failed at least one invariant.
+    pub fn failures(&self) -> impl Iterator<Item = &PointResult> {
+        self.points.iter().filter(|p| !p.passed())
+    }
+
+    /// Points that killed the kernel with a WAL flush in flight.
+    pub fn mid_flush_count(&self) -> usize {
+        self.points.iter().filter(|p| p.mid_flush).count()
+    }
+
+    /// Points that killed recovery itself.
+    pub fn mid_recovery_count(&self) -> usize {
+        self.points.iter().filter(|p| p.mid_recovery).count()
+    }
+
+    /// Points whose surviving log had a torn tail.
+    pub fn torn_count(&self) -> usize {
+        self.points.iter().filter(|p| p.torn_tail).count()
+    }
+
+    /// Committed transactions verified present, summed over points.
+    pub fn committed_total(&self) -> u64 {
+        self.points.iter().map(|p| p.committed).sum()
+    }
+
+    /// Undo actions verified, summed over points.
+    pub fn undone_total(&self) -> u64 {
+        self.points.iter().map(|p| p.undone).sum()
+    }
+}
+
+fn knobs_for(class: CrashClass, seed: u64) -> ResourceKnobs {
+    ResourceKnobs::paper_full()
+        .with_cores(8)
+        .with_maxdop(4)
+        .with_seed(seed)
+        .with_run_secs(class.run_secs())
+}
+
+/// Builds the class workload with capture on and runs it to `crash` (or to
+/// the full duration when `crash` is `None`). Returns the database and the
+/// kernel at the moment of the halt.
+fn run_to_crash(
+    class: CrashClass,
+    seed: u64,
+    crash: Option<CrashPoint>,
+) -> (std::rc::Rc<std::cell::RefCell<Database>>, Kernel) {
+    let knobs = knobs_for(class, seed);
+    let scale = ScaleCfg { seed, ..ScaleCfg::test() };
+    let governor: Governor = knobs.governor();
+    let mut built = build_workload(&class.spec(), &scale, &governor);
+    built.db.borrow_mut().enable_crash_consistency();
+    let mut cfg = knobs.sim_config();
+    cfg.crash = crash;
+    let mut kernel = Kernel::new(cfg);
+    for t in built.tasks.drain(..) {
+        kernel.spawn(t);
+    }
+    kernel.run_until(SimTime::ZERO + knobs.run_duration());
+    (built.db, kernel)
+}
+
+/// Sorted row multiset of a table, as comparable strings.
+fn sorted_rows(t: &dbsens_engine::db::Table) -> Vec<String> {
+    let mut rows: Vec<String> = t.heap.iter().map(|(_, r)| format!("{r:?}")).collect();
+    rows.sort_unstable();
+    rows
+}
+
+fn fnv(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Replays only committed transactions' data records, in LSN order, onto
+/// the pre-run state: the ground truth a recovered database must match.
+fn oracle_replay(base: &Database, wal_image: &[u8]) -> Database {
+    let scan = scan_log(wal_image);
+    let committed: BTreeSet<u64> = scan
+        .records
+        .iter()
+        .filter_map(|(_, r)| match r {
+            WalRecord::Commit { txn } => Some(*txn),
+            _ => None,
+        })
+        .collect();
+    let mut db = base.clone();
+    for (lsn, rec) in &scan.records {
+        match rec {
+            WalRecord::Insert { txn, table, rid, row } if committed.contains(txn) => {
+                assert!(
+                    db.restore_row(TableId(*table as usize), RowId(*rid), row.clone()),
+                    "oracle replay: insert collision at lsn {}",
+                    lsn.0
+                );
+            }
+            WalRecord::Update { txn, table, rid, after, .. } if committed.contains(txn) => {
+                let image = after.clone();
+                assert!(
+                    db.update_row(TableId(*table as usize), RowId(*rid), |r| *r = image),
+                    "oracle replay: update target missing at lsn {}",
+                    lsn.0
+                );
+            }
+            WalRecord::Delete { txn, table, rid, .. } if committed.contains(txn) => {
+                assert!(
+                    db.delete_row(TableId(*table as usize), RowId(*rid)).is_some(),
+                    "oracle replay: delete target missing at lsn {}",
+                    lsn.0
+                );
+            }
+            _ => {}
+        }
+    }
+    db
+}
+
+/// Checks every durability invariant of a recovered database and appends
+/// human-readable violations.
+fn check_invariants(rec: &Database, oracle: &Database, violations: &mut Vec<String>) {
+    for (tid, (t_rec, t_orc)) in rec.tables().iter().zip(oracle.tables().iter()).enumerate() {
+        let got = sorted_rows(t_rec);
+        let want = sorted_rows(t_orc);
+        if got != want {
+            violations.push(format!(
+                "table {tid}: recovered rows diverge from committed-only oracle \
+                 ({} recovered vs {} expected)",
+                got.len(),
+                want.len()
+            ));
+        }
+        for idx in &t_rec.indexes {
+            idx.btree.check_invariants();
+            if idx.btree.len() != t_rec.heap.len() {
+                violations.push(format!(
+                    "table {tid} index {}: {} entries vs {} heap rows",
+                    idx.name,
+                    idx.btree.len(),
+                    t_rec.heap.len()
+                ));
+            }
+            for (rid, row) in t_rec.heap.iter() {
+                let key = idx.key_of(row);
+                if !idx.btree.get(&key).any(|r| r == rid) {
+                    violations.push(format!(
+                        "table {tid} index {}: heap row {} unreachable through the index",
+                        idx.name, rid.0
+                    ));
+                    break;
+                }
+            }
+        }
+        if let Some(cs) = &t_rec.columnstore {
+            if cs.store.total_rows() != t_rec.heap.len() {
+                violations.push(format!(
+                    "table {tid} columnstore: {} rows vs {} heap rows",
+                    cs.store.total_rows(),
+                    t_rec.heap.len()
+                ));
+            }
+        }
+    }
+    let chain = scan_log(rec.wal.image());
+    if chain.torn {
+        violations.push("recovered WAL checksum chain is torn".to_string());
+    }
+    if !rec.active_logged_txns().is_empty() {
+        violations.push(format!(
+            "recovery left {} open transactions",
+            rec.active_logged_txns().len()
+        ));
+    }
+}
+
+/// Runs one kill point end to end. Deterministic in `(seed, point)`.
+fn run_point(class: CrashClass, seed: u64, point: u64, kill_event: u64) -> PointResult {
+    let mut rng =
+        SimRng::new(seed ^ class.salt() ^ point.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED);
+    let mid_recovery = point % 3 == 2;
+
+    let (db, kernel) = run_to_crash(class, seed, Some(CrashPoint::AtEvent(kill_event)));
+    let mut violations = Vec::new();
+    if !kernel.halted() {
+        violations.push(format!(
+            "kill event {kill_event} never reached (run dispatched {} events)",
+            kernel.dispatched_events()
+        ));
+    }
+    let mut db_ref = db.borrow_mut();
+    let mid_flush = db_ref.wal.has_inflight_flush();
+    // Peek the pre-run state (snapshot 0) for the oracle before the crash
+    // image takes the snapshots away.
+    let snaps = db_ref.take_snapshots();
+    let initial = snaps[0].1.clone();
+    db_ref.set_snapshots(snaps);
+    let image = CrashImage::extract(&mut db_ref, |sectors| torn_sector_prefix(seed, point, sectors));
+    drop(db_ref);
+    let wal_image = image.wal_image.clone();
+
+    // Recover — for mid-recovery points, in budget-limited rounds with a
+    // fresh crash image between rounds (recovery killed and restarted).
+    let mut rounds = 0u64;
+    let mut undone = 0u64;
+    let mut committed = 0u64;
+    let mut torn_tail = false;
+    let mut img = image;
+    let recovered = loop {
+        let budget =
+            if mid_recovery && rounds < 64 { Some(1 + rng.next_below(3) as usize) } else { None };
+        let (mut d, r) = recover(img, budget);
+        if rounds == 0 {
+            torn_tail = r.torn_tail;
+            committed = r.committed_txns;
+        }
+        rounds += 1;
+        undone += r.undo_records;
+        if r.completed {
+            break d;
+        }
+        img = CrashImage::extract(&mut d, |_| 0);
+    };
+
+    let oracle = oracle_replay(&initial, &wal_image);
+    check_invariants(&recovered, &oracle, &mut violations);
+
+    let mut digest = 0xcbf2_9ce4_8422_2325u64;
+    for t in recovered.tables() {
+        for row in sorted_rows(t) {
+            digest = fnv(digest, row.as_bytes());
+        }
+    }
+    digest = fnv(digest, &committed.to_le_bytes());
+    digest = fnv(digest, &undone.to_le_bytes());
+
+    PointResult {
+        point,
+        kill_event,
+        mid_flush,
+        mid_recovery,
+        torn_tail,
+        committed,
+        undone,
+        recovery_rounds: rounds,
+        violations,
+        digest,
+    }
+}
+
+/// Runs the crash verifier for one workload class.
+///
+/// A healthy probe run first measures how many kernel events the workload
+/// dispatches; kill points are then drawn uniformly (seeded) from the last
+/// 90% of that range so every phase — warm-up, steady state, checkpoints,
+/// group-commit flushes — gets killed.
+pub fn verify_class(cfg: &CrashVerifyConfig) -> ClassReport {
+    let (_, kernel) = run_to_crash(cfg.class, cfg.seed, None);
+    let probe_events = kernel.dispatched_events();
+    assert!(probe_events >= 20, "probe run dispatched only {probe_events} events");
+    let lo = (probe_events / 10).max(1);
+
+    let point_at = |i: u64| {
+        let mut rng = SimRng::new(cfg.seed ^ cfg.class.salt() ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        lo + rng.next_below(probe_events - lo)
+    };
+    let run_guarded = |i: u64, kill: u64| {
+        catch_unwind(AssertUnwindSafe(|| run_point(cfg.class, cfg.seed, i, kill))).unwrap_or_else(
+            |panic| {
+                let msg = panic
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| panic.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "opaque panic".to_string());
+                PointResult {
+                    point: i,
+                    kill_event: kill,
+                    mid_flush: false,
+                    mid_recovery: i % 3 == 2,
+                    torn_tail: false,
+                    committed: 0,
+                    undone: 0,
+                    recovery_rounds: 0,
+                    violations: vec![format!("panic: {msg}")],
+                    digest: 0,
+                }
+            },
+        )
+    };
+
+    let points: Vec<PointResult> =
+        (0..cfg.points).map(|i| run_guarded(i, point_at(i))).collect();
+    let determinism_ok = match points.first() {
+        Some(first) => {
+            let again = run_guarded(0, point_at(0));
+            again.digest == first.digest && again.violations == first.violations
+        }
+        None => true,
+    };
+
+    ClassReport {
+        class: cfg.class.name().to_string(),
+        probe_events,
+        points,
+        determinism_ok,
+    }
+}
+
+/// Renders a pass/fail durability report over one or more classes.
+pub fn render_report(reports: &[ClassReport]) -> String {
+    let mut out = String::new();
+    out.push_str("Crash-consistency verification\n");
+    out.push_str("==============================\n");
+    out.push_str(
+        "class  points  pass  mid-flush  mid-recovery  torn  committed  undone  deterministic\n",
+    );
+    for r in reports {
+        let pass = r.points.iter().filter(|p| p.passed()).count();
+        out.push_str(&format!(
+            "{:<6} {:>6}  {:>4}  {:>9}  {:>12}  {:>4}  {:>9}  {:>6}  {}\n",
+            r.class,
+            r.points.len(),
+            pass,
+            r.mid_flush_count(),
+            r.mid_recovery_count(),
+            r.torn_count(),
+            r.committed_total(),
+            r.undone_total(),
+            if r.determinism_ok { "yes" } else { "NO" },
+        ));
+        for p in r.failures() {
+            out.push_str(&format!("  FAIL point {} (event {}):\n", p.point, p.kill_event));
+            for v in &p.violations {
+                out.push_str(&format!("    - {v}\n"));
+            }
+        }
+    }
+    let all_pass = reports.iter().all(|r| r.passed());
+    out.push_str(if all_pass {
+        "result: PASS — every kill point recovered to a consistent state\n"
+    } else {
+        "result: FAIL — durability violations found\n"
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn verify(class: CrashClass, points: u64) -> ClassReport {
+        verify_class(&CrashVerifyConfig { class, points, seed: 42 })
+    }
+
+    #[test]
+    fn oltp_kill_points_recover_consistently() {
+        let r = verify(CrashClass::Oltp, 4);
+        assert!(r.passed(), "{}", render_report(&[r]));
+        assert!(r.committed_total() > 0, "kills too early: no committed txns verified");
+        assert!(r.mid_recovery_count() > 0);
+    }
+
+    #[test]
+    fn olap_kill_points_recover_consistently() {
+        let r = verify(CrashClass::Olap, 3);
+        assert!(r.passed(), "{}", render_report(&[r]));
+    }
+
+    #[test]
+    fn htap_kill_points_recover_consistently() {
+        let r = verify(CrashClass::Htap, 3);
+        assert!(r.passed(), "{}", render_report(&[r]));
+        assert!(r.committed_total() > 0);
+    }
+
+    #[test]
+    fn points_are_deterministic_in_seed_and_index() {
+        let a = verify(CrashClass::Oltp, 1);
+        let b = verify(CrashClass::Oltp, 1);
+        assert_eq!(a.points[0].digest, b.points[0].digest);
+        assert_eq!(a.points[0].kill_event, b.points[0].kill_event);
+        let c = verify_class(&CrashVerifyConfig { class: CrashClass::Oltp, points: 1, seed: 7 });
+        assert_ne!(
+            (a.points[0].kill_event, a.points[0].digest),
+            (c.points[0].kill_event, c.points[0].digest),
+            "different seeds must pick different kills"
+        );
+    }
+
+    #[test]
+    #[test]
+    fn class_parsing_round_trips() {
+        for c in CrashClass::ALL {
+            assert_eq!(CrashClass::parse(c.name()), Some(c));
+        }
+        assert_eq!(CrashClass::parse("htab"), None);
+    }
+}

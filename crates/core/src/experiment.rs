@@ -69,6 +69,16 @@ pub struct RunResult {
     /// Fault windows that actually opened during the run.
     #[serde(default)]
     pub fault_events: Vec<FaultLogEntry>,
+    /// Committed transactions re-validated by crash recovery; nonzero
+    /// only for crash-consistency experiments.
+    #[serde(default)]
+    pub recovered_txns: u64,
+    /// Loser-transaction operations undone by crash recovery.
+    #[serde(default)]
+    pub undone_txns: u64,
+    /// Modeled wall-clock seconds spent in crash recovery.
+    #[serde(default)]
+    pub recovery_secs: f64,
 }
 
 impl RunResult {
@@ -182,6 +192,9 @@ impl Experiment {
             gave_up: metrics.gave_up(),
             deadline_misses: metrics.deadline_misses(),
             fault_events: kernel.fault_log().to_vec(),
+            recovered_txns: 0,
+            undone_txns: 0,
+            recovery_secs: 0.0,
         }
     }
 }

@@ -184,6 +184,7 @@ impl ResourceKnobs {
             },
             sample_interval: SimDuration::from_secs(1),
             faults: FaultPlan::generate(&self.faults, self.run_duration()),
+            crash: None,
         }
     }
 

@@ -52,6 +52,7 @@
 pub mod analysis;
 pub mod cache;
 pub mod colocate;
+pub mod crashverify;
 pub mod experiment;
 pub mod knobs;
 pub mod pitfalls;
@@ -63,6 +64,7 @@ pub mod sweep;
 
 pub use cache::ResultCache;
 pub use colocate::{Colocation, ColocationResult};
+pub use crashverify::{verify_class, ClassReport, CrashClass, CrashVerifyConfig};
 pub use experiment::{Experiment, RunResult};
 pub use knobs::ResourceKnobs;
 pub use pitfalls::Warning;

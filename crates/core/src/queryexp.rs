@@ -91,16 +91,20 @@ impl TpchHarness {
             logical
         };
 
-        // Capture the plan for Figure 7 before running.
-        let (plan_text, plan_shape, dop, grant, desired) = {
+        // Capture the plan (Figure 7) and its spill volume before running;
+        // execution is deterministic, so this dry run reports exactly what
+        // the kernel replay below will spill.
+        let (plan_text, plan_shape, dop, grant, desired, spilled) = {
             let db = self.db.borrow();
             let plan = optimize(&db, &logical, &governor.plan_context(&db));
+            let dry = dbsens_engine::exec::execute(&db, &plan);
             (
                 plan.to_string(),
                 plan.shape(),
                 plan.dop,
                 plan.memory_grant,
                 plan.desired_memory,
+                dry.spilled_bytes,
             )
         };
 
@@ -128,7 +132,7 @@ impl TpchHarness {
             dop,
             grant_mb: grant as f64 / (1 << 20) as f64,
             desired_mb: desired as f64 / (1 << 20) as f64,
-            spilled_mb: 0.0, // filled below when the executor reports it
+            spilled_mb: spilled as f64 / (1 << 20) as f64,
             plan_text,
             plan_shape,
         }

@@ -180,6 +180,7 @@ pub struct Runner {
     cache: Option<ResultCache>,
     sink: Arc<dyn ProgressSink>,
     retry: RetryPolicy,
+    deadline: Option<Duration>,
 }
 
 impl Default for Runner {
@@ -189,9 +190,16 @@ impl Default for Runner {
 }
 
 impl Runner {
-    /// A single-threaded runner with no cache and no progress output.
+    /// A single-threaded runner with no cache, no progress output, and no
+    /// watchdog deadline.
     pub fn new() -> Self {
-        Runner { threads: 1, cache: None, sink: Arc::new(NullSink), retry: RetryPolicy::default() }
+        Runner {
+            threads: 1,
+            cache: None,
+            sink: Arc::new(NullSink),
+            retry: RetryPolicy::default(),
+            deadline: None,
+        }
     }
 
     /// Uses up to `threads` OS worker threads (clamped to at least 1).
@@ -222,6 +230,24 @@ impl Runner {
     /// their slots as failed.
     pub fn retry(mut self, policy: RetryPolicy) -> Self {
         self.retry = policy;
+        self
+    }
+
+    /// Aborts any experiment slot that runs longer than `limit` of real
+    /// (wall-clock) time, reporting it as [`Failed`](RunClass::Failed)
+    /// with a timeout [`ExperimentError`] instead of hanging the sweep.
+    /// Off by default. Each guarded experiment runs on its own watchdog
+    /// thread; a slot that misses its deadline is abandoned (the thread
+    /// is detached and its eventual result discarded), so the rest of
+    /// the sweep proceeds.
+    pub fn deadline(mut self, limit: Duration) -> Self {
+        self.deadline = Some(limit);
+        self
+    }
+
+    /// Removes the watchdog deadline (the default).
+    pub fn without_deadline(mut self) -> Self {
+        self.deadline = None;
         self
     }
 
@@ -395,7 +421,7 @@ impl Runner {
             knobs: exp.knobs.describe(),
         });
         for _attempt in 0..=self.retry.attempts {
-            match catch_unwind(AssertUnwindSafe(|| exp.run())) {
+            match self.run_guarded(exp) {
                 Ok(result) => {
                     if let (Some(cache), Some(key)) = (&self.cache, &key) {
                         cache.put(key, &result);
@@ -403,11 +429,11 @@ impl Runner {
                     outcome = Ok(result);
                     break;
                 }
-                Err(payload) => {
+                Err(message) => {
                     outcome = Err(ExperimentError {
                         workload: workload.clone(),
                         index,
-                        message: panic_message(payload),
+                        message,
                         knobs: exp.knobs.describe(),
                     });
                 }
@@ -422,6 +448,35 @@ impl Runner {
             wall: start.elapsed(),
         });
         (outcome, false)
+    }
+}
+
+impl Runner {
+    /// Runs one experiment with panic isolation and, when a deadline is
+    /// configured, a wall-clock watchdog. Returns the result or a failure
+    /// message (panic payload or timeout description).
+    fn run_guarded(&self, exp: &Experiment) -> Result<RunResult, String> {
+        let Some(limit) = self.deadline else {
+            return catch_unwind(AssertUnwindSafe(|| exp.run())).map_err(panic_message);
+        };
+        let (tx, rx) = std::sync::mpsc::channel();
+        let exp = exp.clone();
+        std::thread::Builder::new()
+            .name("dbsens-watchdog-slot".into())
+            .spawn(move || {
+                let out = catch_unwind(AssertUnwindSafe(|| exp.run())).map_err(panic_message);
+                // The receiver is gone if the deadline already fired;
+                // dropping the late result is exactly the abandon we want.
+                let _ = tx.send(out);
+            })
+            .map_err(|e| format!("could not spawn watchdog thread: {e}"))?;
+        match rx.recv_timeout(limit) {
+            Ok(out) => out,
+            Err(_) => Err(format!(
+                "experiment exceeded its {:.1}s watchdog deadline and was abandoned",
+                limit.as_secs_f64()
+            )),
+        }
     }
 }
 
@@ -502,6 +557,48 @@ mod tests {
         assert_eq!(r.retries, 0);
         assert_eq!(r.gave_up, 0);
         assert!(r.fault_events.is_empty());
+    }
+
+    #[test]
+    fn watchdog_deadline_fails_a_hung_slot() {
+        // A long virtual run at full scale takes multiple real seconds; a
+        // 30ms deadline must cut it off and classify the slot Failed
+        // while healthy slots in the same sweep are unaffected.
+        let slow = Experiment {
+            workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
+            knobs: quick_knobs().with_run_secs(120).with_cores(4),
+            scale: ScaleCfg::test(),
+        };
+        let runner = Runner::new().deadline(Duration::from_millis(30));
+        let outcomes = runner.run(vec![slow]);
+        let err = outcomes[0].as_ref().expect_err("slow slot should time out");
+        assert!(err.message.contains("watchdog deadline"), "message: {}", err.message);
+        assert_eq!(RunClass::of(&outcomes[0]), RunClass::Failed);
+    }
+
+    #[test]
+    fn generous_deadline_and_default_leave_results_identical() {
+        let plain = Runner::new().run(vec![experiment(4)]);
+        let guarded =
+            Runner::new().deadline(Duration::from_secs(300)).run(vec![experiment(4)]);
+        assert_eq!(
+            plain[0].as_ref().expect("plain slot ok"),
+            guarded[0].as_ref().expect("guarded slot ok"),
+            "watchdog must not perturb results"
+        );
+        let relaxed = Runner::new()
+            .deadline(Duration::from_millis(1))
+            .without_deadline()
+            .run(vec![experiment(4)]);
+        assert!(relaxed[0].is_ok(), "without_deadline must disarm the watchdog");
+    }
+
+    #[test]
+    fn watchdog_still_isolates_panics() {
+        let runner = Runner::new().deadline(Duration::from_secs(300));
+        let outcomes = runner.run(vec![poisoned_experiment()]);
+        let err = outcomes[0].as_ref().expect_err("slot should fail");
+        assert!(err.message.contains("LLC"), "message: {}", err.message);
     }
 
     #[test]

@@ -13,15 +13,16 @@ use dbsens_storage::heap::HeapTable;
 use dbsens_storage::lock::{LatchTable, LockManager};
 use dbsens_storage::physical::{ColumnstoreLayout, IndexLayout, ModelSpace, TableLayout};
 use dbsens_storage::schema::Schema;
+use dbsens_storage::lock::TxnId;
 use dbsens_storage::value::{Key, Row};
-use dbsens_storage::wal::Wal;
+use dbsens_storage::wal::{ClrAction, Lsn, Wal, WalRecord};
 
 /// Identifier of a table within a database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TableId(pub usize);
 
 /// A secondary B-tree index.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Index {
     /// Index name.
     pub name: String,
@@ -41,7 +42,7 @@ impl Index {
 }
 
 /// A columnstore index over a table.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct ColumnStoreIndex {
     /// The logical store.
     pub store: ColumnStore,
@@ -50,7 +51,7 @@ pub struct ColumnStoreIndex {
 }
 
 /// A table: logical heap plus paper-scale layout and secondary structures.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Table id (used in lock keys).
     pub id: u32,
@@ -89,6 +90,38 @@ impl Table {
     }
 }
 
+/// One undoable operation on a transaction's in-memory undo chain (the
+/// active-transaction table keeps these so rollback and the recovery undo
+/// pass can reverse losers without re-reading the log).
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// An insert; undone by removing the row.
+    Insert {
+        /// Table the row went into.
+        table: TableId,
+        /// Row id the insert produced.
+        rid: RowId,
+    },
+    /// An update; undone by restoring the before image.
+    Update {
+        /// Table of the row.
+        table: TableId,
+        /// Row id.
+        rid: RowId,
+        /// Row image before the update.
+        before: Row,
+    },
+    /// A delete; undone by reinserting the row at its original id.
+    Delete {
+        /// Table the row came from.
+        table: TableId,
+        /// Row id it occupied.
+        rid: RowId,
+        /// The deleted row.
+        row: Row,
+    },
+}
+
 /// The database: catalog plus shared storage services.
 ///
 /// # Examples
@@ -107,7 +140,7 @@ impl Table {
 /// // Paper-scale footprint: 100 logical rows model 100k rows.
 /// assert_eq!(db.table(t).layout.modeled_rows(), 100_000);
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Database {
     /// Modeled rows per logical row (uniform across tables so intermediate
     /// cardinalities scale consistently).
@@ -135,6 +168,18 @@ pub struct Database {
     /// Transactions the lock monitor has chosen as deadlock victims; their
     /// owning task must abort instead of continuing.
     victim_txns: std::collections::HashSet<dbsens_storage::lock::TxnId>,
+    /// Active-transaction table (crash-consistency mode only): per live
+    /// transaction, the LSN-stamped undo chain of its data operations.
+    att: std::collections::BTreeMap<TxnId, Vec<(Lsn, UndoOp)>>,
+    /// Dirty page table (crash-consistency mode only): modeled page →
+    /// recLSN, the LSN that first dirtied it since its last write-back.
+    dirty_page_lsns: std::collections::BTreeMap<u64, u64>,
+    /// Checkpoint snapshots (crash-consistency mode only): the database
+    /// state at each checkpoint record, keyed by that record's LSN. Index 0
+    /// is the initial state (LSN 0). Snapshots model the on-disk pages a
+    /// durable checkpoint guarantees; recovery redoes forward from the
+    /// newest snapshot whose checkpoint record survives in the durable log.
+    snapshots: Vec<(u64, Box<Database>)>,
 }
 
 impl Database {
@@ -159,7 +204,34 @@ impl Database {
             batch_region,
             stalled_txns: std::collections::HashSet::new(),
             victim_txns: std::collections::HashSet::new(),
+            att: std::collections::BTreeMap::new(),
+            dirty_page_lsns: std::collections::BTreeMap::new(),
+            snapshots: Vec::new(),
         }
+    }
+
+    /// Turns on crash-consistency mode: the WAL captures typed logical
+    /// records, DML goes through the `*_logged` variants, checkpoints become
+    /// fuzzy ARIES checkpoints, and the initial state is snapshotted as the
+    /// recovery base. Must be called before any logged work.
+    pub fn enable_crash_consistency(&mut self) {
+        self.wal.enable_capture();
+        if self.snapshots.is_empty() {
+            self.snapshots.push((0, Box::new(self.clone_without_snapshots())));
+        }
+    }
+
+    /// Whether crash-consistency (logical logging) mode is on.
+    pub fn crash_consistency(&self) -> bool {
+        self.wal.capture_enabled()
+    }
+
+    /// A deep copy of the database with the snapshot list left empty
+    /// (snapshot-of-snapshots would compound memory for nothing).
+    fn clone_without_snapshots(&self) -> Database {
+        let mut c = self.clone();
+        c.snapshots = Vec::new();
+        c
     }
 
     /// Marks `txn` as stalled in fault recovery (e.g. retrying a failed
@@ -237,9 +309,16 @@ impl Database {
         }
     }
 
-    /// Records a modeled page as dirtied since the last checkpoint.
+    /// Records a modeled page as dirtied since the last checkpoint. In
+    /// crash-consistency mode the page also enters the dirty page table
+    /// with the next LSN as its recLSN (the first record that could have
+    /// dirtied it is the one about to be written).
     pub fn mark_dirty(&mut self, page: u64) {
         self.dirty_pages.insert(page);
+        if self.crash_consistency() {
+            let rec_lsn = self.wal.next_lsn().0;
+            self.dirty_page_lsns.entry(page).or_insert(rec_lsn);
+        }
     }
 
     /// Takes the set of distinct dirty pages for the checkpoint writer.
@@ -355,8 +434,12 @@ impl Database {
     /// Deletes a row, maintaining all indexes and the columnstore.
     /// Returns the old row if it existed.
     pub fn delete_row(&mut self, table: TableId, rid: RowId) -> Option<Row> {
+        let capture = self.crash_consistency();
         let t = &mut self.tables[table.0];
-        let row = t.heap.delete(rid)?;
+        // In crash-consistency mode the slot stays reserved (ghost record):
+        // an undo must be able to reinsert the row at its original id, so
+        // the id must not be reused by a concurrent insert.
+        let row = if capture { t.heap.delete_keep_slot(rid)? } else { t.heap.delete(rid)? };
         for idx in &mut t.indexes {
             let key = Key::from_values(idx.key_cols.iter().map(|&c| row[c].clone()).collect());
             idx.btree.remove(&key, rid);
@@ -412,6 +495,203 @@ impl Database {
         let t = &self.tables[table.0];
         let modeled = (rid.0 as f64 * self.row_scale) as u64;
         modeled.min(t.layout.modeled_rows().saturating_sub(1))
+    }
+
+    // --- crash-consistency mode: logged DML, rollback, checkpoints -------
+
+    /// Logs `Begin` for a transaction (crash-consistency mode).
+    pub fn begin_txn_logged(&mut self, txn: TxnId) {
+        self.wal.append_record(&WalRecord::Begin { txn: txn.0 }, 0);
+        self.att.insert(txn, Vec::new());
+    }
+
+    /// Inserts a row under `txn`, writing an `Insert` record with the full
+    /// row image and threading the undo chain.
+    pub fn insert_row_logged(&mut self, txn: TxnId, table: TableId, row: Row) -> RowId {
+        let rid = self.insert_row(table, row.clone());
+        let bytes = self.cost.log_bytes_per_row;
+        let lsn = self.wal.append_record(
+            &WalRecord::Insert { txn: txn.0, table: table.0 as u32, rid: rid.0, row },
+            bytes,
+        );
+        self.att.entry(txn).or_default().push((lsn, UndoOp::Insert { table, rid }));
+        rid
+    }
+
+    /// Updates a row under `txn`, writing an `Update` record with before
+    /// and after images.
+    pub fn update_row_logged(
+        &mut self,
+        txn: TxnId,
+        table: TableId,
+        rid: RowId,
+        mutate: impl FnOnce(&mut Row),
+    ) -> bool {
+        let Some(before) = self.tables[table.0].heap.get(rid).cloned() else { return false };
+        self.update_row(table, rid, mutate);
+        let after = self.tables[table.0].heap.get(rid).cloned().expect("row vanished");
+        let bytes = self.cost.log_bytes_per_row;
+        let lsn = self.wal.append_record(
+            &WalRecord::Update {
+                txn: txn.0,
+                table: table.0 as u32,
+                rid: rid.0,
+                before: before.clone(),
+                after,
+            },
+            bytes,
+        );
+        self.att.entry(txn).or_default().push((lsn, UndoOp::Update { table, rid, before }));
+        true
+    }
+
+    /// Deletes a row under `txn`, writing a `Delete` record with the old
+    /// row image.
+    pub fn delete_row_logged(&mut self, txn: TxnId, table: TableId, rid: RowId) -> Option<Row> {
+        let row = self.delete_row(table, rid)?;
+        let bytes = self.cost.log_bytes_per_row;
+        let lsn = self.wal.append_record(
+            &WalRecord::Delete { txn: txn.0, table: table.0 as u32, rid: rid.0, row: row.clone() },
+            bytes,
+        );
+        self.att.entry(txn).or_default().push((lsn, UndoOp::Delete { table, rid, row: row.clone() }));
+        Some(row)
+    }
+
+    /// Logs `Commit` and retires the transaction from the ATT. The commit
+    /// is durable once the enclosing group-commit flush completes.
+    pub fn commit_txn_logged(&mut self, txn: TxnId) {
+        self.wal.append_record(&WalRecord::Commit { txn: txn.0 }, 0);
+        self.att.remove(&txn);
+    }
+
+    /// Rolls back a live transaction: reverses its undo chain newest-first,
+    /// writing a CLR per reversed operation, then logs `Abort`. Mirrors the
+    /// recovery undo pass so an abort is indistinguishable from a loser
+    /// undone at restart.
+    pub fn rollback_txn(&mut self, txn: TxnId) {
+        // A transaction past its commit point (Commit record already
+        // logged) is no longer in the ATT and must not be rolled back.
+        let Some(chain) = self.att.remove(&txn) else { return };
+        for (lsn, op) in chain.into_iter().rev() {
+            self.apply_undo(txn.0, lsn.0, &op);
+        }
+        self.wal.append_record(&WalRecord::Abort { txn: txn.0 }, 0);
+    }
+
+    /// Reverses one operation and writes its CLR. Shared by live rollback
+    /// and recovery's undo-losers pass.
+    pub fn apply_undo(&mut self, txn: u64, undo_of: u64, op: &UndoOp) {
+        let bytes = self.cost.log_bytes_per_row;
+        let (table, rid, action) = match op {
+            UndoOp::Insert { table, rid } => {
+                self.delete_row(*table, *rid);
+                (*table, *rid, ClrAction::Remove)
+            }
+            UndoOp::Update { table, rid, before } => {
+                let image = before.clone();
+                self.update_row(*table, *rid, |r| *r = image);
+                (*table, *rid, ClrAction::SetTo { row: before.clone() })
+            }
+            UndoOp::Delete { table, rid, row } => {
+                self.restore_row(*table, *rid, row.clone());
+                (*table, *rid, ClrAction::Reinsert { row: row.clone() })
+            }
+        };
+        self.wal.append_record(
+            &WalRecord::Clr { txn, undo_of, table: table.0 as u32, rid: rid.0, action },
+            bytes,
+        );
+    }
+
+    /// Reinserts a row at a specific id (undo of a delete / redo of a
+    /// reinsert CLR), maintaining indexes and the columnstore.
+    pub fn restore_row(&mut self, table: TableId, rid: RowId, row: Row) -> bool {
+        let t = &mut self.tables[table.0];
+        if !t.heap.insert_at(rid, row.clone()) {
+            return false;
+        }
+        for idx in &mut t.indexes {
+            let key = Key::from_values(idx.key_cols.iter().map(|&c| row[c].clone()).collect());
+            idx.btree.insert(key, rid);
+        }
+        if let Some(cs) = &mut t.columnstore {
+            cs.store.insert(rid, row);
+        }
+        true
+    }
+
+    /// Writes a fuzzy ARIES checkpoint: a `Checkpoint` record carrying the
+    /// ATT and dirty page table, plus a state snapshot keyed by its LSN.
+    /// Dirty pages whose recLSN is already durable are written back (their
+    /// count is returned for the checkpoint writer's I/O demand); pages
+    /// dirtied by not-yet-durable records stay in the DPT — the WAL rule
+    /// forbids flushing them ahead of their log.
+    pub fn log_checkpoint(&mut self) -> u64 {
+        let active_txns: Vec<u64> = self.att.keys().map(|t| t.0).collect();
+        let dirty_pages: Vec<(u64, u64)> =
+            self.dirty_page_lsns.iter().map(|(&p, &l)| (p, l)).collect();
+        let lsn = self.wal.append_record(&WalRecord::Checkpoint { active_txns, dirty_pages }, 0);
+        let kept = std::mem::take(&mut self.snapshots);
+        let snap = Box::new(self.clone_without_snapshots());
+        self.snapshots = kept;
+        self.snapshots.push((lsn.0, snap));
+        // Keep the initial snapshot plus the last few checkpoints; older
+        // intermediates can never win the recovery-base search.
+        while self.snapshots.len() > 5 {
+            self.snapshots.remove(1);
+        }
+        let durable = self.wal.durable_lsn().0;
+        let flushable: Vec<u64> = self
+            .dirty_page_lsns
+            .iter()
+            .filter(|&(_, &rec_lsn)| rec_lsn <= durable)
+            .map(|(&p, _)| p)
+            .collect();
+        for p in &flushable {
+            self.dirty_page_lsns.remove(p);
+            self.dirty_pages.remove(p);
+        }
+        flushable.len() as u64
+    }
+
+    /// Live transactions in the ATT (crash-consistency mode).
+    pub fn active_logged_txns(&self) -> Vec<TxnId> {
+        self.att.keys().copied().collect()
+    }
+
+    /// Takes the checkpoint snapshots out of the database (used when
+    /// rendering a crash image — the snapshots model already-persisted
+    /// pages, so they survive the crash alongside the durable log).
+    pub fn take_snapshots(&mut self) -> Vec<(u64, Box<Database>)> {
+        std::mem::take(&mut self.snapshots)
+    }
+
+    /// Reinstalls checkpoint snapshots (recovery hands them back so the
+    /// recovered database can crash and recover again).
+    pub fn set_snapshots(&mut self, snapshots: Vec<(u64, Box<Database>)>) {
+        self.snapshots = snapshots;
+    }
+
+    /// Resets all volatile transactional state after a crash: locks,
+    /// latches, stall/victim bookkeeping, the ATT, and the dirty page
+    /// table. Recovery rebuilds what the log says; nothing volatile
+    /// survives a power loss.
+    pub fn clear_recovery_state(&mut self) {
+        self.locks = LockManager::new();
+        self.latches = LatchTable::new();
+        self.stalled_txns.clear();
+        self.victim_txns.clear();
+        self.att.clear();
+        self.dirty_pages.clear();
+        self.dirty_page_lsns.clear();
+    }
+
+    /// Closes a fully-undone loser with an `Abort` record (recovery's
+    /// counterpart of the tail of [`Database::rollback_txn`]).
+    pub fn finish_abort(&mut self, txn: u64) {
+        self.att.remove(&TxnId(txn));
+        self.wal.append_record(&WalRecord::Abort { txn }, 0);
     }
 }
 

@@ -259,6 +259,31 @@ impl<'a> Executor<'a> {
         }
     }
 
+    /// Emits spill I/O split into per-worker granules. Every worker of the
+    /// stage owns a share of the tempdb traffic and blocks on it, so an
+    /// insufficient grant puts the spill on the stage's critical path —
+    /// emitted whole, it lands on a single worker and hides behind the
+    /// others' compute, making queries grant-insensitive (Figure 8).
+    fn emit_spill(&mut self, bytes: u64, write: bool) {
+        if bytes == 0 {
+            return;
+        }
+        let chunks = (bytes / (8 << 20)).clamp(self.dop as u64, 256) as usize;
+        let per = bytes / chunks as u64;
+        let rem = bytes - per * chunks as u64;
+        for i in 0..chunks {
+            let b = per + if i == 0 { rem } else { 0 };
+            if b == 0 {
+                continue;
+            }
+            self.tb.emit(if write {
+                TraceItem::SpillWrite { bytes: b }
+            } else {
+                TraceItem::SpillRead { bytes: b }
+            });
+        }
+    }
+
     /// Emits the page runs of a sequential scan, chunked.
     /// Emits a scan's page runs interleaved with its compute chunks, so a
     /// replaying worker overlaps read-ahead I/O with processing (the
@@ -523,7 +548,10 @@ impl<'a> Executor<'a> {
         );
         self.emit_compute(build_modeled * self.db.cost.hash_build_row as f64, mem);
         if spill > 0 {
-            self.tb.emit(TraceItem::SpillWrite { bytes: spill });
+            // Partitions that overflow the grant are written out before
+            // probing can start (grace-join pass 1 ends at a barrier).
+            self.tb.new_stage();
+            self.emit_spill(spill, true);
         }
 
         // Probe pipeline.
@@ -535,8 +563,17 @@ impl<'a> Executor<'a> {
             // then read both back.
             let probe_bytes = (probe_modeled * width as f64 * 0.5) as u64;
             let probe_spill = (probe_bytes as f64 * (spill as f64 / ht_bytes.max(1) as f64)) as u64;
-            self.tb.emit(TraceItem::SpillWrite { bytes: probe_spill });
-            self.tb.emit(TraceItem::SpillRead { bytes: spill + probe_spill });
+            self.emit_spill(probe_spill, true);
+            // Pass 2: spilled build/probe partition pairs come back from
+            // tempdb and are re-built and probed only after the in-memory
+            // pass finishes — the round trip cannot overlap pass 1, which
+            // is what makes grant starvation hurt (Figure 8).
+            self.tb.new_stage();
+            self.emit_spill(spill + probe_spill, false);
+            let spilled_rows = build_modeled * (spill as f64 / ht_bytes.max(1) as f64);
+            let mut mem = MemProfile::new();
+            mem.random(ht_region, spill.max(4096), spilled_rows as u64);
+            self.emit_compute(spilled_rows * self.db.cost.hash_build_row as f64, mem);
             self.spilled += probe_spill;
         }
         let mut mem = MemProfile::new();
@@ -718,8 +755,13 @@ impl<'a> Executor<'a> {
             mem,
         );
         if spill > 0 {
-            self.tb.emit(TraceItem::SpillWrite { bytes: spill });
-            self.tb.emit(TraceItem::SpillRead { bytes: spill });
+            // Overflowed groups round-trip through tempdb and are merged
+            // back in a second pass after the in-memory aggregation.
+            self.emit_spill(spill, true);
+            self.tb.new_stage();
+            self.emit_spill(spill, false);
+            let spilled_groups = groups_modeled * (spill as f64 / ht_bytes.max(1) as f64);
+            self.emit_compute(spilled_groups * self.db.cost.agg_row as f64, MemProfile::new());
         }
 
         groups
@@ -760,9 +802,13 @@ impl<'a> Executor<'a> {
         mem.random(region, sort_bytes.max(4096), modeled as u64);
         self.emit_compute(modeled * modeled.log2() * self.db.cost.sort_row_log as f64, mem);
         if spill > 0 {
-            // External merge sort: spilled runs written and merged back.
-            self.tb.emit(TraceItem::SpillWrite { bytes: spill });
-            self.tb.emit(TraceItem::SpillRead { bytes: spill });
+            // External merge sort: spilled runs are written out, then read
+            // back and merged in a pass that follows run generation.
+            self.emit_spill(spill, true);
+            self.tb.new_stage();
+            self.emit_spill(spill, false);
+            let spilled_rows = modeled * (spill as f64 / sort_bytes.max(1) as f64);
+            self.emit_compute(spilled_rows * self.db.cost.sort_row_log as f64, MemProfile::new());
         }
         rows.sort_by(|a, b| {
             for &(c, desc) in keys {

@@ -44,10 +44,12 @@ pub mod metrics;
 pub mod optimizer;
 pub mod physplan;
 pub mod plan;
+pub mod recovery;
 pub mod tasks;
 pub mod txn;
 
 pub use db::{Database, TableId};
+pub use recovery::{recover, CrashImage, RecoveryReport};
 pub use exec::{execute, QueryExecution};
 pub use expr::{CmpOp, Expr};
 pub use governor::Governor;

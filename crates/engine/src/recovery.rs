@@ -1,0 +1,466 @@
+//! ARIES-lite crash recovery.
+//!
+//! After a simulated power loss, what survives is a [`CrashImage`]: the
+//! durable prefix of the WAL (possibly with a torn tail) plus the state
+//! snapshots that durable checkpoints persisted. [`recover`] rebuilds a
+//! consistent database from it in the classic three passes:
+//!
+//! 1. **Analysis** — scan the durable log, classify every transaction as
+//!    committed, aborted, or a *loser* (in flight at the crash), and collect
+//!    the set of operations already compensated by durable CLRs.
+//! 2. **Redo** — restart from the newest snapshot whose checkpoint record is
+//!    durable (or the initial state) and repeat history: every logged
+//!    operation after that point is re-applied, winners and losers alike,
+//!    CLRs included.
+//! 3. **Undo** — walk losers' uncompensated operations in descending LSN
+//!    order, reversing each and writing a CLR, then close each loser with an
+//!    `Abort` record. CLRs are forced to the log synchronously, so a crash
+//!    *during* recovery leaves a log from which the next recovery continues
+//!    exactly where this one stopped — recovery is idempotent.
+//!
+//! The undo pass accepts an optional budget of actions so the crash verifier
+//! can kill recovery itself partway through and restart it.
+
+use crate::db::{Database, TableId, UndoOp};
+use dbsens_storage::btree::RowId;
+use dbsens_storage::wal::{scan_log, ClrAction, Wal, WalRecord};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// What survives a crash: the durable WAL image (after torn-tail rendering)
+/// and the checkpoint snapshots, which model pages already written back.
+#[derive(Debug)]
+pub struct CrashImage {
+    /// Checkpoint snapshots by checkpoint-record LSN; index 0 is the
+    /// initial state at LSN 0.
+    pub snapshots: Vec<(u64, Box<Database>)>,
+    /// The surviving log bytes.
+    pub wal_image: Vec<u8>,
+}
+
+impl CrashImage {
+    /// Renders the crash image of a halted database: every durable log
+    /// byte, a torn tail of the oldest in-flight flush chosen by
+    /// `keep_sectors`, and the checkpoint snapshots.
+    pub fn extract(db: &mut Database, keep_sectors: impl FnOnce(u64) -> u64) -> CrashImage {
+        CrashImage { snapshots: db.take_snapshots(), wal_image: db.wal.crash_image(keep_sectors) }
+    }
+}
+
+/// What recovery did, for durability reports and modeled recovery time.
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Committed transactions whose effects the log guarantees.
+    pub committed_txns: u64,
+    /// Loser transactions rolled back by the undo pass.
+    pub losers_undone: u64,
+    /// Log records re-applied by the redo pass.
+    pub redo_records: u64,
+    /// Operations reversed (CLRs written) by the undo pass.
+    pub undo_records: u64,
+    /// LSN of the checkpoint the redo pass started from (0 = initial state).
+    pub checkpoint_lsn: u64,
+    /// Durable log bytes scanned.
+    pub log_bytes: u64,
+    /// Whether the log ended in a torn or corrupt frame (expected when the
+    /// crash cut a flush mid-write; the chain checksum truncates it).
+    pub torn_tail: bool,
+    /// `false` if the undo budget ran out (a mid-recovery crash): the
+    /// returned database needs another [`recover`] round.
+    pub completed: bool,
+}
+
+impl RecoveryReport {
+    /// Modeled wall-clock recovery time: one sequential log read plus
+    /// per-record replay work.
+    pub fn modeled_secs(&self, read_mbps: f64) -> f64 {
+        let scan = self.log_bytes as f64 / (read_mbps.max(1.0) * 1e6);
+        let replay = (self.redo_records + self.undo_records) as f64 * 2e-6;
+        scan + replay
+    }
+}
+
+/// The per-operation redo/undo images recoverable from a data record.
+fn undo_op_of(rec: &WalRecord) -> Option<(u64, UndoOp)> {
+    match rec {
+        WalRecord::Insert { txn, table, rid, .. } => {
+            Some((*txn, UndoOp::Insert { table: TableId(*table as usize), rid: RowId(*rid) }))
+        }
+        WalRecord::Update { txn, table, rid, before, .. } => Some((
+            *txn,
+            UndoOp::Update {
+                table: TableId(*table as usize),
+                rid: RowId(*rid),
+                before: before.clone(),
+            },
+        )),
+        WalRecord::Delete { txn, table, rid, row } => Some((
+            *txn,
+            UndoOp::Delete { table: TableId(*table as usize), rid: RowId(*rid), row: row.clone() },
+        )),
+        _ => None,
+    }
+}
+
+/// Recovers a database from a crash image.
+///
+/// `undo_budget` bounds how many undo actions this round may perform
+/// (`None` = unbounded). When the budget runs out the report's `completed`
+/// is `false`; extract a fresh [`CrashImage`] from the returned database
+/// and call [`recover`] again to continue — the CLRs written so far are
+/// durable, so no work is repeated.
+///
+/// # Panics
+///
+/// Panics if the image has no snapshots (every capture-mode database starts
+/// with the initial LSN-0 snapshot) or if a redo record contradicts the
+/// snapshot state (both indicate a harness bug, not a simulated failure).
+pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, RecoveryReport) {
+    let scan = scan_log(&image.wal_image);
+    let mut report = RecoveryReport {
+        torn_tail: scan.torn,
+        log_bytes: scan.valid_bytes as u64,
+        completed: true,
+        ..RecoveryReport::default()
+    };
+
+    // --- analysis ---------------------------------------------------------
+    let mut committed: BTreeSet<u64> = BTreeSet::new();
+    let mut aborted: BTreeSet<u64> = BTreeSet::new();
+    let mut seen: BTreeSet<u64> = BTreeSet::new();
+    let mut compensated: BTreeSet<u64> = BTreeSet::new();
+    let mut checkpoint_lsns: BTreeSet<u64> = BTreeSet::new();
+    for (lsn, rec) in &scan.records {
+        if let Some(txn) = rec.txn() {
+            seen.insert(txn);
+        }
+        match rec {
+            WalRecord::Commit { txn } => {
+                committed.insert(*txn);
+            }
+            WalRecord::Abort { txn } => {
+                aborted.insert(*txn);
+            }
+            WalRecord::Clr { undo_of, .. } => {
+                compensated.insert(*undo_of);
+            }
+            WalRecord::Checkpoint { .. } => {
+                checkpoint_lsns.insert(lsn.0);
+            }
+            _ => {}
+        }
+    }
+    report.committed_txns = committed.len() as u64;
+
+    // --- pick the redo base ----------------------------------------------
+    // The newest snapshot whose checkpoint record survived in the durable
+    // log (the initial LSN-0 snapshot always qualifies).
+    let base_idx = image
+        .snapshots
+        .iter()
+        .rposition(|(lsn, _)| *lsn == 0 || checkpoint_lsns.contains(lsn))
+        .expect("crash image holds at least the initial snapshot");
+    report.checkpoint_lsn = image.snapshots[base_idx].0;
+    let mut db = *image.snapshots[base_idx].1.clone();
+    db.wal = Wal::from_image(image.wal_image.clone());
+    db.clear_recovery_state();
+    db.set_snapshots(std::mem::take(&mut image.snapshots));
+
+    // --- redo: repeat history after the checkpoint ------------------------
+    for (lsn, rec) in &scan.records {
+        if lsn.0 <= report.checkpoint_lsn {
+            continue;
+        }
+        let applied = match rec {
+            WalRecord::Insert { table, rid, row, .. } => {
+                let ok = db.restore_row(TableId(*table as usize), RowId(*rid), row.clone());
+                assert!(ok, "redo insert landed on an occupied slot (lsn {})", lsn.0);
+                true
+            }
+            WalRecord::Update { table, rid, after, .. } => {
+                let image = after.clone();
+                let ok = db.update_row(TableId(*table as usize), RowId(*rid), |r| *r = image);
+                assert!(ok, "redo update targets a missing row (lsn {})", lsn.0);
+                true
+            }
+            WalRecord::Delete { table, rid, .. } => {
+                let old = db.delete_row(TableId(*table as usize), RowId(*rid));
+                assert!(old.is_some(), "redo delete targets a missing row (lsn {})", lsn.0);
+                true
+            }
+            WalRecord::Clr { table, rid, action, .. } => {
+                let table = TableId(*table as usize);
+                let rid = RowId(*rid);
+                match action {
+                    ClrAction::Remove => {
+                        db.delete_row(table, rid);
+                    }
+                    ClrAction::Reinsert { row } => {
+                        let ok = db.restore_row(table, rid, row.clone());
+                        assert!(ok, "redo CLR reinsert landed on an occupied slot (lsn {})", lsn.0);
+                    }
+                    ClrAction::SetTo { row } => {
+                        let image = row.clone();
+                        db.update_row(table, rid, |r| *r = image);
+                    }
+                }
+                true
+            }
+            _ => false,
+        };
+        if applied {
+            report.redo_records += 1;
+        }
+    }
+
+    // --- undo losers ------------------------------------------------------
+    // A loser appeared in the log but neither committed nor finished
+    // aborting. Its uncompensated data operations are reversed newest-first
+    // (one global descending-LSN pass), each writing a CLR; a finished
+    // loser is closed with `Abort`.
+    let losers: BTreeSet<u64> =
+        seen.iter().copied().filter(|t| !committed.contains(t) && !aborted.contains(t)).collect();
+    let mut to_undo: Vec<(u64, u64, UndoOp)> = Vec::new(); // (lsn, txn, op)
+    let mut remaining: BTreeMap<u64, usize> = BTreeMap::new();
+    for (lsn, rec) in &scan.records {
+        let Some((txn, op)) = undo_op_of(rec) else { continue };
+        if losers.contains(&txn) && !compensated.contains(&lsn.0) {
+            to_undo.push((lsn.0, txn, op));
+            *remaining.entry(txn).or_insert(0) += 1;
+        }
+    }
+    report.losers_undone = losers.len() as u64;
+    let mut budget = undo_budget.unwrap_or(usize::MAX);
+    to_undo.sort_by(|a, b| b.0.cmp(&a.0));
+    for (lsn, txn, op) in to_undo {
+        if budget == 0 {
+            report.completed = false;
+            break;
+        }
+        budget -= 1;
+        db.apply_undo(txn, lsn, &op);
+        report.undo_records += 1;
+        let left = remaining.get_mut(&txn).expect("undo bookkeeping");
+        *left -= 1;
+        if *left == 0 {
+            db.finish_abort(txn);
+        }
+        // Recovery writes are synchronous: each CLR is durable before the
+        // next undo action, which is what makes a mid-recovery crash safe.
+        db.wal.force_durable();
+    }
+    if report.completed {
+        // Losers with no data records still need closing Abort records.
+        for txn in &losers {
+            if !remaining.contains_key(txn) {
+                db.finish_abort(*txn);
+            }
+        }
+        db.wal.force_durable();
+    }
+    (db, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsens_storage::schema::{ColType, Schema};
+    use dbsens_storage::value::{Key, Value};
+
+    fn setup() -> (Database, TableId) {
+        let mut db = Database::new(100.0, 1 << 30);
+        let schema = Schema::new(&[("id", ColType::Int), ("v", ColType::Int)]);
+        let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i), Value::Int(0)]).collect();
+        let t = db.create_table("t", schema, rows);
+        db.create_index(t, "pk", &[0]);
+        db.enable_crash_consistency();
+        (db, t)
+    }
+
+    fn values(db: &Database, t: TableId) -> Vec<(i64, i64)> {
+        let mut v: Vec<(i64, i64)> = db
+            .table(t)
+            .heap
+            .iter()
+            .map(|(_, r)| (r[0].as_int(), r[1].as_int()))
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn txn(db: &mut Database) -> dbsens_storage::lock::TxnId {
+        let id = db.begin_txn();
+        db.begin_txn_logged(id);
+        id
+    }
+
+    #[test]
+    fn committed_flushed_txn_survives_a_crash() {
+        let (mut db, t) = setup();
+        let tx = txn(&mut db);
+        db.update_row_logged(tx, t, RowId(3), |r| r[1] = Value::Int(77));
+        db.commit_txn_logged(tx);
+        db.wal.flush_for_commit();
+        db.wal.flush_durable(); // flush acked before the crash
+
+        let expect = values(&db, t);
+        let image = CrashImage::extract(&mut db, |_| 0);
+        let (rec, report) = recover(image, None);
+        assert!(report.completed);
+        assert_eq!(report.committed_txns, 1);
+        assert_eq!(values(&rec, t), expect);
+        assert_eq!(rec.table(t).heap.get(RowId(3)).unwrap()[1].as_int(), 77);
+    }
+
+    #[test]
+    fn unflushed_commit_is_lost_and_rolled_back() {
+        let (mut db, t) = setup();
+        let tx = txn(&mut db);
+        db.update_row_logged(tx, t, RowId(3), |r| r[1] = Value::Int(77));
+        db.commit_txn_logged(tx);
+        db.wal.flush_for_commit();
+        // Crash with the whole flush in flight and zero sectors persisted:
+        // the Commit record never reached the device.
+        let image = CrashImage::extract(&mut db, |_| 0);
+        let (rec, report) = recover(image, None);
+        assert!(report.completed);
+        assert_eq!(report.committed_txns, 0);
+        assert_eq!(rec.table(t).heap.get(RowId(3)).unwrap()[1].as_int(), 0);
+    }
+
+    #[test]
+    fn loser_insert_and_delete_are_undone() {
+        let (mut db, t) = setup();
+        // A committed txn first, so there is something to keep.
+        let tx = txn(&mut db);
+        db.update_row_logged(tx, t, RowId(0), |r| r[1] = Value::Int(5));
+        db.commit_txn_logged(tx);
+        db.wal.flush_for_commit();
+        db.wal.flush_durable();
+
+        // The loser inserts a row and deletes another, then the crash hits
+        // with its records durable but no Commit.
+        let loser = txn(&mut db);
+        db.insert_row_logged(loser, t, vec![Value::Int(100), Value::Int(1)]);
+        db.delete_row_logged(loser, t, RowId(7));
+        db.wal.flush_for_commit();
+        db.wal.flush_durable();
+
+        let image = CrashImage::extract(&mut db, |_| 0);
+        let (rec, report) = recover(image, None);
+        assert!(report.completed);
+        assert_eq!(report.losers_undone, 1);
+        assert_eq!(report.undo_records, 2);
+        let vals = values(&rec, t);
+        assert!(vals.contains(&(7, 0)), "deleted row must be reinserted");
+        assert!(!vals.iter().any(|&(id, _)| id == 100), "loser insert must be removed");
+        assert_eq!(rec.table(t).heap.get(RowId(0)).unwrap()[1].as_int(), 5);
+        // The reinserted row is findable through the index again.
+        let pk = &rec.table(t).indexes[0];
+        assert!(pk.btree.get(&Key::from_values(vec![Value::Int(7)])).next().is_some());
+    }
+
+    #[test]
+    fn recovery_restarts_from_a_durable_checkpoint() {
+        let (mut db, t) = setup();
+        let tx = txn(&mut db);
+        db.update_row_logged(tx, t, RowId(1), |r| r[1] = Value::Int(11));
+        db.commit_txn_logged(tx);
+        db.wal.flush_for_commit();
+        db.wal.flush_durable();
+        db.log_checkpoint();
+        db.wal.force_durable();
+
+        let tx2 = txn(&mut db);
+        db.update_row_logged(tx2, t, RowId(2), |r| r[1] = Value::Int(22));
+        db.commit_txn_logged(tx2);
+        db.wal.flush_for_commit();
+        db.wal.flush_durable();
+
+        let image = CrashImage::extract(&mut db, |_| 0);
+        let (rec, report) = recover(image, None);
+        assert!(report.checkpoint_lsn > 0, "redo must start from the checkpoint");
+        assert_eq!(rec.table(t).heap.get(RowId(1)).unwrap()[1].as_int(), 11);
+        assert_eq!(rec.table(t).heap.get(RowId(2)).unwrap()[1].as_int(), 22);
+    }
+
+    #[test]
+    fn budgeted_recovery_resumes_after_a_mid_recovery_crash() {
+        let (mut db, t) = setup();
+        let loser = txn(&mut db);
+        for i in 0..5 {
+            db.update_row_logged(loser, t, RowId(i), |r| r[1] = Value::Int(99));
+        }
+        db.wal.flush_for_commit();
+        db.wal.flush_durable();
+
+        let image = CrashImage::extract(&mut db, |_| 0);
+        // First recovery round dies after two undo actions.
+        let (mut half, report) = recover(image, Some(2));
+        assert!(!report.completed);
+        assert_eq!(report.undo_records, 2);
+        // Re-crash the half-recovered database and recover again.
+        let image2 = CrashImage::extract(&mut half, |_| 0);
+        let (rec, report2) = recover(image2, None);
+        assert!(report2.completed);
+        assert_eq!(report2.undo_records, 3, "CLRs from round one must not be redone");
+        for i in 0..5 {
+            assert_eq!(rec.table(t).heap.get(RowId(i)).unwrap()[1].as_int(), 0);
+        }
+    }
+
+    #[test]
+    fn double_crash_during_recovery_is_idempotent() {
+        let (mut db, t) = setup();
+        let loser = txn(&mut db);
+        for i in 0..6 {
+            db.update_row_logged(loser, t, RowId(i), |r| r[1] = Value::Int(42));
+        }
+        db.wal.flush_for_commit();
+        db.wal.flush_durable();
+        let image = CrashImage::extract(&mut db, |_| 0);
+        // Crash recovery twice, one undo action at a time, then finish.
+        let (mut d1, r1) = recover(image, Some(1));
+        assert!(!r1.completed);
+        let (mut d2, r2) = recover(CrashImage::extract(&mut d1, |_| 0), Some(1));
+        assert!(!r2.completed);
+        let (rec, r3) = recover(CrashImage::extract(&mut d2, |_| 0), None);
+        assert!(r3.completed);
+        assert_eq!(r1.undo_records + r2.undo_records + r3.undo_records, 6);
+        for i in 0..6 {
+            assert_eq!(rec.table(t).heap.get(RowId(i)).unwrap()[1].as_int(), 0);
+        }
+    }
+
+    #[test]
+    fn torn_tail_truncates_to_last_whole_flush() {
+        let (mut db, t) = setup();
+        let tx = txn(&mut db);
+        db.update_row_logged(tx, t, RowId(4), |r| r[1] = Value::Int(4));
+        db.commit_txn_logged(tx);
+        db.wal.flush_for_commit();
+        db.wal.flush_durable();
+
+        let tx2 = txn(&mut db);
+        for pass in 0..2 {
+            for i in 5..10 {
+                db.update_row_logged(tx2, t, RowId(i), |r| r[1] = Value::Int(50 + pass));
+            }
+        }
+        db.commit_txn_logged(tx2);
+        db.wal.flush_for_commit();
+        // Crash mid-flush: the in-flight range spans several sectors and
+        // only the first persists, so the trailing Commit record is torn
+        // off and tx2 must be rolled back.
+        let image = CrashImage::extract(&mut db, |sectors| {
+            assert!(sectors > 1, "test needs a multi-sector flush");
+            1
+        });
+        let (rec, report) = recover(image, None);
+        assert!(report.completed);
+        assert!(report.torn_tail, "a mid-flush crash leaves a torn tail");
+        assert_eq!(rec.table(t).heap.get(RowId(4)).unwrap()[1].as_int(), 4);
+        for i in 5..10 {
+            assert_eq!(rec.table(t).heap.get(RowId(i)).unwrap()[1].as_int(), 0);
+        }
+    }
+}

@@ -284,10 +284,17 @@ impl SimTask for CheckpointTask {
             self.wrote_chunk = true;
             return Step::Demand(Demand::DeviceWriteAsync { bytes: pages * PAGE_BYTES });
         }
-        // Start a new round.
+        // Start a new round. In crash-consistency mode this writes a fuzzy
+        // ARIES checkpoint record and only flushes pages the WAL rule
+        // allows; otherwise it is a plain dirty-page sweep.
         let (pages, interval) = {
             let mut db = self.db.borrow_mut();
-            (db.take_dirty_pages() as u64, db.cost.checkpoint_interval_secs.max(1))
+            let pages = if db.crash_consistency() {
+                db.log_checkpoint()
+            } else {
+                db.take_dirty_pages() as u64
+            };
+            (pages, db.cost.checkpoint_interval_secs.max(1))
         };
         if pages == 0 {
             return Step::Demand(Demand::Sleep {

@@ -244,6 +244,9 @@ pub struct TxnClientTask {
     flush_attempt: u32,
     /// Bytes of the in-flight commit flush, kept for reissue.
     commit_bytes: u64,
+    /// Whether the in-flight commit flush has been acknowledged durable
+    /// (crash-consistency mode; guards latch-retry re-entry).
+    flush_acked: bool,
 }
 
 impl fmt::Debug for TxnClientTask {
@@ -278,6 +281,7 @@ impl TxnClientTask {
             txn_attempt: 0,
             flush_attempt: 0,
             commit_bytes: 0,
+            flush_acked: false,
         }
     }
 
@@ -300,6 +304,16 @@ impl TxnClientTask {
     /// Lock resource for a row per its [`LockSpec`].
     fn lock_row(&self, table: TableId, rid: RowId, lock: LockSpec, rng: &mut SimRng) -> u64 {
         let db = self.db.borrow();
+        // Crash-consistency mode needs writers serialized per *physical*
+        // row: diffuse keys let two clients update the same row under
+        // different lock resources, and resource keys distinguish modeled
+        // rows that share one physical heap row (e.g. the one-row hot
+        // tables), either of which would interleave before-image chains
+        // and invalidate undo. Keying every lock by the physical row
+        // restores strict 2PL at the grain recovery operates on.
+        if db.crash_consistency() {
+            return db.modeled_row(table, rid);
+        }
         match lock {
             LockSpec::ExactRow => db.modeled_row(table, rid),
             LockSpec::Diffuse => {
@@ -349,7 +363,15 @@ impl SimTask for TxnClientTask {
             match self.state {
                 ClientState::Start => {
                     let program = self.generator.next_txn(ctx.rng());
-                    self.txn = Some(self.db.borrow_mut().begin_txn());
+                    let txn = {
+                        let mut db = self.db.borrow_mut();
+                        let txn = db.begin_txn();
+                        if db.crash_consistency() {
+                            db.begin_txn_logged(txn);
+                        }
+                        txn
+                    };
+                    self.txn = Some(txn);
                     self.started = ctx.now();
                     self.txn_attempt = 0;
                     if program.ops.is_empty() {
@@ -369,12 +391,31 @@ impl SimTask for TxnClientTask {
                     return Step::Demand(Demand::Compute { instructions, mem: MemProfile::new() });
                 }
                 ClientState::CommitFlush => {
-                    let bytes = self.db.borrow_mut().wal.flush_for_commit();
+                    let bytes = {
+                        let mut db = self.db.borrow_mut();
+                        if db.crash_consistency() {
+                            if let Some(txn) = self.txn {
+                                db.commit_txn_logged(txn);
+                            }
+                        }
+                        db.wal.flush_for_commit()
+                    };
                     self.commit_bytes = bytes;
+                    self.flush_acked = false;
                     self.state = ClientState::CommitLatch;
                     return Step::Demand(Demand::DeviceWrite { bytes, class: WaitClass::WriteLog });
                 }
                 ClientState::CommitLatch => {
+                    // The device write completed: the flushed log range is
+                    // durable (only acknowledged once — this arm re-enters
+                    // on latch conflicts).
+                    if !self.flush_acked {
+                        let mut db = self.db.borrow_mut();
+                        if db.crash_consistency() {
+                            db.wal.flush_durable();
+                        }
+                        self.flush_acked = true;
+                    }
                     let now = ctx.now();
                     let (latch, hold_ns) = {
                         let db = self.db.borrow();
@@ -422,7 +463,15 @@ impl SimTask for TxnClientTask {
                     // Backoff elapsed: re-run the same program under a
                     // fresh transaction id. `started` is kept so the
                     // latency sample covers the aborted attempts too.
-                    self.txn = Some(self.db.borrow_mut().begin_txn());
+                    let txn = {
+                        let mut db = self.db.borrow_mut();
+                        let txn = db.begin_txn();
+                        if db.crash_consistency() {
+                            db.begin_txn_logged(txn);
+                        }
+                        txn
+                    };
+                    self.txn = Some(txn);
                     let len = self.program.as_ref().map_or(0, |p| p.ops.len());
                     self.state = if len == 0 {
                         ClientState::CommitWork
@@ -455,6 +504,11 @@ impl TxnClientTask {
         if let Some(txn) = self.txn.take() {
             let woken = {
                 let mut db = self.db.borrow_mut();
+                if db.crash_consistency() {
+                    // Reverse the transaction's effects (CLRs + Abort) while
+                    // still holding its locks.
+                    db.rollback_txn(txn);
+                }
                 db.clear_stalled(txn);
                 let mut w = db.locks.cancel_wait(txn, ctx.self_id());
                 w.extend(db.locks.release_all(txn));
@@ -707,6 +761,12 @@ impl TxnClientTask {
                     let cost = db.cost.clone();
                     let mut instructions =
                         cost.stmt_overhead + levels * cost.btree_level + cost.scan_row;
+                    // In crash-consistency mode the logged variants write
+                    // the typed WAL record themselves (with the same
+                    // modeled byte count); otherwise the plain append below
+                    // keeps the byte accounting identical.
+                    let capture = db.crash_consistency();
+                    let mut logged = false;
                     match kind {
                         RowOpKind::Read | RowOpKind::ReadForUpdate => {}
                         RowOpKind::Update => {
@@ -715,31 +775,56 @@ impl TxnClientTask {
                                 let rid = db.table(table).indexes[index].btree.get(k).next();
                                 if let Some(rid) = rid {
                                     let muts = muts.to_vec();
-                                    db.update_row(table, rid, |r| {
+                                    let apply = |r: &mut Row| {
                                         for m in &muts {
                                             m.apply(r);
                                         }
-                                    });
+                                    };
+                                    if capture {
+                                        let txn = self.txn.expect("txn open");
+                                        db.update_row_logged(txn, table, rid, apply);
+                                        logged = true;
+                                    } else {
+                                        db.update_row(table, rid, apply);
+                                    }
                                 }
                             }
-                            db.wal.append(cost.log_bytes_per_row);
+                            if !logged {
+                                db.wal.append(cost.log_bytes_per_row);
+                            }
                         }
                         RowOpKind::Delete => {
                             instructions += cost.dml_row * (1 + n_indexes);
                             if let Some(k) = key {
                                 let rid = db.table(table).indexes[index].btree.get(k).next();
                                 if let Some(rid) = rid {
-                                    db.delete_row(table, rid);
+                                    if capture {
+                                        let txn = self.txn.expect("txn open");
+                                        db.delete_row_logged(txn, table, rid);
+                                        logged = true;
+                                    } else {
+                                        db.delete_row(table, rid);
+                                    }
                                 }
                             }
-                            db.wal.append(cost.log_bytes_per_row);
+                            if !logged {
+                                db.wal.append(cost.log_bytes_per_row);
+                            }
                         }
                         RowOpKind::Insert => {
                             instructions += cost.dml_row * (1 + n_indexes);
                             if let Some(row) = insert_row {
-                                db.insert_row(table, row);
+                                if capture {
+                                    let txn = self.txn.expect("txn open");
+                                    db.insert_row_logged(txn, table, row);
+                                    logged = true;
+                                } else {
+                                    db.insert_row(table, row);
+                                }
                             }
-                            db.wal.append(cost.log_bytes_per_row);
+                            if !logged {
+                                db.wal.append(cost.log_bytes_per_row);
+                            }
                         }
                     }
                     (instructions, mem)

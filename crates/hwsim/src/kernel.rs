@@ -41,6 +41,23 @@ pub struct SimConfig {
     pub sample_interval: SimDuration,
     /// Scheduled hardware faults; [`FaultPlan::empty`] for healthy runs.
     pub faults: FaultPlan,
+    /// Deterministic kill point: the kernel halts (power loss) when the
+    /// point is reached. `None` for healthy runs.
+    pub crash: Option<CrashPoint>,
+}
+
+/// Where a simulated crash (power loss) halts the kernel. Both variants are
+/// deterministic for a given workload and seed, so a crash can be replayed
+/// exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrashPoint {
+    /// Halt just before dispatching the `n`-th event (0-based count of
+    /// dispatched events). Event indices are stable across identical runs,
+    /// so this can target any instant of the schedule — including between
+    /// a flush submission and its completion.
+    AtEvent(u64),
+    /// Halt at the first event strictly after this virtual time (ns).
+    AtTimeNs(u64),
 }
 
 impl SimConfig {
@@ -57,6 +74,7 @@ impl SimConfig {
             blkio: BlockIoLimit::UNLIMITED,
             sample_interval: SimDuration::from_secs(1),
             faults: FaultPlan::empty(),
+            crash: None,
         }
     }
 }
@@ -149,6 +167,10 @@ pub struct Kernel {
     spans_sockets: bool,
     fault_active: Vec<bool>,
     fault_log: Vec<FaultLogEntry>,
+    /// Events dispatched so far (the crash-point coordinate system).
+    dispatched: u64,
+    /// Set once the configured crash point fires; no further events run.
+    halted: bool,
 }
 
 impl Kernel {
@@ -185,6 +207,8 @@ impl Kernel {
             spans_sockets,
             fault_active: vec![false; cfg.faults.len()],
             fault_log: Vec::new(),
+            dispatched: 0,
+            halted: false,
             cfg,
         };
         let first_sample = kernel.now + kernel.cfg.sample_interval;
@@ -223,14 +247,16 @@ impl Kernel {
     /// stay queued for a later call.
     pub fn run_until(&mut self, end: SimTime) {
         while let Some(Reverse(ev)) = self.events.peek().cloned() {
-            if ev.at > end {
+            if ev.at > end || self.crash_reached(&ev) {
                 break;
             }
             self.events.pop();
             self.now = ev.at;
             self.dispatch_event(ev.kind);
         }
-        self.now = self.now.max(end);
+        if !self.halted {
+            self.now = self.now.max(end);
+        }
     }
 
     /// Runs until every task has finished or `limit` of virtual time has
@@ -240,7 +266,7 @@ impl Kernel {
         let end = self.now + limit;
         while self.finished < self.tasks.len() {
             let Some(Reverse(ev)) = self.events.peek().cloned() else { break };
-            if ev.at > end {
+            if ev.at > end || self.crash_reached(&ev) {
                 break;
             }
             self.events.pop();
@@ -248,6 +274,34 @@ impl Kernel {
             self.dispatch_event(ev.kind);
         }
         self.finished == self.tasks.len()
+    }
+
+    /// Whether the configured crash point says to halt instead of
+    /// dispatching `next`. Latches [`Kernel::halted`] on first hit.
+    fn crash_reached(&mut self, next: &Ev) -> bool {
+        if self.halted {
+            return true;
+        }
+        let hit = match self.cfg.crash {
+            None => false,
+            Some(CrashPoint::AtEvent(n)) => self.dispatched >= n,
+            Some(CrashPoint::AtTimeNs(t)) => next.at.as_nanos() > t,
+        };
+        if hit {
+            self.halted = true;
+        }
+        hit
+    }
+
+    /// Events dispatched so far. With [`CrashPoint::AtEvent`] this is the
+    /// coordinate a kill point addresses.
+    pub fn dispatched_events(&self) -> u64 {
+        self.dispatched
+    }
+
+    /// `true` once the configured crash point has fired.
+    pub fn halted(&self) -> bool {
+        self.halted
     }
 
     /// Accumulated per-class wait statistics.
@@ -294,6 +348,7 @@ impl Kernel {
     }
 
     fn dispatch_event(&mut self, kind: EventKind) {
+        self.dispatched += 1;
         match kind {
             EventKind::Poll(id) => self.poll_task(id),
             EventKind::ComputeDone(id, core) => {

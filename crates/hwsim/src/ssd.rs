@@ -227,6 +227,20 @@ impl Ssd {
     }
 }
 
+/// Salt for torn-tail draws, disjoint from every other seed derivation.
+const TORN_WRITE_SEED_SALT: u64 = 0x70E2_7A11_5EC7_0125;
+
+/// How many sectors of an in-flight log flush persist when power is lost at
+/// crash point `point`: the drive writes sectors in order, so a seeded
+/// prefix of `[0, sectors]` survives. Deterministic in `(seed, point)` — the
+/// same kill replays the same torn tail.
+pub fn torn_sector_prefix(seed: u64, point: u64, sectors: u64) -> u64 {
+    let mut rng = crate::rng::SimRng::new(
+        seed ^ TORN_WRITE_SEED_SALT ^ point.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    rng.next_below(sectors + 1)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

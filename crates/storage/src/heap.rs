@@ -78,11 +78,44 @@ impl HeapTable {
         self.slots.get_mut(rid.0 as usize).and_then(|s| s.as_mut())
     }
 
+    /// Inserts a row at a specific slot (recovery/undo path: a deleted row
+    /// must come back under its original id so later log records still
+    /// resolve). Extends the heap if the slot is past the end. Returns
+    /// `false` (and leaves the heap unchanged) if the slot is occupied.
+    pub fn insert_at(&mut self, rid: RowId, row: Row) -> bool {
+        debug_assert!(self.schema.check_row(&row), "row does not match schema");
+        let idx = rid.0 as usize;
+        if idx >= self.slots.len() {
+            // Newly materialized slots below idx are free.
+            for i in self.slots.len()..idx {
+                self.free.push(i as u64);
+            }
+            self.slots.resize(idx + 1, None);
+        } else if self.slots[idx].is_some() {
+            return false;
+        } else {
+            self.free.retain(|&s| s != rid.0);
+        }
+        self.slots[idx] = Some(row);
+        self.live += 1;
+        true
+    }
+
     /// Deletes a row; returns it if it was live.
     pub fn delete(&mut self, rid: RowId) -> Option<Row> {
         let slot = self.slots.get_mut(rid.0 as usize)?;
         let row = slot.take()?;
         self.free.push(rid.0);
+        self.live -= 1;
+        Some(row)
+    }
+
+    /// Deletes a row but keeps its slot reserved (not on the free list), so
+    /// the id cannot be reused. Transactional deletes use this: the slot
+    /// must stay claimable in case the delete is undone (a ghost record).
+    pub fn delete_keep_slot(&mut self, rid: RowId) -> Option<Row> {
+        let slot = self.slots.get_mut(rid.0 as usize)?;
+        let row = slot.take()?;
         self.live -= 1;
         Some(row)
     }

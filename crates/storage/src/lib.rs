@@ -44,4 +44,4 @@ pub use lock::{LatchKey, LatchTable, LockKey, LockManager, LockMode, LockReq, Tx
 pub use physical::{ColumnstoreLayout, IndexLayout, ModelSpace, TableLayout};
 pub use schema::{ColType, ColumnDef, Schema};
 pub use value::{cmp_values, Key, Row, Value};
-pub use wal::{Lsn, Wal};
+pub use wal::{scan_log, ClrAction, LogScan, Lsn, Wal, WalRecord};

@@ -68,7 +68,7 @@ pub enum LockReq {
     Wait,
 }
 
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 struct LockEntry {
     holders: Vec<(TxnId, LockMode)>,
     waiters: VecDeque<(TxnId, TaskId, LockMode)>,
@@ -119,7 +119,7 @@ fn promote_waiters(
 /// let woken = lm.release_all(TxnId(1));
 /// assert_eq!(woken, vec![TaskId(1)]);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LockManager {
     locks: HashMap<LockKey, LockEntry>,
     held_by_txn: HashMap<TxnId, Vec<LockKey>>,
@@ -284,7 +284,7 @@ pub enum LatchKey {
 ///     .unwrap_err();
 /// assert_eq!(busy_until.as_nanos(), 5_000);
 /// ```
-#[derive(Debug, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct LatchTable {
     busy: HashMap<LatchKey, SimTime>,
     acquisitions: u64,
