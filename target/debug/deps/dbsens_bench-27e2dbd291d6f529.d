@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/dbsens_bench-27e2dbd291d6f529.d: crates/bench/src/lib.rs crates/bench/src/degradation.rs crates/bench/src/figures.rs crates/bench/src/paper.rs crates/bench/src/profile.rs
+
+/root/repo/target/debug/deps/libdbsens_bench-27e2dbd291d6f529.rlib: crates/bench/src/lib.rs crates/bench/src/degradation.rs crates/bench/src/figures.rs crates/bench/src/paper.rs crates/bench/src/profile.rs
+
+/root/repo/target/debug/deps/libdbsens_bench-27e2dbd291d6f529.rmeta: crates/bench/src/lib.rs crates/bench/src/degradation.rs crates/bench/src/figures.rs crates/bench/src/paper.rs crates/bench/src/profile.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/degradation.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/profile.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dbsens_bench-581b5b9a2b733a65.d: crates/bench/src/lib.rs crates/bench/src/degradation.rs crates/bench/src/figures.rs crates/bench/src/paper.rs crates/bench/src/profile.rs
+
+/root/repo/target/debug/deps/dbsens_bench-581b5b9a2b733a65: crates/bench/src/lib.rs crates/bench/src/degradation.rs crates/bench/src/figures.rs crates/bench/src/paper.rs crates/bench/src/profile.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/degradation.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/profile.rs:

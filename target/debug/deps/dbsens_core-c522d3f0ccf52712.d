@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/dbsens_core-c522d3f0ccf52712.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/colocate.rs crates/core/src/crashverify.rs crates/core/src/experiment.rs crates/core/src/knobs.rs crates/core/src/pitfalls.rs crates/core/src/progress.rs crates/core/src/queryexp.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+/root/repo/target/debug/deps/dbsens_core-c522d3f0ccf52712: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/cache.rs crates/core/src/colocate.rs crates/core/src/crashverify.rs crates/core/src/experiment.rs crates/core/src/knobs.rs crates/core/src/pitfalls.rs crates/core/src/progress.rs crates/core/src/queryexp.rs crates/core/src/report.rs crates/core/src/runner.rs crates/core/src/sweep.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/cache.rs:
+crates/core/src/colocate.rs:
+crates/core/src/crashverify.rs:
+crates/core/src/experiment.rs:
+crates/core/src/knobs.rs:
+crates/core/src/pitfalls.rs:
+crates/core/src/progress.rs:
+crates/core/src/queryexp.rs:
+crates/core/src/report.rs:
+crates/core/src/runner.rs:
+crates/core/src/sweep.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/dbsens_engine-d14a28282a3f4a4e.d: crates/engine/src/lib.rs crates/engine/src/cost.rs crates/engine/src/db.rs crates/engine/src/exec.rs crates/engine/src/expr.rs crates/engine/src/governor.rs crates/engine/src/grant.rs crates/engine/src/metrics.rs crates/engine/src/optimizer.rs crates/engine/src/physplan.rs crates/engine/src/plan.rs crates/engine/src/recovery.rs crates/engine/src/tasks.rs crates/engine/src/txn.rs
+
+/root/repo/target/debug/deps/dbsens_engine-d14a28282a3f4a4e: crates/engine/src/lib.rs crates/engine/src/cost.rs crates/engine/src/db.rs crates/engine/src/exec.rs crates/engine/src/expr.rs crates/engine/src/governor.rs crates/engine/src/grant.rs crates/engine/src/metrics.rs crates/engine/src/optimizer.rs crates/engine/src/physplan.rs crates/engine/src/plan.rs crates/engine/src/recovery.rs crates/engine/src/tasks.rs crates/engine/src/txn.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/db.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/expr.rs:
+crates/engine/src/governor.rs:
+crates/engine/src/grant.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/optimizer.rs:
+crates/engine/src/physplan.rs:
+crates/engine/src/plan.rs:
+crates/engine/src/recovery.rs:
+crates/engine/src/tasks.rs:
+crates/engine/src/txn.rs:

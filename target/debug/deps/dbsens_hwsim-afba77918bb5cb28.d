@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/dbsens_hwsim-afba77918bb5cb28.d: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/calib.rs crates/hwsim/src/counters.rs crates/hwsim/src/cpu.rs crates/hwsim/src/dram.rs crates/hwsim/src/faults.rs crates/hwsim/src/kernel.rs crates/hwsim/src/mem.rs crates/hwsim/src/rng.rs crates/hwsim/src/script.rs crates/hwsim/src/ssd.rs crates/hwsim/src/task.rs crates/hwsim/src/time.rs crates/hwsim/src/topology.rs
+
+/root/repo/target/debug/deps/libdbsens_hwsim-afba77918bb5cb28.rlib: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/calib.rs crates/hwsim/src/counters.rs crates/hwsim/src/cpu.rs crates/hwsim/src/dram.rs crates/hwsim/src/faults.rs crates/hwsim/src/kernel.rs crates/hwsim/src/mem.rs crates/hwsim/src/rng.rs crates/hwsim/src/script.rs crates/hwsim/src/ssd.rs crates/hwsim/src/task.rs crates/hwsim/src/time.rs crates/hwsim/src/topology.rs
+
+/root/repo/target/debug/deps/libdbsens_hwsim-afba77918bb5cb28.rmeta: crates/hwsim/src/lib.rs crates/hwsim/src/cache.rs crates/hwsim/src/calib.rs crates/hwsim/src/counters.rs crates/hwsim/src/cpu.rs crates/hwsim/src/dram.rs crates/hwsim/src/faults.rs crates/hwsim/src/kernel.rs crates/hwsim/src/mem.rs crates/hwsim/src/rng.rs crates/hwsim/src/script.rs crates/hwsim/src/ssd.rs crates/hwsim/src/task.rs crates/hwsim/src/time.rs crates/hwsim/src/topology.rs
+
+crates/hwsim/src/lib.rs:
+crates/hwsim/src/cache.rs:
+crates/hwsim/src/calib.rs:
+crates/hwsim/src/counters.rs:
+crates/hwsim/src/cpu.rs:
+crates/hwsim/src/dram.rs:
+crates/hwsim/src/faults.rs:
+crates/hwsim/src/kernel.rs:
+crates/hwsim/src/mem.rs:
+crates/hwsim/src/rng.rs:
+crates/hwsim/src/script.rs:
+crates/hwsim/src/ssd.rs:
+crates/hwsim/src/task.rs:
+crates/hwsim/src/time.rs:
+crates/hwsim/src/topology.rs:

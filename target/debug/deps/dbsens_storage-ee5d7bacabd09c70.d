@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/dbsens_storage-ee5d7bacabd09c70.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/columnstore.rs crates/storage/src/heap.rs crates/storage/src/lock.rs crates/storage/src/physical.rs crates/storage/src/schema.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+/root/repo/target/debug/deps/dbsens_storage-ee5d7bacabd09c70: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/columnstore.rs crates/storage/src/heap.rs crates/storage/src/lock.rs crates/storage/src/physical.rs crates/storage/src/schema.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/bufferpool.rs:
+crates/storage/src/columnstore.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/lock.rs:
+crates/storage/src/physical.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/value.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dbsens_tests-2235fb26be2e54fe.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdbsens_tests-2235fb26be2e54fe.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdbsens_tests-2235fb26be2e54fe.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

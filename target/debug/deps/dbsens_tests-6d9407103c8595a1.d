@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/dbsens_tests-6d9407103c8595a1.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdbsens_tests-6d9407103c8595a1.rlib: tests/src/lib.rs
+
+/root/repo/target/debug/deps/libdbsens_tests-6d9407103c8595a1.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

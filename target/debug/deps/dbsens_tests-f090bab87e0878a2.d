@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dbsens_tests-f090bab87e0878a2.d: tests/src/lib.rs
+
+/root/repo/target/debug/deps/dbsens_tests-f090bab87e0878a2: tests/src/lib.rs
+
+tests/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/dbsens_workloads-9be953c35fca86f8.d: crates/workloads/src/lib.rs crates/workloads/src/asdb.rs crates/workloads/src/dates.rs crates/workloads/src/driver.rs crates/workloads/src/htap.rs crates/workloads/src/scale.rs crates/workloads/src/tpce.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/queries.rs
+
+/root/repo/target/debug/deps/libdbsens_workloads-9be953c35fca86f8.rlib: crates/workloads/src/lib.rs crates/workloads/src/asdb.rs crates/workloads/src/dates.rs crates/workloads/src/driver.rs crates/workloads/src/htap.rs crates/workloads/src/scale.rs crates/workloads/src/tpce.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/queries.rs
+
+/root/repo/target/debug/deps/libdbsens_workloads-9be953c35fca86f8.rmeta: crates/workloads/src/lib.rs crates/workloads/src/asdb.rs crates/workloads/src/dates.rs crates/workloads/src/driver.rs crates/workloads/src/htap.rs crates/workloads/src/scale.rs crates/workloads/src/tpce.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/queries.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/asdb.rs:
+crates/workloads/src/dates.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/htap.rs:
+crates/workloads/src/scale.rs:
+crates/workloads/src/tpce.rs:
+crates/workloads/src/tpch/mod.rs:
+crates/workloads/src/tpch/queries.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/dbsens_workloads-a80b641cdc1faafb.d: crates/workloads/src/lib.rs crates/workloads/src/asdb.rs crates/workloads/src/dates.rs crates/workloads/src/driver.rs crates/workloads/src/htap.rs crates/workloads/src/scale.rs crates/workloads/src/tpce.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/queries.rs
+
+/root/repo/target/debug/deps/dbsens_workloads-a80b641cdc1faafb: crates/workloads/src/lib.rs crates/workloads/src/asdb.rs crates/workloads/src/dates.rs crates/workloads/src/driver.rs crates/workloads/src/htap.rs crates/workloads/src/scale.rs crates/workloads/src/tpce.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/queries.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/asdb.rs:
+crates/workloads/src/dates.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/htap.rs:
+crates/workloads/src/scale.rs:
+crates/workloads/src/tpce.rs:
+crates/workloads/src/tpch/mod.rs:
+crates/workloads/src/tpch/queries.rs:

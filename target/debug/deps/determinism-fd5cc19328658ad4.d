@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-fd5cc19328658ad4.d: tests/tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-fd5cc19328658ad4: tests/tests/determinism.rs
+
+tests/tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a5f035dfef4b021b.d: crates/engine/tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a5f035dfef4b021b: crates/engine/tests/end_to_end.rs
+
+crates/engine/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/faults-882ff196cc891c7a.d: tests/tests/faults.rs
+
+/root/repo/target/debug/deps/faults-882ff196cc891c7a: tests/tests/faults.rs
+
+tests/tests/faults.rs:

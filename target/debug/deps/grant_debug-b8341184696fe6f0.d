@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grant_debug-b8341184696fe6f0.d: tests/tests/grant_debug.rs
+
+/root/repo/target/debug/deps/grant_debug-b8341184696fe6f0: tests/tests/grant_debug.rs
+
+tests/tests/grant_debug.rs:

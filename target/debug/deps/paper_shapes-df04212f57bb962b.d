@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shapes-df04212f57bb962b.d: tests/tests/paper_shapes.rs
+
+/root/repo/target/debug/deps/paper_shapes-df04212f57bb962b: tests/tests/paper_shapes.rs
+
+tests/tests/paper_shapes.rs:

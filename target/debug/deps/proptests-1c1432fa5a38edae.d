@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-1c1432fa5a38edae.d: crates/storage/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-1c1432fa5a38edae: crates/storage/tests/proptests.rs
+
+crates/storage/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-a41966320905bb4b.d: crates/engine/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-a41966320905bb4b: crates/engine/tests/proptests.rs
+
+crates/engine/tests/proptests.rs:

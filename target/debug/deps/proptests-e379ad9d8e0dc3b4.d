@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptests-e379ad9d8e0dc3b4.d: crates/hwsim/tests/proptests.rs
+
+/root/repo/target/debug/deps/proptests-e379ad9d8e0dc3b4: crates/hwsim/tests/proptests.rs
+
+crates/hwsim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/query_correctness-f928e72a9f57b5ac.d: tests/tests/query_correctness.rs
+
+/root/repo/target/debug/deps/query_correctness-f928e72a9f57b5ac: tests/tests/query_correctness.rs
+
+tests/tests/query_correctness.rs:

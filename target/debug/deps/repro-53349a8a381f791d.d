@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-53349a8a381f791d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-53349a8a381f791d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

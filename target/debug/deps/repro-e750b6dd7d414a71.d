@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-e750b6dd7d414a71.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-e750b6dd7d414a71: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-f0f258a40fc721df.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-f0f258a40fc721df: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wal_crash_proptests-4ed797026c54a777.d: crates/storage/tests/wal_crash_proptests.rs
+
+/root/repo/target/debug/deps/wal_crash_proptests-4ed797026c54a777: crates/storage/tests/wal_crash_proptests.rs
+
+crates/storage/tests/wal_crash_proptests.rs:

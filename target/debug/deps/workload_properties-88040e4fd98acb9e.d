@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/workload_properties-88040e4fd98acb9e.d: crates/workloads/tests/workload_properties.rs
+
+/root/repo/target/debug/deps/workload_properties-88040e4fd98acb9e: crates/workloads/tests/workload_properties.rs
+
+crates/workloads/tests/workload_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cache_sizing-48a2741482fa4c75.d: crates/core/../../examples/cache_sizing.rs
+
+/root/repo/target/debug/examples/cache_sizing-48a2741482fa4c75: crates/core/../../examples/cache_sizing.rs
+
+crates/core/../../examples/cache_sizing.rs:

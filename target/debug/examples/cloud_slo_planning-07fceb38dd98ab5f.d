@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/cloud_slo_planning-07fceb38dd98ab5f.d: crates/core/../../examples/cloud_slo_planning.rs
+
+/root/repo/target/debug/examples/cloud_slo_planning-07fceb38dd98ab5f: crates/core/../../examples/cloud_slo_planning.rs
+
+crates/core/../../examples/cloud_slo_planning.rs:

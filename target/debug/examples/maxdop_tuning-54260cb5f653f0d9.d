@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maxdop_tuning-54260cb5f653f0d9.d: crates/core/../../examples/maxdop_tuning.rs
+
+/root/repo/target/debug/examples/maxdop_tuning-54260cb5f653f0d9: crates/core/../../examples/maxdop_tuning.rs
+
+crates/core/../../examples/maxdop_tuning.rs:

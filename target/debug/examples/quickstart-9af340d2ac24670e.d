@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9af340d2ac24670e.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-9af340d2ac24670e: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

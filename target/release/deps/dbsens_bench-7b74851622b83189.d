@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/dbsens_bench-7b74851622b83189.d: crates/bench/src/lib.rs crates/bench/src/degradation.rs crates/bench/src/figures.rs crates/bench/src/paper.rs crates/bench/src/profile.rs
+
+/root/repo/target/release/deps/libdbsens_bench-7b74851622b83189.rlib: crates/bench/src/lib.rs crates/bench/src/degradation.rs crates/bench/src/figures.rs crates/bench/src/paper.rs crates/bench/src/profile.rs
+
+/root/repo/target/release/deps/libdbsens_bench-7b74851622b83189.rmeta: crates/bench/src/lib.rs crates/bench/src/degradation.rs crates/bench/src/figures.rs crates/bench/src/paper.rs crates/bench/src/profile.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/degradation.rs:
+crates/bench/src/figures.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/profile.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/dbsens_engine-234382bcf29fb2bd.d: crates/engine/src/lib.rs crates/engine/src/cost.rs crates/engine/src/db.rs crates/engine/src/exec.rs crates/engine/src/expr.rs crates/engine/src/governor.rs crates/engine/src/grant.rs crates/engine/src/metrics.rs crates/engine/src/optimizer.rs crates/engine/src/physplan.rs crates/engine/src/plan.rs crates/engine/src/recovery.rs crates/engine/src/tasks.rs crates/engine/src/txn.rs
+
+/root/repo/target/release/deps/libdbsens_engine-234382bcf29fb2bd.rlib: crates/engine/src/lib.rs crates/engine/src/cost.rs crates/engine/src/db.rs crates/engine/src/exec.rs crates/engine/src/expr.rs crates/engine/src/governor.rs crates/engine/src/grant.rs crates/engine/src/metrics.rs crates/engine/src/optimizer.rs crates/engine/src/physplan.rs crates/engine/src/plan.rs crates/engine/src/recovery.rs crates/engine/src/tasks.rs crates/engine/src/txn.rs
+
+/root/repo/target/release/deps/libdbsens_engine-234382bcf29fb2bd.rmeta: crates/engine/src/lib.rs crates/engine/src/cost.rs crates/engine/src/db.rs crates/engine/src/exec.rs crates/engine/src/expr.rs crates/engine/src/governor.rs crates/engine/src/grant.rs crates/engine/src/metrics.rs crates/engine/src/optimizer.rs crates/engine/src/physplan.rs crates/engine/src/plan.rs crates/engine/src/recovery.rs crates/engine/src/tasks.rs crates/engine/src/txn.rs
+
+crates/engine/src/lib.rs:
+crates/engine/src/cost.rs:
+crates/engine/src/db.rs:
+crates/engine/src/exec.rs:
+crates/engine/src/expr.rs:
+crates/engine/src/governor.rs:
+crates/engine/src/grant.rs:
+crates/engine/src/metrics.rs:
+crates/engine/src/optimizer.rs:
+crates/engine/src/physplan.rs:
+crates/engine/src/plan.rs:
+crates/engine/src/recovery.rs:
+crates/engine/src/tasks.rs:
+crates/engine/src/txn.rs:

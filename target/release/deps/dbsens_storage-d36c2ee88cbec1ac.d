@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/dbsens_storage-d36c2ee88cbec1ac.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/columnstore.rs crates/storage/src/heap.rs crates/storage/src/lock.rs crates/storage/src/physical.rs crates/storage/src/schema.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libdbsens_storage-d36c2ee88cbec1ac.rlib: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/columnstore.rs crates/storage/src/heap.rs crates/storage/src/lock.rs crates/storage/src/physical.rs crates/storage/src/schema.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/libdbsens_storage-d36c2ee88cbec1ac.rmeta: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/columnstore.rs crates/storage/src/heap.rs crates/storage/src/lock.rs crates/storage/src/physical.rs crates/storage/src/schema.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/bufferpool.rs:
+crates/storage/src/columnstore.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/lock.rs:
+crates/storage/src/physical.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/value.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/dbsens_storage-fd9ab35dce1caf96.d: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/columnstore.rs crates/storage/src/heap.rs crates/storage/src/lock.rs crates/storage/src/physical.rs crates/storage/src/schema.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+/root/repo/target/release/deps/dbsens_storage-fd9ab35dce1caf96: crates/storage/src/lib.rs crates/storage/src/btree.rs crates/storage/src/bufferpool.rs crates/storage/src/columnstore.rs crates/storage/src/heap.rs crates/storage/src/lock.rs crates/storage/src/physical.rs crates/storage/src/schema.rs crates/storage/src/value.rs crates/storage/src/wal.rs
+
+crates/storage/src/lib.rs:
+crates/storage/src/btree.rs:
+crates/storage/src/bufferpool.rs:
+crates/storage/src/columnstore.rs:
+crates/storage/src/heap.rs:
+crates/storage/src/lock.rs:
+crates/storage/src/physical.rs:
+crates/storage/src/schema.rs:
+crates/storage/src/value.rs:
+crates/storage/src/wal.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/dbsens_tests-03f65f067126df38.d: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdbsens_tests-03f65f067126df38.rlib: tests/src/lib.rs
+
+/root/repo/target/release/deps/libdbsens_tests-03f65f067126df38.rmeta: tests/src/lib.rs
+
+tests/src/lib.rs:

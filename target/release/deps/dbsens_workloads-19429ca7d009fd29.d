@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/dbsens_workloads-19429ca7d009fd29.d: crates/workloads/src/lib.rs crates/workloads/src/asdb.rs crates/workloads/src/dates.rs crates/workloads/src/driver.rs crates/workloads/src/htap.rs crates/workloads/src/scale.rs crates/workloads/src/tpce.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/queries.rs
+
+/root/repo/target/release/deps/libdbsens_workloads-19429ca7d009fd29.rlib: crates/workloads/src/lib.rs crates/workloads/src/asdb.rs crates/workloads/src/dates.rs crates/workloads/src/driver.rs crates/workloads/src/htap.rs crates/workloads/src/scale.rs crates/workloads/src/tpce.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/queries.rs
+
+/root/repo/target/release/deps/libdbsens_workloads-19429ca7d009fd29.rmeta: crates/workloads/src/lib.rs crates/workloads/src/asdb.rs crates/workloads/src/dates.rs crates/workloads/src/driver.rs crates/workloads/src/htap.rs crates/workloads/src/scale.rs crates/workloads/src/tpce.rs crates/workloads/src/tpch/mod.rs crates/workloads/src/tpch/queries.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/asdb.rs:
+crates/workloads/src/dates.rs:
+crates/workloads/src/driver.rs:
+crates/workloads/src/htap.rs:
+crates/workloads/src/scale.rs:
+crates/workloads/src/tpce.rs:
+crates/workloads/src/tpch/mod.rs:
+crates/workloads/src/tpch/queries.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-c54cc8e8678368f0.d: crates/engine/tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-c54cc8e8678368f0: crates/engine/tests/end_to_end.rs
+
+crates/engine/tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/grant_debug-1edfb5b33b6fea1c.d: tests/tests/grant_debug.rs
+
+/root/repo/target/release/deps/grant_debug-1edfb5b33b6fea1c: tests/tests/grant_debug.rs
+
+tests/tests/grant_debug.rs:

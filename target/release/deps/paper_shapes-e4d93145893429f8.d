@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shapes-e4d93145893429f8.d: tests/tests/paper_shapes.rs
+
+/root/repo/target/release/deps/paper_shapes-e4d93145893429f8: tests/tests/paper_shapes.rs
+
+tests/tests/paper_shapes.rs:

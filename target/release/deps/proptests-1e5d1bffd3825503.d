@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-1e5d1bffd3825503.d: crates/hwsim/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-1e5d1bffd3825503: crates/hwsim/tests/proptests.rs
+
+crates/hwsim/tests/proptests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-2ab2a3b3f7c30513.d: crates/storage/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-2ab2a3b3f7c30513: crates/storage/tests/proptests.rs
+
+crates/storage/tests/proptests.rs:

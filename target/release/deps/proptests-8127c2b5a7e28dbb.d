@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptests-8127c2b5a7e28dbb.d: crates/engine/tests/proptests.rs
+
+/root/repo/target/release/deps/proptests-8127c2b5a7e28dbb: crates/engine/tests/proptests.rs
+
+crates/engine/tests/proptests.rs:

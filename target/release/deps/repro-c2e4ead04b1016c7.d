@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-c2e4ead04b1016c7.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-c2e4ead04b1016c7: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/wal_crash_proptests-9186ce24deb51f4e.d: crates/storage/tests/wal_crash_proptests.rs
+
+/root/repo/target/release/deps/wal_crash_proptests-9186ce24deb51f4e: crates/storage/tests/wal_crash_proptests.rs
+
+crates/storage/tests/wal_crash_proptests.rs:

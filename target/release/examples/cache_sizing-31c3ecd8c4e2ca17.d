@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cache_sizing-31c3ecd8c4e2ca17.d: crates/core/../../examples/cache_sizing.rs
+
+/root/repo/target/release/examples/cache_sizing-31c3ecd8c4e2ca17: crates/core/../../examples/cache_sizing.rs
+
+crates/core/../../examples/cache_sizing.rs:

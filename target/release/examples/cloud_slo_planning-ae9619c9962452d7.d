@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/cloud_slo_planning-ae9619c9962452d7.d: crates/core/../../examples/cloud_slo_planning.rs
+
+/root/repo/target/release/examples/cloud_slo_planning-ae9619c9962452d7: crates/core/../../examples/cloud_slo_planning.rs
+
+crates/core/../../examples/cloud_slo_planning.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/maxdop_tuning-5b849999d8b7eb3b.d: crates/core/../../examples/maxdop_tuning.rs
+
+/root/repo/target/release/examples/maxdop_tuning-5b849999d8b7eb3b: crates/core/../../examples/maxdop_tuning.rs
+
+crates/core/../../examples/maxdop_tuning.rs:

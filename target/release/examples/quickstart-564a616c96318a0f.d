@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-564a616c96318a0f.d: crates/core/../../examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-564a616c96318a0f: crates/core/../../examples/quickstart.rs
+
+crates/core/../../examples/quickstart.rs:

@@ -1,0 +1,116 @@
+//! Offline shim of `criterion`.
+//!
+//! The registry is unreachable in this build environment, so this crate
+//! provides just enough API for the workspace's benches to compile and
+//! run: `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, and the `criterion_group!`/`criterion_main!` macros. Each
+//! benchmark runs `sample_size` iterations and prints the mean wall-clock
+//! time — useful smoke numbers, not statistics.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 100 }
+    }
+}
+
+impl Criterion {
+    /// Sets iterations per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.sample_size as u64, total: Duration::ZERO, timed: 0 };
+        f(&mut b);
+        let mean = if b.timed > 0 { b.total / b.timed as u32 } else { Duration::ZERO };
+        println!("bench {name}: {mean:?} mean over {} iters", b.timed.max(1));
+        self
+    }
+}
+
+/// Timing harness handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    timed: u64,
+}
+
+/// Batch sizing hint (ignored; present for API compatibility).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small per-iteration input.
+    SmallInput,
+    /// Large per-iteration input.
+    LargeInput,
+    /// One batch per iteration.
+    PerIteration,
+}
+
+impl Bencher {
+    /// Times `f` over the sample count.
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        for _ in 0..self.iters {
+            let t = Instant::now();
+            let out = f();
+            self.total += t.elapsed();
+            self.timed += 1;
+            std::hint::black_box(&out);
+        }
+    }
+
+    /// Times `routine` over fresh inputs from `setup` (setup untimed).
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        for _ in 0..self.iters {
+            let input = setup();
+            let t = Instant::now();
+            let out = routine(input);
+            self.total += t.elapsed();
+            self.timed += 1;
+            std::hint::black_box(&out);
+        }
+    }
+}
+
+/// Declares a benchmark group (both criterion forms are accepted).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,93 @@
+//! Offline shim of the `crossbeam` scoped-thread API used by this
+//! workspace (`crossbeam::scope` + `Scope::spawn`), implemented over
+//! `std::thread::scope`. Unlike std scopes — which resume child panics on
+//! the parent — a panicking child thread here turns into an `Err` return
+//! from [`scope`], matching crossbeam, so sweeps survive dying workers.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A scope handle passed to [`scope`]'s closure and to spawned threads.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+    panicked: Arc<AtomicBool>,
+}
+
+impl<'scope, 'env> Clone for Scope<'scope, 'env> {
+    fn clone(&self) -> Self {
+        Scope { inner: self.inner, panicked: Arc::clone(&self.panicked) }
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle (so
+    /// nested spawns work); its panics are contained and surface as an
+    /// `Err` from the enclosing [`scope`] call.
+    pub fn spawn<F, T>(&self, f: F)
+    where
+        F: FnOnce(Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let me = self.clone();
+        self.inner.spawn(move || {
+            let flag = Arc::clone(&me.panicked);
+            if catch_unwind(AssertUnwindSafe(move || f(me))).is_err() {
+                flag.store(true, Ordering::SeqCst);
+            }
+        });
+    }
+}
+
+/// Creates a scope for spawning threads that may borrow from the caller.
+/// All spawned threads are joined before this returns. Returns `Err` if
+/// any child panicked (the panic payload is replaced with a static
+/// message; crossbeam would carry the original payloads).
+pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+where
+    F: for<'scope> FnOnce(Scope<'scope, 'env>) -> R,
+{
+    let panicked = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&panicked);
+    let out = std::thread::scope(move |s| f(Scope { inner: s, panicked: flag }));
+    if panicked.load(Ordering::SeqCst) {
+        Err(Box::new("a scoped child thread panicked"))
+    } else {
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn spawns_share_borrows() {
+        let count = AtomicUsize::new(0);
+        let r = scope(|s| {
+            for _ in 0..4 {
+                let count = &count;
+                s.spawn(move |_| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert!(r.is_ok());
+        assert_eq!(count.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn child_panic_becomes_err_not_abort() {
+        let count = AtomicUsize::new(0);
+        let r = scope(|s| {
+            s.spawn(|_| panic!("worker died"));
+            let count = &count;
+            s.spawn(move |_| {
+                count.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert!(r.is_err());
+        assert_eq!(count.load(Ordering::SeqCst), 1, "surviving worker still ran");
+    }
+}

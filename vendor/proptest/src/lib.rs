@@ -1,0 +1,553 @@
+//! Offline shim of `proptest`.
+//!
+//! Provides the strategy-combinator subset this workspace's property tests
+//! use: `proptest!`, `prop_assert*!`, `prop_oneof!`, `Just`, `any`,
+//! integer/float range strategies, tuple strategies, a tiny regex-subset
+//! string strategy, `prop::collection::{vec, btree_set}`, and
+//! `prop::sample::select`. Cases are generated from a deterministic
+//! splitmix64 stream seeded per test name, so failures reproduce; there is
+//! no shrinking — the failing inputs are printed instead.
+
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// Commonly used exports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Just,
+        ProptestConfig, Strategy,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Deterministic splitmix64 generator driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the stream for one test case.
+    pub fn for_case(test_hash: u64, case: u64) -> Self {
+        TestRng(test_hash ^ case.wrapping_mul(0x9E3779B97F4A7C15) ^ 0xD1B54A32D192ED03)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, bound)`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "empty sample range");
+        self.next_u64() % bound
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// FNV-1a hash of a test name, used as the per-test seed base.
+pub fn name_hash(name: &str) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value: Debug;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> BoxedStrategy<U>
+    where
+        Self: Sized + 'static,
+        U: Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        let inner = self.boxed();
+        BoxedStrategy(Rc::new(move |rng| f(inner.sample(rng))))
+    }
+
+    /// Builds recursive values: `f` receives a strategy for the previous
+    /// depth level and returns the next level; `depth` levels are stacked
+    /// on top of `self` (the leaf strategy).
+    fn prop_recursive<S2, F>(self, depth: u32, _size: u32, _branch: u32, f: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut cur = self.boxed();
+        for _ in 0..depth {
+            cur = f(cur).boxed();
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(move |rng| self.sample(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn Fn(&mut TestRng) -> V>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V: Debug> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.0)(rng)
+    }
+}
+
+impl<V: Debug> Debug for BoxedStrategy<V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("BoxedStrategy")
+    }
+}
+
+/// Strategy producing exactly one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Range strategies
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = (rng.next_u64() as u128) % span;
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = (rng.next_u64() as u128) % span;
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Strategy for std::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        self.start + rng.f64() * (self.end - self.start)
+    }
+}
+
+// Tuple strategies: a tuple of strategies yields a tuple of values.
+macro_rules! impl_tuple_strategy {
+    ($(($($t:ident . $n:tt),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ---------------------------------------------------------------------------
+// String strategy (regex subset)
+// ---------------------------------------------------------------------------
+
+/// `&str` is a strategy generating strings from a small regex subset:
+/// literals, `[a-z0-9_]` classes, and `{n}`/`{m,n}`/`?`/`*`/`+`
+/// quantifiers (unbounded ones capped at 8 repeats).
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        gen_regex(self, rng)
+    }
+}
+
+fn gen_regex(pattern: &str, rng: &mut TestRng) -> String {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        // One atom: a char class or a literal.
+        let class: Vec<char> = if chars[i] == '[' {
+            let mut set = Vec::new();
+            i += 1;
+            while i < chars.len() && chars[i] != ']' {
+                if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                    let (lo, hi) = (chars[i] as u32, chars[i + 2] as u32);
+                    for c in lo..=hi {
+                        if let Some(c) = char::from_u32(c) {
+                            set.push(c);
+                        }
+                    }
+                    i += 3;
+                } else {
+                    set.push(chars[i]);
+                    i += 1;
+                }
+            }
+            i += 1; // closing ]
+            set
+        } else if chars[i] == '\\' && i + 1 < chars.len() {
+            i += 2;
+            match chars[i - 1] {
+                'd' => ('0'..='9').collect(),
+                'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+                c => vec![c],
+            }
+        } else {
+            let c = chars[i];
+            i += 1;
+            vec![c]
+        };
+        // Optional quantifier.
+        let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p).unwrap_or(i);
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((a, b)) => (
+                    a.trim().parse().unwrap_or(0),
+                    b.trim().parse().unwrap_or_else(|_| a.trim().parse().unwrap_or(0) + 8),
+                ),
+                None => {
+                    let n = body.trim().parse().unwrap_or(1);
+                    (n, n)
+                }
+            }
+        } else if i < chars.len() && (chars[i] == '*' || chars[i] == '+' || chars[i] == '?') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '*' => (0, 8),
+                '+' => (1, 8),
+                _ => (0, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        let n = lo + (rng.below((hi - lo + 1) as u64) as usize);
+        for _ in 0..n {
+            if !class.is_empty() {
+                out.push(class[rng.below(class.len() as u64) as usize]);
+            }
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical full-domain strategy.
+pub trait Arbitrary: Sized + Debug + 'static {
+    /// Draws an arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Bounded but wide: property tests want finite, usable values.
+        (rng.f64() - 0.5) * 2e12
+    }
+}
+
+/// The canonical strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T: Arbitrary>() -> BoxedStrategy<T> {
+    BoxedStrategy(Rc::new(|rng| T::arbitrary(rng)))
+}
+
+// ---------------------------------------------------------------------------
+// prop:: namespace
+// ---------------------------------------------------------------------------
+
+/// The `prop::` module namespace (`prop::collection::vec`, ...).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::*;
+
+        /// Size bounds for generated collections.
+        #[derive(Debug, Clone, Copy)]
+        pub struct SizeRange {
+            lo: usize,
+            hi: usize,
+        }
+
+        impl From<usize> for SizeRange {
+            fn from(n: usize) -> Self {
+                SizeRange { lo: n, hi: n }
+            }
+        }
+        impl From<std::ops::Range<usize>> for SizeRange {
+            fn from(r: std::ops::Range<usize>) -> Self {
+                assert!(r.start < r.end, "empty collection size range");
+                SizeRange { lo: r.start, hi: r.end - 1 }
+            }
+        }
+        impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+            fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+                SizeRange { lo: *r.start(), hi: *r.end() }
+            }
+        }
+
+        /// `Vec` of values from `element`, length within `size`.
+        pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: 'static,
+        {
+            let size = size.into();
+            BoxedStrategy(Rc::new(move |rng| {
+                let n = size.lo + rng.below((size.hi - size.lo + 1) as u64) as usize;
+                (0..n).map(|_| element.sample(rng)).collect()
+            }))
+        }
+
+        /// `BTreeSet` of values from `element`; sizes above the reachable
+        /// domain are truncated (matching proptest's best-effort fill).
+        pub fn btree_set<S>(
+            element: S,
+            size: impl Into<SizeRange>,
+        ) -> BoxedStrategy<std::collections::BTreeSet<S::Value>>
+        where
+            S: Strategy + 'static,
+            S::Value: Ord + 'static,
+        {
+            let size = size.into();
+            BoxedStrategy(Rc::new(move |rng| {
+                let n = size.lo + rng.below((size.hi - size.lo + 1) as u64) as usize;
+                let mut out = std::collections::BTreeSet::new();
+                let mut attempts = 0;
+                while out.len() < n && attempts < n * 20 + 32 {
+                    out.insert(element.sample(rng));
+                    attempts += 1;
+                }
+                out
+            }))
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::*;
+
+        /// Uniformly selects one of the given options.
+        pub fn select<T: Clone + Debug + 'static>(options: Vec<T>) -> BoxedStrategy<T> {
+            assert!(!options.is_empty(), "select from empty options");
+            BoxedStrategy(Rc::new(move |rng| {
+                options[rng.below(options.len() as u64) as usize].clone()
+            }))
+        }
+    }
+}
+
+/// Uniformly picks one of several same-valued strategies (`prop_oneof!`).
+pub fn one_of<V: Debug + 'static>(options: Vec<BoxedStrategy<V>>) -> BoxedStrategy<V> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy(Rc::new(move |rng| {
+        options[rng.below(options.len() as u64) as usize].sample(rng)
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($strat)),+])
+    };
+}
+
+/// Asserts a condition inside a property (panics with the message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` seeded random cases. On failure the
+/// generated inputs are printed before the panic propagates.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ($cfg:expr; $( $(#[$meta:meta])* fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                let base = $crate::name_hash(concat!(module_path!(), "::", stringify!($name)));
+                for case in 0..cfg.cases as u64 {
+                    let mut __rng = $crate::TestRng::for_case(base, case);
+                    $(let $arg = $crate::Strategy::sample(&($strat), &mut __rng);)+
+                    let __dbg = || {
+                        let mut s = String::new();
+                        $(s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)+
+                        s
+                    };
+                    let __inputs = __dbg();
+                    let r = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| {
+                        $body
+                    }));
+                    if let Err(e) = r {
+                        eprintln!(
+                            "proptest {} failed at case {case} with inputs:\n{__inputs}",
+                            stringify!($name),
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = crate::TestRng::for_case(1, 1);
+        for _ in 0..200 {
+            let v = Strategy::sample(&(10i64..20), &mut rng);
+            assert!((10..20).contains(&v));
+            let v = Strategy::sample(&(1u32..=3), &mut rng);
+            assert!((1..=3).contains(&v));
+        }
+    }
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = crate::TestRng::for_case(2, 7);
+        for _ in 0..100 {
+            let s = Strategy::sample(&"[a-z]{0,6}", &mut rng);
+            assert!(s.len() <= 6);
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn macro_grammar_works(
+            x in 0i64..100,
+            v in prop::collection::vec((0u64..5, any::<bool>()), 1..4),
+            pick in prop::sample::select(vec![1, 2, 3]),
+            e in prop_oneof![Just(0i64), (10i64..20)],
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!(!v.is_empty() && v.len() < 4);
+            prop_assert_ne!(pick, 0);
+            prop_assert!(e == 0 || (10..20).contains(&e));
+        }
+    }
+}

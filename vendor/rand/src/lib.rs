@@ -1,0 +1,7 @@
+//! Offline placeholder for the `rand` dependency.
+//!
+//! The workspace declares `rand` but no source file imports it — all
+//! simulation randomness flows through the deterministic
+//! `dbsens_hwsim::rng::SimRng`. This empty crate satisfies dependency
+//! resolution without registry access. If `rand` APIs are ever needed,
+//! extend this shim rather than adding the real crate.

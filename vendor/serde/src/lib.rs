@@ -1,0 +1,485 @@
+//! Offline shim of the `serde` facade.
+//!
+//! The real serde crates are unavailable in this build environment (no
+//! registry access), so this vendored crate provides the subset of the API
+//! the workspace uses: `Serialize`/`Deserialize` traits, derive macros
+//! (re-exported from `serde_derive`), and the `#[serde(default)]` field
+//! attribute. Instead of serde's zero-copy visitor data model, values
+//! round-trip through an owned JSON tree ([`Json`]); `serde_json` renders
+//! and parses that tree. Serialization is deterministic (field order is
+//! declaration order), which the result cache relies on for hashing.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON value: the intermediate data model of this shim.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Signed integer (serialized without decimal point).
+    I64(i64),
+    /// Unsigned integer beyond or at the `i64` boundary.
+    U64(u64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Json>),
+    /// Object; insertion (declaration) order is preserved.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Returns the object fields if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Returns the array elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        self.as_object().and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from any message.
+    pub fn custom(msg: impl fmt::Display) -> Self {
+        Error(msg.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be converted to a [`Json`] tree.
+pub trait Serialize {
+    /// Converts `self` to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+/// Types that can be reconstructed from a [`Json`] tree.
+pub trait Deserialize: Sized {
+    /// Parses `Self` out of a JSON value.
+    fn from_json(v: &Json) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Derive-macro support helpers (referenced by generated code).
+// ---------------------------------------------------------------------------
+
+/// Looks up and deserializes a struct field. Missing fields deserialize
+/// from `null` (so `Option` fields default to `None`, matching serde).
+pub fn field<T: Deserialize>(obj: &[(String, Json)], name: &str) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_json(v),
+        None => T::from_json(&Json::Null)
+            .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+    }
+}
+
+/// Like [`field`], but a missing field takes the type's `Default`
+/// (the `#[serde(default)]` attribute).
+pub fn field_default<T: Deserialize + Default>(
+    obj: &[(String, Json)],
+    name: &str,
+) -> Result<T, Error> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_json(v),
+        None => Ok(T::default()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::I64(*self as i64) }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                match v {
+                    Json::I64(n) => <$t>::try_from(*n).map_err(Error::custom),
+                    Json::U64(n) => <$t>::try_from(*n).map_err(Error::custom),
+                    Json::F64(n) if n.fract() == 0.0 => Ok(*n as $t),
+                    other => Err(Error::custom(format!(
+                        "expected integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Json { Json::U64(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                match v {
+                    Json::U64(n) => <$t>::try_from(*n).map_err(Error::custom),
+                    Json::I64(n) => u64::try_from(*n)
+                        .map_err(Error::custom)
+                        .and_then(|n| <$t>::try_from(n).map_err(Error::custom)),
+                    Json::F64(n) if n.fract() == 0.0 && *n >= 0.0 => Ok(*n as $t),
+                    other => Err(Error::custom(format!(
+                        "expected unsigned integer, got {other:?}"
+                    ))),
+                }
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self)
+    }
+}
+impl Deserialize for f64 {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::F64(n) => Ok(*n),
+            Json::I64(n) => Ok(*n as f64),
+            Json::U64(n) => Ok(*n as f64),
+            other => Err(Error::custom(format!("expected number, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Json {
+        Json::F64(*self as f64)
+    }
+}
+impl Deserialize for f32 {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        f64::from_json(v).map(|n| n as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+impl Deserialize for bool {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Json {
+        Json::Str(self.clone())
+    }
+}
+impl Deserialize for String {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Json {
+        Json::Str(self.to_string())
+    }
+}
+impl Deserialize for char {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        let s = String::from_json(v)?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-char string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        T::from_json(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(x) => x.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Array(a) => a.iter().map(T::from_json).collect(),
+            other => Err(Error::custom(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        let items = Vec::<T>::from_json(v)?;
+        <[T; N]>::try_from(items)
+            .map_err(|v| Error::custom(format!("expected {N} elements, got {}", v.len())))
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Json {
+        Json::Object(
+            self.iter()
+                .map(|(k, v)| (json_key(&k.to_json()), v.to_json()))
+                .collect(),
+        )
+    }
+}
+impl<K: Deserialize + Ord + KeyFromStr, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Object(o) => o
+                .iter()
+                .map(|(k, v)| Ok((K::key_from_str(k)?, V::from_json(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_json(&self) -> Json {
+        // Deterministic output: sort by rendered key.
+        let mut entries: Vec<(String, Json)> = self
+            .iter()
+            .map(|(k, v)| (json_key(&k.to_json()), v.to_json()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Json::Object(entries)
+    }
+}
+impl<K: Deserialize + Eq + Hash + KeyFromStr, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        match v {
+            Json::Object(o) => o
+                .iter()
+                .map(|(k, v)| Ok((K::key_from_str(k)?, V::from_json(v)?)))
+                .collect(),
+            other => Err(Error::custom(format!("expected object, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+impl<T: Deserialize + Ord> Deserialize for BTreeSet<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        Vec::<T>::from_json(v).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for HashSet<T> {
+    fn to_json(&self) -> Json {
+        let mut rendered: Vec<Json> = self.iter().map(Serialize::to_json).collect();
+        rendered.sort_by_key(|j| format!("{j:?}"));
+        Json::Array(rendered)
+    }
+}
+impl<T: Deserialize + Eq + Hash> Deserialize for HashSet<T> {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        Vec::<T>::from_json(v).map(|v| v.into_iter().collect())
+    }
+}
+
+/// Renders a JSON value as an object key (JSON object keys are strings).
+fn json_key(v: &Json) -> String {
+    match v {
+        Json::Str(s) => s.clone(),
+        Json::I64(n) => n.to_string(),
+        Json::U64(n) => n.to_string(),
+        Json::Bool(b) => b.to_string(),
+        other => format!("{other:?}"),
+    }
+}
+
+/// Map keys parsed back from their string form.
+pub trait KeyFromStr: Sized {
+    /// Parses the key out of an object-key string.
+    fn key_from_str(s: &str) -> Result<Self, Error>;
+}
+
+impl KeyFromStr for String {
+    fn key_from_str(s: &str) -> Result<Self, Error> {
+        Ok(s.to_owned())
+    }
+}
+
+macro_rules! impl_key_from_str {
+    ($($t:ty),*) => {$(
+        impl KeyFromStr for $t {
+            fn key_from_str(s: &str) -> Result<Self, Error> {
+                s.parse().map_err(Error::custom)
+            }
+        }
+    )*};
+}
+impl_key_from_str!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize, bool);
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_json(&self) -> Json {
+                Json::Array(vec![$(self.$n.to_json()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_json(v: &Json) -> Result<Self, Error> {
+                let a = v.as_array().ok_or_else(|| Error::custom("expected tuple array"))?;
+                let mut it = a.iter();
+                let out = ($(
+                    {
+                        let _ = $n; // positional marker
+                        $t::from_json(it.next().ok_or_else(|| Error::custom("tuple too short"))?)?
+                    },
+                )+);
+                if it.next().is_some() {
+                    return Err(Error::custom("tuple too long"));
+                }
+                Ok(out)
+            }
+        }
+    )*};
+}
+impl_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F, 6 G, 7 H)
+}
+
+impl Serialize for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+impl Deserialize for Json {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> Json {
+        Json::Null
+    }
+}
+impl Deserialize for () {
+    fn from_json(_: &Json) -> Result<Self, Error> {
+        Ok(())
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_json(&self) -> Json {
+        Json::Object(vec![
+            ("secs".into(), Json::U64(self.as_secs())),
+            ("nanos".into(), Json::U64(self.subsec_nanos() as u64)),
+        ])
+    }
+}
+impl Deserialize for std::time::Duration {
+    fn from_json(v: &Json) -> Result<Self, Error> {
+        let secs = v.get("secs").map(u64::from_json).transpose()?.unwrap_or(0);
+        let nanos = v.get("nanos").map(u32::from_json).transpose()?.unwrap_or(0);
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}

@@ -1,0 +1,435 @@
+//! Offline shim of `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for the
+//! vendored `serde` facade without syn/quote: the item is parsed with a
+//! small hand-rolled walker over `proc_macro::TokenTree`s and the impl is
+//! generated as a string. Supported shapes (everything this workspace
+//! derives): named-field structs, tuple/newtype structs, unit structs, and
+//! enums with unit/newtype/tuple/struct variants. The only field attribute
+//! honored is `#[serde(default)]`. Generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+}
+
+enum Payload {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    payload: Payload,
+}
+
+enum Item {
+    Struct { name: String, payload: Payload },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(i) => i,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (&item, mode) {
+        (Item::Struct { name, payload }, Mode::Serialize) => gen_struct_ser(name, payload),
+        (Item::Struct { name, payload }, Mode::Deserialize) => gen_struct_de(name, payload),
+        (Item::Enum { name, variants }, Mode::Serialize) => gen_enum_ser(name, variants),
+        (Item::Enum { name, variants }, Mode::Deserialize) => gen_enum_de(name, variants),
+    };
+    code.parse().unwrap()
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// True if an attribute group body (the `[...]` tokens) is `serde(default)`.
+fn attr_is_serde_default(body: &TokenStream) -> bool {
+    let mut it = body.clone().into_iter();
+    match (it.next(), it.next()) {
+        (Some(TokenTree::Ident(i)), Some(TokenTree::Group(g))) => {
+            i.to_string() == "serde" && g.stream().to_string().contains("default")
+        }
+        _ => false,
+    }
+}
+
+/// Consumes a run of `#[...]` attributes; returns whether any was
+/// `#[serde(default)]`.
+fn take_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) -> bool {
+    let mut default = false;
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.next() {
+                    if attr_is_serde_default(&g.stream()) {
+                        default = true;
+                    }
+                }
+            }
+            _ => return default,
+        }
+    }
+}
+
+/// Consumes a visibility marker (`pub`, `pub(crate)`, ...), if present.
+fn take_vis(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(i)) = tokens.peek() {
+        if i.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Skips one type expression, stopping at a top-level `,` (consumed) or end.
+/// Tracks `<...>` nesting so commas inside generics don't terminate early.
+fn skip_type(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut depth = 0i32;
+    while let Some(tt) = tokens.peek() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                tokens.next();
+                return;
+            }
+            _ => {}
+        }
+        tokens.next();
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    let mut it = body.into_iter().peekable();
+    loop {
+        let default = take_attrs(&mut it);
+        take_vis(&mut it);
+        let name = match it.next() {
+            Some(TokenTree::Ident(i)) => i.to_string(),
+            None => break,
+            Some(other) => return Err(format!("unexpected token in fields: {other}")),
+        };
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&mut it);
+        fields.push(Field { name, default });
+    }
+    Ok(fields)
+}
+
+/// Counts top-level comma-separated entries of a tuple-struct/variant body.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut it = body.into_iter().peekable();
+    let mut count = 0;
+    loop {
+        let _ = take_attrs(&mut it);
+        take_vis(&mut it);
+        if it.peek().is_none() {
+            break;
+        }
+        skip_type(&mut it);
+        count += 1;
+    }
+    count
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut it = input.into_iter().peekable();
+    let _ = take_attrs(&mut it);
+    take_vis(&mut it);
+    let kind = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected struct/enum, got {other:?}")),
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = it.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("derive shim does not support generics on `{name}`"));
+        }
+    }
+    match kind.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Item::Struct {
+                name,
+                payload: Payload::Named(parse_named_fields(g.stream())?),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Ok(Item::Struct { name, payload: Payload::Tuple(count_tuple_fields(g.stream())) })
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Ok(Item::Struct { name, payload: Payload::Unit })
+            }
+            other => Err(format!("unexpected struct body: {other:?}")),
+        },
+        "enum" => {
+            let body = match it.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => return Err(format!("unexpected enum body: {other:?}")),
+            };
+            let mut variants = Vec::new();
+            let mut vit = body.into_iter().peekable();
+            loop {
+                let _ = take_attrs(&mut vit);
+                let vname = match vit.next() {
+                    Some(TokenTree::Ident(i)) => i.to_string(),
+                    None => break,
+                    Some(other) => return Err(format!("unexpected variant token: {other}")),
+                };
+                let payload = match vit.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let g = g.stream();
+                        vit.next();
+                        Payload::Tuple(count_tuple_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let g = g.stream();
+                        vit.next();
+                        Payload::Named(parse_named_fields(g)?)
+                    }
+                    _ => Payload::Unit,
+                };
+                // Skip a discriminant (`= expr`) and the trailing comma.
+                while let Some(tt) = vit.peek() {
+                    match tt {
+                        TokenTree::Punct(p) if p.as_char() == ',' => {
+                            vit.next();
+                            break;
+                        }
+                        _ => {
+                            vit.next();
+                        }
+                    }
+                }
+                variants.push(Variant { name: vname, payload });
+            }
+            Ok(Item::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn gen_struct_ser(name: &str, payload: &Payload) -> String {
+    let body = match payload {
+        Payload::Unit => "::serde::Json::Null".to_string(),
+        Payload::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Payload::Tuple(n) => {
+            let items: Vec<String> =
+                (0..*n).map(|i| format!("::serde::Serialize::to_json(&self.{i})")).collect();
+            format!("::serde::Json::Array(vec![{}])", items.join(", "))
+        }
+        Payload::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(\"{0}\".to_string(), ::serde::Serialize::to_json(&self.{0}))",
+                        f.name
+                    )
+                })
+                .collect();
+            format!("::serde::Json::Object(vec![{}])", items.join(", "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Json {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, payload: &Payload) -> String {
+    let body = match payload {
+        Payload::Unit => format!("::std::result::Result::Ok({name})"),
+        Payload::Tuple(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json(v)?))")
+        }
+        Payload::Tuple(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&a[{i}])?"))
+                .collect();
+            format!(
+                "let a = v.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 if a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}\")); }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Payload::Named(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    let getter = if f.default { "field_default" } else { "field" };
+                    format!("{0}: ::serde::{getter}(obj, \"{0}\")?", f.name)
+                })
+                .collect();
+            format!(
+                "let obj = v.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {items} }})",
+                items = items.join(", ")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(v: &::serde::Json) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: Vec<String> = variants
+        .iter()
+        .map(|var| {
+            let v = &var.name;
+            match &var.payload {
+                Payload::Unit => format!(
+                    "{name}::{v} => ::serde::Json::Str(\"{v}\".to_string()),"
+                ),
+                Payload::Tuple(1) => format!(
+                    "{name}::{v}(x0) => ::serde::Json::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_json(x0))]),"
+                ),
+                Payload::Tuple(n) => {
+                    let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                    let items: Vec<String> =
+                        binds.iter().map(|b| format!("::serde::Serialize::to_json({b})")).collect();
+                    format!(
+                        "{name}::{v}({binds}) => ::serde::Json::Object(vec![(\"{v}\".to_string(), ::serde::Json::Array(vec![{items}]))]),",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+                Payload::Named(fields) => {
+                    let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{0}\".to_string(), ::serde::Serialize::to_json({0}))",
+                                f.name
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "{name}::{v} {{ {binds} }} => ::serde::Json::Object(vec![(\"{v}\".to_string(), ::serde::Json::Object(vec![{items}]))]),",
+                        binds = binds.join(", "),
+                        items = items.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Json {{\n\
+         match self {{\n{arms}\n}}\n\
+         }}\n}}",
+        arms = arms.join("\n")
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: Vec<String> = variants
+        .iter()
+        .filter(|v| matches!(v.payload, Payload::Unit))
+        .map(|v| format!("\"{0}\" => ::std::result::Result::Ok({name}::{0}),", v.name))
+        .collect();
+    let tagged_arms: Vec<String> = variants
+        .iter()
+        .filter_map(|var| {
+            let v = &var.name;
+            match &var.payload {
+                Payload::Unit => None,
+                Payload::Tuple(1) => Some(format!(
+                    "\"{v}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_json(val)?)),"
+                )),
+                Payload::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_json(&a[{i}])?"))
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => {{\n\
+                         let a = val.as_array().ok_or_else(|| ::serde::Error::custom(\"expected array payload\"))?;\n\
+                         if a.len() != {n} {{ return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for {name}::{v}\")); }}\n\
+                         ::std::result::Result::Ok({name}::{v}({items}))\n}}",
+                        items = items.join(", ")
+                    ))
+                }
+                Payload::Named(fields) => {
+                    let items: Vec<String> = fields
+                        .iter()
+                        .map(|f| {
+                            let getter = if f.default { "field_default" } else { "field" };
+                            format!("{0}: ::serde::{getter}(obj, \"{0}\")?", f.name)
+                        })
+                        .collect();
+                    Some(format!(
+                        "\"{v}\" => {{\n\
+                         let obj = val.as_object().ok_or_else(|| ::serde::Error::custom(\"expected object payload\"))?;\n\
+                         ::std::result::Result::Ok({name}::{v} {{ {items} }})\n}}",
+                        items = items.join(", ")
+                    ))
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(v: &::serde::Json) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         match v {{\n\
+         ::serde::Json::Str(s) => match s.as_str() {{\n\
+         {unit_arms}\n\
+         other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n\
+         }},\n\
+         ::serde::Json::Object(o) if o.len() == 1 => {{\n\
+         let (tag, val) = &o[0];\n\
+         match tag.as_str() {{\n\
+         {tagged_arms}\n\
+         other => ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant {{other}} of {name}\"))),\n\
+         }}\n\
+         }},\n\
+         other => ::std::result::Result::Err(::serde::Error::custom(format!(\"cannot deserialize {name} from {{other:?}}\"))),\n\
+         }}\n}}\n}}",
+        unit_arms = unit_arms.join("\n"),
+        tagged_arms = tagged_arms.join("\n")
+    )
+}
