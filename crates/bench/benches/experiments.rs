@@ -15,8 +15,10 @@ fn main() {
     // Respect `cargo bench -- --help`-style filter args minimally: any
     // argument selects a subset by substring.
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let filters: Vec<&String> =
-        args.iter().filter(|a| !a.starts_with('-') && !a.is_empty()).collect();
+    let filters: Vec<&String> = args
+        .iter()
+        .filter(|a| !a.starts_with('-') && !a.is_empty())
+        .collect();
     let want = |name: &str| filters.is_empty() || filters.iter().any(|f| name.contains(f.as_str()));
 
     let mut profile = Profile::quick();
@@ -107,5 +109,8 @@ fn main() {
         }
     }
 
-    eprintln!("[bench] experiment suite finished in {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "[bench] experiment suite finished in {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

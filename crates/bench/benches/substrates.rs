@@ -55,6 +55,31 @@ fn bench_cache(c: &mut Criterion) {
         profile.random(Region::new(2), 16 << 20, 4_000);
         b.iter(|| llc.access(0, &profile, &mut rng))
     });
+    // The OLTP shape: one hot structure that fits, ~99% hit rate — the
+    // probe loop's branchless filter-tag scan is what this stresses.
+    c.bench_function("llc/hot_working_set", |b| {
+        let mut llc = Llc::new(2, CacheCalib::default());
+        let mut rng = SimRng::new(2);
+        let mut profile = MemProfile::new();
+        profile.random(Region::new(1), 2 << 20, 4_000);
+        llc.access(0, &profile, &mut rng); // warm
+        b.iter(|| llc.access(0, &profile, &mut rng))
+    });
+    // The OLAP shape: a deep pipeline with dozens of concurrent patterns,
+    // exercising the heap-based proportional interleave scheduler.
+    c.bench_function("llc/deep_pipeline_access", |b| {
+        let mut llc = Llc::new(2, CacheCalib::default());
+        let mut rng = SimRng::new(3);
+        let mut profile = MemProfile::new();
+        for i in 0..32u64 {
+            if i % 2 == 0 {
+                profile.stream(Region::new(i + 1), 4 << 20);
+            } else {
+                profile.random(Region::new(i + 1), 8 << 20, 2_000);
+            }
+        }
+        b.iter(|| llc.access(0, &profile, &mut rng))
+    });
 }
 
 fn bench_bufferpool(c: &mut Criterion) {
@@ -71,15 +96,27 @@ fn bench_bufferpool(c: &mut Criterion) {
 }
 
 fn bench_columnstore(c: &mut Criterion) {
-    let schema = Schema::new(&[("a", ColType::Int), ("b", ColType::Int), ("s", ColType::Str(8))]);
+    let schema = Schema::new(&[
+        ("a", ColType::Int),
+        ("b", ColType::Int),
+        ("s", ColType::Str(8)),
+    ]);
     let rows: Vec<Vec<Value>> = (0..20_000)
-        .map(|i| vec![Value::Int(i), Value::Int(i % 50), Value::Str(format!("v{}", i % 100))])
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % 50),
+                Value::Str(format!("v{}", i % 100)),
+            ]
+        })
         .collect();
     c.bench_function("columnstore/build_20k_rows", |b| {
         b.iter(|| ColumnStore::build(schema.clone(), &rows, 4096))
     });
     let cs = ColumnStore::build(schema.clone(), &rows, 4096);
-    c.bench_function("columnstore/scan_column", |b| b.iter(|| cs.scan_column(1, None, None)));
+    c.bench_function("columnstore/scan_column", |b| {
+        b.iter(|| cs.scan_column(1, None, None))
+    });
 }
 
 fn bench_locks(c: &mut Criterion) {
@@ -93,7 +130,10 @@ fn bench_locks(c: &mut Criterion) {
                         lm.acquire(
                             txn,
                             TaskId(t as usize),
-                            LockKey { table: 1, row: t * 4 + k },
+                            LockKey {
+                                table: 1,
+                                row: t * 4 + k,
+                            },
                             LockMode::X,
                         );
                     }

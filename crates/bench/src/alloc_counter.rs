@@ -1,0 +1,69 @@
+//! Process-wide heap allocation counters for the perf harness.
+//!
+//! [`CountingAlloc`] wraps the system allocator and bumps two relaxed
+//! atomics per allocation. The `repro` binary installs it as its
+//! `#[global_allocator]`; library users that don't install it simply read
+//! zeros from [`totals`], so the counters are strictly opt-in and the
+//! criterion benches keep the stock allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-backed allocator that counts allocations and bytes.
+///
+/// Install in a binary with:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: dbsens_bench::alloc_counter::CountingAlloc =
+///     dbsens_bench::alloc_counter::CountingAlloc;
+/// ```
+pub struct CountingAlloc;
+
+// SAFETY: delegates verbatim to `System`; the counter updates have no
+// effect on allocation behavior.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+/// `(allocations, bytes)` counted so far by the installed
+/// [`CountingAlloc`]; `(0, 0)` forever when it isn't installed.
+pub fn totals() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_monotone() {
+        // The test binary doesn't install the allocator, so totals stay
+        // flat — but they must never decrease either way.
+        let (a1, b1) = totals();
+        let _v: Vec<u64> = (0..1024).collect();
+        let (a2, b2) = totals();
+        assert!(a2 >= a1);
+        assert!(b2 >= b1);
+    }
+}

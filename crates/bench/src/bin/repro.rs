@@ -3,9 +3,9 @@
 //! ```text
 //! Usage: repro [--profile quick|full] [--quick] [--no-cache]
 //!              [--faults <profile>] [--crash <class>] [--points N]
-//!              [--seed S] <target>...
+//!              [--seed S] [--json PATH] [--baseline PATH] <target>...
 //! Targets: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!          write_limits ablation all
+//!          write_limits ablation perf all
 //! Fault profiles: ssd-brownout core-loss dram-brownout
 //! Crash classes: oltp olap htap all
 //! ```
@@ -19,13 +19,21 @@
 //! `--crash <class>` runs the kill-at-any-point crash-consistency
 //! verifier over that workload class (200 seeded kill points by default,
 //! 25 under `--quick`, override with `--points`); like `--faults`, a bare
-//! `--crash` runs only the durability report. Unknown flags, profiles, or
-//! targets exit with code 2; a failing experiment or durability violation
-//! is reported per-slot and exits with code 1 after the remaining targets
-//! run (degraded fault runs are expected and do not fail the process).
+//! `--crash` runs only the durability report. `perf` runs the host-side
+//! simulator micro-benchmark (a frozen fixed-seed sweep) and writes its
+//! machine-readable report to `--json PATH` (default `BENCH_5.json`);
+//! `--baseline PATH` embeds a previous report and computes the speedup.
+//! `perf` exits 1 only on a determinism violation — same-seed digests
+//! differing between its paired runs or from the baseline's — never on
+//! timing. Unknown flags, profiles, or targets exit with code 2; a
+//! failing experiment or durability violation is reported per-slot and
+//! exits with code 1 after the remaining targets run (degraded fault runs
+//! are expected and do not fail the process).
 
+use dbsens_bench::alloc_counter::CountingAlloc;
 use dbsens_bench::degradation;
 use dbsens_bench::figures;
+use dbsens_bench::perf;
 use dbsens_bench::profile::{fault_profile, profile_from_name, Profile, FAULT_PROFILES};
 use dbsens_bench::save_json;
 use dbsens_core::cache::ResultCache;
@@ -34,6 +42,12 @@ use dbsens_core::progress::StderrReporter;
 use dbsens_core::runner::{ExperimentError, Runner};
 use dbsens_hwsim::faults::FaultSpec;
 use std::sync::Arc;
+
+/// Counting allocator so `repro perf` can report allocation counts; it
+/// delegates to the system allocator and costs two relaxed atomic adds
+/// per allocation.
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
 
 /// Every valid target, in presentation order.
 const TARGETS: &[&str] = &[
@@ -69,14 +83,20 @@ struct Cli {
     crash_seed: u64,
     /// Whether the quick profile was selected (fewer default kill points).
     quick: bool,
+    /// Whether the `perf` micro-benchmark target was requested.
+    perf: bool,
+    /// Output path for the perf report (`--json`).
+    perf_json: Option<String>,
+    /// Prior perf report to compare against (`--baseline`).
+    perf_baseline: Option<String>,
 }
 
 fn usage() -> String {
     format!(
         "Usage: repro [--profile quick|full] [--quick] [--no-cache]\n\
          \x20            [--faults <profile>] [--crash <class>] [--points N]\n\
-         \x20            [--seed S] <target>...\n\
-         Targets: {}\n\
+         \x20            [--seed S] [--json PATH] [--baseline PATH] <target>...\n\
+         Targets: {} perf\n\
          Fault profiles: {}\n\
          Crash classes: oltp olap htap all\n\
          Cached experiment results live under results/cache/; delete the\n\
@@ -86,7 +106,11 @@ fn usage() -> String {
          so the same profile always degrades the same way.\n\
          --crash runs the kill-at-any-point crash-consistency verifier\n\
          (200 kill points per class, 25 under --quick, or --points N);\n\
-         every point is deterministic in (--seed, point index).",
+         every point is deterministic in (--seed, point index).\n\
+         perf runs the frozen fixed-seed simulator micro-benchmark and\n\
+         writes the report to --json PATH (default BENCH_5.json);\n\
+         --baseline PATH embeds a prior report and computes the speedup.\n\
+         It fails (exit 1) only on a determinism violation, not timing.",
         TARGETS.join(" "),
         FAULT_PROFILES.join(" ")
     )
@@ -104,6 +128,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut crash_points = None;
     let mut crash_seed = 42u64;
     let mut quick = false;
+    let mut perf = false;
+    let mut perf_json = None;
+    let mut perf_baseline = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -118,7 +145,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 quick = true;
             }
             "--crash" => {
-                let name = it.next().ok_or("--crash requires a value (oltp|olap|htap|all)")?;
+                let name = it
+                    .next()
+                    .ok_or("--crash requires a value (oltp|olap|htap|all)")?;
                 if name == "all" {
                     crash = CrashClass::ALL.to_vec();
                 } else {
@@ -130,13 +159,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--points" => {
                 let n = it.next().ok_or("--points requires a number")?;
                 crash_points = Some(
-                    n.parse::<u64>().map_err(|_| format!("--points: '{n}' is not a number"))?,
+                    n.parse::<u64>()
+                        .map_err(|_| format!("--points: '{n}' is not a number"))?,
                 );
             }
             "--seed" => {
                 let n = it.next().ok_or("--seed requires a number")?;
-                crash_seed =
-                    n.parse::<u64>().map_err(|_| format!("--seed: '{n}' is not a number"))?;
+                crash_seed = n
+                    .parse::<u64>()
+                    .map_err(|_| format!("--seed: '{n}' is not a number"))?;
             }
             "--faults" => {
                 let name = it.next().ok_or_else(|| {
@@ -150,9 +181,18 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 })?;
                 faults = Some((name.clone(), spec));
             }
+            "--json" => {
+                let path = it.next().ok_or("--json requires a path")?;
+                perf_json = Some(path.clone());
+            }
+            "--baseline" => {
+                let path = it.next().ok_or("--baseline requires a path")?;
+                perf_baseline = Some(path.clone());
+            }
             "--no-cache" => no_cache = true,
             "--help" | "-h" => help = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
+            "perf" => perf = true,
             target => {
                 if !TARGETS.contains(&target) {
                     return Err(format!(
@@ -164,13 +204,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
         }
     }
-    // A bare `--faults` or `--crash` run means "just that report"; figure
-    // targets still default to `all` otherwise.
-    if targets.is_empty() && faults.is_none() && crash.is_empty() {
+    // A bare `--faults`, `--crash`, or `perf` run means "just that
+    // report"; figure targets still default to `all` otherwise.
+    if targets.is_empty() && faults.is_none() && crash.is_empty() && !perf {
         targets.push("all".into());
     }
     crash.dedup();
-    Ok(Cli { profile, targets, no_cache, help, faults, crash, crash_points, crash_seed, quick })
+    Ok(Cli {
+        profile,
+        targets,
+        no_cache,
+        help,
+        faults,
+        crash,
+        crash_points,
+        crash_seed,
+        quick,
+        perf,
+        perf_json,
+        perf_baseline,
+    })
 }
 
 fn main() {
@@ -205,6 +258,44 @@ fn main() {
     let mut failures: Vec<ExperimentError> = Vec::new();
     let mut degradation_failed = false;
     let mut crash_failed = false;
+    let mut perf_failed = false;
+
+    if cli.perf {
+        let baseline = cli.perf_baseline.as_ref().map(|path| {
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("error: --baseline {path}: {e}");
+                std::process::exit(2);
+            });
+            serde_json::from_slice::<perf::PerfReport>(&bytes).unwrap_or_else(|e| {
+                eprintln!("error: --baseline {path}: not a perf report: {e}");
+                std::process::exit(2);
+            })
+        });
+        eprintln!("[repro] perf micro-sweep (fixed seeds, paired determinism check)...");
+        let mut report = perf::run_micro_sweep(|line| eprintln!("[repro] {line}"));
+        if let Some(b) = baseline {
+            perf::attach_baseline(&mut report, b);
+        }
+        let out = cli
+            .perf_json
+            .clone()
+            .unwrap_or_else(|| "BENCH_5.json".to_string());
+        match serde_json::to_string_pretty(&report) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&out, json) {
+                    eprintln!("[repro] failed to write {out}: {e}");
+                } else {
+                    eprintln!("[repro] perf report written to {out}");
+                }
+            }
+            Err(e) => eprintln!("[repro] failed to serialize perf report: {e}"),
+        }
+        println!("{}", perf::render(&report));
+        if !perf::verdict_ok(&report) {
+            eprintln!("[repro] perf micro-sweep found a determinism violation");
+            perf_failed = true;
+        }
+    }
 
     if !cli.crash.is_empty() {
         let points = cli.crash_points.unwrap_or(if cli.quick { 25 } else { 200 });
@@ -379,7 +470,7 @@ fn main() {
             eprintln!("[repro]   {e}");
         }
     }
-    if !failures.is_empty() || degradation_failed || crash_failed {
+    if !failures.is_empty() || degradation_failed || crash_failed || perf_failed {
         std::process::exit(1);
     }
 }
@@ -402,8 +493,14 @@ mod tests {
 
     #[test]
     fn parses_profile_targets_and_no_cache() {
-        let cli = parse_args(&args(&["--profile", "full", "--no-cache", "fig2", "table3"]))
-            .unwrap();
+        let cli = parse_args(&args(&[
+            "--profile",
+            "full",
+            "--no-cache",
+            "fig2",
+            "table3",
+        ]))
+        .unwrap();
         assert!(cli.no_cache);
         assert_eq!(cli.targets, vec!["fig2".to_string(), "table3".to_string()]);
         // The full profile covers all four Figure 6 scale factors.
@@ -469,7 +566,10 @@ mod tests {
     fn parses_crash_classes_and_defaults_to_report_only() {
         let cli = parse_args(&args(&["--crash", "oltp"])).unwrap();
         assert_eq!(cli.crash, vec![CrashClass::Oltp]);
-        assert!(cli.targets.is_empty(), "bare --crash must run only the durability report");
+        assert!(
+            cli.targets.is_empty(),
+            "bare --crash must run only the durability report"
+        );
         assert_eq!(cli.crash_seed, 42);
         assert!(cli.crash_points.is_none());
         let cli = parse_args(&args(&["--crash", "all", "--points", "50", "--seed", "7"])).unwrap();
@@ -481,8 +581,47 @@ mod tests {
     #[test]
     fn quick_flag_is_tracked_for_crash_defaults() {
         assert!(!parse_args(&args(&["--crash", "oltp"])).unwrap().quick);
-        assert!(parse_args(&args(&["--crash", "oltp", "--quick"])).unwrap().quick);
-        assert!(parse_args(&args(&["--profile", "quick", "--crash", "htap"])).unwrap().quick);
+        assert!(
+            parse_args(&args(&["--crash", "oltp", "--quick"]))
+                .unwrap()
+                .quick
+        );
+        assert!(
+            parse_args(&args(&["--profile", "quick", "--crash", "htap"]))
+                .unwrap()
+                .quick
+        );
+    }
+
+    #[test]
+    fn parses_perf_and_defaults_to_report_only() {
+        let cli = parse_args(&args(&["perf"])).unwrap();
+        assert!(cli.perf);
+        assert!(
+            cli.targets.is_empty(),
+            "bare perf must run only the micro-benchmark"
+        );
+        assert!(cli.perf_json.is_none());
+        assert!(cli.perf_baseline.is_none());
+        let cli = parse_args(&args(&[
+            "perf",
+            "--json",
+            "out.json",
+            "--baseline",
+            "BENCH_base.json",
+        ]))
+        .unwrap();
+        assert_eq!(cli.perf_json.as_deref(), Some("out.json"));
+        assert_eq!(cli.perf_baseline.as_deref(), Some("BENCH_base.json"));
+        let err = parse_args(&args(&["perf", "--json"])).unwrap_err();
+        assert!(err.contains("requires a path"), "{err}");
+    }
+
+    #[test]
+    fn perf_plus_targets_runs_both() {
+        let cli = parse_args(&args(&["perf", "fig2"])).unwrap();
+        assert!(cli.perf);
+        assert_eq!(cli.targets, vec!["fig2".to_string()]);
     }
 
     #[test]

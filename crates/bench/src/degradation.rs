@@ -66,12 +66,17 @@ impl DegradationReport {
     /// Returns `true` if any run failed outright (exit-code signal for
     /// `repro`; degraded runs are the expected outcome, not failures).
     pub fn any_failed(&self) -> bool {
-        self.rows.iter().any(|r| r.class == RunClass::Failed || r.error.is_some())
+        self.rows
+            .iter()
+            .any(|r| r.class == RunClass::Failed || r.error.is_some())
     }
 
     /// Number of rows classified as degraded.
     pub fn degraded_count(&self) -> usize {
-        self.rows.iter().filter(|r| r.class == RunClass::Degraded).count()
+        self.rows
+            .iter()
+            .filter(|r| r.class == RunClass::Degraded)
+            .count()
     }
 }
 
@@ -82,10 +87,34 @@ fn workload_matrix(p: &Profile) -> Vec<(WorkloadSpec, ResourceKnobs)> {
     let first = |v: &[f64], d: f64| v.first().copied().unwrap_or(d);
     let dss = p.dss_knobs().with_run_secs(p.dss_secs.min(120));
     vec![
-        (WorkloadSpec::TpcE { sf: first(&p.tpce_sfs, 5000.0), users: 32 }, p.oltp_knobs()),
-        (WorkloadSpec::Asdb { sf: first(&p.asdb_sfs, 2000.0), clients: 32 }, p.oltp_knobs()),
-        (WorkloadSpec::Htap { sf: first(&p.htap_sfs, 5000.0), users: 32 }, p.oltp_knobs()),
-        (WorkloadSpec::TpchThroughput { sf: first(&p.tpch_sfs, 10.0), streams: 2 }, dss),
+        (
+            WorkloadSpec::TpcE {
+                sf: first(&p.tpce_sfs, 5000.0),
+                users: 32,
+            },
+            p.oltp_knobs(),
+        ),
+        (
+            WorkloadSpec::Asdb {
+                sf: first(&p.asdb_sfs, 2000.0),
+                clients: 32,
+            },
+            p.oltp_knobs(),
+        ),
+        (
+            WorkloadSpec::Htap {
+                sf: first(&p.htap_sfs, 5000.0),
+                users: 32,
+            },
+            p.oltp_knobs(),
+        ),
+        (
+            WorkloadSpec::TpchThroughput {
+                sf: first(&p.tpch_sfs, 10.0),
+                streams: 2,
+            },
+            dss,
+        ),
     ]
 }
 
@@ -96,7 +125,9 @@ fn row_from_outcomes(
 ) -> DegradationRow {
     let metric = spec.primary_metric();
     let class = RunClass::of(&faulted);
-    let error = [&baseline, &faulted].iter().find_map(|o| o.as_ref().err().map(|e| e.to_string()));
+    let error = [&baseline, &faulted]
+        .iter()
+        .find_map(|o| o.as_ref().err().map(|e| e.to_string()));
     let base = baseline.ok();
     let fallen = faulted.ok();
     let baseline_tp = base.as_ref().map(|r| r.metric(metric));
@@ -134,7 +165,12 @@ fn row_from_outcomes(
 /// All `2 × workloads` experiments go through the runner in one batch (so
 /// they parallelize and cache like any sweep); a failing slot becomes a
 /// [`Failed`](RunClass::Failed) row rather than aborting the report.
-pub fn run_degradation(p: &Profile, runner: &Runner, name: &str, spec: &FaultSpec) -> DegradationReport {
+pub fn run_degradation(
+    p: &Profile,
+    runner: &Runner,
+    name: &str,
+    spec: &FaultSpec,
+) -> DegradationReport {
     let matrix = workload_matrix(p);
     let mut exps = Vec::with_capacity(matrix.len() * 2);
     for (workload, knobs) in &matrix {
@@ -153,12 +189,20 @@ pub fn run_degradation(p: &Profile, runner: &Runner, name: &str, spec: &FaultSpe
     let rows = matrix
         .iter()
         .map(|(workload, _)| {
-            let baseline = outcomes.next().expect("runner returns one outcome per slot");
-            let faulted = outcomes.next().expect("runner returns one outcome per slot");
+            let baseline = outcomes
+                .next()
+                .expect("runner returns one outcome per slot");
+            let faulted = outcomes
+                .next()
+                .expect("runner returns one outcome per slot");
             row_from_outcomes(workload, baseline, faulted)
         })
         .collect();
-    DegradationReport { fault_profile: name.to_string(), spec: spec.clone(), rows }
+    DegradationReport {
+        fault_profile: name.to_string(),
+        spec: spec.clone(),
+        rows,
+    }
 }
 
 /// Renders the degradation report as an aligned text table.
@@ -173,10 +217,12 @@ pub fn render_degradation(report: &DegradationReport) -> String {
                 r.class.to_string(),
                 opt(r.baseline),
                 opt(r.faulted),
-                r.retained_pct.map_or_else(|| "-".into(), |v| format!("{v:.1}%")),
+                r.retained_pct
+                    .map_or_else(|| "-".into(), |v| format!("{v:.1}%")),
                 opt(r.baseline_p99_ms),
                 opt(r.faulted_p99_ms),
-                r.p99_inflation.map_or_else(|| "-".into(), |v| format!("x{v:.2}")),
+                r.p99_inflation
+                    .map_or_else(|| "-".into(), |v| format!("x{v:.2}")),
                 r.retries.to_string(),
                 r.gave_up.to_string(),
                 r.deadline_misses.to_string(),
@@ -190,18 +236,8 @@ pub fn render_degradation(report: &DegradationReport) -> String {
     );
     out.push_str(&render_table(
         &[
-            "workload",
-            "class",
-            "healthy",
-            "faulted",
-            "retained",
-            "p99 ms",
-            "p99' ms",
-            "p99 infl",
-            "retries",
-            "gave up",
-            "deadline",
-            "windows",
+            "workload", "class", "healthy", "faulted", "retained", "p99 ms", "p99' ms", "p99 infl",
+            "retries", "gave up", "deadline", "windows",
         ],
         &rows,
     ));
@@ -245,12 +281,16 @@ mod tests {
             recovered_txns: 0,
             undone_txns: 0,
             recovery_secs: 0.0,
+            sim_events: 0,
         }
     }
 
     #[test]
     fn row_math_retained_and_inflation() {
-        let spec = WorkloadSpec::TpcE { sf: 500.0, users: 8 };
+        let spec = WorkloadSpec::TpcE {
+            sf: 500.0,
+            users: 8,
+        };
         let mut faulted = result(60.0, 3);
         faulted.p99_txn_ms = Some(5.0);
         let row = row_from_outcomes(&spec, Ok(result(100.0, 0)), Ok(faulted));
@@ -263,7 +303,10 @@ mod tests {
 
     #[test]
     fn failed_slot_becomes_failed_row_with_error() {
-        let spec = WorkloadSpec::Asdb { sf: 50.0, clients: 8 };
+        let spec = WorkloadSpec::Asdb {
+            sf: 50.0,
+            clients: 8,
+        };
         let err = ExperimentError {
             index: 0,
             workload: spec.name(),
@@ -279,11 +322,18 @@ mod tests {
     #[test]
     fn report_renders_and_classifies() {
         let spec = fault_profile("ssd-brownout").unwrap();
-        let healthy_spec = WorkloadSpec::TpcE { sf: 500.0, users: 8 };
+        let healthy_spec = WorkloadSpec::TpcE {
+            sf: 500.0,
+            users: 8,
+        };
         let report = DegradationReport {
             fault_profile: "ssd-brownout".into(),
             spec,
-            rows: vec![row_from_outcomes(&healthy_spec, Ok(result(100.0, 0)), Ok(result(80.0, 7)))],
+            rows: vec![row_from_outcomes(
+                &healthy_spec,
+                Ok(result(100.0, 0)),
+                Ok(result(80.0, 7)),
+            )],
         };
         assert_eq!(report.degraded_count(), 1);
         assert!(!report.any_failed());

@@ -79,7 +79,10 @@ impl ConfigSweep {
     pub fn llc_curve(&self) -> Vec<CurvePoint> {
         self.llc
             .iter()
-            .map(|(mb, r)| CurvePoint { x: *mb as f64, y: r.metric(self.metric) })
+            .map(|(mb, r)| CurvePoint {
+                x: *mb as f64,
+                y: r.metric(self.metric),
+            })
             .collect()
     }
 
@@ -104,7 +107,12 @@ pub fn run_fig2(p: &Profile, runner: &Runner) -> Result<Fig2Data, ExperimentErro
         let base = knobs_for(p, &spec);
         let cores = runner.core_sweep(&spec, &base, &p.scale).into_result()?;
         let llc = runner.llc_sweep(&spec, &base, &p.scale).into_result()?;
-        configs.push(ConfigSweep { name: spec.name(), metric: spec.primary_metric(), cores, llc });
+        configs.push(ConfigSweep {
+            name: spec.name(),
+            metric: spec.primary_metric(),
+            cores,
+            llc,
+        });
     }
     Ok(Fig2Data { configs })
 }
@@ -115,16 +123,22 @@ pub fn render_fig2(d: &Fig2Data) -> String {
     let mut out = String::new();
     out.push_str("# Figure 2: core and cache sensitivity\n\n");
     for c in &d.configs {
-        let perf_cores: Vec<(f64, f64)> =
-            c.cores.iter().map(|(n, r)| (*n as f64, r.metric(c.metric))).collect();
+        let perf_cores: Vec<(f64, f64)> = c
+            .cores
+            .iter()
+            .map(|(n, r)| (*n as f64, r.metric(c.metric)))
+            .collect();
         out.push_str(&render_series(
             &format!("{} perf vs cores (40 MB LLC)", c.name),
             "cores",
             &format!("{:?}", c.metric),
             &perf_cores,
         ));
-        let perf_llc: Vec<(f64, f64)> =
-            c.llc.iter().map(|(mb, r)| (*mb as f64, r.metric(c.metric))).collect();
+        let perf_llc: Vec<(f64, f64)> = c
+            .llc
+            .iter()
+            .map(|(mb, r)| (*mb as f64, r.metric(c.metric)))
+            .collect();
         out.push_str(&render_series(
             &format!("{} perf vs LLC (32 cores)", c.name),
             "LLC MB",
@@ -141,8 +155,7 @@ pub fn render_fig2(d: &Fig2Data) -> String {
         // HTAP is plotted per component (paper Figure 2j): the analytical
         // user's QPH next to the transactional users' TPS.
         if c.name.starts_with("HTAP") {
-            let qph: Vec<(f64, f64)> =
-                c.cores.iter().map(|(n, r)| (*n as f64, r.qph)).collect();
+            let qph: Vec<(f64, f64)> = c.cores.iter().map(|(n, r)| (*n as f64, r.qph)).collect();
             out.push_str(&render_series(
                 &format!("{} DSS component QPH vs cores", c.name),
                 "cores",
@@ -173,9 +186,17 @@ pub fn render_fig2(d: &Fig2Data) -> String {
     let mut rows = Vec::new();
     for c in &d.configs {
         let at = |n: usize| {
-            c.cores.iter().find(|(k, _)| *k == n).map(|(_, r)| r.metric(c.metric)).unwrap_or(0.0)
+            c.cores
+                .iter()
+                .find(|(k, _)| *k == n)
+                .map(|(_, r)| r.metric(c.metric))
+                .unwrap_or(0.0)
         };
-        let ratio = if at(32) > 0.0 { at(16) / at(32) } else { f64::NAN };
+        let ratio = if at(32) > 0.0 {
+            at(16) / at(32)
+        } else {
+            f64::NAN
+        };
         let paper_ref = paper::FIG2_TPCH_16V32
             .iter()
             .find(|(sf, _)| c.name == format!("TPC-H SF={sf}"))
@@ -183,7 +204,10 @@ pub fn render_fig2(d: &Fig2Data) -> String {
             .unwrap_or_else(|| "-".into());
         rows.push(vec![c.name.clone(), fmt(ratio), paper_ref]);
     }
-    out.push_str(&render_table(&["workload", "measured 16/32", "paper 16/32"], &rows));
+    out.push_str(&render_table(
+        &["workload", "measured 16/32", "paper 16/32"],
+        &rows,
+    ));
     out
 }
 
@@ -195,19 +219,31 @@ pub fn render_table4(d: &Fig2Data) -> String {
         let curve = c.llc_curve();
         let p90 = analysis::sufficient_allocation(&curve, 0.90);
         let p95 = analysis::sufficient_allocation(&curve, 0.95);
-        let paper_row = paper::TABLE4.iter().find(|(w, sf, _, _)| {
-            c.name.starts_with(w) && c.name.ends_with(&format!("={sf}"))
-        });
+        let paper_row = paper::TABLE4
+            .iter()
+            .find(|(w, sf, _, _)| c.name.starts_with(w) && c.name.ends_with(&format!("={sf}")));
         rows.push(vec![
             c.name.clone(),
-            p90.map(|v| format!("{v:.0} MB")).unwrap_or_else(|| "-".into()),
-            p95.map(|v| format!("{v:.0} MB")).unwrap_or_else(|| "-".into()),
-            paper_row.map(|(_, _, a, _)| format!("{a} MB")).unwrap_or_else(|| "-".into()),
-            paper_row.map(|(_, _, _, b)| format!("{b} MB")).unwrap_or_else(|| "-".into()),
+            p90.map(|v| format!("{v:.0} MB"))
+                .unwrap_or_else(|| "-".into()),
+            p95.map(|v| format!("{v:.0} MB"))
+                .unwrap_or_else(|| "-".into()),
+            paper_row
+                .map(|(_, _, a, _)| format!("{a} MB"))
+                .unwrap_or_else(|| "-".into()),
+            paper_row
+                .map(|(_, _, _, b)| format!("{b} MB"))
+                .unwrap_or_else(|| "-".into()),
         ]);
     }
     out.push_str(&render_table(
-        &["workload", ">=90% (measured)", ">=95% (measured)", ">=90% (paper)", ">=95% (paper)"],
+        &[
+            "workload",
+            ">=90% (measured)",
+            ">=95% (measured)",
+            ">=90% (paper)",
+            ">=95% (paper)",
+        ],
         &rows,
     ));
     out
@@ -218,18 +254,36 @@ pub fn render_table4(d: &Fig2Data) -> String {
 pub fn render_fig3(d: &Fig2Data) -> String {
     let mut out = String::from("# Figure 3: average bandwidth utilizations\n\n");
     for target in ["TPC-H SF=300", "ASDB SF=2000"] {
-        let Some(c) = d.configs.iter().find(|c| c.name == target) else { continue };
+        let Some(c) = d.configs.iter().find(|c| c.name == target) else {
+            continue;
+        };
         let by_cores_ssd: Vec<(f64, f64)> = c
             .cores
             .iter()
             .map(|(n, r)| (*n as f64, r.ssd_read_mbps + r.ssd_write_mbps))
             .collect();
-        let by_cores_dram: Vec<(f64, f64)> =
-            c.cores.iter().map(|(n, r)| (*n as f64, r.dram_bw_mbps)).collect();
-        let by_llc_dram: Vec<(f64, f64)> =
-            c.llc.iter().map(|(mb, r)| (*mb as f64, r.dram_bw_mbps)).collect();
-        out.push_str(&render_series(&format!("{target} SSD MB/s vs cores"), "cores", "MB/s", &by_cores_ssd));
-        out.push_str(&render_series(&format!("{target} DRAM MB/s vs cores"), "cores", "MB/s", &by_cores_dram));
+        let by_cores_dram: Vec<(f64, f64)> = c
+            .cores
+            .iter()
+            .map(|(n, r)| (*n as f64, r.dram_bw_mbps))
+            .collect();
+        let by_llc_dram: Vec<(f64, f64)> = c
+            .llc
+            .iter()
+            .map(|(mb, r)| (*mb as f64, r.dram_bw_mbps))
+            .collect();
+        out.push_str(&render_series(
+            &format!("{target} SSD MB/s vs cores"),
+            "cores",
+            "MB/s",
+            &by_cores_ssd,
+        ));
+        out.push_str(&render_series(
+            &format!("{target} DRAM MB/s vs cores"),
+            "cores",
+            "MB/s",
+            &by_cores_dram,
+        ));
         out.push_str(&render_series(
             &format!("{target} DRAM MB/s vs LLC (drops as misses fall)"),
             "LLC MB",
@@ -243,14 +297,18 @@ pub fn render_fig3(d: &Fig2Data) -> String {
 
 /// Renders Figure 4: CDFs of SSD and DRAM bandwidth at full allocation.
 pub fn render_fig4(d: &Fig2Data) -> String {
-    let mut out = String::from("# Figure 4: bandwidth CDFs at full allocation (percentiles, MB/s)\n\n");
+    let mut out =
+        String::from("# Figure 4: bandwidth CDFs at full allocation (percentiles, MB/s)\n\n");
     let mut ssd_rows = Vec::new();
     let mut dram_rows = Vec::new();
     let percentiles = [0.10, 0.25, 0.50, 0.75, 0.90, 0.99];
     for c in &d.configs {
         let r = c.full_run();
-        let ssd: Vec<f64> =
-            r.samples.iter().map(|s| (s.ssd_read_bw + s.ssd_write_bw) / 1e6).collect();
+        let ssd: Vec<f64> = r
+            .samples
+            .iter()
+            .map(|s| (s.ssd_read_bw + s.ssd_write_bw) / 1e6)
+            .collect();
         let dram: Vec<f64> = r.samples.iter().map(|s| s.dram_bw / 1e6).collect();
         let row = |vals: &[f64]| -> Vec<String> {
             percentiles
@@ -282,13 +340,19 @@ pub struct Fig5Data {
 }
 
 /// The read-bandwidth limits swept for Figure 5.
-pub const FIG5_LIMITS: [f64; 9] = [50.0, 100.0, 200.0, 400.0, 600.0, 800.0, 1200.0, 1800.0, 2500.0];
+pub const FIG5_LIMITS: [f64; 9] = [
+    50.0, 100.0, 200.0, 400.0, 600.0, 800.0, 1200.0, 1800.0, 2500.0,
+];
 
 /// Runs the Figure 5 sweep.
 pub fn run_fig5(p: &Profile, runner: &Runner) -> Result<Fig5Data, ExperimentError> {
-    let spec = WorkloadSpec::TpchPower { sf: *p.tpch_sfs.last().unwrap_or(&300.0) };
+    let spec = WorkloadSpec::TpchPower {
+        sf: *p.tpch_sfs.last().unwrap_or(&300.0),
+    };
     let base = p.dss_knobs();
-    let points = runner.read_limit_sweep(&spec, &FIG5_LIMITS, &base, &p.scale).into_result()?;
+    let points = runner
+        .read_limit_sweep(&spec, &FIG5_LIMITS, &base, &p.scale)
+        .into_result()?;
     Ok(Fig5Data { points })
 }
 
@@ -297,7 +361,10 @@ pub fn render_fig5(d: &Fig5Data) -> String {
     let mut out = String::from("# Figure 5: QPS vs SSD read-bandwidth limit (TPC-H SF=300)\n\n");
     let series: Vec<(f64, f64)> = d.points.iter().map(|(l, r)| (*l, r.qps)).collect();
     out.push_str(&render_series("QPS vs read limit", "MB/s", "QPS", &series));
-    let curve: Vec<CurvePoint> = series.iter().map(|(x, y)| CurvePoint { x: *x, y: *y }).collect();
+    let curve: Vec<CurvePoint> = series
+        .iter()
+        .map(|(x, y)| CurvePoint { x: *x, y: *y })
+        .collect();
     let max_qps = curve.iter().map(|p| p.y).fold(0.0, f64::max);
     if let Some((linear, actual, over)) = analysis::linear_model_gap(&curve, max_qps * 0.8) {
         out.push_str(&format!(
@@ -346,7 +413,10 @@ pub fn run_fig6_sf(p: &Profile, sf: f64) -> PerQueryData {
 
 /// Renders one Figure 6 panel: per-query speedup relative to MAXDOP=32.
 pub fn render_fig6(d: &PerQueryData) -> String {
-    let mut out = format!("# Figure 6: TPC-H SF={} speedup vs {} (baseline = last column)\n\n", d.sf, d.knob);
+    let mut out = format!(
+        "# Figure 6: TPC-H SF={} speedup vs {} (baseline = last column)\n\n",
+        d.sf, d.knob
+    );
     let base_idx = d.values.len() - 1;
     let mut rows = Vec::new();
     for (qi, times) in d.runtimes.iter().enumerate() {
@@ -357,8 +427,9 @@ pub fn render_fig6(d: &PerQueryData) -> String {
         }
         rows.push(row);
     }
-    let headers: Vec<String> =
-        std::iter::once("query".to_string()).chain(d.values.iter().map(|v| format!("{}={v}", d.knob))).collect();
+    let headers: Vec<String> = std::iter::once("query".to_string())
+        .chain(d.values.iter().map(|v| format!("{}={v}", d.knob)))
+        .collect();
     let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
     out.push_str(&render_table(&header_refs, &rows));
     // DOP-insensitive queries (serial plans).
@@ -460,14 +531,27 @@ pub fn run_fig7(p: &Profile) -> Fig7Data {
 pub fn render_fig7(d: &Fig7Data) -> String {
     let mut out = String::from("# Figure 7: TPC-H Q20 plans, serial vs parallel\n\n");
     for (sf, dop, text, _, mb, secs) in &d.plans {
-        out.push_str(&format!("## SF={sf}, MAXDOP={dop} ({secs:.2}s, wants {mb:.0} MB)\n{text}\n"));
+        out.push_str(&format!(
+            "## SF={sf}, MAXDOP={dop} ({secs:.2}s, wants {mb:.0} MB)\n{text}\n"
+        ));
     }
     // Plan-shape change at the big SF (paper: hash join -> parallel NL).
-    let shapes: Vec<(&f64, &usize, &String)> =
-        d.plans.iter().map(|(sf, dop, _, shape, _, _)| (sf, dop, shape)).collect();
+    let shapes: Vec<(&f64, &usize, &String)> = d
+        .plans
+        .iter()
+        .map(|(sf, dop, _, shape, _, _)| (sf, dop, shape))
+        .collect();
     if let (Some(big_serial), Some(big_par)) = (
-        shapes.iter().filter(|(sf, dop, _)| **sf > 50.0 && **dop == 1).map(|(_, _, s)| s).next(),
-        shapes.iter().filter(|(sf, dop, _)| **sf > 50.0 && **dop == 32).map(|(_, _, s)| s).next(),
+        shapes
+            .iter()
+            .filter(|(sf, dop, _)| **sf > 50.0 && **dop == 1)
+            .map(|(_, _, s)| s)
+            .next(),
+        shapes
+            .iter()
+            .filter(|(sf, dop, _)| **sf > 50.0 && **dop == 32)
+            .map(|(_, _, s)| s)
+            .next(),
     ) {
         out.push_str(&format!(
             "\nPlan shape changes with MAXDOP at the large SF: {}\n",
@@ -475,7 +559,10 @@ pub fn render_fig7(d: &Fig7Data) -> String {
         ));
     }
     let q20 = |sf: f64, dop: usize| {
-        d.plans.iter().find(|(s, d2, ..)| *s == sf && *d2 == dop).map(|(_, _, _, _, mb, _)| *mb)
+        d.plans
+            .iter()
+            .find(|(s, d2, ..)| *s == sf && *d2 == dop)
+            .map(|(_, _, _, _, mb, _)| *mb)
     };
     let big = d.plans.iter().map(|(sf, ..)| *sf).fold(0.0, f64::max);
     if let (Some(m1), Some(m32)) = (q20(big, 1), q20(big, 32)) {
@@ -508,20 +595,30 @@ pub fn render_table2(rows: &[(String, f64, f64)]) -> String {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|(name, data, index)| {
-            let paper_row = paper::TABLE2.iter().find(|(w, sf, _, _)| {
-                name.starts_with(w) && name.ends_with(&format!("={sf}"))
-            });
+            let paper_row = paper::TABLE2
+                .iter()
+                .find(|(w, sf, _, _)| name.starts_with(w) && name.ends_with(&format!("={sf}")));
             vec![
                 name.clone(),
                 fmt(*data),
                 fmt(*index),
-                paper_row.map(|(_, _, d, _)| fmt(*d)).unwrap_or_else(|| "-".into()),
-                paper_row.map(|(_, _, _, i)| fmt(*i)).unwrap_or_else(|| "-".into()),
+                paper_row
+                    .map(|(_, _, d, _)| fmt(*d))
+                    .unwrap_or_else(|| "-".into()),
+                paper_row
+                    .map(|(_, _, _, i)| fmt(*i))
+                    .unwrap_or_else(|| "-".into()),
             ]
         })
         .collect();
     out.push_str(&render_table(
-        &["workload", "data GB", "index GB", "paper data GB", "paper index GB"],
+        &[
+            "workload",
+            "data GB",
+            "index GB",
+            "paper data GB",
+            "paper index GB",
+        ],
         &table,
     ));
     out
@@ -572,7 +669,11 @@ pub fn render_table3(small: &RunResult, large: &RunResult) -> String {
             paper_ref,
         ]);
     }
-    let sum_ratio = if sum_small > 0.0 { sum_large / sum_small } else { f64::NAN };
+    let sum_ratio = if sum_small > 0.0 {
+        sum_large / sum_small
+    } else {
+        f64::NAN
+    };
     rows.push(vec![
         "SUM(L/L/PL)".into(),
         fmt(sum_small),
@@ -581,7 +682,13 @@ pub fn render_table3(small: &RunResult, large: &RunResult) -> String {
         fmt(paper::TABLE3_SUM_RATIO),
     ]);
     out.push_str(&render_table(
-        &["wait class", "small-SF secs", "large-SF secs", "ratio", "paper ratio"],
+        &[
+            "wait class",
+            "small-SF secs",
+            "large-SF secs",
+            "ratio",
+            "paper ratio",
+        ],
         &rows,
     ));
     out.push_str(&format!(
@@ -614,33 +721,47 @@ pub fn run_warmup_ablation(
     let warm = take_outcome(&mut outcomes, "warmup ablation (warmed)")?;
     // Cold path: build without warmup and run the same clock.
     let governor = knobs.governor();
-    let mut built =
-        dbsens_workloads::driver::build_workload_cold(&WorkloadSpec::paper_spec("tpce", sf), &p.scale, &governor);
+    let mut built = dbsens_workloads::driver::build_workload_cold(
+        &WorkloadSpec::paper_spec("tpce", sf),
+        &p.scale,
+        &governor,
+    );
     let mut kernel = Kernel::new(knobs.sim_config());
     for t in built.tasks.drain(..) {
         kernel.spawn(t);
     }
     kernel.run_until(dbsens_hwsim::time::SimTime::ZERO + knobs.run_duration());
-    let cold_io = kernel.wait_stats().total(dbsens_hwsim::task::WaitClass::PageIoLatch).as_secs_f64();
-    let cold_tps = built.metrics.borrow().tps(dbsens_hwsim::time::SimDuration::from_nanos(
-        kernel.now().as_nanos(),
-    ));
+    let cold_io = kernel
+        .wait_stats()
+        .total(dbsens_hwsim::task::WaitClass::PageIoLatch)
+        .as_secs_f64();
+    let cold_tps = built
+        .metrics
+        .borrow()
+        .tps(dbsens_hwsim::time::SimDuration::from_nanos(
+            kernel.now().as_nanos(),
+        ));
     Ok(vec![
-        ("warmed pool".into(), warm.tps, warm.wait_secs("PAGEIOLATCH")),
+        (
+            "warmed pool".into(),
+            warm.tps,
+            warm.wait_secs("PAGEIOLATCH"),
+        ),
         ("cold pool".into(), cold_tps, cold_io),
     ])
 }
 
 /// Renders the warmup ablation.
 pub fn render_warmup_ablation(rows: &[(String, f64, f64)]) -> String {
-    let mut out = String::from(
-        "# Ablation: buffer-pool warmup (methodology behind Table 3)\n\n",
-    );
+    let mut out = String::from("# Ablation: buffer-pool warmup (methodology behind Table 3)\n\n");
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|(name, tps, io)| vec![name.clone(), fmt(*tps), fmt(*io)])
         .collect();
-    out.push_str(&render_table(&["configuration", "TPS", "PAGEIOLATCH secs"], &table));
+    out.push_str(&render_table(
+        &["configuration", "TPS", "PAGEIOLATCH secs"],
+        &table,
+    ));
     out.push_str(
         "\nA cold pool inflates PAGEIOLATCH at the small SF, destroying the\n\
          paper's SF ratio; the harness therefore warms pools by default.\n",
@@ -672,14 +793,23 @@ pub fn render_write_limits(rows: &[(Option<f64>, RunResult)]) -> String {
     let table: Vec<Vec<String>> = rows
         .iter()
         .map(|(limit, r)| {
-            let drop = if base_tps > 0.0 { 1.0 - r.tps / base_tps } else { f64::NAN };
+            let drop = if base_tps > 0.0 {
+                1.0 - r.tps / base_tps
+            } else {
+                f64::NAN
+            };
             let paper_drop = limit
                 .and_then(|l| {
-                    paper::WRITE_LIMIT_DROPS.iter().find(|(pl, _)| *pl == l).map(|(_, d)| fmt(*d * 100.0))
+                    paper::WRITE_LIMIT_DROPS
+                        .iter()
+                        .find(|(pl, _)| *pl == l)
+                        .map(|(_, d)| fmt(*d * 100.0))
                 })
                 .unwrap_or_else(|| "0".into());
             vec![
-                limit.map(|l| format!("{l:.0} MB/s")).unwrap_or_else(|| "unlimited".into()),
+                limit
+                    .map(|l| format!("{l:.0} MB/s"))
+                    .unwrap_or_else(|| "unlimited".into()),
                 fmt(r.tps),
                 fmt(drop * 100.0),
                 paper_drop,

@@ -7,9 +7,11 @@
 
 #![warn(missing_docs)]
 
+pub mod alloc_counter;
 pub mod degradation;
 pub mod figures;
 pub mod paper;
+pub mod perf;
 pub mod profile;
 
 use std::io::Write as _;

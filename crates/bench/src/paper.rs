@@ -16,8 +16,12 @@ pub const TABLE2: [(&str, f64, f64, f64); 10] = [
 ];
 
 /// Table 3: wait-class ratios, TPC-E SF=15000 relative to SF=5000.
-pub const TABLE3: [(&str, f64); 4] =
-    [("LOCK", 0.15), ("LATCH", 1.3), ("PAGELATCH", 0.56), ("PAGEIOLATCH", 74.61)];
+pub const TABLE3: [(&str, f64); 4] = [
+    ("LOCK", 0.15),
+    ("LATCH", 1.3),
+    ("PAGELATCH", 0.56),
+    ("PAGEIOLATCH", 74.61),
+];
 // LATCH's exact ratio is not printed in the paper's table; the text says
 // "LATCH waits do increase", so >1 is the reference shape.
 
@@ -40,7 +44,8 @@ pub const TABLE4: [(&str, f64, u32, u32); 10] = [
 
 /// §4 text: TPC-H performance at 16 cores relative to 32 cores, per SF —
 /// hyper-threading hurts small SFs and helps large ones.
-pub const FIG2_TPCH_16V32: [(f64, f64); 4] = [(10.0, 1.72), (30.0, 1.27), (100.0, 0.93), (300.0, 0.82)];
+pub const FIG2_TPCH_16V32: [(f64, f64); 4] =
+    [(10.0, 1.72), (30.0, 1.27), (100.0, 0.93), (300.0, 0.82)];
 
 /// §4 text: hyper-threading gains (32 vs 16 cores) for the OLTP workloads.
 pub const HT_GAIN_ASDB: (f64, f64) = (1.05, 1.068);

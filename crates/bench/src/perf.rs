@@ -1,0 +1,341 @@
+//! Host-side performance harness for the simulator itself.
+//!
+//! `repro perf` runs a fixed micro-sweep — OLTP, OLAP, and HTAP points at
+//! pinned seeds and scales — and reports, per phase, the host wall-clock,
+//! the kernel event count, the events/sec rate, heap allocation counters,
+//! and the [`RunResult`] content digest. The sweep definition is frozen:
+//! future PRs compare their `BENCH_*.json` against this one, so changing
+//! the points breaks the trajectory.
+//!
+//! Every phase runs twice. The second (warm) run provides the reported
+//! timing; the pair of digests must agree, which is the harness's built-in
+//! determinism gate — CI fails on a digest mismatch or panic, never on
+//! timing noise.
+
+use crate::alloc_counter;
+use dbsens_core::experiment::{Experiment, RunResult};
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_workloads::driver::WorkloadSpec;
+use dbsens_workloads::scale::ScaleCfg;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// One frozen micro-sweep point.
+struct PhaseSpec {
+    name: &'static str,
+    workload: WorkloadSpec,
+    knobs: ResourceKnobs,
+}
+
+/// The pinned scale shared by every phase (the quick profile's scale).
+fn perf_scale() -> ScaleCfg {
+    ScaleCfg {
+        row_scale: 400_000.0,
+        oltp_row_scale: 4_000.0,
+        seed: 42,
+    }
+}
+
+/// The frozen micro-sweep: one point per workload class, plus one
+/// resource-constrained point that exercises core queueing and a small
+/// CAT mask. Seeds and run lengths are part of the benchmark definition.
+fn phases() -> Vec<PhaseSpec> {
+    let base = ResourceKnobs::paper_full().with_seed(42);
+    vec![
+        PhaseSpec {
+            name: "oltp",
+            workload: WorkloadSpec::TpcE {
+                sf: 300.0,
+                users: 16,
+            },
+            knobs: base.clone().with_run_secs(4),
+        },
+        PhaseSpec {
+            name: "olap",
+            workload: WorkloadSpec::TpchThroughput {
+                sf: 10.0,
+                streams: 2,
+            },
+            knobs: base.clone().with_run_secs(60),
+        },
+        PhaseSpec {
+            name: "htap",
+            workload: WorkloadSpec::Htap {
+                sf: 5000.0,
+                users: 16,
+            },
+            knobs: base.clone().with_run_secs(4),
+        },
+        PhaseSpec {
+            name: "oltp-constrained",
+            workload: WorkloadSpec::Asdb {
+                sf: 2000.0,
+                clients: 32,
+            },
+            knobs: base.with_run_secs(4).with_cores(4).with_llc_mb(10),
+        },
+    ]
+}
+
+/// Measured outcome of one phase (the warm run of its pair).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseReport {
+    /// Phase name (`oltp`, `olap`, ...).
+    pub name: String,
+    /// Workload display name.
+    pub workload: String,
+    /// Host wall-clock milliseconds of the warm run.
+    pub wall_ms: f64,
+    /// Kernel events dispatched by one run.
+    pub sim_events: u64,
+    /// Kernel events per host second.
+    pub events_per_sec: f64,
+    /// Heap allocations performed by the warm run.
+    pub allocations: u64,
+    /// Heap bytes requested by the warm run.
+    pub alloc_bytes: u64,
+    /// Primary throughput metric (TPS/QPS) — a sanity anchor, not a
+    /// comparison target.
+    pub metric: f64,
+    /// `RunResult` content digest; must match across the pair.
+    pub digest: String,
+    /// Whether both runs of the pair produced identical digests.
+    pub deterministic: bool,
+}
+
+/// The machine-readable `BENCH_*.json` payload.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PerfReport {
+    /// Report schema tag for future tooling.
+    pub bench: String,
+    /// Per-phase measurements.
+    pub phases: Vec<PhaseReport>,
+    /// Sum of phase wall-clocks, ms.
+    pub total_wall_ms: f64,
+    /// Sum of phase event counts.
+    pub total_events: u64,
+    /// Aggregate events/sec across phases.
+    pub events_per_sec: f64,
+    /// True iff every phase pair digested identically.
+    pub deterministic: bool,
+    /// The baseline this run is compared against, when one was supplied
+    /// (serialized as `null` otherwise — the vendored serde shim does not
+    /// implement `skip_serializing_if`).
+    pub baseline: Option<Box<PerfReport>>,
+    /// `baseline.total_wall_ms / total_wall_ms` (>1 means faster than
+    /// baseline), when a baseline was supplied.
+    pub speedup: Option<f64>,
+}
+
+fn run_phase(spec: &PhaseSpec) -> (RunResult, f64, u64, u64) {
+    let exp = Experiment {
+        workload: spec.workload.clone(),
+        knobs: spec.knobs.clone(),
+        scale: perf_scale(),
+    };
+    let (allocs_before, bytes_before) = alloc_counter::totals();
+    let start = Instant::now();
+    let result = exp.run();
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let (allocs_after, bytes_after) = alloc_counter::totals();
+    (
+        result,
+        wall_ms,
+        allocs_after.saturating_sub(allocs_before),
+        bytes_after.saturating_sub(bytes_before),
+    )
+}
+
+/// Runs the frozen micro-sweep and builds the report.
+///
+/// `progress` receives one line per phase (stderr in the CLI). The
+/// returned report has `baseline`/`speedup` unset; attach them with
+/// [`attach_baseline`].
+pub fn run_micro_sweep(mut progress: impl FnMut(&str)) -> PerfReport {
+    let mut reports = Vec::new();
+    for spec in phases() {
+        progress(&format!(
+            "phase {} ({})...",
+            spec.name,
+            spec.workload.name()
+        ));
+        let (cold, cold_ms, _, _) = run_phase(&spec);
+        let (warm, warm_ms, allocations, alloc_bytes) = run_phase(&spec);
+        let deterministic = cold.digest() == warm.digest();
+        let metric = warm.metric(spec.workload.primary_metric());
+        let events_per_sec = warm.sim_events as f64 / (warm_ms / 1e3).max(1e-9);
+        progress(&format!(
+            "  {:.0} ms cold / {:.0} ms warm, {} events ({:.2} M events/s){}",
+            cold_ms,
+            warm_ms,
+            warm.sim_events,
+            events_per_sec / 1e6,
+            if deterministic {
+                ""
+            } else {
+                "  DIGEST MISMATCH"
+            },
+        ));
+        reports.push(PhaseReport {
+            name: spec.name.to_string(),
+            workload: spec.workload.name(),
+            wall_ms: warm_ms,
+            sim_events: warm.sim_events,
+            events_per_sec,
+            allocations,
+            alloc_bytes,
+            metric,
+            digest: warm.digest(),
+            deterministic,
+        });
+    }
+    let total_wall_ms: f64 = reports.iter().map(|p| p.wall_ms).sum();
+    let total_events: u64 = reports.iter().map(|p| p.sim_events).sum();
+    let deterministic = reports.iter().all(|p| p.deterministic);
+    PerfReport {
+        bench: "dbsens-perf-v1".to_string(),
+        events_per_sec: total_events as f64 / (total_wall_ms / 1e3).max(1e-9),
+        total_wall_ms,
+        total_events,
+        deterministic,
+        phases: reports,
+        baseline: None,
+        speedup: None,
+    }
+}
+
+/// Attaches a baseline report (e.g. the pre-optimization numbers from a
+/// previous build) and computes the aggregate speedup.
+pub fn attach_baseline(report: &mut PerfReport, baseline: PerfReport) {
+    report.speedup = Some(baseline.total_wall_ms / report.total_wall_ms.max(1e-9));
+    report.baseline = Some(Box::new(baseline));
+}
+
+/// Renders the human-readable comparison table.
+pub fn render(report: &PerfReport) -> String {
+    let mut out = String::new();
+    out.push_str("simulator perf micro-sweep (host-side)\n");
+    out.push_str("phase              wall ms   Mevents/s     allocs   det  digest\n");
+    for p in &report.phases {
+        let base = report
+            .baseline
+            .as_ref()
+            .and_then(|b| b.phases.iter().find(|q| q.name == p.name));
+        let vs = match base {
+            Some(b) => format!("  ({:.2}x vs baseline)", b.wall_ms / p.wall_ms.max(1e-9)),
+            None => String::new(),
+        };
+        out.push_str(&format!(
+            "{:<18} {:>8.1} {:>11.2} {:>10} {:>5}  {}{}\n",
+            p.name,
+            p.wall_ms,
+            p.events_per_sec / 1e6,
+            p.allocations,
+            if p.deterministic { "ok" } else { "FAIL" },
+            &p.digest[..16.min(p.digest.len())],
+            vs,
+        ));
+    }
+    out.push_str(&format!(
+        "total: {:.1} ms, {} events, {:.2} M events/s\n",
+        report.total_wall_ms,
+        report.total_events,
+        report.events_per_sec / 1e6
+    ));
+    if let (Some(speedup), Some(b)) = (report.speedup, report.baseline.as_ref()) {
+        out.push_str(&format!(
+            "speedup vs baseline: {speedup:.2}x (baseline total {:.1} ms)\n",
+            b.total_wall_ms
+        ));
+        let digests_match = report.phases.iter().all(|p| {
+            b.phases
+                .iter()
+                .find(|q| q.name == p.name)
+                .is_none_or(|q| q.digest == p.digest)
+        });
+        out.push_str(&format!(
+            "fixed-seed digests vs baseline: {}\n",
+            if digests_match {
+                "identical"
+            } else {
+                "CHANGED (simulation results differ!)"
+            }
+        ));
+    }
+    out
+}
+
+/// True when every phase digested identically across its pair AND (when a
+/// baseline is attached) every phase digest matches the baseline's.
+pub fn verdict_ok(report: &PerfReport) -> bool {
+    let vs_baseline = match &report.baseline {
+        None => true,
+        Some(b) => report.phases.iter().all(|p| {
+            b.phases
+                .iter()
+                .find(|q| q.name == p.name)
+                .is_none_or(|q| q.digest == p.digest)
+        }),
+    };
+    report.deterministic && vs_baseline
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let phase = PhaseReport {
+            name: "oltp".into(),
+            workload: "TPC-E SF=300".into(),
+            wall_ms: 120.5,
+            sim_events: 100_000,
+            events_per_sec: 830_000.0,
+            allocations: 42,
+            alloc_bytes: 4096,
+            metric: 1234.5,
+            digest: "ab".repeat(16),
+            deterministic: true,
+        };
+        let mut report = PerfReport {
+            bench: "dbsens-perf-v1".into(),
+            phases: vec![phase],
+            total_wall_ms: 120.5,
+            total_events: 100_000,
+            events_per_sec: 830_000.0,
+            deterministic: true,
+            baseline: None,
+            speedup: None,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        let back: PerfReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.phases[0].name, "oltp");
+        assert!(
+            back.baseline.is_none(),
+            "unset baseline must round-trip as None"
+        );
+        assert!(verdict_ok(&back));
+
+        let baseline = report.clone();
+        attach_baseline(&mut report, baseline);
+        assert!((report.speedup.unwrap() - 1.0).abs() < 1e-9);
+        assert!(verdict_ok(&report));
+        assert!(render(&report).contains("speedup vs baseline"));
+
+        // A baseline phase with a different digest flips the verdict.
+        report.baseline.as_mut().unwrap().phases[0].digest = "00".repeat(16);
+        assert!(!verdict_ok(&report));
+        assert!(render(&report).contains("CHANGED"));
+    }
+
+    #[test]
+    fn phase_specs_are_frozen() {
+        let p = phases();
+        let names: Vec<&str> = p.iter().map(|s| s.name).collect();
+        assert_eq!(names, ["oltp", "olap", "htap", "oltp-constrained"]);
+        for s in &p {
+            assert_eq!(s.knobs.seed, 42, "phase {} seed drifted", s.name);
+        }
+    }
+}

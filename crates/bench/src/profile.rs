@@ -33,7 +33,11 @@ impl Profile {
     /// by `cargo bench` so every artifact regenerates in minutes.
     pub fn quick() -> Self {
         Profile {
-            scale: ScaleCfg { row_scale: 400_000.0, oltp_row_scale: 4_000.0, seed: 42 },
+            scale: ScaleCfg {
+                row_scale: 400_000.0,
+                oltp_row_scale: 4_000.0,
+                seed: 42,
+            },
             oltp_secs: 6,
             dss_secs: 360,
             threads: host_threads(),
@@ -60,17 +64,24 @@ impl Profile {
     /// Baseline knobs (full allocation) with this profile's run length for
     /// OLTP workloads.
     pub fn oltp_knobs(&self) -> ResourceKnobs {
-        ResourceKnobs::paper_full().with_run_secs(self.oltp_secs).with_seed(self.scale.seed)
+        ResourceKnobs::paper_full()
+            .with_run_secs(self.oltp_secs)
+            .with_seed(self.scale.seed)
     }
 
     /// Baseline knobs for TPC-H throughput runs.
     pub fn dss_knobs(&self) -> ResourceKnobs {
-        ResourceKnobs::paper_full().with_run_secs(self.dss_secs).with_seed(self.scale.seed)
+        ResourceKnobs::paper_full()
+            .with_run_secs(self.dss_secs)
+            .with_seed(self.scale.seed)
     }
 }
 
 fn host_threads() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).clamp(1, 16)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(1, 16)
 }
 
 /// Parses a profile name.
@@ -104,12 +115,18 @@ pub fn fault_profile(name: &str) -> Option<FaultSpec> {
         ),
         // Compute loss: cores go offline and LLC ways fail permanently.
         "core-loss" => Some(
-            FaultSpec::none().with_seed(11).with_core_offline(2, 8).with_llc_way_failures(4),
+            FaultSpec::none()
+                .with_seed(11)
+                .with_core_offline(2, 8)
+                .with_llc_way_failures(4),
         ),
         // Memory-system brownout: a degraded DRAM channel plus a milder
         // SSD throttle.
         "dram-brownout" => Some(
-            FaultSpec::none().with_seed(13).with_dram_degrade(2, 0.4).with_ssd_throttle(1, 0.5),
+            FaultSpec::none()
+                .with_seed(13)
+                .with_dram_degrade(2, 0.4)
+                .with_ssd_throttle(1, 0.5),
         ),
         _ => None,
     }

@@ -123,7 +123,10 @@ pub fn wait_ratios(
     numer
         .iter()
         .map(|(class, n)| {
-            let d = denom.iter().find(|(c, _)| c == class).map_or(0.0, |(_, v)| *v);
+            let d = denom
+                .iter()
+                .find(|(c, _)| c == class)
+                .map_or(0.0, |(_, v)| *v);
             let ratio = if d > 0.0 { n / d } else { f64::NAN };
             (class.clone(), *n, d, ratio)
         })
@@ -160,8 +163,12 @@ mod tests {
         let k = knee(&concave(), 0.3).unwrap();
         assert!((4.0..=8.0).contains(&k), "knee at {k}");
         // Flat curve: no knee.
-        let flat: Vec<CurvePoint> =
-            (1..5).map(|i| CurvePoint { x: i as f64, y: 10.0 }).collect();
+        let flat: Vec<CurvePoint> = (1..5)
+            .map(|i| CurvePoint {
+                x: i as f64,
+                y: 10.0,
+            })
+            .collect();
         assert_eq!(knee(&flat, 0.3), None);
     }
 
@@ -191,7 +198,10 @@ mod tests {
             CurvePoint { x: 100.0, y: 0.02 },
             CurvePoint { x: 400.0, y: 0.055 },
             CurvePoint { x: 800.0, y: 0.08 },
-            CurvePoint { x: 1600.0, y: 0.095 },
+            CurvePoint {
+                x: 1600.0,
+                y: 0.095,
+            },
             CurvePoint { x: 2500.0, y: 0.10 },
         ];
         let (linear, actual, over) = linear_model_gap(&curve, 0.08).unwrap();

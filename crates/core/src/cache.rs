@@ -29,7 +29,10 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// v3: `RunResult` gained crash-recovery counters (`recovered_txns`,
 /// `undone_txns`, `recovery_secs`); the engine serializes OLTP writers
 /// per logical row under crash-consistency capture.
-pub const CACHE_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: `RunResult` gained the `sim_events` kernel event count (the
+/// denominator of the `repro perf` events/sec trajectory).
+pub const CACHE_SCHEMA_VERSION: u32 = 4;
 
 /// Counter making concurrent temp-file names unique within the process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -81,14 +84,7 @@ impl ResultCache {
     /// (including seed and run length), the scale configuration, and
     /// [`CACHE_SCHEMA_VERSION`], so any input change misses cleanly.
     pub fn key(workload: &WorkloadSpec, knobs: &ResourceKnobs, scale: &ScaleCfg) -> String {
-        let payload = serde_json::to_string(&(CACHE_SCHEMA_VERSION, workload, knobs, scale))
-            .unwrap_or_default();
-        // Two independent 64-bit FNV-1a passes give a 128-bit name without
-        // pulling in a hash dependency; collisions are negligible at the
-        // cache sizes involved (thousands of entries).
-        let a = fnv1a64(payload.as_bytes(), 0xcbf2_9ce4_8422_2325);
-        let b = fnv1a64(payload.as_bytes(), 0x6c62_272e_07bb_0142);
-        format!("{a:016x}{b:016x}")
+        crate::digest::of_json(&(CACHE_SCHEMA_VERSION, workload, knobs, scale))
     }
 
     /// Looks up a memoized result. Unreadable or corrupt entries are
@@ -113,7 +109,9 @@ impl ResultCache {
         if std::fs::create_dir_all(&self.dir).is_err() {
             return;
         }
-        let Ok(json) = serde_json::to_vec(result) else { return };
+        let Ok(json) = serde_json::to_vec(result) else {
+            return;
+        };
         let tmp = self.dir.join(format!(
             ".{key}.tmp.{}.{}",
             std::process::id(),
@@ -155,22 +153,13 @@ impl ResultCache {
     }
 }
 
-fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
-    let mut hash = basis;
-    for &b in bytes {
-        hash ^= b as u64;
-        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    hash
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn scratch_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("dbsens-cache-test-{}-{tag}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("dbsens-cache-test-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -204,35 +193,45 @@ mod tests {
             recovered_txns: 7,
             undone_txns: 2,
             recovery_secs: 0.25,
+            sim_events: 1234,
         }
     }
 
     #[test]
-    fn v2_keyed_entries_read_as_misses() {
+    fn prior_schema_entries_read_as_misses() {
         // The schema version is part of the key, so entries written by a
-        // v2 binary live under different names and can never be returned
-        // for a v3 lookup — simulate one and prove the lookup misses.
-        let w = WorkloadSpec::TpcE { sf: 300.0, users: 16 };
+        // v3 binary live under different names and can never be returned
+        // for a v4 lookup — simulate one and prove the lookup misses.
+        let w = WorkloadSpec::TpcE {
+            sf: 300.0,
+            users: 16,
+        };
         let k = ResourceKnobs::paper_full();
         let s = ScaleCfg::test();
-        let v2_payload =
-            serde_json::to_string(&(2u32, &w, &k, &s)).unwrap();
-        let a = fnv1a64(v2_payload.as_bytes(), 0xcbf2_9ce4_8422_2325);
-        let b = fnv1a64(v2_payload.as_bytes(), 0x6c62_272e_07bb_0142);
-        let v2_key = format!("{a:016x}{b:016x}");
-        let v3_key = ResultCache::key(&w, &k, &s);
-        assert_ne!(v2_key, v3_key, "schema bump must rename every entry");
+        let v3_key = crate::digest::of_json(&(3u32, &w, &k, &s));
+        let v4_key = ResultCache::key(&w, &k, &s);
+        assert_ne!(v3_key, v4_key, "schema bump must rename every entry");
 
-        let cache = ResultCache::new(scratch_dir("v2miss"));
-        cache.put(&v2_key, &sample_result());
-        assert!(cache.get(&v3_key).is_none(), "v2 entry must not satisfy a v3 lookup");
-        assert_eq!(cache.get(&v2_key), Some(sample_result()), "v2 entry untouched on disk");
+        let cache = ResultCache::new(scratch_dir("v3miss"));
+        cache.put(&v3_key, &sample_result());
+        assert!(
+            cache.get(&v4_key).is_none(),
+            "v3 entry must not satisfy a v4 lookup"
+        );
+        assert_eq!(
+            cache.get(&v3_key),
+            Some(sample_result()),
+            "v3 entry untouched on disk"
+        );
         let _ = cache.clear();
     }
 
     #[test]
     fn key_is_stable_and_input_sensitive() {
-        let w = WorkloadSpec::TpcE { sf: 300.0, users: 16 };
+        let w = WorkloadSpec::TpcE {
+            sf: 300.0,
+            users: 16,
+        };
         let k = ResourceKnobs::paper_full();
         let s = ScaleCfg::test();
         let key1 = ResultCache::key(&w, &k, &s);
@@ -241,7 +240,14 @@ mod tests {
         assert_eq!(key1.len(), 32);
         let key3 = ResultCache::key(&w, &k.clone().with_seed(7), &s);
         assert_ne!(key1, key3, "seed must be part of the key");
-        let key4 = ResultCache::key(&WorkloadSpec::TpcE { sf: 300.0, users: 17 }, &k, &s);
+        let key4 = ResultCache::key(
+            &WorkloadSpec::TpcE {
+                sf: 300.0,
+                users: 17,
+            },
+            &k,
+            &s,
+        );
         assert_ne!(key1, key4, "workload must be part of the key");
     }
 

@@ -104,7 +104,11 @@ impl Colocation {
             .iter()
             .map(|b| {
                 let m = b.metrics.borrow();
-                RunResultLite { tps: m.tps(elapsed), qps: m.qps(elapsed), qph: m.qph(elapsed) }
+                RunResultLite {
+                    tps: m.tps(elapsed),
+                    qps: m.qps(elapsed),
+                    qph: m.qph(elapsed),
+                }
             })
             .collect()
     }
@@ -142,8 +146,14 @@ mod tests {
     fn colocation_interferes_but_does_not_starve() {
         let knobs = ResourceKnobs::paper_full().with_run_secs(4);
         let c = Colocation {
-            tenant_a: WorkloadSpec::TpcE { sf: 300.0, users: 32 },
-            tenant_b: WorkloadSpec::Asdb { sf: 50.0, clients: 32 },
+            tenant_a: WorkloadSpec::TpcE {
+                sf: 300.0,
+                users: 32,
+            },
+            tenant_b: WorkloadSpec::Asdb {
+                sf: 50.0,
+                clients: 32,
+            },
             knobs,
             scale: ScaleCfg::test(),
         };

@@ -75,9 +75,18 @@ impl CrashClass {
     /// it from scratch, so hundreds of points must stay cheap.
     fn spec(&self) -> WorkloadSpec {
         match self {
-            CrashClass::Oltp => WorkloadSpec::Asdb { sf: 50.0, clients: 8 },
-            CrashClass::Olap => WorkloadSpec::TpchThroughput { sf: 1.0, streams: 2 },
-            CrashClass::Htap => WorkloadSpec::Htap { sf: 200.0, users: 6 },
+            CrashClass::Oltp => WorkloadSpec::Asdb {
+                sf: 50.0,
+                clients: 8,
+            },
+            CrashClass::Olap => WorkloadSpec::TpchThroughput {
+                sf: 1.0,
+                streams: 2,
+            },
+            CrashClass::Htap => WorkloadSpec::Htap {
+                sf: 200.0,
+                users: 6,
+            },
         }
     }
 
@@ -203,7 +212,10 @@ fn run_to_crash(
     crash: Option<CrashPoint>,
 ) -> (std::rc::Rc<std::cell::RefCell<Database>>, Kernel) {
     let knobs = knobs_for(class, seed);
-    let scale = ScaleCfg { seed, ..ScaleCfg::test() };
+    let scale = ScaleCfg {
+        seed,
+        ..ScaleCfg::test()
+    };
     let governor: Governor = knobs.governor();
     let mut built = build_workload(&class.spec(), &scale, &governor);
     built.db.borrow_mut().enable_crash_consistency();
@@ -248,14 +260,25 @@ fn oracle_replay(base: &Database, wal_image: &[u8]) -> Database {
     let mut db = base.clone();
     for (lsn, rec) in &scan.records {
         match rec {
-            WalRecord::Insert { txn, table, rid, row } if committed.contains(txn) => {
+            WalRecord::Insert {
+                txn,
+                table,
+                rid,
+                row,
+            } if committed.contains(txn) => {
                 assert!(
                     db.restore_row(TableId(*table as usize), RowId(*rid), row.clone()),
                     "oracle replay: insert collision at lsn {}",
                     lsn.0
                 );
             }
-            WalRecord::Update { txn, table, rid, after, .. } if committed.contains(txn) => {
+            WalRecord::Update {
+                txn,
+                table,
+                rid,
+                after,
+                ..
+            } if committed.contains(txn) => {
                 let image = after.clone();
                 assert!(
                     db.update_row(TableId(*table as usize), RowId(*rid), |r| *r = image),
@@ -263,9 +286,12 @@ fn oracle_replay(base: &Database, wal_image: &[u8]) -> Database {
                     lsn.0
                 );
             }
-            WalRecord::Delete { txn, table, rid, .. } if committed.contains(txn) => {
+            WalRecord::Delete {
+                txn, table, rid, ..
+            } if committed.contains(txn) => {
                 assert!(
-                    db.delete_row(TableId(*table as usize), RowId(*rid)).is_some(),
+                    db.delete_row(TableId(*table as usize), RowId(*rid))
+                        .is_some(),
                     "oracle replay: delete target missing at lsn {}",
                     lsn.0
                 );
@@ -354,7 +380,9 @@ fn run_point(class: CrashClass, seed: u64, point: u64, kill_event: u64) -> Point
     let snaps = db_ref.take_snapshots();
     let initial = snaps[0].1.clone();
     db_ref.set_snapshots(snaps);
-    let image = CrashImage::extract(&mut db_ref, |sectors| torn_sector_prefix(seed, point, sectors));
+    let image = CrashImage::extract(&mut db_ref, |sectors| {
+        torn_sector_prefix(seed, point, sectors)
+    });
     drop(db_ref);
     let wal_image = image.wal_image.clone();
 
@@ -366,8 +394,11 @@ fn run_point(class: CrashClass, seed: u64, point: u64, kill_event: u64) -> Point
     let mut torn_tail = false;
     let mut img = image;
     let recovered = loop {
-        let budget =
-            if mid_recovery && rounds < 64 { Some(1 + rng.next_below(3) as usize) } else { None };
+        let budget = if mid_recovery && rounds < 64 {
+            Some(1 + rng.next_below(3) as usize)
+        } else {
+            None
+        };
         let (mut d, r) = recover(img, budget);
         if rounds == 0 {
             torn_tail = r.torn_tail;
@@ -416,11 +447,15 @@ fn run_point(class: CrashClass, seed: u64, point: u64, kill_event: u64) -> Point
 pub fn verify_class(cfg: &CrashVerifyConfig) -> ClassReport {
     let (_, kernel) = run_to_crash(cfg.class, cfg.seed, None);
     let probe_events = kernel.dispatched_events();
-    assert!(probe_events >= 20, "probe run dispatched only {probe_events} events");
+    assert!(
+        probe_events >= 20,
+        "probe run dispatched only {probe_events} events"
+    );
     let lo = (probe_events / 10).max(1);
 
     let point_at = |i: u64| {
-        let mut rng = SimRng::new(cfg.seed ^ cfg.class.salt() ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            SimRng::new(cfg.seed ^ cfg.class.salt() ^ i.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         lo + rng.next_below(probe_events - lo)
     };
     let run_guarded = |i: u64, kill: u64| {
@@ -447,8 +482,9 @@ pub fn verify_class(cfg: &CrashVerifyConfig) -> ClassReport {
         )
     };
 
-    let points: Vec<PointResult> =
-        (0..cfg.points).map(|i| run_guarded(i, point_at(i))).collect();
+    let points: Vec<PointResult> = (0..cfg.points)
+        .map(|i| run_guarded(i, point_at(i)))
+        .collect();
     let determinism_ok = match points.first() {
         Some(first) => {
             let again = run_guarded(0, point_at(0));
@@ -488,7 +524,10 @@ pub fn render_report(reports: &[ClassReport]) -> String {
             if r.determinism_ok { "yes" } else { "NO" },
         ));
         for p in r.failures() {
-            out.push_str(&format!("  FAIL point {} (event {}):\n", p.point, p.kill_event));
+            out.push_str(&format!(
+                "  FAIL point {} (event {}):\n",
+                p.point, p.kill_event
+            ));
             for v in &p.violations {
                 out.push_str(&format!("    - {v}\n"));
             }
@@ -508,14 +547,21 @@ mod tests {
     use super::*;
 
     fn verify(class: CrashClass, points: u64) -> ClassReport {
-        verify_class(&CrashVerifyConfig { class, points, seed: 42 })
+        verify_class(&CrashVerifyConfig {
+            class,
+            points,
+            seed: 42,
+        })
     }
 
     #[test]
     fn oltp_kill_points_recover_consistently() {
         let r = verify(CrashClass::Oltp, 4);
         assert!(r.passed(), "{}", render_report(&[r]));
-        assert!(r.committed_total() > 0, "kills too early: no committed txns verified");
+        assert!(
+            r.committed_total() > 0,
+            "kills too early: no committed txns verified"
+        );
         assert!(r.mid_recovery_count() > 0);
     }
 
@@ -538,7 +584,11 @@ mod tests {
         let b = verify(CrashClass::Oltp, 1);
         assert_eq!(a.points[0].digest, b.points[0].digest);
         assert_eq!(a.points[0].kill_event, b.points[0].kill_event);
-        let c = verify_class(&CrashVerifyConfig { class: CrashClass::Oltp, points: 1, seed: 7 });
+        let c = verify_class(&CrashVerifyConfig {
+            class: CrashClass::Oltp,
+            points: 1,
+            seed: 7,
+        });
         assert_ne!(
             (a.points[0].kill_event, a.points[0].digest),
             (c.points[0].kill_event, c.points[0].digest),
@@ -546,7 +596,6 @@ mod tests {
         );
     }
 
-    #[test]
     #[test]
     fn class_parsing_round_trips() {
         for c in CrashClass::ALL {

@@ -1,0 +1,59 @@
+//! Stable content digests for experiment inputs and outputs.
+//!
+//! Used by the result cache to name entries and by the byte-identical
+//! regression fence (`tests/tests/golden.rs`, `repro perf`) to prove that
+//! kernel optimizations leave fixed-seed metrics bit-for-bit unchanged.
+//! JSON serialization is the canonical form: `serde_json` prints every
+//! `f64` with round-trip precision and struct fields in declaration
+//! order, so two digests agree exactly when every field is bit-identical.
+
+/// FNV-1a over `bytes` starting from `basis`.
+pub fn fnv1a64(bytes: &[u8], basis: u64) -> u64 {
+    let mut hash = basis;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A 128-bit hex digest of a byte string: two independent FNV-1a passes,
+/// formatted as 32 hex characters. Collisions are negligible at the entry
+/// counts involved (thousands), and no hash dependency is needed.
+pub fn hex128(bytes: &[u8]) -> String {
+    let a = fnv1a64(bytes, 0xcbf2_9ce4_8422_2325);
+    let b = fnv1a64(bytes, 0x6c62_272e_07bb_0142);
+    format!("{a:016x}{b:016x}")
+}
+
+/// Digest of any serializable value via its canonical JSON form.
+pub fn of_json<T: serde::Serialize>(value: &T) -> String {
+    hex128(serde_json::to_string(value).unwrap_or_default().as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_known_vector() {
+        // FNV-1a 64 of "a" from the reference implementation.
+        assert_eq!(fnv1a64(b"a", 0xcbf2_9ce4_8422_2325), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"", 0xcbf2_9ce4_8422_2325), 0xcbf2_9ce4_8422_2325);
+    }
+
+    #[test]
+    fn hex128_is_stable_and_input_sensitive() {
+        assert_eq!(hex128(b"x"), hex128(b"x"));
+        assert_ne!(hex128(b"x"), hex128(b"y"));
+        assert_eq!(hex128(b"x").len(), 32);
+    }
+
+    #[test]
+    fn json_digest_distinguishes_bitwise_float_changes() {
+        let a = of_json(&(1.0f64, "w"));
+        let b = of_json(&(1.0f64 + f64::EPSILON, "w"));
+        assert_ne!(a, b);
+        assert_eq!(a, of_json(&(1.0f64, "w")));
+    }
+}

@@ -79,6 +79,11 @@ pub struct RunResult {
     /// Modeled wall-clock seconds spent in crash recovery.
     #[serde(default)]
     pub recovery_secs: f64,
+    /// Kernel events dispatched during the run — the denominator of the
+    /// `repro perf` events/sec trajectory. Deterministic for a fixed
+    /// seed, so it doubles as a cheap schedule fingerprint.
+    #[serde(default)]
+    pub sim_events: u64,
 }
 
 impl RunResult {
@@ -93,12 +98,24 @@ impl RunResult {
 
     /// Wait seconds for a class (0 when absent).
     pub fn wait_secs(&self, class: &str) -> f64 {
-        self.waits.iter().find(|w| w.class == class).map_or(0.0, |w| w.secs)
+        self.waits
+            .iter()
+            .find(|w| w.class == class)
+            .map_or(0.0, |w| w.secs)
     }
 
     /// Whether the run needed any graceful-degradation response.
     pub fn degraded(&self) -> bool {
         self.retries > 0 || self.gave_up > 0 || self.deadline_misses > 0
+    }
+
+    /// Stable 128-bit content digest of every metric in this result.
+    ///
+    /// Two runs digest equal iff every field — floats included — is
+    /// bit-identical, so this is the regression fence optimizations must
+    /// pass: same seed, same digest.
+    pub fn digest(&self) -> String {
+        crate::digest::of_json(self)
     }
 }
 
@@ -179,7 +196,9 @@ impl Experiment {
             qph: metrics.qph(elapsed),
             txns: metrics.txns_committed(),
             queries: metrics.queries().len() as u64,
-            p99_txn_ms: metrics.txn_latency_percentile(0.99).map(|d| d.as_secs_f64() * 1e3),
+            p99_txn_ms: metrics
+                .txn_latency_percentile(0.99)
+                .map(|d| d.as_secs_f64() * 1e3),
             mpki: samples.avg_mpki(),
             dram_bw_mbps: samples.avg_dram_bw() / 1e6,
             ssd_read_mbps: samples.avg_ssd_read_bw() / 1e6,
@@ -195,6 +214,7 @@ impl Experiment {
             recovered_txns: 0,
             undone_txns: 0,
             recovery_secs: 0.0,
+            sim_events: kernel.dispatched_events(),
         }
     }
 }
@@ -204,13 +224,24 @@ mod tests {
     use super::*;
 
     fn quick(workload: WorkloadSpec, knobs: ResourceKnobs) -> RunResult {
-        Experiment { workload, knobs, scale: ScaleCfg::test() }.run()
+        Experiment {
+            workload,
+            knobs,
+            scale: ScaleCfg::test(),
+        }
+        .run()
     }
 
     #[test]
     fn tpce_experiment_reports_tps_and_waits() {
         let knobs = ResourceKnobs::paper_full().with_run_secs(3);
-        let r = quick(WorkloadSpec::TpcE { sf: 300.0, users: 16 }, knobs);
+        let r = quick(
+            WorkloadSpec::TpcE {
+                sf: 300.0,
+                users: 16,
+            },
+            knobs,
+        );
         assert!(r.tps > 10.0, "tps = {}", r.tps);
         assert!(r.wait_secs("WRITELOG") > 0.0);
         assert!(!r.samples.is_empty());
@@ -220,8 +251,20 @@ mod tests {
     #[test]
     fn fewer_cores_mean_less_throughput() {
         let knobs = ResourceKnobs::paper_full().with_run_secs(3);
-        let full = quick(WorkloadSpec::Asdb { sf: 50.0, clients: 32 }, knobs.clone());
-        let one = quick(WorkloadSpec::Asdb { sf: 50.0, clients: 32 }, knobs.with_cores(1));
+        let full = quick(
+            WorkloadSpec::Asdb {
+                sf: 50.0,
+                clients: 32,
+            },
+            knobs.clone(),
+        );
+        let one = quick(
+            WorkloadSpec::Asdb {
+                sf: 50.0,
+                clients: 32,
+            },
+            knobs.with_cores(1),
+        );
         assert!(
             full.tps > one.tps * 1.5,
             "32 cores {} vs 1 core {}",
@@ -233,9 +276,18 @@ mod tests {
     #[test]
     fn read_limit_throttles_tpch() {
         let knobs = ResourceKnobs::paper_full().with_run_secs(20);
-        let free = quick(WorkloadSpec::TpchThroughput { sf: 30.0, streams: 2 }, knobs.clone());
+        let free = quick(
+            WorkloadSpec::TpchThroughput {
+                sf: 30.0,
+                streams: 2,
+            },
+            knobs.clone(),
+        );
         let capped = quick(
-            WorkloadSpec::TpchThroughput { sf: 30.0, streams: 2 },
+            WorkloadSpec::TpchThroughput {
+                sf: 30.0,
+                streams: 2,
+            },
             knobs.with_read_limit_mbps(25.0),
         );
         assert!(

@@ -1,5 +1,6 @@
 //! Resource allocation knobs: the dimensions the paper sweeps.
 
+use dbsens_engine::governor::Governor;
 use dbsens_hwsim::cache::CatMask;
 use dbsens_hwsim::faults::{FaultPlan, FaultSpec};
 use dbsens_hwsim::kernel::SimConfig;
@@ -7,7 +8,6 @@ use dbsens_hwsim::ssd::BlockIoLimit;
 use dbsens_hwsim::time::SimDuration;
 use dbsens_hwsim::topology::{CoreSet, Topology};
 use dbsens_hwsim::Calib;
-use dbsens_engine::governor::Governor;
 use serde::{Deserialize, Serialize};
 
 /// One resource allocation: cores, LLC, I/O bandwidth limits, and the

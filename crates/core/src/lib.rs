@@ -53,6 +53,7 @@ pub mod analysis;
 pub mod cache;
 pub mod colocate;
 pub mod crashverify;
+pub mod digest;
 pub mod experiment;
 pub mod knobs;
 pub mod pitfalls;

@@ -29,7 +29,10 @@ pub struct Warning {
 
 impl Warning {
     fn new(pitfall: u8, message: impl Into<String>) -> Self {
-        Warning { pitfall, message: message.into() }
+        Warning {
+            pitfall,
+            message: message.into(),
+        }
     }
 }
 
@@ -50,7 +53,9 @@ pub fn check_coverage(specs: &[WorkloadSpec]) -> Vec<Warning> {
     let mut classes: std::collections::BTreeMap<&'static str, Vec<f64>> = Default::default();
     for s in specs {
         let (class, sf) = match s {
-            WorkloadSpec::TpchThroughput { sf, .. } | WorkloadSpec::TpchPower { sf } => ("DSS", *sf),
+            WorkloadSpec::TpchThroughput { sf, .. } | WorkloadSpec::TpchPower { sf } => {
+                ("DSS", *sf)
+            }
             WorkloadSpec::Asdb { sf, .. } | WorkloadSpec::TpcE { sf, .. } => ("OLTP", *sf),
             WorkloadSpec::Htap { sf, .. } => ("HTAP", *sf),
         };
@@ -121,7 +126,12 @@ pub fn check_storage_layout(
 /// varying (or at least recording) bandwidth limits.
 pub fn check_bandwidth_knobs(sweep: &[ResourceKnobs]) -> Vec<Warning> {
     let mut warnings = Vec::new();
-    let cores_varied = sweep.iter().map(|k| k.cores).collect::<std::collections::BTreeSet<_>>().len() > 1;
+    let cores_varied = sweep
+        .iter()
+        .map(|k| k.cores)
+        .collect::<std::collections::BTreeSet<_>>()
+        .len()
+        > 1;
     let read_varied = sweep
         .iter()
         .map(|k| k.read_limit_mbps.map(|v| v as u64))
@@ -173,7 +183,11 @@ pub fn joint_dop_memory_grid(
     let mut grid = Vec::with_capacity(dops.len() * grant_fractions.len());
     for &dop in dops {
         for &g in grant_fractions {
-            grid.push(base.clone().with_maxdop_and_cores(dop).with_grant_fraction(g));
+            grid.push(
+                base.clone()
+                    .with_maxdop_and_cores(dop)
+                    .with_grant_fraction(g),
+            );
         }
     }
     grid
@@ -196,7 +210,8 @@ impl PlanChangeDetector {
 
     /// Records a run's knob label and plan shape.
     pub fn observe(&mut self, knob_label: impl Into<String>, result: &QueryRunResult) {
-        self.observations.push((knob_label.into(), result.plan_shape.clone()));
+        self.observations
+            .push((knob_label.into(), result.plan_shape.clone()));
     }
 
     /// Knob labels at which the plan shape differs from the *previous*
@@ -259,12 +274,21 @@ mod tests {
 
     #[test]
     fn coverage_warnings_fire_and_clear() {
-        let narrow = vec![WorkloadSpec::TpcE { sf: 5000.0, users: 100 }];
+        let narrow = vec![WorkloadSpec::TpcE {
+            sf: 5000.0,
+            users: 100,
+        }];
         let w = check_coverage(&narrow);
         assert_eq!(w.len(), 2, "one class AND one SF: {w:?}");
         let broad = vec![
-            WorkloadSpec::TpcE { sf: 5000.0, users: 100 },
-            WorkloadSpec::TpcE { sf: 15000.0, users: 100 },
+            WorkloadSpec::TpcE {
+                sf: 5000.0,
+                users: 100,
+            },
+            WorkloadSpec::TpcE {
+                sf: 15000.0,
+                users: 100,
+            },
             WorkloadSpec::TpchPower { sf: 10.0 },
             WorkloadSpec::TpchPower { sf: 300.0 },
         ];
@@ -292,13 +316,20 @@ mod tests {
     #[test]
     fn bandwidth_knob_warnings() {
         let base = ResourceKnobs::paper_full();
-        let cores_only: Vec<_> = [1, 8, 32].iter().map(|&c| base.clone().with_cores(c)).collect();
+        let cores_only: Vec<_> = [1, 8, 32]
+            .iter()
+            .map(|&c| base.clone().with_cores(c))
+            .collect();
         let w = check_bandwidth_knobs(&cores_only);
         assert_eq!(w.iter().filter(|w| w.pitfall == 3).count(), 1);
         assert_eq!(w.iter().filter(|w| w.pitfall == 4).count(), 1);
 
         let mut with_bw = cores_only.clone();
-        with_bw.push(base.clone().with_read_limit_mbps(500.0).with_write_limit_mbps(100.0));
+        with_bw.push(
+            base.clone()
+                .with_read_limit_mbps(500.0)
+                .with_write_limit_mbps(100.0),
+        );
         assert!(check_bandwidth_knobs(&with_bw).is_empty());
     }
 
@@ -306,7 +337,9 @@ mod tests {
     fn joint_grid_covers_cross_product() {
         let grid = joint_dop_memory_grid(&ResourceKnobs::paper_full(), &[1, 32], &[0.25, 0.02]);
         assert_eq!(grid.len(), 4);
-        assert!(grid.iter().any(|k| k.maxdop == 32 && k.grant_fraction == 0.02));
+        assert!(grid
+            .iter()
+            .any(|k| k.maxdop == 32 && k.grant_fraction == 0.02));
         // DOP also caps cores per the paper's §7 methodology.
         assert!(grid.iter().all(|k| k.cores == k.maxdop));
     }
@@ -328,6 +361,9 @@ mod tests {
         d.observe("dop=8", &fake("A"));
         d.observe("dop=32", &fake("B"));
         assert!(!d.is_stable());
-        assert_eq!(d.changes(), vec![("dop=8".to_string(), "dop=32".to_string())]);
+        assert_eq!(
+            d.changes(),
+            vec![("dop=8".to_string(), "dop=32".to_string())]
+        );
     }
 }

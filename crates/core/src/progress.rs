@@ -115,7 +115,10 @@ struct ReporterState {
 impl StderrReporter {
     /// A reporter whose lines start with `[prefix]`.
     pub fn new(prefix: &str) -> Self {
-        StderrReporter { prefix: prefix.to_owned(), state: Mutex::new(ReporterState::default()) }
+        StderrReporter {
+            prefix: prefix.to_owned(),
+            state: Mutex::new(ReporterState::default()),
+        }
     }
 }
 
@@ -132,7 +135,10 @@ impl ProgressSink for StderrReporter {
             Event::SweepStarted { total, threads } => {
                 st.total = *total;
                 st.done = 0;
-                eprintln!("[{}] sweep: {} experiments on {} threads", self.prefix, total, threads);
+                eprintln!(
+                    "[{}] sweep: {} experiments on {} threads",
+                    self.prefix, total, threads
+                );
             }
             Event::CacheHit { workload, .. } => {
                 st.done += 1;
@@ -142,7 +148,13 @@ impl ProgressSink for StderrReporter {
                 );
             }
             Event::CacheMiss { .. } | Event::ExperimentStarted { .. } => {}
-            Event::ExperimentFinished { workload, virtual_secs, ok, wall, .. } => {
+            Event::ExperimentFinished {
+                workload,
+                virtual_secs,
+                ok,
+                wall,
+                ..
+            } => {
                 st.done += 1;
                 match (ok, virtual_secs) {
                     (true, Some(secs)) => eprintln!(
@@ -175,7 +187,12 @@ impl ProgressSink for StderrReporter {
                     );
                 }
             }
-            Event::SweepFinished { completed, failed, cache_hits, wall } => {
+            Event::SweepFinished {
+                completed,
+                failed,
+                cache_hits,
+                wall,
+            } => {
                 eprintln!(
                     "[{}] sweep done: {} ok, {} failed, {} cached, {:.2}s",
                     self.prefix,
@@ -203,18 +220,29 @@ impl CollectingSink {
 
     /// A snapshot of all events received so far.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).clone()
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
     }
 
     /// How many recorded events satisfy `pred`.
     pub fn count(&self, pred: impl Fn(&Event) -> bool) -> usize {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).iter().filter(|e| pred(e)).count()
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .iter()
+            .filter(|e| pred(e))
+            .count()
     }
 }
 
 impl ProgressSink for CollectingSink {
     fn event(&self, event: &Event) {
-        self.events.lock().unwrap_or_else(|e| e.into_inner()).push(event.clone());
+        self.events
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(event.clone());
     }
 }
 
@@ -225,7 +253,10 @@ mod tests {
     #[test]
     fn collecting_sink_records_in_order() {
         let sink = CollectingSink::new();
-        sink.event(&Event::SweepStarted { total: 2, threads: 1 });
+        sink.event(&Event::SweepStarted {
+            total: 2,
+            threads: 1,
+        });
         sink.event(&Event::SweepFinished {
             completed: 2,
             failed: 0,

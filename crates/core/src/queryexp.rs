@@ -61,7 +61,10 @@ impl TpchHarness {
         built.db.warm_bufferpool();
         TpchHarness {
             sf,
-            tpch_meta: TpchMeta { t: built.t, n: built.n },
+            tpch_meta: TpchMeta {
+                t: built.t,
+                n: built.n,
+            },
             db: Rc::new(RefCell::new(built.db)),
         }
     }
@@ -85,7 +88,12 @@ impl TpchHarness {
         let db_inner = Rc::clone(&self.db);
         let logical = {
             let db_taken = db_inner.replace(Database::new(1.0, 1 << 30));
-            let facade = TpchDb { db: db_taken, sf: self.sf, t: self.tpch_meta.t, n: self.tpch_meta.n };
+            let facade = TpchDb {
+                db: db_taken,
+                sf: self.sf,
+                t: self.tpch_meta.t,
+                n: self.tpch_meta.n,
+            };
             let logical = facade.query(q);
             db_inner.replace(facade.db);
             logical
@@ -122,10 +130,16 @@ impl TpchHarness {
             name.clone(),
         )));
         let finished = kernel.run_to_completion(SimDuration::from_secs(36_000));
-        assert!(finished, "query Q{q} did not finish within the virtual budget");
+        assert!(
+            finished,
+            "query Q{q} did not finish within the virtual budget"
+        );
 
         let m = metrics.borrow();
-        let secs = m.mean_query_duration(&name).expect("query recorded").as_secs_f64();
+        let secs = m
+            .mean_query_duration(&name)
+            .expect("query recorded")
+            .as_secs_f64();
         QueryRunResult {
             query: name,
             secs,
@@ -147,7 +161,12 @@ impl TpchHarness {
 
     /// Runs query `q` at a memory-grant fraction (the paper's §8 sweep),
     /// full cores/MAXDOP.
-    pub fn run_query_at_grant(&self, q: usize, fraction: f64, base: &ResourceKnobs) -> QueryRunResult {
+    pub fn run_query_at_grant(
+        &self,
+        q: usize,
+        fraction: f64,
+        base: &ResourceKnobs,
+    ) -> QueryRunResult {
         self.run_query(q, &base.clone().with_grant_fraction(fraction))
     }
 }
@@ -157,7 +176,14 @@ mod tests {
     use super::*;
 
     fn harness() -> TpchHarness {
-        TpchHarness::new(3.0, &ScaleCfg { row_scale: 500_000.0, oltp_row_scale: 2_000.0, seed: 5 })
+        TpchHarness::new(
+            3.0,
+            &ScaleCfg {
+                row_scale: 500_000.0,
+                oltp_row_scale: 2_000.0,
+                seed: 5,
+            },
+        )
     }
 
     #[test]

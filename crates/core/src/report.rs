@@ -51,7 +51,11 @@ pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// for figure-shaped outputs.
 pub fn render_series(title: &str, x_label: &str, y_label: &str, points: &[(f64, f64)]) -> String {
     let mut out = format!("## {title}\n");
-    let max_y = points.iter().map(|(_, y)| *y).fold(f64::MIN, f64::max).max(1e-12);
+    let max_y = points
+        .iter()
+        .map(|(_, y)| *y)
+        .fold(f64::MIN, f64::max)
+        .max(1e-12);
     let _ = writeln!(out, "{x_label:>12} {y_label:>14}");
     for (x, y) in points {
         let bar = "#".repeat(((y / max_y) * 40.0).round().max(0.0) as usize);
@@ -84,7 +88,10 @@ mod tests {
     fn table_is_aligned() {
         let s = render_table(
             &["a", "long-header"],
-            &[vec!["x".into(), "1".into()], vec!["yyyy".into(), "2".into()]],
+            &[
+                vec!["x".into(), "1".into()],
+                vec!["yyyy".into(), "2".into()],
+            ],
         );
         let lines: Vec<&str> = s.lines().collect();
         // All body lines have equal width.

@@ -73,7 +73,11 @@ pub struct ExperimentError {
 
 impl std::fmt::Display for ExperimentError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "experiment {} ({}) failed: {}", self.index, self.workload, self.message)?;
+        write!(
+            f,
+            "experiment {} ({}) failed: {}",
+            self.index, self.workload, self.message
+        )?;
         if !self.knobs.is_empty() {
             write!(f, " [{}]", self.knobs)?;
         }
@@ -156,17 +160,26 @@ impl<K> Sweep<K> {
 
     /// The errors of all failed slots, in sweep order.
     pub fn errors(&self) -> Vec<&ExperimentError> {
-        self.points.iter().filter_map(|(_, r)| r.as_ref().err()).collect()
+        self.points
+            .iter()
+            .filter_map(|(_, r)| r.as_ref().err())
+            .collect()
     }
 
     /// The successful points, dropping failed slots.
     pub fn ok_points(self) -> Vec<(K, RunResult)> {
-        self.points.into_iter().filter_map(|(k, r)| r.ok().map(|v| (k, v))).collect()
+        self.points
+            .into_iter()
+            .filter_map(|(k, r)| r.ok().map(|v| (k, v)))
+            .collect()
     }
 
     /// All points if every slot succeeded, else the first error.
     pub fn into_result(self) -> Result<Vec<(K, RunResult)>, ExperimentError> {
-        self.points.into_iter().map(|(k, r)| r.map(|v| (k, v))).collect()
+        self.points
+            .into_iter()
+            .map(|(k, r)| r.map(|v| (k, v)))
+            .collect()
     }
 }
 
@@ -278,7 +291,11 @@ impl Runner {
                 }
                 results[i] = Some(outcome);
             }
-            self.sink.event(&Event::WorkerFinished { worker: 0, ran: n, busy });
+            self.sink.event(&Event::WorkerFinished {
+                worker: 0,
+                ran: n,
+                busy,
+            });
         } else {
             let next = AtomicUsize::new(0);
             let slots = Mutex::new(&mut results);
@@ -309,7 +326,8 @@ impl Runner {
                             }
                             slots.lock().unwrap_or_else(|e| e.into_inner())[i] = Some(outcome);
                         }
-                        self.sink.event(&Event::WorkerFinished { worker, ran, busy });
+                        self.sink
+                            .event(&Event::WorkerFinished { worker, ran, busy });
                     });
                 }
             });
@@ -340,13 +358,11 @@ impl Runner {
     }
 
     /// Builds one experiment per step with `make` and runs them all.
-    pub fn sweep<K: Clone>(
-        &self,
-        steps: &[K],
-        mut make: impl FnMut(&K) -> Experiment,
-    ) -> Sweep<K> {
+    pub fn sweep<K: Clone>(&self, steps: &[K], mut make: impl FnMut(&K) -> Experiment) -> Sweep<K> {
         let exps: Vec<Experiment> = steps.iter().map(&mut make).collect();
-        Sweep { points: steps.iter().cloned().zip(self.run(exps)).collect() }
+        Sweep {
+            points: steps.iter().cloned().zip(self.run(exps)).collect(),
+        }
     }
 
     /// Sweeps core counts for one workload (Figure 2 left column).
@@ -403,16 +419,25 @@ impl Runner {
         worker: usize,
     ) -> (ExperimentOutcome, bool) {
         let workload = exp.workload.name();
-        let key =
-            self.cache.as_ref().map(|_| ResultCache::key(&exp.workload, &exp.knobs, &exp.scale));
+        let key = self
+            .cache
+            .as_ref()
+            .map(|_| ResultCache::key(&exp.workload, &exp.knobs, &exp.scale));
         if let (Some(cache), Some(key)) = (&self.cache, &key) {
             if let Some(hit) = cache.get(key) {
                 self.sink.event(&Event::CacheHit { index, workload });
                 return (Ok(hit), true);
             }
-            self.sink.event(&Event::CacheMiss { index, workload: workload.clone() });
+            self.sink.event(&Event::CacheMiss {
+                index,
+                workload: workload.clone(),
+            });
         }
-        self.sink.event(&Event::ExperimentStarted { index, worker, workload: workload.clone() });
+        self.sink.event(&Event::ExperimentStarted {
+            index,
+            worker,
+            workload: workload.clone(),
+        });
         let start = Instant::now();
         let mut outcome = Err(ExperimentError {
             workload: workload.clone(),
@@ -501,7 +526,10 @@ mod tests {
 
     fn experiment(cores: usize) -> Experiment {
         Experiment {
-            workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
+            workload: WorkloadSpec::Asdb {
+                sf: 30.0,
+                clients: 8,
+            },
             knobs: quick_knobs().with_cores(cores),
             scale: ScaleCfg::test(),
         }
@@ -511,15 +539,18 @@ mod tests {
     /// rejected by `sim_config`).
     fn poisoned_experiment() -> Experiment {
         Experiment {
-            workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
+            workload: WorkloadSpec::Asdb {
+                sf: 30.0,
+                clients: 8,
+            },
             knobs: quick_knobs().with_llc_mb(7),
             scale: ScaleCfg::test(),
         }
     }
 
     fn scratch_cache(tag: &str) -> ResultCache {
-        let dir = std::env::temp_dir()
-            .join(format!("dbsens-runner-test-{}-{tag}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("dbsens-runner-test-{}-{tag}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         ResultCache::new(dir)
     }
@@ -527,11 +558,18 @@ mod tests {
     #[test]
     fn panicking_experiment_is_isolated() {
         let runner = Runner::new().threads(2);
-        let outcomes =
-            runner.run(vec![experiment(4), poisoned_experiment(), experiment(8)]);
+        let outcomes = runner.run(vec![experiment(4), poisoned_experiment(), experiment(8)]);
         assert_eq!(outcomes.len(), 3);
-        assert!(outcomes[0].is_ok(), "slot 0 should complete: {:?}", outcomes[0]);
-        assert!(outcomes[2].is_ok(), "slot 2 should complete: {:?}", outcomes[2]);
+        assert!(
+            outcomes[0].is_ok(),
+            "slot 0 should complete: {:?}",
+            outcomes[0]
+        );
+        assert!(
+            outcomes[2].is_ok(),
+            "slot 2 should complete: {:?}",
+            outcomes[2]
+        );
         let err = outcomes[1].as_ref().expect_err("slot 1 should fail");
         assert_eq!(err.index, 1);
         assert!(err.message.contains("LLC"), "message: {}", err.message);
@@ -565,22 +603,30 @@ mod tests {
         // 30ms deadline must cut it off and classify the slot Failed
         // while healthy slots in the same sweep are unaffected.
         let slow = Experiment {
-            workload: WorkloadSpec::Asdb { sf: 30.0, clients: 8 },
+            workload: WorkloadSpec::Asdb {
+                sf: 30.0,
+                clients: 8,
+            },
             knobs: quick_knobs().with_run_secs(120).with_cores(4),
             scale: ScaleCfg::test(),
         };
         let runner = Runner::new().deadline(Duration::from_millis(30));
         let outcomes = runner.run(vec![slow]);
         let err = outcomes[0].as_ref().expect_err("slow slot should time out");
-        assert!(err.message.contains("watchdog deadline"), "message: {}", err.message);
+        assert!(
+            err.message.contains("watchdog deadline"),
+            "message: {}",
+            err.message
+        );
         assert_eq!(RunClass::of(&outcomes[0]), RunClass::Failed);
     }
 
     #[test]
     fn generous_deadline_and_default_leave_results_identical() {
         let plain = Runner::new().run(vec![experiment(4)]);
-        let guarded =
-            Runner::new().deadline(Duration::from_secs(300)).run(vec![experiment(4)]);
+        let guarded = Runner::new()
+            .deadline(Duration::from_secs(300))
+            .run(vec![experiment(4)]);
         assert_eq!(
             plain[0].as_ref().expect("plain slot ok"),
             guarded[0].as_ref().expect("guarded slot ok"),
@@ -590,7 +636,10 @@ mod tests {
             .deadline(Duration::from_millis(1))
             .without_deadline()
             .run(vec![experiment(4)]);
-        assert!(relaxed[0].is_ok(), "without_deadline must disarm the watchdog");
+        assert!(
+            relaxed[0].is_ok(),
+            "without_deadline must disarm the watchdog"
+        );
     }
 
     #[test]
@@ -630,8 +679,10 @@ mod tests {
     fn second_sweep_is_served_from_cache() {
         let cache = scratch_cache("rerun");
         let sink = Arc::new(CollectingSink::new());
-        let runner =
-            Runner::new().threads(2).cache(cache.clone()).progress(sink.clone());
+        let runner = Runner::new()
+            .threads(2)
+            .cache(cache.clone())
+            .progress(sink.clone());
 
         let first = runner.run(vec![experiment(2), experiment(4)]);
         assert!(first.iter().all(Result::is_ok));
@@ -658,7 +709,10 @@ mod tests {
         assert!(outcomes[0].is_err());
         assert!(cache.is_empty(), "failures must not poison the cache");
         let outcomes = runner.run(vec![poisoned_experiment()]);
-        assert!(outcomes[0].is_err(), "failure must be reproduced, not cached away");
+        assert!(
+            outcomes[0].is_err(),
+            "failure must be reproduced, not cached away"
+        );
         let _ = cache.clear();
     }
 

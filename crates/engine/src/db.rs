@@ -10,10 +10,10 @@ use dbsens_storage::btree::{BTree, RowId};
 use dbsens_storage::bufferpool::BufferPool;
 use dbsens_storage::columnstore::ColumnStore;
 use dbsens_storage::heap::HeapTable;
+use dbsens_storage::lock::TxnId;
 use dbsens_storage::lock::{LatchTable, LockManager};
 use dbsens_storage::physical::{ColumnstoreLayout, IndexLayout, ModelSpace, TableLayout};
 use dbsens_storage::schema::Schema;
-use dbsens_storage::lock::TxnId;
 use dbsens_storage::value::{Key, Row};
 use dbsens_storage::wal::{ClrAction, Lsn, Wal, WalRecord};
 
@@ -159,15 +159,15 @@ pub struct Database {
     /// Cost calibration.
     pub cost: EngineCost,
     next_txn: u64,
-    dirty_pages: std::collections::HashSet<u64>,
+    dirty_pages: dbsens_hwsim::fx::FxHashSet<u64>,
     session_region: dbsens_hwsim::mem::Region,
     batch_region: dbsens_hwsim::mem::Region,
     /// Transactions whose owning task is stuck in fault recovery while
     /// holding locks (candidates for deadlock victimization).
-    stalled_txns: std::collections::HashSet<dbsens_storage::lock::TxnId>,
+    stalled_txns: dbsens_hwsim::fx::FxHashSet<dbsens_storage::lock::TxnId>,
     /// Transactions the lock monitor has chosen as deadlock victims; their
     /// owning task must abort instead of continuing.
-    victim_txns: std::collections::HashSet<dbsens_storage::lock::TxnId>,
+    victim_txns: dbsens_hwsim::fx::FxHashSet<dbsens_storage::lock::TxnId>,
     /// Active-transaction table (crash-consistency mode only): per live
     /// transaction, the LSN-stamped undo chain of its data operations.
     att: std::collections::BTreeMap<TxnId, Vec<(Lsn, UndoOp)>>,
@@ -199,11 +199,11 @@ impl Database {
             latches: LatchTable::new(),
             cost: EngineCost::default(),
             next_txn: 0,
-            dirty_pages: std::collections::HashSet::new(),
+            dirty_pages: dbsens_hwsim::fx::fx_set(),
             session_region,
             batch_region,
-            stalled_txns: std::collections::HashSet::new(),
-            victim_txns: std::collections::HashSet::new(),
+            stalled_txns: dbsens_hwsim::fx::fx_set(),
+            victim_txns: dbsens_hwsim::fx::fx_set(),
             att: std::collections::BTreeMap::new(),
             dirty_page_lsns: std::collections::BTreeMap::new(),
             snapshots: Vec::new(),
@@ -217,7 +217,8 @@ impl Database {
     pub fn enable_crash_consistency(&mut self) {
         self.wal.enable_capture();
         if self.snapshots.is_empty() {
-            self.snapshots.push((0, Box::new(self.clone_without_snapshots())));
+            self.snapshots
+                .push((0, Box::new(self.clone_without_snapshots())));
         }
     }
 
@@ -353,8 +354,10 @@ impl Database {
     /// Builds a B-tree index over the given key columns.
     pub fn create_index(&mut self, table: TableId, name: &str, key_cols: &[usize]) {
         let t = &self.tables[table.0];
-        let key_bytes: u64 =
-            key_cols.iter().map(|&c| t.heap.schema().columns()[c].ty.avg_bytes()).sum();
+        let key_bytes: u64 = key_cols
+            .iter()
+            .map(|&c| t.heap.schema().columns()[c].ty.avg_bytes())
+            .sum();
         let modeled_entries = t.layout.modeled_rows();
         let layout = IndexLayout::new(&mut self.space, modeled_entries, key_bytes.max(4));
         let mut btree = BTree::new();
@@ -439,7 +442,11 @@ impl Database {
         // In crash-consistency mode the slot stays reserved (ghost record):
         // an undo must be able to reinsert the row at its original id, so
         // the id must not be reused by a concurrent insert.
-        let row = if capture { t.heap.delete_keep_slot(rid)? } else { t.heap.delete(rid)? };
+        let row = if capture {
+            t.heap.delete_keep_slot(rid)?
+        } else {
+            t.heap.delete(rid)?
+        };
         for idx in &mut t.indexes {
             let key = Key::from_values(idx.key_cols.iter().map(|&c| row[c].clone()).collect());
             idx.btree.remove(&key, rid);
@@ -452,9 +459,16 @@ impl Database {
 
     /// Updates a row in place via `mutate`, maintaining indexes whose keys
     /// change and the columnstore.
-    pub fn update_row(&mut self, table: TableId, rid: RowId, mutate: impl FnOnce(&mut Row)) -> bool {
+    pub fn update_row(
+        &mut self,
+        table: TableId,
+        rid: RowId,
+        mutate: impl FnOnce(&mut Row),
+    ) -> bool {
         let t = &mut self.tables[table.0];
-        let Some(row) = t.heap.get_mut(rid) else { return false };
+        let Some(row) = t.heap.get_mut(rid) else {
+            return false;
+        };
         let old = row.clone();
         mutate(row);
         let new = row.clone();
@@ -483,7 +497,11 @@ impl Database {
                     Some(cs) => cs.layout.data_bytes(),
                     None => t.layout.data_bytes(),
                 };
-                data + t.indexes.iter().map(|i| i.layout.index_bytes()).sum::<u64>()
+                data + t
+                    .indexes
+                    .iter()
+                    .map(|i| i.layout.index_bytes())
+                    .sum::<u64>()
             })
             .sum()
     }
@@ -511,10 +529,18 @@ impl Database {
         let rid = self.insert_row(table, row.clone());
         let bytes = self.cost.log_bytes_per_row;
         let lsn = self.wal.append_record(
-            &WalRecord::Insert { txn: txn.0, table: table.0 as u32, rid: rid.0, row },
+            &WalRecord::Insert {
+                txn: txn.0,
+                table: table.0 as u32,
+                rid: rid.0,
+                row,
+            },
             bytes,
         );
-        self.att.entry(txn).or_default().push((lsn, UndoOp::Insert { table, rid }));
+        self.att
+            .entry(txn)
+            .or_default()
+            .push((lsn, UndoOp::Insert { table, rid }));
         rid
     }
 
@@ -527,9 +553,15 @@ impl Database {
         rid: RowId,
         mutate: impl FnOnce(&mut Row),
     ) -> bool {
-        let Some(before) = self.tables[table.0].heap.get(rid).cloned() else { return false };
+        let Some(before) = self.tables[table.0].heap.get(rid).cloned() else {
+            return false;
+        };
         self.update_row(table, rid, mutate);
-        let after = self.tables[table.0].heap.get(rid).cloned().expect("row vanished");
+        let after = self.tables[table.0]
+            .heap
+            .get(rid)
+            .cloned()
+            .expect("row vanished");
         let bytes = self.cost.log_bytes_per_row;
         let lsn = self.wal.append_record(
             &WalRecord::Update {
@@ -541,7 +573,10 @@ impl Database {
             },
             bytes,
         );
-        self.att.entry(txn).or_default().push((lsn, UndoOp::Update { table, rid, before }));
+        self.att
+            .entry(txn)
+            .or_default()
+            .push((lsn, UndoOp::Update { table, rid, before }));
         true
     }
 
@@ -551,10 +586,22 @@ impl Database {
         let row = self.delete_row(table, rid)?;
         let bytes = self.cost.log_bytes_per_row;
         let lsn = self.wal.append_record(
-            &WalRecord::Delete { txn: txn.0, table: table.0 as u32, rid: rid.0, row: row.clone() },
+            &WalRecord::Delete {
+                txn: txn.0,
+                table: table.0 as u32,
+                rid: rid.0,
+                row: row.clone(),
+            },
             bytes,
         );
-        self.att.entry(txn).or_default().push((lsn, UndoOp::Delete { table, rid, row: row.clone() }));
+        self.att.entry(txn).or_default().push((
+            lsn,
+            UndoOp::Delete {
+                table,
+                rid,
+                row: row.clone(),
+            },
+        ));
         Some(row)
     }
 
@@ -572,7 +619,9 @@ impl Database {
     pub fn rollback_txn(&mut self, txn: TxnId) {
         // A transaction past its commit point (Commit record already
         // logged) is no longer in the ATT and must not be rolled back.
-        let Some(chain) = self.att.remove(&txn) else { return };
+        let Some(chain) = self.att.remove(&txn) else {
+            return;
+        };
         for (lsn, op) in chain.into_iter().rev() {
             self.apply_undo(txn.0, lsn.0, &op);
         }
@@ -591,7 +640,13 @@ impl Database {
             UndoOp::Update { table, rid, before } => {
                 let image = before.clone();
                 self.update_row(*table, *rid, |r| *r = image);
-                (*table, *rid, ClrAction::SetTo { row: before.clone() })
+                (
+                    *table,
+                    *rid,
+                    ClrAction::SetTo {
+                        row: before.clone(),
+                    },
+                )
             }
             UndoOp::Delete { table, rid, row } => {
                 self.restore_row(*table, *rid, row.clone());
@@ -599,7 +654,13 @@ impl Database {
             }
         };
         self.wal.append_record(
-            &WalRecord::Clr { txn, undo_of, table: table.0 as u32, rid: rid.0, action },
+            &WalRecord::Clr {
+                txn,
+                undo_of,
+                table: table.0 as u32,
+                rid: rid.0,
+                action,
+            },
             bytes,
         );
     }
@@ -631,7 +692,13 @@ impl Database {
         let active_txns: Vec<u64> = self.att.keys().map(|t| t.0).collect();
         let dirty_pages: Vec<(u64, u64)> =
             self.dirty_page_lsns.iter().map(|(&p, &l)| (p, l)).collect();
-        let lsn = self.wal.append_record(&WalRecord::Checkpoint { active_txns, dirty_pages }, 0);
+        let lsn = self.wal.append_record(
+            &WalRecord::Checkpoint {
+                active_txns,
+                dirty_pages,
+            },
+            0,
+        );
         let kept = std::mem::take(&mut self.snapshots);
         let snap = Box::new(self.clone_without_snapshots());
         self.snapshots = kept;
@@ -704,7 +771,9 @@ mod tests {
     fn setup() -> (Database, TableId) {
         let mut db = Database::new(100.0, 1 << 30);
         let schema = Schema::new(&[("id", ColType::Int), ("grp", ColType::Int)]);
-        let rows: Vec<Row> = (0..50).map(|i| vec![Value::Int(i), Value::Int(i % 5)]).collect();
+        let rows: Vec<Row> = (0..50)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 5)])
+            .collect();
         let t = db.create_table("t", schema, rows);
         db.create_index(t, "pk", &[0]);
         db.create_index(t, "by_grp", &[1]);
@@ -740,20 +809,48 @@ mod tests {
     #[test]
     fn delete_maintains_indexes() {
         let (mut db, t) = setup();
-        let rid = db.table(t).index("pk").btree.get(&Key::int(7)).next().unwrap();
+        let rid = db
+            .table(t)
+            .index("pk")
+            .btree
+            .get(&Key::int(7))
+            .next()
+            .unwrap();
         let old = db.delete_row(t, rid).unwrap();
         assert_eq!(old[0].as_int(), 7);
-        assert!(db.table(t).index("pk").btree.get(&Key::int(7)).next().is_none());
+        assert!(db
+            .table(t)
+            .index("pk")
+            .btree
+            .get(&Key::int(7))
+            .next()
+            .is_none());
         assert!(db.delete_row(t, rid).is_none());
     }
 
     #[test]
     fn update_rekeys_only_changed_indexes() {
         let (mut db, t) = setup();
-        let rid = db.table(t).index("pk").btree.get(&Key::int(7)).next().unwrap();
+        let rid = db
+            .table(t)
+            .index("pk")
+            .btree
+            .get(&Key::int(7))
+            .next()
+            .unwrap();
         assert!(db.update_row(t, rid, |r| r[1] = Value::Int(99)));
-        assert!(db.table(t).index("by_grp").btree.get(&Key::int(99)).any(|r| r == rid));
-        assert!(db.table(t).index("pk").btree.get(&Key::int(7)).any(|r| r == rid));
+        assert!(db
+            .table(t)
+            .index("by_grp")
+            .btree
+            .get(&Key::int(99))
+            .any(|r| r == rid));
+        assert!(db
+            .table(t)
+            .index("pk")
+            .btree
+            .get(&Key::int(7))
+            .any(|r| r == rid));
     }
 
     #[test]

@@ -10,14 +10,14 @@
 //! query task later replays concurrently on the simulated hardware.
 
 use crate::db::{Database, TableId};
-use crate::optimizer::workspace_width;
 use crate::expr::Expr;
+use crate::optimizer::workspace_width;
 use crate::physplan::{PhysNode, PhysPlan};
 use crate::plan::{AggFunc, AggSpec, JoinKind};
+use dbsens_hwsim::fx::FxHashMap;
 use dbsens_hwsim::mem::{MemProfile, Region};
 use dbsens_storage::value::{cmp_values, Key, Row, Value};
 use std::cmp::Ordering;
-use std::collections::HashMap;
 
 /// One element of a demand trace, resolved against shared state (buffer
 /// pool, SSD) at replay time.
@@ -108,7 +108,9 @@ struct TraceBuilder {
 impl TraceBuilder {
     fn new(dop: usize) -> Self {
         TraceBuilder {
-            stages: vec![Stage { workers: vec![DemandTrace::default(); dop] }],
+            stages: vec![Stage {
+                workers: vec![DemandTrace::default(); dop],
+            }],
             dop,
             rr: 0,
         }
@@ -121,7 +123,9 @@ impl TraceBuilder {
     }
 
     fn new_stage(&mut self) {
-        self.stages.push(Stage { workers: vec![DemandTrace::default(); self.dop] });
+        self.stages.push(Stage {
+            workers: vec![DemandTrace::default(); self.dop],
+        });
         self.rr = 0;
     }
 }
@@ -252,10 +256,16 @@ impl<'a> Executor<'a> {
         let per = total / chunks as u64;
         // The profile describes the whole burst; split its counts across
         // chunks so parallel workers replay balanced shares.
-        let per_chunk_mem =
-            if chunks == 1 { mem.clone() } else { scale_profile(&mem, 1.0 / chunks as f64) };
+        let per_chunk_mem = if chunks == 1 {
+            mem.clone()
+        } else {
+            scale_profile(&mem, 1.0 / chunks as f64)
+        };
         for _ in 0..chunks {
-            self.tb.emit(TraceItem::Compute { instructions: per, mem: per_chunk_mem.clone() });
+            self.tb.emit(TraceItem::Compute {
+                instructions: per,
+                mem: per_chunk_mem.clone(),
+            });
         }
     }
 
@@ -321,31 +331,72 @@ impl<'a> Executor<'a> {
         let per_instr = (instructions.max(0.0) as u64) / n as u64;
         let per_mem = scale_profile(&mem, 1.0 / n as f64);
         for (start, pages) in chunks {
-            self.tb.emit(TraceItem::PageRun { start, pages, write: false });
-            self.tb.emit(TraceItem::Compute { instructions: per_instr, mem: per_mem.clone() });
+            self.tb.emit(TraceItem::PageRun {
+                start,
+                pages,
+                write: false,
+            });
+            self.tb.emit(TraceItem::Compute {
+                instructions: per_instr,
+                mem: per_mem.clone(),
+            });
         }
     }
 
     fn exec(&mut self, n: &PhysNode) -> Vec<Row> {
         match n {
-            PhysNode::SeqScan { table, filter, project, .. } => {
-                self.exec_seq_scan(*table, filter.as_ref(), project.as_deref())
-            }
-            PhysNode::ColumnstoreScan { table, filter, elim, project, .. } => {
-                self.exec_cs_scan(*table, filter.as_ref(), elim.as_ref(), project.as_deref())
-            }
-            PhysNode::IndexRange { table, index, lo, hi, filter, .. } => {
-                self.exec_index_range(*table, index, lo.as_ref(), hi.as_ref(), filter.as_ref())
-            }
-            PhysNode::HashJoin { probe, build, probe_keys, build_keys, kind, swapped, .. } => {
-                self.exec_hash_join(probe, build, probe_keys, build_keys, *kind, *swapped)
-            }
-            PhysNode::NlJoin { outer, inner_table, inner_index, outer_keys, kind, filter, .. } => {
-                self.exec_nl_join(outer, *inner_table, inner_index, outer_keys, *kind, filter.as_ref())
-            }
-            PhysNode::HashAgg { input, group_by, aggs, .. } => {
-                self.exec_hash_agg(input, group_by, aggs)
-            }
+            PhysNode::SeqScan {
+                table,
+                filter,
+                project,
+                ..
+            } => self.exec_seq_scan(*table, filter.as_ref(), project.as_deref()),
+            PhysNode::ColumnstoreScan {
+                table,
+                filter,
+                elim,
+                project,
+                ..
+            } => self.exec_cs_scan(*table, filter.as_ref(), elim.as_ref(), project.as_deref()),
+            PhysNode::IndexRange {
+                table,
+                index,
+                lo,
+                hi,
+                filter,
+                ..
+            } => self.exec_index_range(*table, index, lo.as_ref(), hi.as_ref(), filter.as_ref()),
+            PhysNode::HashJoin {
+                probe,
+                build,
+                probe_keys,
+                build_keys,
+                kind,
+                swapped,
+                ..
+            } => self.exec_hash_join(probe, build, probe_keys, build_keys, *kind, *swapped),
+            PhysNode::NlJoin {
+                outer,
+                inner_table,
+                inner_index,
+                outer_keys,
+                kind,
+                filter,
+                ..
+            } => self.exec_nl_join(
+                outer,
+                *inner_table,
+                inner_index,
+                outer_keys,
+                *kind,
+                filter.as_ref(),
+            ),
+            PhysNode::HashAgg {
+                input,
+                group_by,
+                aggs,
+                ..
+            } => self.exec_hash_agg(input, group_by, aggs),
             PhysNode::StreamAgg { input, aggs } => self.exec_stream_agg(input, aggs),
             PhysNode::Sort { input, keys, .. } => self.exec_sort(input, keys),
             PhysNode::Top { input, n } => {
@@ -356,14 +407,17 @@ impl<'a> Executor<'a> {
             PhysNode::Project { input, exprs } => {
                 let rows = self.exec(input);
                 let instr = self.modeled(rows.len())
-                    * (exprs.iter().map(Expr::node_count).sum::<u64>() * self.db.cost.expr_node) as f64;
+                    * (exprs.iter().map(Expr::node_count).sum::<u64>() * self.db.cost.expr_node)
+                        as f64;
                 self.emit_compute(instr, MemProfile::new());
-                rows.iter().map(|r| exprs.iter().map(|e| e.eval(r)).collect()).collect()
+                rows.iter()
+                    .map(|r| exprs.iter().map(|e| e.eval(r)).collect())
+                    .collect()
             }
             PhysNode::Filter { input, pred } => {
                 let rows = self.exec(input);
-                let instr = self.modeled(rows.len())
-                    * (pred.node_count() * self.db.cost.expr_node) as f64;
+                let instr =
+                    self.modeled(rows.len()) * (pred.node_count() * self.db.cost.expr_node) as f64;
                 self.emit_compute(instr, MemProfile::new());
                 rows.into_iter().filter(|r| pred.matches(r)).collect()
             }
@@ -379,7 +433,8 @@ impl<'a> Executor<'a> {
         let t = self.db.table(table);
         let modeled_rows = t.layout.modeled_rows() as f64;
         let expr_nodes = filter.map_or(0, Expr::node_count);
-        let instr = modeled_rows * (self.db.cost.scan_row + expr_nodes * self.db.cost.expr_node) as f64;
+        let instr =
+            modeled_rows * (self.db.cost.scan_row + expr_nodes * self.db.cost.expr_node) as f64;
         let mut mem = MemProfile::new();
         t.layout.scan_mem(&mut mem, 1.0);
         mem.random(
@@ -422,7 +477,10 @@ impl<'a> Executor<'a> {
                     .iter()
                     .filter(|g| g.segment(*c).overlaps(lo.as_ref(), hi.as_ref()))
                     .count();
-                (Some((*c, lo.as_ref(), hi.as_ref())), surviving as f64 / total as f64)
+                (
+                    Some((*c, lo.as_ref(), hi.as_ref())),
+                    surviving as f64 / total as f64,
+                )
             }
             None => (None, 1.0),
         };
@@ -485,7 +543,12 @@ impl<'a> Executor<'a> {
         let rids: Vec<_> = match (lo, hi) {
             (Some(lo), Some(hi)) => idx.btree.range(lo, hi).map(|(_, rid)| rid).collect(),
             (Some(lo), None) => idx.btree.seek(lo).map(|(_, rid)| rid).collect(),
-            (None, Some(hi)) => idx.btree.iter().take_while(|(k, _)| *k < hi).map(|(_, rid)| rid).collect(),
+            (None, Some(hi)) => idx
+                .btree
+                .iter()
+                .take_while(|(k, _)| *k < hi)
+                .map(|(_, rid)| rid)
+                .collect(),
             (None, None) => idx.btree.iter().map(|(_, rid)| rid).collect(),
         };
         let total = idx.btree.len().max(1);
@@ -506,10 +569,14 @@ impl<'a> Executor<'a> {
         let (lstart, lpages) = idx.layout.leaf_scan_run(start_frac, frac);
         // Fetch the base rows (roughly clustered with the key order for our
         // generators).
-        let tpages =
-            ((t.layout.pages() as f64 * frac).ceil() as u64).max(1).min(t.layout.pages());
+        let tpages = ((t.layout.pages() as f64 * frac).ceil() as u64)
+            .max(1)
+            .min(t.layout.pages());
         self.emit_scan_interleaved(
-            &[(lstart, lpages), (t.layout.page_of_fraction(start_frac), tpages)],
+            &[
+                (lstart, lpages),
+                (t.layout.page_of_fraction(start_frac), tpages),
+            ],
             instr,
             mem,
         );
@@ -534,8 +601,7 @@ impl<'a> Executor<'a> {
         let build_rows = self.exec(build);
         let build_modeled = self.modeled(build_rows.len());
         let width = build_rows.first().map_or(8, |r| workspace_width(r.len()));
-        let ht_bytes =
-            (build_modeled * (self.db.cost.hash_bytes_per_row + width) as f64) as u64;
+        let ht_bytes = (build_modeled * (self.db.cost.hash_bytes_per_row + width) as f64) as u64;
         let spill = self.spill_bytes(ht_bytes);
         let ht_region = self.fresh_region();
         let mut mem = MemProfile::new();
@@ -593,7 +659,7 @@ impl<'a> Executor<'a> {
         self.emit_compute(probe_instr, mem);
 
         // Logical join.
-        let mut ht: HashMap<Vec<KeyPart>, Vec<usize>> = HashMap::new();
+        let mut ht: FxHashMap<Vec<KeyPart>, Vec<usize>> = FxHashMap::default();
         for (i, r) in build_rows.iter().enumerate() {
             ht.entry(key_sig(r, build_keys)).or_default().push(i);
         }
@@ -690,7 +756,9 @@ impl<'a> Executor<'a> {
             let key = Key::from_values(outer_keys.iter().map(|&c| orow[c].clone()).collect());
             let mut matched = false;
             for rid in idx.btree.get(&key) {
-                let Some(irow) = t.heap.get(rid) else { continue };
+                let Some(irow) = t.heap.get(rid) else {
+                    continue;
+                };
                 let mut row = orow.clone();
                 row.extend(irow.iter().cloned());
                 if filter.is_none_or(|f| f.matches(&row)) {
@@ -720,11 +788,16 @@ impl<'a> Executor<'a> {
         out
     }
 
-    fn exec_hash_agg(&mut self, input: &PhysNode, group_by: &[usize], aggs: &[AggSpec]) -> Vec<Row> {
+    fn exec_hash_agg(
+        &mut self,
+        input: &PhysNode,
+        group_by: &[usize],
+        aggs: &[AggSpec],
+    ) -> Vec<Row> {
         let rows = self.exec(input);
         let in_modeled = self.modeled(rows.len());
 
-        let mut groups: HashMap<Vec<KeyPart>, (Row, Vec<AggAcc>)> = HashMap::new();
+        let mut groups: FxHashMap<Vec<KeyPart>, (Row, Vec<AggAcc>)> = FxHashMap::default();
         for r in &rows {
             let sig = key_sig(r, group_by);
             let entry = groups.entry(sig).or_insert_with(|| {
@@ -761,7 +834,10 @@ impl<'a> Executor<'a> {
             self.tb.new_stage();
             self.emit_spill(spill, false);
             let spilled_groups = groups_modeled * (spill as f64 / ht_bytes.max(1) as f64);
-            self.emit_compute(spilled_groups * self.db.cost.agg_row as f64, MemProfile::new());
+            self.emit_compute(
+                spilled_groups * self.db.cost.agg_row as f64,
+                MemProfile::new(),
+            );
         }
 
         groups
@@ -779,7 +855,8 @@ impl<'a> Executor<'a> {
         let agg_nodes: u64 = aggs.iter().map(|a| a.expr.node_count()).sum();
         self.emit_compute(
             in_modeled
-                * ((self.db.cost.agg_row as f64 * 0.4) + (agg_nodes * self.db.cost.expr_node) as f64),
+                * ((self.db.cost.agg_row as f64 * 0.4)
+                    + (agg_nodes * self.db.cost.expr_node) as f64),
             MemProfile::new(),
         );
         let mut accs: Vec<AggAcc> = aggs.iter().map(|a| AggAcc::new(a.func)).collect();
@@ -800,7 +877,10 @@ impl<'a> Executor<'a> {
         let region = self.fresh_region();
         let mut mem = MemProfile::new();
         mem.random(region, sort_bytes.max(4096), modeled as u64);
-        self.emit_compute(modeled * modeled.log2() * self.db.cost.sort_row_log as f64, mem);
+        self.emit_compute(
+            modeled * modeled.log2() * self.db.cost.sort_row_log as f64,
+            mem,
+        );
         if spill > 0 {
             // External merge sort: spilled runs are written out, then read
             // back and merged in a pass that follows run generation.
@@ -808,7 +888,10 @@ impl<'a> Executor<'a> {
             self.tb.new_stage();
             self.emit_spill(spill, false);
             let spilled_rows = modeled * (spill as f64 / sort_bytes.max(1) as f64);
-            self.emit_compute(spilled_rows * self.db.cost.sort_row_log as f64, MemProfile::new());
+            self.emit_compute(
+                spilled_rows * self.db.cost.sort_row_log as f64,
+                MemProfile::new(),
+            );
         }
         rows.sort_by(|a, b| {
             for &(c, desc) in keys {
@@ -832,7 +915,11 @@ fn scale_profile(mem: &MemProfile, factor: f64) -> MemProfile {
             AccessPattern::Stream { region, bytes } => {
                 out.stream(region, (bytes as f64 * factor) as u64);
             }
-            AccessPattern::Random { region, footprint, count } => {
+            AccessPattern::Random {
+                region,
+                footprint,
+                count,
+            } => {
                 out.random(region, footprint, ((count as f64 * factor) as u64).max(1));
             }
         }
@@ -903,12 +990,17 @@ impl AggAcc {
                 }
             }
             AggAcc::Min(m) => {
-                if !v.is_null() && m.as_ref().is_none_or(|cur| cmp_values(v, cur) == Ordering::Less) {
+                if !v.is_null()
+                    && m.as_ref()
+                        .is_none_or(|cur| cmp_values(v, cur) == Ordering::Less)
+                {
                     *m = Some(v.clone());
                 }
             }
             AggAcc::Max(m) => {
-                if !v.is_null() && m.as_ref().is_none_or(|cur| cmp_values(v, cur) == Ordering::Greater)
+                if !v.is_null()
+                    && m.as_ref()
+                        .is_none_or(|cur| cmp_values(v, cur) == Ordering::Greater)
                 {
                     *m = Some(v.clone());
                 }
@@ -957,13 +1049,19 @@ mod tests {
         ]);
         let fact_rows: Vec<Row> = (0..400)
             .map(|i| {
-                vec![Value::Int(i), Value::Int(i % 20), Value::Int(i % 7), Value::Float(i as f64 * 1.5)]
+                vec![
+                    Value::Int(i),
+                    Value::Int(i % 20),
+                    Value::Int(i % 7),
+                    Value::Float(i as f64 * 1.5),
+                ]
             })
             .collect();
         let fact = db.create_table("fact", fact_schema, fact_rows);
         let dim_schema = Schema::new(&[("id", ColType::Int), ("name", ColType::Str(8))]);
-        let dim_rows: Vec<Row> =
-            (0..20).map(|i| vec![Value::Int(i), Value::Str(format!("n{i}"))]).collect();
+        let dim_rows: Vec<Row> = (0..20)
+            .map(|i| vec![Value::Int(i), Value::Str(format!("n{i}"))])
+            .collect();
         let dim = db.create_table("dim", dim_schema, dim_rows);
         db.create_index(dim, "pk", &[0]);
         db.create_index(fact, "pk", &[0]);
@@ -1066,11 +1164,16 @@ mod tests {
     #[test]
     fn sort_and_top() {
         let (db, fact, _) = setup();
-        let q = Logical::scan(fact, None, 400.0).sort(vec![(3, true)]).top(5);
+        let q = Logical::scan(fact, None, 400.0)
+            .sort(vec![(3, true)])
+            .top(5);
         let out = run(&db, &q, &ctx());
         assert_eq!(out.rows.len(), 5);
         assert_eq!(out.rows[0][0].as_int(), 399); // highest price first
-        assert!(out.rows.windows(2).all(|w| w[0][3].as_f64() >= w[1][3].as_f64()));
+        assert!(out
+            .rows
+            .windows(2)
+            .all(|w| w[0][3].as_f64() >= w[1][3].as_f64()));
     }
 
     #[test]
@@ -1078,7 +1181,13 @@ mod tests {
         let (db, fact, dim) = setup();
         let q = Logical::scan(fact, None, 400.0)
             .filter(Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::lit(40i64)), 0.1)
-            .join(Logical::scan(dim, None, 20.0), vec![1], vec![0], JoinKind::Inner, 40.0);
+            .join(
+                Logical::scan(dim, None, 20.0),
+                vec![1],
+                vec![0],
+                JoinKind::Inner,
+                40.0,
+            );
         // Force NL by making the probe side huge relative to hash costs:
         // instead, lower the plan twice and compare row sets whichever
         // algorithms were chosen.
@@ -1095,7 +1204,11 @@ mod tests {
         c.cost_threshold = 0.0; // force parallel
         let out = run(&db, &q, &c);
         assert_eq!(out.dop, 4);
-        let busy_workers = out.stages[0].workers.iter().filter(|w| !w.items.is_empty()).count();
+        let busy_workers = out.stages[0]
+            .workers
+            .iter()
+            .filter(|w| !w.items.is_empty())
+            .count();
         assert!(busy_workers >= 2, "trace not distributed: {busy_workers}");
     }
 

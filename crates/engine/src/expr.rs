@@ -176,8 +176,8 @@ impl Expr {
                     return Value::Int(0);
                 }
                 Value::Int(
-                    (cmp_values(&v, lo) != Ordering::Less && cmp_values(&v, hi) != Ordering::Greater)
-                        as i64,
+                    (cmp_values(&v, lo) != Ordering::Less
+                        && cmp_values(&v, hi) != Ordering::Greater) as i64,
                 )
             }
             Expr::IsNull(a) => Value::Int(a.eval(row).is_null() as i64),
@@ -203,15 +203,35 @@ impl Expr {
         match self {
             Expr::Col(i) => Expr::Col(i + offset),
             Expr::Lit(v) => Expr::Lit(v.clone()),
-            Expr::Add(a, b) => Expr::Add(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
-            Expr::Sub(a, b) => Expr::Sub(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
-            Expr::Mul(a, b) => Expr::Mul(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
-            Expr::Div(a, b) => Expr::Div(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
-            Expr::Cmp(op, a, b) => {
-                Expr::Cmp(*op, Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset)))
-            }
-            Expr::And(a, b) => Expr::And(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
-            Expr::Or(a, b) => Expr::Or(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset))),
+            Expr::Add(a, b) => Expr::Add(
+                Box::new(a.shift_cols(offset)),
+                Box::new(b.shift_cols(offset)),
+            ),
+            Expr::Sub(a, b) => Expr::Sub(
+                Box::new(a.shift_cols(offset)),
+                Box::new(b.shift_cols(offset)),
+            ),
+            Expr::Mul(a, b) => Expr::Mul(
+                Box::new(a.shift_cols(offset)),
+                Box::new(b.shift_cols(offset)),
+            ),
+            Expr::Div(a, b) => Expr::Div(
+                Box::new(a.shift_cols(offset)),
+                Box::new(b.shift_cols(offset)),
+            ),
+            Expr::Cmp(op, a, b) => Expr::Cmp(
+                *op,
+                Box::new(a.shift_cols(offset)),
+                Box::new(b.shift_cols(offset)),
+            ),
+            Expr::And(a, b) => Expr::And(
+                Box::new(a.shift_cols(offset)),
+                Box::new(b.shift_cols(offset)),
+            ),
+            Expr::Or(a, b) => Expr::Or(
+                Box::new(a.shift_cols(offset)),
+                Box::new(b.shift_cols(offset)),
+            ),
             Expr::Not(a) => Expr::Not(Box::new(a.shift_cols(offset))),
             Expr::StartsWith(a, p) => Expr::StartsWith(Box::new(a.shift_cols(offset)), p.clone()),
             Expr::Contains(a, p) => Expr::Contains(Box::new(a.shift_cols(offset)), p.clone()),
@@ -220,9 +240,10 @@ impl Expr {
                 Expr::Between(Box::new(a.shift_cols(offset)), lo.clone(), hi.clone())
             }
             Expr::IsNull(a) => Expr::IsNull(Box::new(a.shift_cols(offset))),
-            Expr::IntDiv(a, b) => {
-                Expr::IntDiv(Box::new(a.shift_cols(offset)), Box::new(b.shift_cols(offset)))
-            }
+            Expr::IntDiv(a, b) => Expr::IntDiv(
+                Box::new(a.shift_cols(offset)),
+                Box::new(b.shift_cols(offset)),
+            ),
         }
     }
 
@@ -323,15 +344,26 @@ mod tests {
     use super::*;
 
     fn row() -> Row {
-        vec![Value::Int(5), Value::Float(2.5), Value::Str("BRAZIL".into()), Value::Null]
+        vec![
+            Value::Int(5),
+            Value::Float(2.5),
+            Value::Str("BRAZIL".into()),
+            Value::Null,
+        ]
     }
 
     #[test]
     fn arithmetic() {
         let r = row();
         assert_eq!(Expr::Col(0).add(Expr::lit(3i64)).eval(&r), Value::Int(8));
-        assert_eq!(Expr::Col(1).mul(Expr::lit(2i64)).eval(&r), Value::Float(5.0));
-        assert_eq!(Expr::Col(0).div(Expr::lit(2i64)).eval(&r), Value::Float(2.5));
+        assert_eq!(
+            Expr::Col(1).mul(Expr::lit(2i64)).eval(&r),
+            Value::Float(5.0)
+        );
+        assert_eq!(
+            Expr::Col(0).div(Expr::lit(2i64)).eval(&r),
+            Value::Float(2.5)
+        );
         assert_eq!(Expr::Col(0).div(Expr::lit(0i64)).eval(&r), Value::Null);
         assert_eq!(Expr::Col(3).add(Expr::lit(1i64)).eval(&r), Value::Null);
         // Arithmetic over strings yields NULL, never a panic.
@@ -370,7 +402,9 @@ mod tests {
     #[test]
     fn in_list_and_between() {
         let r = row();
-        assert!(Expr::InList(Box::new(Expr::Col(0)), vec![Value::Int(1), Value::Int(5)]).matches(&r));
+        assert!(
+            Expr::InList(Box::new(Expr::Col(0)), vec![Value::Int(1), Value::Int(5)]).matches(&r)
+        );
         assert!(Expr::Between(Box::new(Expr::Col(0)), Value::Int(1), Value::Int(5)).matches(&r));
         assert!(!Expr::Between(Box::new(Expr::Col(0)), Value::Int(6), Value::Int(9)).matches(&r));
     }
@@ -388,7 +422,11 @@ mod tests {
 
     #[test]
     fn node_count_and_display() {
-        let e = Expr::cmp(CmpOp::Gt, Expr::Col(0).mul(Expr::lit(2i64)), Expr::lit(10i64));
+        let e = Expr::cmp(
+            CmpOp::Gt,
+            Expr::Col(0).mul(Expr::lit(2i64)),
+            Expr::lit(10i64),
+        );
         assert_eq!(e.node_count(), 5);
         assert_eq!(e.to_string(), "((c0 * 2) > 10)");
     }

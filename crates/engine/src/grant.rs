@@ -35,7 +35,14 @@ pub struct GrantManager {
 impl GrantManager {
     /// Creates a manager over `total` bytes of query workspace.
     pub fn new(total: u64) -> Self {
-        GrantManager { total, available: total, queue: VecDeque::new(), peak_queue: 0, grants: 0, grant_waits: 0 }
+        GrantManager {
+            total,
+            available: total,
+            queue: VecDeque::new(),
+            peak_queue: 0,
+            grants: 0,
+            grant_waits: 0,
+        }
     }
 
     /// Total workspace bytes.

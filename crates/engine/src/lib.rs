@@ -49,7 +49,6 @@ pub mod tasks;
 pub mod txn;
 
 pub use db::{Database, TableId};
-pub use recovery::{recover, CrashImage, RecoveryReport};
 pub use exec::{execute, QueryExecution};
 pub use expr::{CmpOp, Expr};
 pub use governor::Governor;
@@ -58,5 +57,6 @@ pub use metrics::RunMetrics;
 pub use optimizer::{optimize, PlanContext};
 pub use physplan::{PhysNode, PhysPlan};
 pub use plan::{JoinKind, Logical};
+pub use recovery::{recover, CrashImage, RecoveryReport};
 pub use tasks::{CheckpointTask, QueryStreamTask, TraceTask};
 pub use txn::{LockSpec, MutOp, Mutation, TxOp, TxnClientTask, TxnGenerator, TxnProgram};

@@ -1,7 +1,7 @@
 //! Run metrics shared by all workload tasks.
 
+use dbsens_hwsim::fx::FxHashMap;
 use dbsens_hwsim::time::{SimDuration, SimTime};
-use std::collections::HashMap;
 
 /// One completed query.
 #[derive(Debug, Clone)]
@@ -32,7 +32,7 @@ pub struct QueryRecord {
 pub struct RunMetrics {
     txns: u64,
     txn_latencies_ns: Vec<u64>,
-    txns_by_type: HashMap<String, u64>,
+    txns_by_type: FxHashMap<String, u64>,
     queries: Vec<QueryRecord>,
     /// log2 of the current latency sampling stride: only every
     /// `1 << latency_decimation`-th transaction is retained, for old
@@ -66,7 +66,14 @@ impl RunMetrics {
     /// than over-weighting recent transactions.
     pub fn record_txn(&mut self, txn_type: &str, latency: SimDuration) {
         self.txns += 1;
-        *self.txns_by_type.entry(txn_type.to_owned()).or_insert(0) += 1;
+        // `entry()` would allocate a String per commit even for the common
+        // already-present key; probe with the borrowed &str first.
+        match self.txns_by_type.get_mut(txn_type) {
+            Some(n) => *n += 1,
+            None => {
+                self.txns_by_type.insert(txn_type.to_owned(), 1);
+            }
+        }
         let stride = 1u64 << self.latency_decimation;
         if self.latency_seen.is_multiple_of(stride) {
             self.txn_latencies_ns.push(latency.as_nanos());
@@ -89,7 +96,11 @@ impl RunMetrics {
 
     /// Records a completed query.
     pub fn record_query(&mut self, name: &str, started: SimTime, duration: SimDuration) {
-        self.queries.push(QueryRecord { name: name.to_owned(), started, duration });
+        self.queries.push(QueryRecord {
+            name: name.to_owned(),
+            started,
+            duration,
+        });
     }
 
     /// Records one recovery retry (an I/O reissued after a transient error,
@@ -135,7 +146,7 @@ impl RunMetrics {
     }
 
     /// Commits per transaction type.
-    pub fn txns_by_type(&self) -> &HashMap<String, u64> {
+    pub fn txns_by_type(&self) -> &FxHashMap<String, u64> {
         &self.txns_by_type
     }
 
@@ -182,12 +193,18 @@ impl RunMetrics {
 
     /// Mean duration of queries whose name matches `name`.
     pub fn mean_query_duration(&self, name: &str) -> Option<SimDuration> {
-        let durations: Vec<u64> =
-            self.queries.iter().filter(|q| q.name == name).map(|q| q.duration.as_nanos()).collect();
+        let durations: Vec<u64> = self
+            .queries
+            .iter()
+            .filter(|q| q.name == name)
+            .map(|q| q.duration.as_nanos())
+            .collect();
         if durations.is_empty() {
             return None;
         }
-        Some(SimDuration::from_nanos(durations.iter().sum::<u64>() / durations.len() as u64))
+        Some(SimDuration::from_nanos(
+            durations.iter().sum::<u64>() / durations.len() as u64,
+        ))
     }
 }
 
@@ -205,7 +222,10 @@ mod tests {
         assert_eq!(m.tps(SimDuration::from_secs(10)), 10.0);
         let p99 = m.txn_latency_percentile(0.99).unwrap();
         assert!(p99 >= SimDuration::from_micros(98), "p99={p99}");
-        assert_eq!(m.txn_latency_percentile(0.0).unwrap(), SimDuration::from_micros(1));
+        assert_eq!(
+            m.txn_latency_percentile(0.0).unwrap(),
+            SimDuration::from_micros(1)
+        );
     }
 
     #[test]
@@ -214,7 +234,10 @@ mod tests {
         m.record_query("Q1", SimTime::ZERO, SimDuration::from_secs(2));
         m.record_query("Q1", SimTime::ZERO, SimDuration::from_secs(4));
         m.record_query("Q2", SimTime::ZERO, SimDuration::from_secs(1));
-        assert_eq!(m.mean_query_duration("Q1").unwrap(), SimDuration::from_secs(3));
+        assert_eq!(
+            m.mean_query_duration("Q1").unwrap(),
+            SimDuration::from_secs(3)
+        );
         assert!(m.mean_query_duration("Q9").is_none());
         assert!((m.qph(SimDuration::from_secs(3600)) - 3.0).abs() < 1e-9);
     }
@@ -250,10 +273,8 @@ mod tests {
             m.record_txn("T", SimDuration::from_nanos(i));
         }
         assert!(m.txn_latencies_ns.len() < LATENCY_CAP);
-        let p99_after =
-            m.txn_latency_percentile(0.99).unwrap().as_nanos() as f64 / total as f64;
-        let p50_after =
-            m.txn_latency_percentile(0.50).unwrap().as_nanos() as f64 / total as f64;
+        let p99_after = m.txn_latency_percentile(0.99).unwrap().as_nanos() as f64 / total as f64;
+        let p50_after = m.txn_latency_percentile(0.50).unwrap().as_nanos() as f64 / total as f64;
 
         // Normalized p99 is the same before and after the cap trips...
         assert!(

@@ -90,13 +90,27 @@ pub fn optimize(db: &Database, q: &Logical, ctx: &PlanContext) -> PhysPlan {
     // Pass 1: lower under serial assumptions and estimate cost.
     let serial_root = lower(db, q, ctx, 1);
     let serial_cost = est_cost(db, &serial_root, ctx, 1);
-    let dop = if serial_cost > ctx.cost_threshold { ctx.maxdop.max(1) } else { 1 };
+    let dop = if serial_cost > ctx.cost_threshold {
+        ctx.maxdop.max(1)
+    } else {
+        1
+    };
     // Pass 2: re-lower with the chosen DOP (join algorithm choices may
     // change).
-    let root = if dop == 1 { serial_root } else { lower(db, q, ctx, dop) };
+    let root = if dop == 1 {
+        serial_root
+    } else {
+        lower(db, q, ctx, dop)
+    };
     let desired = (root.workspace_bytes() as f64 * PlanContext::dop_memory_factor(dop)) as u64;
     let memory_grant = desired.min(ctx.grant_cap_bytes);
-    PhysPlan { root, dop, memory_grant, desired_memory: desired, est_cost: serial_cost }
+    PhysPlan {
+        root,
+        dop,
+        memory_grant,
+        desired_memory: desired,
+        est_cost: serial_cost,
+    }
 }
 
 /// Columns SQL Server would actually carry into a hash/sort workspace
@@ -113,7 +127,9 @@ pub fn arity(db: &Database, q: &Logical) -> usize {
             None => db.table(*table).heap.schema().len(),
         },
         LogicalNode::IndexRange { table, .. } => db.table(*table).heap.schema().len(),
-        LogicalNode::Join { left, right, kind, .. } => match kind {
+        LogicalNode::Join {
+            left, right, kind, ..
+        } => match kind {
             JoinKind::Semi | JoinKind::Anti => arity(db, left),
             _ => arity(db, left) + arity(db, right),
         },
@@ -128,7 +144,11 @@ pub fn arity(db: &Database, q: &Logical) -> usize {
 fn lower(db: &Database, q: &Logical, ctx: &PlanContext, dop: usize) -> PhysNode {
     let cost = &db.cost;
     match &q.node {
-        LogicalNode::Scan { table, filter, project } => {
+        LogicalNode::Scan {
+            table,
+            filter,
+            project,
+        } => {
             if db.table(*table).columnstore.is_some() {
                 let elim = filter.as_ref().and_then(extract_range);
                 PhysNode::ColumnstoreScan {
@@ -147,7 +167,13 @@ fn lower(db: &Database, q: &Logical, ctx: &PlanContext, dop: usize) -> PhysNode 
                 }
             }
         }
-        LogicalNode::IndexRange { table, index, lo, hi, filter } => PhysNode::IndexRange {
+        LogicalNode::IndexRange {
+            table,
+            index,
+            lo,
+            hi,
+            filter,
+        } => PhysNode::IndexRange {
             table: *table,
             index: index.clone(),
             lo: lo.clone(),
@@ -177,7 +203,11 @@ fn lower(db: &Database, q: &Logical, ctx: &PlanContext, dop: usize) -> PhysNode 
                 sort_bytes,
             }
         }
-        LogicalNode::Agg { input, group_by, aggs } => {
+        LogicalNode::Agg {
+            input,
+            group_by,
+            aggs,
+        } => {
             if group_by.is_empty() {
                 PhysNode::StreamAgg {
                     input: Box::new(lower(db, input, ctx, dop)),
@@ -196,9 +226,13 @@ fn lower(db: &Database, q: &Logical, ctx: &PlanContext, dop: usize) -> PhysNode 
                 }
             }
         }
-        LogicalNode::Join { left, right, left_keys, right_keys, kind } => {
-            lower_join(db, q, left, right, left_keys, right_keys, *kind, ctx, dop)
-        }
+        LogicalNode::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => lower_join(db, q, left, right, left_keys, right_keys, *kind, ctx, dop),
     }
 }
 
@@ -221,12 +255,23 @@ fn lower_join(
     // Index nested-loops candidate: the right (inner) side is a plain scan
     // of a table with a B-tree index exactly on the join keys.
     let nl_candidate = match &right.node {
-        LogicalNode::Scan { table, filter, project: None } => {
+        LogicalNode::Scan {
+            table,
+            filter,
+            project: None,
+        } => {
             let t = db.table(*table);
             t.indexes
                 .iter()
                 .find(|idx| idx.key_cols == right_keys)
-                .map(|idx| (*table, idx.name.clone(), filter.clone(), idx.layout.levels()))
+                .map(|idx| {
+                    (
+                        *table,
+                        idx.name.clone(),
+                        filter.clone(),
+                        idx.layout.levels(),
+                    )
+                })
         }
         _ => None,
     };
@@ -234,8 +279,8 @@ fn lower_join(
     // Hash join cost (paper-scale instructions).
     let build_width = workspace_width(arity(db, right));
     let build_bytes = (right_modeled * (cost.hash_bytes_per_row + build_width) as f64) as u64;
-    let mut cost_hash = right_modeled * cost.hash_build_row as f64
-        + left_modeled * cost.hash_probe_row as f64;
+    let mut cost_hash =
+        right_modeled * cost.hash_build_row as f64 + left_modeled * cost.hash_probe_row as f64;
     if dop > 1 {
         // Parallel hash joins repartition both inputs across workers.
         cost_hash += (left_modeled + right_modeled) * cost.exchange_row as f64;
@@ -297,23 +342,43 @@ pub fn est_cost(db: &Database, n: &PhysNode, ctx: &PlanContext, dop: usize) -> f
     let cost = &db.cost;
     let scale = db.row_scale;
     let own = match n {
-        PhysNode::SeqScan { table, filter, est_rows, .. } => {
+        PhysNode::SeqScan {
+            table,
+            filter,
+            est_rows,
+            ..
+        } => {
             let rows = db.table(*table).layout.modeled_rows() as f64;
             let expr_nodes = filter.as_ref().map_or(0, Expr::node_count);
             rows * (cost.scan_row + expr_nodes * cost.expr_node) as f64 + est_rows * 0.0
         }
-        PhysNode::ColumnstoreScan { table, filter, project, .. } => {
+        PhysNode::ColumnstoreScan {
+            table,
+            filter,
+            project,
+            ..
+        } => {
             let t = db.table(*table);
             let rows = t.layout.modeled_rows() as f64;
             let cols = project.as_ref().map_or(t.heap.schema().len(), Vec::len) as u64;
             let expr_nodes = filter.as_ref().map_or(0, Expr::node_count);
             rows * (cols * cost.columnstore_row_per_col + expr_nodes * cost.expr_node) as f64
         }
-        PhysNode::IndexRange { table, index, est_rows, .. } => {
+        PhysNode::IndexRange {
+            table,
+            index,
+            est_rows,
+            ..
+        } => {
             let levels = db.table(*table).index(index).layout.levels() as f64;
             levels * cost.btree_level as f64 + est_rows * scale * cost.scan_row as f64
         }
-        PhysNode::HashJoin { probe, build, build_bytes, .. } => {
+        PhysNode::HashJoin {
+            probe,
+            build,
+            build_bytes,
+            ..
+        } => {
             let mut c = build.est_rows() * scale * cost.hash_build_row as f64
                 + probe.est_rows() * scale * cost.hash_probe_row as f64;
             if *build_bytes > ctx.grant_cap_bytes {
@@ -324,7 +389,12 @@ pub fn est_cost(db: &Database, n: &PhysNode, ctx: &PlanContext, dop: usize) -> f
             }
             c
         }
-        PhysNode::NlJoin { outer, inner_table, inner_index, .. } => {
+        PhysNode::NlJoin {
+            outer,
+            inner_table,
+            inner_index,
+            ..
+        } => {
             let levels = db.table(*inner_table).index(inner_index).layout.levels() as f64;
             outer.est_rows() * scale * levels * cost.btree_level as f64
         }
@@ -351,7 +421,11 @@ pub fn est_cost(db: &Database, n: &PhysNode, ctx: &PlanContext, dop: usize) -> f
             input.est_rows() * scale * (pred.node_count() * cost.expr_node) as f64
         }
     };
-    own + n.children().iter().map(|c| est_cost(db, c, ctx, dop)).sum::<f64>()
+    own + n
+        .children()
+        .iter()
+        .map(|c| est_cost(db, c, ctx, dop))
+        .sum::<f64>()
 }
 
 /// Extracts a `(column, lo, hi)` range from simple predicates for segment
@@ -394,13 +468,18 @@ mod tests {
 
     fn db_with_tables(row_scale: f64) -> (Database, TableId, TableId) {
         let mut db = Database::new(row_scale, 1 << 30);
-        let schema = Schema::new(&[("id", ColType::Int), ("fk", ColType::Int), ("v", ColType::Float)]);
+        let schema = Schema::new(&[
+            ("id", ColType::Int),
+            ("fk", ColType::Int),
+            ("v", ColType::Float),
+        ]);
         let rows: Vec<Vec<Value>> = (0..2000)
             .map(|i| vec![Value::Int(i), Value::Int(i % 100), Value::Float(i as f64)])
             .collect();
         let big = db.create_table("big", schema.clone(), rows);
-        let dim_rows: Vec<Vec<Value>> =
-            (0..100).map(|i| vec![Value::Int(i), Value::Int(i % 5), Value::Float(0.0)]).collect();
+        let dim_rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 5), Value::Float(0.0)])
+            .collect();
         let dim = db.create_table("dim", schema, dim_rows);
         db.create_index(dim, "pk", &[0]);
         (db, big, dim)
@@ -446,7 +525,13 @@ mod tests {
         // high DOP.
         let q = Logical::scan(big, None, 2000.0)
             .filter(Expr::cmp(CmpOp::Lt, Expr::Col(0), Expr::lit(10i64)), 0.005)
-            .join(Logical::scan(dim, None, 100.0), vec![1], vec![0], JoinKind::Inner, 10.0);
+            .join(
+                Logical::scan(dim, None, 100.0),
+                vec![1],
+                vec![0],
+                JoinKind::Inner,
+                10.0,
+            );
         let plan = optimize(&db, &q, &ctx());
         assert!(
             plan.count_ops("Nested Loops (index)") == 1 || plan.count_ops("Hash Join") == 1,
@@ -493,12 +578,21 @@ mod tests {
     fn extract_range_handles_common_shapes() {
         use Expr::*;
         let between = Between(Box::new(Col(3)), Value::Int(1), Value::Int(9));
-        assert_eq!(extract_range(&between), Some((3, Some(Value::Int(1)), Some(Value::Int(9)))));
+        assert_eq!(
+            extract_range(&between),
+            Some((3, Some(Value::Int(1)), Some(Value::Int(9))))
+        );
         let ge = Expr::cmp(CmpOp::Ge, Col(2), Expr::lit(5i64));
         assert_eq!(extract_range(&ge), Some((2, Some(Value::Int(5)), None)));
-        let and = Expr::cmp(CmpOp::Ge, Col(2), Expr::lit(5i64))
-            .and(Expr::cmp(CmpOp::Lt, Col(2), Expr::lit(9i64)));
-        assert_eq!(extract_range(&and), Some((2, Some(Value::Int(5)), Some(Value::Int(9)))));
+        let and = Expr::cmp(CmpOp::Ge, Col(2), Expr::lit(5i64)).and(Expr::cmp(
+            CmpOp::Lt,
+            Col(2),
+            Expr::lit(9i64),
+        ));
+        assert_eq!(
+            extract_range(&and),
+            Some((2, Some(Value::Int(5)), Some(Value::Int(9))))
+        );
         assert_eq!(extract_range(&Expr::lit(1i64)), None);
     }
 

@@ -217,25 +217,51 @@ impl PhysNode {
     /// Collects `(depth, name, detail)` rows for rendering.
     fn render_into(&self, depth: usize, out: &mut Vec<(usize, String)>) {
         let detail = match self {
-            PhysNode::SeqScan { table, est_rows, .. }
-            | PhysNode::ColumnstoreScan { table, est_rows, .. } => {
+            PhysNode::SeqScan {
+                table, est_rows, ..
+            }
+            | PhysNode::ColumnstoreScan {
+                table, est_rows, ..
+            } => {
                 format!("t{} (~{:.0} rows)", table.0, est_rows)
             }
-            PhysNode::IndexRange { table, index, est_rows, .. } => {
+            PhysNode::IndexRange {
+                table,
+                index,
+                est_rows,
+                ..
+            } => {
                 format!("t{}.{} (~{:.0} rows)", table.0, index, est_rows)
             }
             PhysNode::HashJoin { est_rows, .. } => format!("(~{est_rows:.0} rows)"),
-            PhysNode::NlJoin { inner_table, inner_index, est_rows, .. } => {
-                format!("inner t{}.{} (~{:.0} rows)", inner_table.0, inner_index, est_rows)
+            PhysNode::NlJoin {
+                inner_table,
+                inner_index,
+                est_rows,
+                ..
+            } => {
+                format!(
+                    "inner t{}.{} (~{:.0} rows)",
+                    inner_table.0, inner_index, est_rows
+                )
             }
-            PhysNode::HashAgg { group_by, est_groups, .. } => {
+            PhysNode::HashAgg {
+                group_by,
+                est_groups,
+                ..
+            } => {
                 format!("{} keys (~{:.0} groups)", group_by.len(), est_groups)
             }
             PhysNode::Sort { keys, .. } => format!("{} keys", keys.len()),
             PhysNode::Top { n, .. } => format!("n={n}"),
             _ => String::new(),
         };
-        out.push((depth, format!("{} {}", self.op_name(), detail).trim_end().to_owned()));
+        out.push((
+            depth,
+            format!("{} {}", self.op_name(), detail)
+                .trim_end()
+                .to_owned(),
+        ));
         for c in self.children() {
             c.render_into(depth + 1, out);
         }
@@ -303,7 +329,11 @@ impl fmt::Display for PhysPlan {
             self.dop,
             self.memory_grant as f64 / (1 << 20) as f64,
             self.est_cost,
-            if self.is_parallel() { "  <=> parallel" } else { "  -> serial" },
+            if self.is_parallel() {
+                "  <=> parallel"
+            } else {
+                "  -> serial"
+            },
         )?;
         let mut rows = Vec::new();
         self.root.render_into(0, &mut rows);
@@ -320,8 +350,18 @@ mod tests {
     use super::*;
 
     fn sample_plan() -> PhysPlan {
-        let scan = PhysNode::SeqScan { table: TableId(0), filter: None, project: None, est_rows: 1000.0 };
-        let build = PhysNode::SeqScan { table: TableId(1), filter: None, project: None, est_rows: 10.0 };
+        let scan = PhysNode::SeqScan {
+            table: TableId(0),
+            filter: None,
+            project: None,
+            est_rows: 1000.0,
+        };
+        let build = PhysNode::SeqScan {
+            table: TableId(1),
+            filter: None,
+            project: None,
+            est_rows: 10.0,
+        };
         let join = PhysNode::HashJoin {
             probe: Box::new(scan),
             build: Box::new(build),
@@ -339,7 +379,13 @@ mod tests {
             est_groups: 10.0,
             ht_bytes: 1 << 20,
         };
-        PhysPlan { root: agg, dop: 8, memory_grant: 2 << 20, desired_memory: 2 << 20, est_cost: 1e9 }
+        PhysPlan {
+            root: agg,
+            dop: 8,
+            memory_grant: 2 << 20,
+            desired_memory: 2 << 20,
+            est_cost: 1e9,
+        }
     }
 
     #[test]
@@ -366,7 +412,12 @@ mod tests {
         b.dop = 1; // DOP alone doesn't change shape
         assert_eq!(a.shape(), b.shape());
         let c = PhysPlan {
-            root: PhysNode::SeqScan { table: TableId(0), filter: None, project: None, est_rows: 1.0 },
+            root: PhysNode::SeqScan {
+                table: TableId(0),
+                filter: None,
+                project: None,
+                est_rows: 1.0,
+            },
             dop: 1,
             memory_grant: 0,
             desired_memory: 0,
@@ -391,8 +442,13 @@ mod tests {
             filter: None,
             est_rows: 5.0,
         };
-        let plan =
-            PhysPlan { root: nl, dop: 1, memory_grant: 0, desired_memory: 0, est_cost: 1.0 };
+        let plan = PhysPlan {
+            root: nl,
+            dop: 1,
+            memory_grant: 0,
+            desired_memory: 0,
+            est_cost: 1.0,
+        };
         let text = plan.to_string();
         assert!(text.contains("Nested Loops (index) inner t9.pk"), "{text}");
         assert!(text.contains("-> serial"));

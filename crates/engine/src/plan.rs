@@ -138,7 +138,14 @@ pub enum LogicalNode {
 impl Logical {
     /// Scan with a cardinality estimate.
     pub fn scan(table: TableId, filter: Option<Expr>, est_rows: f64) -> Logical {
-        Logical { node: LogicalNode::Scan { table, filter, project: None }, est_rows }
+        Logical {
+            node: LogicalNode::Scan {
+                table,
+                filter,
+                project: None,
+            },
+            est_rows,
+        }
     }
 
     /// Scan with projection.
@@ -148,7 +155,14 @@ impl Logical {
         project: Vec<usize>,
         est_rows: f64,
     ) -> Logical {
-        Logical { node: LogicalNode::Scan { table, filter, project: Some(project) }, est_rows }
+        Logical {
+            node: LogicalNode::Scan {
+                table,
+                filter,
+                project: Some(project),
+            },
+            est_rows,
+        }
     }
 
     /// Index range access.
@@ -161,7 +175,13 @@ impl Logical {
         est_rows: f64,
     ) -> Logical {
         Logical {
-            node: LogicalNode::IndexRange { table, index: index.to_owned(), lo, hi, filter },
+            node: LogicalNode::IndexRange {
+                table,
+                index: index.to_owned(),
+                lo,
+                hi,
+                filter,
+            },
             est_rows,
         }
     }
@@ -189,30 +209,61 @@ impl Logical {
 
     /// Grouped aggregation.
     pub fn agg(self, group_by: Vec<usize>, aggs: Vec<AggSpec>, est_groups: f64) -> Logical {
-        Logical { node: LogicalNode::Agg { input: Box::new(self), group_by, aggs }, est_rows: est_groups }
+        Logical {
+            node: LogicalNode::Agg {
+                input: Box::new(self),
+                group_by,
+                aggs,
+            },
+            est_rows: est_groups,
+        }
     }
 
     /// Sort.
     pub fn sort(self, keys: Vec<(usize, bool)>) -> Logical {
         let est = self.est_rows;
-        Logical { node: LogicalNode::Sort { input: Box::new(self), keys }, est_rows: est }
+        Logical {
+            node: LogicalNode::Sort {
+                input: Box::new(self),
+                keys,
+            },
+            est_rows: est,
+        }
     }
 
     /// Top-N.
     pub fn top(self, n: usize) -> Logical {
-        Logical { node: LogicalNode::Top { input: Box::new(self), n }, est_rows: n as f64 }
+        Logical {
+            node: LogicalNode::Top {
+                input: Box::new(self),
+                n,
+            },
+            est_rows: n as f64,
+        }
     }
 
     /// Projection.
     pub fn project(self, exprs: Vec<Expr>) -> Logical {
         let est = self.est_rows;
-        Logical { node: LogicalNode::Project { input: Box::new(self), exprs }, est_rows: est }
+        Logical {
+            node: LogicalNode::Project {
+                input: Box::new(self),
+                exprs,
+            },
+            est_rows: est,
+        }
     }
 
     /// Filter with an explicit selectivity estimate.
     pub fn filter(self, pred: Expr, selectivity: f64) -> Logical {
         let est = self.est_rows * selectivity.clamp(0.0, 1.0);
-        Logical { node: LogicalNode::Filter { input: Box::new(self), pred }, est_rows: est }
+        Logical {
+            node: LogicalNode::Filter {
+                input: Box::new(self),
+                pred,
+            },
+            est_rows: est,
+        }
     }
 
     /// Number of scans referencing `table` (used by validation warnings and
@@ -236,27 +287,42 @@ impl Logical {
 
 /// Convenience: a sum aggregate over a column.
 pub fn sum(col: usize) -> AggSpec {
-    AggSpec { func: AggFunc::Sum, expr: Expr::Col(col) }
+    AggSpec {
+        func: AggFunc::Sum,
+        expr: Expr::Col(col),
+    }
 }
 
 /// Convenience: an average aggregate over a column.
 pub fn avg(col: usize) -> AggSpec {
-    AggSpec { func: AggFunc::Avg, expr: Expr::Col(col) }
+    AggSpec {
+        func: AggFunc::Avg,
+        expr: Expr::Col(col),
+    }
 }
 
 /// Convenience: a count aggregate.
 pub fn count() -> AggSpec {
-    AggSpec { func: AggFunc::Count, expr: Expr::Lit(Value::Int(1)) }
+    AggSpec {
+        func: AggFunc::Count,
+        expr: Expr::Lit(Value::Int(1)),
+    }
 }
 
 /// Convenience: a min aggregate over a column.
 pub fn min(col: usize) -> AggSpec {
-    AggSpec { func: AggFunc::Min, expr: Expr::Col(col) }
+    AggSpec {
+        func: AggFunc::Min,
+        expr: Expr::Col(col),
+    }
 }
 
 /// Convenience: a max aggregate over a column.
 pub fn max(col: usize) -> AggSpec {
-    AggSpec { func: AggFunc::Max, expr: Expr::Col(col) }
+    AggSpec {
+        func: AggFunc::Max,
+        expr: Expr::Col(col),
+    }
 }
 
 #[cfg(test)]
@@ -268,7 +334,13 @@ mod tests {
         let t = TableId(0);
         let q = Logical::scan(t, None, 1000.0)
             .filter(Expr::lit(1i64), 0.1)
-            .join(Logical::scan(TableId(1), None, 50.0), vec![0], vec![0], JoinKind::Inner, 100.0)
+            .join(
+                Logical::scan(TableId(1), None, 50.0),
+                vec![0],
+                vec![0],
+                JoinKind::Inner,
+                100.0,
+            )
             .agg(vec![0], vec![sum(1), count()], 10.0)
             .sort(vec![(1, true)])
             .top(5);

@@ -42,7 +42,10 @@ impl CrashImage {
     /// byte, a torn tail of the oldest in-flight flush chosen by
     /// `keep_sectors`, and the checkpoint snapshots.
     pub fn extract(db: &mut Database, keep_sectors: impl FnOnce(u64) -> u64) -> CrashImage {
-        CrashImage { snapshots: db.take_snapshots(), wal_image: db.wal.crash_image(keep_sectors) }
+        CrashImage {
+            snapshots: db.take_snapshots(),
+            wal_image: db.wal.crash_image(keep_sectors),
+        }
     }
 }
 
@@ -82,10 +85,22 @@ impl RecoveryReport {
 /// The per-operation redo/undo images recoverable from a data record.
 fn undo_op_of(rec: &WalRecord) -> Option<(u64, UndoOp)> {
     match rec {
-        WalRecord::Insert { txn, table, rid, .. } => {
-            Some((*txn, UndoOp::Insert { table: TableId(*table as usize), rid: RowId(*rid) }))
-        }
-        WalRecord::Update { txn, table, rid, before, .. } => Some((
+        WalRecord::Insert {
+            txn, table, rid, ..
+        } => Some((
+            *txn,
+            UndoOp::Insert {
+                table: TableId(*table as usize),
+                rid: RowId(*rid),
+            },
+        )),
+        WalRecord::Update {
+            txn,
+            table,
+            rid,
+            before,
+            ..
+        } => Some((
             *txn,
             UndoOp::Update {
                 table: TableId(*table as usize),
@@ -93,9 +108,18 @@ fn undo_op_of(rec: &WalRecord) -> Option<(u64, UndoOp)> {
                 before: before.clone(),
             },
         )),
-        WalRecord::Delete { txn, table, rid, row } => Some((
+        WalRecord::Delete {
+            txn,
+            table,
+            rid,
+            row,
+        } => Some((
             *txn,
-            UndoOp::Delete { table: TableId(*table as usize), rid: RowId(*rid), row: row.clone() },
+            UndoOp::Delete {
+                table: TableId(*table as usize),
+                rid: RowId(*rid),
+                row: row.clone(),
+            },
         )),
         _ => None,
     }
@@ -171,12 +195,16 @@ pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, 
             continue;
         }
         let applied = match rec {
-            WalRecord::Insert { table, rid, row, .. } => {
+            WalRecord::Insert {
+                table, rid, row, ..
+            } => {
                 let ok = db.restore_row(TableId(*table as usize), RowId(*rid), row.clone());
                 assert!(ok, "redo insert landed on an occupied slot (lsn {})", lsn.0);
                 true
             }
-            WalRecord::Update { table, rid, after, .. } => {
+            WalRecord::Update {
+                table, rid, after, ..
+            } => {
                 let image = after.clone();
                 let ok = db.update_row(TableId(*table as usize), RowId(*rid), |r| *r = image);
                 assert!(ok, "redo update targets a missing row (lsn {})", lsn.0);
@@ -184,10 +212,16 @@ pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, 
             }
             WalRecord::Delete { table, rid, .. } => {
                 let old = db.delete_row(TableId(*table as usize), RowId(*rid));
-                assert!(old.is_some(), "redo delete targets a missing row (lsn {})", lsn.0);
+                assert!(
+                    old.is_some(),
+                    "redo delete targets a missing row (lsn {})",
+                    lsn.0
+                );
                 true
             }
-            WalRecord::Clr { table, rid, action, .. } => {
+            WalRecord::Clr {
+                table, rid, action, ..
+            } => {
                 let table = TableId(*table as usize);
                 let rid = RowId(*rid);
                 match action {
@@ -196,7 +230,11 @@ pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, 
                     }
                     ClrAction::Reinsert { row } => {
                         let ok = db.restore_row(table, rid, row.clone());
-                        assert!(ok, "redo CLR reinsert landed on an occupied slot (lsn {})", lsn.0);
+                        assert!(
+                            ok,
+                            "redo CLR reinsert landed on an occupied slot (lsn {})",
+                            lsn.0
+                        );
                     }
                     ClrAction::SetTo { row } => {
                         let image = row.clone();
@@ -217,12 +255,17 @@ pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, 
     // aborting. Its uncompensated data operations are reversed newest-first
     // (one global descending-LSN pass), each writing a CLR; a finished
     // loser is closed with `Abort`.
-    let losers: BTreeSet<u64> =
-        seen.iter().copied().filter(|t| !committed.contains(t) && !aborted.contains(t)).collect();
+    let losers: BTreeSet<u64> = seen
+        .iter()
+        .copied()
+        .filter(|t| !committed.contains(t) && !aborted.contains(t))
+        .collect();
     let mut to_undo: Vec<(u64, u64, UndoOp)> = Vec::new(); // (lsn, txn, op)
     let mut remaining: BTreeMap<u64, usize> = BTreeMap::new();
     for (lsn, rec) in &scan.records {
-        let Some((txn, op)) = undo_op_of(rec) else { continue };
+        let Some((txn, op)) = undo_op_of(rec) else {
+            continue;
+        };
         if losers.contains(&txn) && !compensated.contains(&lsn.0) {
             to_undo.push((lsn.0, txn, op));
             *remaining.entry(txn).or_insert(0) += 1;
@@ -230,7 +273,7 @@ pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, 
     }
     report.losers_undone = losers.len() as u64;
     let mut budget = undo_budget.unwrap_or(usize::MAX);
-    to_undo.sort_by(|a, b| b.0.cmp(&a.0));
+    to_undo.sort_by_key(|e| std::cmp::Reverse(e.0));
     for (lsn, txn, op) in to_undo {
         if budget == 0 {
             report.completed = false;
@@ -269,7 +312,9 @@ mod tests {
     fn setup() -> (Database, TableId) {
         let mut db = Database::new(100.0, 1 << 30);
         let schema = Schema::new(&[("id", ColType::Int), ("v", ColType::Int)]);
-        let rows: Vec<Vec<Value>> = (0..10).map(|i| vec![Value::Int(i), Value::Int(0)]).collect();
+        let rows: Vec<Vec<Value>> = (0..10)
+            .map(|i| vec![Value::Int(i), Value::Int(0)])
+            .collect();
         let t = db.create_table("t", schema, rows);
         db.create_index(t, "pk", &[0]);
         db.enable_crash_consistency();
@@ -352,11 +397,18 @@ mod tests {
         assert_eq!(report.undo_records, 2);
         let vals = values(&rec, t);
         assert!(vals.contains(&(7, 0)), "deleted row must be reinserted");
-        assert!(!vals.iter().any(|&(id, _)| id == 100), "loser insert must be removed");
+        assert!(
+            !vals.iter().any(|&(id, _)| id == 100),
+            "loser insert must be removed"
+        );
         assert_eq!(rec.table(t).heap.get(RowId(0)).unwrap()[1].as_int(), 5);
         // The reinserted row is findable through the index again.
         let pk = &rec.table(t).indexes[0];
-        assert!(pk.btree.get(&Key::from_values(vec![Value::Int(7)])).next().is_some());
+        assert!(pk
+            .btree
+            .get(&Key::from_values(vec![Value::Int(7)]))
+            .next()
+            .is_some());
     }
 
     #[test]
@@ -378,7 +430,10 @@ mod tests {
 
         let image = CrashImage::extract(&mut db, |_| 0);
         let (rec, report) = recover(image, None);
-        assert!(report.checkpoint_lsn > 0, "redo must start from the checkpoint");
+        assert!(
+            report.checkpoint_lsn > 0,
+            "redo must start from the checkpoint"
+        );
         assert_eq!(rec.table(t).heap.get(RowId(1)).unwrap()[1].as_int(), 11);
         assert_eq!(rec.table(t).heap.get(RowId(2)).unwrap()[1].as_int(), 22);
     }
@@ -402,7 +457,10 @@ mod tests {
         let image2 = CrashImage::extract(&mut half, |_| 0);
         let (rec, report2) = recover(image2, None);
         assert!(report2.completed);
-        assert_eq!(report2.undo_records, 3, "CLRs from round one must not be redone");
+        assert_eq!(
+            report2.undo_records, 3,
+            "CLRs from round one must not be redone"
+        );
         for i in 0..5 {
             assert_eq!(rec.table(t).heap.get(RowId(i)).unwrap()[1].as_int(), 0);
         }

@@ -88,11 +88,7 @@ impl TraceTask {
 
     /// Enables transient-I/O-error recovery: up to `attempts` reissues per
     /// blocking read/write, counted into `metrics`.
-    pub fn with_fault_recovery(
-        mut self,
-        metrics: Rc<RefCell<RunMetrics>>,
-        attempts: u32,
-    ) -> Self {
+    pub fn with_fault_recovery(mut self, metrics: Rc<RefCell<RunMetrics>>, attempts: u32) -> Self {
         self.metrics = Some(metrics);
         self.io_retry_attempts = attempts;
         self
@@ -153,7 +149,11 @@ impl SimTask for TraceTask {
         }
         if let Some(d) = self.pending.pop_front() {
             // Throttle sleeps depend on the backlog at issue time.
-            if let Demand::Sleep { class: WaitClass::PageIoLatch, .. } = d {
+            if let Demand::Sleep {
+                class: WaitClass::PageIoLatch,
+                ..
+            } = d
+            {
                 let backlog = ctx.ssd_read_backlog();
                 if backlog > READAHEAD_DEPTH {
                     return Step::Demand(Demand::Sleep {
@@ -173,7 +173,11 @@ impl SimTask for TraceTask {
                 TraceItem::Compute { instructions, mem } => {
                     return self.emit(Demand::Compute { instructions, mem });
                 }
-                TraceItem::PageRun { start, pages, write } => {
+                TraceItem::PageRun {
+                    start,
+                    pages,
+                    write,
+                } => {
                     let out = self.db.borrow_mut().bufferpool.access(start, pages, write);
                     if out.evicted_dirty_pages > 0 {
                         self.pending.push_back(Demand::DeviceWriteAsync {
@@ -198,7 +202,11 @@ impl SimTask for TraceTask {
                     }
                 }
                 TraceItem::RandomPages { start, span, count } => {
-                    let out = self.db.borrow_mut().bufferpool.access_random(start, span, count, false);
+                    let out = self
+                        .db
+                        .borrow_mut()
+                        .bufferpool
+                        .access_random(start, span, count, false);
                     if out.evicted_dirty_pages > 0 {
                         self.pending.push_back(Demand::DeviceWriteAsync {
                             bytes: out.evicted_dirty_pages * PAGE_BYTES,
@@ -215,10 +223,16 @@ impl SimTask for TraceTask {
                     }
                 }
                 TraceItem::SpillWrite { bytes } => {
-                    return self.emit(Demand::DeviceWrite { bytes, class: WaitClass::Io });
+                    return self.emit(Demand::DeviceWrite {
+                        bytes,
+                        class: WaitClass::Io,
+                    });
                 }
                 TraceItem::SpillRead { bytes } => {
-                    return self.emit(Demand::DeviceRead { bytes, class: WaitClass::Io });
+                    return self.emit(Demand::DeviceRead {
+                        bytes,
+                        class: WaitClass::Io,
+                    });
                 }
             }
         }
@@ -254,7 +268,9 @@ const CHECKPOINT_CHUNK_PAGES: u64 = 128;
 
 impl fmt::Debug for CheckpointTask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("CheckpointTask").field("backlog_pages", &self.backlog_pages).finish()
+        f.debug_struct("CheckpointTask")
+            .field("backlog_pages", &self.backlog_pages)
+            .finish()
     }
 }
 
@@ -276,13 +292,18 @@ impl SimTask for CheckpointTask {
         if self.wrote_chunk {
             // Pace between chunks.
             self.wrote_chunk = false;
-            return Step::Demand(Demand::Sleep { dur: self.chunk_gap, class: WaitClass::Think });
+            return Step::Demand(Demand::Sleep {
+                dur: self.chunk_gap,
+                class: WaitClass::Think,
+            });
         }
         if self.backlog_pages > 0 {
             let pages = self.backlog_pages.min(CHECKPOINT_CHUNK_PAGES);
             self.backlog_pages -= pages;
             self.wrote_chunk = true;
-            return Step::Demand(Demand::DeviceWriteAsync { bytes: pages * PAGE_BYTES });
+            return Step::Demand(Demand::DeviceWriteAsync {
+                bytes: pages * PAGE_BYTES,
+            });
         }
         // Start a new round. In crash-consistency mode this writes a fuzzy
         // ARIES checkpoint record and only flushes pages the WAL rule
@@ -305,8 +326,7 @@ impl SimTask for CheckpointTask {
         self.backlog_pages = pages;
         let chunks = pages.div_ceil(CHECKPOINT_CHUNK_PAGES).max(1);
         // Spread the round over ~80% of the interval.
-        self.chunk_gap =
-            SimDuration::from_secs_f64(interval as f64 * 0.8 / chunks as f64);
+        self.chunk_gap = SimDuration::from_secs_f64(interval as f64 * 0.8 / chunks as f64);
         Step::Demand(Demand::Yield)
     }
 
@@ -412,12 +432,17 @@ impl QueryStreamTask {
             grant: exec.grant,
             started: ctx.now(),
         };
-        let granted = self.grants.borrow_mut().try_acquire(ctx.self_id(), running.grant);
+        let granted = self
+            .grants
+            .borrow_mut()
+            .try_acquire(ctx.self_id(), running.grant);
         if granted {
             self.start_stage(running, ctx)
         } else {
             self.state = StreamState::WaitGrant(running);
-            Step::Demand(Demand::Block { class: WaitClass::MemoryGrant })
+            Step::Demand(Demand::Block {
+                class: WaitClass::MemoryGrant,
+            })
         }
     }
 
@@ -430,8 +455,7 @@ impl QueryStreamTask {
         let deadline = self.governor.query_deadline_secs;
         if self.fault_recovery
             && deadline > 0.0
-            && ctx.now().saturating_since(running.started)
-                > SimDuration::from_secs_f64(deadline)
+            && ctx.now().saturating_since(running.started) > SimDuration::from_secs_f64(deadline)
             && running.stage < running.stages.len()
         {
             let woken = self.grants.borrow_mut().release(running.grant);
@@ -470,7 +494,9 @@ impl QueryStreamTask {
                 ctx.spawn(Box::new(worker));
             }
             self.state = StreamState::Run(running);
-            return Step::Demand(Demand::Block { class: WaitClass::Parallelism });
+            return Step::Demand(Demand::Block {
+                class: WaitClass::Parallelism,
+            });
         }
         // All stages done: release the grant, record, move on.
         let woken = self.grants.borrow_mut().release(running.grant);
@@ -511,7 +537,9 @@ impl SimTask for QueryStreamTask {
             StreamState::Run(running) => {
                 if running.remaining.get() > 0 {
                     self.state = StreamState::Run(running);
-                    return Step::Demand(Demand::Block { class: WaitClass::Parallelism });
+                    return Step::Demand(Demand::Block {
+                        class: WaitClass::Parallelism,
+                    });
                 }
                 let mut r = running;
                 r.stage += 1;
@@ -541,7 +569,9 @@ pub struct LockMonitorTask {
 
 impl fmt::Debug for LockMonitorTask {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("LockMonitorTask").field("interval", &self.interval).finish()
+        f.debug_struct("LockMonitorTask")
+            .field("interval", &self.interval)
+            .finish()
     }
 }
 
@@ -570,7 +600,10 @@ impl SimTask for LockMonitorTask {
                 ctx.wake(t);
             }
         }
-        Step::Demand(Demand::Sleep { dur: self.interval, class: WaitClass::Think })
+        Step::Demand(Demand::Sleep {
+            dur: self.interval,
+            class: WaitClass::Think,
+        })
     }
 
     fn label(&self) -> &str {
@@ -605,7 +638,11 @@ mod tests {
         let written = kernel.counters().ssd_write_bytes;
         assert_eq!(written, 1000 * PAGE_BYTES, "all dirty pages written once");
         // Pacing: the writes were issued as multiple chunks, not one blob.
-        assert!(kernel.counters().ssd_write_ios > 4, "ios={}", kernel.counters().ssd_write_ios);
+        assert!(
+            kernel.counters().ssd_write_ios > 4,
+            "ios={}",
+            kernel.counters().ssd_write_ios
+        );
         // Dirty set was consumed.
         assert_eq!(db.borrow_mut().take_dirty_pages(), 0);
     }

@@ -329,7 +329,10 @@ impl TxnClientTask {
     fn advance(&mut self, op: usize) -> Step {
         let len = self.program.as_ref().map_or(0, |p| p.ops.len());
         if op + 1 < len {
-            self.state = ClientState::InTxn { op: op + 1, phase: Phase::Lock };
+            self.state = ClientState::InTxn {
+                op: op + 1,
+                phase: Phase::Lock,
+            };
         } else {
             self.state = ClientState::CommitWork;
         }
@@ -380,7 +383,10 @@ impl SimTask for TxnClientTask {
                         continue;
                     }
                     self.program = Some(program);
-                    self.state = ClientState::InTxn { op: 0, phase: Phase::Lock };
+                    self.state = ClientState::InTxn {
+                        op: 0,
+                        phase: Phase::Lock,
+                    };
                 }
                 ClientState::InTxn { op, phase } => {
                     return self.exec_op(op, phase, ctx);
@@ -388,7 +394,10 @@ impl SimTask for TxnClientTask {
                 ClientState::CommitWork => {
                     let instructions = self.db.borrow().cost.txn_overhead;
                     self.state = ClientState::CommitFlush;
-                    return Step::Demand(Demand::Compute { instructions, mem: MemProfile::new() });
+                    return Step::Demand(Demand::Compute {
+                        instructions,
+                        mem: MemProfile::new(),
+                    });
                 }
                 ClientState::CommitFlush => {
                     let bytes = {
@@ -403,7 +412,10 @@ impl SimTask for TxnClientTask {
                     self.commit_bytes = bytes;
                     self.flush_acked = false;
                     self.state = ClientState::CommitLatch;
-                    return Step::Demand(Demand::DeviceWrite { bytes, class: WaitClass::WriteLog });
+                    return Step::Demand(Demand::DeviceWrite {
+                        bytes,
+                        class: WaitClass::WriteLog,
+                    });
                 }
                 ClientState::CommitLatch => {
                     // The device write completed: the flushed log range is
@@ -419,7 +431,10 @@ impl SimTask for TxnClientTask {
                     let now = ctx.now();
                     let (latch, hold_ns) = {
                         let db = self.db.borrow();
-                        (LatchKey::Internal(LOG_BUFFER_LATCH), db.cost.internal_latch_ns)
+                        (
+                            LatchKey::Internal(LOG_BUFFER_LATCH),
+                            db.cost.internal_latch_ns,
+                        )
                     };
                     let res = self.db.borrow_mut().latches.acquire(
                         latch,
@@ -453,7 +468,10 @@ impl SimTask for TxnClientTask {
                         .record_txn(name, ctx.now().saturating_since(self.started));
                     self.state = ClientState::Think;
                     if self.think > SimDuration::ZERO {
-                        return Step::Demand(Demand::Sleep { dur: self.think, class: WaitClass::Think });
+                        return Step::Demand(Demand::Sleep {
+                            dur: self.think,
+                            class: WaitClass::Think,
+                        });
                     }
                 }
                 ClientState::Think => {
@@ -476,7 +494,10 @@ impl SimTask for TxnClientTask {
                     self.state = if len == 0 {
                         ClientState::CommitWork
                     } else {
-                        ClientState::InTxn { op: 0, phase: Phase::Lock }
+                        ClientState::InTxn {
+                            op: 0,
+                            phase: Phase::Lock,
+                        }
                     };
                 }
                 ClientState::CommitFlushRetry => {
@@ -527,7 +548,10 @@ impl TxnClientTask {
             self.program = None;
             self.state = ClientState::Think;
             if self.think > SimDuration::ZERO {
-                return Step::Demand(Demand::Sleep { dur: self.think, class: WaitClass::Think });
+                return Step::Demand(Demand::Sleep {
+                    dur: self.think,
+                    class: WaitClass::Think,
+                });
             }
             return Step::Demand(Demand::Yield);
         }
@@ -566,7 +590,10 @@ impl TxnClientTask {
     }
 
     fn exec_op(&mut self, op: usize, phase: Phase, ctx: &mut TaskCtx<'_>) -> Step {
-        let opspec = self.program.as_ref().expect("in txn")
+        let opspec = self
+            .program
+            .as_ref()
+            .expect("in txn")
             .ops
             .get(op)
             .expect("op index valid")
@@ -575,24 +602,91 @@ impl TxnClientTask {
             TxOp::Compute { instructions } => {
                 // Single-phase op.
                 let _ = self.advance(op);
-                Step::Demand(Demand::Compute { instructions, mem: MemProfile::new() })
+                Step::Demand(Demand::Compute {
+                    instructions,
+                    mem: MemProfile::new(),
+                })
             }
-            TxOp::ReadRange { table, index, lo, hi, limit, model_rows } => {
-                self.exec_read_range(op, phase, table, index, &lo, &hi, limit, model_rows)
+            TxOp::ReadRange {
+                table,
+                index,
+                lo,
+                hi,
+                limit,
+                model_rows,
+            } => self.exec_read_range(op, phase, table, index, &lo, &hi, limit, model_rows),
+            TxOp::Read {
+                table,
+                index,
+                key,
+                lock,
+                for_update,
+            } => {
+                let kind = if for_update {
+                    RowOpKind::ReadForUpdate
+                } else {
+                    RowOpKind::Read
+                };
+                self.exec_rowop(
+                    op,
+                    phase,
+                    table,
+                    index,
+                    Some(&key),
+                    lock,
+                    kind,
+                    &[],
+                    None,
+                    ctx,
+                )
             }
-            TxOp::Read { table, index, key, lock, for_update } => {
-                let kind = if for_update { RowOpKind::ReadForUpdate } else { RowOpKind::Read };
-                self.exec_rowop(op, phase, table, index, Some(&key), lock, kind, &[], None, ctx)
-            }
-            TxOp::Update { table, index, key, muts, lock } => {
-                self.exec_rowop(op, phase, table, index, Some(&key), lock, RowOpKind::Update, &muts, None, ctx)
-            }
-            TxOp::Delete { table, index, key, lock } => {
-                self.exec_rowop(op, phase, table, index, Some(&key), lock, RowOpKind::Delete, &[], None, ctx)
-            }
-            TxOp::Insert { table, row } => {
-                self.exec_rowop(op, phase, table, 0, None, LockSpec::Diffuse, RowOpKind::Insert, &[], Some(row), ctx)
-            }
+            TxOp::Update {
+                table,
+                index,
+                key,
+                muts,
+                lock,
+            } => self.exec_rowop(
+                op,
+                phase,
+                table,
+                index,
+                Some(&key),
+                lock,
+                RowOpKind::Update,
+                &muts,
+                None,
+                ctx,
+            ),
+            TxOp::Delete {
+                table,
+                index,
+                key,
+                lock,
+            } => self.exec_rowop(
+                op,
+                phase,
+                table,
+                index,
+                Some(&key),
+                lock,
+                RowOpKind::Delete,
+                &[],
+                None,
+                ctx,
+            ),
+            TxOp::Insert { table, row } => self.exec_rowop(
+                op,
+                phase,
+                table,
+                0,
+                None,
+                LockSpec::Diffuse,
+                RowOpKind::Insert,
+                &[],
+                Some(row),
+                ctx,
+            ),
         }
     }
 
@@ -633,16 +727,27 @@ impl TxnClientTask {
                     let req = self.db.borrow_mut().locks.acquire(
                         txn,
                         ctx.self_id(),
-                        LockKey { table: table_u32, row },
+                        LockKey {
+                            table: table_u32,
+                            row,
+                        },
                         mode,
                     );
-                    let next_phase =
-                        if is_write { Phase::Latch { row } } else { Phase::PageIo { row } };
-                    self.state = ClientState::InTxn { op, phase: next_phase };
+                    let next_phase = if is_write {
+                        Phase::Latch { row }
+                    } else {
+                        Phase::PageIo { row }
+                    };
+                    self.state = ClientState::InTxn {
+                        op,
+                        phase: next_phase,
+                    };
                     if req == LockReq::Wait {
                         // Re-enter at the next phase once the releaser hands
                         // us the lock.
-                        return Step::Demand(Demand::Block { class: WaitClass::Lock });
+                        return Step::Demand(Demand::Block {
+                            class: WaitClass::Lock,
+                        });
                     }
                     return Step::Demand(Demand::Yield);
                 }
@@ -652,7 +757,10 @@ impl TxnClientTask {
                     let db = self.db.borrow();
                     db.table(table).layout.modeled_rows().saturating_sub(1)
                 };
-                self.state = ClientState::InTxn { op, phase: Phase::Latch { row } };
+                self.state = ClientState::InTxn {
+                    op,
+                    phase: Phase::Latch { row },
+                };
                 Step::Demand(Demand::Yield)
             }
             Phase::Latch { row } => {
@@ -660,16 +768,26 @@ impl TxnClientTask {
                 let (page, hold) = {
                     let db = self.db.borrow();
                     let t = db.table(table);
-                    (t.layout.page_of_row(row), SimDuration::from_nanos(db.cost.page_latch_ns))
+                    (
+                        t.layout.page_of_row(row),
+                        SimDuration::from_nanos(db.cost.page_latch_ns),
+                    )
                 };
-                let res = self.db.borrow_mut().latches.acquire(LatchKey::Page(page), now, hold);
+                let res = self
+                    .db
+                    .borrow_mut()
+                    .latches
+                    .acquire(LatchKey::Page(page), now, hold);
                 if let Err(until) = res {
                     return Step::Demand(Demand::Sleep {
                         dur: until.saturating_since(now),
                         class: WaitClass::PageLatch,
                     });
                 }
-                self.state = ClientState::InTxn { op, phase: Phase::PageIo { row } };
+                self.state = ClientState::InTxn {
+                    op,
+                    phase: Phase::PageIo { row },
+                };
                 Step::Demand(Demand::Yield)
             }
             Phase::PageIo { row } => {
@@ -677,8 +795,7 @@ impl TxnClientTask {
                 let (miss_bytes, dirty_bytes) = {
                     let mut db = self.db.borrow_mut();
                     let t = db.table(table);
-                    let frac =
-                        row as f64 / t.layout.modeled_rows().max(1) as f64;
+                    let frac = row as f64 / t.layout.modeled_rows().max(1) as f64;
                     let leaf_page = t
                         .indexes
                         .get(index)
@@ -697,8 +814,10 @@ impl TxnClientTask {
                     )
                 };
                 if dirty_bytes > 0 {
-                    self.state =
-                        ClientState::InTxn { op, phase: Phase::ReadMissed { row, miss_bytes } };
+                    self.state = ClientState::InTxn {
+                        op,
+                        phase: Phase::ReadMissed { row, miss_bytes },
+                    };
                     return Step::Demand(Demand::DeviceWriteAsync { bytes: dirty_bytes });
                 }
                 if miss_bytes > 0 {
@@ -712,31 +831,45 @@ impl TxnClientTask {
                         hold,
                     );
                     if let Err(until) = res {
-                        self.state =
-                            ClientState::InTxn { op, phase: Phase::ReadMissed { row, miss_bytes } };
+                        self.state = ClientState::InTxn {
+                            op,
+                            phase: Phase::ReadMissed { row, miss_bytes },
+                        };
                         return Step::Demand(Demand::Sleep {
                             dur: until.saturating_since(now),
                             class: WaitClass::Latch,
                         });
                     }
-                    self.state = ClientState::InTxn { op, phase: Phase::Compute { row } };
+                    self.state = ClientState::InTxn {
+                        op,
+                        phase: Phase::Compute { row },
+                    };
                     return Step::Demand(Demand::DeviceRead {
                         bytes: miss_bytes,
                         class: WaitClass::PageIoLatch,
                     });
                 }
-                self.state = ClientState::InTxn { op, phase: Phase::Compute { row } };
+                self.state = ClientState::InTxn {
+                    op,
+                    phase: Phase::Compute { row },
+                };
                 Step::Demand(Demand::Yield)
             }
             Phase::ReadMissed { row, miss_bytes } => {
                 if miss_bytes > 0 {
-                    self.state = ClientState::InTxn { op, phase: Phase::Compute { row } };
+                    self.state = ClientState::InTxn {
+                        op,
+                        phase: Phase::Compute { row },
+                    };
                     return Step::Demand(Demand::DeviceRead {
                         bytes: miss_bytes,
                         class: WaitClass::PageIoLatch,
                     });
                 }
-                self.state = ClientState::InTxn { op, phase: Phase::Compute { row } };
+                self.state = ClientState::InTxn {
+                    op,
+                    phase: Phase::Compute { row },
+                };
                 Step::Demand(Demand::Yield)
             }
             Phase::Compute { .. } => {
@@ -854,8 +987,12 @@ impl TxnClientTask {
                     let mut db = self.db.borrow_mut();
                     let t = db.table(table);
                     let idx = &t.indexes[index];
-                    let rids: Vec<RowId> =
-                        idx.btree.range(lo, hi).take(limit).map(|(_, rid)| rid).collect();
+                    let rids: Vec<RowId> = idx
+                        .btree
+                        .range(lo, hi)
+                        .take(limit)
+                        .map(|(_, rid)| rid)
+                        .collect();
                     let rows = rids.len();
                     let total = idx.btree.len().max(1);
                     let frac = (rows as f64 / total as f64).clamp(0.0, 1.0);
@@ -867,7 +1004,10 @@ impl TxnClientTask {
                     let a = db.bufferpool.access(lstart, lpages.max(1), false);
                     (a.miss_pages * PAGE_BYTES, rows)
                 };
-                self.state = ClientState::InTxn { op, phase: Phase::Compute { row: 0 } };
+                self.state = ClientState::InTxn {
+                    op,
+                    phase: Phase::Compute { row: 0 },
+                };
                 if miss_bytes > 0 {
                     // Stash the row count via a compute right after the
                     // read; approximate by folding row work into Compute
@@ -906,7 +1046,10 @@ impl TxnClientTask {
             }
             _ => {
                 // Other phases are unreachable for range reads.
-                self.state = ClientState::InTxn { op, phase: Phase::Compute { row: 0 } };
+                self.state = ClientState::InTxn {
+                    op,
+                    phase: Phase::Compute { row: 0 },
+                };
                 Step::Demand(Demand::Yield)
             }
         }

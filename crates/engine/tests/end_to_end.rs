@@ -8,7 +8,9 @@ use dbsens_engine::grant::GrantManager;
 use dbsens_engine::metrics::RunMetrics;
 use dbsens_engine::plan::{count, sum, JoinKind, Logical};
 use dbsens_engine::tasks::QueryStreamTask;
-use dbsens_engine::txn::{LockSpec, MutOp, Mutation, TxOp, TxnClientTask, TxnGenerator, TxnProgram};
+use dbsens_engine::txn::{
+    LockSpec, MutOp, Mutation, TxOp, TxnClientTask, TxnGenerator, TxnProgram,
+};
 use dbsens_hwsim::kernel::{Kernel, SimConfig};
 use dbsens_hwsim::rng::SimRng;
 use dbsens_hwsim::task::WaitClass;
@@ -27,13 +29,21 @@ fn build_db(row_scale: f64) -> (Rc<RefCell<Database>>, TableId, TableId) {
         ("price", ColType::Float),
     ]);
     let fact_rows: Vec<Vec<Value>> = (0..1000)
-        .map(|i| vec![Value::Int(i), Value::Int(i % 50), Value::Int(i % 7), Value::Float(i as f64)])
+        .map(|i| {
+            vec![
+                Value::Int(i),
+                Value::Int(i % 50),
+                Value::Int(i % 7),
+                Value::Float(i as f64),
+            ]
+        })
         .collect();
     let fact = db.create_table("fact", fact_schema, fact_rows);
     db.create_index(fact, "pk", &[0]);
     let dim_schema = Schema::new(&[("id", ColType::Int), ("cat", ColType::Int)]);
-    let dim_rows: Vec<Vec<Value>> =
-        (0..50).map(|i| vec![Value::Int(i), Value::Int(i % 5)]).collect();
+    let dim_rows: Vec<Vec<Value>> = (0..50)
+        .map(|i| vec![Value::Int(i), Value::Int(i % 5)])
+        .collect();
     let dim = db.create_table("dim", dim_schema, dim_rows);
     db.create_index(dim, "pk", &[0]);
     (Rc::new(RefCell::new(db)), fact, dim)
@@ -41,7 +51,13 @@ fn build_db(row_scale: f64) -> (Rc<RefCell<Database>>, TableId, TableId) {
 
 fn analytics_query(fact: TableId, dim: TableId) -> Logical {
     Logical::scan(fact, None, 1000.0)
-        .join(Logical::scan(dim, None, 50.0), vec![1], vec![0], JoinKind::Inner, 1000.0)
+        .join(
+            Logical::scan(dim, None, 50.0),
+            vec![1],
+            vec![0],
+            JoinKind::Inner,
+            1000.0,
+        )
         .agg(vec![5], vec![count(), sum(3)], 5.0)
         .sort(vec![(1, true)])
 }
@@ -49,7 +65,9 @@ fn analytics_query(fact: TableId, dim: TableId) -> Logical {
 #[test]
 fn query_stream_completes_and_records_metrics() {
     let (db, fact, dim) = build_db(1000.0);
-    let grants = Rc::new(RefCell::new(GrantManager::new(Governor::paper_default(8).workspace_bytes)));
+    let grants = Rc::new(RefCell::new(GrantManager::new(
+        Governor::paper_default(8).workspace_bytes,
+    )));
     let metrics = Rc::new(RefCell::new(RunMetrics::new()));
     let mut kernel = Kernel::new(SimConfig::paper_default(1));
     kernel.spawn(Box::new(QueryStreamTask::new(
@@ -61,13 +79,19 @@ fn query_stream_completes_and_records_metrics() {
         false,
         "stream",
     )));
-    assert!(kernel.run_to_completion(SimDuration::from_secs(3600)), "query stream stuck");
+    assert!(
+        kernel.run_to_completion(SimDuration::from_secs(3600)),
+        "query stream stuck"
+    );
     let m = metrics.borrow();
     assert_eq!(m.queries().len(), 1);
     assert!(m.queries()[0].duration > SimDuration::ZERO);
     // Hardware was exercised.
     assert!(kernel.counters().instructions > 1_000_000);
-    assert!(kernel.counters().ssd_read_bytes > 0, "cold buffer pool should read");
+    assert!(
+        kernel.counters().ssd_read_bytes > 0,
+        "cold buffer pool should read"
+    );
 }
 
 #[test]
@@ -110,7 +134,11 @@ struct SimpleGen {
 impl TxnGenerator for SimpleGen {
     fn next_txn(&mut self, rng: &mut SimRng) -> TxnProgram {
         let k1 = rng.next_below(self.n_keys as u64) as i64;
-        let lock = if self.hot { LockSpec::ExactRow } else { LockSpec::Diffuse };
+        let lock = if self.hot {
+            LockSpec::ExactRow
+        } else {
+            LockSpec::Diffuse
+        };
         TxnProgram {
             name: "Mix",
             ops: vec![
@@ -125,7 +153,10 @@ impl TxnGenerator for SimpleGen {
                     table: self.fact,
                     index: 0,
                     key: Key::int(k1),
-                    muts: vec![Mutation { col: 2, op: MutOp::AddInt(1) }],
+                    muts: vec![Mutation {
+                        col: 2,
+                        op: MutOp::AddInt(1),
+                    }],
                     lock,
                 },
             ],
@@ -142,7 +173,11 @@ fn txn_clients_commit_and_write_log() {
         kernel.spawn(Box::new(TxnClientTask::new(
             Rc::clone(&db),
             Rc::clone(&metrics),
-            Box::new(SimpleGen { fact, n_keys: 1000, hot: false }),
+            Box::new(SimpleGen {
+                fact,
+                n_keys: 1000,
+                hot: false,
+            }),
             SimDuration::ZERO,
             format!("client{i}"),
         )));
@@ -150,7 +185,10 @@ fn txn_clients_commit_and_write_log() {
     kernel.run_until(SimTime::from_nanos(2_000_000_000)); // 2 virtual seconds
     let m = metrics.borrow();
     assert!(m.txns_committed() > 100, "only {} txns", m.txns_committed());
-    assert!(kernel.counters().ssd_write_bytes > 0, "commits must write the log");
+    assert!(
+        kernel.counters().ssd_write_bytes > 0,
+        "commits must write the log"
+    );
     assert!(m.txn_latency_percentile(0.99).unwrap() > SimDuration::ZERO);
     assert_eq!(*m.txns_by_type().get("Mix").unwrap(), m.txns_committed());
 }
@@ -167,7 +205,11 @@ fn hot_keys_create_lock_waits_cold_keys_do_not() {
                 Rc::clone(&db),
                 Rc::clone(&metrics),
                 // All clients target the same tiny key range.
-                Box::new(SimpleGen { fact, n_keys: 2, hot }),
+                Box::new(SimpleGen {
+                    fact,
+                    n_keys: 2,
+                    hot,
+                }),
                 SimDuration::ZERO,
                 format!("client{i}"),
             )));
@@ -187,14 +229,20 @@ fn hot_keys_create_lock_waits_cold_keys_do_not() {
 fn oltp_and_analytics_coexist() {
     // HTAP smoke test: 4 OLTP clients + 1 repeating analytical stream.
     let (db, fact, dim) = build_db(1000.0);
-    let grants = Rc::new(RefCell::new(GrantManager::new(Governor::paper_default(4).workspace_bytes)));
+    let grants = Rc::new(RefCell::new(GrantManager::new(
+        Governor::paper_default(4).workspace_bytes,
+    )));
     let metrics = Rc::new(RefCell::new(RunMetrics::new()));
     let mut kernel = Kernel::new(SimConfig::paper_default(5));
     for i in 0..4 {
         kernel.spawn(Box::new(TxnClientTask::new(
             Rc::clone(&db),
             Rc::clone(&metrics),
-            Box::new(SimpleGen { fact, n_keys: 1000, hot: false }),
+            Box::new(SimpleGen {
+                fact,
+                n_keys: 1000,
+                hot: false,
+            }),
             SimDuration::ZERO,
             format!("client{i}"),
         )));

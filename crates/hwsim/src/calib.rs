@@ -10,7 +10,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Calibration constants shaping CPU timing.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CpuCalib {
     /// Single-core turbo frequency in GHz (paper: 3.0 GHz peak).
     pub turbo_freq_ghz: f64,
@@ -58,7 +58,7 @@ impl Default for CpuCalib {
 }
 
 /// Calibration constants shaping the LLC model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CacheCalib {
     /// Cache line size in bytes.
     pub line_bytes: u64,
@@ -91,7 +91,7 @@ impl Default for CacheCalib {
 }
 
 /// Calibration constants shaping the DRAM model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DramCalib {
     /// Achievable bandwidth per socket in bytes/sec. The paper notes only a
     /// third of channels are populated, so ~22.8 GB/s of the theoretical
@@ -103,12 +103,15 @@ pub struct DramCalib {
 
 impl Default for DramCalib {
     fn default() -> Self {
-        DramCalib { socket_bw: 22.8e9, qpi_bw: 32.0e9 }
+        DramCalib {
+            socket_bw: 22.8e9,
+            qpi_bw: 32.0e9,
+        }
     }
 }
 
 /// Calibration constants shaping the NVMe SSD model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SsdCalib {
     /// Sequential read bandwidth in bytes/sec (Intel 750: 2500 MB/s).
     pub read_bw: f64,
@@ -120,7 +123,11 @@ pub struct SsdCalib {
 
 impl Default for SsdCalib {
     fn default() -> Self {
-        SsdCalib { read_bw: 2500.0e6, write_bw: 1200.0e6, latency_ns: 90_000 }
+        SsdCalib {
+            read_bw: 2500.0e6,
+            write_bw: 1200.0e6,
+            latency_ns: 90_000,
+        }
     }
 }
 
@@ -134,7 +141,7 @@ impl Default for SsdCalib {
 /// let calib = Calib::default();
 /// assert_eq!(calib.cache.ways, 20);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct Calib {
     /// CPU timing constants.
     pub cpu: CpuCalib,

@@ -144,7 +144,11 @@ impl SampleLog {
         if total == 0.0 {
             return 0.0;
         }
-        self.samples.iter().map(|s| f(s) * s.interval_secs).sum::<f64>() / total
+        self.samples
+            .iter()
+            .map(|s| f(s) * s.interval_secs)
+            .sum::<f64>()
+            / total
     }
 }
 
@@ -166,8 +170,14 @@ mod tests {
     #[test]
     fn deltas_and_rates() {
         let mut log = SampleLog::new();
-        log.record(SimTime::from_nanos(1_000_000_000), snap(1_000_000, 500, 1_000_000, 2_000_000, 0));
-        log.record(SimTime::from_nanos(2_000_000_000), snap(3_000_000, 1500, 3_000_000, 2_000_000, 500_000));
+        log.record(
+            SimTime::from_nanos(1_000_000_000),
+            snap(1_000_000, 500, 1_000_000, 2_000_000, 0),
+        );
+        log.record(
+            SimTime::from_nanos(2_000_000_000),
+            snap(3_000_000, 1500, 3_000_000, 2_000_000, 500_000),
+        );
         let s = log.samples();
         assert_eq!(s.len(), 2);
         assert_eq!(s[1].instructions, 2_000_000);
@@ -181,8 +191,14 @@ mod tests {
     #[test]
     fn averages_are_time_weighted() {
         let mut log = SampleLog::new();
-        log.record(SimTime::from_nanos(1_000_000_000), snap(1000, 0, 1_000_000_000, 0, 0));
-        log.record(SimTime::from_nanos(4_000_000_000), snap(2000, 0, 1_000_000_000, 0, 0));
+        log.record(
+            SimTime::from_nanos(1_000_000_000),
+            snap(1000, 0, 1_000_000_000, 0, 0),
+        );
+        log.record(
+            SimTime::from_nanos(4_000_000_000),
+            snap(2000, 0, 1_000_000_000, 0, 0),
+        );
         // 1 GB/s for 1s then 0 for 3s -> average 0.25 GB/s.
         assert!((log.avg_dram_bw() - 0.25e9).abs() < 1.0);
     }
@@ -197,8 +213,14 @@ mod tests {
     #[test]
     fn avg_mpki_weighted_by_instructions() {
         let mut log = SampleLog::new();
-        log.record(SimTime::from_nanos(1_000_000_000), snap(1_000_000, 1000, 0, 0, 0));
-        log.record(SimTime::from_nanos(2_000_000_000), snap(2_000_000, 1000, 0, 0, 0));
+        log.record(
+            SimTime::from_nanos(1_000_000_000),
+            snap(1_000_000, 1000, 0, 0, 0),
+        );
+        log.record(
+            SimTime::from_nanos(2_000_000_000),
+            snap(2_000_000, 1000, 0, 0, 0),
+        );
         // 1000 misses over 2M instructions total.
         assert!((log.avg_mpki() - 0.5).abs() < 1e-9);
     }

@@ -35,6 +35,12 @@ pub struct Cpu {
     calib: CpuCalib,
     busy: Vec<bool>,
     offline: Vec<bool>,
+    /// Busy SMT threads per physical core, kept incrementally so the
+    /// per-burst turbo computation does not rescan every logical core.
+    busy_threads: Vec<u16>,
+    /// Physical cores with at least one busy thread (invariant: equals
+    /// the number of nonzero `busy_threads` entries).
+    active_phys: usize,
 }
 
 impl Cpu {
@@ -43,6 +49,8 @@ impl Cpu {
         Cpu {
             busy: vec![false; topo.logical_cores()],
             offline: vec![false; topo.logical_cores()],
+            busy_threads: vec![0; topo.physical_cores()],
+            active_phys: 0,
             topo,
             calib,
         }
@@ -78,6 +86,11 @@ impl Cpu {
     pub fn occupy(&mut self, core: CoreId) {
         assert!(!self.busy[core.0], "core {core} double-occupied");
         self.busy[core.0] = true;
+        let phys = self.topo.physical_of(core);
+        if self.busy_threads[phys] == 0 {
+            self.active_phys += 1;
+        }
+        self.busy_threads[phys] += 1;
     }
 
     /// Marks a logical core idle again.
@@ -88,6 +101,11 @@ impl Cpu {
     pub fn release(&mut self, core: CoreId) {
         assert!(self.busy[core.0], "core {core} released while idle");
         self.busy[core.0] = false;
+        let phys = self.topo.physical_of(core);
+        self.busy_threads[phys] -= 1;
+        if self.busy_threads[phys] == 0 {
+            self.active_phys -= 1;
+        }
     }
 
     /// Returns `true` if the logical core is currently running a burst.
@@ -105,12 +123,12 @@ impl Cpu {
 
     /// Number of distinct physical cores with at least one busy thread.
     pub fn active_physical_cores(&self) -> usize {
-        let phys = self.topo.physical_cores();
-        (0..phys)
-            .filter(|&p| {
-                (0..self.topo.smt).any(|t| self.busy[t * phys + p])
-            })
-            .count()
+        debug_assert_eq!(
+            self.active_phys,
+            self.busy_threads.iter().filter(|&&t| t > 0).count(),
+            "incremental active-core counter out of sync"
+        );
+        self.active_phys
     }
 
     /// Current effective frequency in GHz: single-core turbo when one
@@ -136,11 +154,14 @@ impl Cpu {
         cache: CacheOutcome,
         cross_socket: bool,
     ) -> SimDuration {
-        let smt_factor = if self.sibling_busy(core) { self.calib.smt_slowdown } else { 1.0 };
+        let smt_factor = if self.sibling_busy(core) {
+            self.calib.smt_slowdown
+        } else {
+            1.0
+        };
         let exec_ns = instructions as f64 / (self.calib.base_ipc * self.freq_ghz()) * smt_factor;
         let miss_ns = if cross_socket {
-            self.calib.llc_miss_stall_ns
-                + self.calib.remote_miss_fraction * self.calib.qpi_extra_ns
+            self.calib.llc_miss_stall_ns + self.calib.remote_miss_fraction * self.calib.qpi_extra_ns
         } else {
             self.calib.llc_miss_stall_ns
         };
@@ -185,9 +206,25 @@ mod tests {
     fn misses_add_stall_time() {
         let c = cpu();
         let clean = c.burst_duration(CoreId(0), 1000, CacheOutcome::default(), false);
-        let missy = c.burst_duration(CoreId(0), 1000, CacheOutcome { hits: 0, misses: 1000 }, false);
+        let missy = c.burst_duration(
+            CoreId(0),
+            1000,
+            CacheOutcome {
+                hits: 0,
+                misses: 1000,
+            },
+            false,
+        );
         assert!(missy > clean);
-        let remote = c.burst_duration(CoreId(0), 1000, CacheOutcome { hits: 0, misses: 1000 }, true);
+        let remote = c.burst_duration(
+            CoreId(0),
+            1000,
+            CacheOutcome {
+                hits: 0,
+                misses: 1000,
+            },
+            true,
+        );
         assert!(remote > missy);
     }
 

@@ -50,7 +50,11 @@ impl Dram {
     pub fn new(sockets: usize, calib: DramCalib) -> Self {
         Dram {
             calib,
-            sockets: (0..sockets).map(|_| Channel { busy_until: SimTime::ZERO }).collect(),
+            sockets: (0..sockets)
+                .map(|_| Channel {
+                    busy_until: SimTime::ZERO,
+                })
+                .collect(),
             stats: DramStats::default(),
             degrade: 1.0,
         }
@@ -70,7 +74,13 @@ impl Dram {
     /// # Panics
     ///
     /// Panics if `socket` is out of range.
-    pub fn charge(&mut self, socket: usize, now: SimTime, bytes: u64, remote_fraction: f64) -> SimDuration {
+    pub fn charge(
+        &mut self,
+        socket: usize,
+        now: SimTime,
+        bytes: u64,
+        remote_fraction: f64,
+    ) -> SimDuration {
         if bytes == 0 {
             return SimDuration::ZERO;
         }
@@ -80,7 +90,8 @@ impl Dram {
 
         let ch = &mut self.sockets[socket];
         let queue_delay = ch.busy_until.saturating_since(now);
-        let service = SimDuration::from_secs_f64(bytes as f64 / (self.calib.socket_bw * self.degrade));
+        let service =
+            SimDuration::from_secs_f64(bytes as f64 / (self.calib.socket_bw * self.degrade));
         ch.busy_until = ch.busy_until.max(now) + service;
 
         // QPI adds delay only for the remote share, and only if it is the
@@ -108,22 +119,31 @@ mod tests {
 
     #[test]
     fn saturation_builds_queue() {
-        let calib = DramCalib { socket_bw: 1e9, qpi_bw: 32e9 }; // 1 GB/s
+        let calib = DramCalib {
+            socket_bw: 1e9,
+            qpi_bw: 32e9,
+        }; // 1 GB/s
         let mut dram = Dram::new(1, calib);
         // Submit 10 MB instantly: the channel needs 10 ms to drain.
         let mut last = SimDuration::ZERO;
         for _ in 0..10 {
             last = dram.charge(0, SimTime::ZERO, 1 << 20, 0.0);
         }
-        assert!(last.as_nanos() > 8_000_000, "expected ~9ms of queueing, got {last}");
+        assert!(
+            last.as_nanos() > 8_000_000,
+            "expected ~9ms of queueing, got {last}"
+        );
     }
 
     #[test]
     fn queue_drains_over_time() {
-        let calib = DramCalib { socket_bw: 1e9, qpi_bw: 32e9 };
+        let calib = DramCalib {
+            socket_bw: 1e9,
+            qpi_bw: 32e9,
+        };
         let mut dram = Dram::new(1, calib);
         dram.charge(0, SimTime::ZERO, 1 << 20, 0.0); // ~1 ms of service
-        // Two ms later the channel is idle again.
+                                                     // Two ms later the channel is idle again.
         let d = dram.charge(0, SimTime::from_nanos(2_000_000), 64, 0.0);
         assert_eq!(d.as_nanos(), 0);
     }
@@ -138,8 +158,11 @@ mod tests {
 
     #[test]
     fn degradation_inflates_queueing() {
-        let calib = DramCalib { socket_bw: 1e9, qpi_bw: 32e9 };
-        let mut healthy = Dram::new(1, calib.clone());
+        let calib = DramCalib {
+            socket_bw: 1e9,
+            qpi_bw: 32e9,
+        };
+        let mut healthy = Dram::new(1, calib);
         let mut degraded = Dram::new(1, calib);
         degraded.set_degrade(0.5);
         let mut h = SimDuration::ZERO;
@@ -148,11 +171,23 @@ mod tests {
             h = healthy.charge(0, SimTime::ZERO, 1 << 20, 0.0);
             d = degraded.charge(0, SimTime::ZERO, 1 << 20, 0.0);
         }
-        assert!(d.as_nanos() > h.as_nanos() * 3 / 2, "degraded {d} vs healthy {h}");
+        assert!(
+            d.as_nanos() > h.as_nanos() * 3 / 2,
+            "degraded {d} vs healthy {h}"
+        );
         // Identity factor restores exact behaviour.
-        let mut back = Dram::new(1, DramCalib { socket_bw: 1e9, qpi_bw: 32e9 });
+        let mut back = Dram::new(
+            1,
+            DramCalib {
+                socket_bw: 1e9,
+                qpi_bw: 32e9,
+            },
+        );
         back.set_degrade(1.0);
-        assert_eq!(back.charge(0, SimTime::ZERO, 1 << 20, 0.0), SimDuration::ZERO);
+        assert_eq!(
+            back.charge(0, SimTime::ZERO, 1 << 20, 0.0),
+            SimDuration::ZERO
+        );
     }
 
     #[test]

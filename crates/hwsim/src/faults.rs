@@ -253,7 +253,9 @@ const FAULT_SEED_SALT: u64 = 0xFA17_5EED_0DB5_E125;
 impl FaultPlan {
     /// The empty plan (no faults).
     pub fn empty() -> Self {
-        FaultPlan { windows: Vec::new() }
+        FaultPlan {
+            windows: Vec::new(),
+        }
     }
 
     /// Realizes a spec into a schedule over a run of length `run`.
@@ -284,18 +286,38 @@ impl FaultPlan {
         place(
             &mut rng,
             spec.ssd_latency_spikes,
-            FaultKind::SsdLatencySpike { extra_us: spec.ssd_latency_extra_us },
+            FaultKind::SsdLatencySpike {
+                extra_us: spec.ssd_latency_extra_us,
+            },
         );
-        place(&mut rng, spec.ssd_error_windows, FaultKind::SsdIoErrors {
-            chance: spec.ssd_error_chance,
-        });
-        place(&mut rng, spec.ssd_throttle_windows, FaultKind::SsdThrottle {
-            factor: spec.ssd_throttle_factor,
-        });
-        place(&mut rng, spec.offline_windows, FaultKind::CoreOffline {
-            cores: spec.offline_cores,
-        });
-        place(&mut rng, spec.dram_windows, FaultKind::DramDegrade { factor: spec.dram_factor });
+        place(
+            &mut rng,
+            spec.ssd_error_windows,
+            FaultKind::SsdIoErrors {
+                chance: spec.ssd_error_chance,
+            },
+        );
+        place(
+            &mut rng,
+            spec.ssd_throttle_windows,
+            FaultKind::SsdThrottle {
+                factor: spec.ssd_throttle_factor,
+            },
+        );
+        place(
+            &mut rng,
+            spec.offline_windows,
+            FaultKind::CoreOffline {
+                cores: spec.offline_cores,
+            },
+        );
+        place(
+            &mut rng,
+            spec.dram_windows,
+            FaultKind::DramDegrade {
+                factor: spec.dram_factor,
+            },
+        );
         if spec.llc_way_failures > 0 {
             // Way failures are permanent: the window runs to the horizon.
             let lo = horizon / 10;
@@ -304,11 +326,15 @@ impl FaultPlan {
             windows.push(FaultWindow {
                 start: SimTime::from_nanos(start),
                 end: SimTime::from_nanos(horizon),
-                kind: FaultKind::LlcWayFail { ways: spec.llc_way_failures },
+                kind: FaultKind::LlcWayFail {
+                    ways: spec.llc_way_failures,
+                },
             });
         }
         windows.sort_by(|a, b| {
-            (a.start, a.end).cmp(&(b.start, b.end)).then(format!("{}", a.kind).cmp(&format!("{}", b.kind)))
+            (a.start, a.end)
+                .cmp(&(b.start, b.end))
+                .then(format!("{}", a.kind).cmp(&format!("{}", b.kind)))
         });
         FaultPlan { windows }
     }
@@ -380,12 +406,18 @@ mod tests {
     #[test]
     fn windows_stay_inside_the_run_and_sorted() {
         let run = SimDuration::from_secs(20);
-        let spec = brownout().with_core_offline(3, 8).with_dram_degrade(2, 0.5).with_llc_way_failures(4);
+        let spec = brownout()
+            .with_core_offline(3, 8)
+            .with_dram_degrade(2, 0.5)
+            .with_llc_way_failures(4);
         let plan = FaultPlan::generate(&spec, run);
         let mut prev = SimTime::ZERO;
         for w in plan.windows() {
             assert!(w.start >= prev, "windows sorted");
-            assert!(w.start.as_nanos() >= run.as_nanos() / 10, "start after warmup");
+            assert!(
+                w.start.as_nanos() >= run.as_nanos() / 10,
+                "start after warmup"
+            );
             assert!(w.end.as_nanos() <= run.as_nanos(), "end inside run");
             assert!(w.end > w.start, "non-empty window");
             prev = w.start;
@@ -405,7 +437,9 @@ mod tests {
 
     #[test]
     fn builder_clamps_magnitudes() {
-        let s = FaultSpec::none().with_ssd_errors(1, 3.0).with_ssd_throttle(1, -1.0);
+        let s = FaultSpec::none()
+            .with_ssd_errors(1, 3.0)
+            .with_ssd_throttle(1, -1.0);
         assert_eq!(s.ssd_error_chance, 1.0);
         assert_eq!(s.ssd_throttle_factor, 0.01);
         assert!(!s.is_none());

@@ -1,0 +1,40 @@
+//! Fast deterministic hashing for hot-path maps.
+//!
+//! The simulator's inner loops key maps and sets by internal ids (regions,
+//! pages, lock keys, transaction ids) that no adversary controls, so std's
+//! DoS-resistant SipHash — several dozen cycles per key — is pure overhead
+//! there. This module re-exports the Fx hasher (vendored `rustc_hash`)
+//! once for the whole workspace: downstream crates already depend on
+//! `dbsens-hwsim`, so hot call sites switch hashers by importing from here
+//! without each growing its own dependency line.
+//!
+//! Fx has no per-map random state, which also makes iteration order
+//! reproducible across processes — a property the determinism suite relies
+//! on never *needing*, but which removes a whole class of heisenbugs when
+//! a future change accidentally iterates a map into an ordered artifact.
+
+pub use rustc_hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+
+/// Creates an empty [`FxHashMap`] (convenience for struct initializers,
+/// mirroring `HashMap::new()` which is unavailable for custom hashers).
+pub fn fx_map<K, V>() -> FxHashMap<K, V> {
+    FxHashMap::default()
+}
+
+/// Creates an empty [`FxHashSet`].
+pub fn fx_set<V>() -> FxHashSet<V> {
+    FxHashSet::default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_produce_empty_collections() {
+        let m: FxHashMap<u64, u64> = fx_map();
+        let s: FxHashSet<u64> = fx_set();
+        assert!(m.is_empty());
+        assert!(s.is_empty());
+    }
+}

@@ -82,11 +82,20 @@ impl SimConfig {
 #[derive(Debug)]
 enum TState {
     Runnable,
-    WaitingCore { instructions: u64, mem: MemProfile, since: SimTime },
-    Running { core: CoreId },
+    WaitingCore {
+        instructions: u64,
+        mem: MemProfile,
+        since: SimTime,
+    },
+    Running {
+        core: CoreId,
+    },
     BlockedIo,
     Sleeping,
-    Blocked { class: WaitClass, since: SimTime },
+    Blocked {
+        class: WaitClass,
+        since: SimTime,
+    },
     Finished,
 }
 
@@ -98,18 +107,29 @@ struct Slot {
     io_error: bool,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Queued event payload, packed to keep [`Ev`] at 24 bytes (task ids as
+/// `u32`, core ids as `u16`): the event heap is the hottest data structure
+/// in the simulator and smaller elements make every sift cheaper. The
+/// narrowing is safe — task counts and fault windows are far below 2^32
+/// and core ids below 2^16 (checked where ids are created).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum EventKind {
-    Poll(TaskId),
-    ComputeDone(TaskId, CoreId),
-    IoDone(TaskId),
-    Timer(TaskId),
+    Poll(u32),
+    ComputeDone(u32, u16),
+    IoDone(u32),
+    Timer(u32),
     Sample,
-    FaultStart(usize),
-    FaultEnd(usize),
+    FaultStart(u32),
+    FaultEnd(u32),
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+impl EventKind {
+    fn poll(id: TaskId) -> Self {
+        EventKind::Poll(id.0 as u32)
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Ev {
     at: SimTime,
     seq: u64,
@@ -165,6 +185,10 @@ pub struct Kernel {
     instructions: u64,
     finished: usize,
     spans_sockets: bool,
+    /// The affinity set as an ordered core list (restricted to the
+    /// topology), precomputed so the per-burst scheduler scan walks only
+    /// schedulable cores instead of decoding the bitset every time.
+    affinity_cores: Vec<CoreId>,
     fault_active: Vec<bool>,
     fault_log: Vec<FaultLogEntry>,
     /// Events dispatched so far (the crash-point coordinate system).
@@ -176,23 +200,22 @@ pub struct Kernel {
 impl Kernel {
     /// Creates a kernel with the given configuration and no tasks.
     pub fn new(cfg: SimConfig) -> Self {
-        let mut llc = Llc::new(cfg.topology.sockets, cfg.calib.cache.clone());
+        let mut llc = Llc::new(cfg.topology.sockets, cfg.calib.cache);
         llc.set_mask(cfg.cat_mask);
-        let mut ssd = Ssd::new(cfg.calib.ssd.clone());
+        let mut ssd = Ssd::new(cfg.calib.ssd);
         ssd.set_limit(cfg.blkio);
-        let spans_sockets = {
-            let mut sockets = std::collections::HashSet::new();
-            for c in cfg.affinity.iter() {
-                if c.0 < cfg.topology.logical_cores() {
-                    sockets.insert(cfg.topology.socket_of(c));
-                }
-            }
-            sockets.len() > 1
-        };
+        let affinity_cores: Vec<CoreId> = cfg
+            .affinity
+            .iter()
+            .filter(|c| c.0 < cfg.topology.logical_cores())
+            .collect();
+        let spans_sockets = affinity_cores
+            .windows(2)
+            .any(|w| cfg.topology.socket_of(w[0]) != cfg.topology.socket_of(w[1]));
         let mut kernel = Kernel {
-            cpu: Cpu::new(cfg.topology, cfg.calib.cpu.clone()),
+            cpu: Cpu::new(cfg.topology, cfg.calib.cpu),
             llc,
-            dram: Dram::new(cfg.topology.sockets, cfg.calib.dram.clone()),
+            dram: Dram::new(cfg.topology.sockets, cfg.calib.dram),
             ssd,
             rng: SimRng::new(cfg.seed),
             now: SimTime::ZERO,
@@ -205,6 +228,7 @@ impl Kernel {
             instructions: 0,
             finished: 0,
             spans_sockets,
+            affinity_cores,
             fault_active: vec![false; cfg.faults.len()],
             fault_log: Vec::new(),
             dispatched: 0,
@@ -217,9 +241,10 @@ impl Kernel {
         // no dice, keeping healthy runs byte-identical.
         if !kernel.cfg.faults.is_empty() {
             kernel.ssd.seed_faults(kernel.cfg.seed);
-            for (i, w) in kernel.cfg.faults.windows().to_vec().into_iter().enumerate() {
-                kernel.push(w.start, EventKind::FaultStart(i));
-                kernel.push(w.end, EventKind::FaultEnd(i));
+            for i in 0..kernel.cfg.faults.len() {
+                let w = kernel.cfg.faults.windows()[i];
+                kernel.push(w.start, EventKind::FaultStart(i as u32));
+                kernel.push(w.end, EventKind::FaultEnd(i as u32));
             }
         }
         kernel
@@ -238,16 +263,25 @@ impl Kernel {
     /// Adds a task; it becomes runnable at the current instant.
     pub fn spawn(&mut self, task: Box<dyn SimTask>) -> TaskId {
         let id = TaskId(self.tasks.len());
-        self.tasks.push(Slot { task: Some(task), state: TState::Runnable, pending_wake: false, io_error: false });
-        self.push(self.now, EventKind::Poll(id));
+        assert!(
+            id.0 < u32::MAX as usize,
+            "task id overflows the packed event encoding"
+        );
+        self.tasks.push(Slot {
+            task: Some(task),
+            state: TState::Runnable,
+            pending_wake: false,
+            io_error: false,
+        });
+        self.push(self.now, EventKind::poll(id));
         id
     }
 
     /// Runs the simulation until virtual time `end`; events beyond `end`
     /// stay queued for a later call.
     pub fn run_until(&mut self, end: SimTime) {
-        while let Some(Reverse(ev)) = self.events.peek().cloned() {
-            if ev.at > end || self.crash_reached(&ev) {
+        while let Some(&Reverse(ev)) = self.events.peek() {
+            if ev.at > end || self.crash_reached(ev.at) {
                 break;
             }
             self.events.pop();
@@ -265,8 +299,10 @@ impl Kernel {
     pub fn run_to_completion(&mut self, limit: SimDuration) -> bool {
         let end = self.now + limit;
         while self.finished < self.tasks.len() {
-            let Some(Reverse(ev)) = self.events.peek().cloned() else { break };
-            if ev.at > end || self.crash_reached(&ev) {
+            let Some(&Reverse(ev)) = self.events.peek() else {
+                break;
+            };
+            if ev.at > end || self.crash_reached(ev.at) {
                 break;
             }
             self.events.pop();
@@ -277,15 +313,16 @@ impl Kernel {
     }
 
     /// Whether the configured crash point says to halt instead of
-    /// dispatching `next`. Latches [`Kernel::halted`] on first hit.
-    fn crash_reached(&mut self, next: &Ev) -> bool {
+    /// dispatching the event at `next_at`. Latches [`Kernel::halted`] on
+    /// first hit.
+    fn crash_reached(&mut self, next_at: SimTime) -> bool {
         if self.halted {
             return true;
         }
         let hit = match self.cfg.crash {
             None => false,
             Some(CrashPoint::AtEvent(n)) => self.dispatched >= n,
-            Some(CrashPoint::AtTimeNs(t)) => next.at.as_nanos() > t,
+            Some(CrashPoint::AtTimeNs(t)) => next_at.as_nanos() > t,
         };
         if hit {
             self.halted = true;
@@ -344,14 +381,20 @@ impl Kernel {
 
     fn push(&mut self, at: SimTime, kind: EventKind) {
         self.seq += 1;
-        self.events.push(Reverse(Ev { at, seq: self.seq, kind }));
+        self.events.push(Reverse(Ev {
+            at,
+            seq: self.seq,
+            kind,
+        }));
     }
 
     fn dispatch_event(&mut self, kind: EventKind) {
         self.dispatched += 1;
         match kind {
-            EventKind::Poll(id) => self.poll_task(id),
+            EventKind::Poll(id) => self.poll_task(TaskId(id as usize)),
             EventKind::ComputeDone(id, core) => {
+                let id = TaskId(id as usize);
+                let core = CoreId(core as usize);
                 debug_assert!(
                     matches!(self.tasks[id.0].state, TState::Running { core: c } if c == core),
                     "compute completion for a task not running on {core}"
@@ -362,7 +405,7 @@ impl Kernel {
                 self.dispatch_waiters();
                 self.poll_task(id);
             }
-            EventKind::IoDone(id) | EventKind::Timer(id) => self.poll_task(id),
+            EventKind::IoDone(id) | EventKind::Timer(id) => self.poll_task(TaskId(id as usize)),
             EventKind::Sample => {
                 let snap = self.counters();
                 self.samples.record(self.now, snap);
@@ -370,6 +413,7 @@ impl Kernel {
                 self.push(next, EventKind::Sample);
             }
             EventKind::FaultStart(i) => {
+                let i = i as usize;
                 self.fault_active[i] = true;
                 let w = self.cfg.faults.windows()[i];
                 self.fault_log.push(FaultLogEntry {
@@ -380,7 +424,7 @@ impl Kernel {
                 self.apply_faults();
             }
             EventKind::FaultEnd(i) => {
-                self.fault_active[i] = false;
+                self.fault_active[i as usize] = false;
                 self.apply_faults();
                 // Cores may have come back online: restart queued bursts.
                 self.dispatch_waiters();
@@ -419,11 +463,12 @@ impl Kernel {
         self.llc.set_failed_ways(failed_ways);
         // Offline the highest-numbered cores of the affinity set, always
         // keeping at least one schedulable core.
-        let limit = self.cfg.topology.logical_cores();
-        let affinity: Vec<CoreId> =
-            self.cfg.affinity.iter().filter(|c| c.0 < limit).collect();
-        let keep = affinity.len().saturating_sub(offline as usize).max(1);
-        for (pos, c) in affinity.iter().enumerate() {
+        let keep = self
+            .affinity_cores
+            .len()
+            .saturating_sub(offline as usize)
+            .max(1);
+        for (pos, c) in self.affinity_cores.iter().enumerate() {
             self.cpu.set_offline(*c, pos >= keep);
         }
     }
@@ -442,7 +487,10 @@ impl Kernel {
         if matches!(self.tasks[id.0].state, TState::Finished) {
             return;
         }
-        let mut task = self.tasks[id.0].task.take().expect("task present when polled");
+        let mut task = self.tasks[id.0]
+            .task
+            .take()
+            .expect("task present when polled");
         let io_failed = std::mem::take(&mut self.tasks[id.0].io_error);
         let mut wakes = Vec::new();
         let mut spawns = Vec::new();
@@ -478,7 +526,7 @@ impl Kernel {
                 let waited = self.now.saturating_since(since);
                 self.waits.add(class, waited);
                 slot.state = TState::Runnable;
-                self.push(self.now, EventKind::Poll(id));
+                self.push(self.now, EventKind::poll(id));
             }
             TState::Finished => {}
             _ => slot.pending_wake = true,
@@ -499,8 +547,11 @@ impl Kernel {
         match demand {
             Demand::Compute { instructions, mem } => {
                 if !self.try_start_burst(id, instructions, &mem) {
-                    self.tasks[id.0].state =
-                        TState::WaitingCore { instructions, mem, since: self.now };
+                    self.tasks[id.0].state = TState::WaitingCore {
+                        instructions,
+                        mem,
+                        since: self.now,
+                    };
                     self.run_queue.push_back(id);
                 }
             }
@@ -510,7 +561,7 @@ impl Kernel {
                 let slot = &mut self.tasks[id.0];
                 slot.state = TState::BlockedIo;
                 slot.io_error = self.ssd.roll_error();
-                self.push(done, EventKind::IoDone(id));
+                self.push(done, EventKind::IoDone(id.0 as u32));
             }
             Demand::DeviceWrite { bytes, class } => {
                 let done = self.ssd.submit_write(self.now, bytes);
@@ -518,22 +569,22 @@ impl Kernel {
                 let slot = &mut self.tasks[id.0];
                 slot.state = TState::BlockedIo;
                 slot.io_error = self.ssd.roll_error();
-                self.push(done, EventKind::IoDone(id));
+                self.push(done, EventKind::IoDone(id.0 as u32));
             }
             Demand::DeviceWriteAsync { bytes } => {
                 self.ssd.submit_write(self.now, bytes);
                 self.tasks[id.0].state = TState::Runnable;
-                self.push(self.now, EventKind::Poll(id));
+                self.push(self.now, EventKind::poll(id));
             }
             Demand::DeviceReadPrefetch { bytes } => {
                 self.ssd.submit_read(self.now, bytes);
                 self.tasks[id.0].state = TState::Runnable;
-                self.push(self.now, EventKind::Poll(id));
+                self.push(self.now, EventKind::poll(id));
             }
             Demand::Sleep { dur, class } => {
                 self.waits.add(class, dur);
                 self.tasks[id.0].state = TState::Sleeping;
-                self.push(self.now + dur, EventKind::Timer(id));
+                self.push(self.now + dur, EventKind::Timer(id.0 as u32));
             }
             Demand::Block { class } => {
                 let slot = &mut self.tasks[id.0];
@@ -541,14 +592,17 @@ impl Kernel {
                     slot.pending_wake = false;
                     self.waits.add(class, SimDuration::ZERO);
                     slot.state = TState::Runnable;
-                    self.push(self.now, EventKind::Poll(id));
+                    self.push(self.now, EventKind::poll(id));
                 } else {
-                    slot.state = TState::Blocked { class, since: self.now };
+                    slot.state = TState::Blocked {
+                        class,
+                        since: self.now,
+                    };
                 }
             }
             Demand::Yield => {
                 self.tasks[id.0].state = TState::Runnable;
-                self.push(self.now, EventKind::Poll(id));
+                self.push(self.now, EventKind::poll(id));
             }
         }
     }
@@ -557,11 +611,10 @@ impl Kernel {
     /// set, preferring cores whose SMT sibling is idle (as the OS scheduler
     /// does). Returns `false` if no core is free.
     fn try_start_burst(&mut self, id: TaskId, instructions: u64, mem: &MemProfile) -> bool {
-        let limit = self.cfg.topology.logical_cores();
         let mut fallback: Option<CoreId> = None;
         let mut chosen: Option<CoreId> = None;
-        for c in self.cfg.affinity.iter() {
-            if c.0 >= limit || self.cpu.is_busy(c) || self.cpu.is_offline(c) {
+        for &c in &self.affinity_cores {
+            if self.cpu.is_busy(c) || self.cpu.is_offline(c) {
                 continue;
             }
             if !self.cpu.sibling_busy(c) {
@@ -572,7 +625,9 @@ impl Kernel {
                 fallback = Some(c);
             }
         }
-        let Some(core) = chosen.or(fallback) else { return false };
+        let Some(core) = chosen.or(fallback) else {
+            return false;
+        };
 
         let socket = self.cfg.topology.socket_of(core);
         let outcome = self.llc.access(socket, mem, &mut self.rng);
@@ -580,30 +635,55 @@ impl Kernel {
         let line = self.cfg.calib.cache.line_bytes;
         let wb = self.cfg.calib.cache.writeback_fraction;
         let dram_bytes = (outcome.misses as f64 * line as f64 * (1.0 + wb)) as u64;
-        let remote = if self.spans_sockets { self.cfg.calib.cpu.remote_miss_fraction } else { 0.0 };
+        let remote = if self.spans_sockets {
+            self.cfg.calib.cpu.remote_miss_fraction
+        } else {
+            0.0
+        };
         let dram_delay = self.dram.charge(socket, self.now, dram_bytes, remote);
-        let dur = self.cpu.burst_duration(core, instructions, outcome, self.spans_sockets) + dram_delay;
+        let dur = self
+            .cpu
+            .burst_duration(core, instructions, outcome, self.spans_sockets)
+            + dram_delay;
         self.cpu.occupy(core);
         self.tasks[id.0].state = TState::Running { core };
-        self.push(self.now + dur, EventKind::ComputeDone(id, core));
+        self.push(
+            self.now + dur,
+            EventKind::ComputeDone(id.0 as u32, core.0 as u16),
+        );
         true
     }
 
     /// After a core frees up, start as many queued bursts as now fit.
     fn dispatch_waiters(&mut self) {
         while let Some(&next) = self.run_queue.front() {
-            let TState::WaitingCore { instructions, ref mem, since } = self.tasks[next.0].state
-            else {
-                // Stale entry (task was woken/retired through another path).
-                self.run_queue.pop_front();
-                continue;
-            };
-            let mem = mem.clone();
-            if self.try_start_burst(next, instructions, &mem) {
-                self.waits.add(WaitClass::Core, self.now.saturating_since(since));
-                self.run_queue.pop_front();
-            } else {
-                break;
+            // Move the queued demand out of the slot instead of cloning its
+            // MemProfile (which owns region vectors) on every scheduling
+            // attempt; the state is put back verbatim when no core is free.
+            match std::mem::replace(&mut self.tasks[next.0].state, TState::Runnable) {
+                TState::WaitingCore {
+                    instructions,
+                    mem,
+                    since,
+                } => {
+                    if self.try_start_burst(next, instructions, &mem) {
+                        self.waits
+                            .add(WaitClass::Core, self.now.saturating_since(since));
+                        self.run_queue.pop_front();
+                    } else {
+                        self.tasks[next.0].state = TState::WaitingCore {
+                            instructions,
+                            mem,
+                            since,
+                        };
+                        break;
+                    }
+                }
+                other => {
+                    // Stale entry (task was woken/retired through another path).
+                    self.tasks[next.0].state = other;
+                    self.run_queue.pop_front();
+                }
             }
         }
     }
@@ -622,7 +702,10 @@ mod tests {
     }
 
     fn compute(instr: u64) -> ScriptOp {
-        ScriptOp::Demand(Demand::Compute { instructions: instr, mem: MemProfile::new() })
+        ScriptOp::Demand(Demand::Compute {
+            instructions: instr,
+            mem: MemProfile::new(),
+        })
     }
 
     #[test]
@@ -690,10 +773,12 @@ mod tests {
     #[test]
     fn io_wait_accounted() {
         let mut k = Kernel::new(one_core_cfg(5));
-        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(Demand::DeviceRead {
-            bytes: 25_000_000, // 10 ms at 2500 MB/s
-            class: WaitClass::PageIoLatch,
-        })])));
+        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(
+            Demand::DeviceRead {
+                bytes: 25_000_000, // 10 ms at 2500 MB/s
+                class: WaitClass::PageIoLatch,
+            },
+        )])));
         assert!(k.run_to_completion(SimDuration::from_secs(10)));
         let wait = k.wait_stats().total(WaitClass::PageIoLatch);
         assert!(wait.as_nanos() >= 10_000_000, "waited {wait}");
@@ -704,11 +789,16 @@ mod tests {
     fn block_and_wake_roundtrip() {
         let mut k = Kernel::new(one_core_cfg(6));
         let blocked = k.next_task_id();
-        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(Demand::Block {
-            class: WaitClass::Lock,
-        })])));
+        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(
+            Demand::Block {
+                class: WaitClass::Lock,
+            },
+        )])));
         k.spawn(Box::new(ScriptTask::new(vec![
-            ScriptOp::Demand(Demand::Sleep { dur: SimDuration::from_millis(5), class: WaitClass::Think }),
+            ScriptOp::Demand(Demand::Sleep {
+                dur: SimDuration::from_millis(5),
+                class: WaitClass::Think,
+            }),
             ScriptOp::Wake(blocked),
         ])));
         assert!(k.run_to_completion(SimDuration::from_secs(10)));
@@ -728,20 +818,30 @@ mod tests {
         assert_eq!(waker_first, TaskId(0));
         k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Wake(TaskId(1))])));
         k.spawn(Box::new(ScriptTask::new(vec![
-            ScriptOp::Demand(Demand::Sleep { dur: SimDuration::from_millis(1), class: WaitClass::Think }),
-            ScriptOp::Demand(Demand::Block { class: WaitClass::Lock }),
+            ScriptOp::Demand(Demand::Sleep {
+                dur: SimDuration::from_millis(1),
+                class: WaitClass::Think,
+            }),
+            ScriptOp::Demand(Demand::Block {
+                class: WaitClass::Lock,
+            }),
             compute(1000),
         ])));
-        assert!(k.run_to_completion(SimDuration::from_secs(10)), "pending wake lost");
+        assert!(
+            k.run_to_completion(SimDuration::from_secs(10)),
+            "pending wake lost"
+        );
     }
 
     #[test]
     fn samples_recorded_each_second() {
         let mut k = Kernel::new(one_core_cfg(8));
-        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(Demand::Sleep {
-            dur: SimDuration::from_secs(4),
-            class: WaitClass::Think,
-        })])));
+        k.spawn(Box::new(ScriptTask::new(vec![ScriptOp::Demand(
+            Demand::Sleep {
+                dur: SimDuration::from_secs(4),
+                class: WaitClass::Think,
+            },
+        )])));
         k.run_until(SimTime::from_nanos(3_500_000_000));
         assert_eq!(k.samples().samples().len(), 3);
     }
@@ -757,7 +857,9 @@ mod tests {
                 if !self.spawned {
                     self.spawned = true;
                     ctx.spawn(Box::new(ScriptTask::new(vec![compute(4_350_000)])));
-                    Step::Demand(Demand::Block { class: WaitClass::Lock })
+                    Step::Demand(Demand::Block {
+                        class: WaitClass::Lock,
+                    })
                 } else {
                     Step::Done
                 }
@@ -790,8 +892,12 @@ mod tests {
                     2 => {
                         // 250 MB at 2500 MB/s = 100 ms of backlog, observed
                         // at the same instant.
-                        self.saw_backlog.set(ctx.ssd_read_backlog().as_nanos() > 50_000_000);
-                        Step::Demand(Demand::Compute { instructions: 1000, mem: MemProfile::new() })
+                        self.saw_backlog
+                            .set(ctx.ssd_read_backlog().as_nanos() > 50_000_000);
+                        Step::Demand(Demand::Compute {
+                            instructions: 1000,
+                            mem: MemProfile::new(),
+                        })
                     }
                     _ => Step::Done,
                 }
@@ -799,13 +905,23 @@ mod tests {
         }
         let saw = std::rc::Rc::new(std::cell::Cell::new(false));
         let mut k = Kernel::new(one_core_cfg(21));
-        k.spawn(Box::new(Prefetcher { step: 0, saw_backlog: std::rc::Rc::clone(&saw) }));
+        k.spawn(Box::new(Prefetcher {
+            step: 0,
+            saw_backlog: std::rc::Rc::clone(&saw),
+        }));
         assert!(k.run_to_completion(SimDuration::from_secs(10)));
         // The task finished essentially immediately (compute only), far
         // before the 100 ms the read needs.
-        assert!(k.now().as_nanos() < 50_000_000, "prefetch blocked the task: {}", k.now());
+        assert!(
+            k.now().as_nanos() < 50_000_000,
+            "prefetch blocked the task: {}",
+            k.now()
+        );
         assert!(saw.get(), "read backlog was not observable");
-        assert!(k.counters().ssd_read_bytes < 1_000_000, "backlogged bytes mostly incomplete");
+        assert!(
+            k.counters().ssd_read_bytes < 1_000_000,
+            "backlogged bytes mostly incomplete"
+        );
     }
 
     #[test]
@@ -817,7 +933,10 @@ mod tests {
             for _ in 0..4 {
                 k.spawn(Box::new(ScriptTask::new(vec![
                     compute(1_000_000),
-                    ScriptOp::Demand(Demand::DeviceRead { bytes: 8192, class: WaitClass::Io }),
+                    ScriptOp::Demand(Demand::DeviceRead {
+                        bytes: 8192,
+                        class: WaitClass::Io,
+                    }),
                     compute(2_000_000),
                 ])));
             }
@@ -855,10 +974,16 @@ mod tests {
         assert_eq!(logged, 0);
         // 1 s horizon + 3 s window duration pins the window to [0.1 s, 1 s],
         // well inside the ~2 s the reads take.
-        let spec = FaultSpec::none().with_seed(5).with_fault_secs(3.0).with_ssd_throttle(1, 0.1);
+        let spec = FaultSpec::none()
+            .with_seed(5)
+            .with_fault_secs(3.0)
+            .with_ssd_throttle(1, 0.1);
         let (faulted, logged) = run(spec);
         assert_eq!(logged, 1);
-        assert!(faulted > healthy, "throttle did not slow I/O: {faulted} vs {healthy}");
+        assert!(
+            faulted > healthy,
+            "throttle did not slow I/O: {faulted} vs {healthy}"
+        );
     }
 
     #[test]
@@ -868,14 +993,20 @@ mod tests {
         cfg.affinity = CoreSet::first_n(4, &cfg.topology);
         // A long window pinned to [0.1 s, 1 s]; the compute below runs past it.
         cfg.faults = FaultPlan::generate(
-            &FaultSpec::none().with_seed(2).with_fault_secs(8.0).with_core_offline(1, 16),
+            &FaultSpec::none()
+                .with_seed(2)
+                .with_fault_secs(8.0)
+                .with_core_offline(1, 16),
             SimDuration::from_secs(1),
         );
         let mut k = Kernel::new(cfg);
         for _ in 0..8 {
             k.spawn(Box::new(ScriptTask::new(vec![compute(2_000_000_000)])));
         }
-        assert!(k.run_to_completion(SimDuration::from_secs(120)), "starved with all cores offline");
+        assert!(
+            k.run_to_completion(SimDuration::from_secs(120)),
+            "starved with all cores offline"
+        );
         // The fault asked for 16 cores but the affinity set has 4: at most 3
         // may go offline, so progress continued (completion above) and the
         // window was logged.
@@ -900,19 +1031,28 @@ mod tests {
                     return Step::Done;
                 }
                 self.remaining -= 1;
-                Step::Demand(Demand::DeviceRead { bytes: 2_500_000, class: WaitClass::Io })
+                Step::Demand(Demand::DeviceRead {
+                    bytes: 2_500_000,
+                    class: WaitClass::Io,
+                })
             }
         }
         let mut cfg = one_core_cfg(34);
         // Window pinned to [0.1 s, 1 s]; 500 reads of 2.5 MB take ~0.5 s, so
         // most of them land inside it.
         cfg.faults = FaultPlan::generate(
-            &FaultSpec::none().with_seed(3).with_fault_secs(9.0).with_ssd_errors(1, 1.0),
+            &FaultSpec::none()
+                .with_seed(3)
+                .with_fault_secs(9.0)
+                .with_ssd_errors(1, 1.0),
             SimDuration::from_secs(1),
         );
         let mut k = Kernel::new(cfg);
         let failures = std::rc::Rc::new(std::cell::Cell::new(0));
-        k.spawn(Box::new(RetryReader { remaining: 500, failures: std::rc::Rc::clone(&failures) }));
+        k.spawn(Box::new(RetryReader {
+            remaining: 500,
+            failures: std::rc::Rc::clone(&failures),
+        }));
         assert!(k.run_to_completion(SimDuration::from_secs(60)));
         assert!(failures.get() > 0, "no injected error reached the task");
     }
@@ -932,7 +1072,10 @@ mod tests {
             for _ in 0..5 {
                 k.spawn(Box::new(ScriptTask::new(vec![
                     compute(1_000_000),
-                    ScriptOp::Demand(Demand::DeviceRead { bytes: 8192, class: WaitClass::Io }),
+                    ScriptOp::Demand(Demand::DeviceRead {
+                        bytes: 8192,
+                        class: WaitClass::Io,
+                    }),
                     compute(2_000_000),
                 ])));
             }
@@ -949,7 +1092,10 @@ mod tests {
             for _ in 0..5 {
                 k.spawn(Box::new(ScriptTask::new(vec![
                     compute(1_000_000),
-                    ScriptOp::Demand(Demand::DeviceRead { bytes: 8192, class: WaitClass::Io }),
+                    ScriptOp::Demand(Demand::DeviceRead {
+                        bytes: 8192,
+                        class: WaitClass::Io,
+                    }),
                     compute(2_000_000),
                 ])));
             }

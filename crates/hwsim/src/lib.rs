@@ -58,9 +58,12 @@ pub mod task;
 pub mod time;
 pub mod topology;
 
+pub mod fx;
+
 pub use cache::CatMask;
 pub use calib::Calib;
 pub use faults::{FaultKind, FaultLogEntry, FaultPlan, FaultSpec, FaultWindow};
+pub use fx::{FxHashMap, FxHashSet};
 pub use kernel::{Kernel, SimConfig};
 pub use mem::{MemProfile, Region};
 pub use ssd::BlockIoLimit;

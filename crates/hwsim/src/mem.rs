@@ -110,7 +110,11 @@ impl MemProfile {
     /// Adds a random-access pattern; returns `self` for chaining.
     pub fn random(&mut self, region: Region, footprint: u64, count: u64) -> &mut Self {
         if count > 0 && footprint > 0 {
-            self.patterns.push(AccessPattern::Random { region, footprint, count });
+            self.patterns.push(AccessPattern::Random {
+                region,
+                footprint,
+                count,
+            });
         }
         self
     }
@@ -127,7 +131,10 @@ impl MemProfile {
 
     /// Total LLC-level accesses described by this profile.
     pub fn total_accesses(&self, line_bytes: u64) -> u64 {
-        self.patterns.iter().map(|p| p.access_count(line_bytes)).sum()
+        self.patterns
+            .iter()
+            .map(|p| p.access_count(line_bytes))
+            .sum()
     }
 
     /// Merges another profile into this one.
@@ -191,10 +198,16 @@ mod tests {
 
     #[test]
     fn cache_outcome_ratios() {
-        let mut o = CacheOutcome { hits: 75, misses: 25 };
+        let mut o = CacheOutcome {
+            hits: 75,
+            misses: 25,
+        };
         assert_eq!(o.total(), 100);
         assert!((o.miss_ratio() - 0.25).abs() < 1e-12);
-        o.add(CacheOutcome { hits: 0, misses: 100 });
+        o.add(CacheOutcome {
+            hits: 0,
+            misses: 100,
+        });
         assert!((o.miss_ratio() - 0.625).abs() < 1e-12);
         assert_eq!(CacheOutcome::default().miss_ratio(), 0.0);
     }

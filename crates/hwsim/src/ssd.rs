@@ -34,16 +34,25 @@ pub struct BlockIoLimit {
 
 impl BlockIoLimit {
     /// No limits (device speed in both directions).
-    pub const UNLIMITED: BlockIoLimit = BlockIoLimit { read: None, write: None };
+    pub const UNLIMITED: BlockIoLimit = BlockIoLimit {
+        read: None,
+        write: None,
+    };
 
     /// Caps only reads, in MB/sec (the unit the paper reports).
     pub fn read_mbps(mbps: f64) -> Self {
-        BlockIoLimit { read: Some(mbps * 1e6), write: None }
+        BlockIoLimit {
+            read: Some(mbps * 1e6),
+            write: None,
+        }
     }
 
     /// Caps only writes, in MB/sec.
     pub fn write_mbps(mbps: f64) -> Self {
-        BlockIoLimit { write: Some(mbps * 1e6), read: None }
+        BlockIoLimit {
+            write: Some(mbps * 1e6),
+            read: None,
+        }
     }
 }
 
@@ -114,8 +123,12 @@ impl Ssd {
         Ssd {
             calib,
             limit: BlockIoLimit::UNLIMITED,
-            read_pipe: Pipe { free_at: SimTime::ZERO },
-            write_pipe: Pipe { free_at: SimTime::ZERO },
+            read_pipe: Pipe {
+                free_at: SimTime::ZERO,
+            },
+            write_pipe: Pipe {
+                free_at: SimTime::ZERO,
+            },
             stats: SsdStats::default(),
             fault_extra_latency: SimDuration::ZERO,
             fault_error_chance: 0.0,
@@ -246,7 +259,11 @@ mod tests {
     use super::*;
 
     fn calib() -> SsdCalib {
-        SsdCalib { read_bw: 1000.0e6, write_bw: 500.0e6, latency_ns: 100_000 }
+        SsdCalib {
+            read_bw: 1000.0e6,
+            write_bw: 500.0e6,
+            latency_ns: 100_000,
+        }
     }
 
     #[test]
@@ -299,7 +316,11 @@ mod tests {
         // Submit 10 MB at t=0: takes 100 ms to drain at 100 MB/s.
         ssd.submit_read(SimTime::ZERO, 10_000_000);
         let half = ssd.stats_at(SimTime::from_nanos(50_000_000));
-        assert!((4_000_000..6_000_000).contains(&half.read_bytes), "{}", half.read_bytes);
+        assert!(
+            (4_000_000..6_000_000).contains(&half.read_bytes),
+            "{}",
+            half.read_bytes
+        );
         let done = ssd.stats_at(SimTime::from_nanos(200_000_000));
         assert_eq!(done.read_bytes, 10_000_000);
         // Submission-time stats see everything immediately.
@@ -313,7 +334,10 @@ mod tests {
         faulted.set_faults(SimDuration::ZERO, 0.0, 1.0);
         for i in 0..10 {
             let t = SimTime::from_nanos(i * 1000);
-            assert_eq!(healthy.submit_read(t, 4096 + i), faulted.submit_read(t, 4096 + i));
+            assert_eq!(
+                healthy.submit_read(t, 4096 + i),
+                faulted.submit_read(t, 4096 + i)
+            );
             assert_eq!(healthy.submit_write(t, 8192), faulted.submit_write(t, 8192));
         }
         assert!(!faulted.roll_error());

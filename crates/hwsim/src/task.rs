@@ -66,7 +66,10 @@ impl WaitClass {
     ];
 
     fn index(self) -> usize {
-        Self::ALL.iter().position(|w| *w == self).expect("listed in ALL")
+        Self::ALL
+            .iter()
+            .position(|w| *w == self)
+            .expect("listed in ALL")
     }
 }
 

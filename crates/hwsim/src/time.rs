@@ -193,7 +193,10 @@ mod tests {
         let t1 = t0 + SimDuration::from_secs(2);
         assert_eq!(t1.as_nanos(), 2_000_000_000);
         assert_eq!((t1 - t0).as_secs_f64(), 2.0);
-        assert_eq!(t1.saturating_since(t1 + SimDuration::from_nanos(1)), SimDuration::ZERO);
+        assert_eq!(
+            t1.saturating_since(t1 + SimDuration::from_nanos(1)),
+            SimDuration::ZERO
+        );
     }
 
     #[test]
@@ -201,7 +204,10 @@ mod tests {
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
-        assert_eq!(SimDuration::from_secs_f64(0.5), SimDuration::from_millis(500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.5),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]

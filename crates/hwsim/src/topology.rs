@@ -44,7 +44,11 @@ impl Topology {
     /// The paper's dual-socket Broadwell testbed: 2 sockets x 8 physical
     /// cores x 2 SMT threads = 32 logical cores.
     pub fn paper_testbed() -> Self {
-        Topology { sockets: 2, cores_per_socket: 8, smt: 2 }
+        Topology {
+            sockets: 2,
+            cores_per_socket: 8,
+            smt: 2,
+        }
     }
 
     /// Total physical cores.
@@ -126,7 +130,10 @@ impl CoreSet {
     ///
     /// Panics if `n` exceeds the topology's logical core count.
     pub fn first_n(n: usize, topo: &Topology) -> Self {
-        assert!(n <= topo.logical_cores(), "core allocation {n} exceeds topology");
+        assert!(
+            n <= topo.logical_cores(),
+            "core allocation {n} exceeds topology"
+        );
         CoreSet(if n == 64 { u64::MAX } else { (1u64 << n) - 1 })
     }
 
@@ -194,7 +201,11 @@ mod tests {
         assert_eq!(t.sibling_of(CoreId(0)), Some(CoreId(16)));
         assert_eq!(t.sibling_of(CoreId(16)), Some(CoreId(0)));
         assert_eq!(t.sibling_of(CoreId(15)), Some(CoreId(31)));
-        let no_smt = Topology { sockets: 1, cores_per_socket: 4, smt: 1 };
+        let no_smt = Topology {
+            sockets: 1,
+            cores_per_socket: 4,
+            smt: 1,
+        };
         assert_eq!(no_smt.sibling_of(CoreId(2)), None);
     }
 

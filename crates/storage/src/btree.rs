@@ -32,8 +32,14 @@ const MIN: usize = MAX / 2;
 
 #[derive(Debug, Clone)]
 enum Node {
-    Leaf { entries: Vec<Entry>, next: Option<usize> },
-    Internal { seps: Vec<Entry>, children: Vec<usize> },
+    Leaf {
+        entries: Vec<Entry>,
+        next: Option<usize>,
+    },
+    Internal {
+        seps: Vec<Entry>,
+        children: Vec<usize>,
+    },
     /// Arena slot on the free list.
     Free,
 }
@@ -69,7 +75,15 @@ impl Default for BTree {
 impl BTree {
     /// Creates an empty index.
     pub fn new() -> Self {
-        BTree { nodes: vec![Node::Leaf { entries: Vec::new(), next: None }], free: Vec::new(), root: 0, len: 0 }
+        BTree {
+            nodes: vec![Node::Leaf {
+                entries: Vec::new(),
+                next: None,
+            }],
+            free: Vec::new(),
+            root: 0,
+            len: 0,
+        }
     }
 
     /// Number of entries.
@@ -131,7 +145,10 @@ impl BTree {
             InsertResult::Split(sep, new_idx) => {
                 self.len += 1;
                 let old_root = self.root;
-                self.root = self.alloc(Node::Internal { seps: vec![sep], children: vec![old_root, new_idx] });
+                self.root = self.alloc(Node::Internal {
+                    seps: vec![sep],
+                    children: vec![old_root, new_idx],
+                });
                 true
             }
         }
@@ -158,7 +175,9 @@ impl BTree {
 
     /// All row ids with exactly this key, in row-id order.
     pub fn get<'a>(&'a self, key: &'a Key) -> impl Iterator<Item = RowId> + 'a {
-        self.seek(key).take_while(move |(k, _)| *k == key).map(|(_, rid)| rid)
+        self.seek(key)
+            .take_while(move |(k, _)| *k == key)
+            .map(|(_, rid)| rid)
     }
 
     /// Returns `true` if any entry has this key.
@@ -178,7 +197,11 @@ impl BTree {
                 }
                 Node::Leaf { entries, .. } => {
                     let pos = entries.partition_point(|e| *e < probe);
-                    return Cursor { tree: self, leaf: Some(idx), pos };
+                    return Cursor {
+                        tree: self,
+                        leaf: Some(idx),
+                        pos,
+                    };
                 }
                 Node::Free => unreachable!("free node reachable from root"),
             }
@@ -191,14 +214,24 @@ impl BTree {
         loop {
             match &self.nodes[idx] {
                 Node::Internal { children, .. } => idx = children[0],
-                Node::Leaf { .. } => return Cursor { tree: self, leaf: Some(idx), pos: 0 },
+                Node::Leaf { .. } => {
+                    return Cursor {
+                        tree: self,
+                        leaf: Some(idx),
+                        pos: 0,
+                    }
+                }
                 Node::Free => unreachable!("free node reachable from root"),
             }
         }
     }
 
     /// Iterates entries with `lo <= key < hi`.
-    pub fn range<'a>(&'a self, lo: &'a Key, hi: &'a Key) -> impl Iterator<Item = (&'a Key, RowId)> + 'a {
+    pub fn range<'a>(
+        &'a self,
+        lo: &'a Key,
+        hi: &'a Key,
+    ) -> impl Iterator<Item = (&'a Key, RowId)> + 'a {
         self.seek(lo).take_while(move |(k, _)| *k < hi)
     }
 
@@ -216,7 +249,10 @@ impl BTree {
                 let right_entries = entries.split_off(entries.len() / 2);
                 let sep = right_entries[0].clone();
                 let old_next = *next;
-                let new_idx = self.alloc(Node::Leaf { entries: right_entries, next: old_next });
+                let new_idx = self.alloc(Node::Leaf {
+                    entries: right_entries,
+                    next: old_next,
+                });
                 if let Node::Leaf { next, .. } = &mut self.nodes[idx] {
                     *next = Some(new_idx);
                 }
@@ -242,8 +278,10 @@ impl BTree {
                         let right_seps = seps.split_off(mid + 1);
                         seps.pop(); // drop the promoted separator
                         let right_children = children.split_off(mid + 1);
-                        let new_idx =
-                            self.alloc(Node::Internal { seps: right_seps, children: right_children });
+                        let new_idx = self.alloc(Node::Internal {
+                            seps: right_seps,
+                            children: right_children,
+                        });
                         InsertResult::Split(up, new_idx)
                     }
                     other => other,
@@ -291,10 +329,16 @@ impl BTree {
     /// child by borrowing from a sibling or merging with one.
     fn fix_underflow(&mut self, parent: usize, ci: usize) {
         let (left_sib, right_sib) = {
-            let Node::Internal { children, .. } = &self.nodes[parent] else { unreachable!() };
+            let Node::Internal { children, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
             (
                 if ci > 0 { Some(children[ci - 1]) } else { None },
-                if ci + 1 < children.len() { Some(children[ci + 1]) } else { None },
+                if ci + 1 < children.len() {
+                    Some(children[ci + 1])
+                } else {
+                    None
+                },
             )
         };
         if let Some(l) = left_sib {
@@ -330,13 +374,17 @@ impl BTree {
 
     fn borrow_from_left(&mut self, parent: usize, ci: usize) {
         let (left, child) = {
-            let Node::Internal { children, .. } = &self.nodes[parent] else { unreachable!() };
+            let Node::Internal { children, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
             (children[ci - 1], children[ci])
         };
         // For internal children the parent separator rotates down into the
         // child and the left sibling's last separator rotates up.
         let down = {
-            let Node::Internal { seps, .. } = &self.nodes[parent] else { unreachable!() };
+            let Node::Internal { seps, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
             seps[ci - 1].clone()
         };
         let new_sep = {
@@ -348,8 +396,14 @@ impl BTree {
                     moved
                 }
                 (
-                    Node::Internal { seps: ls, children: lc },
-                    Node::Internal { seps: cs, children: cc },
+                    Node::Internal {
+                        seps: ls,
+                        children: lc,
+                    },
+                    Node::Internal {
+                        seps: cs,
+                        children: cc,
+                    },
                 ) => {
                     let moved_child = lc.pop().expect("left sibling above MIN");
                     let up = ls.pop().expect("internal node has seps");
@@ -360,17 +414,23 @@ impl BTree {
                 _ => unreachable!("siblings at same level share node kind"),
             }
         };
-        let Node::Internal { seps, .. } = &mut self.nodes[parent] else { unreachable!() };
+        let Node::Internal { seps, .. } = &mut self.nodes[parent] else {
+            unreachable!()
+        };
         seps[ci - 1] = new_sep;
     }
 
     fn borrow_from_right(&mut self, parent: usize, ci: usize) {
         let (child, right) = {
-            let Node::Internal { children, .. } = &self.nodes[parent] else { unreachable!() };
+            let Node::Internal { children, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
             (children[ci], children[ci + 1])
         };
         let down = {
-            let Node::Internal { seps, .. } = &self.nodes[parent] else { unreachable!() };
+            let Node::Internal { seps, .. } = &self.nodes[parent] else {
+                unreachable!()
+            };
             seps[ci].clone()
         };
         let new_sep = {
@@ -382,8 +442,14 @@ impl BTree {
                     re[0].clone()
                 }
                 (
-                    Node::Internal { seps: cs, children: cc },
-                    Node::Internal { seps: rs, children: rc },
+                    Node::Internal {
+                        seps: cs,
+                        children: cc,
+                    },
+                    Node::Internal {
+                        seps: rs,
+                        children: rc,
+                    },
                 ) => {
                     // Parent separator rotates down; right sibling's first
                     // separator rotates up.
@@ -396,14 +462,18 @@ impl BTree {
                 _ => unreachable!("siblings at same level share node kind"),
             }
         };
-        let Node::Internal { seps, .. } = &mut self.nodes[parent] else { unreachable!() };
+        let Node::Internal { seps, .. } = &mut self.nodes[parent] else {
+            unreachable!()
+        };
         seps[ci] = new_sep;
     }
 
     /// Merges `parent`'s children `ci` and `ci + 1` into the left one.
     fn merge_children(&mut self, parent: usize, ci: usize) {
         let (left, right, sep) = {
-            let Node::Internal { seps, children } = &mut self.nodes[parent] else { unreachable!() };
+            let Node::Internal { seps, children } = &mut self.nodes[parent] else {
+                unreachable!()
+            };
             let left = children[ci];
             let right = children.remove(ci + 1);
             let sep = seps.remove(ci);
@@ -412,11 +482,29 @@ impl BTree {
         let right_node = std::mem::replace(&mut self.nodes[right], Node::Free);
         self.free.push(right);
         match (&mut self.nodes[left], right_node) {
-            (Node::Leaf { entries: le, next: ln }, Node::Leaf { entries: re, next: rn }) => {
+            (
+                Node::Leaf {
+                    entries: le,
+                    next: ln,
+                },
+                Node::Leaf {
+                    entries: re,
+                    next: rn,
+                },
+            ) => {
                 le.extend(re);
                 *ln = rn;
             }
-            (Node::Internal { seps: ls, children: lc }, Node::Internal { seps: rs, children: rc }) => {
+            (
+                Node::Internal {
+                    seps: ls,
+                    children: lc,
+                },
+                Node::Internal {
+                    seps: rs,
+                    children: rc,
+                },
+            ) => {
                 ls.push(sep);
                 ls.extend(rs);
                 lc.extend(rc);
@@ -533,7 +621,10 @@ mod tests {
         assert_eq!(t.len(), 1000);
         t.check_invariants();
         for k in [0, 1, 499, 998, 999] {
-            assert_eq!(t.get(&Key::int(k)).collect::<Vec<_>>(), vec![RowId(k as u64)]);
+            assert_eq!(
+                t.get(&Key::int(k)).collect::<Vec<_>>(),
+                vec![RowId(k as u64)]
+            );
         }
         assert!(t.get(&Key::int(1000)).next().is_none());
         assert!(t.height() > 1);
@@ -545,7 +636,10 @@ mod tests {
         assert!(t.insert(Key::int(1), RowId(10)));
         assert!(!t.insert(Key::int(1), RowId(10)));
         assert!(t.insert(Key::int(1), RowId(11)));
-        assert_eq!(t.get(&Key::int(1)).collect::<Vec<_>>(), vec![RowId(10), RowId(11)]);
+        assert_eq!(
+            t.get(&Key::int(1)).collect::<Vec<_>>(),
+            vec![RowId(10), RowId(11)]
+        );
         assert_eq!(t.len(), 2);
     }
 
@@ -562,12 +656,18 @@ mod tests {
     #[test]
     fn seek_and_range() {
         let t = build(100);
-        let from_50: Vec<i64> = t.seek(&Key::int(50)).map(|(k, _)| k.values()[0].as_int()).collect();
+        let from_50: Vec<i64> = t
+            .seek(&Key::int(50))
+            .map(|(k, _)| k.values()[0].as_int())
+            .collect();
         assert_eq!(from_50.len(), 50);
         assert_eq!(from_50[0], 50);
         let lo = Key::int(10);
         let hi = Key::int(20);
-        let r: Vec<i64> = t.range(&lo, &hi).map(|(k, _)| k.values()[0].as_int()).collect();
+        let r: Vec<i64> = t
+            .range(&lo, &hi)
+            .map(|(k, _)| k.values()[0].as_int())
+            .collect();
         assert_eq!(r, (10..20).collect::<Vec<_>>());
     }
 

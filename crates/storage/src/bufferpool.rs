@@ -8,7 +8,7 @@
 //! waits; evictions of dirty extents translate into background write-back
 //! traffic.
 
-use std::collections::HashMap;
+use dbsens_hwsim::fx::FxHashMap;
 
 /// Bytes per modeled page (SQL Server: 8 KB).
 pub const PAGE_BYTES: u64 = 8192;
@@ -67,7 +67,7 @@ struct Slot {
 pub struct BufferPool {
     capacity_extents: usize,
     slots: Vec<Slot>,
-    map: HashMap<u64, usize>,
+    map: FxHashMap<u64, usize>,
     hand: usize,
     stats: BpStats,
     probe_seed: u64,
@@ -85,7 +85,7 @@ impl BufferPool {
         BufferPool {
             capacity_extents,
             slots: Vec::new(),
-            map: HashMap::new(),
+            map: FxHashMap::default(),
             hand: 0,
             stats: BpStats::default(),
             probe_seed: 0x9E3779B97F4A7C15,
@@ -144,7 +144,13 @@ impl BufferPool {
     /// `[start_page, start_page + span_pages)` — the access pattern of
     /// nested-loops inner seeks. Large counts are sampled: up to 128 probes
     /// touch replacement state and the outcome is extrapolated.
-    pub fn access_random(&mut self, start_page: u64, span_pages: u64, count: u64, write: bool) -> BpAccess {
+    pub fn access_random(
+        &mut self,
+        start_page: u64,
+        span_pages: u64,
+        count: u64,
+        write: bool,
+    ) -> BpAccess {
         if count == 0 || span_pages == 0 {
             return BpAccess::default();
         }
@@ -188,8 +194,9 @@ impl BufferPool {
         let first_extent = start_page / EXTENT_PAGES;
         let last_extent = (start_page + pages - 1) / EXTENT_PAGES;
         let total = last_extent - first_extent + 1;
-        let resident =
-            (first_extent..=last_extent).filter(|e| self.map.contains_key(e)).count() as u64;
+        let resident = (first_extent..=last_extent)
+            .filter(|e| self.map.contains_key(e))
+            .count() as u64;
         resident as f64 / total as f64
     }
 
@@ -199,7 +206,11 @@ impl BufferPool {
         let written_pages = written_pages.min(EXTENT_PAGES);
         if self.slots.len() < self.capacity_extents {
             self.map.insert(extent, self.slots.len());
-            self.slots.push(Slot { extent, ref_bit: true, dirty_pages: written_pages });
+            self.slots.push(Slot {
+                extent,
+                ref_bit: true,
+                dirty_pages: written_pages,
+            });
             return 0;
         }
         // Clock sweep: clear reference bits until a victim is found.
@@ -212,7 +223,11 @@ impl BufferPool {
             }
             let evicted_dirty = slot.dirty_pages;
             self.map.remove(&slot.extent);
-            *slot = Slot { extent, ref_bit: true, dirty_pages: written_pages };
+            *slot = Slot {
+                extent,
+                ref_bit: true,
+                dirty_pages: written_pages,
+            };
             self.map.insert(extent, self.hand);
             self.hand = (self.hand + 1) % self.slots.len();
             return evicted_dirty;
@@ -252,7 +267,11 @@ mod tests {
         let pass1 = p.access(0, EXTENT_PAGES * 100, false);
         assert_eq!(pass1.miss_pages, EXTENT_PAGES * 100);
         let pass2 = p.access(0, EXTENT_PAGES * 100, false);
-        assert!(pass2.miss_pages > EXTENT_PAGES * 90, "got {} misses", pass2.miss_pages);
+        assert!(
+            pass2.miss_pages > EXTENT_PAGES * 90,
+            "got {} misses",
+            pass2.miss_pages
+        );
     }
 
     #[test]
@@ -260,7 +279,10 @@ mod tests {
         let mut p = BufferPool::new(2 * EXTENT_BYTES);
         p.access(0, EXTENT_PAGES * 2, true); // fill with dirty extents
         let a = p.access(EXTENT_PAGES * 2, EXTENT_PAGES * 2, false);
-        assert!(a.evicted_dirty_pages >= EXTENT_PAGES, "dirty writeback expected");
+        assert!(
+            a.evicted_dirty_pages >= EXTENT_PAGES,
+            "dirty writeback expected"
+        );
     }
 
     #[test]
@@ -283,13 +305,17 @@ mod tests {
         let mut p = BufferPool::new(2 * EXTENT_BYTES);
         p.access(0, 1, false); // extent 0 (A)
         p.access(EXTENT_PAGES, 1, false); // extent 1 (B)
-        // Insert C: the sweep clears both reference bits and evicts A.
+                                          // Insert C: the sweep clears both reference bits and evicts A.
         p.access(EXTENT_PAGES * 2, 1, false);
         // Re-reference C; B's reference bit stays clear.
         p.access(EXTENT_PAGES * 2, 1, false);
         // Insert D: the unreferenced B is the victim; C survives.
         p.access(EXTENT_PAGES * 3, 1, false);
-        assert_eq!(p.access(EXTENT_PAGES * 2, 1, false).hit_pages, 1, "C evicted");
+        assert_eq!(
+            p.access(EXTENT_PAGES * 2, 1, false).hit_pages,
+            1,
+            "C evicted"
+        );
         assert_eq!(p.access(EXTENT_PAGES, 1, false).miss_pages, 1, "B survived");
     }
 

@@ -68,18 +68,35 @@ impl ColumnSegment {
         let value_bytes = |v: &Value| v.byte_size();
         let rle_bytes: u64 = runs.iter().map(|(v, _)| value_bytes(v) + 4).sum();
         let code_bits = (usize::BITS - (dict.len().max(2) - 1).leading_zeros()) as u64;
-        let dict_bytes: u64 =
-            dict.iter().map(value_bytes).sum::<u64>() + (values.len() as u64 * code_bits).div_ceil(8);
+        let dict_bytes: u64 = dict.iter().map(value_bytes).sum::<u64>()
+            + (values.len() as u64 * code_bits).div_ceil(8);
 
-        let (min, max) = values.iter().fold((values[0].clone(), values[0].clone()), |(mn, mx), v| {
-            let mn = if cmp_values(v, &mn) == Ordering::Less { v.clone() } else { mn };
-            let mx = if cmp_values(v, &mx) == Ordering::Greater { v.clone() } else { mx };
-            (mn, mx)
-        });
+        let (min, max) =
+            values
+                .iter()
+                .fold((values[0].clone(), values[0].clone()), |(mn, mx), v| {
+                    let mn = if cmp_values(v, &mn) == Ordering::Less {
+                        v.clone()
+                    } else {
+                        mn
+                    };
+                    let mx = if cmp_values(v, &mx) == Ordering::Greater {
+                        v.clone()
+                    } else {
+                        mx
+                    };
+                    (mn, mx)
+                });
 
         let rows = values.len();
         if rle_bytes <= dict_bytes {
-            ColumnSegment { encoding: Encoding::Rle { runs }, rows, min, max, compressed_bytes: rle_bytes }
+            ColumnSegment {
+                encoding: Encoding::Rle { runs },
+                rows,
+                min,
+                max,
+                compressed_bytes: rle_bytes,
+            }
         } else {
             ColumnSegment {
                 encoding: Encoding::Dict { dict, codes },
@@ -114,7 +131,9 @@ impl ColumnSegment {
     /// Decodes the segment back into values.
     pub fn decode(&self) -> Vec<Value> {
         match &self.encoding {
-            Encoding::Dict { dict, codes } => codes.iter().map(|c| dict[*c as usize].clone()).collect(),
+            Encoding::Dict { dict, codes } => {
+                codes.iter().map(|c| dict[*c as usize].clone()).collect()
+            }
             Encoding::Rle { runs } => {
                 let mut out = Vec::with_capacity(self.rows);
                 for (v, n) in runs {
@@ -163,7 +182,10 @@ impl RowGroup {
                 ColumnSegment::compress(&col)
             })
             .collect();
-        RowGroup { segments, rows: rows.len() }
+        RowGroup {
+            segments,
+            rows: rows.len(),
+        }
     }
 
     /// Number of rows.
@@ -178,7 +200,10 @@ impl RowGroup {
 
     /// Total compressed bytes across all columns.
     pub fn compressed_bytes(&self) -> u64 {
-        self.segments.iter().map(ColumnSegment::compressed_bytes).sum()
+        self.segments
+            .iter()
+            .map(ColumnSegment::compressed_bytes)
+            .sum()
     }
 }
 
@@ -226,7 +251,9 @@ impl ColumnStore {
         for (start, chunk) in rows.chunks(rowgroup_rows).enumerate() {
             cs.groups.push(RowGroup::compress(&cs.schema, chunk));
             cs.group_rids.push(
-                (0..chunk.len()).map(|i| RowId((start * rowgroup_rows + i) as u64)).collect(),
+                (0..chunk.len())
+                    .map(|i| RowId((start * rowgroup_rows + i) as u64))
+                    .collect(),
             );
         }
         cs
@@ -317,10 +344,7 @@ impl ColumnStore {
 
     /// Scans whole rows (all columns), applying segment elimination on
     /// column `elim_col` if bounds are given.
-    pub fn scan_rows(
-        &self,
-        elim_col: Option<(usize, Option<&Value>, Option<&Value>)>,
-    ) -> Vec<Row> {
+    pub fn scan_rows(&self, elim_col: Option<(usize, Option<&Value>, Option<&Value>)>) -> Vec<Row> {
         let mut out = Vec::new();
         for (g, group) in self.groups.iter().enumerate() {
             if let Some((c, lo, hi)) = elim_col {
@@ -328,7 +352,9 @@ impl ColumnStore {
                     continue;
                 }
             }
-            let cols: Vec<Vec<Value>> = (0..self.schema.len()).map(|c| group.segment(c).decode()).collect();
+            let cols: Vec<Vec<Value>> = (0..self.schema.len())
+                .map(|c| group.segment(c).decode())
+                .collect();
             for i in 0..group.rows() {
                 if !self.deleted.contains(&self.group_rids[g][i]) {
                     out.push(cols.iter().map(|col| col[i].clone()).collect());
@@ -349,7 +375,8 @@ impl ColumnStore {
         for chunk in live.chunks(self.rowgroup_rows) {
             let rows: Vec<Row> = chunk.iter().map(|(_, r)| r.clone()).collect();
             self.groups.push(RowGroup::compress(&self.schema, &rows));
-            self.group_rids.push(chunk.iter().map(|(rid, _)| *rid).collect());
+            self.group_rids
+                .push(chunk.iter().map(|(rid, _)| *rid).collect());
         }
         moved
     }
@@ -361,7 +388,11 @@ mod tests {
     use crate::schema::ColType;
 
     fn schema() -> Schema {
-        Schema::new(&[("id", ColType::Int), ("status", ColType::Str(1)), ("qty", ColType::Int)])
+        Schema::new(&[
+            ("id", ColType::Int),
+            ("status", ColType::Str(1)),
+            ("qty", ColType::Int),
+        ])
     }
 
     fn rows(n: i64) -> Vec<Row> {
@@ -386,7 +417,11 @@ mod tests {
         assert_eq!(seg.min(), &Value::Int(0));
         assert_eq!(seg.max(), &Value::Int(2));
         // Compression beats the raw 8 bytes/value by a wide margin.
-        assert!(seg.compressed_bytes() < 500 * 8 / 4, "bytes={}", seg.compressed_bytes());
+        assert!(
+            seg.compressed_bytes() < 500 * 8 / 4,
+            "bytes={}",
+            seg.compressed_bytes()
+        );
     }
 
     #[test]
@@ -433,8 +468,14 @@ mod tests {
     #[test]
     fn delta_store_and_deletes() {
         let mut cs = ColumnStore::build(schema(), &rows(50), 25);
-        cs.insert(RowId(1000), vec![Value::Int(1000), Value::Str("C".into()), Value::Int(5)]);
-        cs.insert(RowId(1001), vec![Value::Int(1001), Value::Str("C".into()), Value::Int(5)]);
+        cs.insert(
+            RowId(1000),
+            vec![Value::Int(1000), Value::Str("C".into()), Value::Int(5)],
+        );
+        cs.insert(
+            RowId(1001),
+            vec![Value::Int(1001), Value::Str("C".into()), Value::Int(5)],
+        );
         assert_eq!(cs.delta_rows(), 2);
         assert_eq!(cs.total_rows(), 52);
         // Delete one compressed row and one delta row.
@@ -450,7 +491,10 @@ mod tests {
     #[test]
     fn update_is_delete_plus_insert() {
         let mut cs = ColumnStore::build(schema(), &rows(10), 5);
-        cs.update(RowId(3), vec![Value::Int(333), Value::Str("Z".into()), Value::Int(9)]);
+        cs.update(
+            RowId(3),
+            vec![Value::Int(333), Value::Str("Z".into()), Value::Int(9)],
+        );
         let (vals, _, _) = cs.scan_column(0, None, None);
         assert!(!vals.contains(&Value::Int(3)));
         assert!(vals.contains(&Value::Int(333)));
@@ -461,7 +505,10 @@ mod tests {
     fn tuple_mover_compresses_delta() {
         let mut cs = ColumnStore::build(schema(), &rows(10), 8);
         for i in 100..120 {
-            cs.insert(RowId(i), vec![Value::Int(i as i64), Value::Str("D".into()), Value::Int(1)]);
+            cs.insert(
+                RowId(i),
+                vec![Value::Int(i as i64), Value::Str("D".into()), Value::Int(1)],
+            );
         }
         let groups_before = cs.groups().len();
         let moved = cs.move_tuples();

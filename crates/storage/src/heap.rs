@@ -33,7 +33,12 @@ pub struct HeapTable {
 impl HeapTable {
     /// Creates an empty heap for the given schema.
     pub fn new(schema: Schema) -> Self {
-        HeapTable { schema, slots: Vec::new(), free: Vec::new(), live: 0 }
+        HeapTable {
+            schema,
+            slots: Vec::new(),
+            free: Vec::new(),
+            live: 0,
+        }
     }
 
     /// The heap's schema.

@@ -11,9 +11,10 @@
 //! Deadlock discipline: workloads acquire locks in canonical resource order
 //! within each transaction, so FIFO queues cannot deadlock.
 
+use dbsens_hwsim::fx::FxHashMap;
 use dbsens_hwsim::task::TaskId;
 use dbsens_hwsim::time::{SimDuration, SimTime};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Transaction identifier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -79,7 +80,7 @@ struct LockEntry {
 fn promote_waiters(
     entry: &mut LockEntry,
     key: LockKey,
-    held_by_txn: &mut HashMap<TxnId, Vec<LockKey>>,
+    held_by_txn: &mut FxHashMap<TxnId, Vec<LockKey>>,
     woken: &mut Vec<TaskId>,
 ) {
     while let Some(&(wtxn, wtask, wmode)) = entry.waiters.front() {
@@ -121,8 +122,8 @@ fn promote_waiters(
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LockManager {
-    locks: HashMap<LockKey, LockEntry>,
-    held_by_txn: HashMap<TxnId, Vec<LockKey>>,
+    locks: FxHashMap<LockKey, LockEntry>,
+    held_by_txn: FxHashMap<TxnId, Vec<LockKey>>,
     grants: u64,
     waits: u64,
 }
@@ -166,8 +167,8 @@ impl LockManager {
             self.waits += 1;
             return LockReq::Wait;
         }
-        let compatible = entry.waiters.is_empty()
-            && entry.holders.iter().all(|(_, held)| held.compatible(mode));
+        let compatible =
+            entry.waiters.is_empty() && entry.holders.iter().all(|(_, held)| held.compatible(mode));
         if compatible {
             entry.holders.push((txn, mode));
             self.held_by_txn.entry(txn).or_default().push(key);
@@ -187,7 +188,9 @@ impl LockManager {
         let mut woken = Vec::new();
         let keys = self.held_by_txn.remove(&txn).unwrap_or_default();
         for key in keys {
-            let Some(entry) = self.locks.get_mut(&key) else { continue };
+            let Some(entry) = self.locks.get_mut(&key) else {
+                continue;
+            };
             entry.holders.retain(|(t, _)| *t != txn);
             promote_waiters(entry, key, &mut self.held_by_txn, &mut woken);
             if entry.holders.is_empty() && entry.waiters.is_empty() {
@@ -210,7 +213,9 @@ impl LockManager {
             .map(|(key, _)| *key)
             .collect();
         for key in keys {
-            let Some(entry) = self.locks.get_mut(&key) else { continue };
+            let Some(entry) = self.locks.get_mut(&key) else {
+                continue;
+            };
             entry.waiters.retain(|&(t, k, _)| !(t == txn && k == task));
             promote_waiters(entry, key, &mut self.held_by_txn, &mut woken);
             if entry.holders.is_empty() && entry.waiters.is_empty() {
@@ -286,7 +291,7 @@ pub enum LatchKey {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct LatchTable {
-    busy: HashMap<LatchKey, SimTime>,
+    busy: FxHashMap<LatchKey, SimTime>,
     acquisitions: u64,
     conflicts: u64,
 }
@@ -303,7 +308,12 @@ impl LatchTable {
     ///
     /// Returns `Err(busy_until)` when the latch is held; the caller should
     /// sleep until then and retry.
-    pub fn acquire(&mut self, key: LatchKey, now: SimTime, hold: SimDuration) -> Result<(), SimTime> {
+    pub fn acquire(
+        &mut self,
+        key: LatchKey,
+        now: SimTime,
+        hold: SimDuration,
+    ) -> Result<(), SimTime> {
         match self.busy.get(&key) {
             Some(&until) if until > now => {
                 self.conflicts += 1;
@@ -344,17 +354,35 @@ mod tests {
     #[test]
     fn shared_locks_coexist() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S), LockReq::Granted);
-        assert_eq!(lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::S), LockReq::Granted);
-        assert_eq!(lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::X), LockReq::Wait);
+        assert_eq!(
+            lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S),
+            LockReq::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::S),
+            LockReq::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::X),
+            LockReq::Wait
+        );
     }
 
     #[test]
     fn exclusive_blocks_all() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::X), LockReq::Granted);
-        assert_eq!(lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::S), LockReq::Wait);
-        assert_eq!(lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::X), LockReq::Wait);
+        assert_eq!(
+            lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::X),
+            LockReq::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::S),
+            LockReq::Wait
+        );
+        assert_eq!(
+            lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::X),
+            LockReq::Wait
+        );
         // FIFO: releasing grants the shared waiter first, then stops at X.
         let woken = lm.release_all(TxnId(1));
         assert_eq!(woken, vec![TaskId(2)]);
@@ -365,12 +393,24 @@ mod tests {
     #[test]
     fn reentrant_and_upgrade() {
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S), LockReq::Granted);
-        assert_eq!(lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S), LockReq::Granted);
+        assert_eq!(
+            lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S),
+            LockReq::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S),
+            LockReq::Granted
+        );
         // Sole holder may upgrade in place.
-        assert_eq!(lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::X), LockReq::Granted);
+        assert_eq!(
+            lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::X),
+            LockReq::Granted
+        );
         // X holder is granted anything.
-        assert_eq!(lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S), LockReq::Granted);
+        assert_eq!(
+            lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S),
+            LockReq::Granted
+        );
     }
 
     #[test]
@@ -378,11 +418,17 @@ mod tests {
         let mut lm = LockManager::new();
         lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S);
         lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::S);
-        assert_eq!(lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::X), LockReq::Wait);
+        assert_eq!(
+            lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::X),
+            LockReq::Wait
+        );
         let woken = lm.release_all(TxnId(2));
         assert_eq!(woken, vec![TaskId(1)]);
         // Txn 1 now holds X: a new reader must wait.
-        assert_eq!(lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::S), LockReq::Wait);
+        assert_eq!(
+            lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::S),
+            LockReq::Wait
+        );
     }
 
     #[test]
@@ -391,8 +437,14 @@ mod tests {
         // (no reader starvation of writers).
         let mut lm = LockManager::new();
         lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S);
-        assert_eq!(lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::X), LockReq::Wait);
-        assert_eq!(lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::S), LockReq::Wait);
+        assert_eq!(
+            lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::X),
+            LockReq::Wait
+        );
+        assert_eq!(
+            lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::S),
+            LockReq::Wait
+        );
         let woken = lm.release_all(TxnId(1));
         assert_eq!(woken, vec![TaskId(2)]);
     }
@@ -414,10 +466,19 @@ mod tests {
         // deadlock: nothing will ever release the lock unless the stalled
         // holder is victimized.
         let mut lm = LockManager::new();
-        assert_eq!(lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::X), LockReq::Granted);
-        assert_eq!(lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::S), LockReq::Wait);
+        assert_eq!(
+            lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::X),
+            LockReq::Granted
+        );
+        assert_eq!(
+            lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::S),
+            LockReq::Wait
+        );
         // A stalled txn with no waiters behind it is left alone.
-        assert_eq!(lm.acquire(TxnId(3), TaskId(3), key(2), LockMode::X), LockReq::Granted);
+        assert_eq!(
+            lm.acquire(TxnId(3), TaskId(3), key(2), LockMode::X),
+            LockReq::Granted
+        );
         assert_eq!(lm.stalled_victims(&[TxnId(1), TxnId(3)]), vec![TxnId(1)]);
         assert_eq!(lm.stalled_victims(&[TxnId(3)]), Vec::<TxnId>::new());
         // Victimizing the stalled holder unblocks the waiter.
@@ -429,8 +490,14 @@ mod tests {
     fn cancel_wait_removes_waiter_and_promotes_followers() {
         let mut lm = LockManager::new();
         lm.acquire(TxnId(1), TaskId(1), key(1), LockMode::S);
-        assert_eq!(lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::X), LockReq::Wait);
-        assert_eq!(lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::S), LockReq::Wait);
+        assert_eq!(
+            lm.acquire(TxnId(2), TaskId(2), key(1), LockMode::X),
+            LockReq::Wait
+        );
+        assert_eq!(
+            lm.acquire(TxnId(3), TaskId(3), key(1), LockMode::S),
+            LockReq::Wait
+        );
         // Txn 2 aborts while waiting: its X request leaves the queue and the
         // S request behind it becomes compatible with the S holder.
         let woken = lm.cancel_wait(TxnId(2), TaskId(2));
@@ -446,13 +513,21 @@ mod tests {
     fn latch_busy_window_expires() {
         let mut lt = LatchTable::new();
         let t0 = SimTime::ZERO;
-        assert!(lt.acquire(LatchKey::Page(1), t0, SimDuration::from_micros(10)).is_ok());
-        assert!(lt.acquire(LatchKey::Page(1), t0, SimDuration::from_micros(10)).is_err());
+        assert!(lt
+            .acquire(LatchKey::Page(1), t0, SimDuration::from_micros(10))
+            .is_ok());
+        assert!(lt
+            .acquire(LatchKey::Page(1), t0, SimDuration::from_micros(10))
+            .is_err());
         // Different page: free.
-        assert!(lt.acquire(LatchKey::Page(2), t0, SimDuration::from_micros(10)).is_ok());
+        assert!(lt
+            .acquire(LatchKey::Page(2), t0, SimDuration::from_micros(10))
+            .is_ok());
         // After the window, the latch is free again.
         let later = t0 + SimDuration::from_micros(11);
-        assert!(lt.acquire(LatchKey::Page(1), later, SimDuration::from_micros(10)).is_ok());
+        assert!(lt
+            .acquire(LatchKey::Page(1), later, SimDuration::from_micros(10))
+            .is_ok());
         assert_eq!(lt.conflicts(), 1);
         assert_eq!(lt.acquisitions(), 3);
     }
@@ -461,7 +536,11 @@ mod tests {
     fn internal_and_page_namespaces_disjoint() {
         let mut lt = LatchTable::new();
         let t0 = SimTime::ZERO;
-        assert!(lt.acquire(LatchKey::Page(7), t0, SimDuration::from_micros(10)).is_ok());
-        assert!(lt.acquire(LatchKey::Internal(7), t0, SimDuration::from_micros(10)).is_ok());
+        assert!(lt
+            .acquire(LatchKey::Page(7), t0, SimDuration::from_micros(10))
+            .is_ok());
+        assert!(lt
+            .acquire(LatchKey::Internal(7), t0, SimDuration::from_micros(10))
+            .is_ok());
     }
 }

@@ -81,7 +81,10 @@ impl TableLayout {
     ///
     /// Panics if `row_bytes` is zero or exceeds a page.
     pub fn new(space: &mut ModelSpace, modeled_rows: u64, row_bytes: u64) -> Self {
-        assert!(row_bytes > 0 && row_bytes <= PAGE_BYTES, "bad row size {row_bytes}");
+        assert!(
+            row_bytes > 0 && row_bytes <= PAGE_BYTES,
+            "bad row size {row_bytes}"
+        );
         let rows_per_page = ((PAGE_BYTES as f64 * DATA_FILL / row_bytes as f64) as u64).max(1);
         let pages = modeled_rows.div_ceil(rows_per_page).max(1);
         TableLayout {
@@ -292,7 +295,12 @@ impl ColumnstoreLayout {
             col_start.push(cursor);
             cursor += pages;
         }
-        ColumnstoreLayout { col_pages, col_start, total_pages: total, region: space.alloc_region() }
+        ColumnstoreLayout {
+            col_pages,
+            col_start,
+            total_pages: total,
+            region: space.alloc_region(),
+        }
     }
 
     /// Modeled compressed bytes across all columns.
@@ -381,8 +389,9 @@ mod tests {
     #[test]
     fn columnstore_layout_scales_with_row_scale() {
         let schema = Schema::new(&[("a", ColType::Int), ("b", ColType::Int)]);
-        let rows: Vec<Vec<Value>> =
-            (0..1000).map(|i| vec![Value::Int(i), Value::Int(i % 7)]).collect();
+        let rows: Vec<Vec<Value>> = (0..1000)
+            .map(|i| vec![Value::Int(i), Value::Int(i % 7)])
+            .collect();
         let cs = ColumnStore::build(schema, &rows, 256);
         let mut s = ModelSpace::new();
         let small = ColumnstoreLayout::from_logical(&mut s, &cs, 1.0);

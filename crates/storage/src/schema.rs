@@ -64,7 +64,10 @@ impl Schema {
         Schema {
             columns: cols
                 .iter()
-                .map(|(name, ty)| ColumnDef { name: (*name).to_owned(), ty: *ty })
+                .map(|(name, ty)| ColumnDef {
+                    name: (*name).to_owned(),
+                    ty: *ty,
+                })
                 .collect(),
         }
     }
@@ -125,7 +128,11 @@ mod tests {
     use super::*;
 
     fn schema() -> Schema {
-        Schema::new(&[("id", ColType::Int), ("price", ColType::Float), ("name", ColType::Str(10))])
+        Schema::new(&[
+            ("id", ColType::Int),
+            ("price", ColType::Float),
+            ("name", ColType::Str(10)),
+        ])
     }
 
     #[test]
@@ -150,10 +157,18 @@ mod tests {
     #[test]
     fn row_validation() {
         let s = schema();
-        assert!(s.check_row(&vec![Value::Int(1), Value::Float(2.0), Value::Str("x".into())]));
+        assert!(s.check_row(&vec![
+            Value::Int(1),
+            Value::Float(2.0),
+            Value::Str("x".into())
+        ]));
         assert!(s.check_row(&vec![Value::Int(1), Value::Null, Value::Null]));
         assert!(!s.check_row(&vec![Value::Int(1), Value::Float(2.0)]));
-        assert!(!s.check_row(&vec![Value::Str("x".into()), Value::Float(2.0), Value::Str("y".into())]));
+        assert!(!s.check_row(&vec![
+            Value::Str("x".into()),
+            Value::Float(2.0),
+            Value::Str("y".into())
+        ]));
     }
 
     #[test]

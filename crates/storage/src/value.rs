@@ -215,15 +215,24 @@ mod tests {
 
     #[test]
     fn null_sorts_first() {
-        assert_eq!(cmp_values(&Value::Null, &Value::Int(i64::MIN)), Ordering::Less);
+        assert_eq!(
+            cmp_values(&Value::Null, &Value::Int(i64::MIN)),
+            Ordering::Less
+        );
         assert_eq!(cmp_values(&Value::Int(0), &Value::Null), Ordering::Greater);
         assert_eq!(cmp_values(&Value::Null, &Value::Null), Ordering::Equal);
     }
 
     #[test]
     fn numeric_cross_type_comparison() {
-        assert_eq!(cmp_values(&Value::Int(2), &Value::Float(2.5)), Ordering::Less);
-        assert_eq!(cmp_values(&Value::Float(3.0), &Value::Int(3)), Ordering::Equal);
+        assert_eq!(
+            cmp_values(&Value::Int(2), &Value::Float(2.5)),
+            Ordering::Less
+        );
+        assert_eq!(
+            cmp_values(&Value::Float(3.0), &Value::Int(3)),
+            Ordering::Equal
+        );
     }
 
     #[test]

@@ -255,7 +255,8 @@ impl Wal {
         let payload = encode_record(rec);
         self.chain = chain_checksum(self.chain, lsn.0, &payload);
         self.image.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
-        self.image.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.image
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
         self.image.extend_from_slice(&lsn.0.to_le_bytes());
         self.image.extend_from_slice(&self.chain.to_le_bytes());
         self.image.extend_from_slice(&payload);
@@ -274,7 +275,7 @@ impl Wal {
             // Close the pending image region into a sector-padded flush
             // range and mark it in flight.
             let pad = (SECTOR as usize - self.image.len() % SECTOR as usize) % SECTOR as usize;
-            self.image.extend(std::iter::repeat(0u8).take(pad));
+            self.image.extend(std::iter::repeat_n(0u8, pad));
             let start = self.submitted;
             let end = self.image.len();
             self.submitted = end;
@@ -297,7 +298,7 @@ impl Wal {
     /// synchronously — there is no buffering to tear).
     pub fn force_durable(&mut self) {
         let pad = (SECTOR as usize - self.image.len() % SECTOR as usize) % SECTOR as usize;
-        self.image.extend(std::iter::repeat(0u8).take(pad));
+        self.image.extend(std::iter::repeat_n(0u8, pad));
         self.inflight.clear();
         self.submitted = self.image.len();
         self.durable = self.image.len();
@@ -489,14 +490,25 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             out.push(0);
             put_u64(&mut out, *txn);
         }
-        WalRecord::Insert { txn, table, rid, row } => {
+        WalRecord::Insert {
+            txn,
+            table,
+            rid,
+            row,
+        } => {
             out.push(1);
             put_u64(&mut out, *txn);
             put_u32(&mut out, *table);
             put_u64(&mut out, *rid);
             put_row(&mut out, row);
         }
-        WalRecord::Update { txn, table, rid, before, after } => {
+        WalRecord::Update {
+            txn,
+            table,
+            rid,
+            before,
+            after,
+        } => {
             out.push(2);
             put_u64(&mut out, *txn);
             put_u32(&mut out, *table);
@@ -504,7 +516,12 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             put_row(&mut out, before);
             put_row(&mut out, after);
         }
-        WalRecord::Delete { txn, table, rid, row } => {
+        WalRecord::Delete {
+            txn,
+            table,
+            rid,
+            row,
+        } => {
             out.push(3);
             put_u64(&mut out, *txn);
             put_u32(&mut out, *table);
@@ -519,7 +536,13 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             out.push(5);
             put_u64(&mut out, *txn);
         }
-        WalRecord::Clr { txn, undo_of, table, rid, action } => {
+        WalRecord::Clr {
+            txn,
+            undo_of,
+            table,
+            rid,
+            action,
+        } => {
             out.push(6);
             put_u64(&mut out, *txn);
             put_u64(&mut out, *undo_of);
@@ -537,7 +560,10 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
                 }
             }
         }
-        WalRecord::Checkpoint { active_txns, dirty_pages } => {
+        WalRecord::Checkpoint {
+            active_txns,
+            dirty_pages,
+        } => {
             out.push(7);
             put_u32(&mut out, active_txns.len() as u32);
             for t in active_txns {
@@ -602,10 +628,18 @@ impl<'a> Cursor<'a> {
 }
 
 fn decode_record(payload: &[u8]) -> Option<WalRecord> {
-    let mut c = Cursor { buf: payload, pos: 0 };
+    let mut c = Cursor {
+        buf: payload,
+        pos: 0,
+    };
     let rec = match c.u8()? {
         0 => WalRecord::Begin { txn: c.u64()? },
-        1 => WalRecord::Insert { txn: c.u64()?, table: c.u32()?, rid: c.u64()?, row: c.row()? },
+        1 => WalRecord::Insert {
+            txn: c.u64()?,
+            table: c.u32()?,
+            rid: c.u64()?,
+            row: c.row()?,
+        },
         2 => WalRecord::Update {
             txn: c.u64()?,
             table: c.u32()?,
@@ -613,7 +647,12 @@ fn decode_record(payload: &[u8]) -> Option<WalRecord> {
             before: c.row()?,
             after: c.row()?,
         },
-        3 => WalRecord::Delete { txn: c.u64()?, table: c.u32()?, rid: c.u64()?, row: c.row()? },
+        3 => WalRecord::Delete {
+            txn: c.u64()?,
+            table: c.u32()?,
+            rid: c.u64()?,
+            row: c.row()?,
+        },
         4 => WalRecord::Commit { txn: c.u64()? },
         5 => WalRecord::Abort { txn: c.u64()? },
         6 => WalRecord::Clr {
@@ -645,7 +684,10 @@ fn decode_record(payload: &[u8]) -> Option<WalRecord> {
             for _ in 0..m {
                 dirty_pages.push((c.u64()?, c.u64()?));
             }
-            WalRecord::Checkpoint { active_txns, dirty_pages }
+            WalRecord::Checkpoint {
+                active_txns,
+                dirty_pages,
+            }
         }
         _ => return None,
     };
@@ -701,7 +743,7 @@ mod tests {
         let lsn_before = w.append(512);
         assert_eq!(w.pending_bytes(), 522);
         assert_eq!(w.flush_for_commit(), 1024); // 522 -> two sectors
-        // LSNs keep increasing across flush boundaries.
+                                                // LSNs keep increasing across flush boundaries.
         let lsn_after = w.append(1);
         assert!(lsn_after > lsn_before);
         assert_eq!(w.flush_for_commit(), 512);
@@ -752,17 +794,27 @@ mod tests {
                 before: vec![Value::Int(9)],
                 after: vec![Value::Float(2.5)],
             },
-            WalRecord::Delete { txn: 1, table: 2, rid: 7, row: vec![Value::Int(9)] },
+            WalRecord::Delete {
+                txn: 1,
+                table: 2,
+                rid: 7,
+                row: vec![Value::Int(9)],
+            },
             WalRecord::Commit { txn: 1 },
             WalRecord::Clr {
                 txn: 3,
                 undo_of: 2,
                 table: 2,
                 rid: 8,
-                action: ClrAction::Reinsert { row: vec![Value::Int(1)] },
+                action: ClrAction::Reinsert {
+                    row: vec![Value::Int(1)],
+                },
             },
             WalRecord::Abort { txn: 3 },
-            WalRecord::Checkpoint { active_txns: vec![4, 5], dirty_pages: vec![(10, 2), (11, 3)] },
+            WalRecord::Checkpoint {
+                active_txns: vec![4, 5],
+                dirty_pages: vec![(10, 2), (11, 3)],
+            },
         ]
     }
 
@@ -817,7 +869,12 @@ mod tests {
         w.enable_capture();
         w.append_record(&WalRecord::Begin { txn: 1 }, 50);
         w.append_record(
-            &WalRecord::Insert { txn: 1, table: 0, rid: 0, row: vec![Value::Str("x".repeat(600))] },
+            &WalRecord::Insert {
+                txn: 1,
+                table: 0,
+                rid: 0,
+                row: vec![Value::Str("x".repeat(600))],
+            },
             600,
         );
         // Cut inside the second record (pre-padding image).

@@ -49,7 +49,12 @@ enum Undo {
     /// Undo an insert: remove the row again.
     Remove { lsn: u64, rid: u64 },
     /// Undo an update or delete: restore the before image.
-    Put { lsn: u64, rid: u64, before: Row, was_delete: bool },
+    Put {
+        lsn: u64,
+        rid: u64,
+        before: Row,
+        was_delete: bool,
+    },
 }
 
 /// Drives a captured [`Wal`] through a history. Each client owns a
@@ -70,7 +75,13 @@ impl Harness {
     fn new() -> Self {
         let mut wal = Wal::new();
         wal.enable_capture();
-        Harness { wal, table: BTreeMap::new(), active: BTreeMap::new(), next_txn: 0, appended: Vec::new() }
+        Harness {
+            wal,
+            table: BTreeMap::new(),
+            active: BTreeMap::new(),
+            next_txn: 0,
+            appended: Vec::new(),
+        }
     }
 
     fn append(&mut self, rec: WalRecord) -> u64 {
@@ -117,9 +128,17 @@ impl Harness {
                         lsn
                     }
                     None => {
-                        let lsn =
-                            self.append(WalRecord::Insert { txn, table: 0, rid, row: row.clone() });
-                        self.active.get_mut(&c).unwrap().1.push(Undo::Remove { lsn, rid });
+                        let lsn = self.append(WalRecord::Insert {
+                            txn,
+                            table: 0,
+                            rid,
+                            row: row.clone(),
+                        });
+                        self.active
+                            .get_mut(&c)
+                            .unwrap()
+                            .1
+                            .push(Undo::Remove { lsn, rid });
                         lsn
                     }
                 };
@@ -128,10 +147,16 @@ impl Harness {
             }
             WalOp::Delete(c, s) => {
                 let rid = c as u64 * 16 + s as u64;
-                let Some(before) = self.table.get(&rid).cloned() else { return };
+                let Some(before) = self.table.get(&rid).cloned() else {
+                    return;
+                };
                 let txn = self.begin(c);
-                let lsn =
-                    self.append(WalRecord::Delete { txn, table: 0, rid, row: before.clone() });
+                let lsn = self.append(WalRecord::Delete {
+                    txn,
+                    table: 0,
+                    rid,
+                    row: before.clone(),
+                });
                 self.active.get_mut(&c).unwrap().1.push(Undo::Put {
                     lsn,
                     rid,
@@ -141,12 +166,16 @@ impl Harness {
                 self.table.remove(&rid);
             }
             WalOp::Commit(c) => {
-                let Some((txn, _)) = self.active.remove(&c) else { return };
+                let Some((txn, _)) = self.active.remove(&c) else {
+                    return;
+                };
                 self.append(WalRecord::Commit { txn });
                 self.wal.flush_for_commit();
             }
             WalOp::Abort(c) => {
-                let Some((txn, undo)) = self.active.remove(&c) else { return };
+                let Some((txn, undo)) = self.active.remove(&c) else {
+                    return;
+                };
                 for u in undo.into_iter().rev() {
                     match u {
                         Undo::Remove { lsn, rid } => {
@@ -159,14 +188,25 @@ impl Harness {
                                 action: ClrAction::Remove,
                             });
                         }
-                        Undo::Put { lsn, rid, before, was_delete } => {
+                        Undo::Put {
+                            lsn,
+                            rid,
+                            before,
+                            was_delete,
+                        } => {
                             self.table.insert(rid, before.clone());
                             let action = if was_delete {
                                 ClrAction::Reinsert { row: before }
                             } else {
                                 ClrAction::SetTo { row: before }
                             };
-                            self.append(WalRecord::Clr { txn, undo_of: lsn, table: 0, rid, action });
+                            self.append(WalRecord::Clr {
+                                txn,
+                                undo_of: lsn,
+                                table: 0,
+                                rid,
+                                action,
+                            });
                         }
                     }
                 }
@@ -199,7 +239,12 @@ fn recover(records: &[(Lsn, WalRecord)]) -> BTreeMap<u64, Row> {
             WalRecord::Delete { rid, .. } => {
                 state.remove(rid);
             }
-            WalRecord::Clr { undo_of, rid, action, .. } => {
+            WalRecord::Clr {
+                undo_of,
+                rid,
+                action,
+                ..
+            } => {
                 compensated.insert(*undo_of);
                 match action {
                     ClrAction::Remove => {

@@ -92,7 +92,11 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> AsdbDb {
     let growing_n = scale.logical_oltp(GROWING_ROWS_PER_SF * sf);
     let growing_rows: Vec<Row> = (0..growing_n)
         .map(|i| {
-            vec![Value::Int(i as i64), Value::Int(0), Value::Str("grow".into())]
+            vec![
+                Value::Int(i as i64),
+                Value::Int(0),
+                Value::Str("grow".into()),
+            ]
         })
         .collect();
     let growing = db.create_table(
@@ -109,7 +113,15 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> AsdbDb {
     db.create_index(scaling, "pk", &[0]);
     db.create_index(growing, "pk", &[0]);
 
-    AsdbDb { db, sf, fixed, scaling, growing, scaling_n, growing_n }
+    AsdbDb {
+        db,
+        sf,
+        fixed,
+        scaling,
+        growing,
+        scaling_n,
+        growing_n,
+    }
 }
 
 /// Paper Table 2 sizing: (data GB, index GB).
@@ -122,7 +134,10 @@ pub fn sizing(asdb: &AsdbDb) -> (f64, f64) {
             index += idx.layout.index_bytes();
         }
     }
-    (data as f64 / (1u64 << 30) as f64, index as f64 / (1u64 << 30) as f64)
+    (
+        data as f64 / (1u64 << 30) as f64,
+        index as f64 / (1u64 << 30) as f64,
+    )
 }
 
 /// ASDB CRUD transaction generator.
@@ -205,7 +220,10 @@ impl TxnGenerator for AsdbGenerator {
                             table: self.scaling,
                             index: 0,
                             key: Key::int(k),
-                            muts: vec![Mutation { col: 2, op: MutOp::AddFloat(1.0) }],
+                            muts: vec![Mutation {
+                                col: 2,
+                                op: MutOp::AddFloat(1.0),
+                            }],
                             lock: LockSpec::Diffuse,
                         },
                     ],
@@ -266,7 +284,14 @@ mod tests {
     use super::*;
 
     fn small() -> AsdbDb {
-        build(100.0, &ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 1_000.0, seed: 3 })
+        build(
+            100.0,
+            &ScaleCfg {
+                row_scale: 100_000.0,
+                oltp_row_scale: 1_000.0,
+                seed: 3,
+            },
+        )
     }
 
     #[test]
@@ -279,7 +304,14 @@ mod tests {
     #[test]
     fn sizing_matches_table2_at_sf2000() {
         // Paper: ASDB SF=2000 is 51.13 GB data / 0.21 GB index.
-        let a = build(2000.0, &ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 10_000.0, seed: 3 });
+        let a = build(
+            2000.0,
+            &ScaleCfg {
+                row_scale: 100_000.0,
+                oltp_row_scale: 10_000.0,
+                seed: 3,
+            },
+        );
         let (data, index) = sizing(&a);
         assert!((35.0..70.0).contains(&data), "data = {data} GB");
         assert!(index < 1.5, "index = {index} GB");

@@ -209,7 +209,11 @@ pub fn build_workload(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Governor
 }
 
 /// Like [`build_workload`] but without pre-warming the buffer pool.
-pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Governor) -> BuiltWorkload {
+pub fn build_workload_cold(
+    spec: &WorkloadSpec,
+    scale: &ScaleCfg,
+    governor: &Governor,
+) -> BuiltWorkload {
     let metrics = Rc::new(RefCell::new(RunMetrics::new()));
     let grants = Rc::new(RefCell::new(GrantManager::new(governor.workspace_bytes)));
     match spec {
@@ -231,7 +235,13 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
                     )
                 })
                 .collect();
-            BuiltWorkload { db, grants, metrics, tasks, sizing }
+            BuiltWorkload {
+                db,
+                grants,
+                metrics,
+                tasks,
+                sizing,
+            }
         }
         WorkloadSpec::TpchPower { sf } => {
             let t = tpch::build(*sf, scale);
@@ -247,24 +257,35 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
                 false,
                 "tpch-power".into(),
             )];
-            BuiltWorkload { db, grants, metrics, tasks, sizing }
+            BuiltWorkload {
+                db,
+                grants,
+                metrics,
+                tasks,
+                sizing,
+            }
         }
         WorkloadSpec::Asdb { sf, clients } => {
             let a = asdb::build(*sf, scale);
             let sizing = asdb::sizing(&a);
-            let generators: Vec<AsdbGenerator> =
-                (0..*clients).map(|i| AsdbGenerator::new(&a, i, *clients)).collect();
+            let generators: Vec<AsdbGenerator> = (0..*clients)
+                .map(|i| AsdbGenerator::new(&a, i, *clients))
+                .collect();
             let db = Rc::new(RefCell::new(a.db));
             let mut tasks: Vec<Box<dyn SimTask>> = generators
                 .into_iter()
                 .enumerate()
-                .map(|(i, g)| {
-                    txn_client(&db, &metrics, Box::new(g), governor, format!("asdb{i}"))
-                })
+                .map(|(i, g)| txn_client(&db, &metrics, Box::new(g), governor, format!("asdb{i}")))
                 .collect();
             tasks.push(Box::new(CheckpointTask::new(Rc::clone(&db))));
             push_lock_monitor(&mut tasks, &db, governor);
-            BuiltWorkload { db, grants, metrics, tasks, sizing }
+            BuiltWorkload {
+                db,
+                grants,
+                metrics,
+                tasks,
+                sizing,
+            }
         }
         WorkloadSpec::TpcE { sf, users } => {
             let t = tpce::build(*sf, scale);
@@ -275,13 +296,17 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
             let mut tasks: Vec<Box<dyn SimTask>> = generators
                 .into_iter()
                 .enumerate()
-                .map(|(i, g)| {
-                    txn_client(&db, &metrics, Box::new(g), governor, format!("tpce{i}"))
-                })
+                .map(|(i, g)| txn_client(&db, &metrics, Box::new(g), governor, format!("tpce{i}")))
                 .collect();
             tasks.push(Box::new(CheckpointTask::new(Rc::clone(&db))));
             push_lock_monitor(&mut tasks, &db, governor);
-            BuiltWorkload { db, grants, metrics, tasks, sizing }
+            BuiltWorkload {
+                db,
+                grants,
+                metrics,
+                tasks,
+                sizing,
+            }
         }
         WorkloadSpec::Htap { sf, users } => {
             let h = htap::build(*sf, scale);
@@ -295,7 +320,13 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
                 .into_iter()
                 .enumerate()
                 .map(|(i, g)| {
-                    txn_client(&db, &metrics, Box::new(g), governor, format!("htap-oltp{i}"))
+                    txn_client(
+                        &db,
+                        &metrics,
+                        Box::new(g),
+                        governor,
+                        format!("htap-oltp{i}"),
+                    )
                 })
                 .collect();
             // The analytical user runs the four queries sequentially, in
@@ -311,7 +342,13 @@ pub fn build_workload_cold(spec: &WorkloadSpec, scale: &ScaleCfg, governor: &Gov
             ));
             tasks.push(Box::new(CheckpointTask::new(Rc::clone(&db))));
             push_lock_monitor(&mut tasks, &db, governor);
-            BuiltWorkload { db, grants, metrics, tasks, sizing }
+            BuiltWorkload {
+                db,
+                grants,
+                metrics,
+                tasks,
+                sizing,
+            }
         }
     }
 }
@@ -337,21 +374,43 @@ mod tests {
 
     #[test]
     fn tpce_run_produces_transactions() {
-        let (built, kernel) = run_briefly(WorkloadSpec::TpcE { sf: 200.0, users: 12 }, 2);
+        let (built, kernel) = run_briefly(
+            WorkloadSpec::TpcE {
+                sf: 200.0,
+                users: 12,
+            },
+            2,
+        );
         let m = built.metrics.borrow();
-        assert!(m.txns_committed() > 50, "tps too low: {}", m.txns_committed());
+        assert!(
+            m.txns_committed() > 50,
+            "tps too low: {}",
+            m.txns_committed()
+        );
         assert!(kernel.counters().ssd_write_bytes > 0);
     }
 
     #[test]
     fn asdb_run_produces_transactions() {
-        let (built, _) = run_briefly(WorkloadSpec::Asdb { sf: 50.0, clients: 16 }, 2);
+        let (built, _) = run_briefly(
+            WorkloadSpec::Asdb {
+                sf: 50.0,
+                clients: 16,
+            },
+            2,
+        );
         assert!(built.metrics.borrow().txns_committed() > 50);
     }
 
     #[test]
     fn tpch_throughput_run_completes_queries() {
-        let (built, _) = run_briefly(WorkloadSpec::TpchThroughput { sf: 1.0, streams: 2 }, 30);
+        let (built, _) = run_briefly(
+            WorkloadSpec::TpchThroughput {
+                sf: 1.0,
+                streams: 2,
+            },
+            30,
+        );
         assert!(
             !built.metrics.borrow().queries().is_empty(),
             "no queries finished in 30 virtual seconds"
@@ -360,9 +419,19 @@ mod tests {
 
     #[test]
     fn htap_runs_both_components() {
-        let (built, _) = run_briefly(WorkloadSpec::Htap { sf: 200.0, users: 10 }, 5);
+        let (built, _) = run_briefly(
+            WorkloadSpec::Htap {
+                sf: 200.0,
+                users: 10,
+            },
+            5,
+        );
         let m = built.metrics.borrow();
-        assert!(m.txns_committed() > 20, "OLTP starved: {}", m.txns_committed());
+        assert!(
+            m.txns_committed() > 20,
+            "OLTP starved: {}",
+            m.txns_committed()
+        );
         assert!(!m.queries().is_empty(), "DSS starved");
     }
 
@@ -384,8 +453,14 @@ mod tests {
 
     #[test]
     fn spec_names_and_metrics() {
-        assert_eq!(WorkloadSpec::paper_spec("tpch", 100.0).name(), "TPC-H SF=100");
-        assert_eq!(WorkloadSpec::paper_spec("asdb", 2000.0).primary_metric(), MetricKind::Tps);
+        assert_eq!(
+            WorkloadSpec::paper_spec("tpch", 100.0).name(),
+            "TPC-H SF=100"
+        );
+        assert_eq!(
+            WorkloadSpec::paper_spec("asdb", 2000.0).primary_metric(),
+            MetricKind::Tps
+        );
         assert_eq!(
             WorkloadSpec::TpchPower { sf: 10.0 }.primary_metric(),
             MetricKind::Qps

@@ -43,7 +43,13 @@ pub fn analytical_queries_for(
     let a1 = Logical::scan(trade, None, n_trades)
         .agg(
             vec![2],
-            vec![AggSpec { func: AggFunc::Sum, expr: Expr::Col(5).mul(Expr::Col(6)) }, count()],
+            vec![
+                AggSpec {
+                    func: AggFunc::Sum,
+                    expr: Expr::Col(5).mul(Expr::Col(6)),
+                },
+                count(),
+            ],
             n_secs,
         )
         .sort(vec![(1, true)])
@@ -69,7 +75,10 @@ pub fn analytical_queries_for(
         )
         .agg(
             vec![11],
-            vec![AggSpec { func: AggFunc::Sum, expr: Expr::Col(5).mul(Expr::Col(6)) }],
+            vec![AggSpec {
+                func: AggFunc::Sum,
+                expr: Expr::Col(5).mul(Expr::Col(6)),
+            }],
             12.0,
         )
         .sort(vec![(1, true)]);
@@ -80,7 +89,14 @@ pub fn analytical_queries_for(
         Some(Expr::cmp(CmpOp::Gt, Expr::Col(5), Expr::lit(400i64))),
         n_trades * 0.5,
     )
-    .agg(vec![], vec![AggSpec { func: AggFunc::Sum, expr: Expr::Col(5).mul(Expr::Col(6)) }], 1.0);
+    .agg(
+        vec![],
+        vec![AggSpec {
+            func: AggFunc::Sum,
+            expr: Expr::Col(5).mul(Expr::Col(6)),
+        }],
+        1.0,
+    );
 
     vec![
         ("HTAP-A1".into(), a1),
@@ -98,7 +114,14 @@ mod tests {
     use dbsens_engine::optimizer::optimize;
 
     fn htap() -> TpceDb {
-        build(500.0, &ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 2_000.0, seed: 11 })
+        build(
+            500.0,
+            &ScaleCfg {
+                row_scale: 100_000.0,
+                oltp_row_scale: 2_000.0,
+                seed: 11,
+            },
+        )
     }
 
     #[test]
@@ -118,7 +141,10 @@ mod tests {
             let plan = optimize(&h.db, &q, &pctx);
             // Scans on trade must use the columnstore.
             if name != "HTAP-A3" {
-                assert!(plan.count_ops("Columnstore Scan") >= 1, "{name} plan:\n{plan}");
+                assert!(
+                    plan.count_ops("Columnstore Scan") >= 1,
+                    "{name} plan:\n{plan}"
+                );
             }
             let out = execute(&h.db, &plan);
             assert!(!out.rows.is_empty(), "{name} returned nothing");
@@ -127,10 +153,17 @@ mod tests {
 
     #[test]
     fn htap_sizing_exceeds_plain_tpce_index() {
-        let scale = ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 20_000.0, seed: 11 };
+        let scale = ScaleCfg {
+            row_scale: 100_000.0,
+            oltp_row_scale: 20_000.0,
+            seed: 11,
+        };
         let plain = tpce::sizing(&tpce::build(5000.0, &scale));
         let hybrid = tpce::sizing(&build(5000.0, &scale));
-        assert!(hybrid.1 > plain.1, "NCCI must add index bytes: {hybrid:?} vs {plain:?}");
+        assert!(
+            hybrid.1 > plain.1,
+            "NCCI must add index bytes: {hybrid:?} vs {plain:?}"
+        );
         assert!((hybrid.0 - plain.0).abs() < 0.5, "data size unchanged");
     }
 }

@@ -23,18 +23,30 @@ pub struct ScaleCfg {
 impl ScaleCfg {
     /// Fast preset for unit tests: heavily scaled down.
     pub fn test() -> Self {
-        ScaleCfg { row_scale: 2_000_000.0, oltp_row_scale: 20_000.0, seed: 42 }
+        ScaleCfg {
+            row_scale: 2_000_000.0,
+            oltp_row_scale: 20_000.0,
+            seed: 42,
+        }
     }
 
     /// Preset for experiment harnesses: enough logical rows for faithful
     /// query behaviour at tolerable simulation cost.
     pub fn experiment() -> Self {
-        ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 2_000.0, seed: 42 }
+        ScaleCfg {
+            row_scale: 100_000.0,
+            oltp_row_scale: 2_000.0,
+            seed: 42,
+        }
     }
 
     /// High-fidelity preset (slow; for spot checks).
     pub fn full() -> Self {
-        ScaleCfg { row_scale: 20_000.0, oltp_row_scale: 500.0, seed: 42 }
+        ScaleCfg {
+            row_scale: 20_000.0,
+            oltp_row_scale: 500.0,
+            seed: 42,
+        }
     }
 
     /// Logical row count for `modeled` paper-scale rows (at least 1).
@@ -54,7 +66,11 @@ mod tests {
 
     #[test]
     fn logical_rounds_and_floors_at_one() {
-        let s = ScaleCfg { row_scale: 1000.0, oltp_row_scale: 100.0, seed: 1 };
+        let s = ScaleCfg {
+            row_scale: 1000.0,
+            oltp_row_scale: 100.0,
+            seed: 1,
+        };
         assert_eq!(s.logical(10_000.0), 10);
         assert_eq!(s.logical(1_499.0), 1);
         assert_eq!(s.logical(1.0), 1);

@@ -135,8 +135,18 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> TpceDb {
     );
 
     const SECTORS: [&str; 12] = [
-        "Energy", "Materials", "Industrials", "Discretionary", "Staples", "Health", "Financials",
-        "Technology", "Telecom", "Utilities", "RealEstate", "Media",
+        "Energy",
+        "Materials",
+        "Industrials",
+        "Discretionary",
+        "Staples",
+        "Health",
+        "Financials",
+        "Technology",
+        "Telecom",
+        "Utilities",
+        "RealEstate",
+        "Media",
     ];
     let security_rows: Vec<Row> = (0..security_n)
         .map(|i| {
@@ -213,7 +223,11 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> TpceDb {
 
     let history_rows: Vec<Row> = (0..trade_n)
         .map(|i| {
-            vec![Value::Int(i as i64), Value::Str("SBMT".into()), Value::Int(0)]
+            vec![
+                Value::Int(i as i64),
+                Value::Str("SBMT".into()),
+                Value::Int(0),
+            ]
         })
         .collect();
     let trade_history = db.create_table(
@@ -266,7 +280,15 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> TpceDb {
     TpceDb {
         db,
         sf,
-        t: Tables { customer, account, security, last_trade, trade, trade_history, holding },
+        t: Tables {
+            customer,
+            account,
+            security,
+            last_trade,
+            trade,
+            trade_history,
+            holding,
+        },
         n: Counts {
             customer: customer_n,
             account: account_n,
@@ -297,7 +319,10 @@ pub fn sizing(tpce: &TpceDb) -> (f64, f64) {
             index += cs.layout.data_bytes();
         }
     }
-    (data as f64 / (1u64 << 30) as f64, index as f64 / (1u64 << 30) as f64)
+    (
+        data as f64 / (1u64 << 30) as f64,
+        index as f64 / (1u64 << 30) as f64,
+    )
 }
 
 /// The TPC-E transaction mix generator (percentages follow the TPC-E
@@ -330,13 +355,23 @@ impl TpceGenerator {
     fn hot_entity(&self, rng: &mut SimRng, real_n: u64, logical_n: usize) -> (u64, i64) {
         let real_n = real_n.max(1);
         let hot_n = (real_n / 20).max(1);
-        let real = if rng.chance(0.3) { rng.next_below(hot_n) } else { rng.next_below(real_n) };
+        let real = if rng.chance(0.3) {
+            rng.next_below(hot_n)
+        } else {
+            rng.next_below(real_n)
+        };
         let logical = (real as u128 * logical_n as u128 / real_n as u128) as i64;
         (real, logical.min(logical_n as i64 - 1))
     }
 
     fn read(&self, table: TableId, key: i64) -> TxOp {
-        TxOp::Read { table, index: 0, key: Key::int(key), lock: LockSpec::Diffuse, for_update: false }
+        TxOp::Read {
+            table,
+            index: 0,
+            key: Key::int(key),
+            lock: LockSpec::Diffuse,
+            for_update: false,
+        }
     }
 
     fn read_hot(&self, table: TableId, real: u64, logical: i64, for_update: bool) -> TxOp {
@@ -362,7 +397,9 @@ impl TpceGenerator {
                 self.read(self.t.account, acct),
                 self.read(self.t.security, s_log),
                 self.read_hot(self.t.last_trade, s_real, s_log, false),
-                TxOp::Compute { instructions: 60_000 },
+                TxOp::Compute {
+                    instructions: 60_000,
+                },
                 TxOp::Insert {
                     table: self.t.trade,
                     row: vec![
@@ -404,7 +441,10 @@ impl TpceGenerator {
                     table: self.t.account,
                     index: 0,
                     key: Key::int(acct),
-                    muts: vec![Mutation { col: 2, op: MutOp::AddFloat(-31.4) }],
+                    muts: vec![Mutation {
+                        col: 2,
+                        op: MutOp::AddFloat(-31.4),
+                    }],
                     lock: LockSpec::Diffuse,
                 },
                 // Completing the trade publishes the new last-trade price —
@@ -415,8 +455,14 @@ impl TpceGenerator {
                     index: 0,
                     key: Key::int(s_log),
                     muts: vec![
-                        Mutation { col: 1, op: MutOp::AddFloat(0.01) },
-                        Mutation { col: 3, op: MutOp::AddInt(1) },
+                        Mutation {
+                            col: 1,
+                            op: MutOp::AddFloat(0.01),
+                        },
+                        Mutation {
+                            col: 3,
+                            op: MutOp::AddInt(1),
+                        },
                     ],
                     lock: LockSpec::Resource(s_real),
                 },
@@ -424,7 +470,10 @@ impl TpceGenerator {
                     table: self.t.trade,
                     index: 0,
                     key: Key::int(trade),
-                    muts: vec![Mutation { col: 4, op: MutOp::SetStr("CMPT".into()) }],
+                    muts: vec![Mutation {
+                        col: 4,
+                        op: MutOp::SetStr("CMPT".into()),
+                    }],
                     lock: LockSpec::Diffuse,
                 },
                 TxOp::Insert {
@@ -435,10 +484,15 @@ impl TpceGenerator {
                     table: self.t.holding,
                     index: 0,
                     key: Key::int(holding),
-                    muts: vec![Mutation { col: 3, op: MutOp::AddInt(1) }],
+                    muts: vec![Mutation {
+                        col: 3,
+                        op: MutOp::AddInt(1),
+                    }],
                     lock: LockSpec::Diffuse,
                 },
-                TxOp::Compute { instructions: 80_000 },
+                TxOp::Compute {
+                    instructions: 80_000,
+                },
             ],
         }
     }
@@ -483,7 +537,9 @@ impl TpceGenerator {
                     model_rows: 20,
                 },
                 self.read_hot(self.t.last_trade, s_real, s_log, false),
-                TxOp::Compute { instructions: 40_000 },
+                TxOp::Compute {
+                    instructions: 40_000,
+                },
             ],
         }
     }
@@ -501,7 +557,9 @@ impl TpceGenerator {
                     limit: 12,
                     model_rows: 200,
                 },
-                TxOp::Compute { instructions: 100_000 },
+                TxOp::Compute {
+                    instructions: 100_000,
+                },
             ],
         }
     }
@@ -530,8 +588,9 @@ impl TpceGenerator {
         // Update the last-trade row of several securities: the hot-write
         // path that drives LOCK/PAGELATCH contention, shrinking as the
         // security population grows with SF.
-        let mut picks: Vec<(u64, i64)> =
-            (0..8).map(|_| self.hot_entity(rng, self.real.securities, self.n.security)).collect();
+        let mut picks: Vec<(u64, i64)> = (0..8)
+            .map(|_| self.hot_entity(rng, self.real.securities, self.n.security))
+            .collect();
         // Canonical lock order (deadlock discipline).
         picks.sort_unstable();
         picks.dedup();
@@ -542,27 +601,45 @@ impl TpceGenerator {
                 index: 0,
                 key: Key::int(logical),
                 muts: vec![
-                    Mutation { col: 1, op: MutOp::AddFloat(0.05) },
-                    Mutation { col: 2, op: MutOp::AddInt(100) },
-                    Mutation { col: 3, op: MutOp::AddInt(1) },
+                    Mutation {
+                        col: 1,
+                        op: MutOp::AddFloat(0.05),
+                    },
+                    Mutation {
+                        col: 2,
+                        op: MutOp::AddInt(100),
+                    },
+                    Mutation {
+                        col: 3,
+                        op: MutOp::AddInt(1),
+                    },
                 ],
                 lock: LockSpec::Resource(real),
             })
             .collect();
-        TxnProgram { name: "MarketFeed", ops }
+        TxnProgram {
+            name: "MarketFeed",
+            ops,
+        }
     }
 
     fn market_watch(&self, rng: &mut SimRng) -> TxnProgram {
-        let mut picks: Vec<(u64, i64)> =
-            (0..10).map(|_| self.hot_entity(rng, self.real.securities, self.n.security)).collect();
+        let mut picks: Vec<(u64, i64)> = (0..10)
+            .map(|_| self.hot_entity(rng, self.real.securities, self.n.security))
+            .collect();
         picks.sort_unstable();
         picks.dedup();
         let ops = picks
             .into_iter()
             .map(|(real, logical)| self.read_hot(self.t.last_trade, real, logical, false))
-            .chain(std::iter::once(TxOp::Compute { instructions: 30_000 }))
+            .chain(std::iter::once(TxOp::Compute {
+                instructions: 30_000,
+            }))
             .collect();
-        TxnProgram { name: "MarketWatch", ops }
+        TxnProgram {
+            name: "MarketWatch",
+            ops,
+        }
     }
 
     fn trade_lookup(&self, rng: &mut SimRng) -> TxnProgram {
@@ -592,8 +669,9 @@ impl TpceGenerator {
     }
 
     fn trade_update(&self, rng: &mut SimRng) -> TxnProgram {
-        let mut keys: Vec<i64> =
-            (0..3).map(|_| rng.next_below(self.n.trade as u64) as i64).collect();
+        let mut keys: Vec<i64> = (0..3)
+            .map(|_| rng.next_below(self.n.trade as u64) as i64)
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         let mut ops: Vec<TxOp> = vec![TxOp::ReadRange {
@@ -608,10 +686,16 @@ impl TpceGenerator {
             table: self.t.trade,
             index: 0,
             key: Key::int(k),
-            muts: vec![Mutation { col: 8, op: MutOp::SetStr("updated".into()) }],
+            muts: vec![Mutation {
+                col: 8,
+                op: MutOp::SetStr("updated".into()),
+            }],
             lock: LockSpec::Diffuse,
         }));
-        TxnProgram { name: "TradeUpdate", ops }
+        TxnProgram {
+            name: "TradeUpdate",
+            ops,
+        }
     }
 }
 
@@ -639,7 +723,14 @@ mod tests {
     use super::*;
 
     fn small() -> TpceDb {
-        build(500.0, &ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 2_000.0, seed: 9 })
+        build(
+            500.0,
+            &ScaleCfg {
+                row_scale: 100_000.0,
+                oltp_row_scale: 2_000.0,
+                seed: 9,
+            },
+        )
     }
 
     #[test]
@@ -657,7 +748,14 @@ mod tests {
     #[test]
     fn sizing_lands_near_table2_shape() {
         // At SF=5000 the paper reports 31.99 GB data / 8.15 GB index.
-        let t = build(5000.0, &ScaleCfg { row_scale: 100_000.0, oltp_row_scale: 20_000.0, seed: 9 });
+        let t = build(
+            5000.0,
+            &ScaleCfg {
+                row_scale: 100_000.0,
+                oltp_row_scale: 20_000.0,
+                seed: 9,
+            },
+        );
         let (data, index) = sizing(&t);
         assert!((20.0..48.0).contains(&data), "data = {data} GB");
         assert!((4.0..14.0).contains(&index), "index = {index} GB");

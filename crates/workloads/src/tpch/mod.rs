@@ -99,21 +99,57 @@ pub mod col {
 
 /// Part name colors (Q20's prefix predicate selects one of these).
 pub const COLORS: [&str; 30] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral",
-    "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick",
-    "lemon", "lace", "lavender",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
+    "coral",
+    "cornflower",
+    "cornsilk",
+    "cream",
+    "cyan",
+    "dark",
+    "deep",
+    "dim",
+    "dodger",
+    "drab",
+    "firebrick",
+    "lemon",
+    "lace",
+    "lavender",
 ];
 
 const TYPE_SYL1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
 const TYPE_SYL2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
 const TYPE_SYL3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 const CONTAINERS: [&str; 8] = ["SM", "MED", "LG", "JUMBO", "WRAP", "BOX", "BAG", "PKG"];
-const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 const SHIPMODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
-const INSTRUCTS: [&str; 4] =
-    ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"];
+const INSTRUCTS: [&str; 4] = [
+    "DELIVER IN PERSON",
+    "COLLECT COD",
+    "NONE",
+    "TAKE BACK RETURN",
+];
 
 /// The 25 TPC-H nations (name, region).
 pub const NATIONS: [(&str, i64); 25] = [
@@ -211,7 +247,11 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> TpchDb {
         .iter()
         .enumerate()
         .map(|(i, (name, reg))| {
-            vec![Value::Int(i as i64), Value::Str((*name).into()), Value::Int(*reg)]
+            vec![
+                Value::Int(i as i64),
+                Value::Str((*name).into()),
+                Value::Int(*reg),
+            ]
         })
         .collect();
     let nation = db.create_table(
@@ -262,7 +302,11 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> TpchDb {
                 Value::Int(i as i64),
                 Value::Str(format!("Customer#{i:09}")),
                 Value::Int(nat),
-                Value::Str(format!("{cc}-{:03}-{:04}", rng.next_below(1000), rng.next_below(10_000))),
+                Value::Str(format!(
+                    "{cc}-{:03}-{:04}",
+                    rng.next_below(1000),
+                    rng.next_below(10_000)
+                )),
                 Value::Int(cc),
                 Value::Float(rng.next_below(11_000) as f64 - 999.0),
                 Value::Str(SEGMENTS[rng.next_below(5) as usize].into()),
@@ -298,7 +342,11 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> TpchDb {
                 Value::Int(i as i64),
                 Value::Str(format!("{c1} {c2}")),
                 Value::Str(format!("Manufacturer#{}", 1 + rng.next_below(5))),
-                Value::Str(format!("Brand#{}{}", 1 + rng.next_below(5), 1 + rng.next_below(5))),
+                Value::Str(format!(
+                    "Brand#{}{}",
+                    1 + rng.next_below(5),
+                    1 + rng.next_below(5)
+                )),
                 Value::Str(ty),
                 Value::Int(1 + rng.next_below(50) as i64),
                 Value::Str(format!(
@@ -366,7 +414,8 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> TpchDb {
         for l in 0..n_lines {
             let partkey = rng.next_below(part_n as u64) as i64;
             let supp_slot = rng.next_below(4) as usize;
-            let suppkey = ((partkey as usize + supp_slot * (supplier_n / 4 + 1)) % supplier_n) as i64;
+            let suppkey =
+                ((partkey as usize + supp_slot * (supplier_n / 4 + 1)) % supplier_n) as i64;
             let qty = 1 + rng.next_below(50) as i64;
             let price = qty as f64 * (900.0 + (partkey % 1000) as f64) / 10.0;
             let discount = rng.next_below(11) as f64 / 100.0;
@@ -462,7 +511,9 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> TpchDb {
 
     // DW configuration: clustered columnstore everywhere (paper Table 1),
     // B-tree PKs on the NL-join-eligible tables.
-    for tid in [lineitem, orders, customer, part, partsupp, supplier, nation, region] {
+    for tid in [
+        lineitem, orders, customer, part, partsupp, supplier, nation, region,
+    ] {
         db.create_columnstore(tid, 4096);
     }
     db.create_index(part, "pk", &[col::part::PARTKEY]);
@@ -476,7 +527,16 @@ pub fn build(sf: f64, scale: &ScaleCfg) -> TpchDb {
     TpchDb {
         db,
         sf,
-        t: Tables { lineitem, orders, customer, part, partsupp, supplier, nation, region },
+        t: Tables {
+            lineitem,
+            orders,
+            customer,
+            part,
+            partsupp,
+            supplier,
+            nation,
+            region,
+        },
         n: Counts {
             lineitem: lineitem_n,
             orders: orders_n,
@@ -503,7 +563,10 @@ pub fn sizing(tpch: &TpchDb) -> (f64, f64) {
             index += idx.layout.index_bytes();
         }
     }
-    (data as f64 / (1u64 << 30) as f64, index as f64 / (1u64 << 30) as f64)
+    (
+        data as f64 / (1u64 << 30) as f64,
+        index as f64 / (1u64 << 30) as f64,
+    )
 }
 
 #[cfg(test)]
@@ -512,7 +575,14 @@ mod tests {
 
     #[test]
     fn build_produces_consistent_schema() {
-        let t = build(1.0, &ScaleCfg { row_scale: 200_000.0, oltp_row_scale: 2_000.0, seed: 42 });
+        let t = build(
+            1.0,
+            &ScaleCfg {
+                row_scale: 200_000.0,
+                oltp_row_scale: 2_000.0,
+                seed: 42,
+            },
+        );
         assert_eq!(t.db.table(t.t.nation).heap.len(), 25);
         assert_eq!(t.db.table(t.t.region).heap.len(), 5);
         assert_eq!(t.db.table(t.t.partsupp).heap.len(), t.n.part * 4);

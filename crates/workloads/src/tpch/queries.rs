@@ -69,15 +69,24 @@ fn contains(col: usize, p: &str) -> Expr {
 }
 
 fn in_strs(col: usize, vals: &[&str]) -> Expr {
-    Expr::InList(Box::new(c(col)), vals.iter().map(|v| Value::Str((*v).to_string())).collect())
+    Expr::InList(
+        Box::new(c(col)),
+        vals.iter().map(|v| Value::Str((*v).to_string())).collect(),
+    )
 }
 
 fn in_ints(col: usize, vals: &[i64]) -> Expr {
-    Expr::InList(Box::new(c(col)), vals.iter().map(|v| Value::Int(*v)).collect())
+    Expr::InList(
+        Box::new(c(col)),
+        vals.iter().map(|v| Value::Int(*v)).collect(),
+    )
 }
 
 fn sum_of(e: Expr) -> AggSpec {
-    AggSpec { func: AggFunc::Sum, expr: e }
+    AggSpec {
+        func: AggFunc::Sum,
+        expr: e,
+    }
 }
 
 /// `l_extendedprice * (1 - l_discount)` over columns at `price`/`disc`.
@@ -166,9 +175,7 @@ impl TpchDb {
                 sum(li::QUANTITY),
                 sum(li::EXTENDEDPRICE),
                 sum_of(revenue(li::EXTENDEDPRICE, li::DISCOUNT)),
-                sum_of(
-                    revenue(li::EXTENDEDPRICE, li::DISCOUNT).mul(lit_f(1.0).add(c(li::TAX))),
-                ),
+                sum_of(revenue(li::EXTENDEDPRICE, li::DISCOUNT).mul(lit_f(1.0).add(c(li::TAX)))),
                 avg(li::QUANTITY),
                 avg(li::EXTENDEDPRICE),
                 avg(li::DISCOUNT),
@@ -253,14 +260,26 @@ impl TpchDb {
             Some(lt(c(ord::ORDERDATE), lit_i(cutoff))),
             self.nord() * 0.48,
         )
-        .join(cust_f, vec![ord::CUSTKEY], vec![cust::CUSTKEY], JoinKind::Inner, self.nord() * 0.096);
+        .join(
+            cust_f,
+            vec![ord::CUSTKEY],
+            vec![cust::CUSTKEY],
+            JoinKind::Inner,
+            self.nord() * 0.096,
+        );
         // layout lineitem(15) ++ ord_cust(15) = 30
         Logical::scan(
             self.t.lineitem,
             Some(gt(c(li::SHIPDATE), lit_i(cutoff))),
             self.nli() * 0.52,
         )
-        .join(ord_cust, vec![li::ORDERKEY], vec![ord::ORDERKEY], JoinKind::Inner, self.nli() * 0.05)
+        .join(
+            ord_cust,
+            vec![li::ORDERKEY],
+            vec![ord::ORDERKEY],
+            JoinKind::Inner,
+            self.nli() * 0.05,
+        )
         // group by l_orderkey, o_orderdate(15+4=19), o_shippriority(15+6=21)
         .agg(
             vec![li::ORDERKEY, 19, 21],
@@ -348,7 +367,11 @@ impl TpchDb {
                 self.nli() * 0.03,
             )
             .filter(eq(c(25), c(37)), 1.0 / 25.0)
-            .agg(vec![31], vec![sum_of(revenue(li::EXTENDEDPRICE, li::DISCOUNT))], 5.0)
+            .agg(
+                vec![31],
+                vec![sum_of(revenue(li::EXTENDEDPRICE, li::DISCOUNT))],
+                5.0,
+            )
             .sort(vec![(1, true)])
     }
 
@@ -370,7 +393,11 @@ impl TpchDb {
             ),
             self.nli() * 0.019,
         )
-        .agg(vec![], vec![sum_of(c(li::EXTENDEDPRICE).mul(c(li::DISCOUNT)))], 1.0)
+        .agg(
+            vec![],
+            vec![sum_of(c(li::EXTENDEDPRICE).mul(c(li::DISCOUNT)))],
+            1.0,
+        )
     }
 
     /// Q7 Volume Shipping between FRANCE and GERMANY.
@@ -399,7 +426,13 @@ impl TpchDb {
             Some(ge(c(li::SHIPDATE), lit_i(lo)).and(le(c(li::SHIPDATE), lit_i(hi)))),
             self.nli() * 0.3,
         )
-        .join(supp_n1, vec![li::SUPPKEY], vec![supp::SUPPKEY], JoinKind::Inner, self.nli() * 0.3);
+        .join(
+            supp_n1,
+            vec![li::SUPPKEY],
+            vec![supp::SUPPKEY],
+            JoinKind::Inner,
+            self.nli() * 0.3,
+        );
         // layout ++ orders(8) = 31; o_custkey = 24
         let j2 = j1.join(
             Logical::scan(self.t.orders, None, self.nord()),
@@ -409,22 +442,28 @@ impl TpchDb {
             self.nli() * 0.3,
         );
         // layout ++ cust_n2(10) = 41; n2_name = 39
-        j2.join(cust_n2, vec![24], vec![cust::CUSTKEY], JoinKind::Inner, self.nli() * 0.3)
-            .filter(
-                eq(c(21), lit_s("FRANCE"))
-                    .and(eq(c(39), lit_s("GERMANY")))
-                    .or(eq(c(21), lit_s("GERMANY")).and(eq(c(39), lit_s("FRANCE")))),
-                2.0 / 625.0,
-            )
-            // project n1, n2, year, volume
-            .project(vec![
-                c(21),
-                c(39),
-                year_of_col(li::SHIPDATE),
-                revenue(li::EXTENDEDPRICE, li::DISCOUNT),
-            ])
-            .agg(vec![0, 1, 2], vec![sum(3)], 4.0)
-            .sort(vec![(0, false), (1, false), (2, false)])
+        j2.join(
+            cust_n2,
+            vec![24],
+            vec![cust::CUSTKEY],
+            JoinKind::Inner,
+            self.nli() * 0.3,
+        )
+        .filter(
+            eq(c(21), lit_s("FRANCE"))
+                .and(eq(c(39), lit_s("GERMANY")))
+                .or(eq(c(21), lit_s("GERMANY")).and(eq(c(39), lit_s("FRANCE")))),
+            2.0 / 625.0,
+        )
+        // project n1, n2, year, volume
+        .project(vec![
+            c(21),
+            c(39),
+            year_of_col(li::SHIPDATE),
+            revenue(li::EXTENDEDPRICE, li::DISCOUNT),
+        ])
+        .agg(vec![0, 1, 2], vec![sum(3)], 4.0)
+        .sort(vec![(0, false), (1, false), (2, false)])
     }
 
     /// Q8 National Market Share: the CASE expression becomes an arithmetic
@@ -447,7 +486,11 @@ impl TpchDb {
         let j2 = j1.join(
             Logical::scan(
                 self.t.orders,
-                Some(between_i(ord::ORDERDATE, date(1995, 1, 1), date(1996, 12, 31))),
+                Some(between_i(
+                    ord::ORDERDATE,
+                    date(1995, 1, 1),
+                    date(1996, 12, 31),
+                )),
                 self.nord() * 0.3,
             ),
             vec![li::ORDERKEY],
@@ -472,7 +515,13 @@ impl TpchDb {
                 self.ncust() / 5.0,
             );
         // layout j2(31) ++ cust_am(12) = 43
-        let j3 = j2.join(cust_am, vec![24], vec![cust::CUSTKEY], JoinKind::Inner, self.nli() * 0.012);
+        let j3 = j2.join(
+            cust_am,
+            vec![24],
+            vec![cust::CUSTKEY],
+            JoinKind::Inner,
+            self.nli() * 0.012,
+        );
         // supplier ++ nation: 5 + 3 = 8; n2_name at 43 + 6 = 49
         let supp_n = Logical::scan(self.t.supplier, None, self.nsupp()).join(
             Logical::scan(self.t.nation, None, 25.0),
@@ -481,15 +530,21 @@ impl TpchDb {
             JoinKind::Inner,
             self.nsupp(),
         );
-        j3.join(supp_n, vec![li::SUPPKEY], vec![supp::SUPPKEY], JoinKind::Inner, self.nli() * 0.012)
-            .project(vec![
-                year_of_col(27),
-                revenue(li::EXTENDEDPRICE, li::DISCOUNT),
-                revenue(li::EXTENDEDPRICE, li::DISCOUNT).mul(eq(c(49), lit_s("BRAZIL"))),
-            ])
-            .agg(vec![0], vec![sum(2), sum(1)], 2.0)
-            .project(vec![c(0), c(1).div(c(2))])
-            .sort(vec![(0, false)])
+        j3.join(
+            supp_n,
+            vec![li::SUPPKEY],
+            vec![supp::SUPPKEY],
+            JoinKind::Inner,
+            self.nli() * 0.012,
+        )
+        .project(vec![
+            year_of_col(27),
+            revenue(li::EXTENDEDPRICE, li::DISCOUNT),
+            revenue(li::EXTENDEDPRICE, li::DISCOUNT).mul(eq(c(49), lit_s("BRAZIL"))),
+        ])
+        .agg(vec![0], vec![sum(2), sum(1)], 2.0)
+        .project(vec![c(0), c(1).div(c(2))])
+        .sort(vec![(0, false)])
     }
 
     /// Q9 Product Type Profit Measure.
@@ -572,7 +627,13 @@ impl TpchDb {
             Some(eq(c(li::RETURNFLAG), lit_s("R"))),
             self.nli() * 0.25,
         )
-        .join(ord_cust, vec![li::ORDERKEY], vec![ord::ORDERKEY], JoinKind::Inner, self.nli() * 0.01);
+        .join(
+            ord_cust,
+            vec![li::ORDERKEY],
+            vec![ord::ORDERKEY],
+            JoinKind::Inner,
+            self.nli() * 0.01,
+        );
         // layout ++ nation(3) = 33; n_name = 31
         j.join(
             Logical::scan(self.t.nation, None, 25.0),
@@ -595,7 +656,10 @@ impl TpchDb {
     fn q11(&self) -> Logical {
         // Compute the total German stock value logically for the threshold.
         let db = &self.db;
-        let nation_de: i64 = super::NATIONS.iter().position(|(n, _)| *n == "GERMANY").unwrap() as i64;
+        let nation_de: i64 = super::NATIONS
+            .iter()
+            .position(|(n, _)| *n == "GERMANY")
+            .unwrap() as i64;
         let german_suppliers: std::collections::HashSet<i64> = db
             .table(self.t.supplier)
             .heap
@@ -624,7 +688,13 @@ impl TpchDb {
         );
         // layout partsupp(4) ++ supp_de(8) = 12
         Logical::scan(self.t.partsupp, None, self.nps())
-            .join(supp_de, vec![ps::SUPPKEY], vec![supp::SUPPKEY], JoinKind::Inner, self.nps() / 25.0)
+            .join(
+                supp_de,
+                vec![ps::SUPPKEY],
+                vec![supp::SUPPKEY],
+                JoinKind::Inner,
+                self.nps() / 25.0,
+            )
             .agg(
                 vec![ps::PARTKEY],
                 vec![sum_of(c(ps::SUPPLYCOST).mul(c(ps::AVAILQTY)))],
@@ -674,12 +744,21 @@ impl TpchDb {
     fn q13(&self) -> Logical {
         let ord_f = Logical::scan(
             self.t.orders,
-            Some(Expr::Not(Box::new(contains(ord::COMMENT, "specialrequests")))),
+            Some(Expr::Not(Box::new(contains(
+                ord::COMMENT,
+                "specialrequests",
+            )))),
             self.nord() * 0.99,
         );
         // layout customer(7) ++ orders(8) = 15; o_orderkey = 7
         Logical::scan(self.t.customer, None, self.ncust())
-            .join(ord_f, vec![cust::CUSTKEY], vec![ord::CUSTKEY], JoinKind::LeftOuter, self.nord())
+            .join(
+                ord_f,
+                vec![cust::CUSTKEY],
+                vec![ord::CUSTKEY],
+                JoinKind::LeftOuter,
+                self.nord(),
+            )
             .agg(
                 vec![cust::CUSTKEY],
                 vec![sum_of(Expr::Not(Box::new(Expr::IsNull(Box::new(c(7))))))],
@@ -763,7 +842,13 @@ impl TpchDb {
         // layout partsupp(4) ++ part(8) = 12; p_brand = 7, p_type = 8,
         // p_size = 9
         Logical::scan(self.t.partsupp, None, self.nps())
-            .join(part_f, vec![ps::PARTKEY], vec![part::PARTKEY], JoinKind::Inner, self.nps() * 0.15)
+            .join(
+                part_f,
+                vec![ps::PARTKEY],
+                vec![part::PARTKEY],
+                JoinKind::Inner,
+                self.nps() * 0.15,
+            )
             .join(
                 Logical::scan(
                     self.t.supplier,
@@ -790,14 +875,28 @@ impl TpchDb {
         );
         let part_f = Logical::scan(
             self.t.part,
-            Some(eq(c(part::BRAND), lit_s("Brand#23")).and(eq(c(part::CONTAINER), lit_s("MED BOX")))),
+            Some(
+                eq(c(part::BRAND), lit_s("Brand#23")).and(eq(c(part::CONTAINER), lit_s("MED BOX"))),
+            ),
             self.npart() / 500.0,
         );
         // layout lineitem(15) ++ part(8) = 23
         Logical::scan(self.t.lineitem, None, self.nli())
-            .join(part_f, vec![li::PARTKEY], vec![part::PARTKEY], JoinKind::Inner, self.nli() / 500.0)
+            .join(
+                part_f,
+                vec![li::PARTKEY],
+                vec![part::PARTKEY],
+                JoinKind::Inner,
+                self.nli() / 500.0,
+            )
             // layout ++ (partkey, avg_qty) = 25; avg_qty = 24
-            .join(avg_qty, vec![li::PARTKEY], vec![0], JoinKind::Inner, self.nli() / 500.0)
+            .join(
+                avg_qty,
+                vec![li::PARTKEY],
+                vec![0],
+                JoinKind::Inner,
+                self.nli() / 500.0,
+            )
             .filter(lt(c(li::QUANTITY), lit_f(0.2).mul(c(24))), 0.1)
             .agg(vec![], vec![sum(li::EXTENDEDPRICE)], 1.0)
             .project(vec![c(0).div(lit_f(7.0))])
@@ -814,8 +913,10 @@ impl TpchDb {
         }
         let mut sums: Vec<i64> = per_order.values().copied().collect();
         sums.sort_unstable();
-        let threshold =
-            sums.get(sums.len().saturating_sub(1 + sums.len() / 200)).copied().unwrap_or(200);
+        let threshold = sums
+            .get(sums.len().saturating_sub(1 + sums.len() / 200))
+            .copied()
+            .unwrap_or(200);
 
         // (orderkey, total_qty)
         let big_orders = Logical::scan(self.t.lineitem, None, self.nli())
@@ -867,12 +968,28 @@ impl TpchDb {
                     .and(eq(c(li::SHIPINSTRUCT), lit_s("DELIVER IN PERSON")))
                     .and(
                         branch("Brand#12", &["SM CASE", "SM BOX", "SM PACK"], 1, 11, 5)
-                            .or(branch("Brand#23", &["MED BAG", "MED BOX", "MED PACK"], 10, 20, 10))
-                            .or(branch("Brand#34", &["LG CASE", "LG BOX", "LG PACK"], 20, 30, 15)),
+                            .or(branch(
+                                "Brand#23",
+                                &["MED BAG", "MED BOX", "MED PACK"],
+                                10,
+                                20,
+                                10,
+                            ))
+                            .or(branch(
+                                "Brand#34",
+                                &["LG CASE", "LG BOX", "LG PACK"],
+                                20,
+                                30,
+                                15,
+                            )),
                     ),
                 0.002,
             )
-            .agg(vec![], vec![sum_of(revenue(li::EXTENDEDPRICE, li::DISCOUNT))], 1.0)
+            .agg(
+                vec![],
+                vec![sum_of(revenue(li::EXTENDEDPRICE, li::DISCOUNT))],
+                1.0,
+            )
     }
 
     /// Q20 Potential Part Promotion (Listing 1 / Figure 7). Decorrelation:
@@ -893,7 +1010,11 @@ impl TpchDb {
             Some(ge(c(li::SHIPDATE), lit_i(lo)).and(lt(c(li::SHIPDATE), lit_i(hi)))),
             self.nli() * (365.0 / 2406.0),
         )
-        .agg(vec![li::PARTKEY, li::SUPPKEY], vec![sum(li::QUANTITY)], self.nps() * 0.12);
+        .agg(
+            vec![li::PARTKEY, li::SUPPKEY],
+            vec![sum(li::QUANTITY)],
+            self.nps() * 0.12,
+        );
         // Lemon parts joined to their partsupp rows: the Figure 7 join.
         // layout part(8) ++ partsupp(4) = 12; ps_partkey = 8, ps_suppkey = 9,
         // ps_availqty = 10
@@ -911,7 +1032,13 @@ impl TpchDb {
         );
         // layout ++ shipped(3) = 15; sum_qty = 14
         let qualified = lemon_ps
-            .join(shipped, vec![8, 9], vec![0, 1], JoinKind::Inner, self.nps() * 0.12 / 30.0)
+            .join(
+                shipped,
+                vec![8, 9],
+                vec![0, 1],
+                JoinKind::Inner,
+                self.nps() * 0.12 / 30.0,
+            )
             .filter(gt(c(10), lit_f(0.5).mul(c(14))), 0.5);
         // Suppliers in ALGERIA with a qualified partsupp row.
         // layout supplier(5) ++ nation(3) = 8
@@ -923,7 +1050,13 @@ impl TpchDb {
                 JoinKind::Inner,
                 self.nsupp() / 25.0,
             )
-            .join(qualified, vec![supp::SUPPKEY], vec![9], JoinKind::Semi, self.nsupp() / 50.0)
+            .join(
+                qualified,
+                vec![supp::SUPPKEY],
+                vec![9],
+                JoinKind::Semi,
+                self.nsupp() / 50.0,
+            )
             .project(vec![c(supp::SUPPKEY), c(supp::NAME)])
             .sort(vec![(1, false)])
     }
@@ -947,7 +1080,11 @@ impl TpchDb {
             Some(gt(c(li::RECEIPTDATE), c(li::COMMITDATE))),
             self.nli() * 0.4,
         )
-        .agg(vec![li::ORDERKEY], vec![min(li::SUPPKEY), max(li::SUPPKEY)], self.nord() * 0.8);
+        .agg(
+            vec![li::ORDERKEY],
+            vec![min(li::SUPPKEY), max(li::SUPPKEY)],
+            self.nord() * 0.8,
+        );
 
         // l1: delinquent lineitems of failed orders by Saudi suppliers.
         // layout lineitem(15) ++ orders(8) = 23
@@ -957,7 +1094,11 @@ impl TpchDb {
             self.nli() * 0.4,
         )
         .join(
-            Logical::scan(self.t.orders, Some(eq(c(ord::ORDERSTATUS), lit_s("F"))), self.nord() * 0.4),
+            Logical::scan(
+                self.t.orders,
+                Some(eq(c(ord::ORDERSTATUS), lit_s("F"))),
+                self.nord() * 0.4,
+            ),
             vec![li::ORDERKEY],
             vec![ord::ORDERKEY],
             JoinKind::Inner,
@@ -980,14 +1121,26 @@ impl TpchDb {
             self.nli() * 0.16 / 25.0,
         );
         // layout ++ all_supps(3) = 34: min = 32, max = 33
-        l1.join(all_supps, vec![li::ORDERKEY], vec![0], JoinKind::Inner, self.nli() * 0.006)
-            .filter(ne(c(32), c(33)), 0.7)
-            // layout ++ late_supps(3) = 37: lmin = 35, lmax = 36
-            .join(late_supps, vec![li::ORDERKEY], vec![0], JoinKind::Inner, self.nli() * 0.004)
-            .filter(eq(c(35), c(36)), 0.4)
-            .agg(vec![24], vec![count()], self.nsupp() / 25.0)
-            .sort(vec![(1, true), (0, false)])
-            .top(100)
+        l1.join(
+            all_supps,
+            vec![li::ORDERKEY],
+            vec![0],
+            JoinKind::Inner,
+            self.nli() * 0.006,
+        )
+        .filter(ne(c(32), c(33)), 0.7)
+        // layout ++ late_supps(3) = 37: lmin = 35, lmax = 36
+        .join(
+            late_supps,
+            vec![li::ORDERKEY],
+            vec![0],
+            JoinKind::Inner,
+            self.nli() * 0.004,
+        )
+        .filter(eq(c(35), c(36)), 0.4)
+        .agg(vec![24], vec![count()], self.nsupp() / 25.0)
+        .sort(vec![(1, true), (0, false)])
+        .top(100)
     }
 
     /// Q22 Global Sales Opportunity. The average-balance scalar subquery is
@@ -1014,9 +1167,7 @@ impl TpchDb {
 
         Logical::scan(
             self.t.customer,
-            Some(
-                in_ints(cust::CNTRYCODE, &codes).and(gt(c(cust::ACCTBAL), lit_f(avg_bal))),
-            ),
+            Some(in_ints(cust::CNTRYCODE, &codes).and(gt(c(cust::ACCTBAL), lit_f(avg_bal)))),
             self.ncust() * (7.0 / 25.0) * 0.45,
         )
         .join(
@@ -1026,7 +1177,11 @@ impl TpchDb {
             JoinKind::Anti,
             self.ncust() * (7.0 / 25.0) * 0.45 * 0.33,
         )
-        .agg(vec![cust::CNTRYCODE], vec![count(), sum(cust::ACCTBAL)], 7.0)
+        .agg(
+            vec![cust::CNTRYCODE],
+            vec![count(), sum(cust::ACCTBAL)],
+            7.0,
+        )
         .sort(vec![(0, false)])
     }
 }
@@ -1041,7 +1196,14 @@ mod tests {
 
     fn tpch() -> TpchDb {
         // Slightly finer than the test preset so joins produce rows.
-        super::super::build(3.0, &ScaleCfg { row_scale: 200_000.0, oltp_row_scale: 2_000.0, seed: 7 })
+        super::super::build(
+            3.0,
+            &ScaleCfg {
+                row_scale: 200_000.0,
+                oltp_row_scale: 2_000.0,
+                seed: 7,
+            },
+        )
     }
 
     #[test]
@@ -1067,7 +1229,11 @@ mod tests {
         let plan = optimize(&t.db, &t.q1(), &gov.plan_context(&t.db));
         let out = execute(&t.db, &plan);
         // Up to 4 (returnflag, linestatus) combinations with data.
-        assert!((2..=4).contains(&out.rows.len()), "groups = {}", out.rows.len());
+        assert!(
+            (2..=4).contains(&out.rows.len()),
+            "groups = {}",
+            out.rows.len()
+        );
         // count > 0 in every group and total equals filtered lineitems.
         let total: i64 = out.rows.iter().map(|r| r[9].as_int()).sum();
         assert!(total > 0 && total <= t.n.lineitem as i64);
@@ -1089,7 +1255,10 @@ mod tests {
         let plan = optimize(&t.db, &t.q13(), &gov.plan_context(&t.db));
         let out = execute(&t.db, &plan);
         let total: i64 = out.rows.iter().map(|r| r[1].as_int()).sum();
-        assert_eq!(total, t.n.customer as i64, "every customer lands in one bucket");
+        assert_eq!(
+            total, t.n.customer as i64,
+            "every customer lands in one bucket"
+        );
         // Some customers have no orders (the spec's 1/3 rule).
         let zero_bucket = out
             .rows

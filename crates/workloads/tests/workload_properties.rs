@@ -9,7 +9,11 @@ use dbsens_workloads::tpce::{self, TpceGenerator};
 use proptest::prelude::*;
 
 fn scale() -> ScaleCfg {
-    ScaleCfg { row_scale: 200_000.0, oltp_row_scale: 2_000.0, seed: 77 }
+    ScaleCfg {
+        row_scale: 200_000.0,
+        oltp_row_scale: 2_000.0,
+        seed: 77,
+    }
 }
 
 /// Extracts `(table.0, first key int)` for every lock-taking op, in
@@ -101,7 +105,10 @@ fn asdb_deletes_never_target_other_clients_stripes() {
     for i in 0..clients {
         for j in (i + 1)..clients {
             for k in &deleted[i] {
-                assert!(!deleted[j].contains(k), "clients {i} and {j} both deleted {k}");
+                assert!(
+                    !deleted[j].contains(k),
+                    "clients {i} and {j} both deleted {k}"
+                );
             }
         }
     }

@@ -29,13 +29,22 @@ fn main() {
     let knobs = ResourceKnobs::paper_full().with_run_secs(10);
     let scale = ScaleCfg::test();
 
-    println!("sweeping LLC allocations for {} (this builds the database once per point)...", spec.name());
-    let runner =
-        Runner::new().threads(8).progress(Arc::new(StderrReporter::new("sizing")));
+    println!(
+        "sweeping LLC allocations for {} (this builds the database once per point)...",
+        spec.name()
+    );
+    let runner = Runner::new()
+        .threads(8)
+        .progress(Arc::new(StderrReporter::new("sizing")));
     let results = runner.llc_sweep(&spec, &knobs, &scale).ok_points();
 
-    let curve: Vec<CurvePoint> =
-        results.iter().map(|(mb, r)| CurvePoint { x: *mb as f64, y: r.metric(metric) }).collect();
+    let curve: Vec<CurvePoint> = results
+        .iter()
+        .map(|(mb, r)| CurvePoint {
+            x: *mb as f64,
+            y: r.metric(metric),
+        })
+        .collect();
     println!("\n  LLC MB   perf       MPKI");
     for (mb, r) in &results {
         println!("  {:>6} {:>8.1} {:>8.2}", mb, r.metric(metric), r.mpki);
@@ -45,7 +54,10 @@ fn main() {
     if let Some(k) = knee(&curve, 0.3) {
         println!("knee of the performance curve : ~{k:.0} MB");
     }
-    match (sufficient_allocation(&curve, 0.90), sufficient_allocation(&curve, 0.95)) {
+    match (
+        sufficient_allocation(&curve, 0.90),
+        sufficient_allocation(&curve, 0.95),
+    ) {
         (Some(a), Some(b)) => {
             println!("sufficient for >=90% of full  : {a:.0} MB");
             println!("sufficient for >=95% of full  : {b:.0} MB");

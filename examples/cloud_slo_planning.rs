@@ -26,15 +26,18 @@ fn main() {
 
     let limits = [100.0, 200.0, 400.0, 800.0, 1600.0, 2500.0];
     println!("sweeping SSD read-bandwidth limits for {}...", spec.name());
-    let runner =
-        Runner::new().threads(6).progress(Arc::new(StderrReporter::new("slo")));
+    let runner = Runner::new()
+        .threads(6)
+        .progress(Arc::new(StderrReporter::new("slo")));
     let results = runner
         .read_limit_sweep(&spec, &limits, &knobs, &scale)
         .ok_points();
 
     println!("\n  limit MB/s      QPS");
-    let curve: Vec<CurvePoint> =
-        results.iter().map(|(l, r)| CurvePoint { x: *l, y: r.qps }).collect();
+    let curve: Vec<CurvePoint> = results
+        .iter()
+        .map(|(l, r)| CurvePoint { x: *l, y: r.qps })
+        .collect();
     for (l, r) in &results {
         println!("  {:>10.0} {:>8.4}", l, r.qps);
     }

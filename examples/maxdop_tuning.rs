@@ -46,6 +46,9 @@ fn main() {
         println!("--- parallel plan ---\n{}", parallel.plan_text);
     } else {
         println!("\nPlan shape is MAXDOP-insensitive at this scale factor ");
-        println!("(the paper observes this for Q20 at SF=10/30).\n{}", serial.plan_text);
+        println!(
+            "(the paper observes this for Q20 at SF=10/30).\n{}",
+            serial.plan_text
+        );
     }
 }

@@ -13,14 +13,24 @@ use dbsens_workloads::scale::ScaleCfg;
 fn main() {
     // A TPC-E-style brokerage workload, as in the paper's setup (§3),
     // scaled down for a quick demo.
-    let workload = WorkloadSpec::TpcE { sf: 1000.0, users: 50 };
+    let workload = WorkloadSpec::TpcE {
+        sf: 1000.0,
+        users: 50,
+    };
     let scale = ScaleCfg::test();
 
     let knobs = ResourceKnobs::paper_full().with_run_secs(10);
 
-    println!("building and running {} at full allocation...", workload.name());
-    let full = Experiment { workload: workload.clone(), knobs: knobs.clone(), scale: scale.clone() }
-        .run();
+    println!(
+        "building and running {} at full allocation...",
+        workload.name()
+    );
+    let full = Experiment {
+        workload: workload.clone(),
+        knobs: knobs.clone(),
+        scale: scale.clone(),
+    }
+    .run();
 
     println!("again with 16 of 32 logical cores...");
     let half = Experiment {
@@ -39,7 +49,12 @@ fn main() {
     .run();
 
     println!("and starved to 4 MB of LLC...");
-    let small_cache = Experiment { workload, knobs: knobs.with_llc_mb(4), scale }.run();
+    let small_cache = Experiment {
+        workload,
+        knobs: knobs.with_llc_mb(4),
+        scale,
+    }
+    .run();
 
     println!();
     println!(

@@ -9,9 +9,15 @@ use dbsens_workloads::scale::ScaleCfg;
 
 fn experiment(seed: u64) -> Experiment {
     Experiment {
-        workload: WorkloadSpec::TpcE { sf: 300.0, users: 24 },
+        workload: WorkloadSpec::TpcE {
+            sf: 300.0,
+            users: 24,
+        },
         knobs: ResourceKnobs::paper_full().with_run_secs(3).with_seed(seed),
-        scale: ScaleCfg { seed, ..ScaleCfg::test() },
+        scale: ScaleCfg {
+            seed,
+            ..ScaleCfg::test()
+        },
     }
 }
 
@@ -53,8 +59,7 @@ fn host_parallelism_does_not_change_results() {
 #[test]
 fn cached_rerun_is_bit_identical_to_the_original() {
     use dbsens_core::cache::ResultCache;
-    let dir = std::env::temp_dir()
-        .join(format!("dbsens-determinism-cache-{}", std::process::id()));
+    let dir = std::env::temp_dir().join(format!("dbsens-determinism-cache-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let cache = ResultCache::new(&dir);
     let runner = Runner::new().cache(cache.clone());

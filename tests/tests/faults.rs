@@ -22,7 +22,10 @@ fn brownout() -> FaultSpec {
 
 fn tpce(knobs: ResourceKnobs) -> Experiment {
     Experiment {
-        workload: WorkloadSpec::TpcE { sf: 300.0, users: 16 },
+        workload: WorkloadSpec::TpcE {
+            sf: 300.0,
+            users: 16,
+        },
         knobs,
         scale: ScaleCfg::test(),
     }
@@ -31,9 +34,14 @@ fn tpce(knobs: ResourceKnobs) -> Experiment {
 #[test]
 fn same_seed_gives_bit_identical_schedules_and_metrics() {
     let run = SimDuration::from_secs(6);
-    assert_eq!(FaultPlan::generate(&brownout(), run), FaultPlan::generate(&brownout(), run));
+    assert_eq!(
+        FaultPlan::generate(&brownout(), run),
+        FaultPlan::generate(&brownout(), run)
+    );
 
-    let knobs = ResourceKnobs::paper_full().with_run_secs(6).with_faults(brownout());
+    let knobs = ResourceKnobs::paper_full()
+        .with_run_secs(6)
+        .with_faults(brownout());
     let a = tpce(knobs.clone()).run();
     let b = tpce(knobs).run();
     // Bit-identical everything: throughput, latencies, counters, and the
@@ -44,11 +52,22 @@ fn same_seed_gives_bit_identical_schedules_and_metrics() {
 
 #[test]
 fn ssd_brownout_degrades_gracefully_not_fatally() {
-    let knobs = ResourceKnobs::paper_full().with_run_secs(6).with_faults(brownout());
-    let outcome = Runner::new().threads(1).run(vec![tpce(knobs)]).into_iter().next().unwrap();
+    let knobs = ResourceKnobs::paper_full()
+        .with_run_secs(6)
+        .with_faults(brownout());
+    let outcome = Runner::new()
+        .threads(1)
+        .run(vec![tpce(knobs)])
+        .into_iter()
+        .next()
+        .unwrap();
     assert_eq!(RunClass::of(&outcome), RunClass::Degraded);
     let r = outcome.expect("brownout must degrade, not fail");
-    assert!(r.retries > 0, "expected recovery retries, got {}", r.retries);
+    assert!(
+        r.retries > 0,
+        "expected recovery retries, got {}",
+        r.retries
+    );
     assert!(r.tps > 0.0, "engine kept committing through the brownout");
     assert!(!r.fault_events.is_empty());
 }
@@ -56,8 +75,15 @@ fn ssd_brownout_degrades_gracefully_not_fatally() {
 #[test]
 fn faulted_run_loses_throughput_but_survives() {
     let healthy = tpce(ResourceKnobs::paper_full().with_run_secs(6)).run();
-    let harsh = brownout().with_ssd_throttle(2, 0.1).with_ssd_latency_spikes(3, 2_000);
-    let faulted = tpce(ResourceKnobs::paper_full().with_run_secs(6).with_faults(harsh)).run();
+    let harsh = brownout()
+        .with_ssd_throttle(2, 0.1)
+        .with_ssd_latency_spikes(3, 2_000);
+    let faulted = tpce(
+        ResourceKnobs::paper_full()
+            .with_run_secs(6)
+            .with_faults(harsh),
+    )
+    .run();
     assert!(faulted.tps > 0.0, "no starvation under faults");
     assert!(
         faulted.tps < healthy.tps,

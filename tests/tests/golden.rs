@@ -1,0 +1,132 @@
+//! Byte-identical regression fence for the simulator's hot path.
+//!
+//! Runs a small fixed-seed sweep — healthy OLTP and OLAP points, one
+//! faulted point, and one crash-verify point — and compares each result's
+//! content digest against the committed goldens in
+//! `tests/golden/digests.txt`. Any change to event ordering, RNG
+//! consumption, float arithmetic, or metric accounting changes a digest
+//! and fails here, so performance work on the kernel/cache/engine is
+//! provably behavior-preserving.
+//!
+//! When a digest changes *intentionally* (a modeling change, not an
+//! optimization), regenerate with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p dbsens-tests --test golden
+//! ```
+//!
+//! and commit the diff — the review then sees exactly which points moved.
+
+use dbsens_core::crashverify::{verify_class, CrashClass, CrashVerifyConfig};
+use dbsens_core::digest::of_json;
+use dbsens_core::experiment::Experiment;
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_hwsim::faults::FaultSpec;
+use dbsens_workloads::driver::WorkloadSpec;
+use dbsens_workloads::scale::ScaleCfg;
+use std::path::PathBuf;
+
+/// One golden point: a name and the digest of its full result.
+fn sweep() -> Vec<(&'static str, String)> {
+    let scale = ScaleCfg::experiment();
+    let base = ResourceKnobs::paper_full().with_seed(42);
+    let run = |name: &'static str, workload: WorkloadSpec, knobs: ResourceKnobs| {
+        let result = Experiment {
+            workload,
+            knobs,
+            scale: scale.clone(),
+        }
+        .run();
+        (name, result.digest())
+    };
+    let faults = FaultSpec::none()
+        .with_seed(1337)
+        .with_ssd_throttle(2, 0.25)
+        .with_ssd_errors(1, 0.02)
+        .with_fault_secs(1.0);
+    let mut points = vec![
+        run(
+            "oltp-tpce",
+            WorkloadSpec::TpcE {
+                sf: 300.0,
+                users: 16,
+            },
+            base.clone().with_run_secs(3),
+        ),
+        run(
+            "olap-tpch",
+            WorkloadSpec::TpchThroughput {
+                sf: 10.0,
+                streams: 2,
+            },
+            base.clone().with_run_secs(30),
+        ),
+        run(
+            "htap-constrained",
+            WorkloadSpec::Htap {
+                sf: 5000.0,
+                users: 8,
+            },
+            base.clone().with_run_secs(3).with_cores(8).with_llc_mb(10),
+        ),
+        run(
+            "oltp-faulted",
+            WorkloadSpec::Asdb {
+                sf: 2000.0,
+                clients: 16,
+            },
+            base.with_run_secs(4).with_faults(faults),
+        ),
+    ];
+    let crash = verify_class(&CrashVerifyConfig {
+        class: CrashClass::Oltp,
+        points: 2,
+        seed: 42,
+    });
+    assert!(
+        crash.passed(),
+        "crash-verify golden point found a durability violation"
+    );
+    points.push(("crash-verify-oltp", of_json(&crash)));
+    points
+}
+
+fn golden_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("golden")
+        .join("digests.txt")
+}
+
+fn render(points: &[(&str, String)]) -> String {
+    let mut out = String::new();
+    for (name, digest) in points {
+        out.push_str(&format!("{name} {digest}\n"));
+    }
+    out
+}
+
+#[test]
+fn fixed_seed_sweep_matches_committed_goldens() {
+    let points = sweep();
+    let rendered = render(&points);
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &rendered).unwrap();
+        eprintln!("golden digests rewritten at {}", path.display());
+        return;
+    }
+    let committed = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); regenerate with \
+             UPDATE_GOLDEN=1 cargo test -p dbsens-tests --test golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        committed, rendered,
+        "fixed-seed digests diverged from tests/golden/digests.txt — an \
+         optimization changed simulation behavior. If the change is an \
+         intentional modeling change, regenerate with UPDATE_GOLDEN=1."
+    );
+}

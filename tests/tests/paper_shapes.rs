@@ -17,28 +17,45 @@ fn scale() -> ScaleCfg {
 
 #[test]
 fn oltp_throughput_scales_with_cores() {
-    let spec = WorkloadSpec::Asdb { sf: 200.0, clients: 48 };
+    let spec = WorkloadSpec::Asdb {
+        sf: 200.0,
+        clients: 48,
+    };
     let run = |cores: usize| {
-        Experiment { workload: spec.clone(), knobs: quick_knobs(4).with_cores(cores), scale: scale() }
-            .run()
-            .tps
+        Experiment {
+            workload: spec.clone(),
+            knobs: quick_knobs(4).with_cores(cores),
+            scale: scale(),
+        }
+        .run()
+        .tps
     };
     let t1 = run(1);
     let t8 = run(8);
     let t32 = run(32);
     assert!(t8 > t1 * 3.0, "8 cores ({t8}) should be >3x 1 core ({t1})");
-    assert!(t32 > t8 * 1.5, "32 cores ({t32}) should beat 8 cores ({t8})");
+    assert!(
+        t32 > t8 * 1.5,
+        "32 cores ({t32}) should beat 8 cores ({t8})"
+    );
 }
 
 #[test]
 fn hyperthreading_helps_oltp() {
     // §4: using the second logical core of each physical core improves
     // transactional throughput.
-    let spec = WorkloadSpec::TpcE { sf: 500.0, users: 64 };
+    let spec = WorkloadSpec::TpcE {
+        sf: 500.0,
+        users: 64,
+    };
     let run = |cores: usize| {
-        Experiment { workload: spec.clone(), knobs: quick_knobs(4).with_cores(cores), scale: scale() }
-            .run()
-            .tps
+        Experiment {
+            workload: spec.clone(),
+            knobs: quick_knobs(4).with_cores(cores),
+            scale: scale(),
+        }
+        .run()
+        .tps
     };
     let t16 = run(16);
     let t32 = run(32);
@@ -52,10 +69,17 @@ fn hyperthreading_helps_oltp() {
 fn small_llc_degrades_oltp_and_raises_mpki() {
     // §5: performance increases with LLC with a dramatic change at small
     // sizes; MPKI falls as allocations grow (Figure 2).
-    let spec = WorkloadSpec::TpcE { sf: 500.0, users: 64 };
+    let spec = WorkloadSpec::TpcE {
+        sf: 500.0,
+        users: 64,
+    };
     let run = |mb: u32| {
-        Experiment { workload: spec.clone(), knobs: quick_knobs(4).with_llc_mb(mb), scale: scale() }
-            .run()
+        Experiment {
+            workload: spec.clone(),
+            knobs: quick_knobs(4).with_llc_mb(mb),
+            scale: scale(),
+        }
+        .run()
     };
     let starved = run(2);
     let knee = run(12);
@@ -68,7 +92,12 @@ fn small_llc_degrades_oltp_and_raises_mpki() {
     );
     assert!(starved.mpki > full.mpki * 3.0, "MPKI must fall with LLC");
     // Table 4 shape: by ~12 MB the workload is within 10% of full.
-    assert!(knee.tps > full.tps * 0.9, "knee too late: {} vs {}", knee.tps, full.tps);
+    assert!(
+        knee.tps > full.tps * 0.9,
+        "knee too late: {} vs {}",
+        knee.tps,
+        full.tps
+    );
 }
 
 #[test]
@@ -107,11 +136,19 @@ fn tpce_wait_profile_shifts_with_scale_factor() {
     // Large enough that the modeled database exceeds the 45 GB buffer pool.
     let large = run(15_000.0);
     let lock_ratio = large.wait_secs("LOCK") / small.wait_secs("LOCK").max(1e-9);
-    let io_ratio =
-        large.wait_secs("PAGEIOLATCH") / small.wait_secs("PAGEIOLATCH").max(1e-9);
-    assert!(lock_ratio < 1.0, "LOCK waits must fall with SF (ratio {lock_ratio})");
-    assert!(io_ratio > 2.0, "PAGEIOLATCH waits must grow with SF (ratio {io_ratio})");
-    assert!(large.tps > small.tps * 0.7, "TPS must not collapse at the larger SF");
+    let io_ratio = large.wait_secs("PAGEIOLATCH") / small.wait_secs("PAGEIOLATCH").max(1e-9);
+    assert!(
+        lock_ratio < 1.0,
+        "LOCK waits must fall with SF (ratio {lock_ratio})"
+    );
+    assert!(
+        io_ratio > 2.0,
+        "PAGEIOLATCH waits must grow with SF (ratio {io_ratio})"
+    );
+    assert!(
+        large.tps > small.tps * 0.7,
+        "TPS must not collapse at the larger SF"
+    );
 }
 
 #[test]
@@ -125,7 +162,10 @@ fn q20_plan_changes_with_maxdop_at_large_sf() {
     let parallel = h.run_query_at_dop(20, 32, &base);
     assert_eq!(serial.dop, 1);
     assert!(parallel.dop > 1, "Q20 at SF300 must go parallel");
-    assert_ne!(serial.plan_shape, parallel.plan_shape, "plan shape must change");
+    assert_ne!(
+        serial.plan_shape, parallel.plan_shape,
+        "plan shape must change"
+    );
     assert!(
         serial.desired_mb < parallel.desired_mb,
         "serial plan should want less memory: {} vs {}",
@@ -178,10 +218,23 @@ fn memory_grant_starvation_slows_heavy_queries() {
 fn write_bandwidth_limit_hurts_in_memory_oltp() {
     // §6: transactional workloads are write-bandwidth sensitive even when
     // the database fits in memory.
-    let spec = WorkloadSpec::Asdb { sf: 200.0, clients: 48 };
-    let free = Experiment { workload: spec.clone(), knobs: quick_knobs(8), scale: scale() }.run();
+    let spec = WorkloadSpec::Asdb {
+        sf: 200.0,
+        clients: 48,
+    };
+    let free = Experiment {
+        workload: spec.clone(),
+        knobs: quick_knobs(8),
+        scale: scale(),
+    }
+    .run();
     let limited = quick_knobs(8).with_write_limit_mbps(10.0);
-    let capped = Experiment { workload: spec, knobs: limited, scale: scale() }.run();
+    let capped = Experiment {
+        workload: spec,
+        knobs: limited,
+        scale: scale(),
+    }
+    .run();
     assert!(
         capped.tps < free.tps * 0.95,
         "a tight write limit must cost TPS: {} vs {}",
@@ -195,9 +248,13 @@ fn read_bandwidth_limit_throttles_analytics_nonlinearly() {
     // Figure 5: QPS responds to the read limit with diminishing returns.
     let run = |mbps: f64| {
         let knobs = quick_knobs(600).with_read_limit_mbps(mbps);
-        Experiment { workload: WorkloadSpec::TpchPower { sf: 30.0 }, knobs, scale: scale() }
-            .run()
-            .qps
+        Experiment {
+            workload: WorkloadSpec::TpchPower { sf: 30.0 },
+            knobs,
+            scale: scale(),
+        }
+        .run()
+        .qps
     };
     let q_low = run(100.0);
     let q_mid = run(800.0);

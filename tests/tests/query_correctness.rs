@@ -12,7 +12,14 @@ use dbsens_workloads::scale::ScaleCfg;
 use dbsens_workloads::tpch::{self, col::li, TpchDb};
 
 fn tpch() -> TpchDb {
-    tpch::build(2.0, &ScaleCfg { row_scale: 300_000.0, oltp_row_scale: 3_000.0, seed: 123 })
+    tpch::build(
+        2.0,
+        &ScaleCfg {
+            row_scale: 300_000.0,
+            oltp_row_scale: 3_000.0,
+            seed: 123,
+        },
+    )
 }
 
 fn run(t: &TpchDb, q: usize, maxdop: usize, grant_fraction: f64) -> Vec<Vec<Value>> {
@@ -27,19 +34,21 @@ fn q6_matches_brute_force() {
     let t = tpch();
     let lo = date(1994, 1, 1);
     let hi = date(1995, 1, 1);
-    let expected: f64 = t
-        .db
-        .table(t.t.lineitem)
-        .heap
-        .iter()
-        .map(|(_, r)| r)
-        .filter(|r| {
-            let ship = r[li::SHIPDATE].as_int();
-            let disc = r[li::DISCOUNT].as_f64();
-            ship >= lo && ship < hi && (0.05..=0.07).contains(&disc) && r[li::QUANTITY].as_int() < 24
-        })
-        .map(|r| r[li::EXTENDEDPRICE].as_f64() * r[li::DISCOUNT].as_f64())
-        .sum();
+    let expected: f64 =
+        t.db.table(t.t.lineitem)
+            .heap
+            .iter()
+            .map(|(_, r)| r)
+            .filter(|r| {
+                let ship = r[li::SHIPDATE].as_int();
+                let disc = r[li::DISCOUNT].as_f64();
+                ship >= lo
+                    && ship < hi
+                    && (0.05..=0.07).contains(&disc)
+                    && r[li::QUANTITY].as_int() < 24
+            })
+            .map(|r| r[li::EXTENDEDPRICE].as_f64() * r[li::DISCOUNT].as_f64())
+            .sum();
     let rows = run(&t, 6, 32, 0.25);
     assert_eq!(rows.len(), 1);
     let got = match &rows[0][0] {
@@ -47,7 +56,10 @@ fn q6_matches_brute_force() {
         Value::Null => 0.0,
         other => panic!("unexpected {other:?}"),
     };
-    assert!((got - expected).abs() < 1e-6 * expected.abs().max(1.0), "{got} vs {expected}");
+    assert!(
+        (got - expected).abs() < 1e-6 * expected.abs().max(1.0),
+        "{got} vs {expected}"
+    );
 }
 
 #[test]
@@ -59,7 +71,10 @@ fn q1_group_counts_match_brute_force() {
     for (_, r) in t.db.table(t.t.lineitem).heap.iter() {
         if r[li::SHIPDATE].as_int() <= cutoff {
             *expected
-                .entry((r[li::RETURNFLAG].as_str().into(), r[li::LINESTATUS].as_str().into()))
+                .entry((
+                    r[li::RETURNFLAG].as_str().into(),
+                    r[li::LINESTATUS].as_str().into(),
+                ))
                 .or_insert(0) += 1;
         }
     }
@@ -81,7 +96,10 @@ fn answers_are_invariant_to_maxdop_and_grants() {
         let serial = run(&t, q, 1, 0.25);
         let starved = run(&t, q, 32, 0.02);
         assert_eq!(baseline, serial, "Q{q}: DOP changed the answer");
-        assert_eq!(baseline, starved, "Q{q}: the memory grant changed the answer");
+        assert_eq!(
+            baseline, starved,
+            "Q{q}: the memory grant changed the answer"
+        );
     }
 }
 
@@ -92,24 +110,22 @@ fn q4_semi_join_matches_brute_force() {
     let lo = date(1993, 7, 1);
     let hi = date(1993, 10, 1);
     // Orders in the window with at least one late lineitem.
-    let late_orders: std::collections::HashSet<i64> = t
-        .db
-        .table(t.t.lineitem)
-        .heap
-        .iter()
-        .filter(|(_, r)| r[li::COMMITDATE].as_int() < r[li::RECEIPTDATE].as_int())
-        .map(|(_, r)| r[li::ORDERKEY].as_int())
-        .collect();
-    let expected: i64 = t
-        .db
-        .table(t.t.orders)
-        .heap
-        .iter()
-        .filter(|(_, r)| {
-            let d = r[ord::ORDERDATE].as_int();
-            d >= lo && d < hi && late_orders.contains(&r[ord::ORDERKEY].as_int())
-        })
-        .count() as i64;
+    let late_orders: std::collections::HashSet<i64> =
+        t.db.table(t.t.lineitem)
+            .heap
+            .iter()
+            .filter(|(_, r)| r[li::COMMITDATE].as_int() < r[li::RECEIPTDATE].as_int())
+            .map(|(_, r)| r[li::ORDERKEY].as_int())
+            .collect();
+    let expected: i64 =
+        t.db.table(t.t.orders)
+            .heap
+            .iter()
+            .filter(|(_, r)| {
+                let d = r[ord::ORDERDATE].as_int();
+                d >= lo && d < hi && late_orders.contains(&r[ord::ORDERKEY].as_int())
+            })
+            .count() as i64;
     let rows = run(&t, 4, 32, 0.25);
     let total: i64 = rows.iter().map(|r| r[1].as_int()).sum();
     assert_eq!(total, expected);
@@ -123,7 +139,11 @@ fn htap_analytics_see_fresh_oltp_writes() {
     use dbsens_workloads::htap;
     use dbsens_workloads::tpce;
 
-    let scale = ScaleCfg { row_scale: 300_000.0, oltp_row_scale: 3_000.0, seed: 5 };
+    let scale = ScaleCfg {
+        row_scale: 300_000.0,
+        oltp_row_scale: 3_000.0,
+        seed: 5,
+    };
     let h = htap::build(300.0, &scale);
     let mut db: Database = h.db;
     let before = {

@@ -32,9 +32,17 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { iters: self.sample_size as u64, total: Duration::ZERO, timed: 0 };
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            total: Duration::ZERO,
+            timed: 0,
+        };
         f(&mut b);
-        let mean = if b.timed > 0 { b.total / b.timed as u32 } else { Duration::ZERO };
+        let mean = if b.timed > 0 {
+            b.total / b.timed as u32
+        } else {
+            Duration::ZERO
+        };
         println!("bench {name}: {mean:?} mean over {} iters", b.timed.max(1));
         self
     }

@@ -16,7 +16,10 @@ pub struct Scope<'scope, 'env: 'scope> {
 
 impl<'scope, 'env> Clone for Scope<'scope, 'env> {
     fn clone(&self) -> Self {
-        Scope { inner: self.inner, panicked: Arc::clone(&self.panicked) }
+        Scope {
+            inner: self.inner,
+            panicked: Arc::clone(&self.panicked),
+        }
     }
 }
 
@@ -49,7 +52,12 @@ where
 {
     let panicked = Arc::new(AtomicBool::new(false));
     let flag = Arc::clone(&panicked);
-    let out = std::thread::scope(move |s| f(Scope { inner: s, panicked: flag }));
+    let out = std::thread::scope(move |s| {
+        f(Scope {
+            inner: s,
+            panicked: flag,
+        })
+    });
     if panicked.load(Ordering::SeqCst) {
         Err(Box::new("a scoped child thread panicked"))
     } else {
@@ -88,6 +96,10 @@ mod tests {
             });
         });
         assert!(r.is_err());
-        assert_eq!(count.load(Ordering::SeqCst), 1, "surviving worker still ran");
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            1,
+            "surviving worker still ran"
+        );
     }
 }

@@ -102,7 +102,13 @@ pub trait Strategy {
     /// Builds recursive values: `f` receives a strategy for the previous
     /// depth level and returns the next level; `depth` levels are stacked
     /// on top of `self` (the leaf strategy).
-    fn prop_recursive<S2, F>(self, depth: u32, _size: u32, _branch: u32, f: F) -> BoxedStrategy<Self::Value>
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _size: u32,
+        _branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
     where
         Self: Sized + 'static,
         Self::Value: 'static,
@@ -256,7 +262,11 @@ fn gen_regex(pattern: &str, rng: &mut TestRng) -> String {
             i += 2;
             match chars[i - 1] {
                 'd' => ('0'..='9').collect(),
-                'w' => ('a'..='z').chain('A'..='Z').chain('0'..='9').chain(['_']).collect(),
+                'w' => ('a'..='z')
+                    .chain('A'..='Z')
+                    .chain('0'..='9')
+                    .chain(['_'])
+                    .collect(),
                 c => vec![c],
             }
         } else {
@@ -266,13 +276,19 @@ fn gen_regex(pattern: &str, rng: &mut TestRng) -> String {
         };
         // Optional quantifier.
         let (lo, hi) = if i < chars.len() && chars[i] == '{' {
-            let close = chars[i..].iter().position(|&c| c == '}').map(|p| i + p).unwrap_or(i);
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .map(|p| i + p)
+                .unwrap_or(i);
             let body: String = chars[i + 1..close].iter().collect();
             i = close + 1;
             match body.split_once(',') {
                 Some((a, b)) => (
                     a.trim().parse().unwrap_or(0),
-                    b.trim().parse().unwrap_or_else(|_| a.trim().parse().unwrap_or(0) + 8),
+                    b.trim()
+                        .parse()
+                        .unwrap_or_else(|_| a.trim().parse().unwrap_or(0) + 8),
                 ),
                 None => {
                     let n = body.trim().parse().unwrap_or(1);
@@ -364,12 +380,18 @@ pub mod prop {
         impl From<std::ops::Range<usize>> for SizeRange {
             fn from(r: std::ops::Range<usize>) -> Self {
                 assert!(r.start < r.end, "empty collection size range");
-                SizeRange { lo: r.start, hi: r.end - 1 }
+                SizeRange {
+                    lo: r.start,
+                    hi: r.end - 1,
+                }
             }
         }
         impl From<std::ops::RangeInclusive<usize>> for SizeRange {
             fn from(r: std::ops::RangeInclusive<usize>) -> Self {
-                SizeRange { lo: *r.start(), hi: *r.end() }
+                SizeRange {
+                    lo: *r.start(),
+                    hi: *r.end(),
+                }
             }
         }
 
@@ -542,7 +564,7 @@ mod tests {
             x in 0i64..100,
             v in prop::collection::vec((0u64..5, any::<bool>()), 1..4),
             pick in prop::sample::select(vec![1, 2, 3]),
-            e in prop_oneof![Just(0i64), (10i64..20)],
+            e in prop_oneof![Just(0i64), 10i64..20],
         ) {
             prop_assert!(x < 100);
             prop_assert!(!v.is_empty() && v.len() < 4);

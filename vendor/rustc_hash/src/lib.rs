@@ -1,0 +1,142 @@
+//! Offline shim of the `rustc-hash` crate: the Fx hash function (a
+//! multiply-rotate mix originally from Firefox, used by rustc for its
+//! interned-id maps) plus [`FxHashMap`]/[`FxHashSet`] aliases.
+//!
+//! Fx trades DoS resistance for speed: no per-map random state, a handful
+//! of arithmetic ops per word hashed. That is exactly right for the
+//! simulator's hot-path maps, whose keys are internal ids (regions, pages,
+//! lock keys) that no adversary controls — and the fixed seed means map
+//! iteration order is identical across processes, which std's SipHash +
+//! `RandomState` does not guarantee.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// A `HashMap` using [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<V> = HashSet<V, FxBuildHasher>;
+
+/// `BuildHasher` for [`FxHasher`]; deterministic (no random state).
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+const SEED64: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// The Fx hasher: for each input word, rotate the state, xor the word in,
+/// and multiply by a large odd constant.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut buf = [0u8; 8];
+            buf[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(buf));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.add_to_hash(i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.add_to_hash(i as u64);
+        self.add_to_hash((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.add_to_hash(i as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_hasher_instances() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"lineitem"), hash(b"lineitem"));
+        assert_ne!(hash(b"lineitem"), hash(b"orders"));
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(7, "seven");
+        m.insert(11, "eleven");
+        assert_eq!(m.get(&7), Some(&"seven"));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(42));
+        assert!(!s.insert(42));
+    }
+
+    #[test]
+    fn iteration_order_is_stable_for_equal_inserts() {
+        let build = || {
+            let mut m: FxHashMap<u64, u64> = FxHashMap::default();
+            for i in 0..1000 {
+                m.insert(i * 7919, i);
+            }
+            m.iter().map(|(k, v)| (*k, *v)).collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn unaligned_tails_hash_consistently() {
+        let mut a = FxHasher::default();
+        a.write(b"abcdefghijk"); // 8-byte chunk + 3-byte tail
+        let mut b = FxHasher::default();
+        b.write(b"abcdefghijk");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = FxHasher::default();
+        c.write(b"abcdefghijl");
+        assert_ne!(a.finish(), c.finish());
+    }
+}

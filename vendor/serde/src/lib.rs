@@ -55,7 +55,8 @@ impl Json {
 
     /// Looks up a field of an object.
     pub fn get(&self, key: &str) -> Option<&Json> {
-        self.as_object().and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+        self.as_object()
+            .and_then(|o| o.iter().find(|(k, _)| k == key).map(|(_, v)| v))
     }
 }
 
@@ -99,8 +100,9 @@ pub trait Deserialize: Sized {
 pub fn field<T: Deserialize>(obj: &[(String, Json)], name: &str) -> Result<T, Error> {
     match obj.iter().find(|(k, _)| k == name) {
         Some((_, v)) => T::from_json(v),
-        None => T::from_json(&Json::Null)
-            .map_err(|_| Error::custom(format!("missing field `{name}`"))),
+        None => {
+            T::from_json(&Json::Null).map_err(|_| Error::custom(format!("missing field `{name}`")))
+        }
     }
 }
 

@@ -43,8 +43,14 @@ struct Variant {
 }
 
 enum Item {
-    Struct { name: String, payload: Payload },
-    Enum { name: String, variants: Vec<Variant> },
+    Struct {
+        name: String,
+        payload: Payload,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 fn expand(input: TokenStream, mode: Mode) -> TokenStream {
@@ -190,11 +196,15 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                 payload: Payload::Named(parse_named_fields(g.stream())?),
             }),
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
-                Ok(Item::Struct { name, payload: Payload::Tuple(count_tuple_fields(g.stream())) })
+                Ok(Item::Struct {
+                    name,
+                    payload: Payload::Tuple(count_tuple_fields(g.stream())),
+                })
             }
-            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
-                Ok(Item::Struct { name, payload: Payload::Unit })
-            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Item::Struct {
+                name,
+                payload: Payload::Unit,
+            }),
             other => Err(format!("unexpected struct body: {other:?}")),
         },
         "enum" => {
@@ -236,7 +246,10 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
                         }
                     }
                 }
-                variants.push(Variant { name: vname, payload });
+                variants.push(Variant {
+                    name: vname,
+                    payload,
+                });
             }
             Ok(Item::Enum { name, variants })
         }
@@ -253,8 +266,9 @@ fn gen_struct_ser(name: &str, payload: &Payload) -> String {
         Payload::Unit => "::serde::Json::Null".to_string(),
         Payload::Tuple(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
         Payload::Tuple(n) => {
-            let items: Vec<String> =
-                (0..*n).map(|i| format!("::serde::Serialize::to_json(&self.{i})")).collect();
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
             format!("::serde::Json::Array(vec![{}])", items.join(", "))
         }
         Payload::Named(fields) => {
