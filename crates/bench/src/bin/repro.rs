@@ -1,34 +1,46 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! Usage: repro [--profile quick|full] [--quick] [--no-cache]
-//!              [--faults <profile>] [--crash <class>] [--points N]
-//!              [--seed S] [--json PATH] [--baseline PATH] <target>...
+//! Usage: repro <subcommand> [flags]
+//!   repro sweep  [<target>...]     all paper artifacts (default: all)
+//!   repro figure <target>...       specific figures/tables
+//!   repro faults <profile>         baseline-vs-faulted degradation report
+//!   repro crash  <class>...        kill-at-any-point durability verifier
+//!   repro perf                     host-side simulator micro-benchmark
+//! Global flags: [--profile quick|full] [--quick] [--no-cache]
+//!               [--json PATH] [--seed S] [--points N] [--baseline PATH]
 //! Targets: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
-//!          write_limits ablation perf all
+//!          write_limits ablation all
 //! Fault profiles: ssd-brownout core-loss dram-brownout
 //! Crash classes: oltp olap htap all
 //! ```
 //!
+//! The pre-subcommand spellings (`repro <target>...`, `--faults
+//! <profile>`, `--crash <class>`) keep working as hidden deprecated
+//! aliases; they print a deprecation warning to stderr and behave
+//! exactly as before, so existing CI invocations are unaffected.
+//!
 //! Output goes to stdout; progress goes to stderr; machine-readable
 //! artifacts land in `results/`, with memoized experiment results under
 //! `results/cache/` (bypass with `--no-cache`, clear by deleting the
-//! directory). `--faults <profile>` runs the baseline-vs-faulted
-//! degradation report; with no explicit targets it runs *only* the
-//! report, and an explicit target list adds the figures alongside it.
-//! `--crash <class>` runs the kill-at-any-point crash-consistency
-//! verifier over that workload class (200 seeded kill points by default,
-//! 25 under `--quick`, override with `--points`); like `--faults`, a bare
-//! `--crash` runs only the durability report. `perf` runs the host-side
-//! simulator micro-benchmark (a frozen fixed-seed sweep) and writes its
-//! machine-readable report to `--json PATH` (default `BENCH_5.json`);
-//! `--baseline PATH` embeds a previous report and computes the speedup.
-//! `perf` exits 1 only on a determinism violation — same-seed digests
-//! differing between its paired runs or from the baseline's — never on
-//! timing. Unknown flags, profiles, or targets exit with code 2; a
-//! failing experiment or durability violation is reported per-slot and
-//! exits with code 1 after the remaining targets run (degraded fault runs
-//! are expected and do not fail the process).
+//! directory). `repro faults <profile>` runs the baseline-vs-faulted
+//! degradation report; combined with targets (legacy spelling) the
+//! figures run alongside it. `repro crash <class>` runs the
+//! kill-at-any-point crash-consistency verifier over that workload class
+//! (200 seeded kill points by default, 25 under `--quick`, override with
+//! `--points`; every point is deterministic in `--seed`). `repro perf`
+//! runs the host-side simulator micro-benchmark (a frozen fixed-seed
+//! sweep over both analytical executors) and writes its machine-readable
+//! report to `--json PATH` (default `BENCH_6.json`); `--baseline PATH`
+//! embeds a previous report and computes the speedup. `perf` exits 1
+//! only on a correctness violation — same-seed digests differing between
+//! its paired runs, push/pull executors disagreeing on query results, or
+//! digests drifting from the baseline's — never on timing. `--json` is
+//! shared: `faults` and `crash` also write their reports to the given
+//! path. Unknown flags, profiles, or targets exit with code 2; a failing
+//! experiment or durability violation is reported per-slot and exits
+//! with code 1 after the remaining targets run (degraded fault runs are
+//! expected and do not fail the process).
 
 use dbsens_bench::alloc_counter::CountingAlloc;
 use dbsens_bench::degradation;
@@ -48,6 +60,10 @@ use std::sync::Arc;
 /// per allocation.
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
+
+/// The subcommands of the restructured CLI; the bare legacy spellings
+/// keep working as hidden deprecated aliases.
+const SUBCOMMANDS: &[&str] = &["sweep", "faults", "crash", "perf", "figure"];
 
 /// Every valid target, in presentation order.
 const TARGETS: &[&str] = &[
@@ -79,45 +95,83 @@ struct Cli {
     crash: Vec<CrashClass>,
     /// Kill points per class (`--points`); defaults by profile.
     crash_points: Option<u64>,
-    /// Crash-verifier seed (`--seed`).
-    crash_seed: u64,
+    /// Shared seed flag (`--seed`); today it seeds the crash verifier.
+    seed: u64,
     /// Whether the quick profile was selected (fewer default kill points).
     quick: bool,
-    /// Whether the `perf` micro-benchmark target was requested.
+    /// Whether the `perf` micro-benchmark was requested.
     perf: bool,
-    /// Output path for the perf report (`--json`).
-    perf_json: Option<String>,
+    /// Shared machine-readable output path (`--json`): the perf report's
+    /// destination, and an extra copy of the faults/crash reports.
+    json: Option<String>,
     /// Prior perf report to compare against (`--baseline`).
     perf_baseline: Option<String>,
+    /// Deprecation warnings to print before running (legacy spellings).
+    warnings: Vec<String>,
 }
 
 fn usage() -> String {
     format!(
-        "Usage: repro [--profile quick|full] [--quick] [--no-cache]\n\
-         \x20            [--faults <profile>] [--crash <class>] [--points N]\n\
-         \x20            [--seed S] [--json PATH] [--baseline PATH] <target>...\n\
-         Targets: {} perf\n\
+        "Usage: repro <subcommand> [flags]\n\
+         \x20 repro sweep  [<target>...]   all paper artifacts (default: all)\n\
+         \x20 repro figure <target>...     specific figures/tables\n\
+         \x20 repro faults <profile>       degradation report under faults\n\
+         \x20 repro crash  <class>...      kill-at-any-point durability verifier\n\
+         \x20 repro perf                   host-side simulator micro-benchmark\n\
+         Global flags: [--profile quick|full] [--quick] [--no-cache]\n\
+         \x20             [--json PATH] [--seed S] [--points N] [--baseline PATH]\n\
+         Targets: {}\n\
          Fault profiles: {}\n\
          Crash classes: oltp olap htap all\n\
          Cached experiment results live under results/cache/; delete the\n\
          directory to clear them or pass --no-cache to bypass.\n\
-         --faults runs the baseline-vs-faulted degradation report; add\n\
-         targets to also regenerate figures. Fault schedules are seeded,\n\
-         so the same profile always degrades the same way.\n\
-         --crash runs the kill-at-any-point crash-consistency verifier\n\
+         faults runs the baseline-vs-faulted degradation report. Fault\n\
+         schedules are seeded, so the same profile always degrades the\n\
+         same way.\n\
+         crash runs the kill-at-any-point crash-consistency verifier\n\
          (200 kill points per class, 25 under --quick, or --points N);\n\
          every point is deterministic in (--seed, point index).\n\
-         perf runs the frozen fixed-seed simulator micro-benchmark and\n\
-         writes the report to --json PATH (default BENCH_5.json);\n\
-         --baseline PATH embeds a prior report and computes the speedup.\n\
-         It fails (exit 1) only on a determinism violation, not timing.",
+         perf runs the frozen fixed-seed simulator micro-benchmark over\n\
+         both analytical executors and writes the report to --json PATH\n\
+         (default BENCH_6.json); --baseline PATH embeds a prior report\n\
+         and computes the speedup. It fails (exit 1) only on a\n\
+         correctness violation, not timing.\n\
+         The pre-subcommand spellings (bare targets, --faults, --crash)\n\
+         still work but are deprecated.",
         TARGETS.join(" "),
         FAULT_PROFILES.join(" ")
     )
 }
 
+/// Parses one crash-class positional into `crash`.
+fn parse_crash_class(name: &str, crash: &mut Vec<CrashClass>) -> Result<(), String> {
+    if name == "all" {
+        *crash = CrashClass::ALL.to_vec();
+    } else {
+        crash.push(CrashClass::parse(name).ok_or_else(|| {
+            format!("unknown crash class '{name}' (expected oltp|olap|htap|all)")
+        })?);
+    }
+    Ok(())
+}
+
+/// Parses a fault-profile name into the `(name, spec)` pair.
+fn parse_fault_profile(name: &str) -> Result<(String, FaultSpec), String> {
+    let spec = fault_profile(name).ok_or_else(|| {
+        format!(
+            "unknown fault profile '{name}' (expected one of: {})",
+            FAULT_PROFILES.join(" ")
+        )
+    })?;
+    Ok((name.to_string(), spec))
+}
+
 /// Parses arguments; errors name the offending flag/target so main can
 /// print them with the usage text and exit 2 (never panic).
+///
+/// The first argument may name a subcommand (`sweep`, `figure`,
+/// `faults`, `crash`, `perf`); the legacy flat spellings parse to the
+/// same [`Cli`] but collect deprecation warnings.
 fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut profile = Profile::quick();
     let mut targets: Vec<String> = Vec::new();
@@ -126,12 +180,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut faults = None;
     let mut crash: Vec<CrashClass> = Vec::new();
     let mut crash_points = None;
-    let mut crash_seed = 42u64;
+    let mut seed = 42u64;
     let mut quick = false;
     let mut perf = false;
-    let mut perf_json = None;
+    let mut json = None;
     let mut perf_baseline = None;
-    let mut it = args.iter();
+    let mut warnings: Vec<String> = Vec::new();
+
+    let sub = args
+        .first()
+        .map(String::as_str)
+        .filter(|s| SUBCOMMANDS.contains(s));
+    let rest = if sub.is_some() { &args[1..] } else { args };
+    if sub == Some("perf") {
+        perf = true;
+    }
+
+    let mut it = rest.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--profile" => {
@@ -145,16 +210,14 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 quick = true;
             }
             "--crash" => {
+                if sub.is_none() {
+                    warnings
+                        .push("--crash <class> is deprecated; use `repro crash <class>`".into());
+                }
                 let name = it
                     .next()
                     .ok_or("--crash requires a value (oltp|olap|htap|all)")?;
-                if name == "all" {
-                    crash = CrashClass::ALL.to_vec();
-                } else {
-                    crash.push(CrashClass::parse(name).ok_or_else(|| {
-                        format!("unknown crash class '{name}' (expected oltp|olap|htap|all)")
-                    })?);
-                }
+                parse_crash_class(name, &mut crash)?;
             }
             "--points" => {
                 let n = it.next().ok_or("--points requires a number")?;
@@ -165,25 +228,24 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             }
             "--seed" => {
                 let n = it.next().ok_or("--seed requires a number")?;
-                crash_seed = n
+                seed = n
                     .parse::<u64>()
                     .map_err(|_| format!("--seed: '{n}' is not a number"))?;
             }
             "--faults" => {
+                if sub.is_none() {
+                    warnings.push(
+                        "--faults <profile> is deprecated; use `repro faults <profile>`".into(),
+                    );
+                }
                 let name = it.next().ok_or_else(|| {
                     format!("--faults requires a value ({})", FAULT_PROFILES.join("|"))
                 })?;
-                let spec = fault_profile(name).ok_or_else(|| {
-                    format!(
-                        "unknown fault profile '{name}' (expected one of: {})",
-                        FAULT_PROFILES.join(" ")
-                    )
-                })?;
-                faults = Some((name.clone(), spec));
+                faults = Some(parse_fault_profile(name)?);
             }
             "--json" => {
                 let path = it.next().ok_or("--json requires a path")?;
-                perf_json = Some(path.clone());
+                json = Some(path.clone());
             }
             "--baseline" => {
                 let path = it.next().ok_or("--baseline requires a path")?;
@@ -192,21 +254,63 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             "--no-cache" => no_cache = true,
             "--help" | "-h" => help = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
-            "perf" => perf = true,
-            target => {
-                if !TARGETS.contains(&target) {
-                    return Err(format!(
-                        "unknown target '{target}' (expected one of: {})",
-                        TARGETS.join(" ")
-                    ));
+            pos => match sub {
+                Some("faults") => faults = Some(parse_fault_profile(pos)?),
+                Some("crash") => parse_crash_class(pos, &mut crash)?,
+                Some("sweep") | Some("figure") => {
+                    if !TARGETS.contains(&pos) {
+                        return Err(format!(
+                            "unknown target '{pos}' (expected one of: {})",
+                            TARGETS.join(" ")
+                        ));
+                    }
+                    targets.push(pos.to_string());
                 }
-                targets.push(target.to_string());
-            }
+                _ => {
+                    if pos == "perf" {
+                        // Same spelling as the subcommand; not deprecated.
+                        perf = true;
+                    } else if TARGETS.contains(&pos) {
+                        if sub.is_none() {
+                            warnings.push(format!(
+                                "bare target '{pos}' is deprecated; use `repro figure {pos}` \
+                                 (or `repro sweep`)"
+                            ));
+                        }
+                        targets.push(pos.to_string());
+                    } else {
+                        return Err(format!(
+                            "unknown target '{pos}' (expected one of: {})",
+                            TARGETS.join(" ")
+                        ));
+                    }
+                }
+            },
         }
+    }
+
+    match sub {
+        Some("sweep") if targets.is_empty() => targets.push("all".into()),
+        Some("figure") if targets.is_empty() => {
+            return Err(format!(
+                "figure requires at least one target (expected one of: {})",
+                TARGETS.join(" ")
+            ));
+        }
+        Some("faults") if faults.is_none() => {
+            return Err(format!(
+                "faults requires a profile ({})",
+                FAULT_PROFILES.join("|")
+            ));
+        }
+        Some("crash") if crash.is_empty() => {
+            return Err("crash requires a class (oltp|olap|htap|all)".into());
+        }
+        _ => {}
     }
     // A bare `--faults`, `--crash`, or `perf` run means "just that
     // report"; figure targets still default to `all` otherwise.
-    if targets.is_empty() && faults.is_none() && crash.is_empty() && !perf {
+    if sub.is_none() && targets.is_empty() && faults.is_none() && crash.is_empty() && !perf {
         targets.push("all".into());
     }
     crash.dedup();
@@ -218,12 +322,28 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         faults,
         crash,
         crash_points,
-        crash_seed,
+        seed,
         quick,
         perf,
-        perf_json,
+        json,
         perf_baseline,
+        warnings,
     })
+}
+
+/// Writes `value` as pretty JSON to `path`, reporting (not aborting) on
+/// failure.
+fn write_json_to(path: &str, value: &impl serde::Serialize) {
+    match serde_json::to_string_pretty(value) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("[repro] failed to write {path}: {e}");
+            } else {
+                eprintln!("[repro] report written to {path}");
+            }
+        }
+        Err(e) => eprintln!("[repro] failed to serialize report: {e}"),
+    }
 }
 
 fn main() {
@@ -238,6 +358,9 @@ fn main() {
     if cli.help {
         println!("{}", usage());
         return;
+    }
+    for w in &cli.warnings {
+        eprintln!("[repro] warning: {w}");
     }
     let profile = &cli.profile;
     let mut runner = Runner::new()
@@ -277,22 +400,13 @@ fn main() {
             perf::attach_baseline(&mut report, b);
         }
         let out = cli
-            .perf_json
+            .json
             .clone()
-            .unwrap_or_else(|| "BENCH_5.json".to_string());
-        match serde_json::to_string_pretty(&report) {
-            Ok(json) => {
-                if let Err(e) = std::fs::write(&out, json) {
-                    eprintln!("[repro] failed to write {out}: {e}");
-                } else {
-                    eprintln!("[repro] perf report written to {out}");
-                }
-            }
-            Err(e) => eprintln!("[repro] failed to serialize perf report: {e}"),
-        }
+            .unwrap_or_else(|| "BENCH_6.json".to_string());
+        write_json_to(&out, &report);
         println!("{}", perf::render(&report));
         if !perf::verdict_ok(&report) {
-            eprintln!("[repro] perf micro-sweep found a determinism violation");
+            eprintln!("[repro] perf micro-sweep found a correctness violation");
             perf_failed = true;
         }
     }
@@ -304,12 +418,12 @@ fn main() {
             eprintln!(
                 "[repro] crash verifier: {} x{points} kill points (seed {})...",
                 class.name(),
-                cli.crash_seed
+                cli.seed
             );
             let report = crashverify::verify_class(&CrashVerifyConfig {
                 class: *class,
                 points,
-                seed: cli.crash_seed,
+                seed: cli.seed,
             });
             eprintln!(
                 "[repro]   {}: {}/{} points passed ({} mid-flush, {} mid-recovery, {} torn)",
@@ -323,6 +437,9 @@ fn main() {
             reports.push(report);
         }
         save_json("crash_verify", &reports);
+        if let Some(path) = cli.json.as_deref().filter(|_| !cli.perf) {
+            write_json_to(path, &reports);
+        }
         println!("{}", crashverify::render_report(&reports));
         if reports.iter().any(|r| !r.passed()) {
             eprintln!("[repro] crash verifier found durability violations");
@@ -334,6 +451,13 @@ fn main() {
         eprintln!("[repro] degradation report: baseline vs '{name}' faults...");
         let report = degradation::run_degradation(profile, &runner, name, spec);
         save_json(&format!("degradation_{name}"), &report);
+        if let Some(path) = cli
+            .json
+            .as_deref()
+            .filter(|_| !cli.perf && cli.crash.is_empty())
+        {
+            write_json_to(path, &report);
+        }
         println!("{}", degradation::render_degradation(&report));
         eprintln!(
             "[repro] fault profile '{name}': {} of {} workloads degraded gracefully",
@@ -570,12 +694,12 @@ mod tests {
             cli.targets.is_empty(),
             "bare --crash must run only the durability report"
         );
-        assert_eq!(cli.crash_seed, 42);
+        assert_eq!(cli.seed, 42);
         assert!(cli.crash_points.is_none());
         let cli = parse_args(&args(&["--crash", "all", "--points", "50", "--seed", "7"])).unwrap();
         assert_eq!(cli.crash.len(), 3);
         assert_eq!(cli.crash_points, Some(50));
-        assert_eq!(cli.crash_seed, 7);
+        assert_eq!(cli.seed, 7);
     }
 
     #[test]
@@ -601,7 +725,7 @@ mod tests {
             cli.targets.is_empty(),
             "bare perf must run only the micro-benchmark"
         );
-        assert!(cli.perf_json.is_none());
+        assert!(cli.json.is_none());
         assert!(cli.perf_baseline.is_none());
         let cli = parse_args(&args(&[
             "perf",
@@ -611,7 +735,7 @@ mod tests {
             "BENCH_base.json",
         ]))
         .unwrap();
-        assert_eq!(cli.perf_json.as_deref(), Some("out.json"));
+        assert_eq!(cli.json.as_deref(), Some("out.json"));
         assert_eq!(cli.perf_baseline.as_deref(), Some("BENCH_base.json"));
         let err = parse_args(&args(&["perf", "--json"])).unwrap_err();
         assert!(err.contains("requires a path"), "{err}");
@@ -622,6 +746,69 @@ mod tests {
         let cli = parse_args(&args(&["perf", "fig2"])).unwrap();
         assert!(cli.perf);
         assert_eq!(cli.targets, vec!["fig2".to_string()]);
+    }
+
+    #[test]
+    fn subcommands_parse_without_warnings() {
+        let cli = parse_args(&args(&["sweep"])).unwrap();
+        assert_eq!(cli.targets, vec!["all".to_string()]);
+        assert!(cli.warnings.is_empty());
+
+        let cli = parse_args(&args(&["figure", "fig6", "fig8"])).unwrap();
+        assert_eq!(cli.targets, vec!["fig6".to_string(), "fig8".to_string()]);
+        assert!(cli.warnings.is_empty());
+
+        let cli = parse_args(&args(&["faults", "ssd-brownout", "--quick"])).unwrap();
+        assert_eq!(cli.faults.as_ref().unwrap().0, "ssd-brownout");
+        assert!(cli.quick);
+        assert!(cli.targets.is_empty(), "faults subcommand is report-only");
+        assert!(cli.warnings.is_empty());
+
+        let cli = parse_args(&args(&["crash", "oltp", "--seed", "9"])).unwrap();
+        assert_eq!(cli.crash, vec![CrashClass::Oltp]);
+        assert_eq!(cli.seed, 9);
+        assert!(cli.warnings.is_empty());
+
+        let cli = parse_args(&args(&["perf", "--json", "out.json"])).unwrap();
+        assert!(cli.perf);
+        assert_eq!(cli.json.as_deref(), Some("out.json"));
+        assert!(cli.warnings.is_empty());
+    }
+
+    #[test]
+    fn subcommands_require_their_positionals() {
+        let err = parse_args(&args(&["figure"])).unwrap_err();
+        assert!(err.contains("at least one target"), "{err}");
+        let err = parse_args(&args(&["faults"])).unwrap_err();
+        assert!(err.contains("requires a profile"), "{err}");
+        let err = parse_args(&args(&["crash"])).unwrap_err();
+        assert!(err.contains("requires a class"), "{err}");
+    }
+
+    #[test]
+    fn legacy_spellings_still_parse_but_warn() {
+        // The CI invocation that predates subcommands must keep working.
+        let cli = parse_args(&args(&[
+            "--faults",
+            "ssd-brownout",
+            "--quick",
+            "--no-cache",
+        ]))
+        .unwrap();
+        assert_eq!(cli.faults.as_ref().unwrap().0, "ssd-brownout");
+        assert!(cli.quick && cli.no_cache);
+        assert!(cli.targets.is_empty());
+        assert!(cli.warnings.iter().any(|w| w.contains("repro faults")));
+
+        let cli = parse_args(&args(&["fig2"])).unwrap();
+        assert_eq!(cli.targets, vec!["fig2".to_string()]);
+        assert!(cli.warnings.iter().any(|w| w.contains("repro figure fig2")));
+
+        let cli = parse_args(&args(&["--crash", "oltp"])).unwrap();
+        assert!(cli.warnings.iter().any(|w| w.contains("repro crash")));
+
+        // Bare `perf` is the same spelling as the subcommand: no warning.
+        assert!(parse_args(&args(&["perf"])).unwrap().warnings.is_empty());
     }
 
     #[test]

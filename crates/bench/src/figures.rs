@@ -396,16 +396,17 @@ pub struct PerQueryData {
 pub fn run_fig6_sf(p: &Profile, sf: f64) -> PerQueryData {
     let harness = TpchHarness::new(sf, &p.scale);
     let base = p.dss_knobs();
+    let grid = sweep::KnobGrid::paper();
     let mut runtimes = vec![Vec::new(); 22];
     for q in 1..=22 {
-        for &dop in &sweep::DOP_STEPS {
+        for &dop in &grid.dop {
             let r = harness.run_query_at_dop(q, dop, &base);
             runtimes[q - 1].push(r.secs);
         }
     }
     PerQueryData {
         knob: "MAXDOP".into(),
-        values: sweep::DOP_STEPS.iter().map(|d| *d as f64).collect(),
+        values: grid.dop.iter().map(|d| *d as f64).collect(),
         runtimes,
         sf,
     }
@@ -456,16 +457,17 @@ pub fn render_fig6(d: &PerQueryData) -> String {
 pub fn run_fig8(p: &Profile, sf: f64) -> PerQueryData {
     let harness = TpchHarness::new(sf, &p.scale);
     let base = p.dss_knobs();
+    let grid = sweep::KnobGrid::paper();
     let mut runtimes = vec![Vec::new(); 22];
     for q in 1..=22 {
-        for &frac in &sweep::GRANT_FRACTIONS {
+        for &frac in &grid.grant_fractions {
             let r = harness.run_query_at_grant(q, frac, &base);
             runtimes[q - 1].push(r.secs);
         }
     }
     PerQueryData {
         knob: "grant".into(),
-        values: sweep::GRANT_FRACTIONS.to_vec(),
+        values: grid.grant_fractions.clone(),
         runtimes,
         sf,
     }

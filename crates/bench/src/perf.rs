@@ -11,10 +11,18 @@
 //! timing; the pair of digests must agree, which is the harness's built-in
 //! determinism gate — CI fails on a digest mismatch or panic, never on
 //! timing noise.
+//!
+//! Since `dbsens-perf-v2` the sweep carries both analytical executors:
+//! the `olap` phase runs the default morsel-driven push pipelines while
+//! `olap-pull` pins the same workload to the legacy volcano walker. The
+//! two must produce byte-identical query *result* digests (same rows,
+//! different execution model), and `olap-pull` is the phase whose
+//! simulation digest is still comparable against pre-v2 baselines.
 
 use crate::alloc_counter;
 use dbsens_core::experiment::{Experiment, RunResult};
 use dbsens_core::knobs::ResourceKnobs;
+use dbsens_engine::governor::ExecMode;
 use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
 use serde::{Deserialize, Serialize};
@@ -59,6 +67,17 @@ fn phases() -> Vec<PhaseSpec> {
             knobs: base.clone().with_run_secs(60),
         },
         PhaseSpec {
+            name: "olap-pull",
+            workload: WorkloadSpec::TpchThroughput {
+                sf: 10.0,
+                streams: 2,
+            },
+            knobs: base
+                .clone()
+                .with_run_secs(60)
+                .with_exec_mode(ExecMode::Volcano),
+        },
+        PhaseSpec {
             name: "htap",
             workload: WorkloadSpec::Htap {
                 sf: 5000.0,
@@ -99,6 +118,10 @@ pub struct PhaseReport {
     pub metric: f64,
     /// `RunResult` content digest; must match across the pair.
     pub digest: String,
+    /// Query *result* digest (rows only, execution-model independent); a
+    /// `name`/`name-pull` phase pair must agree on it byte-for-byte.
+    #[serde(default)]
+    pub result_digest: String,
     /// Whether both runs of the pair produced identical digests.
     pub deterministic: bool,
 }
@@ -127,7 +150,7 @@ pub struct PerfReport {
     pub speedup: Option<f64>,
 }
 
-fn run_phase(spec: &PhaseSpec) -> (RunResult, f64, u64, u64) {
+fn run_phase(spec: &PhaseSpec) -> (RunResult, String, f64, u64, u64) {
     let exp = Experiment {
         workload: spec.workload.clone(),
         knobs: spec.knobs.clone(),
@@ -135,11 +158,12 @@ fn run_phase(spec: &PhaseSpec) -> (RunResult, f64, u64, u64) {
     };
     let (allocs_before, bytes_before) = alloc_counter::totals();
     let start = Instant::now();
-    let result = exp.run();
+    let (result, result_digest) = exp.run_with_result_digest();
     let wall_ms = start.elapsed().as_secs_f64() * 1e3;
     let (allocs_after, bytes_after) = alloc_counter::totals();
     (
         result,
+        result_digest,
         wall_ms,
         allocs_after.saturating_sub(allocs_before),
         bytes_after.saturating_sub(bytes_before),
@@ -159,9 +183,9 @@ pub fn run_micro_sweep(mut progress: impl FnMut(&str)) -> PerfReport {
             spec.name,
             spec.workload.name()
         ));
-        let (cold, cold_ms, _, _) = run_phase(&spec);
-        let (warm, warm_ms, allocations, alloc_bytes) = run_phase(&spec);
-        let deterministic = cold.digest() == warm.digest();
+        let (cold, cold_rd, cold_ms, _, _) = run_phase(&spec);
+        let (warm, warm_rd, warm_ms, allocations, alloc_bytes) = run_phase(&spec);
+        let deterministic = cold.digest() == warm.digest() && cold_rd == warm_rd;
         let metric = warm.metric(spec.workload.primary_metric());
         let events_per_sec = warm.sim_events as f64 / (warm_ms / 1e3).max(1e-9);
         progress(&format!(
@@ -186,6 +210,7 @@ pub fn run_micro_sweep(mut progress: impl FnMut(&str)) -> PerfReport {
             alloc_bytes,
             metric,
             digest: warm.digest(),
+            result_digest: warm_rd,
             deterministic,
         });
     }
@@ -193,7 +218,7 @@ pub fn run_micro_sweep(mut progress: impl FnMut(&str)) -> PerfReport {
     let total_events: u64 = reports.iter().map(|p| p.sim_events).sum();
     let deterministic = reports.iter().all(|p| p.deterministic);
     PerfReport {
-        bench: "dbsens-perf-v1".to_string(),
+        bench: "dbsens-perf-v2".to_string(),
         events_per_sec: total_events as f64 / (total_wall_ms / 1e3).max(1e-9),
         total_wall_ms,
         total_events,
@@ -209,6 +234,40 @@ pub fn run_micro_sweep(mut progress: impl FnMut(&str)) -> PerfReport {
 pub fn attach_baseline(report: &mut PerfReport, baseline: PerfReport) {
     report.speedup = Some(baseline.total_wall_ms / report.total_wall_ms.max(1e-9));
     report.baseline = Some(Box::new(baseline));
+}
+
+/// Finds the baseline phase whose *simulation* digest phase `name` must
+/// match. Pre-v2 baselines ran the volcano executor for every analytical
+/// query: their `olap` digest is carried forward by today's `olap-pull`
+/// phase, while the push-path `olap` and `htap` phases (whose analytical
+/// side moved to morsel pipelines) have no pre-v2 counterpart.
+fn baseline_digest_phase<'a>(baseline: &'a PerfReport, name: &str) -> Option<&'a PhaseReport> {
+    let target = if baseline.bench == "dbsens-perf-v1" {
+        match name {
+            "olap" | "htap" => return None,
+            "olap-pull" => "olap",
+            other => other,
+        }
+    } else {
+        name
+    };
+    baseline.phases.iter().find(|q| q.name == target)
+}
+
+/// True when every `name-pull` phase reproduced the exact result digest
+/// of its `name` sibling (and both are non-empty) — the cross-executor
+/// correctness gate.
+fn paired_results_match(report: &PerfReport) -> bool {
+    report.phases.iter().all(|p| {
+        let Some(push_name) = p.name.strip_suffix("-pull") else {
+            return true;
+        };
+        report
+            .phases
+            .iter()
+            .find(|q| q.name == push_name)
+            .is_some_and(|q| !q.result_digest.is_empty() && q.result_digest == p.result_digest)
+    })
 }
 
 /// Renders the human-readable comparison table.
@@ -247,12 +306,10 @@ pub fn render(report: &PerfReport) -> String {
             "speedup vs baseline: {speedup:.2}x (baseline total {:.1} ms)\n",
             b.total_wall_ms
         ));
-        let digests_match = report.phases.iter().all(|p| {
-            b.phases
-                .iter()
-                .find(|q| q.name == p.name)
-                .is_none_or(|q| q.digest == p.digest)
-        });
+        let digests_match = report
+            .phases
+            .iter()
+            .all(|p| baseline_digest_phase(b, &p.name).is_none_or(|q| q.digest == p.digest));
         out.push_str(&format!(
             "fixed-seed digests vs baseline: {}\n",
             if digests_match {
@@ -262,22 +319,34 @@ pub fn render(report: &PerfReport) -> String {
             }
         ));
     }
+    if report.phases.iter().any(|p| p.name.ends_with("-pull")) {
+        out.push_str(&format!(
+            "push/pull query results: {}\n",
+            if paired_results_match(report) {
+                "byte-identical"
+            } else {
+                "DIVERGED (executors disagree!)"
+            }
+        ));
+    }
     out
 }
 
-/// True when every phase digested identically across its pair AND (when a
-/// baseline is attached) every phase digest matches the baseline's.
+/// True when every phase digested identically across its pair, every
+/// `name`/`name-pull` phase pair agrees on its query result digest, AND
+/// (when a baseline is attached) every comparable phase digest matches the
+/// baseline's. Pre-v2 baselines are mapped as in `baseline_digest_phase`:
+/// their `olap` digest is compared against today's `olap-pull` phase, and
+/// the push-path `olap`/`htap` phases are skipped.
 pub fn verdict_ok(report: &PerfReport) -> bool {
     let vs_baseline = match &report.baseline {
         None => true,
-        Some(b) => report.phases.iter().all(|p| {
-            b.phases
-                .iter()
-                .find(|q| q.name == p.name)
-                .is_none_or(|q| q.digest == p.digest)
-        }),
+        Some(b) => report
+            .phases
+            .iter()
+            .all(|p| baseline_digest_phase(b, &p.name).is_none_or(|q| q.digest == p.digest)),
     };
-    report.deterministic && vs_baseline
+    report.deterministic && vs_baseline && paired_results_match(report)
 }
 
 #[cfg(test)]
@@ -296,10 +365,11 @@ mod tests {
             alloc_bytes: 4096,
             metric: 1234.5,
             digest: "ab".repeat(16),
+            result_digest: "cd".repeat(8),
             deterministic: true,
         };
         let mut report = PerfReport {
-            bench: "dbsens-perf-v1".into(),
+            bench: "dbsens-perf-v2".into(),
             phases: vec![phase],
             total_wall_ms: 120.5,
             total_events: 100_000,
@@ -333,9 +403,61 @@ mod tests {
     fn phase_specs_are_frozen() {
         let p = phases();
         let names: Vec<&str> = p.iter().map(|s| s.name).collect();
-        assert_eq!(names, ["oltp", "olap", "htap", "oltp-constrained"]);
+        assert_eq!(
+            names,
+            ["oltp", "olap", "olap-pull", "htap", "oltp-constrained"]
+        );
         for s in &p {
             assert_eq!(s.knobs.seed, 42, "phase {} seed drifted", s.name);
+            let want = if s.name == "olap-pull" {
+                ExecMode::Volcano
+            } else {
+                ExecMode::Morsel
+            };
+            assert_eq!(s.knobs.exec_mode, want, "phase {} exec mode", s.name);
         }
+    }
+
+    #[test]
+    fn pull_phase_must_reproduce_push_results() {
+        let mk = |name: &str, rd: &str| PhaseReport {
+            name: name.into(),
+            workload: "TPC-H SF=10".into(),
+            wall_ms: 1.0,
+            sim_events: 1,
+            events_per_sec: 1.0,
+            allocations: 0,
+            alloc_bytes: 0,
+            metric: 0.0,
+            digest: "ab".repeat(16),
+            result_digest: rd.into(),
+            deterministic: true,
+        };
+        let mut report = PerfReport {
+            bench: "dbsens-perf-v2".into(),
+            phases: vec![mk("olap", "feed"), mk("olap-pull", "feed")],
+            total_wall_ms: 2.0,
+            total_events: 2,
+            events_per_sec: 1.0,
+            deterministic: true,
+            baseline: None,
+            speedup: None,
+        };
+        assert!(verdict_ok(&report));
+        report.phases[1].result_digest = "beef".into();
+        assert!(!verdict_ok(&report));
+        assert!(render(&report).contains("DIVERGED"));
+
+        // A pre-v2 baseline compares its volcano "olap" digest against
+        // today's "olap-pull" phase, and skips the push "olap" phase.
+        report.phases[1].result_digest = "feed".into();
+        let mut v1 = report.clone();
+        v1.bench = "dbsens-perf-v1".into();
+        v1.phases = vec![mk("olap", "feed")];
+        report.phases[0].digest = "00".repeat(16); // push sim digest differs: OK
+        attach_baseline(&mut report, v1.clone());
+        assert!(verdict_ok(&report));
+        report.phases[1].digest = "11".repeat(16); // pull sim digest differs: FAIL
+        assert!(!verdict_ok(&report));
     }
 }

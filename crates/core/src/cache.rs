@@ -189,6 +189,7 @@ mod tests {
                 start_ns: 1_000,
                 end_ns: 2_000,
                 kind: "ssd-throttle(x0.25)".into(),
+                partitions: Vec::new(),
             }],
             recovered_txns: 7,
             undone_txns: 2,

@@ -152,6 +152,18 @@ impl Experiment {
     /// Builds the workload, runs it for the configured virtual duration,
     /// and collects all metrics.
     pub fn run(&self) -> RunResult {
+        self.run_with_result_digest().0
+    }
+
+    /// Like [`Experiment::run`], additionally returning the run's query
+    /// *result* digest: a stable hash over every distinct query's output
+    /// rows (see `RunMetrics::result_digest`). Unlike
+    /// [`RunResult::digest`], which fingerprints timings and counters and
+    /// therefore changes when the execution model changes, the result
+    /// digest depends only on what the queries computed — the morsel-driven
+    /// and volcano executors must agree on it exactly. Empty string when
+    /// the run completed no queries.
+    pub fn run_with_result_digest(&self) -> (RunResult, String) {
         let governor = self.knobs.governor();
         let mut built = build_workload(&self.workload, &self.scale, &governor);
         let mut kernel = Kernel::new(self.knobs.sim_config());
@@ -188,7 +200,7 @@ impl Experiment {
             })
             .collect();
 
-        RunResult {
+        let result = RunResult {
             workload: self.workload.name(),
             elapsed_secs: elapsed.as_secs_f64(),
             tps: metrics.tps(elapsed),
@@ -215,7 +227,8 @@ impl Experiment {
             undone_txns: 0,
             recovery_secs: 0.0,
             sim_events: kernel.dispatched_events(),
-        }
+        };
+        (result, metrics.result_digest())
     }
 }
 
@@ -271,6 +284,29 @@ mod tests {
             full.tps,
             one.tps
         );
+    }
+
+    #[test]
+    fn executor_paths_agree_on_query_results() {
+        use dbsens_engine::governor::ExecMode;
+        // Power run: one full pass to completion, so both executors see
+        // the exact same query set and the result digests are comparable.
+        let knobs = ResourceKnobs::paper_full().with_run_secs(60);
+        let spec = WorkloadSpec::TpchPower { sf: 10.0 };
+        let (_, push) = Experiment {
+            workload: spec.clone(),
+            knobs: knobs.clone(),
+            scale: ScaleCfg::test(),
+        }
+        .run_with_result_digest();
+        let (_, pull) = Experiment {
+            workload: spec,
+            knobs: knobs.with_exec_mode(ExecMode::Volcano),
+            scale: ScaleCfg::test(),
+        }
+        .run_with_result_digest();
+        assert!(!push.is_empty(), "power run recorded no query results");
+        assert_eq!(push, pull, "morsel and volcano executors disagree");
     }
 
     #[test]

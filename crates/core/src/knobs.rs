@@ -1,6 +1,6 @@
 //! Resource allocation knobs: the dimensions the paper sweeps.
 
-use dbsens_engine::governor::Governor;
+use dbsens_engine::governor::{ExecMode, Governor};
 use dbsens_hwsim::cache::CatMask;
 use dbsens_hwsim::faults::{FaultPlan, FaultSpec};
 use dbsens_hwsim::kernel::SimConfig;
@@ -23,6 +23,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(knobs.llc_mb, 40);
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct ResourceKnobs {
     /// Logical cores allocated (1..=32), in the paper's allocation order.
     pub cores: usize,
@@ -47,6 +48,11 @@ pub struct ResourceKnobs {
     /// the engine's graceful-degradation machinery is enabled.
     #[serde(default)]
     pub faults: FaultSpec,
+    /// Analytical executor selection: the push-based morsel-driven
+    /// pipelines (default) or the legacy volcano walker with modeled
+    /// parallelism barriers.
+    #[serde(default)]
+    pub exec_mode: ExecMode,
 }
 
 impl ResourceKnobs {
@@ -63,6 +69,7 @@ impl ResourceKnobs {
             run_secs: 60,
             seed: 42,
             faults: FaultSpec::none(),
+            exec_mode: ExecMode::default(),
         }
     }
 
@@ -131,6 +138,13 @@ impl ResourceKnobs {
         self
     }
 
+    /// With an analytical executor selection (morsel-driven push pipelines
+    /// vs. the legacy volcano path).
+    pub fn with_exec_mode(mut self, mode: ExecMode) -> Self {
+        self.exec_mode = mode;
+        self
+    }
+
     /// A compact human-readable summary of this allocation, used in error
     /// reports so a failing sweep slot names its exact configuration.
     pub fn describe(&self) -> String {
@@ -151,6 +165,9 @@ impl ResourceKnobs {
         }
         if !self.faults.is_none() {
             s.push_str(&format!(" faults[seed={}]", self.faults.seed));
+        }
+        if self.exec_mode == ExecMode::Volcano {
+            s.push_str(" exec=volcano");
         }
         s
     }
@@ -192,6 +209,7 @@ impl ResourceKnobs {
     pub fn governor(&self) -> Governor {
         let mut g = Governor::paper_default(self.maxdop.min(self.cores).max(1));
         g.grant_fraction = self.grant_fraction;
+        g.exec_mode = self.exec_mode;
         if !self.faults.is_none() {
             g.fault_recovery = true;
             g.io_retry_attempts = self.faults.io_retry_attempts;

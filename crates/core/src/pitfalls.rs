@@ -356,6 +356,7 @@ mod tests {
             spilled_mb: 0.0,
             plan_text: String::new(),
             plan_shape: shape.into(),
+            result_digest: String::new(),
         };
         d.observe("dop=1", &fake("A"));
         d.observe("dop=8", &fake("A"));

@@ -38,6 +38,11 @@ pub struct QueryRunResult {
     pub plan_text: String,
     /// Plan-shape fingerprint (detects plan changes across knobs).
     pub plan_shape: String,
+    /// Digest of the query's output rows. Depends only on what the query
+    /// computed, not how: it must be identical across executors
+    /// (morsel-driven vs. volcano) and across every MAXDOP setting.
+    #[serde(default)]
+    pub result_digest: String,
 }
 
 /// A cached TPC-H database for repeated single-query runs.
@@ -149,6 +154,7 @@ impl TpchHarness {
             spilled_mb: spilled as f64 / (1 << 20) as f64,
             plan_text,
             plan_shape,
+            result_digest: m.result_digest(),
         }
     }
 
@@ -201,6 +207,18 @@ mod tests {
         let _ = h.run_query(1, &ResourceKnobs::paper_full());
         let _ = h.run_query(11, &ResourceKnobs::paper_full()); // uses logical data
         assert_eq!(h.db().borrow().tables().len(), before);
+    }
+
+    #[test]
+    fn result_digest_invariant_across_dop() {
+        let h = harness();
+        let base = ResourceKnobs::paper_full();
+        let d1 = h.run_query_at_dop(18, 1, &base);
+        let d4 = h.run_query_at_dop(18, 4, &base);
+        let d16 = h.run_query_at_dop(18, 16, &base);
+        assert!(!d1.result_digest.is_empty());
+        assert_eq!(d1.result_digest, d4.result_digest);
+        assert_eq!(d1.result_digest, d16.result_digest);
     }
 
     #[test]

@@ -6,10 +6,9 @@
 //! * **fault isolation** — a panicking experiment becomes an
 //!   [`ExperimentError`] in its own `Result` slot instead of aborting the
 //!   whole sweep;
-//! * **observability** — structured [`Event`](crate::progress::Event)s
-//!   (start/finish, virtual seconds simulated, cache hit/miss, per-worker
-//!   utilization) flow through a pluggable
-//!   [`ProgressSink`](crate::progress::ProgressSink);
+//! * **observability** — structured [`Event`]s (start/finish, virtual
+//!   seconds simulated, cache hit/miss, per-worker utilization) flow
+//!   through a pluggable [`ProgressSink`];
 //! * **memoization** — with a [`ResultCache`] attached, results are
 //!   served from `results/cache/` when the same `(workload, knobs,
 //!   scale)` triple was run before, so shared sweeps (Figure 2 feeds
@@ -47,7 +46,7 @@ use crate::cache::ResultCache;
 use crate::experiment::{Experiment, RunResult};
 use crate::knobs::ResourceKnobs;
 use crate::progress::{Event, NullSink, ProgressSink};
-use crate::sweep::{llc_steps, CORE_STEPS};
+use crate::sweep::KnobGrid;
 use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
 use serde::{Deserialize, Serialize};
@@ -372,7 +371,7 @@ impl Runner {
         base: &ResourceKnobs,
         scale: &ScaleCfg,
     ) -> Sweep<usize> {
-        self.sweep(&CORE_STEPS, |&cores| Experiment {
+        self.sweep(&KnobGrid::paper().cores, |&cores| Experiment {
             workload: workload.clone(),
             knobs: base.clone().with_cores(cores),
             scale: scale.clone(),
@@ -387,7 +386,7 @@ impl Runner {
         base: &ResourceKnobs,
         scale: &ScaleCfg,
     ) -> Sweep<u32> {
-        self.sweep(&llc_steps(), |&mb| Experiment {
+        self.sweep(&KnobGrid::paper().llc_mb, |&mb| Experiment {
             workload: workload.clone(),
             knobs: base.clone().with_llc_mb(mb),
             scale: scale.clone(),

@@ -1,41 +1,130 @@
 //! The paper's sweep step grids.
 //!
-//! Only the sweep *steps* (core counts, LLC allocations, MAXDOP, grant
-//! fractions) live here; sweep *execution* is
+//! [`KnobGrid`] holds the step lists a sweep iterates over — core counts,
+//! LLC allocations, MAXDOP settings, and memory-grant fractions — with
+//! [`KnobGrid::paper`] reproducing the grids of the paper's Figures 2, 6,
+//! and 8 and [`KnobGrid::builder`] for custom grids. Sweep *execution* is
 //! [`runner::Runner`](crate::runner::Runner), which adds fault isolation,
-//! progress events, and on-disk result caching. The deprecated
-//! free-function shims (`run_all`, `core_sweep`, `llc_sweep`,
-//! `read_limit_sweep`) that briefly bridged the old panicking API have
-//! been removed; use the corresponding `Runner` methods.
+//! progress events, and on-disk result caching. The old free constants
+//! (`CORE_STEPS`, `llc_steps()`, `DOP_STEPS`, `GRANT_FRACTIONS`) have been
+//! removed in favor of this type.
 
-/// The core-count steps of the paper's Figure 2 (a, d, g, j).
-pub const CORE_STEPS: [usize; 6] = [1, 2, 4, 8, 16, 32];
-
-/// The LLC steps (MB across sockets) of Figure 2 (b, c, e, f, h, i, k, l);
-/// the paper sweeps every 2 MB — this is the same range at the same
-/// granularity.
-pub fn llc_steps() -> Vec<u32> {
-    (1..=20).map(|w| w * 2).collect()
+/// Step grids for the paper's resource sweeps.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_core::sweep::KnobGrid;
+///
+/// let grid = KnobGrid::paper();
+/// assert_eq!(grid.cores.last(), Some(&32));
+/// assert_eq!(grid.llc_mb.len(), 20);
+///
+/// let custom = KnobGrid::builder().cores([1, 8]).llc_mb([10, 40]).build();
+/// assert_eq!(custom.cores, vec![1, 8]);
+/// assert_eq!(custom.dop, KnobGrid::paper().dop); // unset = paper grid
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct KnobGrid {
+    /// Core-count steps (Figure 2 a, d, g, j).
+    pub cores: Vec<usize>,
+    /// LLC steps in MB across both sockets (Figure 2 b, c, e, f, h, i, k,
+    /// l); the paper sweeps every 2 MB.
+    pub llc_mb: Vec<u32>,
+    /// MAXDOP steps (Figure 6).
+    pub dop: Vec<usize>,
+    /// Memory-grant fractions (Figure 8, plus the 25% baseline).
+    pub grant_fractions: Vec<f64>,
 }
 
-/// The MAXDOP steps of Figure 6.
-pub const DOP_STEPS: [usize; 6] = [1, 2, 4, 8, 16, 32];
+impl KnobGrid {
+    /// The paper's grids: cores and MAXDOP double from 1 to 32, LLC steps
+    /// every 2 MB from 2 to 40, grant fractions 25/15/5/2%.
+    pub fn paper() -> Self {
+        KnobGrid {
+            cores: vec![1, 2, 4, 8, 16, 32],
+            llc_mb: (1..=20).map(|w| w * 2).collect(),
+            dop: vec![1, 2, 4, 8, 16, 32],
+            grant_fractions: vec![0.25, 0.15, 0.05, 0.02],
+        }
+    }
 
-/// The memory-grant fractions of Figure 8 (plus the 25% baseline).
-pub const GRANT_FRACTIONS: [f64; 4] = [0.25, 0.15, 0.05, 0.02];
+    /// A builder starting from the paper grids; override any axis.
+    pub fn builder() -> KnobGridBuilder {
+        KnobGridBuilder {
+            grid: KnobGrid::paper(),
+        }
+    }
+}
+
+impl Default for KnobGrid {
+    fn default() -> Self {
+        KnobGrid::paper()
+    }
+}
+
+/// Builder for [`KnobGrid`]; axes left unset keep the paper's steps.
+#[derive(Debug, Clone)]
+pub struct KnobGridBuilder {
+    grid: KnobGrid,
+}
+
+impl KnobGridBuilder {
+    /// Sets the core-count steps.
+    pub fn cores(mut self, steps: impl Into<Vec<usize>>) -> Self {
+        self.grid.cores = steps.into();
+        self
+    }
+
+    /// Sets the LLC steps (MB across both sockets).
+    pub fn llc_mb(mut self, steps: impl Into<Vec<u32>>) -> Self {
+        self.grid.llc_mb = steps.into();
+        self
+    }
+
+    /// Sets the MAXDOP steps.
+    pub fn dop(mut self, steps: impl Into<Vec<usize>>) -> Self {
+        self.grid.dop = steps.into();
+        self
+    }
+
+    /// Sets the memory-grant fractions.
+    pub fn grant_fractions(mut self, fractions: impl Into<Vec<f64>>) -> Self {
+        self.grid.grant_fractions = fractions.into();
+        self
+    }
+
+    /// Finishes the grid.
+    pub fn build(self) -> KnobGrid {
+        self.grid
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn sweep_steps_match_paper() {
-        assert_eq!(CORE_STEPS.to_vec(), vec![1, 2, 4, 8, 16, 32]);
-        let llc = llc_steps();
-        assert_eq!(llc.first(), Some(&2));
-        assert_eq!(llc.last(), Some(&40));
-        assert_eq!(llc.len(), 20);
-        assert_eq!(DOP_STEPS.to_vec(), vec![1, 2, 4, 8, 16, 32]);
-        assert_eq!(GRANT_FRACTIONS[0], 0.25);
+    fn paper_grid_matches_figures() {
+        let g = KnobGrid::paper();
+        assert_eq!(g.cores, vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(g.llc_mb.first(), Some(&2));
+        assert_eq!(g.llc_mb.last(), Some(&40));
+        assert_eq!(g.llc_mb.len(), 20);
+        assert_eq!(g.dop, vec![1, 2, 4, 8, 16, 32]);
+        assert_eq!(g.grant_fractions[0], 0.25);
+        assert_eq!(KnobGrid::default(), g);
+    }
+
+    #[test]
+    fn builder_overrides_only_named_axes() {
+        let g = KnobGrid::builder()
+            .cores([2, 16])
+            .grant_fractions([0.5])
+            .build();
+        assert_eq!(g.cores, vec![2, 16]);
+        assert_eq!(g.grant_fractions, vec![0.5]);
+        assert_eq!(g.llc_mb, KnobGrid::paper().llc_mb);
+        assert_eq!(g.dop, KnobGrid::paper().dop);
     }
 }

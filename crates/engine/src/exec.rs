@@ -81,6 +81,28 @@ impl Stage {
     }
 }
 
+/// A morsel-driven pipeline stage: a shared queue of per-morsel demand
+/// traces claimed by `partitions` worker partitions.
+///
+/// Produced by the push executor ([`crate::pushexec`]). Unlike [`Stage`],
+/// whose items are pre-assigned to workers round-robin, a morsel stage's
+/// traces are claimed dynamically at replay time, so partition load balance
+/// emerges from the simulated hardware rather than from the plan.
+#[derive(Debug, Clone, Default)]
+pub struct MorselStage {
+    /// Worker partitions scheduled for the stage (effective DOP).
+    pub partitions: usize,
+    /// One demand trace per morsel, claimed in order by idle partitions.
+    pub morsels: Vec<DemandTrace>,
+}
+
+impl MorselStage {
+    /// Total trace items across all morsels.
+    pub fn total_items(&self) -> usize {
+        self.morsels.iter().map(|m| m.items.len()).sum()
+    }
+}
+
 /// The product of executing a plan: logical rows plus the staged demand
 /// trace and memory accounting.
 #[derive(Debug)]
@@ -89,6 +111,10 @@ pub struct QueryExecution {
     pub rows: Vec<Row>,
     /// Pipeline stages to replay in order.
     pub stages: Vec<Stage>,
+    /// Morsel-driven pipeline stages (set by the push executor; empty on
+    /// the volcano path). When non-empty, replay uses these instead of
+    /// `stages`.
+    pub pipelines: Vec<MorselStage>,
     /// Plan degree of parallelism.
     pub dop: usize,
     /// Memory grant to acquire before running (paper scale).
@@ -97,6 +123,46 @@ pub struct QueryExecution {
     pub desired: u64,
     /// Bytes spilled to tempdb because the grant was insufficient.
     pub spilled_bytes: u64,
+}
+
+/// Order-sensitive digest of a query's result rows (FNV-1a over the
+/// canonical byte encoding of each value).
+///
+/// Used to prove the push and volcano executors produce byte-identical
+/// results and that results are invariant across DOP settings. Collisions
+/// are astronomically unlikely for the workloads' result sizes.
+pub fn rows_digest(rows: &[Row]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    for row in rows {
+        eat(&[0xA0]); // row separator
+        for v in row {
+            match v {
+                Value::Int(i) => {
+                    eat(&[1]);
+                    eat(&i.to_le_bytes());
+                }
+                Value::Float(f) => {
+                    eat(&[2]);
+                    eat(&f.to_bits().to_le_bytes());
+                }
+                Value::Str(s) => {
+                    eat(&[3]);
+                    eat(&(s.len() as u64).to_le_bytes());
+                    eat(s.as_bytes());
+                }
+                Value::Null => eat(&[4]),
+            }
+        }
+    }
+    h
 }
 
 struct TraceBuilder {
@@ -180,6 +246,7 @@ pub fn execute(db: &Database, plan: &PhysPlan) -> QueryExecution {
     QueryExecution {
         rows,
         stages: ex.tb.stages,
+        pipelines: Vec::new(),
         dop: ex.dop,
         grant: plan.memory_grant,
         desired: plan.desired_memory,
@@ -199,14 +266,14 @@ struct Executor<'a> {
 
 /// Hashable join/group key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
-enum KeyPart {
+pub(crate) enum KeyPart {
     I(i64),
     S(String),
     F(u64),
     N,
 }
 
-fn key_sig(row: &Row, cols: &[usize]) -> Vec<KeyPart> {
+pub(crate) fn key_sig(row: &Row, cols: &[usize]) -> Vec<KeyPart> {
     cols.iter()
         .map(|&c| match &row[c] {
             Value::Int(i) => KeyPart::I(*i),
@@ -907,7 +974,7 @@ impl<'a> Executor<'a> {
     }
 }
 
-fn scale_profile(mem: &MemProfile, factor: f64) -> MemProfile {
+pub(crate) fn scale_profile(mem: &MemProfile, factor: f64) -> MemProfile {
     use dbsens_hwsim::mem::AccessPattern;
     let mut out = MemProfile::new();
     for p in mem.patterns() {
@@ -927,7 +994,7 @@ fn scale_profile(mem: &MemProfile, factor: f64) -> MemProfile {
     out
 }
 
-fn collect_cols(e: &Expr, out: &mut Vec<usize>) {
+pub(crate) fn collect_cols(e: &Expr, out: &mut Vec<usize>) {
     match e {
         Expr::Col(c) => out.push(*c),
         Expr::Lit(_) => {}
@@ -956,7 +1023,7 @@ fn collect_cols(e: &Expr, out: &mut Vec<usize>) {
 
 /// Aggregate accumulator.
 #[derive(Debug)]
-enum AggAcc {
+pub(crate) enum AggAcc {
     Sum(f64, bool),
     Avg(f64, u64),
     Min(Option<Value>),
@@ -965,7 +1032,7 @@ enum AggAcc {
 }
 
 impl AggAcc {
-    fn new(f: AggFunc) -> Self {
+    pub(crate) fn new(f: AggFunc) -> Self {
         match f {
             AggFunc::Sum => AggAcc::Sum(0.0, false),
             AggFunc::Avg => AggAcc::Avg(0.0, 0),
@@ -975,7 +1042,7 @@ impl AggAcc {
         }
     }
 
-    fn update(&mut self, v: &Value) {
+    pub(crate) fn update(&mut self, v: &Value) {
         match self {
             AggAcc::Sum(s, any) => {
                 if !v.is_null() {
@@ -1009,7 +1076,7 @@ impl AggAcc {
         }
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggAcc::Sum(s, any) => {
                 if any {

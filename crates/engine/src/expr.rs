@@ -22,7 +22,7 @@ pub enum CmpOp {
 }
 
 impl CmpOp {
-    fn test(self, ord: Ordering) -> bool {
+    pub(crate) fn test(self, ord: Ordering) -> bool {
         match self {
             CmpOp::Eq => ord == Ordering::Equal,
             CmpOp::Ne => ord != Ordering::Equal,
@@ -269,7 +269,8 @@ impl Expr {
     }
 }
 
-fn truthy(v: &Value) -> bool {
+/// SQL boolean coercion used by filter predicates on both executor paths.
+pub(crate) fn truthy(v: &Value) -> bool {
     match v {
         Value::Int(i) => *i != 0,
         Value::Float(f) => *f != 0.0,
@@ -280,7 +281,7 @@ fn truthy(v: &Value) -> bool {
 
 /// Numeric view of a value; strings and NULLs have none (SQL arithmetic
 /// over them yields NULL here rather than an error).
-fn numeric_of(v: &Value) -> Option<f64> {
+pub(crate) fn numeric_of(v: &Value) -> Option<f64> {
     match v {
         Value::Int(i) => Some(*i as f64),
         Value::Float(f) => Some(*f),
@@ -288,7 +289,9 @@ fn numeric_of(v: &Value) -> Option<f64> {
     }
 }
 
-fn numeric(a: Value, b: Value, f: impl Fn(f64, f64) -> f64) -> Value {
+/// Shared binary numeric-arithmetic kernel (both executor paths must agree
+/// on Int-stays-integral-when-exact semantics).
+pub(crate) fn numeric(a: Value, b: Value, f: impl Fn(f64, f64) -> f64) -> Value {
     match (&a, &b) {
         (Value::Int(x), Value::Int(y)) => {
             let r = f(*x as f64, *y as f64);

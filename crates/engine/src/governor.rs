@@ -10,6 +10,23 @@ use crate::db::Database;
 use crate::optimizer::PlanContext;
 use serde::{Deserialize, Serialize};
 
+/// Which executor runs analytical query plans.
+///
+/// The morsel-driven path decomposes physical plans into push-based
+/// pipelines whose fixed-size morsels are claimed by worker partitions
+/// (see [`crate::pushexec`]); the volcano path walks the plan tree
+/// pull-style and models parallelism with barrier costs (see
+/// [`crate::exec::execute`]). Plans the push path cannot run (nested-loop
+/// or index-range sources) fall back to volcano automatically.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Push-based morsel-driven parallel pipelines (the default).
+    #[default]
+    Morsel,
+    /// Legacy pull-based tree walk with modeled parallelism barriers.
+    Volcano,
+}
+
 /// Resource governor settings.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Governor {
@@ -37,6 +54,10 @@ pub struct Governor {
     /// recovery overhead; enabled by fault-injection experiments.
     #[serde(default)]
     pub fault_recovery: bool,
+    /// Which executor runs analytical plans (morsel-driven push pipelines
+    /// by default; volcano kept as an explicit opt-in for comparison).
+    #[serde(default)]
+    pub exec_mode: ExecMode,
 }
 
 /// The paper's server memory: 64 GB.
@@ -56,6 +77,7 @@ impl Governor {
             txn_retry_attempts: 5,
             query_deadline_secs: 0.0,
             fault_recovery: false,
+            exec_mode: ExecMode::default(),
         }
     }
 

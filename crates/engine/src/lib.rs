@@ -34,6 +34,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cost;
 pub mod db;
 pub mod exec;
@@ -44,19 +45,24 @@ pub mod metrics;
 pub mod optimizer;
 pub mod physplan;
 pub mod plan;
+pub mod pushexec;
 pub mod recovery;
 pub mod tasks;
 pub mod txn;
+pub mod vexpr;
 
+pub use batch::{Batch, ColumnVector};
 pub use db::{Database, TableId};
-pub use exec::{execute, QueryExecution};
+pub use exec::{execute, rows_digest, MorselStage, QueryExecution};
 pub use expr::{CmpOp, Expr};
-pub use governor::Governor;
+pub use governor::{ExecMode, Governor};
 pub use grant::GrantManager;
 pub use metrics::RunMetrics;
 pub use optimizer::{optimize, PlanContext};
 pub use physplan::{PhysNode, PhysPlan};
 pub use plan::{JoinKind, Logical};
+pub use pushexec::{execute_push, PhysicalOperator, PollPush};
 pub use recovery::{recover, CrashImage, RecoveryReport};
 pub use tasks::{CheckpointTask, QueryStreamTask, TraceTask};
 pub use txn::{LockSpec, MutOp, Mutation, TxOp, TxnClientTask, TxnGenerator, TxnProgram};
+pub use vexpr::PhysicalExpr;

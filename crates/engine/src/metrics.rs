@@ -2,6 +2,7 @@
 
 use dbsens_hwsim::fx::FxHashMap;
 use dbsens_hwsim::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
 
 /// One completed query.
 #[derive(Debug, Clone)]
@@ -44,6 +45,9 @@ pub struct RunMetrics {
     retries: u64,
     gave_up: u64,
     deadline_misses: u64,
+    /// First-seen result-row digest per query name, for cross-executor
+    /// result verification (push vs. volcano must agree byte for byte).
+    query_results: BTreeMap<String, u64>,
 }
 
 /// Latency sample cap; beyond it, samples are decimated (keep every other
@@ -60,7 +64,7 @@ impl RunMetrics {
     /// Records a committed transaction.
     ///
     /// Latency samples are kept at a uniform stride: when the buffer
-    /// reaches [`LATENCY_CAP`], every other retained sample is dropped
+    /// reaches `LATENCY_CAP`, every other retained sample is dropped
     /// and the stride doubles — applying to incoming samples too, so the
     /// retained set stays a uniform subsample of the whole run rather
     /// than over-weighting recent transactions.
@@ -117,6 +121,44 @@ impl RunMetrics {
     /// Records a query cancelled for exceeding its deadline.
     pub fn record_deadline_miss(&mut self) {
         self.deadline_misses += 1;
+    }
+
+    /// Records the result-row digest of a query the first time it runs
+    /// (repeats of the same query on a deterministic database produce the
+    /// same rows, so first-seen is representative).
+    pub fn record_query_result(&mut self, name: &str, digest: u64) {
+        if !self.query_results.contains_key(name) {
+            self.query_results.insert(name.to_owned(), digest);
+        }
+    }
+
+    /// Per-query result digests recorded via
+    /// [`record_query_result`](RunMetrics::record_query_result), keyed by
+    /// query name.
+    pub fn query_result_digests(&self) -> &BTreeMap<String, u64> {
+        &self.query_results
+    }
+
+    /// A stable combined digest over all recorded query results (FNV-1a
+    /// over name/digest pairs in name order), or an empty string when no
+    /// results were recorded. Two runs agree iff every query produced
+    /// byte-identical rows.
+    pub fn result_digest(&self) -> String {
+        if self.query_results.is_empty() {
+            return String::new();
+        }
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        for (name, digest) in &self.query_results {
+            eat(name.as_bytes());
+            eat(&digest.to_le_bytes());
+        }
+        format!("{h:016x}")
     }
 
     /// Recovery retries performed.

@@ -2,12 +2,15 @@
 //! query-stream driver.
 
 use crate::db::Database;
-use crate::exec::{execute, QueryExecution, Stage, TraceItem};
-use crate::governor::Governor;
+use crate::exec::{
+    execute, rows_digest, DemandTrace, MorselStage, QueryExecution, Stage, TraceItem,
+};
+use crate::governor::{ExecMode, Governor};
 use crate::grant::GrantManager;
 use crate::metrics::RunMetrics;
 use crate::optimizer::optimize;
 use crate::plan::Logical;
+use crate::pushexec::execute_push;
 use dbsens_hwsim::task::{Demand, SimTask, Step, TaskCtx, TaskId, WaitClass};
 use dbsens_hwsim::time::{SimDuration, SimTime};
 use dbsens_storage::bufferpool::PAGE_BYTES;
@@ -39,6 +42,12 @@ pub struct TraceTask {
     parent: TaskId,
     remaining: Rc<Cell<usize>>,
     notified: bool,
+    /// Shared morsel queue (push-executor stages); workers claim the next
+    /// morsel when their current one is drained. `None` for pre-split
+    /// volcano traces.
+    queue: Option<Rc<RefCell<VecDeque<DemandTrace>>>>,
+    /// Worker partition id within the pipeline (morsel mode only).
+    partition: Option<u32>,
     /// Degradation counters; `None` outside fault injection.
     metrics: Option<Rc<RefCell<RunMetrics>>>,
     /// Retry budget per blocking I/O (0 disables recovery entirely).
@@ -78,12 +87,32 @@ impl TraceTask {
             parent,
             remaining,
             notified: false,
+            queue: None,
+            partition: None,
             metrics: None,
             io_retry_attempts: 0,
             last_blocking: None,
             io_attempt: 0,
             retrying: false,
         }
+    }
+
+    /// Creates a morsel worker for one pipeline stage: it repeatedly
+    /// claims the next morsel from the shared `queue` and replays it, so
+    /// partitions load-balance dynamically instead of replaying a
+    /// pre-split trace. `partition` identifies the worker for
+    /// per-partition accounting (fault attribution, busy time).
+    pub fn morsel_worker(
+        db: Rc<RefCell<Database>>,
+        queue: Rc<RefCell<VecDeque<DemandTrace>>>,
+        partition: u32,
+        parent: TaskId,
+        remaining: Rc<Cell<usize>>,
+    ) -> Self {
+        let mut t = TraceTask::new(db, Vec::new(), parent, remaining);
+        t.queue = Some(queue);
+        t.partition = Some(partition);
+        t
     }
 
     /// Enables transient-I/O-error recovery: up to `attempts` reissues per
@@ -166,74 +195,23 @@ impl SimTask for TraceTask {
             }
             return self.emit(d);
         }
-        while self.idx < self.items.len() {
-            let item = self.items[self.idx].clone();
-            self.idx += 1;
-            match item {
-                TraceItem::Compute { instructions, mem } => {
-                    return self.emit(Demand::Compute { instructions, mem });
+        loop {
+            while self.idx < self.items.len() {
+                let item = self.items[self.idx].clone();
+                self.idx += 1;
+                match self.step_item(item) {
+                    Some(step) => return step,
+                    None => continue,
                 }
-                TraceItem::PageRun {
-                    start,
-                    pages,
-                    write,
-                } => {
-                    let out = self.db.borrow_mut().bufferpool.access(start, pages, write);
-                    if out.evicted_dirty_pages > 0 {
-                        self.pending.push_back(Demand::DeviceWriteAsync {
-                            bytes: out.evicted_dirty_pages * PAGE_BYTES,
-                        });
-                    }
-                    if out.miss_pages > 0 {
-                        // Sequential read-ahead: issue the read without
-                        // blocking, then throttle only if the device falls
-                        // too far behind (overlaps I/O with compute, the
-                        // source of Figure 5's concave response).
-                        self.pending.push_back(Demand::DeviceReadPrefetch {
-                            bytes: out.miss_pages * PAGE_BYTES,
-                        });
-                        self.pending.push_back(Demand::Sleep {
-                            dur: dbsens_hwsim::time::SimDuration::ZERO,
-                            class: WaitClass::PageIoLatch,
-                        });
-                    }
-                    if let Some(d) = self.pending.pop_front() {
-                        return self.emit(d);
-                    }
+            }
+            // Current morsel drained: claim the next one (morsel mode).
+            let next = self.queue.as_ref().and_then(|q| q.borrow_mut().pop_front());
+            match next {
+                Some(morsel) => {
+                    self.items = morsel.items;
+                    self.idx = 0;
                 }
-                TraceItem::RandomPages { start, span, count } => {
-                    let out = self
-                        .db
-                        .borrow_mut()
-                        .bufferpool
-                        .access_random(start, span, count, false);
-                    if out.evicted_dirty_pages > 0 {
-                        self.pending.push_back(Demand::DeviceWriteAsync {
-                            bytes: out.evicted_dirty_pages * PAGE_BYTES,
-                        });
-                    }
-                    if out.miss_pages > 0 {
-                        self.pending.push_back(Demand::DeviceRead {
-                            bytes: out.miss_pages * PAGE_BYTES,
-                            class: WaitClass::PageIoLatch,
-                        });
-                    }
-                    if let Some(d) = self.pending.pop_front() {
-                        return self.emit(d);
-                    }
-                }
-                TraceItem::SpillWrite { bytes } => {
-                    return self.emit(Demand::DeviceWrite {
-                        bytes,
-                        class: WaitClass::Io,
-                    });
-                }
-                TraceItem::SpillRead { bytes } => {
-                    return self.emit(Demand::DeviceRead {
-                        bytes,
-                        class: WaitClass::Io,
-                    });
-                }
+                None => break,
             }
         }
         if !self.notified {
@@ -246,6 +224,75 @@ impl SimTask for TraceTask {
 
     fn label(&self) -> &str {
         "query-worker"
+    }
+
+    fn partition(&self) -> Option<u32> {
+        self.partition
+    }
+}
+
+impl TraceTask {
+    /// Replays one trace item; returns the demand to emit, or `None` when
+    /// the item resolved entirely in the bufferpool.
+    fn step_item(&mut self, item: TraceItem) -> Option<Step> {
+        match item {
+            TraceItem::Compute { instructions, mem } => {
+                Some(self.emit(Demand::Compute { instructions, mem }))
+            }
+            TraceItem::PageRun {
+                start,
+                pages,
+                write,
+            } => {
+                let out = self.db.borrow_mut().bufferpool.access(start, pages, write);
+                if out.evicted_dirty_pages > 0 {
+                    self.pending.push_back(Demand::DeviceWriteAsync {
+                        bytes: out.evicted_dirty_pages * PAGE_BYTES,
+                    });
+                }
+                if out.miss_pages > 0 {
+                    // Sequential read-ahead: issue the read without
+                    // blocking, then throttle only if the device falls
+                    // too far behind (overlaps I/O with compute, the
+                    // source of Figure 5's concave response).
+                    self.pending.push_back(Demand::DeviceReadPrefetch {
+                        bytes: out.miss_pages * PAGE_BYTES,
+                    });
+                    self.pending.push_back(Demand::Sleep {
+                        dur: dbsens_hwsim::time::SimDuration::ZERO,
+                        class: WaitClass::PageIoLatch,
+                    });
+                }
+                self.pending.pop_front().map(|d| self.emit(d))
+            }
+            TraceItem::RandomPages { start, span, count } => {
+                let out = self
+                    .db
+                    .borrow_mut()
+                    .bufferpool
+                    .access_random(start, span, count, false);
+                if out.evicted_dirty_pages > 0 {
+                    self.pending.push_back(Demand::DeviceWriteAsync {
+                        bytes: out.evicted_dirty_pages * PAGE_BYTES,
+                    });
+                }
+                if out.miss_pages > 0 {
+                    self.pending.push_back(Demand::DeviceRead {
+                        bytes: out.miss_pages * PAGE_BYTES,
+                        class: WaitClass::PageIoLatch,
+                    });
+                }
+                self.pending.pop_front().map(|d| self.emit(d))
+            }
+            TraceItem::SpillWrite { bytes } => Some(self.emit(Demand::DeviceWrite {
+                bytes,
+                class: WaitClass::Io,
+            })),
+            TraceItem::SpillRead { bytes } => Some(self.emit(Demand::DeviceRead {
+                bytes,
+                class: WaitClass::Io,
+            })),
+        }
     }
 }
 
@@ -339,7 +386,10 @@ impl SimTask for CheckpointTask {
 struct RunningQuery {
     query_idx: usize,
     name: String,
+    /// Pre-split worker traces (volcano executor). Empty on the push path.
     stages: Vec<Stage>,
+    /// Morsel-queue stages (push executor). Empty on the volcano path.
+    pipelines: Vec<MorselStage>,
     stage: usize,
     remaining: Rc<Cell<usize>>,
     grant: u64,
@@ -421,12 +471,21 @@ impl QueryStreamTask {
             let db = self.db.borrow();
             let pctx = self.governor.plan_context(&db);
             let plan = optimize(&db, logical, &pctx);
-            execute(&db, &plan)
+            match self.governor.exec_mode {
+                // Push path; plans it does not cover (nested-loop joins,
+                // index seeks) fall back to the volcano walker.
+                ExecMode::Morsel => execute_push(&db, &plan).unwrap_or_else(|| execute(&db, &plan)),
+                ExecMode::Volcano => execute(&db, &plan),
+            }
         };
+        self.metrics
+            .borrow_mut()
+            .record_query_result(name, rows_digest(&exec.rows));
         let running = RunningQuery {
             query_idx: i,
             name: name.clone(),
             stages: exec.stages,
+            pipelines: exec.pipelines,
             stage: 0,
             remaining: Rc::new(Cell::new(0)),
             grant: exec.grant,
@@ -452,11 +511,12 @@ impl QueryStreamTask {
         // Deadline enforcement (fault injection only): a query that blows
         // its budget is cancelled at the next stage boundary — workers have
         // already joined there, so the grant can be released safely.
+        let total_stages = running.stages.len().max(running.pipelines.len());
         let deadline = self.governor.query_deadline_secs;
         if self.fault_recovery
             && deadline > 0.0
             && ctx.now().saturating_since(running.started) > SimDuration::from_secs_f64(deadline)
-            && running.stage < running.stages.len()
+            && running.stage < total_stages
         {
             let woken = self.grants.borrow_mut().release(running.grant);
             for t in woken {
@@ -466,7 +526,40 @@ impl QueryStreamTask {
             self.state = StreamState::Next(running.query_idx + 1);
             return Step::Demand(Demand::Yield);
         }
-        while running.stage < running.stages.len() {
+        while running.stage < total_stages {
+            if !running.pipelines.is_empty() {
+                // Push-executor stage: spawn one worker per partition; they
+                // claim morsels dynamically from a shared queue.
+                let stage = &running.pipelines[running.stage];
+                if stage.morsels.is_empty() {
+                    running.stage += 1;
+                    continue;
+                }
+                let queue: Rc<RefCell<VecDeque<DemandTrace>>> =
+                    Rc::new(RefCell::new(stage.morsels.iter().cloned().collect()));
+                let n = stage.partitions.min(stage.morsels.len()).max(1);
+                running.remaining = Rc::new(Cell::new(n));
+                for p in 0..n {
+                    let mut worker = TraceTask::morsel_worker(
+                        Rc::clone(&self.db),
+                        Rc::clone(&queue),
+                        p as u32,
+                        ctx.self_id(),
+                        Rc::clone(&running.remaining),
+                    );
+                    if self.fault_recovery {
+                        worker = worker.with_fault_recovery(
+                            Rc::clone(&self.metrics),
+                            self.governor.io_retry_attempts,
+                        );
+                    }
+                    ctx.spawn(Box::new(worker));
+                }
+                self.state = StreamState::Run(running);
+                return Step::Demand(Demand::Block {
+                    class: WaitClass::Parallelism,
+                });
+            }
             let workers: Vec<_> = running.stages[running.stage]
                 .workers
                 .iter()

@@ -1,0 +1,378 @@
+//! Vectorized expression evaluation over columnar batches.
+//!
+//! [`PhysicalExpr`] is the compiled, batch-at-a-time counterpart of the
+//! row-at-a-time [`Expr::eval`]: [`compile`] lowers an expression tree
+//! into physical nodes whose [`PhysicalExpr::evaluate`] produces one
+//! [`ColumnVector`] of results for the *live* rows of a [`Batch`].
+//!
+//! Semantics are kept bit-identical to the row engine by reusing its
+//! scalar kernels (`numeric`, `truthy`, [`cmp_values`]) elementwise; a
+//! typed fast path covers the common integer-comparison case. The row
+//! engine short-circuits `AND`/`OR` while this module evaluates both
+//! sides; expression evaluation is side-effect-free, so results agree.
+
+use crate::batch::{Batch, ColumnVector};
+use crate::expr::{numeric, numeric_of, truthy, CmpOp, Expr};
+use dbsens_storage::value::{cmp_values, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A compiled expression evaluated column-at-a-time over a batch.
+pub trait PhysicalExpr: fmt::Debug {
+    /// Evaluates the expression for every live row of `batch`, returning
+    /// a dense vector of `batch.num_rows()` results in live-row order.
+    fn evaluate(&self, batch: &Batch) -> ColumnVector;
+}
+
+/// Compiles an expression tree into a physical evaluator.
+pub fn compile(e: &Expr) -> Box<dyn PhysicalExpr> {
+    match e {
+        Expr::Col(i) => Box::new(ColumnRef { col: *i }),
+        Expr::Lit(v) => Box::new(Literal { value: v.clone() }),
+        Expr::Add(a, b) => bin(BinKind::Add, a, b),
+        Expr::Sub(a, b) => bin(BinKind::Sub, a, b),
+        Expr::Mul(a, b) => bin(BinKind::Mul, a, b),
+        Expr::Div(a, b) => bin(BinKind::Div, a, b),
+        Expr::IntDiv(a, b) => bin(BinKind::IntDiv, a, b),
+        Expr::Cmp(op, a, b) => bin(BinKind::Cmp(*op), a, b),
+        Expr::And(a, b) => bin(BinKind::And, a, b),
+        Expr::Or(a, b) => bin(BinKind::Or, a, b),
+        Expr::Not(a) => Box::new(UnaryExpr {
+            kind: UnKind::Not,
+            input: compile(a),
+        }),
+        Expr::IsNull(a) => Box::new(UnaryExpr {
+            kind: UnKind::IsNull,
+            input: compile(a),
+        }),
+        Expr::StartsWith(a, p) => Box::new(UnaryExpr {
+            kind: UnKind::StartsWith(p.clone()),
+            input: compile(a),
+        }),
+        Expr::Contains(a, p) => Box::new(UnaryExpr {
+            kind: UnKind::Contains(p.clone()),
+            input: compile(a),
+        }),
+        Expr::InList(a, list) => Box::new(UnaryExpr {
+            kind: UnKind::InList(list.clone()),
+            input: compile(a),
+        }),
+        Expr::Between(a, lo, hi) => Box::new(UnaryExpr {
+            kind: UnKind::Between(lo.clone(), hi.clone()),
+            input: compile(a),
+        }),
+    }
+}
+
+/// Evaluates a compiled predicate over a batch, returning the live-row
+/// positions (not physical indices) where it holds.
+pub fn filter_mask(pred: &dyn PhysicalExpr, batch: &Batch) -> Vec<u32> {
+    match pred.evaluate(batch) {
+        // Boolean results are Int(0/1); the typed path avoids boxing.
+        ColumnVector::Int(v) => (0..v.len() as u32)
+            .filter(|&i| v[i as usize] != 0)
+            .collect(),
+        other => (0..other.len() as u32)
+            .filter(|&i| truthy(&other.get(i as usize)))
+            .collect(),
+    }
+}
+
+fn bin(kind: BinKind, a: &Expr, b: &Expr) -> Box<dyn PhysicalExpr> {
+    Box::new(BinaryExpr {
+        kind,
+        left: compile(a),
+        right: compile(b),
+    })
+}
+
+/// Column reference: gathers the live rows of one input column.
+#[derive(Debug)]
+struct ColumnRef {
+    col: usize,
+}
+
+impl PhysicalExpr for ColumnRef {
+    fn evaluate(&self, batch: &Batch) -> ColumnVector {
+        let col = &batch.cols[self.col];
+        match &batch.sel {
+            // No mask: the column is already the dense live view.
+            None => col.clone(),
+            Some(sel) => match col {
+                ColumnVector::Int(v) => {
+                    ColumnVector::Int(sel.iter().map(|&i| v[i as usize]).collect())
+                }
+                ColumnVector::Float(v) => {
+                    ColumnVector::Float(sel.iter().map(|&i| v[i as usize]).collect())
+                }
+                ColumnVector::Str(v) => {
+                    ColumnVector::Str(sel.iter().map(|&i| v[i as usize].clone()).collect())
+                }
+                ColumnVector::Mixed(v) => {
+                    ColumnVector::Mixed(sel.iter().map(|&i| v[i as usize].clone()).collect())
+                }
+            },
+        }
+    }
+}
+
+/// Literal broadcast to the batch length.
+#[derive(Debug)]
+struct Literal {
+    value: Value,
+}
+
+impl PhysicalExpr for Literal {
+    fn evaluate(&self, batch: &Batch) -> ColumnVector {
+        let n = batch.num_rows();
+        match &self.value {
+            Value::Int(i) => ColumnVector::Int(vec![*i; n]),
+            Value::Float(f) => ColumnVector::Float(vec![*f; n]),
+            Value::Str(s) => ColumnVector::Str(vec![s.clone(); n]),
+            Value::Null => ColumnVector::Mixed(vec![Value::Null; n]),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum BinKind {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    IntDiv,
+    Cmp(CmpOp),
+    And,
+    Or,
+}
+
+#[derive(Debug)]
+struct BinaryExpr {
+    kind: BinKind,
+    left: Box<dyn PhysicalExpr>,
+    right: Box<dyn PhysicalExpr>,
+}
+
+impl PhysicalExpr for BinaryExpr {
+    fn evaluate(&self, batch: &Batch) -> ColumnVector {
+        let l = self.left.evaluate(batch);
+        let r = self.right.evaluate(batch);
+        // Typed fast paths on uniformly-integer operands; `cmp_values`
+        // compares Int pairs as integers, so these are exact.
+        match (&self.kind, &l, &r) {
+            (BinKind::Cmp(op), ColumnVector::Int(a), ColumnVector::Int(b)) => {
+                return ColumnVector::Int(
+                    a.iter()
+                        .zip(b)
+                        .map(|(x, y)| op.test(x.cmp(y)) as i64)
+                        .collect(),
+                );
+            }
+            (BinKind::And, ColumnVector::Int(a), ColumnVector::Int(b)) => {
+                return ColumnVector::Int(
+                    a.iter()
+                        .zip(b)
+                        .map(|(x, y)| (*x != 0 && *y != 0) as i64)
+                        .collect(),
+                );
+            }
+            (BinKind::Or, ColumnVector::Int(a), ColumnVector::Int(b)) => {
+                return ColumnVector::Int(
+                    a.iter()
+                        .zip(b)
+                        .map(|(x, y)| (*x != 0 || *y != 0) as i64)
+                        .collect(),
+                );
+            }
+            _ => {}
+        }
+        let n = l.len();
+        let vals = (0..n)
+            .map(|i| {
+                let (x, y) = (l.get(i), r.get(i));
+                match self.kind {
+                    BinKind::Add => numeric(x, y, |a, b| a + b),
+                    BinKind::Sub => numeric(x, y, |a, b| a - b),
+                    BinKind::Mul => numeric(x, y, |a, b| a * b),
+                    BinKind::Div => match (numeric_of(&x), numeric_of(&y)) {
+                        (Some(a), Some(b)) if b != 0.0 => Value::Float(a / b),
+                        _ => Value::Null,
+                    },
+                    BinKind::IntDiv => match (numeric_of(&x), numeric_of(&y)) {
+                        (Some(a), Some(b)) if b != 0.0 => Value::Int((a / b).floor() as i64),
+                        _ => Value::Null,
+                    },
+                    BinKind::Cmp(op) => {
+                        if x.is_null() || y.is_null() {
+                            Value::Int(0)
+                        } else {
+                            Value::Int(op.test(cmp_values(&x, &y)) as i64)
+                        }
+                    }
+                    BinKind::And => Value::Int((truthy(&x) && truthy(&y)) as i64),
+                    BinKind::Or => Value::Int((truthy(&x) || truthy(&y)) as i64),
+                }
+            })
+            .collect();
+        ColumnVector::from_values(vals)
+    }
+}
+
+#[derive(Debug)]
+enum UnKind {
+    Not,
+    IsNull,
+    StartsWith(String),
+    Contains(String),
+    InList(Vec<Value>),
+    Between(Value, Value),
+}
+
+#[derive(Debug)]
+struct UnaryExpr {
+    kind: UnKind,
+    input: Box<dyn PhysicalExpr>,
+}
+
+impl PhysicalExpr for UnaryExpr {
+    fn evaluate(&self, batch: &Batch) -> ColumnVector {
+        let v = self.input.evaluate(batch);
+        // String predicates on a typed Str vector skip per-value boxing.
+        if let (UnKind::StartsWith(p), ColumnVector::Str(s)) = (&self.kind, &v) {
+            return ColumnVector::Int(s.iter().map(|x| x.starts_with(p.as_str()) as i64).collect());
+        }
+        if let (UnKind::Contains(p), ColumnVector::Str(s)) = (&self.kind, &v) {
+            return ColumnVector::Int(s.iter().map(|x| x.contains(p.as_str()) as i64).collect());
+        }
+        let out = (0..v.len())
+            .map(|i| {
+                let x = v.get(i);
+                match &self.kind {
+                    UnKind::Not => (!truthy(&x)) as i64,
+                    UnKind::IsNull => x.is_null() as i64,
+                    UnKind::StartsWith(p) => match x {
+                        Value::Str(s) => s.starts_with(p.as_str()) as i64,
+                        _ => 0,
+                    },
+                    UnKind::Contains(p) => match x {
+                        Value::Str(s) => s.contains(p.as_str()) as i64,
+                        _ => 0,
+                    },
+                    UnKind::InList(list) => {
+                        list.iter().any(|l| cmp_values(l, &x) == Ordering::Equal) as i64
+                    }
+                    UnKind::Between(lo, hi) => {
+                        if x.is_null() {
+                            0
+                        } else {
+                            (cmp_values(&x, lo) != Ordering::Less
+                                && cmp_values(&x, hi) != Ordering::Greater)
+                                as i64
+                        }
+                    }
+                }
+            })
+            .collect();
+        ColumnVector::Int(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsens_storage::value::Row;
+
+    /// Every compiled expression must agree with the row engine on every
+    /// row — the invariant that makes push/volcano results interchangeable.
+    fn assert_parity(e: &Expr, rows: &[Row]) {
+        let batch = Batch::from_rows(rows.to_vec());
+        let compiled = compile(e);
+        let got = compiled.evaluate(&batch);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(got.get(i), e.eval(row), "row {i} of {e}");
+        }
+    }
+
+    fn sample_rows() -> Vec<Row> {
+        vec![
+            vec![Value::Int(4), Value::Float(2.5), Value::Str("alpha".into())],
+            vec![Value::Int(-3), Value::Float(0.0), Value::Str("beta".into())],
+            vec![Value::Int(0), Value::Null, Value::Str("".into())],
+            vec![Value::Int(7), Value::Float(-1.5), Value::Str("alps".into())],
+        ]
+    }
+
+    #[test]
+    fn arithmetic_and_comparison_parity() {
+        let rows = sample_rows();
+        assert_parity(&Expr::Col(0).add(Expr::lit(2i64)), &rows);
+        assert_parity(&Expr::Col(0).mul(Expr::Col(1)), &rows);
+        assert_parity(&Expr::Col(1).div(Expr::Col(0)), &rows);
+        assert_parity(
+            &Expr::IntDiv(Box::new(Expr::Col(0)), Box::new(Expr::lit(2i64))),
+            &rows,
+        );
+        for op in [
+            CmpOp::Eq,
+            CmpOp::Ne,
+            CmpOp::Lt,
+            CmpOp::Le,
+            CmpOp::Gt,
+            CmpOp::Ge,
+        ] {
+            assert_parity(&Expr::cmp(op, Expr::Col(0), Expr::lit(1i64)), &rows);
+            assert_parity(&Expr::cmp(op, Expr::Col(1), Expr::lit(0.5f64)), &rows);
+        }
+    }
+
+    #[test]
+    fn boolean_and_string_parity() {
+        let rows = sample_rows();
+        let gt = Expr::cmp(CmpOp::Gt, Expr::Col(0), Expr::lit(0i64));
+        let lt = Expr::cmp(CmpOp::Lt, Expr::Col(1), Expr::lit(2.0f64));
+        assert_parity(&gt.clone().and(lt.clone()), &rows);
+        assert_parity(&gt.clone().or(lt), &rows);
+        assert_parity(&Expr::Not(Box::new(gt)), &rows);
+        assert_parity(&Expr::IsNull(Box::new(Expr::Col(1))), &rows);
+        assert_parity(
+            &Expr::StartsWith(Box::new(Expr::Col(2)), "alp".into()),
+            &rows,
+        );
+        assert_parity(&Expr::Contains(Box::new(Expr::Col(2)), "et".into()), &rows);
+        assert_parity(
+            &Expr::InList(Box::new(Expr::Col(0)), vec![Value::Int(4), Value::Int(0)]),
+            &rows,
+        );
+        assert_parity(
+            &Expr::Between(Box::new(Expr::Col(0)), Value::Int(0), Value::Int(5)),
+            &rows,
+        );
+    }
+
+    #[test]
+    fn masked_batches_evaluate_live_rows_only() {
+        let rows = sample_rows();
+        let mut batch = Batch::from_rows(rows.clone());
+        batch.select(vec![1, 3]);
+        let e = Expr::Col(0).add(Expr::lit(1i64));
+        let got = compile(&e).evaluate(&batch);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got.get(0), e.eval(&rows[1]));
+        assert_eq!(got.get(1), e.eval(&rows[3]));
+    }
+
+    #[test]
+    fn filter_mask_matches_row_predicate() {
+        let rows = sample_rows();
+        let batch = Batch::from_rows(rows.clone());
+        let pred = Expr::cmp(CmpOp::Gt, Expr::Col(0), Expr::lit(0i64));
+        let mask = filter_mask(compile(&pred).as_ref(), &batch);
+        let expect: Vec<u32> = rows
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| pred.matches(r))
+            .map(|(i, _)| i as u32)
+            .collect();
+        assert_eq!(mask, expect);
+    }
+}

@@ -365,6 +365,11 @@ pub struct FaultLogEntry {
     pub end_ns: u64,
     /// Human-readable fault description.
     pub kind: String,
+    /// Pipeline partitions that had blocking I/O in flight while the
+    /// window was open, in first-hit order. Empty for runs without
+    /// partitioned query workers (and for logs from older result files).
+    #[serde(default)]
+    pub partitions: Vec<u32>,
 }
 
 #[cfg(test)]

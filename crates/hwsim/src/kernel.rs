@@ -191,6 +191,14 @@ pub struct Kernel {
     affinity_cores: Vec<CoreId>,
     fault_active: Vec<bool>,
     fault_log: Vec<FaultLogEntry>,
+    /// For each configured fault window, the index of its entry in
+    /// `fault_log` while the window is open (used to tag entries with the
+    /// pipeline partitions whose I/O they hit).
+    fault_entry: Vec<Option<usize>>,
+    /// Core busy nanoseconds attributed per pipeline partition, indexed by
+    /// partition id (grown on demand). Tasks that report no partition are
+    /// not accounted here.
+    partition_busy: Vec<u64>,
     /// Events dispatched so far (the crash-point coordinate system).
     dispatched: u64,
     /// Set once the configured crash point fires; no further events run.
@@ -231,6 +239,8 @@ impl Kernel {
             affinity_cores,
             fault_active: vec![false; cfg.faults.len()],
             fault_log: Vec::new(),
+            fault_entry: vec![None; cfg.faults.len()],
+            partition_busy: Vec::new(),
             dispatched: 0,
             halted: false,
             cfg,
@@ -416,15 +426,18 @@ impl Kernel {
                 let i = i as usize;
                 self.fault_active[i] = true;
                 let w = self.cfg.faults.windows()[i];
+                self.fault_entry[i] = Some(self.fault_log.len());
                 self.fault_log.push(FaultLogEntry {
                     start_ns: w.start.as_nanos(),
                     end_ns: w.end.as_nanos(),
                     kind: w.kind.to_string(),
+                    partitions: Vec::new(),
                 });
                 self.apply_faults();
             }
             EventKind::FaultEnd(i) => {
                 self.fault_active[i as usize] = false;
+                self.fault_entry[i as usize] = None;
                 self.apply_faults();
                 // Cores may have come back online: restart queued bursts.
                 self.dispatch_waiters();
@@ -476,6 +489,35 @@ impl Kernel {
     /// Fault windows realized so far (empty when fault injection is off).
     pub fn fault_log(&self) -> &[FaultLogEntry] {
         &self.fault_log
+    }
+
+    /// Core busy nanoseconds attributed per pipeline partition, indexed by
+    /// partition id. Empty unless partitioned query workers ran.
+    pub fn partition_busy_ns(&self) -> &[u64] {
+        &self.partition_busy
+    }
+
+    /// Records the demanding task's pipeline partition (if any) in every
+    /// currently-open fault window's log entry, so post-run analysis can
+    /// see which partitions had I/O in flight during a fault.
+    fn tag_fault_partitions(&mut self, id: TaskId) {
+        if self.fault_log.is_empty() {
+            return;
+        }
+        let Some(p) = self.tasks[id.0].task.as_ref().and_then(|t| t.partition()) else {
+            return;
+        };
+        for (i, active) in self.fault_active.iter().enumerate() {
+            if !*active {
+                continue;
+            }
+            if let Some(entry) = self.fault_entry[i] {
+                let parts = &mut self.fault_log[entry].partitions;
+                if !parts.contains(&p) {
+                    parts.push(p);
+                }
+            }
+        }
     }
 
     /// Returns `true` if this run has a fault schedule armed.
@@ -556,6 +598,7 @@ impl Kernel {
                 }
             }
             Demand::DeviceRead { bytes, class } => {
+                self.tag_fault_partitions(id);
                 let done = self.ssd.submit_read(self.now, bytes);
                 self.waits.add(class, done.saturating_since(self.now));
                 let slot = &mut self.tasks[id.0];
@@ -564,6 +607,7 @@ impl Kernel {
                 self.push(done, EventKind::IoDone(id.0 as u32));
             }
             Demand::DeviceWrite { bytes, class } => {
+                self.tag_fault_partitions(id);
                 let done = self.ssd.submit_write(self.now, bytes);
                 self.waits.add(class, done.saturating_since(self.now));
                 let slot = &mut self.tasks[id.0];
@@ -645,6 +689,13 @@ impl Kernel {
             .cpu
             .burst_duration(core, instructions, outcome, self.spans_sockets)
             + dram_delay;
+        if let Some(p) = self.tasks[id.0].task.as_ref().and_then(|t| t.partition()) {
+            let p = p as usize;
+            if p >= self.partition_busy.len() {
+                self.partition_busy.resize(p + 1, 0);
+            }
+            self.partition_busy[p] += dur.as_nanos();
+        }
         self.cpu.occupy(core);
         self.tasks[id.0].state = TState::Running { core };
         self.push(

@@ -269,6 +269,16 @@ pub trait SimTask: fmt::Debug {
     fn label(&self) -> &str {
         "task"
     }
+
+    /// Pipeline partition this task executes on behalf of, if any.
+    ///
+    /// Morsel-driven query workers report their partition id here so the
+    /// kernel can attribute core busy time per partition and tag fault
+    /// windows with the partitions whose I/O they hit. Non-query tasks
+    /// (clients, background writers) return `None`.
+    fn partition(&self) -> Option<u32> {
+        None
+    }
 }
 
 #[cfg(test)]

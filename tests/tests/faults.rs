@@ -73,6 +73,40 @@ fn ssd_brownout_degrades_gracefully_not_fatally() {
 }
 
 #[test]
+fn pipeline_path_still_degrades_and_tags_partitions() {
+    // An analytical workload on the default morsel-driven executor must
+    // keep the graceful-degradation classification under an SSD brownout,
+    // and the realized fault windows must name the pipeline partitions
+    // they overlapped.
+    let knobs = ResourceKnobs::paper_full()
+        .with_run_secs(6)
+        .with_faults(brownout());
+    let exp = Experiment {
+        workload: WorkloadSpec::TpchThroughput {
+            sf: 10.0,
+            streams: 2,
+        },
+        knobs,
+        scale: ScaleCfg::test(),
+    };
+    let outcome = Runner::new()
+        .threads(1)
+        .run(vec![exp])
+        .into_iter()
+        .next()
+        .unwrap();
+    assert_eq!(RunClass::of(&outcome), RunClass::Degraded);
+    let r = outcome.expect("brownout must degrade, not fail");
+    assert!(r.tps > 0.0 || r.qps > 0.0, "work kept completing");
+    assert!(!r.fault_events.is_empty(), "windows should have opened");
+    assert!(
+        r.fault_events.iter().any(|e| !e.partitions.is_empty()),
+        "fault windows should record the pipeline partitions they hit: {:?}",
+        r.fault_events
+    );
+}
+
+#[test]
 fn faulted_run_loses_throughput_but_survives() {
     let healthy = tpce(ResourceKnobs::paper_full().with_run_secs(6)).run();
     let harsh = brownout()

@@ -21,12 +21,18 @@ use dbsens_core::crashverify::{verify_class, CrashClass, CrashVerifyConfig};
 use dbsens_core::digest::of_json;
 use dbsens_core::experiment::Experiment;
 use dbsens_core::knobs::ResourceKnobs;
+use dbsens_engine::governor::ExecMode;
 use dbsens_hwsim::faults::FaultSpec;
 use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
 use std::path::PathBuf;
 
 /// One golden point: a name and the digest of its full result.
+///
+/// The analytical points exist in both executor flavors: `olap-tpch` and
+/// `htap-constrained` pin the legacy volcano walker (their digests are
+/// frozen from before the push executor landed and must never move), and
+/// `olap-tpch-pipeline`/`htap-pipeline` cover the morsel-driven default.
 fn sweep() -> Vec<(&'static str, String)> {
     let scale = ScaleCfg::experiment();
     let base = ResourceKnobs::paper_full().with_seed(42);
@@ -44,6 +50,14 @@ fn sweep() -> Vec<(&'static str, String)> {
         .with_ssd_throttle(2, 0.25)
         .with_ssd_errors(1, 0.02)
         .with_fault_secs(1.0);
+    let olap = WorkloadSpec::TpchThroughput {
+        sf: 10.0,
+        streams: 2,
+    };
+    let htap = WorkloadSpec::Htap {
+        sf: 5000.0,
+        users: 8,
+    };
     let mut points = vec![
         run(
             "oltp-tpce",
@@ -55,18 +69,24 @@ fn sweep() -> Vec<(&'static str, String)> {
         ),
         run(
             "olap-tpch",
-            WorkloadSpec::TpchThroughput {
-                sf: 10.0,
-                streams: 2,
-            },
-            base.clone().with_run_secs(30),
+            olap.clone(),
+            base.clone()
+                .with_run_secs(30)
+                .with_exec_mode(ExecMode::Volcano),
         ),
+        run("olap-tpch-pipeline", olap, base.clone().with_run_secs(30)),
         run(
             "htap-constrained",
-            WorkloadSpec::Htap {
-                sf: 5000.0,
-                users: 8,
-            },
+            htap.clone(),
+            base.clone()
+                .with_run_secs(3)
+                .with_cores(8)
+                .with_llc_mb(10)
+                .with_exec_mode(ExecMode::Volcano),
+        ),
+        run(
+            "htap-pipeline",
+            htap,
             base.clone().with_run_secs(3).with_cores(8).with_llc_mb(10),
         ),
         run(
@@ -103,6 +123,31 @@ fn render(points: &[(&str, String)]) -> String {
         out.push_str(&format!("{name} {digest}\n"));
     }
     out
+}
+
+#[test]
+fn pipeline_results_are_dop_invariant() {
+    // The morsel-driven executor must compute the same rows at every
+    // degree of parallelism: one full TPC-H power pass, identical query
+    // result digests across MAXDOP 1/4/16.
+    let digest_at = |dop: usize| {
+        Experiment {
+            workload: WorkloadSpec::TpchPower { sf: 10.0 },
+            knobs: ResourceKnobs::paper_full()
+                .with_seed(42)
+                .with_run_secs(60)
+                .with_maxdop_and_cores(dop),
+            scale: ScaleCfg::test(),
+        }
+        .run_with_result_digest()
+        .1
+    };
+    let d1 = digest_at(1);
+    let d4 = digest_at(4);
+    let d16 = digest_at(16);
+    assert!(!d1.is_empty(), "power pass recorded no query results");
+    assert_eq!(d1, d4, "results differ between MAXDOP 1 and 4");
+    assert_eq!(d1, d16, "results differ between MAXDOP 1 and 16");
 }
 
 #[test]
