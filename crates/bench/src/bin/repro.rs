@@ -7,12 +7,16 @@
 //!   repro faults <profile>         baseline-vs-faulted degradation report
 //!   repro crash  <class>...        kill-at-any-point durability verifier
 //!   repro perf                     host-side simulator micro-benchmark
+//!   repro serve  --scenario <name> overload-robust service mode
+//!   repro cache  [--gc]            result-cache usage report / GC
 //! Global flags: [--profile quick|full] [--quick] [--no-cache]
 //!               [--json PATH] [--seed S] [--points N] [--baseline PATH]
+//!               [--no-shed] [--max-mb N]
 //! Targets: table2 table3 table4 fig2 fig3 fig4 fig5 fig6 fig7 fig8
 //!          write_limits ablation all
 //! Fault profiles: ssd-brownout core-loss dram-brownout
 //! Crash classes: oltp olap htap all
+//! Serve scenarios: overload noisy-neighbor tenant-burst
 //! ```
 //!
 //! The pre-subcommand spellings (`repro <target>...`, `--faults
@@ -35,9 +39,18 @@
 //! embeds a previous report and computes the speedup. `perf` exits 1
 //! only on a correctness violation — same-seed digests differing between
 //! its paired runs, push/pull executors disagreeing on query results, or
-//! digests drifting from the baseline's — never on timing. `--json` is
-//! shared: `faults` and `crash` also write their reports to the given
-//! path. Unknown flags, profiles, or targets exit with code 2; a failing
+//! digests drifting from the baseline's — never on timing. `repro serve
+//! --scenario <name>` runs the overload-robust service mode: an
+//! open-loop multi-tenant arrival stream simulated three ways (a 0.8×
+//! baseline, the scenario's stress shape, and the stress shape with
+//! shedding disarmed) and gated on p99/goodput acceptance bounds;
+//! `--no-shed` runs just the disarmed stress run, and every decision the
+//! admission path takes folds into a trace digest that is bit-identical
+//! for the same `(--seed, scenario)`. `repro cache` prints result-cache
+//! usage; `--gc` evicts least-recently-used entries down to the cap
+//! (`--max-mb`, default 512 MiB). `--json` is shared: `faults`, `crash`,
+//! and `serve` also write their reports to the given path. Unknown
+//! flags, profiles, or targets exit with code 2; a failing
 //! experiment or durability violation is reported per-slot and exits
 //! with code 1 after the remaining targets run (degraded fault runs are
 //! expected and do not fail the process).
@@ -48,12 +61,14 @@ use dbsens_bench::figures;
 use dbsens_bench::perf;
 use dbsens_bench::profile::{fault_profile, profile_from_name, Profile, FAULT_PROFILES};
 use dbsens_bench::save_json;
-use dbsens_core::cache::ResultCache;
+use dbsens_core::cache::{ResultCache, DEFAULT_CACHE_CAP_BYTES};
 use dbsens_core::crashverify::{self, ClassReport, CrashClass, CrashVerifyConfig};
 use dbsens_core::progress::StderrReporter;
-use dbsens_core::runner::{ExperimentError, Runner};
+use dbsens_core::runner::{ExperimentError, GuardedRunner, Runner};
+use dbsens_core::serve::{Scenario, ServeConfig, ServiceHarness};
 use dbsens_hwsim::faults::FaultSpec;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Counting allocator so `repro perf` can report allocation counts; it
 /// delegates to the system allocator and costs two relaxed atomic adds
@@ -63,7 +78,9 @@ static ALLOC: CountingAlloc = CountingAlloc;
 
 /// The subcommands of the restructured CLI; the bare legacy spellings
 /// keep working as hidden deprecated aliases.
-const SUBCOMMANDS: &[&str] = &["sweep", "faults", "crash", "perf", "figure"];
+const SUBCOMMANDS: &[&str] = &[
+    "sweep", "faults", "crash", "perf", "figure", "serve", "cache",
+];
 
 /// Every valid target, in presentation order.
 const TARGETS: &[&str] = &[
@@ -106,6 +123,16 @@ struct Cli {
     json: Option<String>,
     /// Prior perf report to compare against (`--baseline`).
     perf_baseline: Option<String>,
+    /// Service-mode scenario when `serve` was requested.
+    serve: Option<Scenario>,
+    /// Whether `serve` should run only the shedding-disarmed stress run.
+    no_shed: bool,
+    /// Whether the `cache` usage report was requested.
+    cache_cmd: bool,
+    /// Whether `cache` should garbage-collect down to the cap.
+    cache_gc: bool,
+    /// Cache size cap override in MiB (`--max-mb`).
+    cache_max_mb: Option<u64>,
     /// Deprecation warnings to print before running (legacy spellings).
     warnings: Vec<String>,
 }
@@ -118,11 +145,15 @@ fn usage() -> String {
          \x20 repro faults <profile>       degradation report under faults\n\
          \x20 repro crash  <class>...      kill-at-any-point durability verifier\n\
          \x20 repro perf                   host-side simulator micro-benchmark\n\
+         \x20 repro serve --scenario NAME  overload-robust service mode\n\
+         \x20 repro cache [--gc]           result-cache usage report / GC\n\
          Global flags: [--profile quick|full] [--quick] [--no-cache]\n\
          \x20             [--json PATH] [--seed S] [--points N] [--baseline PATH]\n\
+         \x20             [--no-shed] [--max-mb N]\n\
          Targets: {}\n\
          Fault profiles: {}\n\
          Crash classes: oltp olap htap all\n\
+         Serve scenarios: {}\n\
          Cached experiment results live under results/cache/; delete the\n\
          directory to clear them or pass --no-cache to bypass.\n\
          faults runs the baseline-vs-faulted degradation report. Fault\n\
@@ -136,10 +167,24 @@ fn usage() -> String {
          (default BENCH_6.json); --baseline PATH embeds a prior report\n\
          and computes the speedup. It fails (exit 1) only on a\n\
          correctness violation, not timing.\n\
+         serve runs the overload-robust service mode: a seeded open-loop\n\
+         multi-tenant arrival stream simulated three ways (0.8x baseline,\n\
+         the scenario's stress shape, and the stress shape with shedding\n\
+         disarmed) and gated on p99/goodput acceptance bounds; --no-shed\n\
+         runs just the disarmed stress run. Decision traces are\n\
+         bit-identical in (--seed, scenario). Exits 1 if the acceptance\n\
+         gate fails.\n\
+         cache prints result-cache usage; --gc evicts least-recently-used\n\
+         entries down to the cap (--max-mb, default 512 MiB).\n\
          The pre-subcommand spellings (bare targets, --faults, --crash)\n\
          still work but are deprecated.",
         TARGETS.join(" "),
-        FAULT_PROFILES.join(" ")
+        FAULT_PROFILES.join(" "),
+        Scenario::ALL
+            .iter()
+            .map(|s| s.name())
+            .collect::<Vec<_>>()
+            .join(" ")
     )
 }
 
@@ -153,6 +198,20 @@ fn parse_crash_class(name: &str, crash: &mut Vec<CrashClass>) -> Result<(), Stri
         })?);
     }
     Ok(())
+}
+
+/// Parses a serve-scenario name.
+fn parse_scenario(name: &str) -> Result<Scenario, String> {
+    Scenario::from_name(name).ok_or_else(|| {
+        format!(
+            "unknown scenario '{name}' (expected one of: {})",
+            Scenario::ALL
+                .iter()
+                .map(|s| s.name())
+                .collect::<Vec<_>>()
+                .join(" ")
+        )
+    })
 }
 
 /// Parses a fault-profile name into the `(name, spec)` pair.
@@ -185,6 +244,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut perf = false;
     let mut json = None;
     let mut perf_baseline = None;
+    let mut serve = None;
+    let mut no_shed = false;
+    let mut cache_cmd = false;
+    let mut cache_gc = false;
+    let mut cache_max_mb = None;
     let mut warnings: Vec<String> = Vec::new();
 
     let sub = args
@@ -194,6 +258,9 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let rest = if sub.is_some() { &args[1..] } else { args };
     if sub == Some("perf") {
         perf = true;
+    }
+    if sub == Some("cache") {
+        cache_cmd = true;
     }
 
     let mut it = rest.iter();
@@ -243,6 +310,26 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 })?;
                 faults = Some(parse_fault_profile(name)?);
             }
+            "--scenario" => {
+                let name = it
+                    .next()
+                    .ok_or("--scenario requires a value (overload|noisy-neighbor|tenant-burst)")?;
+                serve = Some(parse_scenario(name)?);
+            }
+            "--no-shed" => no_shed = true,
+            "--gc" => {
+                if sub != Some("cache") {
+                    return Err("--gc only applies to `repro cache`".into());
+                }
+                cache_gc = true;
+            }
+            "--max-mb" => {
+                let n = it.next().ok_or("--max-mb requires a number")?;
+                cache_max_mb = Some(
+                    n.parse::<u64>()
+                        .map_err(|_| format!("--max-mb: '{n}' is not a number"))?,
+                );
+            }
             "--json" => {
                 let path = it.next().ok_or("--json requires a path")?;
                 json = Some(path.clone());
@@ -257,6 +344,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
             pos => match sub {
                 Some("faults") => faults = Some(parse_fault_profile(pos)?),
                 Some("crash") => parse_crash_class(pos, &mut crash)?,
+                Some("serve") => serve = Some(parse_scenario(pos)?),
+                Some("cache") => {
+                    return Err(format!("cache takes no positional argument (got '{pos}')"));
+                }
                 Some("sweep") | Some("figure") => {
                     if !TARGETS.contains(&pos) {
                         return Err(format!(
@@ -306,11 +397,23 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         Some("crash") if crash.is_empty() => {
             return Err("crash requires a class (oltp|olap|htap|all)".into());
         }
+        Some("serve") if serve.is_none() => {
+            return Err(
+                "serve requires a scenario (--scenario overload|noisy-neighbor|tenant-burst)"
+                    .into(),
+            );
+        }
         _ => {}
     }
     // A bare `--faults`, `--crash`, or `perf` run means "just that
     // report"; figure targets still default to `all` otherwise.
-    if sub.is_none() && targets.is_empty() && faults.is_none() && crash.is_empty() && !perf {
+    if sub.is_none()
+        && targets.is_empty()
+        && faults.is_none()
+        && crash.is_empty()
+        && !perf
+        && serve.is_none()
+    {
         targets.push("all".into());
     }
     crash.dedup();
@@ -327,6 +430,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         perf,
         json,
         perf_baseline,
+        serve,
+        no_shed,
+        cache_cmd,
+        cache_gc,
+        cache_max_mb,
         warnings,
     })
 }
@@ -362,6 +470,36 @@ fn main() {
     for w in &cli.warnings {
         eprintln!("[repro] warning: {w}");
     }
+
+    if cli.cache_cmd {
+        let mut cache = ResultCache::at_default();
+        if let Some(mb) = cli.cache_max_mb {
+            cache = cache.with_capacity_bytes(mb << 20);
+        }
+        let mib = |b: u64| b as f64 / (1 << 20) as f64;
+        let cap = cache.capacity_bytes().unwrap_or(DEFAULT_CACHE_CAP_BYTES);
+        println!("result cache: {}", cache.dir().display());
+        println!(
+            "  {} entries, {:.1} MiB on disk (cap {:.0} MiB)",
+            cache.len(),
+            mib(cache.total_bytes()),
+            mib(cap),
+        );
+        if cli.cache_gc {
+            let s = cache.gc();
+            println!(
+                "  gc: evicted {} of {} entries ({:.1} MiB -> {:.1} MiB)",
+                s.evicted,
+                s.entries_before,
+                mib(s.bytes_before),
+                mib(s.bytes_after),
+            );
+        } else {
+            println!("  (run `repro cache --gc` to evict down to the cap)");
+        }
+        return;
+    }
+
     let profile = &cli.profile;
     let mut runner = Runner::new()
         .threads(profile.threads)
@@ -382,6 +520,48 @@ fn main() {
     let mut degradation_failed = false;
     let mut crash_failed = false;
     let mut perf_failed = false;
+    let mut serve_failed = false;
+
+    if let Some(scenario) = cli.serve {
+        // The simulation itself is pure virtual time; the harness still
+        // demands a GuardedRunner so any real (calibration) execution on
+        // behalf of the service carries an armed watchdog.
+        let harness = ServiceHarness::new(GuardedRunner::new(Duration::from_secs(600)));
+        if cli.no_shed {
+            eprintln!(
+                "[repro] service run: '{}' stress with shedding disarmed (seed {})...",
+                scenario.name(),
+                cli.seed
+            );
+            let dur = if cli.quick { 20.0 } else { 60.0 };
+            let out = harness.run(
+                &ServeConfig::scenario_stress(scenario, cli.seed)
+                    .with_duration_secs(dur)
+                    .without_shedding(),
+            );
+            save_json(&format!("serve_{}_noshed", scenario.name()), &out);
+            if let Some(path) = cli.json.as_deref().filter(|_| !cli.perf) {
+                write_json_to(path, &out);
+            }
+            println!("{}", dbsens_bench::serve::render_outcome(&out));
+        } else {
+            eprintln!(
+                "[repro] service scenario '{}': baseline, stress, no-shed (seed {})...",
+                scenario.name(),
+                cli.seed
+            );
+            let report = harness.run_scenario(scenario, cli.seed, cli.quick);
+            save_json(&format!("serve_{}", scenario.name()), &report);
+            if let Some(path) = cli.json.as_deref().filter(|_| !cli.perf) {
+                write_json_to(path, &report);
+            }
+            println!("{}", dbsens_bench::serve::render(&report));
+            if !report.acceptance.pass {
+                eprintln!("[repro] service acceptance gate failed");
+                serve_failed = true;
+            }
+        }
+    }
 
     if cli.perf {
         let baseline = cli.perf_baseline.as_ref().map(|path| {
@@ -437,7 +617,11 @@ fn main() {
             reports.push(report);
         }
         save_json("crash_verify", &reports);
-        if let Some(path) = cli.json.as_deref().filter(|_| !cli.perf) {
+        if let Some(path) = cli
+            .json
+            .as_deref()
+            .filter(|_| !cli.perf && cli.serve.is_none())
+        {
             write_json_to(path, &reports);
         }
         println!("{}", crashverify::render_report(&reports));
@@ -454,7 +638,7 @@ fn main() {
         if let Some(path) = cli
             .json
             .as_deref()
-            .filter(|_| !cli.perf && cli.crash.is_empty())
+            .filter(|_| !cli.perf && cli.crash.is_empty() && cli.serve.is_none())
         {
             write_json_to(path, &report);
         }
@@ -594,7 +778,7 @@ fn main() {
             eprintln!("[repro]   {e}");
         }
     }
-    if !failures.is_empty() || degradation_failed || crash_failed || perf_failed {
+    if !failures.is_empty() || degradation_failed || crash_failed || perf_failed || serve_failed {
         std::process::exit(1);
     }
 }
@@ -809,6 +993,52 @@ mod tests {
 
         // Bare `perf` is the same spelling as the subcommand: no warning.
         assert!(parse_args(&args(&["perf"])).unwrap().warnings.is_empty());
+    }
+
+    #[test]
+    fn parses_serve_scenarios_and_flags() {
+        let cli = parse_args(&args(&["serve", "--scenario", "overload", "--quick"])).unwrap();
+        assert_eq!(cli.serve, Some(Scenario::Overload));
+        assert!(cli.quick && !cli.no_shed);
+        assert!(cli.targets.is_empty(), "serve is report-only");
+        assert!(cli.warnings.is_empty());
+
+        // Positional spelling and --no-shed.
+        let cli = parse_args(&args(&[
+            "serve",
+            "noisy-neighbor",
+            "--no-shed",
+            "--seed",
+            "7",
+        ]))
+        .unwrap();
+        assert_eq!(cli.serve, Some(Scenario::NoisyNeighbor));
+        assert!(cli.no_shed);
+        assert_eq!(cli.seed, 7);
+
+        let err = parse_args(&args(&["serve"])).unwrap_err();
+        assert!(err.contains("requires a scenario"), "{err}");
+        let err = parse_args(&args(&["serve", "--scenario", "meltdown"])).unwrap_err();
+        assert!(err.contains("meltdown"), "{err}");
+        assert!(err.contains("tenant-burst"), "{err}");
+    }
+
+    #[test]
+    fn parses_cache_report_and_gc() {
+        let cli = parse_args(&args(&["cache"])).unwrap();
+        assert!(cli.cache_cmd && !cli.cache_gc);
+        assert!(cli.targets.is_empty(), "cache is report-only");
+
+        let cli = parse_args(&args(&["cache", "--gc", "--max-mb", "128"])).unwrap();
+        assert!(cli.cache_gc);
+        assert_eq!(cli.cache_max_mb, Some(128));
+
+        let err = parse_args(&args(&["cache", "everything"])).unwrap_err();
+        assert!(err.contains("no positional"), "{err}");
+        let err = parse_args(&args(&["cache", "--max-mb", "lots"])).unwrap_err();
+        assert!(err.contains("not a number"), "{err}");
+        let err = parse_args(&args(&["--gc"])).unwrap_err();
+        assert!(err.contains("repro cache"), "{err}");
     }
 
     #[test]

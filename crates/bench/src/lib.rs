@@ -13,6 +13,7 @@ pub mod figures;
 pub mod paper;
 pub mod perf;
 pub mod profile;
+pub mod serve;
 
 use std::io::Write as _;
 use std::path::Path;

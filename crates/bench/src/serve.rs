@@ -1,0 +1,165 @@
+//! Plain-text rendering for `repro serve` service-mode reports.
+
+use dbsens_core::serve::{ServeOutcome, ServeReport};
+
+fn pct(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        100.0 * num as f64 / den as f64
+    }
+}
+
+/// One summary line per run for the top-level comparison table.
+fn run_row(out: &ServeOutcome) -> String {
+    format!(
+        "{:<22} {:>9} {:>9} {:>6.1} {:>12.1} {:>9.1} {:>6.2} {:>8}",
+        out.label,
+        out.offered,
+        out.admitted,
+        pct(out.shed, out.offered),
+        out.goodput_qps,
+        out.p99_ms,
+        100.0 * out.deadline_miss_fraction,
+        out.backlog_at_end,
+    )
+}
+
+/// Renders one run's per-tenant breakdown plus its action logs.
+pub fn render_outcome(out: &ServeOutcome) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "run '{}' (seed {}, {:.0} virtual s, load x{:.1}, shedding {})\n",
+        out.label,
+        out.seed,
+        out.duration_secs,
+        out.load_multiplier,
+        if out.shed_enabled { "armed" } else { "OFF" },
+    ));
+    s.push_str(&format!(
+        "{:<8} {:<6} {:<5} {:>5} {:>4} {:>8} {:>7} {:>12} {:>9} {:>6} {:>5}\n",
+        "tenant",
+        "prio",
+        "class",
+        "cores",
+        "ways",
+        "offered",
+        "shed%",
+        "goodput(q/s)",
+        "p99(ms)",
+        "miss%",
+        "util"
+    ));
+    for t in &out.tenants {
+        let misses = t.completed_late + t.cancelled;
+        s.push_str(&format!(
+            "{:<8} {:<6} {:<5} {:>5} {:>4} {:>8} {:>7.1} {:>12.1} {:>9.1} {:>6.2} {:>5.2}\n",
+            t.tenant,
+            format!("{:?}", t.priority).to_lowercase(),
+            format!("{:?}", t.class).to_lowercase(),
+            t.cores,
+            t.llc_ways,
+            t.offered,
+            pct(t.shed(), t.offered),
+            t.goodput_qps,
+            t.p99_ms,
+            pct(misses, t.admitted),
+            t.utilization,
+        ));
+    }
+    if !out.breaker_log.is_empty() {
+        s.push_str(&format!(
+            "breaker: {} transition(s): {}\n",
+            out.breaker_log.len(),
+            out.breaker_log.join(", ")
+        ));
+    }
+    if !out.governance_log.is_empty() {
+        s.push_str(&format!(
+            "governance: {} reallocation(s): {}\n",
+            out.governance_log.len(),
+            out.governance_log.join(", ")
+        ));
+    }
+    for e in &out.sensitivity {
+        s.push_str(&format!(
+            "sensitivity {:<8} {:<22} (windows {}, util {:.2}, ways {:?}{})\n",
+            e.tenant,
+            e.verdict,
+            e.windows,
+            e.core_utilization,
+            e.llc_ways_observed,
+            e.llc_p99_slope
+                .map(|m| format!(", p99 +{:.0}%/way lost", 100.0 * m))
+                .unwrap_or_default(),
+        ));
+    }
+    s.push_str(&format!(
+        "decisions {} trace digest {}\n",
+        out.decisions, out.trace_digest
+    ));
+    s
+}
+
+/// Renders a scenario's full three-run report with the acceptance gate.
+pub fn render(report: &ServeReport) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "== Service mode: scenario '{}' (seed {}) ==\n\n",
+        report.scenario, report.seed
+    ));
+    s.push_str(&format!(
+        "{:<22} {:>9} {:>9} {:>6} {:>12} {:>9} {:>6} {:>8}\n",
+        "run", "offered", "admitted", "shed%", "goodput(q/s)", "p99(ms)", "miss%", "backlog"
+    ));
+    for out in [&report.baseline, &report.stressed, &report.no_shed] {
+        s.push_str(&run_row(out));
+        s.push('\n');
+    }
+    s.push('\n');
+    s.push_str(&render_outcome(&report.stressed));
+    s.push('\n');
+    let a = &report.acceptance;
+    s.push_str(&format!(
+        "acceptance: p99 x{:.2} vs baseline (limit x{:.1}) | goodput retained {:.0}% \
+         (floor {:.0}%) | without shedding: p99 x{:.1} worse, backlog {} => {}\n",
+        a.p99_ratio,
+        a.p99_limit,
+        100.0 * a.goodput_retained,
+        100.0 * a.goodput_floor,
+        a.no_shed_p99_ratio,
+        a.no_shed_backlog,
+        if a.pass { "PASS" } else { "FAIL" },
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsens_core::serve::{simulate, Scenario, ServeConfig};
+    use dbsens_core::{GuardedRunner, ServiceHarness};
+    use std::time::Duration;
+
+    #[test]
+    fn renders_a_full_scenario_report() {
+        let harness = ServiceHarness::new(GuardedRunner::new(Duration::from_secs(300)));
+        let report = harness.run_scenario(Scenario::TenantBurst, 5, true);
+        let text = render(&report);
+        assert!(text.contains("scenario 'tenant-burst'"), "{text}");
+        assert!(text.contains("acceptance:"), "{text}");
+        assert!(text.contains("trace digest"), "{text}");
+        for t in &report.stressed.tenants {
+            assert!(text.contains(&t.tenant), "{text}");
+        }
+    }
+
+    #[test]
+    fn renders_a_single_outcome() {
+        let cfg = ServeConfig::scenario_stress(Scenario::Overload, 5)
+            .with_duration_secs(5.0)
+            .without_shedding();
+        let text = render_outcome(&simulate(&cfg));
+        assert!(text.contains("shedding OFF"), "{text}");
+    }
+}

@@ -16,6 +16,7 @@ use crate::experiment::RunResult;
 use crate::knobs::ResourceKnobs;
 use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
+use serde::{Deserialize, Serialize};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -32,7 +33,16 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// v4: `RunResult` gained the `sim_events` kernel event count (the
 /// denominator of the `repro perf` events/sec trajectory).
-pub const CACHE_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: `ResourceKnobs` gained the service-mode per-query deadline
+/// (`service_deadline_secs`), so the knob triple serializes differently.
+pub const CACHE_SCHEMA_VERSION: u32 = 5;
+
+/// Default on-disk size cap applied by `repro cache --gc`: long-running
+/// service deployments accumulate entries across sweeps without bound
+/// otherwise. Callers can override per cache with
+/// [`ResultCache::with_capacity_bytes`].
+pub const DEFAULT_CACHE_CAP_BYTES: u64 = 512 << 20;
 
 /// Counter making concurrent temp-file names unique within the process.
 static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
@@ -54,12 +64,32 @@ static TMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 #[derive(Debug, Clone)]
 pub struct ResultCache {
     dir: PathBuf,
+    /// On-disk size cap in bytes; when set, writes that push the cache
+    /// over the cap trigger least-recently-used eviction.
+    cap_bytes: Option<u64>,
 }
 
 impl ResultCache {
-    /// A cache rooted at `dir` (created lazily on first write).
+    /// A cache rooted at `dir` (created lazily on first write), unbounded
+    /// unless [`ResultCache::with_capacity_bytes`] is applied.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        ResultCache { dir: dir.into() }
+        ResultCache {
+            dir: dir.into(),
+            cap_bytes: None,
+        }
+    }
+
+    /// Bounds the cache at `cap_bytes` on disk: every write that pushes
+    /// the total over the cap evicts least-recently-used entries (cache
+    /// hits refresh an entry's recency) until it fits again.
+    pub fn with_capacity_bytes(mut self, cap_bytes: u64) -> Self {
+        self.cap_bytes = Some(cap_bytes);
+        self
+    }
+
+    /// The configured size cap, if any.
+    pub fn capacity_bytes(&self) -> Option<u64> {
+        self.cap_bytes
     }
 
     /// The default cache location, `results/cache` under the current
@@ -93,7 +123,14 @@ impl ResultCache {
         let path = self.entry_path(key);
         let bytes = std::fs::read(&path).ok()?;
         match serde_json::from_slice(&bytes) {
-            Ok(result) => Some(result),
+            Ok(result) => {
+                // Refresh recency (best-effort) so LRU eviction keeps hot
+                // entries: the file's mtime is the recency stamp.
+                if let Ok(f) = std::fs::File::options().write(true).open(&path) {
+                    let _ = f.set_modified(std::time::SystemTime::now());
+                }
+                Some(result)
+            }
             Err(_) => {
                 let _ = std::fs::remove_file(&path);
                 None
@@ -122,6 +159,11 @@ impl ResultCache {
         {
             let _ = std::fs::remove_file(&tmp);
         }
+        if let Some(cap) = self.cap_bytes {
+            if self.total_bytes() > cap {
+                let _ = self.gc_to(cap);
+            }
+        }
     }
 
     /// Removes every cache entry (and the directory itself).
@@ -148,9 +190,83 @@ impl ResultCache {
         self.len() == 0
     }
 
+    /// Total bytes of all cache entries currently on disk.
+    pub fn total_bytes(&self) -> u64 {
+        self.entries()
+            .iter()
+            .map(|(_, _, bytes)| bytes)
+            .sum::<u64>()
+    }
+
+    /// Evicts least-recently-used entries until the cache fits in
+    /// `max_bytes`. Recency is the entry file's mtime, which cache hits
+    /// refresh; ties break on filename so the eviction order is stable.
+    /// Best-effort like every other cache operation: unreadable entries
+    /// count as already gone.
+    pub fn gc_to(&self, max_bytes: u64) -> GcStats {
+        let mut entries = self.entries();
+        entries.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        let bytes_before: u64 = entries.iter().map(|(_, _, b)| b).sum();
+        let entries_before = entries.len();
+        let mut total = bytes_before;
+        let mut evicted = 0usize;
+        for (path, _, bytes) in &entries {
+            if total <= max_bytes {
+                break;
+            }
+            if std::fs::remove_file(path).is_ok() {
+                total -= bytes;
+                evicted += 1;
+            }
+        }
+        GcStats {
+            entries_before,
+            entries_after: entries_before - evicted,
+            bytes_before,
+            bytes_after: total,
+            evicted,
+        }
+    }
+
+    /// Runs [`ResultCache::gc_to`] at the configured capacity (or
+    /// [`DEFAULT_CACHE_CAP_BYTES`] when the cache is unbounded).
+    pub fn gc(&self) -> GcStats {
+        self.gc_to(self.cap_bytes.unwrap_or(DEFAULT_CACHE_CAP_BYTES))
+    }
+
+    /// Every entry on disk as `(path, mtime, bytes)`.
+    fn entries(&self) -> Vec<(PathBuf, std::time::SystemTime, u64)> {
+        let Ok(rd) = std::fs::read_dir(&self.dir) else {
+            return Vec::new();
+        };
+        rd.filter_map(Result::ok)
+            .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+            .filter_map(|e| {
+                let meta = e.metadata().ok()?;
+                let mtime = meta.modified().ok()?;
+                Some((e.path(), mtime, meta.len()))
+            })
+            .collect()
+    }
+
     fn entry_path(&self, key: &str) -> PathBuf {
         self.dir.join(format!("{key}.json"))
     }
+}
+
+/// What one [`ResultCache::gc_to`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GcStats {
+    /// Entries on disk before the pass.
+    pub entries_before: usize,
+    /// Entries remaining after the pass.
+    pub entries_after: usize,
+    /// Total entry bytes before the pass.
+    pub bytes_before: u64,
+    /// Total entry bytes after the pass.
+    pub bytes_after: u64,
+    /// Entries evicted.
+    pub evicted: usize,
 }
 
 #[cfg(test)]
@@ -201,29 +317,115 @@ mod tests {
     #[test]
     fn prior_schema_entries_read_as_misses() {
         // The schema version is part of the key, so entries written by a
-        // v3 binary live under different names and can never be returned
-        // for a v4 lookup — simulate one and prove the lookup misses.
+        // v4 binary live under different names and can never be returned
+        // for a v5 lookup — simulate one and prove the lookup misses.
         let w = WorkloadSpec::TpcE {
             sf: 300.0,
             users: 16,
         };
         let k = ResourceKnobs::paper_full();
         let s = ScaleCfg::test();
-        let v3_key = crate::digest::of_json(&(3u32, &w, &k, &s));
-        let v4_key = ResultCache::key(&w, &k, &s);
-        assert_ne!(v3_key, v4_key, "schema bump must rename every entry");
+        let v4_key = crate::digest::of_json(&(4u32, &w, &k, &s));
+        let v5_key = ResultCache::key(&w, &k, &s);
+        assert_ne!(v4_key, v5_key, "schema bump must rename every entry");
 
-        let cache = ResultCache::new(scratch_dir("v3miss"));
-        cache.put(&v3_key, &sample_result());
+        let cache = ResultCache::new(scratch_dir("v4miss"));
+        cache.put(&v4_key, &sample_result());
         assert!(
-            cache.get(&v4_key).is_none(),
-            "v3 entry must not satisfy a v4 lookup"
+            cache.get(&v5_key).is_none(),
+            "v4 entry must not satisfy a v5 lookup"
         );
         assert_eq!(
-            cache.get(&v3_key),
+            cache.get(&v4_key),
             Some(sample_result()),
-            "v3 entry untouched on disk"
+            "v4 entry untouched on disk"
         );
+        let _ = cache.clear();
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_first() {
+        let cache = ResultCache::new(scratch_dir("gc"));
+        let keys = [
+            "00000000000000000000000000000000",
+            "11111111111111111111111111111111",
+            "22222222222222222222222222222222",
+        ];
+        let result = sample_result();
+        for key in &keys {
+            cache.put(key, &result);
+        }
+        let entry_bytes = cache.total_bytes() / 3;
+        // Stamp recency explicitly: key 1 is oldest, then key 0, then 2.
+        let base = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(1_000_000);
+        for (key, age_s) in [(keys[1], 0u64), (keys[0], 10), (keys[2], 20)] {
+            let f = std::fs::File::options()
+                .write(true)
+                .open(cache.dir().join(format!("{key}.json")))
+                .unwrap();
+            f.set_modified(base + std::time::Duration::from_secs(age_s))
+                .unwrap();
+        }
+        let stats = cache.gc_to(entry_bytes * 2);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.entries_before, 3);
+        assert_eq!(stats.entries_after, 2);
+        assert!(stats.bytes_after <= entry_bytes * 2);
+        assert!(cache.get(keys[1]).is_none(), "oldest entry must be evicted");
+        assert!(cache.get(keys[0]).is_some());
+        assert!(cache.get(keys[2]).is_some());
+        // A no-op pass changes nothing.
+        let stats = cache.gc_to(u64::MAX);
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(cache.len(), 2);
+        let _ = cache.clear();
+    }
+
+    #[test]
+    fn capped_cache_evicts_on_put_and_hits_refresh_recency() {
+        let result = sample_result();
+        let probe = ResultCache::new(scratch_dir("cap-probe"));
+        probe.put("00000000000000000000000000000000", &result);
+        let entry_bytes = probe.total_bytes();
+        let _ = probe.clear();
+        assert!(entry_bytes > 0);
+
+        // Cap at two entries; insert three with explicit recency stamps.
+        let cache =
+            ResultCache::new(scratch_dir("capped")).with_capacity_bytes(entry_bytes * 2 + 1);
+        assert_eq!(cache.capacity_bytes(), Some(entry_bytes * 2 + 1));
+        let keys = [
+            "00000000000000000000000000000000",
+            "11111111111111111111111111111111",
+            "22222222222222222222222222222222",
+        ];
+        let base = std::time::SystemTime::UNIX_EPOCH + std::time::Duration::from_secs(2_000_000);
+        for (i, key) in keys.iter().take(2).enumerate() {
+            cache.put(key, &result);
+            let f = std::fs::File::options()
+                .write(true)
+                .open(cache.dir().join(format!("{key}.json")))
+                .unwrap();
+            f.set_modified(base + std::time::Duration::from_secs(i as u64))
+                .unwrap();
+        }
+        // A hit on the older entry refreshes it past the newer one.
+        assert!(cache.get(keys[0]).is_some());
+        let f = std::fs::File::options()
+            .write(true)
+            .open(cache.dir().join(format!("{}.json", keys[0])))
+            .unwrap();
+        f.set_modified(base + std::time::Duration::from_secs(100))
+            .unwrap();
+
+        cache.put(keys[2], &result);
+        assert_eq!(cache.len(), 2, "third put must evict down to the cap");
+        assert!(
+            cache.get(keys[1]).is_none(),
+            "the untouched entry is now least recent and must be gone"
+        );
+        assert!(cache.get(keys[0]).is_some(), "hit entry survives");
+        assert!(cache.get(keys[2]).is_some(), "fresh entry survives");
         let _ = cache.clear();
     }
 

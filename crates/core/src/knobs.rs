@@ -53,6 +53,13 @@ pub struct ResourceKnobs {
     /// parallelism barriers.
     #[serde(default)]
     pub exec_mode: ExecMode,
+    /// Service-mode per-query deadline in virtual seconds. When set, the
+    /// governor is built via [`Governor::for_service`], so deadline
+    /// enforcement and the degradation machinery are always armed —
+    /// service paths never run unguarded queries. `None` (the default)
+    /// leaves batch-sweep behavior byte-identical.
+    #[serde(default)]
+    pub service_deadline_secs: Option<f64>,
 }
 
 impl ResourceKnobs {
@@ -70,7 +77,32 @@ impl ResourceKnobs {
             seed: 42,
             faults: FaultSpec::none(),
             exec_mode: ExecMode::default(),
+            service_deadline_secs: None,
         }
+    }
+
+    /// The allocation one service-mode tenant partition maps to: the
+    /// partition's core slots, its CAT ways (2 MB of machine-wide LLC per
+    /// way), and its memory-grant share, with a mandatory per-query
+    /// deadline so tenant probes always run guarded (see
+    /// [`Governor::for_service`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_secs` is not strictly positive.
+    pub fn for_tenant(
+        partition: &dbsens_hwsim::partition::TenantPartition,
+        deadline_secs: f64,
+    ) -> Self {
+        assert!(
+            deadline_secs > 0.0,
+            "tenant knobs require a positive per-query deadline"
+        );
+        ResourceKnobs::paper_full()
+            .with_cores(partition.cores)
+            .with_llc_mb(partition.llc_mb().clamp(2, 40))
+            .with_grant_fraction(partition.mem_share)
+            .with_service_deadline_secs(deadline_secs)
     }
 
     /// With a different core allocation.
@@ -145,6 +177,14 @@ impl ResourceKnobs {
         self
     }
 
+    /// With a service-mode per-query deadline in virtual seconds (the
+    /// governor then always enforces deadlines; see
+    /// [`Governor::for_service`]).
+    pub fn with_service_deadline_secs(mut self, secs: f64) -> Self {
+        self.service_deadline_secs = Some(secs);
+        self
+    }
+
     /// A compact human-readable summary of this allocation, used in error
     /// reports so a failing sweep slot names its exact configuration.
     pub fn describe(&self) -> String {
@@ -168,6 +208,9 @@ impl ResourceKnobs {
         }
         if self.exec_mode == ExecMode::Volcano {
             s.push_str(" exec=volcano");
+        }
+        if let Some(d) = self.service_deadline_secs {
+            s.push_str(&format!(" svc-deadline={d:.1}s"));
         }
         s
     }
@@ -207,14 +250,24 @@ impl ResourceKnobs {
 
     /// Builds the resource governor.
     pub fn governor(&self) -> Governor {
-        let mut g = Governor::paper_default(self.maxdop.min(self.cores).max(1));
+        let dop = self.maxdop.min(self.cores).max(1);
+        let mut g = match self.service_deadline_secs {
+            Some(deadline) => Governor::for_service(dop, deadline),
+            None => Governor::paper_default(dop),
+        };
         g.grant_fraction = self.grant_fraction;
         g.exec_mode = self.exec_mode;
         if !self.faults.is_none() {
             g.fault_recovery = true;
             g.io_retry_attempts = self.faults.io_retry_attempts;
             g.txn_retry_attempts = self.faults.txn_retry_attempts;
-            g.query_deadline_secs = self.faults.query_deadline_secs;
+            // A service deadline is a hard envelope; fault plans may only
+            // tighten it, never disable it.
+            g.query_deadline_secs = match self.service_deadline_secs {
+                Some(svc) if self.faults.query_deadline_secs <= 0.0 => svc,
+                Some(svc) => svc.min(self.faults.query_deadline_secs),
+                None => self.faults.query_deadline_secs,
+            };
         }
         g
     }
@@ -282,6 +335,34 @@ mod tests {
         assert_eq!(k.run_secs, 15);
         assert_eq!(k.read_limit_mbps, Some(200.0));
         assert_eq!(k.write_limit_mbps, None);
+    }
+
+    #[test]
+    fn tenant_knobs_map_partition_and_always_guard() {
+        use dbsens_hwsim::partition::TenantPartition;
+        let k = ResourceKnobs::for_tenant(&TenantPartition::new(8, 6, 0.3), 20.0);
+        assert_eq!(k.cores, 8);
+        assert_eq!(k.llc_mb, 12);
+        assert_eq!(k.grant_fraction, 0.3);
+        assert_eq!(k.service_deadline_secs, Some(20.0));
+        let g = k.governor();
+        assert!(g.fault_recovery, "service knobs must arm the watchdog");
+        assert_eq!(g.query_deadline_secs, 20.0);
+        assert!(k.describe().contains("svc-deadline=20.0s"));
+        // Fault plans may tighten but never disable a service deadline.
+        let faulted = k.clone().with_faults(
+            FaultSpec::none()
+                .with_ssd_throttle(1, 0.5)
+                .with_fault_secs(1.0),
+        );
+        assert_eq!(faulted.governor().query_deadline_secs, 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive per-query deadline")]
+    fn tenant_knobs_reject_zero_deadline() {
+        use dbsens_hwsim::partition::TenantPartition;
+        let _ = ResourceKnobs::for_tenant(&TenantPartition::new(4, 2, 0.1), 0.0);
     }
 
     #[test]

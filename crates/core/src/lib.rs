@@ -61,6 +61,7 @@ pub mod progress;
 pub mod queryexp;
 pub mod report;
 pub mod runner;
+pub mod serve;
 pub mod sweep;
 
 pub use cache::ResultCache;
@@ -71,4 +72,5 @@ pub use knobs::ResourceKnobs;
 pub use pitfalls::Warning;
 pub use progress::{Event, ProgressSink, StderrReporter};
 pub use queryexp::{QueryRunResult, TpchHarness};
-pub use runner::{ExperimentError, RetryPolicy, RunClass, Runner, Sweep};
+pub use runner::{ExperimentError, GuardedRunner, RetryPolicy, RunClass, Runner, Sweep};
+pub use serve::{Scenario, ServeConfig, ServeOutcome, ServeReport, ServiceHarness};

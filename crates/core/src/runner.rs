@@ -504,6 +504,80 @@ impl Runner {
     }
 }
 
+/// A [`Runner`] that is statically guaranteed to have a live watchdog
+/// deadline.
+///
+/// [`Runner::deadline`] is opt-in, which is right for offline sweeps but
+/// wrong for service paths: a long-running admission loop that dispatches
+/// to an unguarded runner can wedge forever on one hung experiment. This
+/// newtype makes that configuration unrepresentable — every constructor
+/// requires a nonzero deadline, the wrapped runner is only handed out by
+/// shared reference (so `without_deadline` can never be called on it),
+/// and service entry points take `GuardedRunner` instead of `Runner`.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_core::runner::{GuardedRunner, Runner};
+/// use std::time::Duration;
+///
+/// let guarded = GuardedRunner::from_runner(
+///     Runner::new().threads(4),
+///     Duration::from_secs(120),
+/// );
+/// assert_eq!(guarded.deadline(), Duration::from_secs(120));
+/// ```
+pub struct GuardedRunner {
+    runner: Runner,
+    limit: Duration,
+}
+
+impl GuardedRunner {
+    /// A default single-threaded runner guarded by `limit`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero — a zero deadline would fail every slot,
+    /// which is as useless as no watchdog at all.
+    pub fn new(limit: Duration) -> Self {
+        GuardedRunner::from_runner(Runner::new(), limit)
+    }
+
+    /// Wraps an existing runner, unconditionally (re-)arming its watchdog
+    /// at `limit`; whatever deadline `runner` carried before is replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero.
+    pub fn from_runner(runner: Runner, limit: Duration) -> Self {
+        assert!(
+            !limit.is_zero(),
+            "a GuardedRunner requires a nonzero watchdog deadline"
+        );
+        GuardedRunner {
+            runner: runner.deadline(limit),
+            limit,
+        }
+    }
+
+    /// The wrapped runner. Shared reference only: the builder methods
+    /// that could disarm the watchdog consume `self`, so they cannot be
+    /// reached through this accessor.
+    pub fn runner(&self) -> &Runner {
+        &self.runner
+    }
+
+    /// The armed watchdog deadline (always nonzero).
+    pub fn deadline(&self) -> Duration {
+        self.limit
+    }
+
+    /// Runs experiments on the guarded runner (see [`Runner::run`]).
+    pub fn run(&self, experiments: Vec<Experiment>) -> Vec<ExperimentOutcome> {
+        self.runner.run(experiments)
+    }
+}
+
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
@@ -723,6 +797,43 @@ mod tests {
         assert_eq!(steps, vec![1, 2, 4]);
         let ok = sweep.into_result().expect("all slots ok");
         assert_eq!(ok.len(), 3);
+    }
+
+    #[test]
+    fn guarded_runner_always_has_an_armed_watchdog() {
+        // Even a runner explicitly built without a deadline comes out of
+        // the wrapper armed.
+        let base = Runner::new()
+            .deadline(Duration::from_millis(1))
+            .without_deadline();
+        let guarded = GuardedRunner::from_runner(base, Duration::from_millis(30));
+        assert_eq!(guarded.deadline(), Duration::from_millis(30));
+        let slow = Experiment {
+            workload: WorkloadSpec::Asdb {
+                sf: 30.0,
+                clients: 8,
+            },
+            knobs: quick_knobs().with_run_secs(120).with_cores(4),
+            scale: ScaleCfg::test(),
+        };
+        let outcomes = guarded.run(vec![slow]);
+        let err = outcomes[0].as_ref().expect_err("slow slot should time out");
+        assert!(
+            err.message.contains("watchdog deadline"),
+            "message: {}",
+            err.message
+        );
+        // Healthy work completes under a generous guard, through the
+        // shared-ref accessor.
+        let generous = GuardedRunner::new(Duration::from_secs(300));
+        let ok = generous.runner().run(vec![experiment(2)]);
+        assert!(ok[0].is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero watchdog deadline")]
+    fn guarded_runner_rejects_zero_deadline() {
+        let _ = GuardedRunner::new(Duration::ZERO);
     }
 
     #[test]

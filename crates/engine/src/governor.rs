@@ -81,6 +81,26 @@ impl Governor {
         }
     }
 
+    /// Service-mode configuration: like [`Governor::paper_default`] but
+    /// with deadline enforcement and the graceful-degradation machinery
+    /// always armed. Long-running service paths must never execute a
+    /// query without a watchdog, so this constructor refuses a disabled
+    /// deadline instead of defaulting to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `deadline_secs` is not strictly positive.
+    pub fn for_service(maxdop: usize, deadline_secs: f64) -> Self {
+        assert!(
+            deadline_secs > 0.0,
+            "service governors require a positive per-query deadline"
+        );
+        let mut g = Governor::paper_default(maxdop);
+        g.fault_recovery = true;
+        g.query_deadline_secs = deadline_secs;
+        g
+    }
+
     /// Buffer pool bytes under this layout (SQL Server memory minus the
     /// workspace).
     pub fn bufferpool_bytes() -> u64 {
@@ -114,6 +134,20 @@ mod tests {
         // 25% of the workspace should be ~9.2 GB, as §8 reports.
         let cap_gb = g.grant_cap() as f64 / (1u64 << 30) as f64;
         assert!((cap_gb - 9.2).abs() < 0.3, "cap = {cap_gb} GB");
+    }
+
+    #[test]
+    fn service_governor_always_has_a_watchdog() {
+        let g = Governor::for_service(8, 30.0);
+        assert!(g.fault_recovery, "service paths must arm degradation");
+        assert_eq!(g.query_deadline_secs, 30.0);
+        assert_eq!(g.maxdop, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive per-query deadline")]
+    fn service_governor_rejects_disabled_deadline() {
+        let _ = Governor::for_service(8, 0.0);
     }
 
     #[test]

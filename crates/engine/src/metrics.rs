@@ -250,6 +250,102 @@ impl RunMetrics {
     }
 }
 
+/// Windowed latency aggregator for online (service-mode) monitoring.
+///
+/// Service mode needs per-control-window tail latencies — the signal the
+/// admission backpressure loop and the online sensitivity estimator both
+/// read — without keeping a run's full latency history per window.
+/// Latencies accumulate in milliseconds; [`LatencyWindow::drain`] closes
+/// the window, returning its summary and recycling the buffer.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_engine::metrics::LatencyWindow;
+///
+/// let mut w = LatencyWindow::new();
+/// for ms in [1.0, 2.0, 50.0] {
+///     w.record(ms);
+/// }
+/// assert_eq!(w.len(), 3);
+/// let summary = w.drain();
+/// assert_eq!(summary.count, 3);
+/// assert_eq!(summary.p99_ms, 50.0);
+/// assert!(w.is_empty());
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LatencyWindow {
+    lat_ms: Vec<f64>,
+}
+
+/// Closed-window summary produced by [`LatencyWindow::drain`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowSummary {
+    /// Latencies recorded in the window.
+    pub count: u64,
+    /// 99th-percentile latency (0 for an empty window).
+    pub p99_ms: f64,
+    /// Mean latency (0 for an empty window).
+    pub mean_ms: f64,
+}
+
+impl LatencyWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        LatencyWindow::default()
+    }
+
+    /// Records one completion latency in milliseconds.
+    pub fn record(&mut self, ms: f64) {
+        self.lat_ms.push(ms);
+    }
+
+    /// Latencies recorded in the open window.
+    pub fn len(&self) -> usize {
+        self.lat_ms.len()
+    }
+
+    /// Whether the open window has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.lat_ms.is_empty()
+    }
+
+    /// The 99th-percentile latency of the open window without closing it
+    /// (`None` when empty).
+    pub fn p99_ms(&self) -> Option<f64> {
+        if self.lat_ms.is_empty() {
+            return None;
+        }
+        let mut sorted = self.lat_ms.clone();
+        sorted.sort_unstable_by(f64::total_cmp);
+        let idx = ((sorted.len() as f64 - 1.0) * 0.99).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Appends every sample of `other`'s open window to this one
+    /// (merging per-tenant windows into an aggregate).
+    pub fn extend_from(&mut self, other: &LatencyWindow) {
+        self.lat_ms.extend_from_slice(&other.lat_ms);
+    }
+
+    /// Closes the window: returns its summary and clears the buffer (the
+    /// allocation is kept for the next window).
+    pub fn drain(&mut self) -> WindowSummary {
+        let count = self.lat_ms.len() as u64;
+        let summary = WindowSummary {
+            count,
+            p99_ms: self.p99_ms().unwrap_or(0.0),
+            mean_ms: if count == 0 {
+                0.0
+            } else {
+                self.lat_ms.iter().sum::<f64>() / count as f64
+            },
+        };
+        self.lat_ms.clear();
+        summary
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,5 +449,30 @@ mod tests {
         assert_eq!(m.gave_up(), 1);
         assert_eq!(m.deadline_misses(), 1);
         assert!(m.degraded());
+    }
+
+    #[test]
+    fn latency_window_summarizes_and_recycles() {
+        let mut w = LatencyWindow::new();
+        assert!(w.p99_ms().is_none());
+        let empty = w.drain();
+        assert_eq!(empty.count, 0);
+        assert_eq!(empty.p99_ms, 0.0);
+
+        for i in 1..=100 {
+            w.record(i as f64);
+        }
+        assert_eq!(w.p99_ms(), Some(99.0));
+        let s = w.drain();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p99_ms, 99.0);
+        assert!((s.mean_ms - 50.5).abs() < 1e-12);
+        assert!(w.is_empty(), "drain must start a fresh window");
+
+        // Unsorted input and duplicate values don't skew the tail.
+        for v in [5.0, 1.0, 5.0, 1.0, 5.0] {
+            w.record(v);
+        }
+        assert_eq!(w.drain().p99_ms, 5.0);
     }
 }

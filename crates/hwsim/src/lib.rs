@@ -51,6 +51,7 @@ pub mod dram;
 pub mod faults;
 pub mod kernel;
 pub mod mem;
+pub mod partition;
 pub mod rng;
 pub mod script;
 pub mod ssd;
@@ -66,6 +67,7 @@ pub use faults::{FaultKind, FaultLogEntry, FaultPlan, FaultSpec, FaultWindow};
 pub use fx::{FxHashMap, FxHashSet};
 pub use kernel::{Kernel, SimConfig};
 pub use mem::{MemProfile, Region};
+pub use partition::{PartitionError, PartitionId, PartitionMap, TenantPartition};
 pub use ssd::BlockIoLimit;
 pub use task::{Demand, SimTask, Step, TaskCtx, TaskId, WaitClass};
 pub use time::{SimDuration, SimTime};

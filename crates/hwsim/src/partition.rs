@@ -1,0 +1,435 @@
+//! Per-tenant hardware partition accounting for service mode.
+//!
+//! Long-running multi-tenant profiling maps every tenant onto a slice of
+//! the paper's knobs: a core affinity set (cpuset), a contiguous range of
+//! LLC ways (CAT), and a memory-grant share. [`PartitionMap`] owns the
+//! machine-wide budgets, validates that tenant slices never oversubscribe
+//! them, hands back the concrete [`CoreSet`]/[`CatMask`] a slice maps to,
+//! and keeps per-partition occupancy accounting (busy slots, cumulative
+//! busy core-time) so the service loop can report utilization per tenant.
+//!
+//! Allocation is deterministic: partitions are packed contiguously in
+//! assignment order, in the paper's core-allocation order (socket 0
+//! physical cores first, then socket 1, then SMT siblings), so a slice
+//! that fits on one socket stays on one socket — the "hardware islands"
+//! placement intuition that cross-socket OLTP pays coherence traffic.
+//!
+//! # Examples
+//!
+//! ```
+//! use dbsens_hwsim::partition::{PartitionMap, TenantPartition};
+//! use dbsens_hwsim::topology::Topology;
+//!
+//! let mut map = PartitionMap::new(Topology::paper_testbed());
+//! let a = map.assign(TenantPartition::new(8, 6, 0.3)).unwrap();
+//! let b = map.assign(TenantPartition::new(8, 6, 0.3)).unwrap();
+//! assert_eq!(map.core_set(a).len(), 8);
+//! assert_eq!(map.sockets_spanned(a), 1);
+//! assert_eq!(map.sockets_spanned(b), 1);
+//! assert!(map.core_set(a).iter().all(|c| !map.core_set(b).contains(c)));
+//! ```
+
+use crate::cache::CatMask;
+use crate::topology::{CoreId, CoreSet, Topology};
+use serde::{Deserialize, Serialize};
+
+/// CAT way budget per socket on the paper's testbed: 40 MB of LLC in
+/// 2 MB ways (1 MB per socket, mirrored across both sockets), matching
+/// `ResourceKnobs::sim_config`'s `CatMask::contiguous(llc_mb / 2)`.
+pub const CAT_WAYS_PER_SOCKET: u32 = 20;
+
+/// One tenant's slice of the machine: logical cores, LLC ways (each way
+/// is 2 MB of machine-wide LLC), and a memory-grant share in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantPartition {
+    /// Logical cores allocated to the tenant (also its service slots).
+    pub cores: usize,
+    /// Contiguous LLC ways allocated via CAT (mirrored on both sockets).
+    pub llc_ways: u32,
+    /// Fraction of the query-workspace memory granted to the tenant.
+    pub mem_share: f64,
+}
+
+impl TenantPartition {
+    /// A partition slice; `mem_share` is clamped to `[0, 1]`.
+    pub fn new(cores: usize, llc_ways: u32, mem_share: f64) -> Self {
+        TenantPartition {
+            cores,
+            llc_ways,
+            mem_share: mem_share.clamp(0.0, 1.0),
+        }
+    }
+
+    /// The machine-wide LLC megabytes this slice maps to (2 MB per way).
+    pub fn llc_mb(&self) -> u32 {
+        self.llc_ways * 2
+    }
+}
+
+/// Why a partition assignment or resize was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PartitionError {
+    /// The core budget cannot cover the request.
+    CoresExhausted {
+        /// Cores requested by the new slice.
+        requested: usize,
+        /// Cores still unassigned.
+        available: usize,
+    },
+    /// The CAT way budget cannot cover the request.
+    WaysExhausted {
+        /// Ways requested by the new slice.
+        requested: u32,
+        /// Ways still unassigned.
+        available: u32,
+    },
+    /// The memory-share budget (1.0) cannot cover the request.
+    MemOversubscribed {
+        /// Share requested by the new slice.
+        requested: f64,
+        /// Share still unassigned.
+        available: f64,
+    },
+    /// A partition must have at least one core and one LLC way.
+    EmptySlice,
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::CoresExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "core budget exhausted: want {requested}, {available} free"
+            ),
+            PartitionError::WaysExhausted {
+                requested,
+                available,
+            } => write!(
+                f,
+                "CAT way budget exhausted: want {requested}, {available} free"
+            ),
+            PartitionError::MemOversubscribed {
+                requested,
+                available,
+            } => write!(
+                f,
+                "memory share oversubscribed: want {requested:.2}, {available:.2} free"
+            ),
+            PartitionError::EmptySlice => {
+                write!(f, "partition needs at least one core and one LLC way")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Handle to one assigned partition within a [`PartitionMap`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PartitionId(pub usize);
+
+#[derive(Debug, Clone)]
+struct Slot {
+    part: TenantPartition,
+    core_offset: usize,
+    way_offset: u32,
+    /// Queries currently occupying a core slot of this partition.
+    busy: usize,
+    /// Peak concurrent occupancy observed.
+    max_busy: usize,
+    /// Accumulated busy core-nanoseconds up to `last_change_ns`.
+    busy_core_ns: u128,
+    last_change_ns: u64,
+}
+
+/// Machine-wide partition budgets plus per-tenant occupancy accounting.
+///
+/// Assignment packs core ranges and way ranges contiguously in
+/// assignment order; [`PartitionMap::resize_ways`] repacks way offsets
+/// (still in assignment order) so masks stay contiguous after
+/// governance shrinks or restores a tenant's slice.
+#[derive(Debug, Clone)]
+pub struct PartitionMap {
+    topo: Topology,
+    total_ways: u32,
+    slots: Vec<Slot>,
+}
+
+impl PartitionMap {
+    /// An empty map over `topo` with the paper's CAT way budget.
+    pub fn new(topo: Topology) -> Self {
+        PartitionMap {
+            topo,
+            total_ways: CAT_WAYS_PER_SOCKET,
+            slots: Vec::new(),
+        }
+    }
+
+    /// Number of assigned partitions.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no partition has been assigned.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Logical cores not yet assigned to any partition.
+    pub fn cores_free(&self) -> usize {
+        self.topo.logical_cores() - self.slots.iter().map(|s| s.part.cores).sum::<usize>()
+    }
+
+    /// CAT ways not yet assigned to any partition.
+    pub fn ways_free(&self) -> u32 {
+        self.total_ways - self.slots.iter().map(|s| s.part.llc_ways).sum::<u32>()
+    }
+
+    /// Memory share not yet assigned to any partition.
+    pub fn mem_free(&self) -> f64 {
+        (1.0 - self.slots.iter().map(|s| s.part.mem_share).sum::<f64>()).max(0.0)
+    }
+
+    /// Assigns the next contiguous core and way ranges to `part`.
+    pub fn assign(&mut self, part: TenantPartition) -> Result<PartitionId, PartitionError> {
+        if part.cores == 0 || part.llc_ways == 0 {
+            return Err(PartitionError::EmptySlice);
+        }
+        if part.cores > self.cores_free() {
+            return Err(PartitionError::CoresExhausted {
+                requested: part.cores,
+                available: self.cores_free(),
+            });
+        }
+        if part.llc_ways > self.ways_free() {
+            return Err(PartitionError::WaysExhausted {
+                requested: part.llc_ways,
+                available: self.ways_free(),
+            });
+        }
+        // Tolerate float dust when shares sum to exactly 1.0.
+        if part.mem_share > self.mem_free() + 1e-9 {
+            return Err(PartitionError::MemOversubscribed {
+                requested: part.mem_share,
+                available: self.mem_free(),
+            });
+        }
+        let core_offset = self.topo.logical_cores() - self.cores_free();
+        let way_offset = self.total_ways - self.ways_free();
+        self.slots.push(Slot {
+            part,
+            core_offset,
+            way_offset,
+            busy: 0,
+            max_busy: 0,
+            busy_core_ns: 0,
+            last_change_ns: 0,
+        });
+        Ok(PartitionId(self.slots.len() - 1))
+    }
+
+    /// The slice assigned to `id`.
+    pub fn partition(&self, id: PartitionId) -> &TenantPartition {
+        &self.slots[id.0].part
+    }
+
+    /// The concrete core affinity set of `id`, in the paper's
+    /// core-allocation order.
+    pub fn core_set(&self, id: PartitionId) -> CoreSet {
+        let s = &self.slots[id.0];
+        (s.core_offset..s.core_offset + s.part.cores)
+            .map(CoreId)
+            .collect()
+    }
+
+    /// The concrete per-socket CAT mask of `id` (contiguous ways at the
+    /// partition's way offset).
+    pub fn cat_mask(&self, id: PartitionId) -> CatMask {
+        let s = &self.slots[id.0];
+        let bits = ((1u32 << s.part.llc_ways) - 1) << s.way_offset;
+        CatMask::from_bits(bits)
+    }
+
+    /// How many sockets the core range of `id` touches. One socket means
+    /// the tenant runs as a hardware island; two means it pays
+    /// cross-socket coherence/QPI traffic.
+    pub fn sockets_spanned(&self, id: PartitionId) -> usize {
+        let mut sockets = [false; 8];
+        for c in self.core_set(id).iter() {
+            sockets[self.topo.socket_of(c)] = true;
+        }
+        sockets.iter().filter(|&&s| s).count()
+    }
+
+    /// Changes the LLC way allocation of `id` (governance shrinking an
+    /// aggressor or restoring it), repacking all way offsets so every
+    /// mask stays contiguous. Core and memory slices are unchanged.
+    pub fn resize_ways(&mut self, id: PartitionId, new_ways: u32) -> Result<(), PartitionError> {
+        if new_ways == 0 {
+            return Err(PartitionError::EmptySlice);
+        }
+        let others: u32 = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != id.0)
+            .map(|(_, s)| s.part.llc_ways)
+            .sum();
+        if others + new_ways > self.total_ways {
+            return Err(PartitionError::WaysExhausted {
+                requested: new_ways,
+                available: self.total_ways - others,
+            });
+        }
+        self.slots[id.0].part.llc_ways = new_ways;
+        let mut offset = 0;
+        for s in &mut self.slots {
+            s.way_offset = offset;
+            offset += s.part.llc_ways;
+        }
+        Ok(())
+    }
+
+    /// Records a query starting service on `id` at virtual time `now_ns`.
+    pub fn note_dispatch(&mut self, id: PartitionId, now_ns: u64) {
+        let s = &mut self.slots[id.0];
+        s.busy_core_ns += s.busy as u128 * (now_ns - s.last_change_ns) as u128;
+        s.last_change_ns = now_ns;
+        s.busy += 1;
+        s.max_busy = s.max_busy.max(s.busy);
+    }
+
+    /// Records a query leaving service on `id` at virtual time `now_ns`.
+    pub fn note_complete(&mut self, id: PartitionId, now_ns: u64) {
+        let s = &mut self.slots[id.0];
+        debug_assert!(s.busy > 0, "completion without dispatch");
+        s.busy_core_ns += s.busy as u128 * (now_ns - s.last_change_ns) as u128;
+        s.last_change_ns = now_ns;
+        s.busy = s.busy.saturating_sub(1);
+    }
+
+    /// Queries currently in service on `id`.
+    pub fn busy(&self, id: PartitionId) -> usize {
+        self.slots[id.0].busy
+    }
+
+    /// Peak concurrent occupancy observed on `id`.
+    pub fn max_busy(&self, id: PartitionId) -> usize {
+        self.slots[id.0].max_busy
+    }
+
+    /// Mean fraction of the partition's cores busy over `[0, now_ns]`.
+    pub fn utilization(&self, id: PartitionId, now_ns: u64) -> f64 {
+        if now_ns == 0 {
+            return 0.0;
+        }
+        let s = &self.slots[id.0];
+        let busy = s.busy_core_ns + s.busy as u128 * (now_ns - s.last_change_ns) as u128;
+        busy as f64 / (s.part.cores as f64 * now_ns as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn map() -> PartitionMap {
+        PartitionMap::new(Topology::paper_testbed())
+    }
+
+    #[test]
+    fn assignment_packs_contiguously_and_disjointly() {
+        let mut m = map();
+        let a = m.assign(TenantPartition::new(12, 6, 0.4)).unwrap();
+        let b = m.assign(TenantPartition::new(8, 6, 0.3)).unwrap();
+        let c = m.assign(TenantPartition::new(8, 5, 0.2)).unwrap();
+        let d = m.assign(TenantPartition::new(4, 3, 0.1)).unwrap();
+        assert_eq!(m.cores_free(), 0);
+        assert_eq!(m.ways_free(), 0);
+        let sets = [m.core_set(a), m.core_set(b), m.core_set(c), m.core_set(d)];
+        let total: usize = sets.iter().map(CoreSet::len).sum();
+        assert_eq!(total, 32);
+        for (i, x) in sets.iter().enumerate() {
+            for y in &sets[i + 1..] {
+                assert!(x.iter().all(|core| !y.contains(core)), "overlap");
+            }
+        }
+        // Way masks are disjoint too.
+        assert_eq!(
+            m.cat_mask(a).bits() & m.cat_mask(b).bits(),
+            0,
+            "way overlap"
+        );
+        assert_eq!(m.cat_mask(a).way_count(), 6);
+        assert_eq!(m.cat_mask(d).way_count(), 3);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_rejected() {
+        let mut m = map();
+        m.assign(TenantPartition::new(30, 18, 0.9)).unwrap();
+        assert!(matches!(
+            m.assign(TenantPartition::new(4, 1, 0.0)),
+            Err(PartitionError::CoresExhausted { available: 2, .. })
+        ));
+        assert!(matches!(
+            m.assign(TenantPartition::new(2, 4, 0.0)),
+            Err(PartitionError::WaysExhausted { available: 2, .. })
+        ));
+        assert!(matches!(
+            m.assign(TenantPartition::new(2, 2, 0.5)),
+            Err(PartitionError::MemOversubscribed { .. })
+        ));
+        assert!(matches!(
+            m.assign(TenantPartition::new(0, 2, 0.0)),
+            Err(PartitionError::EmptySlice)
+        ));
+    }
+
+    #[test]
+    fn island_placement_is_detected() {
+        let mut m = map();
+        let island = m.assign(TenantPartition::new(8, 4, 0.2)).unwrap();
+        let straddler = m.assign(TenantPartition::new(10, 4, 0.2)).unwrap();
+        assert_eq!(m.sockets_spanned(island), 1, "first 8 cores are socket 0");
+        assert_eq!(m.sockets_spanned(straddler), 2, "cores 8..18 cross sockets");
+    }
+
+    #[test]
+    fn resize_repacks_contiguous_masks() {
+        let mut m = map();
+        let a = m.assign(TenantPartition::new(8, 8, 0.3)).unwrap();
+        let b = m.assign(TenantPartition::new(8, 8, 0.3)).unwrap();
+        m.resize_ways(a, 2).unwrap();
+        assert_eq!(m.partition(a).llc_ways, 2);
+        assert_eq!(m.cat_mask(a).bits(), 0b11);
+        assert_eq!(m.cat_mask(b).bits(), 0b11_1111_1100, "b repacked after a");
+        assert_eq!(m.ways_free(), 10);
+        // Growing back within budget succeeds; beyond it fails.
+        m.resize_ways(a, 12).unwrap();
+        assert!(matches!(
+            m.resize_ways(a, 13),
+            Err(PartitionError::WaysExhausted { .. })
+        ));
+    }
+
+    #[test]
+    fn occupancy_accounting_tracks_busy_core_time() {
+        let mut m = map();
+        let a = m.assign(TenantPartition::new(4, 2, 0.1)).unwrap();
+        m.note_dispatch(a, 0);
+        m.note_dispatch(a, 500);
+        assert_eq!(m.busy(a), 2);
+        m.note_complete(a, 1_000);
+        m.note_complete(a, 2_000);
+        assert_eq!(m.busy(a), 0);
+        assert_eq!(m.max_busy(a), 2);
+        // Busy core-ns: 1*500 + 2*500 + 1*1000 = 2500 over 4 cores * 2000.
+        let u = m.utilization(a, 2_000);
+        assert!((u - 2500.0 / 8000.0).abs() < 1e-12, "utilization {u}");
+        assert_eq!(m.utilization(a, 0), 0.0);
+    }
+}

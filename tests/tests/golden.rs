@@ -21,6 +21,7 @@ use dbsens_core::crashverify::{verify_class, CrashClass, CrashVerifyConfig};
 use dbsens_core::digest::of_json;
 use dbsens_core::experiment::Experiment;
 use dbsens_core::knobs::ResourceKnobs;
+use dbsens_core::serve::{simulate, Scenario, ServeConfig};
 use dbsens_engine::governor::ExecMode;
 use dbsens_hwsim::faults::FaultSpec;
 use dbsens_workloads::driver::WorkloadSpec;
@@ -108,6 +109,12 @@ fn sweep() -> Vec<(&'static str, String)> {
         "crash-verify golden point found a durability violation"
     );
     points.push(("crash-verify-oltp", of_json(&crash)));
+    // Service-mode point: the decision-trace digest of a fixed-seed
+    // overload run fences every admission, shedding, breaker, and
+    // governance decision the service loop takes.
+    let serve =
+        simulate(&ServeConfig::scenario_stress(Scenario::Overload, 42).with_duration_secs(8.0));
+    points.push(("serve-overload", serve.trace_digest));
     points
 }
 

@@ -1,0 +1,125 @@
+//! Property-based invariants of the overload-robust service mode.
+//!
+//! Three families, each over random seeds, scenarios, and run lengths:
+//!
+//! 1. **Conservation** — every offered arrival is accounted for exactly
+//!    once: shed, completed, cancelled, still queued, or in flight.
+//! 2. **Bounded queues** — with shedding armed, no per-tenant queue can
+//!    end above its admission bound (and disarmed runs shed nothing).
+//! 3. **Bit-determinism** — identical `(seed, scenario)` inputs produce
+//!    byte-identical outcomes and decision-trace digests.
+
+use dbsens_core::serve::{simulate, Scenario, ServeConfig};
+use proptest::prelude::*;
+
+fn scenario_from_index(i: u8) -> Scenario {
+    Scenario::ALL[i as usize % Scenario::ALL.len()]
+}
+
+fn config(scenario: Scenario, seed: u64, stressed: bool, dur_s: f64, shed: bool) -> ServeConfig {
+    let cfg = if stressed {
+        ServeConfig::scenario_stress(scenario, seed)
+    } else {
+        ServeConfig::scenario_baseline(scenario, seed)
+    };
+    let cfg = cfg.with_duration_secs(dur_s);
+    if shed {
+        cfg
+    } else {
+        cfg.without_shedding()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// shed + completed + cancelled + queued + in-flight == offered, per
+    /// tenant and in aggregate, for any seed/scenario/shape.
+    #[test]
+    fn every_arrival_is_accounted_for_exactly_once(
+        seed in any::<u64>(),
+        scenario_ix in 0u8..3,
+        stressed in any::<bool>(),
+        shed in any::<bool>(),
+        dur_s in 2.0f64..5.0,
+    ) {
+        let scenario = scenario_from_index(scenario_ix);
+        let out = simulate(&config(scenario, seed, stressed, dur_s, shed));
+        let mut offered = 0u64;
+        let mut admitted = 0u64;
+        for t in &out.tenants {
+            prop_assert_eq!(
+                t.offered,
+                t.admitted + t.shed(),
+                "tenant {}: offered != admitted + shed", &t.tenant
+            );
+            prop_assert_eq!(
+                t.admitted,
+                t.completed_ok
+                    + t.completed_late
+                    + t.cancelled
+                    + t.queued_at_end
+                    + t.in_flight_at_end,
+                "tenant {}: admitted work leaked", &t.tenant
+            );
+            offered += t.offered;
+            admitted += t.admitted;
+        }
+        prop_assert_eq!(out.offered, offered);
+        prop_assert_eq!(out.admitted, admitted);
+    }
+
+    /// With shedding armed, a tenant's queue can never end past its
+    /// admission bound of 1.5x its core slots; with shedding disarmed,
+    /// nothing is ever rejected (that is the point of the comparison).
+    #[test]
+    fn queues_respect_the_admission_bound(
+        seed in any::<u64>(),
+        scenario_ix in 0u8..3,
+        shed in any::<bool>(),
+        dur_s in 2.0f64..5.0,
+    ) {
+        let scenario = scenario_from_index(scenario_ix);
+        let out = simulate(&config(scenario, seed, true, dur_s, shed));
+        for t in &out.tenants {
+            if shed {
+                let bound = (3 * t.cores as u64) / 2;
+                prop_assert!(
+                    t.queued_at_end <= bound,
+                    "tenant {} ended with {} queued, bound {}",
+                    &t.tenant, t.queued_at_end, bound
+                );
+            } else {
+                prop_assert_eq!(t.shed(), 0, "disarmed run shed work");
+            }
+        }
+    }
+
+    /// Identical (seed, scenario) inputs give byte-identical outcomes,
+    /// decision counts, and trace digests.
+    #[test]
+    fn identical_inputs_are_bit_identical(
+        seed in any::<u64>(),
+        scenario_ix in 0u8..3,
+        stressed in any::<bool>(),
+        dur_s in 2.0f64..5.0,
+    ) {
+        let scenario = scenario_from_index(scenario_ix);
+        let cfg = config(scenario, seed, stressed, dur_s, true);
+        let a = simulate(&cfg);
+        let b = simulate(&cfg);
+        prop_assert_eq!(&a.trace_digest, &b.trace_digest);
+        prop_assert_eq!(a.decisions, b.decisions);
+        prop_assert_eq!(a, b);
+    }
+}
+
+/// Different seeds must not collide on the decision trace: the digest
+/// covers every admission/dispatch/completion decision, so two distinct
+/// arrival processes agreeing bit-for-bit would mean the seed is dead.
+#[test]
+fn different_seeds_diverge() {
+    let a = simulate(&ServeConfig::scenario_stress(Scenario::Overload, 1).with_duration_secs(3.0));
+    let b = simulate(&ServeConfig::scenario_stress(Scenario::Overload, 2).with_duration_secs(3.0));
+    assert_ne!(a.trace_digest, b.trace_digest);
+}
