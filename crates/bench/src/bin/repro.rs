@@ -61,11 +61,14 @@ use dbsens_bench::figures;
 use dbsens_bench::perf;
 use dbsens_bench::profile::{fault_profile, profile_from_name, Profile, FAULT_PROFILES};
 use dbsens_bench::save_json;
+use dbsens_bench::sqlcmd;
 use dbsens_core::cache::{ResultCache, DEFAULT_CACHE_CAP_BYTES};
 use dbsens_core::crashverify::{self, ClassReport, CrashClass, CrashVerifyConfig};
 use dbsens_core::progress::StderrReporter;
 use dbsens_core::runner::{ExperimentError, GuardedRunner, Runner};
 use dbsens_core::serve::{Scenario, ServeConfig, ServiceHarness};
+use dbsens_core::sqlexp::SweepAxis;
+use dbsens_engine::governor::ExecMode;
 use dbsens_hwsim::faults::FaultSpec;
 use std::sync::Arc;
 use std::time::Duration;
@@ -79,7 +82,7 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// The subcommands of the restructured CLI; the bare legacy spellings
 /// keep working as hidden deprecated aliases.
 const SUBCOMMANDS: &[&str] = &[
-    "sweep", "faults", "crash", "perf", "figure", "serve", "cache",
+    "sweep", "faults", "crash", "perf", "figure", "serve", "cache", "sql",
 ];
 
 /// Every valid target, in presentation order.
@@ -133,6 +136,16 @@ struct Cli {
     cache_gc: bool,
     /// Cache size cap override in MiB (`--max-mb`).
     cache_max_mb: Option<u64>,
+    /// SQL text when `sql --query` was given.
+    sql_query: Option<String>,
+    /// SQL file path when `sql -f` was given.
+    sql_file: Option<String>,
+    /// Knob axes for the `sql` sweep (`--sweep`, default dop).
+    sql_axes: Vec<SweepAxis>,
+    /// Executor path for the `sql` sweep (`--exec`, default morsel).
+    sql_exec: ExecMode,
+    /// Whether the `sql` subcommand was requested.
+    sql_cmd: bool,
     /// Deprecation warnings to print before running (legacy spellings).
     warnings: Vec<String>,
 }
@@ -147,6 +160,9 @@ fn usage() -> String {
          \x20 repro perf                   host-side simulator micro-benchmark\n\
          \x20 repro serve --scenario NAME  overload-robust service mode\n\
          \x20 repro cache [--gc]           result-cache usage report / GC\n\
+         \x20 repro sql --query SQL | -f FILE\n\
+         \x20           [--sweep dop,grant,llc] [--exec morsel|volcano]\n\
+         \x20                              ad-hoc query sensitivity sweep\n\
          Global flags: [--profile quick|full] [--quick] [--no-cache]\n\
          \x20             [--json PATH] [--seed S] [--points N] [--baseline PATH]\n\
          \x20             [--no-shed] [--max-mb N]\n\
@@ -176,6 +192,10 @@ fn usage() -> String {
          gate fails.\n\
          cache prints result-cache usage; --gc evicts least-recently-used\n\
          entries down to the cap (--max-mb, default 512 MiB).\n\
+         sql compiles a hand-written statement against the TPC-H catalog\n\
+         and sweeps it over the requested knob axes (default dop),\n\
+         reporting per-point runtimes, the knee, and the baseline plan;\n\
+         --quick uses a 3-point grid per axis. See docs/SQL.md.\n\
          The pre-subcommand spellings (bare targets, --faults, --crash)\n\
          still work but are deprecated.",
         TARGETS.join(" "),
@@ -249,6 +269,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut cache_cmd = false;
     let mut cache_gc = false;
     let mut cache_max_mb = None;
+    let mut sql_query = None;
+    let mut sql_file = None;
+    let mut sql_axes: Vec<SweepAxis> = Vec::new();
+    let mut sql_exec = ExecMode::Morsel;
     let mut warnings: Vec<String> = Vec::new();
 
     let sub = args
@@ -262,6 +286,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if sub == Some("cache") {
         cache_cmd = true;
     }
+    let sql_cmd = sub == Some("sql");
 
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -317,6 +342,40 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 serve = Some(parse_scenario(name)?);
             }
             "--no-shed" => no_shed = true,
+            "--query" => {
+                if !sql_cmd {
+                    return Err("--query only applies to `repro sql`".into());
+                }
+                let q = it.next().ok_or("--query requires a SQL string")?;
+                sql_query = Some(q.clone());
+            }
+            "-f" | "--file" => {
+                if !sql_cmd {
+                    return Err(format!("{a} only applies to `repro sql`"));
+                }
+                let path = it.next().ok_or("-f requires a path to a .sql file")?;
+                sql_file = Some(path.clone());
+            }
+            "--sweep" => {
+                if !sql_cmd {
+                    return Err("--sweep only applies to `repro sql`".into());
+                }
+                let spec = it
+                    .next()
+                    .ok_or("--sweep requires a comma-separated axis list (dop|grant|llc)")?;
+                sql_axes = sqlcmd::parse_axes(spec)?;
+            }
+            "--exec" => {
+                if !sql_cmd {
+                    return Err("--exec only applies to `repro sql`".into());
+                }
+                let name = it
+                    .next()
+                    .ok_or("--exec requires a value (morsel|volcano)")?;
+                sql_exec = sqlcmd::parse_exec(name).ok_or_else(|| {
+                    format!("unknown executor '{name}' (expected morsel|volcano)")
+                })?;
+            }
             "--gc" => {
                 if sub != Some("cache") {
                     return Err("--gc only applies to `repro cache`".into());
@@ -347,6 +406,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 Some("serve") => serve = Some(parse_scenario(pos)?),
                 Some("cache") => {
                     return Err(format!("cache takes no positional argument (got '{pos}')"));
+                }
+                Some("sql") => {
+                    return Err(format!(
+                        "sql takes no positional argument (got '{pos}'); \
+                         pass the statement with --query or -f"
+                    ));
                 }
                 Some("sweep") | Some("figure") => {
                     if !TARGETS.contains(&pos) {
@@ -403,7 +468,16 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .into(),
             );
         }
+        Some("sql") if sql_query.is_none() && sql_file.is_none() => {
+            return Err("sql requires a statement (--query 'SELECT ...' or -f FILE.sql)".into());
+        }
+        Some("sql") if sql_query.is_some() && sql_file.is_some() => {
+            return Err("sql takes --query or -f, not both".into());
+        }
         _ => {}
+    }
+    if sql_axes.is_empty() {
+        sql_axes.push(SweepAxis::Dop);
     }
     // A bare `--faults`, `--crash`, or `perf` run means "just that
     // report"; figure targets still default to `all` otherwise.
@@ -435,6 +509,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         cache_cmd,
         cache_gc,
         cache_max_mb,
+        sql_query,
+        sql_file,
+        sql_axes,
+        sql_exec,
+        sql_cmd,
         warnings,
     })
 }
@@ -498,6 +577,44 @@ fn main() {
             println!("  (run `repro cache --gc` to evict down to the cap)");
         }
         return;
+    }
+
+    if cli.sql_cmd {
+        let sql = match (&cli.sql_query, &cli.sql_file) {
+            (Some(q), _) => q.clone(),
+            (None, Some(path)) => match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("error: -f {path}: {e}");
+                    std::process::exit(2);
+                }
+            },
+            (None, None) => unreachable!("parse_args requires --query or -f"),
+        };
+        let axes: Vec<String> = cli.sql_axes.iter().map(|a| a.name().to_string()).collect();
+        eprintln!(
+            "[repro] sql sweep over {} ({} executor)...",
+            axes.join(","),
+            if cli.sql_exec == ExecMode::Morsel {
+                "morsel"
+            } else {
+                "volcano"
+            }
+        );
+        match sqlcmd::run_sql(&cli.profile, &sql, &cli.sql_axes, cli.sql_exec, cli.quick) {
+            Ok(report) => {
+                save_json("sql_sweep", &report);
+                if let Some(path) = cli.json.as_deref() {
+                    write_json_to(path, &report);
+                }
+                println!("{}", sqlcmd::render(&report));
+                return;
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 
     let profile = &cli.profile;
@@ -1039,6 +1156,51 @@ mod tests {
         assert!(err.contains("not a number"), "{err}");
         let err = parse_args(&args(&["--gc"])).unwrap_err();
         assert!(err.contains("repro cache"), "{err}");
+    }
+
+    #[test]
+    fn parses_sql_subcommand() {
+        let cli = parse_args(&args(&["sql", "--query", "SELECT 1 FROM region"])).unwrap();
+        assert!(cli.sql_cmd);
+        assert_eq!(cli.sql_query.as_deref(), Some("SELECT 1 FROM region"));
+        assert_eq!(cli.sql_axes, vec![SweepAxis::Dop], "default axis is dop");
+        assert_eq!(cli.sql_exec, ExecMode::Morsel);
+        assert!(cli.targets.is_empty(), "sql is report-only");
+
+        let cli = parse_args(&args(&[
+            "sql",
+            "-f",
+            "q.sql",
+            "--sweep",
+            "dop,grant,llc",
+            "--exec",
+            "volcano",
+            "--quick",
+        ]))
+        .unwrap();
+        assert_eq!(cli.sql_file.as_deref(), Some("q.sql"));
+        assert_eq!(
+            cli.sql_axes,
+            vec![SweepAxis::Dop, SweepAxis::Grant, SweepAxis::Llc]
+        );
+        assert_eq!(cli.sql_exec, ExecMode::Volcano);
+        assert!(cli.quick);
+    }
+
+    #[test]
+    fn sql_subcommand_validates_its_flags() {
+        let err = parse_args(&args(&["sql"])).unwrap_err();
+        assert!(err.contains("--query"), "{err}");
+        let err = parse_args(&args(&["sql", "--query", "a", "-f", "b"])).unwrap_err();
+        assert!(err.contains("not both"), "{err}");
+        let err = parse_args(&args(&["sql", "--query", "a", "--sweep", "turbo"])).unwrap_err();
+        assert!(err.contains("turbo"), "{err}");
+        let err = parse_args(&args(&["sql", "--query", "a", "--exec", "jit"])).unwrap_err();
+        assert!(err.contains("jit"), "{err}");
+        let err = parse_args(&args(&["sql", "stray"])).unwrap_err();
+        assert!(err.contains("positional"), "{err}");
+        let err = parse_args(&args(&["--query", "SELECT 1"])).unwrap_err();
+        assert!(err.contains("repro sql"), "{err}");
     }
 
     #[test]

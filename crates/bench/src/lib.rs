@@ -14,6 +14,7 @@ pub mod paper;
 pub mod perf;
 pub mod profile;
 pub mod serve;
+pub mod sqlcmd;
 
 use std::io::Write as _;
 use std::path::Path;

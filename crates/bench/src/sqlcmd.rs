@@ -1,0 +1,179 @@
+//! `repro sql`: ad-hoc query sensitivity sweeps from hand-written SQL.
+//!
+//! The same report the fixed Figure 6/8 workloads produce, driven by an
+//! arbitrary statement compiled with `dbsens_sql` against the TPC-H
+//! catalog. See `docs/SQL.md` for the grammar and a worked recipe.
+
+use crate::profile::Profile;
+use dbsens_core::queryexp::TpchHarness;
+use dbsens_core::report::{fmt, render_table};
+use dbsens_core::sqlexp::{sweep_sql, SqlSweepReport, SweepAxis};
+use dbsens_core::sweep::KnobGrid;
+use dbsens_engine::governor::ExecMode;
+use dbsens_sql::SqlError;
+use serde::{Deserialize, Serialize};
+
+/// Runtime slack for knee detection: the smallest knob setting within
+/// 10% of the best runtime on the axis.
+pub const KNEE_SLACK: f64 = 1.1;
+
+/// Machine-readable `repro sql` artifact.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SqlCmdReport {
+    /// Executor path the sweep ran on ("morsel" or "volcano").
+    pub exec: String,
+    /// The sweep data itself.
+    pub sweep: SqlSweepReport,
+}
+
+/// Parses the `--exec` flag.
+pub fn parse_exec(name: &str) -> Option<ExecMode> {
+    match name.trim().to_ascii_lowercase().as_str() {
+        "morsel" => Some(ExecMode::Morsel),
+        "volcano" => Some(ExecMode::Volcano),
+        _ => None,
+    }
+}
+
+/// Parses the `--sweep` flag: a comma-separated list of axis names.
+pub fn parse_axes(spec: &str) -> Result<Vec<SweepAxis>, String> {
+    let mut axes = Vec::new();
+    for part in spec.split(',').filter(|p| !p.trim().is_empty()) {
+        let axis = SweepAxis::parse(part).ok_or_else(|| {
+            format!(
+                "unknown sweep axis '{}' (expected dop|grant|llc)",
+                part.trim()
+            )
+        })?;
+        if !axes.contains(&axis) {
+            axes.push(axis);
+        }
+    }
+    if axes.is_empty() {
+        return Err("--sweep requires at least one axis (dop|grant|llc)".into());
+    }
+    Ok(axes)
+}
+
+/// The knob grid a `repro sql` sweep walks: the paper's steps, or a
+/// 3-point subset per axis under `--quick`.
+pub fn sql_grid(quick: bool) -> KnobGrid {
+    if quick {
+        KnobGrid::builder()
+            .dop([1, 4, 32])
+            .grant_fractions([0.25, 0.05])
+            .llc_mb([4, 20, 40])
+            .build()
+    } else {
+        KnobGrid::paper()
+    }
+}
+
+/// Runs the sweep: builds the TPC-H catalog at the profile's smallest
+/// Figure 6 scale factor and replays the statement at every grid point.
+pub fn run_sql(
+    p: &Profile,
+    sql: &str,
+    axes: &[SweepAxis],
+    exec: ExecMode,
+    quick: bool,
+) -> Result<SqlCmdReport, SqlError> {
+    let sf = p.fig6_sfs.first().copied().unwrap_or(10.0);
+    let harness = TpchHarness::new(sf, &p.scale);
+    let base = p.dss_knobs().with_exec_mode(exec);
+    let sweep = sweep_sql(&harness, sql, axes, &sql_grid(quick), &base)?;
+    Ok(SqlCmdReport {
+        exec: match exec {
+            ExecMode::Morsel => "morsel".into(),
+            ExecMode::Volcano => "volcano".into(),
+        },
+        sweep,
+    })
+}
+
+/// Renders the sweep in the Figure 6 style: one table per axis with
+/// speedups relative to the slowest point, plus the knee.
+pub fn render(r: &SqlCmdReport) -> String {
+    let mut out = format!(
+        "# Ad-hoc query sensitivity (TPC-H SF={}, {} executor)\n\nSQL: {}\n\n",
+        r.sweep.sf,
+        r.exec,
+        r.sweep.sql.split_whitespace().collect::<Vec<_>>().join(" ")
+    );
+    for axis in &r.sweep.axes {
+        let worst = axis.points.iter().map(|p| p.secs).fold(0.0_f64, f64::max);
+        let rows: Vec<Vec<String>> = axis
+            .points
+            .iter()
+            .map(|p| {
+                vec![
+                    fmt(p.value),
+                    format!("{:.3}", p.secs),
+                    if p.secs > 0.0 {
+                        fmt(worst / p.secs)
+                    } else {
+                        "-".into()
+                    },
+                    p.dop.to_string(),
+                    format!("{:.0}", p.grant_mb),
+                    format!("{:.1}", p.spilled_mb),
+                ]
+            })
+            .collect();
+        out.push_str(&format!("## Sweep over {}\n\n", axis.axis.name()));
+        out.push_str(&render_table(
+            &[
+                axis.axis.name(),
+                "secs",
+                "speedup",
+                "plan dop",
+                "grant MB",
+                "spill MB",
+            ],
+            &rows,
+        ));
+        match axis.knee(KNEE_SLACK) {
+            Some(k) => out.push_str(&format!(
+                "\nKnee: {}={} reaches within 10% of the best runtime \
+                 ({:.3}s); allocations beyond it are wasted on this query.\n\n",
+                axis.axis.name(),
+                fmt(k.value),
+                k.secs
+            )),
+            None => out.push_str("\nKnee: no finite runtimes measured.\n\n"),
+        }
+    }
+    out.push_str(&format!("Baseline plan:\n{}\n", r.sweep.plan_text));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn axis_spec_parsing() {
+        assert_eq!(
+            parse_axes("dop,grant,llc").unwrap(),
+            vec![SweepAxis::Dop, SweepAxis::Grant, SweepAxis::Llc]
+        );
+        assert_eq!(parse_axes("dop,dop").unwrap(), vec![SweepAxis::Dop]);
+        assert!(parse_axes("dop,turbo").unwrap_err().contains("turbo"));
+        assert!(parse_axes("").is_err());
+    }
+
+    #[test]
+    fn exec_parsing() {
+        assert_eq!(parse_exec("morsel"), Some(ExecMode::Morsel));
+        assert_eq!(parse_exec(" Volcano "), Some(ExecMode::Volcano));
+        assert_eq!(parse_exec("vectorized"), None);
+    }
+
+    #[test]
+    fn quick_grid_is_small() {
+        let g = sql_grid(true);
+        assert_eq!(g.dop, vec![1, 4, 32]);
+        assert_eq!(g.llc_mb.len(), 3);
+        assert_eq!(sql_grid(false), KnobGrid::paper());
+    }
+}

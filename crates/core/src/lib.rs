@@ -62,6 +62,7 @@ pub mod queryexp;
 pub mod report;
 pub mod runner;
 pub mod serve;
+pub mod sqlexp;
 pub mod sweep;
 
 pub use cache::ResultCache;

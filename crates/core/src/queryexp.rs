@@ -87,7 +87,6 @@ impl TpchHarness {
     /// Runs query `q` (1-22) under `knobs`; returns timing and plan
     /// details.
     pub fn run_query(&self, q: usize, knobs: &ResourceKnobs) -> QueryRunResult {
-        let governor = knobs.governor();
         // Build the logical plan (needs a TpchDb facade around the shared
         // Database; we move it out and back).
         let db_inner = Rc::clone(&self.db);
@@ -103,6 +102,20 @@ impl TpchHarness {
             db_inner.replace(facade.db);
             logical
         };
+        self.run_logical(&format!("Q{q}"), logical, knobs)
+    }
+
+    /// Runs an arbitrary logical plan (e.g. compiled from SQL by
+    /// `dbsens_sql`) under `knobs`, through the same kernel replay as the
+    /// fixed TPC-H queries. The plan must reference tables of this
+    /// harness's database.
+    pub fn run_logical(
+        &self,
+        name: &str,
+        logical: dbsens_engine::plan::Logical,
+        knobs: &ResourceKnobs,
+    ) -> QueryRunResult {
+        let governor = knobs.governor();
 
         // Capture the plan (Figure 7) and its spill volume before running;
         // execution is deterministic, so this dry run reports exactly what
@@ -124,7 +137,7 @@ impl TpchHarness {
         let grants = Rc::new(RefCell::new(GrantManager::new(governor.workspace_bytes)));
         let metrics = Rc::new(RefCell::new(RunMetrics::new()));
         let mut kernel = Kernel::new(knobs.sim_config());
-        let name = format!("Q{q}");
+        let name = name.to_string();
         kernel.spawn(Box::new(QueryStreamTask::new(
             Rc::clone(&self.db),
             grants,
@@ -137,7 +150,7 @@ impl TpchHarness {
         let finished = kernel.run_to_completion(SimDuration::from_secs(36_000));
         assert!(
             finished,
-            "query Q{q} did not finish within the virtual budget"
+            "query {name} did not finish within the virtual budget"
         );
 
         let m = metrics.borrow();

@@ -1,0 +1,239 @@
+//! Ad-hoc query sensitivity sweeps: compile a hand-written SQL statement
+//! with `dbsens_sql` and sweep it across the paper's resource knobs,
+//! reusing the exact per-query harness behind Figures 6-8.
+//!
+//! Where [`queryexp::TpchHarness`](crate::queryexp::TpchHarness) runs the
+//! 22 fixed TPC-H plans, this module lets a SQL string take their place:
+//! the statement is parsed, bound against the TPC-H catalog, optimized,
+//! lowered onto the engine's logical plans, and then replayed through the
+//! same hardware kernel at every knob setting.
+
+use crate::knobs::ResourceKnobs;
+use crate::queryexp::{QueryRunResult, TpchHarness};
+use crate::sweep::KnobGrid;
+use dbsens_sql::SqlError;
+use serde::{Deserialize, Serialize};
+
+/// A resource axis an ad-hoc SQL sweep can walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SweepAxis {
+    /// MAXDOP with cores pinned to MAXDOP (the paper's §7 methodology).
+    Dop,
+    /// Memory-grant fraction at full cores (§8).
+    Grant,
+    /// LLC capacity in MB across both sockets (§5).
+    Llc,
+}
+
+impl SweepAxis {
+    /// Parses an axis name as used on the `repro sql --sweep` flag.
+    pub fn parse(s: &str) -> Option<SweepAxis> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "dop" | "maxdop" => Some(SweepAxis::Dop),
+            "grant" | "memory" => Some(SweepAxis::Grant),
+            "llc" | "cache" => Some(SweepAxis::Llc),
+            _ => None,
+        }
+    }
+
+    /// Axis name for report headers.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SweepAxis::Dop => "MAXDOP",
+            SweepAxis::Grant => "grant",
+            SweepAxis::Llc => "LLC_MB",
+        }
+    }
+}
+
+/// One measured point of an axis sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqlSweepPoint {
+    /// Knob value (MAXDOP as a count, grant as a fraction, LLC in MB).
+    pub value: f64,
+    /// Virtual execution time in seconds.
+    pub secs: f64,
+    /// Plan degree of parallelism actually chosen.
+    pub dop: usize,
+    /// Memory grant in MB.
+    pub grant_mb: f64,
+    /// Bytes spilled, in MB.
+    pub spilled_mb: f64,
+    /// Digest of the query's output rows (must not vary with knobs).
+    pub result_digest: String,
+}
+
+/// One axis of a [`SqlSweepReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AxisSweep {
+    /// Which knob was swept.
+    pub axis: SweepAxis,
+    /// Measured points, in grid order.
+    pub points: Vec<SqlSweepPoint>,
+}
+
+impl AxisSweep {
+    /// The knee: the smallest knob value whose runtime is within `slack`
+    /// (e.g. 1.1 = 10%) of the best runtime on this axis. Grant fractions
+    /// sweep downward, so "smallest" means the most frugal setting that
+    /// still performs.
+    pub fn knee(&self, slack: f64) -> Option<&SqlSweepPoint> {
+        let best = self
+            .points
+            .iter()
+            .map(|p| p.secs)
+            .fold(f64::INFINITY, f64::min);
+        if !best.is_finite() {
+            return None;
+        }
+        self.points
+            .iter()
+            .filter(|p| p.secs <= best * slack)
+            .min_by(|a, b| a.value.total_cmp(&b.value))
+    }
+}
+
+/// Result of sweeping one SQL statement across one or more knob axes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SqlSweepReport {
+    /// The statement that was swept.
+    pub sql: String,
+    /// TPC-H scale factor of the catalog it ran against.
+    pub sf: f64,
+    /// Rendered physical plan at the baseline knobs.
+    pub plan_text: String,
+    /// One entry per requested axis.
+    pub axes: Vec<AxisSweep>,
+}
+
+/// Sweeps `sql` over `axes` using `grid`'s steps, against `harness`'s
+/// TPC-H database. The statement must be a single `SELECT`.
+///
+/// Every point re-optimizes and re-runs the query under the new knobs —
+/// plan changes across knob settings (e.g. serial plans at low MAXDOP)
+/// are part of what the sweep measures, exactly as for the fixed
+/// workloads. The output digest is asserted invariant across every point.
+pub fn sweep_sql(
+    harness: &TpchHarness,
+    sql: &str,
+    axes: &[SweepAxis],
+    grid: &KnobGrid,
+    base: &ResourceKnobs,
+) -> Result<SqlSweepReport, SqlError> {
+    // Compile once up front to fail fast on bad SQL; per-point runs
+    // recompile so knob-dependent engine optimization sees fresh plans.
+    let _ = dbsens_sql::compile(&harness.db().borrow(), sql)?;
+
+    let run = |knobs: &ResourceKnobs| -> Result<QueryRunResult, SqlError> {
+        let logical = dbsens_sql::compile(&harness.db().borrow(), sql)?;
+        Ok(harness.run_logical("adhoc", logical, knobs))
+    };
+
+    let baseline = run(base)?;
+    let mut report = SqlSweepReport {
+        sql: sql.to_string(),
+        sf: harness.sf(),
+        plan_text: baseline.plan_text.clone(),
+        axes: Vec::new(),
+    };
+
+    for &axis in axes {
+        let mut points = Vec::new();
+        let values: Vec<f64> = match axis {
+            SweepAxis::Dop => grid.dop.iter().map(|d| *d as f64).collect(),
+            SweepAxis::Grant => grid.grant_fractions.clone(),
+            SweepAxis::Llc => grid.llc_mb.iter().map(|m| *m as f64).collect(),
+        };
+        for v in values {
+            let knobs = match axis {
+                SweepAxis::Dop => base.clone().with_maxdop_and_cores(v as usize),
+                SweepAxis::Grant => base.clone().with_grant_fraction(v),
+                SweepAxis::Llc => base.clone().with_llc_mb(v as u32),
+            };
+            let r = run(&knobs)?;
+            if r.result_digest != baseline.result_digest {
+                return Err(SqlError {
+                    msg: format!(
+                        "result digest changed under {}={v}: {} vs baseline {}",
+                        axis.name(),
+                        r.result_digest,
+                        baseline.result_digest
+                    ),
+                    line: 0,
+                    col: 0,
+                });
+            }
+            points.push(SqlSweepPoint {
+                value: v,
+                secs: r.secs,
+                dop: r.dop,
+                grant_mb: r.grant_mb,
+                spilled_mb: r.spilled_mb,
+                result_digest: r.result_digest,
+            });
+        }
+        report.axes.push(AxisSweep { axis, points });
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbsens_workloads::scale::ScaleCfg;
+
+    fn harness() -> TpchHarness {
+        TpchHarness::new(
+            1.0,
+            &ScaleCfg {
+                row_scale: 100_000.0,
+                oltp_row_scale: 2_000.0,
+                seed: 5,
+            },
+        )
+    }
+
+    #[test]
+    fn axis_parse_roundtrip() {
+        assert_eq!(SweepAxis::parse("dop"), Some(SweepAxis::Dop));
+        assert_eq!(SweepAxis::parse(" MAXDOP "), Some(SweepAxis::Dop));
+        assert_eq!(SweepAxis::parse("grant"), Some(SweepAxis::Grant));
+        assert_eq!(SweepAxis::parse("llc"), Some(SweepAxis::Llc));
+        assert_eq!(SweepAxis::parse("bogus"), None);
+    }
+
+    #[test]
+    fn sql_sweep_over_dop_produces_monotone_grid() {
+        let h = harness();
+        let grid = KnobGrid::builder().dop([1, 4]).build();
+        let report = sweep_sql(
+            &h,
+            "SELECT l_returnflag, SUM(l_quantity) FROM lineitem \
+             WHERE l_shipdate < DATE '1998-09-02' GROUP BY l_returnflag",
+            &[SweepAxis::Dop],
+            &grid,
+            &ResourceKnobs::paper_full(),
+        )
+        .unwrap();
+        assert_eq!(report.axes.len(), 1);
+        let pts = &report.axes[0].points;
+        assert_eq!(pts.len(), 2);
+        assert!(pts.iter().all(|p| p.secs > 0.0));
+        assert_eq!(pts[0].result_digest, pts[1].result_digest);
+        assert!(report.axes[0].knee(1.1).is_some());
+    }
+
+    #[test]
+    fn bad_sql_fails_fast() {
+        let h = harness();
+        let err = sweep_sql(
+            &h,
+            "SELECT nothing FROM nowhere",
+            &[SweepAxis::Dop],
+            &KnobGrid::paper(),
+            &ResourceKnobs::paper_full(),
+        )
+        .unwrap_err();
+        assert!(err.msg.contains("unknown table"), "{err}");
+    }
+}

@@ -1,0 +1,206 @@
+//! Abstract syntax for the SQL subset.
+//!
+//! The AST is untyped and name-based; the binder in [`crate::binder`]
+//! resolves names against a [`dbsens_engine::db::Database`] catalog and
+//! produces the typed logical plan in [`crate::ir`].
+
+use crate::lexer::Pos;
+use dbsens_engine::expr::CmpOp;
+use dbsens_engine::plan::AggFunc;
+use dbsens_storage::schema::ColType;
+
+/// One parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT ...`
+    Select(Query),
+    /// `INSERT INTO t VALUES (...), (...)` — full-row tuples.
+    Insert {
+        /// Target table name.
+        table: String,
+        /// Position of the table name (for bind errors).
+        pos: Pos,
+        /// Literal value tuples, one per row.
+        rows: Vec<Vec<Expr>>,
+    },
+    /// `UPDATE t SET c = e, ... [WHERE p]`
+    Update {
+        /// Target table name.
+        table: String,
+        /// Position of the table name.
+        pos: Pos,
+        /// `(column, value expression)` assignments.
+        sets: Vec<(String, Pos, Expr)>,
+        /// Row predicate (`None` = all rows).
+        filter: Option<Expr>,
+    },
+    /// `DELETE FROM t [WHERE p]`
+    Delete {
+        /// Target table name.
+        table: String,
+        /// Position of the table name.
+        pos: Pos,
+        /// Row predicate (`None` = all rows).
+        filter: Option<Expr>,
+    },
+    /// `CREATE TABLE t (c TYPE, ...)`
+    CreateTable {
+        /// New table name.
+        table: String,
+        /// Position of the table name.
+        pos: Pos,
+        /// Column definitions.
+        cols: Vec<(String, ColType)>,
+    },
+}
+
+/// A `SELECT` query block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Select-list items.
+    pub items: Vec<SelectItem>,
+    /// `FROM` tables in syntactic order; the first item's `join` is `None`.
+    pub from: Vec<FromItem>,
+    /// `WHERE` predicate.
+    pub filter: Option<Expr>,
+    /// `GROUP BY` expressions (must bind to plain columns).
+    pub group_by: Vec<Expr>,
+    /// `HAVING` predicate.
+    pub having: Option<Expr>,
+    /// `ORDER BY` keys with descending flags.
+    pub order_by: Vec<(Expr, bool)>,
+    /// `LIMIT` row count.
+    pub limit: Option<usize>,
+}
+
+/// One select-list entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// `*` — every column of the `FROM` layout.
+    Star,
+    /// An expression with an optional alias.
+    Expr {
+        /// The expression.
+        expr: Expr,
+        /// `AS` alias, if given.
+        alias: Option<String>,
+    },
+}
+
+/// Join kinds expressible in the grammar.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// `[INNER] JOIN`
+    Inner,
+    /// `LEFT [OUTER] JOIN`
+    Left,
+}
+
+/// One `FROM` table, possibly joined to the preceding ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// Table name.
+    pub table: String,
+    /// Position of the table name.
+    pub pos: Pos,
+    /// `AS` alias, if given.
+    pub alias: Option<String>,
+    /// Join type and `ON` condition; `None` for the first table.
+    pub join: Option<(JoinType, Expr)>,
+}
+
+/// Binary arithmetic operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// An unbound scalar expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference, optionally qualified (`t.c`).
+    Col {
+        /// Qualifier (table name or alias).
+        table: Option<String>,
+        /// Column name.
+        name: String,
+        /// Source position.
+        pos: Pos,
+    },
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// String literal.
+    Str(String),
+    /// `NULL`
+    Null,
+    /// Arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// `AND`
+    And(Box<Expr>, Box<Expr>),
+    /// `OR`
+    Or(Box<Expr>, Box<Expr>),
+    /// `NOT`
+    Not(Box<Expr>),
+    /// `LIKE` with a literal pattern (prefix or containment form).
+    Like {
+        /// Matched expression.
+        expr: Box<Expr>,
+        /// The raw pattern.
+        pattern: String,
+        /// Source position of the pattern.
+        pos: Pos,
+    },
+    /// `IN (literal, ...)`
+    InList(Box<Expr>, Vec<Expr>),
+    /// `BETWEEN lo AND hi`
+    Between(Box<Expr>, Box<Expr>, Box<Expr>),
+    /// `IS NULL` (`negated` for `IS NOT NULL`).
+    IsNull {
+        /// Tested expression.
+        expr: Box<Expr>,
+        /// `true` for `IS NOT NULL`.
+        negated: bool,
+    },
+    /// Aggregate call; `arg` is `None` for `COUNT(*)`.
+    Agg {
+        /// Aggregate function.
+        func: AggFunc,
+        /// Argument expression.
+        arg: Option<Box<Expr>>,
+        /// Source position of the function name.
+        pos: Pos,
+    },
+    /// Scalar subquery `(SELECT ...)`.
+    Subquery {
+        /// The inner query.
+        query: Box<Query>,
+        /// Source position of the opening parenthesis.
+        pos: Pos,
+    },
+}
+
+impl Expr {
+    /// A representative source position for error reporting, when the
+    /// expression carries one.
+    pub fn pos(&self) -> Option<Pos> {
+        match self {
+            Expr::Col { pos, .. } | Expr::Like { pos, .. } | Expr::Agg { pos, .. } => Some(*pos),
+            Expr::Subquery { pos, .. } => Some(*pos),
+            Expr::Bin(_, a, _) | Expr::Cmp(_, a, _) | Expr::And(a, _) | Expr::Or(a, _) => a.pos(),
+            Expr::Not(a) | Expr::InList(a, _) | Expr::Between(a, _, _) => a.pos(),
+            Expr::IsNull { expr, .. } => expr.pos(),
+            _ => None,
+        }
+    }
+}

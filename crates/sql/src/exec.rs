@@ -1,0 +1,178 @@
+//! Statement execution: bound statements → rows or heap mutations.
+//!
+//! Queries run through the full optimize → lower → engine-optimize chain
+//! and execute on either engine path ([`ExecMode::Morsel`] push execution
+//! with automatic volcano fallback, or [`ExecMode::Volcano`] directly).
+//! DML statements apply straight to the heap through the catalog's
+//! index-maintaining mutation API.
+
+use crate::ast::Statement;
+use crate::binder::{bind, BoundStatement};
+use crate::lower::{lower, lower_expr};
+use crate::optimizer::optimize;
+use crate::parser::parse_script;
+use crate::SqlError;
+use dbsens_engine::db::Database;
+use dbsens_engine::exec::{execute, rows_digest};
+use dbsens_engine::governor::{ExecMode, Governor};
+use dbsens_engine::optimizer::optimize as engine_optimize;
+use dbsens_engine::pushexec::execute_push;
+use dbsens_storage::schema::ColType;
+use dbsens_storage::value::{Row, Value};
+
+/// Result of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StatementOutcome {
+    /// A query's result rows.
+    Rows(Vec<Row>),
+    /// Rows inserted/updated/deleted by a DML statement.
+    Affected(usize),
+    /// A table was created.
+    Created,
+}
+
+impl StatementOutcome {
+    /// Digest of the result (rows digest for queries, count otherwise).
+    pub fn digest(&self) -> u64 {
+        match self {
+            StatementOutcome::Rows(rows) => rows_digest(rows),
+            StatementOutcome::Affected(n) => *n as u64,
+            StatementOutcome::Created => 0,
+        }
+    }
+}
+
+/// Default parallelism for ad-hoc statement execution (results are
+/// identical at any DOP; this only picks the plan shape).
+const DEFAULT_MAXDOP: usize = 4;
+
+/// Parses and executes a `;`-separated SQL script, returning one outcome
+/// per statement. Execution stops at the first error.
+pub fn run_script(
+    db: &mut Database,
+    sql: &str,
+    mode: ExecMode,
+) -> Result<Vec<StatementOutcome>, SqlError> {
+    let stmts = parse_script(sql)?;
+    let mut out = Vec::with_capacity(stmts.len());
+    for stmt in &stmts {
+        out.push(run_statement(db, stmt, mode)?);
+    }
+    Ok(out)
+}
+
+/// Executes one parsed statement.
+pub fn run_statement(
+    db: &mut Database,
+    stmt: &Statement,
+    mode: ExecMode,
+) -> Result<StatementOutcome, SqlError> {
+    match bind(db, stmt)? {
+        BoundStatement::Select(plan) => {
+            let optimized = optimize(db, &plan);
+            let logical = lower(db, &optimized)?;
+            let ctx = Governor::paper_default(DEFAULT_MAXDOP).plan_context(db);
+            let phys = engine_optimize(db, &logical, &ctx);
+            let result = match mode {
+                ExecMode::Morsel => match execute_push(db, &phys) {
+                    Some(r) => r,
+                    None => execute(db, &phys),
+                },
+                ExecMode::Volcano => execute(db, &phys),
+            };
+            Ok(StatementOutcome::Rows(result.rows))
+        }
+        BoundStatement::Insert { table, rows } => {
+            let n = rows.len();
+            for row in rows {
+                db.insert_row(table, row);
+            }
+            Ok(StatementOutcome::Affected(n))
+        }
+        BoundStatement::Update {
+            table,
+            sets,
+            filter,
+        } => {
+            let (matching, new_values) = {
+                let filter = filter.as_ref().map(|f| lower_expr(db, f)).transpose()?;
+                let set_exprs = sets
+                    .iter()
+                    .map(|(i, e)| Ok((*i, lower_expr(db, e)?)))
+                    .collect::<Result<Vec<_>, SqlError>>()?;
+                let schema = db.table(table).heap.schema();
+                let col_types: Vec<ColType> = schema.columns().iter().map(|c| c.ty).collect();
+                let mut matching = Vec::new();
+                let mut new_values: Vec<Vec<(usize, Value)>> = Vec::new();
+                for (rid, row) in db.table(table).heap.iter() {
+                    if let Some(f) = &filter {
+                        if f.eval(row) != Value::Int(1) {
+                            continue;
+                        }
+                    }
+                    let mut updates = Vec::with_capacity(set_exprs.len());
+                    for (col, e) in &set_exprs {
+                        let v =
+                            check_type(e.eval(row), col_types[*col]).map_err(|got| SqlError {
+                                msg: format!(
+                                    "UPDATE value of type {got} does not fit column {col}"
+                                ),
+                                line: 0,
+                                col: 0,
+                            })?;
+                        updates.push((*col, v));
+                    }
+                    matching.push(rid);
+                    new_values.push(updates);
+                }
+                (matching, new_values)
+            };
+            let n = matching.len();
+            for (rid, updates) in matching.into_iter().zip(new_values) {
+                db.update_row(table, rid, |row| {
+                    for (col, v) in updates {
+                        row[col] = v;
+                    }
+                });
+            }
+            Ok(StatementOutcome::Affected(n))
+        }
+        BoundStatement::Delete { table, filter } => {
+            let filter = filter.as_ref().map(|f| lower_expr(db, f)).transpose()?;
+            let matching: Vec<_> = db
+                .table(table)
+                .heap
+                .iter()
+                .filter(|(_, row)| match &filter {
+                    Some(f) => f.eval(row) == Value::Int(1),
+                    None => true,
+                })
+                .map(|(rid, _)| rid)
+                .collect();
+            let n = matching.len();
+            for rid in matching {
+                db.delete_row(table, rid);
+            }
+            Ok(StatementOutcome::Affected(n))
+        }
+        BoundStatement::CreateTable { table, schema } => {
+            db.create_table(&table, schema, Vec::new());
+            Ok(StatementOutcome::Created)
+        }
+    }
+}
+
+/// DML statements evaluate expressions directly, so a plain type check
+/// (with Int→Float widening) stands in for the binder's coercion.
+fn check_type(v: Value, ty: ColType) -> Result<Value, &'static str> {
+    match (v, ty) {
+        (Value::Null, _) => Ok(Value::Null),
+        (Value::Int(x), ColType::Int) => Ok(Value::Int(x)),
+        (Value::Int(x), ColType::Float) => Ok(Value::Float(x as f64)),
+        (Value::Float(x), ColType::Float) => Ok(Value::Float(x)),
+        (Value::Str(s), ColType::Str(_)) => Ok(Value::Str(s)),
+        (Value::Float(_), _) => Err("FLOAT"),
+        (Value::Int(_), _) => Err("INTEGER"),
+        (Value::Str(_), _) => Err("TEXT"),
+    }
+}

@@ -1,0 +1,508 @@
+//! Typed logical plans produced by the binder.
+//!
+//! [`SqlPlan`] is the SQL frontend's own intermediate representation. It is
+//! richer than [`dbsens_engine::plan::Logical`] in exactly one way — scalar
+//! subqueries and outer-column references are first-class — and carries no
+//! cardinality estimates; those are attached during lowering so that
+//! optimizer rewrites cannot leave stale numbers behind.
+
+use dbsens_engine::db::TableId;
+use dbsens_engine::expr::CmpOp;
+use dbsens_engine::plan::{AggFunc, JoinKind};
+use dbsens_storage::value::Value;
+
+/// A bound scalar expression over positional columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlExpr {
+    /// Column of the current row layout.
+    Col(usize),
+    /// Column of the *enclosing* query's row layout (correlated subqueries
+    /// only; must be eliminated by decorrelation before lowering).
+    OuterCol(usize),
+    /// Literal.
+    Lit(Value),
+    /// `a + b`
+    Add(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a - b`
+    Sub(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a * b`
+    Mul(Box<SqlExpr>, Box<SqlExpr>),
+    /// `a / b` (float semantics).
+    Div(Box<SqlExpr>, Box<SqlExpr>),
+    /// Comparison producing a boolean int.
+    Cmp(CmpOp, Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical AND.
+    And(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical OR.
+    Or(Box<SqlExpr>, Box<SqlExpr>),
+    /// Logical NOT.
+    Not(Box<SqlExpr>),
+    /// `LIKE 'foo%'`
+    StartsWith(Box<SqlExpr>, String),
+    /// `LIKE '%foo%'`
+    Contains(Box<SqlExpr>, String),
+    /// `IN (literals)`
+    InList(Box<SqlExpr>, Vec<Value>),
+    /// `BETWEEN lo AND hi` with literal bounds.
+    Between(Box<SqlExpr>, Value, Value),
+    /// `IS NULL`
+    IsNull(Box<SqlExpr>),
+    /// Scalar subquery; the plan must produce at most one single-column row.
+    Subquery(Box<SqlPlan>),
+}
+
+impl SqlExpr {
+    /// Boxed comparison shorthand.
+    pub fn cmp(op: CmpOp, a: SqlExpr, b: SqlExpr) -> SqlExpr {
+        SqlExpr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// Conjunction of `conj`, or `None` when empty.
+    pub fn conjoin(mut conj: Vec<SqlExpr>) -> Option<SqlExpr> {
+        let first = if conj.is_empty() {
+            return None;
+        } else {
+            conj.remove(0)
+        };
+        Some(
+            conj.into_iter()
+                .fold(first, |acc, e| SqlExpr::And(Box::new(acc), Box::new(e))),
+        )
+    }
+
+    /// Splits a predicate into its top-level AND conjuncts.
+    pub fn split_conjuncts(self, out: &mut Vec<SqlExpr>) {
+        match self {
+            SqlExpr::And(a, b) => {
+                a.split_conjuncts(out);
+                b.split_conjuncts(out);
+            }
+            e => out.push(e),
+        }
+    }
+
+    /// Calls `f` on every [`SqlExpr::Col`] index in the expression,
+    /// descending into subquery plans only for their `OuterCol` references
+    /// (which live in *this* expression's layout).
+    pub fn for_each_col(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            SqlExpr::Col(i) => f(*i),
+            SqlExpr::OuterCol(_) | SqlExpr::Lit(_) => {}
+            SqlExpr::Add(a, b)
+            | SqlExpr::Sub(a, b)
+            | SqlExpr::Mul(a, b)
+            | SqlExpr::Div(a, b)
+            | SqlExpr::Cmp(_, a, b)
+            | SqlExpr::And(a, b)
+            | SqlExpr::Or(a, b) => {
+                a.for_each_col(f);
+                b.for_each_col(f);
+            }
+            SqlExpr::Not(a)
+            | SqlExpr::StartsWith(a, _)
+            | SqlExpr::Contains(a, _)
+            | SqlExpr::InList(a, _)
+            | SqlExpr::Between(a, _, _)
+            | SqlExpr::IsNull(a) => a.for_each_col(f),
+            SqlExpr::Subquery(plan) => plan.for_each_outer_col(f),
+        }
+    }
+
+    /// Rewrites every [`SqlExpr::Col`] index through `f` (and `OuterCol`
+    /// references inside nested subqueries, which resolve in this layout).
+    pub fn map_cols(&self, f: &mut (impl FnMut(usize) -> usize + ?Sized)) -> SqlExpr {
+        match self {
+            SqlExpr::Col(i) => SqlExpr::Col(f(*i)),
+            SqlExpr::OuterCol(i) => SqlExpr::OuterCol(*i),
+            SqlExpr::Lit(v) => SqlExpr::Lit(v.clone()),
+            SqlExpr::Add(a, b) => SqlExpr::Add(Box::new(a.map_cols(f)), Box::new(b.map_cols(f))),
+            SqlExpr::Sub(a, b) => SqlExpr::Sub(Box::new(a.map_cols(f)), Box::new(b.map_cols(f))),
+            SqlExpr::Mul(a, b) => SqlExpr::Mul(Box::new(a.map_cols(f)), Box::new(b.map_cols(f))),
+            SqlExpr::Div(a, b) => SqlExpr::Div(Box::new(a.map_cols(f)), Box::new(b.map_cols(f))),
+            SqlExpr::Cmp(op, a, b) => {
+                SqlExpr::Cmp(*op, Box::new(a.map_cols(f)), Box::new(b.map_cols(f)))
+            }
+            SqlExpr::And(a, b) => SqlExpr::And(Box::new(a.map_cols(f)), Box::new(b.map_cols(f))),
+            SqlExpr::Or(a, b) => SqlExpr::Or(Box::new(a.map_cols(f)), Box::new(b.map_cols(f))),
+            SqlExpr::Not(a) => SqlExpr::Not(Box::new(a.map_cols(f))),
+            SqlExpr::StartsWith(a, s) => SqlExpr::StartsWith(Box::new(a.map_cols(f)), s.clone()),
+            SqlExpr::Contains(a, s) => SqlExpr::Contains(Box::new(a.map_cols(f)), s.clone()),
+            SqlExpr::InList(a, vs) => SqlExpr::InList(Box::new(a.map_cols(f)), vs.clone()),
+            SqlExpr::Between(a, lo, hi) => {
+                SqlExpr::Between(Box::new(a.map_cols(f)), lo.clone(), hi.clone())
+            }
+            SqlExpr::IsNull(a) => SqlExpr::IsNull(Box::new(a.map_cols(f))),
+            SqlExpr::Subquery(plan) => SqlExpr::Subquery(Box::new(plan.map_outer_cols(f))),
+        }
+    }
+
+    /// `true` when the expression (or a nested subquery) references an
+    /// outer column.
+    pub fn has_outer_col(&self) -> bool {
+        let mut found = false;
+        self.for_each_outer(&mut |_| found = true);
+        found
+    }
+
+    /// Calls `f` on every `OuterCol` index, including those in nested
+    /// subqueries.
+    pub fn for_each_outer(&self, f: &mut impl FnMut(usize)) {
+        match self {
+            SqlExpr::OuterCol(i) => f(*i),
+            SqlExpr::Col(_) | SqlExpr::Lit(_) => {}
+            SqlExpr::Add(a, b)
+            | SqlExpr::Sub(a, b)
+            | SqlExpr::Mul(a, b)
+            | SqlExpr::Div(a, b)
+            | SqlExpr::Cmp(_, a, b)
+            | SqlExpr::And(a, b)
+            | SqlExpr::Or(a, b) => {
+                a.for_each_outer(f);
+                b.for_each_outer(f);
+            }
+            SqlExpr::Not(a)
+            | SqlExpr::StartsWith(a, _)
+            | SqlExpr::Contains(a, _)
+            | SqlExpr::InList(a, _)
+            | SqlExpr::Between(a, _, _)
+            | SqlExpr::IsNull(a) => a.for_each_outer(f),
+            // An outer reference of the nested subquery resolves in *our*
+            // enclosing layout only if it escapes our own columns too;
+            // the binder encodes exactly one level, so nothing to do.
+            SqlExpr::Subquery(_) => {}
+        }
+    }
+
+    /// `true` when the expression contains a scalar subquery.
+    pub fn has_subquery(&self) -> bool {
+        match self {
+            SqlExpr::Subquery(_) => true,
+            SqlExpr::Col(_) | SqlExpr::OuterCol(_) | SqlExpr::Lit(_) => false,
+            SqlExpr::Add(a, b)
+            | SqlExpr::Sub(a, b)
+            | SqlExpr::Mul(a, b)
+            | SqlExpr::Div(a, b)
+            | SqlExpr::Cmp(_, a, b)
+            | SqlExpr::And(a, b)
+            | SqlExpr::Or(a, b) => a.has_subquery() || b.has_subquery(),
+            SqlExpr::Not(a)
+            | SqlExpr::StartsWith(a, _)
+            | SqlExpr::Contains(a, _)
+            | SqlExpr::InList(a, _)
+            | SqlExpr::Between(a, _, _)
+            | SqlExpr::IsNull(a) => a.has_subquery(),
+        }
+    }
+}
+
+/// One aggregate in a [`SqlPlan::Agg`] node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlAgg {
+    /// Function.
+    pub func: AggFunc,
+    /// Argument over the input layout.
+    pub expr: SqlExpr,
+}
+
+/// A typed logical plan node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlPlan {
+    /// Base-table scan. `filter` is evaluated against the *full* base-row
+    /// layout; `project` (if any) applies afterwards, mirroring the engine's
+    /// scan semantics on both executor paths.
+    Scan {
+        /// Source table.
+        table: TableId,
+        /// Source table name (for plan rendering).
+        table_name: String,
+        /// Number of columns in the base schema.
+        base_arity: usize,
+        /// Pushed-down predicate over the base layout.
+        filter: Option<SqlExpr>,
+        /// Retained columns (`None` = all, in schema order).
+        project: Option<Vec<usize>>,
+    },
+    /// Row filter.
+    Filter {
+        /// Input.
+        input: Box<SqlPlan>,
+        /// Predicate over the input layout.
+        pred: SqlExpr,
+    },
+    /// Equi-join; output layout is `left ++ right`.
+    Join {
+        /// Left (probe) input.
+        left: Box<SqlPlan>,
+        /// Right (build) input.
+        right: Box<SqlPlan>,
+        /// Key columns of the left layout.
+        left_keys: Vec<usize>,
+        /// Key columns of the right layout.
+        right_keys: Vec<usize>,
+        /// Inner or left-outer (the grammar emits no semi/anti joins).
+        kind: JoinKind,
+    },
+    /// Grouped aggregation; output layout is group keys then aggregates.
+    Agg {
+        /// Input.
+        input: Box<SqlPlan>,
+        /// Group-key columns of the input layout (empty = scalar).
+        group_by: Vec<usize>,
+        /// Aggregates.
+        aggs: Vec<SqlAgg>,
+    },
+    /// Row-wise projection.
+    Project {
+        /// Input.
+        input: Box<SqlPlan>,
+        /// Output expressions over the input layout.
+        exprs: Vec<SqlExpr>,
+    },
+    /// Sort by `(column, descending)` keys.
+    Sort {
+        /// Input.
+        input: Box<SqlPlan>,
+        /// Sort keys over the input layout.
+        keys: Vec<(usize, bool)>,
+    },
+    /// First `n` rows.
+    Limit {
+        /// Input.
+        input: Box<SqlPlan>,
+        /// Row cap.
+        n: usize,
+    },
+}
+
+impl SqlPlan {
+    /// Number of output columns.
+    pub fn arity(&self) -> usize {
+        match self {
+            SqlPlan::Scan {
+                base_arity,
+                project,
+                ..
+            } => project.as_ref().map_or(*base_arity, Vec::len),
+            SqlPlan::Filter { input, .. }
+            | SqlPlan::Sort { input, .. }
+            | SqlPlan::Limit { input, .. } => input.arity(),
+            SqlPlan::Join { left, right, .. } => left.arity() + right.arity(),
+            SqlPlan::Agg { group_by, aggs, .. } => group_by.len() + aggs.len(),
+            SqlPlan::Project { exprs, .. } => exprs.len(),
+        }
+    }
+
+    /// Calls `f` on every `OuterCol` index anywhere in the plan.
+    pub fn for_each_outer_col(&self, f: &mut impl FnMut(usize)) {
+        self.visit_exprs(&mut |e| e.for_each_outer(f));
+    }
+
+    /// `true` when the plan references any outer column (i.e. is
+    /// correlated).
+    pub fn is_correlated(&self) -> bool {
+        let mut found = false;
+        self.for_each_outer_col(&mut |_| found = true);
+        found
+    }
+
+    /// Rewrites every `OuterCol` index in the plan through `f`.
+    pub fn map_outer_cols(&self, f: &mut (impl FnMut(usize) -> usize + ?Sized)) -> SqlPlan {
+        fn map_expr(e: &SqlExpr, f: &mut (impl FnMut(usize) -> usize + ?Sized)) -> SqlExpr {
+            match e {
+                SqlExpr::OuterCol(i) => SqlExpr::OuterCol(f(*i)),
+                SqlExpr::Col(i) => SqlExpr::Col(*i),
+                SqlExpr::Lit(v) => SqlExpr::Lit(v.clone()),
+                SqlExpr::Add(a, b) => {
+                    SqlExpr::Add(Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+                }
+                SqlExpr::Sub(a, b) => {
+                    SqlExpr::Sub(Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+                }
+                SqlExpr::Mul(a, b) => {
+                    SqlExpr::Mul(Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+                }
+                SqlExpr::Div(a, b) => {
+                    SqlExpr::Div(Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+                }
+                SqlExpr::Cmp(op, a, b) => {
+                    SqlExpr::Cmp(*op, Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+                }
+                SqlExpr::And(a, b) => {
+                    SqlExpr::And(Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+                }
+                SqlExpr::Or(a, b) => {
+                    SqlExpr::Or(Box::new(map_expr(a, f)), Box::new(map_expr(b, f)))
+                }
+                SqlExpr::Not(a) => SqlExpr::Not(Box::new(map_expr(a, f))),
+                SqlExpr::StartsWith(a, s) => {
+                    SqlExpr::StartsWith(Box::new(map_expr(a, f)), s.clone())
+                }
+                SqlExpr::Contains(a, s) => SqlExpr::Contains(Box::new(map_expr(a, f)), s.clone()),
+                SqlExpr::InList(a, vs) => SqlExpr::InList(Box::new(map_expr(a, f)), vs.clone()),
+                SqlExpr::Between(a, lo, hi) => {
+                    SqlExpr::Between(Box::new(map_expr(a, f)), lo.clone(), hi.clone())
+                }
+                SqlExpr::IsNull(a) => SqlExpr::IsNull(Box::new(map_expr(a, f))),
+                SqlExpr::Subquery(p) => SqlExpr::Subquery(Box::new(p.map_outer_cols(f))),
+            }
+        }
+        match self {
+            SqlPlan::Scan {
+                table,
+                table_name,
+                base_arity,
+                filter,
+                project,
+            } => SqlPlan::Scan {
+                table: *table,
+                table_name: table_name.clone(),
+                base_arity: *base_arity,
+                filter: filter.as_ref().map(|e| map_expr(e, f)),
+                project: project.clone(),
+            },
+            SqlPlan::Filter { input, pred } => SqlPlan::Filter {
+                input: Box::new(input.map_outer_cols(f)),
+                pred: map_expr(pred, f),
+            },
+            SqlPlan::Join {
+                left,
+                right,
+                left_keys,
+                right_keys,
+                kind,
+            } => SqlPlan::Join {
+                left: Box::new(left.map_outer_cols(f)),
+                right: Box::new(right.map_outer_cols(f)),
+                left_keys: left_keys.clone(),
+                right_keys: right_keys.clone(),
+                kind: *kind,
+            },
+            SqlPlan::Agg {
+                input,
+                group_by,
+                aggs,
+            } => SqlPlan::Agg {
+                input: Box::new(input.map_outer_cols(f)),
+                group_by: group_by.clone(),
+                aggs: aggs
+                    .iter()
+                    .map(|a| SqlAgg {
+                        func: a.func,
+                        expr: map_expr(&a.expr, f),
+                    })
+                    .collect(),
+            },
+            SqlPlan::Project { input, exprs } => SqlPlan::Project {
+                input: Box::new(input.map_outer_cols(f)),
+                exprs: exprs.iter().map(|e| map_expr(e, f)).collect(),
+            },
+            SqlPlan::Sort { input, keys } => SqlPlan::Sort {
+                input: Box::new(input.map_outer_cols(f)),
+                keys: keys.clone(),
+            },
+            SqlPlan::Limit { input, n } => SqlPlan::Limit {
+                input: Box::new(input.map_outer_cols(f)),
+                n: *n,
+            },
+        }
+    }
+
+    /// Calls `f` on every expression embedded in the plan.
+    pub fn visit_exprs(&self, f: &mut impl FnMut(&SqlExpr)) {
+        match self {
+            SqlPlan::Scan { filter, .. } => {
+                if let Some(e) = filter {
+                    f(e);
+                }
+            }
+            SqlPlan::Filter { input, pred } => {
+                f(pred);
+                input.visit_exprs(f);
+            }
+            SqlPlan::Join { left, right, .. } => {
+                left.visit_exprs(f);
+                right.visit_exprs(f);
+            }
+            SqlPlan::Agg { input, aggs, .. } => {
+                for a in aggs {
+                    f(&a.expr);
+                }
+                input.visit_exprs(f);
+            }
+            SqlPlan::Project { input, exprs } => {
+                for e in exprs {
+                    f(e);
+                }
+                input.visit_exprs(f);
+            }
+            SqlPlan::Sort { input, .. } | SqlPlan::Limit { input, .. } => input.visit_exprs(f),
+        }
+    }
+
+    /// Renders a compact indented plan tree (used by tests and docs).
+    pub fn render(&self) -> String {
+        fn go(p: &SqlPlan, depth: usize, out: &mut String) {
+            let pad = "  ".repeat(depth);
+            match p {
+                SqlPlan::Scan {
+                    table_name,
+                    filter,
+                    project,
+                    ..
+                } => {
+                    out.push_str(&format!(
+                        "{pad}Scan {table_name}{}{}\n",
+                        if filter.is_some() { " [filtered]" } else { "" },
+                        match project {
+                            Some(cols) => format!(" cols={cols:?}"),
+                            None => String::new(),
+                        }
+                    ));
+                }
+                SqlPlan::Filter { input, .. } => {
+                    out.push_str(&format!("{pad}Filter\n"));
+                    go(input, depth + 1, out);
+                }
+                SqlPlan::Join {
+                    left,
+                    right,
+                    left_keys,
+                    right_keys,
+                    kind,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}Join {kind:?} {left_keys:?}={right_keys:?}\n"
+                    ));
+                    go(left, depth + 1, out);
+                    go(right, depth + 1, out);
+                }
+                SqlPlan::Agg {
+                    input,
+                    group_by,
+                    aggs,
+                } => {
+                    out.push_str(&format!(
+                        "{pad}Agg group_by={group_by:?} aggs={}\n",
+                        aggs.len()
+                    ));
+                    go(input, depth + 1, out);
+                }
+                SqlPlan::Project { input, exprs } => {
+                    out.push_str(&format!("{pad}Project exprs={}\n", exprs.len()));
+                    go(input, depth + 1, out);
+                }
+                SqlPlan::Sort { input, keys } => {
+                    out.push_str(&format!("{pad}Sort {keys:?}\n"));
+                    go(input, depth + 1, out);
+                }
+                SqlPlan::Limit { input, n } => {
+                    out.push_str(&format!("{pad}Limit {n}\n"));
+                    go(input, depth + 1, out);
+                }
+            }
+        }
+        let mut s = String::new();
+        go(self, 0, &mut s);
+        s
+    }
+}

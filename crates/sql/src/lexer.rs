@@ -1,0 +1,292 @@
+//! Tokenizer for the SQL subset.
+//!
+//! Every token carries the 1-based line/column where it starts so parse
+//! and bind errors can point at the offending source position. Keywords
+//! are not distinguished here — identifiers are matched case-insensitively
+//! by the parser — so table or column names that collide with keywords
+//! only fail where the grammar actually requires the keyword.
+
+use crate::SqlError;
+use std::fmt;
+
+/// A source position (1-based line and column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: usize,
+    /// Column number, starting at 1.
+    pub col: usize,
+}
+
+impl Pos {
+    /// Wraps a message into a [`SqlError`] at this position.
+    pub fn err(self, msg: impl Into<String>) -> SqlError {
+        SqlError {
+            msg: msg.into(),
+            line: self.line,
+            col: self.col,
+        }
+    }
+}
+
+/// Token payloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (original spelling preserved).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `/`
+    Slash,
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Int(v) => write!(f, "{v}"),
+            Tok::Float(v) => write!(f, "{v}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::Comma => write!(f, ","),
+            Tok::Semi => write!(f, ";"),
+            Tok::Dot => write!(f, "."),
+            Tok::Star => write!(f, "*"),
+            Tok::Plus => write!(f, "+"),
+            Tok::Minus => write!(f, "-"),
+            Tok::Slash => write!(f, "/"),
+            Tok::Eq => write!(f, "="),
+            Tok::Ne => write!(f, "<>"),
+            Tok::Lt => write!(f, "<"),
+            Tok::Le => write!(f, "<="),
+            Tok::Gt => write!(f, ">"),
+            Tok::Ge => write!(f, ">="),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Payload.
+    pub tok: Tok,
+    /// Where the token starts.
+    pub pos: Pos,
+}
+
+/// Tokenizes `sql`, appending a trailing [`Tok::Eof`] token.
+pub fn lex(sql: &str) -> Result<Vec<Token>, SqlError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = sql.chars().collect();
+    let mut i = 0;
+    let mut line = 1;
+    let mut col = 1;
+    let bump = |c: char, line: &mut usize, col: &mut usize| {
+        if c == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+    };
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos { line, col };
+        // Whitespace.
+        if c.is_whitespace() {
+            bump(c, &mut line, &mut col);
+            i += 1;
+            continue;
+        }
+        // `--` line comments.
+        if c == '-' && chars.get(i + 1) == Some(&'-') {
+            while i < chars.len() && chars[i] != '\n' {
+                bump(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            continue;
+        }
+        // Identifiers / keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                bump(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            let word: String = chars[start..i].iter().collect();
+            tokens.push(Token {
+                tok: Tok::Ident(word),
+                pos,
+            });
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                bump(chars[i], &mut line, &mut col);
+                i += 1;
+            }
+            if i < chars.len()
+                && chars[i] == '.'
+                && chars.get(i + 1).is_some_and(char::is_ascii_digit)
+            {
+                is_float = true;
+                bump('.', &mut line, &mut col);
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    bump(chars[i], &mut line, &mut col);
+                    i += 1;
+                }
+            }
+            let text: String = chars[start..i].iter().collect();
+            let tok = if is_float {
+                Tok::Float(
+                    text.parse::<f64>()
+                        .map_err(|_| pos.err(format!("bad float literal '{text}'")))?,
+                )
+            } else {
+                Tok::Int(
+                    text.parse::<i64>()
+                        .map_err(|_| pos.err(format!("integer literal '{text}' out of range")))?,
+                )
+            };
+            tokens.push(Token { tok, pos });
+            continue;
+        }
+        // String literals; `''` is an escaped quote.
+        if c == '\'' {
+            bump(c, &mut line, &mut col);
+            i += 1;
+            let mut s = String::new();
+            loop {
+                match chars.get(i) {
+                    None => return Err(pos.err("unterminated string literal")),
+                    Some('\'') if chars.get(i + 1) == Some(&'\'') => {
+                        s.push('\'');
+                        bump('\'', &mut line, &mut col);
+                        bump('\'', &mut line, &mut col);
+                        i += 2;
+                    }
+                    Some('\'') => {
+                        bump('\'', &mut line, &mut col);
+                        i += 1;
+                        break;
+                    }
+                    Some(&ch) => {
+                        s.push(ch);
+                        bump(ch, &mut line, &mut col);
+                        i += 1;
+                    }
+                }
+            }
+            tokens.push(Token {
+                tok: Tok::Str(s),
+                pos,
+            });
+            continue;
+        }
+        // Operators and punctuation.
+        let two = |a: char| chars.get(i + 1) == Some(&a);
+        let (tok, len) = match c {
+            '(' => (Tok::LParen, 1),
+            ')' => (Tok::RParen, 1),
+            ',' => (Tok::Comma, 1),
+            ';' => (Tok::Semi, 1),
+            '.' => (Tok::Dot, 1),
+            '*' => (Tok::Star, 1),
+            '+' => (Tok::Plus, 1),
+            '-' => (Tok::Minus, 1),
+            '/' => (Tok::Slash, 1),
+            '=' => (Tok::Eq, 1),
+            '<' if two('>') => (Tok::Ne, 2),
+            '<' if two('=') => (Tok::Le, 2),
+            '<' => (Tok::Lt, 1),
+            '>' if two('=') => (Tok::Ge, 2),
+            '>' => (Tok::Gt, 1),
+            '!' if two('=') => (Tok::Ne, 2),
+            other => return Err(pos.err(format!("unexpected character '{other}'"))),
+        };
+        for _ in 0..len {
+            bump(chars[i], &mut line, &mut col);
+            i += 1;
+        }
+        tokens.push(Token { tok, pos });
+    }
+    tokens.push(Token {
+        tok: Tok::Eof,
+        pos: Pos { line, col },
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn positions_track_lines_and_columns() {
+        let toks = lex("SELECT a\nFROM t").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[2].pos, Pos { line: 2, col: 1 });
+        assert_eq!(toks[3].pos, Pos { line: 2, col: 6 });
+    }
+
+    #[test]
+    fn strings_unescape_doubled_quotes() {
+        let toks = lex("'o''brien'").unwrap();
+        assert_eq!(toks[0].tok, Tok::Str("o'brien".into()));
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let toks = lex("1 -- two\n3").unwrap();
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].tok, Tok::Int(3));
+    }
+
+    #[test]
+    fn errors_carry_positions() {
+        let e = lex("a\n  ?").unwrap_err();
+        assert_eq!((e.line, e.col), (2, 3));
+        let e = lex("'open").unwrap_err();
+        assert!(e.msg.contains("unterminated"));
+    }
+}

@@ -1,0 +1,177 @@
+//! SQL frontend for ad-hoc query sensitivity sweeps.
+//!
+//! This crate turns a pragmatic SQL subset into the engine's logical plans
+//! so hand-written statements run through the exact same optimizer,
+//! executor paths, and resource-knob sweeps as the fixed workload
+//! generators:
+//!
+//! ```text
+//! SQL text ──lex/parse──▶ AST ──bind──▶ SqlPlan ──optimize──▶ SqlPlan
+//!     ──lower──▶ dbsens_engine::plan::Logical ──engine optimize──▶ PhysPlan
+//! ```
+//!
+//! The supported grammar (SELECT-FROM-WHERE, INNER/LEFT joins, GROUP BY
+//! with aggregates, ORDER BY/LIMIT, scalar subqueries, and
+//! INSERT/UPDATE/DELETE/CREATE TABLE) is documented in EBNF in
+//! `docs/SQL.md`, together with the optimizer rule catalog and the
+//! lowering table.
+//!
+//! # End to end
+//!
+//! ```
+//! use dbsens_engine::db::Database;
+//! use dbsens_engine::governor::ExecMode;
+//! use dbsens_sql::{run_script, StatementOutcome};
+//! use dbsens_storage::schema::{ColType, Schema};
+//! use dbsens_storage::value::Value;
+//!
+//! let mut db = Database::new(1000.0, 1 << 30);
+//! db.create_table(
+//!     "t",
+//!     Schema::new(&[("id", ColType::Int), ("v", ColType::Int)]),
+//!     (0..10).map(|i| vec![Value::Int(i), Value::Int(i * i)]).collect(),
+//! );
+//! let out = run_script(&mut db, "SELECT SUM(v) FROM t WHERE id < 5", ExecMode::Morsel).unwrap();
+//! // SUM accumulates in floating point: 0 + 1 + 4 + 9 + 16.
+//! assert_eq!(out, vec![StatementOutcome::Rows(vec![vec![Value::Float(30.0)]])]);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod binder;
+pub mod exec;
+pub mod ir;
+pub mod lexer;
+pub mod lower;
+pub mod optimizer;
+pub mod parser;
+
+pub use ast::Statement;
+pub use binder::{bind, BoundStatement};
+pub use exec::{run_script, run_statement, StatementOutcome};
+pub use ir::{SqlAgg, SqlExpr, SqlPlan};
+
+use dbsens_engine::db::Database;
+use dbsens_engine::plan::Logical;
+use std::fmt;
+
+/// A position-annotated SQL error (lex, parse, bind, or lowering).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SqlError {
+    /// Human-readable message.
+    pub msg: String,
+    /// 1-based source line, or 0 when the error has no position.
+    pub line: usize,
+    /// 1-based source column, or 0 when the error has no position.
+    pub col: usize,
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "{}", self.msg)
+        } else {
+            write!(f, "line {}:{}: {}", self.line, self.col, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Parses a `;`-separated SQL script into statements.
+///
+/// Errors carry 1-based line/column positions and the parser never panics
+/// on arbitrary input.
+///
+/// # Examples
+///
+/// ```
+/// let stmts = dbsens_sql::parse("SELECT a, COUNT(*) FROM t GROUP BY a").unwrap();
+/// assert_eq!(stmts.len(), 1);
+///
+/// let err = dbsens_sql::parse("SELECT a FRM t").unwrap_err();
+/// assert_eq!((err.line, err.col), (1, 10));
+/// ```
+pub fn parse(sql: &str) -> Result<Vec<Statement>, SqlError> {
+    parser::parse_script(sql)
+}
+
+/// Optimizes a bound plan: subquery decorrelation, predicate pushdown,
+/// cardinality-greedy join reordering, and projection pruning, in that
+/// order. See `docs/SQL.md` for the rule catalog.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_engine::db::Database;
+/// use dbsens_sql::{bind, optimize, BoundStatement, SqlPlan};
+/// use dbsens_storage::schema::{ColType, Schema};
+/// use dbsens_storage::value::Value;
+///
+/// let mut db = Database::new(1000.0, 1 << 30);
+/// db.create_table(
+///     "t",
+///     Schema::new(&[("id", ColType::Int), ("v", ColType::Int)]),
+///     (0..10).map(|i| vec![Value::Int(i), Value::Int(i)]).collect(),
+/// );
+/// let stmt = &dbsens_sql::parse("SELECT id FROM t WHERE v > 3").unwrap()[0];
+/// let BoundStatement::Select(plan) = bind(&db, stmt).unwrap() else { unreachable!() };
+/// let optimized = optimize(&db, &plan);
+/// // The WHERE predicate was pushed into the scan, and the scan now reads
+/// // both referenced columns but no more.
+/// assert!(optimized.render().contains("Scan t [filtered]"));
+/// ```
+pub fn optimize(db: &Database, plan: &SqlPlan) -> SqlPlan {
+    optimizer::optimize(db, plan)
+}
+
+/// Lowers a typed plan onto [`dbsens_engine::plan::Logical`], re-deriving
+/// cardinality estimates bottom-up and inlining uncorrelated scalar
+/// subqueries as literals.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_engine::db::Database;
+/// use dbsens_sql::{bind, lower, BoundStatement};
+/// use dbsens_storage::schema::{ColType, Schema};
+/// use dbsens_storage::value::Value;
+///
+/// let mut db = Database::new(1000.0, 1 << 30);
+/// db.create_table(
+///     "t",
+///     Schema::new(&[("id", ColType::Int)]),
+///     (0..100).map(|i| vec![Value::Int(i)]).collect(),
+/// );
+/// let stmt = &dbsens_sql::parse("SELECT id FROM t").unwrap()[0];
+/// let BoundStatement::Select(plan) = bind(&db, stmt).unwrap() else { unreachable!() };
+/// let logical = lower(&db, &plan).unwrap();
+/// assert_eq!(logical.est_rows, 100.0);
+/// ```
+pub fn lower(db: &Database, plan: &SqlPlan) -> Result<Logical, SqlError> {
+    lower::lower(db, plan)
+}
+
+/// One-stop compilation of a single `SELECT` statement into an engine
+/// logical plan: parse → bind → optimize → lower.
+///
+/// Errors if the script is not exactly one `SELECT` statement.
+pub fn compile(db: &Database, sql: &str) -> Result<Logical, SqlError> {
+    let stmts = parse(sql)?;
+    let [stmt] = stmts.as_slice() else {
+        return Err(SqlError {
+            msg: format!("expected exactly one statement, got {}", stmts.len()),
+            line: 1,
+            col: 1,
+        });
+    };
+    match bind(db, stmt)? {
+        BoundStatement::Select(plan) => lower(db, &optimize(db, &plan)),
+        _ => Err(SqlError {
+            msg: "expected a SELECT statement".into(),
+            line: 1,
+            col: 1,
+        }),
+    }
+}

@@ -1,0 +1,162 @@
+//! Lowering: [`SqlPlan`] → [`dbsens_engine::plan::Logical`].
+//!
+//! The engine's logical plans carry cardinality estimates on every node, so
+//! lowering re-derives them bottom-up with [`crate::optimizer::estimate`];
+//! optimizer rewrites therefore never leave stale estimates behind.
+//! Uncorrelated scalar subqueries are evaluated here — once, on the volcano
+//! path — and inlined as literals, so the engine plan that reaches the knob
+//! sweep is subquery-free. A correlated subquery that survived
+//! decorrelation is a hard error.
+
+use crate::ir::{SqlExpr, SqlPlan};
+use crate::optimizer::estimate;
+use crate::SqlError;
+use dbsens_engine::db::Database;
+use dbsens_engine::exec::execute;
+use dbsens_engine::expr::Expr;
+use dbsens_engine::governor::Governor;
+use dbsens_engine::optimizer::optimize as engine_optimize;
+use dbsens_engine::plan::{AggSpec, Logical};
+use dbsens_storage::value::Value;
+
+fn no_pos(msg: impl Into<String>) -> SqlError {
+    SqlError {
+        msg: msg.into(),
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Lowers a typed plan onto the engine's logical algebra.
+pub fn lower(db: &Database, plan: &SqlPlan) -> Result<Logical, SqlError> {
+    let est = estimate(db, plan);
+    match plan {
+        SqlPlan::Scan {
+            table,
+            filter,
+            project,
+            ..
+        } => {
+            let filter = filter.as_ref().map(|f| lower_expr(db, f)).transpose()?;
+            Ok(match project {
+                Some(cols) => Logical::scan_project(*table, filter, cols.clone(), est),
+                None => Logical::scan(*table, filter, est),
+            })
+        }
+        SqlPlan::Filter { input, pred } => {
+            let child_est = estimate(db, input);
+            let sel = if child_est > 0.0 {
+                (est / child_est).clamp(0.0, 1.0)
+            } else {
+                1.0
+            };
+            Ok(lower(db, input)?.filter(lower_expr(db, pred)?, sel))
+        }
+        SqlPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => Ok(lower(db, left)?.join(
+            lower(db, right)?,
+            left_keys.clone(),
+            right_keys.clone(),
+            *kind,
+            est,
+        )),
+        SqlPlan::Agg {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let specs = aggs
+                .iter()
+                .map(|a| {
+                    Ok(AggSpec {
+                        func: a.func,
+                        expr: lower_expr(db, &a.expr)?,
+                    })
+                })
+                .collect::<Result<Vec<_>, SqlError>>()?;
+            Ok(lower(db, input)?.agg(group_by.clone(), specs, est))
+        }
+        SqlPlan::Project { input, exprs } => {
+            let exprs = exprs
+                .iter()
+                .map(|e| lower_expr(db, e))
+                .collect::<Result<Vec<_>, SqlError>>()?;
+            Ok(lower(db, input)?.project(exprs))
+        }
+        SqlPlan::Sort { input, keys } => Ok(lower(db, input)?.sort(keys.clone())),
+        SqlPlan::Limit { input, n } => Ok(lower(db, input)?.top(*n)),
+    }
+}
+
+/// Converts a subquery-free, outer-reference-free expression. Used by the
+/// binder for constant folding.
+pub(crate) fn to_engine_expr(e: &SqlExpr) -> Result<Expr, SqlError> {
+    convert(e, &mut |_| {
+        Err(no_pos("subqueries are not allowed in this context"))
+    })
+}
+
+/// Converts an expression, evaluating scalar subqueries through the engine.
+pub(crate) fn lower_expr(db: &Database, e: &SqlExpr) -> Result<Expr, SqlError> {
+    convert(e, &mut |plan| scalar_subquery_value(db, plan))
+}
+
+/// Runs an uncorrelated scalar subquery on the volcano path and returns its
+/// single value (NULL when it yields no rows).
+fn scalar_subquery_value(db: &Database, plan: &SqlPlan) -> Result<Value, SqlError> {
+    if plan.is_correlated() {
+        return Err(no_pos(
+            "correlated subquery is too complex to decorrelate \
+             (supported shape: a scalar SUM/AVG/MIN/MAX over one table, \
+             correlated by equality)",
+        ));
+    }
+    let logical = lower(db, plan)?;
+    let ctx = Governor::paper_default(1).plan_context(db);
+    let phys = engine_optimize(db, &logical, &ctx);
+    let result = execute(db, &phys);
+    match result.rows.len() {
+        0 => Ok(Value::Null),
+        1 => Ok(result.rows[0][0].clone()),
+        n => Err(no_pos(format!(
+            "scalar subquery returned {n} rows (expected at most one)"
+        ))),
+    }
+}
+
+fn convert(
+    e: &SqlExpr,
+    subquery: &mut impl FnMut(&SqlPlan) -> Result<Value, SqlError>,
+) -> Result<Expr, SqlError> {
+    Ok(match e {
+        SqlExpr::Col(i) => Expr::Col(*i),
+        SqlExpr::OuterCol(_) => {
+            return Err(no_pos(
+                "correlated subquery is too complex to decorrelate \
+                 (an outer column reference survived optimization)",
+            ))
+        }
+        SqlExpr::Lit(v) => Expr::Lit(v.clone()),
+        SqlExpr::Add(a, b) => convert(a, subquery)?.add(convert(b, subquery)?),
+        SqlExpr::Sub(a, b) => convert(a, subquery)?.sub(convert(b, subquery)?),
+        SqlExpr::Mul(a, b) => convert(a, subquery)?.mul(convert(b, subquery)?),
+        SqlExpr::Div(a, b) => convert(a, subquery)?.div(convert(b, subquery)?),
+        SqlExpr::Cmp(op, a, b) => Expr::cmp(*op, convert(a, subquery)?, convert(b, subquery)?),
+        SqlExpr::And(a, b) => convert(a, subquery)?.and(convert(b, subquery)?),
+        SqlExpr::Or(a, b) => convert(a, subquery)?.or(convert(b, subquery)?),
+        SqlExpr::Not(a) => Expr::Not(Box::new(convert(a, subquery)?)),
+        SqlExpr::StartsWith(a, s) => Expr::StartsWith(Box::new(convert(a, subquery)?), s.clone()),
+        SqlExpr::Contains(a, s) => Expr::Contains(Box::new(convert(a, subquery)?), s.clone()),
+        SqlExpr::InList(a, vs) => Expr::InList(Box::new(convert(a, subquery)?), vs.clone()),
+        SqlExpr::Between(a, lo, hi) => {
+            Expr::Between(Box::new(convert(a, subquery)?), lo.clone(), hi.clone())
+        }
+        SqlExpr::IsNull(a) => Expr::IsNull(Box::new(convert(a, subquery)?)),
+        SqlExpr::Subquery(plan) => Expr::Lit(subquery(plan)?),
+    })
+}

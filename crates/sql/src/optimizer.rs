@@ -1,0 +1,1040 @@
+//! Rule-based optimizer over [`SqlPlan`].
+//!
+//! Four rewrites run in a fixed order (see `docs/SQL.md` for worked
+//! before/after examples):
+//!
+//! 1. **Subquery decorrelation** — correlated scalar-aggregate subqueries
+//!    in filter predicates become a grouped aggregate joined back with a
+//!    `LEFT OUTER` join.
+//! 2. **Predicate pushdown** — filter conjuncts sink toward scans, through
+//!    projections, sorts, group-key prefixes, and the legal side of joins.
+//! 3. **Join reordering** — maximal inner-join regions are rebuilt greedily
+//!    by estimated cardinality, keeping the largest input as the probe side
+//!    and joining the cheapest connected input next; the rewrite is kept
+//!    only when [`dbsens_engine::cost::EngineCost`]'s hash-join model says
+//!    it is cheaper.
+//! 4. **Projection pruning** — unused columns are cut at the lowest
+//!    possible operator, turning full scans into column-projected scans.
+//!
+//! Rules never change result semantics: the property tests in
+//! `tests/tests/sqlprop.rs` check optimized and unoptimized plans produce
+//! byte-identical digests on both executor paths.
+
+use crate::ir::{SqlAgg, SqlExpr, SqlPlan};
+use dbsens_engine::db::Database;
+use dbsens_engine::expr::CmpOp;
+use dbsens_engine::plan::{AggFunc, JoinKind};
+use std::collections::BTreeSet;
+
+/// Optimizes a bound plan. Infallible: anything a rule cannot handle is
+/// simply left in place.
+pub fn optimize(db: &Database, plan: &SqlPlan) -> SqlPlan {
+    let p = decorrelate(plan.clone());
+    let p = pushdown(p);
+    let p = reorder(db, p);
+    let p = pushdown(p);
+    let arity = p.arity();
+    let (p, _) = prune(p, &(0..arity).collect());
+    p
+}
+
+// ---------------------------------------------------------------------------
+// Cardinality estimation (shared with lowering via `estimate`).
+
+/// Estimated output rows of a plan, in logical (heap) rows.
+pub fn estimate(db: &Database, plan: &SqlPlan) -> f64 {
+    match plan {
+        SqlPlan::Scan { table, filter, .. } => {
+            let base = db.table(*table).heap.len() as f64;
+            base * filter.as_ref().map_or(1.0, selectivity)
+        }
+        SqlPlan::Filter { input, pred } => estimate(db, input) * selectivity(pred),
+        SqlPlan::Join {
+            left, right, kind, ..
+        } => {
+            let l = estimate(db, left);
+            let r = estimate(db, right);
+            let inner = (l * r / l.max(r).max(1.0)).max(1.0);
+            match kind {
+                JoinKind::LeftOuter => inner.max(l),
+                _ => inner,
+            }
+        }
+        SqlPlan::Agg {
+            input, group_by, ..
+        } => {
+            if group_by.is_empty() {
+                1.0
+            } else {
+                let shrink = 0.25f64.powi(group_by.len().min(2) as i32);
+                (estimate(db, input) * shrink).max(1.0)
+            }
+        }
+        SqlPlan::Project { input, .. } | SqlPlan::Sort { input, .. } => estimate(db, input),
+        SqlPlan::Limit { input, n } => estimate(db, input).min(*n as f64),
+    }
+}
+
+/// Heuristic selectivity of a predicate.
+pub(crate) fn selectivity(e: &SqlExpr) -> f64 {
+    match e {
+        SqlExpr::Cmp(CmpOp::Eq, a, b) => match (a.as_ref(), b.as_ref()) {
+            (SqlExpr::Col(_), SqlExpr::Lit(_)) | (SqlExpr::Lit(_), SqlExpr::Col(_)) => 0.05,
+            _ => 0.1,
+        },
+        SqlExpr::Cmp(CmpOp::Ne, ..) => 0.9,
+        SqlExpr::Cmp(..) => 0.3,
+        SqlExpr::Between(..) => 0.3,
+        SqlExpr::StartsWith(..) | SqlExpr::Contains(..) => 0.25,
+        SqlExpr::InList(_, vs) => (0.05 * vs.len() as f64).min(0.5),
+        SqlExpr::IsNull(_) => 0.1,
+        SqlExpr::And(a, b) => selectivity(a) * selectivity(b),
+        SqlExpr::Or(a, b) => (selectivity(a) + selectivity(b)).min(1.0),
+        SqlExpr::Not(a) => 1.0 - selectivity(a),
+        _ => 0.5,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: decorrelation.
+
+fn decorrelate(plan: SqlPlan) -> SqlPlan {
+    // Children first, so nested filters are already in rewritten form.
+    let plan = match plan {
+        SqlPlan::Filter { input, pred } => SqlPlan::Filter {
+            input: Box::new(decorrelate(*input)),
+            pred,
+        },
+        SqlPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => SqlPlan::Join {
+            left: Box::new(decorrelate(*left)),
+            right: Box::new(decorrelate(*right)),
+            left_keys,
+            right_keys,
+            kind,
+        },
+        SqlPlan::Agg {
+            input,
+            group_by,
+            aggs,
+        } => SqlPlan::Agg {
+            input: Box::new(decorrelate(*input)),
+            group_by,
+            aggs,
+        },
+        SqlPlan::Project { input, exprs } => SqlPlan::Project {
+            input: Box::new(decorrelate(*input)),
+            exprs,
+        },
+        SqlPlan::Sort { input, keys } => SqlPlan::Sort {
+            input: Box::new(decorrelate(*input)),
+            keys,
+        },
+        SqlPlan::Limit { input, n } => SqlPlan::Limit {
+            input: Box::new(decorrelate(*input)),
+            n,
+        },
+        scan => scan,
+    };
+    let SqlPlan::Filter { input, pred } = plan else {
+        return plan;
+    };
+    let outer_arity = input.arity();
+    let mut conjuncts = Vec::new();
+    pred.split_conjuncts(&mut conjuncts);
+    let mut outer = *input;
+    let mut residual = Vec::new();
+    for conj in conjuncts {
+        match try_decorrelate_conjunct(&conj, outer, outer_arity) {
+            Ok((new_outer, rewritten)) => {
+                outer = new_outer;
+                residual.push(rewritten);
+            }
+            Err(same_outer) => {
+                outer = same_outer;
+                residual.push(conj);
+            }
+        }
+    }
+    let rewritten_arity = outer.arity();
+    let mut plan = SqlPlan::Filter {
+        input: Box::new(outer),
+        pred: SqlExpr::conjoin(residual).expect("at least one conjunct"),
+    };
+    if rewritten_arity != outer_arity {
+        // Joins were appended on the right: restore the original layout.
+        plan = SqlPlan::Project {
+            input: Box::new(plan),
+            exprs: (0..outer_arity).map(SqlExpr::Col).collect(),
+        };
+    }
+    plan
+}
+
+/// If `conj` compares against a correlated scalar-aggregate subquery of a
+/// supported shape, appends the decorrelated join to `outer` and returns
+/// the rewritten comparison. Otherwise hands `outer` back unchanged.
+fn try_decorrelate_conjunct(
+    conj: &SqlExpr,
+    outer: SqlPlan,
+    outer_arity: usize,
+) -> Result<(SqlPlan, SqlExpr), SqlPlan> {
+    let SqlExpr::Cmp(op, lhs, rhs) = conj else {
+        return Err(outer);
+    };
+    let (other, sub, sub_on_right) = match (lhs.as_ref(), rhs.as_ref()) {
+        (SqlExpr::Subquery(p), o) if p.is_correlated() => (o, p.as_ref(), false),
+        (o, SqlExpr::Subquery(p)) if p.is_correlated() => (o, p.as_ref(), true),
+        _ => return Err(outer),
+    };
+    if other.has_subquery() || other.has_outer_col() {
+        return Err(outer);
+    }
+    // The current join layout is `outer ++ appended`; the comparison's own
+    // columns must live in the outer prefix.
+    let mut ok = true;
+    other.for_each_col(&mut |c| ok &= c < outer_arity);
+    if !ok {
+        return Err(outer);
+    }
+    let Some((agg, correlated, local, scan)) = match_scalar_agg(sub) else {
+        return Err(outer);
+    };
+    // COUNT over an empty group yields 0 through the subquery path but NULL
+    // through an outer join; refuse rather than silently diverge.
+    if agg.func == AggFunc::Count || agg.expr.has_outer_col() {
+        return Err(outer);
+    }
+    let (inner_cols, outer_cols): (Vec<usize>, Vec<usize>) = correlated.iter().cloned().unzip();
+    let mut inner: SqlPlan = scan;
+    if let Some(pred) = SqlExpr::conjoin(local) {
+        inner = SqlPlan::Filter {
+            input: Box::new(inner),
+            pred,
+        };
+    }
+    let key_count = inner_cols.len();
+    let inner = SqlPlan::Agg {
+        input: Box::new(inner),
+        group_by: inner_cols,
+        aggs: vec![agg],
+    };
+    let appended = outer.arity();
+    let joined = SqlPlan::Join {
+        left: Box::new(outer),
+        right: Box::new(inner),
+        left_keys: outer_cols,
+        right_keys: (0..key_count).collect(),
+        kind: JoinKind::LeftOuter,
+    };
+    let agg_col = SqlExpr::Col(appended + key_count);
+    let rewritten = if sub_on_right {
+        SqlExpr::Cmp(*op, Box::new(other.clone()), Box::new(agg_col))
+    } else {
+        SqlExpr::Cmp(*op, Box::new(agg_col), Box::new(other.clone()))
+    };
+    Ok((joined, rewritten))
+}
+
+type ScalarAggParts = (SqlAgg, Vec<(usize, usize)>, Vec<SqlExpr>, SqlPlan);
+
+/// Matches the decorrelatable shape: an (optionally identity-projected)
+/// scalar aggregate over filters over a single scan. Returns the aggregate,
+/// the correlated equi pairs `(inner col, outer col)`, the local conjuncts
+/// (rewritten over the base layout), and the bare scan.
+fn match_scalar_agg(sub: &SqlPlan) -> Option<ScalarAggParts> {
+    let mut node = sub;
+    if let SqlPlan::Project { input, exprs } = node {
+        if exprs.as_slice() != [SqlExpr::Col(0)] {
+            return None;
+        }
+        node = input;
+    }
+    let SqlPlan::Agg {
+        input,
+        group_by,
+        aggs,
+    } = node
+    else {
+        return None;
+    };
+    if !group_by.is_empty() || aggs.len() != 1 {
+        return None;
+    }
+    let mut conjuncts = Vec::new();
+    let mut chain = input.as_ref();
+    loop {
+        match chain {
+            SqlPlan::Filter { input, pred } => {
+                pred.clone().split_conjuncts(&mut conjuncts);
+                chain = input;
+            }
+            SqlPlan::Scan {
+                filter, project, ..
+            } => {
+                if project.is_some() {
+                    return None;
+                }
+                if let Some(f) = filter {
+                    f.clone().split_conjuncts(&mut conjuncts);
+                }
+                break;
+            }
+            _ => return None,
+        }
+    }
+    let scan = match chain {
+        SqlPlan::Scan {
+            table,
+            table_name,
+            base_arity,
+            ..
+        } => SqlPlan::Scan {
+            table: *table,
+            table_name: table_name.clone(),
+            base_arity: *base_arity,
+            filter: None,
+            project: None,
+        },
+        _ => return None,
+    };
+    let mut correlated = Vec::new();
+    let mut local = Vec::new();
+    for conj in conjuncts {
+        if let SqlExpr::Cmp(CmpOp::Eq, a, b) = &conj {
+            match (a.as_ref(), b.as_ref()) {
+                (SqlExpr::Col(i), SqlExpr::OuterCol(o))
+                | (SqlExpr::OuterCol(o), SqlExpr::Col(i)) => {
+                    correlated.push((*i, *o));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        if conj.has_outer_col() {
+            return None;
+        }
+        local.push(conj);
+    }
+    if correlated.is_empty() {
+        return None;
+    }
+    Some((aggs[0].clone(), correlated, local, scan))
+}
+
+// ---------------------------------------------------------------------------
+// Rule 2: predicate pushdown.
+
+fn pushdown(plan: SqlPlan) -> SqlPlan {
+    match plan {
+        SqlPlan::Filter { input, pred } => {
+            let mut input = pushdown(*input);
+            let mut conjuncts = Vec::new();
+            pred.split_conjuncts(&mut conjuncts);
+            let mut residual = Vec::new();
+            for conj in conjuncts {
+                match try_push(input, conj) {
+                    Ok(pushed) => input = pushed,
+                    Err((same, conj)) => {
+                        input = same;
+                        residual.push(conj);
+                    }
+                }
+            }
+            match SqlExpr::conjoin(residual) {
+                Some(pred) => SqlPlan::Filter {
+                    input: Box::new(input),
+                    pred,
+                },
+                None => input,
+            }
+        }
+        SqlPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => SqlPlan::Join {
+            left: Box::new(pushdown(*left)),
+            right: Box::new(pushdown(*right)),
+            left_keys,
+            right_keys,
+            kind,
+        },
+        SqlPlan::Agg {
+            input,
+            group_by,
+            aggs,
+        } => SqlPlan::Agg {
+            input: Box::new(pushdown(*input)),
+            group_by,
+            aggs,
+        },
+        SqlPlan::Project { input, exprs } => SqlPlan::Project {
+            input: Box::new(pushdown(*input)),
+            exprs,
+        },
+        SqlPlan::Sort { input, keys } => SqlPlan::Sort {
+            input: Box::new(pushdown(*input)),
+            keys,
+        },
+        SqlPlan::Limit { input, n } => SqlPlan::Limit {
+            input: Box::new(pushdown(*input)),
+            n,
+        },
+        scan => scan,
+    }
+}
+
+/// Attempts to sink one conjunct into `plan`; `Err` hands both back
+/// untouched so the caller keeps ownership without cloning.
+#[allow(clippy::result_large_err)]
+fn try_push(plan: SqlPlan, conj: SqlExpr) -> Result<SqlPlan, (SqlPlan, SqlExpr)> {
+    match plan {
+        SqlPlan::Scan {
+            table,
+            table_name,
+            base_arity,
+            filter,
+            project,
+        } => {
+            // The conjunct is over the scan *output*; rewrite it to the base
+            // layout the scan filter is evaluated in.
+            let based = match &project {
+                Some(cols) => conj.map_cols(&mut |i| cols[i]),
+                None => conj,
+            };
+            let filter = Some(match filter {
+                Some(f) => SqlExpr::And(Box::new(f), Box::new(based)),
+                None => based,
+            });
+            Ok(SqlPlan::Scan {
+                table,
+                table_name,
+                base_arity,
+                filter,
+                project,
+            })
+        }
+        SqlPlan::Filter { input, pred } => match try_push(*input, conj) {
+            Ok(pushed) => Ok(SqlPlan::Filter {
+                input: Box::new(pushed),
+                pred,
+            }),
+            Err((input, conj)) => Ok(SqlPlan::Filter {
+                input: Box::new(input),
+                pred: SqlExpr::And(Box::new(pred), Box::new(conj)),
+            }),
+        },
+        SqlPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => {
+            let la = left.arity();
+            let (mut lo, mut hi, mut any) = (usize::MAX, 0usize, false);
+            conj.for_each_col(&mut |c| {
+                lo = lo.min(c);
+                hi = hi.max(c);
+                any = true;
+            });
+            if any && hi < la {
+                // Left-side conjuncts commute with both join kinds.
+                let left = push_or_filter(*left, conj);
+                Ok(SqlPlan::Join {
+                    left: Box::new(left),
+                    right,
+                    left_keys,
+                    right_keys,
+                    kind,
+                })
+            } else if any && lo >= la && kind == JoinKind::Inner {
+                // Right-side conjuncts sink only through inner joins: below
+                // a left-outer join they would resurrect NULL-padded rows.
+                let right = push_or_filter(*right, conj.map_cols(&mut |c| c - la));
+                Ok(SqlPlan::Join {
+                    left,
+                    right: Box::new(right),
+                    left_keys,
+                    right_keys,
+                    kind,
+                })
+            } else {
+                Err((
+                    SqlPlan::Join {
+                        left,
+                        right,
+                        left_keys,
+                        right_keys,
+                        kind,
+                    },
+                    conj,
+                ))
+            }
+        }
+        SqlPlan::Agg {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let keys = group_by.len();
+            let mut ok = true;
+            conj.for_each_col(&mut |c| ok &= c < keys);
+            if ok {
+                let below = conj.map_cols(&mut |c| group_by[c]);
+                Ok(SqlPlan::Agg {
+                    input: Box::new(push_or_filter(*input, below)),
+                    group_by,
+                    aggs,
+                })
+            } else {
+                Err((
+                    SqlPlan::Agg {
+                        input,
+                        group_by,
+                        aggs,
+                    },
+                    conj,
+                ))
+            }
+        }
+        SqlPlan::Project { input, exprs } => {
+            // Substitute only when every referenced projection is a plain
+            // column, so the pushed predicate never duplicates computation.
+            let mut ok = true;
+            conj.for_each_col(&mut |c| {
+                ok &= matches!(exprs.get(c), Some(SqlExpr::Col(_)));
+            });
+            if ok {
+                let below = conj.map_cols(&mut |c| match &exprs[c] {
+                    SqlExpr::Col(j) => *j,
+                    _ => unreachable!("checked above"),
+                });
+                Ok(SqlPlan::Project {
+                    input: Box::new(push_or_filter(*input, below)),
+                    exprs,
+                })
+            } else {
+                Err((SqlPlan::Project { input, exprs }, conj))
+            }
+        }
+        SqlPlan::Sort { input, keys } => Ok(SqlPlan::Sort {
+            input: Box::new(push_or_filter(*input, conj)),
+            keys,
+        }),
+        // Filtering after LIMIT is not the same as before it.
+        limit @ SqlPlan::Limit { .. } => Err((limit, conj)),
+    }
+}
+
+fn push_or_filter(plan: SqlPlan, conj: SqlExpr) -> SqlPlan {
+    match try_push(plan, conj) {
+        Ok(p) => p,
+        Err((p, conj)) => SqlPlan::Filter {
+            input: Box::new(p),
+            pred: conj,
+        },
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 3: join reordering.
+
+fn reorder(db: &Database, plan: SqlPlan) -> SqlPlan {
+    match plan {
+        join @ SqlPlan::Join {
+            kind: JoinKind::Inner,
+            ..
+        } => reorder_region(db, join),
+        SqlPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => SqlPlan::Join {
+            left: Box::new(reorder(db, *left)),
+            right: Box::new(reorder(db, *right)),
+            left_keys,
+            right_keys,
+            kind,
+        },
+        SqlPlan::Filter { input, pred } => SqlPlan::Filter {
+            input: Box::new(reorder(db, *input)),
+            pred,
+        },
+        SqlPlan::Agg {
+            input,
+            group_by,
+            aggs,
+        } => SqlPlan::Agg {
+            input: Box::new(reorder(db, *input)),
+            group_by,
+            aggs,
+        },
+        SqlPlan::Project { input, exprs } => SqlPlan::Project {
+            input: Box::new(reorder(db, *input)),
+            exprs,
+        },
+        SqlPlan::Sort { input, keys } => SqlPlan::Sort {
+            input: Box::new(reorder(db, *input)),
+            keys,
+        },
+        SqlPlan::Limit { input, n } => SqlPlan::Limit {
+            input: Box::new(reorder(db, *input)),
+            n,
+        },
+        scan => scan,
+    }
+}
+
+/// A flattened inner-join region: leaves in original layout order and
+/// equi-edges in absolute (original) column positions.
+struct Region {
+    leaves: Vec<SqlPlan>,
+    offsets: Vec<usize>,
+    edges: Vec<(usize, usize)>,
+}
+
+fn flatten_region(plan: SqlPlan, offset: usize, region: &mut Region) {
+    match plan {
+        SqlPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind: JoinKind::Inner,
+        } => {
+            let la = left.arity();
+            flatten_region(*left, offset, region);
+            flatten_region(*right, offset + la, region);
+            for (l, r) in left_keys.iter().zip(&right_keys) {
+                region.edges.push((offset + l, offset + la + r));
+            }
+        }
+        leaf => {
+            region.offsets.push(offset);
+            region.leaves.push(leaf);
+        }
+    }
+}
+
+fn reorder_region(db: &Database, join: SqlPlan) -> SqlPlan {
+    let total_arity = join.arity();
+    let mut region = Region {
+        leaves: Vec::new(),
+        offsets: Vec::new(),
+        edges: Vec::new(),
+    };
+    flatten_region(join, 0, &mut region);
+    // Leaves are themselves optimized (they may hold nested regions under
+    // outer joins or aggregates).
+    let leaves: Vec<SqlPlan> = std::mem::take(&mut region.leaves)
+        .into_iter()
+        .map(|l| reorder(db, l))
+        .collect();
+    let n = leaves.len();
+    let ests: Vec<f64> = leaves.iter().map(|l| estimate(db, l)).collect();
+    let arities: Vec<usize> = leaves.iter().map(SqlPlan::arity).collect();
+    let leaf_of = |abs: usize| {
+        region
+            .offsets
+            .iter()
+            .rposition(|&o| o <= abs)
+            .expect("offset 0 exists")
+    };
+
+    // Greedy order: largest leaf stays the probe side; then always join the
+    // smallest leaf connected to the picked set (the binder guarantees the
+    // join graph is connected, so one always exists).
+    let mut order = Vec::with_capacity(n);
+    let start = (0..n)
+        .max_by(|&a, &b| ests[a].total_cmp(&ests[b]))
+        .expect("non-empty region");
+    order.push(start);
+    while order.len() < n {
+        let connected = |cand: usize| {
+            region.edges.iter().any(|&(a, b)| {
+                let (la, lb) = (leaf_of(a), leaf_of(b));
+                (la == cand && order.contains(&lb)) || (lb == cand && order.contains(&la))
+            })
+        };
+        let next = (0..n)
+            .filter(|c| !order.contains(c))
+            .min_by(|&a, &b| {
+                (!connected(a), ests[a])
+                    .partial_cmp(&(!connected(b), ests[b]))
+                    .expect("estimates are finite")
+            })
+            .expect("candidates remain");
+        order.push(next);
+    }
+    let identity: Vec<usize> = (0..n).collect();
+    if order == identity
+        || hash_cost(db, &order, &ests, &region.edges, &region.offsets)
+            >= hash_cost(db, &identity, &ests, &region.edges, &region.offsets)
+    {
+        // Original order is already best (or the greedy pick is no cheaper):
+        // rebuild it verbatim from the optimized leaves.
+        return build_region(&identity, leaves, &region, &arities, total_arity);
+    }
+    build_region(&order, leaves, &region, &arities, total_arity)
+}
+
+/// Hash-join cost of a left-deep order: each step builds on the new leaf
+/// and probes with the accumulated intermediate.
+/// Hash-join cost of a left-deep order under
+/// [`dbsens_engine::cost::EngineCost`]: each step builds a hash table on
+/// the new leaf and probes it with the accumulated intermediate.
+fn hash_cost(
+    db: &Database,
+    order: &[usize],
+    ests: &[f64],
+    edges: &[(usize, usize)],
+    offsets: &[usize],
+) -> f64 {
+    let c = &db.cost;
+    let leaf_of = |abs: usize| {
+        offsets
+            .iter()
+            .rposition(|&o| o <= abs)
+            .expect("offset 0 exists")
+    };
+    let mut cost = 0.0;
+    let mut inter = ests[order[0]];
+    for (step, &leaf) in order.iter().enumerate().skip(1) {
+        let joined = edges.iter().any(|&(a, b)| {
+            let (la, lb) = (leaf_of(a), leaf_of(b));
+            (la == leaf && order[..step].contains(&lb))
+                || (lb == leaf && order[..step].contains(&la))
+        });
+        cost += ests[leaf] * c.hash_build_row as f64 + inter * c.hash_probe_row as f64;
+        let r = ests[leaf];
+        inter = if joined {
+            (inter * r / inter.max(r).max(1.0)).max(1.0)
+        } else {
+            inter * r
+        };
+    }
+    cost
+}
+
+/// Rebuilds the region as a left-deep inner-join tree in `order`, then
+/// restores the original column order with a projection when it changed.
+fn build_region(
+    order: &[usize],
+    mut leaves: Vec<SqlPlan>,
+    region: &Region,
+    arities: &[usize],
+    total_arity: usize,
+) -> SqlPlan {
+    let n = leaves.len();
+    let leaf_of = |abs: usize| {
+        region
+            .offsets
+            .iter()
+            .rposition(|&o| o <= abs)
+            .expect("offset 0 exists")
+    };
+    // New absolute offset of each leaf under `order`.
+    let mut new_offsets = vec![0usize; n];
+    let mut acc = 0;
+    for &leaf in order {
+        new_offsets[leaf] = acc;
+        acc += arities[leaf];
+    }
+    let new_abs = |abs: usize| {
+        let leaf = leaf_of(abs);
+        new_offsets[leaf] + (abs - region.offsets[leaf])
+    };
+    let mut plan = std::mem::replace(&mut leaves[order[0]], plan_placeholder());
+    let mut placed = vec![order[0]];
+    let mut used = vec![false; region.edges.len()];
+    for &leaf in &order[1..] {
+        let right = std::mem::replace(&mut leaves[leaf], plan_placeholder());
+        let mut left_keys = Vec::new();
+        let mut right_keys = Vec::new();
+        for (ei, &(a, b)) in region.edges.iter().enumerate() {
+            if used[ei] {
+                continue;
+            }
+            let (la, lb) = (leaf_of(a), leaf_of(b));
+            let (other_abs, mine_abs) = if la == leaf && placed.contains(&lb) {
+                (b, a)
+            } else if lb == leaf && placed.contains(&la) {
+                (a, b)
+            } else {
+                continue;
+            };
+            used[ei] = true;
+            left_keys.push(new_abs(other_abs));
+            right_keys.push(mine_abs - region.offsets[leaf]);
+        }
+        // The binder guarantees a connected join graph and the greedy order
+        // prefers connected leaves, so keys are always found here.
+        assert!(
+            !left_keys.is_empty(),
+            "join region lost connectivity during reordering"
+        );
+        placed.push(leaf);
+        plan = SqlPlan::Join {
+            left: Box::new(plan),
+            right: Box::new(right),
+            left_keys,
+            right_keys,
+            kind: JoinKind::Inner,
+        };
+    }
+    // Edges between two already-placed leaves (join cycles) become residual
+    // equality filters.
+    let mut residual = Vec::new();
+    for (ei, &(a, b)) in region.edges.iter().enumerate() {
+        if !used[ei] {
+            residual.push(SqlExpr::cmp(
+                CmpOp::Eq,
+                SqlExpr::Col(new_abs(a)),
+                SqlExpr::Col(new_abs(b)),
+            ));
+        }
+    }
+    if let Some(pred) = SqlExpr::conjoin(residual) {
+        plan = SqlPlan::Filter {
+            input: Box::new(plan),
+            pred,
+        };
+    }
+    // Restore the original column order for everything above the region.
+    if order.iter().copied().ne(0..n) {
+        plan = SqlPlan::Project {
+            input: Box::new(plan),
+            exprs: (0..total_arity).map(|i| SqlExpr::Col(new_abs(i))).collect(),
+        };
+    }
+    plan
+}
+
+fn plan_placeholder() -> SqlPlan {
+    SqlPlan::Scan {
+        table: dbsens_engine::db::TableId(usize::MAX),
+        table_name: String::new(),
+        base_arity: 0,
+        filter: None,
+        project: None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: projection pruning.
+
+/// Prunes unused columns. `needed` is the set of output columns the parent
+/// uses; returns the pruned plan and the old→new output-position map.
+fn prune(plan: SqlPlan, needed: &BTreeSet<usize>) -> (SqlPlan, Vec<usize>) {
+    match plan {
+        SqlPlan::Scan {
+            table,
+            table_name,
+            base_arity,
+            filter,
+            project,
+        } => {
+            let out_arity = project.as_ref().map_or(base_arity, Vec::len);
+            if needed.len() == out_arity {
+                let identity = (0..out_arity).collect();
+                return (
+                    SqlPlan::Scan {
+                        table,
+                        table_name,
+                        base_arity,
+                        filter,
+                        project,
+                    },
+                    identity,
+                );
+            }
+            // The scan filter runs against the base layout before projection,
+            // so pruning never has to keep filter columns in the output.
+            let kept: Vec<usize> = needed.iter().copied().collect();
+            let new_project: Vec<usize> = kept
+                .iter()
+                .map(|&i| project.as_ref().map_or(i, |p| p[i]))
+                .collect();
+            let mut map = vec![usize::MAX; out_arity];
+            for (new, &old) in kept.iter().enumerate() {
+                map[old] = new;
+            }
+            (
+                SqlPlan::Scan {
+                    table,
+                    table_name,
+                    base_arity,
+                    filter,
+                    project: Some(new_project),
+                },
+                map,
+            )
+        }
+        SqlPlan::Filter { input, pred } => {
+            let mut wanted = needed.clone();
+            pred.for_each_col(&mut |c| {
+                wanted.insert(c);
+            });
+            let (input, map) = prune(*input, &wanted);
+            let pred = pred.map_cols(&mut |c| map[c]);
+            (
+                SqlPlan::Filter {
+                    input: Box::new(input),
+                    pred,
+                },
+                map,
+            )
+        }
+        SqlPlan::Join {
+            left,
+            right,
+            left_keys,
+            right_keys,
+            kind,
+        } => {
+            let la = left.arity();
+            let ra = right.arity();
+            let mut lneed: BTreeSet<usize> = left_keys.iter().copied().collect();
+            let mut rneed: BTreeSet<usize> = right_keys.iter().copied().collect();
+            for &i in needed {
+                if i < la {
+                    lneed.insert(i);
+                } else {
+                    rneed.insert(i - la);
+                }
+            }
+            let (left, lmap) = prune(*left, &lneed);
+            let (right, rmap) = prune(*right, &rneed);
+            let la_new = left.arity();
+            let mut map = vec![usize::MAX; la + ra];
+            for old in 0..la {
+                if lmap[old] != usize::MAX {
+                    map[old] = lmap[old];
+                }
+            }
+            for old in 0..ra {
+                if rmap[old] != usize::MAX {
+                    map[la + old] = la_new + rmap[old];
+                }
+            }
+            (
+                SqlPlan::Join {
+                    left: Box::new(left),
+                    right: Box::new(right),
+                    left_keys: left_keys.iter().map(|&k| lmap[k]).collect(),
+                    right_keys: right_keys.iter().map(|&k| rmap[k]).collect(),
+                    kind,
+                },
+                map,
+            )
+        }
+        SqlPlan::Agg {
+            input,
+            group_by,
+            aggs,
+        } => {
+            let keys = group_by.len();
+            // Group keys always stay (they define the grouping); aggregates
+            // the parent never reads are dropped.
+            let kept_aggs: Vec<usize> = (0..aggs.len())
+                .filter(|k| needed.contains(&(keys + k)) || needed.is_empty())
+                .collect();
+            let kept_aggs = if kept_aggs.is_empty() {
+                vec![0]
+            } else {
+                kept_aggs
+            };
+            let mut wanted: BTreeSet<usize> = group_by.iter().copied().collect();
+            for &k in &kept_aggs {
+                aggs[k].expr.for_each_col(&mut |c| {
+                    wanted.insert(c);
+                });
+            }
+            let (input, imap) = prune(*input, &wanted);
+            let group_by: Vec<usize> = group_by.iter().map(|&g| imap[g]).collect();
+            let new_aggs: Vec<SqlAgg> = kept_aggs
+                .iter()
+                .map(|&k| SqlAgg {
+                    func: aggs[k].func,
+                    expr: aggs[k].expr.map_cols(&mut |c| imap[c]),
+                })
+                .collect();
+            let mut map = vec![usize::MAX; keys + aggs.len()];
+            for (i, slot) in map.iter_mut().take(keys).enumerate() {
+                *slot = i;
+            }
+            for (new_k, &old_k) in kept_aggs.iter().enumerate() {
+                map[keys + old_k] = keys + new_k;
+            }
+            (
+                SqlPlan::Agg {
+                    input: Box::new(input),
+                    group_by,
+                    aggs: new_aggs,
+                },
+                map,
+            )
+        }
+        SqlPlan::Project { input, exprs } => {
+            let kept: Vec<usize> = (0..exprs.len()).filter(|i| needed.contains(i)).collect();
+            let kept = if kept.is_empty() { vec![0] } else { kept };
+            let mut wanted = BTreeSet::new();
+            for &i in &kept {
+                exprs[i].for_each_col(&mut |c| {
+                    wanted.insert(c);
+                });
+            }
+            let (input, imap) = prune(*input, &wanted);
+            let new_exprs: Vec<SqlExpr> = kept
+                .iter()
+                .map(|&i| exprs[i].map_cols(&mut |c| imap[c]))
+                .collect();
+            let mut map = vec![usize::MAX; exprs.len()];
+            for (new, &old) in kept.iter().enumerate() {
+                map[old] = new;
+            }
+            (
+                SqlPlan::Project {
+                    input: Box::new(input),
+                    exprs: new_exprs,
+                },
+                map,
+            )
+        }
+        SqlPlan::Sort { input, keys } => {
+            let mut wanted = needed.clone();
+            for &(c, _) in &keys {
+                wanted.insert(c);
+            }
+            let (input, map) = prune(*input, &wanted);
+            (
+                SqlPlan::Sort {
+                    input: Box::new(input),
+                    keys: keys.iter().map(|&(c, d)| (map[c], d)).collect(),
+                },
+                map,
+            )
+        }
+        SqlPlan::Limit { input, n } => {
+            let (input, map) = prune(*input, needed);
+            (
+                SqlPlan::Limit {
+                    input: Box::new(input),
+                    n,
+                },
+                map,
+            )
+        }
+    }
+}

@@ -1,0 +1,729 @@
+//! Hand-rolled recursive-descent parser for the SQL subset.
+//!
+//! The full grammar (EBNF) is documented in `docs/SQL.md`. Errors are
+//! position-annotated [`SqlError`]s; the parser never panics on arbitrary
+//! input.
+
+use crate::ast::{BinOp, Expr, FromItem, JoinType, Query, SelectItem, Statement};
+use crate::lexer::{lex, Pos, Tok, Token};
+use crate::SqlError;
+use dbsens_engine::expr::CmpOp;
+use dbsens_engine::plan::AggFunc;
+use dbsens_storage::schema::ColType;
+
+/// Parses a script of one or more `;`-separated statements.
+pub fn parse_script(sql: &str) -> Result<Vec<Statement>, SqlError> {
+    let tokens = lex(sql)?;
+    let mut p = Parser { tokens, idx: 0 };
+    let mut out = Vec::new();
+    loop {
+        while p.peek() == &Tok::Semi {
+            p.bump();
+        }
+        if p.peek() == &Tok::Eof {
+            break;
+        }
+        out.push(p.statement()?);
+        match p.peek() {
+            Tok::Semi | Tok::Eof => {}
+            other => {
+                return Err(p
+                    .pos()
+                    .err(format!("expected ';' or end of input, found '{other}'")))
+            }
+        }
+    }
+    if out.is_empty() {
+        return Err(Pos { line: 1, col: 1 }.err("empty statement"));
+    }
+    Ok(out)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.idx].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.idx + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.tokens[self.idx].pos
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.tokens[self.idx].clone();
+        if self.idx + 1 < self.tokens.len() {
+            self.idx += 1;
+        }
+        t
+    }
+
+    /// Is the current token the given keyword (case-insensitive)?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// Consumes the keyword if present.
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self
+                .pos()
+                .err(format!("expected {kw}, found '{}'", self.peek())))
+        }
+    }
+
+    fn expect_tok(&mut self, tok: Tok) -> Result<(), SqlError> {
+        if self.peek() == &tok {
+            self.bump();
+            Ok(())
+        } else {
+            Err(self
+                .pos()
+                .err(format!("expected '{tok}', found '{}'", self.peek())))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<(String, Pos), SqlError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok((s, pos))
+            }
+            other => Err(pos.err(format!("expected {what}, found '{other}'"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.at_kw("SELECT") {
+            return Ok(Statement::Select(self.query()?));
+        }
+        if self.eat_kw("INSERT") {
+            return self.insert();
+        }
+        if self.eat_kw("UPDATE") {
+            return self.update();
+        }
+        if self.eat_kw("DELETE") {
+            return self.delete();
+        }
+        if self.eat_kw("CREATE") {
+            return self.create_table();
+        }
+        Err(self.pos().err(format!(
+            "expected SELECT, INSERT, UPDATE, DELETE, or CREATE, found '{}'",
+            self.peek()
+        )))
+    }
+
+    fn query(&mut self) -> Result<Query, SqlError> {
+        self.expect_kw("SELECT")?;
+        let mut items = Vec::new();
+        loop {
+            if self.peek() == &Tok::Star {
+                self.bump();
+                items.push(SelectItem::Star);
+            } else {
+                let expr = self.expr()?;
+                let alias = if self.eat_kw("AS") {
+                    Some(self.ident("alias")?.0)
+                } else {
+                    None
+                };
+                items.push(SelectItem::Expr { expr, alias });
+            }
+            if self.peek() != &Tok::Comma {
+                break;
+            }
+            self.bump();
+        }
+        self.expect_kw("FROM")?;
+        let mut from = vec![self.table_ref(None)?];
+        loop {
+            let join = if self.eat_kw("JOIN")
+                || (self.eat_kw("INNER") && {
+                    self.expect_kw("JOIN")?;
+                    true
+                }) {
+                JoinType::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinType::Left
+            } else {
+                break;
+            };
+            let mut item = self.table_ref(Some(join))?;
+            self.expect_kw("ON")?;
+            let cond = self.expr()?;
+            if let Some((jt, _)) = item.join.take() {
+                item.join = Some((jt, cond));
+            }
+            from.push(item);
+        }
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            loop {
+                group_by.push(self.expr()?);
+                if self.peek() != &Tok::Comma {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let having = if self.eat_kw("HAVING") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        let mut order_by = Vec::new();
+        if self.eat_kw("ORDER") {
+            self.expect_kw("BY")?;
+            loop {
+                let e = self.expr()?;
+                let desc = if self.eat_kw("DESC") {
+                    true
+                } else {
+                    self.eat_kw("ASC");
+                    false
+                };
+                order_by.push((e, desc));
+                if self.peek() != &Tok::Comma {
+                    break;
+                }
+                self.bump();
+            }
+        }
+        let limit = if self.eat_kw("LIMIT") {
+            let pos = self.pos();
+            match self.bump().tok {
+                Tok::Int(n) if n >= 0 => Some(n as usize),
+                other => return Err(pos.err(format!("LIMIT expects a row count, found '{other}'"))),
+            }
+        } else {
+            None
+        };
+        Ok(Query {
+            items,
+            from,
+            filter,
+            group_by,
+            having,
+            order_by,
+            limit,
+        })
+    }
+
+    fn table_ref(&mut self, join: Option<JoinType>) -> Result<FromItem, SqlError> {
+        let (table, pos) = self.ident("table name")?;
+        let alias = if self.eat_kw("AS") || matches!(self.peek(), Tok::Ident(s) if !is_reserved(s))
+        {
+            Some(self.ident("alias")?.0)
+        } else {
+            None
+        };
+        // The caller patches the real ON condition in; a placeholder
+        // keeps the type simple.
+        Ok(FromItem {
+            table,
+            pos,
+            alias,
+            join: join.map(|j| (j, Expr::Null)),
+        })
+    }
+
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("INTO")?;
+        let (table, pos) = self.ident("table name")?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect_tok(Tok::LParen)?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.expr()?);
+                if self.peek() != &Tok::Comma {
+                    break;
+                }
+                self.bump();
+            }
+            self.expect_tok(Tok::RParen)?;
+            rows.push(row);
+            if self.peek() != &Tok::Comma {
+                break;
+            }
+            self.bump();
+        }
+        Ok(Statement::Insert { table, pos, rows })
+    }
+
+    fn update(&mut self) -> Result<Statement, SqlError> {
+        let (table, pos) = self.ident("table name")?;
+        self.expect_kw("SET")?;
+        let mut sets = Vec::new();
+        loop {
+            let (col, cpos) = self.ident("column name")?;
+            self.expect_tok(Tok::Eq)?;
+            sets.push((col, cpos, self.expr()?));
+            if self.peek() != &Tok::Comma {
+                break;
+            }
+            self.bump();
+        }
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Update {
+            table,
+            pos,
+            sets,
+            filter,
+        })
+    }
+
+    fn delete(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("FROM")?;
+        let (table, pos) = self.ident("table name")?;
+        let filter = if self.eat_kw("WHERE") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        Ok(Statement::Delete { table, pos, filter })
+    }
+
+    fn create_table(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("TABLE")?;
+        let (table, pos) = self.ident("table name")?;
+        self.expect_tok(Tok::LParen)?;
+        let mut cols = Vec::new();
+        loop {
+            let (name, _) = self.ident("column name")?;
+            cols.push((name, self.col_type()?));
+            if self.peek() != &Tok::Comma {
+                break;
+            }
+            self.bump();
+        }
+        self.expect_tok(Tok::RParen)?;
+        Ok(Statement::CreateTable { table, pos, cols })
+    }
+
+    fn col_type(&mut self) -> Result<ColType, SqlError> {
+        let (name, pos) = self.ident("column type")?;
+        let upper = name.to_ascii_uppercase();
+        match upper.as_str() {
+            "INT" | "INTEGER" | "BIGINT" => Ok(ColType::Int),
+            "FLOAT" | "REAL" | "DOUBLE" => Ok(ColType::Float),
+            "TEXT" => Ok(ColType::Str(24)),
+            "VARCHAR" => {
+                let mut width = 24u32;
+                if self.peek() == &Tok::LParen {
+                    self.bump();
+                    match self.bump().tok {
+                        Tok::Int(n) if n > 0 => width = n.min(u32::MAX as i64) as u32,
+                        other => {
+                            return Err(
+                                pos.err(format!("VARCHAR width must be a count, found '{other}'"))
+                            )
+                        }
+                    }
+                    self.expect_tok(Tok::RParen)?;
+                }
+                Ok(ColType::Str(width))
+            }
+            _ => Err(pos.err(format!(
+                "unknown column type '{name}' (expected INTEGER, FLOAT, TEXT, or VARCHAR)"
+            ))),
+        }
+    }
+
+    // --- expressions, lowest to highest precedence -----------------------
+
+    fn expr(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.and_expr()?;
+        while self.eat_kw("OR") {
+            e = Expr::Or(Box::new(e), Box::new(self.and_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.not_expr()?;
+        while self.eat_kw("AND") {
+            e = Expr::And(Box::new(e), Box::new(self.not_expr()?));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, SqlError> {
+        if self.eat_kw("NOT") {
+            return Ok(Expr::Not(Box::new(self.not_expr()?)));
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> Result<Expr, SqlError> {
+        let lhs = self.additive()?;
+        let cmp = match self.peek() {
+            Tok::Eq => Some(CmpOp::Eq),
+            Tok::Ne => Some(CmpOp::Ne),
+            Tok::Lt => Some(CmpOp::Lt),
+            Tok::Le => Some(CmpOp::Le),
+            Tok::Gt => Some(CmpOp::Gt),
+            Tok::Ge => Some(CmpOp::Ge),
+            _ => None,
+        };
+        if let Some(op) = cmp {
+            self.bump();
+            let rhs = self.additive()?;
+            return Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        let negated = {
+            let save = self.idx;
+            if self.eat_kw("NOT") {
+                if self.at_kw("LIKE") || self.at_kw("IN") || self.at_kw("BETWEEN") {
+                    true
+                } else {
+                    self.idx = save;
+                    return Ok(lhs);
+                }
+            } else {
+                false
+            }
+        };
+        let wrap = |e: Expr| {
+            if negated {
+                Expr::Not(Box::new(e))
+            } else {
+                e
+            }
+        };
+        if self.eat_kw("LIKE") {
+            let pos = self.pos();
+            return match self.bump().tok {
+                Tok::Str(pattern) => Ok(wrap(Expr::Like {
+                    expr: Box::new(lhs),
+                    pattern,
+                    pos,
+                })),
+                other => Err(pos.err(format!("LIKE expects a string pattern, found '{other}'"))),
+            };
+        }
+        if self.eat_kw("IN") {
+            self.expect_tok(Tok::LParen)?;
+            let mut list = Vec::new();
+            loop {
+                list.push(self.expr()?);
+                if self.peek() != &Tok::Comma {
+                    break;
+                }
+                self.bump();
+            }
+            self.expect_tok(Tok::RParen)?;
+            return Ok(wrap(Expr::InList(Box::new(lhs), list)));
+        }
+        if self.eat_kw("BETWEEN") {
+            let lo = self.additive()?;
+            self.expect_kw("AND")?;
+            let hi = self.additive()?;
+            return Ok(wrap(Expr::Between(
+                Box::new(lhs),
+                Box::new(lo),
+                Box::new(hi),
+            )));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            return Ok(Expr::IsNull {
+                expr: Box::new(lhs),
+                negated,
+            });
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.multiplicative()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            self.bump();
+            e = Expr::Bin(op, Box::new(e), Box::new(self.multiplicative()?));
+        }
+        Ok(e)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, SqlError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            self.bump();
+            e = Expr::Bin(op, Box::new(e), Box::new(self.unary()?));
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, SqlError> {
+        if self.peek() == &Tok::Minus {
+            self.bump();
+            return match self.unary()? {
+                Expr::Int(v) => Ok(Expr::Int(-v)),
+                Expr::Float(v) => Ok(Expr::Float(-v)),
+                e => Ok(Expr::Bin(BinOp::Sub, Box::new(Expr::Int(0)), Box::new(e))),
+            };
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr, SqlError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::Float(v) => {
+                self.bump();
+                Ok(Expr::Float(v))
+            }
+            Tok::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            Tok::LParen => {
+                self.bump();
+                if self.at_kw("SELECT") {
+                    let query = self.query()?;
+                    self.expect_tok(Tok::RParen)?;
+                    return Ok(Expr::Subquery {
+                        query: Box::new(query),
+                        pos,
+                    });
+                }
+                let e = self.expr()?;
+                self.expect_tok(Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Ident(word) => {
+                if word.eq_ignore_ascii_case("NULL") {
+                    self.bump();
+                    return Ok(Expr::Null);
+                }
+                if word.eq_ignore_ascii_case("DATE") {
+                    if let Tok::Str(_) = self.peek2() {
+                        self.bump();
+                        let pos = self.pos();
+                        let Tok::Str(text) = self.bump().tok else {
+                            unreachable!("peeked a string");
+                        };
+                        return Ok(Expr::Int(parse_date(&text, pos)?));
+                    }
+                }
+                if let Some(func) = agg_func(&word) {
+                    if self.peek2() == &Tok::LParen {
+                        self.bump();
+                        self.bump();
+                        let arg = if self.peek() == &Tok::Star {
+                            if func != AggFunc::Count {
+                                return Err(pos.err("'*' is only valid in COUNT(*)"));
+                            }
+                            self.bump();
+                            None
+                        } else {
+                            Some(Box::new(self.expr()?))
+                        };
+                        self.expect_tok(Tok::RParen)?;
+                        return Ok(Expr::Agg { func, arg, pos });
+                    }
+                }
+                self.bump();
+                if self.peek() == &Tok::Dot {
+                    self.bump();
+                    let (name, _) = self.ident("column name")?;
+                    return Ok(Expr::Col {
+                        table: Some(word),
+                        name,
+                        pos,
+                    });
+                }
+                Ok(Expr::Col {
+                    table: None,
+                    name: word,
+                    pos,
+                })
+            }
+            other => Err(pos.err(format!("expected an expression, found '{other}'"))),
+        }
+    }
+}
+
+fn agg_func(word: &str) -> Option<AggFunc> {
+    match word.to_ascii_uppercase().as_str() {
+        "COUNT" => Some(AggFunc::Count),
+        "SUM" => Some(AggFunc::Sum),
+        "AVG" => Some(AggFunc::Avg),
+        "MIN" => Some(AggFunc::Min),
+        "MAX" => Some(AggFunc::Max),
+        _ => None,
+    }
+}
+
+/// Keywords that terminate a table reference, so `FROM t WHERE ...` does
+/// not read `WHERE` as an alias.
+fn is_reserved(word: &str) -> bool {
+    const RESERVED: &[&str] = &[
+        "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "JOIN", "INNER", "LEFT", "ON", "AS",
+        "SELECT", "FROM", "AND", "OR", "NOT", "SET", "VALUES", "UNION", "OUTER",
+    ];
+    RESERVED.iter().any(|r| r.eq_ignore_ascii_case(word))
+}
+
+/// Days per month in a non-leap year (matches the workload generators'
+/// day-number encoding with epoch 1992-01-01).
+const MONTH_DAYS: [i64; 12] = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+
+fn is_leap(y: i64) -> bool {
+    (y % 4 == 0 && y % 100 != 0) || y % 400 == 0
+}
+
+/// Parses `'YYYY-MM-DD'` into the day-number encoding used by the
+/// workload data (days since 1992-01-01).
+fn parse_date(text: &str, pos: Pos) -> Result<i64, SqlError> {
+    let bad = || {
+        pos.err(format!(
+            "bad date '{text}' (expected 'YYYY-MM-DD', year >= 1992)"
+        ))
+    };
+    let parts: Vec<&str> = text.split('-').collect();
+    if parts.len() != 3 {
+        return Err(bad());
+    }
+    let y: i64 = parts[0].parse().map_err(|_| bad())?;
+    let m: i64 = parts[1].parse().map_err(|_| bad())?;
+    let d: i64 = parts[2].parse().map_err(|_| bad())?;
+    if y < 1992 || !(1..=12).contains(&m) || d < 1 {
+        return Err(bad());
+    }
+    let month_len = MONTH_DAYS[(m - 1) as usize] + i64::from(m == 2 && is_leap(y));
+    if d > month_len {
+        return Err(bad());
+    }
+    let mut days = 0;
+    for yy in 1992..y {
+        days += if is_leap(yy) { 366 } else { 365 };
+    }
+    for (mm, &mdays) in MONTH_DAYS.iter().enumerate().take((m - 1) as usize) {
+        days += mdays;
+        if mm == 1 && is_leap(y) {
+            days += 1;
+        }
+    }
+    Ok(days + (d - 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_query() {
+        let stmts = parse_script(
+            "SELECT a, SUM(b * 2) AS total FROM t JOIN u ON t.id = u.id \
+             WHERE a > 5 AND name LIKE 'x%' GROUP BY a HAVING SUM(b * 2) > 10 \
+             ORDER BY total DESC LIMIT 3",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 1);
+        let Statement::Select(q) = &stmts[0] else {
+            panic!("expected select");
+        };
+        assert_eq!(q.items.len(), 2);
+        assert_eq!(q.from.len(), 2);
+        assert!(q.filter.is_some() && q.having.is_some());
+        assert_eq!(q.limit, Some(3));
+    }
+
+    #[test]
+    fn date_literals_match_the_workload_epoch() {
+        let stmts = parse_script("SELECT DATE '1992-01-01', DATE '1995-03-15' FROM t").unwrap();
+        let Statement::Select(q) = &stmts[0] else {
+            panic!();
+        };
+        let SelectItem::Expr {
+            expr: Expr::Int(a), ..
+        } = &q.items[0]
+        else {
+            panic!();
+        };
+        let SelectItem::Expr {
+            expr: Expr::Int(b), ..
+        } = &q.items[1]
+        else {
+            panic!();
+        };
+        assert_eq!(*a, 0);
+        // 1992 (leap) + 1993 + 1994 + Jan + Feb 1995 + 14.
+        assert_eq!(*b, 366 + 365 + 365 + 31 + 28 + 14);
+    }
+
+    #[test]
+    fn errors_are_position_annotated() {
+        let e = parse_script("SELECT a FROM").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert_eq!(e.col, 14);
+        let e = parse_script("SELECT a\nFROM t WHERE ???").unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn multiple_statements_split_on_semicolons() {
+        let stmts =
+            parse_script("CREATE TABLE t (a INT); INSERT INTO t VALUES (1), (2); SELECT a FROM t;")
+                .unwrap();
+        assert_eq!(stmts.len(), 3);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let e = parse_script("SELECT a FROM t extra! tokens").unwrap_err();
+        assert!(
+            e.msg.contains("unexpected character") || e.msg.contains("expected"),
+            "{e}"
+        );
+    }
+}

@@ -1,1 +1,6 @@
 //! Integration-test-only crate; see `tests/` directory.
+//!
+//! The library part hosts shared harness code: [`slt`] is the minimal
+//! sqllogictest runner behind `tests/sqllogic/`.
+
+pub mod slt;

@@ -1,0 +1,201 @@
+//! A minimal sqllogictest runner for the `dbsens_sql` frontend.
+//!
+//! The dialect is the classic sqllogictest record format, reduced to what
+//! the corpus under `tests/sqllogic/` needs:
+//!
+//! ```text
+//! # comment
+//! statement ok
+//! CREATE TABLE t (a INT, b TEXT)
+//!
+//! statement error unknown column
+//! SELECT nope FROM t
+//!
+//! query
+//! SELECT a, b FROM t ORDER BY a
+//! ----
+//! 1 x
+//! 2 y
+//! ```
+//!
+//! Records are separated by blank lines. `statement error` takes an
+//! optional message substring on the directive line. `query` expectations
+//! follow a `----` separator, one row per line, values space-separated
+//! with `NULL` for SQL NULL; integral floats print without a decimal
+//! point (the engine's aggregates accumulate in f64).
+
+use dbsens_engine::db::Database;
+use dbsens_engine::exec::rows_digest;
+use dbsens_engine::governor::ExecMode;
+use dbsens_sql::{run_statement, StatementOutcome};
+use dbsens_storage::value::{Row, Value};
+
+/// What one file's run produced.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SltOutcome {
+    /// Total records executed (statements + queries).
+    pub records: usize,
+    /// How many of those were `query` records.
+    pub queries: usize,
+    /// Row digests of each `query` record, in file order; compared
+    /// across executor paths by the harness.
+    pub query_digests: Vec<u64>,
+}
+
+/// Renders one result row the way the corpus writes expectations.
+pub fn render_row(row: &Row) -> String {
+    row.iter()
+        .map(|v| match v {
+            Value::Float(f) if f.fract() == 0.0 && f.abs() < 1e15 => format!("{}", *f as i64),
+            other => other.to_string(),
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+enum Record {
+    StatementOk(String),
+    StatementError(String, Option<String>),
+    Query(String, Vec<String>),
+}
+
+fn parse_records(content: &str) -> Result<Vec<(usize, Record)>, String> {
+    let mut records = Vec::new();
+    let mut lines = content.lines().enumerate().peekable();
+    while let Some((ln, line)) = lines.next() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let lineno = ln + 1;
+        let mut body = String::new();
+        let mut take_body =
+            |lines: &mut std::iter::Peekable<std::iter::Enumerate<std::str::Lines<'_>>>,
+             until_dashes: bool| {
+                let mut hit_dashes = false;
+                while let Some((_, l)) = lines.peek() {
+                    let l = l.trim_end();
+                    if l.is_empty() || (until_dashes && l == "----") {
+                        hit_dashes = l == "----";
+                        if hit_dashes {
+                            lines.next();
+                        }
+                        break;
+                    }
+                    if !body.is_empty() {
+                        body.push('\n');
+                    }
+                    body.push_str(l);
+                    lines.next();
+                }
+                hit_dashes
+            };
+        if line == "statement ok" {
+            take_body(&mut lines, false);
+            records.push((lineno, Record::StatementOk(std::mem::take(&mut body))));
+        } else if let Some(rest) = line.strip_prefix("statement error") {
+            let want = rest.trim();
+            let want = (!want.is_empty()).then(|| want.to_string());
+            take_body(&mut lines, false);
+            records.push((
+                lineno,
+                Record::StatementError(std::mem::take(&mut body), want),
+            ));
+        } else if line == "query" {
+            let separated = take_body(&mut lines, true);
+            if !separated {
+                return Err(format!(
+                    "line {lineno}: query record without ---- separator"
+                ));
+            }
+            let sql = std::mem::take(&mut body);
+            let mut expected = Vec::new();
+            while let Some((_, l)) = lines.peek() {
+                let l = l.trim_end();
+                if l.is_empty() {
+                    break;
+                }
+                expected.push(l.to_string());
+                lines.next();
+            }
+            records.push((lineno, Record::Query(sql, expected)));
+        } else {
+            return Err(format!(
+                "line {lineno}: expected a record directive, got '{line}'"
+            ));
+        }
+    }
+    Ok(records)
+}
+
+/// Runs one sqllogictest file's content against a fresh in-memory
+/// database on the given executor path. Errors name the first failing
+/// record's line.
+pub fn run_slt(content: &str, mode: ExecMode) -> Result<SltOutcome, String> {
+    let mut db = Database::new(1000.0, 1 << 30);
+    let mut outcome = SltOutcome {
+        records: 0,
+        queries: 0,
+        query_digests: Vec::new(),
+    };
+    for (lineno, record) in parse_records(content)? {
+        outcome.records += 1;
+        match record {
+            Record::StatementOk(sql) => {
+                run_one(&mut db, &sql, mode)
+                    .map_err(|e| format!("line {lineno}: statement failed: {e}\n  {sql}"))?;
+            }
+            Record::StatementError(sql, want) => match run_one(&mut db, &sql, mode) {
+                Ok(_) => {
+                    return Err(format!(
+                        "line {lineno}: statement succeeded but an error was expected\n  {sql}"
+                    ));
+                }
+                Err(e) => {
+                    if let Some(want) = want {
+                        if !e.contains(&want) {
+                            return Err(format!(
+                                "line {lineno}: error message mismatch: wanted a message \
+                                 containing '{want}', got '{e}'\n  {sql}"
+                            ));
+                        }
+                    }
+                }
+            },
+            Record::Query(sql, expected) => {
+                outcome.queries += 1;
+                let rows = match run_one(&mut db, &sql, mode)
+                    .map_err(|e| format!("line {lineno}: query failed: {e}\n  {sql}"))?
+                {
+                    StatementOutcome::Rows(rows) => rows,
+                    other => {
+                        return Err(format!(
+                            "line {lineno}: expected rows, got {other:?}\n  {sql}"
+                        ));
+                    }
+                };
+                outcome.query_digests.push(rows_digest(&rows));
+                let got: Vec<String> = rows.iter().map(render_row).collect();
+                if got != expected {
+                    return Err(format!(
+                        "line {lineno}: result mismatch\n  {sql}\nexpected:\n  {}\ngot:\n  {}",
+                        expected.join("\n  "),
+                        got.join("\n  ")
+                    ));
+                }
+            }
+        }
+    }
+    Ok(outcome)
+}
+
+fn run_one(db: &mut Database, sql: &str, mode: ExecMode) -> Result<StatementOutcome, String> {
+    let stmts = dbsens_sql::parse(sql).map_err(|e| e.to_string())?;
+    let [stmt] = stmts.as_slice() else {
+        return Err(format!(
+            "expected one statement per record, got {}",
+            stmts.len()
+        ));
+    };
+    run_statement(db, stmt, mode).map_err(|e| e.to_string())
+}

@@ -21,7 +21,10 @@ use dbsens_core::crashverify::{verify_class, CrashClass, CrashVerifyConfig};
 use dbsens_core::digest::of_json;
 use dbsens_core::experiment::Experiment;
 use dbsens_core::knobs::ResourceKnobs;
+use dbsens_core::queryexp::TpchHarness;
 use dbsens_core::serve::{simulate, Scenario, ServeConfig};
+use dbsens_core::sqlexp::{sweep_sql, SweepAxis};
+use dbsens_core::sweep::KnobGrid;
 use dbsens_engine::governor::ExecMode;
 use dbsens_hwsim::faults::FaultSpec;
 use dbsens_workloads::driver::WorkloadSpec;
@@ -115,6 +118,42 @@ fn sweep() -> Vec<(&'static str, String)> {
     let serve =
         simulate(&ServeConfig::scenario_stress(Scenario::Overload, 42).with_duration_secs(8.0));
     points.push(("serve-overload", serve.trace_digest));
+    // SQL-frontend points: the full parse → optimize → lower → sweep
+    // pipeline on both executor paths. The digests cover the rendered
+    // physical plan, every timing point, and the result-row digests, so
+    // a change anywhere in the SQL stack (or in how it lowers onto the
+    // engine) moves one of these lines.
+    let harness = TpchHarness::new(
+        1.0,
+        &ScaleCfg {
+            row_scale: 100_000.0,
+            oltp_row_scale: 2_000.0,
+            seed: 42,
+        },
+    );
+    let sql_base = ResourceKnobs::paper_full().with_seed(42);
+    let dop_sweep = sweep_sql(
+        &harness,
+        "SELECT l_returnflag, COUNT(*) AS n, SUM(l_extendedprice) AS s \
+         FROM lineitem GROUP BY l_returnflag ORDER BY l_returnflag",
+        &[SweepAxis::Dop],
+        &KnobGrid::builder().dop([1, 4]).build(),
+        &sql_base,
+    )
+    .expect("golden SQL dop sweep runs");
+    points.push(("sql-agg-dop", of_json(&dop_sweep)));
+    let grant_sweep = sweep_sql(
+        &harness,
+        "SELECT o_orderdate, SUM(l_extendedprice * (1 - l_discount)) AS rev \
+         FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+         WHERE o_orderdate < DATE '1995-03-15' \
+         GROUP BY o_orderdate ORDER BY rev DESC LIMIT 5",
+        &[SweepAxis::Grant],
+        &KnobGrid::builder().grant_fractions([0.25, 0.05]).build(),
+        &sql_base.clone().with_exec_mode(ExecMode::Volcano),
+    )
+    .expect("golden SQL grant sweep runs");
+    points.push(("sql-join-grant", of_json(&grant_sweep)));
     points
 }
 

@@ -1,0 +1,78 @@
+//! Acceptance: a hand-written SQL join+aggregation swept over MAXDOP
+//! finds the same parallelism knee as the equivalent fixed TPC-H
+//! workload (Q3) on the same catalog — within one grid step.
+//!
+//! Runs at SF 30 because below roughly SF 20 the governor prices every
+//! plan under its parallelism cost threshold and both the SQL and the
+//! fixed query stay serial, which would make the comparison vacuous.
+
+use dbsens_core::knobs::ResourceKnobs;
+use dbsens_core::queryexp::TpchHarness;
+use dbsens_core::sqlexp::{sweep_sql, SweepAxis};
+use dbsens_core::sweep::KnobGrid;
+use dbsens_workloads::scale::ScaleCfg;
+
+const DOPS: [usize; 5] = [1, 2, 4, 8, 16];
+const SLACK: f64 = 1.1;
+
+/// Q3 without the l_shipdate conjunct, which the fixed plan also drops
+/// at this selectivity; revenue per order date over the pre-cutoff
+/// window.
+const SQL_Q3ISH: &str = "SELECT o.o_orderdate, SUM(l.l_extendedprice * (1 - l.l_discount)) AS rev \
+     FROM lineitem l JOIN orders o ON l.l_orderkey = o.o_orderkey \
+     WHERE o.o_orderdate < DATE '1995-03-15' \
+     GROUP BY o.o_orderdate ORDER BY rev DESC LIMIT 10";
+
+/// Knee index into `DOPS` under the same slack rule `AxisSweep::knee`
+/// uses: smallest DOP within `SLACK` of the best runtime.
+fn knee_index(secs: &[f64]) -> usize {
+    let best = secs.iter().copied().fold(f64::INFINITY, f64::min);
+    secs.iter().position(|&s| s <= best * SLACK).unwrap()
+}
+
+#[test]
+fn sql_sweep_finds_the_fixed_workload_maxdop_knee() {
+    let h = TpchHarness::new(
+        30.0,
+        &ScaleCfg {
+            row_scale: 400_000.0,
+            oltp_row_scale: 2_000.0,
+            seed: 5,
+        },
+    );
+    let base = ResourceKnobs::paper_full();
+    let grid = KnobGrid::builder().dop(DOPS).build();
+
+    // SQL path: parse → optimize → lower → sweep.
+    let report = sweep_sql(&h, SQL_Q3ISH, &[SweepAxis::Dop], &grid, &base).expect("SQL sweep runs");
+    let sweep = &report.axes[0];
+    assert_eq!(sweep.points.len(), DOPS.len());
+    let sql_secs: Vec<f64> = sweep.points.iter().map(|p| p.secs).collect();
+    let sql_knee = knee_index(&sql_secs);
+    assert_eq!(
+        sweep.knee(SLACK).expect("knee exists").value,
+        DOPS[sql_knee] as f64,
+        "AxisSweep::knee disagrees with the reference rule"
+    );
+
+    // The comparison is only meaningful if the plan actually went
+    // parallel at this scale.
+    assert!(
+        sweep.points.iter().any(|p| p.dop > 1),
+        "SQL plan never parallelized at SF 30; sweep: {sql_secs:?}"
+    );
+
+    // Fixed path: the harness's built-in Q3 at the same DOP steps.
+    let fixed_secs: Vec<f64> = DOPS
+        .iter()
+        .map(|&d| h.run_query_at_dop(3, d, &base).secs)
+        .collect();
+    let fixed_knee = knee_index(&fixed_secs);
+
+    assert!(
+        sql_knee.abs_diff(fixed_knee) <= 1,
+        "knees diverge: SQL knee MAXDOP={} {sql_secs:?} vs fixed Q3 knee MAXDOP={} {fixed_secs:?}",
+        DOPS[sql_knee],
+        DOPS[fixed_knee],
+    );
+}

@@ -1,0 +1,65 @@
+//! Runs the sqllogictest corpus under `tests/sqllogic/` on both executor
+//! paths and requires identical results (rendered rows and row digests).
+
+use dbsens_engine::governor::ExecMode;
+use dbsens_tests::slt;
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("sqllogic")
+}
+
+fn corpus() -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = std::fs::read_dir(corpus_dir())
+        .expect("tests/sqllogic exists")
+        .filter_map(|e| {
+            let path = e.ok()?.path();
+            (path.extension()? == "slt").then(|| {
+                (
+                    path.file_name().unwrap().to_string_lossy().into_owned(),
+                    std::fs::read_to_string(&path).unwrap(),
+                )
+            })
+        })
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .slt files found in tests/sqllogic");
+    files
+}
+
+#[test]
+fn corpus_passes_on_both_executor_paths() {
+    let mut total_records = 0;
+    for (name, content) in corpus() {
+        let morsel = slt::run_slt(&content, ExecMode::Morsel)
+            .unwrap_or_else(|e| panic!("{name} (morsel): {e}"));
+        let volcano = slt::run_slt(&content, ExecMode::Volcano)
+            .unwrap_or_else(|e| panic!("{name} (volcano): {e}"));
+        assert_eq!(
+            morsel, volcano,
+            "{name}: executor paths disagree on outcomes/digests"
+        );
+        total_records += morsel.records;
+    }
+    assert!(
+        total_records >= 60,
+        "sqllogictest corpus shrank to {total_records} records (floor: 60)"
+    );
+}
+
+#[test]
+fn runner_reports_failures_with_line_numbers() {
+    let bad_result = "query\nSELECT x FROM nope\n----\n1\n";
+    let err = slt::run_slt(bad_result, ExecMode::Morsel).unwrap_err();
+    assert!(err.contains("line 1"), "{err}");
+    assert!(err.contains("unknown table"), "{err}");
+
+    let mismatch = "statement ok\nCREATE TABLE t (a INT)\n\nstatement ok\nINSERT INTO t VALUES (7)\n\nquery\nSELECT a FROM t\n----\n8\n";
+    let err = slt::run_slt(mismatch, ExecMode::Morsel).unwrap_err();
+    assert!(err.contains("result mismatch"), "{err}");
+    assert!(err.contains("line 7"), "{err}");
+
+    let no_sep = "query\nSELECT 1 FROM t\n";
+    let err = slt::run_slt(no_sep, ExecMode::Morsel).unwrap_err();
+    assert!(err.contains("----"), "{err}");
+}
