@@ -1,0 +1,70 @@
+use dbsens_engine::db::Database;
+use dbsens_engine::exec::execute;
+use dbsens_engine::governor::Governor;
+use dbsens_engine::optimizer::optimize as engine_optimize;
+use dbsens_sql::{bind, lower, optimize, BoundStatement};
+use dbsens_storage::schema::{ColType, Schema};
+use dbsens_storage::value::Value;
+
+fn i(v: i64) -> Value {
+    Value::Int(v)
+}
+fn s(v: &str) -> Value {
+    Value::Str(v.into())
+}
+
+fn db() -> Database {
+    let mut db = Database::new(100.0, 1 << 30);
+    db.create_table(
+        "customers",
+        Schema::new(&[
+            ("ckey", ColType::Int),
+            ("name", ColType::Str(16)),
+            ("tier", ColType::Int),
+        ]),
+        (0..20)
+            .map(|c| vec![i(c), s(&format!("cust{c}")), i(c % 3)])
+            .collect(),
+    );
+    db.create_table(
+        "orders",
+        Schema::new(&[
+            ("okey", ColType::Int),
+            ("ckey", ColType::Int),
+            ("total", ColType::Int),
+            ("region", ColType::Str(8)),
+        ]),
+        (0..200)
+            .map(|o| {
+                vec![
+                    i(o),
+                    i(o % 20),
+                    i((o * 7) % 100),
+                    s(if o % 2 == 0 { "east" } else { "west" }),
+                ]
+            })
+            .collect(),
+    );
+    db
+}
+
+#[test]
+fn correlated_subquery_in_having() {
+    let db = db();
+    let sql = "SELECT ckey, SUM(total) FROM orders GROUP BY ckey \
+               HAVING SUM(total) > (SELECT MIN(tier) FROM customers WHERE customers.ckey = orders.ckey)";
+    let stmts = dbsens_sql::parse(sql).unwrap();
+    let BoundStatement::Select(plan) = bind(&db, &stmts[0]).unwrap() else {
+        panic!()
+    };
+    let opt = optimize(&db, &plan);
+    eprintln!("OPTIMIZED PLAN:\n{}", opt.render());
+    let logical = lower(&db, &opt).expect("lowering optimized plan");
+    let ctx = Governor::paper_default(4).plan_context(&db);
+    let phys = engine_optimize(&db, &logical, &ctx);
+    let rows = execute(&db, &phys).rows;
+    eprintln!("rows returned: {}", rows.len());
+    // Every customer's SUM(total) is in the hundreds, MIN(tier) <= 2,
+    // so all 20 groups must pass the HAVING.
+    assert_eq!(rows.len(), 20);
+}
