@@ -9,6 +9,7 @@
 //!   repro perf                     host-side simulator micro-benchmark
 //!   repro serve  --scenario <name> overload-robust service mode
 //!   repro cache  [--gc]            result-cache usage report / GC
+//!   repro topo   [flags]           deployment-topology experiments
 //! Global flags: [--profile quick|full] [--quick] [--no-cache]
 //!               [--json PATH] [--seed S] [--points N] [--baseline PATH]
 //!               [--no-shed] [--max-mb N]
@@ -62,14 +63,17 @@ use dbsens_bench::perf;
 use dbsens_bench::profile::{fault_profile, profile_from_name, Profile, FAULT_PROFILES};
 use dbsens_bench::save_json;
 use dbsens_bench::sqlcmd;
+use dbsens_bench::topo::{self, TopoFault};
 use dbsens_core::cache::{ResultCache, DEFAULT_CACHE_CAP_BYTES};
 use dbsens_core::crashverify::{self, ClassReport, CrashClass, CrashVerifyConfig};
 use dbsens_core::progress::StderrReporter;
 use dbsens_core::runner::{ExperimentError, GuardedRunner, Runner};
 use dbsens_core::serve::{Scenario, ServeConfig, ServiceHarness};
 use dbsens_core::sqlexp::SweepAxis;
+use dbsens_core::topoexp::render_crossover;
 use dbsens_engine::governor::ExecMode;
 use dbsens_hwsim::faults::FaultSpec;
+use dbsens_hwsim::topology::Deployment;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -82,7 +86,7 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// The subcommands of the restructured CLI; the bare legacy spellings
 /// keep working as hidden deprecated aliases.
 const SUBCOMMANDS: &[&str] = &[
-    "sweep", "faults", "crash", "perf", "figure", "serve", "cache", "sql",
+    "sweep", "faults", "crash", "perf", "figure", "serve", "cache", "sql", "topo",
 ];
 
 /// Every valid target, in presentation order.
@@ -146,6 +150,21 @@ struct Cli {
     sql_exec: ExecMode,
     /// Whether the `sql` subcommand was requested.
     sql_cmd: bool,
+    /// Whether the `topo` subcommand was requested.
+    topo_cmd: bool,
+    /// Deployment for a single `topo` run (`--deploy`); `None` runs the
+    /// crossover sweep.
+    topo_deploy: Option<Deployment>,
+    /// Cluster node count for `topo` (`--nodes`, default 4).
+    topo_nodes: usize,
+    /// Cluster fault shape for `topo` (`--faults node-crash|partition`).
+    topo_fault: Option<TopoFault>,
+    /// Whether `topo` should run the Hardware Islands crossover sweep
+    /// (`--sweep dop,deploy`; also the default with no `--deploy`).
+    topo_sweep: bool,
+    /// Whether `topo` should run the distributed chaos verifier
+    /// (`--verify`; kill points from `--points`).
+    topo_verify: bool,
     /// Deprecation warnings to print before running (legacy spellings).
     warnings: Vec<String>,
 }
@@ -163,6 +182,9 @@ fn usage() -> String {
          \x20 repro sql --query SQL | -f FILE\n\
          \x20           [--sweep dop,grant,llc] [--exec morsel|volcano]\n\
          \x20                              ad-hoc query sensitivity sweep\n\
+         \x20 repro topo [--deploy shared|islands|sharded] [--nodes N]\n\
+         \x20           [--faults node-crash|partition] [--sweep dop,deploy]\n\
+         \x20           [--verify]         deployment-topology experiments\n\
          Global flags: [--profile quick|full] [--quick] [--no-cache]\n\
          \x20             [--json PATH] [--seed S] [--points N] [--baseline PATH]\n\
          \x20             [--no-shed] [--max-mb N]\n\
@@ -196,6 +218,13 @@ fn usage() -> String {
          and sweeps it over the requested knob axes (default dop),\n\
          reporting per-point runtimes, the knee, and the baseline plan;\n\
          --quick uses a 3-point grid per axis. See docs/SQL.md.\n\
+         topo runs deployment-topology experiments (see docs/TOPOLOGY.md):\n\
+         bare (or --sweep dop,deploy) it reproduces the Hardware Islands\n\
+         crossover over shared/islands/sharded and fails (exit 1) if the\n\
+         deployment swing does not beat doubling cores; --deploy runs one\n\
+         deployment (--faults injects node-crash or partition windows);\n\
+         --verify runs the distributed chaos verifier (kill any node at\n\
+         any 2PC step, --points kill points, deterministic in --seed).\n\
          The pre-subcommand spellings (bare targets, --faults, --crash)\n\
          still work but are deprecated.",
         TARGETS.join(" "),
@@ -273,6 +302,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut sql_file = None;
     let mut sql_axes: Vec<SweepAxis> = Vec::new();
     let mut sql_exec = ExecMode::Morsel;
+    let mut topo_deploy = None;
+    let mut topo_nodes = 4usize;
+    let mut topo_fault = None;
+    let mut topo_sweep = false;
+    let mut topo_verify = false;
     let mut warnings: Vec<String> = Vec::new();
 
     let sub = args
@@ -287,6 +321,7 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         cache_cmd = true;
     }
     let sql_cmd = sub == Some("sql");
+    let topo_cmd = sub == Some("topo");
 
     let mut it = rest.iter();
     while let Some(a) = it.next() {
@@ -325,6 +360,15 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                     .map_err(|_| format!("--seed: '{n}' is not a number"))?;
             }
             "--faults" => {
+                if topo_cmd {
+                    let name = it
+                        .next()
+                        .ok_or("--faults requires a value (node-crash|partition)")?;
+                    topo_fault = Some(TopoFault::parse(name).ok_or_else(|| {
+                        format!("unknown topo fault '{name}' (expected node-crash|partition)")
+                    })?);
+                    continue;
+                }
                 if sub.is_none() {
                     warnings.push(
                         "--faults <profile> is deprecated; use `repro faults <profile>`".into(),
@@ -357,13 +401,55 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 sql_file = Some(path.clone());
             }
             "--sweep" => {
+                if topo_cmd {
+                    let spec = it
+                        .next()
+                        .ok_or("--sweep requires a comma-separated axis list (dop|deploy)")?;
+                    for axis in spec.split(',').filter(|a| !a.is_empty()) {
+                        if axis != "dop" && axis != "deploy" {
+                            return Err(format!(
+                                "unknown topo sweep axis '{axis}' (expected dop|deploy)"
+                            ));
+                        }
+                    }
+                    topo_sweep = true;
+                    continue;
+                }
                 if !sql_cmd {
-                    return Err("--sweep only applies to `repro sql`".into());
+                    return Err("--sweep only applies to `repro sql` or `repro topo`".into());
                 }
                 let spec = it
                     .next()
                     .ok_or("--sweep requires a comma-separated axis list (dop|grant|llc)")?;
                 sql_axes = sqlcmd::parse_axes(spec)?;
+            }
+            "--deploy" => {
+                if !topo_cmd {
+                    return Err("--deploy only applies to `repro topo`".into());
+                }
+                let name = it
+                    .next()
+                    .ok_or("--deploy requires a value (shared|islands|sharded)")?;
+                topo_deploy = Some(Deployment::parse(name).ok_or_else(|| {
+                    format!("unknown deployment '{name}' (expected shared|islands|sharded)")
+                })?);
+            }
+            "--nodes" => {
+                if !topo_cmd {
+                    return Err("--nodes only applies to `repro topo`".into());
+                }
+                let n = it.next().ok_or("--nodes requires a number")?;
+                topo_nodes = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--nodes: '{n}' is not a positive number"))?;
+            }
+            "--verify" => {
+                if !topo_cmd {
+                    return Err("--verify only applies to `repro topo`".into());
+                }
+                topo_verify = true;
             }
             "--exec" => {
                 if !sql_cmd {
@@ -412,6 +498,11 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                         "sql takes no positional argument (got '{pos}'); \
                          pass the statement with --query or -f"
                     ));
+                }
+                Some("topo") => {
+                    topo_deploy = Some(Deployment::parse(pos).ok_or_else(|| {
+                        format!("unknown deployment '{pos}' (expected shared|islands|sharded)")
+                    })?);
                 }
                 Some("sweep") | Some("figure") => {
                     if !TARGETS.contains(&pos) {
@@ -479,6 +570,10 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     if sql_axes.is_empty() {
         sql_axes.push(SweepAxis::Dop);
     }
+    // A bare `repro topo` runs the headline artifact: the crossover sweep.
+    if topo_cmd && topo_deploy.is_none() && !topo_verify {
+        topo_sweep = true;
+    }
     // A bare `--faults`, `--crash`, or `perf` run means "just that
     // report"; figure targets still default to `all` otherwise.
     if sub.is_none()
@@ -514,6 +609,12 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         sql_axes,
         sql_exec,
         sql_cmd,
+        topo_cmd,
+        topo_deploy,
+        topo_nodes,
+        topo_fault,
+        topo_sweep,
+        topo_verify,
         warnings,
     })
 }
@@ -615,6 +716,77 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if cli.topo_cmd {
+        /// Combined machine-readable `repro topo` report for `--json`.
+        #[derive(serde::Serialize)]
+        struct TopoJson {
+            run: Option<dbsens_core::topoexp::TopoOutcome>,
+            crossover: Option<dbsens_core::topoexp::CrossoverReport>,
+            dist_verify: Option<dbsens_core::crashverify::DistReport>,
+        }
+        let mut topo_failed = false;
+        let mut json_parts = TopoJson {
+            run: None,
+            crossover: None,
+            dist_verify: None,
+        };
+        if let Some(deploy) = cli.topo_deploy {
+            eprintln!(
+                "[repro] topo run: {} x{} nodes{} (seed {})...",
+                deploy.name(),
+                cli.topo_nodes,
+                cli.topo_fault
+                    .map(|f| format!(" under {} faults", f.name()))
+                    .unwrap_or_default(),
+                cli.seed
+            );
+            let out = topo::run_single(deploy, cli.topo_nodes, cli.topo_fault, cli.seed, cli.quick);
+            save_json(&format!("topo_{}", deploy.name()), &out);
+            println!("{}", topo::render_outcome(&out));
+            json_parts.run = Some(out);
+        }
+        if cli.topo_sweep {
+            eprintln!(
+                "[repro] topo crossover sweep: {} shards, all deployments (seed {})...",
+                cli.topo_nodes, cli.seed
+            );
+            let report = topo::run_crossover(cli.topo_nodes, cli.seed, cli.quick);
+            save_json("topo_crossover", &report);
+            println!("{}", render_crossover(&report));
+            if !report.islands_claim_holds() {
+                eprintln!(
+                    "[repro] Hardware Islands claim failed: deployment swing did not \
+                     exceed the doubled-cores gain"
+                );
+                topo_failed = true;
+            }
+            json_parts.crossover = Some(report);
+        }
+        if cli.topo_verify {
+            let points = cli.crash_points.unwrap_or(if cli.quick { 25 } else { 200 });
+            eprintln!(
+                "[repro] distributed chaos verifier: {} shards x{points} kill points (seed {})...",
+                cli.topo_nodes.max(2),
+                cli.seed
+            );
+            let report = topo::run_dist_verify(cli.topo_nodes, points, cli.seed);
+            save_json("topo_dist_verify", &report);
+            println!("{}", crashverify::render_dist_report(&report));
+            if !report.passed() {
+                eprintln!("[repro] distributed verifier found atomicity violations");
+                topo_failed = true;
+            }
+            json_parts.dist_verify = Some(report);
+        }
+        if let Some(path) = cli.json.as_deref() {
+            write_json_to(path, &json_parts);
+        }
+        if topo_failed {
+            std::process::exit(1);
+        }
+        return;
     }
 
     let profile = &cli.profile;
@@ -1201,6 +1373,62 @@ mod tests {
         assert!(err.contains("positional"), "{err}");
         let err = parse_args(&args(&["--query", "SELECT 1"])).unwrap_err();
         assert!(err.contains("repro sql"), "{err}");
+    }
+
+    #[test]
+    fn parses_topo_subcommand() {
+        // Bare topo defaults to the crossover sweep.
+        let cli = parse_args(&args(&["topo"])).unwrap();
+        assert!(cli.topo_cmd && cli.topo_sweep && !cli.topo_verify);
+        assert!(cli.topo_deploy.is_none());
+        assert_eq!(cli.topo_nodes, 4);
+        assert!(cli.targets.is_empty(), "topo is report-only");
+        assert!(cli.warnings.is_empty());
+
+        let cli = parse_args(&args(&[
+            "topo",
+            "--deploy",
+            "sharded",
+            "--nodes",
+            "3",
+            "--faults",
+            "node-crash",
+            "--quick",
+        ]))
+        .unwrap();
+        assert_eq!(cli.topo_deploy, Some(Deployment::Sharded));
+        assert_eq!(cli.topo_nodes, 3);
+        assert_eq!(cli.topo_fault, Some(TopoFault::NodeCrash));
+        assert!(!cli.topo_sweep, "--deploy suppresses the default sweep");
+
+        // Positional deployment, explicit sweep axes, verifier.
+        let cli = parse_args(&args(&["topo", "islands", "--sweep", "dop,deploy"])).unwrap();
+        assert_eq!(cli.topo_deploy, Some(Deployment::Islands));
+        assert!(cli.topo_sweep);
+
+        let cli = parse_args(&args(&[
+            "topo", "--verify", "--points", "25", "--seed", "7",
+        ]))
+        .unwrap();
+        assert!(cli.topo_verify && !cli.topo_sweep);
+        assert_eq!(cli.crash_points, Some(25));
+        assert_eq!(cli.seed, 7);
+    }
+
+    #[test]
+    fn topo_flags_are_validated() {
+        let err = parse_args(&args(&["topo", "--deploy", "mainframe"])).unwrap_err();
+        assert!(err.contains("mainframe"), "{err}");
+        let err = parse_args(&args(&["topo", "--faults", "meteor"])).unwrap_err();
+        assert!(err.contains("node-crash"), "{err}");
+        let err = parse_args(&args(&["topo", "--sweep", "llc"])).unwrap_err();
+        assert!(err.contains("dop|deploy"), "{err}");
+        let err = parse_args(&args(&["topo", "--nodes", "0"])).unwrap_err();
+        assert!(err.contains("positive"), "{err}");
+        let err = parse_args(&args(&["--deploy", "sharded"])).unwrap_err();
+        assert!(err.contains("repro topo"), "{err}");
+        let err = parse_args(&args(&["--verify"])).unwrap_err();
+        assert!(err.contains("repro topo"), "{err}");
     }
 
     #[test]

@@ -15,6 +15,7 @@ pub mod perf;
 pub mod profile;
 pub mod serve;
 pub mod sqlcmd;
+pub mod topo;
 
 use std::io::Write as _;
 use std::path::Path;

@@ -1,0 +1,128 @@
+//! `repro topo` — deployment-topology runs, the Hardware Islands
+//! crossover sweep, and the distributed chaos verifier.
+
+use dbsens_core::crashverify::{self, DistReport, DistVerifyConfig};
+use dbsens_core::topoexp::{self, CrossoverReport, TopoConfig, TopoOutcome};
+use dbsens_hwsim::faults::NetFaultSpec;
+use dbsens_hwsim::topology::Deployment;
+use serde::{Deserialize, Serialize};
+
+/// Network/node fault shapes `repro topo --faults` can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TopoFault {
+    /// Crash-and-restart windows on seeded nodes.
+    NodeCrash,
+    /// Network partitions splitting the cluster at seeded boundaries.
+    Partition,
+}
+
+impl TopoFault {
+    /// Fault name as used on the CLI.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TopoFault::NodeCrash => "node-crash",
+            TopoFault::Partition => "partition",
+        }
+    }
+
+    /// Parses a CLI fault name.
+    pub fn parse(s: &str) -> Option<TopoFault> {
+        match s {
+            "node-crash" => Some(TopoFault::NodeCrash),
+            "partition" => Some(TopoFault::Partition),
+            _ => None,
+        }
+    }
+
+    /// The fault spec scheduled over the run.
+    pub fn spec(&self, seed: u64) -> NetFaultSpec {
+        match self {
+            TopoFault::NodeCrash => NetFaultSpec::none().with_node_crashes(2).with_seed(seed),
+            TopoFault::Partition => NetFaultSpec::none().with_partitions(2).with_seed(seed),
+        }
+    }
+}
+
+/// Runs one deployment under optional faults.
+pub fn run_single(
+    deploy: Deployment,
+    nodes: usize,
+    fault: Option<TopoFault>,
+    seed: u64,
+    quick: bool,
+) -> TopoOutcome {
+    let mut cfg = TopoConfig::paper_default(deploy, nodes).with_seed(seed);
+    if quick {
+        cfg.run_secs = 0.5;
+    }
+    if let Some(f) = fault {
+        cfg = cfg.with_net_faults(f.spec(seed));
+    }
+    topoexp::simulate(&cfg)
+}
+
+/// Runs the Hardware Islands crossover sweep (all deployments over the
+/// multisite-percentage axis, plus the doubled-cores comparison).
+pub fn run_crossover(nodes: usize, seed: u64, quick: bool) -> CrossoverReport {
+    let run_secs = if quick { 0.5 } else { 2.0 };
+    topoexp::crossover_sweep(seed, 16, nodes, run_secs)
+}
+
+/// Runs the distributed chaos verifier over a sharded cluster.
+pub fn run_dist_verify(nodes: usize, points: u64, seed: u64) -> DistReport {
+    crashverify::verify_distributed(&DistVerifyConfig {
+        nodes: nodes.max(2),
+        txns: 48,
+        points,
+        seed,
+    })
+}
+
+/// Renders one deployment run.
+pub fn render_outcome(o: &TopoOutcome) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("Deployment run: {}\n", o.cluster.describe()));
+    out.push_str(&format!(
+        "  committed {} ({} multisite) / aborted {} / unavailable {}\n",
+        o.committed, o.multisite_committed, o.aborted, o.unavailable
+    ));
+    out.push_str(&format!(
+        "  {:.0} tps, {:.0} us mean commit latency, {} in-doubt resolved, class {:?}\n",
+        o.tps, o.avg_latency_us, o.indoubt_resolved, o.run_class
+    ));
+    if !o.fault_log.is_empty() {
+        out.push_str("  fault log:\n");
+        for line in &o.fault_log {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+    out.push_str(&format!(
+        "  trace digest {} ({} events)\n",
+        o.trace_digest, o.events
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_names_round_trip() {
+        for f in [TopoFault::NodeCrash, TopoFault::Partition] {
+            assert_eq!(TopoFault::parse(f.name()), Some(f));
+        }
+        assert_eq!(TopoFault::parse("meteor"), None);
+    }
+
+    #[test]
+    fn single_run_renders_and_degrades_under_faults() {
+        let o = run_single(Deployment::Sharded, 3, Some(TopoFault::NodeCrash), 42, true);
+        let text = render_outcome(&o);
+        assert!(text.contains("fault log"), "{text}");
+        assert!(text.contains("trace digest"), "{text}");
+        let healthy = run_single(Deployment::Sharded, 3, None, 42, true);
+        assert!(healthy.fault_log.is_empty());
+        assert!(healthy.committed > 0);
+    }
+}

@@ -36,7 +36,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// v5: `ResourceKnobs` gained the service-mode per-query deadline
 /// (`service_deadline_secs`), so the knob triple serializes differently.
-pub const CACHE_SCHEMA_VERSION: u32 = 5;
+///
+/// v6: `ResourceKnobs` gained the deployment-topology knob
+/// (`deployment`), so results measured under different deployments can
+/// never alias.
+pub const CACHE_SCHEMA_VERSION: u32 = 6;
 
 /// Default on-disk size cap applied by `repro cache --gc`: long-running
 /// service deployments accumulate entries across sweeps without bound
@@ -317,30 +321,47 @@ mod tests {
     #[test]
     fn prior_schema_entries_read_as_misses() {
         // The schema version is part of the key, so entries written by a
-        // v4 binary live under different names and can never be returned
-        // for a v5 lookup — simulate one and prove the lookup misses.
+        // v5 binary live under different names and can never be returned
+        // for a v6 lookup — simulate one and prove the lookup misses.
         let w = WorkloadSpec::TpcE {
             sf: 300.0,
             users: 16,
         };
         let k = ResourceKnobs::paper_full();
         let s = ScaleCfg::test();
-        let v4_key = crate::digest::of_json(&(4u32, &w, &k, &s));
-        let v5_key = ResultCache::key(&w, &k, &s);
-        assert_ne!(v4_key, v5_key, "schema bump must rename every entry");
+        let v5_key = crate::digest::of_json(&(5u32, &w, &k, &s));
+        let v6_key = ResultCache::key(&w, &k, &s);
+        assert_ne!(v5_key, v6_key, "schema bump must rename every entry");
 
-        let cache = ResultCache::new(scratch_dir("v4miss"));
-        cache.put(&v4_key, &sample_result());
+        let cache = ResultCache::new(scratch_dir("v5miss"));
+        cache.put(&v5_key, &sample_result());
         assert!(
-            cache.get(&v5_key).is_none(),
-            "v4 entry must not satisfy a v5 lookup"
+            cache.get(&v6_key).is_none(),
+            "v5 entry must not satisfy a v6 lookup"
         );
         assert_eq!(
-            cache.get(&v4_key),
+            cache.get(&v5_key),
             Some(sample_result()),
-            "v4 entry untouched on disk"
+            "v5 entry untouched on disk"
         );
         let _ = cache.clear();
+    }
+
+    #[test]
+    fn deployment_knob_is_part_of_the_key() {
+        use dbsens_hwsim::topology::Deployment;
+        let w = WorkloadSpec::TpcE {
+            sf: 300.0,
+            users: 16,
+        };
+        let s = ScaleCfg::test();
+        let shared = ResultCache::key(&w, &ResourceKnobs::paper_full(), &s);
+        let sharded = ResultCache::key(
+            &w,
+            &ResourceKnobs::paper_full().with_deployment(Deployment::Sharded),
+            &s,
+        );
+        assert_ne!(shared, sharded, "deployment must be part of the key");
     }
 
     #[test]

@@ -6,7 +6,7 @@ use dbsens_hwsim::faults::{FaultPlan, FaultSpec};
 use dbsens_hwsim::kernel::SimConfig;
 use dbsens_hwsim::ssd::BlockIoLimit;
 use dbsens_hwsim::time::SimDuration;
-use dbsens_hwsim::topology::{CoreSet, Topology};
+use dbsens_hwsim::topology::{CoreSet, Deployment, Topology};
 use dbsens_hwsim::Calib;
 use serde::{Deserialize, Serialize};
 
@@ -60,6 +60,13 @@ pub struct ResourceKnobs {
     /// leaves batch-sweep behavior byte-identical.
     #[serde(default)]
     pub service_deadline_secs: Option<f64>,
+    /// Deployment topology the allocation runs under (default
+    /// [`Deployment::SharedEverything`], the paper's single-box testbed).
+    /// Island and sharded deployments are swept by
+    /// [`crate::topoexp`]; the knob participates in cache keys so results
+    /// from different deployments never alias.
+    #[serde(default)]
+    pub deployment: Deployment,
 }
 
 impl ResourceKnobs {
@@ -78,6 +85,7 @@ impl ResourceKnobs {
             faults: FaultSpec::none(),
             exec_mode: ExecMode::default(),
             service_deadline_secs: None,
+            deployment: Deployment::SharedEverything,
         }
     }
 
@@ -185,6 +193,13 @@ impl ResourceKnobs {
         self
     }
 
+    /// With a deployment topology (shared-everything, per-socket islands,
+    /// or sharded shared-nothing — see [`crate::topoexp`]).
+    pub fn with_deployment(mut self, deploy: Deployment) -> Self {
+        self.deployment = deploy;
+        self
+    }
+
     /// A compact human-readable summary of this allocation, used in error
     /// reports so a failing sweep slot names its exact configuration.
     pub fn describe(&self) -> String {
@@ -211,6 +226,9 @@ impl ResourceKnobs {
         }
         if let Some(d) = self.service_deadline_secs {
             s.push_str(&format!(" svc-deadline={d:.1}s"));
+        }
+        if self.deployment != Deployment::SharedEverything {
+            s.push_str(&format!(" deploy={}", self.deployment.name()));
         }
         s
     }

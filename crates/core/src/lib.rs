@@ -64,10 +64,14 @@ pub mod runner;
 pub mod serve;
 pub mod sqlexp;
 pub mod sweep;
+pub mod topoexp;
 
 pub use cache::ResultCache;
 pub use colocate::{Colocation, ColocationResult};
-pub use crashverify::{verify_class, ClassReport, CrashClass, CrashVerifyConfig};
+pub use crashverify::{
+    render_dist_report, verify_class, verify_distributed, ClassReport, CrashClass,
+    CrashVerifyConfig, DistPointResult, DistReport, DistVerifyConfig,
+};
 pub use experiment::{Experiment, RunResult};
 pub use knobs::ResourceKnobs;
 pub use pitfalls::Warning;
@@ -75,3 +79,4 @@ pub use progress::{Event, ProgressSink, StderrReporter};
 pub use queryexp::{QueryRunResult, TpchHarness};
 pub use runner::{ExperimentError, GuardedRunner, RetryPolicy, RunClass, Runner, Sweep};
 pub use serve::{Scenario, ServeConfig, ServeOutcome, ServeReport, ServiceHarness};
+pub use topoexp::{crossover_sweep, render_crossover, CrossoverReport, TopoConfig, TopoOutcome};

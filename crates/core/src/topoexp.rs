@@ -1,0 +1,1177 @@
+//! Deployment-topology experiments: the "OLTP on Hardware Islands" axis.
+//!
+//! The sweep harness treats cores/LLC/bandwidth as the sensitivity axes;
+//! this module adds *deployment topology*: the same core budget arranged as
+//! one shared-everything instance, per-socket islands, or N shared-nothing
+//! shards over a modeled interconnect ([`ClusterSpec`]). The central result
+//! being reproduced is that for OLTP the deployment choice swings
+//! throughput more than doubling the core count — which way it swings is
+//! decided by the fraction of *multisite* transactions that must commit
+//! with two-phase commit across instances.
+//!
+//! [`simulate`] runs a closed-loop OLTP cluster on virtual time:
+//!
+//! * every node has `cores_per_node` service slots fed by a FIFO queue;
+//! * a local transaction occupies one slot for its work plus a group-commit
+//!   force;
+//! * a multisite transaction runs branches on two nodes and commits with
+//!   presumed-abort 2PC driven by the real
+//!   [`Coordinator`]/[`Participant`] state machines from
+//!   `dbsens_engine::twopc` — prepare forces, decision forces, and message
+//!   hops over the deployment's interconnect, with slots (locks) held
+//!   until the local decision applies. Holding locks across network round
+//!   trips is exactly what makes sharded deployments collapse as the
+//!   multisite fraction grows;
+//! * [`NetFaultPlan`] windows inject node crashes, partitions, message
+//!   delay, and message loss. Timeouts presume abort, in-doubt
+//!   participants retry decision queries with capped backoff until the
+//!   coordinator's durable decision answers them, and node loss degrades
+//!   the run ([`RunClass::Degraded`]) instead of wedging it.
+//!
+//! Identical configs produce bit-identical decision traces
+//! ([`TopoOutcome::trace_digest`]), which the golden fence and CI's
+//! `topo-smoke` job pin.
+
+use crate::digest::fnv1a64;
+use crate::runner::RunClass;
+use dbsens_engine::twopc::{CoordAction, Coordinator, PartAction, Participant};
+use dbsens_hwsim::faults::{NetFaultKind, NetFaultPlan, NetFaultSpec};
+use dbsens_hwsim::rng::SimRng;
+use dbsens_hwsim::time::SimDuration;
+use dbsens_hwsim::topology::{ClusterSpec, Deployment, Topology};
+use serde::{Deserialize, Serialize};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+
+/// Branch work at one node, nanoseconds (a short OLTP transaction).
+const WORK_NS: u64 = 50_000;
+/// One forced log write (prepare force, decision force, group commit).
+const FLUSH_NS: u64 = 10_000;
+/// Coordinator vote-collection timeout, participant prepare-wait timeout,
+/// and the in-doubt decision-query base interval.
+const VOTE_TIMEOUT_NS: u64 = 5_000_000;
+/// Closed-loop client think time between transactions, nanoseconds.
+const THINK_NS: u64 = 100_000;
+/// Extra cross-socket coherence cost per additional socket an instance
+/// spans, as a fraction of branch work (shared-everything pays this).
+const COHERENCE_PER_SOCKET: f64 = 0.6;
+
+/// Configuration of one deployment-topology run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TopoConfig {
+    /// Deployment kind.
+    pub deploy: Deployment,
+    /// Requested instance count (islands clamps to the socket count;
+    /// shared-everything always uses one).
+    pub nodes: usize,
+    /// Total logical-core budget across the cluster.
+    pub cores: usize,
+    /// Percent of transactions that touch two shards (0–100).
+    pub multisite_pct: u32,
+    /// Virtual run duration, seconds.
+    pub run_secs: f64,
+    /// Master seed; equal configs give bit-identical traces.
+    pub seed: u64,
+    /// Closed-loop client count.
+    pub clients: usize,
+    /// Cluster fault schedule.
+    pub net_faults: NetFaultSpec,
+}
+
+impl TopoConfig {
+    /// Paper-shaped default: the testbed core budget, 20% multisite, a
+    /// saturating client pool, no faults.
+    pub fn paper_default(deploy: Deployment, nodes: usize) -> Self {
+        TopoConfig {
+            deploy,
+            nodes,
+            cores: 16,
+            multisite_pct: 20,
+            run_secs: 2.0,
+            seed: 42,
+            clients: 96,
+            net_faults: NetFaultSpec::none(),
+        }
+    }
+
+    /// Sets the multisite-transaction percentage.
+    pub fn with_multisite_pct(mut self, pct: u32) -> Self {
+        self.multisite_pct = pct.min(100);
+        self
+    }
+
+    /// Sets the total core budget.
+    pub fn with_cores(mut self, cores: usize) -> Self {
+        self.cores = cores;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the fault schedule.
+    pub fn with_net_faults(mut self, spec: NetFaultSpec) -> Self {
+        self.net_faults = spec;
+        self
+    }
+
+    /// Sets the virtual run duration in seconds.
+    pub fn with_run_secs(mut self, secs: f64) -> Self {
+        self.run_secs = secs;
+        self
+    }
+}
+
+/// Outcome of one deployment-topology run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TopoOutcome {
+    /// The materialized cluster.
+    pub cluster: ClusterSpec,
+    /// Committed transactions.
+    pub committed: u64,
+    /// Committed transactions that were multisite (2PC).
+    pub multisite_committed: u64,
+    /// Aborted transactions (timeouts, crashes, decisions).
+    pub aborted: u64,
+    /// Transactions rejected because a required shard was down.
+    pub unavailable: u64,
+    /// In-doubt branches resolved by the coordinator's durable decision
+    /// (decision queries or post-crash resolution).
+    pub indoubt_resolved: u64,
+    /// Committed transactions per virtual second.
+    pub tps: f64,
+    /// Mean commit latency, microseconds.
+    pub avg_latency_us: f64,
+    /// Run classification: `Degraded` when fault windows were scheduled.
+    pub run_class: RunClass,
+    /// Human-readable fault log (window opens/closes, recoveries).
+    pub fault_log: Vec<String>,
+    /// FNV-128 digest of the decision trace; bit-stable per config.
+    pub trace_digest: String,
+    /// Events dispatched by the virtual-time loop.
+    pub events: u64,
+}
+
+/// Incremental FNV-1a fold of the decision trace (two independent
+/// streams, matching [`crate::digest::hex128`]).
+struct Trace {
+    a: u64,
+    b: u64,
+}
+
+impl Trace {
+    fn new() -> Trace {
+        Trace {
+            a: 0xcbf2_9ce4_8422_2325,
+            b: 0x6c62_272e_07bb_0142,
+        }
+    }
+
+    fn note(&mut self, line: &str) {
+        self.a = fnv1a64(line.as_bytes(), self.a);
+        self.a = fnv1a64(b"\n", self.a);
+        self.b = fnv1a64(line.as_bytes(), self.b);
+        self.b = fnv1a64(b"\n", self.b);
+    }
+
+    fn digest(&self) -> String {
+        format!("{:016x}{:016x}", self.a, self.b)
+    }
+}
+
+/// 2PC protocol messages on the interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Payload {
+    Prepare,
+    VoteYes,
+    Commit,
+    Abort,
+    Ack,
+    DecisionQuery,
+}
+
+/// Event payloads; `Ord` only to satisfy the heap — scheduling order is
+/// decided by the `(time, seq)` prefix of the heap key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    ClientIssue {
+        client: usize,
+    },
+    Dispatch {
+        node: usize,
+    },
+    WorkDone {
+        txn: u64,
+        node: usize,
+    },
+    Msg {
+        txn: u64,
+        to: usize,
+        payload: Payload,
+    },
+    Forced {
+        txn: u64,
+        node: usize,
+    },
+    VoteTimeout {
+        txn: u64,
+    },
+    PrepareWaitTimeout {
+        txn: u64,
+    },
+    DecisionTimeout {
+        txn: u64,
+    },
+    FaultOpen {
+        idx: usize,
+    },
+    FaultClose {
+        idx: usize,
+    },
+}
+
+#[derive(Debug)]
+struct Node {
+    up: bool,
+    free_slots: usize,
+    queue: VecDeque<u64>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnPhase {
+    /// Branch work queued or running.
+    Working,
+    /// Coordinator force-logging the commit decision (or a local
+    /// transaction's group commit).
+    CoordForcing,
+    /// Participant force-logging `Prepare`.
+    PrepareForcing,
+    /// Participant force-logging the local commit.
+    CommitForcing,
+}
+
+struct Txn {
+    client: usize,
+    home: usize,
+    remote: Option<usize>,
+    start_ns: u64,
+    phase: TxnPhase,
+    coord: Option<Coordinator>,
+    part: Option<Participant>,
+    home_work_done: bool,
+    remote_work_done: bool,
+    holds_home_slot: bool,
+    holds_remote_slot: bool,
+    /// Participant `Prepare` record durable (in doubt until the decision
+    /// arrives).
+    prepared: bool,
+    /// Coordinator `CoordCommit` record durable (the global commit
+    /// point).
+    coord_committed: bool,
+    /// The in-doubt branch had to query for the decision.
+    queried: bool,
+}
+
+struct Sim {
+    cluster: ClusterSpec,
+    nodes: Vec<Node>,
+    txns: BTreeMap<u64, Txn>,
+    heap: BinaryHeap<Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+    now: u64,
+    horizon: u64,
+    trace: Trace,
+    rng_route: SimRng,
+    rng_service: SimRng,
+    rng_net: SimRng,
+    partition: Option<usize>,
+    delay_extra_ns: u64,
+    loss_chance: f64,
+    committed: u64,
+    multisite_committed: u64,
+    aborted: u64,
+    unavailable: u64,
+    indoubt_resolved: u64,
+    latency_sum_ns: u64,
+    fault_log: Vec<String>,
+    events: u64,
+}
+
+impl Sim {
+    fn push(&mut self, at: u64, ev: Ev) {
+        self.heap.push(Reverse((at, self.seq, ev)));
+        self.seq += 1;
+    }
+
+    /// Whether a message can travel from `from` to `to` right now.
+    fn reachable(&self, from: usize, to: usize) -> bool {
+        if !self.nodes[from].up || !self.nodes[to].up {
+            return false;
+        }
+        match self.partition {
+            Some(boundary) => (from < boundary) == (to < boundary),
+            None => true,
+        }
+    }
+
+    /// Sends a protocol message; unreachable or lost messages silently
+    /// vanish (the sender's timeout handles it).
+    fn send(&mut self, txn: u64, from: usize, to: usize, payload: Payload) {
+        if from == to {
+            self.push(self.now, Ev::Msg { txn, to, payload });
+            return;
+        }
+        if !self.reachable(from, to) {
+            return;
+        }
+        if self.loss_chance > 0.0 && self.rng_net.next_f64() < self.loss_chance {
+            self.trace.note(&format!("t{txn} drop {payload:?}"));
+            return;
+        }
+        let hop = self.cluster.interconnect.transfer_ns(64) + self.delay_extra_ns;
+        self.push(self.now + hop, Ev::Msg { txn, to, payload });
+    }
+
+    /// Branch work time, including the coherence penalty for instances
+    /// spanning multiple sockets.
+    fn work_ns(&mut self) -> u64 {
+        let factor =
+            1.0 + COHERENCE_PER_SOCKET * (self.cluster.sockets_per_node.saturating_sub(1)) as f64;
+        let noise = 0.9 + 0.2 * self.rng_service.next_f64();
+        ((WORK_NS as f64) * factor * noise) as u64
+    }
+
+    fn release_slot(&mut self, node: usize) {
+        if !self.nodes[node].up {
+            return;
+        }
+        self.nodes[node].free_slots += 1;
+        self.push(self.now, Ev::Dispatch { node });
+    }
+
+    fn client_think(&mut self, client: usize) {
+        let think = exp_sample(&mut self.rng_route, 1e9 / THINK_NS as f64);
+        let at = self.now + think;
+        if at < self.horizon {
+            self.push(at, Ev::ClientIssue { client });
+        }
+    }
+
+    /// Finalizes an aborted transaction: releases held slots, drops
+    /// queued branches, counts it, and reissues the client.
+    fn finish_abort(&mut self, id: u64, t: Txn, why: &str) {
+        self.nodes[t.home].queue.retain(|&q| q != id);
+        if let Some(r) = t.remote {
+            self.nodes[r].queue.retain(|&q| q != id);
+        }
+        if t.holds_home_slot {
+            self.release_slot(t.home);
+        }
+        if t.holds_remote_slot {
+            if let Some(r) = t.remote {
+                self.release_slot(r);
+            }
+        }
+        self.aborted += 1;
+        self.trace.note(&format!("t{id} abort {why}"));
+        self.client_think(t.client);
+    }
+
+    /// Finalizes a committed transaction.
+    fn finish_commit(&mut self, id: u64, t: Txn) {
+        self.committed += 1;
+        if t.remote.is_some() {
+            self.multisite_committed += 1;
+        }
+        if t.queried {
+            self.indoubt_resolved += 1;
+        }
+        self.latency_sum_ns += self.now - t.start_ns;
+        self.trace.note(&format!("t{id} commit"));
+        self.client_think(t.client);
+    }
+}
+
+/// Exponential inter-arrival sample in nanoseconds at `rate` events/s.
+fn exp_sample(rng: &mut SimRng, rate: f64) -> u64 {
+    let u = rng.next_f64();
+    let secs = -(1.0 - u).ln() / rate.max(1e-9);
+    ((secs * 1e9) as u64).max(1)
+}
+
+/// Runs one deployment-topology experiment on virtual time.
+///
+/// Deterministic: equal configs yield bit-identical [`TopoOutcome`]s,
+/// trace digest included.
+pub fn simulate(cfg: &TopoConfig) -> TopoOutcome {
+    let topo = Topology::paper_testbed();
+    let cluster = ClusterSpec::build(cfg.deploy, cfg.nodes.max(1), cfg.cores, &topo);
+    let horizon = (cfg.run_secs * 1e9) as u64;
+    let plan = NetFaultPlan::generate(
+        &cfg.net_faults,
+        cluster.nodes,
+        SimDuration::from_nanos(horizon),
+    );
+    let mut master = SimRng::new(cfg.seed ^ 0x70D0_C0DE_5EED_2026);
+    let mut sim = Sim {
+        nodes: (0..cluster.nodes)
+            .map(|_| Node {
+                up: true,
+                free_slots: cluster.cores_per_node,
+                queue: VecDeque::new(),
+            })
+            .collect(),
+        cluster,
+        txns: BTreeMap::new(),
+        heap: BinaryHeap::new(),
+        seq: 0,
+        now: 0,
+        horizon,
+        trace: Trace::new(),
+        rng_route: master.fork(),
+        rng_service: master.fork(),
+        rng_net: master.fork(),
+        partition: None,
+        delay_extra_ns: 0,
+        loss_chance: 0.0,
+        committed: 0,
+        multisite_committed: 0,
+        aborted: 0,
+        unavailable: 0,
+        indoubt_resolved: 0,
+        latency_sum_ns: 0,
+        fault_log: Vec::new(),
+        events: 0,
+    };
+
+    for (idx, w) in plan.windows().iter().enumerate() {
+        sim.push(w.start.as_nanos(), Ev::FaultOpen { idx });
+        sim.push(w.end.as_nanos(), Ev::FaultClose { idx });
+    }
+    for client in 0..cfg.clients {
+        let at = sim.rng_route.next_below(THINK_NS.max(1));
+        sim.push(at, Ev::ClientIssue { client });
+    }
+
+    let mut next_txn: u64 = 1;
+    while let Some(Reverse((at, _, ev))) = sim.heap.pop() {
+        if at >= horizon {
+            break;
+        }
+        sim.now = at;
+        sim.events += 1;
+        match ev {
+            Ev::ClientIssue { client } => {
+                let home = sim.rng_route.next_below(sim.cluster.nodes as u64) as usize;
+                let multisite = sim.cluster.nodes > 1
+                    && sim.rng_route.next_below(100) < cfg.multisite_pct as u64;
+                let remote = if multisite {
+                    let r = sim.rng_route.next_below(sim.cluster.nodes as u64 - 1) as usize;
+                    Some(if r >= home { r + 1 } else { r })
+                } else {
+                    None
+                };
+                if !sim.nodes[home].up || remote.map(|r| !sim.nodes[r].up).unwrap_or(false) {
+                    sim.unavailable += 1;
+                    sim.trace.note(&format!("c{client} unavailable"));
+                    sim.client_think(client);
+                    continue;
+                }
+                let id = next_txn;
+                next_txn += 1;
+                sim.txns.insert(
+                    id,
+                    Txn {
+                        client,
+                        home,
+                        remote,
+                        start_ns: sim.now,
+                        phase: TxnPhase::Working,
+                        coord: remote.map(|r| Coordinator::new(vec![r as u32])),
+                        part: remote.map(|_| Participant::new(home as u32)),
+                        home_work_done: false,
+                        remote_work_done: false,
+                        holds_home_slot: false,
+                        holds_remote_slot: false,
+                        prepared: false,
+                        coord_committed: false,
+                        queried: false,
+                    },
+                );
+                sim.nodes[home].queue.push_back(id);
+                sim.push(sim.now, Ev::Dispatch { node: home });
+                if let Some(r) = remote {
+                    sim.nodes[r].queue.push_back(id);
+                    sim.push(sim.now, Ev::Dispatch { node: r });
+                }
+            }
+            Ev::Dispatch { node } => {
+                if !sim.nodes[node].up {
+                    continue;
+                }
+                while sim.nodes[node].free_slots > 0 {
+                    let Some(id) = sim.nodes[node].queue.pop_front() else {
+                        break;
+                    };
+                    let claimed = match sim.txns.get_mut(&id) {
+                        Some(t) => {
+                            if node == t.home {
+                                t.holds_home_slot = true;
+                            } else {
+                                t.holds_remote_slot = true;
+                            }
+                            true
+                        }
+                        None => false,
+                    };
+                    if !claimed {
+                        continue;
+                    }
+                    sim.nodes[node].free_slots -= 1;
+                    let work = sim.work_ns();
+                    sim.push(sim.now + work, Ev::WorkDone { txn: id, node });
+                }
+            }
+            Ev::WorkDone { txn, node } => {
+                if !sim.nodes[node].up {
+                    continue;
+                }
+                let (home, remote, both_done) = {
+                    let Some(t) = sim.txns.get_mut(&txn) else {
+                        continue;
+                    };
+                    if node == t.home {
+                        t.home_work_done = true;
+                    } else {
+                        t.remote_work_done = true;
+                    }
+                    if t.remote.is_none() {
+                        t.phase = TxnPhase::CoordForcing;
+                    }
+                    (t.home, t.remote, t.home_work_done && t.remote_work_done)
+                };
+                match remote {
+                    None => {
+                        // Local transaction: group-commit force.
+                        sim.push(sim.now + FLUSH_NS, Ev::Forced { txn, node });
+                    }
+                    Some(r) if both_done => {
+                        // Both branches finished: the coordinator starts
+                        // 2PC and arms the vote timeout.
+                        sim.trace.note(&format!("t{txn} prepare"));
+                        sim.send(txn, home, r, Payload::Prepare);
+                        sim.push(sim.now + VOTE_TIMEOUT_NS, Ev::VoteTimeout { txn });
+                    }
+                    Some(_) if node != home => {
+                        // Participant branch done first: presume abort if
+                        // PREPARE never shows up.
+                        sim.push(sim.now + VOTE_TIMEOUT_NS, Ev::PrepareWaitTimeout { txn });
+                    }
+                    Some(_) => {}
+                }
+            }
+            Ev::Msg { txn, to, payload } => {
+                if !sim.nodes[to].up {
+                    continue;
+                }
+                match payload {
+                    Payload::Prepare => {
+                        let force = {
+                            let Some(t) = sim.txns.get_mut(&txn) else {
+                                continue;
+                            };
+                            let Some(part) = t.part.as_mut() else {
+                                continue;
+                            };
+                            let actions = part.vote_yes();
+                            let f = actions
+                                .iter()
+                                .any(|a| matches!(a, PartAction::ForcePrepareRecord));
+                            if f {
+                                t.phase = TxnPhase::PrepareForcing;
+                            }
+                            f
+                        };
+                        if force {
+                            sim.push(sim.now + FLUSH_NS, Ev::Forced { txn, node: to });
+                        }
+                    }
+                    Payload::VoteYes => {
+                        let (force, home) = {
+                            let Some(t) = sim.txns.get_mut(&txn) else {
+                                continue;
+                            };
+                            let home = t.home;
+                            let from = t.remote.unwrap_or(home) as u32;
+                            let Some(coord) = t.coord.as_mut() else {
+                                continue;
+                            };
+                            let actions = coord.on_vote(from, true);
+                            let f = actions
+                                .iter()
+                                .any(|a| matches!(a, CoordAction::ForceCommitRecord));
+                            if f {
+                                t.phase = TxnPhase::CoordForcing;
+                            }
+                            (f, home)
+                        };
+                        if force {
+                            sim.push(sim.now + FLUSH_NS, Ev::Forced { txn, node: home });
+                        }
+                    }
+                    Payload::Commit => {
+                        let force = {
+                            let Some(t) = sim.txns.get_mut(&txn) else {
+                                continue;
+                            };
+                            let Some(part) = t.part.as_mut() else {
+                                continue;
+                            };
+                            let actions = part.on_decision(true);
+                            let f = actions
+                                .iter()
+                                .any(|a| matches!(a, PartAction::CommitLocally));
+                            if f {
+                                t.phase = TxnPhase::CommitForcing;
+                            }
+                            f
+                        };
+                        if force {
+                            sim.push(sim.now + FLUSH_NS, Ev::Forced { txn, node: to });
+                        }
+                    }
+                    Payload::Abort => {
+                        if let Some(t) = sim.txns.remove(&txn) {
+                            sim.finish_abort(txn, t, "decision");
+                        }
+                    }
+                    Payload::Ack => {
+                        if let Some(t) = sim.txns.get_mut(&txn) {
+                            if let Some(coord) = t.coord.as_mut() {
+                                coord.on_ack(to as u32);
+                            }
+                        }
+                    }
+                    Payload::DecisionQuery => {
+                        // Answer from the coordinator's durable state:
+                        // commit iff `CoordCommit` was forced, otherwise
+                        // presumed abort.
+                        let Some(t) = sim.txns.get(&txn) else {
+                            continue;
+                        };
+                        let (home, remote, commit) =
+                            (t.home, t.remote.unwrap_or(t.home), t.coord_committed);
+                        let reply = if commit {
+                            Payload::Commit
+                        } else {
+                            Payload::Abort
+                        };
+                        sim.send(txn, home, remote, reply);
+                    }
+                }
+            }
+            Ev::Forced { txn, node } => {
+                if !sim.nodes[node].up {
+                    continue;
+                }
+                let (phase, home, remote) = {
+                    let Some(t) = sim.txns.get(&txn) else {
+                        continue;
+                    };
+                    (t.phase, t.home, t.remote)
+                };
+                match (phase, remote) {
+                    (TxnPhase::CoordForcing, None) => {
+                        // Local group-commit force: committed.
+                        if let Some(t) = sim.txns.get_mut(&txn) {
+                            t.holds_home_slot = false;
+                        }
+                        sim.release_slot(node);
+                        if let Some(t) = sim.txns.remove(&txn) {
+                            sim.finish_commit(txn, t);
+                        }
+                    }
+                    (TxnPhase::CoordForcing, Some(r)) => {
+                        // `CoordCommit` durable: the global commit point.
+                        // The coordinator's branch commits at this force;
+                        // its slot releases here.
+                        if let Some(t) = sim.txns.get_mut(&txn) {
+                            t.coord_committed = true;
+                            t.holds_home_slot = false;
+                        }
+                        sim.release_slot(home);
+                        sim.send(txn, home, r, Payload::Commit);
+                    }
+                    (TxnPhase::PrepareForcing, _) => {
+                        // `Prepare` durable: vote YES; in doubt from here
+                        // until the decision lands.
+                        if let Some(t) = sim.txns.get_mut(&txn) {
+                            t.prepared = true;
+                        }
+                        sim.send(txn, node, home, Payload::VoteYes);
+                        sim.push(sim.now + VOTE_TIMEOUT_NS, Ev::DecisionTimeout { txn });
+                    }
+                    (TxnPhase::CommitForcing, _) => {
+                        // Participant's local commit durable: release,
+                        // acknowledge, and finish.
+                        if let Some(t) = sim.txns.get_mut(&txn) {
+                            t.holds_remote_slot = false;
+                        }
+                        sim.release_slot(node);
+                        sim.send(txn, node, home, Payload::Ack);
+                        if let Some(t) = sim.txns.remove(&txn) {
+                            sim.finish_commit(txn, t);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            Ev::VoteTimeout { txn } => {
+                let (fire, home, remote) = {
+                    let Some(t) = sim.txns.get_mut(&txn) else {
+                        continue;
+                    };
+                    let decided = t
+                        .coord
+                        .as_ref()
+                        .map(|c| c.decided_commit())
+                        .unwrap_or(false);
+                    let fire = !(decided || t.coord_committed);
+                    if fire {
+                        if let Some(coord) = t.coord.as_mut() {
+                            coord.on_vote_timeout();
+                        }
+                    }
+                    (fire, t.home, t.remote)
+                };
+                if !fire {
+                    continue;
+                }
+                if let Some(r) = remote {
+                    sim.send(txn, home, r, Payload::Abort);
+                }
+                if let Some(t) = sim.txns.remove(&txn) {
+                    sim.finish_abort(txn, t, "vote-timeout");
+                }
+            }
+            Ev::PrepareWaitTimeout { txn } => {
+                let fire = {
+                    let Some(t) = sim.txns.get(&txn) else {
+                        continue;
+                    };
+                    t.phase == TxnPhase::Working && !t.prepared && !t.home_work_done
+                };
+                if fire {
+                    // PREPARE never arrived (coordinator lost): presumed
+                    // abort rolls the participant branch back.
+                    if let Some(t) = sim.txns.remove(&txn) {
+                        sim.finish_abort(txn, t, "prepare-wait");
+                    }
+                }
+            }
+            Ev::DecisionTimeout { txn } => {
+                let (attempts, backoff_us, home, remote) = {
+                    let Some(t) = sim.txns.get_mut(&txn) else {
+                        continue;
+                    };
+                    if t.phase == TxnPhase::CommitForcing || !t.prepared {
+                        continue;
+                    }
+                    t.queried = true;
+                    let (home, remote) = (t.home, t.remote.unwrap_or(t.home));
+                    let Some(part) = t.part.as_mut() else {
+                        continue;
+                    };
+                    let (_, backoff_us) = part.on_decision_timeout(None);
+                    (part.attempts(), backoff_us, home, remote)
+                };
+                // In doubt: ask the coordinator, capped backoff.
+                sim.trace.note(&format!("t{txn} decision-query {attempts}"));
+                sim.send(txn, remote, home, Payload::DecisionQuery);
+                sim.push(
+                    sim.now + VOTE_TIMEOUT_NS + backoff_us * 1_000,
+                    Ev::DecisionTimeout { txn },
+                );
+            }
+            Ev::FaultOpen { idx } => {
+                let w = plan.windows()[idx];
+                sim.fault_log
+                    .push(format!("{:>6.3}s open {}", sim.now as f64 / 1e9, w.kind));
+                sim.trace.note(&format!("fault-open {}", w.kind));
+                match w.kind {
+                    NetFaultKind::NodeCrash { node } if node < sim.cluster.nodes => {
+                        sim.nodes[node].up = false;
+                        sim.nodes[node].queue.clear();
+                        sim.nodes[node].free_slots = sim.cluster.cores_per_node;
+                        let victims: Vec<u64> = sim
+                            .txns
+                            .iter()
+                            .filter(|(_, t)| t.home == node || t.remote == Some(node))
+                            .map(|(&id, _)| id)
+                            .collect();
+                        for id in victims {
+                            let Some(mut t) = sim.txns.remove(&id) else {
+                                continue;
+                            };
+                            // Slots on the dead node evaporate with it.
+                            if t.home == node {
+                                t.holds_home_slot = false;
+                            }
+                            if t.remote == Some(node) {
+                                t.holds_remote_slot = false;
+                            }
+                            if t.coord_committed && t.home != node {
+                                // Decision already durable at a live
+                                // coordinator; the commit proceeds.
+                                sim.txns.insert(id, t);
+                                continue;
+                            }
+                            if t.coord_committed {
+                                // Coordinator died after forcing commit:
+                                // the prepared branch resolves to commit
+                                // during in-doubt resolution.
+                                sim.indoubt_resolved += 1;
+                                sim.finish_commit(id, t);
+                            } else {
+                                if t.remote == Some(node) && t.prepared {
+                                    // The prepared branch re-enters in
+                                    // doubt at restart; presumed abort
+                                    // resolves it.
+                                    sim.indoubt_resolved += 1;
+                                }
+                                sim.finish_abort(id, t, "node-crash");
+                            }
+                        }
+                    }
+                    NetFaultKind::Partition { boundary } => {
+                        sim.partition = Some(boundary.min(sim.cluster.nodes));
+                    }
+                    NetFaultKind::MessageDelay { extra_us } => {
+                        sim.delay_extra_ns = extra_us * 1_000;
+                    }
+                    NetFaultKind::MessageLoss { chance } => {
+                        sim.loss_chance = chance;
+                    }
+                    NetFaultKind::NodeCrash { .. } => {}
+                }
+            }
+            Ev::FaultClose { idx } => {
+                let w = plan.windows()[idx];
+                sim.fault_log
+                    .push(format!("{:>6.3}s close {}", sim.now as f64 / 1e9, w.kind));
+                sim.trace.note(&format!("fault-close {}", w.kind));
+                match w.kind {
+                    NetFaultKind::NodeCrash { node } if node < sim.cluster.nodes => {
+                        sim.nodes[node].up = true;
+                        sim.nodes[node].free_slots = sim.cluster.cores_per_node;
+                        sim.fault_log.push(format!(
+                            "{:>6.3}s node n{node} recovered (ARIES + in-doubt resolution)",
+                            sim.now as f64 / 1e9
+                        ));
+                        sim.push(sim.now, Ev::Dispatch { node });
+                    }
+                    NetFaultKind::Partition { .. } => {
+                        sim.partition = None;
+                    }
+                    NetFaultKind::MessageDelay { .. } => {
+                        sim.delay_extra_ns = 0;
+                    }
+                    NetFaultKind::MessageLoss { .. } => {
+                        sim.loss_chance = 0.0;
+                    }
+                    NetFaultKind::NodeCrash { .. } => {}
+                }
+            }
+        }
+    }
+
+    let run_class = if plan.is_empty() {
+        RunClass::Ok
+    } else {
+        RunClass::Degraded
+    };
+    let committed = sim.committed;
+    TopoOutcome {
+        cluster: sim.cluster,
+        committed,
+        multisite_committed: sim.multisite_committed,
+        aborted: sim.aborted,
+        unavailable: sim.unavailable,
+        indoubt_resolved: sim.indoubt_resolved,
+        tps: committed as f64 / cfg.run_secs.max(1e-9),
+        avg_latency_us: if committed > 0 {
+            sim.latency_sum_ns as f64 / committed as f64 / 1_000.0
+        } else {
+            0.0
+        },
+        run_class,
+        fault_log: sim.fault_log,
+        trace_digest: sim.trace.digest(),
+        events: sim.events,
+    }
+}
+
+/// One row of the Hardware Islands crossover sweep: throughput of every
+/// deployment at one multisite percentage.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossoverRow {
+    /// Multisite-transaction percentage.
+    pub multisite_pct: u32,
+    /// `(deployment name, committed tps)` in [`Deployment::ALL`] order.
+    pub tps: Vec<(String, f64)>,
+}
+
+/// The Hardware Islands reproduction: deployment × multisite-fraction
+/// sweep plus the doubling-cores comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CrossoverReport {
+    /// Core budget of the sweep.
+    pub cores: usize,
+    /// Shard count used for the sharded deployment.
+    pub nodes: usize,
+    /// Sweep rows by multisite percentage.
+    pub rows: Vec<CrossoverRow>,
+    /// First multisite percentage at which shared-everything overtakes
+    /// the sharded deployment (`None` = no crossover in range).
+    pub crossover_pct: Option<u32>,
+    /// Best/worst deployment throughput ratio at the paper's 20%
+    /// multisite point.
+    pub deploy_swing: f64,
+    /// Throughput gain from doubling cores on shared-everything at the
+    /// same point (cores/2 → cores).
+    pub doubling_gain: f64,
+}
+
+impl CrossoverReport {
+    /// Whether the Hardware Islands claim reproduced: the deployment
+    /// swing exceeds the doubling-cores gain.
+    pub fn islands_claim_holds(&self) -> bool {
+        self.deploy_swing > self.doubling_gain
+    }
+}
+
+/// Sweeps deployment × multisite fraction at a fixed core budget and
+/// checks the Hardware Islands claim.
+pub fn crossover_sweep(seed: u64, cores: usize, nodes: usize, run_secs: f64) -> CrossoverReport {
+    let pcts = [0u32, 5, 10, 20, 35, 50];
+    let run = |deploy: Deployment, cores: usize, pct: u32| {
+        let mut cfg = TopoConfig::paper_default(deploy, nodes)
+            .with_cores(cores)
+            .with_multisite_pct(pct)
+            .with_seed(seed);
+        cfg.run_secs = run_secs;
+        simulate(&cfg)
+    };
+    let rows: Vec<CrossoverRow> = pcts
+        .iter()
+        .map(|&pct| CrossoverRow {
+            multisite_pct: pct,
+            tps: Deployment::ALL
+                .iter()
+                .map(|&d| (d.name().to_string(), run(d, cores, pct).tps))
+                .collect(),
+        })
+        .collect();
+    let tps_of = |row: &CrossoverRow, name: &str| {
+        row.tps
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, t)| t)
+            .unwrap_or(0.0)
+    };
+    let crossover_pct = rows
+        .iter()
+        .find(|r| tps_of(r, "shared") > tps_of(r, "sharded"))
+        .map(|r| r.multisite_pct);
+    let at20 = rows
+        .iter()
+        .find(|r| r.multisite_pct == 20)
+        .expect("20% point is in the sweep");
+    let best = at20.tps.iter().map(|&(_, t)| t).fold(0.0f64, f64::max);
+    let worst = at20
+        .tps
+        .iter()
+        .map(|&(_, t)| t)
+        .fold(f64::INFINITY, f64::min);
+    let deploy_swing = if worst > 0.0 {
+        best / worst
+    } else {
+        f64::INFINITY
+    };
+    let half = run(Deployment::SharedEverything, (cores / 2).max(1), 20).tps;
+    let full = run(Deployment::SharedEverything, cores, 20).tps;
+    let doubling_gain = if half > 0.0 {
+        full / half
+    } else {
+        f64::INFINITY
+    };
+    CrossoverReport {
+        cores,
+        nodes,
+        rows,
+        crossover_pct,
+        deploy_swing,
+        doubling_gain,
+    }
+}
+
+/// Renders the crossover sweep as a plain-text table.
+pub fn render_crossover(r: &CrossoverReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Deployment topology sweep ({} cores, {} shards; committed tps)\n",
+        r.cores, r.nodes
+    ));
+    out.push_str("multisite%");
+    if let Some(first) = r.rows.first() {
+        for (name, _) in &first.tps {
+            out.push_str(&format!("  {name:>9}"));
+        }
+    }
+    out.push('\n');
+    for row in &r.rows {
+        out.push_str(&format!("{:>9}%", row.multisite_pct));
+        for (_, tps) in &row.tps {
+            out.push_str(&format!("  {tps:>9.0}"));
+        }
+        out.push('\n');
+    }
+    match r.crossover_pct {
+        Some(p) => out.push_str(&format!(
+            "crossover: shared-everything overtakes sharded at {p}% multisite transactions\n"
+        )),
+        None => out.push_str("crossover: not reached in the swept range\n"),
+    }
+    out.push_str(&format!(
+        "deployment swing at 20% multisite: {:.2}x; doubling cores on shared: {:.2}x — {}\n",
+        r.deploy_swing,
+        r.doubling_gain,
+        if r.islands_claim_holds() {
+            "topology choice beats doubling cores (Hardware Islands reproduced)"
+        } else {
+            "topology choice did NOT beat doubling cores"
+        }
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick(deploy: Deployment, pct: u32) -> TopoOutcome {
+        let mut cfg = TopoConfig::paper_default(deploy, 4).with_multisite_pct(pct);
+        cfg.run_secs = 0.5;
+        simulate(&cfg)
+    }
+
+    #[test]
+    fn healthy_runs_commit_and_classify_ok() {
+        for d in Deployment::ALL {
+            let out = quick(d, 20);
+            assert!(out.committed > 100, "{d}: only {} committed", out.committed);
+            assert_eq!(out.run_class, RunClass::Ok, "{d}");
+            assert_eq!(out.aborted, 0, "{d}: healthy run must not abort");
+        }
+    }
+
+    #[test]
+    fn traces_are_bit_deterministic() {
+        let a = quick(Deployment::Sharded, 20);
+        let b = quick(Deployment::Sharded, 20);
+        assert_eq!(a.trace_digest, b.trace_digest);
+        assert_eq!(a.committed, b.committed);
+        let mut cfg = TopoConfig::paper_default(Deployment::Sharded, 4)
+            .with_multisite_pct(20)
+            .with_seed(7);
+        cfg.run_secs = 0.5;
+        let c = simulate(&cfg);
+        assert_ne!(a.trace_digest, c.trace_digest, "seed must matter");
+    }
+
+    #[test]
+    fn sharded_wins_local_loses_multisite() {
+        let sharded0 = quick(Deployment::Sharded, 0);
+        let shared0 = quick(Deployment::SharedEverything, 0);
+        assert!(
+            sharded0.tps > shared0.tps,
+            "all-local: sharded ({:.0}) must beat shared ({:.0})",
+            sharded0.tps,
+            shared0.tps
+        );
+        let sharded50 = quick(Deployment::Sharded, 50);
+        let shared50 = quick(Deployment::SharedEverything, 50);
+        assert!(
+            shared50.tps > sharded50.tps,
+            "50% multisite: shared ({:.0}) must beat sharded ({:.0})",
+            shared50.tps,
+            sharded50.tps
+        );
+        assert!(sharded50.multisite_committed > 0);
+    }
+
+    #[test]
+    fn node_crash_degrades_instead_of_wedging() {
+        let mut cfg = TopoConfig::paper_default(Deployment::Sharded, 4)
+            .with_multisite_pct(20)
+            .with_net_faults(NetFaultSpec::none().with_node_crashes(1).with_seed(9));
+        cfg.run_secs = 1.0;
+        let out = simulate(&cfg);
+        assert_eq!(out.run_class, RunClass::Degraded);
+        assert!(out.committed > 0, "cluster must keep committing");
+        assert!(
+            out.aborted + out.unavailable > 0,
+            "the crash window must surface as clean aborts"
+        );
+        assert!(!out.fault_log.is_empty());
+        let again = simulate(&cfg);
+        assert_eq!(out.trace_digest, again.trace_digest);
+    }
+
+    #[test]
+    fn partition_aborts_cross_shard_txns_cleanly() {
+        let mut cfg = TopoConfig::paper_default(Deployment::Sharded, 4)
+            .with_multisite_pct(40)
+            .with_net_faults(NetFaultSpec::none().with_partitions(1).with_seed(5));
+        cfg.run_secs = 1.0;
+        let out = simulate(&cfg);
+        assert_eq!(out.run_class, RunClass::Degraded);
+        assert!(out.aborted > 0, "partitioned 2PC must abort by timeout");
+        assert!(out.committed > 0, "same-side txns must keep committing");
+    }
+
+    #[test]
+    fn message_loss_resolves_in_doubt_by_query() {
+        let mut cfg = TopoConfig::paper_default(Deployment::Sharded, 4)
+            .with_multisite_pct(50)
+            .with_net_faults(NetFaultSpec::none().with_loss(2, 0.4).with_seed(11));
+        cfg.run_secs = 1.0;
+        let out = simulate(&cfg);
+        assert_eq!(out.run_class, RunClass::Degraded);
+        assert!(
+            out.indoubt_resolved > 0,
+            "lost decisions must resolve via decision queries"
+        );
+        assert!(out.committed > 0);
+    }
+
+    #[test]
+    fn crossover_reproduces_hardware_islands() {
+        let r = crossover_sweep(42, 16, 4, 0.5);
+        assert!(
+            r.crossover_pct.is_some(),
+            "no crossover found:\n{}",
+            render_crossover(&r)
+        );
+        assert!(
+            r.islands_claim_holds(),
+            "deployment swing {:.2}x must beat doubling gain {:.2}x\n{}",
+            r.deploy_swing,
+            r.doubling_gain,
+            render_crossover(&r)
+        );
+    }
+}

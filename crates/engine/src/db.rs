@@ -612,6 +612,36 @@ impl Database {
         self.att.remove(&txn);
     }
 
+    /// Force-logs a two-phase-commit `Prepare` vote: the YES vote may only
+    /// leave the node once this returns. The transaction stays in the ATT
+    /// with its undo chain — a commit decision retires it with
+    /// [`Database::commit_txn_logged`], an abort decision rolls it back
+    /// with [`Database::rollback_txn`].
+    pub fn prepare_txn_logged(&mut self, txn: TxnId, coordinator: u32) {
+        self.wal.append_record(
+            &WalRecord::Prepare {
+                txn: txn.0,
+                coordinator,
+            },
+            0,
+        );
+        self.wal.force_durable();
+    }
+
+    /// Force-logs the coordinator's commit decision for a distributed
+    /// transaction; COMMIT messages may only be sent once this returns.
+    pub fn log_coord_commit(&mut self, txn: u64, participants: Vec<u32>) {
+        self.wal
+            .append_record(&WalRecord::CoordCommit { txn, participants }, 0);
+        self.wal.force_durable();
+    }
+
+    /// Lazily logs the coordinator's forget record once every participant
+    /// acknowledged the outcome; never forced.
+    pub fn log_coord_end(&mut self, txn: u64) {
+        self.wal.append_record(&WalRecord::CoordEnd { txn }, 0);
+    }
+
     /// Rolls back a live transaction: reverses its undo chain newest-first,
     /// writing a CLR per reversed operation, then logs `Abort`. Mirrors the
     /// recovery undo pass so an abort is indistinguishable from a loser

@@ -48,6 +48,7 @@ pub mod plan;
 pub mod pushexec;
 pub mod recovery;
 pub mod tasks;
+pub mod twopc;
 pub mod txn;
 pub mod vexpr;
 
@@ -62,7 +63,8 @@ pub use optimizer::{optimize, PlanContext};
 pub use physplan::{PhysNode, PhysPlan};
 pub use plan::{JoinKind, Logical};
 pub use pushexec::{execute_push, PhysicalOperator, PollPush};
-pub use recovery::{recover, CrashImage, RecoveryReport};
+pub use recovery::{recover, resolve_indoubt, CrashImage, InDoubt, RecoveryReport};
 pub use tasks::{CheckpointTask, QueryStreamTask, TraceTask};
+pub use twopc::{CoordAction, Coordinator, PartAction, Participant};
 pub use txn::{LockSpec, MutOp, Mutation, TxOp, TxnClientTask, TxnGenerator, TxnProgram};
 pub use vexpr::PhysicalExpr;

@@ -70,6 +70,21 @@ pub struct RecoveryReport {
     /// `false` if the undo budget ran out (a mid-recovery crash): the
     /// returned database needs another [`recover`] round.
     pub completed: bool,
+    /// Two-phase-commit transactions that were prepared but had no durable
+    /// decision at the crash. Their effects are kept (not undone) and the
+    /// node must ask each coordinator for the outcome — presumed abort: no
+    /// durable `CoordCommit` there means abort. Resolve each with
+    /// [`resolve_indoubt`].
+    pub in_doubt: Vec<InDoubt>,
+}
+
+/// One in-doubt transaction surfaced by the analysis pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InDoubt {
+    /// The prepared transaction.
+    pub txn: u64,
+    /// Node id of the coordinator to consult.
+    pub coordinator: u32,
 }
 
 impl RecoveryReport {
@@ -153,6 +168,7 @@ pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, 
     let mut seen: BTreeSet<u64> = BTreeSet::new();
     let mut compensated: BTreeSet<u64> = BTreeSet::new();
     let mut checkpoint_lsns: BTreeSet<u64> = BTreeSet::new();
+    let mut prepared: BTreeMap<u64, u32> = BTreeMap::new();
     for (lsn, rec) in &scan.records {
         if let Some(txn) = rec.txn() {
             seen.insert(txn);
@@ -170,10 +186,24 @@ pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, 
             WalRecord::Checkpoint { .. } => {
                 checkpoint_lsns.insert(lsn.0);
             }
+            WalRecord::Prepare { txn, coordinator } => {
+                prepared.insert(*txn, *coordinator);
+            }
+            WalRecord::CoordCommit { txn, .. } => {
+                // The coordinator's own branch commits with the decision
+                // record: forcing `CoordCommit` is its commit point even if
+                // the crash cut the local `Commit` record that follows.
+                committed.insert(*txn);
+            }
             _ => {}
         }
     }
     report.committed_txns = committed.len() as u64;
+    report.in_doubt = prepared
+        .iter()
+        .filter(|(t, _)| !committed.contains(t) && !aborted.contains(t))
+        .map(|(&txn, &coordinator)| InDoubt { txn, coordinator })
+        .collect();
 
     // --- pick the redo base ----------------------------------------------
     // The newest snapshot whose checkpoint record survived in the durable
@@ -254,11 +284,12 @@ pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, 
     // A loser appeared in the log but neither committed nor finished
     // aborting. Its uncompensated data operations are reversed newest-first
     // (one global descending-LSN pass), each writing a CLR; a finished
-    // loser is closed with `Abort`.
+    // loser is closed with `Abort`. Prepared-but-undecided transactions are
+    // NOT losers: their effects stay applied until in-doubt resolution.
     let losers: BTreeSet<u64> = seen
         .iter()
         .copied()
-        .filter(|t| !committed.contains(t) && !aborted.contains(t))
+        .filter(|t| !committed.contains(t) && !aborted.contains(t) && !prepared.contains_key(t))
         .collect();
     let mut to_undo: Vec<(u64, u64, UndoOp)> = Vec::new(); // (lsn, txn, op)
     let mut remaining: BTreeMap<u64, usize> = BTreeMap::new();
@@ -301,6 +332,43 @@ pub fn recover(mut image: CrashImage, undo_budget: Option<usize>) -> (Database, 
         db.wal.force_durable();
     }
     (db, report)
+}
+
+/// Resolves one in-doubt transaction once the coordinator's verdict is
+/// known. `commit = true` writes the missing `Commit` record (the prepared
+/// effects are already applied); `commit = false` reverses the
+/// transaction's uncompensated operations newest-first with CLRs and
+/// closes it with `Abort` — exactly what the undo pass would have done had
+/// the transaction never prepared. Every record is forced durable, so a
+/// crash mid-resolution leaves the transaction either still in doubt or
+/// fully decided, never half-resolved.
+pub fn resolve_indoubt(db: &mut Database, txn: u64, commit: bool) {
+    if commit {
+        db.wal.append_record(&WalRecord::Commit { txn }, 0);
+        db.wal.force_durable();
+        return;
+    }
+    let scan = scan_log(db.wal.image());
+    let mut compensated: BTreeSet<u64> = BTreeSet::new();
+    let mut to_undo: Vec<(u64, UndoOp)> = Vec::new();
+    for (lsn, rec) in &scan.records {
+        if let WalRecord::Clr { undo_of, .. } = rec {
+            compensated.insert(*undo_of);
+        }
+        if let Some((t, op)) = undo_op_of(rec) {
+            if t == txn {
+                to_undo.push((lsn.0, op));
+            }
+        }
+    }
+    to_undo.retain(|(lsn, _)| !compensated.contains(lsn));
+    to_undo.sort_by_key(|e| std::cmp::Reverse(e.0));
+    for (lsn, op) in to_undo {
+        db.apply_undo(txn, lsn, &op);
+        db.wal.force_durable();
+    }
+    db.finish_abort(txn);
+    db.wal.force_durable();
 }
 
 #[cfg(test)]
@@ -487,6 +555,70 @@ mod tests {
         for i in 0..6 {
             assert_eq!(rec.table(t).heap.get(RowId(i)).unwrap()[1].as_int(), 0);
         }
+    }
+
+    #[test]
+    fn prepared_txn_survives_recovery_in_doubt() {
+        let (mut db, t) = setup();
+        let tx = txn(&mut db);
+        db.update_row_logged(tx, t, RowId(3), |r| r[1] = Value::Int(77));
+        db.prepare_txn_logged(tx, 1);
+        // Crash after the vote but before any decision arrived.
+        let image = CrashImage::extract(&mut db, |_| 0);
+        let (rec, report) = recover(image, None);
+        assert!(report.completed);
+        assert_eq!(
+            report.in_doubt,
+            vec![InDoubt {
+                txn: tx.0,
+                coordinator: 1
+            }]
+        );
+        assert_eq!(report.losers_undone, 0, "in-doubt txns are not losers");
+        assert_eq!(
+            rec.table(t).heap.get(RowId(3)).unwrap()[1].as_int(),
+            77,
+            "prepared effects stay applied until resolution"
+        );
+    }
+
+    #[test]
+    fn indoubt_commit_resolution_is_durable() {
+        let (mut db, t) = setup();
+        let tx = txn(&mut db);
+        db.update_row_logged(tx, t, RowId(4), |r| r[1] = Value::Int(44));
+        db.prepare_txn_logged(tx, 0);
+        let image = CrashImage::extract(&mut db, |_| 0);
+        let (mut rec, report) = recover(image, None);
+        assert_eq!(report.in_doubt.len(), 1);
+        resolve_indoubt(&mut rec, tx.0, true);
+        // Crash again: the commit decision must survive.
+        let image2 = CrashImage::extract(&mut rec, |_| 0);
+        let (rec2, report2) = recover(image2, None);
+        assert_eq!(report2.committed_txns, 1);
+        assert!(report2.in_doubt.is_empty());
+        assert_eq!(rec2.table(t).heap.get(RowId(4)).unwrap()[1].as_int(), 44);
+    }
+
+    #[test]
+    fn indoubt_abort_resolution_reverses_effects() {
+        let (mut db, t) = setup();
+        let tx = txn(&mut db);
+        db.insert_row_logged(tx, t, vec![Value::Int(200), Value::Int(9)]);
+        db.update_row_logged(tx, t, RowId(5), |r| r[1] = Value::Int(55));
+        db.prepare_txn_logged(tx, 2);
+        let image = CrashImage::extract(&mut db, |_| 0);
+        let (mut rec, report) = recover(image, None);
+        assert_eq!(report.in_doubt.len(), 1);
+        resolve_indoubt(&mut rec, tx.0, false);
+        assert_eq!(rec.table(t).heap.get(RowId(5)).unwrap()[1].as_int(), 0);
+        assert!(!values(&rec, t).iter().any(|&(id, _)| id == 200));
+        // Crash again: the abort is durable and nothing is in doubt.
+        let image2 = CrashImage::extract(&mut rec, |_| 0);
+        let (rec2, report2) = recover(image2, None);
+        assert!(report2.in_doubt.is_empty());
+        assert_eq!(rec2.table(t).heap.get(RowId(5)).unwrap()[1].as_int(), 0);
+        assert!(!values(&rec2, t).iter().any(|&(id, _)| id == 200));
     }
 
     #[test]

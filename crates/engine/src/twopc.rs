@@ -1,0 +1,384 @@
+//! Presumed-abort two-phase commit: coordinator and participant state
+//! machines.
+//!
+//! Both sides are *pure* state machines: they never touch a database, a
+//! clock, or a network. Inputs are votes, decisions, acknowledgements, and
+//! timer expirations; outputs are [`CoordAction`]s / [`PartAction`]s the
+//! caller interprets (force a log record, send a message, resolve the local
+//! transaction). This keeps the protocol unit-testable in isolation and
+//! lets the cluster simulator drive it on virtual time while the chaos
+//! verifier drives it through crash/restart schedules.
+//!
+//! The protocol is classic presumed abort:
+//!
+//! * The coordinator sends PREPARE to every participant and waits. All YES
+//!   votes → force-log `CoordCommit`, then send COMMIT everywhere. Any NO
+//!   vote or a vote timeout → send ABORT everywhere *without* logging
+//!   (aborts are presumed).
+//! * A participant force-logs `Prepare` before voting YES; from then on the
+//!   transaction is in doubt until a decision arrives. If the decision
+//!   never arrives (coordinator crashed), the participant periodically asks
+//!   the coordinator — or, under coordinator failover, its peers
+//!   (cooperative termination) — with capped exponential backoff.
+//! * A restarted coordinator answers decision queries from its recovered
+//!   log: `CoordCommit` durable → COMMIT, otherwise → ABORT (presumed).
+//!   Once every participant acknowledged, `CoordEnd` lets it forget.
+
+use std::collections::BTreeSet;
+
+/// Coordinator-side protocol states for one distributed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoordState {
+    /// PREPARE sent; collecting votes.
+    Preparing,
+    /// Commit decision force-logged; collecting acknowledgements.
+    Committing,
+    /// Abort decision taken (presumed — never logged); collecting acks.
+    Aborting,
+    /// All participants acknowledged; transaction forgotten.
+    Done,
+}
+
+/// What the coordinator asks its host to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoordAction {
+    /// Force `CoordCommit { txn, participants }` to the log before
+    /// anything else happens.
+    ForceCommitRecord,
+    /// Send COMMIT to these participants.
+    SendCommit(Vec<u32>),
+    /// Send ABORT to these participants.
+    SendAbort(Vec<u32>),
+    /// Lazily log `CoordEnd` and drop the transaction.
+    Forget,
+}
+
+/// Coordinator state machine for one distributed transaction.
+#[derive(Debug, Clone)]
+pub struct Coordinator {
+    state: CoordState,
+    participants: Vec<u32>,
+    yes_votes: BTreeSet<u32>,
+    acked: BTreeSet<u32>,
+}
+
+impl Coordinator {
+    /// Starts a round with PREPARE already on the wire to `participants`.
+    pub fn new(participants: Vec<u32>) -> Self {
+        Coordinator {
+            state: CoordState::Preparing,
+            participants,
+            yes_votes: BTreeSet::new(),
+            acked: BTreeSet::new(),
+        }
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> CoordState {
+        self.state
+    }
+
+    /// The participant set.
+    pub fn participants(&self) -> &[u32] {
+        &self.participants
+    }
+
+    /// `true` once the commit decision is force-logged.
+    pub fn decided_commit(&self) -> bool {
+        self.state == CoordState::Committing
+            || (self.state == CoordState::Done && self.yes_votes.len() == self.participants.len())
+    }
+
+    /// A vote arrived from `from`. Returns the actions to perform, in
+    /// order.
+    pub fn on_vote(&mut self, from: u32, yes: bool) -> Vec<CoordAction> {
+        if self.state != CoordState::Preparing || !self.participants.contains(&from) {
+            return Vec::new();
+        }
+        if !yes {
+            // Presumed abort: no log write, just tell everyone.
+            self.state = CoordState::Aborting;
+            // The NO voter has already aborted locally; it needs no
+            // message and owes no ack.
+            self.acked.insert(from);
+            return vec![CoordAction::SendAbort(self.pending_acks())];
+        }
+        self.yes_votes.insert(from);
+        if self.yes_votes.len() == self.participants.len() {
+            self.state = CoordState::Committing;
+            return vec![
+                CoordAction::ForceCommitRecord,
+                CoordAction::SendCommit(self.participants.clone()),
+            ];
+        }
+        Vec::new()
+    }
+
+    /// The vote-collection timer expired: missing votes count as NO.
+    pub fn on_vote_timeout(&mut self) -> Vec<CoordAction> {
+        if self.state != CoordState::Preparing {
+            return Vec::new();
+        }
+        self.state = CoordState::Aborting;
+        vec![CoordAction::SendAbort(self.pending_acks())]
+    }
+
+    /// A participant acknowledged the decision. Returns `Forget` when the
+    /// last ack lands.
+    pub fn on_ack(&mut self, from: u32) -> Vec<CoordAction> {
+        if !matches!(self.state, CoordState::Committing | CoordState::Aborting) {
+            return Vec::new();
+        }
+        self.acked.insert(from);
+        if self.participants.iter().all(|p| self.acked.contains(p)) {
+            self.state = CoordState::Done;
+            return vec![CoordAction::Forget];
+        }
+        Vec::new()
+    }
+
+    /// The decision-retry timer expired: re-send the decision to
+    /// participants that have not acknowledged yet.
+    pub fn on_retry_timeout(&mut self) -> Vec<CoordAction> {
+        match self.state {
+            CoordState::Committing => vec![CoordAction::SendCommit(self.pending_acks())],
+            CoordState::Aborting => vec![CoordAction::SendAbort(self.pending_acks())],
+            _ => Vec::new(),
+        }
+    }
+
+    fn pending_acks(&self) -> Vec<u32> {
+        self.participants
+            .iter()
+            .copied()
+            .filter(|p| !self.acked.contains(p))
+            .collect()
+    }
+}
+
+/// Participant-side protocol states for one distributed transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartState {
+    /// Work done, PREPARE received, `Prepare` record not yet durable.
+    Voting,
+    /// `Prepare` durable and YES vote sent: in doubt until a decision.
+    InDoubt,
+    /// COMMIT applied locally.
+    Committed,
+    /// ABORT applied locally (rolled back).
+    Aborted,
+}
+
+/// What the participant asks its host to do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartAction {
+    /// Force `Prepare { txn, coordinator }` to the log.
+    ForcePrepareRecord,
+    /// Send the YES vote to the coordinator.
+    SendYes,
+    /// Send a NO vote (no log write; the txn rolls back locally first).
+    SendNo,
+    /// Log `Commit`, release locks, acknowledge.
+    CommitLocally,
+    /// Roll back with CLRs, log `Abort`, acknowledge.
+    AbortLocally,
+    /// Ask `target` for the outcome (decision query).
+    QueryDecision {
+        /// Node to ask: the coordinator, or a peer under cooperative
+        /// termination.
+        target: u32,
+    },
+}
+
+/// Capped exponential backoff for decision queries, in virtual
+/// microseconds: 500µs, 1ms, 2ms, ... capped at 8ms.
+pub fn decision_backoff_us(attempt: u32) -> u64 {
+    (500u64 << attempt.min(4)).min(8_000)
+}
+
+/// Participant state machine for one distributed transaction.
+#[derive(Debug, Clone)]
+pub struct Participant {
+    state: PartState,
+    coordinator: u32,
+    attempts: u32,
+}
+
+impl Participant {
+    /// PREPARE arrived from `coordinator`; the local work succeeded.
+    pub fn new(coordinator: u32) -> Self {
+        Participant {
+            state: PartState::Voting,
+            coordinator,
+            attempts: 0,
+        }
+    }
+
+    /// Current protocol state.
+    pub fn state(&self) -> PartState {
+        self.state
+    }
+
+    /// The coordinator this participant consults when in doubt.
+    pub fn coordinator(&self) -> u32 {
+        self.coordinator
+    }
+
+    /// Votes YES: force the prepare record, then send the vote. The
+    /// transaction is in doubt from this point on.
+    pub fn vote_yes(&mut self) -> Vec<PartAction> {
+        if self.state != PartState::Voting {
+            return Vec::new();
+        }
+        self.state = PartState::InDoubt;
+        vec![PartAction::ForcePrepareRecord, PartAction::SendYes]
+    }
+
+    /// Votes NO (local failure): roll back immediately — a NO voter never
+    /// waits for the decision (presumed abort lets it forget at once).
+    pub fn vote_no(&mut self) -> Vec<PartAction> {
+        if self.state != PartState::Voting {
+            return Vec::new();
+        }
+        self.state = PartState::Aborted;
+        vec![PartAction::AbortLocally, PartAction::SendNo]
+    }
+
+    /// The decision arrived.
+    pub fn on_decision(&mut self, commit: bool) -> Vec<PartAction> {
+        match (self.state, commit) {
+            (PartState::InDoubt, true) => {
+                self.state = PartState::Committed;
+                vec![PartAction::CommitLocally]
+            }
+            (PartState::InDoubt, false) => {
+                self.state = PartState::Aborted;
+                vec![PartAction::AbortLocally]
+            }
+            // Duplicate decisions (retries after a lost ack) are no-ops.
+            _ => Vec::new(),
+        }
+    }
+
+    /// The decision-wait timer expired while in doubt: query the
+    /// coordinator, or peer `failover_peer` if the coordinator is believed
+    /// dead (cooperative termination). Returns the next backoff delay in
+    /// virtual microseconds alongside the query action.
+    pub fn on_decision_timeout(&mut self, failover_peer: Option<u32>) -> (Vec<PartAction>, u64) {
+        if self.state != PartState::InDoubt {
+            return (Vec::new(), 0);
+        }
+        let target = failover_peer.unwrap_or(self.coordinator);
+        let delay = decision_backoff_us(self.attempts);
+        self.attempts += 1;
+        (vec![PartAction::QueryDecision { target }], delay)
+    }
+
+    /// Number of decision queries sent so far.
+    pub fn attempts(&self) -> u32 {
+        self.attempts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_yes_votes_commit_with_forced_record_first() {
+        let mut c = Coordinator::new(vec![1, 2]);
+        assert!(c.on_vote(1, true).is_empty());
+        let actions = c.on_vote(2, true);
+        assert_eq!(
+            actions,
+            vec![
+                CoordAction::ForceCommitRecord,
+                CoordAction::SendCommit(vec![1, 2]),
+            ]
+        );
+        assert_eq!(c.state(), CoordState::Committing);
+        assert!(c.on_ack(1).is_empty());
+        assert_eq!(c.on_ack(2), vec![CoordAction::Forget]);
+        assert_eq!(c.state(), CoordState::Done);
+        assert!(c.decided_commit());
+    }
+
+    #[test]
+    fn one_no_vote_aborts_without_logging() {
+        let mut c = Coordinator::new(vec![1, 2, 3]);
+        assert!(c.on_vote(1, true).is_empty());
+        let actions = c.on_vote(2, false);
+        // Only the nodes that have not already aborted get the message.
+        assert_eq!(actions, vec![CoordAction::SendAbort(vec![1, 3])]);
+        assert!(!actions.contains(&CoordAction::ForceCommitRecord));
+        assert_eq!(c.state(), CoordState::Aborting);
+        c.on_ack(1);
+        assert_eq!(c.on_ack(3), vec![CoordAction::Forget]);
+        assert!(!c.decided_commit());
+    }
+
+    #[test]
+    fn vote_timeout_counts_as_no() {
+        let mut c = Coordinator::new(vec![1, 2]);
+        c.on_vote(1, true);
+        assert_eq!(
+            c.on_vote_timeout(),
+            vec![CoordAction::SendAbort(vec![1, 2])]
+        );
+        assert_eq!(c.state(), CoordState::Aborting);
+        // A straggler vote after the decision is ignored.
+        assert!(c.on_vote(2, true).is_empty());
+    }
+
+    #[test]
+    fn retry_timeout_resends_to_unacked_only() {
+        let mut c = Coordinator::new(vec![1, 2]);
+        c.on_vote(1, true);
+        c.on_vote(2, true);
+        c.on_ack(1);
+        assert_eq!(c.on_retry_timeout(), vec![CoordAction::SendCommit(vec![2])]);
+    }
+
+    #[test]
+    fn participant_yes_forces_prepare_before_voting() {
+        let mut p = Participant::new(0);
+        assert_eq!(
+            p.vote_yes(),
+            vec![PartAction::ForcePrepareRecord, PartAction::SendYes]
+        );
+        assert_eq!(p.state(), PartState::InDoubt);
+        assert_eq!(p.on_decision(true), vec![PartAction::CommitLocally]);
+        // A retried decision is a no-op.
+        assert!(p.on_decision(true).is_empty());
+        assert_eq!(p.state(), PartState::Committed);
+    }
+
+    #[test]
+    fn participant_no_rolls_back_immediately() {
+        let mut p = Participant::new(0);
+        assert_eq!(
+            p.vote_no(),
+            vec![PartAction::AbortLocally, PartAction::SendNo]
+        );
+        assert_eq!(p.state(), PartState::Aborted);
+        assert!(p.on_decision(false).is_empty());
+    }
+
+    #[test]
+    fn indoubt_queries_back_off_and_fail_over() {
+        let mut p = Participant::new(0);
+        p.vote_yes();
+        let (a1, d1) = p.on_decision_timeout(None);
+        assert_eq!(a1, vec![PartAction::QueryDecision { target: 0 }]);
+        let (_, d2) = p.on_decision_timeout(None);
+        let (a3, d3) = p.on_decision_timeout(Some(7));
+        assert_eq!(a3, vec![PartAction::QueryDecision { target: 7 }]);
+        assert!(d1 < d2 && d2 < d3);
+        // Backoff caps at 8ms.
+        for _ in 0..10 {
+            p.on_decision_timeout(None);
+        }
+        let (_, capped) = p.on_decision_timeout(None);
+        assert_eq!(capped, 8_000);
+    }
+}

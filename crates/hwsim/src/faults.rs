@@ -372,9 +372,287 @@ pub struct FaultLogEntry {
     pub partitions: Vec<u32>,
 }
 
+// ---------------------------------------------------------------------------
+// Network / node faults for multi-node deployments.
+
+/// One kind of injected cluster-level fault. Kept separate from
+/// [`FaultKind`] so the single-node kernel's fault handling is untouched:
+/// these are interpreted by the cluster simulator, not the hardware models.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum NetFaultKind {
+    /// Every interconnect message takes `extra_us` microseconds longer
+    /// (congested switch, retransmits).
+    MessageDelay {
+        /// Added one-way latency in microseconds.
+        extra_us: u64,
+    },
+    /// Each message is independently dropped with probability `chance`.
+    MessageLoss {
+        /// Per-message drop probability in `[0, 1]`.
+        chance: f64,
+    },
+    /// The cluster splits at `boundary`: nodes `< boundary` cannot reach
+    /// nodes `>= boundary` and vice versa.
+    Partition {
+        /// First node of the minority side.
+        boundary: usize,
+    },
+    /// Node `node` crashes (process kill); it restarts and recovers when
+    /// the window closes.
+    NodeCrash {
+        /// The victim node index.
+        node: usize,
+    },
+}
+
+impl fmt::Display for NetFaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetFaultKind::MessageDelay { extra_us } => {
+                write!(f, "net-delay(+{extra_us}us)")
+            }
+            NetFaultKind::MessageLoss { chance } => {
+                write!(f, "net-loss(p={chance})")
+            }
+            NetFaultKind::Partition { boundary } => {
+                write!(f, "partition(|{boundary})")
+            }
+            NetFaultKind::NodeCrash { node } => write!(f, "node-crash(n{node})"),
+        }
+    }
+}
+
+/// Builder-style description of cluster faults for one run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetFaultSpec {
+    /// Number of message-delay windows.
+    pub delay_windows: u32,
+    /// Added one-way latency during a delay window, in microseconds.
+    pub delay_extra_us: u64,
+    /// Number of message-loss windows.
+    pub loss_windows: u32,
+    /// Per-message drop probability during a loss window.
+    pub loss_chance: f64,
+    /// Number of network-partition windows.
+    pub partition_windows: u32,
+    /// Number of node-crash windows.
+    pub crash_windows: u32,
+    /// How long each window lasts, in virtual seconds.
+    pub fault_secs: f64,
+    /// Placement seed; mixed with a domain salt before use.
+    pub seed: u64,
+}
+
+impl NetFaultSpec {
+    /// The empty spec: no cluster faults.
+    pub fn none() -> Self {
+        NetFaultSpec {
+            delay_windows: 0,
+            delay_extra_us: 200,
+            loss_windows: 0,
+            loss_chance: 0.05,
+            partition_windows: 0,
+            crash_windows: 0,
+            fault_secs: 1.0,
+            seed: 0,
+        }
+    }
+
+    /// Returns `true` if no windows are requested.
+    pub fn is_none(&self) -> bool {
+        self.delay_windows == 0
+            && self.loss_windows == 0
+            && self.partition_windows == 0
+            && self.crash_windows == 0
+    }
+
+    /// Requests `n` message-delay windows adding `extra_us` per message.
+    pub fn with_delay(mut self, n: u32, extra_us: u64) -> Self {
+        self.delay_windows = n;
+        self.delay_extra_us = extra_us;
+        self
+    }
+
+    /// Requests `n` message-loss windows with drop probability `chance`.
+    pub fn with_loss(mut self, n: u32, chance: f64) -> Self {
+        self.loss_windows = n;
+        self.loss_chance = chance;
+        self
+    }
+
+    /// Requests `n` network-partition windows.
+    pub fn with_partitions(mut self, n: u32) -> Self {
+        self.partition_windows = n;
+        self
+    }
+
+    /// Requests `n` node-crash windows.
+    pub fn with_node_crashes(mut self, n: u32) -> Self {
+        self.crash_windows = n;
+        self
+    }
+
+    /// Sets the per-window duration in virtual seconds.
+    pub fn with_fault_secs(mut self, secs: f64) -> Self {
+        self.fault_secs = secs;
+        self
+    }
+
+    /// Sets the placement seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// One scheduled cluster fault window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaultWindow {
+    /// When the fault begins.
+    pub start: SimTime,
+    /// When the fault clears.
+    pub end: SimTime,
+    /// What fails.
+    pub kind: NetFaultKind,
+}
+
+/// Domain-separation constant for cluster fault placement, distinct from
+/// [`FAULT_SEED_SALT`] so hardware and cluster schedules never correlate.
+const NET_FAULT_SEED_SALT: u64 = 0x2FC0_77E7_0DB5_E125;
+
+/// A concrete, sorted schedule of cluster fault windows for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NetFaultPlan {
+    windows: Vec<NetFaultWindow>,
+}
+
+impl NetFaultPlan {
+    /// The empty plan.
+    pub fn empty() -> Self {
+        NetFaultPlan {
+            windows: Vec::new(),
+        }
+    }
+
+    /// Realizes a spec into a schedule over a run of length `run` on a
+    /// cluster of `nodes` nodes.
+    ///
+    /// Windows land uniformly in the middle 80% of the run, in a fixed
+    /// category order; partition boundaries split the cluster in half and
+    /// crash victims rotate round-robin so repeated windows hit different
+    /// nodes. Equal `(spec, nodes, run)` inputs yield bit-identical plans.
+    pub fn generate(spec: &NetFaultSpec, nodes: usize, run: SimDuration) -> Self {
+        if spec.is_none() || run == SimDuration::ZERO || nodes == 0 {
+            return NetFaultPlan::empty();
+        }
+        let mut rng = SimRng::new(spec.seed ^ NET_FAULT_SEED_SALT);
+        let horizon = run.as_nanos();
+        let dur_ns = ((spec.fault_secs * 1e9) as u64).max(1);
+        let mut windows = Vec::new();
+        let mut place =
+            |rng: &mut SimRng, count: u32, mut kind_of: Box<dyn FnMut(u32) -> NetFaultKind>| {
+                let lo = horizon / 10;
+                let hi = (horizon - horizon / 10).saturating_sub(dur_ns).max(lo + 1);
+                for i in 0..count {
+                    let start = rng.next_range(lo, hi);
+                    windows.push(NetFaultWindow {
+                        start: SimTime::from_nanos(start),
+                        end: SimTime::from_nanos((start + dur_ns).min(horizon)),
+                        kind: kind_of(i),
+                    });
+                }
+            };
+        let extra_us = spec.delay_extra_us;
+        place(
+            &mut rng,
+            spec.delay_windows,
+            Box::new(move |_| NetFaultKind::MessageDelay { extra_us }),
+        );
+        let chance = spec.loss_chance;
+        place(
+            &mut rng,
+            spec.loss_windows,
+            Box::new(move |_| NetFaultKind::MessageLoss { chance }),
+        );
+        let boundary = (nodes / 2).max(1);
+        place(
+            &mut rng,
+            spec.partition_windows,
+            Box::new(move |_| NetFaultKind::Partition { boundary }),
+        );
+        place(
+            &mut rng,
+            spec.crash_windows,
+            Box::new(move |i| NetFaultKind::NodeCrash {
+                node: i as usize % nodes,
+            }),
+        );
+        windows.sort_by(|a, b| {
+            (a.start, a.end)
+                .cmp(&(b.start, b.end))
+                .then(format!("{}", a.kind).cmp(&format!("{}", b.kind)))
+        });
+        NetFaultPlan { windows }
+    }
+
+    /// Returns `true` if the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// Number of scheduled windows.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// The scheduled windows, sorted by start time.
+    pub fn windows(&self) -> &[NetFaultWindow] {
+        &self.windows
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn net_plan_deterministic_and_windowed() {
+        let spec = NetFaultSpec::none()
+            .with_node_crashes(3)
+            .with_partitions(1)
+            .with_seed(42);
+        let run = SimDuration::from_secs(10);
+        let a = NetFaultPlan::generate(&spec, 4, run);
+        let b = NetFaultPlan::generate(&spec, 4, run);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 4);
+        let lo = run.as_nanos() / 10;
+        let hi = run.as_nanos() - run.as_nanos() / 10;
+        for w in a.windows() {
+            assert!(w.start.as_nanos() >= lo && w.start.as_nanos() < hi);
+            assert!(w.end > w.start);
+        }
+        // Crash victims rotate so repeated windows hit different nodes.
+        let victims: Vec<usize> = a
+            .windows()
+            .iter()
+            .filter_map(|w| match w.kind {
+                NetFaultKind::NodeCrash { node } => Some(node),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(victims.len(), 3);
+        assert!(victims.iter().any(|&v| v != victims[0]));
+    }
+
+    #[test]
+    fn net_plan_empty_spec_is_empty() {
+        assert!(
+            NetFaultPlan::generate(&NetFaultSpec::none(), 4, SimDuration::from_secs(5)).is_empty()
+        );
+        let spec = NetFaultSpec::none().with_node_crashes(1);
+        assert!(NetFaultPlan::generate(&spec, 0, SimDuration::from_secs(5)).is_empty());
+    }
 
     fn brownout() -> FaultSpec {
         FaultSpec::none()

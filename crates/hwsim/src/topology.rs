@@ -1,10 +1,19 @@
-//! CPU topology: sockets, physical cores, SMT threads, and affinity sets.
+//! CPU topology: sockets, physical cores, SMT threads, and affinity sets —
+//! plus *deployment* topologies: how DBMS instances map onto the hardware.
 //!
 //! Logical cores are numbered in the paper's allocation order: first one SMT
 //! thread of every physical core on socket 0, then socket 1, and only then
 //! the second (hyper-threaded) sibling of each physical core. With the
 //! paper's topology (2 sockets x 8 cores x 2 threads), logical cores 0-7 are
 //! socket 0, 8-15 are socket 1, and 16-31 are the HT siblings of 0-15.
+//!
+//! The deployment layer ("OLTP on Hardware Islands") describes the machine
+//! as a set of *nodes* — independent DBMS instances — joined by a modeled
+//! [`Interconnect`]: one shared-everything instance spanning every socket,
+//! one instance per socket ("islands" over the coherence link), or N
+//! shared-nothing shards over a LAN. [`ClusterSpec`] materializes a
+//! [`Deployment`] over a core budget and carries the per-node core count,
+//! sockets spanned, and link parameters the cluster simulator runs on.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -175,6 +184,203 @@ impl FromIterator<CoreId> for CoreSet {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Deployment topologies ("OLTP on Hardware Islands").
+
+/// How DBMS instances map onto the hardware: the deployment axis the
+/// topology experiments sweep alongside cores/LLC/bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum Deployment {
+    /// One instance spanning every socket: shared memory, cross-socket
+    /// coherence traffic, no distributed transactions.
+    #[default]
+    SharedEverything,
+    /// One instance per socket — "hardware islands": local memory per
+    /// island, multisite transactions commit with 2PC over the coherence
+    /// link (QPI-class latency).
+    Islands,
+    /// N shared-nothing shards over a network interconnect: every
+    /// multisite transaction pays LAN-class 2PC round trips.
+    Sharded,
+}
+
+impl Deployment {
+    /// All deployments, in report order.
+    pub const ALL: [Deployment; 3] = [
+        Deployment::SharedEverything,
+        Deployment::Islands,
+        Deployment::Sharded,
+    ];
+
+    /// Deployment name as used on the CLI (`shared`, `islands`, `sharded`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Deployment::SharedEverything => "shared",
+            Deployment::Islands => "islands",
+            Deployment::Sharded => "sharded",
+        }
+    }
+
+    /// Parses a CLI deployment name.
+    pub fn parse(s: &str) -> Option<Deployment> {
+        Deployment::ALL.iter().copied().find(|d| d.name() == s)
+    }
+}
+
+impl fmt::Display for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Modeled node-to-node link: a fixed one-way latency plus a serialization
+/// cost proportional to message size.
+///
+/// # Examples
+///
+/// ```
+/// use dbsens_hwsim::topology::Interconnect;
+///
+/// let qpi = Interconnect::qpi();
+/// let lan = Interconnect::lan_10g();
+/// assert!(lan.transfer_ns(256) > qpi.transfer_ns(256));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// One-way message latency in nanoseconds.
+    pub latency_ns: u64,
+    /// Link bandwidth in bytes per second.
+    pub bandwidth_bps: f64,
+}
+
+impl Interconnect {
+    /// The cross-socket coherence link of the paper testbed (QPI class):
+    /// sub-2 µs message latency, ~19 GB/s per direction.
+    pub fn qpi() -> Self {
+        Interconnect {
+            latency_ns: 1_500,
+            bandwidth_bps: 19.2e9,
+        }
+    }
+
+    /// A 10 GbE datacenter LAN: ~25 µs one-way (kernel stack included),
+    /// 1.25 GB/s.
+    pub fn lan_10g() -> Self {
+        Interconnect {
+            latency_ns: 25_000,
+            bandwidth_bps: 1.25e9,
+        }
+    }
+
+    /// Intra-node message passing (same instance): effectively free, used
+    /// by the shared-everything deployment so all three topologies run the
+    /// same protocol code.
+    pub fn loopback() -> Self {
+        Interconnect {
+            latency_ns: 200,
+            bandwidth_bps: 100e9,
+        }
+    }
+
+    /// One-way transfer time of a `bytes`-sized message in nanoseconds.
+    pub fn transfer_ns(&self, bytes: u64) -> u64 {
+        self.latency_ns + (bytes as f64 / self.bandwidth_bps * 1e9) as u64
+    }
+}
+
+/// A [`Deployment`] materialized over a machine topology and a core budget:
+/// what the cluster simulator actually runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClusterSpec {
+    /// The deployment kind.
+    pub deploy: Deployment,
+    /// Number of DBMS instances (shards).
+    pub nodes: usize,
+    /// Logical cores per instance.
+    pub cores_per_node: usize,
+    /// Sockets each instance spans (>1 only for shared-everything, where
+    /// it drives the coherence penalty).
+    pub sockets_per_node: usize,
+    /// The node-to-node link.
+    pub interconnect: Interconnect,
+}
+
+impl ClusterSpec {
+    /// Materializes a deployment over `total_cores` of `topo`.
+    ///
+    /// * shared-everything: one node holding every core, spanning however
+    ///   many sockets the paper allocation order touches;
+    /// * islands: one node per socket (`nodes` is clamped to the socket
+    ///   count), QPI interconnect;
+    /// * sharded: `nodes` shards over the LAN.
+    ///
+    /// The core budget divides evenly across nodes (minimum one per node).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_cores` is zero or exceeds the topology, or if
+    /// `nodes` is zero for a multi-node deployment.
+    pub fn build(deploy: Deployment, nodes: usize, total_cores: usize, topo: &Topology) -> Self {
+        assert!(
+            total_cores >= 1 && total_cores <= topo.logical_cores(),
+            "core budget {total_cores} out of range"
+        );
+        match deploy {
+            Deployment::SharedEverything => {
+                // Paper allocation order fills socket 0 first; count the
+                // sockets the first `total_cores` logical cores touch.
+                let spanned = CoreSet::first_n(total_cores, topo)
+                    .iter()
+                    .map(|c| topo.socket_of(c))
+                    .max()
+                    .expect("non-empty core set")
+                    + 1;
+                ClusterSpec {
+                    deploy,
+                    nodes: 1,
+                    cores_per_node: total_cores,
+                    sockets_per_node: spanned,
+                    interconnect: Interconnect::loopback(),
+                }
+            }
+            Deployment::Islands => {
+                assert!(nodes >= 1, "islands deployment needs at least one node");
+                let nodes = nodes.min(topo.sockets).max(1);
+                ClusterSpec {
+                    deploy,
+                    nodes,
+                    cores_per_node: (total_cores / nodes).max(1),
+                    sockets_per_node: 1,
+                    interconnect: Interconnect::qpi(),
+                }
+            }
+            Deployment::Sharded => {
+                assert!(nodes >= 1, "sharded deployment needs at least one node");
+                ClusterSpec {
+                    deploy,
+                    nodes,
+                    cores_per_node: (total_cores / nodes).max(1),
+                    sockets_per_node: 1,
+                    interconnect: Interconnect::lan_10g(),
+                }
+            }
+        }
+    }
+
+    /// Total cores across the cluster.
+    pub fn total_cores(&self) -> usize {
+        self.nodes * self.cores_per_node
+    }
+
+    /// A compact summary (`sharded×4 2c/node lan`), used in reports.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}×{} {}c/node",
+            self.deploy, self.nodes, self.cores_per_node
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,5 +446,57 @@ mod tests {
         assert!(!s.contains(CoreId(4)));
         let collected: CoreSet = s.iter().collect();
         assert_eq!(collected, s);
+    }
+
+    #[test]
+    fn deployment_names_round_trip() {
+        for d in Deployment::ALL {
+            assert_eq!(Deployment::parse(d.name()), Some(d));
+        }
+        assert_eq!(Deployment::parse("mesh"), None);
+    }
+
+    #[test]
+    fn interconnect_transfer_orders() {
+        let qpi = Interconnect::qpi();
+        let lan = Interconnect::lan_10g();
+        let loop_ = Interconnect::loopback();
+        assert!(loop_.transfer_ns(512) < qpi.transfer_ns(512));
+        assert!(qpi.transfer_ns(512) < lan.transfer_ns(512));
+        // Latency dominates small messages; bandwidth shows up on big ones.
+        assert!(lan.transfer_ns(1 << 20) > lan.transfer_ns(64) + 500_000);
+    }
+
+    #[test]
+    fn cluster_spec_shared_spans_sockets() {
+        let t = Topology::paper_testbed();
+        let one_socket = ClusterSpec::build(Deployment::SharedEverything, 1, 8, &t);
+        assert_eq!(one_socket.nodes, 1);
+        assert_eq!(one_socket.sockets_per_node, 1);
+        let both = ClusterSpec::build(Deployment::SharedEverything, 1, 16, &t);
+        assert_eq!(both.sockets_per_node, 2);
+        assert_eq!(both.cores_per_node, 16);
+    }
+
+    #[test]
+    fn cluster_spec_islands_one_node_per_socket() {
+        let t = Topology::paper_testbed();
+        let spec = ClusterSpec::build(Deployment::Islands, 4, 16, &t);
+        // Clamped to the socket count.
+        assert_eq!(spec.nodes, 2);
+        assert_eq!(spec.cores_per_node, 8);
+        assert_eq!(spec.sockets_per_node, 1);
+        assert_eq!(spec.interconnect, Interconnect::qpi());
+    }
+
+    #[test]
+    fn cluster_spec_sharded_divides_budget() {
+        let t = Topology::paper_testbed();
+        let spec = ClusterSpec::build(Deployment::Sharded, 4, 16, &t);
+        assert_eq!(spec.nodes, 4);
+        assert_eq!(spec.cores_per_node, 4);
+        assert_eq!(spec.total_cores(), 16);
+        assert_eq!(spec.describe(), "sharded×4 4c/node");
+        assert_eq!(spec.interconnect, Interconnect::lan_10g());
     }
 }

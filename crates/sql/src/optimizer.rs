@@ -144,12 +144,32 @@ fn decorrelate(plan: SqlPlan) -> SqlPlan {
     let SqlPlan::Filter { input, pred } = plan else {
         return plan;
     };
+    // HAVING position: the filter sits directly on an aggregate, and the
+    // binder resolves a subquery's OuterCols against the aggregate's *input*
+    // layout (the FROM row), while the filter's own columns live in the
+    // aggregate's *output* layout. An outer reference is decorrelatable only
+    // when the referenced column is a group key — it then becomes that key's
+    // output position, and the usual rewrite applies unchanged.
+    let having_keys: Option<Vec<(usize, usize)>> = match input.as_ref() {
+        SqlPlan::Agg { group_by, .. } => Some(
+            group_by
+                .iter()
+                .enumerate()
+                .map(|(out, &abs)| (abs, out))
+                .collect(),
+        ),
+        _ => None,
+    };
     let outer_arity = input.arity();
     let mut conjuncts = Vec::new();
     pred.split_conjuncts(&mut conjuncts);
     let mut outer = *input;
     let mut residual = Vec::new();
     for conj in conjuncts {
+        let conj = match &having_keys {
+            Some(keys) => remap_having_conjunct(conj, keys),
+            None => conj,
+        };
         match try_decorrelate_conjunct(&conj, outer, outer_arity) {
             Ok((new_outer, rewritten)) => {
                 outer = new_outer;
@@ -174,6 +194,42 @@ fn decorrelate(plan: SqlPlan) -> SqlPlan {
         };
     }
     plan
+}
+
+/// Rewrites a HAVING conjunct's correlated-subquery outer references from
+/// the aggregate's input layout to its output layout via the group-key map
+/// `keys` (`(input position, output position)` pairs). Conjuncts whose
+/// outer references are not all group keys come back untouched — the value
+/// is not functionally determined by the aggregate output, so decorrelation
+/// must not fire on them.
+fn remap_having_conjunct(conj: SqlExpr, keys: &[(usize, usize)]) -> SqlExpr {
+    let SqlExpr::Cmp(op, lhs, rhs) = &conj else {
+        return conj;
+    };
+    let remap_side = |side: &SqlExpr| -> Option<SqlExpr> {
+        let SqlExpr::Subquery(p) = side else {
+            return None;
+        };
+        if !p.is_correlated() {
+            return None;
+        }
+        let mut all_keys = true;
+        p.for_each_outer_col(&mut |c| all_keys &= keys.iter().any(|&(abs, _)| abs == c));
+        if !all_keys {
+            return None;
+        }
+        Some(SqlExpr::Subquery(Box::new(p.map_outer_cols(&mut |c| {
+            keys.iter()
+                .find(|&&(abs, _)| abs == c)
+                .map(|&(_, out)| out)
+                .expect("checked above")
+        }))))
+    };
+    match (remap_side(lhs), remap_side(rhs)) {
+        (Some(l), None) => SqlExpr::Cmp(*op, Box::new(l), rhs.clone()),
+        (None, Some(r)) => SqlExpr::Cmp(*op, lhs.clone(), Box::new(r)),
+        _ => conj,
+    }
 }
 
 /// If `conj` compares against a correlated scalar-aggregate subquery of a

@@ -124,6 +124,33 @@ pub enum WalRecord {
         /// Dirty pages and the LSN that first dirtied each.
         dirty_pages: Vec<(u64, u64)>,
     },
+    /// Participant vote in two-phase commit: force-logged before the YES
+    /// vote leaves the node. A transaction whose last disposition record is
+    /// a `Prepare` is *in doubt* after a crash — recovery keeps its effects
+    /// and asks `coordinator` for the outcome (presumed abort: no durable
+    /// decision there means abort).
+    Prepare {
+        /// Transaction id (globally unique across the cluster).
+        txn: u64,
+        /// Node id of the coordinator to consult for in-doubt resolution.
+        coordinator: u32,
+    },
+    /// Coordinator commit decision: force-logged before any COMMIT message
+    /// is sent. Its presence makes the global commit durable; its absence
+    /// (presumed abort) means the transaction aborted.
+    CoordCommit {
+        /// Transaction id.
+        txn: u64,
+        /// Participant node ids that voted and must learn the outcome.
+        participants: Vec<u32>,
+    },
+    /// Coordinator forget record: all participants acknowledged the
+    /// decision, so the coordinator may drop the transaction from its
+    /// in-memory outcome table. Lazily written; never forced.
+    CoordEnd {
+        /// Transaction id.
+        txn: u64,
+    },
 }
 
 /// The redo-side action of a compensation record.
@@ -153,7 +180,10 @@ impl WalRecord {
             | WalRecord::Delete { txn, .. }
             | WalRecord::Commit { txn }
             | WalRecord::Abort { txn }
-            | WalRecord::Clr { txn, .. } => Some(*txn),
+            | WalRecord::Clr { txn, .. }
+            | WalRecord::Prepare { txn, .. }
+            | WalRecord::CoordCommit { txn, .. }
+            | WalRecord::CoordEnd { txn } => Some(*txn),
             WalRecord::Checkpoint { .. } => None,
         }
     }
@@ -575,6 +605,23 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
                 put_u64(&mut out, *l);
             }
         }
+        WalRecord::Prepare { txn, coordinator } => {
+            out.push(8);
+            put_u64(&mut out, *txn);
+            put_u32(&mut out, *coordinator);
+        }
+        WalRecord::CoordCommit { txn, participants } => {
+            out.push(9);
+            put_u64(&mut out, *txn);
+            put_u32(&mut out, participants.len() as u32);
+            for p in participants {
+                put_u32(&mut out, *p);
+            }
+        }
+        WalRecord::CoordEnd { txn } => {
+            out.push(10);
+            put_u64(&mut out, *txn);
+        }
     }
     out
 }
@@ -689,6 +736,23 @@ fn decode_record(payload: &[u8]) -> Option<WalRecord> {
                 dirty_pages,
             }
         }
+        8 => WalRecord::Prepare {
+            txn: c.u64()?,
+            coordinator: c.u32()?,
+        },
+        9 => {
+            let txn = c.u64()?;
+            let n = c.u32()? as usize;
+            if n > payload.len() {
+                return None;
+            }
+            let mut participants = Vec::with_capacity(n);
+            for _ in 0..n {
+                participants.push(c.u32()?);
+            }
+            WalRecord::CoordCommit { txn, participants }
+        }
+        10 => WalRecord::CoordEnd { txn: c.u64()? },
         _ => return None,
     };
     if c.pos != payload.len() {
@@ -815,6 +879,15 @@ mod tests {
                 active_txns: vec![4, 5],
                 dirty_pages: vec![(10, 2), (11, 3)],
             },
+            WalRecord::Prepare {
+                txn: 6,
+                coordinator: 2,
+            },
+            WalRecord::CoordCommit {
+                txn: 6,
+                participants: vec![0, 1, 3],
+            },
+            WalRecord::CoordEnd { txn: 6 },
         ]
     }
 

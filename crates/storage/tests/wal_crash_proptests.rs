@@ -258,7 +258,11 @@ fn recover(records: &[(Lsn, WalRecord)]) -> BTreeMap<u64, Row> {
             WalRecord::Commit { txn } | WalRecord::Abort { txn } => {
                 finished.insert(*txn);
             }
-            WalRecord::Begin { .. } | WalRecord::Checkpoint { .. } => {}
+            WalRecord::Begin { .. }
+            | WalRecord::Checkpoint { .. }
+            | WalRecord::Prepare { .. }
+            | WalRecord::CoordCommit { .. }
+            | WalRecord::CoordEnd { .. } => {}
         }
     }
     // Undo losers, newest operation first.

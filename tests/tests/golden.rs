@@ -25,8 +25,10 @@ use dbsens_core::queryexp::TpchHarness;
 use dbsens_core::serve::{simulate, Scenario, ServeConfig};
 use dbsens_core::sqlexp::{sweep_sql, SweepAxis};
 use dbsens_core::sweep::KnobGrid;
+use dbsens_core::topoexp::{simulate as topo_simulate, TopoConfig};
 use dbsens_engine::governor::ExecMode;
-use dbsens_hwsim::faults::FaultSpec;
+use dbsens_hwsim::faults::{FaultSpec, NetFaultSpec};
+use dbsens_hwsim::topology::Deployment;
 use dbsens_workloads::driver::WorkloadSpec;
 use dbsens_workloads::scale::ScaleCfg;
 use std::path::PathBuf;
@@ -154,6 +156,23 @@ fn sweep() -> Vec<(&'static str, String)> {
     )
     .expect("golden SQL grant sweep runs");
     points.push(("sql-join-grant", of_json(&grant_sweep)));
+    // Deployment-topology points: the cluster simulator's decision-trace
+    // digest fences routing, 2PC message ordering, slot scheduling, and
+    // fault handling. One healthy sharded run, one with node-crash
+    // windows (which also exercises crash-time abort/in-doubt paths).
+    let sharded = topo_simulate(
+        &TopoConfig::paper_default(Deployment::Sharded, 4)
+            .with_seed(42)
+            .with_run_secs(0.5),
+    );
+    points.push(("topo-sharded", of_json(&sharded)));
+    let crashed = topo_simulate(
+        &TopoConfig::paper_default(Deployment::Sharded, 4)
+            .with_seed(42)
+            .with_run_secs(0.5)
+            .with_net_faults(NetFaultSpec::none().with_node_crashes(2).with_seed(42)),
+    );
+    points.push(("topo-node-crash", of_json(&crashed)));
     points
 }
 
