@@ -130,6 +130,10 @@ struct Cli {
     json: Option<String>,
     /// Prior perf report to compare against (`--baseline`).
     perf_baseline: Option<String>,
+    /// Restrict `perf` to one phase (`--phase`).
+    perf_phase: Option<String>,
+    /// Repetitions per perf phase with median-of-N reporting (`--iters`).
+    perf_iters: usize,
     /// Service-mode scenario when `serve` was requested.
     serve: Option<Scenario>,
     /// Whether `serve` should run only the shedding-disarmed stress run.
@@ -176,7 +180,8 @@ fn usage() -> String {
          \x20 repro figure <target>...     specific figures/tables\n\
          \x20 repro faults <profile>       degradation report under faults\n\
          \x20 repro crash  <class>...      kill-at-any-point durability verifier\n\
-         \x20 repro perf                   host-side simulator micro-benchmark\n\
+         \x20 repro perf [--phase NAME] [--iters N]\n\
+         \x20                              host-side simulator micro-benchmark\n\
          \x20 repro serve --scenario NAME  overload-robust service mode\n\
          \x20 repro cache [--gc]           result-cache usage report / GC\n\
          \x20 repro sql --query SQL | -f FILE\n\
@@ -203,8 +208,10 @@ fn usage() -> String {
          perf runs the frozen fixed-seed simulator micro-benchmark over\n\
          both analytical executors and writes the report to --json PATH\n\
          (default BENCH_6.json); --baseline PATH embeds a prior report\n\
-         and computes the speedup. It fails (exit 1) only on a\n\
-         correctness violation, not timing.\n\
+         and computes the speedup; --phase NAME runs a single phase and\n\
+         --iters N repeats each phase N times, reporting the median\n\
+         warm run. It fails (exit 1) only on a correctness violation,\n\
+         not timing.\n\
          serve runs the overload-robust service mode: a seeded open-loop\n\
          multi-tenant arrival stream simulated three ways (0.8x baseline,\n\
          the scenario's stress shape, and the stress shape with shedding\n\
@@ -293,6 +300,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
     let mut perf = false;
     let mut json = None;
     let mut perf_baseline = None;
+    let mut perf_phase: Option<String> = None;
+    let mut perf_iters = 1usize;
     let mut serve = None;
     let mut no_shed = false;
     let mut cache_cmd = false;
@@ -483,6 +492,35 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
                 let path = it.next().ok_or("--baseline requires a path")?;
                 perf_baseline = Some(path.clone());
             }
+            "--phase" => {
+                if !perf {
+                    return Err("--phase only applies to `repro perf`".into());
+                }
+                let name = it.next().ok_or_else(|| {
+                    format!(
+                        "--phase requires a value ({})",
+                        perf::phase_names().join("|")
+                    )
+                })?;
+                if !perf::phase_names().contains(&name.as_str()) {
+                    return Err(format!(
+                        "unknown perf phase '{name}' (expected one of: {})",
+                        perf::phase_names().join(" ")
+                    ));
+                }
+                perf_phase = Some(name.clone());
+            }
+            "--iters" => {
+                if !perf {
+                    return Err("--iters only applies to `repro perf`".into());
+                }
+                let n = it.next().ok_or("--iters requires a number")?;
+                perf_iters = n
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--iters: '{n}' is not a positive number"))?;
+            }
             "--no-cache" => no_cache = true,
             "--help" | "-h" => help = true,
             flag if flag.starts_with('-') => return Err(format!("unknown flag '{flag}'")),
@@ -599,6 +637,8 @@ fn parse_args(args: &[String]) -> Result<Cli, String> {
         perf,
         json,
         perf_baseline,
+        perf_phase,
+        perf_iters,
         serve,
         no_shed,
         cache_cmd,
@@ -864,7 +904,10 @@ fn main() {
             })
         });
         eprintln!("[repro] perf micro-sweep (fixed seeds, paired determinism check)...");
-        let mut report = perf::run_micro_sweep(|line| eprintln!("[repro] {line}"));
+        let mut report =
+            perf::run_micro_sweep_filtered(cli.perf_phase.as_deref(), cli.perf_iters, |line| {
+                eprintln!("[repro] {line}")
+            });
         if let Some(b) = baseline {
             perf::attach_baseline(&mut report, b);
         }

@@ -170,29 +170,94 @@ fn run_phase(spec: &PhaseSpec) -> (RunResult, String, f64, u64, u64) {
     )
 }
 
+/// The frozen phase names, for CLI validation of `--phase`.
+pub fn phase_names() -> Vec<&'static str> {
+    phases().iter().map(|s| s.name).collect()
+}
+
 /// Runs the frozen micro-sweep and builds the report.
 ///
 /// `progress` receives one line per phase (stderr in the CLI). The
 /// returned report has `baseline`/`speedup` unset; attach them with
 /// [`attach_baseline`].
-pub fn run_micro_sweep(mut progress: impl FnMut(&str)) -> PerfReport {
+pub fn run_micro_sweep(progress: impl FnMut(&str)) -> PerfReport {
+    run_micro_sweep_filtered(None, 1, progress)
+}
+
+/// One cold+warm measurement of a phase.
+struct PairRun {
+    cold_digest: String,
+    cold_rd: String,
+    cold_ms: f64,
+    warm: RunResult,
+    warm_rd: String,
+    warm_ms: f64,
+    allocations: u64,
+    alloc_bytes: u64,
+}
+
+/// Runs the micro-sweep, optionally restricted to a single phase and with
+/// `iters` repetitions per phase. Each repetition is a full cold+warm
+/// pair; the reported timing is the pair whose warm wall-clock is the
+/// median of the `iters` runs (so single-phase optimization loops are
+/// cheap and noise does not masquerade as a regression). Determinism
+/// requires *every* run of a phase — cold and warm, across all
+/// repetitions — to produce the same digests.
+pub fn run_micro_sweep_filtered(
+    phase: Option<&str>,
+    iters: usize,
+    mut progress: impl FnMut(&str),
+) -> PerfReport {
+    let iters = iters.max(1);
     let mut reports = Vec::new();
     for spec in phases() {
+        if phase.is_some_and(|f| f != spec.name) {
+            continue;
+        }
         progress(&format!(
             "phase {} ({})...",
             spec.name,
             spec.workload.name()
         ));
-        let (cold, cold_rd, cold_ms, _, _) = run_phase(&spec);
-        let (warm, warm_rd, warm_ms, allocations, alloc_bytes) = run_phase(&spec);
-        let deterministic = cold.digest() == warm.digest() && cold_rd == warm_rd;
-        let metric = warm.metric(spec.workload.primary_metric());
-        let events_per_sec = warm.sim_events as f64 / (warm_ms / 1e3).max(1e-9);
+        let mut runs: Vec<PairRun> = Vec::with_capacity(iters);
+        for _ in 0..iters {
+            let (cold, cold_rd, cold_ms, _, _) = run_phase(&spec);
+            let (warm, warm_rd, warm_ms, allocations, alloc_bytes) = run_phase(&spec);
+            runs.push(PairRun {
+                cold_digest: cold.digest(),
+                cold_rd,
+                cold_ms,
+                warm,
+                warm_rd,
+                warm_ms,
+                allocations,
+                alloc_bytes,
+            });
+        }
+        let first_digest = runs[0].warm.digest();
+        let first_rd = runs[0].warm_rd.clone();
+        let deterministic = runs.iter().all(|r| {
+            r.cold_digest == first_digest
+                && r.warm.digest() == first_digest
+                && r.cold_rd == first_rd
+                && r.warm_rd == first_rd
+        });
+        // Median-of-N by warm wall-clock; ties keep the earlier run.
+        let mut order: Vec<usize> = (0..runs.len()).collect();
+        order.sort_by(|&a, &b| runs[a].warm_ms.total_cmp(&runs[b].warm_ms));
+        let median = runs.swap_remove(order[(order.len() - 1) / 2]);
+        let metric = median.warm.metric(spec.workload.primary_metric());
+        let events_per_sec = median.warm.sim_events as f64 / (median.warm_ms / 1e3).max(1e-9);
         progress(&format!(
-            "  {:.0} ms cold / {:.0} ms warm, {} events ({:.2} M events/s){}",
-            cold_ms,
-            warm_ms,
-            warm.sim_events,
+            "  {:.0} ms cold / {:.0} ms warm{}, {} events ({:.2} M events/s){}",
+            median.cold_ms,
+            median.warm_ms,
+            if iters > 1 {
+                format!(" (median of {iters})")
+            } else {
+                String::new()
+            },
+            median.warm.sim_events,
             events_per_sec / 1e6,
             if deterministic {
                 ""
@@ -203,14 +268,14 @@ pub fn run_micro_sweep(mut progress: impl FnMut(&str)) -> PerfReport {
         reports.push(PhaseReport {
             name: spec.name.to_string(),
             workload: spec.workload.name(),
-            wall_ms: warm_ms,
-            sim_events: warm.sim_events,
+            wall_ms: median.warm_ms,
+            sim_events: median.warm.sim_events,
             events_per_sec,
-            allocations,
-            alloc_bytes,
+            allocations: median.allocations,
+            alloc_bytes: median.alloc_bytes,
             metric,
-            digest: warm.digest(),
-            result_digest: warm_rd,
+            digest: median.warm.digest(),
+            result_digest: median.warm_rd,
             deterministic,
         });
     }

@@ -14,7 +14,7 @@ use dbsens_storage::lock::TxnId;
 use dbsens_storage::lock::{LatchTable, LockManager};
 use dbsens_storage::physical::{ColumnstoreLayout, IndexLayout, ModelSpace, TableLayout};
 use dbsens_storage::schema::Schema;
-use dbsens_storage::value::{Key, Row};
+use dbsens_storage::value::{Key, Row, Value};
 use dbsens_storage::wal::{ClrAction, Lsn, Wal, WalRecord};
 
 /// Identifier of a table within a database.
@@ -180,6 +180,9 @@ pub struct Database {
     /// durable checkpoint guarantees; recovery redoes forward from the
     /// newest snapshot whose checkpoint record survives in the durable log.
     snapshots: Vec<(u64, Box<Database>)>,
+    /// Reusable buffer for snapshotting index key columns in
+    /// [`Database::update_row`].
+    keycol_scratch: Vec<Value>,
 }
 
 impl Database {
@@ -207,6 +210,7 @@ impl Database {
             att: std::collections::BTreeMap::new(),
             dirty_page_lsns: std::collections::BTreeMap::new(),
             snapshots: Vec::new(),
+            keycol_scratch: Vec::new(),
         }
     }
 
@@ -459,30 +463,53 @@ impl Database {
 
     /// Updates a row in place via `mutate`, maintaining indexes whose keys
     /// change and the columnstore.
+    ///
+    /// The common case — a mutation that leaves every index key column
+    /// untouched — must not allocate: only the key-column values are
+    /// snapshotted (into a recycled scratch buffer), and full `Key`s are
+    /// materialized only for an index whose columns actually changed.
     pub fn update_row(
         &mut self,
         table: TableId,
         rid: RowId,
         mutate: impl FnOnce(&mut Row),
     ) -> bool {
+        let mut snap = std::mem::take(&mut self.keycol_scratch);
+        snap.clear();
         let t = &mut self.tables[table.0];
         let Some(row) = t.heap.get_mut(rid) else {
+            self.keycol_scratch = snap;
             return false;
         };
-        let old = row.clone();
+        for idx in &t.indexes {
+            for &c in &idx.key_cols {
+                snap.push(row[c].clone());
+            }
+        }
         mutate(row);
-        let new = row.clone();
+        let mut off = 0;
         for idx in &mut t.indexes {
-            let old_key = Key::from_values(idx.key_cols.iter().map(|&c| old[c].clone()).collect());
-            let new_key = Key::from_values(idx.key_cols.iter().map(|&c| new[c].clone()).collect());
-            if old_key != new_key {
+            let k = idx.key_cols.len();
+            let before = &snap[off..off + k];
+            let changed = idx
+                .key_cols
+                .iter()
+                .zip(before)
+                .any(|(&c, old)| row[c] != *old);
+            if changed {
+                let old_key = Key::from_values(before.to_vec());
+                let new_key =
+                    Key::from_values(idx.key_cols.iter().map(|&c| row[c].clone()).collect());
                 idx.btree.remove(&old_key, rid);
                 idx.btree.insert(new_key, rid);
             }
+            off += k;
         }
         if let Some(cs) = &mut t.columnstore {
+            let new = row.clone();
             cs.store.update(rid, new);
         }
+        self.keycol_scratch = snap;
         true
     }
 

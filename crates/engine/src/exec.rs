@@ -273,15 +273,36 @@ pub(crate) enum KeyPart {
     N,
 }
 
+impl KeyPart {
+    /// The key part as an owned [`Value`] (exact: floats round-trip through
+    /// their bit pattern).
+    pub(crate) fn to_value(&self) -> Value {
+        match self {
+            KeyPart::I(i) => Value::Int(*i),
+            KeyPart::S(s) => Value::Str(s.clone()),
+            KeyPart::F(bits) => Value::Float(f64::from_bits(*bits)),
+            KeyPart::N => Value::Null,
+        }
+    }
+}
+
 pub(crate) fn key_sig(row: &Row, cols: &[usize]) -> Vec<KeyPart> {
-    cols.iter()
-        .map(|&c| match &row[c] {
-            Value::Int(i) => KeyPart::I(*i),
-            Value::Str(s) => KeyPart::S(s.clone()),
-            Value::Float(f) => KeyPart::F(f.to_bits()),
-            Value::Null => KeyPart::N,
-        })
-        .collect()
+    let mut out = Vec::with_capacity(cols.len());
+    key_sig_into(row, cols, &mut out);
+    out
+}
+
+/// Fills `out` (cleared first) with the hashable key of `row` at `cols`,
+/// reusing the buffer — per-row hash-table *lookups* must not allocate a
+/// fresh key vector.
+pub(crate) fn key_sig_into(row: &Row, cols: &[usize], out: &mut Vec<KeyPart>) {
+    out.clear();
+    out.extend(cols.iter().map(|&c| match &row[c] {
+        Value::Int(i) => KeyPart::I(*i),
+        Value::Str(s) => KeyPart::S(s.clone()),
+        Value::Float(f) => KeyPart::F(f.to_bits()),
+        Value::Null => KeyPart::N,
+    }));
 }
 
 impl<'a> Executor<'a> {
@@ -732,8 +753,10 @@ impl<'a> Executor<'a> {
         }
         let build_width = build_rows.first().map_or(0, Vec::len);
         let mut out = Vec::new();
+        let mut probe_sig = Vec::new();
         for pr in &probe_rows {
-            let matches = ht.get(&key_sig(pr, probe_keys));
+            key_sig_into(pr, probe_keys, &mut probe_sig);
+            let matches = ht.get(&probe_sig);
             match kind {
                 JoinKind::Inner => {
                     if let Some(ms) = matches {
@@ -865,14 +888,21 @@ impl<'a> Executor<'a> {
         let in_modeled = self.modeled(rows.len());
 
         let mut groups: FxHashMap<Vec<KeyPart>, (Row, Vec<AggAcc>)> = FxHashMap::default();
+        let mut sig = Vec::new();
         for r in &rows {
-            let sig = key_sig(r, group_by);
-            let entry = groups.entry(sig).or_insert_with(|| {
-                (
-                    group_by.iter().map(|&c| r[c].clone()).collect(),
-                    aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
-                )
-            });
+            // Lookup through a reusable key buffer; a key vector is only
+            // materialized for the (rare) first row of each group.
+            key_sig_into(r, group_by, &mut sig);
+            if !groups.contains_key(&sig) {
+                groups.insert(
+                    sig.clone(),
+                    (
+                        group_by.iter().map(|&c| r[c].clone()).collect(),
+                        aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
+                    ),
+                );
+            }
+            let entry = groups.get_mut(&sig).expect("group just ensured");
             for (acc, spec) in entry.1.iter_mut().zip(aggs) {
                 acc.update(&spec.expr.eval(r));
             }
@@ -1073,6 +1103,50 @@ impl AggAcc {
                 }
             }
             AggAcc::Count(n) => *n += 1,
+        }
+    }
+
+    /// Updates from entry `i` of a columnar vector without materializing an
+    /// owned [`Value`] — typed dense columns feed the accumulator directly,
+    /// so the per-row aggregate path does not clone strings it will drop.
+    pub(crate) fn update_col(&mut self, col: &crate::batch::ColumnVector, i: usize) {
+        use crate::batch::ColumnVector;
+        match col {
+            ColumnVector::Int(v) => self.update(&Value::Int(v[i])),
+            ColumnVector::Float(v) => self.update(&Value::Float(v[i])),
+            ColumnVector::Mixed(v) => self.update(&v[i]),
+            ColumnVector::Str(v) => {
+                let s = v[i].as_str();
+                match self {
+                    AggAcc::Count(n) => *n += 1,
+                    AggAcc::Min(m) => {
+                        // `cmp_values` sorts strings after numerics, so a
+                        // string never undercuts a numeric minimum.
+                        let replace = match m.as_ref() {
+                            None => true,
+                            Some(Value::Str(cur)) => s < cur.as_str(),
+                            Some(_) => false,
+                        };
+                        if replace {
+                            *m = Some(Value::Str(s.to_owned()));
+                        }
+                    }
+                    AggAcc::Max(m) => {
+                        let replace = match m.as_ref() {
+                            None => true,
+                            Some(Value::Str(cur)) => s > cur.as_str(),
+                            Some(_) => true,
+                        };
+                        if replace {
+                            *m = Some(Value::Str(s.to_owned()));
+                        }
+                    }
+                    AggAcc::Sum(..) | AggAcc::Avg(..) => {
+                        // Matches `Value::as_f64`'s contract on a string.
+                        panic!("expected numeric, got Str({s:?})")
+                    }
+                }
+            }
         }
     }
 

@@ -32,10 +32,10 @@
 //! nested-loop joins or index-range sources return `None` from
 //! [`execute_push`] and fall back to the volcano path.
 
-use crate::batch::Batch;
+use crate::batch::{Batch, ColumnVector};
 use crate::db::{Database, TableId};
 use crate::exec::{
-    collect_cols, key_sig, scale_profile, AggAcc, DemandTrace, KeyPart, MorselStage,
+    collect_cols, key_sig, key_sig_into, scale_profile, AggAcc, DemandTrace, KeyPart, MorselStage,
     QueryExecution, TraceItem,
 };
 use crate::expr::Expr;
@@ -741,6 +741,7 @@ impl PipelineBuilder {
                     kind: *kind,
                     swapped: *swapped,
                     inputs: Vec::new(),
+                    key_scratch: Vec::new(),
                 }));
                 (psrc, pops)
             }
@@ -1041,6 +1042,8 @@ struct HashProbe {
     kind: JoinKind,
     swapped: bool,
     inputs: Vec<u64>,
+    /// Reusable probe key (probe rows never insert into the table).
+    key_scratch: Vec<KeyPart>,
 }
 
 impl PhysicalOperator for HashProbe {
@@ -1054,7 +1057,8 @@ impl PhysicalOperator for HashProbe {
         let build_width = st.build_rows.first().map_or(0, Vec::len);
         let mut out = Vec::new();
         for pr in batch.to_rows() {
-            let matches = st.ht.get(&key_sig(&pr, &self.probe_keys));
+            key_sig_into(&pr, &self.probe_keys, &mut self.key_scratch);
+            let matches = st.ht.get(&self.key_scratch);
             match self.kind {
                 JoinKind::Inner => {
                     if let Some(ms) = matches {
@@ -1163,6 +1167,24 @@ impl PhysicalOperator for HashProbe {
 /// Hash-aggregation sink: groups accumulate in push order (= volcano's
 /// row order), so `into_values` iteration matches the volcano result
 /// byte for byte.
+/// Column-wise equivalent of [`key_sig_into`]: builds the group key for
+/// physical row `phys` straight from the batch's column vectors, skipping
+/// row materialization.
+fn batch_key_sig_into(batch: &Batch, phys: usize, cols: &[usize], out: &mut Vec<KeyPart>) {
+    out.clear();
+    out.extend(cols.iter().map(|&c| match &batch.cols[c] {
+        ColumnVector::Int(v) => KeyPart::I(v[phys]),
+        ColumnVector::Float(v) => KeyPart::F(v[phys].to_bits()),
+        ColumnVector::Str(v) => KeyPart::S(v[phys].clone()),
+        ColumnVector::Mixed(v) => match &v[phys] {
+            Value::Int(i) => KeyPart::I(*i),
+            Value::Str(st) => KeyPart::S(st.clone()),
+            Value::Float(f) => KeyPart::F(f.to_bits()),
+            Value::Null => KeyPart::N,
+        },
+    }));
+}
+
 struct AggSink {
     group_by: Vec<usize>,
     aggs: Vec<AggSpec>,
@@ -1170,6 +1192,9 @@ struct AggSink {
     groups: FxHashMap<Vec<KeyPart>, (Row, Vec<AggAcc>)>,
     inputs: Vec<u64>,
     out: Rc<RefCell<Vec<Row>>>,
+    /// Reusable lookup key; an owned key vector is only built when a row
+    /// opens a new group.
+    key_scratch: Vec<KeyPart>,
 }
 
 impl AggSink {
@@ -1182,6 +1207,7 @@ impl AggSink {
             groups: FxHashMap::default(),
             inputs: Vec::new(),
             out,
+            key_scratch: Vec::new(),
         }
     }
 }
@@ -1204,19 +1230,28 @@ impl PhysicalOperator for AggSink {
         if n == 0 {
             return PollPush::NeedsMore;
         }
-        // Vectorized aggregate inputs; group keys gathered row-wise.
+        // Vectorized aggregate inputs; group keys gathered column-wise
+        // through a reusable key buffer (no per-row key or row
+        // materialization on the group-hit path).
         let agg_vals: Vec<_> = self.compiled.iter().map(|e| e.evaluate(&batch)).collect();
         for i in 0..n {
-            let r = batch.row(i);
-            let sig = key_sig(&r, &self.group_by);
-            let entry = self.groups.entry(sig).or_insert_with(|| {
-                (
-                    self.group_by.iter().map(|&c| r[c].clone()).collect(),
-                    self.aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
-                )
-            });
+            let phys = batch.live_index(i);
+            batch_key_sig_into(&batch, phys, &self.group_by, &mut self.key_scratch);
+            if !self.groups.contains_key(&self.key_scratch) {
+                self.groups.insert(
+                    self.key_scratch.clone(),
+                    (
+                        self.key_scratch.iter().map(KeyPart::to_value).collect(),
+                        self.aggs.iter().map(|a| AggAcc::new(a.func)).collect(),
+                    ),
+                );
+            }
+            let entry = self
+                .groups
+                .get_mut(&self.key_scratch)
+                .expect("group ensured");
             for (acc, vals) in entry.1.iter_mut().zip(&agg_vals) {
-                acc.update(&vals.get(i));
+                acc.update_col(vals, i);
             }
         }
         PollPush::NeedsMore
@@ -1305,7 +1340,7 @@ impl PhysicalOperator for StreamAggSink {
         let agg_vals: Vec<_> = self.compiled.iter().map(|e| e.evaluate(&batch)).collect();
         for i in 0..n {
             for (acc, vals) in self.accs.iter_mut().zip(&agg_vals) {
-                acc.update(&vals.get(i));
+                acc.update_col(vals, i);
             }
         }
         PollPush::NeedsMore

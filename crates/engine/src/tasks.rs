@@ -11,6 +11,7 @@ use crate::metrics::RunMetrics;
 use crate::optimizer::optimize;
 use crate::plan::Logical;
 use crate::pushexec::execute_push;
+use dbsens_hwsim::mem::MemProfile;
 use dbsens_hwsim::task::{Demand, SimTask, Step, TaskCtx, TaskId, WaitClass};
 use dbsens_hwsim::time::{SimDuration, SimTime};
 use dbsens_storage::bufferpool::PAGE_BYTES;
@@ -197,7 +198,16 @@ impl SimTask for TraceTask {
         }
         loop {
             while self.idx < self.items.len() {
-                let item = self.items[self.idx].clone();
+                // Move the item out rather than cloning it: the cursor only
+                // ever advances, so the drained slot is never revisited, and
+                // taking it spares a MemProfile clone per compute item.
+                let item = std::mem::replace(
+                    &mut self.items[self.idx],
+                    TraceItem::Compute {
+                        instructions: 0,
+                        mem: MemProfile::new(),
+                    },
+                );
                 self.idx += 1;
                 match self.step_item(item) {
                     Some(step) => return step,
@@ -529,15 +539,19 @@ impl QueryStreamTask {
         while running.stage < total_stages {
             if !running.pipelines.is_empty() {
                 // Push-executor stage: spawn one worker per partition; they
-                // claim morsels dynamically from a shared queue.
-                let stage = &running.pipelines[running.stage];
+                // claim morsels dynamically from a shared queue. The stage
+                // runs exactly once per query execution, so its morsels are
+                // moved into the queue rather than cloned (each morsel owns
+                // per-item MemProfiles the clone would duplicate).
+                let stage = &mut running.pipelines[running.stage];
                 if stage.morsels.is_empty() {
                     running.stage += 1;
                     continue;
                 }
+                let n_morsels = stage.morsels.len();
                 let queue: Rc<RefCell<VecDeque<DemandTrace>>> =
-                    Rc::new(RefCell::new(stage.morsels.iter().cloned().collect()));
-                let n = stage.partitions.min(stage.morsels.len()).max(1);
+                    Rc::new(RefCell::new(std::mem::take(&mut stage.morsels).into()));
+                let n = stage.partitions.min(n_morsels).max(1);
                 running.remaining = Rc::new(Cell::new(n));
                 for p in 0..n {
                     let mut worker = TraceTask::morsel_worker(
@@ -560,12 +574,10 @@ impl QueryStreamTask {
                     class: WaitClass::Parallelism,
                 });
             }
-            let workers: Vec<_> = running.stages[running.stage]
-                .workers
-                .iter()
-                .filter(|w| !w.items.is_empty())
-                .cloned()
-                .collect();
+            // Volcano stage: like the morsel path, each stage runs once,
+            // so its worker traces are moved out instead of cloned.
+            let mut workers = std::mem::take(&mut running.stages[running.stage].workers);
+            workers.retain(|w| !w.items.is_empty());
             if workers.is_empty() {
                 running.stage += 1;
                 continue;

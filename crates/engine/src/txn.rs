@@ -184,6 +184,141 @@ pub struct TxnProgram {
 pub trait TxnGenerator: fmt::Debug {
     /// Generates the next transaction program.
     fn next_txn(&mut self, rng: &mut SimRng) -> TxnProgram;
+
+    /// Generates the next program, handing back the previous (fully
+    /// executed) one so the generator can recycle its storage. The default
+    /// simply drops `spent`; allocation-conscious generators dismantle it
+    /// into a [`ProgramPool`] and build the new program from the parts.
+    fn next_txn_reusing(&mut self, rng: &mut SimRng, spent: TxnProgram) -> TxnProgram {
+        drop(spent);
+        self.next_txn(rng)
+    }
+}
+
+/// Recycled storage for transaction-program parts.
+///
+/// The OLTP hot loop retires a whole [`TxnProgram`] per transaction — an
+/// op vector holding keys, mutation lists, row images, and strings — and
+/// immediately builds the next one. [`ProgramPool::reclaim`] dismantles a
+/// spent program into per-kind free lists, and the builder helpers
+/// ([`ProgramPool::key1`], [`ProgramPool::string`], ...) reissue the
+/// buffers, so a generator that routes its allocations through the pool
+/// reaches a steady state where transaction generation touches the heap
+/// allocator not at all.
+///
+/// Pools are bounded; overflow is simply dropped, so a pathological
+/// program mix degrades to plain allocation rather than hoarding memory.
+#[derive(Debug, Default)]
+pub struct ProgramPool {
+    ops: Vec<Vec<TxOp>>,
+    values: Vec<Vec<Value>>,
+    muts: Vec<Vec<Mutation>>,
+    strings: Vec<String>,
+}
+
+/// Free-list bounds: `ops` is one-per-program; the others are per-op.
+const POOL_OPS_CAP: usize = 8;
+const POOL_PARTS_CAP: usize = 256;
+
+impl ProgramPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        ProgramPool::default()
+    }
+
+    /// Dismantles a spent program into the pool's free lists.
+    pub fn reclaim(&mut self, prog: TxnProgram) {
+        let mut ops = prog.ops;
+        for op in ops.drain(..) {
+            match op {
+                TxOp::Read { key, .. } | TxOp::Delete { key, .. } => self.reclaim_key(key),
+                TxOp::ReadRange { lo, hi, .. } => {
+                    self.reclaim_key(lo);
+                    self.reclaim_key(hi);
+                }
+                TxOp::Update { key, muts, .. } => {
+                    self.reclaim_key(key);
+                    self.reclaim_muts(muts);
+                }
+                TxOp::Insert { row, .. } => self.reclaim_values(row),
+                TxOp::Compute { .. } => {}
+            }
+        }
+        if ops.capacity() > 0 && self.ops.len() < POOL_OPS_CAP {
+            self.ops.push(ops);
+        }
+    }
+
+    fn reclaim_key(&mut self, key: Key) {
+        self.reclaim_values(key.into_values());
+    }
+
+    fn reclaim_values(&mut self, mut values: Vec<Value>) {
+        for v in values.drain(..) {
+            if let Value::Str(s) = v {
+                self.reclaim_string(s);
+            }
+        }
+        if values.capacity() > 0 && self.values.len() < POOL_PARTS_CAP {
+            self.values.push(values);
+        }
+    }
+
+    /// Returns a mutation list to the pool (e.g. from a dismantled op).
+    pub fn reclaim_muts(&mut self, mut muts: Vec<Mutation>) {
+        for m in muts.drain(..) {
+            if let MutOp::SetStr(s) = m.op {
+                self.reclaim_string(s);
+            }
+        }
+        if muts.capacity() > 0 && self.muts.len() < POOL_PARTS_CAP {
+            self.muts.push(muts);
+        }
+    }
+
+    fn reclaim_string(&mut self, mut s: String) {
+        if s.capacity() > 0 && self.strings.len() < POOL_PARTS_CAP {
+            s.clear();
+            self.strings.push(s);
+        }
+    }
+
+    /// An empty op vector for a program body.
+    pub fn ops(&mut self) -> Vec<TxOp> {
+        self.ops.pop().unwrap_or_default()
+    }
+
+    /// An empty value vector (row image or key storage).
+    pub fn values(&mut self) -> Vec<Value> {
+        self.values.pop().unwrap_or_default()
+    }
+
+    /// An empty mutation list.
+    pub fn muts(&mut self) -> Vec<Mutation> {
+        self.muts.pop().unwrap_or_default()
+    }
+
+    /// A string holding `content`.
+    pub fn string(&mut self, content: &str) -> String {
+        let mut s = self.strings.pop().unwrap_or_default();
+        s.push_str(content);
+        s
+    }
+
+    /// A single-integer key.
+    pub fn key1(&mut self, v: i64) -> Key {
+        let mut values = self.values();
+        values.push(Value::Int(v));
+        Key::from_values(values)
+    }
+
+    /// A two-integer key.
+    pub fn key2(&mut self, a: i64, b: i64) -> Key {
+        let mut values = self.values();
+        values.push(Value::Int(a));
+        values.push(Value::Int(b));
+        Key::from_values(values)
+    }
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -325,9 +460,10 @@ impl TxnClientTask {
         }
     }
 
-    /// Advances to the next op (or commit).
-    fn advance(&mut self, op: usize) -> Step {
-        let len = self.program.as_ref().map_or(0, |p| p.ops.len());
+    /// Advances to the next op (or commit). `len` is the program's op
+    /// count, passed explicitly because the program is moved out of `self`
+    /// while an op executes.
+    fn advance_with(&mut self, op: usize, len: usize) -> Step {
         if op + 1 < len {
             self.state = ClientState::InTxn {
                 op: op + 1,
@@ -365,7 +501,12 @@ impl SimTask for TxnClientTask {
         loop {
             match self.state {
                 ClientState::Start => {
-                    let program = self.generator.next_txn(ctx.rng());
+                    // Hand the previous program's storage back to the
+                    // generator for recycling before drawing the next one.
+                    let program = match self.program.take() {
+                        Some(spent) => self.generator.next_txn_reusing(ctx.rng(), spent),
+                        None => self.generator.next_txn(ctx.rng()),
+                    };
                     let txn = {
                         let mut db = self.db.borrow_mut();
                         let txn = db.begin_txn();
@@ -590,22 +731,21 @@ impl TxnClientTask {
     }
 
     fn exec_op(&mut self, op: usize, phase: Phase, ctx: &mut TaskCtx<'_>) -> Step {
-        let opspec = self
-            .program
-            .as_ref()
-            .expect("in txn")
-            .ops
-            .get(op)
-            .expect("op index valid")
-            .clone();
-        match opspec {
+        // Move the program out of `self` for the duration of the op so its
+        // spec can be *borrowed* instead of deep-cloned on every phase poll
+        // (the clone was the single largest allocation source in the OLTP
+        // hot loop). The program is put back before returning — aborts
+        // re-run the same program, so it must survive the op.
+        let program = self.program.take().expect("in txn");
+        let step = match program.ops.get(op).expect("op index valid") {
             TxOp::Compute { instructions } => {
-                // Single-phase op.
-                let _ = self.advance(op);
-                Step::Demand(Demand::Compute {
+                let instructions = *instructions;
+                let _ = self.advance_with(op, program.ops.len());
+                self.program = Some(program);
+                return Step::Demand(Demand::Compute {
                     instructions,
                     mem: MemProfile::new(),
-                })
+                });
             }
             TxOp::ReadRange {
                 table,
@@ -614,7 +754,18 @@ impl TxnClientTask {
                 hi,
                 limit,
                 model_rows,
-            } => self.exec_read_range(op, phase, table, index, &lo, &hi, limit, model_rows),
+            } => self.exec_read_range(
+                op,
+                phase,
+                *table,
+                *index,
+                lo,
+                hi,
+                *limit,
+                *model_rows,
+                program.ops.len(),
+                ctx,
+            ),
             TxOp::Read {
                 table,
                 index,
@@ -622,21 +773,24 @@ impl TxnClientTask {
                 lock,
                 for_update,
             } => {
-                let kind = if for_update {
+                let kind = if *for_update {
                     RowOpKind::ReadForUpdate
                 } else {
                     RowOpKind::Read
                 };
                 self.exec_rowop(
-                    op,
-                    phase,
-                    table,
-                    index,
-                    Some(&key),
-                    lock,
-                    kind,
-                    &[],
-                    None,
+                    OpCtx {
+                        op,
+                        phase,
+                        table: *table,
+                        index: *index,
+                        key: Some(key),
+                        lock: *lock,
+                        kind,
+                        muts: &[],
+                        insert_row: None,
+                        ops_len: program.ops.len(),
+                    },
                     ctx,
                 )
             }
@@ -647,15 +801,18 @@ impl TxnClientTask {
                 muts,
                 lock,
             } => self.exec_rowop(
-                op,
-                phase,
-                table,
-                index,
-                Some(&key),
-                lock,
-                RowOpKind::Update,
-                &muts,
-                None,
+                OpCtx {
+                    op,
+                    phase,
+                    table: *table,
+                    index: *index,
+                    key: Some(key),
+                    lock: *lock,
+                    kind: RowOpKind::Update,
+                    muts,
+                    insert_row: None,
+                    ops_len: program.ops.len(),
+                },
                 ctx,
             ),
             TxOp::Delete {
@@ -664,46 +821,53 @@ impl TxnClientTask {
                 key,
                 lock,
             } => self.exec_rowop(
-                op,
-                phase,
-                table,
-                index,
-                Some(&key),
-                lock,
-                RowOpKind::Delete,
-                &[],
-                None,
+                OpCtx {
+                    op,
+                    phase,
+                    table: *table,
+                    index: *index,
+                    key: Some(key),
+                    lock: *lock,
+                    kind: RowOpKind::Delete,
+                    muts: &[],
+                    insert_row: None,
+                    ops_len: program.ops.len(),
+                },
                 ctx,
             ),
             TxOp::Insert { table, row } => self.exec_rowop(
-                op,
-                phase,
-                table,
-                0,
-                None,
-                LockSpec::Diffuse,
-                RowOpKind::Insert,
-                &[],
-                Some(row),
+                OpCtx {
+                    op,
+                    phase,
+                    table: *table,
+                    index: 0,
+                    key: None,
+                    lock: LockSpec::Diffuse,
+                    kind: RowOpKind::Insert,
+                    muts: &[],
+                    insert_row: Some(row),
+                    ops_len: program.ops.len(),
+                },
                 ctx,
             ),
-        }
+        };
+        self.program = Some(program);
+        step
     }
 
-    #[allow(clippy::too_many_arguments)]
-    fn exec_rowop(
-        &mut self,
-        op: usize,
-        phase: Phase,
-        table: TableId,
-        index: usize,
-        key: Option<&Key>,
-        lock: LockSpec,
-        kind: RowOpKind,
-        muts: &[Mutation],
-        insert_row: Option<Row>,
-        ctx: &mut TaskCtx<'_>,
-    ) -> Step {
+    fn exec_rowop(&mut self, o: OpCtx<'_>, ctx: &mut TaskCtx<'_>) -> Step {
+        let OpCtx {
+            op,
+            phase,
+            table,
+            index,
+            key,
+            lock,
+            kind,
+            muts,
+            insert_row,
+            ops_len,
+        } = o;
         let is_write = !matches!(kind, RowOpKind::Read | RowOpKind::ReadForUpdate);
         match phase {
             Phase::Lock => {
@@ -711,7 +875,7 @@ impl TxnClientTask {
                 let rid = match key {
                     Some(k) => match self.resolve(table, index, k) {
                         Some(r) => Some(r),
-                        None => return self.advance(op), // missing key: no-op
+                        None => return self.advance_with(op, ops_len), // missing key: no-op
                     },
                     None => None,
                 };
@@ -876,7 +1040,7 @@ impl TxnClientTask {
                 // Apply the logical effect and charge the CPU work.
                 let (instructions, mem) = {
                     let mut db = self.db.borrow_mut();
-                    let mut mem = MemProfile::new();
+                    let mut mem = ctx.take_profile();
                     // Shared session state / plan cache / metadata.
                     mem.random(
                         db.session_region(),
@@ -907,9 +1071,8 @@ impl TxnClientTask {
                             if let Some(k) = key {
                                 let rid = db.table(table).indexes[index].btree.get(k).next();
                                 if let Some(rid) = rid {
-                                    let muts = muts.to_vec();
                                     let apply = |r: &mut Row| {
-                                        for m in &muts {
+                                        for m in muts {
                                             m.apply(r);
                                         }
                                     };
@@ -947,12 +1110,16 @@ impl TxnClientTask {
                         RowOpKind::Insert => {
                             instructions += cost.dml_row * (1 + n_indexes);
                             if let Some(row) = insert_row {
+                                // The program survives for abort re-runs, so
+                                // the stored row is cloned once here — at the
+                                // actual insertion — instead of on every
+                                // phase poll.
                                 if capture {
                                     let txn = self.txn.expect("txn open");
-                                    db.insert_row_logged(txn, table, row);
+                                    db.insert_row_logged(txn, table, row.clone());
                                     logged = true;
                                 } else {
-                                    db.insert_row(table, row);
+                                    db.insert_row(table, row.clone());
                                 }
                             }
                             if !logged {
@@ -962,7 +1129,7 @@ impl TxnClientTask {
                     }
                     (instructions, mem)
                 };
-                let _ = self.advance(op);
+                let _ = self.advance_with(op, ops_len);
                 Step::Demand(Demand::Compute { instructions, mem })
             }
         }
@@ -979,6 +1146,8 @@ impl TxnClientTask {
         hi: &Key,
         limit: usize,
         model_rows: u64,
+        ops_len: usize,
+        ctx: &mut TaskCtx<'_>,
     ) -> Step {
         match phase {
             Phase::Lock => {
@@ -987,17 +1156,17 @@ impl TxnClientTask {
                     let mut db = self.db.borrow_mut();
                     let t = db.table(table);
                     let idx = &t.indexes[index];
-                    let rids: Vec<RowId> = idx
-                        .btree
-                        .range(lo, hi)
-                        .take(limit)
-                        .map(|(_, rid)| rid)
-                        .collect();
-                    let rows = rids.len();
+                    let mut rows = 0usize;
+                    let mut first: Option<RowId> = None;
+                    for (_, rid) in idx.btree.range(lo, hi).take(limit) {
+                        if first.is_none() {
+                            first = Some(rid);
+                        }
+                        rows += 1;
+                    }
                     let total = idx.btree.len().max(1);
                     let frac = (rows as f64 / total as f64).clamp(0.0, 1.0);
-                    let start_frac = rids
-                        .first()
+                    let start_frac = first
                         .map(|r| (r.0 as f64 / t.heap.slot_count().max(1) as f64).clamp(0.0, 1.0))
                         .unwrap_or(0.0);
                     let (lstart, lpages) = idx.layout.leaf_scan_run(start_frac, frac.max(1e-9));
@@ -1025,8 +1194,7 @@ impl TxnClientTask {
                     let db = self.db.borrow();
                     let t = db.table(table);
                     let idx = &t.indexes[index];
-                    let _ = idx.btree.range(lo, hi).take(limit).count();
-                    let mut mem = MemProfile::new();
+                    let mut mem = ctx.take_profile();
                     mem.random(
                         db.session_region(),
                         db.cost.session_footprint_bytes,
@@ -1041,7 +1209,7 @@ impl TxnClientTask {
                         mem,
                     )
                 };
-                let _ = self.advance(op);
+                let _ = self.advance_with(op, ops_len);
                 Step::Demand(Demand::Compute { instructions, mem })
             }
             _ => {
@@ -1063,4 +1231,20 @@ enum RowOpKind {
     Update,
     Delete,
     Insert,
+}
+
+/// Per-op execution context: the op's spec fields, borrowed from the
+/// program (which is moved out of `self` while the op executes) so no
+/// phase poll ever clones the spec.
+struct OpCtx<'a> {
+    op: usize,
+    phase: Phase,
+    table: TableId,
+    index: usize,
+    key: Option<&'a Key>,
+    lock: LockSpec,
+    kind: RowOpKind,
+    muts: &'a [Mutation],
+    insert_row: Option<&'a Row>,
+    ops_len: usize,
 }

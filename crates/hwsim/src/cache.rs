@@ -87,24 +87,29 @@ impl CatMask {
 /// The probe loop is the simulator's single hottest path (tens of millions
 /// of probes per run) and workloads hit well over 90% of the time, so the
 /// layout is tuned for the hit scan: each `[set][way]` slot carries a
-/// 64-bit *filter tag* (a salted mix of region id and line group, low bit
-/// forced to 1 so that 0 can mean "invalid") in one contiguous array,
-/// scanned branchlessly; the exact group/region/stamp live in parallel
-/// arrays touched only to verify the single candidate the filter yields
-/// and on miss fills. A stamp of 0 means the slot is invalid (the clock
-/// starts at 1), which lets the victim scan fold "invalid first" into
-/// plain strict-less LRU.
+/// 32-bit *filter tag* (the low half of the line signature, low bit forced
+/// to 1 so that 0 can mean "invalid") in one contiguous array narrow
+/// enough to scan with plain SSE2-width compares, plus the full 64-bit
+/// signature and an LRU stamp in parallel arrays touched only to confirm
+/// the filter's candidates and on miss fills. The 64-bit signature is
+/// authoritative: a signature match *is* a hit. Distinct lines collide
+/// with probability ~2^-64 per resident pair — orders of magnitude below
+/// the set-sampling error the model already accepts — and the mix is a
+/// fixed pure function of the inputs, so runs remain exactly
+/// deterministic and platform-independent. (32-bit filter false
+/// positives, at ~2^-32 per slot, do happen once in a few hundred million
+/// probes; they cost one extra signature load and change nothing.)
+///
+/// A stamp of 0 means the slot is invalid (the clock starts at 1), which
+/// lets the victim scan fold "invalid first" into plain strict-less LRU.
 #[derive(Debug, Clone)]
 struct LlcSocket {
-    /// Filter tag per `[set][way]`: `mix(region, group) | 1`, or 0 when the
-    /// slot is invalid. Equal (region, group) pairs always produce equal
-    /// tags, so a probe whose tag matches nothing is a guaranteed miss; a
-    /// tag match is confirmed against the exact arrays below.
-    tags: Vec<u64>,
-    /// Line group (line index / simulated sets) per `[set][way]`.
-    groups: Vec<u64>,
-    /// Owning region id per `[set][way]`.
-    regions: Vec<u64>,
+    /// Filter tag per `[set][way]`: `line_sig(region, group) as u32`, or 0
+    /// when the slot is invalid. A signature's filter tag is never 0 (the
+    /// signature's low bit is 1), so 0 cannot false-positive.
+    tags: Vec<u32>,
+    /// Full line signature per `[set][way]`; confirms filter candidates.
+    sigs: Vec<u64>,
     /// LRU stamps per `[set][way]`; 0 = invalid.
     stamps: Vec<u64>,
     ways: usize,
@@ -115,21 +120,59 @@ struct LlcSocket {
     clock: u64,
 }
 
-/// Mixes a region id and line group into a filter tag. Any odd multiplier
-/// works; this is splitmix64's, chosen for diffusion. Determinism only
-/// needs the function to be fixed; correctness only needs it to be a
-/// function (equal inputs, equal tags) since matches are verified exactly.
+/// Mixes a region id and line group into a line signature. The multiplier
+/// is splitmix64's, chosen for diffusion; the rotate keeps region and
+/// group bits from cancelling. Determinism needs the function to be fixed;
+/// correctness needs equal inputs to give equal signatures and distinct
+/// inputs to collide only negligibly (see [`LlcSocket`]).
 #[inline]
-fn filter_tag(region: u64, group: u64) -> u64 {
+fn line_sig(region: u64, group: u64) -> u64 {
     (group ^ region.rotate_left(23)).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+/// Returns a bitmask with bit `w` set iff `tags[w] == needle`. The probe
+/// loop's filter scan: on x86-64 this compiles to baseline-SSE2 compare +
+/// movemask, four ways per instruction pair (the autovectorizer turns the
+/// equivalent scalar shift-accumulate loop into a far slower per-lane
+/// variable-shift sequence, hence the explicit intrinsics). The result is
+/// a pure function of the inputs either way, so platforms and fallbacks
+/// agree bit-for-bit.
+#[inline(always)]
+fn filter_matches(tags: &[u32], needle: u32) -> u64 {
+    let mut mask = 0u64;
+    let mut w = 0;
+    #[cfg(target_arch = "x86_64")]
+    {
+        use core::arch::x86_64::{
+            __m128i, _mm_castsi128_ps, _mm_cmpeq_epi32, _mm_loadu_si128, _mm_movemask_ps,
+            _mm_set1_epi32,
+        };
+        // SAFETY: SSE2 is part of the x86-64 baseline, and every 16-byte
+        // load stays within `tags` (w + 4 <= len).
+        unsafe {
+            let nd = _mm_set1_epi32(needle as i32);
+            while w + 4 <= tags.len() {
+                let v = _mm_loadu_si128(tags.as_ptr().add(w) as *const __m128i);
+                let eq = _mm_movemask_ps(_mm_castsi128_ps(_mm_cmpeq_epi32(v, nd)));
+                mask |= (eq as u64) << w;
+                w += 4;
+            }
+        }
+    }
+    while w < tags.len() {
+        mask |= ((tags[w] == needle) as u64) << w;
+        w += 1;
+    }
+    mask
 }
 
 impl LlcSocket {
     fn new(sim_sets: usize, ways: usize) -> Self {
+        // MAX_WAYS <= 64 keeps the probe scans' per-way bitmasks in a u64.
+        assert!((1..=MAX_WAYS).contains(&ways), "way count out of range");
         LlcSocket {
             tags: vec![0; sim_sets * ways],
-            groups: vec![0; sim_sets * ways],
-            regions: vec![0; sim_sets * ways],
+            sigs: vec![0; sim_sets * ways],
             stamps: vec![0; sim_sets * ways],
             ways,
             mask: CatMask::contiguous(ways as u32),
@@ -144,58 +187,59 @@ impl LlcSocket {
     }
 
     /// Invalidates every line (stamp 0, tag 0); the clock keeps running.
+    /// Stale signatures are unreachable once the filter tags are zeroed (a
+    /// live signature's filter is never 0), but clearing them keeps the
+    /// state trivially inspectable.
     fn invalidate_all(&mut self) {
         self.tags.fill(0);
+        self.sigs.fill(0);
         self.stamps.fill(0);
     }
 
     /// Probes one line; returns `true` on hit. On miss, fills into the LRU
     /// way among the masked ways.
     ///
-    /// Behaviorally identical to the historical AoS scan. Hit: a valid slot
-    /// with equal region and group — found by a branchless scan of the
-    /// filter tags (at most one slot can verify: the same line is never
-    /// resident twice, since fills happen only on miss), confirmed against
-    /// the exact arrays, with a full exact rescan on the
-    /// vanishingly-rare filter collision. Victim: the first invalid masked
-    /// way if any, else the first masked way with the strictly smallest
-    /// stamp — exactly what strict-less argmin over stamps yields when
-    /// invalid slots carry stamp 0.
-    #[inline]
+    /// Hit: a slot whose 64-bit signature matches (at most one can: the
+    /// same line is never resident twice, since fills happen only on miss,
+    /// and distinct lines collide only negligibly — see [`LlcSocket`]).
+    /// Candidates come from a branchless bitmask scan of the narrow filter
+    /// tags: bit `w` is set iff way `w`'s filter matches, which vectorizes
+    /// to plain 32-bit SIMD compares (`MAX_WAYS` <= 64 keeps the mask in a
+    /// u64). Victim: the first invalid masked way if any, else the first
+    /// masked way with the strictly smallest stamp — exactly what
+    /// strict-less argmin over stamps yields when invalid slots carry
+    /// stamp 0.
+    /// Inlined into [`Llc::access`]'s probe loops: the call overhead and
+    /// re-derived slice setup are measurable at hundreds of millions of
+    /// probes per run, and inlining lets the loops keep `ways`/`clock` in
+    /// registers.
+    #[inline(always)]
     fn probe(&mut self, set: usize, region: u64, group: u64) -> bool {
         self.clock += 1;
-        let tag = filter_tag(region, group);
+        let sig = line_sig(region, group);
         let base = set * self.ways;
-        let tags = &self.tags[base..base + self.ways];
-        // Branchless candidate scan: no early exit, no per-way branch to
-        // mispredict. Keeping the *last* match is fine — if the kept
-        // candidate fails verification while a true hit exists at another
-        // way, the exact rescan below still finds it.
-        let mut cand = usize::MAX;
-        for (w, &t) in tags.iter().enumerate() {
-            if t == tag {
-                cand = w;
-            }
-        }
-        if cand != usize::MAX {
-            if self.groups[base + cand] == group && self.regions[base + cand] == region {
-                debug_assert!(self.stamps[base + cand] != 0, "tagged slot must be valid");
-                self.stamps[base + cand] = self.clock;
-                return true;
-            }
-            // Filter collision (two distinct lines mixed to the same tag):
-            // fall back to the exact scan the filter replaces.
-            for w in 0..self.ways {
-                if self.groups[base + w] == group
-                    && self.regions[base + w] == region
-                    && self.stamps[base + w] != 0
-                {
-                    self.stamps[base + w] = self.clock;
+        // SAFETY: callers derive `set` from `split`, which reduces modulo
+        // `sim_sets`, and the three arrays are built as `sim_sets * ways`
+        // entries and never resized — `base + ways` is always in bounds.
+        let tags = unsafe { self.tags.get_unchecked(base..base + self.ways) };
+        let mut matches = filter_matches(tags, sig as u32);
+        while matches != 0 {
+            let cand = base + matches.trailing_zeros() as usize;
+            // One resident line can match the 32-bit filter without being
+            // the probed line (~2^-32 per slot); confirm on the full
+            // signature and keep scanning candidates on the rare mismatch.
+            // SAFETY: `cand < base + ways`, in bounds as above.
+            unsafe {
+                if *self.sigs.get_unchecked(cand) == sig {
+                    debug_assert!(self.stamps[cand] != 0, "tagged slot must be valid");
+                    *self.stamps.get_unchecked_mut(cand) = self.clock;
                     return true;
                 }
             }
+            matches &= matches - 1;
         }
-        let stamps = &self.stamps[base..base + self.ways];
+        // SAFETY: same bound as the tag slice above.
+        let stamps = unsafe { self.stamps.get_unchecked(base..base + self.ways) };
         let mut victim = 0usize;
         let mut oldest = u64::MAX;
         if self.mask_full {
@@ -221,9 +265,8 @@ impl LlcSocket {
             }
             debug_assert!(victim != usize::MAX, "CAT mask guarantees at least one way");
         }
-        self.tags[base + victim] = tag;
-        self.groups[base + victim] = group;
-        self.regions[base + victim] = region;
+        self.tags[base + victim] = sig as u32;
+        self.sigs[base + victim] = sig;
         self.stamps[base + victim] = self.clock;
         false
     }
@@ -497,9 +540,14 @@ impl Llc {
         // sampled streams evict hot lines that survive in reality.
         let total_real: u64 = plans.iter().map(|p| p.real_count).sum::<u64>().max(1);
         let budget = self.calib.probe_cap * 2;
-        for p in plans.iter_mut() {
-            let share = ((budget as u128 * p.real_count as u128) / total_real as u128) as u64;
-            p.probes = p.probes.min(share.max(8));
+        // A single pattern owns the whole budget (`share == budget >=
+        // probe_cap >= probes`), so the division can never bind — skip it
+        // rather than pay a u128 divide on the commonest call shape.
+        if plans.len() > 1 {
+            for p in plans.iter_mut() {
+                let share = ((budget as u128 * p.real_count as u128) / total_real as u128) as u64;
+                p.probes = p.probes.min(share.max(8));
+            }
         }
         // Interleave: always advance the pattern that is furthest behind
         // its proportional position, i.e. the one minimizing
@@ -518,8 +566,8 @@ impl Llc {
         // capped at `2 * probe_cap` (far below 2^26 for every
         // calibration), so the bound applies and the u64 cross products
         // below cannot overflow (2^26 * 2^26 = 2^52).
-        let sock = &mut self.sockets[socket];
         let total_probes: u64 = plans.iter().map(|p| p.probes).sum();
+        let sock = &mut self.sockets[socket];
         // The set index / tag-group split is a div/mod by `sim_sets`; every
         // shipping calibration makes it a power of two, so strength-reduce
         // to mask/shift in that case (bit-identical quotients).
@@ -610,7 +658,20 @@ impl Llc {
                 }
             }
         } else {
-            for _ in 0..total_probes {
+            // Few patterns: the greedy pick is computed per *run*, not per
+            // probe. Once plan `i` wins the selection scan, it keeps
+            // winning until its fraction passes the runner-up's, and that
+            // run length is computable in closed form: `i` stays the pick
+            // while `(issued_i + m) * probes_j < issued_j * probes_i` for
+            // every j < i (strict: the scan keeps the earlier index) and
+            // `<=` for every j > i. Issuing the whole run back to back is
+            // therefore *identical* to re-scanning per probe — same probe
+            // order, same rng draws — but hoists the selection scan and
+            // the pattern-kind dispatch out of the probe loop. Exhausted
+            // plans (issued == probes, fraction 1) never bind: a live
+            // pick's fraction stays below 1 through its last probe.
+            let mut remaining = total_probes;
+            while remaining > 0 {
                 let mut next = usize::MAX;
                 let mut best = (0u64, 1u64); // (issued, probes) of `next`
                 for (i, p) in plans.iter().enumerate() {
@@ -623,20 +684,55 @@ impl Llc {
                     }
                 }
                 assert!(next != usize::MAX, "unfinished plan exists");
-                let plan = &mut plans[next];
-                let line = match &mut plan.kind {
-                    PlanKind::Stream { next_line } => {
-                        let l = *next_line;
-                        *next_line = next_line.wrapping_add(1);
-                        l
+                let (pi, pp) = best;
+                let mut run = pp - pi;
+                for (j, q) in plans.iter().enumerate() {
+                    if j == next {
+                        continue;
                     }
-                    PlanKind::Random { scaled_lines } => rng.next_below(*scaled_lines),
-                };
-                let (set, group) = split(line);
-                if sock.probe(set, plan.region.id(), group) {
-                    plan.sampled_hits += 1;
+                    // Largest extra issue count m that keeps `next` ahead
+                    // of plan j; saturation only fires in states the
+                    // greedy invariant excludes, and degrades to run
+                    // length 1 (the unbatched schedule) if it ever did.
+                    let cross = q.issued * pp;
+                    let m = if j < next {
+                        cross
+                            .div_ceil(q.probes)
+                            .saturating_sub(1)
+                            .saturating_sub(pi)
+                    } else {
+                        (cross / q.probes).saturating_sub(pi)
+                    };
+                    run = run.min(m + 1);
                 }
-                plan.issued += 1;
+                let plan = &mut plans[next];
+                let region = plan.region.id();
+                let mut hits = 0u64;
+                match &mut plan.kind {
+                    PlanKind::Stream { next_line } => {
+                        let mut line = *next_line;
+                        for _ in 0..run {
+                            let (set, group) = split(line);
+                            if sock.probe(set, region, group) {
+                                hits += 1;
+                            }
+                            line = line.wrapping_add(1);
+                        }
+                        *next_line = line;
+                    }
+                    PlanKind::Random { scaled_lines } => {
+                        let scaled_lines = *scaled_lines;
+                        for _ in 0..run {
+                            let (set, group) = split(rng.next_below(scaled_lines));
+                            if sock.probe(set, region, group) {
+                                hits += 1;
+                            }
+                        }
+                    }
+                }
+                plan.sampled_hits += hits;
+                plan.issued += run;
+                remaining -= run;
             }
         }
         // Extrapolate per pattern.

@@ -203,6 +203,16 @@ pub struct Kernel {
     dispatched: u64,
     /// Set once the configured crash point fires; no further events run.
     halted: bool,
+    /// Recycled demand-profile buffers: when a compute burst retires, its
+    /// [`MemProfile`] is cleared and parked here instead of freed, and
+    /// tasks pull from the pool via [`TaskCtx::take_profile`]. Keeps the
+    /// per-demand pattern vector off the allocator on the hot path.
+    profile_pool: Vec<MemProfile>,
+    /// Scratch for [`Kernel::poll_task`]'s wake list, recycled across
+    /// polls so wake-heavy workloads don't allocate per poll.
+    wake_scratch: Vec<TaskId>,
+    /// Scratch for [`Kernel::poll_task`]'s spawn list, recycled likewise.
+    spawn_scratch: Vec<Box<dyn SimTask>>,
 }
 
 impl Kernel {
@@ -243,6 +253,9 @@ impl Kernel {
             partition_busy: Vec::new(),
             dispatched: 0,
             halted: false,
+            profile_pool: Vec::new(),
+            wake_scratch: Vec::new(),
+            spawn_scratch: Vec::new(),
             cfg,
         };
         let first_sample = kernel.now + kernel.cfg.sample_interval;
@@ -534,14 +547,19 @@ impl Kernel {
             .take()
             .expect("task present when polled");
         let io_failed = std::mem::take(&mut self.tasks[id.0].io_error);
-        let mut wakes = Vec::new();
-        let mut spawns = Vec::new();
+        // Recycled scratch: `handle_step` below may re-enter task polling
+        // paths, so the lists are moved out for the duration and returned
+        // (cleared) afterwards; a nested poll simply starts from fresh
+        // empty vectors.
+        let mut wakes = std::mem::take(&mut self.wake_scratch);
+        let mut spawns = std::mem::take(&mut self.spawn_scratch);
         let step = {
             let mut ctx = TaskCtx {
                 now: self.now,
                 rng: &mut self.rng,
                 wakes: &mut wakes,
                 spawns: &mut spawns,
+                profile_pool: &mut self.profile_pool,
                 self_id: id,
                 ssd_read_backlog: self.ssd.read_backlog(self.now),
                 io_failed,
@@ -550,12 +568,14 @@ impl Kernel {
         };
         self.tasks[id.0].task = Some(task);
         self.handle_step(id, step);
-        for w in wakes {
+        for w in wakes.drain(..) {
             self.wake(w);
         }
-        for s in spawns {
+        for s in spawns.drain(..) {
             self.spawn(s);
         }
+        self.wake_scratch = wakes;
+        self.spawn_scratch = spawns;
     }
 
     /// Wakes a task blocked on [`Demand::Block`]; wakes aimed at a task
@@ -588,7 +608,9 @@ impl Kernel {
     fn handle_demand(&mut self, id: TaskId, demand: Demand) {
         match demand {
             Demand::Compute { instructions, mem } => {
-                if !self.try_start_burst(id, instructions, &mem) {
+                if self.try_start_burst(id, instructions, &mem) {
+                    self.recycle_profile(mem);
+                } else {
                     self.tasks[id.0].state = TState::WaitingCore {
                         instructions,
                         mem,
@@ -648,6 +670,17 @@ impl Kernel {
                 self.tasks[id.0].state = TState::Runnable;
                 self.push(self.now, EventKind::poll(id));
             }
+        }
+    }
+
+    /// Parks a retired burst's profile buffer for reuse by
+    /// [`TaskCtx::take_profile`]. Zero-capacity profiles (pure-compute
+    /// bursts) are dropped rather than pooled, and the pool is bounded so
+    /// a spawn-heavy phase cannot hoard memory.
+    fn recycle_profile(&mut self, mut mem: MemProfile) {
+        if mem.capacity() > 0 && self.profile_pool.len() < 256 {
+            mem.clear();
+            self.profile_pool.push(mem);
         }
     }
 
@@ -721,6 +754,7 @@ impl Kernel {
                         self.waits
                             .add(WaitClass::Core, self.now.saturating_since(since));
                         self.run_queue.pop_front();
+                        self.recycle_profile(mem);
                     } else {
                         self.tasks[next.0].state = TState::WaitingCore {
                             instructions,

@@ -141,6 +141,16 @@ impl MemProfile {
     pub fn extend_from(&mut self, other: &MemProfile) {
         self.patterns.extend_from_slice(&other.patterns);
     }
+
+    /// Drops all patterns, keeping the buffer's capacity for reuse.
+    pub fn clear(&mut self) {
+        self.patterns.clear();
+    }
+
+    /// Pattern slots the profile can hold without reallocating.
+    pub fn capacity(&self) -> usize {
+        self.patterns.capacity()
+    }
 }
 
 /// Outcome of running a memory profile through the cache model.

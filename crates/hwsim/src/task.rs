@@ -202,6 +202,7 @@ pub struct TaskCtx<'a> {
     pub(crate) rng: &'a mut SimRng,
     pub(crate) wakes: &'a mut Vec<TaskId>,
     pub(crate) spawns: &'a mut Vec<Box<dyn SimTask>>,
+    pub(crate) profile_pool: &'a mut Vec<crate::mem::MemProfile>,
     pub(crate) self_id: TaskId,
     pub(crate) ssd_read_backlog: SimDuration,
     pub(crate) io_failed: bool,
@@ -221,6 +222,15 @@ impl<'a> TaskCtx<'a> {
     /// The id of the task being polled.
     pub fn self_id(&self) -> TaskId {
         self.self_id
+    }
+
+    /// Returns an empty [`MemProfile`], reusing a
+    /// buffer recycled from a retired compute burst when one is pooled.
+    /// Demand-heavy tasks should build their profiles from this instead of
+    /// `MemProfile::new()` so the pattern vectors cycle through the
+    /// kernel's pool rather than the allocator.
+    pub fn take_profile(&mut self) -> crate::mem::MemProfile {
+        self.profile_pool.pop().unwrap_or_default()
     }
 
     /// How far the device's read channel is currently backlogged — the

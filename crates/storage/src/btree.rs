@@ -187,16 +187,22 @@ impl BTree {
 
     /// Iterates entries with key `>= key`, in key order.
     pub fn seek<'a>(&'a self, key: &'a Key) -> Cursor<'a> {
-        let probe = (key.clone(), RowId(0));
+        // Entries compare as `(Key, RowId)` pairs; descending against the
+        // implied probe `(key, RowId(0))` with borrowed comparisons keeps
+        // point lookups allocation-free (no probe key is materialized).
         let mut idx = self.root;
         loop {
             match &self.nodes[idx] {
                 Node::Internal { seps, children } => {
-                    let ci = seps.partition_point(|s| *s <= probe);
+                    let ci = seps.partition_point(|s| match s.0.cmp(key) {
+                        std::cmp::Ordering::Less => true,
+                        std::cmp::Ordering::Equal => s.1 == RowId(0),
+                        std::cmp::Ordering::Greater => false,
+                    });
                     idx = children[ci];
                 }
                 Node::Leaf { entries, .. } => {
-                    let pos = entries.partition_point(|e| *e < probe);
+                    let pos = entries.partition_point(|e| e.0.cmp(key).is_lt());
                     return Cursor {
                         tree: self,
                         leaf: Some(idx),

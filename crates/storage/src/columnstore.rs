@@ -352,12 +352,19 @@ impl ColumnStore {
                     continue;
                 }
             }
-            let cols: Vec<Vec<Value>> = (0..self.schema.len())
-                .map(|c| group.segment(c).decode())
+            // Rows are assembled by *moving* values out of the decoded
+            // columns (one decode clone per value, not two) — string-heavy
+            // schemas would otherwise double their allocation traffic here.
+            let mut cols: Vec<std::vec::IntoIter<Value>> = (0..self.schema.len())
+                .map(|c| group.segment(c).decode().into_iter())
                 .collect();
             for i in 0..group.rows() {
+                let row: Row = cols
+                    .iter_mut()
+                    .map(|col| col.next().expect("segment rows match group rows"))
+                    .collect();
                 if !self.deleted.contains(&self.group_rids[g][i]) {
-                    out.push(cols.iter().map(|col| col[i].clone()).collect());
+                    out.push(row);
                 }
             }
         }

@@ -81,6 +81,7 @@ fn promote_waiters(
     entry: &mut LockEntry,
     key: LockKey,
     held_by_txn: &mut FxHashMap<TxnId, Vec<LockKey>>,
+    keys_pool: &mut Vec<Vec<LockKey>>,
     woken: &mut Vec<TaskId>,
 ) {
     while let Some(&(wtxn, wtask, wmode)) = entry.waiters.front() {
@@ -98,7 +99,10 @@ fn promote_waiters(
             Some(pos) => entry.holders[pos].1 = wmode,
             None => {
                 entry.holders.push((wtxn, wmode));
-                held_by_txn.entry(wtxn).or_default().push(key);
+                held_by_txn
+                    .entry(wtxn)
+                    .or_insert_with(|| keys_pool.pop().unwrap_or_default())
+                    .push(key);
             }
         }
         woken.push(wtask);
@@ -124,14 +128,43 @@ fn promote_waiters(
 pub struct LockManager {
     locks: FxHashMap<LockKey, LockEntry>,
     held_by_txn: FxHashMap<TxnId, Vec<LockKey>>,
+    /// Free list of retired lock entries. Hot resources cycle through the
+    /// table constantly under strict 2PL (an entry dies whenever its last
+    /// holder commits), so recycled holder/waiter buffers keep the steady
+    /// state allocation-free.
+    entry_pool: Vec<LockEntry>,
+    /// Free list of retired per-transaction key lists.
+    keys_pool: Vec<Vec<LockKey>>,
     grants: u64,
     waits: u64,
 }
+
+/// Bound on both free lists; past this, retired buffers drop normally.
+const LOCK_POOL_CAP: usize = 256;
 
 impl LockManager {
     /// Creates an empty lock manager.
     pub fn new() -> Self {
         LockManager::default()
+    }
+
+    /// Retires `entry`'s buffers into the free list.
+    fn recycle_entry(&mut self, mut entry: LockEntry) {
+        if (entry.holders.capacity() > 0 || entry.waiters.capacity() > 0)
+            && self.entry_pool.len() < LOCK_POOL_CAP
+        {
+            entry.holders.clear();
+            entry.waiters.clear();
+            self.entry_pool.push(entry);
+        }
+    }
+
+    /// Retires a per-transaction key list into the free list.
+    fn recycle_keys(&mut self, mut keys: Vec<LockKey>) {
+        if keys.capacity() > 0 && self.keys_pool.len() < LOCK_POOL_CAP {
+            keys.clear();
+            self.keys_pool.push(keys);
+        }
     }
 
     /// Requests `key` in `mode` for `txn` (running as `task`).
@@ -143,7 +176,11 @@ impl LockManager {
     /// deadlock-free, transactions that will write a resource must take
     /// `U` or `X` on first touch (SQL Server's update-lock discipline).
     pub fn acquire(&mut self, txn: TxnId, task: TaskId, key: LockKey, mode: LockMode) -> LockReq {
-        let entry = self.locks.entry(key).or_default();
+        let entry_pool = &mut self.entry_pool;
+        let entry = self
+            .locks
+            .entry(key)
+            .or_insert_with(|| entry_pool.pop().unwrap_or_default());
         // Re-entrancy and upgrade.
         if let Some(pos) = entry.holders.iter().position(|(t, _)| *t == txn) {
             let held = entry.holders[pos].1;
@@ -171,7 +208,11 @@ impl LockManager {
             entry.waiters.is_empty() && entry.holders.iter().all(|(_, held)| held.compatible(mode));
         if compatible {
             entry.holders.push((txn, mode));
-            self.held_by_txn.entry(txn).or_default().push(key);
+            let keys_pool = &mut self.keys_pool;
+            self.held_by_txn
+                .entry(txn)
+                .or_insert_with(|| keys_pool.pop().unwrap_or_default())
+                .push(key);
             self.grants += 1;
             LockReq::Granted
         } else {
@@ -187,16 +228,25 @@ impl LockManager {
     pub fn release_all(&mut self, txn: TxnId) -> Vec<TaskId> {
         let mut woken = Vec::new();
         let keys = self.held_by_txn.remove(&txn).unwrap_or_default();
-        for key in keys {
+        for &key in &keys {
             let Some(entry) = self.locks.get_mut(&key) else {
                 continue;
             };
             entry.holders.retain(|(t, _)| *t != txn);
-            promote_waiters(entry, key, &mut self.held_by_txn, &mut woken);
+            promote_waiters(
+                entry,
+                key,
+                &mut self.held_by_txn,
+                &mut self.keys_pool,
+                &mut woken,
+            );
             if entry.holders.is_empty() && entry.waiters.is_empty() {
-                self.locks.remove(&key);
+                if let Some(entry) = self.locks.remove(&key) {
+                    self.recycle_entry(entry);
+                }
             }
         }
+        self.recycle_keys(keys);
         woken
     }
 
@@ -217,9 +267,17 @@ impl LockManager {
                 continue;
             };
             entry.waiters.retain(|&(t, k, _)| !(t == txn && k == task));
-            promote_waiters(entry, key, &mut self.held_by_txn, &mut woken);
+            promote_waiters(
+                entry,
+                key,
+                &mut self.held_by_txn,
+                &mut self.keys_pool,
+                &mut woken,
+            );
             if entry.holders.is_empty() && entry.waiters.is_empty() {
-                self.locks.remove(&key);
+                if let Some(entry) = self.locks.remove(&key) {
+                    self.recycle_entry(entry);
+                }
             }
         }
         woken

@@ -168,6 +168,11 @@ impl Key {
         &self.0
     }
 
+    /// Consumes the key, returning its value buffer (for storage reuse).
+    pub fn into_values(self) -> Vec<Value> {
+        self.0
+    }
+
     /// Approximate key byte size for physical sizing.
     pub fn byte_size(&self) -> u64 {
         self.0.iter().map(Value::byte_size).sum()

@@ -224,6 +224,9 @@ pub struct Wal {
     durable_lsn: u64,
     /// Highest LSN submitted for flush (covers in-flight ranges).
     submitted_lsn: u64,
+    /// Reusable record-encoding buffer for [`Wal::append_record`]; always
+    /// left empty-capacity-retained between appends.
+    encode_scratch: Vec<u8>,
 }
 
 impl Wal {
@@ -282,7 +285,8 @@ impl Wal {
     pub fn append_record(&mut self, rec: &WalRecord, modeled_bytes: u64) -> Lsn {
         assert!(self.capture, "append_record requires capture mode");
         let lsn = self.append(modeled_bytes);
-        let payload = encode_record(rec);
+        let mut payload = std::mem::take(&mut self.encode_scratch);
+        encode_record_into(rec, &mut payload);
         self.chain = chain_checksum(self.chain, lsn.0, &payload);
         self.image.extend_from_slice(&FRAME_MAGIC.to_le_bytes());
         self.image
@@ -290,6 +294,7 @@ impl Wal {
         self.image.extend_from_slice(&lsn.0.to_le_bytes());
         self.image.extend_from_slice(&self.chain.to_le_bytes());
         self.image.extend_from_slice(&payload);
+        self.encode_scratch = payload;
         lsn
     }
 
@@ -513,12 +518,25 @@ fn put_row(out: &mut Vec<u8>, row: &Row) {
     }
 }
 
-fn encode_record(rec: &WalRecord) -> Vec<u8> {
+/// Encodes `rec` into a fresh buffer: the reference encoding. Equivalent
+/// to [`encode_record_into`] on an empty buffer (a property test holds the
+/// two to byte identity).
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
     let mut out = Vec::with_capacity(32);
+    encode_record_into(rec, &mut out);
+    out
+}
+
+/// Encodes `rec` into `out`, replacing its contents. [`Wal::append_record`]
+/// funnels every record through one such buffer per log, so steady-state
+/// encoding costs no allocations once the buffer has grown to the largest
+/// record seen.
+pub fn encode_record_into(rec: &WalRecord, out: &mut Vec<u8>) {
+    out.clear();
     match rec {
         WalRecord::Begin { txn } => {
             out.push(0);
-            put_u64(&mut out, *txn);
+            put_u64(out, *txn);
         }
         WalRecord::Insert {
             txn,
@@ -527,10 +545,10 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             row,
         } => {
             out.push(1);
-            put_u64(&mut out, *txn);
-            put_u32(&mut out, *table);
-            put_u64(&mut out, *rid);
-            put_row(&mut out, row);
+            put_u64(out, *txn);
+            put_u32(out, *table);
+            put_u64(out, *rid);
+            put_row(out, row);
         }
         WalRecord::Update {
             txn,
@@ -540,11 +558,11 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             after,
         } => {
             out.push(2);
-            put_u64(&mut out, *txn);
-            put_u32(&mut out, *table);
-            put_u64(&mut out, *rid);
-            put_row(&mut out, before);
-            put_row(&mut out, after);
+            put_u64(out, *txn);
+            put_u32(out, *table);
+            put_u64(out, *rid);
+            put_row(out, before);
+            put_row(out, after);
         }
         WalRecord::Delete {
             txn,
@@ -553,18 +571,18 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             row,
         } => {
             out.push(3);
-            put_u64(&mut out, *txn);
-            put_u32(&mut out, *table);
-            put_u64(&mut out, *rid);
-            put_row(&mut out, row);
+            put_u64(out, *txn);
+            put_u32(out, *table);
+            put_u64(out, *rid);
+            put_row(out, row);
         }
         WalRecord::Commit { txn } => {
             out.push(4);
-            put_u64(&mut out, *txn);
+            put_u64(out, *txn);
         }
         WalRecord::Abort { txn } => {
             out.push(5);
-            put_u64(&mut out, *txn);
+            put_u64(out, *txn);
         }
         WalRecord::Clr {
             txn,
@@ -574,19 +592,19 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             action,
         } => {
             out.push(6);
-            put_u64(&mut out, *txn);
-            put_u64(&mut out, *undo_of);
-            put_u32(&mut out, *table);
-            put_u64(&mut out, *rid);
+            put_u64(out, *txn);
+            put_u64(out, *undo_of);
+            put_u32(out, *table);
+            put_u64(out, *rid);
             match action {
                 ClrAction::Remove => out.push(0),
                 ClrAction::Reinsert { row } => {
                     out.push(1);
-                    put_row(&mut out, row);
+                    put_row(out, row);
                 }
                 ClrAction::SetTo { row } => {
                     out.push(2);
-                    put_row(&mut out, row);
+                    put_row(out, row);
                 }
             }
         }
@@ -595,35 +613,34 @@ fn encode_record(rec: &WalRecord) -> Vec<u8> {
             dirty_pages,
         } => {
             out.push(7);
-            put_u32(&mut out, active_txns.len() as u32);
+            put_u32(out, active_txns.len() as u32);
             for t in active_txns {
-                put_u64(&mut out, *t);
+                put_u64(out, *t);
             }
-            put_u32(&mut out, dirty_pages.len() as u32);
+            put_u32(out, dirty_pages.len() as u32);
             for (p, l) in dirty_pages {
-                put_u64(&mut out, *p);
-                put_u64(&mut out, *l);
+                put_u64(out, *p);
+                put_u64(out, *l);
             }
         }
         WalRecord::Prepare { txn, coordinator } => {
             out.push(8);
-            put_u64(&mut out, *txn);
-            put_u32(&mut out, *coordinator);
+            put_u64(out, *txn);
+            put_u32(out, *coordinator);
         }
         WalRecord::CoordCommit { txn, participants } => {
             out.push(9);
-            put_u64(&mut out, *txn);
-            put_u32(&mut out, participants.len() as u32);
+            put_u64(out, *txn);
+            put_u32(out, participants.len() as u32);
             for p in participants {
-                put_u32(&mut out, *p);
+                put_u32(out, *p);
             }
         }
         WalRecord::CoordEnd { txn } => {
             out.push(10);
-            put_u64(&mut out, *txn);
+            put_u64(out, *txn);
         }
     }
-    out
 }
 
 struct Cursor<'a> {

@@ -11,10 +11,10 @@
 use crate::scale::ScaleCfg;
 use dbsens_engine::db::{Database, TableId};
 use dbsens_engine::governor::Governor;
-use dbsens_engine::txn::{LockSpec, MutOp, Mutation, TxOp, TxnGenerator, TxnProgram};
+use dbsens_engine::txn::{LockSpec, MutOp, Mutation, ProgramPool, TxOp, TxnGenerator, TxnProgram};
 use dbsens_hwsim::rng::SimRng;
 use dbsens_storage::schema::{ColType, Schema};
-use dbsens_storage::value::{Key, Row, Value};
+use dbsens_storage::value::{Row, Value};
 
 /// Real rows per scale-factor unit in the scaling table.
 const SCALING_ROWS_PER_SF: f64 = 6_000.0;
@@ -151,6 +151,8 @@ pub struct AsdbGenerator {
     next_insert: i64,
     next_delete: i64,
     delete_end: i64,
+    /// Recycled program parts; spent programs are dismantled back into it.
+    pool: ProgramPool,
 }
 
 impl AsdbGenerator {
@@ -166,7 +168,14 @@ impl AsdbGenerator {
             next_insert: 2_000_000_000 + (client_id as i64) * 10_000_000,
             next_delete: start,
             delete_end: start + stripe,
+            pool: ProgramPool::new(),
         }
+    }
+
+    fn program<const N: usize>(&mut self, name: &'static str, ops: [TxOp; N]) -> TxnProgram {
+        let mut v = self.pool.ops();
+        v.extend(ops);
+        TxnProgram { name, ops: v }
     }
 }
 
@@ -177,69 +186,69 @@ impl TxnGenerator for AsdbGenerator {
             // 30%: point read on the scaling table.
             0..=29 => {
                 let k = rng.next_below(self.scaling_n) as i64;
-                TxnProgram {
-                    name: "PointRead",
-                    ops: vec![TxOp::Read {
-                        table: self.scaling,
-                        index: 0,
-                        key: Key::int(k),
-                        lock: LockSpec::Diffuse,
-                        for_update: false,
-                    }],
-                }
+                let ops = [TxOp::Read {
+                    table: self.scaling,
+                    index: 0,
+                    key: self.pool.key1(k),
+                    lock: LockSpec::Diffuse,
+                    for_update: false,
+                }];
+                self.program("PointRead", ops)
             }
             // 15%: small range read.
             30..=44 => {
                 let k = rng.next_below(self.scaling_n) as i64;
-                TxnProgram {
-                    name: "RangeRead",
-                    ops: vec![TxOp::ReadRange {
-                        table: self.scaling,
-                        index: 0,
-                        lo: Key::int(k),
-                        hi: Key::int(k + 2),
-                        limit: 2,
-                        model_rows: 50,
-                    }],
-                }
+                let ops = [TxOp::ReadRange {
+                    table: self.scaling,
+                    index: 0,
+                    lo: self.pool.key1(k),
+                    hi: self.pool.key1(k + 2),
+                    limit: 2,
+                    model_rows: 50,
+                }];
+                self.program("RangeRead", ops)
             }
             // 25%: read-modify-write on the scaling table.
             45..=69 => {
                 let k = rng.next_below(self.scaling_n) as i64;
-                TxnProgram {
-                    name: "Update",
-                    ops: vec![
-                        TxOp::Read {
-                            table: self.scaling,
-                            index: 0,
-                            key: Key::int(k),
-                            lock: LockSpec::Diffuse,
-                            for_update: true,
-                        },
-                        TxOp::Update {
-                            table: self.scaling,
-                            index: 0,
-                            key: Key::int(k),
-                            muts: vec![Mutation {
-                                col: 2,
-                                op: MutOp::AddFloat(1.0),
-                            }],
-                            lock: LockSpec::Diffuse,
-                        },
-                    ],
-                }
+                let mut muts = self.pool.muts();
+                muts.push(Mutation {
+                    col: 2,
+                    op: MutOp::AddFloat(1.0),
+                });
+                let ops = [
+                    TxOp::Read {
+                        table: self.scaling,
+                        index: 0,
+                        key: self.pool.key1(k),
+                        lock: LockSpec::Diffuse,
+                        for_update: true,
+                    },
+                    TxOp::Update {
+                        table: self.scaling,
+                        index: 0,
+                        key: self.pool.key1(k),
+                        muts,
+                        lock: LockSpec::Diffuse,
+                    },
+                ];
+                self.program("Update", ops)
             }
             // 15%: insert into the growing table (tail-page hotspot).
             70..=84 => {
                 let id = self.next_insert;
                 self.next_insert += 1;
-                TxnProgram {
-                    name: "Insert",
-                    ops: vec![TxOp::Insert {
-                        table: self.growing,
-                        row: vec![Value::Int(id), Value::Int(1), Value::Str("grow".into())],
-                    }],
-                }
+                let mut row = self.pool.values();
+                row.extend([
+                    Value::Int(id),
+                    Value::Int(1),
+                    Value::Str(self.pool.string("grow")),
+                ]);
+                let ops = [TxOp::Insert {
+                    table: self.growing,
+                    row,
+                }];
+                self.program("Insert", ops)
             }
             // 10%: delete from the growing table.
             85..=94 => {
@@ -251,31 +260,32 @@ impl TxnGenerator for AsdbGenerator {
                     // Stripe exhausted: delete this client's own inserts.
                     self.next_insert - 1
                 };
-                TxnProgram {
-                    name: "Delete",
-                    ops: vec![TxOp::Delete {
-                        table: self.growing,
-                        index: 0,
-                        key: Key::int(key),
-                        lock: LockSpec::Diffuse,
-                    }],
-                }
+                let ops = [TxOp::Delete {
+                    table: self.growing,
+                    index: 0,
+                    key: self.pool.key1(key),
+                    lock: LockSpec::Diffuse,
+                }];
+                self.program("Delete", ops)
             }
             // 5%: read a genuinely hot row of a fixed table.
             _ => {
                 let k = rng.next_below(64) as i64;
-                TxnProgram {
-                    name: "FixedRead",
-                    ops: vec![TxOp::Read {
-                        table: self.fixed,
-                        index: 0,
-                        key: Key::int(k),
-                        lock: LockSpec::ExactRow,
-                        for_update: false,
-                    }],
-                }
+                let ops = [TxOp::Read {
+                    table: self.fixed,
+                    index: 0,
+                    key: self.pool.key1(k),
+                    lock: LockSpec::ExactRow,
+                    for_update: false,
+                }];
+                self.program("FixedRead", ops)
             }
         }
+    }
+
+    fn next_txn_reusing(&mut self, rng: &mut SimRng, spent: TxnProgram) -> TxnProgram {
+        self.pool.reclaim(spent);
+        self.next_txn(rng)
     }
 }
 

@@ -15,10 +15,10 @@
 use crate::scale::ScaleCfg;
 use dbsens_engine::db::{Database, TableId};
 use dbsens_engine::governor::Governor;
-use dbsens_engine::txn::{LockSpec, MutOp, Mutation, TxOp, TxnGenerator, TxnProgram};
+use dbsens_engine::txn::{LockSpec, MutOp, Mutation, ProgramPool, TxOp, TxnGenerator, TxnProgram};
 use dbsens_hwsim::rng::SimRng;
 use dbsens_storage::schema::{ColType, Schema};
-use dbsens_storage::value::{Key, Row, Value};
+use dbsens_storage::value::{Row, Value};
 
 /// Real (paper-scale) rows per customer for each table.
 mod per_customer {
@@ -334,6 +334,11 @@ pub struct TpceGenerator {
     real: RealCounts,
     /// Next synthetic trade id for inserts, striped per client.
     next_trade_id: i64,
+    /// Recycled program-part storage; steady-state generation is
+    /// allocation-free once the pool is primed (see [`ProgramPool`]).
+    pool: ProgramPool,
+    /// Scratch for the multi-entity transactions' pick lists.
+    picks: Vec<(u64, i64)>,
 }
 
 impl TpceGenerator {
@@ -345,6 +350,8 @@ impl TpceGenerator {
             n: db.n,
             real: db.real,
             next_trade_id: 1_000_000_000 + (client_id as i64) * 10_000_000,
+            pool: ProgramPool::new(),
+            picks: Vec::new(),
         }
     }
 
@@ -364,24 +371,38 @@ impl TpceGenerator {
         (real, logical.min(logical_n as i64 - 1))
     }
 
-    fn read(&self, table: TableId, key: i64) -> TxOp {
+    fn read(&mut self, table: TableId, key: i64) -> TxOp {
         TxOp::Read {
             table,
             index: 0,
-            key: Key::int(key),
+            key: self.pool.key1(key),
             lock: LockSpec::Diffuse,
             for_update: false,
         }
     }
 
-    fn read_hot(&self, table: TableId, real: u64, logical: i64, for_update: bool) -> TxOp {
+    fn read_hot(&mut self, table: TableId, real: u64, logical: i64, for_update: bool) -> TxOp {
         TxOp::Read {
             table,
             index: 0,
-            key: Key::int(logical),
+            key: self.pool.key1(logical),
             lock: LockSpec::Resource(real),
             for_update,
         }
+    }
+
+    /// A mutation list built from pooled storage.
+    fn muts<const N: usize>(&mut self, muts: [Mutation; N]) -> Vec<Mutation> {
+        let mut m = self.pool.muts();
+        m.extend(muts);
+        m
+    }
+
+    /// A program assembled from pooled op storage.
+    fn program<const N: usize>(&mut self, name: &'static str, ops: [TxOp; N]) -> TxnProgram {
+        let mut v = self.pool.ops();
+        v.extend(ops);
+        TxnProgram { name, ops: v }
     }
 
     fn trade_order(&mut self, rng: &mut SimRng) -> TxnProgram {
@@ -390,36 +411,48 @@ impl TpceGenerator {
         let (s_real, s_log) = self.hot_entity(rng, self.real.securities, self.n.security);
         let tid = self.next_trade_id;
         self.next_trade_id += 1;
-        TxnProgram {
-            name: "TradeOrder",
-            ops: vec![
-                self.read(self.t.customer, cust),
-                self.read(self.t.account, acct),
-                self.read(self.t.security, s_log),
-                self.read_hot(self.t.last_trade, s_real, s_log, false),
-                TxOp::Compute {
-                    instructions: 60_000,
-                },
-                TxOp::Insert {
-                    table: self.t.trade,
-                    row: vec![
-                        Value::Int(tid),
-                        Value::Int(acct),
-                        Value::Int(s_log),
-                        Value::Str("BUY".into()),
-                        Value::Str("SBMT".into()),
-                        Value::Int(100),
-                        Value::Float(30.0),
-                        Value::Int(0),
-                        Value::Str("tdata".into()),
-                    ],
-                },
-                TxOp::Insert {
-                    table: self.t.trade_history,
-                    row: vec![Value::Int(tid), Value::Str("SBMT".into()), Value::Int(0)],
-                },
-            ],
-        }
+        let trade_row = {
+            let mut row = self.pool.values();
+            row.extend([
+                Value::Int(tid),
+                Value::Int(acct),
+                Value::Int(s_log),
+                Value::Str(self.pool.string("BUY")),
+                Value::Str(self.pool.string("SBMT")),
+                Value::Int(100),
+                Value::Float(30.0),
+                Value::Int(0),
+                Value::Str(self.pool.string("tdata")),
+            ]);
+            row
+        };
+        let hist_row = {
+            let mut row = self.pool.values();
+            row.extend([
+                Value::Int(tid),
+                Value::Str(self.pool.string("SBMT")),
+                Value::Int(0),
+            ]);
+            row
+        };
+        let ops = [
+            self.read(self.t.customer, cust),
+            self.read(self.t.account, acct),
+            self.read(self.t.security, s_log),
+            self.read_hot(self.t.last_trade, s_real, s_log, false),
+            TxOp::Compute {
+                instructions: 60_000,
+            },
+            TxOp::Insert {
+                table: self.t.trade,
+                row: trade_row,
+            },
+            TxOp::Insert {
+                table: self.t.trade_history,
+                row: hist_row,
+            },
+        ];
+        self.program("TradeOrder", ops)
     }
 
     fn trade_result(&mut self, rng: &mut SimRng) -> TxnProgram {
@@ -427,271 +460,278 @@ impl TpceGenerator {
         let trade = rng.next_below(self.n.trade as u64) as i64;
         let holding = rng.next_below(self.n.holding as u64) as i64;
         let (s_real, s_log) = self.hot_entity(rng, self.real.securities, self.n.security);
-        TxnProgram {
-            name: "TradeResult",
-            ops: vec![
-                TxOp::Read {
-                    table: self.t.account,
-                    index: 0,
-                    key: Key::int(acct),
-                    lock: LockSpec::Diffuse,
-                    for_update: true,
-                },
-                TxOp::Update {
-                    table: self.t.account,
-                    index: 0,
-                    key: Key::int(acct),
-                    muts: vec![Mutation {
-                        col: 2,
-                        op: MutOp::AddFloat(-31.4),
-                    }],
-                    lock: LockSpec::Diffuse,
-                },
-                // Completing the trade publishes the new last-trade price —
-                // the hot-row write that contends with every reader.
-                // (Canonical lock order: account < last_trade < trade.)
-                TxOp::Update {
-                    table: self.t.last_trade,
-                    index: 0,
-                    key: Key::int(s_log),
-                    muts: vec![
-                        Mutation {
-                            col: 1,
-                            op: MutOp::AddFloat(0.01),
-                        },
-                        Mutation {
-                            col: 3,
-                            op: MutOp::AddInt(1),
-                        },
-                    ],
-                    lock: LockSpec::Resource(s_real),
-                },
-                TxOp::Update {
-                    table: self.t.trade,
-                    index: 0,
-                    key: Key::int(trade),
-                    muts: vec![Mutation {
-                        col: 4,
-                        op: MutOp::SetStr("CMPT".into()),
-                    }],
-                    lock: LockSpec::Diffuse,
-                },
-                TxOp::Insert {
-                    table: self.t.trade_history,
-                    row: vec![Value::Int(trade), Value::Str("CMPT".into()), Value::Int(0)],
-                },
-                TxOp::Update {
-                    table: self.t.holding,
-                    index: 0,
-                    key: Key::int(holding),
-                    muts: vec![Mutation {
-                        col: 3,
-                        op: MutOp::AddInt(1),
-                    }],
-                    lock: LockSpec::Diffuse,
-                },
-                TxOp::Compute {
-                    instructions: 80_000,
-                },
-            ],
-        }
-    }
-
-    fn trade_status(&self, rng: &mut SimRng) -> TxnProgram {
-        let acct = rng.next_below(self.n.account as u64) as i64;
-        TxnProgram {
-            name: "TradeStatus",
-            ops: vec![TxOp::ReadRange {
+        let acct_muts = self.muts([Mutation {
+            col: 2,
+            op: MutOp::AddFloat(-31.4),
+        }]);
+        let lt_muts = self.muts([
+            Mutation {
+                col: 1,
+                op: MutOp::AddFloat(0.01),
+            },
+            Mutation {
+                col: 3,
+                op: MutOp::AddInt(1),
+            },
+        ]);
+        let cmpt = MutOp::SetStr(self.pool.string("CMPT"));
+        let trade_muts = self.muts([Mutation { col: 4, op: cmpt }]);
+        let hist_row = {
+            let mut row = self.pool.values();
+            row.extend([
+                Value::Int(trade),
+                Value::Str(self.pool.string("CMPT")),
+                Value::Int(0),
+            ]);
+            row
+        };
+        let holding_muts = self.muts([Mutation {
+            col: 3,
+            op: MutOp::AddInt(1),
+        }]);
+        let ops = [
+            TxOp::Read {
+                table: self.t.account,
+                index: 0,
+                key: self.pool.key1(acct),
+                lock: LockSpec::Diffuse,
+                for_update: true,
+            },
+            TxOp::Update {
+                table: self.t.account,
+                index: 0,
+                key: self.pool.key1(acct),
+                muts: acct_muts,
+                lock: LockSpec::Diffuse,
+            },
+            // Completing the trade publishes the new last-trade price —
+            // the hot-row write that contends with every reader.
+            // (Canonical lock order: account < last_trade < trade.)
+            TxOp::Update {
+                table: self.t.last_trade,
+                index: 0,
+                key: self.pool.key1(s_log),
+                muts: lt_muts,
+                lock: LockSpec::Resource(s_real),
+            },
+            TxOp::Update {
                 table: self.t.trade,
-                index: 1, // by_account
-                lo: Key::int2(acct, 0),
-                hi: Key::int2(acct + 1, 0),
-                limit: 4,
-                model_rows: 50,
-            }],
-        }
+                index: 0,
+                key: self.pool.key1(trade),
+                muts: trade_muts,
+                lock: LockSpec::Diffuse,
+            },
+            TxOp::Insert {
+                table: self.t.trade_history,
+                row: hist_row,
+            },
+            TxOp::Update {
+                table: self.t.holding,
+                index: 0,
+                key: self.pool.key1(holding),
+                muts: holding_muts,
+                lock: LockSpec::Diffuse,
+            },
+            TxOp::Compute {
+                instructions: 80_000,
+            },
+        ];
+        self.program("TradeResult", ops)
     }
 
-    fn customer_position(&self, rng: &mut SimRng) -> TxnProgram {
+    fn trade_status(&mut self, rng: &mut SimRng) -> TxnProgram {
+        let acct = rng.next_below(self.n.account as u64) as i64;
+        let ops = [TxOp::ReadRange {
+            table: self.t.trade,
+            index: 1, // by_account
+            lo: self.pool.key2(acct, 0),
+            hi: self.pool.key2(acct + 1, 0),
+            limit: 4,
+            model_rows: 50,
+        }];
+        self.program("TradeStatus", ops)
+    }
+
+    fn customer_position(&mut self, rng: &mut SimRng) -> TxnProgram {
         let cust = rng.next_below(self.n.customer as u64) as i64;
         let acct = rng.next_below(self.n.account as u64) as i64;
         let (s_real, s_log) = self.hot_entity(rng, self.real.securities, self.n.security);
-        TxnProgram {
-            name: "CustomerPosition",
-            ops: vec![
-                self.read(self.t.customer, cust),
-                TxOp::ReadRange {
-                    table: self.t.account,
-                    index: 1,
-                    lo: Key::int2(cust, 0),
-                    hi: Key::int2(cust + 1, 0),
-                    limit: 4,
-                    model_rows: 5,
-                },
-                TxOp::ReadRange {
-                    table: self.t.holding,
-                    index: 1,
-                    lo: Key::int2(acct, 0),
-                    hi: Key::int2(acct + 1, 0),
-                    limit: 4,
-                    model_rows: 20,
-                },
-                self.read_hot(self.t.last_trade, s_real, s_log, false),
-                TxOp::Compute {
-                    instructions: 40_000,
-                },
-            ],
-        }
+        let ops = [
+            self.read(self.t.customer, cust),
+            TxOp::ReadRange {
+                table: self.t.account,
+                index: 1,
+                lo: self.pool.key2(cust, 0),
+                hi: self.pool.key2(cust + 1, 0),
+                limit: 4,
+                model_rows: 5,
+            },
+            TxOp::ReadRange {
+                table: self.t.holding,
+                index: 1,
+                lo: self.pool.key2(acct, 0),
+                hi: self.pool.key2(acct + 1, 0),
+                limit: 4,
+                model_rows: 20,
+            },
+            self.read_hot(self.t.last_trade, s_real, s_log, false),
+            TxOp::Compute {
+                instructions: 40_000,
+            },
+        ];
+        self.program("CustomerPosition", ops)
     }
 
-    fn broker_volume(&self, rng: &mut SimRng) -> TxnProgram {
+    fn broker_volume(&mut self, rng: &mut SimRng) -> TxnProgram {
         let acct = rng.next_below(self.n.account as u64) as i64;
-        TxnProgram {
-            name: "BrokerVolume",
-            ops: vec![
-                TxOp::ReadRange {
-                    table: self.t.trade,
-                    index: 1,
-                    lo: Key::int2(acct, 0),
-                    hi: Key::int2(acct + 3, 0),
-                    limit: 12,
-                    model_rows: 200,
-                },
-                TxOp::Compute {
-                    instructions: 100_000,
-                },
-            ],
-        }
+        let ops = [
+            TxOp::ReadRange {
+                table: self.t.trade,
+                index: 1,
+                lo: self.pool.key2(acct, 0),
+                hi: self.pool.key2(acct + 3, 0),
+                limit: 12,
+                model_rows: 200,
+            },
+            TxOp::Compute {
+                instructions: 100_000,
+            },
+        ];
+        self.program("BrokerVolume", ops)
     }
 
-    fn security_detail(&self, rng: &mut SimRng) -> TxnProgram {
+    fn security_detail(&mut self, rng: &mut SimRng) -> TxnProgram {
         let (s_real, s_log) = self.hot_entity(rng, self.real.securities, self.n.security);
         let trade = rng.next_below(self.n.trade as u64) as i64;
-        TxnProgram {
-            name: "SecurityDetail",
-            ops: vec![
-                self.read(self.t.security, s_log),
-                self.read_hot(self.t.last_trade, s_real, s_log, false),
-                TxOp::ReadRange {
-                    table: self.t.trade_history,
-                    index: 0,
-                    lo: Key::int(trade),
-                    hi: Key::int(trade + 4),
-                    limit: 4,
-                    model_rows: 20,
-                },
-            ],
-        }
+        let ops = [
+            self.read(self.t.security, s_log),
+            self.read_hot(self.t.last_trade, s_real, s_log, false),
+            TxOp::ReadRange {
+                table: self.t.trade_history,
+                index: 0,
+                lo: self.pool.key1(trade),
+                hi: self.pool.key1(trade + 4),
+                limit: 4,
+                model_rows: 20,
+            },
+        ];
+        self.program("SecurityDetail", ops)
     }
 
-    fn market_feed(&self, rng: &mut SimRng) -> TxnProgram {
+    fn market_feed(&mut self, rng: &mut SimRng) -> TxnProgram {
         // Update the last-trade row of several securities: the hot-write
         // path that drives LOCK/PAGELATCH contention, shrinking as the
         // security population grows with SF.
-        let mut picks: Vec<(u64, i64)> = (0..8)
-            .map(|_| self.hot_entity(rng, self.real.securities, self.n.security))
-            .collect();
+        let mut picks = std::mem::take(&mut self.picks);
+        picks.clear();
+        picks.extend((0..8).map(|_| self.hot_entity(rng, self.real.securities, self.n.security)));
         // Canonical lock order (deadlock discipline).
         picks.sort_unstable();
         picks.dedup();
-        let ops = picks
-            .into_iter()
-            .map(|(real, logical)| TxOp::Update {
+        let mut ops = self.pool.ops();
+        for &(real, logical) in &picks {
+            let muts = self.muts([
+                Mutation {
+                    col: 1,
+                    op: MutOp::AddFloat(0.05),
+                },
+                Mutation {
+                    col: 2,
+                    op: MutOp::AddInt(100),
+                },
+                Mutation {
+                    col: 3,
+                    op: MutOp::AddInt(1),
+                },
+            ]);
+            ops.push(TxOp::Update {
                 table: self.t.last_trade,
                 index: 0,
-                key: Key::int(logical),
-                muts: vec![
-                    Mutation {
-                        col: 1,
-                        op: MutOp::AddFloat(0.05),
-                    },
-                    Mutation {
-                        col: 2,
-                        op: MutOp::AddInt(100),
-                    },
-                    Mutation {
-                        col: 3,
-                        op: MutOp::AddInt(1),
-                    },
-                ],
+                key: self.pool.key1(logical),
+                muts,
                 lock: LockSpec::Resource(real),
-            })
-            .collect();
+            });
+        }
+        self.picks = picks;
         TxnProgram {
             name: "MarketFeed",
             ops,
         }
     }
 
-    fn market_watch(&self, rng: &mut SimRng) -> TxnProgram {
-        let mut picks: Vec<(u64, i64)> = (0..10)
-            .map(|_| self.hot_entity(rng, self.real.securities, self.n.security))
-            .collect();
+    fn market_watch(&mut self, rng: &mut SimRng) -> TxnProgram {
+        let mut picks = std::mem::take(&mut self.picks);
+        picks.clear();
+        picks.extend((0..10).map(|_| self.hot_entity(rng, self.real.securities, self.n.security)));
         picks.sort_unstable();
         picks.dedup();
-        let ops = picks
-            .into_iter()
-            .map(|(real, logical)| self.read_hot(self.t.last_trade, real, logical, false))
-            .chain(std::iter::once(TxOp::Compute {
-                instructions: 30_000,
-            }))
-            .collect();
+        let mut ops = self.pool.ops();
+        for &(real, logical) in &picks {
+            let op = self.read_hot(self.t.last_trade, real, logical, false);
+            ops.push(op);
+        }
+        ops.push(TxOp::Compute {
+            instructions: 30_000,
+        });
+        self.picks = picks;
         TxnProgram {
             name: "MarketWatch",
             ops,
         }
     }
 
-    fn trade_lookup(&self, rng: &mut SimRng) -> TxnProgram {
+    fn trade_lookup(&mut self, rng: &mut SimRng) -> TxnProgram {
         let acct = rng.next_below(self.n.account as u64) as i64;
         let trade = rng.next_below(self.n.trade as u64) as i64;
-        TxnProgram {
-            name: "TradeLookup",
-            ops: vec![
-                TxOp::ReadRange {
-                    table: self.t.trade,
-                    index: 1,
-                    lo: Key::int2(acct, 0),
-                    hi: Key::int2(acct + 1, 0),
-                    limit: 4,
-                    model_rows: 20,
-                },
-                TxOp::ReadRange {
-                    table: self.t.trade_history,
-                    index: 0,
-                    lo: Key::int(trade),
-                    hi: Key::int(trade + 8),
-                    limit: 8,
-                    model_rows: 20,
-                },
-            ],
-        }
+        let ops = [
+            TxOp::ReadRange {
+                table: self.t.trade,
+                index: 1,
+                lo: self.pool.key2(acct, 0),
+                hi: self.pool.key2(acct + 1, 0),
+                limit: 4,
+                model_rows: 20,
+            },
+            TxOp::ReadRange {
+                table: self.t.trade_history,
+                index: 0,
+                lo: self.pool.key1(trade),
+                hi: self.pool.key1(trade + 8),
+                limit: 8,
+                model_rows: 20,
+            },
+        ];
+        self.program("TradeLookup", ops)
     }
 
-    fn trade_update(&self, rng: &mut SimRng) -> TxnProgram {
-        let mut keys: Vec<i64> = (0..3)
-            .map(|_| rng.next_below(self.n.trade as u64) as i64)
-            .collect();
-        keys.sort_unstable();
-        keys.dedup();
-        let mut ops: Vec<TxOp> = vec![TxOp::ReadRange {
+    fn trade_update(&mut self, rng: &mut SimRng) -> TxnProgram {
+        let mut picks = std::mem::take(&mut self.picks);
+        picks.clear();
+        picks.extend((0..3).map(|_| (rng.next_below(self.n.trade as u64), 0i64)));
+        picks.sort_unstable();
+        picks.dedup();
+        let mut ops = self.pool.ops();
+        ops.push(TxOp::ReadRange {
             table: self.t.trade,
             index: 1,
-            lo: Key::int2(0, 0),
-            hi: Key::int2(1, 0),
+            lo: self.pool.key2(0, 0),
+            hi: self.pool.key2(1, 0),
             limit: 4,
             model_rows: 20,
-        }];
-        ops.extend(keys.into_iter().map(|k| TxOp::Update {
-            table: self.t.trade,
-            index: 0,
-            key: Key::int(k),
-            muts: vec![Mutation {
-                col: 8,
-                op: MutOp::SetStr("updated".into()),
-            }],
-            lock: LockSpec::Diffuse,
-        }));
+        });
+        for &(t, _) in &picks {
+            let k = t as i64;
+            let upd = MutOp::SetStr(self.pool.string("updated"));
+            let muts = self.muts([Mutation { col: 8, op: upd }]);
+            ops.push(TxOp::Update {
+                table: self.t.trade,
+                index: 0,
+                key: self.pool.key1(k),
+                muts,
+                lock: LockSpec::Diffuse,
+            });
+        }
+        self.picks = picks;
         TxnProgram {
             name: "TradeUpdate",
             ops,
@@ -715,6 +755,11 @@ impl TxnGenerator for TpceGenerator {
             901..=980 => self.trade_lookup(rng),      // 8.0%
             _ => self.trade_update(rng),              // 2.0%
         }
+    }
+
+    fn next_txn_reusing(&mut self, rng: &mut SimRng, spent: TxnProgram) -> TxnProgram {
+        self.pool.reclaim(spent);
+        self.next_txn(rng)
     }
 }
 
